@@ -1,0 +1,87 @@
+//! Benchmarks for the confidence engines (experiments E1/E5 timing side):
+//! signature counter vs explicit-Γ brute force vs world oracle on
+//! Example 5.1, and the compositional `conf_Q` evaluator.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pscds_core::answers::conf_q::{conf_q, WorldsBaseTables};
+use pscds_core::confidence::{ConfidenceAnalysis, LinearSystem, PossibleWorlds};
+use pscds_core::paper::{example_5_1, example_5_1_domain};
+use pscds_relational::algebra::RaExpr;
+
+fn bench_engines_small_m(c: &mut Criterion) {
+    let mut group = c.benchmark_group("example51_engines");
+    let collection = example_5_1();
+    let identity = collection.as_identity().expect("identity");
+    for m in [4usize, 6, 8] {
+        let domain = example_5_1_domain(m);
+        group.bench_with_input(BenchmarkId::new("world_oracle", m), &m, |bench, _| {
+            bench.iter(|| {
+                PossibleWorlds::enumerate(black_box(&collection), &domain)
+                    .expect("small")
+                    .count()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("gamma_brute", m), &m, |bench, _| {
+            let gamma = LinearSystem::from_identity(&identity, &domain).expect("valid");
+            bench.iter(|| gamma.count_solutions().expect("within cap"));
+        });
+        group.bench_with_input(BenchmarkId::new("signature", m), &m, |bench, &m| {
+            bench.iter(|| {
+                ConfidenceAnalysis::analyze(black_box(&identity), m as u64)
+                    .world_count()
+                    .clone()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_signature_large_m(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signature_large_m");
+    let identity = example_5_1().as_identity().expect("identity");
+    for m in [1_000u64, 100_000, 10_000_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |bench, &m| {
+            bench.iter(|| ConfidenceAnalysis::analyze(black_box(&identity), m).world_count().clone());
+        });
+    }
+    group.finish();
+}
+
+fn bench_conf_q(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conf_q");
+    let collection = example_5_1();
+    let domain = example_5_1_domain(6);
+    let worlds = PossibleWorlds::enumerate(&collection, &domain).expect("small");
+    let base = WorldsBaseTables::new(&worlds);
+    let queries = [
+        ("base", RaExpr::rel("R")),
+        ("project", RaExpr::rel("R").project([])),
+        ("product", RaExpr::rel("R").product(RaExpr::rel("R"))),
+        (
+            "pi_over_product",
+            RaExpr::rel("R").product(RaExpr::rel("R")).project([0]),
+        ),
+    ];
+    for (name, q) in &queries {
+        group.bench_function(*name, |bench| {
+            bench.iter(|| conf_q(black_box(q), &base).expect("consistent"));
+        });
+    }
+    group.finish();
+}
+
+
+/// Quick profile: the suite has many benchmarks; keep each one short.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_engines_small_m, bench_signature_large_m, bench_conf_q
+}
+criterion_main!(benches);

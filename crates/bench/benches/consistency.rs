@@ -1,0 +1,100 @@
+//! Benchmarks for the CONSISTENCY deciders (experiment E2's timing side):
+//! the identity-view signature solver vs the exhaustive possible-world
+//! search, on planted (consistent) and adversarial random instances.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pscds_core::consistency::{decide_identity, find_witness_bounded};
+use pscds_datagen::random_sources::{generate, RandomIdentityConfig};
+use pscds_reductions::{hs_star_to_consistency, hs_to_hs_star, HittingSetInstance};
+use std::collections::BTreeSet;
+
+fn bench_identity_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decide_identity");
+    for n_sources in [2usize, 4, 8] {
+        let cfg = RandomIdentityConfig {
+            n_sources,
+            domain_size: 16,
+            extension_density: 0.4,
+            planted: true,
+            world_density: 0.5,
+            bound_denominator: 4,
+            seed: 7,
+        };
+        let scenario = generate(&cfg).expect("valid config");
+        let identity = scenario.collection.as_identity().expect("identity");
+        let padding = scenario.domain.len() as u64 - identity.all_tuples().len() as u64;
+        group.bench_with_input(BenchmarkId::new("planted", n_sources), &n_sources, |bench, _| {
+            bench.iter(|| decide_identity(black_box(&identity), padding).is_consistent());
+        });
+        let cfg_adv = RandomIdentityConfig { planted: false, ..cfg };
+        let scenario = generate(&cfg_adv).expect("valid config");
+        let identity = scenario.collection.as_identity().expect("identity");
+        group.bench_with_input(BenchmarkId::new("adversarial", n_sources), &n_sources, |bench, _| {
+            bench.iter(|| decide_identity(black_box(&identity), padding).is_consistent());
+        });
+    }
+    group.finish();
+}
+
+fn bench_exhaustive_vs_identity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consistency_engines");
+    for domain in [6usize, 8, 10] {
+        let cfg = RandomIdentityConfig {
+            n_sources: 3,
+            domain_size: domain,
+            extension_density: 0.4,
+            planted: true,
+            world_density: 0.5,
+            bound_denominator: 4,
+            seed: 5,
+        };
+        let scenario = generate(&cfg).expect("valid config");
+        let identity = scenario.collection.as_identity().expect("identity");
+        let padding = scenario.domain.len() as u64 - identity.all_tuples().len() as u64;
+        group.bench_with_input(BenchmarkId::new("signature", domain), &domain, |bench, _| {
+            bench.iter(|| decide_identity(black_box(&identity), padding).is_consistent());
+        });
+        group.bench_with_input(BenchmarkId::new("exhaustive_bounded", domain), &domain, |bench, _| {
+            bench.iter(|| {
+                find_witness_bounded(black_box(&scenario.collection), &scenario.domain, None)
+                    .expect("evaluates")
+                    .is_some()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduced_hs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduced_hs_consistency");
+    for universe in [8u32, 16, 24] {
+        // Deterministic moderately-hard instance: sliding-window sets.
+        let sets: Vec<BTreeSet<u32>> = (0..universe)
+            .map(|i| (0..3).map(|d| (i + d * 2) % universe).collect())
+            .collect();
+        let hs = HittingSetInstance::new(sets, (universe / 3) as usize);
+        let (star, _) = hs_to_hs_star(&hs);
+        let collection = hs_star_to_consistency(&star).expect("valid");
+        let identity = collection.as_identity().expect("identity");
+        group.bench_with_input(BenchmarkId::from_parameter(universe), &universe, |bench, _| {
+            bench.iter(|| decide_identity(black_box(&identity), 0).is_consistent());
+        });
+    }
+    group.finish();
+}
+
+
+/// Quick profile: the suite has many benchmarks; keep each one short.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_identity_solver, bench_exhaustive_vs_identity, bench_reduced_hs
+}
+criterion_main!(benches);

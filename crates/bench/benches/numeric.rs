@@ -1,0 +1,75 @@
+//! Microbenchmarks for the exact-arithmetic substrate: the model counter's
+//! hot operations (big-integer multiply/divide, binomial rows, rational
+//! normalization).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pscds_numeric::{binomial::binomial_ubig, BinomialTable, Rational, UBig};
+
+fn bench_ubig_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ubig");
+    for bits in [64u32, 512, 4096] {
+        let a = UBig::one().shl(bits).add(&UBig::from(987_654_321u64));
+        let b = UBig::one().shl(bits / 2).add(&UBig::from(123_456_789u64));
+        group.bench_with_input(BenchmarkId::new("mul", bits), &bits, |bench, _| {
+            bench.iter(|| black_box(&a).mul(black_box(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("divrem", bits), &bits, |bench, _| {
+            bench.iter(|| black_box(&a).divrem(black_box(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("add", bits), &bits, |bench, _| {
+            bench.iter(|| black_box(&a).add(black_box(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("to_string", bits), &bits, |bench, _| {
+            bench.iter(|| black_box(&a).to_string());
+        });
+    }
+    group.finish();
+}
+
+fn bench_binomials(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binomial");
+    for n in [64u64, 512, 2048] {
+        group.bench_with_input(BenchmarkId::new("direct", n), &n, |bench, &n| {
+            bench.iter(|| binomial_ubig(black_box(n), black_box(n / 2)));
+        });
+        group.bench_with_input(BenchmarkId::new("full_row", n), &n, |bench, &n| {
+            bench.iter(|| {
+                let mut t = BinomialTable::new();
+                black_box(t.row(black_box(n)).len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_rational(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rational");
+    // Rationals of the size confidence computations produce at large m.
+    let num = UBig::one().shl(2000).add(&UBig::from(17u64));
+    let den = UBig::one().shl(2001).add(&UBig::from(5u64));
+    group.bench_function("new_reduced_2000bit", |bench| {
+        bench.iter(|| Rational::new(black_box(num.clone()), black_box(den.clone())));
+    });
+    let a = Rational::from_u64(6, 7);
+    let b = Rational::from_u64(123, 1024);
+    group.bench_function("prob_or_small", |bench| {
+        bench.iter(|| black_box(&a).prob_or(black_box(&b)));
+    });
+    group.finish();
+}
+
+
+/// Quick profile: the suite has many benchmarks; keep each one short.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_ubig_ops, bench_binomials, bench_rational
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Benchmarks for the NP-completeness toolkit (experiment E2 timing side):
+//! the exact and greedy HITTING SET solvers and the reduction pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pscds_reductions::{
+    greedy_hitting_set, hs_star_to_consistency, hs_to_hs_star, solve_hitting_set, HittingSetInstance,
+};
+use std::collections::BTreeSet;
+
+/// Sliding-window instance family: set i = {i, i+2, i+4} mod n.
+fn window_instance(n: u32, k: usize) -> HittingSetInstance {
+    let sets: Vec<BTreeSet<u32>> = (0..n).map(|i| (0..3).map(|d| (i + d * 2) % n).collect()).collect();
+    HittingSetInstance::new(sets, k)
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hitting_set");
+    for n in [9u32, 15, 21] {
+        let instance = window_instance(n, (n / 3) as usize);
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |bench, _| {
+            bench.iter(|| solve_hitting_set(black_box(&instance)));
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |bench, _| {
+            bench.iter(|| greedy_hitting_set(black_box(&instance)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduction_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction_pipeline");
+    for n in [9u32, 15, 21] {
+        let instance = window_instance(n, (n / 3) as usize);
+        group.bench_with_input(BenchmarkId::new("hs_to_collection", n), &n, |bench, _| {
+            bench.iter(|| {
+                let (star, _) = hs_to_hs_star(black_box(&instance));
+                hs_star_to_consistency(&star).expect("valid").len()
+            });
+        });
+    }
+    group.finish();
+}
+
+
+/// Quick profile: the suite has many benchmarks; keep each one short.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_solvers, bench_reduction_pipeline
+}
+criterion_main!(benches);

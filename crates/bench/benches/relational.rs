@@ -1,0 +1,103 @@
+//! Benchmarks for the relational substrate: conjunctive-query evaluation
+//! (the inner loop of every possible-world check), parsing, and
+//! relational-algebra evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pscds_relational::algebra::{CmpOp, Operand, Predicate, RaExpr};
+use pscds_relational::parser::{parse_facts, parse_rule};
+use pscds_relational::{Database, Fact, GlobalSchema, Value};
+
+/// A chain database E(0→1→…→n) plus random extra edges.
+fn chain_db(n: usize) -> Database {
+    let mut db = Database::new();
+    for i in 0..n {
+        db.insert(Fact::new("E", [Value::int(i as i64), Value::int(i as i64 + 1)]));
+        // Extra edges to give joins some fan-out.
+        db.insert(Fact::new(
+            "E",
+            [Value::int(i as i64), Value::int(((i * 7 + 3) % (n + 1)) as i64)],
+        ));
+    }
+    db
+}
+
+fn bench_cq_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cq_eval");
+    let q2 = parse_rule("V(x, z) <- E(x, y), E(y, z)").expect("parses");
+    let q3 = parse_rule("V(x, w) <- E(x, y), E(y, z), E(z, w)").expect("parses");
+    for n in [32usize, 128, 512] {
+        let db = chain_db(n);
+        group.bench_with_input(BenchmarkId::new("path2", n), &n, |bench, _| {
+            bench.iter(|| q2.evaluate(black_box(&db)).expect("evaluates"));
+        });
+        group.bench_with_input(BenchmarkId::new("path3", n), &n, |bench, _| {
+            bench.iter(|| q3.evaluate(black_box(&db)).expect("evaluates"));
+        });
+    }
+    // With a built-in filter.
+    let qf = parse_rule("V(x, y) <- E(x, y), After(y, 100)").expect("parses");
+    let db = chain_db(512);
+    group.bench_function("path1_builtin_filter", |bench| {
+        bench.iter(|| qf.evaluate(black_box(&db)).expect("evaluates"));
+    });
+    group.finish();
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parser");
+    group.bench_function("rule", |bench| {
+        bench.iter(|| {
+            parse_rule(black_box(
+                "V1(s, y, m, v) <- Temperature(s, y, m, v), Station(s, lat, lon, 'Canada'), After(y, 1900)",
+            ))
+            .expect("parses")
+        });
+    });
+    let facts_text: String = (0..200)
+        .map(|i| format!("R(a{i}, {i}). "))
+        .collect();
+    group.bench_function("facts_200", |bench| {
+        bench.iter(|| parse_facts(black_box(&facts_text)).expect("parses"));
+    });
+    group.finish();
+}
+
+fn bench_algebra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algebra");
+    let db = chain_db(256);
+    let schema = GlobalSchema::from_pairs([("E", 2)]).expect("valid");
+    let select = RaExpr::rel("E").select(Predicate::Cmp(
+        Operand::Col(1),
+        CmpOp::Gt,
+        Operand::Const(Value::int(100)),
+    ));
+    group.bench_function("select_256", |bench| {
+        bench.iter(|| select.eval(black_box(&db), &schema).expect("evaluates"));
+    });
+    let project = RaExpr::rel("E").project([0]);
+    group.bench_function("project_256", |bench| {
+        bench.iter(|| project.eval(black_box(&db), &schema).expect("evaluates"));
+    });
+    let small = chain_db(24);
+    let product = RaExpr::rel("E").product(RaExpr::rel("E"));
+    group.bench_function("product_24x24", |bench| {
+        bench.iter(|| product.eval(black_box(&small), &schema).expect("evaluates"));
+    });
+    group.finish();
+}
+
+
+/// Quick profile: the suite has many benchmarks; keep each one short.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_cq_eval, bench_parser, bench_algebra
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Benchmarks for the Section 4 template machinery (experiment E4 timing
+//! side): building `T^U`/`C^U`, `rep` membership checks, and the full
+//! Theorem 4.1 verification.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pscds_core::paper::{example_5_1, example_5_1_domain};
+use pscds_core::templates::{subset_combinations, template_for, templates_for, verify_theorem_4_1};
+use pscds_relational::Database;
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("template_construction");
+    let collection = example_5_1();
+    group.bench_function("subset_combinations", |bench| {
+        bench.iter(|| subset_combinations(black_box(&collection)).expect("within cap").len());
+    });
+    let combos = subset_combinations(&collection).expect("within cap");
+    group.bench_function("template_for_one_combo", |bench| {
+        bench.iter(|| template_for(black_box(&collection), &combos[0]).expect("constructs"));
+    });
+    group.bench_function("templates_for_all", |bench| {
+        bench.iter(|| templates_for(black_box(&collection)).expect("constructs").len());
+    });
+    group.finish();
+}
+
+fn bench_rep_membership(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rep_membership");
+    let collection = example_5_1();
+    let templates = templates_for(&collection).expect("constructs");
+    let template = &templates[0];
+    let member = Database::from_facts(
+        pscds_relational::parser::parse_facts("R(a). R(b). R(c)").expect("parses"),
+    );
+    let non_member = Database::new();
+    group.bench_function("member", |bench| {
+        bench.iter(|| template.rep_contains(black_box(&member)).expect("checks"));
+    });
+    group.bench_function("non_member", |bench| {
+        bench.iter(|| template.rep_contains(black_box(&non_member)).expect("checks"));
+    });
+    group.finish();
+}
+
+fn bench_theorem_41(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify_theorem_4_1");
+    group.sample_size(10);
+    let collection = example_5_1();
+    for m in [0usize, 1] {
+        let domain = example_5_1_domain(m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |bench, _| {
+            bench.iter(|| {
+                let report = verify_theorem_4_1(black_box(&collection), &domain).expect("small");
+                assert!(report.holds);
+            });
+        });
+    }
+    group.finish();
+}
+
+
+/// Quick profile: the suite has many benchmarks; keep each one short.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_construction, bench_rep_membership, bench_theorem_41
+}
+criterion_main!(benches);

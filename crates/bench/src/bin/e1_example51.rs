@@ -1,0 +1,149 @@
+//! E1 — Example 5.1: tuple confidences as a function of the domain
+//! padding `m`.
+//!
+//! Reproduces the paper's only printed numbers. Three independent exact
+//! engines (possible-world oracle, explicit Γ counter, signature counter)
+//! are cross-checked, then compared against the paper's closed forms and
+//! our re-derived ones. See EXPERIMENTS.md for the documented erratum
+//! (the paper's denominator `2m+3` vs the exact `2m+5`).
+//!
+//! Run: `cargo run -p pscds-bench --release --bin e1_example51`
+
+use pscds_bench::{markdown_table, Cell};
+use pscds_core::confidence::closed_form::{
+    derived_confidence, derived_world_count, paper_confidence, paper_world_count, Example51Fact,
+};
+use pscds_core::confidence::{ConfidenceAnalysis, LinearSystem, PossibleWorlds};
+use pscds_core::paper::{example_5_1, example_5_1_domain};
+use pscds_relational::{Fact, Value};
+use std::time::Instant;
+
+fn main() {
+    let collection = example_5_1();
+    let identity = collection.as_identity().expect("identity views");
+
+    // ── Table 1: confidences, paper vs derived vs computed ────────────
+    println!("E1.1  Example 5.1 confidences (computed = signature counter, exact):\n");
+    let mut rows = Vec::new();
+    for m in [0u64, 1, 2, 5, 10, 100] {
+        let analysis = ConfidenceAnalysis::analyze(&identity, m);
+        let conf = |sym: &str| {
+            analysis
+                .confidence_of_tuple(&identity, &[Value::sym(sym)])
+                .expect("consistent")
+        };
+        rows.push(vec![
+            Cell::from(m),
+            Cell::from(format!("{} (paper: {})", derived_world_count(m), paper_world_count(m))),
+            Cell::from(format!("{} (paper: {})", conf("a"), paper_confidence(Example51Fact::A, m))),
+            Cell::from(format!("{} (paper: {})", conf("b"), paper_confidence(Example51Fact::B, m))),
+            Cell::from(if m > 0 {
+                format!(
+                    "{} (paper: {})",
+                    analysis.padding_confidence().expect("padding exists"),
+                    paper_confidence(Example51Fact::D, m)
+                )
+            } else {
+                "-".to_owned()
+            }),
+        ]);
+        // The derived closed forms must match the computed values exactly.
+        assert_eq!(conf("a"), derived_confidence(Example51Fact::A, m));
+        assert_eq!(conf("b"), derived_confidence(Example51Fact::B, m));
+        assert_eq!(conf("c"), derived_confidence(Example51Fact::C, m));
+    }
+    println!(
+        "{}",
+        markdown_table(&["m", "|poss(S)|", "conf(R(a))", "conf(R(b))", "conf(R(d_i))"], &rows)
+    );
+
+    // ── Table 2: three-engine agreement on small m ────────────────────
+    println!("\nE1.2  Engine agreement (m ≤ 3; all values must be identical):\n");
+    let mut rows = Vec::new();
+    for m in 0..=3usize {
+        let domain = example_5_1_domain(m);
+        let worlds = PossibleWorlds::enumerate(&collection, &domain).expect("small universe");
+        let gamma = LinearSystem::from_identity(&identity, &domain).expect("valid domain");
+        let analysis = ConfidenceAnalysis::analyze(&identity, m as u64);
+        let fact = Fact::new("R", [Value::sym("b")]);
+        let w = worlds.fact_confidence(&fact).expect("consistent");
+        let g = gamma
+            .confidence(gamma.var_of(&fact).expect("in domain"))
+            .expect("consistent");
+        let s = analysis
+            .confidence_of_tuple(&identity, &[Value::sym("b")])
+            .expect("consistent");
+        assert_eq!(w, g);
+        assert_eq!(w, s);
+        rows.push(vec![
+            Cell::from(m),
+            Cell::from(worlds.count()),
+            Cell::from(w.to_string()),
+            Cell::from(g.to_string()),
+            Cell::from(s.to_string()),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(&["m", "worlds", "oracle conf(b)", "Γ conf(b)", "signature conf(b)"], &rows)
+    );
+
+    // ── Table 3: asymptotics (paper's qualitative claim) ──────────────
+    println!("\nE1.3  Asymptotics: conf(b) → 1, conf(a) → 1/2, conf(d) → 0:\n");
+    let mut rows = Vec::new();
+    for m in [10u64, 1_000, 100_000, 10_000_000] {
+        let analysis = ConfidenceAnalysis::analyze(&identity, m);
+        let c = |sym: &str| {
+            analysis
+                .confidence_of_tuple(&identity, &[Value::sym(sym)])
+                .expect("consistent")
+                .to_f64()
+        };
+        rows.push(vec![
+            Cell::from(m),
+            Cell::from(format!("{:.7}", c("b"))),
+            Cell::from(format!("{:.7}", c("a"))),
+            Cell::from(format!("{:.7}", analysis.padding_confidence().expect("padding").to_f64())),
+        ]);
+    }
+    println!("{}", markdown_table(&["m", "conf(b)", "conf(a)", "conf(d_i)"], &rows));
+
+    // ── Table 4: scaling — naive engines die, signature engine scales ─
+    println!("\nE1.4  Time to compute conf(b) (naive engines capped at small m):\n");
+    let mut rows = Vec::new();
+    for m in [1usize, 5, 10, 14, 1_000, 1_000_000] {
+        let domain = example_5_1_domain(m);
+        let oracle_time = if m <= 14 {
+            let t = Instant::now();
+            let worlds = PossibleWorlds::enumerate(&collection, &domain).expect("small");
+            let _ = worlds.fact_confidence(&Fact::new("R", [Value::sym("b")]));
+            format!("{:?}", t.elapsed())
+        } else {
+            "(2^N too large)".to_owned()
+        };
+        let gamma_time = if m <= 14 {
+            let t = Instant::now();
+            let gamma = LinearSystem::from_identity(&identity, &domain).expect("valid");
+            let _ = gamma.confidence(gamma.var_of(&Fact::new("R", [Value::sym("b")])).expect("in"));
+            format!("{:?}", t.elapsed())
+        } else {
+            "(2^N too large)".to_owned()
+        };
+        let t = Instant::now();
+        let analysis = ConfidenceAnalysis::analyze(&identity, m as u64);
+        let _ = analysis.confidence_of_tuple(&identity, &[Value::sym("b")]);
+        let sig_time = format!("{:?}", t.elapsed());
+        rows.push(vec![
+            Cell::from(m),
+            Cell::from(oracle_time),
+            Cell::from(gamma_time),
+            Cell::from(sig_time),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(&["m", "world oracle", "Γ brute force", "signature counter"], &rows)
+    );
+
+    println!("\nE1: all cross-checks passed.");
+}

@@ -1,0 +1,145 @@
+//! E2 — Theorem 3.2: NP-completeness of CONSISTENCY.
+//!
+//! (a) Round-trips random HITTING SET instances through the Lemma 3.3 and
+//!     Theorem 3.2 reductions and cross-validates the answers of the
+//!     direct HS solver and the consistency solver, mapping witnesses
+//!     both ways.
+//! (b) Measures consistency-decision time as instances grow, showing the
+//!     exponential scaling the theorem predicts (on adversarial random
+//!     instances) versus the benign scaling on planted ones.
+//!
+//! Run: `cargo run -p pscds-bench --release --bin e2_reduction`
+
+use pscds_bench::{markdown_table, Cell};
+use pscds_core::consistency::{decide_identity, IdentityConsistency};
+use pscds_datagen::random_sources::{generate, RandomIdentityConfig};
+use pscds_reductions::{
+    consistency_witness_to_hitting_set, hs_star_to_consistency, hs_to_hs_star,
+    project_hs_star_solution, solve_hitting_set, HittingSetInstance,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+fn random_hs(rng: &mut StdRng, universe: u32, n_sets: usize, max_set: usize, k: usize) -> HittingSetInstance {
+    let sets: Vec<BTreeSet<u32>> = (0..n_sets)
+        .map(|_| {
+            let size = rng.gen_range(1..=max_set);
+            (0..size).map(|_| rng.gen_range(0..universe)).collect()
+        })
+        .collect();
+    HittingSetInstance::new(sets, k)
+}
+
+fn main() {
+    // ── (a) Reduction round-trip validation ───────────────────────────
+    println!("E2.1  HS → HS* → CONSISTENCY round-trips (200 random instances):\n");
+    let mut rng = StdRng::seed_from_u64(32);
+    let mut yes = 0usize;
+    let mut no = 0usize;
+    for trial in 0..200 {
+        let k = rng.gen_range(1..4);
+        let hs = random_hs(&mut rng, 8, 4, 3, k);
+        let (star, fresh) = hs_to_hs_star(&hs);
+        let collection = hs_star_to_consistency(&star).expect("non-empty sets, K ≥ 1");
+        let identity = collection.as_identity().expect("identity views");
+        let direct = solve_hitting_set(&hs);
+        match decide_identity(&identity, 0) {
+            IdentityConsistency::Consistent { witness, .. } => {
+                assert!(direct.is_some(), "trial {trial}: solver disagreement (consistency says YES)");
+                let star_sol = consistency_witness_to_hitting_set(&witness);
+                assert!(star.is_solution(&star_sol), "trial {trial}: invalid witness mapping");
+                let hs_sol = project_hs_star_solution(&star_sol, fresh);
+                assert!(hs.is_solution(&hs_sol), "trial {trial}: invalid projected solution");
+                yes += 1;
+            }
+            IdentityConsistency::Inconsistent => {
+                assert!(direct.is_none(), "trial {trial}: solver disagreement (consistency says NO)");
+                no += 1;
+            }
+        }
+    }
+    println!("  200/200 agreed: {yes} YES (witnesses round-tripped), {no} NO.\n");
+
+    // ── (b) Scaling of the consistency decision ───────────────────────
+    println!("E2.2  Consistency decision time vs #sources (domain 24, adversarial vs planted):\n");
+    let mut rows = Vec::new();
+    for n_sources in [2usize, 4, 6, 8, 10, 12] {
+        let mut adv_total = std::time::Duration::ZERO;
+        let mut planted_total = std::time::Duration::ZERO;
+        let trials = 20;
+        let mut adv_consistent = 0usize;
+        for seed in 0..trials {
+            for &planted in &[false, true] {
+                let cfg = RandomIdentityConfig {
+                    n_sources,
+                    domain_size: 24,
+                    extension_density: 0.4,
+                    bound_denominator: 6,
+                    planted,
+                    world_density: 0.5,
+                    seed: seed + n_sources as u64 * 1000,
+                };
+                let scenario = generate(&cfg).expect("valid config");
+                let identity = scenario.collection.as_identity().expect("identity");
+                let padding = scenario.domain.len() as u64 - identity.all_tuples().len() as u64;
+                let t = Instant::now();
+                let verdict = decide_identity(&identity, padding);
+                let dt = t.elapsed();
+                if planted {
+                    assert!(verdict.is_consistent(), "planted instances are consistent");
+                    planted_total += dt;
+                } else {
+                    adv_total += dt;
+                    if verdict.is_consistent() {
+                        adv_consistent += 1;
+                    }
+                }
+            }
+        }
+        rows.push(vec![
+            Cell::from(n_sources),
+            Cell::from(format!("{:?}", adv_total / trials as u32)),
+            Cell::from(format!("{:?}", planted_total / trials as u32)),
+            Cell::from(format!("{adv_consistent}/{trials}")),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["sources", "adversarial avg", "planted avg", "adv. consistent"],
+            &rows
+        )
+    );
+
+    // ── (c) Reduction-instance scaling (hard side) ────────────────────
+    println!("\nE2.3  Decision time on reduced HS instances vs universe size:\n");
+    let mut rows = Vec::new();
+    let mut rng = StdRng::seed_from_u64(99);
+    for universe in [6u32, 10, 14, 18, 22] {
+        let n_sets = universe as usize;
+        let k = (universe / 3) as usize;
+        let mut total = std::time::Duration::ZERO;
+        let trials = 10;
+        for _ in 0..trials {
+            let hs = random_hs(&mut rng, universe, n_sets, 3, k.max(1));
+            let (star, _) = hs_to_hs_star(&hs);
+            if let Ok(collection) = hs_star_to_consistency(&star) {
+                let identity = collection.as_identity().expect("identity");
+                let t = Instant::now();
+                let _ = decide_identity(&identity, 0);
+                total += t.elapsed();
+            }
+        }
+        rows.push(vec![
+            Cell::from(universe),
+            Cell::from(n_sets + 1),
+            Cell::from(k),
+            Cell::from(format!("{:?}", total / trials as u32)),
+        ]);
+    }
+    println!("{}", markdown_table(&["|S|", "sets", "K", "avg decision time"], &rows));
+
+    println!("\nE2: all agreement checks passed.");
+}

@@ -1,0 +1,132 @@
+//! E9 (extension) — confidence decay under cache staleness.
+//!
+//! The Section 6 cache application made dynamic: an origin whose objects
+//! churn each epoch, and caches holding snapshots of various *lags*. The
+//! exact semantics then answers operational questions:
+//!
+//! * how fast do a lagging cache's measured completeness/soundness decay?
+//! * given a fleet of caches at mixed lags, how well does tuple
+//!   confidence identify the objects that are *currently* live?
+//!
+//! Run: `cargo run -p pscds-bench --release --bin e9_cache_lag`
+
+use pscds_bench::{markdown_table, ubig_brief, Cell};
+use pscds_core::confidence::ConfidenceAnalysis;
+use pscds_datagen::cache_sim::{simulate, CacheSimConfig};
+use pscds_numeric::Rational;
+use pscds_relational::Value;
+
+fn main() {
+    // ── (a) Measure decay vs lag ──────────────────────────────────────
+    println!("E9.1  Measured completeness/soundness vs cache lag (mean over 20 runs):\n");
+    let epochs = 8usize;
+    let mut rows = Vec::new();
+    for lag in 0..epochs {
+        let mut c_sum = 0.0;
+        let mut s_sum = 0.0;
+        let runs = 20u64;
+        for seed in 0..runs {
+            let h = simulate(&CacheSimConfig {
+                initial_objects: 20,
+                epochs,
+                churn_delete: 0.12,
+                churn_create: 3,
+                seed,
+            });
+            let (c, s) = h.measures_at_lag(lag);
+            c_sum += c.to_f64();
+            s_sum += s.to_f64();
+        }
+        rows.push(vec![
+            Cell::from(lag),
+            Cell::from(format!("{:.3}", c_sum / runs as f64)),
+            Cell::from(format!("{:.3}", s_sum / runs as f64)),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(&["lag (epochs)", "mean completeness", "mean soundness"], &rows)
+    );
+
+    // ── (b) Live-object identification from a mixed-lag fleet ─────────
+    println!("\nE9.2  Ranking live vs deleted objects from a mixed-lag cache fleet:\n");
+    let mut rows = Vec::new();
+    for lags in [vec![0usize], vec![2, 2], vec![1, 3, 5], vec![2, 4, 6, 7]] {
+        let mut acc_sum = 0.0;
+        let mut trials = 0usize;
+        let mut worlds_product = String::new();
+        for seed in 0..10u64 {
+            let h = simulate(&CacheSimConfig {
+                initial_objects: 14,
+                epochs: 8,
+                churn_delete: 0.15,
+                churn_create: 2,
+                seed: 100 + seed,
+            });
+            let Ok(collection) = h.caches_at_lags(&lags) else { continue };
+            let identity = collection.as_identity().expect("identity views");
+            let analysis = ConfidenceAnalysis::analyze(&identity, 0);
+            if !analysis.is_consistent() {
+                continue;
+            }
+            if worlds_product.is_empty() {
+                worlds_product = ubig_brief(analysis.world_count());
+            }
+            let current = h.current();
+            // Objects some cache still holds but the origin deleted.
+            let mentioned = identity.all_tuples();
+            let conf_of = |v: &Value| -> Rational {
+                let t = vec![*v];
+                if identity.signature_of(&t) == 0 {
+                    Rational::zero()
+                } else {
+                    analysis.confidence_of_tuple(&identity, &t).expect("consistent")
+                }
+            };
+            let mut wins = 0.0;
+            let mut pairs = 0.0;
+            for held in &mentioned {
+                let obj = held[0];
+                if current.contains(&obj) {
+                    continue;
+                }
+                // deleted object: compare against every live object.
+                for live in current {
+                    let cl = conf_of(live);
+                    let cd = conf_of(&obj);
+                    pairs += 1.0;
+                    if cl > cd {
+                        wins += 1.0;
+                    } else if cl == cd {
+                        wins += 0.5;
+                    }
+                }
+            }
+            if pairs > 0.0 {
+                acc_sum += wins / pairs;
+                trials += 1;
+            }
+        }
+        rows.push(vec![
+            Cell::from(format!("{lags:?}")),
+            Cell::from(trials),
+            Cell::from(format!("{:.3}", acc_sum / trials.max(1) as f64)),
+            Cell::from(worlds_product),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["cache lags", "trials", "live-vs-deleted ranking accuracy", "|poss| (sample)"],
+            &rows
+        )
+    );
+    println!(
+        "\n  Note: a fleet of *identical* lags can rank below 0.5 — objects deleted\n\
+         since the shared snapshot sit in every cache (high confidence), while\n\
+         objects created since sit in none (zero confidence). Lag *diversity*,\n\
+         not cache count, is what recovers the live set; the [1,3,5] row shows it."
+    );
+
+    println!("\nE9: staleness decay and live-object ranking measured.");
+}

@@ -1,0 +1,16 @@
+//! # pscds-bench
+//!
+//! Experiment harnesses and Criterion benchmarks reproducing every
+//! quantitative artifact of the paper (experiments E1–E7; see DESIGN.md
+//! for the index and EXPERIMENTS.md for the paper-vs-measured record).
+//!
+//! Each experiment has a binary (`cargo run -p pscds-bench --release
+//! --bin eN_…`) that prints the tables, and a Criterion bench
+//! (`cargo bench -p pscds-bench`) that measures the timings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+
+pub use report::{markdown_table, ubig_brief, Cell};

@@ -1,0 +1,78 @@
+//! Small table-formatting helpers shared by the experiment binaries.
+
+use std::fmt;
+
+/// A table cell: anything displayable.
+#[derive(Clone, Debug)]
+pub struct Cell(pub String);
+
+impl<T: fmt::Display> From<T> for Cell {
+    fn from(v: T) -> Self {
+        Cell(v.to_string())
+    }
+}
+
+/// Renders rows as a GitHub-flavoured markdown table, padded for terminal
+/// readability.
+#[must_use]
+pub fn markdown_table(headers: &[&str], rows: &[Vec<Cell>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "row arity must match headers");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.0.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(widths)
+            .map(|(c, &w)| format!("{c:<w$}"))
+            .collect();
+        format!("| {} |\n", padded.join(" | "))
+    };
+    out.push_str(&fmt_row(headers.iter().map(|s| (*s).to_owned()).collect(), &widths));
+    out.push_str(&fmt_row(widths.iter().map(|&w| "-".repeat(w)).collect(), &widths));
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(|c| c.0.clone()).collect(), &widths));
+    }
+    out
+}
+
+/// Compact rendering for possibly-huge exact counts: full decimal up to 15
+/// digits, `≈2^bits` beyond.
+#[must_use]
+pub fn ubig_brief(v: &pscds_numeric::UBig) -> String {
+    if v.bit_len() <= 50 {
+        v.to_string()
+    } else {
+        format!("≈2^{}", v.bit_len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_padded_table() {
+        let t = markdown_table(
+            &["m", "confidence"],
+            &[
+                vec![Cell::from(0), Cell::from("3/5")],
+                vec![Cell::from(100), Cell::from("103/205")],
+            ],
+        );
+        assert!(t.contains("| m   | confidence |"));
+        assert!(t.contains("| 100 | 103/205    |"));
+        assert_eq!(t.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let _ = markdown_table(&["a", "b"], &[vec![Cell::from(1)]]);
+    }
+}

@@ -1,0 +1,564 @@
+//! # pscds-cli
+//!
+//! The `pscds` command-line tool: load a source-collection file (the
+//! format of [`pscds_core::textfmt`]) and run the paper's analyses on it.
+//!
+//! ```text
+//! pscds info        <file>                    descriptor summary, sch(S), Lemma 3.1 bound
+//! pscds check       <file> [--padding N]      CONSISTENCY (+ witness)
+//! pscds consensus   <file> [--padding N]      maximal consistent subsets, trust scores
+//! pscds confidence  <file> [--padding N]      exact tuple-confidence table
+//! pscds answers     <file> --query "Ans(x) <- R(x)" --domain a,b,c
+//!                                             certain / possible answers
+//! pscds certain     <file> --query "..."      template-based guaranteed answers
+//! pscds measure     <file> --world <facts>    c_D / s_D of every source against a world
+//! ```
+//!
+//! All command logic lives in [`run`], which returns the rendered output —
+//! the binary just prints it, and the test suite drives it directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pscds_core::confidence::{ConfidenceAnalysis, PossibleWorlds, SignatureAnalysis};
+use pscds_core::consensus::maximal_consistent_subsets;
+use pscds_core::consistency::{decide_identity, find_witness_bounded, IdentityConsistency};
+use pscds_core::measures::measure;
+use pscds_core::textfmt::parse_collection;
+use pscds_core::SourceCollection;
+use pscds_relational::parser::{parse_facts, parse_rule};
+use pscds_relational::{Database, Value};
+use std::fmt::Write as _;
+
+/// CLI errors: usage problems or analysis failures.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation; the message is the usage hint.
+    Usage(String),
+    /// I/O failure reading an input file.
+    Io(String, std::io::Error),
+    /// An analysis error from the underlying library.
+    Analysis(Box<dyn std::error::Error>),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}\n\n{USAGE}"),
+            CliError::Io(path, e) => write!(f, "cannot read {path}: {e}"),
+            CliError::Analysis(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<pscds_core::CoreError> for CliError {
+    fn from(e: pscds_core::CoreError) -> Self {
+        CliError::Analysis(Box::new(e))
+    }
+}
+
+impl From<pscds_relational::RelError> for CliError {
+    fn from(e: pscds_relational::RelError) -> Self {
+        CliError::Analysis(Box::new(e))
+    }
+}
+
+/// The usage banner.
+pub const USAGE: &str = "pscds — querying partially sound and complete data sources (PODS 2001)
+
+USAGE:
+    pscds info       <collection-file>
+    pscds check      <collection-file> [--padding N]
+    pscds consensus  <collection-file> [--padding N]
+    pscds confidence <collection-file> [--padding N]
+    pscds answers    <collection-file> --query \"Ans(x) <- R(x)\" --domain a,b,c
+    pscds certain    <collection-file> --query \"Ans(x) <- R(x)\"
+    pscds measure    <collection-file> --world <facts-file>
+
+The collection file format (see pscds_core::textfmt):
+    source S1 {
+      view: V1(x) <- R(x)
+      completeness: 1/2
+      soundness: 0.5
+      extension: V1(a). V1(b).
+    }";
+
+struct Options {
+    positional: Vec<String>,
+    padding: Option<u64>,
+    query: Option<String>,
+    domain: Option<String>,
+    world: Option<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, CliError> {
+    let mut opts = Options { positional: Vec::new(), padding: None, query: None, domain: None, world: None };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut grab = |name: &str| -> Result<String, CliError> {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--padding" => {
+                let v = grab("--padding")?;
+                opts.padding = Some(v.parse().map_err(|_| CliError::Usage(format!("bad --padding value {v:?}")))?);
+            }
+            "--query" => opts.query = Some(grab("--query")?),
+            "--domain" => opts.domain = Some(grab("--domain")?),
+            "--world" => opts.world = Some(grab("--world")?),
+            other if other.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown option {other}")));
+            }
+            other => opts.positional.push(other.to_owned()),
+        }
+    }
+    Ok(opts)
+}
+
+fn load_collection(path: &str) -> Result<SourceCollection, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(path.to_owned(), e))?;
+    Ok(parse_collection(&text)?)
+}
+
+fn parse_domain(spec: &str) -> Vec<Value> {
+    spec.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|tok| match tok.parse::<i64>() {
+            Ok(v) => Value::int(v),
+            Err(_) => Value::sym(tok),
+        })
+        .collect()
+}
+
+/// Executes a CLI invocation (`args` excludes the program name) and
+/// returns the rendered output.
+///
+/// # Errors
+/// Usage, I/O and analysis errors; the caller prints them.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(CliError::Usage("no command given".into()));
+    };
+    let opts = parse_options(rest)?;
+    match command.as_str() {
+        "info" => cmd_info(&opts),
+        "check" => cmd_check(&opts),
+        "consensus" => cmd_consensus(&opts),
+        "confidence" => cmd_confidence(&opts),
+        "answers" => cmd_answers(&opts),
+        "certain" => cmd_certain(&opts),
+        "measure" => cmd_measure(&opts),
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    }
+}
+
+fn the_file(opts: &Options) -> Result<&str, CliError> {
+    match opts.positional.as_slice() {
+        [one] => Ok(one),
+        [] => Err(CliError::Usage("missing <collection-file>".into())),
+        more => Err(CliError::Usage(format!("too many positional arguments: {more:?}"))),
+    }
+}
+
+fn cmd_info(opts: &Options) -> Result<String, CliError> {
+    let collection = load_collection(the_file(opts)?)?;
+    let mut out = String::new();
+    let _ = write!(out, "{collection}");
+    let schema = collection.schema()?;
+    let _ = writeln!(out, "sch(S): {} relation(s)", schema.len());
+    for (rel, arity) in schema.iter() {
+        let _ = writeln!(out, "  {rel}/{arity}");
+    }
+    let _ = writeln!(out, "Σ|v_i| = {}", collection.total_extension_size());
+    let _ = writeln!(out, "Lemma 3.1 small-model bound: {}", collection.lemma31_bound());
+    let _ = writeln!(
+        out,
+        "identity-view collection: {}",
+        if collection.as_identity().is_ok() { "yes" } else { "no" }
+    );
+    Ok(out)
+}
+
+fn cmd_check(opts: &Options) -> Result<String, CliError> {
+    let collection = load_collection(the_file(opts)?)?;
+    let padding = opts.padding.unwrap_or(0);
+    let mut out = String::new();
+    match collection.as_identity() {
+        Ok(identity) => match decide_identity(&identity, padding) {
+            IdentityConsistency::Consistent { witness, .. } => {
+                let _ = writeln!(out, "CONSISTENT (identity-view solver, padding {padding})");
+                let _ = writeln!(out, "witness world: {witness}");
+            }
+            IdentityConsistency::Inconsistent => {
+                let _ = writeln!(out, "INCONSISTENT (identity-view solver, padding {padding})");
+                let _ = writeln!(out, "hint: `pscds consensus` finds the maximal consistent subsets");
+            }
+        },
+        Err(_) => {
+            // General views: bounded exhaustive search over the mentioned
+            // constants plus a few fresh ones.
+            let domain = pscds_core::consistency::exhaustive::domain_with_fresh(&collection, 2);
+            match find_witness_bounded(&collection, &domain, None)? {
+                Some(witness) => {
+                    let _ = writeln!(out, "CONSISTENT (bounded exhaustive search over {} constants)", domain.len());
+                    let _ = writeln!(out, "witness world: {witness}");
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "NO WITNESS within the Lemma 3.1 bound over {} constants (collection is inconsistent over this domain)",
+                        domain.len()
+                    );
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_consensus(opts: &Options) -> Result<String, CliError> {
+    let collection = load_collection(the_file(opts)?)?;
+    let padding = opts.padding.unwrap_or(0);
+    let report = maximal_consistent_subsets(&collection, padding)?;
+    let mut out = String::new();
+    if report.fully_consistent() {
+        let _ = writeln!(out, "fully consistent: all {} sources agree", report.n_sources);
+        return Ok(out);
+    }
+    let _ = writeln!(out, "maximal consistent subsets:");
+    for subset in &report.maximal_subsets {
+        let names: Vec<&str> = subset
+            .iter()
+            .map(|&i| collection.sources()[i].name())
+            .collect();
+        let _ = writeln!(out, "  {{{}}}", names.join(", "));
+    }
+    let _ = writeln!(out, "support (fraction of maximal subsets containing the source):");
+    for (i, support) in report.support.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {:<12} {} (≈{:.3})",
+            collection.sources()[i].name(),
+            support,
+            support.to_f64()
+        );
+    }
+    let outliers = report.outliers();
+    if !outliers.is_empty() {
+        let names: Vec<&str> = outliers.iter().map(|&i| collection.sources()[i].name()).collect();
+        let _ = writeln!(out, "outliers (in no ≥2-source consistent subset): {}", names.join(", "));
+    }
+    Ok(out)
+}
+
+fn cmd_confidence(opts: &Options) -> Result<String, CliError> {
+    let collection = load_collection(the_file(opts)?)?;
+    let identity = collection.as_identity()?;
+    let padding = opts.padding.unwrap_or_default();
+    let analysis = ConfidenceAnalysis::analyze(&identity, padding);
+    let mut out = String::new();
+    if !analysis.is_consistent() {
+        let _ = writeln!(out, "collection is INCONSISTENT over padding {padding}: confidences are undefined");
+        return Ok(out);
+    }
+    let _ = writeln!(
+        out,
+        "|poss(S)| = {} (padding {padding}, {} feasible count vectors)",
+        analysis.world_count(),
+        analysis.feasible_vectors()
+    );
+    let mut rows: Vec<(Vec<Value>, pscds_numeric::Rational)> = identity
+        .all_tuples()
+        .into_iter()
+        .map(|t| {
+            let conf = analysis
+                .confidence_of_tuple(&identity, &t)
+                .expect("consistent collection");
+            (t, conf)
+        })
+        .collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let _ = writeln!(out, "tuple confidences (descending):");
+    for (tuple, conf) in rows {
+        let rendered: Vec<String> = tuple.iter().map(ToString::to_string).collect();
+        let _ = writeln!(
+            out,
+            "  {}({})  {}  ≈{:.4}",
+            identity.relation,
+            rendered.join(", "),
+            conf,
+            conf.to_f64()
+        );
+    }
+    if padding > 0 {
+        let pad = analysis.padding_confidence()?;
+        let _ = writeln!(out, "  (each of the {padding} unlisted domain facts: {} ≈{:.4})", pad, pad.to_f64());
+    }
+    Ok(out)
+}
+
+fn cmd_answers(opts: &Options) -> Result<String, CliError> {
+    let query_text = opts
+        .query
+        .as_deref()
+        .ok_or_else(|| CliError::Usage("answers needs --query".into()))?;
+    let domain_text = opts
+        .domain
+        .as_deref()
+        .ok_or_else(|| CliError::Usage("answers needs --domain".into()))?;
+    let collection = load_collection(the_file(opts)?)?;
+    let query = parse_rule(query_text)?;
+    let domain = parse_domain(domain_text);
+    let worlds = PossibleWorlds::enumerate(&collection, &domain)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "query: {query}");
+    let _ = writeln!(out, "possible worlds over the domain: {}", worlds.count());
+    if !worlds.is_consistent() {
+        let _ = writeln!(out, "collection is INCONSISTENT over this domain: answers are undefined");
+        return Ok(out);
+    }
+    let certain = worlds.certain_answer_cq(&query)?;
+    let possible = worlds.possible_answer_cq(&query)?;
+    let _ = writeln!(out, "certain answer ({}):", certain.len());
+    for fact in &certain {
+        let _ = writeln!(out, "  {fact}");
+    }
+    let _ = writeln!(out, "possible answer ({}):", possible.len());
+    for fact in &possible {
+        let conf = worlds.query_confidence_cq(&query, fact)?;
+        let _ = writeln!(out, "  {fact}  confidence {} ≈{:.4}", conf, conf.to_f64());
+    }
+    Ok(out)
+}
+
+fn cmd_certain(opts: &Options) -> Result<String, CliError> {
+    let query_text = opts
+        .query
+        .as_deref()
+        .ok_or_else(|| CliError::Usage("certain needs --query".into()))?;
+    let query = parse_rule(query_text)?;
+    let collection = load_collection(the_file(opts)?)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "query: {query}");
+    match pscds_core::answers::certain_answer_lower_bound(&collection, &query)? {
+        None => {
+            let _ = writeln!(out, "no satisfiable sound-subset combination: poss(S) is empty");
+        }
+        Some(facts) => {
+            let _ = writeln!(
+                out,
+                "guaranteed answers (template lower bound of Q_*, no domain enumeration): {}",
+                facts.len()
+            );
+            for fact in &facts {
+                let _ = writeln!(out, "  {fact}");
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_measure(opts: &Options) -> Result<String, CliError> {
+    let collection = load_collection(the_file(opts)?)?;
+    let world_path = opts
+        .world
+        .as_deref()
+        .ok_or_else(|| CliError::Usage("measure needs --world <facts-file>".into()))?;
+    let world_text =
+        std::fs::read_to_string(world_path).map_err(|e| CliError::Io(world_path.to_owned(), e))?;
+    let world = Database::from_facts(parse_facts(&world_text)?);
+    let mut out = String::new();
+    let _ = writeln!(out, "world: {} facts", world.len());
+    let _ = writeln!(out, "source      |φ(D)|  |v∩φ(D)|  |v|   c_D      s_D      claims met?");
+    let mut all_ok = true;
+    for source in collection.sources() {
+        let m = measure(&world, source)?;
+        let ok = m.completeness_at_least(source.completeness()) && m.soundness_at_least(source.soundness());
+        all_ok &= ok;
+        let _ = writeln!(
+            out,
+            "{:<11} {:<7} {:<9} {:<5} {:<8.4} {:<8.4} {}",
+            source.name(),
+            m.view_size,
+            m.intersection,
+            m.extension_size,
+            m.completeness(),
+            m.soundness(),
+            if ok { "yes" } else { "NO" }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "world {} poss(S)",
+        if all_ok { "∈" } else { "∉" }
+    );
+    Ok(out)
+}
+
+/// Convenience used by tests: compute a padding from a requested domain
+/// size for an identity collection.
+///
+/// # Errors
+/// As [`SignatureAnalysis::padding_for_domain`].
+pub fn padding_for(collection: &SourceCollection, domain_size: u64) -> Result<u64, CliError> {
+    let identity = collection.as_identity()?;
+    Ok(SignatureAnalysis::padding_for_domain(&identity, domain_size)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_file(dir: &std::path::Path, name: &str, contents: &str) -> String {
+        let path = dir.join(name);
+        std::fs::write(&path, contents).expect("write temp file");
+        path.to_string_lossy().into_owned()
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pscds-cli-test-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    const EXAMPLE: &str = "source S1 {\n view: V1(x) <- R(x)\n completeness: 1/2\n soundness: 1/2\n extension: V1(a). V1(b).\n}\nsource S2 {\n view: V2(x) <- R(x)\n completeness: 1/2\n soundness: 1/2\n extension: V2(b). V2(c).\n}\n";
+
+    fn args(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn info_command() {
+        let dir = tmpdir("info");
+        let file = write_file(&dir, "c.pscds", EXAMPLE);
+        let out = run(&args(&["info", &file])).unwrap();
+        assert!(out.contains("2 sources"));
+        assert!(out.contains("R/1"));
+        assert!(out.contains("bound: 4"));
+        assert!(out.contains("identity-view collection: yes"));
+    }
+
+    #[test]
+    fn check_command_consistent() {
+        let dir = tmpdir("check");
+        let file = write_file(&dir, "c.pscds", EXAMPLE);
+        let out = run(&args(&["check", &file])).unwrap();
+        assert!(out.contains("CONSISTENT"));
+        assert!(out.contains("witness world"));
+    }
+
+    #[test]
+    fn check_command_inconsistent() {
+        let dir = tmpdir("check-bad");
+        let bad = "source A {\n view: V1(x) <- R(x)\n completeness: 1\n soundness: 1\n extension: V1(a).\n}\nsource B {\n view: V2(x) <- R(x)\n completeness: 1\n soundness: 1\n extension: V2(b).\n}\n";
+        let file = write_file(&dir, "c.pscds", bad);
+        let out = run(&args(&["check", &file])).unwrap();
+        assert!(out.contains("INCONSISTENT"));
+        let consensus = run(&args(&["consensus", &file])).unwrap();
+        assert!(consensus.contains("maximal consistent subsets"));
+        assert!(consensus.contains("{A}"));
+        assert!(consensus.contains("{B}"));
+    }
+
+    #[test]
+    fn confidence_command() {
+        let dir = tmpdir("conf");
+        let file = write_file(&dir, "c.pscds", EXAMPLE);
+        let out = run(&args(&["confidence", &file, "--padding", "1"])).unwrap();
+        assert!(out.contains("|poss(S)| = 7"));
+        assert!(out.contains("R(b)  6/7"));
+        assert!(out.contains("unlisted domain facts: 2/7"));
+    }
+
+    #[test]
+    fn answers_command() {
+        let dir = tmpdir("ans");
+        let file = write_file(&dir, "c.pscds", EXAMPLE);
+        let out = run(&args(&[
+            "answers",
+            &file,
+            "--query",
+            "Ans(x) <- R(x)",
+            "--domain",
+            "a,b,c",
+        ]))
+        .unwrap();
+        assert!(out.contains("possible worlds over the domain: 5"));
+        assert!(out.contains("certain answer (0):"));
+        assert!(out.contains("possible answer (3):"));
+        assert!(out.contains("Ans(b)  confidence 4/5"));
+    }
+
+    #[test]
+    fn certain_command() {
+        let dir = tmpdir("certain");
+        // A fully sound source guarantees its extension.
+        let text = "source S {\n view: V(x) <- R(x)\n completeness: 0\n soundness: 1\n extension: V(a). V(b).\n}\n";
+        let file = write_file(&dir, "c.pscds", text);
+        let out = run(&args(&["certain", &file, "--query", "Ans(x) <- R(x)"])).unwrap();
+        assert!(out.contains("guaranteed answers"), "{out}");
+        assert!(out.contains("Ans(a)"));
+        assert!(out.contains("Ans(b)"));
+        // Missing --query is a usage error.
+        assert!(matches!(run(&args(&["certain", &file])), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn measure_command() {
+        let dir = tmpdir("measure");
+        let file = write_file(&dir, "c.pscds", EXAMPLE);
+        let world = write_file(&dir, "world.facts", "R(a). R(b).");
+        let out = run(&args(&["measure", &file, "--world", &world])).unwrap();
+        assert!(out.contains("world: 2 facts"));
+        assert!(out.contains("world ∈ poss(S)"));
+        // A world violating the claims.
+        let bad_world = write_file(&dir, "bad.facts", "R(z).");
+        let out = run(&args(&["measure", &file, "--world", &bad_world])).unwrap();
+        assert!(out.contains("world ∉ poss(S)"));
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert!(matches!(run(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(run(&args(&["frobnicate"])), Err(CliError::Usage(_))));
+        assert!(matches!(run(&args(&["check"])), Err(CliError::Usage(_))));
+        assert!(matches!(run(&args(&["answers", "x"])), Err(CliError::Usage(_))));
+        assert!(matches!(run(&args(&["check", "a", "--padding"])), Err(CliError::Usage(_))));
+        assert!(matches!(run(&args(&["check", "a", "--padding", "x"])), Err(CliError::Usage(_))));
+        assert!(matches!(run(&args(&["check", "a", "--wibble", "x"])), Err(CliError::Usage(_))));
+        let help = run(&args(&["help"])).unwrap();
+        assert!(help.contains("USAGE"));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            run(&args(&["check", "/nonexistent/definitely-not-here.pscds"])),
+            Err(CliError::Io(..))
+        ));
+    }
+
+    #[test]
+    fn join_view_collection_uses_exhaustive_path() {
+        let dir = tmpdir("join");
+        let text = "source J {\n view: V(x) <- R(x, y), S(y)\n completeness: 1\n soundness: 1\n extension: V(a).\n}\n";
+        let file = write_file(&dir, "c.pscds", text);
+        let out = run(&args(&["check", &file])).unwrap();
+        assert!(out.contains("CONSISTENT"), "{out}");
+        assert!(out.contains("exhaustive"));
+    }
+
+    #[test]
+    fn padding_for_helper() {
+        let dir = tmpdir("pad");
+        let file = write_file(&dir, "c.pscds", EXAMPLE);
+        let collection = load_collection(&file).unwrap();
+        assert_eq!(padding_for(&collection, 10).unwrap(), 7);
+    }
+}

@@ -1,0 +1,15 @@
+//! The `pscds` binary: thin wrapper over [`pscds_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match pscds_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(match e {
+                pscds_cli::CliError::Usage(_) => 2,
+                _ => 1,
+            });
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! A template-based lower approximation of the certain answer.
+//!
+//! The paper's Section 6 proposes, as future work, to "use this
+//! representation [the Section 4 templates] to compute a finite
+//! representation of the answer to any query, along the lines of \[6\]".
+//! This module implements the sound half of that programme for monotone
+//! (conjunctive) queries:
+//!
+//! Every `D ∈ rep(T^U(S))` contains an image `θ(T^U)` of the tableau, and
+//! `θ` is the identity on constants — so the tableau's *ground* atoms are
+//! literally present in every represented database. By monotonicity,
+//! `Q(ground(T^U)) ⊆ Q(D)` for all `D ∈ rep(T^U)`, hence
+//!
+//! ```text
+//! ∩_{U ∈ 𝒰} Q(ground(T^U(S)))  ⊆  Q_*(S)
+//! ```
+//!
+//! The approximation needs **no domain enumeration at all** — it works
+//! directly on the finitely many templates — which is exactly why the
+//! paper wants query answering to go through the representation. It is a
+//! lower bound, not the exact certain answer: answers requiring the
+//! existential (variable) tableau atoms or the cardinality constraints are
+//! missed; the test-suite cross-checks containment against the
+//! possible-world oracle.
+
+use crate::collection::SourceCollection;
+use crate::error::CoreError;
+use crate::templates::construct::templates_for;
+use pscds_relational::{ConjunctiveQuery, Database, Fact};
+use std::collections::BTreeSet;
+
+/// Computes the template-based lower bound of the certain answer
+/// `Q_*(S)`.
+///
+/// Returns `None` when the sound-subset combination set `𝒰` is empty of
+/// satisfiable members (then `poss(S) = ∅` and the certain answer is
+/// undefined). A `Some` result is only meaningful for *consistent*
+/// collections — the construction cannot detect inconsistency caused by
+/// the cardinality constraints alone.
+///
+/// # Errors
+/// Propagates template-construction and query-evaluation errors.
+pub fn certain_answer_lower_bound(
+    collection: &SourceCollection,
+    query: &ConjunctiveQuery,
+) -> Result<Option<BTreeSet<Fact>>, CoreError> {
+    let templates = templates_for(collection)?;
+    let mut acc: Option<BTreeSet<Fact>> = None;
+    for template in &templates {
+        // The single tableau built by `template_for`.
+        let ground = Database::from_facts(
+            template
+                .tableaux
+                .iter()
+                .flatten()
+                .filter_map(pscds_relational::Atom::to_fact),
+        );
+        let answer = query.evaluate(&ground)?;
+        acc = Some(match acc {
+            None => answer,
+            Some(mut prev) => {
+                prev.retain(|f| answer.contains(f));
+                prev
+            }
+        });
+        if acc.as_ref().is_some_and(BTreeSet::is_empty) {
+            break; // the intersection can only shrink
+        }
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::confidence::worlds::PossibleWorlds;
+    use crate::descriptor::SourceDescriptor;
+    use crate::paper::{example_5_1, example_5_1_domain};
+    use pscds_numeric::Frac;
+    use pscds_relational::parser::{parse_facts, parse_rule};
+    use pscds_relational::Value;
+
+    #[test]
+    fn sound_lower_bound_on_example_5_1() {
+        let collection = example_5_1();
+        let q = parse_rule("Ans(x) <- R(x)").unwrap();
+        let lower = certain_answer_lower_bound(&collection, &q)
+            .unwrap()
+            .expect("satisfiable combinations exist");
+        let worlds = PossibleWorlds::enumerate(&collection, &example_5_1_domain(1)).unwrap();
+        let exact = worlds.certain_answer_cq(&q).unwrap();
+        assert!(lower.is_subset(&exact));
+        // Example 5.1's certain answer is empty, so the bound is too.
+        assert!(lower.is_empty());
+    }
+
+    #[test]
+    fn exact_source_yields_tight_bound() {
+        // A fully sound source: its extension is in every world, so the
+        // lower bound recovers it exactly.
+        let src = SourceDescriptor::sound(
+            "S",
+            parse_rule("V(x) <- R(x)").unwrap(),
+            parse_facts("V(a). V(b)").unwrap(),
+        )
+        .unwrap();
+        let collection = SourceCollection::from_sources([src]);
+        let q = parse_rule("Ans(x) <- R(x)").unwrap();
+        let lower = certain_answer_lower_bound(&collection, &q).unwrap().unwrap();
+        assert_eq!(lower.len(), 2);
+        let worlds =
+            PossibleWorlds::enumerate(&collection, &[Value::sym("a"), Value::sym("b"), Value::sym("z")])
+                .unwrap();
+        let exact = worlds.certain_answer_cq(&q).unwrap();
+        assert_eq!(lower, exact);
+    }
+
+    #[test]
+    fn join_query_over_forced_blocks() {
+        // A sound join-view source forces R(a, ?) and S(?) blocks; the
+        // ground part only materializes when the view binds everything,
+        // so here the bound is conservative (empty) — and still sound.
+        let src = SourceDescriptor::sound(
+            "J",
+            parse_rule("V(x) <- R(x, y), S(y)").unwrap(),
+            parse_facts("V(a)").unwrap(),
+        )
+        .unwrap();
+        let collection = SourceCollection::from_sources([src]);
+        let q = parse_rule("Ans(x) <- R(x, y)").unwrap();
+        let lower = certain_answer_lower_bound(&collection, &q).unwrap().unwrap();
+        let worlds = PossibleWorlds::enumerate(
+            &collection,
+            &[Value::sym("a"), Value::sym("z")],
+        )
+        .unwrap();
+        let exact = worlds.certain_answer_cq(&q).unwrap();
+        assert!(lower.is_subset(&exact));
+        // The exact certain answer *does* contain Ans(a) (every world has
+        // some R(a, ·)); the ground-only bound misses it — documented gap.
+        assert!(exact.contains(&Fact::new("Ans", [Value::sym("a")])));
+    }
+
+    #[test]
+    fn lower_bound_subset_of_exact_on_random_collections() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        let domain: Vec<Value> = (0..4).map(|i| Value::sym(&format!("u{i}"))).collect();
+        let q = parse_rule("Ans(x) <- R(x)").unwrap();
+        for trial in 0..25 {
+            let mut sources = Vec::new();
+            for s in 0..rng.gen_range(1..=2) {
+                let ext: Vec<[Value; 1]> =
+                    domain.iter().filter(|_| rng.gen_bool(0.5)).map(|&v| [v]).collect();
+                sources.push(
+                    SourceDescriptor::identity(
+                        format!("S{s}"),
+                        &format!("V{s}"),
+                        "R",
+                        1,
+                        ext,
+                        Frac::new(rng.gen_range(0..=2), 2),
+                        Frac::new(rng.gen_range(0..=2), 2),
+                    )
+                    .unwrap(),
+                );
+            }
+            let collection = SourceCollection::from_sources(sources);
+            let worlds = PossibleWorlds::enumerate(&collection, &domain).unwrap();
+            if !worlds.is_consistent() {
+                continue;
+            }
+            let exact = worlds.certain_answer_cq(&q).unwrap();
+            if let Some(lower) = certain_answer_lower_bound(&collection, &q).unwrap() {
+                assert!(
+                    lower.is_subset(&exact),
+                    "trial {trial}: lower bound {lower:?} ⊄ exact {exact:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_combinations_yield_none() {
+        // Head constant can never produce the extension tuple: no
+        // satisfiable template exists.
+        let src = SourceDescriptor::sound(
+            "S",
+            parse_rule("V(K0) <- R(K0)").unwrap(),
+            parse_facts("V(a)").unwrap(),
+        )
+        .unwrap();
+        let collection = SourceCollection::from_sources([src]);
+        let q = parse_rule("Ans(x) <- R(x)").unwrap();
+        assert_eq!(certain_answer_lower_bound(&collection, &q).unwrap(), None);
+    }
+}

@@ -1,0 +1,29 @@
+//! Query answering over source collections (Section 5).
+//!
+//! A consistent collection defines a *set* of answers
+//! `Q(S) = {Q(D) : D ∈ poss(S)}`, approximated from below by the certain
+//! answer `Q_*(S) = ∩ Q(D)` and from above by the possible answer
+//! `Q*(S) = ∪ Q(D)` — both computed by the possible-world oracle in
+//! [`crate::confidence::worlds`]. This module adds the *graded* layer in
+//! between:
+//!
+//! * [`mod@conf_q`] — the compositional confidence `conf_Q` of Definition 5.1
+//!   (base-fact confidence, `⊕` across projections/unions, products across
+//!   `×`, pass-through for selections), evaluated bottom-up as a
+//!   tuple-to-confidence table;
+//! * [`certain_lower`] — the Section 6 future-work direction: a certain-
+//!   answer lower bound computed directly from the Section 4 templates,
+//!   with no domain enumeration;
+//! * [`theorem51`] — the Theorem 5.1 comparison harness: the paper claims
+//!   `confidence_Q(t) = conf_Q(t)`; the claim is exact for selections and
+//!   base relations but relies on an independence assumption that
+//!   possible-world correlations can violate for `π` and `×`. The harness
+//!   measures the deviation (experiment E6).
+
+pub mod certain_lower;
+pub mod conf_q;
+pub mod theorem51;
+
+pub use certain_lower::certain_answer_lower_bound;
+pub use conf_q::{conf_q, conf_q_cq, BaseTableProvider, ConfTable, IdentityBaseTables, WorldsBaseTables};
+pub use theorem51::{compare_on_query, Theorem51Comparison};

@@ -1,0 +1,214 @@
+//! The Theorem 5.1 comparison harness.
+//!
+//! Theorem 5.1 states `confidence_Q(t) = conf_Q(t)` for every tuple of the
+//! possible answer, with a proof sketch "by structural induction using
+//! standard probability laws". The induction is exact for base relations
+//! and selections, but for projections and products the `⊕`/`·` steps
+//! require the participating events (`t' ∈ Q'(D)`) to be *independent*
+//! under the uniform distribution on `poss(S)` — which world-level
+//! correlations can break (two pre-images may be mutually exclusive, or a
+//! product may pair a tuple with itself). This harness computes both sides
+//! exactly and reports the deviation; experiment E6 aggregates it per
+//! operator class.
+
+use crate::answers::conf_q::{conf_q, BaseTableProvider, WorldsBaseTables};
+use crate::confidence::worlds::PossibleWorlds;
+use crate::error::CoreError;
+use pscds_numeric::Rational;
+use pscds_relational::algebra::RaExpr;
+use pscds_relational::Value;
+
+/// One tuple's two confidence values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TupleComparison {
+    /// The answer tuple.
+    pub tuple: Vec<Value>,
+    /// `confidence_Q(t)` — exact, by world enumeration.
+    pub exact: Rational,
+    /// `conf_Q(t)` — compositional, by Definition 5.1.
+    pub compositional: Rational,
+}
+
+impl TupleComparison {
+    /// `true` iff the theorem's equation holds for this tuple.
+    #[must_use]
+    pub fn agrees(&self) -> bool {
+        self.exact == self.compositional
+    }
+
+    /// `|exact − compositional|` as a float.
+    #[must_use]
+    pub fn absolute_error(&self) -> f64 {
+        (self.exact.to_f64() - self.compositional.to_f64()).abs()
+    }
+}
+
+/// Aggregated comparison over all tuples of the possible answer.
+#[derive(Clone, Debug, Default)]
+pub struct Theorem51Comparison {
+    /// Per-tuple results.
+    pub tuples: Vec<TupleComparison>,
+}
+
+impl Theorem51Comparison {
+    /// `true` iff the theorem's equation holds for every tuple.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.tuples.iter().all(TupleComparison::agrees)
+    }
+
+    /// Number of tuples where the two sides differ.
+    #[must_use]
+    pub fn disagreements(&self) -> usize {
+        self.tuples.iter().filter(|t| !t.agrees()).count()
+    }
+
+    /// Maximum absolute deviation.
+    #[must_use]
+    pub fn max_error(&self) -> f64 {
+        self.tuples
+            .iter()
+            .map(TupleComparison::absolute_error)
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean absolute deviation (0 for an empty answer).
+    #[must_use]
+    pub fn mean_error(&self) -> f64 {
+        if self.tuples.is_empty() {
+            return 0.0;
+        }
+        self.tuples.iter().map(TupleComparison::absolute_error).sum::<f64>() / self.tuples.len() as f64
+    }
+}
+
+/// Compares `confidence_Q` and `conf_Q` on every tuple of the possible
+/// answer of `query` over the enumerated worlds.
+///
+/// # Errors
+/// Propagates world-enumeration and algebra errors; the collection must be
+/// consistent.
+pub fn compare_on_query(worlds: &PossibleWorlds, query: &RaExpr) -> Result<Theorem51Comparison, CoreError> {
+    let base = WorldsBaseTables::new(worlds);
+    let compositional = conf_q(query, &base)?;
+    let possible = worlds.possible_answer_ra(query)?;
+    let mut tuples = Vec::with_capacity(possible.len());
+    for tuple in possible {
+        let exact = worlds.query_confidence_ra(query, &tuple)?;
+        let comp = compositional.get(&tuple).cloned().unwrap_or_else(Rational::zero);
+        tuples.push(TupleComparison { tuple, exact, compositional: comp });
+    }
+    Ok(Theorem51Comparison { tuples })
+}
+
+/// Convenience: compare using any base-table provider (e.g. the identity
+/// signature counter) against the exact world semantics.
+///
+/// # Errors
+/// As [`compare_on_query`].
+pub fn compare_with_provider(
+    worlds: &PossibleWorlds,
+    query: &RaExpr,
+    base: &dyn BaseTableProvider,
+) -> Result<Theorem51Comparison, CoreError> {
+    let compositional = conf_q(query, base)?;
+    let possible = worlds.possible_answer_ra(query)?;
+    let mut tuples = Vec::with_capacity(possible.len());
+    for tuple in possible {
+        let exact = worlds.query_confidence_ra(query, &tuple)?;
+        let comp = compositional.get(&tuple).cloned().unwrap_or_else(Rational::zero);
+        tuples.push(TupleComparison { tuple, exact, compositional: comp });
+    }
+    Ok(Theorem51Comparison { tuples })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::{example_5_1, example_5_1_domain};
+    use pscds_relational::algebra::{CmpOp, Operand, Predicate};
+
+    fn worlds(m: usize) -> PossibleWorlds {
+        PossibleWorlds::enumerate(&example_5_1(), &example_5_1_domain(m)).unwrap()
+    }
+
+    #[test]
+    fn exact_for_base_relations() {
+        let w = worlds(1);
+        let cmp = compare_on_query(&w, &RaExpr::rel("R")).unwrap();
+        assert!(cmp.holds(), "base-relation confidence must be exact");
+        assert_eq!(cmp.max_error(), 0.0);
+        assert_eq!(cmp.tuples.len(), 4);
+    }
+
+    #[test]
+    fn exact_for_selections() {
+        let w = worlds(1);
+        let q = RaExpr::rel("R").select(Predicate::Cmp(
+            Operand::Col(0),
+            CmpOp::Neq,
+            Operand::Const(Value::sym("b")),
+        ));
+        let cmp = compare_on_query(&w, &q).unwrap();
+        assert!(cmp.holds(), "selection confidence must be exact");
+    }
+
+    #[test]
+    fn product_self_pairing_breaks_independence() {
+        // R × R pairs correlated tuples (in particular each tuple with
+        // itself: the exact confidence of (t,t) is conf(t), but the
+        // compositional value is conf(t)² — strictly smaller for
+        // 0 < conf < 1).
+        let w = worlds(0);
+        let q = RaExpr::rel("R").product(RaExpr::rel("R"));
+        let cmp = compare_on_query(&w, &q).unwrap();
+        assert!(!cmp.holds());
+        let self_pair = cmp
+            .tuples
+            .iter()
+            .find(|t| t.tuple == vec![Value::sym("a"), Value::sym("a")])
+            .unwrap();
+        assert_eq!(self_pair.exact, Rational::from_u64(3, 5));
+        assert_eq!(
+            self_pair.compositional,
+            Rational::from_u64(3, 5).mul(&Rational::from_u64(3, 5))
+        );
+    }
+
+    #[test]
+    fn projection_deviation_is_measured() {
+        // π_[] over R: exact = Pr(R non-empty) = 1 (every world is
+        // non-empty); compositional = ⊕ conf(t) < 1 unless some tuple is
+        // certain. Deviations are finite and reported.
+        let w = worlds(0);
+        let q = RaExpr::rel("R").project([]);
+        let cmp = compare_on_query(&w, &q).unwrap();
+        assert_eq!(cmp.tuples.len(), 1);
+        let t = &cmp.tuples[0];
+        assert_eq!(t.exact, Rational::one());
+        assert!(t.compositional < Rational::one());
+        assert!(cmp.max_error() > 0.0);
+        assert_eq!(cmp.disagreements(), 1);
+    }
+
+    #[test]
+    fn errors_bounded_by_one() {
+        let w = worlds(1);
+        let q = RaExpr::rel("R").product(RaExpr::rel("R")).project([0]);
+        let cmp = compare_on_query(&w, &q).unwrap();
+        assert!(cmp.max_error() <= 1.0);
+        assert!(cmp.mean_error() <= cmp.max_error());
+        for t in &cmp.tuples {
+            assert!(t.exact.is_probability());
+            assert!(t.compositional.is_probability());
+        }
+    }
+
+    #[test]
+    fn empty_comparison_trivially_holds() {
+        let cmp = Theorem51Comparison::default();
+        assert!(cmp.holds());
+        assert_eq!(cmp.mean_error(), 0.0);
+        assert_eq!(cmp.max_error(), 0.0);
+    }
+}

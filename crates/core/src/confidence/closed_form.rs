@@ -1,0 +1,147 @@
+//! The Example 5.1 closed forms — as printed, and as re-derived.
+//!
+//! The paper reports, for the two-source collection
+//! `S₁ = ⟨Id_R, {R(a),R(b)}, ½, ½⟩`, `S₂ = ⟨Id_R, {R(b),R(c)}, ½, ½⟩` over
+//! the domain `{a,b,c,d₁,…,d_m}`:
+//!
+//! ```text
+//! confidence(R(a)) = confidence(R(c)) = (m+2)/(2m+3)
+//! confidence(R(b)) = (2m+2)/(2m+3)
+//! confidence(R(d_i)) = 2/(2m+3)
+//! ```
+//!
+//! Exhaustive enumeration (three independent implementations in this crate —
+//! subset oracle, explicit Γ counter, signature counter — all agreeing)
+//! instead gives `|poss(S)| = 2m+5` with
+//!
+//! ```text
+//! confidence(R(a)) = confidence(R(c)) = (m+3)/(2m+5)
+//! confidence(R(b)) = (2m+4)/(2m+5)
+//! confidence(R(d_i)) = 2/(2m+5)
+//! ```
+//!
+//! Concretely, at `m = 0` the paper's count of 3 worlds misses the worlds
+//! `{R(a), R(b)}` and `{R(b), R(c)}`, both of which satisfy all four
+//! constraints (e.g. for `{R(a),R(b)}`: `c_D(S₂) = s_D(S₂) = 1/2 ≥ 1/2`).
+//! The paper's qualitative asymptotics (`conf(b) → 1`, `conf(a) → ½`,
+//! `conf(d_i) → 0`) are unaffected. Experiment E1 prints both columns;
+//! see `EXPERIMENTS.md`.
+
+use pscds_numeric::Rational;
+
+/// Which fact of Example 5.1 a formula refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Example51Fact {
+    /// `R(a)` — held by source 1 only.
+    A,
+    /// `R(b)` — held by both sources.
+    B,
+    /// `R(c)` — held by source 2 only.
+    C,
+    /// Any `R(d_i)` — held by no source.
+    D,
+}
+
+/// The paper's printed formula (Example 5.1) for domain padding `m`.
+#[must_use]
+pub fn paper_confidence(fact: Example51Fact, m: u64) -> Rational {
+    match fact {
+        Example51Fact::A | Example51Fact::C => Rational::from_u64(m + 2, 2 * m + 3),
+        Example51Fact::B => Rational::from_u64(2 * m + 2, 2 * m + 3),
+        Example51Fact::D => Rational::from_u64(2, 2 * m + 3),
+    }
+}
+
+/// The re-derived exact formula (validated against all three exact
+/// counters in this crate).
+#[must_use]
+pub fn derived_confidence(fact: Example51Fact, m: u64) -> Rational {
+    match fact {
+        Example51Fact::A | Example51Fact::C => Rational::from_u64(m + 3, 2 * m + 5),
+        Example51Fact::B => Rational::from_u64(2 * m + 4, 2 * m + 5),
+        Example51Fact::D => Rational::from_u64(2, 2 * m + 5),
+    }
+}
+
+/// The paper's possible-world count `2m + 3`.
+#[must_use]
+pub fn paper_world_count(m: u64) -> u64 {
+    2 * m + 3
+}
+
+/// The re-derived possible-world count `2m + 5`.
+#[must_use]
+pub fn derived_world_count(m: u64) -> u64 {
+    2 * m + 5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::confidence::counting::ConfidenceAnalysis;
+    use crate::paper::example_5_1;
+    use pscds_numeric::UBig;
+    use pscds_relational::Value;
+
+    #[test]
+    fn derived_formulas_match_exact_counting() {
+        let id = example_5_1().as_identity().unwrap();
+        for m in [0u64, 1, 2, 3, 10, 50, 1000] {
+            let a = ConfidenceAnalysis::analyze(&id, m);
+            assert_eq!(a.world_count(), &UBig::from(derived_world_count(m)));
+            assert_eq!(
+                a.confidence_of_tuple(&id, &[Value::sym("a")]).unwrap(),
+                derived_confidence(Example51Fact::A, m)
+            );
+            assert_eq!(
+                a.confidence_of_tuple(&id, &[Value::sym("b")]).unwrap(),
+                derived_confidence(Example51Fact::B, m)
+            );
+            assert_eq!(
+                a.confidence_of_tuple(&id, &[Value::sym("c")]).unwrap(),
+                derived_confidence(Example51Fact::C, m)
+            );
+            if m > 0 {
+                assert_eq!(
+                    a.padding_confidence().unwrap(),
+                    derived_confidence(Example51Fact::D, m)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_formulas_differ_but_share_asymptotics() {
+        // The erratum: formulas differ at every finite m…
+        for m in [0u64, 1, 10] {
+            assert_ne!(
+                paper_confidence(Example51Fact::B, m),
+                derived_confidence(Example51Fact::B, m)
+            );
+        }
+        // …but the limits agree.
+        let m = 10_000_000u64;
+        for (fact, limit) in [
+            (Example51Fact::A, 0.5),
+            (Example51Fact::B, 1.0),
+            (Example51Fact::C, 0.5),
+            (Example51Fact::D, 0.0),
+        ] {
+            let p = paper_confidence(fact, m).to_f64();
+            let d = derived_confidence(fact, m).to_f64();
+            assert!((p - limit).abs() < 1e-5, "{fact:?} paper limit");
+            assert!((d - limit).abs() < 1e-5, "{fact:?} derived limit");
+        }
+    }
+
+    #[test]
+    fn paper_numerator_for_d_matches() {
+        // The d_i numerator (2) is the same in both derivations — only the
+        // denominator differs.
+        for m in [1u64, 5] {
+            let paper = paper_confidence(Example51Fact::D, m);
+            let derived = derived_confidence(Example51Fact::D, m);
+            assert_eq!(paper.num(), derived.num());
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! The explicit linear system Γ of Section 5.1.
+//!
+//! For identity views over relation `R` and a finite domain, enumerate the
+//! potential facts `t₁ … t_N` and introduce a 0/1 variable `x_j` per fact
+//! (`x_j = 1 ⇔ t_j ∈ D`). Each source `S_i = ⟨Id_R, v_i, c_i, s_i⟩`
+//! contributes two inequalities (scaled to integer coefficients):
+//!
+//! ```text
+//! Σ_{t_j ∈ v_i} (den(c_i) − num(c_i))·x_j  −  Σ_{t_j ∉ v_i} num(c_i)·x_j  ≥  0
+//! Σ_{t_j ∈ v_i} den(s_i)·x_j                                             ≥  num(s_i)·|v_i|
+//! ```
+//!
+//! `D ∈ poss(S)` iff its indicator vector satisfies every inequality, so
+//! `N_sol(Γ) = |poss(S)|` and `confidence(t_p) = N_sol(Γ[x_p/1])/N_sol(Γ)`.
+//!
+//! This module is the paper's own formulation made executable, with a
+//! brute-force 0/1 counter. It is exponential in `N` — the signature
+//! counter in [`crate::confidence::counting`] is the scalable equivalent —
+//! but invaluable as a second ground-truth implementation and as the
+//! subject of experiment E5.
+
+use crate::collection::IdentityCollection;
+use crate::error::CoreError;
+use pscds_numeric::Rational;
+use pscds_relational::{FactUniverse, GlobalSchema, Value};
+
+/// Maximum variable count for brute-force solution counting.
+pub const MAX_BRUTE_FORCE_VARS: usize = 26;
+
+/// One inequality `Σ coeffs[j]·x_j ≥ rhs`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Inequality {
+    /// Integer coefficients, one per variable.
+    pub coeffs: Vec<i64>,
+    /// Right-hand side.
+    pub rhs: i64,
+    /// Human-readable provenance (which source, which bound).
+    pub label: String,
+}
+
+impl Inequality {
+    /// Evaluates the inequality on a 0/1 assignment.
+    #[must_use]
+    pub fn satisfied_by(&self, assignment: u64) -> bool {
+        let mut lhs: i64 = 0;
+        for (j, &c) in self.coeffs.iter().enumerate() {
+            if assignment >> j & 1 == 1 {
+                lhs += c;
+            }
+        }
+        lhs >= self.rhs
+    }
+}
+
+/// The linear system Γ over the 0/1 fact-indicator variables.
+pub struct LinearSystem {
+    universe: FactUniverse,
+    inequalities: Vec<Inequality>,
+}
+
+impl LinearSystem {
+    /// Builds Γ for an identity-view collection over the universe of all
+    /// `R`-facts with constants in `domain`.
+    ///
+    /// # Errors
+    /// Fails on an empty domain, or if some extension tuple falls outside
+    /// the domain universe.
+    pub fn from_identity(collection: &IdentityCollection, domain: &[Value]) -> Result<Self, CoreError> {
+        let mut schema = GlobalSchema::new();
+        schema.add(collection.relation, collection.arity)?;
+        let universe = FactUniverse::over_schema(&schema, domain)?;
+        let n = universe.len();
+        let mut inequalities = Vec::with_capacity(2 * collection.sources.len());
+        for src in &collection.sources {
+            // Membership mask of v_i over the universe.
+            let mut in_v = vec![false; n];
+            for tuple in &src.tuples {
+                let fact = pscds_relational::Fact { relation: collection.relation, args: tuple.clone() };
+                let idx = universe.index_of(&fact).ok_or_else(|| CoreError::BadDomain {
+                    message: format!("extension tuple {fact} is outside the domain universe"),
+                })?;
+                in_v[idx] = true;
+            }
+            let (c_num, c_den) = (src.completeness.num() as i64, src.completeness.den() as i64);
+            let completeness = Inequality {
+                coeffs: in_v
+                    .iter()
+                    .map(|&inside| if inside { c_den - c_num } else { -c_num })
+                    .collect(),
+                rhs: 0,
+                label: format!("{}: completeness ≥ {}", src.name, src.completeness),
+            };
+            let (s_num, s_den) = (src.soundness.num() as i64, src.soundness.den() as i64);
+            let soundness = Inequality {
+                coeffs: in_v.iter().map(|&inside| if inside { s_den } else { 0 }).collect(),
+                rhs: s_num * src.tuples.len() as i64,
+                label: format!("{}: soundness ≥ {}", src.name, src.soundness),
+            };
+            inequalities.push(completeness);
+            inequalities.push(soundness);
+        }
+        Ok(LinearSystem { universe, inequalities })
+    }
+
+    /// Number of variables `N` (potential facts).
+    #[must_use]
+    pub fn n_vars(&self) -> usize {
+        self.universe.len()
+    }
+
+    /// The inequalities (two per source).
+    #[must_use]
+    pub fn inequalities(&self) -> &[Inequality] {
+        &self.inequalities
+    }
+
+    /// The fact enumeration behind the variables.
+    #[must_use]
+    pub fn universe(&self) -> &FactUniverse {
+        &self.universe
+    }
+
+    /// Index of the variable for a fact.
+    #[must_use]
+    pub fn var_of(&self, fact: &pscds_relational::Fact) -> Option<usize> {
+        self.universe.index_of(fact)
+    }
+
+    /// Tests a full 0/1 assignment (bit `j` = `x_j`).
+    #[must_use]
+    pub fn satisfied_by(&self, assignment: u64) -> bool {
+        self.inequalities.iter().all(|ineq| ineq.satisfied_by(assignment))
+    }
+
+    /// Counts solutions by brute force, with optional fixed variables
+    /// (`(index, value)` pairs — the substitution `Γ[x_p/v]`).
+    ///
+    /// # Errors
+    /// Refuses systems with more than [`MAX_BRUTE_FORCE_VARS`] variables.
+    pub fn count_solutions_with(&self, fixed: &[(usize, bool)]) -> Result<u64, CoreError> {
+        let n = self.n_vars();
+        if n > MAX_BRUTE_FORCE_VARS {
+            return Err(CoreError::SearchSpaceTooLarge {
+                message: format!("{n} variables exceed the brute-force cap of {MAX_BRUTE_FORCE_VARS}"),
+            });
+        }
+        let mut forced_ones = 0u64;
+        let mut forced_mask = 0u64;
+        for &(idx, val) in fixed {
+            assert!(idx < n, "fixed variable out of range");
+            forced_mask |= 1 << idx;
+            if val {
+                forced_ones |= 1 << idx;
+            }
+        }
+        let mut count = 0u64;
+        for assignment in 0u64..(1 << n) {
+            if assignment & forced_mask != forced_ones {
+                continue;
+            }
+            if self.satisfied_by(assignment) {
+                count += 1;
+            }
+        }
+        Ok(count)
+    }
+
+    /// `N_sol(Γ)`.
+    ///
+    /// # Errors
+    /// As [`LinearSystem::count_solutions_with`].
+    pub fn count_solutions(&self) -> Result<u64, CoreError> {
+        self.count_solutions_with(&[])
+    }
+
+    /// `confidence(t_p) = N_sol(Γ[x_p/1]) / N_sol(Γ)` (Section 5.1).
+    ///
+    /// # Errors
+    /// Inconsistent systems (`N_sol(Γ) = 0`) and oversized systems.
+    pub fn confidence(&self, var: usize) -> Result<Rational, CoreError> {
+        let total = self.count_solutions()?;
+        if total == 0 {
+            return Err(CoreError::InconsistentCollection);
+        }
+        let with = self.count_solutions_with(&[(var, true)])?;
+        Ok(Rational::from_u64(with, total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::{example_5_1, example_5_1_domain};
+    use pscds_relational::Fact;
+
+    fn gamma(m: usize) -> LinearSystem {
+        let id = example_5_1().as_identity().unwrap();
+        LinearSystem::from_identity(&id, &example_5_1_domain(m)).unwrap()
+    }
+
+    #[test]
+    fn shape_of_example_5_1_system() {
+        let g = gamma(2);
+        assert_eq!(g.n_vars(), 5); // a, b, c, d1, d2
+        assert_eq!(g.inequalities().len(), 4); // 2 per source
+        // The soundness rows have rhs = num(1/2)*|v| = 2 with coefficient 2 (den).
+        let sound_rows: Vec<&Inequality> =
+            g.inequalities().iter().filter(|i| i.label.contains("soundness")).collect();
+        assert_eq!(sound_rows.len(), 2);
+        for row in sound_rows {
+            assert_eq!(row.rhs, 2);
+            assert_eq!(row.coeffs.iter().filter(|&&c| c == 2).count(), 2);
+        }
+    }
+
+    #[test]
+    fn solution_counts_match_worlds() {
+        use crate::confidence::worlds::PossibleWorlds;
+        for m in 0..4usize {
+            let g = gamma(m);
+            let w = PossibleWorlds::enumerate(&example_5_1(), &example_5_1_domain(m)).unwrap();
+            assert_eq!(g.count_solutions().unwrap() as usize, w.count(), "m = {m}");
+        }
+    }
+
+    #[test]
+    fn confidences_match_signature_counter() {
+        use crate::confidence::counting::ConfidenceAnalysis;
+        let id = example_5_1().as_identity().unwrap();
+        for m in 0..4u64 {
+            let g = gamma(m as usize);
+            let a = ConfidenceAnalysis::analyze(&id, m);
+            for sym in ["a", "b", "c"] {
+                let fact = Fact::new("R", [Value::sym(sym)]);
+                let var = g.var_of(&fact).unwrap();
+                assert_eq!(
+                    g.confidence(var).unwrap(),
+                    a.confidence_of_tuple(&id, &[Value::sym(sym)]).unwrap(),
+                    "confidence({sym}) at m={m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn substitution_fixes_variables() {
+        let g = gamma(0);
+        let total = g.count_solutions().unwrap();
+        let b = g.var_of(&Fact::new("R", [Value::sym("b")])).unwrap();
+        let with_b = g.count_solutions_with(&[(b, true)]).unwrap();
+        let without_b = g.count_solutions_with(&[(b, false)]).unwrap();
+        assert_eq!(with_b + without_b, total);
+        assert_eq!(total, 5);
+        assert_eq!(with_b, 4);
+    }
+
+    #[test]
+    fn oversized_system_is_refused() {
+        let g = gamma(30);
+        assert!(matches!(
+            g.count_solutions(),
+            Err(CoreError::SearchSpaceTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn extension_outside_domain_rejected() {
+        let id = example_5_1().as_identity().unwrap();
+        // Domain lacking 'c'.
+        let err = LinearSystem::from_identity(&id, &[Value::sym("a"), Value::sym("b")]);
+        assert!(matches!(err, Err(CoreError::BadDomain { .. })));
+    }
+
+    #[test]
+    fn inequality_evaluation() {
+        let ineq = Inequality { coeffs: vec![1, -2, 3], rhs: 2, label: "test".into() };
+        assert!(ineq.satisfied_by(0b101)); // 1 + 3 = 4 ≥ 2
+        assert!(!ineq.satisfied_by(0b010)); // -2 < 2
+        assert!(!ineq.satisfied_by(0b000)); // 0 < 2
+        assert!(ineq.satisfied_by(0b111)); // 2 ≥ 2
+    }
+}

@@ -1,0 +1,44 @@
+//! Tuple confidence (Section 5): exact possible-world semantics.
+//!
+//! The paper defines the confidence of a fact `t` as
+//! `Pr(t ∈ Q(D) | D ∈ poss(S))` for a database `D` drawn uniformly from the
+//! possible worlds, and shows that in the identity-view/finite-domain case
+//! it reduces to counting 0/1 solutions of a linear system Γ:
+//!
+//! ```text
+//! confidence(t_p) = N_sol(Γ[x_p/1]) / N_sol(Γ)
+//! ```
+//!
+//! Three independent implementations live here, in increasing
+//! sophistication; the test suite cross-checks them pairwise:
+//!
+//! * [`worlds`] — the brute-force oracle: enumerate every subset of the
+//!   fact universe, filter by `poss(S)` membership, count. Exponential in
+//!   the universe size; ground truth for everything else.
+//! * [`gamma`] — the explicit linear system Γ of Section 5.1, materialized
+//!   inequality by inequality, with a 0/1 brute-force counter. This is the
+//!   paper's own formulation made executable.
+//! * [`signature`] / [`counting`] — the production counter: tuples with
+//!   the same *membership signature* across sources are exchangeable, so
+//!   worlds are counted per signature class with binomial weights. For a
+//!   fixed number of sources this is polynomial in the domain size, which
+//!   is what lets experiment E1 verify Example 5.1 at `m = 10⁶` where the
+//!   oracle dies at `m ≈ 20`.
+//! * [`closed_form`] — the printed Example 5.1 formulas (both as published
+//!   and as re-derived; see `EXPERIMENTS.md` for the erratum).
+//! * [`sampling`] — a Metropolis estimator over count vectors for
+//!   instances whose feasible region is too large to enumerate exactly
+//!   (exact counting is #P-hard); validated against the exact counter.
+
+pub mod closed_form;
+pub mod counting;
+pub mod gamma;
+pub mod sampling;
+pub mod signature;
+pub mod worlds;
+
+pub use counting::ConfidenceAnalysis;
+pub use gamma::LinearSystem;
+pub use sampling::{sample_confidences, SampledConfidence, SamplerConfig};
+pub use signature::{SignatureAnalysis, SignatureClass};
+pub use worlds::PossibleWorlds;

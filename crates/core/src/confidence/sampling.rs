@@ -1,0 +1,246 @@
+//! Monte-Carlo confidence estimation for instances beyond exact counting.
+//!
+//! Exact model counting is #P-hard, and the signature counter's cost is
+//! the number of feasible count vectors — collections whose constraints
+//! leave wide slack blow up (see EXPERIMENTS.md, E5/E7). This module
+//! trades exactness for scale: a Metropolis chain over *count vectors*
+//! `(k_σ)` with stationary weight `Π_σ C(|class σ|, k_σ)` restricted to
+//! the feasible region — i.e. the uniform distribution over `poss(S)`
+//! marginalized to signature-class counts. Tuple confidence is then
+//! estimated as `E[k_σ / |class σ|]`.
+//!
+//! Moves are single-class `k ± 1` steps with the exact Metropolis ratio
+//! (`C(n,k+1)/C(n,k) = (n−k)/(k+1)`), so detailed balance is exact. The
+//! usual MCMC caveat applies and is surfaced rather than hidden: the
+//! feasible region of an NP-complete constraint system can be
+//! *disconnected* under unit moves, in which case the chain only samples
+//! the component of its starting vector. The estimator therefore reports
+//! diagnostics (moves accepted, distinct vectors visited) and the test
+//! suite validates against the exact counter on connected instances.
+
+use crate::collection::IdentityCollection;
+use crate::confidence::signature::SignatureAnalysis;
+use crate::error::CoreError;
+use pscds_relational::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the sampler.
+#[derive(Clone, Copy, Debug)]
+pub struct SamplerConfig {
+    /// Burn-in sweeps discarded before recording.
+    pub burn_in: usize,
+    /// Recorded samples (one per sweep; a sweep attempts one move per
+    /// class).
+    pub samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig { burn_in: 1_000, samples: 20_000, seed: 1 }
+    }
+}
+
+/// Estimated confidences with chain diagnostics.
+#[derive(Clone, Debug)]
+pub struct SampledConfidence {
+    /// Per-class estimated confidence `Ê[k_σ]/|class σ|` (same order as
+    /// [`SignatureAnalysis::classes`]).
+    pub class_confidence: Vec<f64>,
+    /// Fraction of proposed moves accepted.
+    pub acceptance_rate: f64,
+    /// Number of distinct count vectors visited (≥ 2 suggests the chain
+    /// is actually moving).
+    pub distinct_vectors: usize,
+}
+
+/// Runs the Metropolis chain and estimates per-class confidences.
+///
+/// # Errors
+/// [`CoreError::InconsistentCollection`] if no feasible starting vector
+/// exists.
+pub fn sample_confidences(
+    collection: &IdentityCollection,
+    padding: u64,
+    config: &SamplerConfig,
+) -> Result<SampledConfidence, CoreError> {
+    let analysis = SignatureAnalysis::new(collection, padding);
+    let mut state = analysis
+        .find_feasible()
+        .ok_or(CoreError::InconsistentCollection)?;
+    let classes = analysis.classes();
+    let m = classes.len();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let mut sums = vec![0.0f64; m];
+    let mut proposed = 0u64;
+    let mut accepted = 0u64;
+    let mut seen = std::collections::BTreeSet::new();
+
+    for sweep in 0..(config.burn_in + config.samples) {
+        for _ in 0..m {
+            let j = rng.gen_range(0..m);
+            let n = classes[j].size;
+            let k = state[j];
+            // Propose k ± 1 with equal probability (reject at the borders).
+            let up = rng.gen_bool(0.5);
+            let k_new = if up { k + 1 } else { k.wrapping_sub(1) };
+            proposed += 1;
+            if (up && k_new > n) || (!up && k == 0) {
+                continue;
+            }
+            // Metropolis ratio of binomial weights.
+            let ratio = if up {
+                (n - k) as f64 / (k + 1) as f64
+            } else {
+                k as f64 / (n - k + 1) as f64
+            };
+            if ratio < 1.0 && !rng.gen_bool(ratio) {
+                continue;
+            }
+            // Feasibility is part of the target support.
+            state[j] = k_new;
+            if analysis.is_feasible(&state) {
+                accepted += 1;
+            } else {
+                state[j] = k; // revert
+            }
+        }
+        if sweep >= config.burn_in {
+            for (j, &k) in state.iter().enumerate() {
+                sums[j] += k as f64;
+            }
+            seen.insert(state.clone());
+        }
+    }
+
+    let class_confidence = sums
+        .iter()
+        .zip(classes)
+        .map(|(&sum, class)| {
+            if class.size == 0 {
+                0.0
+            } else {
+                sum / config.samples as f64 / class.size as f64
+            }
+        })
+        .collect();
+    Ok(SampledConfidence {
+        class_confidence,
+        acceptance_rate: accepted as f64 / proposed.max(1) as f64,
+        distinct_vectors: seen.len(),
+    })
+}
+
+impl SampledConfidence {
+    /// Estimated confidence of a tuple, given the analysis used to build
+    /// the estimate.
+    ///
+    /// # Errors
+    /// Out-of-domain tuples (as in the exact counter).
+    pub fn confidence_of_tuple(
+        &self,
+        analysis: &SignatureAnalysis,
+        collection: &IdentityCollection,
+        tuple: &[Value],
+    ) -> Result<f64, CoreError> {
+        let idx = analysis.class_of(tuple, collection.signature_of(tuple))?;
+        Ok(self.class_confidence[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::confidence::counting::ConfidenceAnalysis;
+    use crate::paper::example_5_1;
+
+    fn config() -> SamplerConfig {
+        SamplerConfig { burn_in: 2_000, samples: 60_000, seed: 7 }
+    }
+
+    #[test]
+    fn matches_exact_on_example_5_1() {
+        let identity = example_5_1().as_identity().unwrap();
+        for m in [0u64, 3] {
+            let exact = ConfidenceAnalysis::analyze(&identity, m);
+            let analysis = SignatureAnalysis::new(&identity, m);
+            let sampled = sample_confidences(&identity, m, &config()).unwrap();
+            assert!(sampled.distinct_vectors >= 2, "chain must move");
+            for (idx, class) in analysis.classes().iter().enumerate() {
+                let truth = exact.class_confidence(idx).unwrap().to_f64();
+                let est = sampled.class_confidence[idx];
+                assert!(
+                    (truth - est).abs() < 0.02,
+                    "m={m} class {idx} (sig {:#b}): exact {truth:.4} vs sampled {est:.4}",
+                    class.signature
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inconsistent_collection_rejected() {
+        use crate::descriptor::SourceDescriptor;
+        use pscds_numeric::Frac;
+        let s1 = SourceDescriptor::identity("A", "V1", "R", 1, [[Value::sym("a")]], Frac::ONE, Frac::ONE).unwrap();
+        let s2 = SourceDescriptor::identity("B", "V2", "R", 1, [[Value::sym("b")]], Frac::ONE, Frac::ONE).unwrap();
+        let identity = crate::collection::SourceCollection::from_sources([s1, s2])
+            .as_identity()
+            .unwrap();
+        assert!(matches!(
+            sample_confidences(&identity, 0, &config()),
+            Err(CoreError::InconsistentCollection)
+        ));
+    }
+
+    #[test]
+    fn pinned_chain_on_singleton_region() {
+        use crate::descriptor::SourceDescriptor;
+        use pscds_numeric::Frac;
+        // One exact source: the only world is its extension — the chain
+        // cannot move but the estimate is exact anyway.
+        let s = SourceDescriptor::identity(
+            "S",
+            "V",
+            "R",
+            1,
+            [[Value::sym("a")], [Value::sym("b")]],
+            Frac::ONE,
+            Frac::ONE,
+        )
+        .unwrap();
+        let identity = crate::collection::SourceCollection::from_sources([s]).as_identity().unwrap();
+        let sampled = sample_confidences(&identity, 4, &config()).unwrap();
+        assert_eq!(sampled.distinct_vectors, 1);
+        // Extension class pinned at confidence 1, padding at 0.
+        assert!((sampled.class_confidence[0] - 1.0).abs() < 1e-12);
+        assert!(sampled.class_confidence[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn tuple_lookup() {
+        let identity = example_5_1().as_identity().unwrap();
+        let analysis = SignatureAnalysis::new(&identity, 1);
+        let sampled = sample_confidences(&identity, 1, &config()).unwrap();
+        let exact = ConfidenceAnalysis::analyze(&identity, 1);
+        let truth = exact
+            .confidence_of_tuple(&identity, &[Value::sym("b")])
+            .unwrap()
+            .to_f64();
+        let est = sampled
+            .confidence_of_tuple(&analysis, &identity, &[Value::sym("b")])
+            .unwrap();
+        assert!((truth - est).abs() < 0.02, "exact {truth} vs sampled {est}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let identity = example_5_1().as_identity().unwrap();
+        let a = sample_confidences(&identity, 2, &config()).unwrap();
+        let b = sample_confidences(&identity, 2, &config()).unwrap();
+        assert_eq!(a.class_confidence, b.class_confidence);
+    }
+}

@@ -1,0 +1,560 @@
+//! Signature decomposition of the fact universe for identity-view
+//! collections.
+//!
+//! For identity views over one relation `R`, every potential fact `t` is
+//! characterized by its *membership signature* `σ(t) ∈ {0,1}^n` — which of
+//! the `n` view extensions contain it. Both inequalities of the linear
+//! system Γ (Section 5.1) depend on `D` only through the per-signature
+//! counts `k_σ = |D ∩ class(σ)|`:
+//!
+//! ```text
+//! t_i = Σ_{σ : σ_i = 1} k_σ        (sound tuples of source i in D)
+//! w   = Σ_σ k_σ = |D|              (|φ_i(D)| for an identity view)
+//! soundness:     t_i ≥ ⌈s_i·|v_i|⌉
+//! completeness:  t_i·den(c_i) ≥ num(c_i)·w
+//! ```
+//!
+//! All facts of a class are exchangeable, so any analysis over worlds
+//! reduces to an analysis over *count vectors* `(k_σ)` weighted by
+//! `Π_σ C(|class σ|, k_σ)`. This module builds the classes and enumerates
+//! the feasible count vectors with sound pruning; `counting` adds the
+//! binomial weights.
+
+use crate::collection::IdentityCollection;
+use crate::error::CoreError;
+use pscds_numeric::Frac;
+use pscds_relational::{Fact, Value};
+use std::collections::BTreeMap;
+
+/// One signature class: the set of potential facts shared by exactly the
+/// sources flagged in `signature`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SignatureClass {
+    /// Bit `i` set iff source `i`'s extension contains the class members.
+    pub signature: u64,
+    /// Number of potential facts in the class.
+    pub size: u64,
+    /// The members, for classes drawn from the extensions. The padding
+    /// class (signature 0) stores no members — it stands for the
+    /// `|dom|^arity − |∪v_i|` domain facts outside every extension.
+    pub members: Vec<Vec<Value>>,
+}
+
+/// Per-source exact bounds used by the feasibility predicate.
+#[derive(Clone, Copy, Debug)]
+struct SourceBounds {
+    /// Completeness bound `c_i`.
+    completeness: Frac,
+    /// `⌈s_i · |v_i|⌉` — minimum sound tuples (inequality (3)).
+    min_sound: u64,
+}
+
+/// The signature decomposition of an identity-view collection over a
+/// finite domain with `padding` extension-free facts.
+#[derive(Clone, Debug)]
+pub struct SignatureAnalysis {
+    classes: Vec<SignatureClass>,
+    bounds: Vec<SourceBounds>,
+    /// `suffix_max_t[i][j]` = max future contribution to `t_i` from classes
+    /// `j..` (sum of sizes of classes with bit `i`).
+    suffix_max_t: Vec<Vec<u64>>,
+    relation: pscds_relational::RelName,
+    arity: usize,
+}
+
+impl SignatureAnalysis {
+    /// Builds the decomposition. `padding` is the number of potential
+    /// facts in the finite domain that belong to **no** extension
+    /// (`|dom|^arity − |∪v_i|`).
+    #[must_use]
+    pub fn new(collection: &IdentityCollection, padding: u64) -> Self {
+        // Group extension tuples by signature.
+        let mut by_sig: BTreeMap<u64, Vec<Vec<Value>>> = BTreeMap::new();
+        for tuple in collection.all_tuples() {
+            let sig = collection.signature_of(&tuple);
+            debug_assert_ne!(sig, 0, "extension tuples belong to some source");
+            by_sig.entry(sig).or_default().push(tuple);
+        }
+        let mut classes: Vec<SignatureClass> = by_sig
+            .into_iter()
+            .map(|(signature, members)| SignatureClass {
+                signature,
+                size: members.len() as u64,
+                members,
+            })
+            .collect();
+        if padding > 0 {
+            classes.push(SignatureClass { signature: 0, size: padding, members: Vec::new() });
+        }
+        let bounds: Vec<SourceBounds> = collection
+            .sources
+            .iter()
+            .map(|s| SourceBounds {
+                completeness: s.completeness,
+                min_sound: s.soundness.ceil_mul(s.tuples.len() as u64),
+            })
+            .collect();
+        // Suffix sums of class sizes per source.
+        let n = bounds.len();
+        let m = classes.len();
+        let mut suffix_max_t = vec![vec![0u64; m + 1]; n];
+        for (i, row) in suffix_max_t.iter_mut().enumerate() {
+            for j in (0..m).rev() {
+                let contrib = if classes[j].signature >> i & 1 == 1 { classes[j].size } else { 0 };
+                row[j] = row[j + 1] + contrib;
+            }
+        }
+        SignatureAnalysis {
+            classes,
+            bounds,
+            suffix_max_t,
+            relation: collection.relation,
+            arity: collection.arity,
+        }
+    }
+
+    /// Computes the padding count for a domain of `domain_size` constants:
+    /// `domain_size^arity − |∪v_i|`.
+    ///
+    /// # Errors
+    /// Fails if the domain cannot even hold the extension tuples, or the
+    /// fact universe overflows `u64`.
+    pub fn padding_for_domain(
+        collection: &IdentityCollection,
+        domain_size: u64,
+    ) -> Result<u64, CoreError> {
+        let arity = u32::try_from(collection.arity).map_err(|_| CoreError::BadDomain {
+            message: "arity too large".into(),
+        })?;
+        let universe = domain_size.checked_pow(arity).ok_or_else(|| CoreError::BadDomain {
+            message: format!("domain of {domain_size} constants at arity {arity} overflows u64"),
+        })?;
+        let union = collection.all_tuples().len() as u64;
+        universe.checked_sub(union).ok_or_else(|| CoreError::BadDomain {
+            message: format!(
+                "domain yields {universe} potential facts but extensions already hold {union} distinct tuples"
+            ),
+        })
+    }
+
+    /// The classes (extension classes in signature order, padding last).
+    #[must_use]
+    pub fn classes(&self) -> &[SignatureClass] {
+        &self.classes
+    }
+
+    /// Number of sources.
+    #[must_use]
+    pub fn source_count(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// The shared relation.
+    #[must_use]
+    pub fn relation(&self) -> pscds_relational::RelName {
+        self.relation
+    }
+
+    /// The relation's arity.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Index of the class a tuple belongs to: its signature class, or the
+    /// padding class for extension-free tuples.
+    ///
+    /// # Errors
+    /// Fails for extension-free tuples when no padding was declared (the
+    /// tuple is outside the finite domain being modelled).
+    pub fn class_of(&self, tuple: &[Value], signature: u64) -> Result<usize, CoreError> {
+        if let Some(idx) = self.classes.iter().position(|c| c.signature == signature && (signature != 0 || c.members.is_empty())) {
+            // For signature 0 this finds the padding class.
+            if signature != 0 {
+                // Confirm membership (two different tuples can share a signature
+                // only by both being in the same extensions).
+                debug_assert!(self.classes[idx].members.iter().any(|m| m == tuple));
+            }
+            Ok(idx)
+        } else {
+            Err(CoreError::BadDomain {
+                message: "tuple is outside every extension and the analysis has no padding class"
+                    .to_owned(),
+            })
+        }
+    }
+
+    /// Tests feasibility of a complete count vector (one entry per class).
+    #[must_use]
+    pub fn is_feasible(&self, counts: &[u64]) -> bool {
+        assert_eq!(counts.len(), self.classes.len(), "one count per class");
+        if counts.iter().zip(&self.classes).any(|(&k, c)| k > c.size) {
+            return false;
+        }
+        let w: u64 = counts.iter().sum();
+        for (i, b) in self.bounds.iter().enumerate() {
+            let t_i: u64 = counts
+                .iter()
+                .zip(&self.classes)
+                .filter(|(_, c)| c.signature >> i & 1 == 1)
+                .map(|(&k, _)| k)
+                .sum();
+            if t_i < b.min_sound {
+                return false;
+            }
+            if !b.completeness.leq_ratio(t_i, w) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Enumerates every feasible count vector, calling `visit` with each.
+    /// The DFS prunes branches where the soundness minimum has become
+    /// unreachable or the completeness margin can no longer recover.
+    pub fn for_each_feasible<F: FnMut(&[u64])>(&self, mut visit: F) {
+        let mut counts = vec![0u64; self.classes.len()];
+        let n = self.bounds.len();
+        let mut t = vec![0u64; n];
+        let mut w = 0u64;
+        self.dfs(0, &mut counts, &mut t, &mut w, &mut visit);
+    }
+
+    /// Largest `k` for class `j` that leaves every completeness constraint
+    /// recoverable, given the current partial sums. For sources whose bit
+    /// is *unset* in the class signature, each unit of `k` erodes the
+    /// completeness margin `V_i = t_i·den − num·w` by `num` with no
+    /// compensation, so `k` is capped by the remaining headroom — this is
+    /// what keeps the padding-class loop bounded by the feasible region
+    /// instead of the (possibly enormous) class size.
+    fn k_cap(&self, j: usize, t: &[u64], w: u64) -> u64 {
+        let class = &self.classes[j];
+        let mut cap = class.size;
+        for (i, b) in self.bounds.iter().enumerate() {
+            if class.signature >> i & 1 == 1 {
+                continue; // k helps (or is neutral for) this source
+            }
+            let num = i128::from(b.completeness.num());
+            if num == 0 {
+                continue;
+            }
+            let den = i128::from(b.completeness.den());
+            let v = i128::from(t[i]) * den - num * i128::from(w);
+            // Future classes with bit i add at most suffix·(den−num);
+            // class j itself has bit i unset so suffix at j equals at j+1.
+            let headroom = v + i128::from(self.suffix_max_t[i][j + 1]) * (den - num);
+            let k_max = if headroom < 0 { 0 } else { (headroom / num).min(i128::from(u64::MAX)) as u64 };
+            cap = cap.min(k_max);
+        }
+        cap
+    }
+
+    fn dfs<F: FnMut(&[u64])>(
+        &self,
+        j: usize,
+        counts: &mut Vec<u64>,
+        t: &mut Vec<u64>,
+        w: &mut u64,
+        visit: &mut F,
+    ) {
+        if j == self.classes.len() {
+            // All counts chosen; verify the final constraints exactly.
+            for (i, b) in self.bounds.iter().enumerate() {
+                if t[i] < b.min_sound || !b.completeness.leq_ratio(t[i], *w) {
+                    return;
+                }
+            }
+            visit(counts);
+            return;
+        }
+        // Pruning: for each source, check the best still-achievable values.
+        for (i, b) in self.bounds.iter().enumerate() {
+            let max_future = self.suffix_max_t[i][j];
+            // Soundness minimum unreachable?
+            if t[i] + max_future < b.min_sound {
+                return;
+            }
+            // Completeness margin V_i = t_i·den − num·w; future classes with
+            // bit i add (den−num) per unit (≥ 0), others subtract num per
+            // unit (take 0). Max achievable:
+            let den = i128::from(b.completeness.den());
+            let num = i128::from(b.completeness.num());
+            let v = i128::from(t[i]) * den - num * i128::from(*w);
+            let v_max = v + i128::from(max_future) * (den - num);
+            if v_max < 0 {
+                return;
+            }
+        }
+        let cap = self.k_cap(j, t, *w);
+        let class = &self.classes[j];
+        for k in 0..=cap {
+            counts[j] = k;
+            *w += k;
+            for (i, ti) in t.iter_mut().enumerate() {
+                if class.signature >> i & 1 == 1 {
+                    *ti += k;
+                }
+            }
+            self.dfs(j + 1, counts, t, w, visit);
+            *w -= k;
+            for (i, ti) in t.iter_mut().enumerate() {
+                if class.signature >> i & 1 == 1 {
+                    *ti -= k;
+                }
+            }
+        }
+        counts[j] = 0;
+    }
+
+    /// Finds one feasible count vector, if any (early-exit DFS).
+    #[must_use]
+    pub fn find_feasible(&self) -> Option<Vec<u64>> {
+        let mut found: Option<Vec<u64>> = None;
+        // A dedicated early-exit DFS keeps the hot path simple: reuse
+        // for_each_feasible but stop as soon as possible via a flag.
+        let mut counts = vec![0u64; self.classes.len()];
+        let n = self.bounds.len();
+        let mut t = vec![0u64; n];
+        let mut w = 0u64;
+        self.dfs_first(0, &mut counts, &mut t, &mut w, &mut found);
+        found
+    }
+
+    fn dfs_first(
+        &self,
+        j: usize,
+        counts: &mut Vec<u64>,
+        t: &mut Vec<u64>,
+        w: &mut u64,
+        found: &mut Option<Vec<u64>>,
+    ) {
+        if found.is_some() {
+            return;
+        }
+        if j == self.classes.len() {
+            for (i, b) in self.bounds.iter().enumerate() {
+                if t[i] < b.min_sound || !b.completeness.leq_ratio(t[i], *w) {
+                    return;
+                }
+            }
+            *found = Some(counts.clone());
+            return;
+        }
+        for (i, b) in self.bounds.iter().enumerate() {
+            let max_future = self.suffix_max_t[i][j];
+            if t[i] + max_future < b.min_sound {
+                return;
+            }
+            let den = i128::from(b.completeness.den());
+            let num = i128::from(b.completeness.num());
+            let v = i128::from(t[i]) * den - num * i128::from(*w);
+            if v + i128::from(max_future) * (den - num) < 0 {
+                return;
+            }
+        }
+        let cap = self.k_cap(j, t, *w);
+        let class = &self.classes[j];
+        for k in 0..=cap {
+            counts[j] = k;
+            *w += k;
+            for (i, ti) in t.iter_mut().enumerate() {
+                if class.signature >> i & 1 == 1 {
+                    *ti += k;
+                }
+            }
+            self.dfs_first(j + 1, counts, t, w, found);
+            *w -= k;
+            for (i, ti) in t.iter_mut().enumerate() {
+                if class.signature >> i & 1 == 1 {
+                    *ti -= k;
+                }
+            }
+            if found.is_some() {
+                counts[j] = k; // keep the found prefix intact
+                return;
+            }
+        }
+        counts[j] = 0;
+    }
+
+    /// Materializes a witness database from a feasible count vector: the
+    /// first `k` members of each extension class, plus synthesized fresh
+    /// tuples for the padding class (symbols `_pad0, _pad1, …` standing for
+    /// arbitrary unused domain elements).
+    #[must_use]
+    pub fn materialize(&self, counts: &[u64]) -> pscds_relational::Database {
+        assert_eq!(counts.len(), self.classes.len());
+        let mut db = pscds_relational::Database::new();
+        for (class, &k) in self.classes.iter().zip(counts) {
+            if class.signature == 0 && class.members.is_empty() {
+                for p in 0..k {
+                    let mut args = vec![Value::sym(&format!("_pad{p}"))];
+                    args.extend(std::iter::repeat_n(Value::sym("_pad"), self.arity.saturating_sub(1)));
+                    db.insert(Fact { relation: self.relation, args });
+                }
+            } else {
+                for member in class.members.iter().take(k as usize) {
+                    db.insert(Fact { relation: self.relation, args: member.clone() });
+                }
+            }
+        }
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::example_5_1;
+
+    fn analysis(m: u64) -> SignatureAnalysis {
+        let id = example_5_1().as_identity().unwrap();
+        SignatureAnalysis::new(&id, m)
+    }
+
+    #[test]
+    fn classes_of_example_5_1() {
+        let a = analysis(5);
+        // Classes: {a} (sig 01), {c} (sig 10), {b} (sig 11), padding (sig 0).
+        assert_eq!(a.classes().len(), 4);
+        let sigs: Vec<u64> = a.classes().iter().map(|c| c.signature).collect();
+        assert_eq!(sigs, vec![0b01, 0b10, 0b11, 0]);
+        let sizes: Vec<u64> = a.classes().iter().map(|c| c.size).collect();
+        assert_eq!(sizes, vec![1, 1, 1, 5]);
+    }
+
+    #[test]
+    fn no_padding_class_when_zero() {
+        let a = analysis(0);
+        assert_eq!(a.classes().len(), 3);
+    }
+
+    #[test]
+    fn padding_for_domain_arithmetic() {
+        let id = example_5_1().as_identity().unwrap();
+        // Domain of 3 constants at arity 1: universe 3, union 3 => padding 0.
+        assert_eq!(SignatureAnalysis::padding_for_domain(&id, 3).unwrap(), 0);
+        assert_eq!(SignatureAnalysis::padding_for_domain(&id, 10).unwrap(), 7);
+        // Domain too small.
+        assert!(SignatureAnalysis::padding_for_domain(&id, 2).is_err());
+    }
+
+    #[test]
+    fn feasibility_matches_hand_analysis_m0() {
+        // m = 0: classes [a, c, b]; count vectors are memberships of each.
+        let a = analysis(0);
+        // Possible worlds from the brute-force analysis: {b}, {a,b}, {a,c}, {b,c}, {a,b,c}.
+        let feasible = [
+            [0, 0, 1], // {b}
+            [1, 0, 1], // {a,b}
+            [1, 1, 0], // {a,c}
+            [0, 1, 1], // {b,c}
+            [1, 1, 1], // {a,b,c}
+        ];
+        let infeasible = [
+            [0, 0, 0], // {}
+            [1, 0, 0], // {a}
+            [0, 1, 0], // {c}
+        ];
+        for f in feasible {
+            assert!(a.is_feasible(&f), "{f:?} should be feasible");
+        }
+        for f in infeasible {
+            assert!(!a.is_feasible(&f), "{f:?} should be infeasible");
+        }
+    }
+
+    #[test]
+    fn enumeration_counts_m0() {
+        let a = analysis(0);
+        let mut count = 0u64;
+        a.for_each_feasible(|_| count += 1);
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn enumeration_respects_class_caps() {
+        let a = analysis(2);
+        a.for_each_feasible(|counts| {
+            for (k, c) in counts.iter().zip(a.classes()) {
+                assert!(*k <= c.size);
+            }
+            assert!(a.is_feasible(counts));
+        });
+    }
+
+    #[test]
+    fn find_feasible_and_materialize() {
+        let a = analysis(3);
+        let counts = a.find_feasible().expect("Example 5.1 is consistent");
+        assert!(a.is_feasible(&counts));
+        let witness = a.materialize(&counts);
+        assert_eq!(witness.len() as u64, counts.iter().sum::<u64>());
+        // The witness really is a possible world.
+        let c = example_5_1();
+        assert!(crate::measures::in_poss(&witness, &c).unwrap());
+    }
+
+    #[test]
+    fn infeasible_collection_detected() {
+        // One source demanding full completeness and soundness of {a},
+        // another demanding full completeness and soundness of disjoint {b}:
+        // φ(D) = D must equal both {a} and {b} — impossible.
+        use crate::descriptor::SourceDescriptor;
+        use pscds_numeric::Frac;
+        let s1 = SourceDescriptor::identity("S1", "V1", "R", 1, [[Value::sym("a")]], Frac::ONE, Frac::ONE).unwrap();
+        let s2 = SourceDescriptor::identity("S2", "V2", "R", 1, [[Value::sym("b")]], Frac::ONE, Frac::ONE).unwrap();
+        let c = crate::collection::SourceCollection::from_sources([s1, s2]);
+        let a = SignatureAnalysis::new(&c.as_identity().unwrap(), 4);
+        assert_eq!(a.find_feasible(), None);
+        let mut count = 0;
+        a.for_each_feasible(|_| count += 1);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn class_lookup() {
+        let a = analysis(2);
+        let id = example_5_1().as_identity().unwrap();
+        let b_tuple = vec![Value::sym("b")];
+        let idx = a.class_of(&b_tuple, id.signature_of(&b_tuple)).unwrap();
+        assert_eq!(a.classes()[idx].signature, 0b11);
+        // Extension-free tuple maps to padding when declared...
+        let d_tuple = vec![Value::sym("d1")];
+        let idx = a.class_of(&d_tuple, 0).unwrap();
+        assert_eq!(a.classes()[idx].signature, 0);
+        // ...and errors when not.
+        let a0 = analysis(0);
+        assert!(a0.class_of(&d_tuple, 0).is_err());
+    }
+
+    #[test]
+    fn enumeration_agrees_with_direct_check() {
+        // Exhaustive cross-check: every vector in the box is feasible iff
+        // the enumeration yields it.
+        let a = analysis(2);
+        let mut enumerated = std::collections::BTreeSet::new();
+        a.for_each_feasible(|c| {
+            enumerated.insert(c.to_vec());
+        });
+        let sizes: Vec<u64> = a.classes().iter().map(|c| c.size).collect();
+        let mut idx = vec![0u64; sizes.len()];
+        loop {
+            let expected = a.is_feasible(&idx);
+            assert_eq!(enumerated.contains(&idx), expected, "vector {idx:?}");
+            // Odometer.
+            let mut pos = sizes.len();
+            loop {
+                if pos == 0 {
+                    return;
+                }
+                pos -= 1;
+                idx[pos] += 1;
+                if idx[pos] <= sizes[pos] {
+                    break;
+                }
+                idx[pos] = 0;
+            }
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! The brute-force possible-worlds oracle.
+//!
+//! Enumerates every subset of a finite fact universe, keeps the worlds in
+//! `poss(S)`, and answers every Section 5 question by direct counting /
+//! intersection / union over them. Exponential in the universe size — this
+//! is the ground truth that the polynomial-time machinery is validated
+//! against, and the only implementation that works for *arbitrary*
+//! conjunctive views (the paper's efficient method is restricted to
+//! identity views).
+
+use crate::collection::SourceCollection;
+use crate::error::CoreError;
+use crate::measures::in_poss;
+use pscds_numeric::Rational;
+use pscds_relational::algebra::RaExpr;
+use pscds_relational::{ConjunctiveQuery, Database, Fact, FactUniverse, GlobalSchema, Value};
+use std::collections::BTreeSet;
+
+/// The set `poss(S)` over a finite domain, materialized as bitmasks over a
+/// [`FactUniverse`].
+pub struct PossibleWorlds {
+    universe: FactUniverse,
+    schema: GlobalSchema,
+    masks: Vec<u64>,
+}
+
+impl PossibleWorlds {
+    /// Enumerates `poss(S)` over the universe of all facts with constants
+    /// in `domain`.
+    ///
+    /// # Errors
+    /// Propagates schema errors, and refuses universes too large to
+    /// enumerate (> [`pscds_relational::universe::MAX_ENUMERABLE`] facts).
+    pub fn enumerate(collection: &SourceCollection, domain: &[Value]) -> Result<Self, CoreError> {
+        let schema = collection.schema()?;
+        let universe = FactUniverse::over_schema(&schema, domain)?;
+        Self::enumerate_universe(collection, universe, schema)
+    }
+
+    /// Enumerates `poss(S)` over an explicit fact universe.
+    ///
+    /// # Errors
+    /// As [`PossibleWorlds::enumerate`].
+    pub fn enumerate_universe(
+        collection: &SourceCollection,
+        universe: FactUniverse,
+        schema: GlobalSchema,
+    ) -> Result<Self, CoreError> {
+        let mut masks = Vec::new();
+        for (mask, db) in universe.subsets()? {
+            if in_poss(&db, collection)? {
+                masks.push(mask);
+            }
+        }
+        Ok(PossibleWorlds { universe, schema, masks })
+    }
+
+    /// `|poss(S)|` over this domain.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// `true` iff the collection is consistent over this domain.
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        !self.masks.is_empty()
+    }
+
+    /// The underlying fact universe.
+    #[must_use]
+    pub fn universe(&self) -> &FactUniverse {
+        &self.universe
+    }
+
+    /// The consistent worlds as bitmasks over the universe.
+    #[must_use]
+    pub fn masks(&self) -> &[u64] {
+        &self.masks
+    }
+
+    /// Iterates over the possible worlds as databases.
+    pub fn worlds(&self) -> impl Iterator<Item = Database> + '_ {
+        self.masks.iter().map(|&m| self.universe.database_from_mask(m))
+    }
+
+    /// Confidence of a base fact: the fraction of possible worlds
+    /// containing it (`Pr(t ∈ D | D ∈ poss(S))`).
+    ///
+    /// # Errors
+    /// [`CoreError::InconsistentCollection`] if there are no worlds;
+    /// [`CoreError::BadDomain`] if the fact lies outside the universe.
+    pub fn fact_confidence(&self, fact: &Fact) -> Result<Rational, CoreError> {
+        if self.masks.is_empty() {
+            return Err(CoreError::InconsistentCollection);
+        }
+        let idx = self.universe.index_of(fact).ok_or_else(|| CoreError::BadDomain {
+            message: format!("fact {fact} is outside the enumerated universe"),
+        })?;
+        let containing = self.masks.iter().filter(|&&m| m >> idx & 1 == 1).count();
+        Ok(Rational::from_u64(containing as u64, self.masks.len() as u64))
+    }
+
+    /// `confidence_Q(t) = Pr(t ∈ Q(D) | D ∈ poss(S))` for a conjunctive
+    /// query, by evaluating `Q` in every world.
+    ///
+    /// # Errors
+    /// Inconsistent collections; query-evaluation errors.
+    pub fn query_confidence_cq(&self, query: &ConjunctiveQuery, tuple: &Fact) -> Result<Rational, CoreError> {
+        if self.masks.is_empty() {
+            return Err(CoreError::InconsistentCollection);
+        }
+        let mut containing = 0u64;
+        for world in self.worlds() {
+            if query.evaluate(&world)?.contains(tuple) {
+                containing += 1;
+            }
+        }
+        Ok(Rational::from_u64(containing, self.masks.len() as u64))
+    }
+
+    /// `confidence_Q(t)` for a relational-algebra query.
+    ///
+    /// # Errors
+    /// Inconsistent collections; algebra type errors.
+    pub fn query_confidence_ra(&self, query: &RaExpr, tuple: &[Value]) -> Result<Rational, CoreError> {
+        if self.masks.is_empty() {
+            return Err(CoreError::InconsistentCollection);
+        }
+        let mut containing = 0u64;
+        for world in self.worlds() {
+            if query.eval(&world, &self.schema)?.contains(tuple) {
+                containing += 1;
+            }
+        }
+        Ok(Rational::from_u64(containing, self.masks.len() as u64))
+    }
+
+    /// The certain answer `Q_*(S) = ∩_{D ∈ poss(S)} Q(D)` for a
+    /// conjunctive query.
+    ///
+    /// # Errors
+    /// Inconsistent collections (the intersection over zero worlds is
+    /// undefined); query-evaluation errors.
+    pub fn certain_answer_cq(&self, query: &ConjunctiveQuery) -> Result<BTreeSet<Fact>, CoreError> {
+        let mut worlds = self.worlds();
+        let first = worlds.next().ok_or(CoreError::InconsistentCollection)?;
+        let mut acc = query.evaluate(&first)?;
+        for world in worlds {
+            if acc.is_empty() {
+                break;
+            }
+            let result = query.evaluate(&world)?;
+            acc.retain(|f| result.contains(f));
+        }
+        Ok(acc)
+    }
+
+    /// The possible answer `Q*(S) = ∪_{D ∈ poss(S)} Q(D)` for a
+    /// conjunctive query.
+    ///
+    /// # Errors
+    /// Query-evaluation errors. (The union over zero worlds is empty.)
+    pub fn possible_answer_cq(&self, query: &ConjunctiveQuery) -> Result<BTreeSet<Fact>, CoreError> {
+        let mut acc = BTreeSet::new();
+        for world in self.worlds() {
+            acc.extend(query.evaluate(&world)?);
+        }
+        Ok(acc)
+    }
+
+    /// The certain answer for a relational-algebra query.
+    ///
+    /// # Errors
+    /// As [`PossibleWorlds::certain_answer_cq`].
+    pub fn certain_answer_ra(&self, query: &RaExpr) -> Result<BTreeSet<Vec<Value>>, CoreError> {
+        let mut worlds = self.worlds();
+        let first = worlds.next().ok_or(CoreError::InconsistentCollection)?;
+        let mut acc = query.eval(&first, &self.schema)?;
+        for world in worlds {
+            if acc.is_empty() {
+                break;
+            }
+            let result = query.eval(&world, &self.schema)?;
+            acc.retain(|t| result.contains(t));
+        }
+        Ok(acc)
+    }
+
+    /// The possible answer for a relational-algebra query.
+    ///
+    /// # Errors
+    /// As [`PossibleWorlds::possible_answer_cq`].
+    pub fn possible_answer_ra(&self, query: &RaExpr) -> Result<BTreeSet<Vec<Value>>, CoreError> {
+        let mut acc = BTreeSet::new();
+        for world in self.worlds() {
+            acc.extend(query.eval(&world, &self.schema)?);
+        }
+        Ok(acc)
+    }
+
+    /// The schema the worlds range over.
+    #[must_use]
+    pub fn schema(&self) -> &GlobalSchema {
+        &self.schema
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::{example_5_1, example_5_1_domain};
+    use pscds_relational::parser::parse_rule;
+
+    fn worlds(m: usize) -> PossibleWorlds {
+        PossibleWorlds::enumerate(&example_5_1(), &example_5_1_domain(m)).unwrap()
+    }
+
+    #[test]
+    fn example_5_1_world_count() {
+        // Re-derived closed form: |poss| = 2m + 5 (see EXPERIMENTS.md for
+        // the erratum against the paper's 2m + 3).
+        for m in 0..5 {
+            assert_eq!(worlds(m).count(), 2 * m + 5, "m = {m}");
+        }
+    }
+
+    #[test]
+    fn example_5_1_m0_worlds_exactly() {
+        let w = worlds(0);
+        let listed: BTreeSet<String> = w.worlds().map(|d| d.to_string()).collect();
+        let expected: BTreeSet<String> = [
+            "{R(b)}",
+            "{R(a), R(b)}",
+            "{R(a), R(c)}",
+            "{R(b), R(c)}",
+            "{R(a), R(b), R(c)}",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+        assert_eq!(listed, expected);
+    }
+
+    #[test]
+    fn fact_confidences_m1() {
+        let w = worlds(1);
+        // 2m+5 = 7 worlds; conf(b) = (2m+4)/(2m+5) = 6/7.
+        let conf_b = w.fact_confidence(&Fact::new("R", [Value::sym("b")])).unwrap();
+        assert_eq!(conf_b, Rational::from_u64(6, 7));
+        let conf_a = w.fact_confidence(&Fact::new("R", [Value::sym("a")])).unwrap();
+        assert_eq!(conf_a, Rational::from_u64(4, 7));
+        let conf_d = w.fact_confidence(&Fact::new("R", [Value::sym("d1")])).unwrap();
+        assert_eq!(conf_d, Rational::from_u64(2, 7));
+    }
+
+    #[test]
+    fn out_of_universe_fact_rejected() {
+        let w = worlds(0);
+        assert!(matches!(
+            w.fact_confidence(&Fact::new("R", [Value::sym("zz")])),
+            Err(CoreError::BadDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn inconsistent_collection_has_no_worlds() {
+        use crate::descriptor::SourceDescriptor;
+        use pscds_numeric::Frac;
+        let s1 = SourceDescriptor::identity("S1", "V1", "R", 1, [[Value::sym("a")]], Frac::ONE, Frac::ONE).unwrap();
+        let s2 = SourceDescriptor::identity("S2", "V2", "R", 1, [[Value::sym("b")]], Frac::ONE, Frac::ONE).unwrap();
+        let c = SourceCollection::from_sources([s1, s2]);
+        let w = PossibleWorlds::enumerate(&c, &[Value::sym("a"), Value::sym("b")]).unwrap();
+        assert!(!w.is_consistent());
+        assert!(matches!(
+            w.fact_confidence(&Fact::new("R", [Value::sym("a")])),
+            Err(CoreError::InconsistentCollection)
+        ));
+        assert!(w.certain_answer_cq(&parse_rule("Ans(x) <- R(x)").unwrap()).is_err());
+        // Possible answer over zero worlds is empty, not an error.
+        assert!(w.possible_answer_cq(&parse_rule("Ans(x) <- R(x)").unwrap()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn certain_and_possible_answers() {
+        let w = worlds(1);
+        let q = parse_rule("Ans(x) <- R(x)").unwrap();
+        let certain = w.certain_answer_cq(&q).unwrap();
+        // No fact is in *every* world (e.g. {R(a),R(c)} lacks b; {R(b)} lacks a, c).
+        assert!(certain.is_empty());
+        let possible = w.possible_answer_cq(&q).unwrap();
+        // a, b, c and d1 all appear in some world.
+        assert_eq!(possible.len(), 4);
+    }
+
+    #[test]
+    fn certain_answer_nonempty_for_forced_fact() {
+        use crate::descriptor::SourceDescriptor;
+        use pscds_numeric::Frac;
+        // A fully sound+complete source forces its extension exactly.
+        let s = SourceDescriptor::identity("S", "V", "R", 1, [[Value::sym("a")]], Frac::ONE, Frac::ONE).unwrap();
+        let c = SourceCollection::from_sources([s]);
+        let w = PossibleWorlds::enumerate(&c, &[Value::sym("a"), Value::sym("b")]).unwrap();
+        assert_eq!(w.count(), 1);
+        let q = parse_rule("Ans(x) <- R(x)").unwrap();
+        let certain = w.certain_answer_cq(&q).unwrap();
+        assert_eq!(certain.len(), 1);
+        assert!(certain.contains(&Fact::new("Ans", [Value::sym("a")])));
+    }
+
+    #[test]
+    fn query_confidence_cq_matches_fact_confidence_for_identity_query() {
+        let w = worlds(1);
+        let q = parse_rule("Ans(x) <- R(x)").unwrap();
+        for sym in ["a", "b", "c", "d1"] {
+            let qc = w
+                .query_confidence_cq(&q, &Fact::new("Ans", [Value::sym(sym)]))
+                .unwrap();
+            let fc = w.fact_confidence(&Fact::new("R", [Value::sym(sym)])).unwrap();
+            assert_eq!(qc, fc, "identity query confidence for {sym}");
+        }
+    }
+
+    #[test]
+    fn ra_answers_match_cq_answers_for_base_relation() {
+        let w = worlds(1);
+        let cq = parse_rule("Ans(x) <- R(x)").unwrap();
+        let ra = RaExpr::rel("R");
+        let certain_cq: BTreeSet<Vec<Value>> =
+            w.certain_answer_cq(&cq).unwrap().into_iter().map(|f| f.args).collect();
+        let certain_ra = w.certain_answer_ra(&ra).unwrap();
+        assert_eq!(certain_cq, certain_ra);
+        let possible_cq: BTreeSet<Vec<Value>> =
+            w.possible_answer_cq(&cq).unwrap().into_iter().map(|f| f.args).collect();
+        let possible_ra = w.possible_answer_ra(&ra).unwrap();
+        assert_eq!(possible_cq, possible_ra);
+    }
+
+    #[test]
+    fn certain_subset_of_possible() {
+        let w = worlds(2);
+        let q = parse_rule("Ans(x) <- R(x)").unwrap();
+        let certain = w.certain_answer_cq(&q).unwrap();
+        let possible = w.possible_answer_cq(&q).unwrap();
+        assert!(certain.is_subset(&possible));
+    }
+}

@@ -1,0 +1,273 @@
+//! Consensus analysis of inconsistent collections (the paper's Section 6
+//! future-work direction).
+//!
+//! The paper closes: *"In our analysis, we do not consider sources that
+//! report wrong estimates of soundness and completeness […] One
+//! interesting future direction would be to explore how a notion of
+//! consensus can be defined and used to detect the most trustworthy
+//! sources."* This module implements that direction for identity-view
+//! collections:
+//!
+//! * [`maximal_consistent_subsets`] — the inclusion-maximal sets of
+//!   sources whose claims are jointly satisfiable;
+//! * [`ConsensusReport::support`] — per-source trust: the fraction of
+//!   maximal consistent subsets a source belongs to. A source whose
+//!   claims contradict the majority appears in few (often zero) maximal
+//!   subsets and is flagged as a likely mis-reporter.
+
+use crate::collection::SourceCollection;
+use crate::consistency::identity::decide_identity;
+use crate::error::CoreError;
+use pscds_numeric::Rational;
+
+/// The result of a consensus analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConsensusReport {
+    /// Number of sources analysed.
+    pub n_sources: usize,
+    /// Inclusion-maximal consistent subsets, as sorted source-index lists.
+    pub maximal_subsets: Vec<Vec<usize>>,
+    /// Per-source support: fraction of maximal subsets containing it.
+    pub support: Vec<Rational>,
+}
+
+impl ConsensusReport {
+    /// Indices of the largest maximal consistent subset (first of the
+    /// maximum cardinality, in deterministic order).
+    #[must_use]
+    pub fn largest_subset(&self) -> &[usize] {
+        self.maximal_subsets
+            .iter()
+            .max_by_key(|s| s.len())
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Sources that appear in **no** maximal consistent subset of size
+    /// ≥ 2 — prime suspects for mis-reported bounds. (Singleton subsets
+    /// are ignored: any individually-satisfiable source forms one.)
+    #[must_use]
+    pub fn outliers(&self) -> Vec<usize> {
+        (0..self.n_sources)
+            .filter(|&i| {
+                !self
+                    .maximal_subsets
+                    .iter()
+                    .any(|s| s.len() >= 2 && s.contains(&i))
+            })
+            .collect()
+    }
+
+    /// `true` iff the full collection is consistent (the only maximal
+    /// subset is everything).
+    #[must_use]
+    pub fn fully_consistent(&self) -> bool {
+        self.maximal_subsets.len() == 1 && self.maximal_subsets[0].len() == self.n_sources
+    }
+}
+
+/// Enumerates all inclusion-maximal consistent subsets of an identity-view
+/// collection and derives per-source support scores.
+///
+/// `padding` is the number of extension-free domain facts (as in
+/// [`crate::confidence::SignatureAnalysis`]); since padding only ever
+/// *helps* consistency, `padding = 0` gives the strictest consensus.
+///
+/// Complexity: `O(2^n)` consistency checks for `n` sources — the problem
+/// contains CONSISTENCY itself, so this is inherent; intended for source
+/// counts in the tens.
+///
+/// # Examples
+///
+/// ```
+/// use pscds_core::consensus::maximal_consistent_subsets;
+/// use pscds_core::{SourceCollection, SourceDescriptor};
+/// use pscds_numeric::Frac;
+/// use pscds_relational::Value;
+///
+/// // Two sources with incompatible exact claims.
+/// let a = SourceDescriptor::identity("A", "V1", "R", 1, [[Value::sym("x")]], Frac::ONE, Frac::ONE)?;
+/// let b = SourceDescriptor::identity("B", "V2", "R", 1, [[Value::sym("y")]], Frac::ONE, Frac::ONE)?;
+/// let report = maximal_consistent_subsets(&SourceCollection::from_sources([a, b]), 0)?;
+/// assert!(!report.fully_consistent());
+/// assert_eq!(report.maximal_subsets, vec![vec![0], vec![1]]);
+/// # Ok::<(), pscds_core::CoreError>(())
+/// ```
+///
+/// # Errors
+/// Propagates [`CoreError::NotIdentityCollection`] for non-identity views
+/// and refuses collections with more than 20 sources.
+pub fn maximal_consistent_subsets(
+    collection: &SourceCollection,
+    padding: u64,
+) -> Result<ConsensusReport, CoreError> {
+    let n = collection.len();
+    if n > 20 {
+        return Err(CoreError::SearchSpaceTooLarge {
+            message: format!("consensus over {n} sources needs 2^{n} consistency checks"),
+        });
+    }
+    // Pre-validate the identity shape once (empty collections are fine:
+    // the empty subset is trivially consistent).
+    if n > 0 {
+        let _ = collection.as_identity()?;
+    }
+
+    let is_consistent = |mask: u32| -> Result<bool, CoreError> {
+        if mask == 0 {
+            return Ok(true);
+        }
+        let subset = SourceCollection::from_sources(
+            collection
+                .sources()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, s)| s.clone()),
+        );
+        let identity = subset.as_identity()?;
+        Ok(decide_identity(&identity, padding).is_consistent())
+    };
+
+    // Enumerate subsets largest-first so maximality checks only look at
+    // already-accepted (larger or equal) subsets.
+    let mut masks: Vec<u32> = (0..(1u32 << n)).collect();
+    masks.sort_by_key(|m| std::cmp::Reverse(m.count_ones()));
+    let mut maximal: Vec<u32> = Vec::new();
+    for mask in masks {
+        if maximal.iter().any(|&m| m & mask == mask) {
+            continue; // contained in an already-found consistent subset
+        }
+        if is_consistent(mask)? {
+            maximal.push(mask);
+        }
+    }
+    maximal.sort_unstable();
+
+    let maximal_subsets: Vec<Vec<usize>> = maximal
+        .iter()
+        .map(|&m| (0..n).filter(|&i| m >> i & 1 == 1).collect())
+        .collect();
+    let denom = maximal_subsets.len().max(1) as u64;
+    let support = (0..n)
+        .map(|i| {
+            let count = maximal_subsets.iter().filter(|s| s.contains(&i)).count() as u64;
+            Rational::from_u64(count, denom)
+        })
+        .collect();
+    Ok(ConsensusReport { n_sources: n, maximal_subsets, support })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::SourceDescriptor;
+    use crate::paper::example_5_1;
+    use pscds_numeric::Frac;
+    use pscds_relational::Value;
+
+    fn exact(name: &str, head: &str, tuples: &[&str]) -> SourceDescriptor {
+        SourceDescriptor::identity(
+            name,
+            head,
+            "R",
+            1,
+            tuples.iter().map(|t| [Value::sym(t)]),
+            Frac::ONE,
+            Frac::ONE,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn consistent_collection_is_one_maximal_subset() {
+        let report = maximal_consistent_subsets(&example_5_1(), 0).unwrap();
+        assert!(report.fully_consistent());
+        assert_eq!(report.maximal_subsets, vec![vec![0, 1]]);
+        assert_eq!(report.support, vec![Rational::one(), Rational::one()]);
+        assert!(report.outliers().is_empty());
+    }
+
+    #[test]
+    fn liar_detected_among_agreeing_majority() {
+        // Three sources agree the world is exactly {a, b}; one claims it
+        // is exactly {z}.
+        let honest1 = exact("H1", "V1", &["a", "b"]);
+        let honest2 = exact("H2", "V2", &["a", "b"]);
+        let honest3 = exact("H3", "V3", &["a", "b"]);
+        let liar = exact("L", "V4", &["z"]);
+        let c = SourceCollection::from_sources([honest1, honest2, honest3, liar]);
+        let report = maximal_consistent_subsets(&c, 0).unwrap();
+        assert!(!report.fully_consistent());
+        // Maximal subsets: the honest trio, and the liar alone.
+        assert_eq!(report.maximal_subsets, vec![vec![0, 1, 2], vec![3]]);
+        assert_eq!(report.largest_subset(), &[0, 1, 2]);
+        assert_eq!(report.outliers(), vec![3]);
+        // Support: honest 1/2 each, liar 1/2 — but only via its singleton;
+        // the outlier detection is the discriminator.
+        assert!(report.support[0] == Rational::from_u64(1, 2));
+    }
+
+    #[test]
+    fn two_camps_split_support() {
+        // Camp A: exactly {a}; Camp B: exactly {b}; two sources each.
+        let a1 = exact("A1", "V1", &["a"]);
+        let a2 = exact("A2", "V2", &["a"]);
+        let b1 = exact("B1", "V3", &["b"]);
+        let b2 = exact("B2", "V4", &["b"]);
+        let c = SourceCollection::from_sources([a1, a2, b1, b2]);
+        let report = maximal_consistent_subsets(&c, 0).unwrap();
+        assert_eq!(report.maximal_subsets, vec![vec![0, 1], vec![2, 3]]);
+        for s in &report.support {
+            assert_eq!(s, &Rational::from_u64(1, 2));
+        }
+        assert!(report.outliers().is_empty()); // both camps are internally coherent
+    }
+
+    #[test]
+    fn empty_collection() {
+        let report = maximal_consistent_subsets(&SourceCollection::new(), 0).unwrap();
+        assert_eq!(report.n_sources, 0);
+        assert_eq!(report.maximal_subsets, vec![Vec::<usize>::new()]);
+        assert!(report.fully_consistent());
+    }
+
+    #[test]
+    fn soft_bounds_allow_coexistence() {
+        // Sources with slack (c = s = 1/2) tolerate each other even with
+        // disjoint extensions.
+        let s1 = SourceDescriptor::identity("S1", "V1", "R", 1, [[Value::sym("a")], [Value::sym("b")]], Frac::HALF, Frac::HALF).unwrap();
+        let s2 = SourceDescriptor::identity("S2", "V2", "R", 1, [[Value::sym("c")], [Value::sym("d")]], Frac::HALF, Frac::HALF).unwrap();
+        let c = SourceCollection::from_sources([s1, s2]);
+        let report = maximal_consistent_subsets(&c, 0).unwrap();
+        assert!(report.fully_consistent());
+    }
+
+    #[test]
+    fn too_many_sources_refused() {
+        let sources: Vec<SourceDescriptor> = (0..21)
+            .map(|i| exact(&format!("S{i}"), &format!("V{i}"), &["a"]))
+            .collect();
+        let c = SourceCollection::from_sources(sources);
+        assert!(matches!(
+            maximal_consistent_subsets(&c, 0),
+            Err(CoreError::SearchSpaceTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn non_identity_collection_rejected() {
+        let join = SourceDescriptor::new(
+            "J",
+            pscds_relational::parser::parse_rule("V(x) <- R(x, y)").unwrap(),
+            [],
+            Frac::ONE,
+            Frac::ONE,
+        )
+        .unwrap();
+        let c = SourceCollection::from_sources([join]);
+        assert!(matches!(
+            maximal_consistent_subsets(&c, 0),
+            Err(CoreError::NotIdentityCollection { .. })
+        ));
+    }
+}

@@ -1,0 +1,162 @@
+//! Exhaustive consistency search over a finite domain.
+//!
+//! This is the NP-membership procedure of Theorem 3.2(i) made
+//! deterministic: fix a constant pool, enumerate candidate databases
+//! (optionally only up to the Lemma 3.1 size bound), and test the
+//! `poss(S)` membership predicate. Complete relative to the chosen domain;
+//! Lemma 3.1 plus a large-enough pool of fresh constants makes it complete
+//! outright.
+
+use crate::collection::SourceCollection;
+use crate::error::CoreError;
+use crate::measures::in_poss;
+use pscds_relational::{Database, FactUniverse, Value};
+
+/// Decides consistency over the universe of facts with constants in
+/// `domain`, returning a witness database if one exists.
+///
+/// # Errors
+/// Propagates schema/evaluation errors; refuses oversized universes.
+pub fn decide_exhaustive(
+    collection: &SourceCollection,
+    domain: &[Value],
+) -> Result<Option<Database>, CoreError> {
+    let schema = collection.schema()?;
+    let universe = FactUniverse::over_schema(&schema, domain)?;
+    for (_, db) in universe.subsets().map_err(CoreError::Rel)? {
+        if in_poss(&db, collection)? {
+            return Ok(Some(db));
+        }
+    }
+    Ok(None)
+}
+
+/// Decides consistency searching only databases within the Lemma 3.1 size
+/// bound (or `size_cap`, whichever is smaller), smallest-first — so the
+/// returned witness has minimal size among databases over this domain.
+///
+/// Lemma 3.1 guarantees that *if* the collection is consistent at all (over
+/// any database), some witness within the bound exists; completeness of
+/// this search additionally requires `domain` to contain enough constants
+/// (the NP-membership argument uses `max_i|body(φ_i)| · Σ|v_i| · max-arity`
+/// fresh constants in the worst case).
+///
+/// # Errors
+/// Propagates schema/evaluation errors.
+pub fn find_witness_bounded(
+    collection: &SourceCollection,
+    domain: &[Value],
+    size_cap: Option<usize>,
+) -> Result<Option<Database>, CoreError> {
+    let schema = collection.schema()?;
+    let universe = FactUniverse::over_schema(&schema, domain)?;
+    let bound = collection.lemma31_bound().min(size_cap.unwrap_or(usize::MAX));
+    for db in universe.subsets_up_to(bound) {
+        if in_poss(&db, collection)? {
+            return Ok(Some(db));
+        }
+    }
+    Ok(None)
+}
+
+/// Builds a domain for the search: the constants already mentioned by the
+/// collection plus `fresh` synthetic constants (`_f0, _f1, …`).
+#[must_use]
+pub fn domain_with_fresh(collection: &SourceCollection, fresh: usize) -> Vec<Value> {
+    let mut domain: Vec<Value> = collection.constants().into_iter().collect();
+    domain.extend((0..fresh).map(|i| Value::sym(&format!("_f{i}"))));
+    domain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::SourceDescriptor;
+    use crate::paper::{example_5_1, example_5_1_domain};
+    use pscds_numeric::Frac;
+    use pscds_relational::parser::{parse_facts, parse_rule};
+
+    #[test]
+    fn example_5_1_is_consistent() {
+        let witness = decide_exhaustive(&example_5_1(), &example_5_1_domain(0)).unwrap();
+        let witness = witness.expect("consistent");
+        assert!(in_poss(&witness, &example_5_1()).unwrap());
+    }
+
+    #[test]
+    fn bounded_search_finds_minimal_witness() {
+        let witness = find_witness_bounded(&example_5_1(), &example_5_1_domain(1), None)
+            .unwrap()
+            .expect("consistent");
+        // The smallest possible world of Example 5.1 is {R(b)}.
+        assert_eq!(witness.to_string(), "{R(b)}");
+    }
+
+    #[test]
+    fn contradictory_exact_sources_inconsistent() {
+        let s1 = SourceDescriptor::identity("S1", "V1", "R", 1, [[Value::sym("a")]], Frac::ONE, Frac::ONE).unwrap();
+        let s2 = SourceDescriptor::identity("S2", "V2", "R", 1, [[Value::sym("b")]], Frac::ONE, Frac::ONE).unwrap();
+        let c = SourceCollection::from_sources([s1, s2]);
+        let domain = domain_with_fresh(&c, 2);
+        assert_eq!(decide_exhaustive(&c, &domain).unwrap(), None);
+        assert_eq!(find_witness_bounded(&c, &domain, None).unwrap(), None);
+    }
+
+    #[test]
+    fn join_view_consistency_needs_joint_facts() {
+        // V(x) <- R(x, y), S(y): a sound non-empty extension forces both an
+        // R-fact and an S-fact into the witness.
+        let view = parse_rule("V(x) <- R(x, y), S(y)").unwrap();
+        let src = SourceDescriptor::new(
+            "S",
+            view,
+            parse_facts("V(a)").unwrap(),
+            Frac::ONE,
+            Frac::ONE,
+        )
+        .unwrap();
+        let c = SourceCollection::from_sources([src]);
+        let domain = domain_with_fresh(&c, 1);
+        let witness = find_witness_bounded(&c, &domain, None).unwrap().expect("consistent");
+        // Witness must contain R(a, z) and S(z) for some z.
+        assert!(witness.extension_len(pscds_relational::RelName::new("R")) >= 1);
+        assert!(witness.extension_len(pscds_relational::RelName::new("S")) >= 1);
+        assert!(in_poss(&witness, &c).unwrap());
+        // And respects the Lemma 3.1 bound: |body| * Σ|v| = 2 * 1 = 2.
+        assert!(witness.len() <= c.lemma31_bound());
+    }
+
+    #[test]
+    fn empty_collection_trivially_consistent() {
+        let c = SourceCollection::new();
+        // Empty schema => universe is empty => only the empty database.
+        let witness = decide_exhaustive(&c, &[]).unwrap();
+        assert_eq!(witness, Some(Database::new()));
+    }
+
+    #[test]
+    fn size_cap_can_block_witnesses() {
+        // Soundness 1 on two facts forces witness size ≥ 2; cap at 1 blocks it.
+        let s = SourceDescriptor::identity(
+            "S",
+            "V",
+            "R",
+            1,
+            [[Value::sym("a")], [Value::sym("b")]],
+            Frac::ZERO,
+            Frac::ONE,
+        )
+        .unwrap();
+        let c = SourceCollection::from_sources([s]);
+        let domain = domain_with_fresh(&c, 0);
+        assert!(find_witness_bounded(&c, &domain, Some(1)).unwrap().is_none());
+        assert!(find_witness_bounded(&c, &domain, Some(2)).unwrap().is_some());
+    }
+
+    #[test]
+    fn domain_with_fresh_extends_constants() {
+        let c = example_5_1();
+        let d = domain_with_fresh(&c, 3);
+        assert_eq!(d.len(), 6); // a, b, c + 3 fresh
+    }
+}

@@ -1,0 +1,25 @@
+//! CONSISTENCY: is `poss(S)` non-empty? (Section 3.)
+//!
+//! The decision problem is NP-complete in the size of the view extensions
+//! (Theorem 3.2), already for identity views over a single relation
+//! (Corollary 3.4). Three procedures are provided:
+//!
+//! * [`exhaustive`] — complete search over the subsets of a finite fact
+//!   universe, optionally bounded by the Lemma 3.1 small-model bound
+//!   (smallest-first, so it also finds *minimal* witnesses). Works for
+//!   arbitrary conjunctive views; exponential.
+//! * [`identity`] — the signature-decomposition solver for identity-view
+//!   collections: searches feasible per-class count vectors with sound
+//!   pruning. Exponential only in the number of *sources* (it must be —
+//!   Corollary 3.4), polynomial in the data.
+//! * [`witness`] — Lemma 3.1 utilities: the bound itself, minimal-witness
+//!   search, and the `G_i` witness-shrinking construction from the lemma's
+//!   proof.
+
+pub mod exhaustive;
+pub mod identity;
+pub mod witness;
+
+pub use exhaustive::{decide_exhaustive, find_witness_bounded};
+pub use identity::{decide_identity, IdentityConsistency};
+pub use witness::{lemma31_bound, minimal_witness, shrink_witness};

@@ -1,0 +1,160 @@
+//! Lemma 3.1 utilities: the small-model bound and witness shrinking.
+//!
+//! Lemma 3.1: `poss(S) ≠ ∅` iff some `D ∈ poss(S)` has
+//! `|D| ≤ max_i |body(φ_i)| · Σ_i |v_i|`. The proof is constructive —
+//! given *any* `G ∈ poss(S)`, keep only the body instantiations that
+//! support the sound view tuples (`G_i` blocks) — and
+//! [`shrink_witness`] implements exactly that construction. Experiment E3
+//! measures how much slack the bound leaves in practice.
+
+use crate::collection::SourceCollection;
+use crate::error::CoreError;
+use crate::measures::in_poss;
+use pscds_relational::{Database, FactUniverse, Value};
+
+/// The Lemma 3.1 bound `max_i |body(φ_i)| · Σ_i |v_i|`.
+#[must_use]
+pub fn lemma31_bound(collection: &SourceCollection) -> usize {
+    collection.lemma31_bound()
+}
+
+/// Finds a minimum-size witness over the given domain by smallest-first
+/// search (exponential; for experiments and tests).
+///
+/// # Errors
+/// Propagates schema/evaluation errors.
+pub fn minimal_witness(
+    collection: &SourceCollection,
+    domain: &[Value],
+) -> Result<Option<Database>, CoreError> {
+    let schema = collection.schema()?;
+    let universe = FactUniverse::over_schema(&schema, domain)?;
+    for db in universe.subsets_up_to(universe.len()) {
+        if in_poss(&db, collection)? {
+            return Ok(Some(db));
+        }
+    }
+    Ok(None)
+}
+
+/// The Lemma 3.1 witness-shrinking construction: given `G ∈ poss(S)`,
+/// returns `D = ∪_i G_i ⊆ G` where each `G_i` collects, for every sound
+/// view tuple `u ∈ φ_i(G) ∩ v_i`, the body facts of one supporting
+/// valuation `θ_u`. The lemma proves `D ∈ poss(S)` and
+/// `|D| ≤ max_i|body(φ_i)| · Σ_i|v_i|`.
+///
+/// # Errors
+/// Propagates view-evaluation errors. Passing a `G ∉ poss(S)` is a logic
+/// error on the caller's side; the function still returns the construction
+/// but it carries no guarantee.
+pub fn shrink_witness(collection: &SourceCollection, g: &Database) -> Result<Database, CoreError> {
+    let mut d = Database::new();
+    for source in collection.sources() {
+        let view_result = source.view().evaluate(g)?;
+        for u in source.extension() {
+            if !view_result.contains(u) {
+                continue; // u not in φ_i(G) ∩ v_i
+            }
+            let thetas = source.view().supporting_valuations(g, u)?;
+            let theta = thetas
+                .first()
+                .expect("u ∈ φ_i(G) implies at least one supporting valuation");
+            for fact in source.view().body_facts(theta) {
+                d.insert(fact);
+            }
+        }
+    }
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::SourceDescriptor;
+    use crate::paper::{example_5_1, example_5_1_domain};
+    use pscds_numeric::Frac;
+    use pscds_relational::parser::{parse_facts, parse_rule};
+
+    #[test]
+    fn bound_values() {
+        assert_eq!(lemma31_bound(&example_5_1()), 4); // 1 body atom × 4 tuples
+        let join = SourceDescriptor::new(
+            "S",
+            parse_rule("V(x) <- R(x, y), S(y)").unwrap(),
+            parse_facts("V(a). V(b). V(c)").unwrap(),
+            Frac::HALF,
+            Frac::HALF,
+        )
+        .unwrap();
+        let c = SourceCollection::from_sources([join]);
+        assert_eq!(lemma31_bound(&c), 6); // 2 body atoms × 3 tuples
+    }
+
+    #[test]
+    fn minimal_witness_within_bound() {
+        let c = example_5_1();
+        let w = minimal_witness(&c, &example_5_1_domain(1)).unwrap().expect("consistent");
+        assert_eq!(w.len(), 1); // {R(b)}
+        assert!(w.len() <= lemma31_bound(&c));
+    }
+
+    #[test]
+    fn shrink_preserves_membership_identity_views() {
+        let c = example_5_1();
+        // Start from a deliberately bloated world.
+        let g = Database::from_facts(parse_facts("R(a). R(b). R(c)").unwrap());
+        assert!(in_poss(&g, &c).unwrap());
+        let d = shrink_witness(&c, &g).unwrap();
+        assert!(d.is_subset_of(&g));
+        assert!(in_poss(&d, &c).unwrap());
+        assert!(d.len() <= lemma31_bound(&c));
+    }
+
+    #[test]
+    fn shrink_join_views() {
+        // Source with join view and full soundness; a bloated G with an
+        // irrelevant extra fact gets trimmed.
+        let view = parse_rule("V(x) <- R(x, y), S(y)").unwrap();
+        let src = SourceDescriptor::new(
+            "Src",
+            view,
+            parse_facts("V(a)").unwrap(),
+            Frac::ZERO,
+            Frac::ONE,
+        )
+        .unwrap();
+        let c = SourceCollection::from_sources([src]);
+        let g = Database::from_facts(parse_facts("R(a, w). S(w). R(q, q). S(zz)").unwrap());
+        assert!(in_poss(&g, &c).unwrap());
+        let d = shrink_witness(&c, &g).unwrap();
+        assert!(in_poss(&d, &c).unwrap());
+        assert!(d.is_subset_of(&g));
+        // Only the supporting block R(a,w), S(w) survives.
+        assert_eq!(d.len(), 2);
+        assert!(d.len() <= lemma31_bound(&c));
+    }
+
+    #[test]
+    fn shrink_on_all_worlds_of_example_5_1() {
+        // Property: shrinking any possible world yields a possible world
+        // within the bound.
+        use crate::confidence::worlds::PossibleWorlds;
+        let c = example_5_1();
+        let worlds = PossibleWorlds::enumerate(&c, &example_5_1_domain(2)).unwrap();
+        for g in worlds.worlds() {
+            let d = shrink_witness(&c, &g).unwrap();
+            assert!(d.is_subset_of(&g), "shrunk {d} ⊄ {g}");
+            assert!(in_poss(&d, &c).unwrap(), "shrunk {d} left poss(S)");
+            assert!(d.len() <= lemma31_bound(&c));
+        }
+    }
+
+    #[test]
+    fn minimal_witness_none_for_inconsistent() {
+        let s1 = SourceDescriptor::identity("S1", "V1", "R", 1, [[Value::sym("a")]], Frac::ONE, Frac::ONE).unwrap();
+        let s2 = SourceDescriptor::identity("S2", "V2", "R", 1, [[Value::sym("b")]], Frac::ONE, Frac::ONE).unwrap();
+        let c = SourceCollection::from_sources([s1, s2]);
+        let domain = [Value::sym("a"), Value::sym("b")];
+        assert_eq!(minimal_witness(&c, &domain).unwrap(), None);
+    }
+}

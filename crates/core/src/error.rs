@@ -1,0 +1,93 @@
+//! Error types for the core semantics.
+
+use pscds_relational::RelError;
+use std::fmt;
+
+/// Errors raised by the consistency, template and confidence machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// An underlying relational error (parsing, evaluation, arity).
+    Rel(RelError),
+    /// A source descriptor is malformed.
+    InvalidDescriptor {
+        /// The source's name.
+        source: String,
+        /// What is wrong.
+        message: String,
+    },
+    /// An operation requires all views to be identities over one global
+    /// relation (the Section 5.1 special case), but the collection is not
+    /// of that shape.
+    NotIdentityCollection {
+        /// Why the collection does not qualify.
+        message: String,
+    },
+    /// Exhaustive enumeration was requested over a search space that
+    /// exceeds the configured cap.
+    SearchSpaceTooLarge {
+        /// Description of the search space.
+        message: String,
+    },
+    /// The source collection is inconsistent (`poss(S) = ∅`), so the
+    /// requested quantity (e.g. a confidence, a conditional probability) is
+    /// undefined.
+    InconsistentCollection,
+    /// A domain parameter was invalid (e.g. smaller than the constants
+    /// already present in the extensions).
+    BadDomain {
+        /// What is wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Rel(e) => write!(f, "relational error: {e}"),
+            CoreError::InvalidDescriptor { source, message } => {
+                write!(f, "invalid source descriptor {source}: {message}")
+            }
+            CoreError::NotIdentityCollection { message } => {
+                write!(f, "collection is not identity-view: {message}")
+            }
+            CoreError::SearchSpaceTooLarge { message } => {
+                write!(f, "search space too large: {message}")
+            }
+            CoreError::InconsistentCollection => {
+                write!(f, "source collection is inconsistent: poss(S) is empty")
+            }
+            CoreError::BadDomain { message } => write!(f, "bad domain: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Rel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelError> for CoreError {
+    fn from(e: RelError) -> Self {
+        CoreError::Rel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::from(RelError::EmptyDomain);
+        assert!(e.to_string().contains("relational error"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(CoreError::InconsistentCollection.to_string().contains("poss(S)"));
+        let e = CoreError::NotIdentityCollection { message: "join body".into() };
+        assert!(e.to_string().contains("identity"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

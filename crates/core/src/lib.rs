@@ -1,0 +1,55 @@
+//! # pscds-core
+//!
+//! Querying partially sound and complete data sources — the core of
+//! Mendelzon & Mihaila (PODS 2001).
+//!
+//! A data source is described by a *source descriptor* `⟨φ, v, c, s⟩`
+//! (Section 2.3): a view definition `φ` over the global schema, the view
+//! extension `v` actually held by the source, and lower bounds `c` on
+//! *completeness* and `s` on *soundness* with respect to the unknown global
+//! database `D`:
+//!
+//! ```text
+//! c_D(S) = |v ∩ φ(D)| / |φ(D)|   ≥ c        (Definition 2.1)
+//! s_D(S) = |v ∩ φ(D)| / |v|      ≥ s        (Definition 2.2)
+//! ```
+//!
+//! A *source collection* `S = {S₁,…,S_n}` induces the set of possible
+//! global databases `poss(S)` — all `D` meeting every source's claims.
+//! This crate implements the paper's three result groups on top of that
+//! semantics:
+//!
+//! * [`consistency`] — is `poss(S)` non-empty? (Section 3; NP-complete.)
+//!   Exhaustive possible-world search bounded by the Lemma 3.1 small-model
+//!   bound, plus an exact signature-decomposition solver for the
+//!   identity-view case of Corollary 3.4.
+//! * [`templates`] — the tableaux-with-constraints representation of
+//!   `poss(S)` (Section 4, Theorem 4.1).
+//! * [`confidence`] / [`answers`] — certain and possible answers, the
+//!   linear system Γ, exact tuple confidence
+//!   `confidence_Q(t) = Pr(t ∈ Q(D) | D ∈ poss(S))`, and the compositional
+//!   `conf_Q` rules of Definition 5.1 (Section 5).
+//!
+//! The modules deliberately provide *two* independent implementations of
+//! the expensive semantics — a brute-force possible-world oracle and the
+//! polynomial signature counter — and the test suite cross-checks them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod answers;
+pub mod collection;
+pub mod confidence;
+pub mod consensus;
+pub mod consistency;
+pub mod descriptor;
+pub mod error;
+pub mod measures;
+pub mod paper;
+pub mod templates;
+pub mod textfmt;
+
+pub use collection::SourceCollection;
+pub use descriptor::SourceDescriptor;
+pub use error::CoreError;
+pub use measures::{completeness_of, satisfies, soundness_of, MeasureReport};

@@ -1,0 +1,255 @@
+//! Completeness and soundness measures (Definitions 2.1 and 2.2).
+
+use crate::collection::SourceCollection;
+use crate::descriptor::SourceDescriptor;
+use crate::error::CoreError;
+use pscds_numeric::Frac;
+use pscds_relational::Database;
+
+/// The raw counts behind both measures for one source against one database:
+/// `|v ∩ φ(D)|`, `|φ(D)|` and `|v|`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MeasureReport {
+    /// `|v ∩ φ(D)|` — tuples the source holds that the view really produces.
+    pub intersection: u64,
+    /// `|φ(D)|` — the intended view contents.
+    pub view_size: u64,
+    /// `|v|` — what the source actually holds.
+    pub extension_size: u64,
+}
+
+impl MeasureReport {
+    /// `c_D(S) ≥ bound`, checked exactly. An empty intended view
+    /// (`|φ(D)| = 0`) is vacuously complete.
+    #[must_use]
+    pub fn completeness_at_least(&self, bound: Frac) -> bool {
+        bound.leq_ratio(self.intersection, self.view_size)
+    }
+
+    /// `s_D(S) ≥ bound`, checked exactly. An empty extension is vacuously
+    /// sound.
+    #[must_use]
+    pub fn soundness_at_least(&self, bound: Frac) -> bool {
+        bound.leq_ratio(self.intersection, self.extension_size)
+    }
+
+    /// `c_D(S)` as a float (`1.0` when `|φ(D)| = 0`).
+    #[must_use]
+    pub fn completeness(&self) -> f64 {
+        if self.view_size == 0 {
+            1.0
+        } else {
+            self.intersection as f64 / self.view_size as f64
+        }
+    }
+
+    /// `s_D(S)` as a float (`1.0` when `|v| = 0`).
+    #[must_use]
+    pub fn soundness(&self) -> f64 {
+        if self.extension_size == 0 {
+            1.0
+        } else {
+            self.intersection as f64 / self.extension_size as f64
+        }
+    }
+
+    /// The source is *sound* w.r.t. `D` in the Boolean sense: `v ⊆ φ(D)`.
+    #[must_use]
+    pub fn is_sound(&self) -> bool {
+        self.intersection == self.extension_size
+    }
+
+    /// The source is *complete* w.r.t. `D`: `v ⊇ φ(D)`.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.intersection == self.view_size
+    }
+
+    /// The source is *exact*: sound and complete, i.e. `v = φ(D)`.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.is_sound() && self.is_complete()
+    }
+}
+
+/// Computes the measure counts of `source` against `db` (evaluates the
+/// view once).
+///
+/// # Errors
+/// Propagates view-evaluation errors (ill-used built-ins).
+pub fn measure(db: &Database, source: &SourceDescriptor) -> Result<MeasureReport, CoreError> {
+    let view_result = source.view().evaluate(db)?;
+    let intersection = source
+        .extension()
+        .iter()
+        .filter(|f| view_result.contains(*f))
+        .count() as u64;
+    Ok(MeasureReport {
+        intersection,
+        view_size: view_result.len() as u64,
+        extension_size: source.extension_len() as u64,
+    })
+}
+
+/// `c_D(S)` as a float (Definition 2.1; `1.0` when `φ(D)` is empty).
+///
+/// # Errors
+/// Propagates view-evaluation errors.
+pub fn completeness_of(db: &Database, source: &SourceDescriptor) -> Result<f64, CoreError> {
+    Ok(measure(db, source)?.completeness())
+}
+
+/// `s_D(S)` as a float (Definition 2.2; `1.0` when `v` is empty).
+///
+/// # Errors
+/// Propagates view-evaluation errors.
+pub fn soundness_of(db: &Database, source: &SourceDescriptor) -> Result<f64, CoreError> {
+    Ok(measure(db, source)?.soundness())
+}
+
+/// `true` iff `db` meets the source's claimed bounds:
+/// `c_D(S) ≥ c ∧ s_D(S) ≥ s`, checked in exact arithmetic.
+///
+/// # Errors
+/// Propagates view-evaluation errors.
+pub fn satisfies(db: &Database, source: &SourceDescriptor) -> Result<bool, CoreError> {
+    let report = measure(db, source)?;
+    Ok(report.completeness_at_least(source.completeness())
+        && report.soundness_at_least(source.soundness()))
+}
+
+/// `true` iff `db ∈ poss(S)`: every source's claims hold.
+///
+/// # Errors
+/// Propagates view-evaluation errors.
+pub fn in_poss(db: &Database, collection: &SourceCollection) -> Result<bool, CoreError> {
+    for source in collection.sources() {
+        if !satisfies(db, source)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::SourceDescriptor;
+    use pscds_relational::parser::{parse_fact, parse_facts, parse_rule};
+
+    fn source(view: &str, ext: &str, c: Frac, s: Frac) -> SourceDescriptor {
+        SourceDescriptor::new(
+            "S",
+            parse_rule(view).unwrap(),
+            parse_facts(ext).unwrap(),
+            c,
+            s,
+        )
+        .unwrap()
+    }
+
+    fn db(facts: &str) -> Database {
+        Database::from_facts(parse_facts(facts).unwrap())
+    }
+
+    #[test]
+    fn exact_source() {
+        let s = source("V(x) <- R(x)", "V(a). V(b)", Frac::ONE, Frac::ONE);
+        let d = db("R(a). R(b)");
+        let r = measure(&d, &s).unwrap();
+        assert!(r.is_exact());
+        assert_eq!(r.completeness(), 1.0);
+        assert_eq!(r.soundness(), 1.0);
+        assert!(satisfies(&d, &s).unwrap());
+    }
+
+    #[test]
+    fn partially_sound_source() {
+        // Source holds a, x; world has a, b: intersection {a}.
+        let s = source("V(x) <- R(x)", "V(a). V(x)", Frac::ZERO, Frac::HALF);
+        let d = db("R(a). R(b)");
+        let r = measure(&d, &s).unwrap();
+        assert_eq!(r.intersection, 1);
+        assert_eq!(r.view_size, 2);
+        assert_eq!(r.extension_size, 2);
+        assert_eq!(r.soundness(), 0.5);
+        assert_eq!(r.completeness(), 0.5);
+        assert!(r.soundness_at_least(Frac::HALF)); // exactly on the boundary
+        assert!(!r.soundness_at_least(Frac::new(2, 3)));
+        assert!(satisfies(&d, &s).unwrap());
+    }
+
+    #[test]
+    fn incomplete_source() {
+        let s = source("V(x) <- R(x)", "V(a)", Frac::new(2, 3), Frac::ONE);
+        let d = db("R(a). R(b). R(c)");
+        let r = measure(&d, &s).unwrap();
+        assert_eq!(r.completeness(), 1.0 / 3.0);
+        assert!(r.is_sound());
+        assert!(!r.is_complete());
+        assert!(!satisfies(&d, &s).unwrap()); // needs 2/3 complete
+    }
+
+    #[test]
+    fn empty_view_is_vacuously_complete() {
+        let s = source("V(x) <- R(x)", "", Frac::ONE, Frac::ONE);
+        let d = Database::new();
+        let r = measure(&d, &s).unwrap();
+        assert_eq!(r.completeness(), 1.0);
+        assert_eq!(r.soundness(), 1.0);
+        assert!(satisfies(&d, &s).unwrap());
+    }
+
+    #[test]
+    fn unsound_extension_against_empty_world() {
+        // Source claims soundness 1 but holds a tuple the world lacks.
+        let s = source("V(x) <- R(x)", "V(a)", Frac::ZERO, Frac::ONE);
+        let d = Database::new();
+        assert!(!satisfies(&d, &s).unwrap());
+    }
+
+    #[test]
+    fn join_view_measures() {
+        // V(s, y) <- Temp(s, y), After(y, 1900): intended contents depend on a join + builtin.
+        let s = source(
+            "V(s, y) <- Temp(s, y), After(y, 1900)",
+            "V(st1, 1950). V(st9, 1980)",
+            Frac::HALF,
+            Frac::HALF,
+        );
+        let d = db("Temp(st1, 1950). Temp(st2, 1850). Temp(st3, 1960)");
+        let r = measure(&d, &s).unwrap();
+        // φ(D) = {V(st1,1950), V(st3,1960)}; v∩φ(D) = {V(st1,1950)}.
+        assert_eq!(r.view_size, 2);
+        assert_eq!(r.intersection, 1);
+        assert_eq!(r.extension_size, 2);
+        assert!(satisfies(&d, &s).unwrap()); // 1/2 and 1/2 on the nose
+    }
+
+    #[test]
+    fn in_poss_checks_all_sources() {
+        let ok = source("V(x) <- R(x)", "V(a)", Frac::ONE, Frac::ONE);
+        let impossible = source("W(x) <- R(x)", "W(zz)", Frac::ZERO, Frac::ONE);
+        let c = SourceCollection::from_sources([ok, impossible]);
+        let d = db("R(a)");
+        assert!(!in_poss(&d, &c).unwrap());
+
+        let c_ok = SourceCollection::from_sources([source("V(x) <- R(x)", "V(a)", Frac::ONE, Frac::ONE)]);
+        assert!(in_poss(&d, &c_ok).unwrap());
+        // Empty collection: everything is possible.
+        assert!(in_poss(&d, &SourceCollection::new()).unwrap());
+    }
+
+    #[test]
+    fn example51_membership_spot_checks() {
+        // Worlds from the Example 5.1 analysis (m = 0).
+        let c = crate::paper::example_5_1();
+        for world in ["R(b)", "R(a). R(b)", "R(a). R(c)", "R(b). R(c)", "R(a). R(b). R(c)"] {
+            assert!(in_poss(&db(world), &c).unwrap(), "world {{{world}}} should be possible");
+        }
+        for world in ["", "R(a)", "R(c)"] {
+            assert!(!in_poss(&db(world), &c).unwrap(), "world {{{world}}} should be impossible");
+        }
+        let _ = parse_fact("R(a)"); // keep the import exercised
+    }
+}

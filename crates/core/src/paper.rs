@@ -1,0 +1,111 @@
+//! Ready-made instances from the paper, used by tests, examples and the
+//! experiment harnesses.
+
+use crate::collection::SourceCollection;
+use crate::descriptor::SourceDescriptor;
+use pscds_numeric::Frac;
+use pscds_relational::parser::parse_rule;
+use pscds_relational::Value;
+
+/// The Example 5.1 collection:
+///
+/// ```text
+/// S₁ = ⟨Id_R, {R(a), R(b)}, 0.5, 0.5⟩
+/// S₂ = ⟨Id_R, {R(b), R(c)}, 0.5, 0.5⟩
+/// ```
+///
+/// over the finite domain `{a, b, c, d₁, …, d_m}` (the `d_i` padding is a
+/// parameter of the analyses, not of the collection itself).
+#[must_use]
+pub fn example_5_1() -> SourceCollection {
+    let s1 = SourceDescriptor::identity(
+        "S1",
+        "V1",
+        "R",
+        1,
+        [[Value::sym("a")], [Value::sym("b")]],
+        Frac::HALF,
+        Frac::HALF,
+    )
+    .expect("valid descriptor");
+    let s2 = SourceDescriptor::identity(
+        "S2",
+        "V2",
+        "R",
+        1,
+        [[Value::sym("b")], [Value::sym("c")]],
+        Frac::HALF,
+        Frac::HALF,
+    )
+    .expect("valid descriptor");
+    SourceCollection::from_sources([s1, s2])
+}
+
+/// The domain `{a, b, c, d₁, …, d_m}` of Example 5.1.
+#[must_use]
+pub fn example_5_1_domain(m: usize) -> Vec<Value> {
+    let mut dom = vec![Value::sym("a"), Value::sym("b"), Value::sym("c")];
+    dom.extend((1..=m).map(|i| Value::sym(&format!("d{i}"))));
+    dom
+}
+
+/// The Section 1.1 motivating views (Global Historical Climatology
+/// Network), with small example extensions. Station `438432` is the
+/// paper's single-station source S₃.
+///
+/// Views (verbatim modulo syntax):
+///
+/// ```text
+/// S₀: V0(s,lat,lon,c) ← Station(s,lat,lon,c)
+/// S₁: V1(s,y,m,v) ← Temperature(s,y,m,v), Station(s,lat,lon,'Canada'), After(y,1900)
+/// S₂: V2(s,y,m,v) ← Temperature(s,y,m,v), Station(s,lat,lon,'US'), After(y,1800)
+/// S₃: V3(438432,y,m,v) ← Temperature(438432,y,m,v)
+/// ```
+#[must_use]
+pub fn climate_views() -> Vec<(&'static str, pscds_relational::ConjunctiveQuery)> {
+    vec![
+        ("S0", parse_rule("V0(s, lat, lon, c) <- Station(s, lat, lon, c)").expect("valid view")),
+        (
+            "S1",
+            parse_rule(
+                "V1(s, y, m, v) <- Temperature(s, y, m, v), Station(s, lat, lon, 'Canada'), After(y, 1900)",
+            )
+            .expect("valid view"),
+        ),
+        (
+            "S2",
+            parse_rule(
+                "V2(s, y, m, v) <- Temperature(s, y, m, v), Station(s, lat, lon, 'US'), After(y, 1800)",
+            )
+            .expect("valid view"),
+        ),
+        ("S3", parse_rule("V3(438432, y, m, v) <- Temperature(438432, y, m, v)").expect("valid view")),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_5_1_shape() {
+        let c = example_5_1();
+        assert_eq!(c.len(), 2);
+        assert!(c.as_identity().is_ok());
+        assert_eq!(example_5_1_domain(0).len(), 3);
+        assert_eq!(example_5_1_domain(5).len(), 8);
+    }
+
+    #[test]
+    fn climate_views_parse() {
+        let views = climate_views();
+        assert_eq!(views.len(), 4);
+        // S1 body: Temperature + Station (After is built-in, not counted).
+        assert_eq!(views[1].1.body_len(), 2);
+        // S3 head has the constant station id.
+        assert_eq!(
+            views[3].1.head().terms[0],
+            pscds_relational::Term::Const(Value::int(438432))
+        );
+    }
+}

@@ -1,0 +1,402 @@
+//! The `T^U` / `C^U` construction of Section 4 and the Theorem 4.1
+//! cross-check.
+//!
+//! For a sound-subset combination `U = (u₁,…,u_n)`:
+//!
+//! * `T^U(S_i)` instantiates the view body once per chosen tuple
+//!   `u ∈ u_i` — head variables bound to the tuple's constants,
+//!   existential body variables kept as *fresh* tableau variables — so any
+//!   database embedding the tableau makes every `u ∈ u_i` a member of
+//!   `φ_i(D)` (soundness at least `s_i`).
+//! * `C^U(S_i)` is the pigeonhole constraint: `m_i + 1` fully-fresh copies
+//!   of the body (`m_i = ⌊|u_i|/c_i⌋`) with substitutions `θ_{p,r}`
+//!   equating the head variables of any two copies, forcing
+//!   `|φ_i(D)| ≤ m_i` (completeness at least `c_i`). A source with
+//!   `c_i = 0` contributes no constraint; a source with `c_i > 0` and
+//!   `u_i = ∅` contributes the empty-`Θ` constraint "`φ_i(D)` is empty".
+
+use crate::collection::SourceCollection;
+use crate::descriptor::SourceDescriptor;
+use crate::error::CoreError;
+use crate::templates::tableau::Constraint;
+use crate::templates::template::DatabaseTemplate;
+use pscds_relational::builtins::{is_builtin, Builtin};
+use pscds_relational::{Atom, Fact, Substitution, Term, Valuation};
+
+/// Cap on `m_i + 1` (the pigeonhole copy count) before the constraint
+/// tableau becomes unreasonably large to check.
+pub const MAX_PIGEONHOLE_COPIES: usize = 24;
+
+/// Cap on the number of subset combinations enumerated.
+pub const MAX_COMBINATIONS: usize = 1 << 20;
+
+/// Enumerates the allowable sound-subset combinations
+/// `𝒰 = {(u₁,…,u_n) : u_i ⊆ v_i, |u_i| ≥ ⌈s_i·|v_i|⌉}`.
+///
+/// # Errors
+/// Refuses collections whose combination count exceeds
+/// [`MAX_COMBINATIONS`].
+pub fn subset_combinations(collection: &SourceCollection) -> Result<Vec<Vec<Vec<Fact>>>, CoreError> {
+    let mut per_source: Vec<Vec<Vec<Fact>>> = Vec::with_capacity(collection.len());
+    let mut total: u128 = 1;
+    for source in collection.sources() {
+        let v: Vec<&Fact> = source.extension().iter().collect();
+        let k = v.len();
+        if k > 20 {
+            return Err(CoreError::SearchSpaceTooLarge {
+                message: format!("extension of {} has {k} tuples; subset enumeration capped at 20", source.name()),
+            });
+        }
+        let min_sound = source.min_sound_tuples();
+        let mut subsets = Vec::new();
+        for mask in 0u32..(1 << k) {
+            if u64::from(mask.count_ones()) < min_sound {
+                continue;
+            }
+            subsets.push(
+                (0..k)
+                    .filter(|&j| mask >> j & 1 == 1)
+                    .map(|j| v[j].clone())
+                    .collect::<Vec<Fact>>(),
+            );
+        }
+        total = total.saturating_mul(subsets.len() as u128);
+        if total > MAX_COMBINATIONS as u128 {
+            return Err(CoreError::SearchSpaceTooLarge {
+                message: format!("more than {MAX_COMBINATIONS} subset combinations"),
+            });
+        }
+        per_source.push(subsets);
+    }
+    // Cartesian product.
+    let mut combos: Vec<Vec<Vec<Fact>>> = vec![Vec::new()];
+    for subsets in per_source {
+        let mut next = Vec::with_capacity(combos.len() * subsets.len());
+        for combo in &combos {
+            for subset in &subsets {
+                let mut extended = combo.clone();
+                extended.push(subset.clone());
+                next.push(extended);
+            }
+        }
+        combos = next;
+    }
+    Ok(combos)
+}
+
+/// Instantiates a view body for one chosen sound tuple: head variables
+/// bound to the tuple's constants, remaining variables renamed with
+/// `suffix`. Ground built-ins are evaluated away. Returns `None` when the
+/// tuple cannot be produced by the view at all (head-constant mismatch or
+/// a false ground built-in) — such a combination represents no database.
+fn instantiate_for_tuple(source: &SourceDescriptor, fact: &Fact, suffix: &str) -> Result<Option<Vec<Atom>>, CoreError> {
+    let renamed = source.view().rename_vars(suffix);
+    let mut sigma = Valuation::new();
+    for (term, &val) in renamed.head().terms.iter().zip(fact.args.iter()) {
+        match term {
+            Term::Const(c) => {
+                if *c != val {
+                    return Ok(None);
+                }
+            }
+            Term::Var(v) => {
+                if !sigma.bind(*v, val) {
+                    return Ok(None);
+                }
+            }
+        }
+    }
+    let mut atoms = Vec::new();
+    for atom in renamed.body() {
+        let specialized = Atom {
+            relation: atom.relation,
+            terms: atom
+                .terms
+                .iter()
+                .map(|&t| sigma.apply(t).map(Term::Const).unwrap_or(t))
+                .collect(),
+        };
+        if is_builtin(specialized.relation) && specialized.is_ground() {
+            if !Builtin::eval_atom(&specialized)? {
+                return Ok(None);
+            }
+            continue; // satisfied ground built-in: nothing to embed
+        }
+        atoms.push(specialized);
+    }
+    Ok(Some(atoms))
+}
+
+/// Builds the template `T^U(S) = ⟨T^U, C^U⟩` for one combination `U`.
+/// Returns `None` when the combination is unsatisfiable (some chosen tuple
+/// cannot be produced by its view).
+///
+/// # Errors
+/// Refuses pigeonhole constraints larger than
+/// [`MAX_PIGEONHOLE_COPIES`]; propagates built-in errors.
+pub fn template_for(
+    collection: &SourceCollection,
+    combo: &[Vec<Fact>],
+) -> Result<Option<DatabaseTemplate>, CoreError> {
+    assert_eq!(combo.len(), collection.len(), "one subset per source");
+    let mut tableau: Vec<Atom> = Vec::new();
+    let mut constraints: Vec<Constraint> = Vec::new();
+    for (i, (source, u_i)) in collection.sources().iter().zip(combo.iter()).enumerate() {
+        // T^U(S_i): body instantiations of the chosen sound tuples.
+        for (j, fact) in u_i.iter().enumerate() {
+            match instantiate_for_tuple(source, fact, &format!("s{i}t{j}"))? {
+                Some(atoms) => tableau.extend(atoms),
+                None => return Ok(None),
+            }
+        }
+        // C^U(S_i): the cardinality cap |φ_i(D)| ≤ m_i = ⌊|u_i|/c_i⌋.
+        let Some(m_i) = source.completeness().floor_div(u_i.len() as u64) else {
+            continue; // c_i = 0: no completeness constraint
+        };
+        let copies = usize::try_from(m_i).unwrap_or(usize::MAX).saturating_add(1);
+        if copies > MAX_PIGEONHOLE_COPIES {
+            return Err(CoreError::SearchSpaceTooLarge {
+                message: format!(
+                    "pigeonhole constraint for {} needs {copies} copies (cap {MAX_PIGEONHOLE_COPIES})",
+                    source.name()
+                ),
+            });
+        }
+        let mut pattern: Vec<Atom> = Vec::new();
+        let mut head_copies: Vec<Atom> = Vec::with_capacity(copies);
+        for s in 0..copies {
+            let renamed = source.view().rename_vars(&format!("c{i}k{s}"));
+            pattern.extend(renamed.body().iter().cloned());
+            head_copies.push(renamed.head().clone());
+        }
+        let mut thetas = Vec::new();
+        for p in 0..copies {
+            for r in 0..copies {
+                if p == r {
+                    continue;
+                }
+                let mut theta = Substitution::new();
+                for (tp, tr) in head_copies[p].terms.iter().zip(head_copies[r].terms.iter()) {
+                    if let Term::Var(vp) = tp {
+                        theta.bind(*vp, *tr);
+                    }
+                }
+                thetas.push(theta);
+            }
+        }
+        constraints.push(Constraint::new(pattern, thetas));
+    }
+    Ok(Some(DatabaseTemplate::new(vec![tableau], constraints)))
+}
+
+/// Builds the templates for every allowable combination (unsatisfiable
+/// combinations are skipped).
+///
+/// # Errors
+/// As [`subset_combinations`] and [`template_for`].
+pub fn templates_for(collection: &SourceCollection) -> Result<Vec<DatabaseTemplate>, CoreError> {
+    let mut out = Vec::new();
+    for combo in subset_combinations(collection)? {
+        if let Some(t) = template_for(collection, &combo)? {
+            out.push(t);
+        }
+    }
+    Ok(out)
+}
+
+/// Checks Theorem 4.1 over a finite domain:
+/// `poss(S) = ∪_{U} rep(T^U(S))`, both sides restricted to subsets of the
+/// domain's fact universe. Returns the two sides' sizes along with the
+/// verdict.
+///
+/// # Errors
+/// Propagates enumeration and construction errors.
+pub fn verify_theorem_4_1(
+    collection: &SourceCollection,
+    domain: &[pscds_relational::Value],
+) -> Result<Theorem41Report, CoreError> {
+    use crate::confidence::worlds::PossibleWorlds;
+    use std::collections::BTreeSet;
+    let worlds = PossibleWorlds::enumerate(collection, domain)?;
+    let poss: BTreeSet<u64> = worlds.masks().iter().copied().collect();
+    let mut rep_union: BTreeSet<u64> = BTreeSet::new();
+    let templates = templates_for(collection)?;
+    for t in &templates {
+        rep_union.extend(t.rep_masks(worlds.universe())?);
+    }
+    Ok(Theorem41Report {
+        poss_count: poss.len(),
+        rep_union_count: rep_union.len(),
+        template_count: templates.len(),
+        holds: poss == rep_union,
+    })
+}
+
+/// Outcome of a Theorem 4.1 verification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Theorem41Report {
+    /// `|poss(S)|` over the domain.
+    pub poss_count: usize,
+    /// `|∪_U rep(T^U)|` over the domain.
+    pub rep_union_count: usize,
+    /// Number of (satisfiable) templates.
+    pub template_count: usize,
+    /// Whether the two sides agree exactly.
+    pub holds: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::{example_5_1, example_5_1_domain};
+    use pscds_numeric::Frac;
+    use pscds_relational::parser::{parse_facts, parse_rule};
+    use pscds_relational::Value;
+
+    #[test]
+    fn subset_combinations_of_example_5_1() {
+        let combos = subset_combinations(&example_5_1()).unwrap();
+        // Each source: subsets of a 2-set with ≥ 1 element: 3. So 3×3 = 9.
+        assert_eq!(combos.len(), 9);
+        for combo in &combos {
+            assert_eq!(combo.len(), 2);
+            assert!(combo.iter().all(|u| !u.is_empty()));
+        }
+    }
+
+    #[test]
+    fn template_structure_for_identity_views() {
+        let c = example_5_1();
+        let combos = subset_combinations(&c).unwrap();
+        let t = template_for(&c, &combos[0]).unwrap().expect("satisfiable");
+        // One tableau, two pigeonhole constraints (one per source).
+        assert_eq!(t.tableaux.len(), 1);
+        assert_eq!(t.constraints.len(), 2);
+        // Tableau atoms are ground R-facts (identity views bind everything).
+        for atom in &t.tableaux[0] {
+            assert!(atom.is_ground());
+            assert_eq!(atom.relation, pscds_relational::RelName::new("R"));
+        }
+    }
+
+    #[test]
+    fn theorem_4_1_on_example_5_1() {
+        for m in 0..3usize {
+            let report = verify_theorem_4_1(&example_5_1(), &example_5_1_domain(m)).unwrap();
+            assert!(report.holds, "m = {m}: poss {} vs rep {}", report.poss_count, report.rep_union_count);
+            assert_eq!(report.poss_count, 2 * m + 5);
+        }
+    }
+
+    #[test]
+    fn theorem_4_1_on_join_views() {
+        // A source whose view joins two relations.
+        let view = parse_rule("V(x) <- R(x, y), S(y)").unwrap();
+        let src = crate::descriptor::SourceDescriptor::new(
+            "J",
+            view,
+            parse_facts("V(a)").unwrap(),
+            Frac::HALF,
+            Frac::ONE,
+        )
+        .unwrap();
+        let c = SourceCollection::from_sources([src]);
+        let domain = [Value::sym("a"), Value::sym("z")];
+        let report = verify_theorem_4_1(&c, &domain).unwrap();
+        assert!(report.holds, "poss {} vs rep {}", report.poss_count, report.rep_union_count);
+        assert!(report.poss_count > 0);
+    }
+
+    #[test]
+    fn theorem_4_1_with_zero_completeness() {
+        // c = 0 sources have no cardinality constraint at all.
+        let src = crate::descriptor::SourceDescriptor::identity(
+            "S",
+            "V",
+            "R",
+            1,
+            [[Value::sym("a")]],
+            Frac::ZERO,
+            Frac::ONE,
+        )
+        .unwrap();
+        let c = SourceCollection::from_sources([src]);
+        let report = verify_theorem_4_1(&c, &[Value::sym("a"), Value::sym("b")]).unwrap();
+        assert!(report.holds);
+        // D must contain R(a); R(b) free: 2 worlds.
+        assert_eq!(report.poss_count, 2);
+    }
+
+    #[test]
+    fn unproducible_tuple_yields_unsatisfiable_combo() {
+        // Head constant 'K0' (uppercase identifiers parse as constants)
+        // can never equal the extension tuple 'a'.
+        let view = parse_rule("V(K0) <- R(K0)").unwrap();
+        let src = crate::descriptor::SourceDescriptor::new(
+            "S",
+            view,
+            parse_facts("V(a)").unwrap(),
+            Frac::ZERO,
+            Frac::ONE, // forces u = {V(a)}
+        )
+        .unwrap();
+        let c = SourceCollection::from_sources([src]);
+        let combos = subset_combinations(&c).unwrap();
+        // The only allowable combo picks V(a), which V(k) <- R(k) cannot produce.
+        let sat: Vec<_> = combos
+            .iter()
+            .filter_map(|combo| template_for(&c, combo).unwrap())
+            .collect();
+        assert!(sat.is_empty());
+    }
+
+    #[test]
+    fn builtin_filtering_in_instantiation() {
+        // After(y, 1900) with a tuple below the threshold is unproducible.
+        let view = parse_rule("V(y) <- T(y), After(y, 1900)").unwrap();
+        let src = crate::descriptor::SourceDescriptor::new(
+            "S",
+            view,
+            parse_facts("V(1850). V(1950)").unwrap(),
+            Frac::ZERO,
+            Frac::HALF, // ≥ 1 sound tuple
+        )
+        .unwrap();
+        let c = SourceCollection::from_sources([src]);
+        let combos = subset_combinations(&c).unwrap();
+        let mut sat = 0;
+        for combo in &combos {
+            if let Some(t) = template_for(&c, combo).unwrap() {
+                sat += 1;
+                // Any surviving tableau mentions only the sound 1950 tuple.
+                for atom in &t.tableaux[0] {
+                    assert_ne!(atom.terms[0], pscds_relational::Term::int(1850));
+                }
+            }
+        }
+        // Subsets of {1850, 1950} with ≥1 element: {1850}, {1950}, both.
+        // {1850} and both are unproducible (1850 fails After) → only {1950}.
+        assert_eq!(sat, 1);
+    }
+
+    #[test]
+    fn zero_sound_tuples_with_positive_completeness() {
+        // s = 0 allows u = ∅; c = 1 then demands φ(D) = ∅ via the empty-Θ
+        // constraint.
+        let src = crate::descriptor::SourceDescriptor::identity(
+            "S",
+            "V",
+            "R",
+            1,
+            [[Value::sym("a")]],
+            Frac::ONE,
+            Frac::ZERO,
+        )
+        .unwrap();
+        let c = SourceCollection::from_sources([src]);
+        let report = verify_theorem_4_1(&c, &[Value::sym("a"), Value::sym("b")]).unwrap();
+        assert!(report.holds);
+        // poss: D with c_D ≥ 1, i.e. D(R) ⊆ {a}: {} and {R(a)}.
+        assert_eq!(report.poss_count, 2);
+    }
+}

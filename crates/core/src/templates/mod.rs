@@ -1,0 +1,30 @@
+//! Database templates: the tableaux representation of `poss(S)`
+//! (Section 4).
+//!
+//! A *database template* `T = ⟨T₁,…,T_m, C⟩` is a set of tableaux (atom
+//! sets with variables) plus constraints `(U, Θ)`; it represents
+//!
+//! ```text
+//! rep(T) = { D : some tableau embeds into D, and every embedding of every
+//!                constraint tableau U into D is compatible with some θ ∈ Θ }
+//! ```
+//!
+//! Theorem 4.1 expresses the possible worlds exactly:
+//! `poss(S) = ∪_{U ∈ 𝒰} rep(T^U(S))`, where `𝒰` ranges over the
+//! *sound-subset combinations* `(u₁,…,u_n)`, `u_i ⊆ v_i`,
+//! `|u_i| ≥ ⌈s_i·|v_i|⌉`; the tableau `T^U` freezes the chosen sound
+//! tuples' body instantiations and the constraint `C^U(S_i)` is the
+//! pigeonhole encoding of the cardinality cap `|φ_i(D)| ≤ ⌊|u_i|/c_i⌋`.
+//!
+//! * [`tableau`] — constraints and their satisfaction semantics;
+//! * [`template`] — [`template::DatabaseTemplate`] and `rep` membership;
+//! * [`construct`] — the `T^U`/`C^U` construction and the Theorem 4.1
+//!   cross-check used by experiment E4.
+
+pub mod construct;
+pub mod tableau;
+pub mod template;
+
+pub use construct::{subset_combinations, template_for, templates_for, verify_theorem_4_1};
+pub use tableau::Constraint;
+pub use template::DatabaseTemplate;

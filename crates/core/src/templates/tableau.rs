@@ -1,0 +1,155 @@
+//! Constraints `(U, Θ)` over tableaux (Section 4).
+
+use crate::error::CoreError;
+use pscds_relational::matching::for_each_embedding;
+use pscds_relational::{Atom, Database, Substitution};
+use std::fmt;
+
+/// A constraint `(U, Θ)`: whenever the tableau `U` embeds into `D` via a
+/// valuation `σ`, some substitution `θ ∈ Θ` must be compatible with `σ`
+/// (`σ(x) = σ(e)` for every binding `x/e` of `θ`).
+///
+/// With an empty `Θ`, the constraint forbids *any* embedding of `U` — this
+/// is exactly how the `C^U` construction expresses "`φ_i(D)` must be
+/// empty" when a source with positive completeness has no sound tuples.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Constraint {
+    /// The pattern tableau `U`.
+    pub tableau: Vec<Atom>,
+    /// The allowed substitutions `Θ`.
+    pub substitutions: Vec<Substitution>,
+}
+
+impl Constraint {
+    /// Creates a constraint.
+    #[must_use]
+    pub fn new(tableau: Vec<Atom>, substitutions: Vec<Substitution>) -> Self {
+        Constraint { tableau, substitutions }
+    }
+
+    /// Checks satisfaction against a database: every embedding of
+    /// `tableau` must be compatible with some `θ ∈ Θ`.
+    ///
+    /// # Errors
+    /// Propagates built-in evaluation errors from the embedding search.
+    pub fn satisfied_by(&self, db: &Database) -> Result<bool, CoreError> {
+        let mut ok = true;
+        for_each_embedding(&self.tableau, db, |sigma| {
+            if self.substitutions.iter().any(|theta| sigma.compatible_with(theta)) {
+                true // keep searching for a violating embedding
+            } else {
+                ok = false;
+                false // found a violation: stop
+            }
+        })?;
+        Ok(ok)
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("({")?;
+        for (i, a) in self.tableau.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        f.write_str("}, {")?;
+        for (i, s) in self.substitutions.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        f.write_str("})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscds_relational::parser::parse_facts;
+    use pscds_relational::{Term, Var};
+
+    fn db(facts: &str) -> Database {
+        Database::from_facts(parse_facts(facts).unwrap())
+    }
+
+    /// The Example 4.1 constraint: ({R(a,x)}, {{x/b}, {x/b'}}) — whenever
+    /// `a` is first in an R-atom, the second component must be b or b2.
+    fn example_4_1_constraint() -> Constraint {
+        Constraint::new(
+            vec![Atom::new("R", [Term::sym("a"), Term::var("x")])],
+            vec![
+                Substitution::from_bindings([(Var::new("x"), Term::sym("b"))]),
+                Substitution::from_bindings([(Var::new("x"), Term::sym("b2"))]),
+            ],
+        )
+    }
+
+    #[test]
+    fn example_4_1_semantics() {
+        let c = example_4_1_constraint();
+        // R(a,b) and R(a,b2) are fine; even together.
+        assert!(c.satisfied_by(&db("R(a, b)")).unwrap());
+        assert!(c.satisfied_by(&db("R(a, b). R(a, b2). S(b, c)")).unwrap());
+        // R(a,c) violates.
+        assert!(!c.satisfied_by(&db("R(a, c). R(a, b2)")).unwrap());
+        // No R(a,·) atom at all: vacuously satisfied.
+        assert!(c.satisfied_by(&db("R(z, c)")).unwrap());
+        assert!(c.satisfied_by(&Database::new()).unwrap());
+    }
+
+    #[test]
+    fn empty_theta_forbids_embeddings() {
+        let c = Constraint::new(vec![Atom::new("R", [Term::var("x")])], vec![]);
+        assert!(c.satisfied_by(&Database::new()).unwrap());
+        assert!(!c.satisfied_by(&db("R(a)")).unwrap());
+    }
+
+    #[test]
+    fn variable_to_variable_substitution() {
+        // ({R(x), R(y)}, {x/y}): any two R atoms must be equal, i.e. |R| ≤ 1.
+        let c = Constraint::new(
+            vec![Atom::new("R", [Term::var("x")]), Atom::new("R", [Term::var("y")])],
+            vec![Substitution::from_bindings([(Var::new("x"), Term::var("y"))])],
+        );
+        assert!(c.satisfied_by(&db("R(a)")).unwrap());
+        assert!(!c.satisfied_by(&db("R(a). R(b)")).unwrap());
+        assert!(c.satisfied_by(&Database::new()).unwrap());
+    }
+
+    #[test]
+    fn pigeonhole_cardinality_pattern() {
+        // The C^U pattern for "at most 2 distinct R tuples": three pattern
+        // atoms, substitutions equating any pair.
+        let atoms = vec![
+            Atom::new("R", [Term::var("x1")]),
+            Atom::new("R", [Term::var("x2")]),
+            Atom::new("R", [Term::var("x3")]),
+        ];
+        let mut subs = Vec::new();
+        for p in 0..3 {
+            for r in 0..3 {
+                if p != r {
+                    subs.push(Substitution::from_bindings([(
+                        Var::new(&format!("x{}", p + 1)),
+                        Term::var(&format!("x{}", r + 1)),
+                    )]));
+                }
+            }
+        }
+        let c = Constraint::new(atoms, subs);
+        assert!(c.satisfied_by(&db("R(a). R(b)")).unwrap());
+        assert!(!c.satisfied_by(&db("R(a). R(b). R(c)")).unwrap());
+    }
+
+    #[test]
+    fn display() {
+        let c = example_4_1_constraint();
+        let text = c.to_string();
+        assert!(text.contains("R('a', x)"));
+        assert!(text.contains("x/'b'"));
+    }
+}

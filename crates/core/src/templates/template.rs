@@ -1,0 +1,192 @@
+//! Database templates `⟨T₁, …, T_m, C⟩` and `rep(T)` membership.
+
+use crate::error::CoreError;
+use crate::templates::tableau::Constraint;
+use pscds_relational::matching::embeds;
+use pscds_relational::{Atom, Database, FactUniverse};
+use std::fmt;
+
+/// A database template: a disjunction of tableaux plus a conjunction of
+/// constraints (Section 4).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct DatabaseTemplate {
+    /// The tableaux `T₁, …, T_m` (at least one must embed).
+    pub tableaux: Vec<Vec<Atom>>,
+    /// The constraints `C` (all must hold).
+    pub constraints: Vec<Constraint>,
+}
+
+impl DatabaseTemplate {
+    /// Creates a template.
+    #[must_use]
+    pub fn new(tableaux: Vec<Vec<Atom>>, constraints: Vec<Constraint>) -> Self {
+        DatabaseTemplate { tableaux, constraints }
+    }
+
+    /// Membership in `rep(T)` (Definition 4.1): some tableau embeds into
+    /// `db` via a valuation, and every constraint is satisfied.
+    ///
+    /// # Errors
+    /// Propagates built-in evaluation errors.
+    pub fn rep_contains(&self, db: &Database) -> Result<bool, CoreError> {
+        let mut some_tableau = false;
+        for tableau in &self.tableaux {
+            if embeds(tableau, db)? {
+                some_tableau = true;
+                break;
+            }
+        }
+        if !some_tableau {
+            return Ok(false);
+        }
+        for c in &self.constraints {
+            if !c.satisfied_by(db)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Enumerates `rep(T)` restricted to subsets of a finite fact universe,
+    /// returned as bitmasks.
+    ///
+    /// # Errors
+    /// Propagates enumeration-cap and evaluation errors.
+    pub fn rep_masks(&self, universe: &FactUniverse) -> Result<Vec<u64>, CoreError> {
+        let mut out = Vec::new();
+        for (mask, db) in universe.subsets().map_err(CoreError::Rel)? {
+            if self.rep_contains(&db)? {
+                out.push(mask);
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for DatabaseTemplate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DatabaseTemplate:")?;
+        for (i, t) in self.tableaux.iter().enumerate() {
+            write!(f, "  T{} = {{", i + 1)?;
+            for (j, a) in t.iter().enumerate() {
+                if j > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+            writeln!(f, "}}")?;
+        }
+        for c in &self.constraints {
+            writeln!(f, "  C: {c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscds_relational::parser::parse_facts;
+    use pscds_relational::{Substitution, Term, Var};
+
+    fn db(facts: &str) -> Database {
+        Database::from_facts(parse_facts(facts).unwrap())
+    }
+
+    /// The template of Example 4.1:
+    /// `T₁ = {R(a,x), S(b,c), S(b,c2)}`, `T₂ = {R(a2,b2), S(b,c)}`,
+    /// `C = {({R(a,x)}, {{x/b},{x/b2}})}`.
+    fn example_4_1() -> DatabaseTemplate {
+        DatabaseTemplate::new(
+            vec![
+                vec![
+                    Atom::new("R", [Term::sym("a"), Term::var("x")]),
+                    Atom::new("S", [Term::sym("b"), Term::sym("c")]),
+                    Atom::new("S", [Term::sym("b"), Term::sym("c2")]),
+                ],
+                vec![
+                    Atom::new("R", [Term::sym("a2"), Term::sym("b2")]),
+                    Atom::new("S", [Term::sym("b"), Term::sym("c")]),
+                ],
+            ],
+            vec![Constraint::new(
+                vec![Atom::new("R", [Term::sym("a"), Term::var("x")])],
+                vec![
+                    Substitution::from_bindings([(Var::new("x"), Term::sym("b"))]),
+                    Substitution::from_bindings([(Var::new("x"), Term::sym("b2"))]),
+                ],
+            )],
+        )
+    }
+
+    #[test]
+    fn example_4_2_memberships() {
+        let t = example_4_1();
+        // The three minimal databases from Example 4.2.
+        assert!(t.rep_contains(&db("R(a, b). S(b, c). S(b, c2)")).unwrap());
+        assert!(t.rep_contains(&db("R(a, b2). S(b, c). S(b, c2)")).unwrap());
+        assert!(t.rep_contains(&db("R(a2, b2). S(b, c)")).unwrap());
+        // A superset satisfying the constraint.
+        assert!(t
+            .rep_contains(&db("R(a, b). R(a, b2). S(b, c). S(b, c2)"))
+            .unwrap());
+        // The violating superset from Example 4.2: R(a,c) breaks the constraint.
+        assert!(!t
+            .rep_contains(&db("R(a, c). R(a, b2). S(b, c). S(b, c2)"))
+            .unwrap());
+        // No tableau embeds.
+        assert!(!t.rep_contains(&db("S(b, c)")).unwrap());
+        assert!(!t.rep_contains(&Database::new()).unwrap());
+    }
+
+    #[test]
+    fn rep_masks_enumeration() {
+        // A tiny template: tableau {R(x)} (non-empty R), constraint "R has
+        // at most one tuple".
+        let template = DatabaseTemplate::new(
+            vec![vec![Atom::new("R", [Term::var("x")])]],
+            vec![Constraint::new(
+                vec![Atom::new("R", [Term::var("x")]), Atom::new("R", [Term::var("y")])],
+                vec![Substitution::from_bindings([(Var::new("x"), Term::var("y"))])],
+            )],
+        );
+        let schema = pscds_relational::GlobalSchema::from_pairs([("R", 1)]).unwrap();
+        let universe = FactUniverse::over_schema(
+            &schema,
+            &[
+                pscds_relational::Value::sym("a"),
+                pscds_relational::Value::sym("b"),
+                pscds_relational::Value::sym("c"),
+            ],
+        )
+        .unwrap();
+        let masks = template.rep_masks(&universe).unwrap();
+        // Exactly the singletons: {R(a)}, {R(b)}, {R(c)}.
+        assert_eq!(masks.len(), 3);
+        for m in masks {
+            assert_eq!(m.count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn empty_template_has_empty_rep() {
+        let t = DatabaseTemplate::default();
+        assert!(!t.rep_contains(&db("R(a)")).unwrap());
+    }
+
+    #[test]
+    fn tableau_with_empty_atom_set_matches_everything() {
+        // An empty tableau embeds into any database (the empty valuation).
+        let t = DatabaseTemplate::new(vec![vec![]], vec![]);
+        assert!(t.rep_contains(&Database::new()).unwrap());
+        assert!(t.rep_contains(&db("R(a)")).unwrap());
+    }
+
+    #[test]
+    fn display_contains_parts() {
+        let text = example_4_1().to_string();
+        assert!(text.contains("T1"));
+        assert!(text.contains("T2"));
+        assert!(text.contains("C:"));
+    }
+}

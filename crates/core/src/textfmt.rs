@@ -1,0 +1,292 @@
+//! A human-readable text format for source collections.
+//!
+//! This is the on-disk interchange format used by the `pscds` CLI; it
+//! mirrors how the paper writes descriptors:
+//!
+//! ```text
+//! # The Example 5.1 collection.
+//! source S1 {
+//!   view: V1(x) <- R(x)
+//!   completeness: 1/2
+//!   soundness: 0.5
+//!   extension: V1(a). V1(b).
+//! }
+//! source S2 {
+//!   view: V2(x) <- R(x)
+//!   completeness: 1/2
+//!   soundness: 1/2
+//!   extension: V2(b).
+//!   extension: V2(c).            # may repeat / span lines
+//! }
+//! ```
+//!
+//! Bounds accept `n/d`, decimals (`0.25`, converted exactly) and integers.
+//! Lines starting with `#` (or `//`) are comments.
+
+use crate::collection::SourceCollection;
+use crate::descriptor::SourceDescriptor;
+use crate::error::CoreError;
+use pscds_numeric::Frac;
+use pscds_relational::parser::{parse_facts, parse_rule};
+use pscds_relational::Fact;
+use std::fmt::Write as _;
+
+fn parse_error(line_no: usize, message: impl Into<String>) -> CoreError {
+    CoreError::InvalidDescriptor {
+        source: format!("line {line_no}"),
+        message: message.into(),
+    }
+}
+
+/// Parses a source-collection document.
+///
+/// # Examples
+///
+/// ```
+/// use pscds_core::textfmt::parse_collection;
+///
+/// let collection = parse_collection(
+///     "source S {\n view: V(x) <- R(x)\n completeness: 1/2\n soundness: 1\n extension: V(a).\n}",
+/// )?;
+/// assert_eq!(collection.len(), 1);
+/// assert_eq!(collection.sources()[0].name(), "S");
+/// # Ok::<(), pscds_core::CoreError>(())
+/// ```
+///
+/// # Errors
+/// Returns [`CoreError::InvalidDescriptor`] with a line reference for any
+/// structural problem, and propagates view/fact parse errors.
+pub fn parse_collection(text: &str) -> Result<SourceCollection, CoreError> {
+    struct Partial {
+        name: String,
+        opened_at: usize,
+        view: Option<pscds_relational::ConjunctiveQuery>,
+        completeness: Option<Frac>,
+        soundness: Option<Frac>,
+        extension: Vec<Fact>,
+    }
+
+    let mut collection = SourceCollection::new();
+    let mut current: Option<Partial> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        // Strip comments (outside of quoted constants this is unambiguous;
+        // quoted symbols containing '#' are not supported in this format).
+        let without_hash = raw.find('#').map_or(raw, |i| &raw[..i]);
+        let line = without_hash
+            .find("//")
+            .map_or(without_hash, |i| &without_hash[..i])
+            .trim();
+        if line.is_empty() {
+            continue;
+        }
+        match (&mut current, line) {
+            (None, l) if l.starts_with("source") => {
+                let rest = l["source".len()..].trim();
+                let Some(name) = rest.strip_suffix('{').map(str::trim) else {
+                    return Err(parse_error(line_no, "expected `source <name> {`"));
+                };
+                if name.is_empty() {
+                    return Err(parse_error(line_no, "source name missing"));
+                }
+                current = Some(Partial {
+                    name: name.to_owned(),
+                    opened_at: line_no,
+                    view: None,
+                    completeness: None,
+                    soundness: None,
+                    extension: Vec::new(),
+                });
+            }
+            (None, other) => {
+                return Err(parse_error(line_no, format!("unexpected {other:?} outside a source block")));
+            }
+            (Some(partial), "}") => {
+                let view = partial
+                    .view
+                    .take()
+                    .ok_or_else(|| parse_error(line_no, format!("source {} has no `view:`", partial.name)))?;
+                let descriptor = SourceDescriptor::new(
+                    partial.name.clone(),
+                    view,
+                    std::mem::take(&mut partial.extension),
+                    partial.completeness.unwrap_or(Frac::ZERO),
+                    partial.soundness.unwrap_or(Frac::ZERO),
+                )?;
+                collection.push(descriptor);
+                current = None;
+            }
+            (Some(partial), l) => {
+                let Some((key, value)) = l.split_once(':') else {
+                    return Err(parse_error(line_no, format!("expected `key: value`, found {l:?}")));
+                };
+                let value = value.trim();
+                match key.trim() {
+                    "view" => {
+                        if partial.view.is_some() {
+                            return Err(parse_error(line_no, "duplicate `view:`"));
+                        }
+                        partial.view = Some(parse_rule(value)?);
+                    }
+                    "completeness" => {
+                        if partial.completeness.is_some() {
+                            return Err(parse_error(line_no, "duplicate `completeness:`"));
+                        }
+                        let frac: Frac = value
+                            .parse()
+                            .map_err(|e| parse_error(line_no, format!("{e}")))?;
+                        partial.completeness = Some(frac);
+                    }
+                    "soundness" => {
+                        if partial.soundness.is_some() {
+                            return Err(parse_error(line_no, "duplicate `soundness:`"));
+                        }
+                        let frac: Frac = value
+                            .parse()
+                            .map_err(|e| parse_error(line_no, format!("{e}")))?;
+                        partial.soundness = Some(frac);
+                    }
+                    "extension" => {
+                        partial.extension.extend(parse_facts(value)?);
+                    }
+                    other => {
+                        return Err(parse_error(line_no, format!("unknown key {other:?}")));
+                    }
+                }
+            }
+        }
+    }
+    if let Some(partial) = current {
+        return Err(parse_error(
+            partial.opened_at,
+            format!("source {} is missing its closing `}}`", partial.name),
+        ));
+    }
+    Ok(collection)
+}
+
+/// Renders a collection in the same format [`parse_collection`] reads.
+#[must_use]
+pub fn format_collection(collection: &SourceCollection) -> String {
+    let mut out = String::new();
+    for source in collection.sources() {
+        let _ = writeln!(out, "source {} {{", source.name());
+        let _ = writeln!(out, "  view: {}", source.view());
+        let _ = writeln!(out, "  completeness: {}", source.completeness());
+        let _ = writeln!(out, "  soundness: {}", source.soundness());
+        if !source.extension().is_empty() {
+            let facts: Vec<String> = source
+                .extension()
+                .iter()
+                .map(|f| format!("{}.", pscds_relational::parser::format_fact(f)))
+                .collect();
+            let _ = writeln!(out, "  extension: {}", facts.join(" "));
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::example_5_1;
+    use pscds_relational::Value;
+
+    const EXAMPLE_51: &str = r"
+# The Example 5.1 collection.
+source S1 {
+  view: V1(x0) <- R(x0)
+  completeness: 1/2
+  soundness: 0.5
+  extension: V1(a). V1(b).
+}
+source S2 {
+  view: V2(x0) <- R(x0)
+  completeness: 1/2
+  soundness: 1/2
+  extension: V2(b).
+  extension: V2(c).  // may repeat
+}
+";
+
+    #[test]
+    fn parses_example_5_1() {
+        let parsed = parse_collection(EXAMPLE_51).unwrap();
+        assert_eq!(parsed, example_5_1());
+    }
+
+    #[test]
+    fn round_trip() {
+        let original = example_5_1();
+        let text = format_collection(&original);
+        let reparsed = parse_collection(&text).unwrap();
+        assert_eq!(reparsed, original);
+    }
+
+    #[test]
+    fn round_trip_with_join_views_and_builtins() {
+        let text = r"
+source S {
+  view: V(s, y) <- Temp(s, y), Station(s, 'Canada'), After(y, 1900)
+  completeness: 2/3
+  soundness: 7/8
+  extension: V(st1, 1950). V(st2, 1960).
+}
+";
+        let parsed = parse_collection(text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        let s = &parsed.sources()[0];
+        assert_eq!(s.completeness(), Frac::new(2, 3));
+        assert_eq!(s.extension_len(), 2);
+        let reparsed = parse_collection(&format_collection(&parsed)).unwrap();
+        assert_eq!(reparsed, parsed);
+    }
+
+    #[test]
+    fn defaults_to_zero_bounds() {
+        let parsed = parse_collection("source S {\n view: V(x) <- R(x)\n}").unwrap();
+        let s = &parsed.sources()[0];
+        assert_eq!(s.completeness(), Frac::ZERO);
+        assert_eq!(s.soundness(), Frac::ZERO);
+        assert_eq!(s.extension_len(), 0);
+    }
+
+    #[test]
+    fn extension_facts_keep_symbolic_constants() {
+        let parsed = parse_collection(
+            "source S {\n view: V(x) <- R(x)\n extension: V(a). V('two words').\n}",
+        )
+        .unwrap();
+        let ext = parsed.sources()[0].extension();
+        assert!(ext.iter().any(|f| f.args[0] == Value::sym("a")));
+        assert!(ext.iter().any(|f| f.args[0] == Value::sym("two words")));
+    }
+
+    #[test]
+    fn error_reporting() {
+        for (text, needle) in [
+            ("view: V(x) <- R(x)", "outside a source block"),
+            ("source {\n}", "name missing"),
+            ("source S {\n}", "no `view:`"),
+            ("source S {\n view: V(x) <- R(x)\n view: V(x) <- R(x)\n}", "duplicate"),
+            ("source S {\n view: V(x) <- R(x)\n wibble: 3\n}", "unknown key"),
+            ("source S {\n view: V(x) <- R(x)\n completeness: 5/4\n}", "exceeds 1"),
+            ("source S {\n view: V(x) <- R(x)", "missing its closing"),
+            ("source S {\n view: V(x) <- R(x)\n soundness: x\n}", "invalid fraction"),
+        ] {
+            let err = parse_collection(text).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "{text:?}: expected {needle:?} in {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# heading\n\nsource S { // trailing\n view: V(x) <- R(x) # why not\n}\n";
+        assert_eq!(parse_collection(text).unwrap().len(), 1);
+    }
+}

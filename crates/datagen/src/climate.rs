@@ -1,0 +1,299 @@
+//! The GHCN-style climate scenario (Section 1.1).
+//!
+//! A ground-truth world over the paper's global schema —
+//! `Temperature(station, year, month, value)` and
+//! `Station(id, lat, lon, country)` — plus per-country sources defined by
+//! the paper's views, with controlled *dropout* (completeness loss) and
+//! *corruption* (soundness loss). The injected rates are known exactly, so
+//! the Definition 2.1/2.2 measures can be validated against them, and the
+//! descriptors' claimed bounds are set to the *measured* values, making
+//! the ground-truth world a possible world by construction.
+
+use pscds_core::{CoreError, SourceCollection, SourceDescriptor};
+use pscds_numeric::Frac;
+use pscds_relational::parser::parse_rule;
+use pscds_relational::{Database, Fact, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the climate generator.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClimateConfig {
+    /// Countries to generate (one temperature source per country).
+    pub countries: Vec<String>,
+    /// Stations per country.
+    pub stations_per_country: usize,
+    /// First year of measurements (inclusive).
+    pub first_year: i64,
+    /// Number of consecutive years.
+    pub years: usize,
+    /// Months recorded per year (1..=12).
+    pub months: usize,
+    /// Probability that a source *misses* one of its intended tuples.
+    pub dropout: f64,
+    /// Probability that a retained tuple's value is corrupted.
+    pub corruption: f64,
+    /// RNG seed (the scenario is fully deterministic given the config).
+    pub seed: u64,
+}
+
+impl Default for ClimateConfig {
+    fn default() -> Self {
+        ClimateConfig {
+            countries: vec!["Canada".into(), "US".into()],
+            stations_per_country: 3,
+            first_year: 1900,
+            years: 4,
+            months: 12,
+            dropout: 0.2,
+            corruption: 0.1,
+            seed: 20010521, // PODS 2001, Santa Barbara
+        }
+    }
+}
+
+/// What was injected into one source, with the resulting exact measures.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectionReport {
+    /// Source name.
+    pub source: String,
+    /// `|φ(world)|` — intended view size.
+    pub intended: u64,
+    /// Tuples dropped (completeness loss).
+    pub dropped: u64,
+    /// Retained tuples whose value was corrupted (soundness loss).
+    pub corrupted: u64,
+    /// Exact completeness of the generated extension w.r.t. the world.
+    pub completeness: Frac,
+    /// Exact soundness of the generated extension w.r.t. the world.
+    pub soundness: Frac,
+}
+
+/// A generated scenario: the ground truth, the source collection, and the
+/// per-source injection bookkeeping.
+#[derive(Clone, Debug)]
+pub struct ClimateScenario {
+    /// The ground-truth global database.
+    pub world: Database,
+    /// The sources (one exact `Station` source + one temperature source
+    /// per country), with claimed bounds equal to the measured values.
+    pub collection: SourceCollection,
+    /// Per-source injection reports.
+    pub reports: Vec<InjectionReport>,
+}
+
+/// Deterministic "true" mean temperature for a station/year/month.
+fn true_temperature(station: usize, year: i64, month: usize) -> i64 {
+    // A plausible-looking seasonal curve; exact shape is irrelevant, it
+    // only needs to be a function (the FD station,year,month → value).
+    let seasonal = [-8, -6, -1, 6, 12, 17, 20, 19, 14, 8, 2, -5][month % 12];
+    seasonal + (station as i64 % 7) - ((year % 10) / 5)
+}
+
+/// Generates a scenario.
+///
+/// # Errors
+/// Propagates descriptor-validation errors (impossible with a well-formed
+/// config) and view-parse errors.
+pub fn generate(config: &ClimateConfig) -> Result<ClimateScenario, CoreError> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut world = Database::new();
+
+    // Stations: ids are globally unique; lat/lon synthetic grid ints.
+    let mut station_ids: Vec<(String, usize)> = Vec::new(); // (country, station index)
+    for (ci, country) in config.countries.iter().enumerate() {
+        for s in 0..config.stations_per_country {
+            let id = 100_000 + (ci * 1_000 + s) as i64;
+            world.insert(Fact::new(
+                "Station",
+                [
+                    Value::int(id),
+                    Value::int(40 + (s as i64 * 3) % 50),
+                    Value::int(-120 + (ci as i64 * 30)),
+                    Value::sym(country),
+                ],
+            ));
+            station_ids.push((country.clone(), ci * 1_000 + s));
+        }
+    }
+    // Temperatures for every station × year × month.
+    for &(_, sidx) in &station_ids {
+        let id = 100_000 + sidx as i64;
+        for y in 0..config.years {
+            let year = config.first_year + y as i64;
+            for month in 1..=config.months {
+                world.insert(Fact::new(
+                    "Temperature",
+                    [
+                        Value::int(id),
+                        Value::int(year),
+                        Value::int(month as i64),
+                        Value::int(true_temperature(sidx, year, month)),
+                    ],
+                ));
+            }
+        }
+    }
+
+    let mut sources = Vec::new();
+    let mut reports = Vec::new();
+
+    // S0: the exact station directory.
+    let station_view = parse_rule("V0(s, lat, lon, c) <- Station(s, lat, lon, c)")?;
+    let station_ext: Vec<Fact> = station_view
+        .evaluate(&world)?
+        .into_iter()
+        .collect();
+    let intended = station_ext.len() as u64;
+    sources.push(SourceDescriptor::new("S0", station_view, station_ext, Frac::ONE, Frac::ONE)?);
+    reports.push(InjectionReport {
+        source: "S0".into(),
+        intended,
+        dropped: 0,
+        corrupted: 0,
+        completeness: Frac::ONE,
+        soundness: Frac::ONE,
+    });
+
+    // One temperature source per country, with dropout + corruption.
+    for (ci, country) in config.countries.iter().enumerate() {
+        let name = format!("S{}", ci + 1);
+        let view = parse_rule(&format!(
+            "V{}(s, y, m, v) <- Temperature(s, y, m, v), Station(s, lat, lon, '{country}')",
+            ci + 1
+        ))?;
+        let intended_set = view.evaluate(&world)?;
+        let intended = intended_set.len() as u64;
+        let mut extension: Vec<Fact> = Vec::new();
+        let mut dropped = 0u64;
+        let mut corrupted = 0u64;
+        for fact in intended_set {
+            if rng.gen_bool(config.dropout) {
+                dropped += 1;
+                continue;
+            }
+            if rng.gen_bool(config.corruption) {
+                corrupted += 1;
+                let mut args = fact.args.clone();
+                // Corrupt the value: push it outside the generated range so
+                // it can't collide with any true tuple.
+                let bad = args[3].as_int().expect("values are ints") + 1_000;
+                args[3] = Value::int(bad);
+                extension.push(Fact { relation: fact.relation, args });
+            } else {
+                extension.push(fact);
+            }
+        }
+        let kept_correct = intended - dropped - corrupted;
+        let ext_size = extension.len() as u64;
+        let completeness = if intended == 0 { Frac::ONE } else { Frac::new(kept_correct, intended) };
+        let soundness = if ext_size == 0 { Frac::ONE } else { Frac::new(kept_correct, ext_size) };
+        sources.push(SourceDescriptor::new(&name, view, extension, completeness, soundness)?);
+        reports.push(InjectionReport {
+            source: name,
+            intended,
+            dropped,
+            corrupted,
+            completeness,
+            soundness,
+        });
+    }
+
+    Ok(ClimateScenario {
+        world,
+        collection: SourceCollection::from_sources(sources),
+        reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscds_core::measures::{in_poss, measure};
+
+    fn small() -> ClimateConfig {
+        ClimateConfig {
+            countries: vec!["Canada".into(), "US".into()],
+            stations_per_country: 2,
+            first_year: 1900,
+            years: 2,
+            months: 3,
+            dropout: 0.25,
+            corruption: 0.15,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn world_shape() {
+        let s = generate(&small()).unwrap();
+        // 4 stations, each 2 years × 3 months of temperatures.
+        assert_eq!(s.world.extension_len("Station".into()), 4);
+        assert_eq!(s.world.extension_len("Temperature".into()), 4 * 2 * 3);
+    }
+
+    #[test]
+    fn ground_truth_is_a_possible_world() {
+        let s = generate(&small()).unwrap();
+        assert!(in_poss(&s.world, &s.collection).unwrap());
+    }
+
+    #[test]
+    fn measured_rates_match_injection_reports() {
+        let s = generate(&small()).unwrap();
+        for (source, report) in s.collection.sources().iter().zip(&s.reports) {
+            let m = measure(&s.world, source).unwrap();
+            assert_eq!(m.view_size, report.intended, "{}", report.source);
+            assert!(
+                m.completeness_at_least(report.completeness),
+                "{}: measured completeness below injected",
+                report.source
+            );
+            assert!(m.soundness_at_least(report.soundness), "{}", report.source);
+            // The bounds are tight: the measured ratio *equals* the report.
+            assert_eq!(
+                m.intersection,
+                report.intended - report.dropped - report.corrupted,
+                "{}",
+                report.source
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(&small()).unwrap();
+        let b = generate(&small()).unwrap();
+        assert_eq!(a.world, b.world);
+        assert_eq!(a.reports, b.reports);
+        let mut cfg = small();
+        cfg.seed = 8;
+        let c = generate(&cfg).unwrap();
+        assert_ne!(a.reports, c.reports); // different injections
+    }
+
+    #[test]
+    fn zero_noise_sources_are_exact() {
+        let mut cfg = small();
+        cfg.dropout = 0.0;
+        cfg.corruption = 0.0;
+        let s = generate(&cfg).unwrap();
+        for report in &s.reports {
+            assert_eq!(report.completeness, Frac::ONE, "{}", report.source);
+            assert_eq!(report.soundness, Frac::ONE, "{}", report.source);
+        }
+        for source in s.collection.sources() {
+            let m = measure(&s.world, source).unwrap();
+            assert!(m.is_exact());
+        }
+    }
+
+    #[test]
+    fn station_source_is_exact_directory() {
+        let s = generate(&small()).unwrap();
+        let s0 = &s.collection.sources()[0];
+        assert_eq!(s0.extension_len(), 4);
+        assert_eq!(s0.completeness(), Frac::ONE);
+    }
+}

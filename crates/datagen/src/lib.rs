@@ -1,0 +1,28 @@
+//! # pscds-datagen
+//!
+//! Synthetic workload generators with planted ground truth for the
+//! experiment harnesses:
+//!
+//! * [`cache_sim`] — a dynamic variant of the cache application: an
+//!   origin whose object set churns per epoch, and caches holding
+//!   snapshots at configurable lags, whose measured bounds decay with
+//!   staleness (experiment E9).
+//! * [`climate`] — the paper's Section 1.1 motivating scenario (Global
+//!   Historical Climatology Network): a ground-truth world over
+//!   `Temperature`/`Station`, per-country and per-era view sources, and
+//!   controlled *dropout* (completeness loss) and *corruption* (soundness
+//!   loss) whose injected rates the measures of Definition 2.1/2.2 can be
+//!   validated against.
+//! * [`random_sources`] — random identity-view collections over a finite
+//!   domain, optionally planted around a known world (hence guaranteed
+//!   consistent), for the consistency and confidence experiments.
+//! * [`mirrors`] — the Section 6 closing scenario: multiple caches/mirrors
+//!   of a set of objects, each a stale or partially-corrupt copy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache_sim;
+pub mod climate;
+pub mod mirrors;
+pub mod random_sources;

@@ -1,0 +1,194 @@
+//! The web-cache / mirror scenario (Section 6).
+//!
+//! The paper closes by noting that the identity-view results "can be
+//! applied … for any situation dealing with multiple, incomplete and
+//! partially incorrect (obsolete) copies of a set of objects", naming
+//! caches and mirror sites. This generator models exactly that: an origin
+//! site with a set of objects, and `n` mirrors that each miss some objects
+//! (*staleness*, completeness loss) and serve some obsolete objects that
+//! the origin has since deleted (*obsolescence*, soundness loss).
+
+use pscds_core::{CoreError, SourceCollection, SourceDescriptor};
+use pscds_numeric::Frac;
+use pscds_relational::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Configuration for the mirror generator.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MirrorConfig {
+    /// Objects currently on the origin site.
+    pub n_objects: usize,
+    /// Old objects that no longer exist on the origin (mirrors may still
+    /// carry them).
+    pub n_obsolete: usize,
+    /// Number of mirrors.
+    pub n_mirrors: usize,
+    /// Probability a mirror misses a live object (staleness).
+    pub staleness: f64,
+    /// Probability a mirror still carries any given obsolete object.
+    pub obsolescence: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MirrorConfig {
+    fn default() -> Self {
+        MirrorConfig {
+            n_objects: 10,
+            n_obsolete: 4,
+            n_mirrors: 3,
+            staleness: 0.2,
+            obsolescence: 0.3,
+            seed: 1,
+        }
+    }
+}
+
+/// A generated mirror scenario.
+#[derive(Clone, Debug)]
+pub struct MirrorScenario {
+    /// The origin's current objects (the ground truth).
+    pub origin: BTreeSet<Value>,
+    /// Obsolete objects (exist on no ground-truth origin, possibly on
+    /// mirrors).
+    pub obsolete: BTreeSet<Value>,
+    /// Identity-view sources over `Object(x)`, one per mirror, with
+    /// measured-exact bounds.
+    pub collection: SourceCollection,
+}
+
+/// Generates a scenario. Bounds are the measured values against the
+/// origin, so the origin is a possible world by construction.
+///
+/// # Errors
+/// Propagates descriptor validation (unreachable for well-formed configs).
+pub fn generate(config: &MirrorConfig) -> Result<MirrorScenario, CoreError> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let origin: BTreeSet<Value> = (0..config.n_objects)
+        .map(|i| Value::sym(&format!("obj{i}")))
+        .collect();
+    let obsolete: BTreeSet<Value> = (0..config.n_obsolete)
+        .map(|i| Value::sym(&format!("old{i}")))
+        .collect();
+
+    let mut sources = Vec::with_capacity(config.n_mirrors);
+    for m in 0..config.n_mirrors {
+        let mut contents: Vec<Value> = Vec::new();
+        let mut live = 0u64;
+        for &obj in &origin {
+            if !rng.gen_bool(config.staleness) {
+                contents.push(obj);
+                live += 1;
+            }
+        }
+        for &old in &obsolete {
+            if rng.gen_bool(config.obsolescence) {
+                contents.push(old);
+            }
+        }
+        let completeness = if origin.is_empty() {
+            Frac::ONE
+        } else {
+            Frac::new(live, origin.len() as u64)
+        };
+        let soundness = if contents.is_empty() {
+            Frac::ONE
+        } else {
+            Frac::new(live, contents.len() as u64)
+        };
+        sources.push(SourceDescriptor::identity(
+            format!("mirror{m}"),
+            &format!("M{m}"),
+            "Object",
+            1,
+            contents.into_iter().map(|v| [v]),
+            completeness,
+            soundness,
+        )?);
+    }
+    Ok(MirrorScenario {
+        origin,
+        obsolete,
+        collection: SourceCollection::from_sources(sources),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscds_core::consistency::decide_identity;
+    use pscds_core::measures::in_poss;
+    use pscds_relational::{Database, Fact};
+
+    #[test]
+    fn origin_is_possible_world() {
+        for seed in 0..10 {
+            let cfg = MirrorConfig { seed, ..Default::default() };
+            let s = generate(&cfg).unwrap();
+            let world = Database::from_facts(s.origin.iter().map(|&o| Fact::new("Object", [o])));
+            assert!(in_poss(&world, &s.collection).unwrap(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn solver_confirms_consistency() {
+        let s = generate(&MirrorConfig::default()).unwrap();
+        let id = s.collection.as_identity().unwrap();
+        assert!(decide_identity(&id, 0).is_consistent());
+    }
+
+    #[test]
+    fn perfect_mirrors_are_exact() {
+        let cfg = MirrorConfig {
+            staleness: 0.0,
+            obsolescence: 0.0,
+            ..Default::default()
+        };
+        let s = generate(&cfg).unwrap();
+        for src in s.collection.sources() {
+            assert_eq!(src.completeness(), Frac::ONE);
+            assert_eq!(src.soundness(), Frac::ONE);
+            assert_eq!(src.extension_len(), cfg.n_objects);
+        }
+    }
+
+    #[test]
+    fn obsolete_objects_hurt_soundness_only() {
+        let cfg = MirrorConfig {
+            staleness: 0.0,
+            obsolescence: 1.0,
+            ..Default::default()
+        };
+        let s = generate(&cfg).unwrap();
+        for src in s.collection.sources() {
+            assert_eq!(src.completeness(), Frac::ONE);
+            assert_eq!(
+                src.soundness(),
+                Frac::new(cfg.n_objects as u64, (cfg.n_objects + cfg.n_obsolete) as u64)
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = MirrorConfig::default();
+        assert_eq!(generate(&cfg).unwrap().collection, generate(&cfg).unwrap().collection);
+    }
+
+    #[test]
+    fn shapes_respect_config() {
+        let cfg = MirrorConfig {
+            n_objects: 7,
+            n_obsolete: 2,
+            n_mirrors: 5,
+            ..Default::default()
+        };
+        let s = generate(&cfg).unwrap();
+        assert_eq!(s.origin.len(), 7);
+        assert_eq!(s.obsolete.len(), 2);
+        assert_eq!(s.collection.len(), 5);
+    }
+}

@@ -1,0 +1,206 @@
+//! Random identity-view source collections.
+//!
+//! Two modes:
+//!
+//! * **planted** — a hidden ground-truth world is sampled first and every
+//!   source's bounds are set to its *measured* completeness/soundness, so
+//!   the collection is consistent by construction (the world witnesses
+//!   it). Used for confidence experiments, where consistency is required.
+//! * **adversarial** — bounds are sampled independently of the data, so
+//!   instances straddle the consistent/inconsistent boundary. Used for the
+//!   consistency-scaling experiment E2, where hard instances matter.
+
+use pscds_core::{CoreError, SourceCollection, SourceDescriptor};
+use pscds_numeric::Frac;
+use pscds_relational::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Configuration for the random identity-collection generator.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RandomIdentityConfig {
+    /// Number of sources.
+    pub n_sources: usize,
+    /// Domain size (unary relation `R` over `u0 … u_{domain_size−1}`).
+    pub domain_size: usize,
+    /// Probability an element enters a source's extension.
+    pub extension_density: f64,
+    /// Denominator granularity for sampled bounds (adversarial mode).
+    pub bound_denominator: u64,
+    /// Plant a hidden world and derive the bounds from it?
+    pub planted: bool,
+    /// Probability an element enters the planted world.
+    pub world_density: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomIdentityConfig {
+    fn default() -> Self {
+        RandomIdentityConfig {
+            n_sources: 3,
+            domain_size: 8,
+            extension_density: 0.4,
+            bound_denominator: 4,
+            planted: true,
+            world_density: 0.5,
+            seed: 1,
+        }
+    }
+}
+
+/// A generated instance.
+#[derive(Clone, Debug)]
+pub struct RandomIdentityScenario {
+    /// The collection.
+    pub collection: SourceCollection,
+    /// The domain (all constants).
+    pub domain: Vec<Value>,
+    /// The planted world's elements (empty in adversarial mode).
+    pub planted_world: BTreeSet<Value>,
+}
+
+/// Generates an instance.
+///
+/// # Errors
+/// Propagates descriptor validation (unreachable for well-formed configs).
+pub fn generate(config: &RandomIdentityConfig) -> Result<RandomIdentityScenario, CoreError> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let domain: Vec<Value> = (0..config.domain_size)
+        .map(|i| Value::sym(&format!("u{i}")))
+        .collect();
+    let planted_world: BTreeSet<Value> = if config.planted {
+        domain
+            .iter()
+            .filter(|_| rng.gen_bool(config.world_density))
+            .copied()
+            .collect()
+    } else {
+        BTreeSet::new()
+    };
+
+    let mut sources = Vec::with_capacity(config.n_sources);
+    for i in 0..config.n_sources {
+        let extension: Vec<Value> = domain
+            .iter()
+            .filter(|_| rng.gen_bool(config.extension_density))
+            .copied()
+            .collect();
+        let (c, s) = if config.planted {
+            // Measured against the planted world: D = world, φ(D) = world.
+            let inter = extension.iter().filter(|v| planted_world.contains(v)).count() as u64;
+            let c = if planted_world.is_empty() {
+                Frac::ONE
+            } else {
+                Frac::new(inter, planted_world.len() as u64)
+            };
+            let s = if extension.is_empty() {
+                Frac::ONE
+            } else {
+                Frac::new(inter, extension.len() as u64)
+            };
+            (c, s)
+        } else {
+            let den = config.bound_denominator.max(1);
+            (
+                Frac::new(rng.gen_range(0..=den), den),
+                Frac::new(rng.gen_range(0..=den), den),
+            )
+        };
+        sources.push(SourceDescriptor::identity(
+            format!("S{i}"),
+            &format!("V{i}"),
+            "R",
+            1,
+            extension.into_iter().map(|v| [v]),
+            c,
+            s,
+        )?);
+    }
+    Ok(RandomIdentityScenario {
+        collection: SourceCollection::from_sources(sources),
+        domain,
+        planted_world,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscds_core::consistency::decide_identity;
+    use pscds_core::measures::in_poss;
+    use pscds_relational::{Database, Fact};
+
+    #[test]
+    fn planted_instances_are_consistent() {
+        for seed in 0..20 {
+            let cfg = RandomIdentityConfig { seed, ..Default::default() };
+            let scenario = generate(&cfg).unwrap();
+            // The planted world is a witness.
+            let world = Database::from_facts(
+                scenario
+                    .planted_world
+                    .iter()
+                    .map(|&v| Fact::new("R", [v])),
+            );
+            assert!(
+                in_poss(&world, &scenario.collection).unwrap(),
+                "seed {seed}: planted world must satisfy all bounds"
+            );
+            // And the solver agrees.
+            let id = scenario.collection.as_identity().unwrap();
+            let padding = scenario.domain.len() as u64 - id.all_tuples().len() as u64;
+            assert!(decide_identity(&id, padding).is_consistent(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn adversarial_instances_vary() {
+        let mut consistent = 0;
+        let mut inconsistent = 0;
+        for seed in 0..40 {
+            let cfg = RandomIdentityConfig {
+                planted: false,
+                seed,
+                ..Default::default()
+            };
+            let scenario = generate(&cfg).unwrap();
+            let id = scenario.collection.as_identity().unwrap();
+            let padding = scenario.domain.len() as u64 - id.all_tuples().len() as u64;
+            if decide_identity(&id, padding).is_consistent() {
+                consistent += 1;
+            } else {
+                inconsistent += 1;
+            }
+        }
+        // Both outcomes must occur — otherwise E2 isn't exercising the
+        // decision boundary.
+        assert!(consistent > 0, "no consistent instances sampled");
+        assert!(inconsistent > 0, "no inconsistent instances sampled");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = RandomIdentityConfig::default();
+        let a = generate(&cfg).unwrap();
+        let b = generate(&cfg).unwrap();
+        assert_eq!(a.collection, b.collection);
+        assert_eq!(a.planted_world, b.planted_world);
+    }
+
+    #[test]
+    fn shapes_respect_config() {
+        let cfg = RandomIdentityConfig {
+            n_sources: 5,
+            domain_size: 12,
+            ..Default::default()
+        };
+        let s = generate(&cfg).unwrap();
+        assert_eq!(s.collection.len(), 5);
+        assert_eq!(s.domain.len(), 12);
+        let id = s.collection.as_identity().unwrap();
+        assert!(id.all_tuples().len() <= 12);
+    }
+}

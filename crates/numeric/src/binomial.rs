@@ -1,0 +1,198 @@
+//! Binomial coefficients, exact and memoized.
+//!
+//! The signature-decomposition counter (see `pscds-core::confidence`)
+//! evaluates sums of products `Π_σ C(|class σ|, k_σ)`. Rows of Pascal's
+//! triangle are reused heavily across the sum, so [`BinomialTable`] caches
+//! whole rows keyed by `n`.
+
+use crate::ubig::UBig;
+use std::collections::HashMap;
+
+/// Exact binomial coefficient `C(n, k)` in `u128`, or `None` on overflow.
+#[must_use]
+pub fn binomial_u128(n: u64, k: u64) -> Option<u128> {
+    if k > n {
+        return Some(0);
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        // acc * (n - i) / (i + 1) stays integral at every step because
+        // C(n, i+1) is an integer; divide after multiplying.
+        acc = acc.checked_mul(u128::from(n - i))?;
+        acc /= u128::from(i + 1);
+    }
+    Some(acc)
+}
+
+/// Exact binomial coefficient `C(n, k)` as a [`UBig`].
+#[must_use]
+pub fn binomial_ubig(n: u64, k: u64) -> UBig {
+    if k > n {
+        return UBig::zero();
+    }
+    let k = k.min(n - k);
+    if let Some(v) = binomial_u128(n, k) {
+        return UBig::from(v);
+    }
+    // Multiplicative formula with exact intermediate division.
+    let mut acc = UBig::one();
+    for i in 0..k {
+        acc = acc.mul_u64(n - i);
+        let (q, r) = acc.divrem_u64(i + 1);
+        debug_assert!(r == 0, "binomial intermediate not integral");
+        acc = q;
+    }
+    acc
+}
+
+/// A cache of Pascal-triangle rows: `row(n)[k] = C(n, k)`.
+///
+/// Rows are computed once by the additive recurrence (cheap `UBig`
+/// additions) and then shared by reference.
+#[derive(Default)]
+pub struct BinomialTable {
+    rows: HashMap<u64, Vec<UBig>>,
+}
+
+impl BinomialTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the full row `[C(n,0), …, C(n,n)]`, computing and caching it
+    /// on first use.
+    pub fn row(&mut self, n: u64) -> &[UBig] {
+        self.rows.entry(n).or_insert_with(|| {
+            let len = usize::try_from(n).expect("row length fits in usize") + 1;
+            let mut row = Vec::with_capacity(len);
+            // Build multiplicatively from C(n,0)=1: C(n,k+1) = C(n,k)*(n-k)/(k+1).
+            let mut cur = UBig::one();
+            row.push(cur.clone());
+            for k in 0..n {
+                cur = cur.mul_u64(n - k);
+                let (q, r) = cur.divrem_u64(k + 1);
+                debug_assert!(r == 0);
+                cur = q;
+                row.push(cur.clone());
+            }
+            row
+        })
+    }
+
+    /// Returns `C(n, k)` (zero when `k > n`), using the cached row.
+    pub fn get(&mut self, n: u64, k: u64) -> UBig {
+        if k > n {
+            return UBig::zero();
+        }
+        self.row(n)[usize::try_from(k).expect("k fits in usize")].clone()
+    }
+
+    /// Sum `Σ_{k=lo..=hi} C(n, k)` (clamping `hi` to `n`), a common
+    /// aggregation when a signature class has an interval of feasible counts.
+    pub fn row_sum(&mut self, n: u64, lo: u64, hi: u64) -> UBig {
+        if lo > hi || lo > n {
+            return UBig::zero();
+        }
+        let hi = hi.min(n);
+        let row = self.row(n);
+        let mut acc = UBig::zero();
+        for k in lo..=hi {
+            acc.add_assign(&row[usize::try_from(k).expect("k fits in usize")]);
+        }
+        acc
+    }
+
+    /// Number of cached rows (for tests and diagnostics).
+    #[must_use]
+    pub fn cached_rows(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn binomial_u128_known() {
+        assert_eq!(binomial_u128(0, 0), Some(1));
+        assert_eq!(binomial_u128(5, 2), Some(10));
+        assert_eq!(binomial_u128(10, 0), Some(1));
+        assert_eq!(binomial_u128(10, 10), Some(1));
+        assert_eq!(binomial_u128(10, 11), Some(0));
+        assert_eq!(binomial_u128(52, 5), Some(2_598_960));
+    }
+
+    #[test]
+    fn binomial_u128_overflows_gracefully() {
+        // C(200, 100) has ~196 bits; far beyond u128.
+        assert_eq!(binomial_u128(200, 100), None);
+        // But the UBig version succeeds and is symmetric.
+        let v = binomial_ubig(200, 100);
+        assert_eq!(v, binomial_ubig(200, 100));
+        assert!(v.bit_len() > 128);
+    }
+
+    #[test]
+    fn binomial_ubig_matches_u128() {
+        for n in 0..=60u64 {
+            for k in 0..=n {
+                assert_eq!(
+                    binomial_ubig(n, k).to_u128(),
+                    binomial_u128(n, k),
+                    "C({n},{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pascal_identity_large() {
+        // C(n, k) = C(n-1, k-1) + C(n-1, k) on a large row.
+        let n = 300u64;
+        for k in [1u64, 37, 150, 299] {
+            let lhs = binomial_ubig(n, k);
+            let rhs = binomial_ubig(n - 1, k - 1).add(&binomial_ubig(n - 1, k));
+            assert_eq!(lhs, rhs, "Pascal identity at C({n},{k})");
+        }
+    }
+
+    #[test]
+    fn table_rows_and_sums() {
+        let mut t = BinomialTable::new();
+        assert_eq!(t.get(6, 3), UBig::from(20u64));
+        assert_eq!(t.get(6, 7), UBig::zero());
+        // Σ C(6, k) = 2^6
+        assert_eq!(t.row_sum(6, 0, 6), UBig::from(64u64));
+        assert_eq!(t.row_sum(6, 0, 100), UBig::from(64u64)); // hi clamped
+        assert_eq!(t.row_sum(6, 3, 2), UBig::zero()); // empty interval
+        assert_eq!(t.row_sum(6, 7, 9), UBig::zero()); // lo beyond n
+        assert_eq!(t.cached_rows(), 1);
+        let _ = t.row(10);
+        assert_eq!(t.cached_rows(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_row_sums_to_power_of_two(n in 0u64..40) {
+            let mut t = BinomialTable::new();
+            prop_assert_eq!(t.row_sum(n, 0, n), UBig::one().shl(n as u32));
+        }
+
+        #[test]
+        fn prop_symmetry(n in 0u64..80, k in 0u64..80) {
+            let k = k.min(n);
+            prop_assert_eq!(binomial_ubig(n, k), binomial_ubig(n, n - k));
+        }
+
+        #[test]
+        fn prop_table_matches_direct(n in 0u64..50, k in 0u64..60) {
+            let mut t = BinomialTable::new();
+            prop_assert_eq!(t.get(n, k), binomial_ubig(n, k));
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Greatest-common-divisor routines for machine integers and [`UBig`].
+
+use crate::ubig::UBig;
+
+/// Binary (Stein) GCD on `u64`. `gcd(0, 0)` is defined as `0`.
+#[must_use]
+pub fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
+    }
+}
+
+/// Binary (Stein) GCD on `u128`. `gcd(0, 0)` is defined as `0`.
+#[must_use]
+pub fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
+    }
+}
+
+/// Binary (Stein) GCD on arbitrary-precision integers.
+///
+/// Avoids division entirely: only shifts, comparisons and subtractions, all
+/// of which [`UBig`] implements in `O(limbs)`.
+#[must_use]
+pub fn gcd_ubig(a: &UBig, b: &UBig) -> UBig {
+    if a.is_zero() {
+        return b.clone();
+    }
+    if b.is_zero() {
+        return a.clone();
+    }
+    let mut a = a.clone();
+    let mut b = b.clone();
+    let az = a.trailing_zeros();
+    let bz = b.trailing_zeros();
+    let shift = az.min(bz);
+    a.shr_assign(az);
+    loop {
+        b.shr_assign(b.trailing_zeros());
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        // b >= a here, so the subtraction cannot underflow.
+        b.sub_assign(&a);
+        if b.is_zero() {
+            a.shl_assign(shift);
+            return a;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_u64_basics() {
+        assert_eq!(gcd_u64(0, 0), 0);
+        assert_eq!(gcd_u64(0, 7), 7);
+        assert_eq!(gcd_u64(7, 0), 7);
+        assert_eq!(gcd_u64(12, 18), 6);
+        assert_eq!(gcd_u64(17, 13), 1);
+        assert_eq!(gcd_u64(1 << 40, 1 << 20), 1 << 20);
+        assert_eq!(gcd_u64(u64::MAX, u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn gcd_u128_basics() {
+        assert_eq!(gcd_u128(0, 0), 0);
+        assert_eq!(gcd_u128(1 << 100, 1 << 60), 1 << 60);
+        assert_eq!(gcd_u128(u128::from(u64::MAX) * 6, u128::from(u64::MAX) * 9), u128::from(u64::MAX) * 3);
+    }
+
+    #[test]
+    fn gcd_ubig_matches_u64() {
+        for (a, b) in [(0u64, 0u64), (0, 9), (12, 18), (270, 192), (97, 89), (1 << 50, 3 << 20)] {
+            let g = gcd_ubig(&UBig::from(a), &UBig::from(b));
+            assert_eq!(g, UBig::from(gcd_u64(a, b)), "gcd({a},{b})");
+        }
+    }
+
+    #[test]
+    fn gcd_ubig_large() {
+        // gcd(2^200 * 3, 2^100 * 9) = 2^100 * 3
+        let a = UBig::from(3u64).shl(200);
+        let b = UBig::from(9u64).shl(100);
+        let expect = UBig::from(3u64).shl(100);
+        assert_eq!(gcd_ubig(&a, &b), expect);
+    }
+}

@@ -1,0 +1,36 @@
+//! # pscds-numeric
+//!
+//! Exact arithmetic substrate for possible-world model counting.
+//!
+//! Counting the integer solutions of the linear system Γ from Section 5 of
+//! the paper multiplies and sums binomial coefficients whose magnitudes grow
+//! exponentially in the domain size, so `u128` overflows almost immediately.
+//! This crate provides the minimal exact-arithmetic toolkit the rest of the
+//! workspace needs, implemented from scratch (no external bignum crates):
+//!
+//! * [`UBig`] — arbitrary-precision unsigned integers (little-endian `u64`
+//!   limbs) with addition, subtraction, multiplication, division, shifts,
+//!   comparison, decimal parsing/formatting and `f64` conversion.
+//! * [`Rational`] — exact non-negative rationals over [`UBig`], normalized
+//!   with a binary GCD; used for confidence values
+//!   `N_sol(Γ[x_p/1]) / N_sol(Γ)`.
+//! * [`Frac`] — small exact fractions over `u64`, used for the completeness
+//!   and soundness lower bounds `c, s ∈ [0,1]` so that the consistency
+//!   inequalities can be checked exactly in integer arithmetic
+//!   (`t·den ≥ num·w` instead of floating point).
+//! * [`binomial`] — memoized binomial-coefficient tables over [`UBig`] and a
+//!   checked `u128` fast path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binomial;
+pub mod frac;
+pub mod gcd;
+pub mod rational;
+pub mod ubig;
+
+pub use binomial::BinomialTable;
+pub use frac::Frac;
+pub use rational::Rational;
+pub use ubig::UBig;

@@ -1,0 +1,335 @@
+//! Exact non-negative rationals over [`UBig`].
+//!
+//! Confidence values are ratios of possible-world counts
+//! (`N_sol(Γ[x_p/1]) / N_sol(Γ)`); both counts can exceed any machine
+//! integer, so [`Rational`] keeps them exact. All confidences are in `[0,1]`
+//! and counts are non-negative, so an unsigned representation suffices.
+
+use crate::gcd::gcd_ubig;
+use crate::ubig::UBig;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An exact non-negative rational, always stored reduced with a non-zero
+/// denominator.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: UBig,
+    den: UBig,
+}
+
+impl Rational {
+    /// The value `0`.
+    #[must_use]
+    pub fn zero() -> Self {
+        Rational { num: UBig::zero(), den: UBig::one() }
+    }
+
+    /// The value `1`.
+    #[must_use]
+    pub fn one() -> Self {
+        Rational { num: UBig::one(), den: UBig::one() }
+    }
+
+    /// Creates `num/den`, reduced.
+    ///
+    /// # Panics
+    /// Panics if `den` is zero.
+    #[must_use]
+    pub fn new(num: UBig, den: UBig) -> Self {
+        assert!(!den.is_zero(), "Rational denominator must be non-zero");
+        if num.is_zero() {
+            return Rational::zero();
+        }
+        let g = gcd_ubig(&num, &den);
+        if g.is_one() {
+            Rational { num, den }
+        } else {
+            Rational { num: num.divrem(&g).0, den: den.divrem(&g).0 }
+        }
+    }
+
+    /// Creates from machine integers.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    #[must_use]
+    pub fn from_u64(num: u64, den: u64) -> Self {
+        Rational::new(UBig::from(num), UBig::from(den))
+    }
+
+    /// Reduced numerator.
+    #[must_use]
+    pub fn num(&self) -> &UBig {
+        &self.num
+    }
+
+    /// Reduced denominator.
+    #[must_use]
+    pub fn den(&self) -> &UBig {
+        &self.den
+    }
+
+    /// `true` iff the value is `0`.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// `true` iff the value is `1`.
+    #[must_use]
+    pub fn is_one(&self) -> bool {
+        self.num == self.den
+    }
+
+    /// Returns `self + rhs`.
+    #[must_use]
+    pub fn add(&self, rhs: &Rational) -> Rational {
+        let num = self.num.mul(&rhs.den).add(&rhs.num.mul(&self.den));
+        let den = self.den.mul(&rhs.den);
+        Rational::new(num, den)
+    }
+
+    /// Returns `self - rhs`; panics if `rhs > self`.
+    #[must_use]
+    pub fn sub(&self, rhs: &Rational) -> Rational {
+        let lhs_scaled = self.num.mul(&rhs.den);
+        let rhs_scaled = rhs.num.mul(&self.den);
+        let num = lhs_scaled
+            .checked_sub(&rhs_scaled)
+            .expect("Rational subtraction underflow");
+        Rational::new(num, self.den.mul(&rhs.den))
+    }
+
+    /// Returns `self * rhs`.
+    #[must_use]
+    pub fn mul(&self, rhs: &Rational) -> Rational {
+        Rational::new(self.num.mul(&rhs.num), self.den.mul(&rhs.den))
+    }
+
+    /// Returns `self / rhs`; panics if `rhs` is zero.
+    #[must_use]
+    pub fn div(&self, rhs: &Rational) -> Rational {
+        assert!(!rhs.is_zero(), "Rational division by zero");
+        Rational::new(self.num.mul(&rhs.den), self.den.mul(&rhs.num))
+    }
+
+    /// The complement `1 - self`; panics if `self > 1`.
+    #[must_use]
+    pub fn complement(&self) -> Rational {
+        Rational::one().sub(self)
+    }
+
+    /// The independent-union combinator from Section 5.2:
+    /// `a ⊕ b = 1 - (1-a)(1-b)`.
+    ///
+    /// For probabilities of independent events it is the probability of the
+    /// union; it is commutative, associative, has identity `0` and
+    /// absorbing element `1`.
+    #[must_use]
+    pub fn prob_or(&self, rhs: &Rational) -> Rational {
+        Rational::one().sub(&self.complement().mul(&rhs.complement()))
+    }
+
+    /// Folds [`Rational::prob_or`] over an iterator (`⊕_{i} p_i`), starting
+    /// from the identity `0`.
+    #[must_use]
+    pub fn prob_or_all<'a, I: IntoIterator<Item = &'a Rational>>(iter: I) -> Rational {
+        let mut acc = Rational::zero();
+        for p in iter {
+            acc = acc.prob_or(p);
+        }
+        acc
+    }
+
+    /// `true` iff the value lies in `[0,1]`.
+    #[must_use]
+    pub fn is_probability(&self) -> bool {
+        self.num <= self.den
+    }
+
+    /// Best-effort conversion to `f64`.
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        // Scale so both operands fit comfortably in f64's mantissa range.
+        let nb = self.num.bit_len();
+        let db = self.den.bit_len();
+        if nb <= 52 && db <= 52 {
+            return self.num.to_u64().unwrap_or(0) as f64 / self.den.to_u64().unwrap_or(1) as f64;
+        }
+        let shift = nb.max(db).saturating_sub(52);
+        let n = self.num.shr(shift).to_u64().unwrap_or(0) as f64;
+        let d = self.den.shr(shift).to_u64().unwrap_or(0) as f64;
+        if d == 0.0 {
+            // Denominator lost all bits: self is astronomically large.
+            f64::INFINITY
+        } else {
+            n / d
+        }
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::zero()
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.num.mul(&other.den).cmp(&other.num.mul(&self.den))
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rational({self})")
+    }
+}
+
+impl From<u64> for Rational {
+    fn from(v: u64) -> Self {
+        Rational { num: UBig::from(v), den: UBig::one() }
+    }
+}
+
+impl From<crate::frac::Frac> for Rational {
+    fn from(f: crate::frac::Frac) -> Self {
+        Rational::from_u64(f.num(), f.den())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r(n: u64, d: u64) -> Rational {
+        Rational::from_u64(n, d)
+    }
+
+    #[test]
+    fn construction_reduces() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(0, 5), Rational::zero());
+        assert_eq!(r(10, 5).to_string(), "2");
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(UBig::one(), UBig::zero());
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(r(1, 2).add(&r(1, 3)), r(5, 6));
+        assert_eq!(r(1, 2).mul(&r(2, 3)), r(1, 3));
+        assert_eq!(r(1, 2).sub(&r(1, 3)), r(1, 6));
+        assert_eq!(r(1, 2).div(&r(1, 4)), r(2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = r(1, 3).sub(&r(1, 2));
+    }
+
+    #[test]
+    fn prob_or_basics() {
+        // 1/2 ⊕ 1/2 = 3/4
+        assert_eq!(r(1, 2).prob_or(&r(1, 2)), r(3, 4));
+        // identity and absorption
+        assert_eq!(r(2, 5).prob_or(&Rational::zero()), r(2, 5));
+        assert_eq!(r(2, 5).prob_or(&Rational::one()), Rational::one());
+    }
+
+    #[test]
+    fn prob_or_all_fold() {
+        let ps = [r(1, 2), r(1, 3), r(1, 4)];
+        // 1 - (1/2)(2/3)(3/4) = 1 - 1/4 = 3/4
+        assert_eq!(Rational::prob_or_all(ps.iter()), r(3, 4));
+        assert_eq!(Rational::prob_or_all(std::iter::empty()), Rational::zero());
+    }
+
+    #[test]
+    fn ordering_and_probability() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(7, 7).is_probability());
+        assert!(!r(8, 7).is_probability());
+    }
+
+    #[test]
+    fn to_f64_small_and_large() {
+        assert_eq!(r(1, 2).to_f64(), 0.5);
+        assert_eq!(r(3, 4).to_f64(), 0.75);
+        // Large but equal numerator/denominator => 1.0 (after reduction it's 1/1).
+        let big = UBig::one().shl(300);
+        let ratio = Rational::new(big.clone().add(&UBig::one()), big);
+        let f = ratio.to_f64();
+        assert!((f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_frac() {
+        let f = crate::frac::Frac::new(3, 4);
+        assert_eq!(Rational::from(f), r(3, 4));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutes(a in 0u64..1000, b in 1u64..1000, c in 0u64..1000, d in 1u64..1000) {
+            prop_assert_eq!(r(a, b).add(&r(c, d)), r(c, d).add(&r(a, b)));
+        }
+
+        #[test]
+        fn prop_mul_div_round_trip(a in 1u64..1000, b in 1u64..1000, c in 1u64..1000, d in 1u64..1000) {
+            let x = r(a, b);
+            let y = r(c, d);
+            prop_assert_eq!(x.mul(&y).div(&y), x);
+        }
+
+        #[test]
+        fn prop_prob_or_stays_probability(a in 0u64..100, b in 0u64..100) {
+            let x = r(a.min(99), 100);
+            let y = r(b.min(99), 100);
+            let o = x.prob_or(&y);
+            prop_assert!(o.is_probability());
+            // ⊕ dominates max
+            prop_assert!(o >= x.clone().max(y));
+        }
+
+        #[test]
+        fn prop_complement_involution(a in 0u64..=100) {
+            let x = r(a, 100);
+            prop_assert_eq!(x.complement().complement(), x);
+        }
+
+        #[test]
+        fn prop_cmp_matches_f64(a in 0u64..10_000, b in 1u64..10_000, c in 0u64..10_000, d in 1u64..10_000) {
+            let exact = r(a, b).cmp(&r(c, d));
+            let approx = (a as f64 / b as f64).partial_cmp(&(c as f64 / d as f64)).unwrap();
+            // f64 is exact for these ranges only when ratios differ; equality
+            // can disagree due to rounding, so only check strict orders.
+            if approx != std::cmp::Ordering::Equal && exact != std::cmp::Ordering::Equal {
+                prop_assert_eq!(exact, approx);
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Stress and cross-identity tests for the bignum substrate: sizes and
+//! shapes the model counter actually produces.
+
+use pscds_numeric::binomial::{binomial_u128, binomial_ubig};
+use pscds_numeric::{BinomialTable, Frac, Rational, UBig};
+
+#[test]
+fn factorial_1000_digits() {
+    // 1000! has 2568 decimal digits and ends in 249 zeros.
+    let mut fact = UBig::one();
+    for i in 2..=1000u64 {
+        fact = fact.mul_u64(i);
+    }
+    let text = fact.to_string();
+    assert_eq!(text.len(), 2568);
+    assert!(text.ends_with(&"0".repeat(249)));
+    assert!(!text.ends_with(&"0".repeat(250)));
+    // Round-trip through parsing.
+    let back: UBig = text.parse().unwrap();
+    assert_eq!(back, fact);
+}
+
+#[test]
+fn binomial_row_symmetry_and_sum() {
+    let mut table = BinomialTable::new();
+    let n = 500u64;
+    let row = table.row(n).to_vec();
+    // Symmetry.
+    for k in 0..=n as usize {
+        assert_eq!(row[k], row[n as usize - k], "C({n},{k})");
+    }
+    // Σ C(n,k) = 2^n.
+    let total: UBig = row.into_iter().sum();
+    assert_eq!(total, UBig::one().shl(n as u32));
+}
+
+#[test]
+fn vandermonde_identity() {
+    // Σ_k C(m,k)·C(n,r−k) = C(m+n,r): the counting identity behind
+    // summing over independent signature classes.
+    let (m, n, r) = (60u64, 45u64, 50u64);
+    let mut acc = UBig::zero();
+    for k in 0..=r {
+        acc.add_assign(&binomial_ubig(m, k).mul(&binomial_ubig(n, r - k)));
+    }
+    assert_eq!(acc, binomial_ubig(m + n, r));
+}
+
+#[test]
+fn hockey_stick_identity() {
+    // Σ_{i=r..n} C(i,r) = C(n+1, r+1).
+    let (n, r) = (300u64, 7u64);
+    let mut acc = UBig::zero();
+    for i in r..=n {
+        acc.add_assign(&binomial_ubig(i, r));
+    }
+    assert_eq!(acc, binomial_ubig(n + 1, r + 1));
+}
+
+#[test]
+fn u128_and_ubig_binomials_agree_at_the_boundary() {
+    // Around n = 130 the u128 fast path starts overflowing (its
+    // *intermediate* products overflow before the final value does, so
+    // None only means "fast path unavailable", not "value > 2^128").
+    for n in 125..=131u64 {
+        for k in 0..=n {
+            let big = binomial_ubig(n, k);
+            if let Some(v) = binomial_u128(n, k) {
+                assert_eq!(big.to_u128(), Some(v), "C({n},{k})");
+            } else if k > 0 {
+                // Validate the UBig value independently via Pascal.
+                let pascal = binomial_ubig(n - 1, k - 1).add(&binomial_ubig(n - 1, k));
+                assert_eq!(big, pascal, "C({n},{k})");
+            }
+        }
+    }
+}
+
+#[test]
+fn telescoping_rational_sum() {
+    // Σ 1/(i(i+1)) = 1 − 1/(n+1), all exact.
+    let n = 200u64;
+    let mut acc = Rational::zero();
+    for i in 1..=n {
+        acc = acc.add(&Rational::from_u64(1, i * (i + 1)));
+    }
+    assert_eq!(acc, Rational::one().sub(&Rational::from_u64(1, n + 1)));
+}
+
+#[test]
+fn prob_or_associativity_over_many_terms() {
+    // ⊕ over k copies of p equals 1 − (1−p)^k.
+    let p = Rational::from_u64(3, 10);
+    let k = 40u32;
+    let folded = Rational::prob_or_all(std::iter::repeat_n(&p, k as usize));
+    let complement_pow = {
+        let mut acc = Rational::one();
+        let c = p.complement();
+        for _ in 0..k {
+            acc = acc.mul(&c);
+        }
+        acc
+    };
+    assert_eq!(folded, Rational::one().sub(&complement_pow));
+}
+
+#[test]
+fn frac_boundary_arithmetic_is_exact() {
+    // The Example 5.1 boundary case: measured ratio exactly equals the
+    // bound, where floating point would be undefined behaviour for the
+    // semantics. Stress with large co-prime numbers.
+    let f = Frac::new(999_999_937, 1_000_000_000); // prime numerator
+    assert!(f.leq_ratio(999_999_937, 1_000_000_000));
+    assert!(!f.leq_ratio(999_999_936, 1_000_000_000));
+    assert_eq!(f.ceil_mul(1_000_000_000), 999_999_937);
+}
+
+#[test]
+fn rational_reduction_keeps_numbers_small() {
+    // Repeated multiply-divide cycles must not bloat the representation.
+    let mut x = Rational::from_u64(2, 3);
+    for i in 1..=100u64 {
+        x = x.mul(&Rational::from_u64(i, i + 1));
+        x = x.div(&Rational::from_u64(i, i + 1));
+    }
+    assert_eq!(x, Rational::from_u64(2, 3));
+    assert_eq!(x.num().to_u64(), Some(2));
+    assert_eq!(x.den().to_u64(), Some(3));
+}
+
+#[test]
+fn shl_shr_stress() {
+    let v: UBig = "123456789123456789123456789".parse().unwrap();
+    for bits in [1u32, 63, 64, 65, 127, 128, 1000] {
+        assert_eq!(v.shl(bits).shr(bits), v, "shift by {bits}");
+        // Left shift multiplies by 2^bits.
+        let pow = UBig::one().shl(bits);
+        assert_eq!(v.shl(bits), v.mul(&pow));
+    }
+}
+
+#[test]
+fn divrem_against_reconstruction_large() {
+    let a: UBig = "98765432109876543210987654321098765432109876543210".parse().unwrap();
+    let b: UBig = "12345678901234567890123".parse().unwrap();
+    let (q, r) = a.divrem(&b);
+    assert!(r < b);
+    assert_eq!(q.mul(&b).add(&r), a);
+}

@@ -1,0 +1,258 @@
+//! HITTING SET instances and solvers.
+//!
+//! ```text
+//! HITTING SET (HS)
+//! INSTANCE: collection C = {A₁,…,A_n} of subsets of a finite set S,
+//!           positive integer K ≤ |S|.
+//! QUESTION: is there A ⊆ S with |A| ≤ K hitting every A_i?
+//! ```
+//!
+//! Elements are represented as `u32` ids. The exact solver is a
+//! branch-and-bound over the classic "pick an unhit set, branch on its
+//! elements" scheme with memo-free pruning; fine for the instance sizes of
+//! experiment E2.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A HITTING SET instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HittingSetInstance {
+    /// The ground set `S`.
+    pub universe: BTreeSet<u32>,
+    /// The subsets `A₁, …, A_n` to hit.
+    pub sets: Vec<BTreeSet<u32>>,
+    /// The budget `K`.
+    pub k: usize,
+}
+
+impl HittingSetInstance {
+    /// Builds an instance; the universe is the union of the sets plus any
+    /// explicitly passed extra elements.
+    #[must_use]
+    pub fn new(sets: Vec<BTreeSet<u32>>, k: usize) -> Self {
+        let universe: BTreeSet<u32> = sets.iter().flatten().copied().collect();
+        HittingSetInstance { universe, sets, k }
+    }
+
+    /// `true` iff `candidate` hits every set and respects the budget.
+    #[must_use]
+    pub fn is_solution(&self, candidate: &BTreeSet<u32>) -> bool {
+        candidate.len() <= self.k
+            && self
+                .sets
+                .iter()
+                .all(|a| a.iter().any(|e| candidate.contains(e)))
+    }
+
+    /// `true` iff the instance qualifies as HS*: the last set is a
+    /// singleton.
+    #[must_use]
+    pub fn is_hs_star(&self) -> bool {
+        self.sets.last().is_some_and(|a| a.len() == 1)
+    }
+}
+
+impl fmt::Display for HittingSetInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HS(K={}, sets=[", self.k)?;
+        for (i, a) in self.sets.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{{{}}}", a.iter().map(ToString::to_string).collect::<Vec<_>>().join(","))?;
+        }
+        f.write_str("])")
+    }
+}
+
+/// Exact solver: returns a minimum-cardinality hitting set within the
+/// budget, or `None` if none exists.
+#[must_use]
+pub fn solve_hitting_set(instance: &HittingSetInstance) -> Option<BTreeSet<u32>> {
+    // An empty set can never be hit.
+    if instance.sets.iter().any(BTreeSet::is_empty) {
+        return None;
+    }
+    let mut best: Option<BTreeSet<u32>> = None;
+    let mut chosen = BTreeSet::new();
+    branch(instance, &mut chosen, &mut best);
+    best
+}
+
+fn branch(
+    instance: &HittingSetInstance,
+    chosen: &mut BTreeSet<u32>,
+    best: &mut Option<BTreeSet<u32>>,
+) {
+    // Prune: already no better than the best found.
+    if let Some(b) = best {
+        if chosen.len() + 1 > b.len() {
+            return;
+        }
+    }
+    // Find the first unhit set.
+    let unhit = instance
+        .sets
+        .iter()
+        .find(|a| !a.iter().any(|e| chosen.contains(e)));
+    match unhit {
+        None => {
+            if chosen.len() <= instance.k && best.as_ref().is_none_or(|b| chosen.len() < b.len()) {
+                *best = Some(chosen.clone());
+            }
+        }
+        Some(a) => {
+            if chosen.len() >= instance.k {
+                return; // budget exhausted, set still unhit
+            }
+            for &e in a {
+                chosen.insert(e);
+                branch(instance, chosen, best);
+                chosen.remove(&e);
+            }
+        }
+    }
+}
+
+/// Greedy approximation: repeatedly pick the element hitting the most
+/// still-unhit sets. Returns a hitting set ignoring the budget (callers
+/// check `len() ≤ k`), or `None` if some set is empty.
+#[must_use]
+pub fn greedy_hitting_set(instance: &HittingSetInstance) -> Option<BTreeSet<u32>> {
+    if instance.sets.iter().any(BTreeSet::is_empty) {
+        return None;
+    }
+    let mut chosen = BTreeSet::new();
+    let mut unhit: Vec<&BTreeSet<u32>> = instance.sets.iter().collect();
+    while !unhit.is_empty() {
+        // Element covering the most unhit sets (ties: smallest id).
+        let mut best_elem = None;
+        let mut best_cover = 0usize;
+        for &e in &instance.universe {
+            let cover = unhit.iter().filter(|a| a.contains(&e)).count();
+            if cover > best_cover {
+                best_cover = cover;
+                best_elem = Some(e);
+            }
+        }
+        let e = best_elem.expect("non-empty unhit sets have elements");
+        chosen.insert(e);
+        unhit.retain(|a| !a.contains(&e));
+    }
+    Some(chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn set(elems: &[u32]) -> BTreeSet<u32> {
+        elems.iter().copied().collect()
+    }
+
+    #[test]
+    fn trivial_instances() {
+        // Single set: any element hits it.
+        let inst = HittingSetInstance::new(vec![set(&[1, 2, 3])], 1);
+        let sol = solve_hitting_set(&inst).unwrap();
+        assert_eq!(sol.len(), 1);
+        assert!(inst.is_solution(&sol));
+
+        // No sets: empty hitting set.
+        let empty = HittingSetInstance::new(vec![], 0);
+        assert_eq!(solve_hitting_set(&empty), Some(BTreeSet::new()));
+    }
+
+    #[test]
+    fn empty_set_unhittable() {
+        let inst = HittingSetInstance::new(vec![set(&[])], 5);
+        assert_eq!(solve_hitting_set(&inst), None);
+        assert_eq!(greedy_hitting_set(&inst), None);
+    }
+
+    #[test]
+    fn disjoint_sets_need_one_each() {
+        let inst = HittingSetInstance::new(vec![set(&[1]), set(&[2]), set(&[3])], 3);
+        let sol = solve_hitting_set(&inst).unwrap();
+        assert_eq!(sol, set(&[1, 2, 3]));
+        // Budget 2 is infeasible.
+        let tight = HittingSetInstance::new(vec![set(&[1]), set(&[2]), set(&[3])], 2);
+        assert_eq!(solve_hitting_set(&tight), None);
+    }
+
+    #[test]
+    fn shared_element_wins() {
+        let inst = HittingSetInstance::new(
+            vec![set(&[1, 9]), set(&[2, 9]), set(&[3, 9])],
+            1,
+        );
+        let sol = solve_hitting_set(&inst).unwrap();
+        assert_eq!(sol, set(&[9]));
+    }
+
+    #[test]
+    fn exact_is_minimum() {
+        // Vertex-cover-like instance where greedy can be suboptimal.
+        let inst = HittingSetInstance::new(
+            vec![set(&[1, 2]), set(&[2, 3]), set(&[3, 4]), set(&[4, 1])],
+            2,
+        );
+        let sol = solve_hitting_set(&inst).unwrap();
+        assert_eq!(sol.len(), 2); // e.g. {1, 3} or {2, 4}
+        assert!(inst.is_solution(&sol));
+    }
+
+    #[test]
+    fn hs_star_detection() {
+        let star = HittingSetInstance::new(vec![set(&[1, 2]), set(&[3])], 2);
+        assert!(star.is_hs_star());
+        let not_star = HittingSetInstance::new(vec![set(&[3]), set(&[1, 2])], 2);
+        assert!(!not_star.is_hs_star());
+        let empty = HittingSetInstance::new(vec![], 1);
+        assert!(!empty.is_hs_star());
+    }
+
+    #[test]
+    fn greedy_always_hits() {
+        let inst = HittingSetInstance::new(
+            vec![set(&[1, 2]), set(&[2, 3]), set(&[4])],
+            3,
+        );
+        let sol = greedy_hitting_set(&inst).unwrap();
+        for a in &inst.sets {
+            assert!(a.iter().any(|e| sol.contains(e)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_exact_solution_valid_and_greedy_never_smaller(
+            seed_sets in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..8, 1..4),
+                1..6
+            ),
+            k in 1usize..6
+        ) {
+            let inst = HittingSetInstance::new(seed_sets, k);
+            let exact = solve_hitting_set(&inst);
+            let greedy = greedy_hitting_set(&inst).unwrap();
+            // Greedy always hits everything.
+            for a in &inst.sets {
+                prop_assert!(a.iter().any(|e| greedy.contains(e)));
+            }
+            match exact {
+                Some(sol) => {
+                    prop_assert!(inst.is_solution(&sol));
+                    // Exact is minimum: greedy can't beat it.
+                    prop_assert!(greedy.len() >= sol.len());
+                }
+                None => {
+                    // If exact says no, greedy must exceed the budget.
+                    prop_assert!(greedy.len() > k);
+                }
+            }
+        }
+    }
+}

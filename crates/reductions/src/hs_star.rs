@@ -1,0 +1,116 @@
+//! Lemma 3.3: HS reduces to HS*.
+//!
+//! Given an HS instance `(C = {A₁,…,A_n}, K)` over `S`, build
+//! `S* = S ∪ {a}` with a fresh element `a`,
+//! `C* = {A₁,…,A_n, A_{n+1} = {a}}`, `K* = K + 1`. Solutions correspond:
+//! any HS* solution must contain `a` and hits the original sets with at
+//! most `K` other elements; conversely `A ∪ {a}` solves HS* for any HS
+//! solution `A`.
+
+use crate::hitting_set::HittingSetInstance;
+use std::collections::BTreeSet;
+
+/// Applies the Lemma 3.3 reduction. Returns the HS* instance and the fresh
+/// element `a` introduced.
+#[must_use]
+pub fn hs_to_hs_star(instance: &HittingSetInstance) -> (HittingSetInstance, u32) {
+    let fresh = instance.universe.iter().max().map_or(0, |&m| m + 1);
+    let mut sets = instance.sets.clone();
+    sets.push(std::iter::once(fresh).collect());
+    let star = HittingSetInstance::new(sets, instance.k + 1);
+    (star, fresh)
+}
+
+/// Maps an HS solution `A` to an HS* solution `A ∪ {a}`.
+#[must_use]
+pub fn lift_hs_solution(solution: &BTreeSet<u32>, fresh: u32) -> BTreeSet<u32> {
+    let mut out = solution.clone();
+    out.insert(fresh);
+    out
+}
+
+/// Maps an HS* solution back to an HS solution by dropping the fresh
+/// element.
+#[must_use]
+pub fn project_hs_star_solution(solution: &BTreeSet<u32>, fresh: u32) -> BTreeSet<u32> {
+    let mut out = solution.clone();
+    out.remove(&fresh);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hitting_set::solve_hitting_set;
+    use proptest::prelude::*;
+
+    fn set(elems: &[u32]) -> BTreeSet<u32> {
+        elems.iter().copied().collect()
+    }
+
+    #[test]
+    fn reduction_shape() {
+        let inst = HittingSetInstance::new(vec![set(&[1, 2]), set(&[2, 3])], 1);
+        let (star, fresh) = hs_to_hs_star(&inst);
+        assert!(star.is_hs_star());
+        assert_eq!(star.k, 2);
+        assert_eq!(star.sets.len(), 3);
+        assert_eq!(fresh, 4);
+        assert!(!inst.universe.contains(&fresh));
+    }
+
+    #[test]
+    fn yes_instances_round_trip() {
+        let inst = HittingSetInstance::new(vec![set(&[1, 2]), set(&[2, 3])], 1);
+        let (star, fresh) = hs_to_hs_star(&inst);
+        let hs_sol = solve_hitting_set(&inst).unwrap(); // {2}
+        let lifted = lift_hs_solution(&hs_sol, fresh);
+        assert!(star.is_solution(&lifted));
+        let star_sol = solve_hitting_set(&star).unwrap();
+        let projected = project_hs_star_solution(&star_sol, fresh);
+        assert!(inst.is_solution(&projected));
+    }
+
+    #[test]
+    fn no_instances_stay_no() {
+        // Three disjoint sets, budget 2: no.
+        let inst = HittingSetInstance::new(vec![set(&[1]), set(&[2]), set(&[3])], 2);
+        assert!(solve_hitting_set(&inst).is_none());
+        let (star, _) = hs_to_hs_star(&inst);
+        assert!(solve_hitting_set(&star).is_none());
+    }
+
+    #[test]
+    fn fresh_element_on_empty_universe() {
+        let inst = HittingSetInstance::new(vec![], 0);
+        let (star, fresh) = hs_to_hs_star(&inst);
+        assert_eq!(fresh, 0);
+        assert!(star.is_hs_star());
+        assert_eq!(solve_hitting_set(&star), Some(set(&[0])));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_reduction_preserves_answer(
+            seed_sets in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..7, 1..4),
+                1..5
+            ),
+            k in 1usize..5
+        ) {
+            let inst = HittingSetInstance::new(seed_sets, k);
+            let (star, fresh) = hs_to_hs_star(&inst);
+            let direct = solve_hitting_set(&inst);
+            let via_star = solve_hitting_set(&star);
+            prop_assert_eq!(direct.is_some(), via_star.is_some());
+            if let Some(star_sol) = via_star {
+                let projected = project_hs_star_solution(&star_sol, fresh);
+                prop_assert!(inst.is_solution(&projected));
+            }
+            if let Some(hs_sol) = direct {
+                let lifted = lift_hs_solution(&hs_sol, fresh);
+                prop_assert!(star.is_solution(&lifted));
+            }
+        }
+    }
+}

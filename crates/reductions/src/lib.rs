@@ -1,0 +1,30 @@
+//! # pscds-reductions
+//!
+//! The complexity side of the paper (Section 3): HITTING SET, its
+//! restricted variant HS* (last set a singleton), and the reductions that
+//! prove CONSISTENCY NP-complete.
+//!
+//! * [`hitting_set`] — instances of HS/HS* plus two solvers: an exact
+//!   branch-and-bound and a greedy approximation; used as independent
+//!   oracles.
+//! * [`hs_star`] — the Lemma 3.3 reduction HS → HS* and the solution
+//!   mappings in both directions.
+//! * [`to_consistency`] — the Theorem 3.2 reduction HS* → CONSISTENCY
+//!   (identity views, `c_i = 1/K`, `s_i = 1/|A_i|`) and the witness
+//!   mappings in both directions.
+//!
+//! Experiment E2 composes these: random HS instances are pushed through
+//! both reductions and the consistency solvers, and the yes/no answers and
+//! round-tripped witnesses are cross-validated against the direct HS
+//! solver.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hitting_set;
+pub mod hs_star;
+pub mod to_consistency;
+
+pub use hitting_set::{greedy_hitting_set, solve_hitting_set, HittingSetInstance};
+pub use hs_star::{hs_to_hs_star, lift_hs_solution, project_hs_star_solution};
+pub use to_consistency::{consistency_witness_to_hitting_set, hs_star_to_consistency, hitting_set_to_database};

@@ -1,0 +1,189 @@
+//! Theorem 3.2: the reduction HS* → CONSISTENCY.
+//!
+//! For an HS* instance `({A₁,…,A_n}, K)` build, per set `A_i`, a source
+//!
+//! ```text
+//! S_i = ⟨ V_i(x) ← R(x),  v_i = {V_i(a) : a ∈ A_i},  c_i = 1/K,  s_i = 1/|A_i| ⟩
+//! ```
+//!
+//! Soundness `≥ 1/|A_i|` forces at least one element of each `A_i` into
+//! `D`; completeness `≥ 1/K` of the singleton set `A_n` caps `|D| ≤ K`.
+//! Witnesses map back and forth:
+//! `A = {a : R(a) ∈ D}` and `D = {R(a) : a ∈ A}`.
+//!
+//! Elements are encoded as integer constants, so the inverse mapping is
+//! lossless.
+
+use crate::hitting_set::HittingSetInstance;
+use pscds_core::{CoreError, SourceCollection, SourceDescriptor};
+use pscds_numeric::Frac;
+use pscds_relational::{Database, Fact, RelName, Value};
+use std::collections::BTreeSet;
+
+/// Applies the Theorem 3.2 construction.
+///
+/// The construction is meaningful for any HS instance; the equivalence
+/// proof needs the HS* shape (last set a singleton), which callers should
+/// ensure via [`crate::hs_star::hs_to_hs_star`].
+///
+/// # Errors
+/// Fails for instances with an empty set (the paper's `s_i = 1/|A_i|` is
+/// undefined — and such instances are trivially "no") or `K = 0`.
+pub fn hs_star_to_consistency(instance: &HittingSetInstance) -> Result<SourceCollection, CoreError> {
+    if instance.k == 0 {
+        return Err(CoreError::BadDomain {
+            message: "the reduction needs K ≥ 1 (c_i = 1/K)".into(),
+        });
+    }
+    let mut sources = Vec::with_capacity(instance.sets.len());
+    for (i, a_i) in instance.sets.iter().enumerate() {
+        if a_i.is_empty() {
+            return Err(CoreError::BadDomain {
+                message: format!("set A_{} is empty: s_i = 1/|A_i| is undefined (instance is trivially NO)", i + 1),
+            });
+        }
+        let tuples: Vec<[Value; 1]> = a_i.iter().map(|&e| [Value::int(i64::from(e))]).collect();
+        let source = SourceDescriptor::identity(
+            format!("S{}", i + 1),
+            &format!("V{}", i + 1),
+            "R",
+            1,
+            tuples,
+            Frac::new(1, instance.k as u64),
+            Frac::new(1, a_i.len() as u64),
+        )?;
+        sources.push(source);
+    }
+    Ok(SourceCollection::from_sources(sources))
+}
+
+/// Maps a hitting set to the corresponding witness database
+/// `D = {R(a) : a ∈ A}`.
+#[must_use]
+pub fn hitting_set_to_database(solution: &BTreeSet<u32>) -> Database {
+    Database::from_facts(
+        solution
+            .iter()
+            .map(|&e| Fact::new("R", [Value::int(i64::from(e))])),
+    )
+}
+
+/// Maps a consistency witness back to a hitting set
+/// `A = {a : R(a) ∈ D}` (non-integer constants — e.g. synthesized padding
+/// facts — are ignored, mirroring the paper's `A = {a ∈ S : R(a) ∈ D}`).
+#[must_use]
+pub fn consistency_witness_to_hitting_set(witness: &Database) -> BTreeSet<u32> {
+    witness
+        .extension(RelName::new("R"))
+        .filter_map(|tuple| tuple.first().and_then(Value::as_int))
+        .filter_map(|v| u32::try_from(v).ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hitting_set::solve_hitting_set;
+    use crate::hs_star::hs_to_hs_star;
+    use pscds_core::consistency::{decide_identity, IdentityConsistency};
+    use pscds_core::measures::in_poss;
+    use proptest::prelude::*;
+
+    fn set(elems: &[u32]) -> BTreeSet<u32> {
+        elems.iter().copied().collect()
+    }
+
+    #[test]
+    fn construction_shape() {
+        let inst = HittingSetInstance::new(vec![set(&[1, 2]), set(&[3])], 2);
+        assert!(inst.is_hs_star());
+        let collection = hs_star_to_consistency(&inst).unwrap();
+        assert_eq!(collection.len(), 2);
+        let s1 = &collection.sources()[0];
+        assert_eq!(s1.completeness(), Frac::new(1, 2)); // 1/K
+        assert_eq!(s1.soundness(), Frac::new(1, 2)); // 1/|A_1|
+        let s2 = &collection.sources()[1];
+        assert_eq!(s2.soundness(), Frac::ONE); // singleton
+    }
+
+    #[test]
+    fn invalid_instances_rejected() {
+        let empty_set = HittingSetInstance::new(vec![set(&[])], 1);
+        assert!(hs_star_to_consistency(&empty_set).is_err());
+        let zero_k = HittingSetInstance::new(vec![set(&[1])], 0);
+        assert!(hs_star_to_consistency(&zero_k).is_err());
+    }
+
+    #[test]
+    fn yes_instance_maps_to_consistent_collection() {
+        let inst = HittingSetInstance::new(vec![set(&[1, 2]), set(&[2, 3]), set(&[9])], 2);
+        assert!(inst.is_hs_star());
+        let hs_sol = solve_hitting_set(&inst).expect("solvable: {2, 9}");
+        let collection = hs_star_to_consistency(&inst).unwrap();
+        // Forward: the hitting set's database is a possible world.
+        let db = hitting_set_to_database(&hs_sol);
+        assert!(in_poss(&db, &collection).unwrap());
+        // And the identity solver agrees.
+        let id = collection.as_identity().unwrap();
+        let result = decide_identity(&id, 0);
+        let IdentityConsistency::Consistent { witness, .. } = result else {
+            panic!("must be consistent");
+        };
+        // Backward: the witness maps to a valid hitting set.
+        let back = consistency_witness_to_hitting_set(&witness);
+        assert!(inst.is_solution(&back), "mapped-back set {back:?}");
+    }
+
+    #[test]
+    fn no_instance_maps_to_inconsistent_collection() {
+        // Disjoint {1}, {2}, {3} with K = 2 — no; append singleton per HS*.
+        let inst = HittingSetInstance::new(vec![set(&[1]), set(&[2]), set(&[3]), set(&[4])], 3);
+        assert!(inst.is_hs_star());
+        assert!(solve_hitting_set(&inst).is_none());
+        let collection = hs_star_to_consistency(&inst).unwrap();
+        let id = collection.as_identity().unwrap();
+        assert_eq!(decide_identity(&id, 0), IdentityConsistency::Inconsistent);
+    }
+
+    #[test]
+    fn full_pipeline_from_plain_hs() {
+        // HS instance → HS* (Lemma 3.3) → CONSISTENCY (Theorem 3.2).
+        let hs = HittingSetInstance::new(vec![set(&[1, 2]), set(&[2, 3]), set(&[3, 4])], 2);
+        let (star, fresh) = hs_to_hs_star(&hs);
+        let collection = hs_star_to_consistency(&star).unwrap();
+        let id = collection.as_identity().unwrap();
+        let IdentityConsistency::Consistent { witness, .. } = decide_identity(&id, 0) else {
+            panic!("consistent: {{2,4}} ∪ {{fresh}} hits everything within K+1");
+        };
+        let star_sol = consistency_witness_to_hitting_set(&witness);
+        assert!(star.is_solution(&star_sol));
+        let hs_sol = crate::hs_star::project_hs_star_solution(&star_sol, fresh);
+        assert!(hs.is_solution(&hs_sol));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_reduction_preserves_answer(
+            seed_sets in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..6, 1..4),
+                1..4
+            ),
+            k in 1usize..4
+        ) {
+            let hs = HittingSetInstance::new(seed_sets, k);
+            let (star, fresh) = hs_to_hs_star(&hs);
+            let collection = hs_star_to_consistency(&star).unwrap();
+            let id = collection.as_identity().unwrap();
+            let direct = solve_hitting_set(&hs);
+            let via_consistency = decide_identity(&id, 0);
+            prop_assert_eq!(direct.is_some(), via_consistency.is_consistent());
+            if let IdentityConsistency::Consistent { witness, .. } = via_consistency {
+                let star_sol = consistency_witness_to_hitting_set(&witness);
+                prop_assert!(star.is_solution(&star_sol), "star witness {:?}", star_sol);
+                let hs_sol = crate::hs_star::project_hs_star_solution(&star_sol, fresh);
+                prop_assert!(hs.is_solution(&hs_sol), "hs witness {:?}", hs_sol);
+            }
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! Relational algebra: σ, π, ×, ∪ over base relations.
+//!
+//! Section 5.2 defines the compositional confidence `conf_Q` by structural
+//! recursion over relational-algebra queries (`Q = R | π_Att Q' | σ_φ Q' |
+//! Q' × Q''`). This module supplies the algebra itself: a typed AST with an
+//! arity checker and an evaluator over [`Database`]s. Union is included as
+//! a natural extension (the `⊕` combinator handles it the same way it
+//! handles projection).
+
+use crate::database::Database;
+use crate::error::RelError;
+use crate::schema::{GlobalSchema, RelName};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A comparison operator for selection predicates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Neq,
+    /// Less-than (total order on [`Value`]).
+    Lt,
+    /// Less-or-equal.
+    Leq,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Geq,
+}
+
+impl CmpOp {
+    /// Applies the comparison using the total order on values.
+    #[must_use]
+    pub fn eval(&self, a: Value, b: Value) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Neq => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Leq => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Geq => a >= b,
+        }
+    }
+}
+
+/// One side of a comparison: a column index or a constant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// A 0-based column of the input tuple.
+    Col(usize),
+    /// A constant.
+    Const(Value),
+}
+
+impl Operand {
+    fn resolve(&self, tuple: &[Value]) -> Result<Value, RelError> {
+        match self {
+            Operand::Col(i) => tuple.get(*i).copied().ok_or_else(|| RelError::Algebra {
+                message: format!("column {i} out of range for arity {}", tuple.len()),
+            }),
+            Operand::Const(v) => Ok(*v),
+        }
+    }
+
+    fn max_col(&self) -> Option<usize> {
+        match self {
+            Operand::Col(i) => Some(*i),
+            Operand::Const(_) => None,
+        }
+    }
+}
+
+/// A selection predicate over one tuple.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Always true (σ_true is the identity).
+    True,
+    /// A comparison between two operands.
+    Cmp(Operand, CmpOp, Operand),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Convenience: `col = const`.
+    #[must_use]
+    pub fn col_eq<V: Into<Value>>(col: usize, value: V) -> Predicate {
+        Predicate::Cmp(Operand::Col(col), CmpOp::Eq, Operand::Const(value.into()))
+    }
+
+    /// Evaluates over a tuple.
+    ///
+    /// # Errors
+    /// Fails on out-of-range column references.
+    pub fn eval(&self, tuple: &[Value]) -> Result<bool, RelError> {
+        match self {
+            Predicate::True => Ok(true),
+            Predicate::Cmp(a, op, b) => Ok(op.eval(a.resolve(tuple)?, b.resolve(tuple)?)),
+            Predicate::And(p, q) => Ok(p.eval(tuple)? && q.eval(tuple)?),
+            Predicate::Or(p, q) => Ok(p.eval(tuple)? || q.eval(tuple)?),
+            Predicate::Not(p) => Ok(!p.eval(tuple)?),
+        }
+    }
+
+    /// Largest referenced column index, for arity checking.
+    #[must_use]
+    pub fn max_col(&self) -> Option<usize> {
+        match self {
+            Predicate::True => None,
+            Predicate::Cmp(a, _, b) => a.max_col().max(b.max_col()),
+            Predicate::And(p, q) | Predicate::Or(p, q) => p.max_col().max(q.max_col()),
+            Predicate::Not(p) => p.max_col(),
+        }
+    }
+}
+
+/// A relational-algebra expression.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RaExpr {
+    /// A base relation `R`.
+    Rel(RelName),
+    /// Selection `σ_φ(Q)`.
+    Select(Predicate, Box<RaExpr>),
+    /// Projection `π_{cols}(Q)` (columns may repeat or reorder).
+    Project(Vec<usize>, Box<RaExpr>),
+    /// Cross product `Q' × Q''`.
+    Product(Box<RaExpr>, Box<RaExpr>),
+    /// Union `Q' ∪ Q''` (arities must agree).
+    Union(Box<RaExpr>, Box<RaExpr>),
+}
+
+impl RaExpr {
+    /// Convenience constructor for a base relation.
+    #[must_use]
+    pub fn rel<N: Into<RelName>>(name: N) -> RaExpr {
+        RaExpr::Rel(name.into())
+    }
+
+    /// Convenience: `σ_φ(self)`.
+    #[must_use]
+    pub fn select(self, predicate: Predicate) -> RaExpr {
+        RaExpr::Select(predicate, Box::new(self))
+    }
+
+    /// Convenience: `π_cols(self)`.
+    #[must_use]
+    pub fn project<I: IntoIterator<Item = usize>>(self, cols: I) -> RaExpr {
+        RaExpr::Project(cols.into_iter().collect(), Box::new(self))
+    }
+
+    /// Convenience: `self × other`.
+    #[must_use]
+    pub fn product(self, other: RaExpr) -> RaExpr {
+        RaExpr::Product(Box::new(self), Box::new(other))
+    }
+
+    /// Convenience: `self ∪ other`.
+    #[must_use]
+    pub fn union(self, other: RaExpr) -> RaExpr {
+        RaExpr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Output arity under `schema`.
+    ///
+    /// # Errors
+    /// Fails on undeclared relations, out-of-range columns, and arity
+    /// mismatches in unions.
+    pub fn arity(&self, schema: &GlobalSchema) -> Result<usize, RelError> {
+        match self {
+            RaExpr::Rel(name) => schema.arity(*name).ok_or_else(|| RelError::Algebra {
+                message: format!("relation {name} not in schema"),
+            }),
+            RaExpr::Select(pred, inner) => {
+                let arity = inner.arity(schema)?;
+                if let Some(max) = pred.max_col() {
+                    if max >= arity {
+                        return Err(RelError::Algebra {
+                            message: format!("selection references column {max}, input arity {arity}"),
+                        });
+                    }
+                }
+                Ok(arity)
+            }
+            RaExpr::Project(cols, inner) => {
+                let arity = inner.arity(schema)?;
+                for &c in cols {
+                    if c >= arity {
+                        return Err(RelError::Algebra {
+                            message: format!("projection references column {c}, input arity {arity}"),
+                        });
+                    }
+                }
+                Ok(cols.len())
+            }
+            RaExpr::Product(l, r) => Ok(l.arity(schema)? + r.arity(schema)?),
+            RaExpr::Union(l, r) => {
+                let la = l.arity(schema)?;
+                let ra = r.arity(schema)?;
+                if la != ra {
+                    return Err(RelError::Algebra {
+                        message: format!("union of arities {la} and {ra}"),
+                    });
+                }
+                Ok(la)
+            }
+        }
+    }
+
+    /// Evaluates over a database, producing a set of tuples.
+    ///
+    /// # Errors
+    /// Fails on type errors (see [`RaExpr::arity`]); missing base relations
+    /// evaluate to the empty set only if declared in `schema`.
+    pub fn eval(&self, db: &Database, schema: &GlobalSchema) -> Result<BTreeSet<Vec<Value>>, RelError> {
+        // Type-check once up front so evaluation can't fail midway.
+        self.arity(schema)?;
+        self.eval_unchecked(db)
+    }
+
+    fn eval_unchecked(&self, db: &Database) -> Result<BTreeSet<Vec<Value>>, RelError> {
+        match self {
+            RaExpr::Rel(name) => Ok(db.extension(*name).cloned().collect()),
+            RaExpr::Select(pred, inner) => {
+                let input = inner.eval_unchecked(db)?;
+                let mut out = BTreeSet::new();
+                for tuple in input {
+                    if pred.eval(&tuple)? {
+                        out.insert(tuple);
+                    }
+                }
+                Ok(out)
+            }
+            RaExpr::Project(cols, inner) => {
+                let input = inner.eval_unchecked(db)?;
+                Ok(input
+                    .into_iter()
+                    .map(|tuple| cols.iter().map(|&c| tuple[c]).collect())
+                    .collect())
+            }
+            RaExpr::Product(l, r) => {
+                let left = l.eval_unchecked(db)?;
+                let right = r.eval_unchecked(db)?;
+                let mut out = BTreeSet::new();
+                for lt in &left {
+                    for rt in &right {
+                        let mut tuple = lt.clone();
+                        tuple.extend_from_slice(rt);
+                        out.insert(tuple);
+                    }
+                }
+                Ok(out)
+            }
+            RaExpr::Union(l, r) => {
+                let mut out = l.eval_unchecked(db)?;
+                out.extend(r.eval_unchecked(db)?);
+                Ok(out)
+            }
+        }
+    }
+
+    /// The base relations referenced by the expression.
+    #[must_use]
+    pub fn base_relations(&self) -> BTreeSet<RelName> {
+        let mut out = BTreeSet::new();
+        self.collect_base(&mut out);
+        out
+    }
+
+    fn collect_base(&self, out: &mut BTreeSet<RelName>) {
+        match self {
+            RaExpr::Rel(name) => {
+                out.insert(*name);
+            }
+            RaExpr::Select(_, inner) | RaExpr::Project(_, inner) => inner.collect_base(out),
+            RaExpr::Product(l, r) | RaExpr::Union(l, r) => {
+                l.collect_base(out);
+                r.collect_base(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for RaExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaExpr::Rel(name) => write!(f, "{name}"),
+            RaExpr::Select(pred, inner) => write!(f, "σ[{pred:?}]({inner})"),
+            RaExpr::Project(cols, inner) => write!(f, "π{cols:?}({inner})"),
+            RaExpr::Product(l, r) => write!(f, "({l} × {r})"),
+            RaExpr::Union(l, r) => write!(f, "({l} ∪ {r})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::Fact;
+
+    fn db() -> Database {
+        Database::from_facts([
+            Fact::new("R", [Value::sym("a"), Value::int(1)]),
+            Fact::new("R", [Value::sym("b"), Value::int(2)]),
+            Fact::new("R", [Value::sym("c"), Value::int(3)]),
+            Fact::new("S", [Value::int(2)]),
+            Fact::new("S", [Value::int(9)]),
+        ])
+    }
+
+    fn schema() -> GlobalSchema {
+        GlobalSchema::from_pairs([("R", 2), ("S", 1)]).unwrap()
+    }
+
+    #[test]
+    fn base_relation_eval() {
+        let e = RaExpr::rel("R");
+        let out = e.eval(&db(), &schema()).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(e.arity(&schema()).unwrap(), 2);
+    }
+
+    #[test]
+    fn selection() {
+        let e = RaExpr::rel("R").select(Predicate::Cmp(
+            Operand::Col(1),
+            CmpOp::Geq,
+            Operand::Const(Value::int(2)),
+        ));
+        let out = e.eval(&db(), &schema()).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn projection_deduplicates() {
+        // Make two R-tuples share their first column, then project onto it.
+        let mut d = db();
+        d.insert(Fact::new("R", [Value::sym("a"), Value::int(7)]));
+        let e = RaExpr::rel("R").project([0]);
+        let out = e.eval(&d, &schema()).unwrap();
+        assert_eq!(out.len(), 3); // a, b, c — the duplicate a collapsed
+    }
+
+    #[test]
+    fn projection_reorder_and_repeat() {
+        let e = RaExpr::rel("R").project([1, 1, 0]);
+        let out = e.eval(&db(), &schema()).unwrap();
+        assert!(out.contains(&vec![Value::int(1), Value::int(1), Value::sym("a")]));
+        assert_eq!(e.arity(&schema()).unwrap(), 3);
+    }
+
+    #[test]
+    fn product() {
+        let e = RaExpr::rel("R").product(RaExpr::rel("S"));
+        let out = e.eval(&db(), &schema()).unwrap();
+        assert_eq!(out.len(), 6);
+        assert_eq!(e.arity(&schema()).unwrap(), 3);
+    }
+
+    #[test]
+    fn union_and_mismatch() {
+        let ok = RaExpr::rel("R").project([1]).union(RaExpr::rel("S"));
+        let out = ok.eval(&db(), &schema()).unwrap();
+        // {1,2,3} ∪ {2,9} = {1,2,3,9}
+        assert_eq!(out.len(), 4);
+
+        let bad = RaExpr::rel("R").union(RaExpr::rel("S"));
+        assert!(bad.arity(&schema()).is_err());
+    }
+
+    #[test]
+    fn type_errors() {
+        let unknown = RaExpr::rel("Nope");
+        assert!(unknown.eval(&db(), &schema()).is_err());
+
+        let out_of_range = RaExpr::rel("S").project([3]);
+        assert!(out_of_range.arity(&schema()).is_err());
+
+        let bad_select = RaExpr::rel("S").select(Predicate::col_eq(5, Value::int(0)));
+        assert!(bad_select.eval(&db(), &schema()).is_err());
+    }
+
+    #[test]
+    fn predicate_logic() {
+        let t = vec![Value::int(5), Value::sym("x")];
+        let p = Predicate::And(
+            Box::new(Predicate::Cmp(Operand::Col(0), CmpOp::Gt, Operand::Const(Value::int(3)))),
+            Box::new(Predicate::Not(Box::new(Predicate::col_eq(1, Value::sym("y"))))),
+        );
+        assert!(p.eval(&t).unwrap());
+        let q = Predicate::Or(Box::new(Predicate::True), Box::new(Predicate::col_eq(9, Value::int(0))));
+        // Short-circuit: the out-of-range branch is never evaluated.
+        assert!(q.eval(&t).unwrap());
+    }
+
+    #[test]
+    fn base_relations_collected() {
+        let e = RaExpr::rel("R").product(RaExpr::rel("S")).select(Predicate::True).project([0]);
+        let names: Vec<_> = e.base_relations().into_iter().map(|r| r.as_str()).collect();
+        assert_eq!(names, vec!["R", "S"]);
+    }
+
+    #[test]
+    fn selection_composition_matches_conjunction() {
+        let sch = schema();
+        let p1 = Predicate::Cmp(Operand::Col(1), CmpOp::Geq, Operand::Const(Value::int(2)));
+        let p2 = Predicate::Cmp(Operand::Col(1), CmpOp::Lt, Operand::Const(Value::int(3)));
+        let nested = RaExpr::rel("R").select(p1.clone()).select(p2.clone());
+        let conj = RaExpr::rel("R").select(Predicate::And(Box::new(p1), Box::new(p2)));
+        assert_eq!(nested.eval(&db(), &sch).unwrap(), conj.eval(&db(), &sch).unwrap());
+    }
+}

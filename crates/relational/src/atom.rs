@@ -1,0 +1,147 @@
+//! Atoms: relation applications over terms.
+
+use crate::fact::Fact;
+use crate::schema::RelName;
+use crate::term::{Substitution, Term, Valuation, Var};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An atom `R(e₁, …, e_k)` over constants and variables.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Atom {
+    /// The relation.
+    pub relation: RelName,
+    /// The argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom.
+    #[must_use]
+    pub fn new<N: Into<RelName>, T: Into<Term>, I: IntoIterator<Item = T>>(relation: N, terms: I) -> Atom {
+        Atom {
+            relation: relation.into(),
+            terms: terms.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Arity of the atom.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` iff all terms are constants.
+    #[must_use]
+    pub fn is_ground(&self) -> bool {
+        self.terms.iter().all(Term::is_ground)
+    }
+
+    /// The set of variables occurring in the atom.
+    #[must_use]
+    pub fn variables(&self) -> BTreeSet<Var> {
+        self.terms.iter().filter_map(Term::as_var).collect()
+    }
+
+    /// Applies a substitution term-wise.
+    #[must_use]
+    pub fn substitute(&self, theta: &Substitution) -> Atom {
+        Atom {
+            relation: self.relation,
+            terms: self.terms.iter().map(|&t| theta.apply(t)).collect(),
+        }
+    }
+
+    /// Applies a valuation, producing a fact when every variable is bound.
+    #[must_use]
+    pub fn ground(&self, sigma: &Valuation) -> Option<Fact> {
+        let args = self
+            .terms
+            .iter()
+            .map(|&t| sigma.apply(t))
+            .collect::<Option<Vec<_>>>()?;
+        Some(Fact { relation: self.relation, args })
+    }
+
+    /// Converts a ground atom into a fact.
+    #[must_use]
+    pub fn to_fact(&self) -> Option<Fact> {
+        self.ground(&Valuation::new())
+    }
+
+    /// Lifts a fact back into a (ground) atom.
+    #[must_use]
+    pub fn from_fact(fact: &Fact) -> Atom {
+        Atom {
+            relation: fact.relation,
+            terms: fact.args.iter().map(|&v| Term::Const(v)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Atom({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn construction_and_variables() {
+        let a = Atom::new("R", [Term::var("x"), Term::sym("c"), Term::var("y")]);
+        assert_eq!(a.arity(), 3);
+        assert!(!a.is_ground());
+        let vars: Vec<_> = a.variables().into_iter().map(|v| v.as_str()).collect();
+        assert_eq!(vars, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn substitution() {
+        let a = Atom::new("R", [Term::var("x"), Term::var("y")]);
+        let theta = Substitution::from_bindings([(Var::new("x"), Term::sym("a"))]);
+        let b = a.substitute(&theta);
+        assert_eq!(b, Atom::new("R", [Term::sym("a"), Term::var("y")]));
+    }
+
+    #[test]
+    fn grounding() {
+        let a = Atom::new("R", [Term::var("x"), Term::int(5)]);
+        let sigma = Valuation::from_bindings([(Var::new("x"), Value::sym("a"))]);
+        let f = a.ground(&sigma).unwrap();
+        assert_eq!(f, Fact::new("R", [Value::sym("a"), Value::int(5)]));
+        // Unbound variable -> None.
+        assert_eq!(a.ground(&Valuation::new()), None);
+    }
+
+    #[test]
+    fn fact_round_trip() {
+        let f = Fact::new("R", [Value::sym("a"), Value::int(1)]);
+        let a = Atom::from_fact(&f);
+        assert!(a.is_ground());
+        assert_eq!(a.to_fact(), Some(f));
+    }
+
+    #[test]
+    fn display() {
+        let a = Atom::new("Temp", [Term::var("s"), Term::int(1900)]);
+        assert_eq!(a.to_string(), "Temp(s, 1900)");
+    }
+}

@@ -1,0 +1,167 @@
+//! Built-in global relations.
+//!
+//! The paper's motivating example uses `After(y, 1900)` as "a built-in
+//! global relation": conceptually infinite relations whose membership is
+//! computed, not stored. They may appear in view bodies (and query bodies)
+//! as *filters* — every variable in a built-in atom must be bound by a
+//! regular atom, which the matching engine enforces by evaluating built-ins
+//! only once ground.
+
+use crate::atom::Atom;
+use crate::error::RelError;
+use crate::schema::RelName;
+use crate::value::Value;
+
+/// The comparison operator behind a built-in relation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    /// `After(x, y)`: `x > y` on integers (the paper's `After`).
+    After,
+    /// `Before(x, y)`: `x < y` on integers.
+    Before,
+    /// `Eq(x, y)`: term equality on any values.
+    Eq,
+    /// `Neq(x, y)`: term inequality on any values.
+    Neq,
+    /// `Lt(x, y)`: `x < y` on integers.
+    Lt,
+    /// `Leq(x, y)`: `x ≤ y` on integers.
+    Leq,
+    /// `Gt(x, y)`: `x > y` on integers.
+    Gt,
+    /// `Geq(x, y)`: `x ≥ y` on integers.
+    Geq,
+}
+
+impl Builtin {
+    /// Recognizes a built-in relation by name, if it is one.
+    #[must_use]
+    pub fn from_name(name: RelName) -> Option<Builtin> {
+        match name.as_str() {
+            "After" => Some(Builtin::After),
+            "Before" => Some(Builtin::Before),
+            "Eq" => Some(Builtin::Eq),
+            "Neq" => Some(Builtin::Neq),
+            "Lt" => Some(Builtin::Lt),
+            "Leq" => Some(Builtin::Leq),
+            "Gt" => Some(Builtin::Gt),
+            "Geq" => Some(Builtin::Geq),
+            _ => None,
+        }
+    }
+
+    /// All built-ins take two arguments.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        2
+    }
+
+    /// Evaluates on ground values.
+    ///
+    /// # Errors
+    /// Fails when an integer comparison is applied to a symbolic constant.
+    pub fn eval(&self, a: Value, b: Value) -> Result<bool, RelError> {
+        let ints = |a: Value, b: Value| -> Result<(i64, i64), RelError> {
+            match (a.as_int(), b.as_int()) {
+                (Some(x), Some(y)) => Ok((x, y)),
+                _ => Err(RelError::BadBuiltin {
+                    message: format!("{self:?} requires integer arguments, got ({a}, {b})"),
+                }),
+            }
+        };
+        match self {
+            Builtin::Eq => Ok(a == b),
+            Builtin::Neq => Ok(a != b),
+            Builtin::After | Builtin::Gt => ints(a, b).map(|(x, y)| x > y),
+            Builtin::Before | Builtin::Lt => ints(a, b).map(|(x, y)| x < y),
+            Builtin::Leq => ints(a, b).map(|(x, y)| x <= y),
+            Builtin::Geq => ints(a, b).map(|(x, y)| x >= y),
+        }
+    }
+
+    /// Evaluates a ground built-in atom.
+    ///
+    /// # Errors
+    /// Fails if the atom is not ground, has the wrong arity, or applies an
+    /// integer comparison to symbols.
+    pub fn eval_atom(atom: &Atom) -> Result<bool, RelError> {
+        let builtin = Builtin::from_name(atom.relation).ok_or_else(|| RelError::BadBuiltin {
+            message: format!("{} is not a built-in relation", atom.relation),
+        })?;
+        if atom.arity() != builtin.arity() {
+            return Err(RelError::BadBuiltin {
+                message: format!("{} expects {} arguments, got {}", atom.relation, builtin.arity(), atom.arity()),
+            });
+        }
+        let a = atom.terms[0].as_const().ok_or_else(|| RelError::BadBuiltin {
+            message: format!("built-in atom {atom} is not ground"),
+        })?;
+        let b = atom.terms[1].as_const().ok_or_else(|| RelError::BadBuiltin {
+            message: format!("built-in atom {atom} is not ground"),
+        })?;
+        builtin.eval(a, b)
+    }
+}
+
+/// `true` iff `name` denotes a built-in relation.
+#[must_use]
+pub fn is_builtin(name: RelName) -> bool {
+    Builtin::from_name(name).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    #[test]
+    fn recognition() {
+        assert_eq!(Builtin::from_name(RelName::new("After")), Some(Builtin::After));
+        assert_eq!(Builtin::from_name(RelName::new("Temperature")), None);
+        assert!(is_builtin(RelName::new("Lt")));
+        assert!(!is_builtin(RelName::new("Station")));
+    }
+
+    #[test]
+    fn integer_comparisons() {
+        assert_eq!(Builtin::After.eval(Value::int(1950), Value::int(1900)), Ok(true));
+        assert_eq!(Builtin::After.eval(Value::int(1850), Value::int(1900)), Ok(false));
+        assert_eq!(Builtin::Before.eval(Value::int(1850), Value::int(1900)), Ok(true));
+        assert_eq!(Builtin::Leq.eval(Value::int(5), Value::int(5)), Ok(true));
+        assert_eq!(Builtin::Geq.eval(Value::int(4), Value::int(5)), Ok(false));
+        assert_eq!(Builtin::Lt.eval(Value::int(4), Value::int(5)), Ok(true));
+        assert_eq!(Builtin::Gt.eval(Value::int(4), Value::int(5)), Ok(false));
+    }
+
+    #[test]
+    fn equality_on_any_values() {
+        assert_eq!(Builtin::Eq.eval(Value::sym("a"), Value::sym("a")), Ok(true));
+        assert_eq!(Builtin::Eq.eval(Value::sym("a"), Value::sym("b")), Ok(false));
+        assert_eq!(Builtin::Neq.eval(Value::sym("a"), Value::int(1)), Ok(true));
+    }
+
+    #[test]
+    fn type_errors() {
+        assert!(Builtin::After.eval(Value::sym("a"), Value::int(1)).is_err());
+        assert!(Builtin::Lt.eval(Value::int(1), Value::sym("b")).is_err());
+    }
+
+    #[test]
+    fn eval_atom_ground() {
+        let atom = Atom::new("After", [Term::int(1950), Term::int(1900)]);
+        assert_eq!(Builtin::eval_atom(&atom), Ok(true));
+    }
+
+    #[test]
+    fn eval_atom_errors() {
+        // Not ground.
+        let atom = Atom::new("After", [Term::var("y"), Term::int(1900)]);
+        assert!(Builtin::eval_atom(&atom).is_err());
+        // Not a builtin.
+        let atom = Atom::new("Temperature", [Term::int(1), Term::int(2)]);
+        assert!(Builtin::eval_atom(&atom).is_err());
+        // Wrong arity.
+        let atom = Atom::new("After", [Term::int(1)]);
+        assert!(Builtin::eval_atom(&atom).is_err());
+    }
+}

@@ -1,0 +1,250 @@
+//! Compiling conjunctive queries into relational algebra.
+//!
+//! The paper uses both query languages: view definitions and queries are
+//! conjunctive rules (Sections 2 and 5), while the compositional
+//! confidence of Definition 5.1 recurses over relational-algebra
+//! operators. This module bridges them with the classical
+//! select-project-join compilation:
+//!
+//! * the body's non-built-in atoms become a cross product of base
+//!   relations,
+//! * constants and repeated variables become equality selections,
+//! * built-in atoms become comparison selections,
+//! * the head becomes a projection.
+//!
+//! The compiled expression evaluates identically to the rule (property
+//! tested), so `conf_Q` can be applied to any safe conjunctive query.
+
+use crate::algebra::{CmpOp, Operand, Predicate, RaExpr};
+use crate::atom::Atom;
+use crate::builtins::{is_builtin, Builtin};
+use crate::cq::ConjunctiveQuery;
+use crate::error::RelError;
+use crate::term::{Term, Var};
+use std::collections::HashMap;
+
+fn builtin_op(b: Builtin) -> CmpOp {
+    match b {
+        Builtin::After | Builtin::Gt => CmpOp::Gt,
+        Builtin::Before | Builtin::Lt => CmpOp::Lt,
+        Builtin::Eq => CmpOp::Eq,
+        Builtin::Neq => CmpOp::Neq,
+        Builtin::Leq => CmpOp::Leq,
+        Builtin::Geq => CmpOp::Geq,
+    }
+}
+
+/// Compiles a safe conjunctive query into an equivalent relational-algebra
+/// expression (π ∘ σ ∘ ×).
+///
+/// Type note: built-in order comparisons (`After`, `Lt`, …) evaluate only
+/// on integers in rule form, while the compiled σ-predicates use the total
+/// order on [`crate::value::Value`]. The two agree wherever the rule
+/// evaluates without a type error; on symbolic operands the compiled form
+/// is total where the rule form errors.
+///
+/// # Errors
+/// Fails for heads containing constants (relational algebra has no
+/// constant-introducing projection here) and for built-ins whose arguments
+/// are neither body columns nor constants.
+pub fn compile_cq(query: &ConjunctiveQuery) -> Result<RaExpr, RelError> {
+    let stored: Vec<&Atom> = query
+        .body()
+        .iter()
+        .filter(|a| !is_builtin(a.relation))
+        .collect();
+    if stored.is_empty() {
+        return Err(RelError::Algebra {
+            message: "cannot compile a rule with no stored (non-built-in) body atoms".into(),
+        });
+    }
+
+    // The cross product of the stored atoms, with a running column offset.
+    let mut expr = RaExpr::rel(stored[0].relation);
+    for atom in &stored[1..] {
+        expr = expr.product(RaExpr::rel(atom.relation));
+    }
+
+    // Map each variable to its first column; collect equality constraints.
+    let mut first_col: HashMap<Var, usize> = HashMap::new();
+    let mut predicates: Vec<Predicate> = Vec::new();
+    let mut offset = 0usize;
+    for atom in &stored {
+        for (i, term) in atom.terms.iter().enumerate() {
+            let col = offset + i;
+            match term {
+                Term::Const(c) => predicates.push(Predicate::Cmp(
+                    Operand::Col(col),
+                    CmpOp::Eq,
+                    Operand::Const(*c),
+                )),
+                Term::Var(v) => match first_col.get(v) {
+                    Some(&prev) => predicates.push(Predicate::Cmp(
+                        Operand::Col(col),
+                        CmpOp::Eq,
+                        Operand::Col(prev),
+                    )),
+                    None => {
+                        first_col.insert(*v, col);
+                    }
+                },
+            }
+        }
+        offset += atom.terms.len();
+    }
+
+    // Built-in atoms become comparison selections over the mapped columns.
+    for atom in query.body().iter().filter(|a| is_builtin(a.relation)) {
+        let builtin = Builtin::from_name(atom.relation).expect("filtered to built-ins");
+        if atom.terms.len() != 2 {
+            return Err(RelError::BadBuiltin {
+                message: format!("built-in {} must be binary to compile", atom.relation),
+            });
+        }
+        let operand = |term: &Term| -> Result<Operand, RelError> {
+            match term {
+                Term::Const(c) => Ok(Operand::Const(*c)),
+                Term::Var(v) => first_col
+                    .get(v)
+                    .map(|&c| Operand::Col(c))
+                    .ok_or_else(|| RelError::BadBuiltin {
+                        message: format!("built-in variable {v} not bound by a stored atom"),
+                    }),
+            }
+        };
+        predicates.push(Predicate::Cmp(
+            operand(&atom.terms[0])?,
+            builtin_op(builtin),
+            operand(&atom.terms[1])?,
+        ));
+    }
+
+    for p in predicates {
+        expr = expr.select(p);
+    }
+
+    // Head projection.
+    let mut cols = Vec::with_capacity(query.head().arity());
+    for term in &query.head().terms {
+        match term {
+            Term::Var(v) => cols.push(*first_col.get(v).expect("safety: head variables are bound")),
+            Term::Const(c) => {
+                return Err(RelError::Algebra {
+                    message: format!("cannot compile head constant {c}: no constant-introducing projection"),
+                })
+            }
+        }
+    }
+    Ok(expr.project(cols))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::fact::Fact;
+    use crate::parser::parse_rule;
+    use crate::schema::GlobalSchema;
+    use crate::value::Value;
+    use std::collections::BTreeSet;
+
+    fn check_equivalent(rule: &str, db: &Database, schema: &GlobalSchema) {
+        let cq = parse_rule(rule).unwrap();
+        let ra = compile_cq(&cq).unwrap();
+        let via_cq: BTreeSet<Vec<Value>> =
+            cq.evaluate(db).unwrap().into_iter().map(|f| f.args).collect();
+        let via_ra = ra.eval(db, schema).unwrap();
+        assert_eq!(via_cq, via_ra, "rule {rule}");
+    }
+
+    fn db() -> Database {
+        Database::from_facts([
+            Fact::new("E", [Value::int(1), Value::int(2)]),
+            Fact::new("E", [Value::int(2), Value::int(3)]),
+            Fact::new("E", [Value::int(2), Value::int(2)]),
+            Fact::new("E", [Value::int(3), Value::int(1)]),
+            Fact::new("L", [Value::int(2), Value::sym("Two")]),
+            Fact::new("L", [Value::int(3), Value::sym("Three")]),
+        ])
+    }
+
+    fn schema() -> GlobalSchema {
+        GlobalSchema::from_pairs([("E", 2), ("L", 2)]).unwrap()
+    }
+
+    #[test]
+    fn identity_and_projection() {
+        check_equivalent("V(x, y) <- E(x, y)", &db(), &schema());
+        check_equivalent("V(y) <- E(x, y)", &db(), &schema());
+        check_equivalent("V(y, x) <- E(x, y)", &db(), &schema());
+        check_equivalent("V(x, x) <- E(x, y)", &db(), &schema());
+    }
+
+    #[test]
+    fn constants_and_repeated_variables() {
+        check_equivalent("V(x) <- E(x, 2)", &db(), &schema());
+        check_equivalent("V(x) <- E(x, x)", &db(), &schema());
+        check_equivalent("V(x) <- E(2, x)", &db(), &schema());
+    }
+
+    #[test]
+    fn joins() {
+        check_equivalent("V(x, z) <- E(x, y), E(y, z)", &db(), &schema());
+        check_equivalent("V(x, n) <- E(x, y), L(y, n)", &db(), &schema());
+        check_equivalent("V(x) <- E(x, y), E(y, z), E(z, x)", &db(), &schema());
+    }
+
+    #[test]
+    fn builtins_compile_to_selections() {
+        check_equivalent("V(x, y) <- E(x, y), After(y, 1)", &db(), &schema());
+        check_equivalent("V(x, y) <- E(x, y), Lt(x, y)", &db(), &schema());
+        check_equivalent("V(x, y) <- E(x, y), Neq(x, y)", &db(), &schema());
+        check_equivalent("V(x) <- E(x, y), Geq(y, 2), Leq(y, 2)", &db(), &schema());
+    }
+
+    #[test]
+    fn uncompilable_rules_rejected() {
+        // Head constant.
+        let cq = parse_rule("V(x, Canada) <- E(x, y)").unwrap();
+        assert!(matches!(compile_cq(&cq), Err(RelError::Algebra { .. })));
+    }
+
+    #[test]
+    fn compiled_shape() {
+        let cq = parse_rule("V(x) <- E(x, y), After(y, 1900)").unwrap();
+        let ra = compile_cq(&cq).unwrap();
+        // π over σ over base relation.
+        assert_eq!(ra.arity(&schema()).unwrap(), 1);
+        assert_eq!(ra.base_relations().len(), 1);
+    }
+
+    #[test]
+    fn random_equivalence() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let rules = [
+            "V(x, z) <- E(x, y), E(y, z)",
+            "V(x) <- E(x, y), Lt(x, y)",
+            "V(x, y) <- E(x, y), E(y, x)",
+            "V(y) <- E(2, y)",
+        ];
+        for trial in 0..15 {
+            let mut d = Database::new();
+            for _ in 0..rng.gen_range(0..12) {
+                d.insert(Fact::new(
+                    "E",
+                    [Value::int(rng.gen_range(0..4)), Value::int(rng.gen_range(0..4))],
+                ));
+            }
+            for rule in rules {
+                let cq = parse_rule(rule).unwrap();
+                let ra = compile_cq(&cq).unwrap();
+                let via_cq: BTreeSet<Vec<Value>> =
+                    cq.evaluate(&d).unwrap().into_iter().map(|f| f.args).collect();
+                let via_ra = ra.eval(&d, &schema()).unwrap();
+                assert_eq!(via_cq, via_ra, "trial {trial} rule {rule}");
+            }
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! Safe conjunctive queries (and view definitions).
+//!
+//! A view definition `φ` (Section 2.1) is `head(φ) ← body(φ)` where the
+//! head is an atom over a *local* relation name and the body is a
+//! conjunction of atoms over *global* relation names (plus built-ins). A
+//! query `Q` (Section 5) has the same shape with the reserved head name
+//! `ans`. Both are [`ConjunctiveQuery`] values here.
+
+use crate::atom::Atom;
+use crate::builtins::is_builtin;
+use crate::database::Database;
+use crate::error::RelError;
+use crate::fact::Fact;
+use crate::matching::{embeddings, for_each_embedding};
+use crate::schema::{GlobalSchema, RelName};
+use crate::term::{Term, Valuation, Var};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// A safe conjunctive query / view definition.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConjunctiveQuery {
+    head: Atom,
+    body: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// Creates a query, checking safety (every head variable occurs in a
+    /// non-built-in body atom; built-in variables are likewise covered).
+    ///
+    /// # Errors
+    /// Returns [`RelError::UnsafeQuery`] on a safety violation.
+    pub fn new(head: Atom, body: Vec<Atom>) -> Result<Self, RelError> {
+        let bound: BTreeSet<Var> = body
+            .iter()
+            .filter(|a| !is_builtin(a.relation))
+            .flat_map(|a| a.variables())
+            .collect();
+        for v in head.variables() {
+            if !bound.contains(&v) {
+                return Err(RelError::UnsafeQuery { variable: v.as_str().to_owned() });
+            }
+        }
+        for atom in body.iter().filter(|a| is_builtin(a.relation)) {
+            for v in atom.variables() {
+                if !bound.contains(&v) {
+                    return Err(RelError::UnsafeQuery { variable: v.as_str().to_owned() });
+                }
+            }
+        }
+        Ok(ConjunctiveQuery { head, body })
+    }
+
+    /// The identity view `V(x₁,…,x_k) ← R(x₁,…,x_k)` over relation `rel`
+    /// with the given arity — the special case of Section 5.1.
+    #[must_use]
+    pub fn identity<N: Into<RelName>, M: Into<RelName>>(head_name: N, rel: M, arity: usize) -> Self {
+        let vars: Vec<Term> = (0..arity).map(|i| Term::var(&format!("x{i}"))).collect();
+        ConjunctiveQuery {
+            head: Atom::new(head_name.into(), vars.clone()),
+            body: vec![Atom::new(rel.into(), vars)],
+        }
+    }
+
+    /// The head atom.
+    #[must_use]
+    pub fn head(&self) -> &Atom {
+        &self.head
+    }
+
+    /// The body atoms (including built-ins).
+    #[must_use]
+    pub fn body(&self) -> &[Atom] {
+        &self.body
+    }
+
+    /// `|body(φ)|` — the body length used in the Lemma 3.1 bound. Built-in
+    /// atoms are excluded: they contribute no facts to a witness database.
+    #[must_use]
+    pub fn body_len(&self) -> usize {
+        self.body.iter().filter(|a| !is_builtin(a.relation)).count()
+    }
+
+    /// If the query is the identity over a single global relation
+    /// (`V(x̄) ← R(x̄)` with distinct variables), returns that relation.
+    #[must_use]
+    pub fn identity_over(&self) -> Option<RelName> {
+        if self.body.len() != 1 {
+            return None;
+        }
+        let b = &self.body[0];
+        if is_builtin(b.relation) || b.arity() != self.head.arity() {
+            return None;
+        }
+        // Head terms must equal body terms, all distinct variables.
+        let mut seen = BTreeSet::new();
+        for (h, t) in self.head.terms.iter().zip(b.terms.iter()) {
+            match (h, t) {
+                (Term::Var(x), Term::Var(y)) if x == y && seen.insert(*x) => {}
+                _ => return None,
+            }
+        }
+        Some(b.relation)
+    }
+
+    /// The global relations referenced in the body, with arities — the
+    /// query's contribution to `sch(S)`. Built-ins are excluded.
+    ///
+    /// # Errors
+    /// Fails if a relation occurs with inconsistent arities.
+    pub fn body_schema(&self) -> Result<GlobalSchema, RelError> {
+        let mut schema = GlobalSchema::new();
+        for atom in self.body.iter().filter(|a| !is_builtin(a.relation)) {
+            schema.add(atom.relation, atom.arity())?;
+        }
+        Ok(schema)
+    }
+
+    /// Evaluates `φ(D)`: the set of facts over the head relation obtained
+    /// from every embedding of the body.
+    ///
+    /// # Errors
+    /// Propagates built-in evaluation errors.
+    pub fn evaluate(&self, db: &Database) -> Result<BTreeSet<Fact>, RelError> {
+        let mut out = BTreeSet::new();
+        for_each_embedding(&self.body, db, |sigma| {
+            let fact = self
+                .head
+                .ground(sigma)
+                .expect("safety: head variables bound by body");
+            out.insert(fact);
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// For a fact `u`, finds the valuations `θ` with `head(φ)θ = u` whose
+    /// body facts are all in `D` — the `θ_u` of the Lemma 3.1 witness
+    /// construction.
+    ///
+    /// # Errors
+    /// Propagates built-in evaluation errors.
+    pub fn supporting_valuations(&self, db: &Database, u: &Fact) -> Result<Vec<Valuation>, RelError> {
+        if u.relation != self.head.relation || u.args.len() != self.head.arity() {
+            return Ok(Vec::new());
+        }
+        // Pre-bind head variables from u, then match the body.
+        let mut seed = Valuation::new();
+        for (term, &val) in self.head.terms.iter().zip(u.args.iter()) {
+            match term {
+                Term::Const(c) => {
+                    if *c != val {
+                        return Ok(Vec::new());
+                    }
+                }
+                Term::Var(v) => {
+                    if !seed.bind(*v, val) {
+                        return Ok(Vec::new());
+                    }
+                }
+            }
+        }
+        // Specialize the body by the seed bindings and enumerate embeddings
+        // of the remaining variables.
+        let specialized: Vec<Atom> = self
+            .body
+            .iter()
+            .map(|a| Atom {
+                relation: a.relation,
+                terms: a
+                    .terms
+                    .iter()
+                    .map(|&t| seed.apply(t).map(Term::Const).unwrap_or(t))
+                    .collect(),
+            })
+            .collect();
+        let sigmas = embeddings(&specialized, db)?;
+        // Re-attach the seed bindings so callers see complete valuations.
+        Ok(sigmas
+            .into_iter()
+            .map(|sigma| {
+                let mut full = seed.clone();
+                for (v, c) in sigma.iter() {
+                    full.bind(v, c);
+                }
+                full
+            })
+            .collect())
+    }
+
+    /// Instantiates the body atoms under a valuation, returning the ground
+    /// facts (built-ins are skipped — they contribute no facts).
+    #[must_use]
+    pub fn body_facts(&self, sigma: &Valuation) -> Vec<Fact> {
+        self.body
+            .iter()
+            .filter(|a| !is_builtin(a.relation))
+            .filter_map(|a| a.ground(sigma))
+            .collect()
+    }
+
+    /// Renames every variable with the given suffix — used by the template
+    /// construction, where each chosen tuple gets fresh existential
+    /// variables.
+    #[must_use]
+    pub fn rename_vars(&self, suffix: &str) -> ConjunctiveQuery {
+        let mut renames: HashMap<Var, Var> = HashMap::new();
+        let mut rename = |v: Var| -> Var {
+            *renames
+                .entry(v)
+                .or_insert_with(|| Var::new(&format!("{}_{suffix}", v.as_str())))
+        };
+        let map_atom = |atom: &Atom, rename: &mut dyn FnMut(Var) -> Var| Atom {
+            relation: atom.relation,
+            terms: atom
+                .terms
+                .iter()
+                .map(|&t| match t {
+                    Term::Var(v) => Term::Var(rename(v)),
+                    Term::Const(_) => t,
+                })
+                .collect(),
+        };
+        ConjunctiveQuery {
+            head: map_atom(&self.head, &mut rename),
+            body: self.body.iter().map(|a| map_atom(a, &mut rename)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} <- ", self.head)?;
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ConjunctiveQuery({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn q(head: Atom, body: Vec<Atom>) -> ConjunctiveQuery {
+        ConjunctiveQuery::new(head, body).unwrap()
+    }
+
+    #[test]
+    fn safety_enforced() {
+        let bad = ConjunctiveQuery::new(
+            Atom::new("V", [Term::var("x"), Term::var("y")]),
+            vec![Atom::new("R", [Term::var("x")])],
+        );
+        assert!(matches!(bad, Err(RelError::UnsafeQuery { .. })));
+    }
+
+    #[test]
+    fn builtin_only_body_is_unsafe() {
+        let bad = ConjunctiveQuery::new(
+            Atom::new("V", [Term::var("x")]),
+            vec![Atom::new("After", [Term::var("x"), Term::int(0)])],
+        );
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn ground_head_with_empty_body_is_safe() {
+        let ok = ConjunctiveQuery::new(Atom::new("V", [Term::sym("a")]), vec![]);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn identity_detection() {
+        let id = ConjunctiveQuery::identity("V", "R", 3);
+        assert_eq!(id.identity_over(), Some(RelName::new("R")));
+        assert_eq!(id.body_len(), 1);
+
+        // Repeated variable is not an identity.
+        let not_id = q(
+            Atom::new("V", [Term::var("x"), Term::var("x")]),
+            vec![Atom::new("R", [Term::var("x"), Term::var("x")])],
+        );
+        assert_eq!(not_id.identity_over(), None);
+
+        // Join body is not an identity.
+        let join = q(
+            Atom::new("V", [Term::var("x")]),
+            vec![
+                Atom::new("R", [Term::var("x")]),
+                Atom::new("S", [Term::var("x")]),
+            ],
+        );
+        assert_eq!(join.identity_over(), None);
+    }
+
+    #[test]
+    fn evaluate_projection() {
+        let db = Database::from_facts([
+            Fact::new("E", [Value::sym("a"), Value::sym("b")]),
+            Fact::new("E", [Value::sym("a"), Value::sym("c")]),
+        ]);
+        let proj = q(
+            Atom::new("V", [Term::var("x")]),
+            vec![Atom::new("E", [Term::var("x"), Term::var("y")])],
+        );
+        let result = proj.evaluate(&db).unwrap();
+        assert_eq!(result.len(), 1); // both tuples project to V(a)
+        assert!(result.contains(&Fact::new("V", [Value::sym("a")])));
+    }
+
+    #[test]
+    fn evaluate_join_with_builtin() {
+        // The S₁ view from the paper's intro, shrunk:
+        // V(s,y,v) <- Temp(s,y,v), Station(s,c), Eq(c,'Canada'), After(y,1900)
+        let db = Database::from_facts([
+            Fact::new("Temp", [Value::sym("st1"), Value::int(1950), Value::int(13)]),
+            Fact::new("Temp", [Value::sym("st1"), Value::int(1850), Value::int(12)]),
+            Fact::new("Temp", [Value::sym("st2"), Value::int(1950), Value::int(20)]),
+            Fact::new("Station", [Value::sym("st1"), Value::sym("Canada")]),
+            Fact::new("Station", [Value::sym("st2"), Value::sym("US")]),
+        ]);
+        let view = q(
+            Atom::new("V", [Term::var("s"), Term::var("y"), Term::var("v")]),
+            vec![
+                Atom::new("Temp", [Term::var("s"), Term::var("y"), Term::var("v")]),
+                Atom::new("Station", [Term::var("s"), Term::sym("Canada")]),
+                Atom::new("After", [Term::var("y"), Term::int(1900)]),
+            ],
+        );
+        let result = view.evaluate(&db).unwrap();
+        assert_eq!(result.len(), 1);
+        assert!(result.contains(&Fact::new(
+            "V",
+            [Value::sym("st1"), Value::int(1950), Value::int(13)]
+        )));
+    }
+
+    #[test]
+    fn supporting_valuations_find_witnesses() {
+        let db = Database::from_facts([
+            Fact::new("E", [Value::sym("a"), Value::sym("b")]),
+            Fact::new("E", [Value::sym("a"), Value::sym("c")]),
+        ]);
+        let proj = q(
+            Atom::new("V", [Term::var("x")]),
+            vec![Atom::new("E", [Term::var("x"), Term::var("y")])],
+        );
+        let u = Fact::new("V", [Value::sym("a")]);
+        let thetas = proj.supporting_valuations(&db, &u).unwrap();
+        assert_eq!(thetas.len(), 2); // via b and via c
+        for theta in &thetas {
+            let facts = proj.body_facts(theta);
+            assert!(facts.iter().all(|f| db.contains(f)));
+        }
+        // Unsupported fact.
+        let missing = Fact::new("V", [Value::sym("z")]);
+        assert!(proj.supporting_valuations(&db, &missing).unwrap().is_empty());
+        // Wrong relation.
+        let other = Fact::new("W", [Value::sym("a")]);
+        assert!(proj.supporting_valuations(&db, &other).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rename_vars_is_consistent() {
+        let view = q(
+            Atom::new("V", [Term::var("x"), Term::var("y")]),
+            vec![
+                Atom::new("R", [Term::var("x"), Term::var("z")]),
+                Atom::new("S", [Term::var("z"), Term::var("y")]),
+            ],
+        );
+        let renamed = view.rename_vars("7");
+        assert_eq!(renamed.to_string(), "V(x_7, y_7) <- R(x_7, z_7), S(z_7, y_7)");
+        // Original untouched.
+        assert_eq!(view.to_string(), "V(x, y) <- R(x, z), S(z, y)");
+    }
+
+    #[test]
+    fn body_schema_skips_builtins() {
+        let view = q(
+            Atom::new("V", [Term::var("y")]),
+            vec![
+                Atom::new("R", [Term::var("y")]),
+                Atom::new("After", [Term::var("y"), Term::int(0)]),
+            ],
+        );
+        let schema = view.body_schema().unwrap();
+        assert!(schema.contains(RelName::new("R")));
+        assert!(!schema.contains(RelName::new("After")));
+        assert_eq!(view.body_len(), 1);
+    }
+
+    #[test]
+    fn display() {
+        let view = ConjunctiveQuery::identity("V", "R", 2);
+        assert_eq!(view.to_string(), "V(x0, x1) <- R(x0, x1)");
+    }
+}

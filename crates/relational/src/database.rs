@@ -1,0 +1,255 @@
+//! Global databases: finite, indexed sets of facts.
+
+use crate::error::RelError;
+use crate::fact::Fact;
+use crate::schema::{GlobalSchema, RelName};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A global database `D`: a finite set of facts, indexed per relation.
+///
+/// Iteration order is deterministic (relation name, then tuple order), which
+/// keeps possible-world enumeration, tests and experiment output
+/// reproducible.
+#[derive(Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Database {
+    relations: BTreeMap<RelName, BTreeSet<Vec<Value>>>,
+}
+
+impl Database {
+    /// The empty database.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a database from facts.
+    #[must_use]
+    pub fn from_facts<I: IntoIterator<Item = Fact>>(facts: I) -> Self {
+        let mut db = Database::new();
+        for f in facts {
+            db.insert(f);
+        }
+        db
+    }
+
+    /// Inserts a fact; returns `true` if it was not already present.
+    pub fn insert(&mut self, fact: Fact) -> bool {
+        self.relations.entry(fact.relation).or_default().insert(fact.args)
+    }
+
+    /// Removes a fact; returns `true` if it was present.
+    pub fn remove(&mut self, fact: &Fact) -> bool {
+        if let Some(ext) = self.relations.get_mut(&fact.relation) {
+            let removed = ext.remove(&fact.args);
+            if ext.is_empty() {
+                self.relations.remove(&fact.relation);
+            }
+            removed
+        } else {
+            false
+        }
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.relations
+            .get(&fact.relation)
+            .is_some_and(|ext| ext.contains(&fact.args))
+    }
+
+    /// The extension `D(R)`: the tuples of relation `R` in `D`.
+    pub fn extension(&self, relation: RelName) -> impl Iterator<Item = &Vec<Value>> + '_ {
+        self.relations.get(&relation).into_iter().flatten()
+    }
+
+    /// Size of `D(R)`.
+    #[must_use]
+    pub fn extension_len(&self, relation: RelName) -> usize {
+        self.relations.get(&relation).map_or(0, BTreeSet::len)
+    }
+
+    /// Total number of facts `|D|`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.relations.values().map(BTreeSet::len).sum()
+    }
+
+    /// `true` iff the database holds no facts.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Deterministic iteration over all facts.
+    pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.relations.iter().flat_map(|(&rel, ext)| {
+            ext.iter().map(move |args| Fact { relation: rel, args: args.clone() })
+        })
+    }
+
+    /// The relation names with a non-empty extension.
+    pub fn relation_names(&self) -> impl Iterator<Item = RelName> + '_ {
+        self.relations.keys().copied()
+    }
+
+    /// Set union (`self ∪ other`).
+    #[must_use]
+    pub fn union(&self, other: &Database) -> Database {
+        let mut out = self.clone();
+        for f in other.facts() {
+            out.insert(f);
+        }
+        out
+    }
+
+    /// `true` iff every fact of `self` is in `other`.
+    #[must_use]
+    pub fn is_subset_of(&self, other: &Database) -> bool {
+        self.relations.iter().all(|(rel, ext)| {
+            other
+                .relations
+                .get(rel)
+                .is_some_and(|oext| ext.is_subset(oext))
+        })
+    }
+
+    /// All constants appearing in the database, deduplicated and sorted.
+    #[must_use]
+    pub fn constants(&self) -> BTreeSet<Value> {
+        self.relations
+            .values()
+            .flatten()
+            .flat_map(|tuple| tuple.iter().copied())
+            .collect()
+    }
+
+    /// Infers the schema (relation name → arity) of the stored facts.
+    ///
+    /// # Errors
+    /// Fails if one relation holds tuples of different arities (possible
+    /// only if facts were inserted inconsistently).
+    pub fn infer_schema(&self) -> Result<GlobalSchema, RelError> {
+        let mut schema = GlobalSchema::new();
+        for (&rel, ext) in &self.relations {
+            for tuple in ext {
+                schema.add(rel, tuple.len())?;
+            }
+        }
+        Ok(schema)
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, fact) in self.facts().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{fact}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Database{self}")
+    }
+}
+
+impl FromIterator<Fact> for Database {
+    fn from_iter<I: IntoIterator<Item = Fact>>(iter: I) -> Self {
+        Database::from_facts(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fact(rel: &str, args: &[&str]) -> Fact {
+        Fact::new(rel, args.iter().map(|s| Value::sym(s)))
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut db = Database::new();
+        let f = fact("R", &["a", "b"]);
+        assert!(db.insert(f.clone()));
+        assert!(!db.insert(f.clone())); // duplicate
+        assert!(db.contains(&f));
+        assert_eq!(db.len(), 1);
+        assert!(db.remove(&f));
+        assert!(!db.remove(&f));
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn extensions() {
+        let db = Database::from_facts([
+            fact("R", &["a"]),
+            fact("R", &["b"]),
+            fact("S", &["x", "y"]),
+        ]);
+        assert_eq!(db.extension_len(RelName::new("R")), 2);
+        assert_eq!(db.extension_len(RelName::new("S")), 1);
+        assert_eq!(db.extension_len(RelName::new("T")), 0);
+        assert_eq!(db.len(), 3);
+        let rels: Vec<_> = db.relation_names().map(|r| r.as_str()).collect();
+        assert_eq!(rels, vec!["R", "S"]);
+    }
+
+    #[test]
+    fn union_and_subset() {
+        let a = Database::from_facts([fact("R", &["a"])]);
+        let b = Database::from_facts([fact("R", &["b"]), fact("S", &["c"])]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 3);
+        assert!(a.is_subset_of(&u));
+        assert!(b.is_subset_of(&u));
+        assert!(!u.is_subset_of(&a));
+        assert!(Database::new().is_subset_of(&a));
+    }
+
+    #[test]
+    fn constants_collected() {
+        let db = Database::from_facts([fact("R", &["a", "b"]), fact("S", &["b", "c"])]);
+        let consts: Vec<_> = db.constants().into_iter().collect();
+        assert_eq!(consts, vec![Value::sym("a"), Value::sym("b"), Value::sym("c")]);
+    }
+
+    #[test]
+    fn schema_inference() {
+        let db = Database::from_facts([fact("R", &["a", "b"]), fact("S", &["x"])]);
+        let schema = db.infer_schema().unwrap();
+        assert_eq!(schema.arity(RelName::new("R")), Some(2));
+        assert_eq!(schema.arity(RelName::new("S")), Some(1));
+    }
+
+    #[test]
+    fn schema_inference_detects_ragged_relation() {
+        let mut db = Database::new();
+        db.insert(fact("R", &["a"]));
+        db.insert(fact("R", &["a", "b"]));
+        assert!(db.infer_schema().is_err());
+    }
+
+    #[test]
+    fn display_deterministic() {
+        let db = Database::from_facts([fact("S", &["x"]), fact("R", &["b"]), fact("R", &["a"])]);
+        assert_eq!(db.to_string(), "{R(a), R(b), S(x)}");
+    }
+
+    #[test]
+    fn facts_round_trip() {
+        let original = vec![fact("R", &["a"]), fact("S", &["b", "c"])];
+        let db = Database::from_facts(original.clone());
+        let collected: Vec<_> = db.facts().collect();
+        assert_eq!(collected, original);
+    }
+}

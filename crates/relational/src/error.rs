@@ -1,0 +1,79 @@
+//! Error types for the relational substrate.
+
+use crate::schema::RelName;
+use std::fmt;
+
+/// Errors raised while building or evaluating relational structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelError {
+    /// A relation was used with two different arities.
+    ArityMismatch {
+        /// The relation in question.
+        relation: RelName,
+        /// Arity previously declared.
+        expected: usize,
+        /// Arity seen now.
+        found: usize,
+    },
+    /// A query head uses a variable that does not occur in any body atom
+    /// (violates the paper's safety assumption).
+    UnsafeQuery {
+        /// The offending variable's name.
+        variable: String,
+    },
+    /// A built-in predicate was called with the wrong arguments.
+    BadBuiltin {
+        /// Description of the problem.
+        message: String,
+    },
+    /// Parse error with position information.
+    Parse {
+        /// Human-readable message.
+        message: String,
+        /// Byte offset in the input.
+        offset: usize,
+    },
+    /// A relational-algebra expression is ill-typed (arity/column errors).
+    Algebra {
+        /// Description of the problem.
+        message: String,
+    },
+    /// An operation needed a finite domain but none (or an empty one) was
+    /// supplied.
+    EmptyDomain,
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::ArityMismatch { relation, expected, found } => {
+                write!(f, "relation {relation} used with arity {found}, but declared with arity {expected}")
+            }
+            RelError::UnsafeQuery { variable } => {
+                write!(f, "unsafe query: head variable {variable} does not occur in the body")
+            }
+            RelError::BadBuiltin { message } => write!(f, "bad builtin use: {message}"),
+            RelError::Parse { message, offset } => write!(f, "parse error at byte {offset}: {message}"),
+            RelError::Algebra { message } => write!(f, "ill-typed algebra expression: {message}"),
+            RelError::EmptyDomain => write!(f, "operation requires a non-empty finite domain"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = RelError::ArityMismatch { relation: RelName::new("R"), expected: 2, found: 3 };
+        assert!(e.to_string().contains("arity 3"));
+        let e = RelError::UnsafeQuery { variable: "X".into() };
+        assert!(e.to_string().contains('X'));
+        let e = RelError::Parse { message: "unexpected token".into(), offset: 7 };
+        assert!(e.to_string().contains("byte 7"));
+        assert!(RelError::EmptyDomain.to_string().contains("domain"));
+    }
+}

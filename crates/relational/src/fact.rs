@@ -1,0 +1,81 @@
+//! Ground facts.
+
+use crate::schema::RelName;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fact: an atom without variables, `R(a₁, …, a_k)`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Fact {
+    /// The relation the fact belongs to.
+    pub relation: RelName,
+    /// The constant arguments.
+    pub args: Vec<Value>,
+}
+
+impl Fact {
+    /// Creates a fact.
+    #[must_use]
+    pub fn new<N: Into<RelName>, V: Into<Value>, I: IntoIterator<Item = V>>(relation: N, args: I) -> Fact {
+        Fact {
+            relation: relation.into(),
+            args: args.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The arity of the fact.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, v) in self.args.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl fmt::Debug for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fact({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let f = Fact::new("R", [Value::sym("a"), Value::int(3)]);
+        assert_eq!(f.relation, RelName::new("R"));
+        assert_eq!(f.arity(), 2);
+        assert_eq!(f.to_string(), "R(a, 3)");
+    }
+
+    #[test]
+    fn nullary_fact() {
+        let f = Fact::new("Flag", Vec::<Value>::new());
+        assert_eq!(f.arity(), 0);
+        assert_eq!(f.to_string(), "Flag()");
+    }
+
+    #[test]
+    fn equality_and_ordering() {
+        let a = Fact::new("R", [Value::sym("a")]);
+        let a2 = Fact::new("R", [Value::sym("a")]);
+        let b = Fact::new("R", [Value::sym("b")]);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,66 @@
+//! # pscds-relational
+//!
+//! The relational substrate underneath the paper's model: global schemas,
+//! databases as finite sets of facts, conjunctive-query views, relational
+//! algebra, and the tableau/homomorphism machinery that Section 4's database
+//! templates are built from.
+//!
+//! The paper works with an abstract relational model (Section 2.1):
+//!
+//! * an infinite set of global relation names with fixed arities,
+//! * constants and variables,
+//! * *atoms* `R(e₁,…,e_k)` over constants/variables and *facts* (ground
+//!   atoms),
+//! * *global databases* = finite sets of facts,
+//! * *view definitions* `head(φ) ← body(φ)` (safe conjunctive queries),
+//!   possibly referencing built-in predicates such as `After(y, 1900)`.
+//!
+//! This crate implements all of that plus the evaluation machinery:
+//!
+//! * [`symbol`] / [`value`] — interned symbols and typed constants;
+//! * [`schema`] — relation names, arities, global schemas;
+//! * [`fact`] / [`database`] — ground facts and indexed fact sets with
+//!   deterministic iteration order;
+//! * [`term`] / [`atom`] — terms, atoms, substitutions and valuations;
+//! * [`builtins`] — the comparison built-ins (`After`, `Before`, `Lt`, …);
+//! * [`matching`] — backtracking embedding of atom conjunctions into
+//!   databases (the engine behind query evaluation *and* tableau
+//!   homomorphisms);
+//! * [`cq`] — safe conjunctive queries and their evaluation;
+//! * [`compile`] — select-project-join compilation of conjunctive queries
+//!   into the algebra (so Definition 5.1's `conf_Q` applies to rules);
+//! * [`algebra`] — a relational-algebra AST (σ, π, ×, ∪, ρ) with an
+//!   evaluator, used by the Section 5.2 compositional confidence rules;
+//! * [`parser`] — a text syntax for atoms, facts and rules;
+//! * [`universe`] — finite fact universes and bounded enumeration of
+//!   candidate databases (the search space of the possible-world engine).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algebra;
+pub mod atom;
+pub mod builtins;
+pub mod compile;
+pub mod cq;
+pub mod database;
+pub mod error;
+pub mod fact;
+pub mod matching;
+pub mod parser;
+pub mod schema;
+pub mod symbol;
+pub mod term;
+pub mod universe;
+pub mod value;
+
+pub use atom::Atom;
+pub use cq::ConjunctiveQuery;
+pub use database::Database;
+pub use error::RelError;
+pub use fact::Fact;
+pub use schema::{GlobalSchema, RelName};
+pub use symbol::Symbol;
+pub use term::{Substitution, Term, Valuation, Var};
+pub use universe::FactUniverse;
+pub use value::Value;

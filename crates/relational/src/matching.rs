@@ -1,0 +1,333 @@
+//! Backtracking embedding of atom conjunctions into databases.
+//!
+//! This is the single evaluation engine behind both conjunctive-query
+//! evaluation (`φ(D)`, Section 2.1) and tableau embedding (`σ(U) ⊆ D`,
+//! Section 4): enumerate the valuations `σ` such that every regular atom,
+//! after applying `σ`, is a fact of `D`, and every built-in atom evaluates
+//! to true.
+//!
+//! Regular atoms are matched in a greedy most-bound-first order; built-in
+//! atoms are checked as soon as all their variables are bound, pruning the
+//! search early.
+
+use crate::atom::Atom;
+use crate::builtins::{is_builtin, Builtin};
+use crate::database::Database;
+use crate::error::RelError;
+use crate::term::{Term, Valuation};
+
+/// Enumerates all embeddings of `atoms` into `db`, invoking `visit` for
+/// each. `visit` returns `true` to continue the search or `false` to stop.
+///
+/// # Errors
+/// Fails if a built-in atom can never be grounded (its variables do not
+/// occur in any regular atom) or a built-in receives ill-typed arguments.
+pub fn for_each_embedding<F: FnMut(&Valuation) -> bool>(
+    atoms: &[Atom],
+    db: &Database,
+    mut visit: F,
+) -> Result<(), RelError> {
+    let (regular, builtins): (Vec<&Atom>, Vec<&Atom>) =
+        atoms.iter().partition(|a| !is_builtin(a.relation));
+
+    // Safety of built-ins: every variable must appear in a regular atom.
+    for b in &builtins {
+        for v in b.variables() {
+            let covered = regular.iter().any(|a| a.variables().contains(&v));
+            if !covered {
+                return Err(RelError::BadBuiltin {
+                    message: format!("variable {v} of built-in atom {b} is not bound by any regular atom"),
+                });
+            }
+        }
+    }
+
+    let order = order_atoms(&regular, db);
+    let mut sigma = Valuation::new();
+    let mut pending: Vec<&Atom> = builtins;
+    search(&order, 0, db, &mut sigma, &mut pending, &mut visit)?;
+    Ok(())
+}
+
+/// Collects all embeddings of `atoms` into `db`.
+///
+/// # Errors
+/// Propagates the same errors as [`for_each_embedding`].
+pub fn embeddings(atoms: &[Atom], db: &Database) -> Result<Vec<Valuation>, RelError> {
+    let mut out = Vec::new();
+    for_each_embedding(atoms, db, |sigma| {
+        out.push(sigma.clone());
+        true
+    })?;
+    Ok(out)
+}
+
+/// `true` iff at least one embedding exists.
+///
+/// # Errors
+/// Propagates the same errors as [`for_each_embedding`].
+pub fn embeds(atoms: &[Atom], db: &Database) -> Result<bool, RelError> {
+    let mut found = false;
+    for_each_embedding(atoms, db, |_| {
+        found = true;
+        false // stop at the first embedding
+    })?;
+    Ok(found)
+}
+
+/// Greedy join ordering: repeatedly pick the atom with the most variables
+/// already bound (constants count as bound), breaking ties by smaller
+/// extension.
+fn order_atoms<'a>(atoms: &[&'a Atom], db: &Database) -> Vec<&'a Atom> {
+    let mut remaining: Vec<&Atom> = atoms.to_vec();
+    let mut bound: std::collections::BTreeSet<crate::term::Var> = std::collections::BTreeSet::new();
+    let mut out = Vec::with_capacity(remaining.len());
+    while !remaining.is_empty() {
+        let (idx, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let vars = a.variables();
+                let unbound = vars.iter().filter(|v| !bound.contains(v)).count();
+                let ext = db.extension_len(a.relation);
+                // Fewer unbound variables first, then smaller extensions.
+                (i, (unbound, ext))
+            })
+            .min_by_key(|&(_, key)| key)
+            .expect("remaining is non-empty");
+        let atom = remaining.swap_remove(idx);
+        bound.extend(atom.variables());
+        out.push(atom);
+    }
+    out
+}
+
+fn search<F: FnMut(&Valuation) -> bool>(
+    order: &[&Atom],
+    depth: usize,
+    db: &Database,
+    sigma: &mut Valuation,
+    builtins: &mut Vec<&Atom>,
+    visit: &mut F,
+) -> Result<bool, RelError> {
+    // Check any built-in that just became ground; prune on failure.
+    let mut i = 0;
+    let mut activated: Vec<&Atom> = Vec::new();
+    let mut ok = true;
+    while i < builtins.len() {
+        let b = builtins[i];
+        if b.variables().iter().all(|&v| sigma.get(v).is_some()) {
+            let ground = ground_builtin(b, sigma)?;
+            if ground {
+                activated.push(builtins.swap_remove(i));
+                // don't advance i: swap_remove brought a new element here
+            } else {
+                ok = false;
+                break;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    let result = if !ok {
+        Ok(true) // pruned branch; keep searching siblings
+    } else if depth == order.len() {
+        debug_assert!(builtins.is_empty(), "all built-ins ground at a leaf");
+        Ok(visit(sigma))
+    } else {
+        match_atom(order, depth, db, sigma, builtins, visit)
+    };
+    // Restore the pending built-ins for sibling branches.
+    builtins.extend(activated);
+    result
+}
+
+fn match_atom<F: FnMut(&Valuation) -> bool>(
+    order: &[&Atom],
+    depth: usize,
+    db: &Database,
+    sigma: &mut Valuation,
+    builtins: &mut Vec<&Atom>,
+    visit: &mut F,
+) -> Result<bool, RelError> {
+    let atom = order[depth];
+    // Iterate candidate facts; clone the tuple list to keep borrows simple
+    // (extensions are typically small relative to the search tree).
+    let candidates: Vec<Vec<crate::value::Value>> = db.extension(atom.relation).cloned().collect();
+    'facts: for tuple in candidates {
+        if tuple.len() != atom.arity() {
+            continue;
+        }
+        let mut newly_bound = Vec::new();
+        for (term, &value) in atom.terms.iter().zip(tuple.iter()) {
+            match term {
+                Term::Const(c) => {
+                    if *c != value {
+                        for v in newly_bound.drain(..) {
+                            sigma.unbind(v);
+                        }
+                        continue 'facts;
+                    }
+                }
+                Term::Var(v) => match sigma.get(*v) {
+                    Some(existing) => {
+                        if existing != value {
+                            for v in newly_bound.drain(..) {
+                                sigma.unbind(v);
+                            }
+                            continue 'facts;
+                        }
+                    }
+                    None => {
+                        sigma.bind(*v, value);
+                        newly_bound.push(*v);
+                    }
+                },
+            }
+        }
+        let keep_going = search(order, depth + 1, db, sigma, builtins, visit)?;
+        for v in newly_bound.drain(..) {
+            sigma.unbind(v);
+        }
+        if !keep_going {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+fn ground_builtin(atom: &Atom, sigma: &Valuation) -> Result<bool, RelError> {
+    let grounded = Atom {
+        relation: atom.relation,
+        terms: atom
+            .terms
+            .iter()
+            .map(|&t| sigma.apply(t).map(Term::Const).unwrap_or(t))
+            .collect(),
+    };
+    Builtin::eval_atom(&grounded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::Fact;
+    use crate::value::Value;
+
+    fn db_edges(edges: &[(&str, &str)]) -> Database {
+        Database::from_facts(
+            edges
+                .iter()
+                .map(|(a, b)| Fact::new("E", [Value::sym(a), Value::sym(b)])),
+        )
+    }
+
+    #[test]
+    fn single_atom_all_matches() {
+        let db = db_edges(&[("a", "b"), ("b", "c")]);
+        let atoms = [Atom::new("E", [Term::var("x"), Term::var("y")])];
+        let sigmas = embeddings(&atoms, &db).unwrap();
+        assert_eq!(sigmas.len(), 2);
+    }
+
+    #[test]
+    fn join_two_atoms() {
+        // Path of length 2: E(x,y), E(y,z).
+        let db = db_edges(&[("a", "b"), ("b", "c"), ("b", "d"), ("c", "e")]);
+        let atoms = [
+            Atom::new("E", [Term::var("x"), Term::var("y")]),
+            Atom::new("E", [Term::var("y"), Term::var("z")]),
+        ];
+        let sigmas = embeddings(&atoms, &db).unwrap();
+        // a->b->c, a->b->d, b->c->e
+        assert_eq!(sigmas.len(), 3);
+    }
+
+    #[test]
+    fn constants_filter() {
+        let db = db_edges(&[("a", "b"), ("b", "c")]);
+        let atoms = [Atom::new("E", [Term::sym("a"), Term::var("y")])];
+        let sigmas = embeddings(&atoms, &db).unwrap();
+        assert_eq!(sigmas.len(), 1);
+        assert_eq!(sigmas[0].get(crate::term::Var::new("y")), Some(Value::sym("b")));
+    }
+
+    #[test]
+    fn repeated_variable_requires_equality() {
+        let db = db_edges(&[("a", "a"), ("a", "b")]);
+        let atoms = [Atom::new("E", [Term::var("x"), Term::var("x")])];
+        let sigmas = embeddings(&atoms, &db).unwrap();
+        assert_eq!(sigmas.len(), 1); // only E(a,a)
+    }
+
+    #[test]
+    fn builtins_prune() {
+        let db = Database::from_facts([
+            Fact::new("T", [Value::sym("s1"), Value::int(1850)]),
+            Fact::new("T", [Value::sym("s2"), Value::int(1950)]),
+        ]);
+        let atoms = [
+            Atom::new("T", [Term::var("s"), Term::var("y")]),
+            Atom::new("After", [Term::var("y"), Term::int(1900)]),
+        ];
+        let sigmas = embeddings(&atoms, &db).unwrap();
+        assert_eq!(sigmas.len(), 1);
+        assert_eq!(sigmas[0].get(crate::term::Var::new("s")), Some(Value::sym("s2")));
+    }
+
+    #[test]
+    fn unbound_builtin_variable_is_an_error() {
+        let db = db_edges(&[("a", "b")]);
+        let atoms = [
+            Atom::new("E", [Term::var("x"), Term::var("y")]),
+            Atom::new("After", [Term::var("z"), Term::int(0)]), // z unbound
+        ];
+        assert!(embeddings(&atoms, &db).is_err());
+    }
+
+    #[test]
+    fn embeds_early_exit() {
+        let db = db_edges(&[("a", "b"), ("b", "c")]);
+        let atoms = [Atom::new("E", [Term::var("x"), Term::var("y")])];
+        assert!(embeds(&atoms, &db).unwrap());
+        let atoms = [Atom::new("Missing", [Term::var("x")])];
+        assert!(!embeds(&atoms, &db).unwrap());
+    }
+
+    #[test]
+    fn empty_conjunction_has_one_embedding() {
+        let db = db_edges(&[("a", "b")]);
+        let sigmas = embeddings(&[], &db).unwrap();
+        assert_eq!(sigmas.len(), 1);
+        assert!(sigmas[0].is_empty());
+    }
+
+    #[test]
+    fn cross_product_of_independent_atoms() {
+        let db = Database::from_facts([
+            Fact::new("R", [Value::sym("a")]),
+            Fact::new("R", [Value::sym("b")]),
+            Fact::new("S", [Value::sym("x")]),
+            Fact::new("S", [Value::sym("y")]),
+            Fact::new("S", [Value::sym("z")]),
+        ]);
+        let atoms = [
+            Atom::new("R", [Term::var("u")]),
+            Atom::new("S", [Term::var("v")]),
+        ];
+        assert_eq!(embeddings(&atoms, &db).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn triangle_query() {
+        let db = db_edges(&[("a", "b"), ("b", "c"), ("c", "a"), ("a", "c")]);
+        let atoms = [
+            Atom::new("E", [Term::var("x"), Term::var("y")]),
+            Atom::new("E", [Term::var("y"), Term::var("z")]),
+            Atom::new("E", [Term::var("z"), Term::var("x")]),
+        ];
+        let sigmas = embeddings(&atoms, &db).unwrap();
+        // Triangle a->b->c->a appears with 3 rotations.
+        assert_eq!(sigmas.len(), 3);
+    }
+}

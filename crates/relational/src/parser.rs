@@ -1,0 +1,486 @@
+//! A text syntax for atoms, facts and rules, mirroring the paper's
+//! notation.
+//!
+//! ```text
+//! rule  :=  atom "<-" atom ("," atom)*        // also "←" accepted
+//! atom  :=  IDENT "(" term ("," term)* ")"  | IDENT "(" ")"
+//! term  :=  INTEGER | QUOTED | IDENT          // in rules: lowercase IDENT = variable
+//! fact  :=  like atom, but IDENTs are constants
+//! ```
+//!
+//! In rule bodies and heads, an identifier starting with a lowercase letter
+//! is a **variable** (the paper writes `V₁(s,y,m,v) ← Temperature(s,y,m,v)`
+//! with lowercase variables); identifiers starting with an uppercase letter
+//! and quoted strings (`'Canada'` or `"Canada"`) are symbolic constants;
+//! integer literals are integer constants. When parsing *facts* (view
+//! extension contents), every identifier is a constant, so `R(a)` is the
+//! fact with the symbol `a` — exactly how the paper writes extensions.
+
+use crate::atom::Atom;
+use crate::cq::ConjunctiveQuery;
+use crate::error::RelError;
+use crate::fact::Fact;
+use crate::schema::RelName;
+use crate::term::Term;
+use crate::value::Value;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Quoted(String),
+    LParen,
+    RParen,
+    Comma,
+    Arrow,
+    Period,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, pos: 0 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> RelError {
+        RelError::Parse { message: message.into(), offset: self.pos }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.rest().chars().next() {
+            if c.is_whitespace() {
+                self.pos += c.len_utf8();
+            } else if self.rest().starts_with("//") || self.rest().starts_with('%') {
+                // Line comments in either style.
+                match self.rest().find('\n') {
+                    Some(nl) => self.pos += nl + 1,
+                    None => self.pos = self.src.len(),
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn next_tok(&mut self) -> Result<Option<(Tok, usize)>, RelError> {
+        self.skip_ws();
+        let start = self.pos;
+        let Some(c) = self.rest().chars().next() else {
+            return Ok(None);
+        };
+        let tok = match c {
+            '(' => {
+                self.pos += 1;
+                Tok::LParen
+            }
+            ')' => {
+                self.pos += 1;
+                Tok::RParen
+            }
+            ',' => {
+                self.pos += 1;
+                Tok::Comma
+            }
+            '.' => {
+                self.pos += 1;
+                Tok::Period
+            }
+            '←' => {
+                self.pos += c.len_utf8();
+                Tok::Arrow
+            }
+            '<' if self.rest().starts_with("<-") => {
+                self.pos += 2;
+                Tok::Arrow
+            }
+            ':' if self.rest().starts_with(":-") => {
+                self.pos += 2;
+                Tok::Arrow
+            }
+            '\'' | '"' => {
+                let quote = c;
+                self.pos += 1;
+                let body_start = self.pos;
+                loop {
+                    match self.rest().chars().next() {
+                        Some(ch) if ch == quote => {
+                            let s = self.src[body_start..self.pos].to_owned();
+                            self.pos += 1;
+                            break Tok::Quoted(s);
+                        }
+                        Some(ch) => self.pos += ch.len_utf8(),
+                        None => return Err(self.err("unterminated quoted constant")),
+                    }
+                }
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let mut end = self.pos + c.len_utf8();
+                while self.src[end..].starts_with(|ch: char| ch.is_ascii_digit()) {
+                    end += 1;
+                }
+                let text = &self.src[self.pos..end];
+                let value: i64 = text
+                    .parse()
+                    .map_err(|_| self.err(format!("invalid integer literal {text:?}")))?;
+                self.pos = end;
+                Tok::Int(value)
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut end = self.pos;
+                for ch in self.rest().chars() {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        end += ch.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                let text = self.src[self.pos..end].to_owned();
+                self.pos = end;
+                Tok::Ident(text)
+            }
+            other => return Err(self.err(format!("unexpected character {other:?}"))),
+        };
+        Ok(Some((tok, start)))
+    }
+}
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    peeked: Option<Option<(Tok, usize)>>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser { lexer: Lexer::new(src), peeked: None }
+    }
+
+    fn peek(&mut self) -> Result<Option<&(Tok, usize)>, RelError> {
+        if self.peeked.is_none() {
+            self.peeked = Some(self.lexer.next_tok()?);
+        }
+        Ok(self.peeked.as_ref().unwrap().as_ref())
+    }
+
+    fn next(&mut self) -> Result<Option<(Tok, usize)>, RelError> {
+        match self.peeked.take() {
+            Some(t) => Ok(t),
+            None => self.lexer.next_tok(),
+        }
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), RelError> {
+        match self.next()? {
+            Some((tok, _)) if tok == *want => Ok(()),
+            Some((tok, offset)) => Err(RelError::Parse {
+                message: format!("expected {what}, found {tok:?}"),
+                offset,
+            }),
+            None => Err(RelError::Parse {
+                message: format!("expected {what}, found end of input"),
+                offset: self.lexer.src.len(),
+            }),
+        }
+    }
+
+    /// Parses `Name(arg, …)`; `idents_are_vars` controls whether lowercase
+    /// identifiers become variables (rules) or constants (facts).
+    fn atom(&mut self, idents_are_vars: bool) -> Result<Atom, RelError> {
+        let (name, offset) = match self.next()? {
+            Some((Tok::Ident(name), o)) => (name, o),
+            Some((tok, o)) => {
+                return Err(RelError::Parse { message: format!("expected relation name, found {tok:?}"), offset: o })
+            }
+            None => {
+                return Err(RelError::Parse {
+                    message: "expected relation name, found end of input".into(),
+                    offset: self.lexer.src.len(),
+                })
+            }
+        };
+        let _ = offset;
+        self.expect(&Tok::LParen, "'('")?;
+        let mut terms = Vec::new();
+        if matches!(self.peek()?, Some((Tok::RParen, _))) {
+            self.next()?;
+        } else {
+            loop {
+                terms.push(self.term(idents_are_vars)?);
+                match self.next()? {
+                    Some((Tok::Comma, _)) => continue,
+                    Some((Tok::RParen, _)) => break,
+                    Some((tok, o)) => {
+                        return Err(RelError::Parse { message: format!("expected ',' or ')', found {tok:?}"), offset: o })
+                    }
+                    None => {
+                        return Err(RelError::Parse {
+                            message: "unterminated atom".into(),
+                            offset: self.lexer.src.len(),
+                        })
+                    }
+                }
+            }
+        }
+        Ok(Atom::new(RelName::new(&name), terms))
+    }
+
+    fn term(&mut self, idents_are_vars: bool) -> Result<Term, RelError> {
+        match self.next()? {
+            Some((Tok::Int(v), _)) => Ok(Term::Const(Value::int(v))),
+            Some((Tok::Quoted(s), _)) => Ok(Term::Const(Value::sym(&s))),
+            Some((Tok::Ident(name), _)) => {
+                let is_var = idents_are_vars
+                    && name
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_lowercase() || c == '_');
+                if is_var {
+                    Ok(Term::var(&name))
+                } else {
+                    Ok(Term::Const(Value::sym(&name)))
+                }
+            }
+            Some((tok, o)) => Err(RelError::Parse { message: format!("expected term, found {tok:?}"), offset: o }),
+            None => Err(RelError::Parse {
+                message: "expected term, found end of input".into(),
+                offset: self.lexer.src.len(),
+            }),
+        }
+    }
+
+    fn at_end(&mut self) -> Result<bool, RelError> {
+        Ok(self.peek()?.is_none())
+    }
+}
+
+/// Parses a rule `Head(...) <- Body1(...), Body2(...)` into a safe
+/// conjunctive query. The Prolog arrow `:-` and the Unicode `←` are also
+/// accepted.
+///
+/// # Examples
+///
+/// ```
+/// use pscds_relational::parser::parse_rule;
+///
+/// let view = parse_rule("V(s, y) <- Temp(s, y), After(y, 1900)")?;
+/// assert_eq!(view.head().relation.as_str(), "V");
+/// assert_eq!(view.body().len(), 2);
+/// assert_eq!(view.body_len(), 1); // After is a built-in, not a stored atom
+/// # Ok::<(), pscds_relational::RelError>(())
+/// ```
+///
+/// # Errors
+/// Returns parse or safety errors.
+pub fn parse_rule(src: &str) -> Result<ConjunctiveQuery, RelError> {
+    let mut p = Parser::new(src);
+    let head = p.atom(true)?;
+    p.expect(&Tok::Arrow, "'<-'")?;
+    let mut body = vec![p.atom(true)?];
+    while matches!(p.peek()?, Some((Tok::Comma, _))) {
+        p.next()?;
+        body.push(p.atom(true)?);
+    }
+    // Optional trailing period.
+    if matches!(p.peek()?, Some((Tok::Period, _))) {
+        p.next()?;
+    }
+    if !p.at_end()? {
+        let (tok, offset) = p.next()?.expect("peeked token exists");
+        return Err(RelError::Parse { message: format!("trailing input after rule: {tok:?}"), offset });
+    }
+    ConjunctiveQuery::new(head, body)
+}
+
+/// Parses a single fact `R(a, 'b c', 42)`; identifiers are constants.
+///
+/// # Errors
+/// Returns parse errors; a non-ground atom is impossible by construction.
+pub fn parse_fact(src: &str) -> Result<Fact, RelError> {
+    let mut p = Parser::new(src);
+    let atom = p.atom(false)?;
+    if matches!(p.peek()?, Some((Tok::Period, _))) {
+        p.next()?;
+    }
+    if !p.at_end()? {
+        let (tok, offset) = p.next()?.expect("peeked token exists");
+        return Err(RelError::Parse { message: format!("trailing input after fact: {tok:?}"), offset });
+    }
+    Ok(atom.to_fact().expect("fact atoms are ground"))
+}
+
+/// Renders a fact so that [`parse_fact`] reads it back identically:
+/// symbolic constants that are not plain identifiers (or that could lex as
+/// something else) are quoted. Plain `Display` on [`Fact`] is the
+/// human-readable form; this is the canonical interchange form.
+#[must_use]
+pub fn format_fact(fact: &Fact) -> String {
+    let mut out = format!("{}(", fact.relation);
+    for (i, v) in fact.args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match v {
+            Value::Int(n) => out.push_str(&n.to_string()),
+            Value::Sym(s) => {
+                let text = s.as_str();
+                let is_ident = text
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_')
+                    && text.chars().all(|c| c.is_alphanumeric() || c == '_');
+                if is_ident {
+                    out.push_str(text);
+                } else {
+                    out.push('\'');
+                    out.push_str(text);
+                    out.push('\'');
+                }
+            }
+        }
+    }
+    out.push(')');
+    out
+}
+
+/// Parses a list of facts separated by periods and/or newlines.
+///
+/// # Errors
+/// Returns parse errors with offsets into the full input.
+pub fn parse_facts(src: &str) -> Result<Vec<Fact>, RelError> {
+    let mut p = Parser::new(src);
+    let mut out = Vec::new();
+    loop {
+        if p.at_end()? {
+            return Ok(out);
+        }
+        let atom = p.atom(false)?;
+        out.push(atom.to_fact().expect("fact atoms are ground"));
+        if matches!(p.peek()?, Some((Tok::Period, _))) {
+            p.next()?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Var;
+
+    #[test]
+    fn parse_simple_rule() {
+        let q = parse_rule("V(x, y) <- R(x, z), S(z, y)").unwrap();
+        assert_eq!(q.head().relation, RelName::new("V"));
+        assert_eq!(q.body().len(), 2);
+        assert_eq!(q.to_string(), "V(x, y) <- R(x, z), S(z, y)");
+    }
+
+    #[test]
+    fn parse_paper_view_s1() {
+        // S₁ from the motivating example, verbatim notation.
+        let q = parse_rule(
+            "V1(s, y, m, v) <- Temperature(s, y, m, v), Station(s, lat, lon, \"Canada\"), After(y, 1900)",
+        )
+        .unwrap();
+        assert_eq!(q.body().len(), 3);
+        assert_eq!(q.body_len(), 2); // After is a built-in
+        let station = &q.body()[1];
+        assert_eq!(station.terms[3], Term::Const(Value::sym("Canada")));
+        let after = &q.body()[2];
+        assert_eq!(after.terms[1], Term::Const(Value::int(1900)));
+    }
+
+    #[test]
+    fn parse_rule_with_constant_head() {
+        // S₃ from the paper: V3(438432, y, m, v) <- Temperature(438432, y, m, v)
+        let q = parse_rule("V3(438432, y, m, v) <- Temperature(438432, y, m, v)").unwrap();
+        assert_eq!(q.head().terms[0], Term::Const(Value::int(438432)));
+    }
+
+    #[test]
+    fn uppercase_idents_are_constants_in_rules() {
+        let q = parse_rule("V(x) <- R(x, Canada)").unwrap();
+        assert_eq!(q.body()[0].terms[1], Term::Const(Value::sym("Canada")));
+    }
+
+    #[test]
+    fn alternative_arrows() {
+        assert!(parse_rule("V(x) :- R(x)").is_ok());
+        assert!(parse_rule("V(x) ← R(x)").is_ok());
+    }
+
+    #[test]
+    fn unsafe_rule_rejected() {
+        let err = parse_rule("V(x, w) <- R(x)").unwrap_err();
+        assert!(matches!(err, RelError::UnsafeQuery { .. }));
+    }
+
+    #[test]
+    fn parse_fact_idents_are_constants() {
+        let f = parse_fact("R(a)").unwrap();
+        assert_eq!(f, Fact::new("R", [Value::sym("a")]));
+        let f = parse_fact("Temp(st1, 1950, -12)").unwrap();
+        assert_eq!(
+            f,
+            Fact::new("Temp", [Value::sym("st1"), Value::int(1950), Value::int(-12)])
+        );
+    }
+
+    #[test]
+    fn parse_quoted_constants() {
+        let f = parse_fact("Station(s1, 'New York')").unwrap();
+        assert_eq!(f.args[1], Value::sym("New York"));
+    }
+
+    #[test]
+    fn parse_fact_list() {
+        let facts = parse_facts("R(a). R(b).\nS(a, b)").unwrap();
+        assert_eq!(facts.len(), 3);
+        assert_eq!(facts[2], Fact::new("S", [Value::sym("a"), Value::sym("b")]));
+    }
+
+    #[test]
+    fn parse_facts_with_comments() {
+        let facts = parse_facts("% the first source\nR(a). // inline\nR(b).").unwrap();
+        assert_eq!(facts.len(), 2);
+    }
+
+    #[test]
+    fn nullary_atom() {
+        let f = parse_fact("Flag()").unwrap();
+        assert_eq!(f.arity(), 0);
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = parse_fact("R(a").unwrap_err();
+        assert!(matches!(err, RelError::Parse { .. }));
+        let err = parse_rule("V(x) <- ").unwrap_err();
+        assert!(matches!(err, RelError::Parse { .. }));
+        let err = parse_fact("R(a) extra").unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+        let err = parse_fact("R('unterminated").unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn round_trip_through_display() {
+        let q = parse_rule("V(x, y) <- R(x, z), S(z, y), After(y, 1900)").unwrap();
+        let reparsed = parse_rule(&q.to_string()).unwrap();
+        assert_eq!(q, reparsed);
+    }
+
+    #[test]
+    fn variable_identity() {
+        let q = parse_rule("V(x) <- R(x, x)").unwrap();
+        let vars = q.body()[0].variables();
+        assert_eq!(vars.len(), 1);
+        assert!(vars.contains(&Var::new("x")));
+    }
+}

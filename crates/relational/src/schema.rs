@@ -1,0 +1,192 @@
+//! Relation names and global schemas.
+
+use crate::error::RelError;
+use crate::symbol::Symbol;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A relation name (global or local) — an interned symbol.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RelName(pub Symbol);
+
+impl RelName {
+    /// Interns a relation name.
+    #[must_use]
+    pub fn new(name: &str) -> RelName {
+        RelName(Symbol::new(name))
+    }
+
+    /// The name as a string.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        self.0.as_str()
+    }
+}
+
+impl fmt::Display for RelName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for RelName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RelName({})", self.0.as_str())
+    }
+}
+
+impl From<&str> for RelName {
+    fn from(s: &str) -> Self {
+        RelName::new(s)
+    }
+}
+
+/// A global schema: a finite map from relation names to arities.
+///
+/// This is the paper's `R = {R₁, …, R_n}`; `sch(S)` for a source collection
+/// is computed by collecting the global relation names in the view bodies.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GlobalSchema {
+    arities: BTreeMap<RelName, usize>,
+}
+
+impl GlobalSchema {
+    /// Empty schema.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a schema from `(name, arity)` pairs.
+    ///
+    /// # Errors
+    /// Fails if the same name appears with two different arities.
+    pub fn from_pairs<I, N>(pairs: I) -> Result<Self, RelError>
+    where
+        I: IntoIterator<Item = (N, usize)>,
+        N: Into<RelName>,
+    {
+        let mut schema = GlobalSchema::new();
+        for (name, arity) in pairs {
+            schema.add(name.into(), arity)?;
+        }
+        Ok(schema)
+    }
+
+    /// Adds (or re-confirms) a relation.
+    ///
+    /// # Errors
+    /// Fails if `name` is already present with a different arity.
+    pub fn add(&mut self, name: RelName, arity: usize) -> Result<(), RelError> {
+        match self.arities.get(&name) {
+            Some(&existing) if existing != arity => Err(RelError::ArityMismatch {
+                relation: name,
+                expected: existing,
+                found: arity,
+            }),
+            _ => {
+                self.arities.insert(name, arity);
+                Ok(())
+            }
+        }
+    }
+
+    /// Arity of `name`, if declared.
+    #[must_use]
+    pub fn arity(&self, name: RelName) -> Option<usize> {
+        self.arities.get(&name).copied()
+    }
+
+    /// `true` iff `name` is declared.
+    #[must_use]
+    pub fn contains(&self, name: RelName) -> bool {
+        self.arities.contains_key(&name)
+    }
+
+    /// Deterministic iteration over `(name, arity)`.
+    pub fn iter(&self) -> impl Iterator<Item = (RelName, usize)> + '_ {
+        self.arities.iter().map(|(&n, &a)| (n, a))
+    }
+
+    /// Number of declared relations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.arities.len()
+    }
+
+    /// `true` iff no relations are declared.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.arities.is_empty()
+    }
+
+    /// Merges another schema into this one.
+    ///
+    /// # Errors
+    /// Fails on any arity conflict.
+    pub fn merge(&mut self, other: &GlobalSchema) -> Result<(), RelError> {
+        for (name, arity) in other.iter() {
+            self.add(name, arity)?;
+        }
+        Ok(())
+    }
+
+    /// Maximum declared arity (`0` for an empty schema) — the `k` of the
+    /// paper's NP-membership argument.
+    #[must_use]
+    pub fn max_arity(&self) -> usize {
+        self.arities.values().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut s = GlobalSchema::new();
+        s.add(RelName::new("R"), 2).unwrap();
+        assert_eq!(s.arity(RelName::new("R")), Some(2));
+        assert_eq!(s.arity(RelName::new("S")), None);
+        assert!(s.contains(RelName::new("R")));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn arity_conflict_rejected() {
+        let mut s = GlobalSchema::new();
+        s.add(RelName::new("R"), 2).unwrap();
+        assert!(s.add(RelName::new("R"), 2).is_ok()); // re-confirm ok
+        let err = s.add(RelName::new("R"), 3).unwrap_err();
+        assert!(matches!(err, RelError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn from_pairs_and_merge() {
+        let a = GlobalSchema::from_pairs([("R", 1), ("S", 2)]).unwrap();
+        let b = GlobalSchema::from_pairs([("S", 2), ("T", 3)]).unwrap();
+        let mut merged = a.clone();
+        merged.merge(&b).unwrap();
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged.max_arity(), 3);
+
+        let conflict = GlobalSchema::from_pairs([("R", 1), ("R", 4)]);
+        assert!(conflict.is_err());
+    }
+
+    #[test]
+    fn deterministic_iteration() {
+        let s = GlobalSchema::from_pairs([("Zeta", 1), ("Alpha", 2)]).unwrap();
+        let names: Vec<_> = s.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["Alpha", "Zeta"]);
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = GlobalSchema::new();
+        assert!(s.is_empty());
+        assert_eq!(s.max_arity(), 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! A process-wide string interner.
+//!
+//! Relation names, variable names and symbolic constants appear in every
+//! fact of every candidate database the possible-world engine enumerates, so
+//! they are interned once and compared as `u32` ids thereafter. The interner
+//! is append-only and lock-protected; resolution takes a read lock.
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize, Serializer};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned string, compared by id.
+///
+/// The ordering of `Symbol` follows the *string* ordering, not the
+/// interning order, so that databases print deterministically regardless of
+/// interning history. Equality and hashing use the id (cheap).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    strings: Vec<&'static str>,
+    ids: HashMap<&'static str, u32>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner { strings: Vec::new(), ids: HashMap::new() })
+    })
+}
+
+impl Symbol {
+    /// Interns `s`, returning its symbol.
+    #[must_use]
+    pub fn new(s: &str) -> Symbol {
+        {
+            let guard = interner().read();
+            if let Some(&id) = guard.ids.get(s) {
+                return Symbol(id);
+            }
+        }
+        let mut guard = interner().write();
+        if let Some(&id) = guard.ids.get(s) {
+            return Symbol(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = u32::try_from(guard.strings.len()).expect("interner capacity");
+        guard.strings.push(leaked);
+        guard.ids.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned string.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        interner().read().strings[self.0 as usize]
+    }
+
+    /// The raw id (stable within a process run only).
+    #[must_use]
+    pub fn id(&self) -> u32 {
+        self.0
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl Serialize for Symbol {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.as_str())
+    }
+}
+
+impl<'de> Deserialize<'de> for Symbol {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        Ok(Symbol::new(&s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::new("station");
+        let b = Symbol::new("station");
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.as_str(), "station");
+    }
+
+    #[test]
+    fn distinct_strings_distinct_ids() {
+        let a = Symbol::new("alpha-sym-test");
+        let b = Symbol::new("beta-sym-test");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ordering_follows_strings() {
+        // Intern in reverse lexicographic order to show order is by string.
+        let z = Symbol::new("zzz-order-test");
+        let a = Symbol::new("aaa-order-test");
+        assert!(a < z);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Symbol::new("Temp").to_string(), "Temp");
+    }
+
+    #[test]
+    fn concurrent_interning() {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut ids = Vec::new();
+                    for j in 0..100 {
+                        ids.push(Symbol::new(&format!("concurrent-{}", (i + j) % 50)).id());
+                    }
+                    ids
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Same string interned from any thread must give the same id.
+        let a = Symbol::new("concurrent-7");
+        let b = Symbol::new("concurrent-7");
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,361 @@
+//! Finite fact universes and bounded enumeration of candidate databases.
+//!
+//! When the domain `dom` is finite, the set of *potential facts* over a
+//! schema is finite too (`N = Σ_R |dom|^arity(R)`; Section 5.1 enumerates
+//! them as `t₁ … t_N`). A [`FactUniverse`] fixes that enumeration; the
+//! possible-world engines in `pscds-core` then identify a candidate
+//! database with a subset of the universe (a bitmask for small universes),
+//! exactly the 0/1 variables `x_i` of the linear system Γ.
+
+use crate::database::Database;
+use crate::error::RelError;
+use crate::fact::Fact;
+use crate::schema::GlobalSchema;
+use crate::value::Value;
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+
+/// Upper bound on universe size for full subset enumeration (`2^n` worlds).
+pub const MAX_ENUMERABLE: usize = 30;
+
+/// A fixed, deduplicated, ordered enumeration of potential facts.
+#[derive(Clone, Debug)]
+pub struct FactUniverse {
+    facts: Vec<Fact>,
+    index: HashMap<Fact, usize>,
+}
+
+impl FactUniverse {
+    /// Builds the universe of *all* facts over `schema` with constants from
+    /// `domain` (the Section 5.1 enumeration `t₁ … t_N`).
+    ///
+    /// # Errors
+    /// Returns [`RelError::EmptyDomain`] if `domain` is empty but some
+    /// relation has positive arity.
+    pub fn over_schema(schema: &GlobalSchema, domain: &[Value]) -> Result<Self, RelError> {
+        let dom: Vec<Value> = {
+            let set: BTreeSet<Value> = domain.iter().copied().collect();
+            set.into_iter().collect()
+        };
+        let mut facts = Vec::new();
+        for (rel, arity) in schema.iter() {
+            if arity == 0 {
+                facts.push(Fact { relation: rel, args: Vec::new() });
+                continue;
+            }
+            if dom.is_empty() {
+                return Err(RelError::EmptyDomain);
+            }
+            // Odometer over dom^arity.
+            let mut idx = vec![0usize; arity];
+            loop {
+                facts.push(Fact {
+                    relation: rel,
+                    args: idx.iter().map(|&i| dom[i]).collect(),
+                });
+                let mut pos = arity;
+                loop {
+                    if pos == 0 {
+                        break;
+                    }
+                    pos -= 1;
+                    idx[pos] += 1;
+                    if idx[pos] < dom.len() {
+                        break;
+                    }
+                    idx[pos] = 0;
+                }
+                if idx.iter().all(|&i| i == 0) {
+                    break;
+                }
+            }
+        }
+        Ok(Self::from_facts(facts))
+    }
+
+    /// Builds a universe from an explicit fact list (deduplicated, sorted).
+    #[must_use]
+    pub fn from_facts<I: IntoIterator<Item = Fact>>(facts: I) -> Self {
+        let set: BTreeSet<Fact> = facts.into_iter().collect();
+        let facts: Vec<Fact> = set.into_iter().collect();
+        let index = facts
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.clone(), i))
+            .collect();
+        FactUniverse { facts, index }
+    }
+
+    /// Number of potential facts `N`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// `true` iff the universe is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// The `i`-th fact of the enumeration.
+    #[must_use]
+    pub fn fact(&self, i: usize) -> &Fact {
+        &self.facts[i]
+    }
+
+    /// Index of a fact in the enumeration.
+    #[must_use]
+    pub fn index_of(&self, fact: &Fact) -> Option<usize> {
+        self.index.get(fact).copied()
+    }
+
+    /// Deterministic iteration over the facts.
+    pub fn facts(&self) -> impl Iterator<Item = &Fact> + '_ {
+        self.facts.iter()
+    }
+
+    /// Materializes the database for a bitmask (bit `i` ⇔ fact `i` ∈ D).
+    #[must_use]
+    pub fn database_from_mask(&self, mask: u64) -> Database {
+        let mut db = Database::new();
+        for (i, fact) in self.facts.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                db.insert(fact.clone());
+            }
+        }
+        db
+    }
+
+    /// The bitmask of a database, or `None` if it contains facts outside
+    /// the universe.
+    #[must_use]
+    pub fn mask_of(&self, db: &Database) -> Option<u64> {
+        let mut mask = 0u64;
+        for fact in db.facts() {
+            let i = self.index_of(&fact)?;
+            mask |= 1 << i;
+        }
+        Some(mask)
+    }
+
+    /// Iterates over **all** `2^N` subset databases.
+    ///
+    /// # Errors
+    /// Refuses universes larger than [`MAX_ENUMERABLE`] facts.
+    pub fn subsets(&self) -> Result<SubsetIter<'_>, RelError> {
+        if self.len() > MAX_ENUMERABLE {
+            return Err(RelError::Algebra {
+                message: format!(
+                    "universe of {} facts exceeds the enumeration cap of {MAX_ENUMERABLE}",
+                    self.len()
+                ),
+            });
+        }
+        Ok(SubsetIter { universe: self, next: Some(0) })
+    }
+
+    /// Iterates over all subsets with at most `max_size` facts (smallest
+    /// first) — the Lemma 3.1-bounded search space.
+    #[must_use]
+    pub fn subsets_up_to(&self, max_size: usize) -> BoundedSubsetIter<'_> {
+        BoundedSubsetIter {
+            universe: self,
+            size: 0,
+            max_size: max_size.min(self.len()),
+            combo: None,
+            done: false,
+        }
+    }
+}
+
+/// Iterator over all subsets of a universe (as masks + databases).
+pub struct SubsetIter<'a> {
+    universe: &'a FactUniverse,
+    next: Option<u64>,
+}
+
+impl Iterator for SubsetIter<'_> {
+    type Item = (u64, Database);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mask = self.next?;
+        let db = self.universe.database_from_mask(mask);
+        let limit = 1u64 << self.universe.len();
+        self.next = if mask + 1 < limit { Some(mask + 1) } else { None };
+        Some((mask, db))
+    }
+}
+
+/// Iterator over subsets of bounded cardinality, in increasing size.
+pub struct BoundedSubsetIter<'a> {
+    universe: &'a FactUniverse,
+    size: usize,
+    max_size: usize,
+    combo: Option<Vec<usize>>,
+    done: bool,
+}
+
+impl Iterator for BoundedSubsetIter<'_> {
+    type Item = Database;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            match &mut self.combo {
+                None => {
+                    // Start the combinations of the current size.
+                    if self.size > self.max_size {
+                        self.done = true;
+                        return None;
+                    }
+                    let combo: Vec<usize> = (0..self.size).collect();
+                    let db = Database::from_facts(combo.iter().map(|&i| self.universe.fact(i).clone()));
+                    self.combo = Some(combo);
+                    return Some(db);
+                }
+                Some(combo) => {
+                    // Advance the combination (standard lexicographic step).
+                    let n = self.universe.len();
+                    let k = combo.len();
+                    let mut i = k;
+                    loop {
+                        if i == 0 {
+                            // Exhausted this size; move to the next.
+                            self.combo = None;
+                            self.size += 1;
+                            break;
+                        }
+                        i -= 1;
+                        if combo[i] < n - (k - i) {
+                            combo[i] += 1;
+                            for j in i + 1..k {
+                                combo[j] = combo[j - 1] + 1;
+                            }
+                            let db = Database::from_facts(
+                                combo.iter().map(|&x| self.universe.fact(x).clone()),
+                            );
+                            return Some(db);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelName;
+
+    fn unary_universe(names: &[&str]) -> FactUniverse {
+        let schema = GlobalSchema::from_pairs([("R", 1)]).unwrap();
+        let domain: Vec<Value> = names.iter().map(|s| Value::sym(s)).collect();
+        FactUniverse::over_schema(&schema, &domain).unwrap()
+    }
+
+    #[test]
+    fn over_schema_counts() {
+        let schema = GlobalSchema::from_pairs([("R", 2), ("S", 1)]).unwrap();
+        let domain = [Value::sym("a"), Value::sym("b"), Value::sym("c")];
+        let u = FactUniverse::over_schema(&schema, &domain).unwrap();
+        // 3^2 + 3 = 12 facts
+        assert_eq!(u.len(), 12);
+    }
+
+    #[test]
+    fn empty_domain_rejected_for_positive_arity() {
+        let schema = GlobalSchema::from_pairs([("R", 1)]).unwrap();
+        assert!(matches!(
+            FactUniverse::over_schema(&schema, &[]),
+            Err(RelError::EmptyDomain)
+        ));
+        // Nullary relations are fine with an empty domain.
+        let schema0 = GlobalSchema::from_pairs([("Flag", 0)]).unwrap();
+        let u = FactUniverse::over_schema(&schema0, &[]).unwrap();
+        assert_eq!(u.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_domain_values_deduplicated() {
+        let schema = GlobalSchema::from_pairs([("R", 1)]).unwrap();
+        let domain = [Value::sym("a"), Value::sym("a"), Value::sym("b")];
+        let u = FactUniverse::over_schema(&schema, &domain).unwrap();
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let u = unary_universe(&["a", "b", "c"]);
+        for i in 0..u.len() {
+            assert_eq!(u.index_of(u.fact(i)), Some(i));
+        }
+        let missing = Fact::new("R", [Value::sym("zzz")]);
+        assert_eq!(u.index_of(&missing), None);
+    }
+
+    #[test]
+    fn mask_round_trip() {
+        let u = unary_universe(&["a", "b", "c"]);
+        for mask in 0..8u64 {
+            let db = u.database_from_mask(mask);
+            assert_eq!(u.mask_of(&db), Some(mask));
+            assert_eq!(db.len() as u32, mask.count_ones());
+        }
+        // A database outside the universe has no mask.
+        let foreign = Database::from_facts([Fact::new("S", [Value::sym("a")])]);
+        assert_eq!(u.mask_of(&foreign), None);
+    }
+
+    #[test]
+    fn subsets_enumerates_all() {
+        let u = unary_universe(&["a", "b", "c"]);
+        let all: Vec<_> = u.subsets().unwrap().collect();
+        assert_eq!(all.len(), 8);
+        // First is empty, last is full.
+        assert!(all[0].1.is_empty());
+        assert_eq!(all[7].1.len(), 3);
+    }
+
+    #[test]
+    fn subsets_refuses_large_universe() {
+        let names: Vec<String> = (0..40).map(|i| format!("u{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let u = unary_universe(&refs);
+        assert!(u.subsets().is_err());
+    }
+
+    #[test]
+    fn bounded_subsets_by_size() {
+        let u = unary_universe(&["a", "b", "c", "d"]);
+        let dbs: Vec<_> = u.subsets_up_to(2).collect();
+        // C(4,0) + C(4,1) + C(4,2) = 1 + 4 + 6 = 11
+        assert_eq!(dbs.len(), 11);
+        // Sizes are non-decreasing.
+        let sizes: Vec<usize> = dbs.iter().map(Database::len).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sizes, sorted);
+        // All subsets are distinct.
+        let set: BTreeSet<String> = dbs.iter().map(|d| d.to_string()).collect();
+        assert_eq!(set.len(), 11);
+    }
+
+    #[test]
+    fn bounded_subsets_cap_exceeding_len() {
+        let u = unary_universe(&["a", "b"]);
+        let dbs: Vec<_> = u.subsets_up_to(10).collect();
+        assert_eq!(dbs.len(), 4); // all subsets of a 2-element universe
+    }
+
+    #[test]
+    fn universe_ordering_is_deterministic() {
+        let u = unary_universe(&["c", "a", "b"]);
+        let names: Vec<String> = u.facts().map(|f| f.to_string()).collect();
+        assert_eq!(names, vec!["R(a)", "R(b)", "R(c)"]);
+        assert_eq!(u.fact(0).relation, RelName::new("R"));
+    }
+}

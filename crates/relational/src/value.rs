@@ -1,0 +1,122 @@
+//! Constants of the global domain `dom`.
+
+use crate::symbol::Symbol;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A constant: either an integer or an interned symbolic constant.
+///
+/// The paper's domain `dom` is an abstract set of constants; we split it
+/// into integers (so built-ins like `After(y, 1900)` can compare) and
+/// symbols (station ids, country names, the `a, b, c, d_i` of Example 5.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// An integer constant.
+    Int(i64),
+    /// A symbolic constant.
+    Sym(Symbol),
+}
+
+impl Value {
+    /// Symbolic constant from a string.
+    #[must_use]
+    pub fn sym(s: &str) -> Value {
+        Value::Sym(Symbol::new(s))
+    }
+
+    /// Integer constant.
+    #[must_use]
+    pub fn int(v: i64) -> Value {
+        Value::Int(v)
+    }
+
+    /// Returns the integer if this is an [`Value::Int`].
+    #[must_use]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Sym(_) => None,
+        }
+    }
+
+    /// Returns the symbol if this is a [`Value::Sym`].
+    #[must_use]
+    pub fn as_sym(&self) -> Option<Symbol> {
+        match self {
+            Value::Int(_) => None,
+            Value::Sym(s) => Some(*s),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "Int({v})"),
+            Value::Sym(s) => write!(f, "Sym({})", s.as_str()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::sym(s)
+    }
+}
+
+impl From<Symbol> for Value {
+    fn from(s: Symbol) -> Self {
+        Value::Sym(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        assert_eq!(Value::int(42).as_int(), Some(42));
+        assert_eq!(Value::int(42).as_sym(), None);
+        assert_eq!(Value::sym("x").as_sym(), Some(Symbol::new("x")));
+        assert_eq!(Value::sym("x").as_int(), None);
+    }
+
+    #[test]
+    fn equality() {
+        assert_eq!(Value::sym("ca"), Value::from("ca"));
+        assert_ne!(Value::sym("1"), Value::int(1));
+        assert_eq!(Value::from(7i64), Value::Int(7));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        // Ints sort before syms by enum discriminant; within kinds natural order.
+        assert!(Value::int(1) < Value::int(2));
+        let mut vals = [Value::sym("b"), Value::int(5), Value::sym("a"), Value::int(3)];
+        vals.sort();
+        assert_eq!(vals[0], Value::int(3));
+        assert_eq!(vals[1], Value::int(5));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::int(-3).to_string(), "-3");
+        assert_eq!(Value::sym("Canada").to_string(), "Canada");
+    }
+}

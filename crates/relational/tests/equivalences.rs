@@ -1,0 +1,155 @@
+//! Cross-module equivalence properties of the relational substrate:
+//! conjunctive queries vs relational algebra, renaming invariance, and
+//! evaluation laws.
+
+use proptest::prelude::*;
+use pscds_relational::algebra::{CmpOp, Operand, Predicate, RaExpr};
+use pscds_relational::parser::parse_rule;
+use pscds_relational::{Atom, ConjunctiveQuery, Database, Fact, GlobalSchema, Term, Value};
+use std::collections::BTreeSet;
+
+/// Strategy: a random binary relation E over a 4-element domain.
+fn databases() -> impl Strategy<Value = Database> {
+    proptest::collection::btree_set((0i64..4, 0i64..4), 0..10).prop_map(|pairs| {
+        Database::from_facts(
+            pairs
+                .into_iter()
+                .map(|(a, b)| Fact::new("E", [Value::int(a), Value::int(b)])),
+        )
+    })
+}
+
+fn schema() -> GlobalSchema {
+    GlobalSchema::from_pairs([("E", 2)]).unwrap()
+}
+
+proptest! {
+    #[test]
+    fn cq_projection_matches_algebra_projection(db in databases()) {
+        // V(x) <- E(x, y)  ≡  π₀(E)
+        let cq = parse_rule("V(x) <- E(x, y)").unwrap();
+        let cq_result: BTreeSet<Vec<Value>> =
+            cq.evaluate(&db).unwrap().into_iter().map(|f| f.args).collect();
+        let ra = RaExpr::rel("E").project([0]);
+        let ra_result = ra.eval(&db, &schema()).unwrap();
+        prop_assert_eq!(cq_result, ra_result);
+    }
+
+    #[test]
+    fn cq_selection_matches_algebra_selection(db in databases()) {
+        // V(x, y) <- E(x, y), Eq(x, 2)  ≡  σ_{col0 = 2}(E)
+        let cq = parse_rule("V(x, y) <- E(x, y), Eq(x, 2)").unwrap();
+        let cq_result: BTreeSet<Vec<Value>> =
+            cq.evaluate(&db).unwrap().into_iter().map(|f| f.args).collect();
+        let ra = RaExpr::rel("E").select(Predicate::col_eq(0, Value::int(2)));
+        let ra_result = ra.eval(&db, &schema()).unwrap();
+        prop_assert_eq!(cq_result, ra_result);
+    }
+
+    #[test]
+    fn cq_self_join_matches_algebra(db in databases()) {
+        // V(x, z) <- E(x, y), E(y, z)  ≡  π₀,₃(σ_{col1 = col2}(E × E))
+        let cq = parse_rule("V(x, z) <- E(x, y), E(y, z)").unwrap();
+        let cq_result: BTreeSet<Vec<Value>> =
+            cq.evaluate(&db).unwrap().into_iter().map(|f| f.args).collect();
+        let ra = RaExpr::rel("E")
+            .product(RaExpr::rel("E"))
+            .select(Predicate::Cmp(Operand::Col(1), CmpOp::Eq, Operand::Col(2)))
+            .project([0, 3]);
+        let ra_result = ra.eval(&db, &schema()).unwrap();
+        prop_assert_eq!(cq_result, ra_result);
+    }
+
+    #[test]
+    fn evaluation_is_invariant_under_variable_renaming(db in databases()) {
+        let original = parse_rule("V(x, z) <- E(x, y), E(y, z), After(z, 0)").unwrap();
+        let renamed = original.rename_vars("prime");
+        prop_assert_eq!(original.evaluate(&db).unwrap(), renamed.evaluate(&db).unwrap());
+    }
+
+    #[test]
+    fn evaluation_is_monotone(db in databases(), extra_a in 0i64..4, extra_b in 0i64..4) {
+        // Adding a fact can only grow a CQ's answer.
+        let cq = parse_rule("V(x, z) <- E(x, y), E(y, z)").unwrap();
+        let before = cq.evaluate(&db).unwrap();
+        let mut bigger = db.clone();
+        bigger.insert(Fact::new("E", [Value::int(extra_a), Value::int(extra_b)]));
+        let after = cq.evaluate(&bigger).unwrap();
+        prop_assert!(before.is_subset(&after));
+    }
+
+    #[test]
+    fn union_is_idempotent_commutative(db in databases()) {
+        let sch = schema();
+        let e = RaExpr::rel("E");
+        let self_union = e.clone().union(e.clone()).eval(&db, &sch).unwrap();
+        prop_assert_eq!(&self_union, &e.eval(&db, &sch).unwrap());
+        // σ-split union: σ_{x=0}(E) ∪ σ_{x≠0}(E) = E
+        let p = Predicate::col_eq(0, Value::int(0));
+        let not_p = Predicate::Not(Box::new(p.clone()));
+        let split = RaExpr::rel("E")
+            .select(p)
+            .union(RaExpr::rel("E").select(not_p))
+            .eval(&db, &sch)
+            .unwrap();
+        prop_assert_eq!(split, e.eval(&db, &sch).unwrap());
+    }
+
+    #[test]
+    fn product_cardinality(db in databases()) {
+        let sch = schema();
+        let n = db.extension_len("E".into());
+        let prod = RaExpr::rel("E").product(RaExpr::rel("E")).eval(&db, &sch).unwrap();
+        prop_assert_eq!(prod.len(), n * n);
+    }
+}
+
+#[test]
+fn supporting_valuations_reconstruct_answers() {
+    // Every answer fact of a CQ must have at least one supporting
+    // valuation whose body facts are in the database, and grounding the
+    // head with it reproduces the fact.
+    let db = Database::from_facts([
+        Fact::new("E", [Value::int(0), Value::int(1)]),
+        Fact::new("E", [Value::int(1), Value::int(2)]),
+        Fact::new("E", [Value::int(1), Value::int(3)]),
+    ]);
+    let cq = parse_rule("V(x, z) <- E(x, y), E(y, z)").unwrap();
+    let answers = cq.evaluate(&db).unwrap();
+    assert!(!answers.is_empty());
+    for fact in &answers {
+        let thetas = cq.supporting_valuations(&db, fact).unwrap();
+        assert!(!thetas.is_empty(), "{fact} must have a witness");
+        for theta in &thetas {
+            assert_eq!(cq.head().ground(theta).as_ref(), Some(fact));
+            for body_fact in cq.body_facts(theta) {
+                assert!(db.contains(&body_fact));
+            }
+        }
+    }
+}
+
+#[test]
+fn homomorphism_composition() {
+    // If a tableau embeds into D1 and D1 ⊆ D2, it embeds into D2 with at
+    // least as many valuations.
+    use pscds_relational::matching::embeddings;
+    let d1 = Database::from_facts([Fact::new("E", [Value::int(0), Value::int(1)])]);
+    let d2 = d1.union(&Database::from_facts([Fact::new("E", [Value::int(1), Value::int(1)])]));
+    let tableau = [Atom::new("E", [Term::var("x"), Term::var("y")])];
+    let e1 = embeddings(&tableau, &d1).unwrap();
+    let e2 = embeddings(&tableau, &d2).unwrap();
+    assert!(e1.len() <= e2.len());
+    for sigma in &e1 {
+        assert!(e2.contains(sigma));
+    }
+}
+
+#[test]
+fn safety_is_preserved_by_renaming() {
+    let q = parse_rule("V(x) <- R(x, y)").unwrap();
+    let renamed = q.rename_vars("z");
+    // Re-validating the renamed query must succeed.
+    let revalidated = ConjunctiveQuery::new(renamed.head().clone(), renamed.body().to_vec());
+    assert!(revalidated.is_ok());
+}

@@ -1,0 +1,94 @@
+//! Parser robustness: generated rules and fact lists round-trip through
+//! `Display`/parse, and arbitrary input never panics.
+
+use proptest::prelude::*;
+use pscds_relational::parser::{parse_fact, parse_facts, parse_rule};
+use pscds_relational::{Atom, ConjunctiveQuery, Fact, Term, Value};
+
+fn var_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,3}".prop_map(|s| s)
+}
+
+fn rel_name() -> impl Strategy<Value = String> {
+    "[A-Z][A-Za-z0-9]{0,4}".prop_map(|s| s)
+}
+
+fn const_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (-999i64..999).prop_map(Term::int),
+        "[A-Z][a-z]{0,4}".prop_map(|s| Term::sym(&s)),
+    ]
+}
+
+/// A random safe rule: head variables drawn from body variables.
+fn rules() -> impl Strategy<Value = ConjunctiveQuery> {
+    (
+        rel_name(),
+        proptest::collection::vec(
+            (rel_name(), proptest::collection::vec(prop_oneof![var_name().prop_map(|v| Term::var(&v)), const_term()], 1..4)),
+            1..4,
+        ),
+    )
+        .prop_filter_map("need at least one body variable", |(head_rel, body_spec)| {
+            let body: Vec<Atom> = body_spec
+                .into_iter()
+                .map(|(rel, terms)| Atom::new(rel.as_str(), terms))
+                .collect();
+            let vars: Vec<_> = body
+                .iter()
+                .flat_map(pscds_relational::Atom::variables)
+                .collect();
+            if vars.is_empty() {
+                return None;
+            }
+            let head_terms: Vec<Term> = vars.iter().take(3).map(|&v| Term::Var(v)).collect();
+            ConjunctiveQuery::new(Atom::new(head_rel.as_str(), head_terms), body).ok()
+        })
+}
+
+fn facts() -> impl Strategy<Value = Vec<Fact>> {
+    proptest::collection::vec(
+        (
+            rel_name(),
+            proptest::collection::vec(
+                prop_oneof![
+                    (-999i64..999).prop_map(Value::int),
+                    "[A-Za-z][A-Za-z0-9]{0,4}".prop_map(|s| Value::sym(&s)),
+                ],
+                0..4,
+            ),
+        )
+            .prop_map(|(rel, args)| Fact::new(rel.as_str(), args)),
+        0..6,
+    )
+}
+
+proptest! {
+    #[test]
+    fn rule_display_parse_round_trip(rule in rules()) {
+        let text = rule.to_string();
+        let reparsed = parse_rule(&text).unwrap_or_else(|e| panic!("{text:?}: {e}"));
+        prop_assert_eq!(reparsed, rule);
+    }
+
+    #[test]
+    fn fact_list_display_parse_round_trip(fs in facts()) {
+        let text: String = fs.iter().map(|f| format!("{f}. ")).collect();
+        let reparsed = parse_facts(&text).unwrap_or_else(|e| panic!("{text:?}: {e}"));
+        prop_assert_eq!(reparsed, fs);
+    }
+
+    #[test]
+    fn arbitrary_input_never_panics(input in ".{0,60}") {
+        // Errors are fine; panics are not.
+        let _ = parse_rule(&input);
+        let _ = parse_fact(&input);
+        let _ = parse_facts(&input);
+    }
+
+    #[test]
+    fn arbitrary_ascii_punctuation_never_panics(input in "[ -~]{0,40}") {
+        let _ = parse_rule(&input);
+        let _ = parse_facts(&input);
+    }
+}

@@ -1,0 +1,63 @@
+//! Graded (confidence-weighted) query answering over a mirror fleet:
+//! write the query as a rule, compile it to relational algebra, and
+//! evaluate the Definition 5.1 compositional confidence — then compare
+//! against the exact possible-world semantics to see where the
+//! independence assumption bites.
+//!
+//! Run with: `cargo run --example graded_query`
+
+use pscds::core::answers::{conf_q_cq, WorldsBaseTables};
+use pscds::core::confidence::PossibleWorlds;
+use pscds::datagen::mirrors::{generate, MirrorConfig};
+use pscds::relational::parser::parse_rule;
+use pscds::relational::{compile::compile_cq, Fact, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = generate(&MirrorConfig {
+        n_objects: 5,
+        n_obsolete: 3,
+        n_mirrors: 2,
+        staleness: 0.45,
+        obsolescence: 0.5,
+        seed: 3,
+    })?;
+    let identity = scenario.collection.as_identity()?;
+    let mentioned: Vec<Value> = identity.all_tuples().into_iter().map(|t| t[0]).collect();
+    let worlds = PossibleWorlds::enumerate(&scenario.collection, &mentioned)?;
+    println!(
+        "Mirror fleet over {} mentioned objects, {} possible worlds.",
+        mentioned.len(),
+        worlds.count()
+    );
+
+    // A rule query, compiled to algebra automatically.
+    let rule = parse_rule("Pair(x, y) <- Object(x), Object(y), Neq(x, y)")?;
+    println!("\nQuery (rule form):      {rule}");
+    println!("Compiled (algebra form): {}", compile_cq(&rule)?);
+
+    let base = WorldsBaseTables::new(&worlds);
+    let graded = conf_q_cq(&rule, &base)?;
+    println!("\nTop compositional confidences (Definition 5.1) vs exact:");
+    let mut rows: Vec<_> = graded.into_iter().collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let mut max_gap = 0.0f64;
+    for (tuple, compositional) in rows.iter().take(8) {
+        let exact = worlds.query_confidence_cq(&rule, &Fact::new("Pair", tuple.clone()))?;
+        let gap = (exact.to_f64() - compositional.to_f64()).abs();
+        max_gap = max_gap.max(gap);
+        println!(
+            "  Pair({}, {})  conf_Q = {:<9} exact = {:<9} |Δ| = {:.4}",
+            tuple[0],
+            tuple[1],
+            format!("{:.4}", compositional.to_f64()),
+            format!("{:.4}", exact.to_f64()),
+            gap
+        );
+    }
+    println!(
+        "\nLargest deviation seen: {max_gap:.4} — the price of Definition 5.1's\n\
+         independence assumption on product queries (see experiment E6)."
+    );
+
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! The Theorem 3.2 machinery in action: solving HITTING SET *via* source
+//! collection consistency, and certifying inconsistency via HITTING SET.
+//!
+//! Pipeline: HS instance → HS* (Lemma 3.3) → CONSISTENCY (Theorem 3.2)
+//! → identity-view consistency solver → witness database → hitting set.
+//!
+//! Run with: `cargo run --example np_reduction`
+
+use pscds::core::consistency::{decide_identity, IdentityConsistency};
+use pscds::reductions::{
+    consistency_witness_to_hitting_set, hs_star_to_consistency, hs_to_hs_star,
+    project_hs_star_solution, solve_hitting_set, HittingSetInstance,
+};
+use std::collections::BTreeSet;
+
+fn set(elems: &[u32]) -> BTreeSet<u32> {
+    elems.iter().copied().collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small vertex-cover-flavoured HITTING SET instance:
+    // hit every edge of the 5-cycle with at most 3 vertices.
+    let instance = HittingSetInstance::new(
+        vec![
+            set(&[0, 1]),
+            set(&[1, 2]),
+            set(&[2, 3]),
+            set(&[3, 4]),
+            set(&[4, 0]),
+        ],
+        3,
+    );
+    println!("Instance: {instance}");
+
+    // Reference answer from the direct branch-and-bound solver.
+    let direct = solve_hitting_set(&instance);
+    println!(
+        "Direct solver: {}",
+        direct
+            .as_ref()
+            .map_or("NO".to_owned(), |s| format!("YES, e.g. {s:?}"))
+    );
+
+    // Lemma 3.3: force the HS* shape by appending a fresh singleton.
+    let (star, fresh) = hs_to_hs_star(&instance);
+    println!("\nLemma 3.3 ⇒ HS* instance: {star}  (fresh element: {fresh})");
+
+    // Theorem 3.2: build the source collection.
+    let collection = hs_star_to_consistency(&star)?;
+    println!("\nTheorem 3.2 ⇒ source collection:");
+    print!("{collection}");
+
+    // Decide consistency with the identity-view solver.
+    let identity = collection.as_identity()?;
+    match decide_identity(&identity, 0) {
+        IdentityConsistency::Consistent { witness, .. } => {
+            println!("CONSISTENT — witness database: {witness}");
+            let star_solution = consistency_witness_to_hitting_set(&witness);
+            let solution = project_hs_star_solution(&star_solution, fresh);
+            println!("Mapped back: hitting set {solution:?} (size {})", solution.len());
+            assert!(instance.is_solution(&solution), "round-trip must be valid");
+            assert!(direct.is_some());
+        }
+        IdentityConsistency::Inconsistent => {
+            println!("INCONSISTENT — the HS instance has no solution");
+            assert!(direct.is_none());
+        }
+    }
+
+    // And the contrapositive: an unsolvable instance yields an
+    // inconsistent collection.
+    let impossible = HittingSetInstance::new(vec![set(&[0]), set(&[1]), set(&[2])], 2);
+    let (star, _) = hs_to_hs_star(&impossible);
+    let collection = hs_star_to_consistency(&star)?;
+    let verdict = decide_identity(&collection.as_identity()?, 0);
+    println!(
+        "\n3 disjoint singletons, budget 2 → collection is {}",
+        if verdict.is_consistent() { "CONSISTENT (?!)" } else { "INCONSISTENT, as expected" }
+    );
+    assert!(!verdict.is_consistent());
+
+    Ok(())
+}

@@ -1,0 +1,113 @@
+//! A data-quality audit workflow: load a source collection from the text
+//! format, check consistency, find the trustworthy core when it fails,
+//! and extract guaranteed answers without enumerating any domain.
+//!
+//! Exercises the implemented Section 6 future-work features: consensus
+//! analysis (`core::consensus`) and the template-based certain-answer
+//! lower bound (`core::answers::certain_lower`).
+//!
+//! Run with: `cargo run --example quality_audit`
+
+use pscds::core::answers::certain_answer_lower_bound;
+use pscds::core::consensus::maximal_consistent_subsets;
+use pscds::core::consistency::decide_identity;
+use pscds::core::textfmt::{format_collection, parse_collection};
+use pscds::core::SourceCollection;
+use pscds::relational::parser::parse_rule;
+
+const REGISTRY: &str = r"
+# Four catalog mirrors report the products they carry, with self-assessed
+# quality bounds. 'flaky' fabricates items and overclaims.
+source warehouse_a {
+  view: A(x) <- Product(x)
+  completeness: 3/4
+  soundness: 1
+  extension: A(anvil). A(bolt). A(crate).
+}
+source warehouse_b {
+  view: B(x) <- Product(x)
+  completeness: 3/4
+  soundness: 1
+  extension: B(anvil). B(bolt). B(drill).
+}
+source warehouse_c {
+  view: C(x) <- Product(x)
+  completeness: 1/2
+  soundness: 1
+  extension: C(anvil). C(crate).
+}
+source flaky {
+  view: F(x) <- Product(x)
+  completeness: 1
+  soundness: 1
+  extension: F(unobtainium).
+}
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let collection = parse_collection(REGISTRY)?;
+    println!("Loaded {} sources:\n{collection}", collection.len());
+
+    // 1. The full fleet's claims are contradictory.
+    let identity = collection.as_identity()?;
+    let verdict = decide_identity(&identity, 0);
+    println!("Full fleet consistent? {}", verdict.is_consistent());
+    assert!(!verdict.is_consistent());
+
+    // 2. Consensus: who can be trusted together?
+    let report = maximal_consistent_subsets(&collection, 0)?;
+    println!("\nMaximal consistent subsets:");
+    for subset in &report.maximal_subsets {
+        let names: Vec<&str> = subset.iter().map(|&i| collection.sources()[i].name()).collect();
+        println!("  {{{}}}", names.join(", "));
+    }
+    let outliers = report.outliers();
+    println!(
+        "Outliers (inconsistent with every other source): {:?}",
+        outliers
+            .iter()
+            .map(|&i| collection.sources()[i].name())
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(outliers.len(), 1, "exactly the flaky source");
+
+    // 3. Drop the outlier and work with the trustworthy core.
+    let core: SourceCollection = SourceCollection::from_sources(
+        collection
+            .sources()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !outliers.contains(i))
+            .map(|(_, s)| s.clone()),
+    );
+    let core_identity = core.as_identity()?;
+    assert!(decide_identity(&core_identity, 0).is_consistent());
+    println!("\nTrustworthy core of {} sources is consistent.", core.len());
+
+    // 4. Guaranteed products — the template-based certain-answer lower
+    //    bound needs no domain enumeration at all.
+    let query = parse_rule("Ans(x) <- Product(x)")?;
+    let guaranteed = certain_answer_lower_bound(&core, &query)?
+        .expect("satisfiable sound-subset combinations exist");
+    println!(
+        "Products guaranteed to exist (template lower bound): {:?}",
+        guaranteed.iter().map(|f| f.args[0].to_string()).collect::<Vec<_>>()
+    );
+    // Soundness-1 sources force their whole extensions into every world.
+    for item in ["anvil", "bolt", "crate", "drill"] {
+        assert!(
+            guaranteed
+                .iter()
+                .any(|f| f.args[0] == pscds::relational::Value::sym(item)),
+            "{item} must be guaranteed"
+        );
+    }
+
+    // 5. Round-trip the audited core back to the text format.
+    let exported = format_collection(&core);
+    let reparsed = parse_collection(&exported)?;
+    assert_eq!(reparsed, core);
+    println!("\nAudited collection re-exported ({} bytes of text).", exported.len());
+
+    Ok(())
+}

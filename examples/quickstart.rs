@@ -1,0 +1,78 @@
+//! Quickstart: Example 5.1 from the paper, end to end.
+//!
+//! Builds the two-source collection, checks consistency, and computes
+//! exact tuple confidences with all three engines (possible-world oracle,
+//! explicit linear system Γ, signature counter), plus the certain and
+//! possible answers.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use pscds::core::confidence::{ConfidenceAnalysis, LinearSystem, PossibleWorlds};
+use pscds::core::consistency::{decide_identity, lemma31_bound};
+use pscds::core::paper::{example_5_1, example_5_1_domain};
+use pscds::relational::parser::parse_rule;
+use pscds::relational::{Fact, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ── The collection ────────────────────────────────────────────────
+    // S1 = ⟨Id_R, {R(a), R(b)}, c ≥ 1/2, s ≥ 1/2⟩
+    // S2 = ⟨Id_R, {R(b), R(c)}, c ≥ 1/2, s ≥ 1/2⟩
+    let collection = example_5_1();
+    println!("{collection}");
+
+    // ── Consistency (Section 3) ───────────────────────────────────────
+    let identity = collection.as_identity()?;
+    let result = decide_identity(&identity, 0);
+    println!("Consistent? {}", result.is_consistent());
+    if let pscds::core::consistency::IdentityConsistency::Consistent { witness, .. } = &result {
+        println!("Witness world: {witness}");
+    }
+    println!("Lemma 3.1 small-model bound: {}", lemma31_bound(&collection));
+
+    // ── Tuple confidence (Section 5.1), domain {a, b, c, d1} ──────────
+    let m = 1usize;
+    let domain = example_5_1_domain(m);
+
+    // Engine 1: brute-force possible worlds.
+    let worlds = PossibleWorlds::enumerate(&collection, &domain)?;
+    println!("\n|poss(S)| over {} facts: {} worlds", domain.len(), worlds.count());
+
+    // Engine 2: the explicit linear system Γ.
+    let gamma = LinearSystem::from_identity(&identity, &domain)?;
+    println!("Γ has {} variables and {} inequalities", gamma.n_vars(), gamma.inequalities().len());
+
+    // Engine 3: the signature counter (scales to huge domains).
+    let analysis = ConfidenceAnalysis::analyze(&identity, m as u64);
+
+    println!("\nconfidence(t) = Pr(t ∈ D | D ∈ poss(S)):");
+    for sym in ["a", "b", "c", "d1"] {
+        let fact = Fact::new("R", [Value::sym(sym)]);
+        let via_worlds = worlds.fact_confidence(&fact)?;
+        let via_gamma = gamma.confidence(gamma.var_of(&fact).expect("in domain"))?;
+        let via_signature = analysis.confidence_of_tuple(&identity, &[Value::sym(sym)])?;
+        assert_eq!(via_worlds, via_gamma);
+        assert_eq!(via_worlds, via_signature);
+        println!(
+            "  R({sym}): {via_signature}  (≈ {:.4}) — all three engines agree",
+            via_signature.to_f64()
+        );
+    }
+
+    // The signature engine handles domains the others never could:
+    let big = ConfidenceAnalysis::analyze(&identity, 1_000_000);
+    let conf_b = big.confidence_of_tuple(&identity, &[Value::sym("b")])?;
+    println!("\nAt m = 10^6: confidence(R(b)) = {} ≈ {:.8}", conf_b, conf_b.to_f64());
+
+    // ── Certain and possible answers (Section 5) ──────────────────────
+    let query = parse_rule("Ans(x) <- R(x)")?;
+    let certain = worlds.certain_answer_cq(&query)?;
+    let possible = worlds.possible_answer_cq(&query)?;
+    println!("\nQuery: {query}");
+    println!("  certain answer Q_*(S): {certain:?}");
+    println!(
+        "  possible answer Q*(S): {:?}",
+        possible.iter().map(ToString::to_string).collect::<Vec<_>>()
+    );
+
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! # pscds — querying partially sound and complete data sources
+//!
+//! A Rust implementation of Mendelzon & Mihaila, *"Querying Partially
+//! Sound and Complete Data Sources"* (PODS 2001): source descriptors with
+//! quantitative completeness/soundness lower bounds, consistency checking
+//! of source collections, tableaux templates for the possible worlds, and
+//! probabilistic (confidence-graded) query answering.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`numeric`] — exact big-integer / rational arithmetic;
+//! * [`relational`] — the relational substrate (databases, conjunctive
+//!   queries, relational algebra, tableaux);
+//! * [`core`] — the paper's semantics (descriptors, `poss(S)`,
+//!   consistency, templates, confidence, answers);
+//! * [`reductions`] — HITTING SET and the Theorem 3.2 NP-completeness
+//!   reductions;
+//! * [`datagen`] — synthetic workloads (climate, mirrors, random
+//!   collections).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pscds::core::confidence::ConfidenceAnalysis;
+//! use pscds::core::{SourceCollection, SourceDescriptor};
+//! use pscds::numeric::{Frac, Rational};
+//! use pscds::relational::Value;
+//!
+//! // Example 5.1 from the paper: two half-sound, half-complete sources.
+//! let s1 = SourceDescriptor::identity(
+//!     "S1", "V1", "R", 1,
+//!     [[Value::sym("a")], [Value::sym("b")]],
+//!     Frac::HALF, Frac::HALF,
+//! ).unwrap();
+//! let s2 = SourceDescriptor::identity(
+//!     "S2", "V2", "R", 1,
+//!     [[Value::sym("b")], [Value::sym("c")]],
+//!     Frac::HALF, Frac::HALF,
+//! ).unwrap();
+//! let collection = SourceCollection::from_sources([s1, s2]);
+//!
+//! // Exact tuple confidence over the domain {a, b, c, d1}:
+//! let identity = collection.as_identity().unwrap();
+//! let analysis = ConfidenceAnalysis::analyze(&identity, 1 /* padding */);
+//! let conf_b = analysis.confidence_of_tuple(&identity, &[Value::sym("b")]).unwrap();
+//! assert_eq!(conf_b, Rational::from_u64(6, 7)); // b is backed by both sources
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pscds_core as core;
+pub use pscds_datagen as datagen;
+pub use pscds_numeric as numeric;
+pub use pscds_reductions as reductions;
+pub use pscds_relational as relational;

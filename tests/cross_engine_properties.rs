@@ -1,0 +1,171 @@
+//! Cross-engine property tests: the three exact semantics implementations
+//! (possible-world oracle, explicit Γ, signature counter) must agree on
+//! random instances, and the possible-world semantics must obey its
+//! lattice laws.
+
+use proptest::prelude::*;
+use pscds::core::confidence::{ConfidenceAnalysis, LinearSystem, PossibleWorlds};
+use pscds::core::consistency::decide_identity;
+use pscds::core::measures::in_poss;
+use pscds::core::{SourceCollection, SourceDescriptor};
+use pscds::numeric::{Frac, Rational, UBig};
+use pscds::relational::parser::parse_rule;
+use pscds::relational::{Fact, Value};
+
+const DOMAIN: usize = 5;
+
+fn domain() -> Vec<Value> {
+    (0..DOMAIN).map(|i| Value::sym(&format!("u{i}"))).collect()
+}
+
+/// Strategy: a random identity-view collection over the 5-element domain.
+fn collections() -> impl Strategy<Value = SourceCollection> {
+    let source = (
+        proptest::collection::btree_set(0usize..DOMAIN, 0..=DOMAIN),
+        0u64..=4,
+        0u64..=4,
+    );
+    proptest::collection::vec(source, 1..=3).prop_map(|specs| {
+        let dom = domain();
+        let sources = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (ext, c, s))| {
+                SourceDescriptor::identity(
+                    format!("S{i}"),
+                    &format!("V{i}"),
+                    "R",
+                    1,
+                    ext.into_iter().map(|e| [dom[e]]),
+                    Frac::new(c, 4),
+                    Frac::new(s, 4),
+                )
+                .expect("valid descriptor")
+            })
+            .collect::<Vec<_>>();
+        SourceCollection::from_sources(sources)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engines_agree_on_world_count(collection in collections()) {
+        let dom = domain();
+        let identity = collection.as_identity().expect("identity views");
+        let padding = DOMAIN as u64 - identity.all_tuples().len() as u64;
+
+        let worlds = PossibleWorlds::enumerate(&collection, &dom).expect("small universe");
+        let gamma = LinearSystem::from_identity(&identity, &dom).expect("valid domain");
+        let analysis = ConfidenceAnalysis::analyze(&identity, padding);
+
+        prop_assert_eq!(gamma.count_solutions().expect("small") as usize, worlds.count());
+        prop_assert_eq!(analysis.world_count(), &UBig::from(worlds.count() as u64));
+        // Consistency decisions agree too.
+        prop_assert_eq!(decide_identity(&identity, padding).is_consistent(), worlds.is_consistent());
+    }
+
+    #[test]
+    fn engines_agree_on_confidences(collection in collections()) {
+        let dom = domain();
+        let identity = collection.as_identity().expect("identity views");
+        let padding = DOMAIN as u64 - identity.all_tuples().len() as u64;
+        let worlds = PossibleWorlds::enumerate(&collection, &dom).expect("small universe");
+        prop_assume!(worlds.is_consistent());
+        let gamma = LinearSystem::from_identity(&identity, &dom).expect("valid domain");
+        let analysis = ConfidenceAnalysis::analyze(&identity, padding);
+        for v in &dom {
+            let fact = Fact::new("R", [*v]);
+            let w = worlds.fact_confidence(&fact).expect("consistent");
+            let g = gamma.confidence(gamma.var_of(&fact).expect("in domain")).expect("consistent");
+            prop_assert_eq!(&w, &g);
+            // Signature engine: named tuples via class lookup, others via padding.
+            let tuple = vec![*v];
+            let s = if identity.signature_of(&tuple) != 0 {
+                analysis.confidence_of_tuple(&identity, &tuple).expect("consistent")
+            } else if padding > 0 {
+                analysis.padding_confidence().expect("padding exists")
+            } else {
+                continue;
+            };
+            prop_assert_eq!(&w, &s);
+            prop_assert!(w.is_probability());
+        }
+    }
+
+    #[test]
+    fn witnesses_are_genuine(collection in collections()) {
+        let identity = collection.as_identity().expect("identity views");
+        // Padding 0: witnesses stay within the named tuples.
+        if let pscds::core::consistency::IdentityConsistency::Consistent { witness, .. } =
+            decide_identity(&identity, 0)
+        {
+            prop_assert!(in_poss(&witness, &collection).expect("evaluates"));
+        }
+    }
+
+    #[test]
+    fn certain_possible_lattice(collection in collections()) {
+        let dom = domain();
+        let worlds = PossibleWorlds::enumerate(&collection, &dom).expect("small universe");
+        prop_assume!(worlds.is_consistent());
+        let q = parse_rule("Ans(x) <- R(x)").expect("parses");
+        let certain = worlds.certain_answer_cq(&q).expect("consistent");
+        let possible = worlds.possible_answer_cq(&q).expect("consistent");
+        prop_assert!(certain.is_subset(&possible));
+        // The certain answer is contained in every single world's answer.
+        for world in worlds.worlds() {
+            let answer = q.evaluate(&world).expect("evaluates");
+            prop_assert!(certain.iter().all(|f| answer.contains(f)));
+            prop_assert!(answer.iter().all(|f| possible.contains(f)));
+        }
+        // Confidence characterizes both.
+        for v in &dom {
+            let conf = worlds.fact_confidence(&Fact::new("R", [*v])).expect("consistent");
+            let ans = Fact::new("Ans", [*v]);
+            prop_assert_eq!(certain.contains(&ans), conf == Rational::one());
+            prop_assert_eq!(possible.contains(&ans), conf > Rational::zero());
+        }
+    }
+
+    #[test]
+    fn tightening_bounds_shrinks_poss(collection in collections()) {
+        // Raising any source's bounds can only remove possible worlds.
+        let dom = domain();
+        let worlds = PossibleWorlds::enumerate(&collection, &dom).expect("small universe");
+        let tightened = SourceCollection::from_sources(collection.sources().iter().map(|s| {
+            let bump = |f: Frac| {
+                // min(1, f + 1/4) in exact arithmetic.
+                let bumped = Frac::new(f.num() * 4 + f.den(), f.den() * 4);
+                if bumped.is_probability() { bumped } else { Frac::ONE }
+            };
+            SourceDescriptor::new(
+                s.name(),
+                s.view().clone(),
+                s.extension().iter().cloned(),
+                bump(s.completeness()),
+                bump(s.soundness()),
+            )
+            .expect("valid descriptor")
+        }));
+        let tightened_worlds = PossibleWorlds::enumerate(&tightened, &dom).expect("small universe");
+        prop_assert!(tightened_worlds.count() <= worlds.count());
+        // And every tightened world is still a world of the original.
+        for w in tightened_worlds.worlds() {
+            prop_assert!(in_poss(&w, &collection).expect("evaluates"));
+        }
+    }
+
+    #[test]
+    fn padding_monotonicity_of_world_count(collection in collections()) {
+        // Adding padding never decreases the world count.
+        let identity = collection.as_identity().expect("identity views");
+        let mut prev = UBig::zero();
+        for padding in 0..=3u64 {
+            let analysis = ConfidenceAnalysis::analyze(&identity, padding);
+            prop_assert!(analysis.world_count() >= &prev);
+            prev = analysis.world_count().clone();
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! End-to-end integration test: every result of the paper exercised on
+//! its own Example 5.1, across crate boundaries.
+
+use pscds::core::confidence::closed_form::{derived_confidence, Example51Fact};
+use pscds::core::confidence::{ConfidenceAnalysis, LinearSystem, PossibleWorlds};
+use pscds::core::consistency::{
+    decide_identity, find_witness_bounded, lemma31_bound, shrink_witness,
+};
+use pscds::core::measures::in_poss;
+use pscds::core::paper::{example_5_1, example_5_1_domain};
+use pscds::core::templates::verify_theorem_4_1;
+use pscds::numeric::{Rational, UBig};
+use pscds::relational::parser::parse_rule;
+use pscds::relational::{Fact, Value};
+
+#[test]
+fn section_3_consistency() {
+    let collection = example_5_1();
+    // Identity solver.
+    let identity = collection.as_identity().expect("identity views");
+    let verdict = decide_identity(&identity, 0);
+    assert!(verdict.is_consistent());
+    // Exhaustive bounded search, witness within the Lemma 3.1 bound.
+    let witness = find_witness_bounded(&collection, &example_5_1_domain(1), None)
+        .expect("evaluates")
+        .expect("consistent");
+    assert!(witness.len() <= lemma31_bound(&collection));
+    assert!(in_poss(&witness, &collection).expect("evaluates"));
+}
+
+#[test]
+fn lemma_3_1_shrinking_all_worlds() {
+    let collection = example_5_1();
+    let worlds = PossibleWorlds::enumerate(&collection, &example_5_1_domain(2)).expect("small");
+    for g in worlds.worlds() {
+        let d = shrink_witness(&collection, &g).expect("evaluates");
+        assert!(d.is_subset_of(&g));
+        assert!(in_poss(&d, &collection).expect("evaluates"));
+        assert!(d.len() <= lemma31_bound(&collection));
+    }
+}
+
+#[test]
+fn section_4_templates() {
+    for m in 0..=2usize {
+        let report = verify_theorem_4_1(&example_5_1(), &example_5_1_domain(m)).expect("small");
+        assert!(report.holds, "m = {m}");
+        assert_eq!(report.poss_count, 2 * m + 5);
+    }
+}
+
+#[test]
+fn section_5_confidences_three_engines() {
+    let collection = example_5_1();
+    let identity = collection.as_identity().expect("identity views");
+    for m in 0..=3usize {
+        let domain = example_5_1_domain(m);
+        let worlds = PossibleWorlds::enumerate(&collection, &domain).expect("small");
+        let gamma = LinearSystem::from_identity(&identity, &domain).expect("valid");
+        let analysis = ConfidenceAnalysis::analyze(&identity, m as u64);
+        assert_eq!(
+            analysis.world_count(),
+            &UBig::from(worlds.count() as u64),
+            "m = {m}"
+        );
+        assert_eq!(gamma.count_solutions().expect("small") as usize, worlds.count());
+        for sym in ["a", "b", "c"] {
+            let fact = Fact::new("R", [Value::sym(sym)]);
+            let w = worlds.fact_confidence(&fact).expect("consistent");
+            let g = gamma
+                .confidence(gamma.var_of(&fact).expect("in domain"))
+                .expect("consistent");
+            let s = analysis
+                .confidence_of_tuple(&identity, &[Value::sym(sym)])
+                .expect("consistent");
+            assert_eq!(w, g, "{sym} at m={m}");
+            assert_eq!(w, s, "{sym} at m={m}");
+        }
+    }
+}
+
+#[test]
+fn closed_forms_at_scale() {
+    let identity = example_5_1().as_identity().expect("identity views");
+    for m in [100u64, 10_000, 1_000_000] {
+        let analysis = ConfidenceAnalysis::analyze(&identity, m);
+        assert_eq!(
+            analysis
+                .confidence_of_tuple(&identity, &[Value::sym("b")])
+                .expect("consistent"),
+            derived_confidence(Example51Fact::B, m)
+        );
+        assert_eq!(
+            analysis.padding_confidence().expect("padding"),
+            derived_confidence(Example51Fact::D, m)
+        );
+    }
+}
+
+#[test]
+fn answers_and_confidence_cohere() {
+    let collection = example_5_1();
+    let worlds = PossibleWorlds::enumerate(&collection, &example_5_1_domain(1)).expect("small");
+    let q = parse_rule("Ans(x) <- R(x)").expect("parses");
+    let certain = worlds.certain_answer_cq(&q).expect("consistent");
+    let possible = worlds.possible_answer_cq(&q).expect("consistent");
+    assert!(certain.is_subset(&possible));
+    // Certain ⇔ confidence 1; possible ⇔ confidence > 0.
+    for fact in &possible {
+        let base = Fact::new("R", fact.args.clone());
+        let conf = worlds.fact_confidence(&base).expect("consistent");
+        assert!(conf > Rational::zero());
+        assert_eq!(certain.contains(fact), conf == Rational::one());
+    }
+}

@@ -1,0 +1,100 @@
+//! Integration test of the full NP-completeness pipeline (Section 3):
+//! HITTING SET → HS* → CONSISTENCY → witness → hitting set, driven by
+//! property-based random instances, with the *exhaustive* consistency
+//! checker as a third independent oracle on the smallest instances.
+
+use proptest::prelude::*;
+use pscds::core::consistency::{decide_exhaustive, decide_identity, IdentityConsistency};
+use pscds::core::measures::in_poss;
+use pscds::reductions::{
+    consistency_witness_to_hitting_set, greedy_hitting_set, hitting_set_to_database,
+    hs_star_to_consistency, hs_to_hs_star, lift_hs_solution, project_hs_star_solution,
+    solve_hitting_set, HittingSetInstance,
+};
+use std::collections::BTreeSet;
+
+fn instances(max_elem: u32, max_sets: usize) -> impl Strategy<Value = HittingSetInstance> {
+    (
+        proptest::collection::vec(
+            proptest::collection::btree_set(0..max_elem, 1..4),
+            1..=max_sets,
+        ),
+        1usize..4,
+    )
+        .prop_map(|(sets, k)| HittingSetInstance::new(sets, k))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn full_pipeline_round_trip(hs in instances(7, 4)) {
+        let (star, fresh) = hs_to_hs_star(&hs);
+        let collection = hs_star_to_consistency(&star).expect("valid instance");
+        let identity = collection.as_identity().expect("identity views");
+        let direct = solve_hitting_set(&hs);
+        match decide_identity(&identity, 0) {
+            IdentityConsistency::Consistent { witness, .. } => {
+                prop_assert!(direct.is_some());
+                prop_assert!(in_poss(&witness, &collection).expect("evaluates"));
+                let star_sol = consistency_witness_to_hitting_set(&witness);
+                prop_assert!(star.is_solution(&star_sol));
+                let hs_sol = project_hs_star_solution(&star_sol, fresh);
+                prop_assert!(hs.is_solution(&hs_sol));
+            }
+            IdentityConsistency::Inconsistent => {
+                prop_assert!(direct.is_none());
+            }
+        }
+        // Forward direction: any direct solution embeds as a witness.
+        if let Some(sol) = direct {
+            let lifted = lift_hs_solution(&sol, fresh);
+            prop_assert!(star.is_solution(&lifted));
+            let db = hitting_set_to_database(&lifted);
+            prop_assert!(in_poss(&db, &collection).expect("evaluates"));
+        }
+    }
+
+    #[test]
+    fn exhaustive_oracle_agrees(hs in instances(4, 3)) {
+        // Small enough for 2^N subset enumeration: a third opinion.
+        let (star, _) = hs_to_hs_star(&hs);
+        let collection = hs_star_to_consistency(&star).expect("valid instance");
+        let identity = collection.as_identity().expect("identity views");
+        let domain: Vec<pscds::relational::Value> = collection.constants().into_iter().collect();
+        let fast = decide_identity(&identity, 0).is_consistent();
+        let slow = decide_exhaustive(&collection, &domain).expect("small").is_some();
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn greedy_dominates_exact_size(hs in instances(8, 5)) {
+        let exact = solve_hitting_set(&hs);
+        let greedy = greedy_hitting_set(&hs).expect("non-empty sets");
+        if let Some(sol) = exact {
+            prop_assert!(greedy.len() >= sol.len());
+            prop_assert!(hs.is_solution(&sol));
+        }
+        // Greedy always hits every set regardless of budget.
+        for a in &hs.sets {
+            prop_assert!(a.iter().any(|e| greedy.contains(e)));
+        }
+    }
+}
+
+#[test]
+fn paper_example_constants() {
+    // Sanity: the reduction uses exactly the paper's parameters
+    // c_i = 1/K and s_i = 1/|A_i|.
+    let sets: Vec<BTreeSet<u32>> = vec![
+        [1u32, 2, 3].into_iter().collect(),
+        [4u32].into_iter().collect(),
+    ];
+    let hs = HittingSetInstance::new(sets, 2);
+    let collection = hs_star_to_consistency(&hs).expect("valid");
+    let s1 = &collection.sources()[0];
+    assert_eq!(s1.completeness(), pscds::numeric::Frac::new(1, 2));
+    assert_eq!(s1.soundness(), pscds::numeric::Frac::new(1, 3));
+    let s2 = &collection.sources()[1];
+    assert_eq!(s2.soundness(), pscds::numeric::Frac::ONE);
+}

@@ -1,0 +1,68 @@
+//! Round-trip property: any generated collection survives
+//! `format_collection ∘ parse_collection` unchanged — across random
+//! identity collections, mirror fleets and climate scenarios (join views,
+//! built-ins, quoted constants).
+
+use pscds::core::textfmt::{format_collection, parse_collection};
+use pscds::datagen::climate::{generate as climate, ClimateConfig};
+use pscds::datagen::mirrors::{generate as mirrors, MirrorConfig};
+use pscds::datagen::random_sources::{generate as random_sources, RandomIdentityConfig};
+
+#[test]
+fn random_identity_collections_round_trip() {
+    for seed in 0..15u64 {
+        for planted in [true, false] {
+            let cfg = RandomIdentityConfig {
+                n_sources: 4,
+                domain_size: 7,
+                extension_density: 0.5,
+                planted,
+                world_density: 0.5,
+                bound_denominator: 5,
+                seed,
+            };
+            let scenario = random_sources(&cfg).expect("valid config");
+            let text = format_collection(&scenario.collection);
+            let reparsed = parse_collection(&text).expect("formatter output must parse");
+            assert_eq!(reparsed, scenario.collection, "seed {seed} planted {planted}\n{text}");
+        }
+    }
+}
+
+#[test]
+fn mirror_fleets_round_trip() {
+    for seed in 0..10u64 {
+        let cfg = MirrorConfig {
+            n_objects: 6,
+            n_obsolete: 3,
+            n_mirrors: 4,
+            staleness: 0.3,
+            obsolescence: 0.4,
+            seed,
+        };
+        let scenario = mirrors(&cfg).expect("valid config");
+        let text = format_collection(&scenario.collection);
+        let reparsed = parse_collection(&text).expect("formatter output must parse");
+        assert_eq!(reparsed, scenario.collection, "seed {seed}");
+    }
+}
+
+#[test]
+fn climate_scenarios_round_trip() {
+    // Join views with symbolic country constants: the formatter must quote
+    // or case them so they parse back as constants, not variables.
+    let cfg = ClimateConfig {
+        countries: vec!["Canada".into(), "US".into()],
+        stations_per_country: 2,
+        first_year: 1900,
+        years: 2,
+        months: 2,
+        dropout: 0.2,
+        corruption: 0.1,
+        seed: 5,
+    };
+    let scenario = climate(&cfg).expect("valid config");
+    let text = format_collection(&scenario.collection);
+    let reparsed = parse_collection(&text).expect("formatter output must parse");
+    assert_eq!(reparsed, scenario.collection);
+}

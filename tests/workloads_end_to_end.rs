@@ -1,0 +1,163 @@
+//! End-to-end tests of the synthetic workloads: generated scenarios flow
+//! through the full semantics stack (datagen → measures → consistency →
+//! confidence → answers).
+
+use pscds::core::confidence::{ConfidenceAnalysis, PossibleWorlds};
+use pscds::core::consistency::{decide_identity, lemma31_bound, shrink_witness};
+use pscds::core::measures::{in_poss, measure};
+use pscds::datagen::climate::{generate as climate, ClimateConfig};
+use pscds::datagen::mirrors::{generate as mirrors, MirrorConfig};
+use pscds::datagen::random_sources::{generate as random_sources, RandomIdentityConfig};
+use pscds::numeric::Rational;
+use pscds::relational::{Database, Fact, Value};
+
+#[test]
+fn climate_full_stack() {
+    let cfg = ClimateConfig {
+        countries: vec!["Canada".into(), "US".into()],
+        stations_per_country: 2,
+        first_year: 1900,
+        years: 3,
+        months: 4,
+        dropout: 0.25,
+        corruption: 0.1,
+        seed: 99,
+    };
+    let scenario = climate(&cfg).expect("valid config");
+    // Ground truth is a possible world; its shrinking stays one and is
+    // within the small-model bound.
+    assert!(in_poss(&scenario.world, &scenario.collection).expect("evaluates"));
+    let shrunk = shrink_witness(&scenario.collection, &scenario.world).expect("evaluates");
+    assert!(in_poss(&shrunk, &scenario.collection).expect("evaluates"));
+    assert!(shrunk.len() <= lemma31_bound(&scenario.collection));
+    assert!(shrunk.len() <= scenario.world.len());
+    // The claimed bounds are tight: bumping either bound of a noisy source
+    // above its measured value excludes the ground truth.
+    for (source, report) in scenario.collection.sources().iter().zip(&scenario.reports) {
+        let m = measure(&scenario.world, source).expect("evaluates");
+        assert!(m.completeness_at_least(report.completeness));
+        assert!(m.soundness_at_least(report.soundness));
+        if report.dropped > 0 {
+            // completeness is exactly intersection/intended; one notch up fails.
+            let tighter = pscds::numeric::Frac::new(
+                m.intersection + 1,
+                m.view_size,
+            );
+            assert!(!m.completeness_at_least(tighter), "{}", report.source);
+        }
+    }
+}
+
+#[test]
+fn mirrors_full_stack() {
+    let cfg = MirrorConfig {
+        n_objects: 9,
+        n_obsolete: 3,
+        n_mirrors: 3,
+        staleness: 0.3,
+        obsolescence: 0.4,
+        seed: 21,
+    };
+    let scenario = mirrors(&cfg).expect("valid config");
+    let identity = scenario.collection.as_identity().expect("identity");
+    assert!(decide_identity(&identity, 0).is_consistent());
+
+    let analysis = ConfidenceAnalysis::analyze(&identity, 0);
+    let certain = analysis.certain_tuples().expect("consistent");
+    let possible = analysis.possible_tuples().expect("consistent");
+    assert!(certain.len() <= possible.len());
+    assert!(possible.len() <= identity.all_tuples().len());
+
+    // Cross-check certain/possible against the world oracle.
+    let mentioned: Vec<Value> = identity.all_tuples().into_iter().map(|t| t[0]).collect();
+    let worlds = PossibleWorlds::enumerate(&scenario.collection, &mentioned).expect("small");
+    assert_eq!(worlds.count() as u64, analysis.world_count().to_u64().expect("fits"));
+    for tuple in &certain {
+        let conf = worlds
+            .fact_confidence(&Fact::new("Object", tuple.clone()))
+            .expect("consistent");
+        assert_eq!(conf, Rational::one());
+    }
+    for tuple in &possible {
+        let conf = worlds
+            .fact_confidence(&Fact::new("Object", tuple.clone()))
+            .expect("consistent");
+        assert!(conf > Rational::zero());
+    }
+}
+
+#[test]
+fn mirrors_origin_confidence_dominates_average() {
+    // Averaged over seeds, live objects must outrank obsolete ones.
+    let mut live_sum = 0.0;
+    let mut dead_sum = 0.0;
+    let mut live_n = 0.0;
+    let mut dead_n = 0.0;
+    for seed in 0..6u64 {
+        let cfg = MirrorConfig {
+            n_objects: 8,
+            n_obsolete: 4,
+            n_mirrors: 4,
+            staleness: 0.2,
+            obsolescence: 0.3,
+            seed,
+        };
+        let scenario = mirrors(&cfg).expect("valid config");
+        let identity = scenario.collection.as_identity().expect("identity");
+        let analysis = ConfidenceAnalysis::analyze(&identity, 0);
+        if !analysis.is_consistent() {
+            continue;
+        }
+        for obj in &scenario.origin {
+            let t = vec![*obj];
+            if identity.signature_of(&t) != 0 {
+                live_sum += analysis.confidence_of_tuple(&identity, &t).expect("ok").to_f64();
+                live_n += 1.0;
+            }
+        }
+        for obj in &scenario.obsolete {
+            let t = vec![*obj];
+            if identity.signature_of(&t) != 0 {
+                dead_sum += analysis.confidence_of_tuple(&identity, &t).expect("ok").to_f64();
+                dead_n += 1.0;
+            }
+        }
+    }
+    assert!(live_n > 0.0 && dead_n > 0.0);
+    assert!(
+        live_sum / live_n > dead_sum / dead_n,
+        "mean live confidence {} must exceed mean obsolete confidence {}",
+        live_sum / live_n,
+        dead_sum / dead_n
+    );
+}
+
+#[test]
+fn random_sources_planted_pipeline() {
+    for seed in 0..8u64 {
+        let cfg = RandomIdentityConfig {
+            n_sources: 3,
+            domain_size: 6,
+            extension_density: 0.5,
+            planted: true,
+            world_density: 0.5,
+            bound_denominator: 4,
+            seed,
+        };
+        let scenario = random_sources(&cfg).expect("valid config");
+        let world = Database::from_facts(scenario.planted_world.iter().map(|&v| Fact::new("R", [v])));
+        assert!(in_poss(&world, &scenario.collection).expect("evaluates"), "seed {seed}");
+        let identity = scenario.collection.as_identity().expect("identity");
+        let padding = scenario.domain.len() as u64 - identity.all_tuples().len() as u64;
+        let analysis = ConfidenceAnalysis::analyze(&identity, padding);
+        assert!(analysis.is_consistent(), "seed {seed}");
+        // The planted world's named facts all have positive confidence.
+        for v in &scenario.planted_world {
+            let t = vec![*v];
+            if identity.signature_of(&t) != 0 {
+                let conf = analysis.confidence_of_tuple(&identity, &t).expect("consistent");
+                assert!(conf > Rational::zero(), "seed {seed}: planted fact with zero confidence");
+            }
+        }
+    }
+}
