@@ -41,7 +41,11 @@ fn bench_signature_large_m(c: &mut Criterion) {
     let identity = example_5_1().as_identity().expect("identity");
     for m in [1_000u64, 100_000, 10_000_000] {
         group.bench_with_input(BenchmarkId::from_parameter(m), &m, |bench, &m| {
-            bench.iter(|| ConfidenceAnalysis::analyze(black_box(&identity), m).world_count().clone());
+            bench.iter(|| {
+                ConfidenceAnalysis::analyze(black_box(&identity), m)
+                    .world_count()
+                    .clone()
+            });
         });
     }
     group.finish();
@@ -69,7 +73,6 @@ fn bench_conf_q(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 /// Quick profile: the suite has many benchmarks; keep each one short.
 fn quick() -> Criterion {

@@ -23,15 +23,26 @@ fn bench_identity_solver(c: &mut Criterion) {
         let scenario = generate(&cfg).expect("valid config");
         let identity = scenario.collection.as_identity().expect("identity");
         let padding = scenario.domain.len() as u64 - identity.all_tuples().len() as u64;
-        group.bench_with_input(BenchmarkId::new("planted", n_sources), &n_sources, |bench, _| {
-            bench.iter(|| decide_identity(black_box(&identity), padding).is_consistent());
-        });
-        let cfg_adv = RandomIdentityConfig { planted: false, ..cfg };
+        group.bench_with_input(
+            BenchmarkId::new("planted", n_sources),
+            &n_sources,
+            |bench, _| {
+                bench.iter(|| decide_identity(black_box(&identity), padding).is_consistent());
+            },
+        );
+        let cfg_adv = RandomIdentityConfig {
+            planted: false,
+            ..cfg
+        };
         let scenario = generate(&cfg_adv).expect("valid config");
         let identity = scenario.collection.as_identity().expect("identity");
-        group.bench_with_input(BenchmarkId::new("adversarial", n_sources), &n_sources, |bench, _| {
-            bench.iter(|| decide_identity(black_box(&identity), padding).is_consistent());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("adversarial", n_sources),
+            &n_sources,
+            |bench, _| {
+                bench.iter(|| decide_identity(black_box(&identity), padding).is_consistent());
+            },
+        );
     }
     group.finish();
 }
@@ -51,16 +62,24 @@ fn bench_exhaustive_vs_identity(c: &mut Criterion) {
         let scenario = generate(&cfg).expect("valid config");
         let identity = scenario.collection.as_identity().expect("identity");
         let padding = scenario.domain.len() as u64 - identity.all_tuples().len() as u64;
-        group.bench_with_input(BenchmarkId::new("signature", domain), &domain, |bench, _| {
-            bench.iter(|| decide_identity(black_box(&identity), padding).is_consistent());
-        });
-        group.bench_with_input(BenchmarkId::new("exhaustive_bounded", domain), &domain, |bench, _| {
-            bench.iter(|| {
-                find_witness_bounded(black_box(&scenario.collection), &scenario.domain, None)
-                    .expect("evaluates")
-                    .is_some()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("signature", domain),
+            &domain,
+            |bench, _| {
+                bench.iter(|| decide_identity(black_box(&identity), padding).is_consistent());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exhaustive_bounded", domain),
+            &domain,
+            |bench, _| {
+                bench.iter(|| {
+                    find_witness_bounded(black_box(&scenario.collection), &scenario.domain, None)
+                        .expect("evaluates")
+                        .is_some()
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -76,13 +95,16 @@ fn bench_reduced_hs(c: &mut Criterion) {
         let (star, _) = hs_to_hs_star(&hs);
         let collection = hs_star_to_consistency(&star).expect("valid");
         let identity = collection.as_identity().expect("identity");
-        group.bench_with_input(BenchmarkId::from_parameter(universe), &universe, |bench, _| {
-            bench.iter(|| decide_identity(black_box(&identity), 0).is_consistent());
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(universe),
+            &universe,
+            |bench, _| {
+                bench.iter(|| decide_identity(black_box(&identity), 0).is_consistent());
+            },
+        );
     }
     group.finish();
 }
-
 
 /// Quick profile: the suite has many benchmarks; keep each one short.
 fn quick() -> Criterion {

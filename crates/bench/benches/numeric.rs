@@ -58,7 +58,6 @@ fn bench_rational(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Quick profile: the suite has many benchmarks; keep each one short.
 fn quick() -> Criterion {
     Criterion::default()

@@ -3,13 +3,16 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use pscds_reductions::{
-    greedy_hitting_set, hs_star_to_consistency, hs_to_hs_star, solve_hitting_set, HittingSetInstance,
+    greedy_hitting_set, hs_star_to_consistency, hs_to_hs_star, solve_hitting_set,
+    HittingSetInstance,
 };
 use std::collections::BTreeSet;
 
 /// Sliding-window instance family: set i = {i, i+2, i+4} mod n.
 fn window_instance(n: u32, k: usize) -> HittingSetInstance {
-    let sets: Vec<BTreeSet<u32>> = (0..n).map(|i| (0..3).map(|d| (i + d * 2) % n).collect()).collect();
+    let sets: Vec<BTreeSet<u32>> = (0..n)
+        .map(|i| (0..3).map(|d| (i + d * 2) % n).collect())
+        .collect();
     HittingSetInstance::new(sets, k)
 }
 
@@ -40,7 +43,6 @@ fn bench_reduction_pipeline(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 /// Quick profile: the suite has many benchmarks; keep each one short.
 fn quick() -> Criterion {

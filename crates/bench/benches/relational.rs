@@ -11,11 +11,17 @@ use pscds_relational::{Database, Fact, GlobalSchema, Value};
 fn chain_db(n: usize) -> Database {
     let mut db = Database::new();
     for i in 0..n {
-        db.insert(Fact::new("E", [Value::int(i as i64), Value::int(i as i64 + 1)]));
+        db.insert(Fact::new(
+            "E",
+            [Value::int(i as i64), Value::int(i as i64 + 1)],
+        ));
         // Extra edges to give joins some fan-out.
         db.insert(Fact::new(
             "E",
-            [Value::int(i as i64), Value::int(((i * 7 + 3) % (n + 1)) as i64)],
+            [
+                Value::int(i as i64),
+                Value::int(((i * 7 + 3) % (n + 1)) as i64),
+            ],
         ));
     }
     db
@@ -53,9 +59,7 @@ fn bench_parser(c: &mut Criterion) {
             .expect("parses")
         });
     });
-    let facts_text: String = (0..200)
-        .map(|i| format!("R(a{i}, {i}). "))
-        .collect();
+    let facts_text: String = (0..200).map(|i| format!("R(a{i}, {i}). ")).collect();
     group.bench_function("facts_200", |bench| {
         bench.iter(|| parse_facts(black_box(&facts_text)).expect("parses"));
     });
@@ -85,7 +89,6 @@ fn bench_algebra(c: &mut Criterion) {
     });
     group.finish();
 }
-
 
 /// Quick profile: the suite has many benchmarks; keep each one short.
 fn quick() -> Criterion {

@@ -11,14 +11,22 @@ fn bench_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("template_construction");
     let collection = example_5_1();
     group.bench_function("subset_combinations", |bench| {
-        bench.iter(|| subset_combinations(black_box(&collection)).expect("within cap").len());
+        bench.iter(|| {
+            subset_combinations(black_box(&collection))
+                .expect("within cap")
+                .len()
+        });
     });
     let combos = subset_combinations(&collection).expect("within cap");
     group.bench_function("template_for_one_combo", |bench| {
         bench.iter(|| template_for(black_box(&collection), &combos[0]).expect("constructs"));
     });
     group.bench_function("templates_for_all", |bench| {
-        bench.iter(|| templates_for(black_box(&collection)).expect("constructs").len());
+        bench.iter(|| {
+            templates_for(black_box(&collection))
+                .expect("constructs")
+                .len()
+        });
     });
     group.finish();
 }
@@ -36,7 +44,11 @@ fn bench_rep_membership(c: &mut Criterion) {
         bench.iter(|| template.rep_contains(black_box(&member)).expect("checks"));
     });
     group.bench_function("non_member", |bench| {
-        bench.iter(|| template.rep_contains(black_box(&non_member)).expect("checks"));
+        bench.iter(|| {
+            template
+                .rep_contains(black_box(&non_member))
+                .expect("checks")
+        });
     });
     group.finish();
 }
@@ -56,7 +68,6 @@ fn bench_theorem_41(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 /// Quick profile: the suite has many benchmarks; keep each one short.
 fn quick() -> Criterion {

@@ -34,9 +34,21 @@ fn main() {
         };
         rows.push(vec![
             Cell::from(m),
-            Cell::from(format!("{} (paper: {})", derived_world_count(m), paper_world_count(m))),
-            Cell::from(format!("{} (paper: {})", conf("a"), paper_confidence(Example51Fact::A, m))),
-            Cell::from(format!("{} (paper: {})", conf("b"), paper_confidence(Example51Fact::B, m))),
+            Cell::from(format!(
+                "{} (paper: {})",
+                derived_world_count(m),
+                paper_world_count(m)
+            )),
+            Cell::from(format!(
+                "{} (paper: {})",
+                conf("a"),
+                paper_confidence(Example51Fact::A, m)
+            )),
+            Cell::from(format!(
+                "{} (paper: {})",
+                conf("b"),
+                paper_confidence(Example51Fact::B, m)
+            )),
             Cell::from(if m > 0 {
                 format!(
                     "{} (paper: {})",
@@ -54,7 +66,10 @@ fn main() {
     }
     println!(
         "{}",
-        markdown_table(&["m", "|poss(S)|", "conf(R(a))", "conf(R(b))", "conf(R(d_i))"], &rows)
+        markdown_table(
+            &["m", "|poss(S)|", "conf(R(a))", "conf(R(b))", "conf(R(d_i))"],
+            &rows
+        )
     );
 
     // ── Table 2: three-engine agreement on small m ────────────────────
@@ -85,7 +100,16 @@ fn main() {
     }
     println!(
         "{}",
-        markdown_table(&["m", "worlds", "oracle conf(b)", "Γ conf(b)", "signature conf(b)"], &rows)
+        markdown_table(
+            &[
+                "m",
+                "worlds",
+                "oracle conf(b)",
+                "Γ conf(b)",
+                "signature conf(b)"
+            ],
+            &rows
+        )
     );
 
     // ── Table 3: asymptotics (paper's qualitative claim) ──────────────
@@ -103,10 +127,16 @@ fn main() {
             Cell::from(m),
             Cell::from(format!("{:.7}", c("b"))),
             Cell::from(format!("{:.7}", c("a"))),
-            Cell::from(format!("{:.7}", analysis.padding_confidence().expect("padding").to_f64())),
+            Cell::from(format!(
+                "{:.7}",
+                analysis.padding_confidence().expect("padding").to_f64()
+            )),
         ]);
     }
-    println!("{}", markdown_table(&["m", "conf(b)", "conf(a)", "conf(d_i)"], &rows));
+    println!(
+        "{}",
+        markdown_table(&["m", "conf(b)", "conf(a)", "conf(d_i)"], &rows)
+    );
 
     // ── Table 4: scaling — naive engines die, signature engine scales ─
     println!("\nE1.4  Time to compute conf(b) (naive engines capped at small m):\n");
@@ -124,7 +154,11 @@ fn main() {
         let gamma_time = if m <= 14 {
             let t = Instant::now();
             let gamma = LinearSystem::from_identity(&identity, &domain).expect("valid");
-            let _ = gamma.confidence(gamma.var_of(&Fact::new("R", [Value::sym("b")])).expect("in"));
+            let _ = gamma.confidence(
+                gamma
+                    .var_of(&Fact::new("R", [Value::sym("b")]))
+                    .expect("in"),
+            );
             format!("{:?}", t.elapsed())
         } else {
             "(2^N too large)".to_owned()
@@ -142,7 +176,10 @@ fn main() {
     }
     println!(
         "{}",
-        markdown_table(&["m", "world oracle", "Γ brute force", "signature counter"], &rows)
+        markdown_table(
+            &["m", "world oracle", "Γ brute force", "signature counter"],
+            &rows
+        )
     );
 
     println!("\nE1: all cross-checks passed.");

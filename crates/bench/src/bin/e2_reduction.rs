@@ -22,7 +22,13 @@ use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 use std::time::Instant;
 
-fn random_hs(rng: &mut StdRng, universe: u32, n_sets: usize, max_set: usize, k: usize) -> HittingSetInstance {
+fn random_hs(
+    rng: &mut StdRng,
+    universe: u32,
+    n_sets: usize,
+    max_set: usize,
+    k: usize,
+) -> HittingSetInstance {
     let sets: Vec<BTreeSet<u32>> = (0..n_sets)
         .map(|_| {
             let size = rng.gen_range(1..=max_set);
@@ -47,15 +53,27 @@ fn main() {
         let direct = solve_hitting_set(&hs);
         match decide_identity(&identity, 0) {
             IdentityConsistency::Consistent { witness, .. } => {
-                assert!(direct.is_some(), "trial {trial}: solver disagreement (consistency says YES)");
+                assert!(
+                    direct.is_some(),
+                    "trial {trial}: solver disagreement (consistency says YES)"
+                );
                 let star_sol = consistency_witness_to_hitting_set(&witness);
-                assert!(star.is_solution(&star_sol), "trial {trial}: invalid witness mapping");
+                assert!(
+                    star.is_solution(&star_sol),
+                    "trial {trial}: invalid witness mapping"
+                );
                 let hs_sol = project_hs_star_solution(&star_sol, fresh);
-                assert!(hs.is_solution(&hs_sol), "trial {trial}: invalid projected solution");
+                assert!(
+                    hs.is_solution(&hs_sol),
+                    "trial {trial}: invalid projected solution"
+                );
                 yes += 1;
             }
             IdentityConsistency::Inconsistent => {
-                assert!(direct.is_none(), "trial {trial}: solver disagreement (consistency says NO)");
+                assert!(
+                    direct.is_none(),
+                    "trial {trial}: solver disagreement (consistency says NO)"
+                );
                 no += 1;
             }
         }
@@ -108,7 +126,12 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["sources", "adversarial avg", "planted avg", "adv. consistent"],
+            &[
+                "sources",
+                "adversarial avg",
+                "planted avg",
+                "adv. consistent"
+            ],
             &rows
         )
     );
@@ -139,7 +162,10 @@ fn main() {
             Cell::from(format!("{:?}", total / trials as u32)),
         ]);
     }
-    println!("{}", markdown_table(&["|S|", "sets", "K", "avg decision time"], &rows));
+    println!(
+        "{}",
+        markdown_table(&["|S|", "sets", "K", "avg decision time"], &rows)
+    );
 
     println!("\nE2: all agreement checks passed.");
 }

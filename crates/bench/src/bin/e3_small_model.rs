@@ -40,7 +40,11 @@ fn main() {
             .expect("evaluable")
             .expect("planted instances are consistent");
         assert!(witness.len() <= bound || bound == 0, "bound violated");
-        let ratio = if bound == 0 { 0.0 } else { witness.len() as f64 / bound as f64 };
+        let ratio = if bound == 0 {
+            0.0
+        } else {
+            witness.len() as f64 / bound as f64
+        };
         max_ratio = max_ratio.max(ratio);
         rows.push(vec![
             Cell::from(seed),
@@ -52,14 +56,21 @@ fn main() {
     }
     println!(
         "{}",
-        markdown_table(&["seed", "Σ|v_i|", "bound", "min witness", "witness/bound"], &rows)
+        markdown_table(
+            &["seed", "Σ|v_i|", "bound", "min witness", "witness/bound"],
+            &rows
+        )
     );
     println!("  max observed witness/bound ratio: {max_ratio:.2} (≤ 1 required)\n");
 
     // ── (b) Join views: constructive shrinking on the climate world ───
     println!("E3.2  Constructive shrinking (Lemma 3.1 proof) on climate instances:\n");
     let mut rows = Vec::new();
-    for (label, years, dropout) in [("small", 2usize, 0.3f64), ("medium", 4, 0.2), ("large", 8, 0.1)] {
+    for (label, years, dropout) in [
+        ("small", 2usize, 0.3f64),
+        ("medium", 4, 0.2),
+        ("large", 8, 0.1),
+    ] {
         let cfg = ClimateConfig {
             countries: vec!["Canada".into(), "US".into()],
             stations_per_country: 3,
@@ -74,7 +85,10 @@ fn main() {
         let bound = lemma31_bound(&scenario.collection);
         let g = &scenario.world;
         let d = shrink_witness(&scenario.collection, g).expect("evaluable");
-        assert!(in_poss(&d, &scenario.collection).expect("evaluable"), "shrunk witness left poss(S)");
+        assert!(
+            in_poss(&d, &scenario.collection).expect("evaluable"),
+            "shrunk witness left poss(S)"
+        );
         assert!(d.is_subset_of(g));
         assert!(d.len() <= bound, "bound violated: {} > {bound}", d.len());
         rows.push(vec![
@@ -87,7 +101,16 @@ fn main() {
     }
     println!(
         "{}",
-        markdown_table(&["instance", "|G| (ground truth)", "|D| (shrunk)", "bound", "|D|/bound"], &rows)
+        markdown_table(
+            &[
+                "instance",
+                "|G| (ground truth)",
+                "|D| (shrunk)",
+                "bound",
+                "|D|/bound"
+            ],
+            &rows
+        )
     );
 
     // ── (c) Tightness: a family achieving the bound ───────────────────
@@ -129,7 +152,10 @@ fn main() {
             Cell::from("1.00"),
         ]);
     }
-    println!("{}", markdown_table(&["sources", "bound", "min witness", "ratio"], &rows));
+    println!(
+        "{}",
+        markdown_table(&["sources", "bound", "min witness", "ratio"], &rows)
+    );
 
     println!("\nE3: Lemma 3.1 bound respected on every instance.");
 }

@@ -19,11 +19,14 @@ use std::time::Instant;
 
 fn main() {
     // ── (a) Example 5.1 ───────────────────────────────────────────────
-    println!("E4.1  Theorem 4.1 on Example 5.1 (poss vs ∪ rep, restricted to the finite universe):\n");
+    println!(
+        "E4.1  Theorem 4.1 on Example 5.1 (poss vs ∪ rep, restricted to the finite universe):\n"
+    );
     let mut rows = Vec::new();
     for m in 0..=3usize {
         let t = Instant::now();
-        let report = verify_theorem_4_1(&example_5_1(), &example_5_1_domain(m)).expect("small instance");
+        let report =
+            verify_theorem_4_1(&example_5_1(), &example_5_1_domain(m)).expect("small instance");
         assert!(report.holds, "Theorem 4.1 must hold");
         rows.push(vec![
             Cell::from(m),
@@ -36,7 +39,10 @@ fn main() {
     }
     println!(
         "{}",
-        markdown_table(&["m", "|𝒰| (templates)", "|poss|", "|∪ rep|", "equal", "time"], &rows)
+        markdown_table(
+            &["m", "|𝒰| (templates)", "|poss|", "|∪ rep|", "equal", "time"],
+            &rows
+        )
     );
 
     // ── (b) Join views ────────────────────────────────────────────────
@@ -77,8 +83,16 @@ fn main() {
                     Frac::ONE,
                 )
                 .expect("valid"),
-                SourceDescriptor::identity("B", "W", "S", 1, [[Value::sym("a")]], Frac::ONE, Frac::HALF)
-                    .expect("valid"),
+                SourceDescriptor::identity(
+                    "B",
+                    "W",
+                    "S",
+                    1,
+                    [[Value::sym("a")]],
+                    Frac::ONE,
+                    Frac::HALF,
+                )
+                .expect("valid"),
             ]),
             vec![Value::sym("a"), Value::sym("b")],
         ),
@@ -115,7 +129,8 @@ fn main() {
             seed,
         };
         let scenario = generate(&cfg).expect("valid config");
-        let report = verify_theorem_4_1(&scenario.collection, &scenario.domain).expect("small instance");
+        let report =
+            verify_theorem_4_1(&scenario.collection, &scenario.domain).expect("small instance");
         assert!(report.holds, "seed {seed}: Theorem 4.1 must hold");
         verified += 1;
     }

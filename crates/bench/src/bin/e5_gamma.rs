@@ -25,7 +25,10 @@ fn main() {
     for ineq in gamma.inequalities() {
         println!("  {:<32} {:?} ≥ {}", ineq.label, ineq.coeffs, ineq.rhs);
     }
-    println!("\n  variables: {} (one per potential fact)\n", gamma.n_vars());
+    println!(
+        "\n  variables: {} (one per potential fact)\n",
+        gamma.n_vars()
+    );
 
     // ── (b) Counts agree with the signature counter ───────────────────
     println!("E5.2  N_sol(Γ) cross-check (brute force vs signature counter):\n");
@@ -75,7 +78,11 @@ fn main() {
             let dt = t.elapsed();
             // Cross-check while we have both.
             let analysis = ConfidenceAnalysis::analyze(&identity, padding);
-            assert_eq!(analysis.world_count(), &UBig::from(count), "domain {domain_size}");
+            assert_eq!(
+                analysis.world_count(),
+                &UBig::from(count),
+                "domain {domain_size}"
+            );
             format!("{dt:?}")
         } else {
             "(2^N too large)".to_owned()
@@ -94,7 +101,13 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["domain", "N_sol(Γ)", "brute force", "signature", "feasible vectors"],
+            &[
+                "domain",
+                "N_sol(Γ)",
+                "brute force",
+                "signature",
+                "feasible vectors"
+            ],
             &rows
         )
     );

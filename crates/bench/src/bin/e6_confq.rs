@@ -27,7 +27,14 @@ struct OperatorStats {
 
 impl OperatorStats {
     fn new(label: &'static str) -> Self {
-        OperatorStats { label, instances: 0, tuples: 0, disagreements: 0, max_error: 0.0, mean_error_sum: 0.0 }
+        OperatorStats {
+            label,
+            instances: 0,
+            tuples: 0,
+            disagreements: 0,
+            max_error: 0.0,
+            mean_error_sum: 0.0,
+        }
     }
 }
 
@@ -46,16 +53,26 @@ fn main() {
                 ))
             }),
         ),
-        ("projection π (to 0 cols)", Box::new(|| RaExpr::rel("R").project([]))),
-        ("product ×", Box::new(|| RaExpr::rel("R").product(RaExpr::rel("R")))),
+        (
+            "projection π (to 0 cols)",
+            Box::new(|| RaExpr::rel("R").project([])),
+        ),
+        (
+            "product ×",
+            Box::new(|| RaExpr::rel("R").product(RaExpr::rel("R"))),
+        ),
         (
             "π over ×",
             Box::new(|| RaExpr::rel("R").product(RaExpr::rel("R")).project([0])),
         ),
-        ("union ∪ (self)", Box::new(|| RaExpr::rel("R").union(RaExpr::rel("R")))),
+        (
+            "union ∪ (self)",
+            Box::new(|| RaExpr::rel("R").union(RaExpr::rel("R"))),
+        ),
     ];
 
-    let mut stats: Vec<OperatorStats> = queries.iter().map(|(l, _)| OperatorStats::new(l)).collect();
+    let mut stats: Vec<OperatorStats> =
+        queries.iter().map(|(l, _)| OperatorStats::new(l)).collect();
 
     let mut skipped = 0usize;
     for seed in 0..25u64 {
@@ -69,8 +86,8 @@ fn main() {
             seed,
         };
         let scenario = generate(&cfg).expect("valid config");
-        let worlds =
-            PossibleWorlds::enumerate(&scenario.collection, &scenario.domain).expect("small universe");
+        let worlds = PossibleWorlds::enumerate(&scenario.collection, &scenario.domain)
+            .expect("small universe");
         if !worlds.is_consistent() {
             skipped += 1;
             continue;
@@ -95,7 +112,10 @@ fn main() {
                 Cell::from(s.tuples),
                 Cell::from(s.disagreements),
                 Cell::from(format!("{:.4}", s.max_error)),
-                Cell::from(format!("{:.4}", s.mean_error_sum / s.instances.max(1) as f64)),
+                Cell::from(format!(
+                    "{:.4}",
+                    s.mean_error_sum / s.instances.max(1) as f64
+                )),
             ]
         })
         .collect();
@@ -108,8 +128,14 @@ fn main() {
     );
 
     // The structural guarantees: base relations and selections are exact.
-    assert_eq!(stats[0].disagreements, 0, "base-relation confidence must be exact");
-    assert_eq!(stats[1].disagreements, 0, "selection confidence must be exact");
+    assert_eq!(
+        stats[0].disagreements, 0,
+        "base-relation confidence must be exact"
+    );
+    assert_eq!(
+        stats[1].disagreements, 0,
+        "selection confidence must be exact"
+    );
 
     // ── The cause, quantified: pairwise possible-world correlations ────
     // Definition 5.1's product rule writes Pr(t ∧ t') = Pr(t)·Pr(t');

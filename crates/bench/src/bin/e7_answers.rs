@@ -21,9 +21,12 @@ use std::time::Instant;
 
 fn main() {
     // ── (a) Answer sizes vs data quality ──────────────────────────────
-    println!("E7.1  Certain/possible object sets vs mirror quality (8 live, 3 obsolete, 4 mirrors):\n");
+    println!(
+        "E7.1  Certain/possible object sets vs mirror quality (8 live, 3 obsolete, 4 mirrors):\n"
+    );
     let mut rows = Vec::new();
-    for (staleness, obsolescence) in [(0.0, 0.0), (0.1, 0.1), (0.25, 0.25), (0.4, 0.4), (0.6, 0.6)] {
+    for (staleness, obsolescence) in [(0.0, 0.0), (0.1, 0.1), (0.25, 0.25), (0.4, 0.4), (0.6, 0.6)]
+    {
         let cfg = MirrorConfig {
             n_objects: 8,
             n_obsolete: 3,
@@ -49,7 +52,13 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["stale/obsolete", "mentioned", "certain", "possible", "|poss(S)|"],
+            &[
+                "stale/obsolete",
+                "mentioned",
+                "certain",
+                "possible",
+                "|poss(S)|"
+            ],
             &rows
         )
     );
@@ -112,7 +121,10 @@ fn main() {
     }
     println!(
         "{}",
-        markdown_table(&["mirrors", "consistent trials", "pairwise ranking accuracy"], &rows)
+        markdown_table(
+            &["mirrors", "consistent trials", "pairwise ranking accuracy"],
+            &rows
+        )
     );
 
     // ── (c) Scaling: signature engine vs world oracle ─────────────────
@@ -133,8 +145,8 @@ fn main() {
         let mentioned: Vec<Value> = identity.all_tuples().into_iter().map(|t| t[0]).collect();
         let oracle_time = if mentioned.len() <= 20 {
             let t = Instant::now();
-            let worlds =
-                PossibleWorlds::enumerate(&scenario.collection, &mentioned).expect("small universe");
+            let worlds = PossibleWorlds::enumerate(&scenario.collection, &mentioned)
+                .expect("small universe");
             let dt = t.elapsed();
             // Cross-check the counts while both engines run.
             let analysis = ConfidenceAnalysis::analyze(&identity, 0);
@@ -163,7 +175,14 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["objects", "mentioned", "world oracle", "signature engine", "feasible vectors", "|poss|"],
+            &[
+                "objects",
+                "mentioned",
+                "world oracle",
+                "signature engine",
+                "feasible vectors",
+                "|poss|"
+            ],
             &rows
         )
     );
@@ -184,7 +203,11 @@ fn main() {
         let scenario = generate(&cfg).expect("valid config");
         let identity = scenario.collection.as_identity().expect("identity");
         let t = Instant::now();
-        let sampler_cfg = SamplerConfig { burn_in: 500, samples: 4_000, seed: 1 };
+        let sampler_cfg = SamplerConfig {
+            burn_in: 500,
+            samples: 4_000,
+            seed: 1,
+        };
         let sampled = sample_confidences(&identity, 0, &sampler_cfg).expect("consistent");
         let dt = t.elapsed();
         // Directional check: mean estimated confidence of live objects
@@ -196,11 +219,17 @@ fn main() {
             for &o in objs {
                 let t = vec![o];
                 if identity.signature_of(&t) != 0 {
-                    sum += sampled.confidence_of_tuple(&analysis, &identity, &t).expect("in domain");
+                    sum += sampled
+                        .confidence_of_tuple(&analysis, &identity, &t)
+                        .expect("in domain");
                     n += 1.0;
                 }
             }
-            if n == 0.0 { 0.0 } else { sum / n }
+            if n == 0.0 {
+                0.0
+            } else {
+                sum / n
+            }
         };
         let live = mean_conf(&scenario.origin);
         let dead = mean_conf(&scenario.obsolete);
@@ -216,7 +245,13 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["objects", "sampling time", "acceptance", "distinct vectors", "mean conf live/obsolete"],
+            &[
+                "objects",
+                "sampling time",
+                "acceptance",
+                "distinct vectors",
+                "mean conf live/obsolete"
+            ],
             &rows
         )
     );

@@ -25,7 +25,11 @@ fn scenario(n_honest: usize, n_liars: usize, noise: f64, seed: u64) -> SourceCol
     let origin: Vec<Value> = (0..8).map(|i| Value::sym(&format!("o{i}"))).collect();
     let mut sources = Vec::new();
     for h in 0..n_honest {
-        let kept: Vec<Value> = origin.iter().filter(|_| !rng.gen_bool(noise)).copied().collect();
+        let kept: Vec<Value> = origin
+            .iter()
+            .filter(|_| !rng.gen_bool(noise))
+            .copied()
+            .collect();
         let c = Frac::new(kept.len() as u64, origin.len() as u64);
         sources.push(
             SourceDescriptor::identity(
@@ -41,7 +45,9 @@ fn scenario(n_honest: usize, n_liars: usize, noise: f64, seed: u64) -> SourceCol
         );
     }
     for l in 0..n_liars {
-        let fake: Vec<Value> = (0..3).map(|i| Value::sym(&format!("fake{l}_{i}"))).collect();
+        let fake: Vec<Value> = (0..3)
+            .map(|i| Value::sym(&format!("fake{l}_{i}")))
+            .collect();
         sources.push(
             SourceDescriptor::identity(
                 format!("liar{l}"),
@@ -87,7 +93,11 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["honest sources", "liar flagged as outlier", "largest subset excludes liar"],
+            &[
+                "honest sources",
+                "liar flagged as outlier",
+                "largest subset excludes liar"
+            ],
             &rows
         )
     );
@@ -113,7 +123,10 @@ fn main() {
             Cell::from(format!("{all_detected}/{trials}")),
         ]);
     }
-    println!("{}", markdown_table(&["liars", "exactly the liars flagged"], &rows));
+    println!(
+        "{}",
+        markdown_table(&["liars", "exactly the liars flagged"], &rows)
+    );
 
     println!("\nE8.3  Consensus cost vs source count (2^n consistency checks):\n");
     let mut rows = Vec::new();
@@ -128,7 +141,10 @@ fn main() {
             Cell::from(format!("{dt:?}")),
         ]);
     }
-    println!("{}", markdown_table(&["sources", "maximal subsets", "time"], &rows));
+    println!(
+        "{}",
+        markdown_table(&["sources", "maximal subsets", "time"], &rows)
+    );
 
     println!("\nE8: consensus analysis complete.");
 }

@@ -45,7 +45,10 @@ fn main() {
     }
     println!(
         "{}",
-        markdown_table(&["lag (epochs)", "mean completeness", "mean soundness"], &rows)
+        markdown_table(
+            &["lag (epochs)", "mean completeness", "mean soundness"],
+            &rows
+        )
     );
 
     // ── (b) Live-object identification from a mixed-lag fleet ─────────
@@ -63,7 +66,9 @@ fn main() {
                 churn_create: 2,
                 seed: 100 + seed,
             });
-            let Ok(collection) = h.caches_at_lags(&lags) else { continue };
+            let Ok(collection) = h.caches_at_lags(&lags) else {
+                continue;
+            };
             let identity = collection.as_identity().expect("identity views");
             let analysis = ConfidenceAnalysis::analyze(&identity, 0);
             if !analysis.is_consistent() {
@@ -80,7 +85,9 @@ fn main() {
                 if identity.signature_of(&t) == 0 {
                     Rational::zero()
                 } else {
-                    analysis.confidence_of_tuple(&identity, &t).expect("consistent")
+                    analysis
+                        .confidence_of_tuple(&identity, &t)
+                        .expect("consistent")
                 }
             };
             let mut wins = 0.0;
@@ -117,7 +124,12 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["cache lags", "trials", "live-vs-deleted ranking accuracy", "|poss| (sample)"],
+            &[
+                "cache lags",
+                "trials",
+                "live-vs-deleted ranking accuracy",
+                "|poss| (sample)"
+            ],
             &rows
         )
     );

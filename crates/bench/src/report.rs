@@ -33,8 +33,14 @@ pub fn markdown_table(headers: &[&str], rows: &[Vec<Cell>]) -> String {
             .collect();
         format!("| {} |\n", padded.join(" | "))
     };
-    out.push_str(&fmt_row(headers.iter().map(|s| (*s).to_owned()).collect(), &widths));
-    out.push_str(&fmt_row(widths.iter().map(|&w| "-".repeat(w)).collect(), &widths));
+    out.push_str(&fmt_row(
+        headers.iter().map(|s| (*s).to_owned()).collect(),
+        &widths,
+    ));
+    out.push_str(&fmt_row(
+        widths.iter().map(|&w| "-".repeat(w)).collect(),
+        &widths,
+    ));
     for row in rows {
         out.push_str(&fmt_row(row.iter().map(|c| c.0.clone()).collect(), &widths));
     }

@@ -14,21 +14,31 @@
 //! pscds measure     <file> --world <facts>    c_D / s_D of every source against a world
 //! ```
 //!
-//! All command logic lives in [`run`], which returns the rendered output —
-//! the binary just prints it, and the test suite drives it directly.
+//! The analysis commands additionally take resource-governance flags
+//! (`--timeout-ms N`, `--max-steps N`, `--approx`); see the
+//! "Resource governance & degradation" section of the README. All command
+//! logic lives in [`run`], which returns the rendered output — the binary
+//! just prints it (mapping [`CliError::exit_code`] to the process exit
+//! status), and the test suite drives it directly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pscds_core::confidence::{ConfidenceAnalysis, PossibleWorlds, SignatureAnalysis};
-use pscds_core::consensus::maximal_consistent_subsets;
-use pscds_core::consistency::{decide_identity, find_witness_bounded, IdentityConsistency};
+use pscds_core::confidence::{PossibleWorlds, SignatureAnalysis};
+use pscds_core::consensus::maximal_consistent_subsets_budgeted;
+use pscds_core::consistency::{
+    decide_identity_budgeted, find_witness_budgeted, IdentityConsistency,
+};
+use pscds_core::govern::Budget;
 use pscds_core::measures::measure;
+use pscds_core::resilient::{confidence_resilient, ResilientConfidence};
 use pscds_core::textfmt::parse_collection;
-use pscds_core::SourceCollection;
+use pscds_core::{CoreError, SourceCollection};
 use pscds_relational::parser::{parse_facts, parse_rule};
 use pscds_relational::{Database, Value};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// CLI errors: usage problems or analysis failures.
 #[derive(Debug)]
@@ -39,6 +49,23 @@ pub enum CliError {
     Io(String, std::io::Error),
     /// An analysis error from the underlying library.
     Analysis(Box<dyn std::error::Error>),
+    /// The resource budget (deadline, step allowance, or Ctrl-C) ran out
+    /// and no fallback engine applied.
+    Budget(CoreError),
+}
+
+impl CliError {
+    /// The process exit status for this error: usage errors exit 1,
+    /// analysis/I-O errors exit 2, exhausted budgets exit 3. (Success
+    /// exits 0.)
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 1,
+            CliError::Io(..) | CliError::Analysis(_) => 2,
+            CliError::Budget(_) => 3,
+        }
+    }
 }
 
 impl std::fmt::Display for CliError {
@@ -47,6 +74,12 @@ impl std::fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "usage error: {msg}\n\n{USAGE}"),
             CliError::Io(path, e) => write!(f, "cannot read {path}: {e}"),
             CliError::Analysis(e) => write!(f, "{e}"),
+            CliError::Budget(e) => {
+                write!(
+                    f,
+                    "{e}\nhint: raise --timeout-ms / --max-steps, or pass --approx where supported"
+                )
+            }
         }
     }
 }
@@ -55,7 +88,10 @@ impl std::error::Error for CliError {}
 
 impl From<pscds_core::CoreError> for CliError {
     fn from(e: pscds_core::CoreError) -> Self {
-        CliError::Analysis(Box::new(e))
+        match e {
+            CoreError::BudgetExceeded { .. } => CliError::Budget(e),
+            other => CliError::Analysis(Box::new(other)),
+        }
     }
 }
 
@@ -70,12 +106,25 @@ pub const USAGE: &str = "pscds — querying partially sound and complete data so
 
 USAGE:
     pscds info       <collection-file>
-    pscds check      <collection-file> [--padding N]
-    pscds consensus  <collection-file> [--padding N]
-    pscds confidence <collection-file> [--padding N]
-    pscds answers    <collection-file> --query \"Ans(x) <- R(x)\" --domain a,b,c
-    pscds certain    <collection-file> --query \"Ans(x) <- R(x)\"
+    pscds check      <collection-file> [--padding N] [GOVERNANCE]
+    pscds consensus  <collection-file> [--padding N] [GOVERNANCE]
+    pscds confidence <collection-file> [--padding N] [GOVERNANCE] [--approx]
+    pscds answers    <collection-file> --query \"Ans(x) <- R(x)\" --domain a,b,c [GOVERNANCE]
+    pscds certain    <collection-file> --query \"Ans(x) <- R(x)\" [GOVERNANCE]
     pscds measure    <collection-file> --world <facts-file>
+
+GOVERNANCE (every analysis is super-polynomial in the worst case):
+    --timeout-ms N   wall-clock deadline for the analysis
+    --max-steps N    cap on elementary search steps
+    --approx         allow a sampled estimate when the exact engine
+                     exceeds the budget (confidence only; output is
+                     clearly labelled)
+    Ctrl-C           cancels the running analysis cooperatively
+
+EXIT CODES:
+    0  success        1  usage error
+    2  analysis/I-O error
+    3  budget exhausted with no applicable fallback
 
 The collection file format (see pscds_core::textfmt):
     source S1 {
@@ -91,10 +140,22 @@ struct Options {
     query: Option<String>,
     domain: Option<String>,
     world: Option<String>,
+    timeout_ms: Option<u64>,
+    max_steps: Option<u64>,
+    approx: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, CliError> {
-    let mut opts = Options { positional: Vec::new(), padding: None, query: None, domain: None, world: None };
+    let mut opts = Options {
+        positional: Vec::new(),
+        padding: None,
+        query: None,
+        domain: None,
+        world: None,
+        timeout_ms: None,
+        max_steps: None,
+        approx: false,
+    };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let mut grab = |name: &str| -> Result<String, CliError> {
@@ -102,14 +163,27 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 .cloned()
                 .ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
         };
+        let number = |name: &str, v: String| -> Result<u64, CliError> {
+            v.parse()
+                .map_err(|_| CliError::Usage(format!("bad {name} value {v:?}")))
+        };
         match arg.as_str() {
             "--padding" => {
                 let v = grab("--padding")?;
-                opts.padding = Some(v.parse().map_err(|_| CliError::Usage(format!("bad --padding value {v:?}")))?);
+                opts.padding = Some(number("--padding", v)?);
             }
             "--query" => opts.query = Some(grab("--query")?),
             "--domain" => opts.domain = Some(grab("--domain")?),
             "--world" => opts.world = Some(grab("--world")?),
+            "--timeout-ms" => {
+                let v = grab("--timeout-ms")?;
+                opts.timeout_ms = Some(number("--timeout-ms", v)?);
+            }
+            "--max-steps" => {
+                let v = grab("--max-steps")?;
+                opts.max_steps = Some(number("--max-steps", v)?);
+            }
+            "--approx" => opts.approx = true,
             other if other.starts_with("--") => {
                 return Err(CliError::Usage(format!("unknown option {other}")));
             }
@@ -117,6 +191,37 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         }
     }
     Ok(opts)
+}
+
+/// The process-wide cancellation flag, shared with every [`Budget`] the
+/// CLI builds so a Ctrl-C handler can interrupt any running analysis.
+static CANCEL: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+/// Returns the process-wide cancellation flag, creating it on first use.
+/// The binary installs a SIGINT handler that [`trip_cancel`]s it.
+pub fn arm_cancellation() -> Arc<AtomicBool> {
+    Arc::clone(CANCEL.get_or_init(|| Arc::new(AtomicBool::new(false))))
+}
+
+/// Flips the process-wide cancellation flag. Async-signal-safe: a lookup
+/// of an already-initialised `OnceLock` plus one atomic store.
+pub fn trip_cancel() {
+    if let Some(flag) = CANCEL.get() {
+        flag.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Builds the [`Budget`] for one command from the governance flags,
+/// always attaching the process-wide cancellation flag.
+fn budget_from(opts: &Options) -> Budget {
+    let mut budget = Budget::unlimited();
+    if let Some(ms) = opts.timeout_ms {
+        budget = budget.and_deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(steps) = opts.max_steps {
+        budget = budget.and_max_steps(steps);
+    }
+    budget.and_cancel(arm_cancellation())
 }
 
 fn load_collection(path: &str) -> Result<SourceCollection, CliError> {
@@ -162,7 +267,9 @@ fn the_file(opts: &Options) -> Result<&str, CliError> {
     match opts.positional.as_slice() {
         [one] => Ok(one),
         [] => Err(CliError::Usage("missing <collection-file>".into())),
-        more => Err(CliError::Usage(format!("too many positional arguments: {more:?}"))),
+        more => Err(CliError::Usage(format!(
+            "too many positional arguments: {more:?}"
+        ))),
     }
 }
 
@@ -176,11 +283,19 @@ fn cmd_info(opts: &Options) -> Result<String, CliError> {
         let _ = writeln!(out, "  {rel}/{arity}");
     }
     let _ = writeln!(out, "Σ|v_i| = {}", collection.total_extension_size());
-    let _ = writeln!(out, "Lemma 3.1 small-model bound: {}", collection.lemma31_bound());
+    let _ = writeln!(
+        out,
+        "Lemma 3.1 small-model bound: {}",
+        collection.lemma31_bound()
+    );
     let _ = writeln!(
         out,
         "identity-view collection: {}",
-        if collection.as_identity().is_ok() { "yes" } else { "no" }
+        if collection.as_identity().is_ok() {
+            "yes"
+        } else {
+            "no"
+        }
     );
     Ok(out)
 }
@@ -188,25 +303,36 @@ fn cmd_info(opts: &Options) -> Result<String, CliError> {
 fn cmd_check(opts: &Options) -> Result<String, CliError> {
     let collection = load_collection(the_file(opts)?)?;
     let padding = opts.padding.unwrap_or(0);
+    let budget = budget_from(opts);
     let mut out = String::new();
     match collection.as_identity() {
-        Ok(identity) => match decide_identity(&identity, padding) {
+        Ok(identity) => match decide_identity_budgeted(&identity, padding, &budget)? {
             IdentityConsistency::Consistent { witness, .. } => {
                 let _ = writeln!(out, "CONSISTENT (identity-view solver, padding {padding})");
                 let _ = writeln!(out, "witness world: {witness}");
             }
             IdentityConsistency::Inconsistent => {
-                let _ = writeln!(out, "INCONSISTENT (identity-view solver, padding {padding})");
-                let _ = writeln!(out, "hint: `pscds consensus` finds the maximal consistent subsets");
+                let _ = writeln!(
+                    out,
+                    "INCONSISTENT (identity-view solver, padding {padding})"
+                );
+                let _ = writeln!(
+                    out,
+                    "hint: `pscds consensus` finds the maximal consistent subsets"
+                );
             }
         },
         Err(_) => {
             // General views: bounded exhaustive search over the mentioned
             // constants plus a few fresh ones.
             let domain = pscds_core::consistency::exhaustive::domain_with_fresh(&collection, 2);
-            match find_witness_bounded(&collection, &domain, None)? {
+            match find_witness_budgeted(&collection, &domain, None, &budget)? {
                 Some(witness) => {
-                    let _ = writeln!(out, "CONSISTENT (bounded exhaustive search over {} constants)", domain.len());
+                    let _ = writeln!(
+                        out,
+                        "CONSISTENT (bounded exhaustive search over {} constants)",
+                        domain.len()
+                    );
                     let _ = writeln!(out, "witness world: {witness}");
                 }
                 None => {
@@ -225,10 +351,14 @@ fn cmd_check(opts: &Options) -> Result<String, CliError> {
 fn cmd_consensus(opts: &Options) -> Result<String, CliError> {
     let collection = load_collection(the_file(opts)?)?;
     let padding = opts.padding.unwrap_or(0);
-    let report = maximal_consistent_subsets(&collection, padding)?;
+    let report = maximal_consistent_subsets_budgeted(&collection, padding, &budget_from(opts))?;
     let mut out = String::new();
     if report.fully_consistent() {
-        let _ = writeln!(out, "fully consistent: all {} sources agree", report.n_sources);
+        let _ = writeln!(
+            out,
+            "fully consistent: all {} sources agree",
+            report.n_sources
+        );
         return Ok(out);
     }
     let _ = writeln!(out, "maximal consistent subsets:");
@@ -239,7 +369,10 @@ fn cmd_consensus(opts: &Options) -> Result<String, CliError> {
             .collect();
         let _ = writeln!(out, "  {{{}}}", names.join(", "));
     }
-    let _ = writeln!(out, "support (fraction of maximal subsets containing the source):");
+    let _ = writeln!(
+        out,
+        "support (fraction of maximal subsets containing the source):"
+    );
     for (i, support) in report.support.iter().enumerate() {
         let _ = writeln!(
             out,
@@ -251,8 +384,15 @@ fn cmd_consensus(opts: &Options) -> Result<String, CliError> {
     }
     let outliers = report.outliers();
     if !outliers.is_empty() {
-        let names: Vec<&str> = outliers.iter().map(|&i| collection.sources()[i].name()).collect();
-        let _ = writeln!(out, "outliers (in no ≥2-source consistent subset): {}", names.join(", "));
+        let names: Vec<&str> = outliers
+            .iter()
+            .map(|&i| collection.sources()[i].name())
+            .collect();
+        let _ = writeln!(
+            out,
+            "outliers (in no ≥2-source consistent subset): {}",
+            names.join(", ")
+        );
     }
     Ok(out)
 }
@@ -261,44 +401,87 @@ fn cmd_confidence(opts: &Options) -> Result<String, CliError> {
     let collection = load_collection(the_file(opts)?)?;
     let identity = collection.as_identity()?;
     let padding = opts.padding.unwrap_or_default();
-    let analysis = ConfidenceAnalysis::analyze(&identity, padding);
+    let budget = budget_from(opts);
+    let result = confidence_resilient(&identity, padding, &budget, opts.approx)?;
     let mut out = String::new();
-    if !analysis.is_consistent() {
-        let _ = writeln!(out, "collection is INCONSISTENT over padding {padding}: confidences are undefined");
-        return Ok(out);
-    }
-    let _ = writeln!(
-        out,
-        "|poss(S)| = {} (padding {padding}, {} feasible count vectors)",
-        analysis.world_count(),
-        analysis.feasible_vectors()
-    );
-    let mut rows: Vec<(Vec<Value>, pscds_numeric::Rational)> = identity
-        .all_tuples()
-        .into_iter()
-        .map(|t| {
-            let conf = analysis
-                .confidence_of_tuple(&identity, &t)
-                .expect("consistent collection");
-            (t, conf)
-        })
-        .collect();
-    rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    let _ = writeln!(out, "tuple confidences (descending):");
-    for (tuple, conf) in rows {
-        let rendered: Vec<String> = tuple.iter().map(ToString::to_string).collect();
-        let _ = writeln!(
-            out,
-            "  {}({})  {}  ≈{:.4}",
-            identity.relation,
-            rendered.join(", "),
-            conf,
-            conf.to_f64()
-        );
-    }
-    if padding > 0 {
-        let pad = analysis.padding_confidence()?;
-        let _ = writeln!(out, "  (each of the {padding} unlisted domain facts: {} ≈{:.4})", pad, pad.to_f64());
+    match &result {
+        ResilientConfidence::Exact(analysis) => {
+            if !analysis.is_consistent() {
+                let _ = writeln!(
+                    out,
+                    "collection is INCONSISTENT over padding {padding}: confidences are undefined"
+                );
+                return Ok(out);
+            }
+            let _ = writeln!(
+                out,
+                "|poss(S)| = {} (padding {padding}, {} feasible count vectors)",
+                analysis.world_count(),
+                analysis.feasible_vectors()
+            );
+            let mut rows: Vec<(Vec<Value>, pscds_numeric::Rational)> = Vec::new();
+            for t in identity.all_tuples() {
+                let conf = analysis.confidence_of_tuple(&identity, &t)?;
+                rows.push((t, conf));
+            }
+            rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            let _ = writeln!(out, "tuple confidences (descending):");
+            for (tuple, conf) in rows {
+                let rendered: Vec<String> = tuple.iter().map(ToString::to_string).collect();
+                let _ = writeln!(
+                    out,
+                    "  {}({})  {}  ≈{:.4}",
+                    identity.relation,
+                    rendered.join(", "),
+                    conf,
+                    conf.to_f64()
+                );
+            }
+            if padding > 0 {
+                let pad = analysis.padding_confidence()?;
+                let _ = writeln!(
+                    out,
+                    "  (each of the {padding} unlisted domain facts: {} ≈{:.4})",
+                    pad,
+                    pad.to_f64()
+                );
+            }
+        }
+        ResilientConfidence::Sampled {
+            analysis, estimate, ..
+        } => {
+            let _ = writeln!(
+                out,
+                "engine: {} — exact counting exceeded the budget, estimates follow (padding {padding})",
+                result.engine()
+            );
+            let mut rows: Vec<(Vec<Value>, f64)> = Vec::new();
+            for t in identity.all_tuples() {
+                let conf = estimate.confidence_of_tuple(analysis, &identity, &t)?;
+                rows.push((t, conf));
+            }
+            rows.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            let _ = writeln!(out, "tuple confidences (sampled, descending):");
+            for (tuple, conf) in rows {
+                let rendered: Vec<String> = tuple.iter().map(ToString::to_string).collect();
+                let _ = writeln!(
+                    out,
+                    "  {}({})  ≈{:.4}",
+                    identity.relation,
+                    rendered.join(", "),
+                    conf
+                );
+            }
+            let _ = writeln!(
+                out,
+                "chain diagnostics: acceptance rate {:.3}, {} distinct count vectors visited",
+                estimate.acceptance_rate, estimate.distinct_vectors
+            );
+        }
     }
     Ok(out)
 }
@@ -315,16 +498,20 @@ fn cmd_answers(opts: &Options) -> Result<String, CliError> {
     let collection = load_collection(the_file(opts)?)?;
     let query = parse_rule(query_text)?;
     let domain = parse_domain(domain_text);
-    let worlds = PossibleWorlds::enumerate(&collection, &domain)?;
+    let budget = budget_from(opts);
+    let worlds = PossibleWorlds::enumerate_budgeted(&collection, &domain, &budget)?;
     let mut out = String::new();
     let _ = writeln!(out, "query: {query}");
     let _ = writeln!(out, "possible worlds over the domain: {}", worlds.count());
     if !worlds.is_consistent() {
-        let _ = writeln!(out, "collection is INCONSISTENT over this domain: answers are undefined");
+        let _ = writeln!(
+            out,
+            "collection is INCONSISTENT over this domain: answers are undefined"
+        );
         return Ok(out);
     }
-    let certain = worlds.certain_answer_cq(&query)?;
-    let possible = worlds.possible_answer_cq(&query)?;
+    let certain = worlds.certain_answer_cq_budgeted(&query, &budget)?;
+    let possible = worlds.possible_answer_cq_budgeted(&query, &budget)?;
     let _ = writeln!(out, "certain answer ({}):", certain.len());
     for fact in &certain {
         let _ = writeln!(out, "  {fact}");
@@ -346,9 +533,16 @@ fn cmd_certain(opts: &Options) -> Result<String, CliError> {
     let collection = load_collection(the_file(opts)?)?;
     let mut out = String::new();
     let _ = writeln!(out, "query: {query}");
-    match pscds_core::answers::certain_answer_lower_bound(&collection, &query)? {
+    match pscds_core::answers::certain_answer_lower_bound_budgeted(
+        &collection,
+        &query,
+        &budget_from(opts),
+    )? {
         None => {
-            let _ = writeln!(out, "no satisfiable sound-subset combination: poss(S) is empty");
+            let _ = writeln!(
+                out,
+                "no satisfiable sound-subset combination: poss(S) is empty"
+            );
         }
         Some(facts) => {
             let _ = writeln!(
@@ -375,11 +569,15 @@ fn cmd_measure(opts: &Options) -> Result<String, CliError> {
     let world = Database::from_facts(parse_facts(&world_text)?);
     let mut out = String::new();
     let _ = writeln!(out, "world: {} facts", world.len());
-    let _ = writeln!(out, "source      |φ(D)|  |v∩φ(D)|  |v|   c_D      s_D      claims met?");
+    let _ = writeln!(
+        out,
+        "source      |φ(D)|  |v∩φ(D)|  |v|   c_D      s_D      claims met?"
+    );
     let mut all_ok = true;
     for source in collection.sources() {
         let m = measure(&world, source)?;
-        let ok = m.completeness_at_least(source.completeness()) && m.soundness_at_least(source.soundness());
+        let ok = m.completeness_at_least(source.completeness())
+            && m.soundness_at_least(source.soundness());
         all_ok &= ok;
         let _ = writeln!(
             out,
@@ -393,11 +591,7 @@ fn cmd_measure(opts: &Options) -> Result<String, CliError> {
             if ok { "yes" } else { "NO" }
         );
     }
-    let _ = writeln!(
-        out,
-        "world {} poss(S)",
-        if all_ok { "∈" } else { "∉" }
-    );
+    let _ = writeln!(out, "world {} poss(S)", if all_ok { "∈" } else { "∉" });
     Ok(out)
 }
 
@@ -408,7 +602,10 @@ fn cmd_measure(opts: &Options) -> Result<String, CliError> {
 /// As [`SignatureAnalysis::padding_for_domain`].
 pub fn padding_for(collection: &SourceCollection, domain_size: u64) -> Result<u64, CliError> {
     let identity = collection.as_identity()?;
-    Ok(SignatureAnalysis::padding_for_domain(&identity, domain_size)?)
+    Ok(SignatureAnalysis::padding_for_domain(
+        &identity,
+        domain_size,
+    )?)
 }
 
 #[cfg(test)]
@@ -506,7 +703,10 @@ mod tests {
         assert!(out.contains("Ans(a)"));
         assert!(out.contains("Ans(b)"));
         // Missing --query is a usage error.
-        assert!(matches!(run(&args(&["certain", &file])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&args(&["certain", &file])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
@@ -526,12 +726,27 @@ mod tests {
     #[test]
     fn usage_errors() {
         assert!(matches!(run(&[]), Err(CliError::Usage(_))));
-        assert!(matches!(run(&args(&["frobnicate"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&args(&["frobnicate"])),
+            Err(CliError::Usage(_))
+        ));
         assert!(matches!(run(&args(&["check"])), Err(CliError::Usage(_))));
-        assert!(matches!(run(&args(&["answers", "x"])), Err(CliError::Usage(_))));
-        assert!(matches!(run(&args(&["check", "a", "--padding"])), Err(CliError::Usage(_))));
-        assert!(matches!(run(&args(&["check", "a", "--padding", "x"])), Err(CliError::Usage(_))));
-        assert!(matches!(run(&args(&["check", "a", "--wibble", "x"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&args(&["answers", "x"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["check", "a", "--padding"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["check", "a", "--padding", "x"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["check", "a", "--wibble", "x"])),
+            Err(CliError::Usage(_))
+        ));
         let help = run(&args(&["help"])).unwrap();
         assert!(help.contains("USAGE"));
     }
@@ -560,5 +775,150 @@ mod tests {
         let file = write_file(&dir, "c.pscds", EXAMPLE);
         let collection = load_collection(&file).unwrap();
         assert_eq!(padding_for(&collection, 10).unwrap(), 7);
+    }
+
+    /// A collection file whose exact confidence count explodes: `k`
+    /// sources with disjoint `t`-tuple extensions, zero completeness and
+    /// soundness 1/4 — roughly `(3t/4)^k` feasible count vectors.
+    fn wide_slack_file(dir: &std::path::Path, k: usize, t: usize) -> String {
+        let mut text = String::new();
+        for i in 0..k {
+            let ext: Vec<String> = (0..t).map(|j| format!("V{i}(x{i}_{j}).")).collect();
+            let _ = writeln!(
+                text,
+                "source S{i} {{\n view: V{i}(x) <- R(x)\n completeness: 0\n soundness: 1/4\n extension: {}\n}}",
+                ext.join(" ")
+            );
+        }
+        write_file(dir, "wide.pscds", &text)
+    }
+
+    #[test]
+    fn governance_flags_are_accepted_on_small_instances() {
+        let dir = tmpdir("gov-ok");
+        let file = write_file(&dir, "c.pscds", EXAMPLE);
+        let out = run(&args(&[
+            "check",
+            &file,
+            "--timeout-ms",
+            "60000",
+            "--max-steps",
+            "10000000",
+        ]))
+        .unwrap();
+        assert!(out.contains("CONSISTENT"));
+        let out = run(&args(&[
+            "confidence",
+            &file,
+            "--padding",
+            "1",
+            "--max-steps",
+            "10000000",
+        ]))
+        .unwrap();
+        assert!(
+            out.contains("|poss(S)| = 7"),
+            "generous budgets stay exact: {out}"
+        );
+        let out = run(&args(&["consensus", &file, "--max-steps", "10000000"])).unwrap();
+        assert!(out.contains("fully consistent"));
+        // Bad flag values are usage errors.
+        assert!(matches!(
+            run(&args(&["check", &file, "--timeout-ms", "soon"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["check", &file, "--max-steps"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn exhausted_budget_without_approx_is_a_budget_error() {
+        let dir = tmpdir("gov-budget");
+        let file = wide_slack_file(&dir, 8, 9);
+        let err = run(&args(&["confidence", &file, "--max-steps", "100000"])).unwrap_err();
+        assert!(matches!(err, CliError::Budget(_)), "got {err:?}");
+        assert_eq!(err.exit_code(), 3);
+        let rendered = err.to_string();
+        assert!(rendered.contains("budget exceeded"), "{rendered}");
+        assert!(
+            rendered.contains("--approx"),
+            "the hint names the escape hatch: {rendered}"
+        );
+    }
+
+    /// Serializes the tests that touch (or could observe) the process-wide
+    /// cancellation flag: long-running analyses would otherwise see a flag
+    /// tripped by a concurrently running test.
+    static CANCEL_GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn exhausted_budget_with_approx_degrades_to_sampler() {
+        let _guard = CANCEL_GUARD
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let dir = tmpdir("gov-approx");
+        let file = wide_slack_file(&dir, 8, 9);
+        let out = run(&args(&[
+            "confidence",
+            &file,
+            "--timeout-ms",
+            "60000",
+            "--max-steps",
+            "100000",
+            "--approx",
+        ]))
+        .unwrap();
+        assert!(
+            out.contains("sampled"),
+            "sampled output must be labelled: {out}"
+        );
+        assert!(out.contains("chain diagnostics"), "{out}");
+        assert!(out.contains("R(x0_0)"), "{out}");
+    }
+
+    #[test]
+    fn exit_codes_cover_the_protocol() {
+        assert_eq!(run(&[]).unwrap_err().exit_code(), 1);
+        assert_eq!(
+            run(&args(&["check", "/nonexistent/nope.pscds"]))
+                .unwrap_err()
+                .exit_code(),
+            2
+        );
+        let dir = tmpdir("gov-exit");
+        // Analysis error: confidence needs an identity-view collection.
+        let join = "source J {\n view: V(x) <- R(x, y), S(y)\n completeness: 1\n soundness: 1\n extension: V(a).\n}\n";
+        let file = write_file(&dir, "join.pscds", join);
+        assert_eq!(
+            run(&args(&["confidence", &file])).unwrap_err().exit_code(),
+            2
+        );
+    }
+
+    #[test]
+    fn tripped_cancel_flag_aborts_with_a_budget_error() {
+        let _guard = CANCEL_GUARD
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let dir = tmpdir("gov-cancel");
+        let file = wide_slack_file(&dir, 8, 9);
+        arm_cancellation().store(true, Ordering::Relaxed);
+        // The analysis must abort at the first slow-path check because of
+        // the shared flag — exactly what the SIGINT handler triggers.
+        let err = run(&args(&["confidence", &file, "--timeout-ms", "60000"])).unwrap_err();
+        arm_cancellation().store(false, Ordering::Relaxed);
+        assert!(matches!(err, CliError::Budget(_)), "got {err:?}");
+        assert_eq!(err.exit_code(), 3);
+    }
+
+    #[test]
+    fn usage_banner_documents_governance() {
+        let help = run(&args(&["help"])).unwrap();
+        assert!(help.contains("--timeout-ms"));
+        assert!(help.contains("--max-steps"));
+        assert!(help.contains("--approx"));
+        assert!(help.contains("EXIT CODES"));
     }
 }

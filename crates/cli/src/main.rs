@@ -1,15 +1,44 @@
 //! The `pscds` binary: thin wrapper over [`pscds_cli::run`].
+//!
+//! Exit codes: 0 success, 1 usage error, 2 analysis/I-O error, 3 budget
+//! exhausted with no applicable fallback (see [`pscds_cli::CliError::exit_code`]).
+//! On Unix a SIGINT (Ctrl-C) handler flips the process-wide cancellation
+//! flag, so a running analysis unwinds cooperatively with exit code 3
+//! instead of being killed mid-print.
+
+#[cfg(unix)]
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+#[cfg(unix)]
+extern "C" fn handle_sigint(_signum: i32) {
+    // Async-signal-safe: an OnceLock lookup plus one atomic store.
+    pscds_cli::trip_cancel();
+}
+
+#[cfg(unix)]
+fn install_sigint_handler() {
+    const SIGINT: i32 = 2;
+    // Create the flag before the handler can fire, so trip_cancel always
+    // finds an initialised OnceLock.
+    let _flag = pscds_cli::arm_cancellation();
+    unsafe {
+        signal(SIGINT, handle_sigint as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint_handler() {}
 
 fn main() {
+    install_sigint_handler();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match pscds_cli::run(&args) {
         Ok(output) => print!("{output}"),
         Err(e) => {
             eprintln!("{e}");
-            std::process::exit(match e {
-                pscds_cli::CliError::Usage(_) => 2,
-                _ => 1,
-            });
+            std::process::exit(e.exit_code());
         }
     }
 }

@@ -25,7 +25,8 @@
 
 use crate::collection::SourceCollection;
 use crate::error::CoreError;
-use crate::templates::construct::templates_for;
+use crate::govern::Budget;
+use crate::templates::construct::templates_for_budgeted;
 use pscds_relational::{ConjunctiveQuery, Database, Fact};
 use std::collections::BTreeSet;
 
@@ -44,9 +45,24 @@ pub fn certain_answer_lower_bound(
     collection: &SourceCollection,
     query: &ConjunctiveQuery,
 ) -> Result<Option<BTreeSet<Fact>>, CoreError> {
-    let templates = templates_for(collection)?;
+    certain_answer_lower_bound_budgeted(collection, query, &Budget::unlimited())
+}
+
+/// Budget-governed variant of [`certain_answer_lower_bound`]: one budget
+/// step per template, on top of the construction's own ticks.
+///
+/// # Errors
+/// As [`certain_answer_lower_bound`], plus [`CoreError::BudgetExceeded`]
+/// when the budget runs out mid-intersection.
+pub fn certain_answer_lower_bound_budgeted(
+    collection: &SourceCollection,
+    query: &ConjunctiveQuery,
+    budget: &Budget,
+) -> Result<Option<BTreeSet<Fact>>, CoreError> {
+    let templates = templates_for_budgeted(collection, budget)?;
     let mut acc: Option<BTreeSet<Fact>> = None;
     for template in &templates {
+        budget.tick("answers::certain")?;
         // The single tableau built by `template_for`.
         let ground = Database::from_facts(
             template
@@ -106,11 +122,15 @@ mod tests {
         .unwrap();
         let collection = SourceCollection::from_sources([src]);
         let q = parse_rule("Ans(x) <- R(x)").unwrap();
-        let lower = certain_answer_lower_bound(&collection, &q).unwrap().unwrap();
+        let lower = certain_answer_lower_bound(&collection, &q)
+            .unwrap()
+            .unwrap();
         assert_eq!(lower.len(), 2);
-        let worlds =
-            PossibleWorlds::enumerate(&collection, &[Value::sym("a"), Value::sym("b"), Value::sym("z")])
-                .unwrap();
+        let worlds = PossibleWorlds::enumerate(
+            &collection,
+            &[Value::sym("a"), Value::sym("b"), Value::sym("z")],
+        )
+        .unwrap();
         let exact = worlds.certain_answer_cq(&q).unwrap();
         assert_eq!(lower, exact);
     }
@@ -128,12 +148,11 @@ mod tests {
         .unwrap();
         let collection = SourceCollection::from_sources([src]);
         let q = parse_rule("Ans(x) <- R(x, y)").unwrap();
-        let lower = certain_answer_lower_bound(&collection, &q).unwrap().unwrap();
-        let worlds = PossibleWorlds::enumerate(
-            &collection,
-            &[Value::sym("a"), Value::sym("z")],
-        )
-        .unwrap();
+        let lower = certain_answer_lower_bound(&collection, &q)
+            .unwrap()
+            .unwrap();
+        let worlds =
+            PossibleWorlds::enumerate(&collection, &[Value::sym("a"), Value::sym("z")]).unwrap();
         let exact = worlds.certain_answer_cq(&q).unwrap();
         assert!(lower.is_subset(&exact));
         // The exact certain answer *does* contain Ans(a) (every world has
@@ -151,8 +170,11 @@ mod tests {
         for trial in 0..25 {
             let mut sources = Vec::new();
             for s in 0..rng.gen_range(1..=2) {
-                let ext: Vec<[Value; 1]> =
-                    domain.iter().filter(|_| rng.gen_bool(0.5)).map(|&v| [v]).collect();
+                let ext: Vec<[Value; 1]> = domain
+                    .iter()
+                    .filter(|_| rng.gen_bool(0.5))
+                    .map(|&v| [v])
+                    .collect();
                 sources.push(
                     SourceDescriptor::identity(
                         format!("S{s}"),

@@ -83,7 +83,11 @@ impl<'a> IdentityBaseTables<'a> {
     /// Wraps a completed analysis.
     #[must_use]
     pub fn new(collection: &'a IdentityCollection, analysis: &'a ConfidenceAnalysis) -> Self {
-        IdentityBaseTables { collection, analysis, extra_tuples: Vec::new() }
+        IdentityBaseTables {
+            collection,
+            analysis,
+            extra_tuples: Vec::new(),
+        }
     }
 
     /// Additionally lists specific extension-free domain tuples in the
@@ -155,11 +159,14 @@ pub fn conf_q(expr: &RaExpr, base: &dyn BaseTableProvider) -> Result<ConfTable, 
                 let projected: Vec<Value> = cols
                     .iter()
                     .map(|&c| {
-                        tuple.get(c).copied().ok_or_else(|| CoreError::Rel(
-                            pscds_relational::RelError::Algebra {
-                                message: format!("projection column {c} out of range for arity {}", tuple.len()),
-                            },
-                        ))
+                        tuple.get(c).copied().ok_or_else(|| {
+                            CoreError::Rel(pscds_relational::RelError::Algebra {
+                                message: format!(
+                                    "projection column {c} out of range for arity {}",
+                                    tuple.len()
+                                ),
+                            })
+                        })
                     })
                     .collect::<Result<_, _>>()?;
                 match out.get_mut(&projected) {
@@ -236,7 +243,9 @@ mod tests {
     #[test]
     fn base_table_from_identity_analysis_matches_worlds() {
         let w = worlds(2);
-        let worlds_base = WorldsBaseTables::new(&w).base_table(RelName::new("R")).unwrap();
+        let worlds_base = WorldsBaseTables::new(&w)
+            .base_table(RelName::new("R"))
+            .unwrap();
         let id = example_5_1().as_identity().unwrap();
         let analysis = ConfidenceAnalysis::analyze(&id, 2);
         let named: Vec<Vec<Value>> = vec![vec![Value::sym("d1")], vec![Value::sym("d2")]];

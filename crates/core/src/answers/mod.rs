@@ -24,6 +24,8 @@ pub mod certain_lower;
 pub mod conf_q;
 pub mod theorem51;
 
-pub use certain_lower::certain_answer_lower_bound;
-pub use conf_q::{conf_q, conf_q_cq, BaseTableProvider, ConfTable, IdentityBaseTables, WorldsBaseTables};
+pub use certain_lower::{certain_answer_lower_bound, certain_answer_lower_bound_budgeted};
+pub use conf_q::{
+    conf_q, conf_q_cq, BaseTableProvider, ConfTable, IdentityBaseTables, WorldsBaseTables,
+};
 pub use theorem51::{compare_on_query, Theorem51Comparison};

@@ -78,7 +78,11 @@ impl Theorem51Comparison {
         if self.tuples.is_empty() {
             return 0.0;
         }
-        self.tuples.iter().map(TupleComparison::absolute_error).sum::<f64>() / self.tuples.len() as f64
+        self.tuples
+            .iter()
+            .map(TupleComparison::absolute_error)
+            .sum::<f64>()
+            / self.tuples.len() as f64
     }
 }
 
@@ -88,15 +92,25 @@ impl Theorem51Comparison {
 /// # Errors
 /// Propagates world-enumeration and algebra errors; the collection must be
 /// consistent.
-pub fn compare_on_query(worlds: &PossibleWorlds, query: &RaExpr) -> Result<Theorem51Comparison, CoreError> {
+pub fn compare_on_query(
+    worlds: &PossibleWorlds,
+    query: &RaExpr,
+) -> Result<Theorem51Comparison, CoreError> {
     let base = WorldsBaseTables::new(worlds);
     let compositional = conf_q(query, &base)?;
     let possible = worlds.possible_answer_ra(query)?;
     let mut tuples = Vec::with_capacity(possible.len());
     for tuple in possible {
         let exact = worlds.query_confidence_ra(query, &tuple)?;
-        let comp = compositional.get(&tuple).cloned().unwrap_or_else(Rational::zero);
-        tuples.push(TupleComparison { tuple, exact, compositional: comp });
+        let comp = compositional
+            .get(&tuple)
+            .cloned()
+            .unwrap_or_else(Rational::zero);
+        tuples.push(TupleComparison {
+            tuple,
+            exact,
+            compositional: comp,
+        });
     }
     Ok(Theorem51Comparison { tuples })
 }
@@ -116,8 +130,15 @@ pub fn compare_with_provider(
     let mut tuples = Vec::with_capacity(possible.len());
     for tuple in possible {
         let exact = worlds.query_confidence_ra(query, &tuple)?;
-        let comp = compositional.get(&tuple).cloned().unwrap_or_else(Rational::zero);
-        tuples.push(TupleComparison { tuple, exact, compositional: comp });
+        let comp = compositional
+            .get(&tuple)
+            .cloned()
+            .unwrap_or_else(Rational::zero);
+        tuples.push(TupleComparison {
+            tuple,
+            exact,
+            compositional: comp,
+        });
     }
     Ok(Theorem51Comparison { tuples })
 }

@@ -50,7 +50,9 @@ impl SourceCollection {
     /// Builds a collection from descriptors.
     #[must_use]
     pub fn from_sources<I: IntoIterator<Item = SourceDescriptor>>(sources: I) -> Self {
-        SourceCollection { sources: sources.into_iter().collect() }
+        SourceCollection {
+            sources: sources.into_iter().collect(),
+        }
     }
 
     /// Adds a source.
@@ -109,7 +111,10 @@ impl SourceCollection {
     /// Total extension size `Σ_i |v_i|`.
     #[must_use]
     pub fn total_extension_size(&self) -> usize {
-        self.sources.iter().map(SourceDescriptor::extension_len).sum()
+        self.sources
+            .iter()
+            .map(SourceDescriptor::extension_len)
+            .sum()
     }
 
     /// The Lemma 3.1 small-model bound:
@@ -136,9 +141,12 @@ impl SourceCollection {
         let mut relation: Option<(RelName, usize)> = None;
         let mut sources = Vec::with_capacity(self.sources.len());
         for s in &self.sources {
-            let rel = s.view().identity_over().ok_or_else(|| CoreError::NotIdentityCollection {
-                message: format!("source {} has non-identity view {}", s.name(), s.view()),
-            })?;
+            let rel = s
+                .view()
+                .identity_over()
+                .ok_or_else(|| CoreError::NotIdentityCollection {
+                    message: format!("source {} has non-identity view {}", s.name(), s.view()),
+                })?;
             let arity = s.view().head().arity();
             match relation {
                 None => relation = Some((rel, arity)),
@@ -163,7 +171,11 @@ impl SourceCollection {
         let (relation, arity) = relation.ok_or_else(|| CoreError::NotIdentityCollection {
             message: "empty collection has no distinguished relation".into(),
         })?;
-        Ok(IdentityCollection { relation, arity, sources })
+        Ok(IdentityCollection {
+            relation,
+            arity,
+            sources,
+        })
     }
 }
 
@@ -171,7 +183,10 @@ impl IdentityCollection {
     /// The union of all extensions (distinct tuples claimed by any source).
     #[must_use]
     pub fn all_tuples(&self) -> BTreeSet<Vec<Value>> {
-        self.sources.iter().flat_map(|s| s.tuples.iter().cloned()).collect()
+        self.sources
+            .iter()
+            .flat_map(|s| s.tuples.iter().cloned())
+            .collect()
     }
 
     /// The membership signature of a tuple: bit `i` set iff source `i`
@@ -312,10 +327,31 @@ mod tests {
         )
         .unwrap();
         let c = SourceCollection::from_sources([join]);
-        assert!(matches!(c.as_identity(), Err(CoreError::NotIdentityCollection { .. })));
+        assert!(matches!(
+            c.as_identity(),
+            Err(CoreError::NotIdentityCollection { .. })
+        ));
 
-        let over_r = SourceDescriptor::identity("A", "V1", "R", 1, [[Value::sym("a")]], Frac::ONE, Frac::ONE).unwrap();
-        let over_s = SourceDescriptor::identity("B", "V2", "S", 1, [[Value::sym("a")]], Frac::ONE, Frac::ONE).unwrap();
+        let over_r = SourceDescriptor::identity(
+            "A",
+            "V1",
+            "R",
+            1,
+            [[Value::sym("a")]],
+            Frac::ONE,
+            Frac::ONE,
+        )
+        .unwrap();
+        let over_s = SourceDescriptor::identity(
+            "B",
+            "V2",
+            "S",
+            1,
+            [[Value::sym("a")]],
+            Frac::ONE,
+            Frac::ONE,
+        )
+        .unwrap();
         let mixed = SourceCollection::from_sources([over_r, over_s]);
         assert!(mixed.as_identity().is_err());
 

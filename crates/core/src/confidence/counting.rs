@@ -16,6 +16,7 @@
 use crate::collection::IdentityCollection;
 use crate::confidence::signature::SignatureAnalysis;
 use crate::error::CoreError;
+use crate::govern::Budget;
 use pscds_numeric::{Rational, UBig};
 use pscds_relational::Value;
 
@@ -55,13 +56,42 @@ impl ConfidenceAnalysis {
     /// ```
     #[must_use]
     pub fn analyze(collection: &IdentityCollection, padding: u64) -> Self {
+        Self::analyze_budgeted(collection, padding, &Budget::unlimited())
+            .expect("an unlimited budget never interrupts the counter")
+    }
+
+    /// Budget-governed variant of [`ConfidenceAnalysis::analyze`]: the
+    /// feasibility DFS behind the count charges one budget step per node.
+    ///
+    /// # Errors
+    /// [`CoreError::BudgetExceeded`] when the budget runs out before the
+    /// count completes.
+    pub fn analyze_budgeted(
+        collection: &IdentityCollection,
+        padding: u64,
+        budget: &Budget,
+    ) -> Result<Self, CoreError> {
         let analysis = SignatureAnalysis::new(collection, padding);
-        Self::from_signature_analysis(analysis)
+        Self::from_signature_analysis_budgeted(analysis, budget)
     }
 
     /// Runs the exact counter over a prebuilt decomposition.
     #[must_use]
     pub fn from_signature_analysis(analysis: SignatureAnalysis) -> Self {
+        Self::from_signature_analysis_budgeted(analysis, &Budget::unlimited())
+            .expect("an unlimited budget never interrupts the counter")
+    }
+
+    /// Budget-governed variant of
+    /// [`ConfidenceAnalysis::from_signature_analysis`].
+    ///
+    /// # Errors
+    /// [`CoreError::BudgetExceeded`] when the budget runs out before the
+    /// count completes.
+    pub fn from_signature_analysis_budgeted(
+        analysis: SignatureAnalysis,
+        budget: &Budget,
+    ) -> Result<Self, CoreError> {
         let classes = analysis.classes();
         // Binomial rows are extended lazily: the feasibility pruning often
         // visits only a tiny prefix of each row (for Example 5.1 the
@@ -71,7 +101,7 @@ impl ConfidenceAnalysis {
         let mut total = UBig::zero();
         let mut class_numerators = vec![UBig::zero(); classes.len()];
         let mut feasible_vectors = 0u64;
-        analysis.for_each_feasible(|counts| {
+        analysis.try_for_each_feasible(budget, |counts| {
             feasible_vectors += 1;
             let mut product = UBig::one();
             for (j, &k) in counts.iter().enumerate() {
@@ -83,8 +113,13 @@ impl ConfidenceAnalysis {
                     class_numerators[j].add_assign(&product.mul_u64(k));
                 }
             }
-        });
-        ConfidenceAnalysis { analysis, total, class_numerators, feasible_vectors }
+        })?;
+        Ok(ConfidenceAnalysis {
+            analysis,
+            total,
+            class_numerators,
+            feasible_vectors,
+        })
     }
 
     /// `N_sol(Γ)` — the number of possible worlds over the finite domain.
@@ -133,7 +168,11 @@ impl ConfidenceAnalysis {
     ///
     /// # Errors
     /// Inconsistent collections and out-of-domain tuples.
-    pub fn confidence_with_signature(&self, tuple: &[Value], signature: u64) -> Result<Rational, CoreError> {
+    pub fn confidence_with_signature(
+        &self,
+        tuple: &[Value],
+        signature: u64,
+    ) -> Result<Rational, CoreError> {
         let idx = self.analysis.class_of(tuple, signature)?;
         self.class_confidence(idx)
     }
@@ -221,7 +260,11 @@ impl ConfidenceAnalysis {
     ///
     /// # Errors
     /// Inconsistent collections; same-class pairs need class size ≥ 2.
-    pub fn joint_class_confidence(&self, class_i: usize, class_j: usize) -> Result<Rational, CoreError> {
+    pub fn joint_class_confidence(
+        &self,
+        class_i: usize,
+        class_j: usize,
+    ) -> Result<Rational, CoreError> {
         if self.total.is_zero() {
             return Err(CoreError::InconsistentCollection);
         }
@@ -279,8 +322,12 @@ impl ConfidenceAnalysis {
                 message: "joint confidence needs two distinct tuples".into(),
             });
         }
-        let class_a = self.analysis.class_of(tuple_a, collection.signature_of(tuple_a))?;
-        let class_b = self.analysis.class_of(tuple_b, collection.signature_of(tuple_b))?;
+        let class_a = self
+            .analysis
+            .class_of(tuple_a, collection.signature_of(tuple_a))?;
+        let class_b = self
+            .analysis
+            .class_of(tuple_b, collection.signature_of(tuple_b))?;
         self.joint_class_confidence(class_a, class_b)
     }
 
@@ -302,7 +349,6 @@ impl ConfidenceAnalysis {
     }
 }
 
-
 /// A lazily-extended Pascal row: `row[k] = C(n, k)`, grown on demand by
 /// the multiplicative recurrence `C(n,k) = C(n,k−1)·(n−k+1)/k`.
 struct LazyRow {
@@ -312,11 +358,17 @@ struct LazyRow {
 
 impl LazyRow {
     fn new(n: u64) -> Self {
-        LazyRow { n, row: vec![UBig::one()] }
+        LazyRow {
+            n,
+            row: vec![UBig::one()],
+        }
     }
 
     fn get(&mut self, k: u64) -> &UBig {
-        debug_assert!(k <= self.n, "C(n,k) with k > n is never requested by the DFS");
+        debug_assert!(
+            k <= self.n,
+            "C(n,k) with k > n is never requested by the DFS"
+        );
         while (self.row.len() as u64) <= k {
             let k0 = self.row.len() as u64;
             let prev = self.row.last().expect("row starts non-empty");
@@ -368,7 +420,11 @@ mod tests {
             let conf_b = a.confidence_of_tuple(&id, &[Value::sym("b")]).unwrap();
             let conf_c = a.confidence_of_tuple(&id, &[Value::sym("c")]).unwrap();
             assert_eq!(conf_a, Rational::from_u64(m + 3, 2 * m + 5), "a at m={m}");
-            assert_eq!(conf_b, Rational::from_u64(2 * m + 4, 2 * m + 5), "b at m={m}");
+            assert_eq!(
+                conf_b,
+                Rational::from_u64(2 * m + 4, 2 * m + 5),
+                "b at m={m}"
+            );
             assert_eq!(conf_c, Rational::from_u64(m + 3, 2 * m + 5), "c at m={m}");
             if m > 0 {
                 let conf_d = a.padding_confidence().unwrap();
@@ -382,8 +438,14 @@ mod tests {
         // The paper's qualitative claims: conf(b) → 1, conf(a) → 1/2,
         // conf(d_i) → 0 as m → ∞. These hold for the corrected formulas too.
         let (id, a) = analyze(1_000_000);
-        let b = a.confidence_of_tuple(&id, &[Value::sym("b")]).unwrap().to_f64();
-        let aa = a.confidence_of_tuple(&id, &[Value::sym("a")]).unwrap().to_f64();
+        let b = a
+            .confidence_of_tuple(&id, &[Value::sym("b")])
+            .unwrap()
+            .to_f64();
+        let aa = a
+            .confidence_of_tuple(&id, &[Value::sym("a")])
+            .unwrap()
+            .to_f64();
         let d = a.padding_confidence().unwrap().to_f64();
         assert!((b - 1.0).abs() < 1e-5);
         assert!((aa - 0.5).abs() < 1e-5);
@@ -416,8 +478,26 @@ mod tests {
     #[test]
     fn inconsistent_collection_yields_error() {
         use crate::descriptor::SourceDescriptor;
-        let s1 = SourceDescriptor::identity("S1", "V1", "R", 1, [[Value::sym("a")]], Frac::ONE, Frac::ONE).unwrap();
-        let s2 = SourceDescriptor::identity("S2", "V2", "R", 1, [[Value::sym("b")]], Frac::ONE, Frac::ONE).unwrap();
+        let s1 = SourceDescriptor::identity(
+            "S1",
+            "V1",
+            "R",
+            1,
+            [[Value::sym("a")]],
+            Frac::ONE,
+            Frac::ONE,
+        )
+        .unwrap();
+        let s2 = SourceDescriptor::identity(
+            "S2",
+            "V2",
+            "R",
+            1,
+            [[Value::sym("b")]],
+            Frac::ONE,
+            Frac::ONE,
+        )
+        .unwrap();
         let id = crate::collection::SourceCollection::from_sources([s1, s2])
             .as_identity()
             .unwrap();
@@ -443,10 +523,15 @@ mod tests {
             Frac::ONE,
         )
         .unwrap();
-        let id = crate::collection::SourceCollection::from_sources([s]).as_identity().unwrap();
+        let id = crate::collection::SourceCollection::from_sources([s])
+            .as_identity()
+            .unwrap();
         let a = ConfidenceAnalysis::analyze(&id, 10);
         assert_eq!(a.world_count(), &UBig::one());
-        assert_eq!(a.confidence_of_tuple(&id, &[Value::sym("a")]).unwrap(), Rational::one());
+        assert_eq!(
+            a.confidence_of_tuple(&id, &[Value::sym("a")]).unwrap(),
+            Rational::one()
+        );
         assert_eq!(a.padding_confidence().unwrap(), Rational::zero());
     }
 
@@ -455,11 +540,25 @@ mod tests {
         use crate::descriptor::SourceDescriptor;
         // Zero bounds: every subset of the domain is a world; every fact is
         // in exactly half of them.
-        let s = SourceDescriptor::identity("S", "V", "R", 1, [[Value::sym("a")]], Frac::ZERO, Frac::ZERO).unwrap();
-        let id = crate::collection::SourceCollection::from_sources([s]).as_identity().unwrap();
+        let s = SourceDescriptor::identity(
+            "S",
+            "V",
+            "R",
+            1,
+            [[Value::sym("a")]],
+            Frac::ZERO,
+            Frac::ZERO,
+        )
+        .unwrap();
+        let id = crate::collection::SourceCollection::from_sources([s])
+            .as_identity()
+            .unwrap();
         let a = ConfidenceAnalysis::analyze(&id, 4); // domain of 5 facts total
         assert_eq!(a.world_count(), &UBig::from(32u64));
-        assert_eq!(a.confidence_of_tuple(&id, &[Value::sym("a")]).unwrap(), Rational::from_u64(1, 2));
+        assert_eq!(
+            a.confidence_of_tuple(&id, &[Value::sym("a")]).unwrap(),
+            Rational::from_u64(1, 2)
+        );
         assert_eq!(a.padding_confidence().unwrap(), Rational::from_u64(1, 2));
     }
 
@@ -484,7 +583,13 @@ mod tests {
         let c = example_5_1();
         let worlds = PossibleWorlds::enumerate(&c, &example_5_1_domain(m)).unwrap();
         let (id, a) = analyze(m as u64);
-        let pairs = [("a", "b"), ("a", "c"), ("b", "c"), ("b", "d1"), ("d1", "d2")];
+        let pairs = [
+            ("a", "b"),
+            ("a", "c"),
+            ("b", "c"),
+            ("b", "d1"),
+            ("d1", "d2"),
+        ];
         for (x, y) in pairs {
             let fx = Fact::new("R", [Value::sym(x)]);
             let fy = Fact::new("R", [Value::sym(y)]);
@@ -517,7 +622,10 @@ mod tests {
             .joint_confidence_of(&id, &[Value::sym("a")], &[Value::sym("c")])
             .unwrap();
         let independent = ca.mul(&cc);
-        assert_ne!(joint, independent, "a and c are correlated, not independent");
+        assert_ne!(
+            joint, independent,
+            "a and c are correlated, not independent"
+        );
         // Worlds with both a and c: {a,c}, {a,b,c} → 2/5; independence
         // would predict (3/5)² = 9/25.
         assert_eq!(joint, Rational::from_u64(2, 5));
@@ -571,7 +679,9 @@ mod tests {
             Frac::ONE,
         )
         .unwrap();
-        let id = crate::collection::SourceCollection::from_sources([s]).as_identity().unwrap();
+        let id = crate::collection::SourceCollection::from_sources([s])
+            .as_identity()
+            .unwrap();
         let a = ConfidenceAnalysis::analyze(&id, 5);
         assert_eq!(
             a.certain_tuples().unwrap(),

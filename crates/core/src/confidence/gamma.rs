@@ -21,6 +21,7 @@
 
 use crate::collection::IdentityCollection;
 use crate::error::CoreError;
+use crate::govern::Budget;
 use pscds_numeric::Rational;
 use pscds_relational::{FactUniverse, GlobalSchema, Value};
 
@@ -65,7 +66,10 @@ impl LinearSystem {
     /// # Errors
     /// Fails on an empty domain, or if some extension tuple falls outside
     /// the domain universe.
-    pub fn from_identity(collection: &IdentityCollection, domain: &[Value]) -> Result<Self, CoreError> {
+    pub fn from_identity(
+        collection: &IdentityCollection,
+        domain: &[Value],
+    ) -> Result<Self, CoreError> {
         let mut schema = GlobalSchema::new();
         schema.add(collection.relation, collection.arity)?;
         let universe = FactUniverse::over_schema(&schema, domain)?;
@@ -75,10 +79,15 @@ impl LinearSystem {
             // Membership mask of v_i over the universe.
             let mut in_v = vec![false; n];
             for tuple in &src.tuples {
-                let fact = pscds_relational::Fact { relation: collection.relation, args: tuple.clone() };
-                let idx = universe.index_of(&fact).ok_or_else(|| CoreError::BadDomain {
-                    message: format!("extension tuple {fact} is outside the domain universe"),
-                })?;
+                let fact = pscds_relational::Fact {
+                    relation: collection.relation,
+                    args: tuple.clone(),
+                };
+                let idx = universe
+                    .index_of(&fact)
+                    .ok_or_else(|| CoreError::BadDomain {
+                        message: format!("extension tuple {fact} is outside the domain universe"),
+                    })?;
                 in_v[idx] = true;
             }
             let (c_num, c_den) = (src.completeness.num() as i64, src.completeness.den() as i64);
@@ -92,14 +101,20 @@ impl LinearSystem {
             };
             let (s_num, s_den) = (src.soundness.num() as i64, src.soundness.den() as i64);
             let soundness = Inequality {
-                coeffs: in_v.iter().map(|&inside| if inside { s_den } else { 0 }).collect(),
+                coeffs: in_v
+                    .iter()
+                    .map(|&inside| if inside { s_den } else { 0 })
+                    .collect(),
                 rhs: s_num * src.tuples.len() as i64,
                 label: format!("{}: soundness ≥ {}", src.name, src.soundness),
             };
             inequalities.push(completeness);
             inequalities.push(soundness);
         }
-        Ok(LinearSystem { universe, inequalities })
+        Ok(LinearSystem {
+            universe,
+            inequalities,
+        })
     }
 
     /// Number of variables `N` (potential facts).
@@ -129,7 +144,9 @@ impl LinearSystem {
     /// Tests a full 0/1 assignment (bit `j` = `x_j`).
     #[must_use]
     pub fn satisfied_by(&self, assignment: u64) -> bool {
-        self.inequalities.iter().all(|ineq| ineq.satisfied_by(assignment))
+        self.inequalities
+            .iter()
+            .all(|ineq| ineq.satisfied_by(assignment))
     }
 
     /// Counts solutions by brute force, with optional fixed variables
@@ -138,10 +155,40 @@ impl LinearSystem {
     /// # Errors
     /// Refuses systems with more than [`MAX_BRUTE_FORCE_VARS`] variables.
     pub fn count_solutions_with(&self, fixed: &[(usize, bool)]) -> Result<u64, CoreError> {
+        self.count_solutions_with_budgeted(fixed, &Budget::unlimited())
+    }
+
+    /// Budget-governed variant of [`LinearSystem::count_solutions_with`]:
+    /// one budget step per 0/1 assignment.
+    ///
+    /// Under an *unlimited* budget the legacy
+    /// [`MAX_BRUTE_FORCE_VARS`] cap applies (nothing else would stop a
+    /// `2^N` sweep); an explicitly limited budget replaces that cap, and
+    /// only the `u64` assignment-mask representation limit (63 variables)
+    /// remains.
+    ///
+    /// # Errors
+    /// [`CoreError::SearchSpaceTooLarge`] as described above, or
+    /// [`CoreError::BudgetExceeded`] when the budget runs out mid-sweep.
+    pub fn count_solutions_with_budgeted(
+        &self,
+        fixed: &[(usize, bool)],
+        budget: &Budget,
+    ) -> Result<u64, CoreError> {
         let n = self.n_vars();
-        if n > MAX_BRUTE_FORCE_VARS {
+        if n > 63 {
             return Err(CoreError::SearchSpaceTooLarge {
-                message: format!("{n} variables exceed the brute-force cap of {MAX_BRUTE_FORCE_VARS}"),
+                message: format!(
+                    "2^{n} assignments over {n} variables exceed the u64 assignment-mask limit of 63 variables"
+                ),
+            });
+        }
+        if budget.is_unlimited() && n > MAX_BRUTE_FORCE_VARS {
+            return Err(CoreError::SearchSpaceTooLarge {
+                message: format!(
+                    "2^{n} assignments over {n} variables exceed the brute-force cap of \
+                     {MAX_BRUTE_FORCE_VARS} variables (set a budget to sweep anyway)"
+                ),
             });
         }
         let mut forced_ones = 0u64;
@@ -155,6 +202,7 @@ impl LinearSystem {
         }
         let mut count = 0u64;
         for assignment in 0u64..(1 << n) {
+            budget.tick("confidence::gamma")?;
             if assignment & forced_mask != forced_ones {
                 continue;
             }
@@ -173,16 +221,33 @@ impl LinearSystem {
         self.count_solutions_with(&[])
     }
 
+    /// Budget-governed `N_sol(Γ)`.
+    ///
+    /// # Errors
+    /// As [`LinearSystem::count_solutions_with_budgeted`].
+    pub fn count_solutions_budgeted(&self, budget: &Budget) -> Result<u64, CoreError> {
+        self.count_solutions_with_budgeted(&[], budget)
+    }
+
     /// `confidence(t_p) = N_sol(Γ[x_p/1]) / N_sol(Γ)` (Section 5.1).
     ///
     /// # Errors
     /// Inconsistent systems (`N_sol(Γ) = 0`) and oversized systems.
     pub fn confidence(&self, var: usize) -> Result<Rational, CoreError> {
-        let total = self.count_solutions()?;
+        self.confidence_budgeted(var, &Budget::unlimited())
+    }
+
+    /// Budget-governed variant of [`LinearSystem::confidence`].
+    ///
+    /// # Errors
+    /// As [`LinearSystem::confidence`], plus [`CoreError::BudgetExceeded`]
+    /// when the budget runs out mid-sweep.
+    pub fn confidence_budgeted(&self, var: usize, budget: &Budget) -> Result<Rational, CoreError> {
+        let total = self.count_solutions_budgeted(budget)?;
         if total == 0 {
             return Err(CoreError::InconsistentCollection);
         }
-        let with = self.count_solutions_with(&[(var, true)])?;
+        let with = self.count_solutions_with_budgeted(&[(var, true)], budget)?;
         Ok(Rational::from_u64(with, total))
     }
 }
@@ -203,9 +268,12 @@ mod tests {
         let g = gamma(2);
         assert_eq!(g.n_vars(), 5); // a, b, c, d1, d2
         assert_eq!(g.inequalities().len(), 4); // 2 per source
-        // The soundness rows have rhs = num(1/2)*|v| = 2 with coefficient 2 (den).
-        let sound_rows: Vec<&Inequality> =
-            g.inequalities().iter().filter(|i| i.label.contains("soundness")).collect();
+                                               // The soundness rows have rhs = num(1/2)*|v| = 2 with coefficient 2 (den).
+        let sound_rows: Vec<&Inequality> = g
+            .inequalities()
+            .iter()
+            .filter(|i| i.label.contains("soundness"))
+            .collect();
         assert_eq!(sound_rows.len(), 2);
         for row in sound_rows {
             assert_eq!(row.rhs, 2);
@@ -273,7 +341,11 @@ mod tests {
 
     #[test]
     fn inequality_evaluation() {
-        let ineq = Inequality { coeffs: vec![1, -2, 3], rhs: 2, label: "test".into() };
+        let ineq = Inequality {
+            coeffs: vec![1, -2, 3],
+            rhs: 2,
+            label: "test".into(),
+        };
         assert!(ineq.satisfied_by(0b101)); // 1 + 3 = 4 ≥ 2
         assert!(!ineq.satisfied_by(0b010)); // -2 < 2
         assert!(!ineq.satisfied_by(0b000)); // 0 < 2

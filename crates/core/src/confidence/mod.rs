@@ -39,6 +39,8 @@ pub mod worlds;
 
 pub use counting::ConfidenceAnalysis;
 pub use gamma::LinearSystem;
-pub use sampling::{sample_confidences, SampledConfidence, SamplerConfig};
+pub use sampling::{
+    sample_confidences, sample_confidences_budgeted, SampledConfidence, SamplerConfig,
+};
 pub use signature::{SignatureAnalysis, SignatureClass};
 pub use worlds::PossibleWorlds;

@@ -21,6 +21,7 @@
 use crate::collection::IdentityCollection;
 use crate::confidence::signature::SignatureAnalysis;
 use crate::error::CoreError;
+use crate::govern::Budget;
 use pscds_relational::Value;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -39,7 +40,11 @@ pub struct SamplerConfig {
 
 impl Default for SamplerConfig {
     fn default() -> Self {
-        SamplerConfig { burn_in: 1_000, samples: 20_000, seed: 1 }
+        SamplerConfig {
+            burn_in: 1_000,
+            samples: 20_000,
+            seed: 1,
+        }
     }
 }
 
@@ -66,9 +71,24 @@ pub fn sample_confidences(
     padding: u64,
     config: &SamplerConfig,
 ) -> Result<SampledConfidence, CoreError> {
+    sample_confidences_budgeted(collection, padding, config, &Budget::unlimited())
+}
+
+/// Budget-governed variant of [`sample_confidences`]: one budget step per
+/// chain sweep (plus whatever the initial feasibility search charges).
+///
+/// # Errors
+/// As [`sample_confidences`], plus [`CoreError::BudgetExceeded`] when the
+/// budget runs out mid-chain.
+pub fn sample_confidences_budgeted(
+    collection: &IdentityCollection,
+    padding: u64,
+    config: &SamplerConfig,
+    budget: &Budget,
+) -> Result<SampledConfidence, CoreError> {
     let analysis = SignatureAnalysis::new(collection, padding);
     let mut state = analysis
-        .find_feasible()
+        .find_feasible_budgeted(budget)?
         .ok_or(CoreError::InconsistentCollection)?;
     let classes = analysis.classes();
     let m = classes.len();
@@ -80,6 +100,7 @@ pub fn sample_confidences(
     let mut seen = std::collections::BTreeSet::new();
 
     for sweep in 0..(config.burn_in + config.samples) {
+        budget.tick("confidence::sampling")?;
         for _ in 0..m {
             let j = rng.gen_range(0..m);
             let n = classes[j].size;
@@ -158,7 +179,11 @@ mod tests {
     use crate::paper::example_5_1;
 
     fn config() -> SamplerConfig {
-        SamplerConfig { burn_in: 2_000, samples: 60_000, seed: 7 }
+        SamplerConfig {
+            burn_in: 2_000,
+            samples: 60_000,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -185,8 +210,26 @@ mod tests {
     fn inconsistent_collection_rejected() {
         use crate::descriptor::SourceDescriptor;
         use pscds_numeric::Frac;
-        let s1 = SourceDescriptor::identity("A", "V1", "R", 1, [[Value::sym("a")]], Frac::ONE, Frac::ONE).unwrap();
-        let s2 = SourceDescriptor::identity("B", "V2", "R", 1, [[Value::sym("b")]], Frac::ONE, Frac::ONE).unwrap();
+        let s1 = SourceDescriptor::identity(
+            "A",
+            "V1",
+            "R",
+            1,
+            [[Value::sym("a")]],
+            Frac::ONE,
+            Frac::ONE,
+        )
+        .unwrap();
+        let s2 = SourceDescriptor::identity(
+            "B",
+            "V2",
+            "R",
+            1,
+            [[Value::sym("b")]],
+            Frac::ONE,
+            Frac::ONE,
+        )
+        .unwrap();
         let identity = crate::collection::SourceCollection::from_sources([s1, s2])
             .as_identity()
             .unwrap();
@@ -212,7 +255,9 @@ mod tests {
             Frac::ONE,
         )
         .unwrap();
-        let identity = crate::collection::SourceCollection::from_sources([s]).as_identity().unwrap();
+        let identity = crate::collection::SourceCollection::from_sources([s])
+            .as_identity()
+            .unwrap();
         let sampled = sample_confidences(&identity, 4, &config()).unwrap();
         assert_eq!(sampled.distinct_vectors, 1);
         // Extension class pinned at confidence 1, padding at 0.

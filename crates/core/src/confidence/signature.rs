@@ -22,6 +22,7 @@
 
 use crate::collection::IdentityCollection;
 use crate::error::CoreError;
+use crate::govern::Budget;
 use pscds_numeric::Frac;
 use pscds_relational::{Fact, Value};
 use std::collections::BTreeMap;
@@ -84,7 +85,11 @@ impl SignatureAnalysis {
             })
             .collect();
         if padding > 0 {
-            classes.push(SignatureClass { signature: 0, size: padding, members: Vec::new() });
+            classes.push(SignatureClass {
+                signature: 0,
+                size: padding,
+                members: Vec::new(),
+            });
         }
         let bounds: Vec<SourceBounds> = collection
             .sources
@@ -100,7 +105,11 @@ impl SignatureAnalysis {
         let mut suffix_max_t = vec![vec![0u64; m + 1]; n];
         for (i, row) in suffix_max_t.iter_mut().enumerate() {
             for j in (0..m).rev() {
-                let contrib = if classes[j].signature >> i & 1 == 1 { classes[j].size } else { 0 };
+                let contrib = if classes[j].signature >> i & 1 == 1 {
+                    classes[j].size
+                } else {
+                    0
+                };
                 row[j] = row[j + 1] + contrib;
             }
         }
@@ -126,9 +135,13 @@ impl SignatureAnalysis {
         let arity = u32::try_from(collection.arity).map_err(|_| CoreError::BadDomain {
             message: "arity too large".into(),
         })?;
-        let universe = domain_size.checked_pow(arity).ok_or_else(|| CoreError::BadDomain {
-            message: format!("domain of {domain_size} constants at arity {arity} overflows u64"),
-        })?;
+        let universe = domain_size
+            .checked_pow(arity)
+            .ok_or_else(|| CoreError::BadDomain {
+                message: format!(
+                    "domain of {domain_size} constants at arity {arity} overflows u64"
+                ),
+            })?;
         let union = collection.all_tuples().len() as u64;
         universe.checked_sub(union).ok_or_else(|| CoreError::BadDomain {
             message: format!(
@@ -168,7 +181,11 @@ impl SignatureAnalysis {
     /// Fails for extension-free tuples when no padding was declared (the
     /// tuple is outside the finite domain being modelled).
     pub fn class_of(&self, tuple: &[Value], signature: u64) -> Result<usize, CoreError> {
-        if let Some(idx) = self.classes.iter().position(|c| c.signature == signature && (signature != 0 || c.members.is_empty())) {
+        if let Some(idx) = self
+            .classes
+            .iter()
+            .position(|c| c.signature == signature && (signature != 0 || c.members.is_empty()))
+        {
             // For signature 0 this finds the padding class.
             if signature != 0 {
                 // Confirm membership (two different tuples can share a signature
@@ -212,12 +229,29 @@ impl SignatureAnalysis {
     /// Enumerates every feasible count vector, calling `visit` with each.
     /// The DFS prunes branches where the soundness minimum has become
     /// unreachable or the completeness margin can no longer recover.
-    pub fn for_each_feasible<F: FnMut(&[u64])>(&self, mut visit: F) {
+    pub fn for_each_feasible<F: FnMut(&[u64])>(&self, visit: F) {
+        self.try_for_each_feasible(&Budget::unlimited(), visit)
+            .expect("an unlimited budget never interrupts the DFS");
+    }
+
+    /// Budget-governed variant of
+    /// [`for_each_feasible`](SignatureAnalysis::for_each_feasible): one
+    /// budget step is charged per DFS node, and the walk unwinds as soon
+    /// as the budget trips.
+    ///
+    /// # Errors
+    /// [`CoreError::BudgetExceeded`] when the budget runs out
+    /// mid-enumeration.
+    pub fn try_for_each_feasible<F: FnMut(&[u64])>(
+        &self,
+        budget: &Budget,
+        mut visit: F,
+    ) -> Result<(), CoreError> {
         let mut counts = vec![0u64; self.classes.len()];
         let n = self.bounds.len();
         let mut t = vec![0u64; n];
         let mut w = 0u64;
-        self.dfs(0, &mut counts, &mut t, &mut w, &mut visit);
+        self.dfs(0, &mut counts, &mut t, &mut w, &mut visit, budget)
     }
 
     /// Largest `k` for class `j` that leaves every completeness constraint
@@ -243,7 +277,11 @@ impl SignatureAnalysis {
             // Future classes with bit i add at most suffix·(den−num);
             // class j itself has bit i unset so suffix at j equals at j+1.
             let headroom = v + i128::from(self.suffix_max_t[i][j + 1]) * (den - num);
-            let k_max = if headroom < 0 { 0 } else { (headroom / num).min(i128::from(u64::MAX)) as u64 };
+            let k_max = if headroom < 0 {
+                0
+            } else {
+                (headroom / num).min(i128::from(u64::MAX)) as u64
+            };
             cap = cap.min(k_max);
         }
         cap
@@ -256,23 +294,25 @@ impl SignatureAnalysis {
         t: &mut Vec<u64>,
         w: &mut u64,
         visit: &mut F,
-    ) {
+        budget: &Budget,
+    ) -> Result<(), CoreError> {
+        budget.tick("confidence::signature")?;
         if j == self.classes.len() {
             // All counts chosen; verify the final constraints exactly.
             for (i, b) in self.bounds.iter().enumerate() {
                 if t[i] < b.min_sound || !b.completeness.leq_ratio(t[i], *w) {
-                    return;
+                    return Ok(());
                 }
             }
             visit(counts);
-            return;
+            return Ok(());
         }
         // Pruning: for each source, check the best still-achievable values.
         for (i, b) in self.bounds.iter().enumerate() {
             let max_future = self.suffix_max_t[i][j];
             // Soundness minimum unreachable?
             if t[i] + max_future < b.min_sound {
-                return;
+                return Ok(());
             }
             // Completeness margin V_i = t_i·den − num·w; future classes with
             // bit i add (den−num) per unit (≥ 0), others subtract num per
@@ -282,7 +322,7 @@ impl SignatureAnalysis {
             let v = i128::from(t[i]) * den - num * i128::from(*w);
             let v_max = v + i128::from(max_future) * (den - num);
             if v_max < 0 {
-                return;
+                return Ok(());
             }
         }
         let cap = self.k_cap(j, t, *w);
@@ -295,20 +335,33 @@ impl SignatureAnalysis {
                     *ti += k;
                 }
             }
-            self.dfs(j + 1, counts, t, w, visit);
+            let descent = self.dfs(j + 1, counts, t, w, visit, budget);
             *w -= k;
             for (i, ti) in t.iter_mut().enumerate() {
                 if class.signature >> i & 1 == 1 {
                     *ti -= k;
                 }
             }
+            descent?;
         }
         counts[j] = 0;
+        Ok(())
     }
 
     /// Finds one feasible count vector, if any (early-exit DFS).
     #[must_use]
     pub fn find_feasible(&self) -> Option<Vec<u64>> {
+        self.find_feasible_budgeted(&Budget::unlimited())
+            .expect("an unlimited budget never interrupts the DFS")
+    }
+
+    /// Budget-governed variant of
+    /// [`find_feasible`](SignatureAnalysis::find_feasible).
+    ///
+    /// # Errors
+    /// [`CoreError::BudgetExceeded`] when the budget runs out before the
+    /// search concludes either way.
+    pub fn find_feasible_budgeted(&self, budget: &Budget) -> Result<Option<Vec<u64>>, CoreError> {
         let mut found: Option<Vec<u64>> = None;
         // A dedicated early-exit DFS keeps the hot path simple: reuse
         // for_each_feasible but stop as soon as possible via a flag.
@@ -316,8 +369,8 @@ impl SignatureAnalysis {
         let n = self.bounds.len();
         let mut t = vec![0u64; n];
         let mut w = 0u64;
-        self.dfs_first(0, &mut counts, &mut t, &mut w, &mut found);
-        found
+        self.dfs_first(0, &mut counts, &mut t, &mut w, &mut found, budget)?;
+        Ok(found)
     }
 
     fn dfs_first(
@@ -327,29 +380,31 @@ impl SignatureAnalysis {
         t: &mut Vec<u64>,
         w: &mut u64,
         found: &mut Option<Vec<u64>>,
-    ) {
+        budget: &Budget,
+    ) -> Result<(), CoreError> {
         if found.is_some() {
-            return;
+            return Ok(());
         }
+        budget.tick("consistency::identity")?;
         if j == self.classes.len() {
             for (i, b) in self.bounds.iter().enumerate() {
                 if t[i] < b.min_sound || !b.completeness.leq_ratio(t[i], *w) {
-                    return;
+                    return Ok(());
                 }
             }
             *found = Some(counts.clone());
-            return;
+            return Ok(());
         }
         for (i, b) in self.bounds.iter().enumerate() {
             let max_future = self.suffix_max_t[i][j];
             if t[i] + max_future < b.min_sound {
-                return;
+                return Ok(());
             }
             let den = i128::from(b.completeness.den());
             let num = i128::from(b.completeness.num());
             let v = i128::from(t[i]) * den - num * i128::from(*w);
             if v + i128::from(max_future) * (den - num) < 0 {
-                return;
+                return Ok(());
             }
         }
         let cap = self.k_cap(j, t, *w);
@@ -362,19 +417,21 @@ impl SignatureAnalysis {
                     *ti += k;
                 }
             }
-            self.dfs_first(j + 1, counts, t, w, found);
+            let descent = self.dfs_first(j + 1, counts, t, w, found, budget);
             *w -= k;
             for (i, ti) in t.iter_mut().enumerate() {
                 if class.signature >> i & 1 == 1 {
                     *ti -= k;
                 }
             }
+            descent?;
             if found.is_some() {
                 counts[j] = k; // keep the found prefix intact
-                return;
+                return Ok(());
             }
         }
         counts[j] = 0;
+        Ok(())
     }
 
     /// Materializes a witness database from a feasible count vector: the
@@ -389,12 +446,21 @@ impl SignatureAnalysis {
             if class.signature == 0 && class.members.is_empty() {
                 for p in 0..k {
                     let mut args = vec![Value::sym(&format!("_pad{p}"))];
-                    args.extend(std::iter::repeat_n(Value::sym("_pad"), self.arity.saturating_sub(1)));
-                    db.insert(Fact { relation: self.relation, args });
+                    args.extend(std::iter::repeat_n(
+                        Value::sym("_pad"),
+                        self.arity.saturating_sub(1),
+                    ));
+                    db.insert(Fact {
+                        relation: self.relation,
+                        args,
+                    });
                 }
             } else {
                 for member in class.members.iter().take(k as usize) {
-                    db.insert(Fact { relation: self.relation, args: member.clone() });
+                    db.insert(Fact {
+                        relation: self.relation,
+                        args: member.clone(),
+                    });
                 }
             }
         }
@@ -502,8 +568,26 @@ mod tests {
         // φ(D) = D must equal both {a} and {b} — impossible.
         use crate::descriptor::SourceDescriptor;
         use pscds_numeric::Frac;
-        let s1 = SourceDescriptor::identity("S1", "V1", "R", 1, [[Value::sym("a")]], Frac::ONE, Frac::ONE).unwrap();
-        let s2 = SourceDescriptor::identity("S2", "V2", "R", 1, [[Value::sym("b")]], Frac::ONE, Frac::ONE).unwrap();
+        let s1 = SourceDescriptor::identity(
+            "S1",
+            "V1",
+            "R",
+            1,
+            [[Value::sym("a")]],
+            Frac::ONE,
+            Frac::ONE,
+        )
+        .unwrap();
+        let s2 = SourceDescriptor::identity(
+            "S2",
+            "V2",
+            "R",
+            1,
+            [[Value::sym("b")]],
+            Frac::ONE,
+            Frac::ONE,
+        )
+        .unwrap();
         let c = crate::collection::SourceCollection::from_sources([s1, s2]);
         let a = SignatureAnalysis::new(&c.as_identity().unwrap(), 4);
         assert_eq!(a.find_feasible(), None);

@@ -10,6 +10,7 @@
 
 use crate::collection::SourceCollection;
 use crate::error::CoreError;
+use crate::govern::Budget;
 use crate::measures::in_poss;
 use pscds_numeric::Rational;
 use pscds_relational::algebra::RaExpr;
@@ -32,9 +33,23 @@ impl PossibleWorlds {
     /// Propagates schema errors, and refuses universes too large to
     /// enumerate (> [`pscds_relational::universe::MAX_ENUMERABLE`] facts).
     pub fn enumerate(collection: &SourceCollection, domain: &[Value]) -> Result<Self, CoreError> {
+        Self::enumerate_budgeted(collection, domain, &Budget::unlimited())
+    }
+
+    /// Budget-governed variant of [`PossibleWorlds::enumerate`]: one budget
+    /// step per candidate subset of the fact universe.
+    ///
+    /// # Errors
+    /// As [`PossibleWorlds::enumerate`], plus [`CoreError::BudgetExceeded`]
+    /// when the budget runs out mid-enumeration.
+    pub fn enumerate_budgeted(
+        collection: &SourceCollection,
+        domain: &[Value],
+        budget: &Budget,
+    ) -> Result<Self, CoreError> {
         let schema = collection.schema()?;
         let universe = FactUniverse::over_schema(&schema, domain)?;
-        Self::enumerate_universe(collection, universe, schema)
+        Self::enumerate_universe_budgeted(collection, universe, schema, budget)
     }
 
     /// Enumerates `poss(S)` over an explicit fact universe.
@@ -46,13 +61,32 @@ impl PossibleWorlds {
         universe: FactUniverse,
         schema: GlobalSchema,
     ) -> Result<Self, CoreError> {
+        Self::enumerate_universe_budgeted(collection, universe, schema, &Budget::unlimited())
+    }
+
+    /// Budget-governed variant of [`PossibleWorlds::enumerate_universe`].
+    ///
+    /// # Errors
+    /// As [`PossibleWorlds::enumerate`], plus [`CoreError::BudgetExceeded`]
+    /// when the budget runs out mid-enumeration.
+    pub fn enumerate_universe_budgeted(
+        collection: &SourceCollection,
+        universe: FactUniverse,
+        schema: GlobalSchema,
+        budget: &Budget,
+    ) -> Result<Self, CoreError> {
         let mut masks = Vec::new();
         for (mask, db) in universe.subsets()? {
+            budget.tick("confidence::worlds")?;
             if in_poss(&db, collection)? {
                 masks.push(mask);
             }
         }
-        Ok(PossibleWorlds { universe, schema, masks })
+        Ok(PossibleWorlds {
+            universe,
+            schema,
+            masks,
+        })
     }
 
     /// `|poss(S)|` over this domain.
@@ -81,7 +115,9 @@ impl PossibleWorlds {
 
     /// Iterates over the possible worlds as databases.
     pub fn worlds(&self) -> impl Iterator<Item = Database> + '_ {
-        self.masks.iter().map(|&m| self.universe.database_from_mask(m))
+        self.masks
+            .iter()
+            .map(|&m| self.universe.database_from_mask(m))
     }
 
     /// Confidence of a base fact: the fraction of possible worlds
@@ -94,11 +130,17 @@ impl PossibleWorlds {
         if self.masks.is_empty() {
             return Err(CoreError::InconsistentCollection);
         }
-        let idx = self.universe.index_of(fact).ok_or_else(|| CoreError::BadDomain {
-            message: format!("fact {fact} is outside the enumerated universe"),
-        })?;
+        let idx = self
+            .universe
+            .index_of(fact)
+            .ok_or_else(|| CoreError::BadDomain {
+                message: format!("fact {fact} is outside the enumerated universe"),
+            })?;
         let containing = self.masks.iter().filter(|&&m| m >> idx & 1 == 1).count();
-        Ok(Rational::from_u64(containing as u64, self.masks.len() as u64))
+        Ok(Rational::from_u64(
+            containing as u64,
+            self.masks.len() as u64,
+        ))
     }
 
     /// `confidence_Q(t) = Pr(t ∈ Q(D) | D ∈ poss(S))` for a conjunctive
@@ -106,7 +148,11 @@ impl PossibleWorlds {
     ///
     /// # Errors
     /// Inconsistent collections; query-evaluation errors.
-    pub fn query_confidence_cq(&self, query: &ConjunctiveQuery, tuple: &Fact) -> Result<Rational, CoreError> {
+    pub fn query_confidence_cq(
+        &self,
+        query: &ConjunctiveQuery,
+        tuple: &Fact,
+    ) -> Result<Rational, CoreError> {
         if self.masks.is_empty() {
             return Err(CoreError::InconsistentCollection);
         }
@@ -123,7 +169,11 @@ impl PossibleWorlds {
     ///
     /// # Errors
     /// Inconsistent collections; algebra type errors.
-    pub fn query_confidence_ra(&self, query: &RaExpr, tuple: &[Value]) -> Result<Rational, CoreError> {
+    pub fn query_confidence_ra(
+        &self,
+        query: &RaExpr,
+        tuple: &[Value],
+    ) -> Result<Rational, CoreError> {
         if self.masks.is_empty() {
             return Err(CoreError::InconsistentCollection);
         }
@@ -143,6 +193,20 @@ impl PossibleWorlds {
     /// Inconsistent collections (the intersection over zero worlds is
     /// undefined); query-evaluation errors.
     pub fn certain_answer_cq(&self, query: &ConjunctiveQuery) -> Result<BTreeSet<Fact>, CoreError> {
+        self.certain_answer_cq_budgeted(query, &Budget::unlimited())
+    }
+
+    /// Budget-governed variant of [`PossibleWorlds::certain_answer_cq`]:
+    /// one budget step per world visited.
+    ///
+    /// # Errors
+    /// As [`PossibleWorlds::certain_answer_cq`], plus
+    /// [`CoreError::BudgetExceeded`] when the budget runs out mid-sweep.
+    pub fn certain_answer_cq_budgeted(
+        &self,
+        query: &ConjunctiveQuery,
+        budget: &Budget,
+    ) -> Result<BTreeSet<Fact>, CoreError> {
         let mut worlds = self.worlds();
         let first = worlds.next().ok_or(CoreError::InconsistentCollection)?;
         let mut acc = query.evaluate(&first)?;
@@ -150,6 +214,7 @@ impl PossibleWorlds {
             if acc.is_empty() {
                 break;
             }
+            budget.tick("answers::certain")?;
             let result = query.evaluate(&world)?;
             acc.retain(|f| result.contains(f));
         }
@@ -161,9 +226,27 @@ impl PossibleWorlds {
     ///
     /// # Errors
     /// Query-evaluation errors. (The union over zero worlds is empty.)
-    pub fn possible_answer_cq(&self, query: &ConjunctiveQuery) -> Result<BTreeSet<Fact>, CoreError> {
+    pub fn possible_answer_cq(
+        &self,
+        query: &ConjunctiveQuery,
+    ) -> Result<BTreeSet<Fact>, CoreError> {
+        self.possible_answer_cq_budgeted(query, &Budget::unlimited())
+    }
+
+    /// Budget-governed variant of [`PossibleWorlds::possible_answer_cq`]:
+    /// one budget step per world visited.
+    ///
+    /// # Errors
+    /// As [`PossibleWorlds::possible_answer_cq`], plus
+    /// [`CoreError::BudgetExceeded`] when the budget runs out mid-sweep.
+    pub fn possible_answer_cq_budgeted(
+        &self,
+        query: &ConjunctiveQuery,
+        budget: &Budget,
+    ) -> Result<BTreeSet<Fact>, CoreError> {
         let mut acc = BTreeSet::new();
         for world in self.worlds() {
+            budget.tick("answers::possible")?;
             acc.extend(query.evaluate(&world)?);
         }
         Ok(acc)
@@ -174,6 +257,20 @@ impl PossibleWorlds {
     /// # Errors
     /// As [`PossibleWorlds::certain_answer_cq`].
     pub fn certain_answer_ra(&self, query: &RaExpr) -> Result<BTreeSet<Vec<Value>>, CoreError> {
+        self.certain_answer_ra_budgeted(query, &Budget::unlimited())
+    }
+
+    /// Budget-governed variant of [`PossibleWorlds::certain_answer_ra`]:
+    /// one budget step per world visited.
+    ///
+    /// # Errors
+    /// As [`PossibleWorlds::certain_answer_ra`], plus
+    /// [`CoreError::BudgetExceeded`] when the budget runs out mid-sweep.
+    pub fn certain_answer_ra_budgeted(
+        &self,
+        query: &RaExpr,
+        budget: &Budget,
+    ) -> Result<BTreeSet<Vec<Value>>, CoreError> {
         let mut worlds = self.worlds();
         let first = worlds.next().ok_or(CoreError::InconsistentCollection)?;
         let mut acc = query.eval(&first, &self.schema)?;
@@ -181,6 +278,7 @@ impl PossibleWorlds {
             if acc.is_empty() {
                 break;
             }
+            budget.tick("answers::certain")?;
             let result = query.eval(&world, &self.schema)?;
             acc.retain(|t| result.contains(t));
         }
@@ -192,8 +290,23 @@ impl PossibleWorlds {
     /// # Errors
     /// As [`PossibleWorlds::possible_answer_cq`].
     pub fn possible_answer_ra(&self, query: &RaExpr) -> Result<BTreeSet<Vec<Value>>, CoreError> {
+        self.possible_answer_ra_budgeted(query, &Budget::unlimited())
+    }
+
+    /// Budget-governed variant of [`PossibleWorlds::possible_answer_ra`]:
+    /// one budget step per world visited.
+    ///
+    /// # Errors
+    /// As [`PossibleWorlds::possible_answer_ra`], plus
+    /// [`CoreError::BudgetExceeded`] when the budget runs out mid-sweep.
+    pub fn possible_answer_ra_budgeted(
+        &self,
+        query: &RaExpr,
+        budget: &Budget,
+    ) -> Result<BTreeSet<Vec<Value>>, CoreError> {
         let mut acc = BTreeSet::new();
         for world in self.worlds() {
+            budget.tick("answers::possible")?;
             acc.extend(query.eval(&world, &self.schema)?);
         }
         Ok(acc)
@@ -246,11 +359,17 @@ mod tests {
     fn fact_confidences_m1() {
         let w = worlds(1);
         // 2m+5 = 7 worlds; conf(b) = (2m+4)/(2m+5) = 6/7.
-        let conf_b = w.fact_confidence(&Fact::new("R", [Value::sym("b")])).unwrap();
+        let conf_b = w
+            .fact_confidence(&Fact::new("R", [Value::sym("b")]))
+            .unwrap();
         assert_eq!(conf_b, Rational::from_u64(6, 7));
-        let conf_a = w.fact_confidence(&Fact::new("R", [Value::sym("a")])).unwrap();
+        let conf_a = w
+            .fact_confidence(&Fact::new("R", [Value::sym("a")]))
+            .unwrap();
         assert_eq!(conf_a, Rational::from_u64(4, 7));
-        let conf_d = w.fact_confidence(&Fact::new("R", [Value::sym("d1")])).unwrap();
+        let conf_d = w
+            .fact_confidence(&Fact::new("R", [Value::sym("d1")]))
+            .unwrap();
         assert_eq!(conf_d, Rational::from_u64(2, 7));
     }
 
@@ -267,8 +386,26 @@ mod tests {
     fn inconsistent_collection_has_no_worlds() {
         use crate::descriptor::SourceDescriptor;
         use pscds_numeric::Frac;
-        let s1 = SourceDescriptor::identity("S1", "V1", "R", 1, [[Value::sym("a")]], Frac::ONE, Frac::ONE).unwrap();
-        let s2 = SourceDescriptor::identity("S2", "V2", "R", 1, [[Value::sym("b")]], Frac::ONE, Frac::ONE).unwrap();
+        let s1 = SourceDescriptor::identity(
+            "S1",
+            "V1",
+            "R",
+            1,
+            [[Value::sym("a")]],
+            Frac::ONE,
+            Frac::ONE,
+        )
+        .unwrap();
+        let s2 = SourceDescriptor::identity(
+            "S2",
+            "V2",
+            "R",
+            1,
+            [[Value::sym("b")]],
+            Frac::ONE,
+            Frac::ONE,
+        )
+        .unwrap();
         let c = SourceCollection::from_sources([s1, s2]);
         let w = PossibleWorlds::enumerate(&c, &[Value::sym("a"), Value::sym("b")]).unwrap();
         assert!(!w.is_consistent());
@@ -276,9 +413,14 @@ mod tests {
             w.fact_confidence(&Fact::new("R", [Value::sym("a")])),
             Err(CoreError::InconsistentCollection)
         ));
-        assert!(w.certain_answer_cq(&parse_rule("Ans(x) <- R(x)").unwrap()).is_err());
+        assert!(w
+            .certain_answer_cq(&parse_rule("Ans(x) <- R(x)").unwrap())
+            .is_err());
         // Possible answer over zero worlds is empty, not an error.
-        assert!(w.possible_answer_cq(&parse_rule("Ans(x) <- R(x)").unwrap()).unwrap().is_empty());
+        assert!(w
+            .possible_answer_cq(&parse_rule("Ans(x) <- R(x)").unwrap())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -298,7 +440,9 @@ mod tests {
         use crate::descriptor::SourceDescriptor;
         use pscds_numeric::Frac;
         // A fully sound+complete source forces its extension exactly.
-        let s = SourceDescriptor::identity("S", "V", "R", 1, [[Value::sym("a")]], Frac::ONE, Frac::ONE).unwrap();
+        let s =
+            SourceDescriptor::identity("S", "V", "R", 1, [[Value::sym("a")]], Frac::ONE, Frac::ONE)
+                .unwrap();
         let c = SourceCollection::from_sources([s]);
         let w = PossibleWorlds::enumerate(&c, &[Value::sym("a"), Value::sym("b")]).unwrap();
         assert_eq!(w.count(), 1);
@@ -316,7 +460,9 @@ mod tests {
             let qc = w
                 .query_confidence_cq(&q, &Fact::new("Ans", [Value::sym(sym)]))
                 .unwrap();
-            let fc = w.fact_confidence(&Fact::new("R", [Value::sym(sym)])).unwrap();
+            let fc = w
+                .fact_confidence(&Fact::new("R", [Value::sym(sym)]))
+                .unwrap();
             assert_eq!(qc, fc, "identity query confidence for {sym}");
         }
     }
@@ -326,12 +472,20 @@ mod tests {
         let w = worlds(1);
         let cq = parse_rule("Ans(x) <- R(x)").unwrap();
         let ra = RaExpr::rel("R");
-        let certain_cq: BTreeSet<Vec<Value>> =
-            w.certain_answer_cq(&cq).unwrap().into_iter().map(|f| f.args).collect();
+        let certain_cq: BTreeSet<Vec<Value>> = w
+            .certain_answer_cq(&cq)
+            .unwrap()
+            .into_iter()
+            .map(|f| f.args)
+            .collect();
         let certain_ra = w.certain_answer_ra(&ra).unwrap();
         assert_eq!(certain_cq, certain_ra);
-        let possible_cq: BTreeSet<Vec<Value>> =
-            w.possible_answer_cq(&cq).unwrap().into_iter().map(|f| f.args).collect();
+        let possible_cq: BTreeSet<Vec<Value>> = w
+            .possible_answer_cq(&cq)
+            .unwrap()
+            .into_iter()
+            .map(|f| f.args)
+            .collect();
         let possible_ra = w.possible_answer_ra(&ra).unwrap();
         assert_eq!(possible_cq, possible_ra);
     }

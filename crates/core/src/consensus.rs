@@ -16,8 +16,9 @@
 //!   subsets and is flagged as a likely mis-reporter.
 
 use crate::collection::SourceCollection;
-use crate::consistency::identity::decide_identity;
+use crate::consistency::identity::decide_identity_budgeted;
 use crate::error::CoreError;
+use crate::govern::Budget;
 use pscds_numeric::Rational;
 
 /// The result of a consensus analysis.
@@ -100,10 +101,40 @@ pub fn maximal_consistent_subsets(
     collection: &SourceCollection,
     padding: u64,
 ) -> Result<ConsensusReport, CoreError> {
+    maximal_consistent_subsets_budgeted(collection, padding, &Budget::unlimited())
+}
+
+/// Budget-governed variant of [`maximal_consistent_subsets`]: one budget
+/// step per candidate subset, and the budget also governs the inner
+/// per-subset consistency solver.
+///
+/// Under an *unlimited* budget the legacy 20-source cap applies; an
+/// explicitly limited budget replaces the cap, and only the `u32`
+/// subset-mask representation limit (31 sources) remains.
+///
+/// # Errors
+/// As [`maximal_consistent_subsets`], plus [`CoreError::BudgetExceeded`]
+/// when the budget runs out mid-enumeration.
+pub fn maximal_consistent_subsets_budgeted(
+    collection: &SourceCollection,
+    padding: u64,
+    budget: &Budget,
+) -> Result<ConsensusReport, CoreError> {
     let n = collection.len();
-    if n > 20 {
+    if n > 31 {
         return Err(CoreError::SearchSpaceTooLarge {
-            message: format!("consensus over {n} sources needs 2^{n} consistency checks"),
+            message: format!(
+                "consensus over {n} sources needs 2^{n} consistency checks, exceeding the u32 \
+                 subset-mask limit of 31 sources"
+            ),
+        });
+    }
+    if budget.is_unlimited() && n > 20 {
+        return Err(CoreError::SearchSpaceTooLarge {
+            message: format!(
+                "consensus over {n} sources needs 2^{n} consistency checks, exceeding the cap of \
+                 20 sources (set a budget to search anyway)"
+            ),
         });
     }
     // Pre-validate the identity shape once (empty collections are fine:
@@ -125,7 +156,7 @@ pub fn maximal_consistent_subsets(
                 .map(|(_, s)| s.clone()),
         );
         let identity = subset.as_identity()?;
-        Ok(decide_identity(&identity, padding).is_consistent())
+        Ok(decide_identity_budgeted(&identity, padding, budget)?.is_consistent())
     };
 
     // Enumerate subsets largest-first so maximality checks only look at
@@ -134,6 +165,7 @@ pub fn maximal_consistent_subsets(
     masks.sort_by_key(|m| std::cmp::Reverse(m.count_ones()));
     let mut maximal: Vec<u32> = Vec::new();
     for mask in masks {
+        budget.tick("consensus")?;
         if maximal.iter().any(|&m| m & mask == mask) {
             continue; // contained in an already-found consistent subset
         }
@@ -154,7 +186,11 @@ pub fn maximal_consistent_subsets(
             Rational::from_u64(count, denom)
         })
         .collect();
-    Ok(ConsensusReport { n_sources: n, maximal_subsets, support })
+    Ok(ConsensusReport {
+        n_sources: n,
+        maximal_subsets,
+        support,
+    })
 }
 
 #[cfg(test)]
@@ -235,8 +271,26 @@ mod tests {
     fn soft_bounds_allow_coexistence() {
         // Sources with slack (c = s = 1/2) tolerate each other even with
         // disjoint extensions.
-        let s1 = SourceDescriptor::identity("S1", "V1", "R", 1, [[Value::sym("a")], [Value::sym("b")]], Frac::HALF, Frac::HALF).unwrap();
-        let s2 = SourceDescriptor::identity("S2", "V2", "R", 1, [[Value::sym("c")], [Value::sym("d")]], Frac::HALF, Frac::HALF).unwrap();
+        let s1 = SourceDescriptor::identity(
+            "S1",
+            "V1",
+            "R",
+            1,
+            [[Value::sym("a")], [Value::sym("b")]],
+            Frac::HALF,
+            Frac::HALF,
+        )
+        .unwrap();
+        let s2 = SourceDescriptor::identity(
+            "S2",
+            "V2",
+            "R",
+            1,
+            [[Value::sym("c")], [Value::sym("d")]],
+            Frac::HALF,
+            Frac::HALF,
+        )
+        .unwrap();
         let c = SourceCollection::from_sources([s1, s2]);
         let report = maximal_consistent_subsets(&c, 0).unwrap();
         assert!(report.fully_consistent());

@@ -9,6 +9,7 @@
 
 use crate::collection::SourceCollection;
 use crate::error::CoreError;
+use crate::govern::Budget;
 use crate::measures::in_poss;
 use pscds_relational::{Database, FactUniverse, Value};
 
@@ -21,9 +22,24 @@ pub fn decide_exhaustive(
     collection: &SourceCollection,
     domain: &[Value],
 ) -> Result<Option<Database>, CoreError> {
+    decide_exhaustive_budgeted(collection, domain, &Budget::unlimited())
+}
+
+/// Budget-governed variant of [`decide_exhaustive`]: one budget step per
+/// candidate database.
+///
+/// # Errors
+/// As [`decide_exhaustive`], plus [`CoreError::BudgetExceeded`] when the
+/// budget runs out mid-search.
+pub fn decide_exhaustive_budgeted(
+    collection: &SourceCollection,
+    domain: &[Value],
+    budget: &Budget,
+) -> Result<Option<Database>, CoreError> {
     let schema = collection.schema()?;
     let universe = FactUniverse::over_schema(&schema, domain)?;
     for (_, db) in universe.subsets().map_err(CoreError::Rel)? {
+        budget.tick("consistency::exhaustive")?;
         if in_poss(&db, collection)? {
             return Ok(Some(db));
         }
@@ -48,10 +64,28 @@ pub fn find_witness_bounded(
     domain: &[Value],
     size_cap: Option<usize>,
 ) -> Result<Option<Database>, CoreError> {
+    find_witness_budgeted(collection, domain, size_cap, &Budget::unlimited())
+}
+
+/// Budget-governed variant of [`find_witness_bounded`]: one budget step per
+/// candidate database.
+///
+/// # Errors
+/// As [`find_witness_bounded`], plus [`CoreError::BudgetExceeded`] when the
+/// budget runs out mid-search.
+pub fn find_witness_budgeted(
+    collection: &SourceCollection,
+    domain: &[Value],
+    size_cap: Option<usize>,
+    budget: &Budget,
+) -> Result<Option<Database>, CoreError> {
     let schema = collection.schema()?;
     let universe = FactUniverse::over_schema(&schema, domain)?;
-    let bound = collection.lemma31_bound().min(size_cap.unwrap_or(usize::MAX));
+    let bound = collection
+        .lemma31_bound()
+        .min(size_cap.unwrap_or(usize::MAX));
     for db in universe.subsets_up_to(bound) {
+        budget.tick("consistency::exhaustive")?;
         if in_poss(&db, collection)? {
             return Ok(Some(db));
         }
@@ -94,8 +128,26 @@ mod tests {
 
     #[test]
     fn contradictory_exact_sources_inconsistent() {
-        let s1 = SourceDescriptor::identity("S1", "V1", "R", 1, [[Value::sym("a")]], Frac::ONE, Frac::ONE).unwrap();
-        let s2 = SourceDescriptor::identity("S2", "V2", "R", 1, [[Value::sym("b")]], Frac::ONE, Frac::ONE).unwrap();
+        let s1 = SourceDescriptor::identity(
+            "S1",
+            "V1",
+            "R",
+            1,
+            [[Value::sym("a")]],
+            Frac::ONE,
+            Frac::ONE,
+        )
+        .unwrap();
+        let s2 = SourceDescriptor::identity(
+            "S2",
+            "V2",
+            "R",
+            1,
+            [[Value::sym("b")]],
+            Frac::ONE,
+            Frac::ONE,
+        )
+        .unwrap();
         let c = SourceCollection::from_sources([s1, s2]);
         let domain = domain_with_fresh(&c, 2);
         assert_eq!(decide_exhaustive(&c, &domain).unwrap(), None);
@@ -117,7 +169,9 @@ mod tests {
         .unwrap();
         let c = SourceCollection::from_sources([src]);
         let domain = domain_with_fresh(&c, 1);
-        let witness = find_witness_bounded(&c, &domain, None).unwrap().expect("consistent");
+        let witness = find_witness_bounded(&c, &domain, None)
+            .unwrap()
+            .expect("consistent");
         // Witness must contain R(a, z) and S(z) for some z.
         assert!(witness.extension_len(pscds_relational::RelName::new("R")) >= 1);
         assert!(witness.extension_len(pscds_relational::RelName::new("S")) >= 1);
@@ -149,8 +203,12 @@ mod tests {
         .unwrap();
         let c = SourceCollection::from_sources([s]);
         let domain = domain_with_fresh(&c, 0);
-        assert!(find_witness_bounded(&c, &domain, Some(1)).unwrap().is_none());
-        assert!(find_witness_bounded(&c, &domain, Some(2)).unwrap().is_some());
+        assert!(find_witness_bounded(&c, &domain, Some(1))
+            .unwrap()
+            .is_none());
+        assert!(find_witness_bounded(&c, &domain, Some(2))
+            .unwrap()
+            .is_some());
     }
 
     #[test]

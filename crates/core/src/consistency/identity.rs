@@ -10,6 +10,8 @@
 
 use crate::collection::IdentityCollection;
 use crate::confidence::signature::SignatureAnalysis;
+use crate::error::CoreError;
+use crate::govern::Budget;
 use pscds_relational::Database;
 
 /// The outcome of an identity-collection consistency check.
@@ -54,14 +56,29 @@ impl IdentityConsistency {
 /// ```
 #[must_use]
 pub fn decide_identity(collection: &IdentityCollection, padding: u64) -> IdentityConsistency {
+    decide_identity_budgeted(collection, padding, &Budget::unlimited())
+        .expect("an unlimited budget never interrupts the solver")
+}
+
+/// Budget-governed variant of [`decide_identity`]: the feasibility DFS
+/// charges one budget step per node and unwinds when the budget trips.
+///
+/// # Errors
+/// [`CoreError::BudgetExceeded`] when the budget runs out before the
+/// search decides either way.
+pub fn decide_identity_budgeted(
+    collection: &IdentityCollection,
+    padding: u64,
+    budget: &Budget,
+) -> Result<IdentityConsistency, CoreError> {
     let analysis = SignatureAnalysis::new(collection, padding);
-    match analysis.find_feasible() {
+    Ok(match analysis.find_feasible_budgeted(budget)? {
         Some(counts) => {
             let witness = analysis.materialize(&counts);
             IdentityConsistency::Consistent { witness, counts }
         }
         None => IdentityConsistency::Inconsistent,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -87,9 +104,29 @@ mod tests {
 
     #[test]
     fn exact_contradiction_inconsistent() {
-        let s1 = SourceDescriptor::identity("S1", "V1", "R", 1, [[Value::sym("a")]], Frac::ONE, Frac::ONE).unwrap();
-        let s2 = SourceDescriptor::identity("S2", "V2", "R", 1, [[Value::sym("b")]], Frac::ONE, Frac::ONE).unwrap();
-        let id = SourceCollection::from_sources([s1, s2]).as_identity().unwrap();
+        let s1 = SourceDescriptor::identity(
+            "S1",
+            "V1",
+            "R",
+            1,
+            [[Value::sym("a")]],
+            Frac::ONE,
+            Frac::ONE,
+        )
+        .unwrap();
+        let s2 = SourceDescriptor::identity(
+            "S2",
+            "V2",
+            "R",
+            1,
+            [[Value::sym("b")]],
+            Frac::ONE,
+            Frac::ONE,
+        )
+        .unwrap();
+        let id = SourceCollection::from_sources([s1, s2])
+            .as_identity()
+            .unwrap();
         assert_eq!(decide_identity(&id, 10), IdentityConsistency::Inconsistent);
     }
 
@@ -98,7 +135,10 @@ mod tests {
         // A consistent collection stays consistent as padding grows.
         let id = example_5_1().as_identity().unwrap();
         for padding in [0u64, 1, 5, 100, 10_000] {
-            assert!(decide_identity(&id, padding).is_consistent(), "padding {padding}");
+            assert!(
+                decide_identity(&id, padding).is_consistent(),
+                "padding {padding}"
+            );
         }
     }
 
@@ -122,8 +162,16 @@ mod tests {
                 let c = Frac::new(rng.gen_range(0..=4), 4);
                 let snd = Frac::new(rng.gen_range(0..=4), 4);
                 sources.push(
-                    SourceDescriptor::identity(format!("S{s}"), format!("V{s}").as_str(), "R", 1, ext, c, snd)
-                        .unwrap(),
+                    SourceDescriptor::identity(
+                        format!("S{s}"),
+                        format!("V{s}").as_str(),
+                        "R",
+                        1,
+                        ext,
+                        c,
+                        snd,
+                    )
+                    .unwrap(),
                 );
             }
             let collection = SourceCollection::from_sources(sources);
@@ -140,7 +188,16 @@ mod tests {
         // Soundness constraints are about extension tuples only, so a
         // padding-0 domain decides them: e.g. full soundness on {a} is
         // satisfiable with D = {a}.
-        let s = SourceDescriptor::identity("S", "V", "R", 1, [[Value::sym("a")]], Frac::ZERO, Frac::ONE).unwrap();
+        let s = SourceDescriptor::identity(
+            "S",
+            "V",
+            "R",
+            1,
+            [[Value::sym("a")]],
+            Frac::ZERO,
+            Frac::ONE,
+        )
+        .unwrap();
         let id = SourceCollection::from_sources([s]).as_identity().unwrap();
         assert!(decide_identity(&id, 0).is_consistent());
     }

@@ -20,6 +20,8 @@ pub mod exhaustive;
 pub mod identity;
 pub mod witness;
 
-pub use exhaustive::{decide_exhaustive, find_witness_bounded};
-pub use identity::{decide_identity, IdentityConsistency};
-pub use witness::{lemma31_bound, minimal_witness, shrink_witness};
+pub use exhaustive::{
+    decide_exhaustive, decide_exhaustive_budgeted, find_witness_bounded, find_witness_budgeted,
+};
+pub use identity::{decide_identity, decide_identity_budgeted, IdentityConsistency};
+pub use witness::{lemma31_bound, minimal_witness, minimal_witness_budgeted, shrink_witness};

@@ -9,6 +9,7 @@
 
 use crate::collection::SourceCollection;
 use crate::error::CoreError;
+use crate::govern::Budget;
 use crate::measures::in_poss;
 use pscds_relational::{Database, FactUniverse, Value};
 
@@ -27,9 +28,24 @@ pub fn minimal_witness(
     collection: &SourceCollection,
     domain: &[Value],
 ) -> Result<Option<Database>, CoreError> {
+    minimal_witness_budgeted(collection, domain, &Budget::unlimited())
+}
+
+/// Budget-governed variant of [`minimal_witness`]: one budget step per
+/// candidate database.
+///
+/// # Errors
+/// As [`minimal_witness`], plus [`CoreError::BudgetExceeded`] when the
+/// budget runs out mid-search.
+pub fn minimal_witness_budgeted(
+    collection: &SourceCollection,
+    domain: &[Value],
+    budget: &Budget,
+) -> Result<Option<Database>, CoreError> {
     let schema = collection.schema()?;
     let universe = FactUniverse::over_schema(&schema, domain)?;
     for db in universe.subsets_up_to(universe.len()) {
+        budget.tick("consistency::exhaustive")?;
         if in_poss(&db, collection)? {
             return Ok(Some(db));
         }
@@ -93,7 +109,9 @@ mod tests {
     #[test]
     fn minimal_witness_within_bound() {
         let c = example_5_1();
-        let w = minimal_witness(&c, &example_5_1_domain(1)).unwrap().expect("consistent");
+        let w = minimal_witness(&c, &example_5_1_domain(1))
+            .unwrap()
+            .expect("consistent");
         assert_eq!(w.len(), 1); // {R(b)}
         assert!(w.len() <= lemma31_bound(&c));
     }
@@ -151,8 +169,26 @@ mod tests {
 
     #[test]
     fn minimal_witness_none_for_inconsistent() {
-        let s1 = SourceDescriptor::identity("S1", "V1", "R", 1, [[Value::sym("a")]], Frac::ONE, Frac::ONE).unwrap();
-        let s2 = SourceDescriptor::identity("S2", "V2", "R", 1, [[Value::sym("b")]], Frac::ONE, Frac::ONE).unwrap();
+        let s1 = SourceDescriptor::identity(
+            "S1",
+            "V1",
+            "R",
+            1,
+            [[Value::sym("a")]],
+            Frac::ONE,
+            Frac::ONE,
+        )
+        .unwrap();
+        let s2 = SourceDescriptor::identity(
+            "S2",
+            "V2",
+            "R",
+            1,
+            [[Value::sym("b")]],
+            Frac::ONE,
+            Frac::ONE,
+        )
+        .unwrap();
         let c = SourceCollection::from_sources([s1, s2]);
         let domain = [Value::sym("a"), Value::sym("b")];
         assert_eq!(minimal_witness(&c, &domain).unwrap(), None);

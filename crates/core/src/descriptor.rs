@@ -59,13 +59,17 @@ impl SourceDescriptor {
             if fact.relation != head.relation || fact.arity() != head.arity() {
                 return Err(CoreError::InvalidDescriptor {
                     source: name,
-                    message: format!(
-                        "extension fact {fact} does not match view head {head}"
-                    ),
+                    message: format!("extension fact {fact} does not match view head {head}"),
                 });
             }
         }
-        Ok(SourceDescriptor { name, view, extension, completeness, soundness })
+        Ok(SourceDescriptor {
+            name,
+            view,
+            extension,
+            completeness,
+            soundness,
+        })
     }
 
     /// Convenience constructor for the Section 5.1 special case: an
@@ -89,9 +93,10 @@ impl SourceDescriptor {
     {
         let view = ConjunctiveQuery::identity(head_name, rel, arity);
         let head_rel = view.head().relation;
-        let extension = tuples
-            .into_iter()
-            .map(|t| Fact { relation: head_rel, args: t.into_iter().collect() });
+        let extension = tuples.into_iter().map(|t| Fact {
+            relation: head_rel,
+            args: t.into_iter().collect(),
+        });
         SourceDescriptor::new(name, view, extension, completeness, soundness)
     }
 
@@ -238,10 +243,22 @@ mod tests {
     fn extension_must_match_head() {
         let view = parse_rule("V(x) <- R(x)").unwrap();
         // Wrong relation name.
-        let bad_rel = SourceDescriptor::new("S", view.clone(), [parse_fact("W(a)").unwrap()], frac(1, 1), frac(1, 1));
+        let bad_rel = SourceDescriptor::new(
+            "S",
+            view.clone(),
+            [parse_fact("W(a)").unwrap()],
+            frac(1, 1),
+            frac(1, 1),
+        );
         assert!(bad_rel.is_err());
         // Wrong arity.
-        let bad_arity = SourceDescriptor::new("S", view, [parse_fact("V(a, b)").unwrap()], frac(1, 1), frac(1, 1));
+        let bad_arity = SourceDescriptor::new(
+            "S",
+            view,
+            [parse_fact("V(a, b)").unwrap()],
+            frac(1, 1),
+            frac(1, 1),
+        );
         assert!(bad_arity.is_err());
     }
 
@@ -321,7 +338,16 @@ mod tests {
 
     #[test]
     fn display() {
-        let s = SourceDescriptor::identity("S1", "V", "R", 1, [[Value::sym("a")]], frac(1, 2), frac(1, 3)).unwrap();
+        let s = SourceDescriptor::identity(
+            "S1",
+            "V",
+            "R",
+            1,
+            [[Value::sym("a")]],
+            frac(1, 2),
+            frac(1, 3),
+        )
+        .unwrap();
         let text = s.to_string();
         assert!(text.contains("S1"));
         assert!(text.contains("c≥1/2"));

@@ -32,6 +32,19 @@ pub enum CoreError {
     /// requested quantity (e.g. a confidence, a conditional probability) is
     /// undefined.
     InconsistentCollection,
+    /// A [`crate::govern::Budget`] ran out (deadline passed, step
+    /// allowance spent, or cancellation requested) before the engine
+    /// finished. The computation was abandoned cleanly; retry with a
+    /// larger budget or fall back to a cheaper engine
+    /// (see [`crate::resilient`]).
+    BudgetExceeded {
+        /// Which engine phase was running (e.g. `confidence::signature`).
+        phase: String,
+        /// Search steps consumed when the budget tripped.
+        steps: u64,
+        /// Wall-clock time consumed when the budget tripped.
+        elapsed: std::time::Duration,
+    },
     /// A domain parameter was invalid (e.g. smaller than the constants
     /// already present in the extensions).
     BadDomain {
@@ -55,6 +68,17 @@ impl fmt::Display for CoreError {
             }
             CoreError::InconsistentCollection => {
                 write!(f, "source collection is inconsistent: poss(S) is empty")
+            }
+            CoreError::BudgetExceeded {
+                phase,
+                steps,
+                elapsed,
+            } => {
+                write!(
+                    f,
+                    "budget exceeded in {phase} after {steps} steps ({:.3}s elapsed)",
+                    elapsed.as_secs_f64()
+                )
             }
             CoreError::BadDomain { message } => write!(f, "bad domain: {message}"),
         }
@@ -85,8 +109,12 @@ mod tests {
         let e = CoreError::from(RelError::EmptyDomain);
         assert!(e.to_string().contains("relational error"));
         assert!(std::error::Error::source(&e).is_some());
-        assert!(CoreError::InconsistentCollection.to_string().contains("poss(S)"));
-        let e = CoreError::NotIdentityCollection { message: "join body".into() };
+        assert!(CoreError::InconsistentCollection
+            .to_string()
+            .contains("poss(S)"));
+        let e = CoreError::NotIdentityCollection {
+            message: "join body".into(),
+        };
         assert!(e.to_string().contains("identity"));
         assert!(std::error::Error::source(&e).is_none());
     }

@@ -1,0 +1,334 @@
+//! Resource governance for the super-polynomial engines.
+//!
+//! Every hard procedure in this crate — possible-world enumeration, the
+//! signature DFS, the Γ assignment sweep, template/subset enumeration,
+//! consensus search — is exponential in the worst case (CONSISTENCY is
+//! NP-complete, exact confidence counting is #P-hard). A [`Budget`] makes
+//! those engines *interruptible*: it carries an optional wall-clock
+//! deadline, an optional step allowance, and a cooperative cancellation
+//! flag, and the engines call [`Budget::tick`] once per unit of search
+//! work. When the budget is exhausted the engine unwinds with
+//! [`CoreError::BudgetExceeded`] instead of running unbounded or
+//! panicking; callers can then retry with a cheaper engine (see
+//! [`crate::resilient`]).
+//!
+//! `tick` is designed to sit in the hottest loops: it increments a
+//! counter, compares it against the step allowance, and consults the
+//! clock and the cancellation flag only every
+//! [`Budget::CHECK_INTERVAL`] steps — so a deadline overrun is detected
+//! within at most `CHECK_INTERVAL` additional steps of work.
+
+use crate::error::CoreError;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cooperative resource budget threaded through the exponential
+/// engines.
+///
+/// A budget combines three independent limits, all optional:
+///
+/// * a **deadline** — wall-clock time allotted from construction;
+/// * a **step allowance** — a deterministic cap on search steps, for
+///   reproducible truncation independent of machine speed;
+/// * a **cancellation flag** — an [`AtomicBool`] shared with other
+///   threads (e.g. a Ctrl-C handler) that aborts the computation when
+///   set.
+///
+/// [`Budget::unlimited`] (the default) never trips on time or steps and
+/// owns a private flag nobody else can set, so engines running under it
+/// behave exactly as their un-governed ancestors.
+///
+/// # Examples
+///
+/// ```
+/// use pscds_core::govern::Budget;
+/// use std::time::Duration;
+///
+/// let budget = Budget::unlimited()
+///     .and_deadline(Duration::from_millis(100))
+///     .and_max_steps(1_000_000);
+/// assert!(!budget.is_unlimited());
+/// assert!(budget.tick("doctest").is_ok());
+/// ```
+#[derive(Debug)]
+pub struct Budget {
+    started: Instant,
+    /// The wall-clock allotment (kept so [`Budget::renewed`] can restart it).
+    allotment: Option<Duration>,
+    deadline: Option<Instant>,
+    max_steps: u64,
+    steps: Cell<u64>,
+    cancel: Arc<AtomicBool>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+impl Budget {
+    /// How many steps pass between wall-clock / cancellation checks in
+    /// [`Budget::tick`] (a power of two; the step allowance itself is
+    /// checked on every tick).
+    pub const CHECK_INTERVAL: u64 = 1024;
+
+    /// A budget that never runs out: no deadline, no step cap, and a
+    /// private cancellation flag that nothing else holds.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Budget {
+            started: Instant::now(),
+            allotment: None,
+            deadline: None,
+            max_steps: u64::MAX,
+            steps: Cell::new(0),
+            cancel: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// A budget limited only by a wall-clock deadline.
+    #[must_use]
+    pub fn with_deadline(allotment: Duration) -> Self {
+        Budget::unlimited().and_deadline(allotment)
+    }
+
+    /// A budget limited only by a step allowance.
+    #[must_use]
+    pub fn with_max_steps(max_steps: u64) -> Self {
+        Budget::unlimited().and_max_steps(max_steps)
+    }
+
+    /// Adds (or replaces) a wall-clock deadline, measured from *now*.
+    #[must_use]
+    pub fn and_deadline(mut self, allotment: Duration) -> Self {
+        let now = Instant::now();
+        self.allotment = Some(allotment);
+        self.deadline = Some(now + allotment);
+        self
+    }
+
+    /// Adds (or replaces) the step allowance.
+    #[must_use]
+    pub fn and_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Replaces the cancellation flag with one shared by the caller
+    /// (e.g. flipped from a signal handler or another thread).
+    #[must_use]
+    pub fn and_cancel(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = flag;
+        self
+    }
+
+    /// A handle to the cancellation flag; storing `true` through it makes
+    /// every subsequent slow-path check fail with
+    /// [`CoreError::BudgetExceeded`].
+    #[must_use]
+    pub fn cancel_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.cancel)
+    }
+
+    /// `true` iff this budget has neither a deadline nor a step cap.
+    /// Engines use this to decide whether their legacy hard size caps
+    /// still apply: an explicitly limited budget *replaces* the caps.
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_steps == u64::MAX
+    }
+
+    /// Steps consumed so far.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps.get()
+    }
+
+    /// Wall-clock time since the budget was created (or last
+    /// [renewed](Budget::renewed)).
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// A fresh budget with the same allotments — deadline restarted from
+    /// now, step counter reset — sharing this budget's cancellation flag.
+    /// This is what the graceful-degradation layer hands to a fallback
+    /// engine: the fallback gets its own time slice, but Ctrl-C still
+    /// stops it.
+    #[must_use]
+    pub fn renewed(&self) -> Self {
+        let mut fresh = Budget::unlimited().and_cancel(self.cancel_handle());
+        if let Some(allotment) = self.allotment {
+            fresh = fresh.and_deadline(allotment);
+        }
+        if self.max_steps != u64::MAX {
+            fresh = fresh.and_max_steps(self.max_steps);
+        }
+        fresh
+    }
+
+    /// Records one unit of search work and fails if the budget is
+    /// exhausted. The step allowance is enforced exactly; the deadline
+    /// and the cancellation flag are consulted every
+    /// [`Budget::CHECK_INTERVAL`] steps (so overruns are bounded by that
+    /// many extra steps).
+    ///
+    /// # Errors
+    /// [`CoreError::BudgetExceeded`] tagged with `phase`.
+    #[inline]
+    pub fn tick(&self, phase: &str) -> Result<(), CoreError> {
+        let s = self.steps.get() + 1;
+        self.steps.set(s);
+        if s > self.max_steps {
+            return Err(self.exceeded(phase));
+        }
+        if s & (Self::CHECK_INTERVAL - 1) == 0 {
+            self.check(phase)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The slow-path check: deadline and cancellation, unconditionally.
+    /// Engines call this directly at phase boundaries where a prompt
+    /// answer matters more than amortization.
+    ///
+    /// # Errors
+    /// [`CoreError::BudgetExceeded`] tagged with `phase`.
+    pub fn check(&self, phase: &str) -> Result<(), CoreError> {
+        if self.cancel.load(Ordering::Relaxed) {
+            return Err(self.exceeded(phase));
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(self.exceeded(phase));
+            }
+        }
+        Ok(())
+    }
+
+    /// The structured error for this budget's current state.
+    fn exceeded(&self, phase: &str) -> CoreError {
+        CoreError::BudgetExceeded {
+            phase: phase.to_owned(),
+            steps: self.steps.get(),
+            elapsed: self.elapsed(),
+        }
+    }
+}
+
+/// Provenance of an analysis result: which engine produced it. Attached
+/// to results by the graceful-degradation layer so callers (and the CLI
+/// output) can tell an exact answer from an approximation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// Brute-force enumeration or exact counting — the ground truth.
+    Exact,
+    /// The signature-decomposition solver (exact for identity-view
+    /// collections, but a different — cheaper — engine than enumeration).
+    Signature,
+    /// The Metropolis sampler: an estimate, not an exact value.
+    Sampled {
+        /// Number of recorded samples behind the estimate.
+        samples: usize,
+    },
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Engine::Exact => write!(f, "exact"),
+            Engine::Signature => write!(f, "signature"),
+            Engine::Sampled { samples } => write!(f, "sampled ({samples} samples)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let b = Budget::unlimited();
+        assert!(b.is_unlimited());
+        for _ in 0..10_000 {
+            b.tick("test").unwrap();
+        }
+        assert_eq!(b.steps(), 10_000);
+    }
+
+    #[test]
+    fn step_allowance_is_exact() {
+        let b = Budget::with_max_steps(10);
+        for _ in 0..10 {
+            b.tick("test").unwrap();
+        }
+        let err = b.tick("steps-test").unwrap_err();
+        let CoreError::BudgetExceeded { phase, steps, .. } = err else {
+            panic!("expected BudgetExceeded, got {err:?}");
+        };
+        assert_eq!(phase, "steps-test");
+        assert_eq!(steps, 11);
+    }
+
+    #[test]
+    fn deadline_trips_within_check_interval() {
+        let b = Budget::with_deadline(Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(10));
+        let mut failed_at = None;
+        for i in 0..2 * Budget::CHECK_INTERVAL {
+            if b.tick("test").is_err() {
+                failed_at = Some(i);
+                break;
+            }
+        }
+        let failed_at = failed_at.expect("an expired deadline must trip");
+        assert!(
+            failed_at < Budget::CHECK_INTERVAL,
+            "tripped at step {failed_at}"
+        );
+        // And the forced check fails immediately.
+        assert!(b.check("test").is_err());
+    }
+
+    #[test]
+    fn cancellation_flag_stops_ticking() {
+        let b = Budget::unlimited();
+        let handle = b.cancel_handle();
+        b.check("test").unwrap();
+        handle.store(true, Ordering::Relaxed);
+        assert!(matches!(
+            b.check("test"),
+            Err(CoreError::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn renewed_restarts_allotments_but_shares_cancel() {
+        let b = Budget::with_deadline(Duration::from_secs(3600)).and_max_steps(5);
+        for _ in 0..5 {
+            b.tick("test").unwrap();
+        }
+        assert!(b.tick("test").is_err());
+        let fresh = b.renewed();
+        assert_eq!(fresh.steps(), 0);
+        assert!(fresh.tick("test").is_ok());
+        b.cancel_handle().store(true, Ordering::Relaxed);
+        assert!(fresh.check("test").is_err(), "cancel flag is shared");
+    }
+
+    #[test]
+    fn engine_display() {
+        assert_eq!(Engine::Exact.to_string(), "exact");
+        assert_eq!(Engine::Signature.to_string(), "signature");
+        assert_eq!(
+            Engine::Sampled { samples: 42 }.to_string(),
+            "sampled (42 samples)"
+        );
+    }
+}

@@ -33,6 +33,14 @@
 //! The modules deliberately provide *two* independent implementations of
 //! the expensive semantics — a brute-force possible-world oracle and the
 //! polynomial signature counter — and the test suite cross-checks them.
+//!
+//! All of these engines are super-polynomial in the worst case, so every
+//! one of them is *governed*: it accepts a [`govern::Budget`] (deadline,
+//! step allowance, cooperative cancellation) and unwinds with
+//! [`CoreError::BudgetExceeded`] instead of running unbounded. The
+//! [`resilient`] front ends run the exact engine under the budget and
+//! degrade to a cheaper engine when it trips, tagging every result with
+//! the [`govern::Engine`] that produced it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,12 +52,16 @@ pub mod consensus;
 pub mod consistency;
 pub mod descriptor;
 pub mod error;
+pub mod govern;
 pub mod measures;
 pub mod paper;
+pub mod resilient;
 pub mod templates;
 pub mod textfmt;
 
 pub use collection::SourceCollection;
 pub use descriptor::SourceDescriptor;
 pub use error::CoreError;
+pub use govern::{Budget, Engine};
 pub use measures::{completeness_of, satisfies, soundness_of, MeasureReport};
+pub use resilient::{check_resilient, confidence_resilient, ResilientCheck, ResilientConfidence};

@@ -234,7 +234,8 @@ mod tests {
         let d = db("R(a)");
         assert!(!in_poss(&d, &c).unwrap());
 
-        let c_ok = SourceCollection::from_sources([source("V(x) <- R(x)", "V(a)", Frac::ONE, Frac::ONE)]);
+        let c_ok =
+            SourceCollection::from_sources([source("V(x) <- R(x)", "V(a)", Frac::ONE, Frac::ONE)]);
         assert!(in_poss(&d, &c_ok).unwrap());
         // Empty collection: everything is possible.
         assert!(in_poss(&d, &SourceCollection::new()).unwrap());
@@ -244,11 +245,23 @@ mod tests {
     fn example51_membership_spot_checks() {
         // Worlds from the Example 5.1 analysis (m = 0).
         let c = crate::paper::example_5_1();
-        for world in ["R(b)", "R(a). R(b)", "R(a). R(c)", "R(b). R(c)", "R(a). R(b). R(c)"] {
-            assert!(in_poss(&db(world), &c).unwrap(), "world {{{world}}} should be possible");
+        for world in [
+            "R(b)",
+            "R(a). R(b)",
+            "R(a). R(c)",
+            "R(b). R(c)",
+            "R(a). R(b). R(c)",
+        ] {
+            assert!(
+                in_poss(&db(world), &c).unwrap(),
+                "world {{{world}}} should be possible"
+            );
         }
         for world in ["", "R(a)", "R(c)"] {
-            assert!(!in_poss(&db(world), &c).unwrap(), "world {{{world}}} should be impossible");
+            assert!(
+                !in_poss(&db(world), &c).unwrap(),
+                "world {{{world}}} should be impossible"
+            );
         }
         let _ = parse_fact("R(a)"); // keep the import exercised
     }

@@ -1,0 +1,390 @@
+//! Graceful degradation: exact engines under a budget, cheaper fallbacks
+//! when the budget trips.
+//!
+//! The exact engines in this crate are the ground truth, but CONSISTENCY
+//! is NP-complete and exact confidence counting is #P-hard, so on a large
+//! instance they may not finish inside any reasonable allotment. This
+//! module implements the *resilient* front ends: run the exact engine
+//! under the caller's [`Budget`]; if it returns
+//! [`CoreError::BudgetExceeded`], fall back to a cheaper engine under a
+//! [renewed](Budget::renewed) budget (same allotment, fresh clock, shared
+//! cancellation flag). Every result is tagged with the [`Engine`] that
+//! produced it, so a caller — or a reader of the CLI output — can always
+//! tell an exact answer from an approximation.
+//!
+//! * [`check_resilient`] — consistency: exhaustive possible-world search,
+//!   falling back to the signature-decomposition solver for identity-view
+//!   collections (still exact, but exponential only in the source count).
+//! * [`confidence_resilient`] — confidence: the exact signature counter,
+//!   optionally falling back to the Metropolis sampler (an *estimate*;
+//!   opt-in via `approx`).
+
+use crate::collection::IdentityCollection;
+use crate::confidence::counting::ConfidenceAnalysis;
+use crate::confidence::sampling::{sample_confidences_budgeted, SampledConfidence, SamplerConfig};
+use crate::confidence::signature::SignatureAnalysis;
+use crate::consistency::exhaustive::find_witness_budgeted;
+use crate::consistency::identity::{decide_identity_budgeted, IdentityConsistency};
+use crate::error::CoreError;
+use crate::govern::{Budget, Engine};
+use crate::SourceCollection;
+use pscds_numeric::Rational;
+use pscds_relational::{Database, Value};
+
+/// Outcome of a resilient consistency check.
+#[derive(Debug)]
+pub struct ResilientCheck {
+    /// Which engine produced the verdict.
+    pub engine: Engine,
+    /// Whether `poss(S)` is non-empty (over the searched domain).
+    pub consistent: bool,
+    /// A witness world, when one was found.
+    pub witness: Option<Database>,
+}
+
+/// Decides consistency under a budget, degrading gracefully.
+///
+/// Strategy: run the exhaustive Lemma-3.1-bounded witness search under
+/// `budget` ([`Engine::Exact`]). If the budget trips *and* the collection
+/// is identity-view, rerun with the signature-decomposition solver under a
+/// renewed budget ([`Engine::Signature`] — still an exact answer, reached
+/// by a cheaper route). Otherwise the budget error propagates.
+///
+/// Note the signature fallback decides consistency over the *identity
+/// model's* domain (extension tuples plus padding), which for identity
+/// collections coincides with the exhaustive search over `domain` when
+/// `domain` covers the extension constants.
+///
+/// # Errors
+/// Evaluation errors from either engine, or [`CoreError::BudgetExceeded`]
+/// when the budget trips and no fallback applies (or the fallback trips
+/// too).
+pub fn check_resilient(
+    collection: &SourceCollection,
+    domain: &[Value],
+    budget: &Budget,
+) -> Result<ResilientCheck, CoreError> {
+    match find_witness_budgeted(collection, domain, None, budget) {
+        Ok(witness) => Ok(ResilientCheck {
+            engine: Engine::Exact,
+            consistent: witness.is_some(),
+            witness,
+        }),
+        Err(CoreError::BudgetExceeded {
+            phase,
+            steps,
+            elapsed,
+        }) => {
+            let Ok(identity) = collection.as_identity() else {
+                // No cheaper engine for general conjunctive views.
+                return Err(CoreError::BudgetExceeded {
+                    phase,
+                    steps,
+                    elapsed,
+                });
+            };
+            let padding = padding_of(&identity, domain)?;
+            match decide_identity_budgeted(&identity, padding, &budget.renewed())? {
+                IdentityConsistency::Consistent { witness, .. } => Ok(ResilientCheck {
+                    engine: Engine::Signature,
+                    consistent: true,
+                    witness: Some(witness),
+                }),
+                IdentityConsistency::Inconsistent => Ok(ResilientCheck {
+                    engine: Engine::Signature,
+                    consistent: false,
+                    witness: None,
+                }),
+            }
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Number of extension-free facts the domain contributes for an
+/// identity-view collection: `|domain|^arity − |∪ extensions|`.
+fn padding_of(identity: &IdentityCollection, domain: &[Value]) -> Result<u64, CoreError> {
+    let padding = SignatureAnalysis::padding_for_domain(identity, domain.len() as u64)?;
+    Ok(padding)
+}
+
+/// Outcome of a resilient confidence analysis: either the exact counter's
+/// result or a sampled estimate.
+#[derive(Debug)]
+pub enum ResilientConfidence {
+    /// The exact signature counter finished within budget.
+    Exact(ConfidenceAnalysis),
+    /// The exact counter ran out of budget; the Metropolis sampler
+    /// produced an estimate instead.
+    Sampled {
+        /// The signature decomposition behind the estimate (for tuple
+        /// lookups).
+        analysis: SignatureAnalysis,
+        /// The estimate with its chain diagnostics.
+        estimate: SampledConfidence,
+        /// The sampler configuration used.
+        config: SamplerConfig,
+    },
+}
+
+impl ResilientConfidence {
+    /// Which engine produced this result.
+    #[must_use]
+    pub fn engine(&self) -> Engine {
+        match self {
+            ResilientConfidence::Exact(_) => Engine::Exact,
+            ResilientConfidence::Sampled { config, .. } => Engine::Sampled {
+                samples: config.samples,
+            },
+        }
+    }
+
+    /// Confidence of a tuple as a float (exact results are converted; use
+    /// [`ResilientConfidence::exact`] for the rational form).
+    ///
+    /// # Errors
+    /// Inconsistent collections and out-of-domain tuples.
+    pub fn confidence_of_tuple(
+        &self,
+        collection: &IdentityCollection,
+        tuple: &[Value],
+    ) -> Result<f64, CoreError> {
+        match self {
+            ResilientConfidence::Exact(a) => Ok(a.confidence_of_tuple(collection, tuple)?.to_f64()),
+            ResilientConfidence::Sampled {
+                analysis, estimate, ..
+            } => estimate.confidence_of_tuple(analysis, collection, tuple),
+        }
+    }
+
+    /// Confidence of a tuple in exact rational form, when this result came
+    /// from the exact engine.
+    ///
+    /// # Errors
+    /// As [`ConfidenceAnalysis::confidence_of_tuple`]; returns `Ok(None)`
+    /// for sampled results.
+    pub fn exact_confidence_of_tuple(
+        &self,
+        collection: &IdentityCollection,
+        tuple: &[Value],
+    ) -> Result<Option<Rational>, CoreError> {
+        match self {
+            ResilientConfidence::Exact(a) => Ok(Some(a.confidence_of_tuple(collection, tuple)?)),
+            ResilientConfidence::Sampled { .. } => Ok(None),
+        }
+    }
+
+    /// The exact analysis, when this result came from the exact engine.
+    #[must_use]
+    pub fn exact(&self) -> Option<&ConfidenceAnalysis> {
+        match self {
+            ResilientConfidence::Exact(a) => Some(a),
+            ResilientConfidence::Sampled { .. } => None,
+        }
+    }
+
+    /// `true` iff the collection is consistent. (Both engines establish
+    /// this: the sampler needs a feasible starting vector.)
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        match self {
+            ResilientConfidence::Exact(a) => a.is_consistent(),
+            // The sampler only runs after finding a feasible vector.
+            ResilientConfidence::Sampled { .. } => true,
+        }
+    }
+}
+
+/// Computes tuple confidences under a budget, degrading gracefully.
+///
+/// Strategy: run the exact signature counter under `budget`
+/// ([`Engine::Exact`]). If the budget trips and `approx` is set, run the
+/// Metropolis sampler under a renewed budget
+/// ([`Engine::Sampled`] — an estimate, clearly tagged as such). Without
+/// `approx`, the budget error propagates: approximation is opt-in.
+///
+/// # Errors
+/// [`CoreError::InconsistentCollection`] (from the sampler),
+/// [`CoreError::BudgetExceeded`] when the budget trips without `approx`
+/// (or the sampler trips too).
+pub fn confidence_resilient(
+    collection: &IdentityCollection,
+    padding: u64,
+    budget: &Budget,
+    approx: bool,
+) -> Result<ResilientConfidence, CoreError> {
+    match ConfidenceAnalysis::analyze_budgeted(collection, padding, budget) {
+        Ok(analysis) => Ok(ResilientConfidence::Exact(analysis)),
+        Err(e @ CoreError::BudgetExceeded { .. }) => {
+            if !approx {
+                return Err(e);
+            }
+            let config = SamplerConfig::default();
+            let estimate =
+                sample_confidences_budgeted(collection, padding, &config, &budget.renewed())?;
+            let analysis = SignatureAnalysis::new(collection, padding);
+            Ok(ResilientConfidence::Sampled {
+                analysis,
+                estimate,
+                config,
+            })
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consistency::exhaustive::domain_with_fresh;
+    use crate::paper::{example_5_1, example_5_1_domain};
+    use pscds_numeric::UBig;
+
+    #[test]
+    fn check_exact_under_unlimited_budget() {
+        let c = example_5_1();
+        let r = check_resilient(&c, &example_5_1_domain(1), &Budget::unlimited()).unwrap();
+        assert_eq!(r.engine, Engine::Exact);
+        assert!(r.consistent);
+        assert!(r.witness.is_some());
+    }
+
+    #[test]
+    fn check_falls_back_to_signature_for_identity_collections() {
+        use crate::descriptor::SourceDescriptor;
+        use pscds_numeric::Frac;
+        // Two contradictory exact sources: the exhaustive search must
+        // sweep every candidate up to the Lemma 3.1 bound over a padded
+        // 22-constant domain (hundreds of candidates, tripping a 50-step
+        // budget), while the signature solver refutes in a handful of DFS
+        // nodes under the renewed allowance.
+        let s1 = SourceDescriptor::identity(
+            "S1",
+            "V1",
+            "R",
+            1,
+            [[Value::sym("a")]],
+            Frac::ONE,
+            Frac::ONE,
+        )
+        .unwrap();
+        let s2 = SourceDescriptor::identity(
+            "S2",
+            "V2",
+            "R",
+            1,
+            [[Value::sym("b")]],
+            Frac::ONE,
+            Frac::ONE,
+        )
+        .unwrap();
+        let c = SourceCollection::from_sources([s1, s2]);
+        let domain = domain_with_fresh(&c, 20);
+        let budget = Budget::with_max_steps(50);
+        let r = check_resilient(&c, &domain, &budget).unwrap();
+        assert_eq!(r.engine, Engine::Signature);
+        assert!(!r.consistent);
+        assert!(r.witness.is_none());
+    }
+
+    #[test]
+    fn check_propagates_budget_error_for_join_views() {
+        use crate::descriptor::SourceDescriptor;
+        use pscds_numeric::Frac;
+        use pscds_relational::parser::{parse_facts, parse_rule};
+        let src = SourceDescriptor::new(
+            "J",
+            parse_rule("V(x) <- R(x, y), S(y)").unwrap(),
+            parse_facts("V(a)").unwrap(),
+            Frac::HALF,
+            Frac::ONE,
+        )
+        .unwrap();
+        let c = SourceCollection::from_sources([src]);
+        let domain = domain_with_fresh(&c, 1);
+        let err = check_resilient(&c, &domain, &Budget::with_max_steps(1)).unwrap_err();
+        assert!(matches!(err, CoreError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn confidence_exact_under_unlimited_budget() {
+        let id = example_5_1().as_identity().unwrap();
+        let r = confidence_resilient(&id, 1, &Budget::unlimited(), false).unwrap();
+        assert_eq!(r.engine(), Engine::Exact);
+        let exact = r.exact().expect("exact analysis");
+        assert_eq!(exact.world_count(), &UBig::from(7u64));
+        let conf = r.confidence_of_tuple(&id, &[Value::sym("b")]).unwrap();
+        assert!((conf - 6.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confidence_without_approx_propagates_budget_error() {
+        let id = example_5_1().as_identity().unwrap();
+        let err = confidence_resilient(&id, 1, &Budget::with_max_steps(1), false).unwrap_err();
+        assert!(matches!(err, CoreError::BudgetExceeded { .. }));
+    }
+
+    /// A collection whose exact count explodes: `k` sources with disjoint
+    /// `t`-tuple extensions, zero completeness and soundness 1/4 — each
+    /// class's count ranges freely over `⌈t/4⌉..=t`, so there are roughly
+    /// `(3t/4)^k` feasible count vectors — while the sampler only ticks
+    /// once per sweep.
+    fn wide_slack_collection(k: usize, t: usize) -> IdentityCollection {
+        use crate::descriptor::SourceDescriptor;
+        use pscds_numeric::Frac;
+        let sources: Vec<SourceDescriptor> = (0..k)
+            .map(|i| {
+                let ext: Vec<[Value; 1]> =
+                    (0..t).map(|j| [Value::sym(&format!("x{i}_{j}"))]).collect();
+                SourceDescriptor::identity(
+                    format!("S{i}"),
+                    &format!("V{i}"),
+                    "R",
+                    1,
+                    ext,
+                    Frac::ZERO,
+                    Frac::new(1, 4),
+                )
+                .unwrap()
+            })
+            .collect();
+        SourceCollection::from_sources(sources)
+            .as_identity()
+            .unwrap()
+    }
+
+    #[test]
+    fn confidence_with_approx_falls_back_to_sampler() {
+        let id = wide_slack_collection(8, 9);
+        // ~7^8 ≈ 5.7M feasible vectors: the exact counter trips a
+        // 100k-step budget, while the sampler (one tick per sweep, 21k
+        // sweeps by default) fits comfortably in its renewed allowance.
+        let budget = Budget::with_max_steps(100_000);
+        let r = confidence_resilient(&id, 0, &budget, true).unwrap();
+        let Engine::Sampled { samples } = r.engine() else {
+            panic!("expected the sampled fallback, got {}", r.engine());
+        };
+        assert_eq!(samples, SamplerConfig::default().samples);
+        assert!(r.is_consistent());
+        assert!(r.exact().is_none());
+        // With c = s = 1/4 the constraints leave each class near-free, so
+        // every tuple's confidence is near 1/2.
+        let conf = r.confidence_of_tuple(&id, &[Value::sym("x0_0")]).unwrap();
+        assert!(
+            (0.0..=1.0).contains(&conf),
+            "confidence {conf} out of range"
+        );
+        assert!(
+            (conf - 0.5).abs() < 0.2,
+            "confidence {conf} far from slack prior"
+        );
+    }
+
+    #[test]
+    fn confidence_without_approx_keeps_hard_failure_on_large_instance() {
+        let id = wide_slack_collection(8, 9);
+        let err =
+            confidence_resilient(&id, 0, &Budget::with_max_steps(100_000), false).unwrap_err();
+        assert!(matches!(err, CoreError::BudgetExceeded { .. }));
+    }
+}

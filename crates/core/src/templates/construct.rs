@@ -18,6 +18,7 @@
 use crate::collection::SourceCollection;
 use crate::descriptor::SourceDescriptor;
 use crate::error::CoreError;
+use crate::govern::Budget;
 use crate::templates::tableau::Constraint;
 use crate::templates::template::DatabaseTemplate;
 use pscds_relational::builtins::{is_builtin, Builtin};
@@ -36,20 +37,54 @@ pub const MAX_COMBINATIONS: usize = 1 << 20;
 /// # Errors
 /// Refuses collections whose combination count exceeds
 /// [`MAX_COMBINATIONS`].
-pub fn subset_combinations(collection: &SourceCollection) -> Result<Vec<Vec<Vec<Fact>>>, CoreError> {
+pub fn subset_combinations(
+    collection: &SourceCollection,
+) -> Result<Vec<Vec<Vec<Fact>>>, CoreError> {
+    subset_combinations_budgeted(collection, &Budget::unlimited())
+}
+
+/// Budget-governed variant of [`subset_combinations`]: one budget step per
+/// per-source subset and per cartesian-product entry.
+///
+/// Under an *unlimited* budget the legacy caps apply (20 tuples per
+/// extension, [`MAX_COMBINATIONS`] combinations); an explicitly limited
+/// budget replaces the combination-count cap, and only the `u32`
+/// subset-mask representation limit (31 tuples per extension) remains.
+///
+/// # Errors
+/// [`CoreError::SearchSpaceTooLarge`] as described above, or
+/// [`CoreError::BudgetExceeded`] when the budget runs out mid-enumeration.
+pub fn subset_combinations_budgeted(
+    collection: &SourceCollection,
+    budget: &Budget,
+) -> Result<Vec<Vec<Vec<Fact>>>, CoreError> {
     let mut per_source: Vec<Vec<Vec<Fact>>> = Vec::with_capacity(collection.len());
     let mut total: u128 = 1;
     for source in collection.sources() {
         let v: Vec<&Fact> = source.extension().iter().collect();
         let k = v.len();
-        if k > 20 {
+        if k > 31 {
             return Err(CoreError::SearchSpaceTooLarge {
-                message: format!("extension of {} has {k} tuples; subset enumeration capped at 20", source.name()),
+                message: format!(
+                    "extension of {} has {k} tuples (2^{k} subsets), exceeding the u32 \
+                     subset-mask limit of 31 tuples",
+                    source.name()
+                ),
+            });
+        }
+        if budget.is_unlimited() && k > 20 {
+            return Err(CoreError::SearchSpaceTooLarge {
+                message: format!(
+                    "extension of {} has {k} tuples (2^{k} subsets), exceeding the subset \
+                     enumeration cap of 20 tuples (set a budget to enumerate anyway)",
+                    source.name()
+                ),
             });
         }
         let min_sound = source.min_sound_tuples();
         let mut subsets = Vec::new();
         for mask in 0u32..(1 << k) {
+            budget.tick("templates::construct")?;
             if u64::from(mask.count_ones()) < min_sound {
                 continue;
             }
@@ -61,9 +96,12 @@ pub fn subset_combinations(collection: &SourceCollection) -> Result<Vec<Vec<Vec<
             );
         }
         total = total.saturating_mul(subsets.len() as u128);
-        if total > MAX_COMBINATIONS as u128 {
+        if budget.is_unlimited() && total > MAX_COMBINATIONS as u128 {
             return Err(CoreError::SearchSpaceTooLarge {
-                message: format!("more than {MAX_COMBINATIONS} subset combinations"),
+                message: format!(
+                    "{total} subset combinations exceed the cap of {MAX_COMBINATIONS} \
+                     (set a budget to enumerate anyway)"
+                ),
             });
         }
         per_source.push(subsets);
@@ -74,6 +112,7 @@ pub fn subset_combinations(collection: &SourceCollection) -> Result<Vec<Vec<Vec<
         let mut next = Vec::with_capacity(combos.len() * subsets.len());
         for combo in &combos {
             for subset in &subsets {
+                budget.tick("templates::construct")?;
                 let mut extended = combo.clone();
                 extended.push(subset.clone());
                 next.push(extended);
@@ -89,7 +128,11 @@ pub fn subset_combinations(collection: &SourceCollection) -> Result<Vec<Vec<Vec<
 /// `suffix`. Ground built-ins are evaluated away. Returns `None` when the
 /// tuple cannot be produced by the view at all (head-constant mismatch or
 /// a false ground built-in) — such a combination represents no database.
-fn instantiate_for_tuple(source: &SourceDescriptor, fact: &Fact, suffix: &str) -> Result<Option<Vec<Atom>>, CoreError> {
+fn instantiate_for_tuple(
+    source: &SourceDescriptor,
+    fact: &Fact,
+    suffix: &str,
+) -> Result<Option<Vec<Atom>>, CoreError> {
     let renamed = source.view().rename_vars(suffix);
     let mut sigma = Valuation::new();
     for (term, &val) in renamed.head().terms.iter().zip(fact.args.iter()) {
@@ -195,8 +238,22 @@ pub fn template_for(
 /// # Errors
 /// As [`subset_combinations`] and [`template_for`].
 pub fn templates_for(collection: &SourceCollection) -> Result<Vec<DatabaseTemplate>, CoreError> {
+    templates_for_budgeted(collection, &Budget::unlimited())
+}
+
+/// Budget-governed variant of [`templates_for`]: one budget step per
+/// combination, on top of the enumeration's own ticks.
+///
+/// # Errors
+/// As [`templates_for`], plus [`CoreError::BudgetExceeded`] when the
+/// budget runs out mid-construction.
+pub fn templates_for_budgeted(
+    collection: &SourceCollection,
+    budget: &Budget,
+) -> Result<Vec<DatabaseTemplate>, CoreError> {
     let mut out = Vec::new();
-    for combo in subset_combinations(collection)? {
+    for combo in subset_combinations_budgeted(collection, budget)? {
+        budget.tick("templates::construct")?;
         if let Some(t) = template_for(collection, &combo)? {
             out.push(t);
         }
@@ -283,7 +340,11 @@ mod tests {
     fn theorem_4_1_on_example_5_1() {
         for m in 0..3usize {
             let report = verify_theorem_4_1(&example_5_1(), &example_5_1_domain(m)).unwrap();
-            assert!(report.holds, "m = {m}: poss {} vs rep {}", report.poss_count, report.rep_union_count);
+            assert!(
+                report.holds,
+                "m = {m}: poss {} vs rep {}",
+                report.poss_count, report.rep_union_count
+            );
             assert_eq!(report.poss_count, 2 * m + 5);
         }
     }
@@ -303,7 +364,11 @@ mod tests {
         let c = SourceCollection::from_sources([src]);
         let domain = [Value::sym("a"), Value::sym("z")];
         let report = verify_theorem_4_1(&c, &domain).unwrap();
-        assert!(report.holds, "poss {} vs rep {}", report.poss_count, report.rep_union_count);
+        assert!(
+            report.holds,
+            "poss {} vs rep {}",
+            report.poss_count, report.rep_union_count
+        );
         assert!(report.poss_count > 0);
     }
 

@@ -25,6 +25,9 @@ pub mod construct;
 pub mod tableau;
 pub mod template;
 
-pub use construct::{subset_combinations, template_for, templates_for, verify_theorem_4_1};
+pub use construct::{
+    subset_combinations, subset_combinations_budgeted, template_for, templates_for,
+    templates_for_budgeted, verify_theorem_4_1,
+};
 pub use tableau::Constraint;
 pub use template::DatabaseTemplate;

@@ -24,7 +24,10 @@ impl Constraint {
     /// Creates a constraint.
     #[must_use]
     pub fn new(tableau: Vec<Atom>, substitutions: Vec<Substitution>) -> Self {
-        Constraint { tableau, substitutions }
+        Constraint {
+            tableau,
+            substitutions,
+        }
     }
 
     /// Checks satisfaction against a database: every embedding of
@@ -35,7 +38,11 @@ impl Constraint {
     pub fn satisfied_by(&self, db: &Database) -> Result<bool, CoreError> {
         let mut ok = true;
         for_each_embedding(&self.tableau, db, |sigma| {
-            if self.substitutions.iter().any(|theta| sigma.compatible_with(theta)) {
+            if self
+                .substitutions
+                .iter()
+                .any(|theta| sigma.compatible_with(theta))
+            {
                 true // keep searching for a violating embedding
             } else {
                 ok = false;
@@ -112,8 +119,14 @@ mod tests {
     fn variable_to_variable_substitution() {
         // ({R(x), R(y)}, {x/y}): any two R atoms must be equal, i.e. |R| ≤ 1.
         let c = Constraint::new(
-            vec![Atom::new("R", [Term::var("x")]), Atom::new("R", [Term::var("y")])],
-            vec![Substitution::from_bindings([(Var::new("x"), Term::var("y"))])],
+            vec![
+                Atom::new("R", [Term::var("x")]),
+                Atom::new("R", [Term::var("y")]),
+            ],
+            vec![Substitution::from_bindings([(
+                Var::new("x"),
+                Term::var("y"),
+            )])],
         );
         assert!(c.satisfied_by(&db("R(a)")).unwrap());
         assert!(!c.satisfied_by(&db("R(a). R(b)")).unwrap());

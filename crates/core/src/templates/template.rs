@@ -20,7 +20,10 @@ impl DatabaseTemplate {
     /// Creates a template.
     #[must_use]
     pub fn new(tableaux: Vec<Vec<Atom>>, constraints: Vec<Constraint>) -> Self {
-        DatabaseTemplate { tableaux, constraints }
+        DatabaseTemplate {
+            tableaux,
+            constraints,
+        }
     }
 
     /// Membership in `rep(T)` (Definition 4.1): some tableau embeds into
@@ -146,8 +149,14 @@ mod tests {
         let template = DatabaseTemplate::new(
             vec![vec![Atom::new("R", [Term::var("x")])]],
             vec![Constraint::new(
-                vec![Atom::new("R", [Term::var("x")]), Atom::new("R", [Term::var("y")])],
-                vec![Substitution::from_bindings([(Var::new("x"), Term::var("y"))])],
+                vec![
+                    Atom::new("R", [Term::var("x")]),
+                    Atom::new("R", [Term::var("y")]),
+                ],
+                vec![Substitution::from_bindings([(
+                    Var::new("x"),
+                    Term::var("y"),
+                )])],
             )],
         );
         let schema = pscds_relational::GlobalSchema::from_pairs([("R", 1)]).unwrap();

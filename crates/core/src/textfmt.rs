@@ -100,13 +100,15 @@ pub fn parse_collection(text: &str) -> Result<SourceCollection, CoreError> {
                 });
             }
             (None, other) => {
-                return Err(parse_error(line_no, format!("unexpected {other:?} outside a source block")));
+                return Err(parse_error(
+                    line_no,
+                    format!("unexpected {other:?} outside a source block"),
+                ));
             }
             (Some(partial), "}") => {
-                let view = partial
-                    .view
-                    .take()
-                    .ok_or_else(|| parse_error(line_no, format!("source {} has no `view:`", partial.name)))?;
+                let view = partial.view.take().ok_or_else(|| {
+                    parse_error(line_no, format!("source {} has no `view:`", partial.name))
+                })?;
                 let descriptor = SourceDescriptor::new(
                     partial.name.clone(),
                     view,
@@ -119,7 +121,10 @@ pub fn parse_collection(text: &str) -> Result<SourceCollection, CoreError> {
             }
             (Some(partial), l) => {
                 let Some((key, value)) = l.split_once(':') else {
-                    return Err(parse_error(line_no, format!("expected `key: value`, found {l:?}")));
+                    return Err(parse_error(
+                        line_no,
+                        format!("expected `key: value`, found {l:?}"),
+                    ));
                 };
                 let value = value.trim();
                 match key.trim() {
@@ -270,11 +275,23 @@ source S {
             ("view: V(x) <- R(x)", "outside a source block"),
             ("source {\n}", "name missing"),
             ("source S {\n}", "no `view:`"),
-            ("source S {\n view: V(x) <- R(x)\n view: V(x) <- R(x)\n}", "duplicate"),
-            ("source S {\n view: V(x) <- R(x)\n wibble: 3\n}", "unknown key"),
-            ("source S {\n view: V(x) <- R(x)\n completeness: 5/4\n}", "exceeds 1"),
+            (
+                "source S {\n view: V(x) <- R(x)\n view: V(x) <- R(x)\n}",
+                "duplicate",
+            ),
+            (
+                "source S {\n view: V(x) <- R(x)\n wibble: 3\n}",
+                "unknown key",
+            ),
+            (
+                "source S {\n view: V(x) <- R(x)\n completeness: 5/4\n}",
+                "exceeds 1",
+            ),
             ("source S {\n view: V(x) <- R(x)", "missing its closing"),
-            ("source S {\n view: V(x) <- R(x)\n soundness: x\n}", "invalid fraction"),
+            (
+                "source S {\n view: V(x) <- R(x)\n soundness: x\n}",
+                "invalid fraction",
+            ),
         ] {
             let err = parse_collection(text).unwrap_err();
             assert!(

@@ -1,0 +1,167 @@
+//! Integration tests for the resource governor: unlimited budgets are
+//! behaviour-preserving, limited budgets interrupt promptly, and the
+//! cancellation flag stops a search mid-enumeration.
+
+use pscds_core::confidence::{ConfidenceAnalysis, PossibleWorlds};
+use pscds_core::consensus::{maximal_consistent_subsets, maximal_consistent_subsets_budgeted};
+use pscds_core::consistency::{decide_exhaustive, decide_exhaustive_budgeted};
+use pscds_core::descriptor::SourceDescriptor;
+use pscds_core::govern::Budget;
+use pscds_core::paper::{example_5_1, example_5_1_domain};
+use pscds_core::{CoreError, SourceCollection};
+use pscds_numeric::Frac;
+use pscds_relational::parser::parse_rule;
+use pscds_relational::Value;
+use std::time::{Duration, Instant};
+
+/// `k` identity sources with disjoint `t`-tuple extensions, zero
+/// completeness and soundness 1/4: each signature class's count ranges
+/// freely over `⌈t/4⌉..=t`, so exact counting faces ~`(3t/4)^k` feasible
+/// vectors. The go-to "too big to finish" instance.
+fn wide_slack_collection(k: usize, t: usize) -> SourceCollection {
+    let sources: Vec<SourceDescriptor> = (0..k)
+        .map(|i| {
+            let ext: Vec<[Value; 1]> = (0..t).map(|j| [Value::sym(&format!("x{i}_{j}"))]).collect();
+            SourceDescriptor::identity(
+                format!("S{i}"),
+                &format!("V{i}"),
+                "R",
+                1,
+                ext,
+                Frac::ZERO,
+                Frac::new(1, 4),
+            )
+            .unwrap()
+        })
+        .collect();
+    SourceCollection::from_sources(sources)
+}
+
+/// `n` pairwise-contradictory exact sources (each claims `R = {x_i}`):
+/// consensus must consider every subset, and only singletons survive.
+fn contradictory_collection(n: usize) -> SourceCollection {
+    let sources: Vec<SourceDescriptor> = (0..n)
+        .map(|i| {
+            SourceDescriptor::identity(
+                format!("S{i}"),
+                &format!("V{i}"),
+                "R",
+                1,
+                [[Value::sym(&format!("x{i}"))]],
+                Frac::ONE,
+                Frac::ONE,
+            )
+            .unwrap()
+        })
+        .collect();
+    SourceCollection::from_sources(sources)
+}
+
+#[test]
+fn unlimited_budget_preserves_example_5_1_pipeline() {
+    let collection = example_5_1();
+    let unlimited = Budget::unlimited();
+
+    // Consistency: same witness either way.
+    let domain = example_5_1_domain(1);
+    let legacy = decide_exhaustive(&collection, &domain).unwrap();
+    let governed = decide_exhaustive_budgeted(&collection, &domain, &unlimited).unwrap();
+    assert_eq!(legacy, governed);
+    assert!(governed.is_some());
+
+    // Confidence: same |poss(S)| and per-tuple values.
+    let identity = collection.as_identity().unwrap();
+    let legacy = ConfidenceAnalysis::analyze(&identity, 1);
+    let governed = ConfidenceAnalysis::analyze_budgeted(&identity, 1, &unlimited).unwrap();
+    assert_eq!(legacy.world_count(), governed.world_count());
+    for tuple in identity.all_tuples() {
+        assert_eq!(
+            legacy.confidence_of_tuple(&identity, &tuple).unwrap(),
+            governed.confidence_of_tuple(&identity, &tuple).unwrap(),
+        );
+    }
+
+    // Consensus: identical reports.
+    let legacy = maximal_consistent_subsets(&collection, 0).unwrap();
+    let governed = maximal_consistent_subsets_budgeted(&collection, 0, &unlimited).unwrap();
+    assert_eq!(legacy, governed);
+
+    // Answers: identical certain/possible sets.
+    let query = parse_rule("Ans(x) <- R(x)").unwrap();
+    let answer_domain: Vec<Value> = ["a", "b", "c"].iter().map(|s| Value::sym(s)).collect();
+    let legacy = PossibleWorlds::enumerate(&collection, &answer_domain).unwrap();
+    let governed =
+        PossibleWorlds::enumerate_budgeted(&collection, &answer_domain, &unlimited).unwrap();
+    assert_eq!(legacy.count(), governed.count());
+    assert_eq!(
+        legacy.certain_answer_cq(&query).unwrap(),
+        governed
+            .certain_answer_cq_budgeted(&query, &unlimited)
+            .unwrap()
+    );
+    assert_eq!(
+        legacy.possible_answer_cq(&query).unwrap(),
+        governed
+            .possible_answer_cq_budgeted(&query, &unlimited)
+            .unwrap()
+    );
+}
+
+#[test]
+fn deadline_interrupts_a_huge_instance_promptly() {
+    // ~7^10 ≈ 282M feasible count vectors: exact counting would run for
+    // minutes. A 250ms deadline must surface BudgetExceeded within about
+    // twice the allotment (the slow-path check runs every
+    // CHECK_INTERVAL = 1024 cheap steps, so the overrun is tiny).
+    let identity = wide_slack_collection(10, 9).as_identity().unwrap();
+    let allotment = Duration::from_millis(250);
+    let started = Instant::now();
+    let err = ConfidenceAnalysis::analyze_budgeted(&identity, 0, &Budget::with_deadline(allotment))
+        .unwrap_err();
+    let elapsed = started.elapsed();
+    let CoreError::BudgetExceeded { phase, steps, .. } = err else {
+        panic!("expected BudgetExceeded, got {err:?}");
+    };
+    assert!(!phase.is_empty());
+    assert!(steps > 0);
+    assert!(
+        elapsed < 2 * allotment,
+        "took {elapsed:?} to notice a {allotment:?} deadline"
+    );
+}
+
+#[test]
+fn step_allowance_interrupts_a_huge_instance_deterministically() {
+    let identity = wide_slack_collection(10, 9).as_identity().unwrap();
+    let budget = Budget::with_max_steps(50_000);
+    let err = ConfidenceAnalysis::analyze_budgeted(&identity, 0, &budget).unwrap_err();
+    let CoreError::BudgetExceeded { steps, .. } = err else {
+        panic!("expected BudgetExceeded, got {err:?}");
+    };
+    assert_eq!(steps, 50_001, "the step allowance is enforced exactly");
+}
+
+#[test]
+fn cancel_flag_stops_consensus_mid_enumeration() {
+    // 12 sources → 4096 candidate subsets plus solver work: far more than
+    // one CHECK_INTERVAL of ticks. With the flag pre-tripped, the search
+    // must abort at the first slow-path check instead of enumerating.
+    let collection = contradictory_collection(12);
+    let budget = Budget::unlimited();
+    budget
+        .cancel_handle()
+        .store(true, std::sync::atomic::Ordering::Relaxed);
+    let err = maximal_consistent_subsets_budgeted(&collection, 0, &budget).unwrap_err();
+    let CoreError::BudgetExceeded { phase, steps, .. } = err else {
+        panic!("expected BudgetExceeded, got {err:?}");
+    };
+    assert!(!phase.is_empty());
+    assert!(
+        steps <= 2 * Budget::CHECK_INTERVAL,
+        "cancellation should trip at the first slow-path check, not after {steps} steps"
+    );
+    // Sanity: without the flag the same search completes and keeps only
+    // the singleton subsets.
+    let report = maximal_consistent_subsets_budgeted(&collection, 0, &Budget::unlimited()).unwrap();
+    assert_eq!(report.maximal_subsets.len(), 12);
+}

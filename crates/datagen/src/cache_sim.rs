@@ -93,7 +93,10 @@ impl CacheSimHistory {
         for (i, &lag) in lags.iter().enumerate() {
             if lag >= self.snapshots.len() {
                 return Err(CoreError::BadDomain {
-                    message: format!("lag {lag} exceeds simulated history of {} epochs", self.snapshots.len()),
+                    message: format!(
+                        "lag {lag} exceeds simulated history of {} epochs",
+                        self.snapshots.len()
+                    ),
                 });
             }
             let held = &self.snapshots[self.snapshots.len() - 1 - lag];
@@ -165,7 +168,10 @@ mod tests {
         let mut old_worse = 0;
         let mut trials = 0;
         for seed in 0..10 {
-            let h = simulate(&CacheSimConfig { seed, ..Default::default() });
+            let h = simulate(&CacheSimConfig {
+                seed,
+                ..Default::default()
+            });
             let (c0, s0) = h.measures_at_lag(0);
             let (c5, s5) = h.measures_at_lag(5);
             assert!(c0 >= c5, "seed {seed}");
@@ -175,7 +181,10 @@ mod tests {
             }
             trials += 1;
         }
-        assert!(old_worse * 2 > trials, "churn must actually degrade stale caches");
+        assert!(
+            old_worse * 2 > trials,
+            "churn must actually degrade stale caches"
+        );
     }
 
     #[test]

@@ -141,12 +141,15 @@ pub fn generate(config: &ClimateConfig) -> Result<ClimateScenario, CoreError> {
 
     // S0: the exact station directory.
     let station_view = parse_rule("V0(s, lat, lon, c) <- Station(s, lat, lon, c)")?;
-    let station_ext: Vec<Fact> = station_view
-        .evaluate(&world)?
-        .into_iter()
-        .collect();
+    let station_ext: Vec<Fact> = station_view.evaluate(&world)?.into_iter().collect();
     let intended = station_ext.len() as u64;
-    sources.push(SourceDescriptor::new("S0", station_view, station_ext, Frac::ONE, Frac::ONE)?);
+    sources.push(SourceDescriptor::new(
+        "S0",
+        station_view,
+        station_ext,
+        Frac::ONE,
+        Frac::ONE,
+    )?);
     reports.push(InjectionReport {
         source: "S0".into(),
         intended,
@@ -180,16 +183,33 @@ pub fn generate(config: &ClimateConfig) -> Result<ClimateScenario, CoreError> {
                 // it can't collide with any true tuple.
                 let bad = args[3].as_int().expect("values are ints") + 1_000;
                 args[3] = Value::int(bad);
-                extension.push(Fact { relation: fact.relation, args });
+                extension.push(Fact {
+                    relation: fact.relation,
+                    args,
+                });
             } else {
                 extension.push(fact);
             }
         }
         let kept_correct = intended - dropped - corrupted;
         let ext_size = extension.len() as u64;
-        let completeness = if intended == 0 { Frac::ONE } else { Frac::new(kept_correct, intended) };
-        let soundness = if ext_size == 0 { Frac::ONE } else { Frac::new(kept_correct, ext_size) };
-        sources.push(SourceDescriptor::new(&name, view, extension, completeness, soundness)?);
+        let completeness = if intended == 0 {
+            Frac::ONE
+        } else {
+            Frac::new(kept_correct, intended)
+        };
+        let soundness = if ext_size == 0 {
+            Frac::ONE
+        } else {
+            Frac::new(kept_correct, ext_size)
+        };
+        sources.push(SourceDescriptor::new(
+            &name,
+            view,
+            extension,
+            completeness,
+            soundness,
+        )?);
         reports.push(InjectionReport {
             source: name,
             intended,

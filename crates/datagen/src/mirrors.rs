@@ -126,7 +126,10 @@ mod tests {
     #[test]
     fn origin_is_possible_world() {
         for seed in 0..10 {
-            let cfg = MirrorConfig { seed, ..Default::default() };
+            let cfg = MirrorConfig {
+                seed,
+                ..Default::default()
+            };
             let s = generate(&cfg).unwrap();
             let world = Database::from_facts(s.origin.iter().map(|&o| Fact::new("Object", [o])));
             assert!(in_poss(&world, &s.collection).unwrap(), "seed {seed}");
@@ -167,7 +170,10 @@ mod tests {
             assert_eq!(src.completeness(), Frac::ONE);
             assert_eq!(
                 src.soundness(),
-                Frac::new(cfg.n_objects as u64, (cfg.n_objects + cfg.n_obsolete) as u64)
+                Frac::new(
+                    cfg.n_objects as u64,
+                    (cfg.n_objects + cfg.n_obsolete) as u64
+                )
             );
         }
     }
@@ -175,7 +181,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let cfg = MirrorConfig::default();
-        assert_eq!(generate(&cfg).unwrap().collection, generate(&cfg).unwrap().collection);
+        assert_eq!(
+            generate(&cfg).unwrap().collection,
+            generate(&cfg).unwrap().collection
+        );
     }
 
     #[test]

@@ -90,7 +90,10 @@ pub fn generate(config: &RandomIdentityConfig) -> Result<RandomIdentityScenario,
             .collect();
         let (c, s) = if config.planted {
             // Measured against the planted world: D = world, φ(D) = world.
-            let inter = extension.iter().filter(|v| planted_world.contains(v)).count() as u64;
+            let inter = extension
+                .iter()
+                .filter(|v| planted_world.contains(v))
+                .count() as u64;
             let c = if planted_world.is_empty() {
                 Frac::ONE
             } else {
@@ -136,15 +139,14 @@ mod tests {
     #[test]
     fn planted_instances_are_consistent() {
         for seed in 0..20 {
-            let cfg = RandomIdentityConfig { seed, ..Default::default() };
+            let cfg = RandomIdentityConfig {
+                seed,
+                ..Default::default()
+            };
             let scenario = generate(&cfg).unwrap();
             // The planted world is a witness.
-            let world = Database::from_facts(
-                scenario
-                    .planted_world
-                    .iter()
-                    .map(|&v| Fact::new("R", [v])),
-            );
+            let world =
+                Database::from_facts(scenario.planted_world.iter().map(|&v| Fact::new("R", [v])));
             assert!(
                 in_poss(&world, &scenario.collection).unwrap(),
                 "seed {seed}: planted world must satisfy all bounds"

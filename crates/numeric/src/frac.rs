@@ -37,7 +37,10 @@ impl Frac {
             return Frac::ZERO;
         }
         let g = gcd_u64(num, den);
-        Frac { num: num / g, den: den / g }
+        Frac {
+            num: num / g,
+            den: den / g,
+        }
     }
 
     /// Numerator of the reduced fraction.
@@ -198,7 +201,9 @@ impl std::str::FromStr for Frac {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let s = s.trim();
         if s.is_empty() {
-            return Err(ParseFracError { message: "empty input".into() });
+            return Err(ParseFracError {
+                message: "empty input".into(),
+            });
         }
         if let Some((num, den)) = s.split_once('/') {
             let num: u64 = num.trim().parse().map_err(|_| ParseFracError {
@@ -208,7 +213,9 @@ impl std::str::FromStr for Frac {
                 message: format!("bad denominator {den:?}"),
             })?;
             if den == 0 {
-                return Err(ParseFracError { message: "zero denominator".into() });
+                return Err(ParseFracError {
+                    message: "zero denominator".into(),
+                });
             }
             return Ok(Frac::new(num, den));
         }
@@ -221,7 +228,9 @@ impl std::str::FromStr for Frac {
                 })?
             };
             if frac.len() > 18 {
-                return Err(ParseFracError { message: "more than 18 decimal places".into() });
+                return Err(ParseFracError {
+                    message: "more than 18 decimal places".into(),
+                });
             }
             let scale = 10u64.pow(frac.len() as u32);
             let frac_digits: u64 = if frac.is_empty() {
@@ -234,7 +243,9 @@ impl std::str::FromStr for Frac {
             let num = int
                 .checked_mul(scale)
                 .and_then(|v| v.checked_add(frac_digits))
-                .ok_or_else(|| ParseFracError { message: "value too large".into() })?;
+                .ok_or_else(|| ParseFracError {
+                    message: "value too large".into(),
+                })?;
             return Ok(Frac::new(num, scale));
         }
         let int: u64 = s.parse().map_err(|_| ParseFracError {
@@ -246,7 +257,8 @@ impl std::str::FromStr for Frac {
 
 impl Ord for Frac {
     fn cmp(&self, other: &Self) -> Ordering {
-        (u128::from(self.num) * u128::from(other.den)).cmp(&(u128::from(other.num) * u128::from(self.den)))
+        (u128::from(self.num) * u128::from(other.den))
+            .cmp(&(u128::from(other.num) * u128::from(self.den)))
     }
 }
 
@@ -433,14 +445,28 @@ mod parse_tests {
 
     #[test]
     fn rejects_garbage() {
-        for bad in ["", "a/b", "1/0", "-1/2", "1.2.3", "1/2/3", "0.1234567890123456789"] {
+        for bad in [
+            "",
+            "a/b",
+            "1/0",
+            "-1/2",
+            "1.2.3",
+            "1/2/3",
+            "0.1234567890123456789",
+        ] {
             assert!(bad.parse::<Frac>().is_err(), "{bad:?} should fail");
         }
     }
 
     #[test]
     fn display_parse_round_trip() {
-        for f in [Frac::ZERO, Frac::HALF, Frac::ONE, Frac::new(7, 13), Frac::new(99, 100)] {
+        for f in [
+            Frac::ZERO,
+            Frac::HALF,
+            Frac::ONE,
+            Frac::new(7, 13),
+            Frac::new(99, 100),
+        ] {
             assert_eq!(f.to_string().parse::<Frac>().unwrap(), f);
         }
     }

@@ -99,12 +99,22 @@ mod tests {
     fn gcd_u128_basics() {
         assert_eq!(gcd_u128(0, 0), 0);
         assert_eq!(gcd_u128(1 << 100, 1 << 60), 1 << 60);
-        assert_eq!(gcd_u128(u128::from(u64::MAX) * 6, u128::from(u64::MAX) * 9), u128::from(u64::MAX) * 3);
+        assert_eq!(
+            gcd_u128(u128::from(u64::MAX) * 6, u128::from(u64::MAX) * 9),
+            u128::from(u64::MAX) * 3
+        );
     }
 
     #[test]
     fn gcd_ubig_matches_u64() {
-        for (a, b) in [(0u64, 0u64), (0, 9), (12, 18), (270, 192), (97, 89), (1 << 50, 3 << 20)] {
+        for (a, b) in [
+            (0u64, 0u64),
+            (0, 9),
+            (12, 18),
+            (270, 192),
+            (97, 89),
+            (1 << 50, 3 << 20),
+        ] {
             let g = gcd_ubig(&UBig::from(a), &UBig::from(b));
             assert_eq!(g, UBig::from(gcd_u64(a, b)), "gcd({a},{b})");
         }

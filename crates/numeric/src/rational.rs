@@ -22,13 +22,19 @@ impl Rational {
     /// The value `0`.
     #[must_use]
     pub fn zero() -> Self {
-        Rational { num: UBig::zero(), den: UBig::one() }
+        Rational {
+            num: UBig::zero(),
+            den: UBig::one(),
+        }
     }
 
     /// The value `1`.
     #[must_use]
     pub fn one() -> Self {
-        Rational { num: UBig::one(), den: UBig::one() }
+        Rational {
+            num: UBig::one(),
+            den: UBig::one(),
+        }
     }
 
     /// Creates `num/den`, reduced.
@@ -45,7 +51,10 @@ impl Rational {
         if g.is_one() {
             Rational { num, den }
         } else {
-            Rational { num: num.divrem(&g).0, den: den.divrem(&g).0 }
+            Rational {
+                num: num.divrem(&g).0,
+                den: den.divrem(&g).0,
+            }
         }
     }
 
@@ -205,7 +214,10 @@ impl fmt::Debug for Rational {
 
 impl From<u64> for Rational {
     fn from(v: u64) -> Self {
-        Rational { num: UBig::from(v), den: UBig::one() }
+        Rational {
+            num: UBig::from(v),
+            den: UBig::one(),
+        }
     }
 }
 

@@ -464,7 +464,9 @@ impl FromStr for UBig {
         }
         let mut acc = UBig::zero();
         for ch in s.chars() {
-            let d = ch.to_digit(10).ok_or(ParseUBigError { bad_char: Some(ch) })?;
+            let d = ch
+                .to_digit(10)
+                .ok_or(ParseUBigError { bad_char: Some(ch) })?;
             acc = acc.mul_u64(10);
             acc.add_assign(&UBig::from(u64::from(d)));
         }
@@ -502,7 +504,14 @@ mod tests {
 
     #[test]
     fn display_round_trip() {
-        for s in ["0", "1", "42", "18446744073709551616", "340282366920938463463374607431768211456", "99999999999999999999999999999999999999999"] {
+        for s in [
+            "0",
+            "1",
+            "42",
+            "18446744073709551616",
+            "340282366920938463463374607431768211456",
+            "99999999999999999999999999999999999999999",
+        ] {
             let v: UBig = s.parse().unwrap();
             assert_eq!(v.to_string(), s);
         }
@@ -546,9 +555,7 @@ mod tests {
         // (2^64 - 1)^2 = 2^128 - 2^65 + 1
         let m = big(u128::from(u64::MAX));
         let sq = m.mul(&m);
-        let expect = big(u128::MAX)
-            .checked_sub(&big((1u128 << 65) - 2))
-            .unwrap();
+        let expect = big(u128::MAX).checked_sub(&big((1u128 << 65) - 2)).unwrap();
         assert_eq!(sq, expect);
     }
 

@@ -141,7 +141,9 @@ fn shl_shr_stress() {
 
 #[test]
 fn divrem_against_reconstruction_large() {
-    let a: UBig = "98765432109876543210987654321098765432109876543210".parse().unwrap();
+    let a: UBig = "98765432109876543210987654321098765432109876543210"
+        .parse()
+        .unwrap();
     let b: UBig = "12345678901234567890123".parse().unwrap();
     let (q, r) = a.divrem(&b);
     assert!(r < b);

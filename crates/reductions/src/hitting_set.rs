@@ -60,7 +60,14 @@ impl fmt::Display for HittingSetInstance {
             if i > 0 {
                 f.write_str(", ")?;
             }
-            write!(f, "{{{}}}", a.iter().map(ToString::to_string).collect::<Vec<_>>().join(","))?;
+            write!(
+                f,
+                "{{{}}}",
+                a.iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )?;
         }
         f.write_str("])")
     }
@@ -184,10 +191,7 @@ mod tests {
 
     #[test]
     fn shared_element_wins() {
-        let inst = HittingSetInstance::new(
-            vec![set(&[1, 9]), set(&[2, 9]), set(&[3, 9])],
-            1,
-        );
+        let inst = HittingSetInstance::new(vec![set(&[1, 9]), set(&[2, 9]), set(&[3, 9])], 1);
         let sol = solve_hitting_set(&inst).unwrap();
         assert_eq!(sol, set(&[9]));
     }
@@ -216,10 +220,7 @@ mod tests {
 
     #[test]
     fn greedy_always_hits() {
-        let inst = HittingSetInstance::new(
-            vec![set(&[1, 2]), set(&[2, 3]), set(&[4])],
-            3,
-        );
+        let inst = HittingSetInstance::new(vec![set(&[1, 2]), set(&[2, 3]), set(&[4])], 3);
         let sol = greedy_hitting_set(&inst).unwrap();
         for a in &inst.sets {
             assert!(a.iter().any(|e| sol.contains(e)));

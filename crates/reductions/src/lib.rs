@@ -27,4 +27,6 @@ pub mod to_consistency;
 
 pub use hitting_set::{greedy_hitting_set, solve_hitting_set, HittingSetInstance};
 pub use hs_star::{hs_to_hs_star, lift_hs_solution, project_hs_star_solution};
-pub use to_consistency::{consistency_witness_to_hitting_set, hs_star_to_consistency, hitting_set_to_database};
+pub use to_consistency::{
+    consistency_witness_to_hitting_set, hitting_set_to_database, hs_star_to_consistency,
+};

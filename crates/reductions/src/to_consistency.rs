@@ -29,7 +29,9 @@ use std::collections::BTreeSet;
 /// # Errors
 /// Fails for instances with an empty set (the paper's `s_i = 1/|A_i|` is
 /// undefined — and such instances are trivially "no") or `K = 0`.
-pub fn hs_star_to_consistency(instance: &HittingSetInstance) -> Result<SourceCollection, CoreError> {
+pub fn hs_star_to_consistency(
+    instance: &HittingSetInstance,
+) -> Result<SourceCollection, CoreError> {
     if instance.k == 0 {
         return Err(CoreError::BadDomain {
             message: "the reduction needs K ≥ 1 (c_i = 1/K)".into(),
@@ -39,7 +41,10 @@ pub fn hs_star_to_consistency(instance: &HittingSetInstance) -> Result<SourceCol
     for (i, a_i) in instance.sets.iter().enumerate() {
         if a_i.is_empty() {
             return Err(CoreError::BadDomain {
-                message: format!("set A_{} is empty: s_i = 1/|A_i| is undefined (instance is trivially NO)", i + 1),
+                message: format!(
+                    "set A_{} is empty: s_i = 1/|A_i| is undefined (instance is trivially NO)",
+                    i + 1
+                ),
             });
         }
         let tuples: Vec<[Value; 1]> = a_i.iter().map(|&e| [Value::int(i64::from(e))]).collect();
@@ -85,9 +90,9 @@ mod tests {
     use super::*;
     use crate::hitting_set::solve_hitting_set;
     use crate::hs_star::hs_to_hs_star;
+    use proptest::prelude::*;
     use pscds_core::consistency::{decide_identity, IdentityConsistency};
     use pscds_core::measures::in_poss;
-    use proptest::prelude::*;
 
     fn set(elems: &[u32]) -> BTreeSet<u32> {
         elems.iter().copied().collect()

@@ -183,7 +183,9 @@ impl RaExpr {
                 if let Some(max) = pred.max_col() {
                     if max >= arity {
                         return Err(RelError::Algebra {
-                            message: format!("selection references column {max}, input arity {arity}"),
+                            message: format!(
+                                "selection references column {max}, input arity {arity}"
+                            ),
                         });
                     }
                 }
@@ -194,7 +196,9 @@ impl RaExpr {
                 for &c in cols {
                     if c >= arity {
                         return Err(RelError::Algebra {
-                            message: format!("projection references column {c}, input arity {arity}"),
+                            message: format!(
+                                "projection references column {c}, input arity {arity}"
+                            ),
                         });
                     }
                 }
@@ -219,7 +223,11 @@ impl RaExpr {
     /// # Errors
     /// Fails on type errors (see [`RaExpr::arity`]); missing base relations
     /// evaluate to the empty set only if declared in `schema`.
-    pub fn eval(&self, db: &Database, schema: &GlobalSchema) -> Result<BTreeSet<Vec<Value>>, RelError> {
+    pub fn eval(
+        &self,
+        db: &Database,
+        schema: &GlobalSchema,
+    ) -> Result<BTreeSet<Vec<Value>>, RelError> {
         // Type-check once up front so evaluation can't fail midway.
         self.arity(schema)?;
         self.eval_unchecked(db)
@@ -391,18 +399,31 @@ mod tests {
     fn predicate_logic() {
         let t = vec![Value::int(5), Value::sym("x")];
         let p = Predicate::And(
-            Box::new(Predicate::Cmp(Operand::Col(0), CmpOp::Gt, Operand::Const(Value::int(3)))),
-            Box::new(Predicate::Not(Box::new(Predicate::col_eq(1, Value::sym("y"))))),
+            Box::new(Predicate::Cmp(
+                Operand::Col(0),
+                CmpOp::Gt,
+                Operand::Const(Value::int(3)),
+            )),
+            Box::new(Predicate::Not(Box::new(Predicate::col_eq(
+                1,
+                Value::sym("y"),
+            )))),
         );
         assert!(p.eval(&t).unwrap());
-        let q = Predicate::Or(Box::new(Predicate::True), Box::new(Predicate::col_eq(9, Value::int(0))));
+        let q = Predicate::Or(
+            Box::new(Predicate::True),
+            Box::new(Predicate::col_eq(9, Value::int(0))),
+        );
         // Short-circuit: the out-of-range branch is never evaluated.
         assert!(q.eval(&t).unwrap());
     }
 
     #[test]
     fn base_relations_collected() {
-        let e = RaExpr::rel("R").product(RaExpr::rel("S")).select(Predicate::True).project([0]);
+        let e = RaExpr::rel("R")
+            .product(RaExpr::rel("S"))
+            .select(Predicate::True)
+            .project([0]);
         let names: Vec<_> = e.base_relations().into_iter().map(|r| r.as_str()).collect();
         assert_eq!(names, vec!["R", "S"]);
     }
@@ -414,6 +435,9 @@ mod tests {
         let p2 = Predicate::Cmp(Operand::Col(1), CmpOp::Lt, Operand::Const(Value::int(3)));
         let nested = RaExpr::rel("R").select(p1.clone()).select(p2.clone());
         let conj = RaExpr::rel("R").select(Predicate::And(Box::new(p1), Box::new(p2)));
-        assert_eq!(nested.eval(&db(), &sch).unwrap(), conj.eval(&db(), &sch).unwrap());
+        assert_eq!(
+            nested.eval(&db(), &sch).unwrap(),
+            conj.eval(&db(), &sch).unwrap()
+        );
     }
 }

@@ -19,7 +19,10 @@ pub struct Atom {
 impl Atom {
     /// Creates an atom.
     #[must_use]
-    pub fn new<N: Into<RelName>, T: Into<Term>, I: IntoIterator<Item = T>>(relation: N, terms: I) -> Atom {
+    pub fn new<N: Into<RelName>, T: Into<Term>, I: IntoIterator<Item = T>>(
+        relation: N,
+        terms: I,
+    ) -> Atom {
         Atom {
             relation: relation.into(),
             terms: terms.into_iter().map(Into::into).collect(),
@@ -61,7 +64,10 @@ impl Atom {
             .iter()
             .map(|&t| sigma.apply(t))
             .collect::<Option<Vec<_>>>()?;
-        Some(Fact { relation: self.relation, args })
+        Some(Fact {
+            relation: self.relation,
+            args,
+        })
     }
 
     /// Converts a ground atom into a fact.

@@ -90,15 +90,24 @@ impl Builtin {
         })?;
         if atom.arity() != builtin.arity() {
             return Err(RelError::BadBuiltin {
-                message: format!("{} expects {} arguments, got {}", atom.relation, builtin.arity(), atom.arity()),
+                message: format!(
+                    "{} expects {} arguments, got {}",
+                    atom.relation,
+                    builtin.arity(),
+                    atom.arity()
+                ),
             });
         }
-        let a = atom.terms[0].as_const().ok_or_else(|| RelError::BadBuiltin {
-            message: format!("built-in atom {atom} is not ground"),
-        })?;
-        let b = atom.terms[1].as_const().ok_or_else(|| RelError::BadBuiltin {
-            message: format!("built-in atom {atom} is not ground"),
-        })?;
+        let a = atom.terms[0]
+            .as_const()
+            .ok_or_else(|| RelError::BadBuiltin {
+                message: format!("built-in atom {atom} is not ground"),
+            })?;
+        let b = atom.terms[1]
+            .as_const()
+            .ok_or_else(|| RelError::BadBuiltin {
+                message: format!("built-in atom {atom} is not ground"),
+            })?;
         builtin.eval(a, b)
     }
 }
@@ -116,7 +125,10 @@ mod tests {
 
     #[test]
     fn recognition() {
-        assert_eq!(Builtin::from_name(RelName::new("After")), Some(Builtin::After));
+        assert_eq!(
+            Builtin::from_name(RelName::new("After")),
+            Some(Builtin::After)
+        );
         assert_eq!(Builtin::from_name(RelName::new("Temperature")), None);
         assert!(is_builtin(RelName::new("Lt")));
         assert!(!is_builtin(RelName::new("Station")));
@@ -124,9 +136,18 @@ mod tests {
 
     #[test]
     fn integer_comparisons() {
-        assert_eq!(Builtin::After.eval(Value::int(1950), Value::int(1900)), Ok(true));
-        assert_eq!(Builtin::After.eval(Value::int(1850), Value::int(1900)), Ok(false));
-        assert_eq!(Builtin::Before.eval(Value::int(1850), Value::int(1900)), Ok(true));
+        assert_eq!(
+            Builtin::After.eval(Value::int(1950), Value::int(1900)),
+            Ok(true)
+        );
+        assert_eq!(
+            Builtin::After.eval(Value::int(1850), Value::int(1900)),
+            Ok(false)
+        );
+        assert_eq!(
+            Builtin::Before.eval(Value::int(1850), Value::int(1900)),
+            Ok(true)
+        );
         assert_eq!(Builtin::Leq.eval(Value::int(5), Value::int(5)), Ok(true));
         assert_eq!(Builtin::Geq.eval(Value::int(4), Value::int(5)), Ok(false));
         assert_eq!(Builtin::Lt.eval(Value::int(4), Value::int(5)), Ok(true));
@@ -136,7 +157,10 @@ mod tests {
     #[test]
     fn equality_on_any_values() {
         assert_eq!(Builtin::Eq.eval(Value::sym("a"), Value::sym("a")), Ok(true));
-        assert_eq!(Builtin::Eq.eval(Value::sym("a"), Value::sym("b")), Ok(false));
+        assert_eq!(
+            Builtin::Eq.eval(Value::sym("a"), Value::sym("b")),
+            Ok(false)
+        );
         assert_eq!(Builtin::Neq.eval(Value::sym("a"), Value::int(1)), Ok(true));
     }
 

@@ -101,17 +101,17 @@ pub fn compile_cq(query: &ConjunctiveQuery) -> Result<RaExpr, RelError> {
                 message: format!("built-in {} must be binary to compile", atom.relation),
             });
         }
-        let operand = |term: &Term| -> Result<Operand, RelError> {
-            match term {
-                Term::Const(c) => Ok(Operand::Const(*c)),
-                Term::Var(v) => first_col
-                    .get(v)
-                    .map(|&c| Operand::Col(c))
-                    .ok_or_else(|| RelError::BadBuiltin {
-                        message: format!("built-in variable {v} not bound by a stored atom"),
+        let operand =
+            |term: &Term| -> Result<Operand, RelError> {
+                match term {
+                    Term::Const(c) => Ok(Operand::Const(*c)),
+                    Term::Var(v) => first_col.get(v).map(|&c| Operand::Col(c)).ok_or_else(|| {
+                        RelError::BadBuiltin {
+                            message: format!("built-in variable {v} not bound by a stored atom"),
+                        }
                     }),
-            }
-        };
+                }
+            };
         predicates.push(Predicate::Cmp(
             operand(&atom.terms[0])?,
             builtin_op(builtin),
@@ -130,7 +130,9 @@ pub fn compile_cq(query: &ConjunctiveQuery) -> Result<RaExpr, RelError> {
             Term::Var(v) => cols.push(*first_col.get(v).expect("safety: head variables are bound")),
             Term::Const(c) => {
                 return Err(RelError::Algebra {
-                    message: format!("cannot compile head constant {c}: no constant-introducing projection"),
+                    message: format!(
+                        "cannot compile head constant {c}: no constant-introducing projection"
+                    ),
                 })
             }
         }
@@ -151,8 +153,12 @@ mod tests {
     fn check_equivalent(rule: &str, db: &Database, schema: &GlobalSchema) {
         let cq = parse_rule(rule).unwrap();
         let ra = compile_cq(&cq).unwrap();
-        let via_cq: BTreeSet<Vec<Value>> =
-            cq.evaluate(db).unwrap().into_iter().map(|f| f.args).collect();
+        let via_cq: BTreeSet<Vec<Value>> = cq
+            .evaluate(db)
+            .unwrap()
+            .into_iter()
+            .map(|f| f.args)
+            .collect();
         let via_ra = ra.eval(db, schema).unwrap();
         assert_eq!(via_cq, via_ra, "rule {rule}");
     }
@@ -234,14 +240,21 @@ mod tests {
             for _ in 0..rng.gen_range(0..12) {
                 d.insert(Fact::new(
                     "E",
-                    [Value::int(rng.gen_range(0..4)), Value::int(rng.gen_range(0..4))],
+                    [
+                        Value::int(rng.gen_range(0..4)),
+                        Value::int(rng.gen_range(0..4)),
+                    ],
                 ));
             }
             for rule in rules {
                 let cq = parse_rule(rule).unwrap();
                 let ra = compile_cq(&cq).unwrap();
-                let via_cq: BTreeSet<Vec<Value>> =
-                    cq.evaluate(&d).unwrap().into_iter().map(|f| f.args).collect();
+                let via_cq: BTreeSet<Vec<Value>> = cq
+                    .evaluate(&d)
+                    .unwrap()
+                    .into_iter()
+                    .map(|f| f.args)
+                    .collect();
                 let via_ra = ra.eval(&d, &schema()).unwrap();
                 assert_eq!(via_cq, via_ra, "trial {trial} rule {rule}");
             }

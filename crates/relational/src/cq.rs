@@ -39,13 +39,17 @@ impl ConjunctiveQuery {
             .collect();
         for v in head.variables() {
             if !bound.contains(&v) {
-                return Err(RelError::UnsafeQuery { variable: v.as_str().to_owned() });
+                return Err(RelError::UnsafeQuery {
+                    variable: v.as_str().to_owned(),
+                });
             }
         }
         for atom in body.iter().filter(|a| is_builtin(a.relation)) {
             for v in atom.variables() {
                 if !bound.contains(&v) {
-                    return Err(RelError::UnsafeQuery { variable: v.as_str().to_owned() });
+                    return Err(RelError::UnsafeQuery {
+                        variable: v.as_str().to_owned(),
+                    });
                 }
             }
         }
@@ -55,7 +59,11 @@ impl ConjunctiveQuery {
     /// The identity view `V(x₁,…,x_k) ← R(x₁,…,x_k)` over relation `rel`
     /// with the given arity — the special case of Section 5.1.
     #[must_use]
-    pub fn identity<N: Into<RelName>, M: Into<RelName>>(head_name: N, rel: M, arity: usize) -> Self {
+    pub fn identity<N: Into<RelName>, M: Into<RelName>>(
+        head_name: N,
+        rel: M,
+        arity: usize,
+    ) -> Self {
         let vars: Vec<Term> = (0..arity).map(|i| Term::var(&format!("x{i}"))).collect();
         ConjunctiveQuery {
             head: Atom::new(head_name.into(), vars.clone()),
@@ -141,7 +149,11 @@ impl ConjunctiveQuery {
     ///
     /// # Errors
     /// Propagates built-in evaluation errors.
-    pub fn supporting_valuations(&self, db: &Database, u: &Fact) -> Result<Vec<Valuation>, RelError> {
+    pub fn supporting_valuations(
+        &self,
+        db: &Database,
+        u: &Fact,
+    ) -> Result<Vec<Valuation>, RelError> {
         if u.relation != self.head.relation || u.args.len() != self.head.arity() {
             return Ok(Vec::new());
         }
@@ -325,9 +337,18 @@ mod tests {
         // The S₁ view from the paper's intro, shrunk:
         // V(s,y,v) <- Temp(s,y,v), Station(s,c), Eq(c,'Canada'), After(y,1900)
         let db = Database::from_facts([
-            Fact::new("Temp", [Value::sym("st1"), Value::int(1950), Value::int(13)]),
-            Fact::new("Temp", [Value::sym("st1"), Value::int(1850), Value::int(12)]),
-            Fact::new("Temp", [Value::sym("st2"), Value::int(1950), Value::int(20)]),
+            Fact::new(
+                "Temp",
+                [Value::sym("st1"), Value::int(1950), Value::int(13)],
+            ),
+            Fact::new(
+                "Temp",
+                [Value::sym("st1"), Value::int(1850), Value::int(12)],
+            ),
+            Fact::new(
+                "Temp",
+                [Value::sym("st2"), Value::int(1950), Value::int(20)],
+            ),
             Fact::new("Station", [Value::sym("st1"), Value::sym("Canada")]),
             Fact::new("Station", [Value::sym("st2"), Value::sym("US")]),
         ]);
@@ -366,7 +387,10 @@ mod tests {
         }
         // Unsupported fact.
         let missing = Fact::new("V", [Value::sym("z")]);
-        assert!(proj.supporting_valuations(&db, &missing).unwrap().is_empty());
+        assert!(proj
+            .supporting_valuations(&db, &missing)
+            .unwrap()
+            .is_empty());
         // Wrong relation.
         let other = Fact::new("W", [Value::sym("a")]);
         assert!(proj.supporting_valuations(&db, &other).unwrap().is_empty());
@@ -382,7 +406,10 @@ mod tests {
             ],
         );
         let renamed = view.rename_vars("7");
-        assert_eq!(renamed.to_string(), "V(x_7, y_7) <- R(x_7, z_7), S(z_7, y_7)");
+        assert_eq!(
+            renamed.to_string(),
+            "V(x_7, y_7) <- R(x_7, z_7), S(z_7, y_7)"
+        );
         // Original untouched.
         assert_eq!(view.to_string(), "V(x, y) <- R(x, z), S(z, y)");
     }

@@ -37,7 +37,10 @@ impl Database {
 
     /// Inserts a fact; returns `true` if it was not already present.
     pub fn insert(&mut self, fact: Fact) -> bool {
-        self.relations.entry(fact.relation).or_default().insert(fact.args)
+        self.relations
+            .entry(fact.relation)
+            .or_default()
+            .insert(fact.args)
     }
 
     /// Removes a fact; returns `true` if it was present.
@@ -87,7 +90,10 @@ impl Database {
     /// Deterministic iteration over all facts.
     pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
         self.relations.iter().flat_map(|(&rel, ext)| {
-            ext.iter().map(move |args| Fact { relation: rel, args: args.clone() })
+            ext.iter().map(move |args| Fact {
+                relation: rel,
+                args: args.clone(),
+            })
         })
     }
 
@@ -191,11 +197,8 @@ mod tests {
 
     #[test]
     fn extensions() {
-        let db = Database::from_facts([
-            fact("R", &["a"]),
-            fact("R", &["b"]),
-            fact("S", &["x", "y"]),
-        ]);
+        let db =
+            Database::from_facts([fact("R", &["a"]), fact("R", &["b"]), fact("S", &["x", "y"])]);
         assert_eq!(db.extension_len(RelName::new("R")), 2);
         assert_eq!(db.extension_len(RelName::new("S")), 1);
         assert_eq!(db.extension_len(RelName::new("T")), 0);
@@ -220,7 +223,10 @@ mod tests {
     fn constants_collected() {
         let db = Database::from_facts([fact("R", &["a", "b"]), fact("S", &["b", "c"])]);
         let consts: Vec<_> = db.constants().into_iter().collect();
-        assert_eq!(consts, vec![Value::sym("a"), Value::sym("b"), Value::sym("c")]);
+        assert_eq!(
+            consts,
+            vec![Value::sym("a"), Value::sym("b"), Value::sym("c")]
+        );
     }
 
     #[test]

@@ -46,14 +46,23 @@ pub enum RelError {
 impl fmt::Display for RelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RelError::ArityMismatch { relation, expected, found } => {
+            RelError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => {
                 write!(f, "relation {relation} used with arity {found}, but declared with arity {expected}")
             }
             RelError::UnsafeQuery { variable } => {
-                write!(f, "unsafe query: head variable {variable} does not occur in the body")
+                write!(
+                    f,
+                    "unsafe query: head variable {variable} does not occur in the body"
+                )
             }
             RelError::BadBuiltin { message } => write!(f, "bad builtin use: {message}"),
-            RelError::Parse { message, offset } => write!(f, "parse error at byte {offset}: {message}"),
+            RelError::Parse { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
             RelError::Algebra { message } => write!(f, "ill-typed algebra expression: {message}"),
             RelError::EmptyDomain => write!(f, "operation requires a non-empty finite domain"),
         }
@@ -68,11 +77,20 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = RelError::ArityMismatch { relation: RelName::new("R"), expected: 2, found: 3 };
+        let e = RelError::ArityMismatch {
+            relation: RelName::new("R"),
+            expected: 2,
+            found: 3,
+        };
         assert!(e.to_string().contains("arity 3"));
-        let e = RelError::UnsafeQuery { variable: "X".into() };
+        let e = RelError::UnsafeQuery {
+            variable: "X".into(),
+        };
         assert!(e.to_string().contains('X'));
-        let e = RelError::Parse { message: "unexpected token".into(), offset: 7 };
+        let e = RelError::Parse {
+            message: "unexpected token".into(),
+            offset: 7,
+        };
         assert!(e.to_string().contains("byte 7"));
         assert!(RelError::EmptyDomain.to_string().contains("domain"));
     }

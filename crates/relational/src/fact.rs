@@ -17,7 +17,10 @@ pub struct Fact {
 impl Fact {
     /// Creates a fact.
     #[must_use]
-    pub fn new<N: Into<RelName>, V: Into<Value>, I: IntoIterator<Item = V>>(relation: N, args: I) -> Fact {
+    pub fn new<N: Into<RelName>, V: Into<Value>, I: IntoIterator<Item = V>>(
+        relation: N,
+        args: I,
+    ) -> Fact {
         Fact {
             relation: relation.into(),
             args: args.into_iter().map(Into::into).collect(),

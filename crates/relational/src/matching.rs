@@ -36,7 +36,9 @@ pub fn for_each_embedding<F: FnMut(&Valuation) -> bool>(
             let covered = regular.iter().any(|a| a.variables().contains(&v));
             if !covered {
                 return Err(RelError::BadBuiltin {
-                    message: format!("variable {v} of built-in atom {b} is not bound by any regular atom"),
+                    message: format!(
+                        "variable {v} of built-in atom {b} is not bound by any regular atom"
+                    ),
                 });
             }
         }
@@ -249,7 +251,10 @@ mod tests {
         let atoms = [Atom::new("E", [Term::sym("a"), Term::var("y")])];
         let sigmas = embeddings(&atoms, &db).unwrap();
         assert_eq!(sigmas.len(), 1);
-        assert_eq!(sigmas[0].get(crate::term::Var::new("y")), Some(Value::sym("b")));
+        assert_eq!(
+            sigmas[0].get(crate::term::Var::new("y")),
+            Some(Value::sym("b"))
+        );
     }
 
     #[test]
@@ -272,7 +277,10 @@ mod tests {
         ];
         let sigmas = embeddings(&atoms, &db).unwrap();
         assert_eq!(sigmas.len(), 1);
-        assert_eq!(sigmas[0].get(crate::term::Var::new("s")), Some(Value::sym("s2")));
+        assert_eq!(
+            sigmas[0].get(crate::term::Var::new("s")),
+            Some(Value::sym("s2"))
+        );
     }
 
     #[test]

@@ -47,7 +47,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> RelError {
-        RelError::Parse { message: message.into(), offset: self.pos }
+        RelError::Parse {
+            message: message.into(),
+            offset: self.pos,
+        }
     }
 
     fn rest(&self) -> &'a str {
@@ -159,7 +162,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(src: &'a str) -> Self {
-        Parser { lexer: Lexer::new(src), peeked: None }
+        Parser {
+            lexer: Lexer::new(src),
+            peeked: None,
+        }
     }
 
     fn peek(&mut self) -> Result<Option<&(Tok, usize)>, RelError> {
@@ -196,7 +202,10 @@ impl<'a> Parser<'a> {
         let (name, offset) = match self.next()? {
             Some((Tok::Ident(name), o)) => (name, o),
             Some((tok, o)) => {
-                return Err(RelError::Parse { message: format!("expected relation name, found {tok:?}"), offset: o })
+                return Err(RelError::Parse {
+                    message: format!("expected relation name, found {tok:?}"),
+                    offset: o,
+                })
             }
             None => {
                 return Err(RelError::Parse {
@@ -217,7 +226,10 @@ impl<'a> Parser<'a> {
                     Some((Tok::Comma, _)) => continue,
                     Some((Tok::RParen, _)) => break,
                     Some((tok, o)) => {
-                        return Err(RelError::Parse { message: format!("expected ',' or ')', found {tok:?}"), offset: o })
+                        return Err(RelError::Parse {
+                            message: format!("expected ',' or ')', found {tok:?}"),
+                            offset: o,
+                        })
                     }
                     None => {
                         return Err(RelError::Parse {
@@ -247,7 +259,10 @@ impl<'a> Parser<'a> {
                     Ok(Term::Const(Value::sym(&name)))
                 }
             }
-            Some((tok, o)) => Err(RelError::Parse { message: format!("expected term, found {tok:?}"), offset: o }),
+            Some((tok, o)) => Err(RelError::Parse {
+                message: format!("expected term, found {tok:?}"),
+                offset: o,
+            }),
             None => Err(RelError::Parse {
                 message: "expected term, found end of input".into(),
                 offset: self.lexer.src.len(),
@@ -293,7 +308,10 @@ pub fn parse_rule(src: &str) -> Result<ConjunctiveQuery, RelError> {
     }
     if !p.at_end()? {
         let (tok, offset) = p.next()?.expect("peeked token exists");
-        return Err(RelError::Parse { message: format!("trailing input after rule: {tok:?}"), offset });
+        return Err(RelError::Parse {
+            message: format!("trailing input after rule: {tok:?}"),
+            offset,
+        });
     }
     ConjunctiveQuery::new(head, body)
 }
@@ -310,7 +328,10 @@ pub fn parse_fact(src: &str) -> Result<Fact, RelError> {
     }
     if !p.at_end()? {
         let (tok, offset) = p.next()?.expect("peeked token exists");
-        return Err(RelError::Parse { message: format!("trailing input after fact: {tok:?}"), offset });
+        return Err(RelError::Parse {
+            message: format!("trailing input after fact: {tok:?}"),
+            offset,
+        });
     }
     Ok(atom.to_fact().expect("fact atoms are ground"))
 }
@@ -428,7 +449,10 @@ mod tests {
         let f = parse_fact("Temp(st1, 1950, -12)").unwrap();
         assert_eq!(
             f,
-            Fact::new("Temp", [Value::sym("st1"), Value::int(1950), Value::int(-12)])
+            Fact::new(
+                "Temp",
+                [Value::sym("st1"), Value::int(1950), Value::int(-12)]
+            )
         );
     }
 

@@ -27,7 +27,10 @@ struct Interner {
 fn interner() -> &'static RwLock<Interner> {
     static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
     INTERNER.get_or_init(|| {
-        RwLock::new(Interner { strings: Vec::new(), ids: HashMap::new() })
+        RwLock::new(Interner {
+            strings: Vec::new(),
+            ids: HashMap::new(),
+        })
     })
 }
 

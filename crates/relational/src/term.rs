@@ -160,7 +160,9 @@ impl Substitution {
     /// Builds from `(variable, term)` bindings; later bindings overwrite.
     #[must_use]
     pub fn from_bindings<I: IntoIterator<Item = (Var, Term)>>(bindings: I) -> Self {
-        Substitution { map: bindings.into_iter().collect() }
+        Substitution {
+            map: bindings.into_iter().collect(),
+        }
     }
 
     /// Adds a binding.
@@ -231,7 +233,9 @@ impl Valuation {
     /// Builds from bindings.
     #[must_use]
     pub fn from_bindings<I: IntoIterator<Item = (Var, Value)>>(bindings: I) -> Self {
-        Valuation { map: bindings.into_iter().collect() }
+        Valuation {
+            map: bindings.into_iter().collect(),
+        }
     }
 
     /// Looks up a variable.
@@ -274,12 +278,12 @@ impl Valuation {
     /// variable of the constraint) we treat unbound as *incompatible*.
     #[must_use]
     pub fn compatible_with(&self, theta: &Substitution) -> bool {
-        theta.iter().all(|(x, e)| {
-            match (self.get(x), self.apply(e)) {
+        theta
+            .iter()
+            .all(|(x, e)| match (self.get(x), self.apply(e)) {
                 (Some(a), Some(b)) => a == b,
                 _ => false,
-            }
-        })
+            })
     }
 
     /// Iterates over the bindings in variable order.

@@ -40,7 +40,10 @@ impl FactUniverse {
         let mut facts = Vec::new();
         for (rel, arity) in schema.iter() {
             if arity == 0 {
-                facts.push(Fact { relation: rel, args: Vec::new() });
+                facts.push(Fact {
+                    relation: rel,
+                    args: Vec::new(),
+                });
                 continue;
             }
             if dom.is_empty() {
@@ -152,7 +155,10 @@ impl FactUniverse {
                 ),
             });
         }
-        Ok(SubsetIter { universe: self, next: Some(0) })
+        Ok(SubsetIter {
+            universe: self,
+            next: Some(0),
+        })
     }
 
     /// Iterates over all subsets with at most `max_size` facts (smallest
@@ -182,7 +188,11 @@ impl Iterator for SubsetIter<'_> {
         let mask = self.next?;
         let db = self.universe.database_from_mask(mask);
         let limit = 1u64 << self.universe.len();
-        self.next = if mask + 1 < limit { Some(mask + 1) } else { None };
+        self.next = if mask + 1 < limit {
+            Some(mask + 1)
+        } else {
+            None
+        };
         Some((mask, db))
     }
 }
@@ -212,7 +222,8 @@ impl Iterator for BoundedSubsetIter<'_> {
                         return None;
                     }
                     let combo: Vec<usize> = (0..self.size).collect();
-                    let db = Database::from_facts(combo.iter().map(|&i| self.universe.fact(i).clone()));
+                    let db =
+                        Database::from_facts(combo.iter().map(|&i| self.universe.fact(i).clone()));
                     self.combo = Some(combo);
                     return Some(db);
                 }

@@ -108,7 +108,12 @@ mod tests {
     fn ordering_is_total() {
         // Ints sort before syms by enum discriminant; within kinds natural order.
         assert!(Value::int(1) < Value::int(2));
-        let mut vals = [Value::sym("b"), Value::int(5), Value::sym("a"), Value::int(3)];
+        let mut vals = [
+            Value::sym("b"),
+            Value::int(5),
+            Value::sym("a"),
+            Value::int(3),
+        ];
         vals.sort();
         assert_eq!(vals[0], Value::int(3));
         assert_eq!(vals[1], Value::int(5));

@@ -135,7 +135,10 @@ fn homomorphism_composition() {
     // least as many valuations.
     use pscds_relational::matching::embeddings;
     let d1 = Database::from_facts([Fact::new("E", [Value::int(0), Value::int(1)])]);
-    let d2 = d1.union(&Database::from_facts([Fact::new("E", [Value::int(1), Value::int(1)])]));
+    let d2 = d1.union(&Database::from_facts([Fact::new(
+        "E",
+        [Value::int(1), Value::int(1)],
+    )]));
     let tableau = [Atom::new("E", [Term::var("x"), Term::var("y")])];
     let e1 = embeddings(&tableau, &d1).unwrap();
     let e2 = embeddings(&tableau, &d2).unwrap();

@@ -25,25 +25,34 @@ fn rules() -> impl Strategy<Value = ConjunctiveQuery> {
     (
         rel_name(),
         proptest::collection::vec(
-            (rel_name(), proptest::collection::vec(prop_oneof![var_name().prop_map(|v| Term::var(&v)), const_term()], 1..4)),
+            (
+                rel_name(),
+                proptest::collection::vec(
+                    prop_oneof![var_name().prop_map(|v| Term::var(&v)), const_term()],
+                    1..4,
+                ),
+            ),
             1..4,
         ),
     )
-        .prop_filter_map("need at least one body variable", |(head_rel, body_spec)| {
-            let body: Vec<Atom> = body_spec
-                .into_iter()
-                .map(|(rel, terms)| Atom::new(rel.as_str(), terms))
-                .collect();
-            let vars: Vec<_> = body
-                .iter()
-                .flat_map(pscds_relational::Atom::variables)
-                .collect();
-            if vars.is_empty() {
-                return None;
-            }
-            let head_terms: Vec<Term> = vars.iter().take(3).map(|&v| Term::Var(v)).collect();
-            ConjunctiveQuery::new(Atom::new(head_rel.as_str(), head_terms), body).ok()
-        })
+        .prop_filter_map(
+            "need at least one body variable",
+            |(head_rel, body_spec)| {
+                let body: Vec<Atom> = body_spec
+                    .into_iter()
+                    .map(|(rel, terms)| Atom::new(rel.as_str(), terms))
+                    .collect();
+                let vars: Vec<_> = body
+                    .iter()
+                    .flat_map(pscds_relational::Atom::variables)
+                    .collect();
+                if vars.is_empty() {
+                    return None;
+                }
+                let head_terms: Vec<Term> = vars.iter().take(3).map(|&v| Term::Var(v)).collect();
+                ConjunctiveQuery::new(Atom::new(head_rel.as_str(), head_terms), body).ok()
+            },
+        )
 }
 
 fn facts() -> impl Strategy<Value = Vec<Fact>> {

@@ -27,8 +27,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scenario = generate(&config)?;
 
     println!("Ground-truth world:");
-    println!("  stations:     {}", scenario.world.extension_len("Station".into()));
-    println!("  temperatures: {}", scenario.world.extension_len("Temperature".into()));
+    println!(
+        "  stations:     {}",
+        scenario.world.extension_len("Station".into())
+    );
+    println!(
+        "  temperatures: {}",
+        scenario.world.extension_len("Temperature".into())
+    );
 
     println!("\nSources (views over the global schema):");
     for source in scenario.collection.sources() {

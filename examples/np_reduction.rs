@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("CONSISTENT — witness database: {witness}");
             let star_solution = consistency_witness_to_hitting_set(&witness);
             let solution = project_hs_star_solution(&star_solution, fresh);
-            println!("Mapped back: hitting set {solution:?} (size {})", solution.len());
+            println!(
+                "Mapped back: hitting set {solution:?} (size {})",
+                solution.len()
+            );
             assert!(instance.is_solution(&solution), "round-trip must be valid");
             assert!(direct.is_some());
         }
@@ -75,7 +78,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let verdict = decide_identity(&collection.as_identity()?, 0);
     println!(
         "\n3 disjoint singletons, budget 2 → collection is {}",
-        if verdict.is_consistent() { "CONSISTENT (?!)" } else { "INCONSISTENT, as expected" }
+        if verdict.is_consistent() {
+            "CONSISTENT (?!)"
+        } else {
+            "INCONSISTENT, as expected"
+        }
     );
     assert!(!verdict.is_consistent());
 

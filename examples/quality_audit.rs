@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = maximal_consistent_subsets(&collection, 0)?;
     println!("\nMaximal consistent subsets:");
     for subset in &report.maximal_subsets {
-        let names: Vec<&str> = subset.iter().map(|&i| collection.sources()[i].name()).collect();
+        let names: Vec<&str> = subset
+            .iter()
+            .map(|&i| collection.sources()[i].name())
+            .collect();
         println!("  {{{}}}", names.join(", "));
     }
     let outliers = report.outliers();
@@ -82,7 +85,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let core_identity = core.as_identity()?;
     assert!(decide_identity(&core_identity, 0).is_consistent());
-    println!("\nTrustworthy core of {} sources is consistent.", core.len());
+    println!(
+        "\nTrustworthy core of {} sources is consistent.",
+        core.len()
+    );
 
     // 4. Guaranteed products — the template-based certain-answer lower
     //    bound needs no domain enumeration at all.
@@ -91,7 +97,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .expect("satisfiable sound-subset combinations exist");
     println!(
         "Products guaranteed to exist (template lower bound): {:?}",
-        guaranteed.iter().map(|f| f.args[0].to_string()).collect::<Vec<_>>()
+        guaranteed
+            .iter()
+            .map(|f| f.args[0].to_string())
+            .collect::<Vec<_>>()
     );
     // Soundness-1 sources force their whole extensions into every world.
     for item in ["anvil", "bolt", "crate", "drill"] {
@@ -107,7 +116,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let exported = format_collection(&core);
     let reparsed = parse_collection(&exported)?;
     assert_eq!(reparsed, core);
-    println!("\nAudited collection re-exported ({} bytes of text).", exported.len());
+    println!(
+        "\nAudited collection re-exported ({} bytes of text).",
+        exported.len()
+    );
 
     Ok(())
 }

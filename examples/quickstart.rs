@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let pscds::core::consistency::IdentityConsistency::Consistent { witness, .. } = &result {
         println!("Witness world: {witness}");
     }
-    println!("Lemma 3.1 small-model bound: {}", lemma31_bound(&collection));
+    println!(
+        "Lemma 3.1 small-model bound: {}",
+        lemma31_bound(&collection)
+    );
 
     // ── Tuple confidence (Section 5.1), domain {a, b, c, d1} ──────────
     let m = 1usize;
@@ -35,11 +38,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Engine 1: brute-force possible worlds.
     let worlds = PossibleWorlds::enumerate(&collection, &domain)?;
-    println!("\n|poss(S)| over {} facts: {} worlds", domain.len(), worlds.count());
+    println!(
+        "\n|poss(S)| over {} facts: {} worlds",
+        domain.len(),
+        worlds.count()
+    );
 
     // Engine 2: the explicit linear system Γ.
     let gamma = LinearSystem::from_identity(&identity, &domain)?;
-    println!("Γ has {} variables and {} inequalities", gamma.n_vars(), gamma.inequalities().len());
+    println!(
+        "Γ has {} variables and {} inequalities",
+        gamma.n_vars(),
+        gamma.inequalities().len()
+    );
 
     // Engine 3: the signature counter (scales to huge domains).
     let analysis = ConfidenceAnalysis::analyze(&identity, m as u64);
@@ -61,7 +72,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The signature engine handles domains the others never could:
     let big = ConfidenceAnalysis::analyze(&identity, 1_000_000);
     let conf_b = big.confidence_of_tuple(&identity, &[Value::sym("b")])?;
-    println!("\nAt m = 10^6: confidence(R(b)) = {} ≈ {:.8}", conf_b, conf_b.to_f64());
+    println!(
+        "\nAt m = 10^6: confidence(R(b)) = {} ≈ {:.8}",
+        conf_b,
+        conf_b.to_f64()
+    );
 
     // ── Certain and possible answers (Section 5) ──────────────────────
     let query = parse_rule("Ans(x) <- R(x)")?;

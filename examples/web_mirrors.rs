@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scenario = generate(&config)?;
 
     println!("Origin objects: {:?}", syms(&scenario.origin));
-    println!("Obsolete objects (deleted upstream): {:?}", syms(&scenario.obsolete));
+    println!(
+        "Obsolete objects (deleted upstream): {:?}",
+        syms(&scenario.obsolete)
+    );
     println!();
     for source in scenario.collection.sources() {
         println!(
@@ -42,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Consistency of the mirror fleet's claims.
     let identity = scenario.collection.as_identity()?;
     let consistency = decide_identity(&identity, 0);
-    println!("\nMirror claims consistent? {}", consistency.is_consistent());
+    println!(
+        "\nMirror claims consistent? {}",
+        consistency.is_consistent()
+    );
 
     // Exact confidence per object: which objects is the origin likely to
     // actually have right now?
@@ -63,8 +69,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nObject confidence ranking (live objects should rank high):");
     for (tuple, conf) in &ranked {
         let name = tuple[0].to_string();
-        let truth = if scenario.origin.contains(&tuple[0]) { "live" } else { "obsolete" };
-        println!("  {name:8} {:>9}  ≈{:.3}   [{truth}]", conf.to_string(), conf.to_f64());
+        let truth = if scenario.origin.contains(&tuple[0]) {
+            "live"
+        } else {
+            "obsolete"
+        };
+        println!(
+            "  {name:8} {:>9}  ≈{:.3}   [{truth}]",
+            conf.to_string(),
+            conf.to_f64()
+        );
     }
 
     // Certain / possible object sets via the world oracle (the universe of
@@ -76,9 +90,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let possible = worlds.possible_answer_cq(&query)?;
     println!(
         "\nCertain objects (in every possible world): {:?}",
-        certain.iter().map(|f| f.args[0].to_string()).collect::<Vec<_>>()
+        certain
+            .iter()
+            .map(|f| f.args[0].to_string())
+            .collect::<Vec<_>>()
     );
-    println!("Possible objects: {} of {} mentioned", possible.len(), mentioned.len());
+    println!(
+        "Possible objects: {} of {} mentioned",
+        possible.len(),
+        mentioned.len()
+    );
 
     // Sanity: the brute-force world count matches the signature counter.
     assert_eq!(

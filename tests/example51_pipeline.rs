@@ -63,7 +63,10 @@ fn section_5_confidences_three_engines() {
             &UBig::from(worlds.count() as u64),
             "m = {m}"
         );
-        assert_eq!(gamma.count_solutions().expect("small") as usize, worlds.count());
+        assert_eq!(
+            gamma.count_solutions().expect("small") as usize,
+            worlds.count()
+        );
         for sym in ["a", "b", "c"] {
             let fact = Fact::new("R", [Value::sym(sym)]);
             let w = worlds.fact_confidence(&fact).expect("consistent");

@@ -24,7 +24,10 @@ fn random_identity_collections_round_trip() {
             let scenario = random_sources(&cfg).expect("valid config");
             let text = format_collection(&scenario.collection);
             let reparsed = parse_collection(&text).expect("formatter output must parse");
-            assert_eq!(reparsed, scenario.collection, "seed {seed} planted {planted}\n{text}");
+            assert_eq!(
+                reparsed, scenario.collection,
+                "seed {seed} planted {planted}\n{text}"
+            );
         }
     }
 }

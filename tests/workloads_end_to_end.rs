@@ -39,10 +39,7 @@ fn climate_full_stack() {
         assert!(m.soundness_at_least(report.soundness));
         if report.dropped > 0 {
             // completeness is exactly intersection/intended; one notch up fails.
-            let tighter = pscds::numeric::Frac::new(
-                m.intersection + 1,
-                m.view_size,
-            );
+            let tighter = pscds::numeric::Frac::new(m.intersection + 1, m.view_size);
             assert!(!m.completeness_at_least(tighter), "{}", report.source);
         }
     }
@@ -71,7 +68,10 @@ fn mirrors_full_stack() {
     // Cross-check certain/possible against the world oracle.
     let mentioned: Vec<Value> = identity.all_tuples().into_iter().map(|t| t[0]).collect();
     let worlds = PossibleWorlds::enumerate(&scenario.collection, &mentioned).expect("small");
-    assert_eq!(worlds.count() as u64, analysis.world_count().to_u64().expect("fits"));
+    assert_eq!(
+        worlds.count() as u64,
+        analysis.world_count().to_u64().expect("fits")
+    );
     for tuple in &certain {
         let conf = worlds
             .fact_confidence(&Fact::new("Object", tuple.clone()))
@@ -111,14 +111,20 @@ fn mirrors_origin_confidence_dominates_average() {
         for obj in &scenario.origin {
             let t = vec![*obj];
             if identity.signature_of(&t) != 0 {
-                live_sum += analysis.confidence_of_tuple(&identity, &t).expect("ok").to_f64();
+                live_sum += analysis
+                    .confidence_of_tuple(&identity, &t)
+                    .expect("ok")
+                    .to_f64();
                 live_n += 1.0;
             }
         }
         for obj in &scenario.obsolete {
             let t = vec![*obj];
             if identity.signature_of(&t) != 0 {
-                dead_sum += analysis.confidence_of_tuple(&identity, &t).expect("ok").to_f64();
+                dead_sum += analysis
+                    .confidence_of_tuple(&identity, &t)
+                    .expect("ok")
+                    .to_f64();
                 dead_n += 1.0;
             }
         }
@@ -145,8 +151,12 @@ fn random_sources_planted_pipeline() {
             seed,
         };
         let scenario = random_sources(&cfg).expect("valid config");
-        let world = Database::from_facts(scenario.planted_world.iter().map(|&v| Fact::new("R", [v])));
-        assert!(in_poss(&world, &scenario.collection).expect("evaluates"), "seed {seed}");
+        let world =
+            Database::from_facts(scenario.planted_world.iter().map(|&v| Fact::new("R", [v])));
+        assert!(
+            in_poss(&world, &scenario.collection).expect("evaluates"),
+            "seed {seed}"
+        );
         let identity = scenario.collection.as_identity().expect("identity");
         let padding = scenario.domain.len() as u64 - identity.all_tuples().len() as u64;
         let analysis = ConfidenceAnalysis::analyze(&identity, padding);
@@ -155,8 +165,13 @@ fn random_sources_planted_pipeline() {
         for v in &scenario.planted_world {
             let t = vec![*v];
             if identity.signature_of(&t) != 0 {
-                let conf = analysis.confidence_of_tuple(&identity, &t).expect("consistent");
-                assert!(conf > Rational::zero(), "seed {seed}: planted fact with zero confidence");
+                let conf = analysis
+                    .confidence_of_tuple(&identity, &t)
+                    .expect("consistent");
+                assert!(
+                    conf > Rational::zero(),
+                    "seed {seed}: planted fact with zero confidence"
+                );
             }
         }
     }

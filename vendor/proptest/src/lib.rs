@@ -1,0 +1,778 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest 1.x this workspace's property tests
+//! use: the [`strategy::Strategy`] trait with `prop_map` /  `prop_filter` /
+//! `prop_filter_map`, integer-range and regex-literal strategies, tuple
+//! composition, [`collection::vec`] / [`collection::btree_set`], the
+//! `proptest!` / `prop_assert*` / `prop_assume!` / `prop_oneof!` macros, and
+//! a deterministic case runner seeded from the test name.
+//!
+//! Differences from real proptest, by design:
+//! - **No shrinking.** A failing case reports the case number and assertion
+//!   message; re-running is deterministic, so the failure reproduces.
+//! - **Fixed seeding.** Each test's RNG is seeded from its name, so runs are
+//!   reproducible across machines (no `PROPTEST_*` env integration).
+//! - Regex strategies support character classes, literals, and the
+//!   quantifiers `{m}`, `{m,n}`, `?`, `*`, `+` — enough for identifier-shaped
+//!   patterns, not full regex.
+
+pub mod test_runner {
+    //! Deterministic RNG, config, and case-level error type.
+
+    /// splitmix64; deterministic and platform-independent.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Seed derived from the test name (FNV-1a), so each property gets
+        /// an independent, reproducible stream.
+        pub fn from_name(name: &str) -> Self {
+            let mut hash = 0xcbf2_9ce4_8422_2325u64;
+            for byte in name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng::from_seed(hash)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        pub fn next_u128(&mut self) -> u128 {
+            (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+        }
+
+        /// Uniform value in `[0, span)`; `span == 0` means the full range.
+        pub fn below(&mut self, span: u128) -> u128 {
+            if span == 0 {
+                return self.next_u128();
+            }
+            // Boundary bias: real proptest over-samples edges; 1 in 8 cases
+            // probe the ends of the range where off-by-one bugs live.
+            if span > 2 && self.next_u64().is_multiple_of(8) {
+                return match self.next_u64() % 3 {
+                    0 => 0,
+                    1 => 1,
+                    _ => span - 1,
+                };
+            }
+            self.next_u128() % span
+        }
+
+        /// Uniform index in `[0, n)`; `n` must be nonzero.
+        pub fn index(&mut self, n: usize) -> usize {
+            assert!(n > 0, "index over empty set");
+            (self.next_u128() % n as u128) as usize
+        }
+    }
+
+    /// Runner configuration; only `cases` is meaningful in the stub.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        /// Max generation+assume rejections per accepted case before the
+        /// runner gives up (mirrors proptest's local reject limit).
+        pub max_local_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 64,
+                max_local_rejects: 64,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// Case rejected by `prop_assume!` / filter; not counted as a run.
+        Reject(String),
+        /// Assertion failure: the property is violated.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// `gen_value` returns `None` when the candidate was filtered out; the
+    /// runner retries with fresh randomness.
+    pub trait Strategy {
+        type Value;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+        fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, map }
+        }
+
+        fn prop_filter<F>(self, whence: impl Into<String>, filter: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                _whence: whence.into(),
+                filter,
+            }
+        }
+
+        fn prop_filter_map<O, F>(self, whence: impl Into<String>, map: F) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> Option<O>,
+        {
+            FilterMap {
+                inner: self,
+                _whence: whence.into(),
+                map,
+            }
+        }
+
+        fn prop_flat_map<S, F>(self, map: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, map }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Option<T> {
+            (**self).gen_value(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn gen_value(&self, _rng: &mut TestRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        map: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Option<O> {
+            self.inner.gen_value(rng).map(&self.map)
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        _whence: String,
+        filter: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            self.inner.gen_value(rng).filter(|v| (self.filter)(v))
+        }
+    }
+
+    pub struct FilterMap<S, F> {
+        inner: S,
+        _whence: String,
+        map: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+        type Value = O;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Option<O> {
+            self.inner.gen_value(rng).and_then(&self.map)
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        map: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Option<T::Value> {
+            self.inner
+                .gen_value(rng)
+                .and_then(|v| (self.map)(v).gen_value(rng))
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(
+                !options.is_empty(),
+                "prop_oneof! needs at least one alternative"
+            );
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Option<T> {
+            let pick = rng.index(self.options.len());
+            self.options[pick].gen_value(rng)
+        }
+    }
+
+    macro_rules! impl_int_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> Option<$t> {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 as u128).wrapping_sub(self.start as i128 as u128);
+                    Some((self.start as i128).wrapping_add(rng.below(span) as i128) as $t)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> Option<$t> {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 as u128)
+                        .wrapping_sub(start as i128 as u128)
+                        .wrapping_add(1);
+                    Some((start as i128).wrapping_add(rng.below(span) as i128) as $t)
+                }
+            }
+            impl Strategy for core::ops::RangeFrom<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> Option<$t> {
+                    let span = (<$t>::MAX as i128 as u128)
+                        .wrapping_sub(self.start as i128 as u128)
+                        .wrapping_add(1);
+                    Some((self.start as i128).wrapping_add(rng.below(span) as i128) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    // u128 ranges need widening beyond i128; handled separately without the
+    // signed round-trip (the workspace only uses non-negative u128 bounds).
+    impl Strategy for core::ops::Range<u128> {
+        type Value = u128;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Option<u128> {
+            assert!(self.start < self.end, "empty range strategy");
+            Some(self.start + rng.below(self.end - self.start))
+        }
+    }
+
+    impl Strategy for core::ops::RangeInclusive<u128> {
+        type Value = u128;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Option<u128> {
+            let (start, end) = (*self.start(), *self.end());
+            assert!(start <= end, "empty range strategy");
+            let span = (end - start).wrapping_add(1); // 0 means full range
+            Some(start.wrapping_add(rng.below(span)))
+        }
+    }
+
+    impl Strategy for core::ops::RangeFrom<u128> {
+        type Value = u128;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Option<u128> {
+            let span = (u128::MAX - self.start).wrapping_add(1);
+            Some(self.start.wrapping_add(rng.below(span)))
+        }
+    }
+
+    /// String-literal strategies: a regex subset (char classes, literals,
+    /// `{m}` / `{m,n}` / `?` / `*` / `+`) generating matching strings.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Option<String> {
+            Some(generate_from_pattern(self, rng))
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let (choices, next) = parse_element(&chars, i, pattern);
+            let (min, max, after) = parse_quantifier(&chars, next, pattern);
+            i = after;
+            let count = min + rng.below((max - min + 1) as u128) as usize;
+            for _ in 0..count {
+                out.push(choices[rng.index(choices.len())]);
+            }
+        }
+        out
+    }
+
+    /// One element: a `[...]` class or a literal char. Returns the candidate
+    /// characters and the index just past the element.
+    fn parse_element(chars: &[char], i: usize, pattern: &str) -> (Vec<char>, usize) {
+        if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"))
+                + i;
+            let mut choices = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j], chars[j + 2]);
+                    assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+                    for c in lo..=hi {
+                        choices.push(c);
+                    }
+                    j += 3;
+                } else {
+                    choices.push(chars[j]);
+                    j += 1;
+                }
+            }
+            assert!(
+                !choices.is_empty(),
+                "empty character class in pattern {pattern:?}"
+            );
+            (choices, close + 1)
+        } else if chars[i] == '\\' && i + 1 < chars.len() {
+            (vec![chars[i + 1]], i + 2)
+        } else {
+            (vec![chars[i]], i + 1)
+        }
+    }
+
+    /// Optional quantifier after an element: `(min, max, index_after)`.
+    fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+        const UNBOUNDED: usize = 8; // cap for * and +
+        match chars.get(i) {
+            Some('?') => (0, 1, i + 1),
+            Some('*') => (0, UNBOUNDED, i + 1),
+            Some('+') => (1, UNBOUNDED, i + 1),
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                let parse = |s: &str| {
+                    s.parse::<usize>()
+                        .unwrap_or_else(|_| panic!("bad quantifier in pattern {pattern:?}"))
+                };
+                let (min, max) = match body.split_once(',') {
+                    Some((lo, hi)) => (parse(lo), parse(hi)),
+                    None => {
+                        let n = parse(&body);
+                        (n, n)
+                    }
+                };
+                assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+                (min, max, close + 1)
+            }
+            _ => (1, 1, i),
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                    let ($($name,)+) = self;
+                    Some(($($name.gen_value(rng)?,)+))
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod collection {
+    //! Collection strategies: `vec` and `btree_set`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive size bounds for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(self, rng: &mut TestRng) -> usize {
+            self.min + rng.below((self.max - self.min + 1) as u128) as usize
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Option<BTreeSet<S::Value>> {
+            // Duplicates collapse, so the set may come out smaller than the
+            // drawn size — same contract as real proptest's btree_set.
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` followed by `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __strategy = ($($strat,)+);
+            let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            let mut __passed: u32 = 0;
+            let mut __rejected: u32 = 0;
+            while __passed < __config.cases {
+                let __generated =
+                    $crate::strategy::Strategy::gen_value(&__strategy, &mut __rng);
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    match __generated {
+                        ::std::option::Option::None => ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::reject("filtered"),
+                        ),
+                        ::std::option::Option::Some(__value) => (move || {
+                            let ($($pat,)+) = __value;
+                            $body
+                            ::std::result::Result::Ok(())
+                        })(),
+                    };
+                match __outcome {
+                    ::std::result::Result::Ok(()) => {
+                        __passed += 1;
+                        __rejected = 0;
+                    }
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(__why),
+                    ) => {
+                        __rejected += 1;
+                        if __rejected > __config.max_local_rejects {
+                            panic!(
+                                "proptest {}: {} consecutive rejected cases ({})",
+                                stringify!($name), __rejected, __why
+                            );
+                        }
+                    }
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(__msg),
+                    ) => {
+                        panic!(
+                            "proptest {} failed (after {} passing cases): {}",
+                            stringify!($name), __passed, __msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property; failure reports the case rather
+/// than unwinding, matching proptest semantics (minus shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __left,
+            __right
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left != *__right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __left
+        );
+    }};
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among alternative strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn regex_subset_generates_matching_shapes() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9]{0,3}".gen_value(&mut rng).unwrap();
+            assert!((1..=4).contains(&s.len()), "bad length: {s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn ranges_honor_bounds() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..500 {
+            let v = (0u128..u128::MAX / 2).gen_value(&mut rng).unwrap();
+            assert!(v < u128::MAX / 2);
+            let w = (-5i64..=5).gen_value(&mut rng).unwrap();
+            assert!((-5..=5).contains(&w));
+            let x = (0u64..).gen_value(&mut rng).unwrap();
+            let _ = x;
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_runner_binds_and_asserts(a in 0u32..100, b in 0u32..100) {
+            prop_assume!(a != 99);
+            prop_assert!(a < 100);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn configured_runner_works(v in crate::collection::vec(0i32..10, 0..5)) {
+            prop_assert!(v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Offline stand-in for `serde`.
+//!
+//! Defines the core `Serialize`/`Deserialize`/`Serializer`/`Deserializer`
+//! traits with just enough surface for the workspace's hand-written impls
+//! (`Symbol` serializes as a string) to typecheck. The derive macros are
+//! re-exported from the no-op `serde_derive` stub — they expand to nothing,
+//! so derived types do NOT implement the traits; only hand-written impls do.
+//! No serializer backend exists in-tree (serde_json is unavailable offline),
+//! so these traits are interface declarations awaiting a real backend.
+
+/// Error produced by a serializer or deserializer.
+pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self;
+}
+
+/// A data format that can serialize values.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: Error;
+
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data format that can deserialize values.
+pub trait Deserializer<'de>: Sized {
+    type Error: Error;
+
+    fn deserialize_string(self) -> Result<String, Self::Error>;
+    fn deserialize_u64(self) -> Result<u64, Self::Error>;
+    fn deserialize_i64(self) -> Result<i64, Self::Error>;
+    fn deserialize_bool(self) -> Result<bool, Self::Error>;
+}
+
+/// A value serializable into any supported format.
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A value deserializable from any supported format.
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for u64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self)
+    }
+}
+
+impl Serialize for i64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_string()
+    }
+}
+
+impl<'de> Deserialize<'de> for u64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_u64()
+    }
+}
+
+impl<'de> Deserialize<'de> for i64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_i64()
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_bool()
+    }
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de {
+    pub use crate::{Deserialize, Deserializer, Error};
+}
+
+pub mod ser {
+    pub use crate::{Error, Serialize, Serializer};
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on data types as forward
+//! declarations of serializability, but nothing in-tree instantiates a real
+//! serializer (serde_json is not available offline). These derives therefore
+//! expand to nothing: the annotation compiles, no trait impl is generated,
+//! and any future code that actually *bounds* on the traits will fail to
+//! compile — loudly, at the bound — rather than silently misbehave.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
