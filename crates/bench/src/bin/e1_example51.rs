@@ -14,7 +14,9 @@ use pscds_core::confidence::closed_form::{
     derived_confidence, derived_world_count, paper_confidence, paper_world_count, Example51Fact,
 };
 use pscds_core::confidence::{ConfidenceAnalysis, LinearSystem, PossibleWorlds};
+use pscds_core::govern::Budget;
 use pscds_core::paper::{example_5_1, example_5_1_domain};
+use pscds_core::ParallelConfig;
 use pscds_relational::{Fact, Value};
 use std::time::Instant;
 
@@ -180,6 +182,40 @@ fn main() {
             &["m", "world oracle", "Γ brute force", "signature counter"],
             &rows
         )
+    );
+
+    // ── Table 5: parallel counter cross-check ─────────────────────────
+    println!("\nE1.5  Parallel signature counter (must be bit-identical to serial):\n");
+    let mut rows = Vec::new();
+    for m in [1u64, 100, 10_000] {
+        let serial = ConfidenceAnalysis::analyze(&identity, m);
+        let mut cells = vec![Cell::from(m)];
+        for threads in [2usize, 8] {
+            let config = ParallelConfig::with_threads(threads);
+            let par =
+                ConfidenceAnalysis::analyze_parallel(&identity, m, &Budget::unlimited(), &config)
+                    .expect("unlimited budget");
+            assert_eq!(par.world_count(), serial.world_count(), "m={m} t={threads}");
+            for sym in ["a", "b", "c"] {
+                assert_eq!(
+                    par.confidence_of_tuple(&identity, &[Value::sym(sym)])
+                        .expect("consistent"),
+                    serial
+                        .confidence_of_tuple(&identity, &[Value::sym(sym)])
+                        .expect("consistent"),
+                    "conf({sym}) m={m} t={threads}"
+                );
+            }
+            cells.push(Cell::from(format!(
+                "identical ({} worlds)",
+                par.world_count()
+            )));
+        }
+        rows.push(cells);
+    }
+    println!(
+        "{}",
+        markdown_table(&["m", "2 threads", "8 threads"], &rows)
     );
 
     println!("\nE1: all cross-checks passed.");

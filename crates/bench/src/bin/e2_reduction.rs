@@ -11,7 +11,9 @@
 //! Run: `cargo run -p pscds-bench --release --bin e2_reduction`
 
 use pscds_bench::{markdown_table, Cell};
-use pscds_core::consistency::{decide_identity, IdentityConsistency};
+use pscds_core::consistency::{decide_identity, decide_identity_parallel, IdentityConsistency};
+use pscds_core::govern::Budget;
+use pscds_core::ParallelConfig;
 use pscds_datagen::random_sources::{generate, RandomIdentityConfig};
 use pscds_reductions::{
     consistency_witness_to_hitting_set, hs_star_to_consistency, hs_to_hs_star,
@@ -165,6 +167,50 @@ fn main() {
     println!(
         "{}",
         markdown_table(&["|S|", "sets", "K", "avg decision time"], &rows)
+    );
+
+    // ── (d) Serial vs parallel on the largest adversarial instances ───
+    println!("\nE2.4  Serial vs parallel identity solver (adversarial, domain 24, all cores):\n");
+    let parallel = ParallelConfig::with_threads(0);
+    println!("  worker threads: {}\n", parallel.threads());
+    let mut rows = Vec::new();
+    for n_sources in [10usize, 12, 14] {
+        let trials = 10u64;
+        let mut serial_total = std::time::Duration::ZERO;
+        let mut parallel_total = std::time::Duration::ZERO;
+        for seed in 0..trials {
+            let cfg = RandomIdentityConfig {
+                n_sources,
+                domain_size: 24,
+                extension_density: 0.4,
+                bound_denominator: 6,
+                planted: false,
+                world_density: 0.5,
+                seed: seed + n_sources as u64 * 7000,
+            };
+            let scenario = generate(&cfg).expect("valid config");
+            let identity = scenario.collection.as_identity().expect("identity");
+            let padding = scenario.domain.len() as u64 - identity.all_tuples().len() as u64;
+            let t = Instant::now();
+            let serial = decide_identity(&identity, padding);
+            serial_total += t.elapsed();
+            let t = Instant::now();
+            let par = decide_identity_parallel(&identity, padding, &Budget::unlimited(), &parallel)
+                .expect("unlimited budget");
+            parallel_total += t.elapsed();
+            assert_eq!(par, serial, "parallel verdict diverged (seed {seed})");
+        }
+        let speedup = serial_total.as_secs_f64() / parallel_total.as_secs_f64().max(1e-9);
+        rows.push(vec![
+            Cell::from(n_sources),
+            Cell::from(format!("{:?}", serial_total / trials as u32)),
+            Cell::from(format!("{:?}", parallel_total / trials as u32)),
+            Cell::from(format!("{speedup:.2}x")),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(&["sources", "serial avg", "parallel avg", "speedup"], &rows)
     );
 
     println!("\nE2: all agreement checks passed.");

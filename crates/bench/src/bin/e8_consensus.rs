@@ -10,7 +10,9 @@
 //! Run: `cargo run -p pscds-bench --release --bin e8_consensus`
 
 use pscds_bench::{markdown_table, Cell};
-use pscds_core::consensus::maximal_consistent_subsets;
+use pscds_core::consensus::{maximal_consistent_subsets, maximal_consistent_subsets_parallel};
+use pscds_core::govern::Budget;
+use pscds_core::ParallelConfig;
 use pscds_core::{SourceCollection, SourceDescriptor};
 use pscds_numeric::Frac;
 use pscds_relational::Value;
@@ -144,6 +146,34 @@ fn main() {
     println!(
         "{}",
         markdown_table(&["sources", "maximal subsets", "time"], &rows)
+    );
+
+    println!("\nE8.4  Serial vs parallel consensus (all cores; reports must be identical):\n");
+    let parallel = ParallelConfig::with_threads(0);
+    println!("  worker threads: {}\n", parallel.threads());
+    let mut rows = Vec::new();
+    for n in [12usize, 14, 16] {
+        let collection = scenario(n - 1, 1, 0.2, 7);
+        let t = Instant::now();
+        let serial = maximal_consistent_subsets(&collection, 0).expect("identity views");
+        let serial_dt = t.elapsed();
+        let t = Instant::now();
+        let par =
+            maximal_consistent_subsets_parallel(&collection, 0, &Budget::unlimited(), &parallel)
+                .expect("identity views");
+        let parallel_dt = t.elapsed();
+        assert_eq!(par, serial, "parallel consensus diverged at n={n}");
+        let speedup = serial_dt.as_secs_f64() / parallel_dt.as_secs_f64().max(1e-9);
+        rows.push(vec![
+            Cell::from(n),
+            Cell::from(format!("{serial_dt:?}")),
+            Cell::from(format!("{parallel_dt:?}")),
+            Cell::from(format!("{speedup:.2}x")),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(&["sources", "serial", "parallel", "speedup"], &rows)
     );
 
     println!("\nE8: consensus analysis complete.");

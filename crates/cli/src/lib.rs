@@ -25,15 +25,15 @@
 #![warn(missing_docs)]
 
 use pscds_core::confidence::{PossibleWorlds, SignatureAnalysis};
-use pscds_core::consensus::maximal_consistent_subsets_budgeted;
+use pscds_core::consensus::maximal_consistent_subsets_parallel;
 use pscds_core::consistency::{
-    decide_identity_budgeted, find_witness_budgeted, IdentityConsistency,
+    decide_identity_parallel, find_witness_parallel, IdentityConsistency,
 };
 use pscds_core::govern::Budget;
 use pscds_core::measures::measure;
-use pscds_core::resilient::{confidence_resilient, ResilientConfidence};
+use pscds_core::resilient::{confidence_resilient_with, ResilientConfidence};
 use pscds_core::textfmt::parse_collection;
-use pscds_core::{CoreError, SourceCollection};
+use pscds_core::{CoreError, ParallelConfig, SourceCollection};
 use pscds_relational::parser::{parse_facts, parse_rule};
 use pscds_relational::{Database, Value};
 use std::fmt::Write as _;
@@ -116,6 +116,10 @@ USAGE:
 GOVERNANCE (every analysis is super-polynomial in the worst case):
     --timeout-ms N   wall-clock deadline for the analysis
     --max-steps N    cap on elementary search steps
+    --threads N      worker threads for the search (0 or omitted = all
+                     available cores, honouring PSCDS_THREADS; 1 = the
+                     serial legacy path). Results are bit-identical for
+                     every thread count.
     --approx         allow a sampled estimate when the exact engine
                      exceeds the budget (confidence only; output is
                      clearly labelled)
@@ -142,6 +146,7 @@ struct Options {
     world: Option<String>,
     timeout_ms: Option<u64>,
     max_steps: Option<u64>,
+    threads: Option<usize>,
     approx: bool,
 }
 
@@ -154,6 +159,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         world: None,
         timeout_ms: None,
         max_steps: None,
+        threads: None,
         approx: false,
     };
     let mut iter = args.iter();
@@ -182,6 +188,13 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             "--max-steps" => {
                 let v = grab("--max-steps")?;
                 opts.max_steps = Some(number("--max-steps", v)?);
+            }
+            "--threads" => {
+                let v = grab("--threads")?;
+                opts.threads = Some(
+                    v.parse()
+                        .map_err(|_| CliError::Usage(format!("bad --threads value {v:?}")))?,
+                );
             }
             "--approx" => opts.approx = true,
             other if other.starts_with("--") => {
@@ -222,6 +235,15 @@ fn budget_from(opts: &Options) -> Budget {
         budget = budget.and_max_steps(steps);
     }
     budget.and_cancel(arm_cancellation())
+}
+
+/// Builds the [`ParallelConfig`] for one command: `--threads N` when
+/// given (`0` = all available cores), otherwise the environment default
+/// (`PSCDS_THREADS`, falling back to available parallelism).
+fn parallel_from(opts: &Options) -> ParallelConfig {
+    opts.threads
+        .map(ParallelConfig::with_threads)
+        .unwrap_or_default()
 }
 
 fn load_collection(path: &str) -> Result<SourceCollection, CliError> {
@@ -304,9 +326,10 @@ fn cmd_check(opts: &Options) -> Result<String, CliError> {
     let collection = load_collection(the_file(opts)?)?;
     let padding = opts.padding.unwrap_or(0);
     let budget = budget_from(opts);
+    let parallel = parallel_from(opts);
     let mut out = String::new();
     match collection.as_identity() {
-        Ok(identity) => match decide_identity_budgeted(&identity, padding, &budget)? {
+        Ok(identity) => match decide_identity_parallel(&identity, padding, &budget, &parallel)? {
             IdentityConsistency::Consistent { witness, .. } => {
                 let _ = writeln!(out, "CONSISTENT (identity-view solver, padding {padding})");
                 let _ = writeln!(out, "witness world: {witness}");
@@ -326,7 +349,7 @@ fn cmd_check(opts: &Options) -> Result<String, CliError> {
             // General views: bounded exhaustive search over the mentioned
             // constants plus a few fresh ones.
             let domain = pscds_core::consistency::exhaustive::domain_with_fresh(&collection, 2);
-            match find_witness_budgeted(&collection, &domain, None, &budget)? {
+            match find_witness_parallel(&collection, &domain, None, &budget, &parallel)? {
                 Some(witness) => {
                     let _ = writeln!(
                         out,
@@ -351,7 +374,12 @@ fn cmd_check(opts: &Options) -> Result<String, CliError> {
 fn cmd_consensus(opts: &Options) -> Result<String, CliError> {
     let collection = load_collection(the_file(opts)?)?;
     let padding = opts.padding.unwrap_or(0);
-    let report = maximal_consistent_subsets_budgeted(&collection, padding, &budget_from(opts))?;
+    let report = maximal_consistent_subsets_parallel(
+        &collection,
+        padding,
+        &budget_from(opts),
+        &parallel_from(opts),
+    )?;
     let mut out = String::new();
     if report.fully_consistent() {
         let _ = writeln!(
@@ -402,7 +430,13 @@ fn cmd_confidence(opts: &Options) -> Result<String, CliError> {
     let identity = collection.as_identity()?;
     let padding = opts.padding.unwrap_or_default();
     let budget = budget_from(opts);
-    let result = confidence_resilient(&identity, padding, &budget, opts.approx)?;
+    let result = confidence_resilient_with(
+        &identity,
+        padding,
+        &budget,
+        &parallel_from(opts),
+        opts.approx,
+    )?;
     let mut out = String::new();
     match &result {
         ResilientConfidence::Exact(analysis) => {
@@ -499,7 +533,8 @@ fn cmd_answers(opts: &Options) -> Result<String, CliError> {
     let query = parse_rule(query_text)?;
     let domain = parse_domain(domain_text);
     let budget = budget_from(opts);
-    let worlds = PossibleWorlds::enumerate_budgeted(&collection, &domain, &budget)?;
+    let worlds =
+        PossibleWorlds::enumerate_parallel(&collection, &domain, &budget, &parallel_from(opts))?;
     let mut out = String::new();
     let _ = writeln!(out, "query: {query}");
     let _ = writeln!(out, "possible worlds over the domain: {}", worlds.count());
@@ -918,7 +953,48 @@ mod tests {
         let help = run(&args(&["help"])).unwrap();
         assert!(help.contains("--timeout-ms"));
         assert!(help.contains("--max-steps"));
+        assert!(help.contains("--threads"));
         assert!(help.contains("--approx"));
         assert!(help.contains("EXIT CODES"));
+    }
+
+    #[test]
+    fn threads_flag_keeps_output_bit_identical() {
+        let dir = tmpdir("threads");
+        let file = write_file(&dir, "c.pscds", EXAMPLE);
+        for command in [
+            vec!["check", file.as_str()],
+            vec!["consensus", &file],
+            vec!["confidence", &file, "--padding", "1"],
+            vec![
+                "answers",
+                &file,
+                "--query",
+                "Ans(x) <- R(x)",
+                "--domain",
+                "a,b,c",
+            ],
+        ] {
+            let serial = run(&args(&[command.as_slice(), &["--threads", "1"]].concat())).unwrap();
+            for threads in ["2", "8", "0"] {
+                let par = run(&args(
+                    &[command.as_slice(), &["--threads", threads]].concat(),
+                ))
+                .unwrap();
+                assert_eq!(par, serial, "{} --threads {threads}", command[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn threads_flag_rejects_garbage() {
+        assert!(matches!(
+            run(&args(&["check", "a", "--threads", "many"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["check", "a", "--threads"])),
+            Err(CliError::Usage(_))
+        ));
     }
 }

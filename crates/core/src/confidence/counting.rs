@@ -17,6 +17,7 @@ use crate::collection::IdentityCollection;
 use crate::confidence::signature::SignatureAnalysis;
 use crate::error::CoreError;
 use crate::govern::Budget;
+use crate::partition::{self, ParallelConfig};
 use pscds_numeric::{Rational, UBig};
 use pscds_relational::Value;
 
@@ -114,6 +115,93 @@ impl ConfidenceAnalysis {
                 }
             }
         })?;
+        Ok(ConfidenceAnalysis {
+            analysis,
+            total,
+            class_numerators,
+            feasible_vectors,
+        })
+    }
+
+    /// Work-partitioned parallel variant of
+    /// [`ConfidenceAnalysis::analyze_budgeted`]: the feasibility DFS is
+    /// split into prefix chunks (see [`SignatureAnalysis::prefix_plan`])
+    /// counted across `config.threads()` workers. The per-chunk sums are
+    /// exact `UBig` values merged in chunk order, so the result is
+    /// bit-identical to the serial counter for every thread count;
+    /// `config.threads() == 1` runs the untouched serial path.
+    ///
+    /// # Errors
+    /// As [`ConfidenceAnalysis::analyze_budgeted`].
+    pub fn analyze_parallel(
+        collection: &IdentityCollection,
+        padding: u64,
+        budget: &Budget,
+        config: &ParallelConfig,
+    ) -> Result<Self, CoreError> {
+        let analysis = SignatureAnalysis::new(collection, padding);
+        Self::from_signature_analysis_parallel(analysis, budget, config)
+    }
+
+    /// Parallel variant of
+    /// [`ConfidenceAnalysis::from_signature_analysis_budgeted`] (see
+    /// [`ConfidenceAnalysis::analyze_parallel`]).
+    ///
+    /// # Errors
+    /// As [`ConfidenceAnalysis::from_signature_analysis_budgeted`].
+    pub fn from_signature_analysis_parallel(
+        analysis: SignatureAnalysis,
+        budget: &Budget,
+        config: &ParallelConfig,
+    ) -> Result<Self, CoreError> {
+        if config.is_serial() {
+            return Self::from_signature_analysis_budgeted(analysis, budget);
+        }
+        struct Partial {
+            total: UBig,
+            class_numerators: Vec<UBig>,
+            feasible_vectors: u64,
+        }
+        let n_classes = analysis.classes().len();
+        let prefixes = analysis.prefix_plan(config.target_chunks());
+        let outcomes = partition::run_chunks(config, budget, &prefixes, |_, prefix, budget, _| {
+            let mut rows: Vec<LazyRow> = analysis
+                .classes()
+                .iter()
+                .map(|c| LazyRow::new(c.size))
+                .collect();
+            let mut partial = Partial {
+                total: UBig::zero(),
+                class_numerators: vec![UBig::zero(); n_classes],
+                feasible_vectors: 0,
+            };
+            analysis.try_for_each_feasible_from(prefix, budget, |counts| {
+                partial.feasible_vectors += 1;
+                let mut product = UBig::one();
+                for (j, &k) in counts.iter().enumerate() {
+                    product = product.mul(rows[j].get(k));
+                }
+                partial.total.add_assign(&product);
+                for (j, &k) in counts.iter().enumerate() {
+                    if k > 0 {
+                        partial.class_numerators[j].add_assign(&product.mul_u64(k));
+                    }
+                }
+            })?;
+            Ok(partial)
+        })?;
+        // Exact integer sums are associative and commutative; merging in
+        // chunk order makes the outcome independent of scheduling anyway.
+        let mut total = UBig::zero();
+        let mut class_numerators = vec![UBig::zero(); n_classes];
+        let mut feasible_vectors = 0u64;
+        for partial in outcomes.into_iter().flatten() {
+            total.add_assign(&partial.total);
+            for (acc, part) in class_numerators.iter_mut().zip(&partial.class_numerators) {
+                acc.add_assign(part);
+            }
+            feasible_vectors += partial.feasible_vectors;
+        }
         Ok(ConfidenceAnalysis {
             analysis,
             total,
@@ -688,6 +776,51 @@ mod tests {
             vec![vec![Value::sym("a")], vec![Value::sym("b")]]
         );
         assert_eq!(a.possible_tuples().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parallel_counter_is_bit_identical_to_serial() {
+        let id = example_5_1().as_identity().unwrap();
+        for m in [0u64, 1, 3, 50] {
+            let serial = ConfidenceAnalysis::analyze(&id, m);
+            for threads in [1usize, 2, 8] {
+                let config = ParallelConfig::with_threads(threads);
+                let par =
+                    ConfidenceAnalysis::analyze_parallel(&id, m, &Budget::unlimited(), &config)
+                        .unwrap();
+                assert_eq!(par.world_count(), serial.world_count(), "m={m} t={threads}");
+                assert_eq!(
+                    par.feasible_vectors(),
+                    serial.feasible_vectors(),
+                    "m={m} t={threads}"
+                );
+                for sym in ["a", "b", "c"] {
+                    assert_eq!(
+                        par.confidence_of_tuple(&id, &[Value::sym(sym)]).unwrap(),
+                        serial.confidence_of_tuple(&id, &[Value::sym(sym)]).unwrap(),
+                        "conf({sym}) m={m} t={threads}"
+                    );
+                }
+                assert_eq!(
+                    par.expected_world_size().unwrap(),
+                    serial.expected_world_size().unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_counter_propagates_budget_errors() {
+        use crate::resilient::tests_support::wide_slack_identity;
+        let id = wide_slack_identity(6, 9);
+        let err = ConfidenceAnalysis::analyze_parallel(
+            &id,
+            0,
+            &Budget::with_max_steps(200),
+            &ParallelConfig::with_threads(4),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::BudgetExceeded { .. }));
     }
 
     #[test]

@@ -288,4 +288,59 @@ mod tests {
         let b = sample_confidences(&identity, 2, &config()).unwrap();
         assert_eq!(a.class_confidence, b.class_confidence);
     }
+
+    #[test]
+    fn fixed_seed_statistical_regression() {
+        // Statistical regression guard for the chain itself: across five
+        // pinned seeds on Example 5.1 with m = 2 the estimator must stay
+        // (a) individually within ±0.02 of the exact per-class
+        // confidences, (b) nearly unbiased when averaged across seeds
+        // (±0.005), and (c) healthy by its own diagnostics. A change to
+        // the proposal distribution, the Metropolis ratio, or the RNG
+        // consumption order shifts at least one of these well outside the
+        // bands — while a mere reseeding stays inside them.
+        let identity = example_5_1().as_identity().unwrap();
+        let m = 2u64;
+        let exact = ConfidenceAnalysis::analyze(&identity, m);
+        let analysis = SignatureAnalysis::new(&identity, m);
+        let n_classes = analysis.classes().len();
+        let truths: Vec<f64> = (0..n_classes)
+            .map(|idx| exact.class_confidence(idx).unwrap().to_f64())
+            .collect();
+
+        let seeds = [3u64, 17, 29, 101, 424_242];
+        let mut sums = vec![0.0f64; n_classes];
+        for seed in seeds {
+            let cfg = SamplerConfig {
+                burn_in: 2_000,
+                samples: 60_000,
+                seed,
+            };
+            let sampled = sample_confidences(&identity, m, &cfg).unwrap();
+            assert!(
+                sampled.distinct_vectors >= 4,
+                "seed {seed}: chain stuck ({} vectors)",
+                sampled.distinct_vectors
+            );
+            assert!(
+                (0.05..=0.95).contains(&sampled.acceptance_rate),
+                "seed {seed}: degenerate acceptance rate {}",
+                sampled.acceptance_rate
+            );
+            for (idx, (&truth, &est)) in truths.iter().zip(&sampled.class_confidence).enumerate() {
+                assert!(
+                    (truth - est).abs() < 0.02,
+                    "seed {seed} class {idx}: exact {truth:.4} vs sampled {est:.4}"
+                );
+                sums[idx] += est;
+            }
+        }
+        for (idx, (&truth, &sum)) in truths.iter().zip(&sums).enumerate() {
+            let mean = sum / seeds.len() as f64;
+            assert!(
+                (truth - mean).abs() < 0.005,
+                "class {idx}: seed-averaged estimate {mean:.5} biased against exact {truth:.5}"
+            );
+        }
+    }
 }

@@ -254,6 +254,138 @@ impl SignatureAnalysis {
         self.dfs(0, &mut counts, &mut t, &mut w, &mut visit, budget)
     }
 
+    /// Plans a prefix partition of the feasibility DFS for parallel
+    /// execution: fixes the counts of the first few classes, producing
+    /// independent subtrees whose union is the whole search space.
+    ///
+    /// The prefixes are returned in the serial DFS's exploration order
+    /// (lexicographic, `k` ascending per class), so iterating the chunks
+    /// in order — each enumerated by
+    /// [`try_for_each_feasible_from`](SignatureAnalysis::try_for_each_feasible_from)
+    /// — replays the serial enumeration exactly. Expansion stops once at
+    /// least `target_chunks` prefixes exist, before exceeding a small
+    /// multiple of the target (wide classes, e.g. a huge padding class,
+    /// are never unrolled into millions of chunks), or when every class
+    /// is fixed.
+    #[must_use]
+    pub fn prefix_plan(&self, target_chunks: usize) -> Vec<Vec<u64>> {
+        let target = target_chunks.max(1) as u64;
+        let mut prefixes: Vec<Vec<u64>> = vec![Vec::new()];
+        let mut depth = 0usize;
+        while (prefixes.len() as u64) < target && depth < self.classes.len() {
+            let width = self.classes[depth].size.saturating_add(1);
+            if width.saturating_mul(prefixes.len() as u64) > 16 * target {
+                break;
+            }
+            let mut next = Vec::with_capacity(prefixes.len() * width as usize);
+            for p in &prefixes {
+                for k in 0..=self.classes[depth].size {
+                    let mut q = p.clone();
+                    q.push(k);
+                    next.push(q);
+                }
+            }
+            prefixes = next;
+            depth += 1;
+        }
+        prefixes
+    }
+
+    /// Replays the serial DFS's pruning tests and state updates for a
+    /// fixed count prefix. Returns `false` iff the serial DFS would never
+    /// reach this prefix (an ancestor node fails a pruning test, or a
+    /// prefix count exceeds the serial loop's `k_cap`) — in which case
+    /// the chunk contributes nothing, exactly like the pruned serial
+    /// subtree.
+    fn apply_prefix(&self, prefix: &[u64], counts: &mut [u64], t: &mut [u64], w: &mut u64) -> bool {
+        for (j, &k) in prefix.iter().enumerate() {
+            for (i, b) in self.bounds.iter().enumerate() {
+                let max_future = self.suffix_max_t[i][j];
+                if t[i] + max_future < b.min_sound {
+                    return false;
+                }
+                let den = i128::from(b.completeness.den());
+                let num = i128::from(b.completeness.num());
+                let v = i128::from(t[i]) * den - num * i128::from(*w);
+                if v + i128::from(max_future) * (den - num) < 0 {
+                    return false;
+                }
+            }
+            if k > self.k_cap(j, t, *w) {
+                return false;
+            }
+            counts[j] = k;
+            *w += k;
+            let sig = self.classes[j].signature;
+            for (i, ti) in t.iter_mut().enumerate() {
+                if sig >> i & 1 == 1 {
+                    *ti += k;
+                }
+            }
+        }
+        true
+    }
+
+    /// Enumerates the feasible count vectors of one prefix chunk (see
+    /// [`prefix_plan`](SignatureAnalysis::prefix_plan)), in the serial
+    /// DFS order restricted to that subtree.
+    ///
+    /// # Errors
+    /// [`CoreError::BudgetExceeded`] when the budget runs out
+    /// mid-enumeration.
+    pub fn try_for_each_feasible_from<F: FnMut(&[u64])>(
+        &self,
+        prefix: &[u64],
+        budget: &Budget,
+        mut visit: F,
+    ) -> Result<(), CoreError> {
+        budget.tick("confidence::signature")?;
+        let mut counts = vec![0u64; self.classes.len()];
+        let mut t = vec![0u64; self.bounds.len()];
+        let mut w = 0u64;
+        if !self.apply_prefix(prefix, &mut counts, &mut t, &mut w) {
+            return Ok(());
+        }
+        self.dfs(
+            prefix.len(),
+            &mut counts,
+            &mut t,
+            &mut w,
+            &mut visit,
+            budget,
+        )
+    }
+
+    /// Finds the first feasible count vector of one prefix chunk, in the
+    /// serial DFS order restricted to that subtree.
+    ///
+    /// # Errors
+    /// [`CoreError::BudgetExceeded`] when the budget runs out before the
+    /// subtree is decided.
+    pub fn find_feasible_from(
+        &self,
+        prefix: &[u64],
+        budget: &Budget,
+    ) -> Result<Option<Vec<u64>>, CoreError> {
+        budget.tick("consistency::identity")?;
+        let mut counts = vec![0u64; self.classes.len()];
+        let mut t = vec![0u64; self.bounds.len()];
+        let mut w = 0u64;
+        if !self.apply_prefix(prefix, &mut counts, &mut t, &mut w) {
+            return Ok(None);
+        }
+        let mut found = None;
+        self.dfs_first(
+            prefix.len(),
+            &mut counts,
+            &mut t,
+            &mut w,
+            &mut found,
+            budget,
+        )?;
+        Ok(found)
+    }
+
     /// Largest `k` for class `j` that leaves every completeness constraint
     /// recoverable, given the current partial sums. For sources whose bit
     /// is *unset* in the class signature, each unit of `k` erodes the
@@ -610,6 +742,53 @@ mod tests {
         // ...and errors when not.
         let a0 = analysis(0);
         assert!(a0.class_of(&d_tuple, 0).is_err());
+    }
+
+    #[test]
+    fn prefix_chunks_replay_the_serial_enumeration() {
+        use crate::govern::Budget;
+        // Invariant 3 of the partition contract: concatenating the chunk
+        // enumerations in prefix order must replay the serial DFS order
+        // exactly — same vectors, same sequence.
+        for m in [0u64, 2, 7] {
+            let a = analysis(m);
+            let mut serial = Vec::new();
+            a.for_each_feasible(|c| serial.push(c.to_vec()));
+            for target in [1usize, 2, 5, 16] {
+                let prefixes = a.prefix_plan(target);
+                assert!(!prefixes.is_empty());
+                let mut replayed = Vec::new();
+                for prefix in &prefixes {
+                    a.try_for_each_feasible_from(prefix, &Budget::unlimited(), |c| {
+                        replayed.push(c.to_vec());
+                    })
+                    .unwrap();
+                }
+                assert_eq!(replayed, serial, "m={m} target={target}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_first_feasible_matches_serial() {
+        use crate::govern::Budget;
+        let a = analysis(3);
+        let serial = a.find_feasible().expect("consistent");
+        let prefixes = a.prefix_plan(8);
+        let parallel = prefixes
+            .iter()
+            .find_map(|p| a.find_feasible_from(p, &Budget::unlimited()).unwrap());
+        assert_eq!(parallel, Some(serial));
+    }
+
+    #[test]
+    fn prefix_plan_respects_wide_class_cap() {
+        // The padding class of Example 5.1 at m = 10^6 must not be
+        // unrolled into a million chunks.
+        let a = analysis(1_000_000);
+        let prefixes = a.prefix_plan(8);
+        assert!(prefixes.len() <= 16 * 8, "got {}", prefixes.len());
+        assert!(!prefixes.is_empty());
     }
 
     #[test]

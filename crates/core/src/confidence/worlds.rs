@@ -12,6 +12,7 @@ use crate::collection::SourceCollection;
 use crate::error::CoreError;
 use crate::govern::Budget;
 use crate::measures::in_poss;
+use crate::partition::{self, ParallelConfig};
 use pscds_numeric::Rational;
 use pscds_relational::algebra::RaExpr;
 use pscds_relational::{ConjunctiveQuery, Database, Fact, FactUniverse, GlobalSchema, Value};
@@ -82,6 +83,49 @@ impl PossibleWorlds {
                 masks.push(mask);
             }
         }
+        Ok(PossibleWorlds {
+            universe,
+            schema,
+            masks,
+        })
+    }
+
+    /// Work-partitioned parallel variant of
+    /// [`PossibleWorlds::enumerate_budgeted`]: the ascending-mask subset
+    /// enumeration is split into contiguous mask ranges filtered across
+    /// `config.threads()` workers, and the per-range world masks are
+    /// concatenated in range order — reproducing the serial ascending
+    /// mask list bit-for-bit for every thread count.
+    /// `config.threads() == 1` runs the untouched serial path.
+    ///
+    /// # Errors
+    /// As [`PossibleWorlds::enumerate_budgeted`].
+    pub fn enumerate_parallel(
+        collection: &SourceCollection,
+        domain: &[Value],
+        budget: &Budget,
+        config: &ParallelConfig,
+    ) -> Result<Self, CoreError> {
+        if config.is_serial() {
+            return Self::enumerate_budgeted(collection, domain, budget);
+        }
+        let schema = collection.schema()?;
+        let universe = FactUniverse::over_schema(&schema, domain)?;
+        // Same enumeration cap — and same error — as the serial path.
+        universe.subsets()?;
+        let bits = u32::try_from(universe.len()).expect("enumeration cap fits u32");
+        let ranges = partition::split_mask_range(bits, config.target_chunks());
+        let outcomes = partition::run_chunks(config, budget, &ranges, |_, range, budget, _| {
+            let mut local = Vec::new();
+            for (mask, db) in universe.subsets_range(range.clone())? {
+                budget.tick("confidence::worlds")?;
+                if in_poss(&db, collection)? {
+                    local.push(mask);
+                }
+            }
+            Ok(local)
+        })?;
+        let masks: Vec<u64> = outcomes.into_iter().flatten().flatten().collect();
         Ok(PossibleWorlds {
             universe,
             schema,
@@ -327,6 +371,25 @@ mod tests {
 
     fn worlds(m: usize) -> PossibleWorlds {
         PossibleWorlds::enumerate(&example_5_1(), &example_5_1_domain(m)).unwrap()
+    }
+
+    #[test]
+    fn parallel_enumeration_is_bit_identical_to_serial() {
+        for m in [0usize, 2] {
+            let serial = worlds(m);
+            for threads in [1usize, 2, 8] {
+                let config = ParallelConfig::with_threads(threads);
+                let par = PossibleWorlds::enumerate_parallel(
+                    &example_5_1(),
+                    &example_5_1_domain(m),
+                    &Budget::unlimited(),
+                    &config,
+                )
+                .unwrap();
+                // Same masks, in the same (ascending) order.
+                assert_eq!(par.masks(), serial.masks(), "m={m} threads={threads}");
+            }
+        }
     }
 
     #[test]

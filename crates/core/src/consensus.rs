@@ -19,6 +19,7 @@ use crate::collection::SourceCollection;
 use crate::consistency::identity::decide_identity_budgeted;
 use crate::error::CoreError;
 use crate::govern::Budget;
+use crate::partition::{self, ParallelConfig};
 use pscds_numeric::Rational;
 
 /// The result of a consensus analysis.
@@ -120,6 +121,93 @@ pub fn maximal_consistent_subsets_budgeted(
     padding: u64,
     budget: &Budget,
 ) -> Result<ConsensusReport, CoreError> {
+    let n = validate_consensus_size(collection, budget)?;
+
+    // Enumerate subsets largest-first so maximality checks only look at
+    // already-accepted (larger or equal) subsets.
+    let mut masks: Vec<u32> = (0..(1u32 << n)).collect();
+    masks.sort_by_key(|m| std::cmp::Reverse(m.count_ones()));
+    let mut maximal: Vec<u32> = Vec::new();
+    for mask in masks {
+        budget.tick("consensus")?;
+        if maximal.iter().any(|&m| m & mask == mask) {
+            continue; // contained in an already-found consistent subset
+        }
+        if subset_is_consistent(collection, mask, padding, budget)? {
+            maximal.push(mask);
+        }
+    }
+    Ok(report_from_masks(n, maximal))
+}
+
+/// Work-partitioned parallel variant of
+/// [`maximal_consistent_subsets_budgeted`].
+///
+/// The serial enumeration is largest-subsets-first (popcount descending,
+/// numeric value ascending within a level), filtering each candidate
+/// against the already-accepted maximal subsets. Two subsets of the same
+/// popcount can never contain one another, so the accepted set a
+/// candidate is filtered against consists entirely of **higher** levels —
+/// which makes the levels parallelizable: each popcount level is
+/// filtered against the accepted-so-far set, its surviving candidates
+/// checked for consistency across `config.threads()` workers, and the
+/// verdicts folded back in candidate order before the next level starts.
+/// The accepted set after every level — and hence the report — is
+/// bit-identical to the serial engine's for every thread count.
+/// `config.threads() == 1` runs the untouched serial path.
+///
+/// # Errors
+/// As [`maximal_consistent_subsets_budgeted`].
+pub fn maximal_consistent_subsets_parallel(
+    collection: &SourceCollection,
+    padding: u64,
+    budget: &Budget,
+    config: &ParallelConfig,
+) -> Result<ConsensusReport, CoreError> {
+    if config.is_serial() {
+        return maximal_consistent_subsets_budgeted(collection, padding, budget);
+    }
+    let n = validate_consensus_size(collection, budget)?;
+
+    let mut maximal: Vec<u32> = Vec::new();
+    for level in (0..=u32::try_from(n).expect("n ≤ 31")).rev() {
+        let mut candidates: Vec<u32> = Vec::new();
+        for mask in masks_of_popcount(n as u32, level) {
+            budget.tick("consensus")?;
+            if !maximal.iter().any(|&m| m & mask == mask) {
+                candidates.push(mask);
+            }
+        }
+        if candidates.is_empty() {
+            continue;
+        }
+        let ranges = partition::split_slice_ranges(candidates.len(), config.target_chunks());
+        let outcomes = partition::run_chunks(config, budget, &ranges, |_, range, budget, _| {
+            let mut verdicts = Vec::with_capacity(range.len());
+            for &mask in &candidates[range.clone()] {
+                verdicts.push(subset_is_consistent(collection, mask, padding, budget)?);
+            }
+            Ok(verdicts)
+        })?;
+        for (range, verdicts) in ranges.iter().zip(outcomes.into_iter().flatten()) {
+            for (&mask, ok) in candidates[range.clone()].iter().zip(verdicts) {
+                if ok {
+                    maximal.push(mask);
+                }
+            }
+        }
+    }
+    Ok(report_from_masks(n, maximal))
+}
+
+/// The shared size caps: `u32` masks bound sources at 31; an unlimited
+/// budget additionally keeps the legacy 20-source cap. Also pre-validates
+/// the identity shape (empty collections are fine: the empty subset is
+/// trivially consistent).
+fn validate_consensus_size(
+    collection: &SourceCollection,
+    budget: &Budget,
+) -> Result<usize, CoreError> {
     let n = collection.len();
     if n > 31 {
         return Err(CoreError::SearchSpaceTooLarge {
@@ -137,44 +225,59 @@ pub fn maximal_consistent_subsets_budgeted(
             ),
         });
     }
-    // Pre-validate the identity shape once (empty collections are fine:
-    // the empty subset is trivially consistent).
     if n > 0 {
         let _ = collection.as_identity()?;
     }
+    Ok(n)
+}
 
-    let is_consistent = |mask: u32| -> Result<bool, CoreError> {
-        if mask == 0 {
-            return Ok(true);
-        }
-        let subset = SourceCollection::from_sources(
-            collection
-                .sources()
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| mask >> i & 1 == 1)
-                .map(|(_, s)| s.clone()),
-        );
-        let identity = subset.as_identity()?;
-        Ok(decide_identity_budgeted(&identity, padding, budget)?.is_consistent())
-    };
-
-    // Enumerate subsets largest-first so maximality checks only look at
-    // already-accepted (larger or equal) subsets.
-    let mut masks: Vec<u32> = (0..(1u32 << n)).collect();
-    masks.sort_by_key(|m| std::cmp::Reverse(m.count_ones()));
-    let mut maximal: Vec<u32> = Vec::new();
-    for mask in masks {
-        budget.tick("consensus")?;
-        if maximal.iter().any(|&m| m & mask == mask) {
-            continue; // contained in an already-found consistent subset
-        }
-        if is_consistent(mask)? {
-            maximal.push(mask);
-        }
+/// Is the sub-collection selected by `mask` consistent? A pure function
+/// of the mask, shared between the serial and parallel enumerations.
+fn subset_is_consistent(
+    collection: &SourceCollection,
+    mask: u32,
+    padding: u64,
+    budget: &Budget,
+) -> Result<bool, CoreError> {
+    if mask == 0 {
+        return Ok(true);
     }
-    maximal.sort_unstable();
+    let subset = SourceCollection::from_sources(
+        collection
+            .sources()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, s)| s.clone()),
+    );
+    let identity = subset.as_identity()?;
+    Ok(decide_identity_budgeted(&identity, padding, budget)?.is_consistent())
+}
 
+/// All `n`-bit masks of popcount `k`, ascending (Gosper's hack).
+fn masks_of_popcount(n: u32, k: u32) -> Vec<u32> {
+    if k == 0 {
+        return vec![0];
+    }
+    if k > n {
+        return Vec::new();
+    }
+    let limit = 1u64 << n;
+    let mut v: u64 = (1u64 << k) - 1;
+    let mut out = Vec::new();
+    while v < limit {
+        out.push(u32::try_from(v).expect("masks fit u32 for n ≤ 31"));
+        let c = v & v.wrapping_neg();
+        let r = v + c;
+        v = (((r ^ v) >> 2) / c) | r;
+    }
+    out
+}
+
+/// Folds accepted maximal-subset masks into the final report (sorted
+/// ascending, exactly like the serial engine's output order).
+fn report_from_masks(n: usize, mut maximal: Vec<u32>) -> ConsensusReport {
+    maximal.sort_unstable();
     let maximal_subsets: Vec<Vec<usize>> = maximal
         .iter()
         .map(|&m| (0..n).filter(|&i| m >> i & 1 == 1).collect())
@@ -186,11 +289,11 @@ pub fn maximal_consistent_subsets_budgeted(
             Rational::from_u64(count, denom)
         })
         .collect();
-    Ok(ConsensusReport {
+    ConsensusReport {
         n_sources: n,
         maximal_subsets,
         support,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -294,6 +397,50 @@ mod tests {
         let c = SourceCollection::from_sources([s1, s2]);
         let report = maximal_consistent_subsets(&c, 0).unwrap();
         assert!(report.fully_consistent());
+    }
+
+    #[test]
+    fn masks_of_popcount_tiles_the_descending_enumeration() {
+        // Replaying the levels (n..=0) must reproduce the serial
+        // popcount-descending, value-ascending-within-level order exactly.
+        for n in 0u32..=6 {
+            let mut serial: Vec<u32> = (0..(1u32 << n)).collect();
+            serial.sort_by_key(|m| std::cmp::Reverse(m.count_ones()));
+            let levelled: Vec<u32> = (0..=n)
+                .rev()
+                .flat_map(|k| masks_of_popcount(n, k))
+                .collect();
+            assert_eq!(levelled, serial, "n={n}");
+        }
+    }
+
+    #[test]
+    fn parallel_consensus_is_bit_identical_to_serial() {
+        // A mixed instance: an agreeing majority, a liar, and a slack
+        // source that coexists with everyone.
+        let honest1 = exact("H1", "V1", &["a", "b"]);
+        let honest2 = exact("H2", "V2", &["a", "b"]);
+        let liar = exact("L", "V3", &["z"]);
+        let slack = SourceDescriptor::identity(
+            "S",
+            "V4",
+            "R",
+            1,
+            [[Value::sym("q")]],
+            Frac::HALF,
+            Frac::HALF,
+        )
+        .unwrap();
+        let c = SourceCollection::from_sources([honest1, honest2, liar, slack]);
+        let serial = maximal_consistent_subsets(&c, 1).unwrap();
+        for threads in [1usize, 2, 8] {
+            let config = crate::partition::ParallelConfig::with_threads(threads);
+            let par =
+                maximal_consistent_subsets_parallel(&c, 1, &Budget::unlimited(), &config).unwrap();
+            assert_eq!(par.maximal_subsets, serial.maximal_subsets, "t={threads}");
+            assert_eq!(par.support, serial.support, "t={threads}");
+            assert_eq!(par.n_sources, serial.n_sources, "t={threads}");
+        }
     }
 
     #[test]

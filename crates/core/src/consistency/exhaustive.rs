@@ -11,6 +11,7 @@ use crate::collection::SourceCollection;
 use crate::error::CoreError;
 use crate::govern::Budget;
 use crate::measures::in_poss;
+use crate::partition::{self, ParallelConfig};
 use pscds_relational::{Database, FactUniverse, Value};
 
 /// Decides consistency over the universe of facts with constants in
@@ -45,6 +46,53 @@ pub fn decide_exhaustive_budgeted(
         }
     }
     Ok(None)
+}
+
+/// Work-partitioned parallel variant of [`decide_exhaustive_budgeted`]:
+/// the ascending-mask subset enumeration is split into contiguous mask
+/// ranges (fixing the high bits — the first binary membership choices)
+/// searched across `config.threads()` workers. The witness of the
+/// lowest-indexed range containing one is selected, which is exactly the
+/// serial engine's first witness, for every thread count.
+/// `config.threads() == 1` runs the untouched serial path.
+///
+/// # Errors
+/// As [`decide_exhaustive_budgeted`].
+pub fn decide_exhaustive_parallel(
+    collection: &SourceCollection,
+    domain: &[Value],
+    budget: &Budget,
+    config: &ParallelConfig,
+) -> Result<Option<Database>, CoreError> {
+    if config.is_serial() {
+        return decide_exhaustive_budgeted(collection, domain, budget);
+    }
+    let schema = collection.schema()?;
+    let universe = FactUniverse::over_schema(&schema, domain)?;
+    // Same enumeration cap — and same error — as the serial path.
+    universe.subsets().map_err(CoreError::Rel)?;
+    let bits = u32::try_from(universe.len()).expect("enumeration cap fits u32");
+    let ranges = partition::split_mask_range(bits, config.target_chunks());
+    let outcomes =
+        partition::run_chunks(config, budget, &ranges, |idx, range, budget, control| {
+            let mut scanned = 0u32;
+            for (_, db) in universe
+                .subsets_range(range.clone())
+                .map_err(CoreError::Rel)?
+            {
+                budget.tick("consistency::exhaustive")?;
+                scanned += 1;
+                if scanned & 0xFF == 0 && control.superseded(idx) {
+                    return Ok(None);
+                }
+                if in_poss(&db, collection)? {
+                    control.record_hit(idx);
+                    return Ok(Some(db));
+                }
+            }
+            Ok(None)
+        })?;
+    Ok(partition::first_hit(outcomes))
 }
 
 /// Decides consistency searching only databases within the Lemma 3.1 size
@@ -87,6 +135,90 @@ pub fn find_witness_budgeted(
     for db in universe.subsets_up_to(bound) {
         budget.tick("consistency::exhaustive")?;
         if in_poss(&db, collection)? {
+            return Ok(Some(db));
+        }
+    }
+    Ok(None)
+}
+
+/// Work-partitioned parallel variant of [`find_witness_budgeted`].
+///
+/// The serial engine enumerates candidates smallest-first, then in
+/// lexicographic combination order within each size — so the witness it
+/// returns is the minimal one. The parallel search preserves that
+/// bit-for-bit: size layers are processed **sequentially** (a witness at
+/// size `s` makes all larger layers irrelevant), and within a layer the
+/// combinations are partitioned by their first (lowest) universe index,
+/// which tiles the lexicographic order into ordered chunks. The witness
+/// of the lowest-indexed chunk wins; higher-indexed siblings stop early.
+/// `config.threads() == 1` runs the untouched serial path.
+///
+/// # Errors
+/// As [`find_witness_budgeted`].
+pub fn find_witness_parallel(
+    collection: &SourceCollection,
+    domain: &[Value],
+    size_cap: Option<usize>,
+    budget: &Budget,
+    config: &ParallelConfig,
+) -> Result<Option<Database>, CoreError> {
+    if config.is_serial() {
+        return find_witness_budgeted(collection, domain, size_cap, budget);
+    }
+    let schema = collection.schema()?;
+    let universe = FactUniverse::over_schema(&schema, domain)?;
+    let n = universe.len();
+    let bound = collection
+        .lemma31_bound()
+        .min(size_cap.unwrap_or(usize::MAX))
+        .min(n);
+    // Size 0: the serial enumeration starts with the empty database.
+    budget.tick("consistency::exhaustive")?;
+    if in_poss(&Database::new(), collection)? {
+        return Ok(Some(Database::new()));
+    }
+    for size in 1..=bound {
+        let firsts: Vec<usize> = (0..=n - size).collect();
+        let outcomes =
+            partition::run_chunks(config, budget, &firsts, |idx, &first, budget, control| {
+                // Combinations of `size` universe indices whose lowest
+                // element is `first`, in lexicographic order.
+                let mut combo: Vec<usize> = (first..first + size).collect();
+                let mut scanned = 0u32;
+                loop {
+                    budget.tick("consistency::exhaustive")?;
+                    scanned += 1;
+                    if scanned & 0x3F == 0 && control.superseded(idx) {
+                        return Ok(None);
+                    }
+                    let db = Database::from_facts(combo.iter().map(|&i| universe.fact(i).clone()));
+                    if in_poss(&db, collection)? {
+                        control.record_hit(idx);
+                        return Ok(Some(db));
+                    }
+                    // Advance positions 1.. (standard lexicographic step
+                    // with the first element pinned).
+                    let k = combo.len();
+                    let mut i = k;
+                    let advanced = loop {
+                        if i <= 1 {
+                            break false;
+                        }
+                        i -= 1;
+                        if combo[i] < n - (k - i) {
+                            combo[i] += 1;
+                            for j in i + 1..k {
+                                combo[j] = combo[j - 1] + 1;
+                            }
+                            break true;
+                        }
+                    };
+                    if !advanced {
+                        return Ok(None);
+                    }
+                }
+            })?;
+        if let Some(db) = partition::first_hit(outcomes) {
             return Ok(Some(db));
         }
     }
@@ -178,6 +310,78 @@ mod tests {
         assert!(in_poss(&witness, &c).unwrap());
         // And respects the Lemma 3.1 bound: |body| * Σ|v| = 2 * 1 = 2.
         assert!(witness.len() <= c.lemma31_bound());
+    }
+
+    #[test]
+    fn parallel_decide_matches_serial_witness_exactly() {
+        let c = example_5_1();
+        let domain = example_5_1_domain(1);
+        let serial = decide_exhaustive(&c, &domain).unwrap();
+        for threads in [1usize, 2, 8] {
+            let config = ParallelConfig::with_threads(threads);
+            let par =
+                decide_exhaustive_parallel(&c, &domain, &Budget::unlimited(), &config).unwrap();
+            assert_eq!(par, serial, "threads {threads}");
+        }
+        // And an inconsistent instance stays inconsistent.
+        let s1 = SourceDescriptor::identity(
+            "S1",
+            "V1",
+            "R",
+            1,
+            [[Value::sym("a")]],
+            Frac::ONE,
+            Frac::ONE,
+        )
+        .unwrap();
+        let s2 = SourceDescriptor::identity(
+            "S2",
+            "V2",
+            "R",
+            1,
+            [[Value::sym("b")]],
+            Frac::ONE,
+            Frac::ONE,
+        )
+        .unwrap();
+        let bad = SourceCollection::from_sources([s1, s2]);
+        let bad_domain = domain_with_fresh(&bad, 2);
+        for threads in [2usize, 8] {
+            let config = ParallelConfig::with_threads(threads);
+            assert_eq!(
+                decide_exhaustive_parallel(&bad, &bad_domain, &Budget::unlimited(), &config)
+                    .unwrap(),
+                None
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_witness_search_is_minimal_and_identical() {
+        let c = example_5_1();
+        let domain = example_5_1_domain(1);
+        let serial = find_witness_bounded(&c, &domain, None).unwrap().unwrap();
+        for threads in [1usize, 2, 8] {
+            let config = ParallelConfig::with_threads(threads);
+            let par = find_witness_parallel(&c, &domain, None, &Budget::unlimited(), &config)
+                .unwrap()
+                .unwrap();
+            assert_eq!(par, serial, "threads {threads}");
+            assert_eq!(par.to_string(), "{R(b)}");
+        }
+        // Size caps behave identically too.
+        for cap in [0usize, 1, 2] {
+            let s = find_witness_bounded(&c, &domain, Some(cap)).unwrap();
+            let p = find_witness_parallel(
+                &c,
+                &domain,
+                Some(cap),
+                &Budget::unlimited(),
+                &ParallelConfig::with_threads(4),
+            )
+            .unwrap();
+            assert_eq!(p, s, "cap {cap}");
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::collection::IdentityCollection;
 use crate::confidence::signature::SignatureAnalysis;
 use crate::error::CoreError;
 use crate::govern::Budget;
+use crate::partition::{self, ParallelConfig};
 use pscds_relational::Database;
 
 /// The outcome of an identity-collection consistency check.
@@ -73,6 +74,46 @@ pub fn decide_identity_budgeted(
 ) -> Result<IdentityConsistency, CoreError> {
     let analysis = SignatureAnalysis::new(collection, padding);
     Ok(match analysis.find_feasible_budgeted(budget)? {
+        Some(counts) => {
+            let witness = analysis.materialize(&counts);
+            IdentityConsistency::Consistent { witness, counts }
+        }
+        None => IdentityConsistency::Inconsistent,
+    })
+}
+
+/// Work-partitioned parallel variant of [`decide_identity_budgeted`]:
+/// the feasibility DFS is split into prefix chunks (see
+/// [`SignatureAnalysis::prefix_plan`]) searched across
+/// `config.threads()` workers. The first feasible vector of the
+/// lowest-indexed chunk is selected — exactly the serial DFS's first
+/// find — so witness and counts are bit-identical to the serial solver
+/// for every thread count; higher-indexed siblings stop early once a
+/// lower chunk has a witness. `config.threads() == 1` runs the untouched
+/// serial path.
+///
+/// # Errors
+/// As [`decide_identity_budgeted`].
+pub fn decide_identity_parallel(
+    collection: &IdentityCollection,
+    padding: u64,
+    budget: &Budget,
+    config: &ParallelConfig,
+) -> Result<IdentityConsistency, CoreError> {
+    if config.is_serial() {
+        return decide_identity_budgeted(collection, padding, budget);
+    }
+    let analysis = SignatureAnalysis::new(collection, padding);
+    let prefixes = analysis.prefix_plan(config.target_chunks());
+    let outcomes =
+        partition::run_chunks(config, budget, &prefixes, |idx, prefix, budget, control| {
+            let found = analysis.find_feasible_from(prefix, budget)?;
+            if found.is_some() {
+                control.record_hit(idx);
+            }
+            Ok(found)
+        })?;
+    Ok(match partition::first_hit(outcomes) {
         Some(counts) => {
             let witness = analysis.materialize(&counts);
             IdentityConsistency::Consistent { witness, counts }
@@ -180,6 +221,50 @@ mod tests {
             let fast = decide_identity(&id, padding).is_consistent();
             let slow = decide_exhaustive(&collection, &domain).unwrap().is_some();
             assert_eq!(fast, slow, "trial {trial}: {collection}");
+        }
+    }
+
+    #[test]
+    fn parallel_solver_is_bit_identical_to_serial() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let domain: Vec<Value> = (0..6).map(|i| Value::sym(&format!("u{i}"))).collect();
+        for trial in 0..30 {
+            let n_sources = rng.gen_range(2..=4);
+            let mut sources = Vec::new();
+            for s in 0..n_sources {
+                let ext: Vec<[Value; 1]> = domain
+                    .iter()
+                    .filter(|_| rng.gen_bool(0.5))
+                    .map(|&v| [v])
+                    .collect();
+                let c = Frac::new(rng.gen_range(0..=4), 4);
+                let snd = Frac::new(rng.gen_range(0..=4), 4);
+                sources.push(
+                    SourceDescriptor::identity(
+                        format!("S{s}"),
+                        format!("V{s}").as_str(),
+                        "R",
+                        1,
+                        ext,
+                        c,
+                        snd,
+                    )
+                    .unwrap(),
+                );
+            }
+            let id = SourceCollection::from_sources(sources)
+                .as_identity()
+                .unwrap();
+            let padding = rng.gen_range(0..=3);
+            let serial = decide_identity(&id, padding);
+            for threads in [1usize, 2, 8] {
+                let config = ParallelConfig::with_threads(threads);
+                let par =
+                    decide_identity_parallel(&id, padding, &Budget::unlimited(), &config).unwrap();
+                assert_eq!(par, serial, "trial {trial} threads {threads}");
+            }
         }
     }
 

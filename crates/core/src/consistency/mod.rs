@@ -21,7 +21,10 @@ pub mod identity;
 pub mod witness;
 
 pub use exhaustive::{
-    decide_exhaustive, decide_exhaustive_budgeted, find_witness_bounded, find_witness_budgeted,
+    decide_exhaustive, decide_exhaustive_budgeted, decide_exhaustive_parallel,
+    find_witness_bounded, find_witness_budgeted, find_witness_parallel,
 };
-pub use identity::{decide_identity, decide_identity_budgeted, IdentityConsistency};
+pub use identity::{
+    decide_identity, decide_identity_budgeted, decide_identity_parallel, IdentityConsistency,
+};
 pub use witness::{lemma31_bound, minimal_witness, minimal_witness_budgeted, shrink_witness};

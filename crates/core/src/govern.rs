@@ -171,6 +171,29 @@ impl Budget {
         fresh
     }
 
+    /// A budget for a parallel worker: the **same absolute deadline** (no
+    /// restart — sibling workers race the same clock), the same step
+    /// allowance (counted per worker, so a `max_steps` budget bounds each
+    /// worker's share of the search rather than the global total), a fresh
+    /// step counter, and this budget's cancellation flag. Contrast with
+    /// [`Budget::renewed`], which restarts the clock for a *sequential*
+    /// fallback engine.
+    ///
+    /// `Budget` is `Send` but not `Sync` (the step counter is a
+    /// [`Cell`]), so the parallel driver forks one budget per worker on
+    /// the spawning thread and moves each fork into its task.
+    #[must_use]
+    pub fn fork(&self) -> Self {
+        Budget {
+            started: self.started,
+            allotment: self.allotment,
+            deadline: self.deadline,
+            max_steps: self.max_steps,
+            steps: Cell::new(0),
+            cancel: Arc::clone(&self.cancel),
+        }
+    }
+
     /// Records one unit of search work and fails if the budget is
     /// exhausted. The step allowance is enforced exactly; the deadline
     /// and the cancellation flag are consulted every
@@ -320,6 +343,42 @@ mod tests {
         assert!(fresh.tick("test").is_ok());
         b.cancel_handle().store(true, Ordering::Relaxed);
         assert!(fresh.check("test").is_err(), "cancel flag is shared");
+    }
+
+    #[test]
+    fn fork_keeps_absolute_deadline_and_shares_cancel() {
+        let b = Budget::with_deadline(Duration::from_millis(5)).and_max_steps(1000);
+        for _ in 0..10 {
+            b.tick("test").unwrap();
+        }
+        let fork = b.fork();
+        // Fresh step counter, same allowance.
+        assert_eq!(fork.steps(), 0);
+        assert_eq!(b.steps(), 10);
+        // The deadline is absolute: once the parent's clock runs out, so
+        // does the fork's — no renewal.
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(fork.check("test").is_err(), "fork shares the deadline");
+        // Cancel is shared both ways.
+        let b2 = Budget::unlimited();
+        let f2 = b2.fork();
+        b2.cancel_handle().store(true, Ordering::Relaxed);
+        assert!(f2.check("test").is_err(), "cancel flag is shared");
+    }
+
+    #[test]
+    fn fork_is_send_across_threads() {
+        let b = Budget::with_max_steps(100);
+        let forks: Vec<Budget> = (0..4).map(|_| b.fork()).collect();
+        std::thread::scope(|s| {
+            for f in forks {
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        f.tick("test").unwrap();
+                    }
+                });
+            }
+        });
     }
 
     #[test]

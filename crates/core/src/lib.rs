@@ -55,6 +55,7 @@ pub mod error;
 pub mod govern;
 pub mod measures;
 pub mod paper;
+pub mod partition;
 pub mod resilient;
 pub mod templates;
 pub mod textfmt;
@@ -64,4 +65,8 @@ pub use descriptor::SourceDescriptor;
 pub use error::CoreError;
 pub use govern::{Budget, Engine};
 pub use measures::{completeness_of, satisfies, soundness_of, MeasureReport};
-pub use resilient::{check_resilient, confidence_resilient, ResilientCheck, ResilientConfidence};
+pub use partition::ParallelConfig;
+pub use resilient::{
+    check_resilient, check_resilient_with, confidence_resilient, confidence_resilient_with,
+    ResilientCheck, ResilientConfidence,
+};

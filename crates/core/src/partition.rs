@@ -1,0 +1,464 @@
+//! Work-partitioned parallel execution for the exponential engines.
+//!
+//! Every hard kernel in this crate walks a search space that factors into
+//! independent sub-ranges once the first few binary choices are fixed:
+//! subset masks over a fact universe (consistency / possible worlds /
+//! consensus), per-class count-vector prefixes (the signature DFS behind
+//! exact confidence), and witness-size layers (the Lemma 3.1 bounded
+//! search). This module provides the shared machinery:
+//!
+//! * [`ParallelConfig`] — how many worker threads to use (`1` = run the
+//!   untouched legacy serial code path);
+//! * [`split_mask_range`] / [`split_slice_ranges`] — deterministic
+//!   splitters that fix the *high* bits of a subset mask (resp. slice a
+//!   candidate list) into ordered, disjoint, covering chunks;
+//! * [`run_chunks`] — a `rayon`-backed driver that claims chunks in order
+//!   across workers, forks the caller's [`Budget`] per worker (same
+//!   absolute deadline, shared cancellation flag), collects per-chunk
+//!   results in **chunk order**, and propagates the error of the
+//!   lowest-indexed failing chunk;
+//! * [`SearchControl`] — first-witness short-circuiting for the decision
+//!   problems that keeps results bit-identical to the serial engines.
+//!
+//! # Determinism contract
+//!
+//! The parallel engines must return *bit-for-bit* the same answer as
+//! their serial counterparts for every thread count. Three invariants
+//! deliver that:
+//!
+//! 1. **Ordered partitions.** Chunks partition the serial iteration
+//!    order: concatenating the chunks' sub-ranges in chunk-index order
+//!    replays exactly the serial order. Merges therefore either
+//!    concatenate in chunk order (world masks) or are associative and
+//!    commutative (exact `UBig` sums), so thread scheduling cannot leak
+//!    into the result.
+//! 2. **First-hit = lowest chunk.** For decision problems the serial
+//!    engine returns the first witness in iteration order. The parallel
+//!    driver takes the witness of the *lowest-indexed* chunk that found
+//!    one; a worker may abandon its chunk only when a **lower**-indexed
+//!    chunk has already recorded a hit ([`SearchControl::superseded`]),
+//!    in which case its own answer could never have been selected.
+//! 3. **Identical pruning.** Prefix-partitioned DFS workers re-apply the
+//!    serial pruning tests to their fixed prefix before descending, so a
+//!    subtree skipped serially is skipped in parallel too (and
+//!    vice versa).
+//!
+//! Budget semantics under parallelism: the wall-clock deadline is shared
+//! (absolute — see [`Budget::fork`]), cancellation interrupts every
+//! worker, and a step allowance bounds each *worker's* steps rather than
+//! the global total (deterministic truncation per-worker; exact global
+//! step parity with the serial engine is only guaranteed at `threads =
+//! 1`, which runs the legacy code path).
+
+use crate::error::CoreError;
+use crate::govern::Budget;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How many threads the parallel engines may use.
+///
+/// `threads = 1` is the exact legacy path: every `*_parallel` entry point
+/// delegates to its serial `*_budgeted` twin without spawning. `0` (or
+/// [`ParallelConfig::default`]) resolves to the machine's available
+/// parallelism, overridable with the `PSCDS_THREADS` environment
+/// variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelConfig {
+    threads: usize,
+}
+
+impl ParallelConfig {
+    /// The serial configuration: one thread, legacy code path.
+    #[must_use]
+    pub fn serial() -> Self {
+        ParallelConfig { threads: 1 }
+    }
+
+    /// A configuration with an explicit thread count (`0` = auto-detect).
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        if threads == 0 {
+            ParallelConfig {
+                threads: detected_threads(),
+            }
+        } else {
+            ParallelConfig { threads }
+        }
+    }
+
+    /// The resolved worker count (≥ 1).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// `true` iff this configuration runs the legacy serial path.
+    #[must_use]
+    pub fn is_serial(&self) -> bool {
+        self.threads <= 1
+    }
+
+    /// How many chunks a splitter should aim for: a small multiple of the
+    /// worker count, so early-finishing workers can steal remaining
+    /// chunks instead of idling behind a skewed one.
+    #[must_use]
+    pub fn target_chunks(&self) -> usize {
+        self.threads.saturating_mul(4).max(1)
+    }
+}
+
+impl Default for ParallelConfig {
+    /// Available parallelism, overridable via `PSCDS_THREADS`.
+    fn default() -> Self {
+        if let Ok(value) = std::env::var("PSCDS_THREADS") {
+            if let Ok(n) = value.trim().parse::<usize>() {
+                return ParallelConfig::with_threads(n);
+            }
+        }
+        ParallelConfig::with_threads(0)
+    }
+}
+
+fn detected_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// First-witness coordination between sibling chunks of a decision
+/// problem.
+///
+/// A worker that finds a witness records its chunk index; workers on
+/// **higher**-indexed chunks may then abandon their search (their answer
+/// could never be selected — see the module-level determinism contract),
+/// while lower-indexed chunks run to completion so the final answer is
+/// the serial one.
+#[derive(Debug)]
+pub struct SearchControl {
+    first_hit: AtomicUsize,
+}
+
+impl SearchControl {
+    fn new() -> Self {
+        SearchControl {
+            first_hit: AtomicUsize::new(usize::MAX),
+        }
+    }
+
+    /// Records that chunk `chunk_idx` found a witness.
+    pub fn record_hit(&self, chunk_idx: usize) {
+        self.first_hit.fetch_min(chunk_idx, Ordering::SeqCst);
+    }
+
+    /// `true` iff a chunk with a *lower* index already found a witness,
+    /// so work on `chunk_idx` can never influence the final answer.
+    #[must_use]
+    pub fn superseded(&self, chunk_idx: usize) -> bool {
+        self.first_hit.load(Ordering::Relaxed) < chunk_idx
+    }
+}
+
+/// Splits the mask space `0..2^bits` into at most `target_chunks`
+/// equal-width, ordered, disjoint ranges covering the whole space.
+///
+/// The split fixes the *high* bits of the mask (the first `k` binary
+/// choices of the subset search, for ranges of width `2^(bits-k)`), so
+/// concatenating the ranges in order replays the serial ascending-mask
+/// enumeration exactly.
+#[must_use]
+pub fn split_mask_range(bits: u32, target_chunks: usize) -> Vec<Range<u64>> {
+    assert!(bits < 64, "mask space must fit u64");
+    let total: u64 = 1u64 << bits;
+    // Chunk count = largest power of two ≤ target (and ≤ total), so every
+    // chunk has identical width and the arithmetic stays exact.
+    let mut k = 0u32;
+    while k < bits && (1u64 << (k + 1)) <= target_chunks as u64 {
+        k += 1;
+    }
+    let chunks = 1u64 << k;
+    let width = total / chunks;
+    (0..chunks).map(|i| i * width..(i + 1) * width).collect()
+}
+
+/// Splits `0..len` into at most `target_chunks` ordered, disjoint,
+/// covering ranges of near-equal length (first `len % chunks` ranges one
+/// longer).
+#[must_use]
+pub fn split_slice_ranges(len: usize, target_chunks: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunks = target_chunks.clamp(1, len);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let width = base + usize::from(i < extra);
+        ranges.push(start..start + width);
+        start += width;
+    }
+    ranges
+}
+
+/// Runs `worker` over every chunk, in order on one thread when
+/// `config.is_serial()`, otherwise across `config.threads()` workers that
+/// claim chunks in ascending index order.
+///
+/// Returns one slot per chunk, **in chunk order**: `Some(result)` for a
+/// chunk whose worker ran to completion, `None` for a chunk skipped
+/// because a lower-indexed chunk had already recorded a witness on the
+/// shared [`SearchControl`] (or because an error aborted the run). Each
+/// parallel worker receives a [fork](Budget::fork) of `budget`; the
+/// serial path hands `budget` through untouched, preserving legacy step
+/// accounting.
+///
+/// # Errors
+/// The error of the **lowest-indexed** failing chunk — again independent
+/// of scheduling. Remaining workers stop claiming new chunks once any
+/// error is recorded.
+pub fn run_chunks<T, R, W>(
+    config: &ParallelConfig,
+    budget: &Budget,
+    chunks: &[T],
+    worker: W,
+) -> Result<Vec<Option<R>>, CoreError>
+where
+    T: Sync,
+    R: Send,
+    W: Fn(usize, &T, &Budget, &SearchControl) -> Result<R, CoreError> + Sync,
+{
+    let control = SearchControl::new();
+    if config.is_serial() || chunks.len() <= 1 {
+        let mut results = Vec::with_capacity(chunks.len());
+        for (idx, chunk) in chunks.iter().enumerate() {
+            if control.superseded(idx) {
+                results.push(None);
+            } else {
+                results.push(Some(worker(idx, chunk, budget, &control)?));
+            }
+        }
+        return Ok(results);
+    }
+
+    let next = AtomicUsize::new(0);
+    let aborted = AtomicBool::new(false);
+    let slots: Vec<Mutex<Option<R>>> = chunks.iter().map(|_| Mutex::new(None)).collect();
+    let first_error: Mutex<Option<(usize, CoreError)>> = Mutex::new(None);
+    let workers = config.threads().min(chunks.len());
+
+    // Budgets are forked on this thread (`Budget` is `Send` but not
+    // `Sync`) and moved into the workers.
+    let forks: Vec<Budget> = (0..workers).map(|_| budget.fork()).collect();
+
+    rayon::scope(|s| {
+        for fork in forks {
+            let (next, aborted, slots, first_error, control, worker) =
+                (&next, &aborted, &slots, &first_error, &control, &worker);
+            s.spawn(move |_| loop {
+                let idx = next.fetch_add(1, Ordering::SeqCst);
+                if idx >= slots.len() || aborted.load(Ordering::Relaxed) {
+                    return;
+                }
+                if control.superseded(idx) {
+                    continue;
+                }
+                match worker(idx, &chunks[idx], &fork, control) {
+                    Ok(result) => {
+                        *slots[idx].lock().expect("result slot poisoned") = Some(result);
+                    }
+                    Err(err) => {
+                        let mut guard = first_error.lock().expect("error slot poisoned");
+                        if guard.as_ref().is_none_or(|(i, _)| idx < *i) {
+                            *guard = Some((idx, err));
+                        }
+                        aborted.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some((_, err)) = first_error.into_inner().expect("error slot poisoned") {
+        return Err(err);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("result slot poisoned"))
+        .collect())
+}
+
+/// Convenience merge for decision problems: the first completed chunk
+/// result that is `Some`, in chunk order — exactly the serial engine's
+/// first witness.
+#[must_use]
+pub fn first_hit<R>(outcomes: Vec<Option<Option<R>>>) -> Option<R> {
+    outcomes.into_iter().flatten().flatten().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_resolution() {
+        assert!(ParallelConfig::serial().is_serial());
+        assert_eq!(ParallelConfig::serial().threads(), 1);
+        assert_eq!(ParallelConfig::with_threads(8).threads(), 8);
+        assert!(!ParallelConfig::with_threads(8).is_serial());
+        assert!(ParallelConfig::with_threads(0).threads() >= 1);
+        assert_eq!(ParallelConfig::with_threads(3).target_chunks(), 12);
+    }
+
+    #[test]
+    fn mask_split_covers_space_in_order() {
+        for bits in [0u32, 1, 3, 10] {
+            for target in [1usize, 2, 3, 4, 7, 8, 64] {
+                let ranges = split_mask_range(bits, target);
+                assert!(!ranges.is_empty());
+                assert!(ranges.len() <= target.max(1));
+                // Contiguous, ordered, covering.
+                assert_eq!(ranges[0].start, 0);
+                for pair in ranges.windows(2) {
+                    assert_eq!(pair[0].end, pair[1].start);
+                }
+                assert_eq!(ranges.last().unwrap().end, 1u64 << bits);
+                // Equal widths (a power-of-two split).
+                let w = ranges[0].end - ranges[0].start;
+                assert!(ranges.iter().all(|r| r.end - r.start == w));
+            }
+        }
+    }
+
+    #[test]
+    fn slice_split_covers_in_order() {
+        for len in [0usize, 1, 5, 16, 17] {
+            for target in [1usize, 2, 4, 100] {
+                let ranges = split_slice_ranges(len, target);
+                let replay: Vec<usize> = ranges.iter().flat_map(|r| r.clone()).collect();
+                let expected: Vec<usize> = (0..len).collect();
+                assert_eq!(replay, expected, "len={len} target={target}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_chunks_merges_in_order_at_any_thread_count() {
+        let chunks: Vec<u64> = (0..16).collect();
+        let serial = run_chunks(
+            &ParallelConfig::serial(),
+            &Budget::unlimited(),
+            &chunks,
+            |_, &c, _, _| Ok(c * c),
+        )
+        .unwrap();
+        for threads in [2usize, 8] {
+            let parallel = run_chunks(
+                &ParallelConfig::with_threads(threads),
+                &Budget::unlimited(),
+                &chunks,
+                |_, &c, _, _| Ok(c * c),
+            )
+            .unwrap();
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+        let squares: Vec<u64> = serial.into_iter().flatten().collect();
+        assert_eq!(squares, (0..16).map(|c| c * c).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_chunks_reports_lowest_error() {
+        let chunks: Vec<usize> = (0..12).collect();
+        for threads in [1usize, 4] {
+            let err = run_chunks(
+                &ParallelConfig::with_threads(threads),
+                &Budget::unlimited(),
+                &chunks,
+                |idx, _, _, _| {
+                    if idx >= 3 {
+                        Err(CoreError::BadDomain {
+                            message: format!("chunk {idx}"),
+                        })
+                    } else {
+                        Ok(idx)
+                    }
+                },
+            )
+            .unwrap_err();
+            let CoreError::BadDomain { message } = err else {
+                panic!("unexpected error kind");
+            };
+            assert_eq!(message, "chunk 3", "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_chunks_budget_cancellation_stops_workers() {
+        let budget = Budget::unlimited();
+        budget
+            .cancel_handle()
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+        let chunks: Vec<usize> = (0..8).collect();
+        let err = run_chunks(
+            &ParallelConfig::with_threads(4),
+            &budget,
+            &chunks,
+            |_, _, b, _| {
+                b.check("partition-test")?;
+                Ok(())
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn superseded_chunks_are_skipped_but_lower_hits_win() {
+        // Chunk 5 records a hit instantly; chunk 2 also finds one. The
+        // merged first hit must be chunk 2's regardless of timing.
+        let chunks: Vec<usize> = (0..8).collect();
+        for threads in [1usize, 2, 8] {
+            let outcomes = run_chunks(
+                &ParallelConfig::with_threads(threads),
+                &Budget::unlimited(),
+                &chunks,
+                |idx, _, _, control| {
+                    if idx == 5 || idx == 2 {
+                        control.record_hit(idx);
+                        Ok(Some(idx))
+                    } else {
+                        Ok(None)
+                    }
+                },
+            )
+            .unwrap();
+            assert_eq!(first_hit(outcomes), Some(2), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn search_control_ordering() {
+        let c = SearchControl::new();
+        assert!(!c.superseded(0));
+        assert!(!c.superseded(100));
+        c.record_hit(7);
+        assert!(c.superseded(8));
+        assert!(!c.superseded(7));
+        assert!(!c.superseded(3));
+        c.record_hit(3);
+        assert!(c.superseded(7));
+        assert!(!c.superseded(3));
+    }
+
+    #[test]
+    fn empty_chunk_list() {
+        let outcomes = run_chunks(
+            &ParallelConfig::with_threads(4),
+            &Budget::unlimited(),
+            &Vec::<u64>::new(),
+            |_, _, _, _| Ok(()),
+        )
+        .unwrap();
+        assert!(outcomes.is_empty());
+    }
+}

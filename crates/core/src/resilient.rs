@@ -23,10 +23,11 @@ use crate::collection::IdentityCollection;
 use crate::confidence::counting::ConfidenceAnalysis;
 use crate::confidence::sampling::{sample_confidences_budgeted, SampledConfidence, SamplerConfig};
 use crate::confidence::signature::SignatureAnalysis;
-use crate::consistency::exhaustive::find_witness_budgeted;
-use crate::consistency::identity::{decide_identity_budgeted, IdentityConsistency};
+use crate::consistency::exhaustive::find_witness_parallel;
+use crate::consistency::identity::{decide_identity_parallel, IdentityConsistency};
 use crate::error::CoreError;
 use crate::govern::{Budget, Engine};
+use crate::partition::ParallelConfig;
 use crate::SourceCollection;
 use pscds_numeric::Rational;
 use pscds_relational::{Database, Value};
@@ -64,7 +65,24 @@ pub fn check_resilient(
     domain: &[Value],
     budget: &Budget,
 ) -> Result<ResilientCheck, CoreError> {
-    match find_witness_budgeted(collection, domain, None, budget) {
+    check_resilient_with(collection, domain, budget, &ParallelConfig::serial())
+}
+
+/// [`check_resilient`] with an explicit [`ParallelConfig`]: both the
+/// exhaustive witness search and the signature fallback run their
+/// work-partitioned parallel variants, which return bit-identical results
+/// for every thread count. `config.threads() == 1` is exactly
+/// [`check_resilient`].
+///
+/// # Errors
+/// As [`check_resilient`].
+pub fn check_resilient_with(
+    collection: &SourceCollection,
+    domain: &[Value],
+    budget: &Budget,
+    config: &ParallelConfig,
+) -> Result<ResilientCheck, CoreError> {
+    match find_witness_parallel(collection, domain, None, budget, config) {
         Ok(witness) => Ok(ResilientCheck {
             engine: Engine::Exact,
             consistent: witness.is_some(),
@@ -84,7 +102,7 @@ pub fn check_resilient(
                 });
             };
             let padding = padding_of(&identity, domain)?;
-            match decide_identity_budgeted(&identity, padding, &budget.renewed())? {
+            match decide_identity_parallel(&identity, padding, &budget.renewed(), config)? {
                 IdentityConsistency::Consistent { witness, .. } => Ok(ResilientCheck {
                     engine: Engine::Signature,
                     consistent: true,
@@ -213,7 +231,31 @@ pub fn confidence_resilient(
     budget: &Budget,
     approx: bool,
 ) -> Result<ResilientConfidence, CoreError> {
-    match ConfidenceAnalysis::analyze_budgeted(collection, padding, budget) {
+    confidence_resilient_with(
+        collection,
+        padding,
+        budget,
+        &ParallelConfig::serial(),
+        approx,
+    )
+}
+
+/// [`confidence_resilient`] with an explicit [`ParallelConfig`]: the
+/// exact counter runs its work-partitioned parallel variant (bit-identical
+/// totals for every thread count); the Metropolis fallback is a single
+/// chain and stays serial. `config.threads() == 1` is exactly
+/// [`confidence_resilient`].
+///
+/// # Errors
+/// As [`confidence_resilient`].
+pub fn confidence_resilient_with(
+    collection: &IdentityCollection,
+    padding: u64,
+    budget: &Budget,
+    config: &ParallelConfig,
+    approx: bool,
+) -> Result<ResilientConfidence, CoreError> {
+    match ConfidenceAnalysis::analyze_parallel(collection, padding, budget, config) {
         Ok(analysis) => Ok(ResilientConfidence::Exact(analysis)),
         Err(e @ CoreError::BudgetExceeded { .. }) => {
             if !approx {
@@ -233,8 +275,45 @@ pub fn confidence_resilient(
     }
 }
 
+/// Test-only instance builders shared across the crate's test modules.
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use crate::collection::{IdentityCollection, SourceCollection};
+    use crate::descriptor::SourceDescriptor;
+    use pscds_numeric::Frac;
+    use pscds_relational::Value;
+
+    /// A collection whose exact count explodes: `k` sources with disjoint
+    /// `t`-tuple extensions, zero completeness and soundness 1/4 — each
+    /// class's count ranges freely over `⌈t/4⌉..=t`, so there are roughly
+    /// `(3t/4)^k` feasible count vectors — while the sampler only ticks
+    /// once per sweep.
+    pub(crate) fn wide_slack_identity(k: usize, t: usize) -> IdentityCollection {
+        let sources: Vec<SourceDescriptor> = (0..k)
+            .map(|i| {
+                let ext: Vec<[Value; 1]> =
+                    (0..t).map(|j| [Value::sym(&format!("x{i}_{j}"))]).collect();
+                SourceDescriptor::identity(
+                    format!("S{i}"),
+                    &format!("V{i}"),
+                    "R",
+                    1,
+                    ext,
+                    Frac::ZERO,
+                    Frac::new(1, 4),
+                )
+                .unwrap()
+            })
+            .collect();
+        SourceCollection::from_sources(sources)
+            .as_identity()
+            .unwrap()
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::tests_support::wide_slack_identity;
     use super::*;
     use crate::consistency::exhaustive::domain_with_fresh;
     use crate::paper::{example_5_1, example_5_1_domain};
@@ -324,38 +403,9 @@ mod tests {
         assert!(matches!(err, CoreError::BudgetExceeded { .. }));
     }
 
-    /// A collection whose exact count explodes: `k` sources with disjoint
-    /// `t`-tuple extensions, zero completeness and soundness 1/4 — each
-    /// class's count ranges freely over `⌈t/4⌉..=t`, so there are roughly
-    /// `(3t/4)^k` feasible count vectors — while the sampler only ticks
-    /// once per sweep.
-    fn wide_slack_collection(k: usize, t: usize) -> IdentityCollection {
-        use crate::descriptor::SourceDescriptor;
-        use pscds_numeric::Frac;
-        let sources: Vec<SourceDescriptor> = (0..k)
-            .map(|i| {
-                let ext: Vec<[Value; 1]> =
-                    (0..t).map(|j| [Value::sym(&format!("x{i}_{j}"))]).collect();
-                SourceDescriptor::identity(
-                    format!("S{i}"),
-                    &format!("V{i}"),
-                    "R",
-                    1,
-                    ext,
-                    Frac::ZERO,
-                    Frac::new(1, 4),
-                )
-                .unwrap()
-            })
-            .collect();
-        SourceCollection::from_sources(sources)
-            .as_identity()
-            .unwrap()
-    }
-
     #[test]
     fn confidence_with_approx_falls_back_to_sampler() {
-        let id = wide_slack_collection(8, 9);
+        let id = wide_slack_identity(8, 9);
         // ~7^8 ≈ 5.7M feasible vectors: the exact counter trips a
         // 100k-step budget, while the sampler (one tick per sweep, 21k
         // sweeps by default) fits comfortably in its renewed allowance.
@@ -382,9 +432,45 @@ mod tests {
 
     #[test]
     fn confidence_without_approx_keeps_hard_failure_on_large_instance() {
-        let id = wide_slack_collection(8, 9);
+        let id = wide_slack_identity(8, 9);
         let err =
             confidence_resilient(&id, 0, &Budget::with_max_steps(100_000), false).unwrap_err();
         assert!(matches!(err, CoreError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn check_with_parallel_config_matches_serial() {
+        let c = example_5_1();
+        let domain = example_5_1_domain(1);
+        let serial = check_resilient(&c, &domain, &Budget::unlimited()).unwrap();
+        for threads in [1usize, 2, 8] {
+            let config = ParallelConfig::with_threads(threads);
+            let par = check_resilient_with(&c, &domain, &Budget::unlimited(), &config).unwrap();
+            assert_eq!(par.engine, serial.engine, "threads {threads}");
+            assert_eq!(par.consistent, serial.consistent, "threads {threads}");
+            assert_eq!(par.witness, serial.witness, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn confidence_with_parallel_config_matches_serial() {
+        let id = example_5_1().as_identity().unwrap();
+        let serial = confidence_resilient(&id, 1, &Budget::unlimited(), false).unwrap();
+        let serial = serial.exact().expect("exact analysis");
+        for threads in [1usize, 2, 8] {
+            let config = ParallelConfig::with_threads(threads);
+            let par =
+                confidence_resilient_with(&id, 1, &Budget::unlimited(), &config, false).unwrap();
+            assert_eq!(par.engine(), Engine::Exact, "threads {threads}");
+            let par = par.exact().expect("exact analysis");
+            assert_eq!(par.world_count(), serial.world_count(), "threads {threads}");
+            for sym in ["a", "b", "c"] {
+                assert_eq!(
+                    par.confidence_of_tuple(&id, &[Value::sym(sym)]).unwrap(),
+                    serial.confidence_of_tuple(&id, &[Value::sym(sym)]).unwrap(),
+                    "conf({sym}) threads {threads}"
+                );
+            }
+        }
     }
 }

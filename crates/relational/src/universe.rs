@@ -161,6 +161,35 @@ impl FactUniverse {
         })
     }
 
+    /// Iterates over the subset databases with masks in `range` (a
+    /// contiguous slice of the [`FactUniverse::subsets`] enumeration, in
+    /// the same ascending order). The parallel engines split `0..2^N`
+    /// into such ranges; concatenating them in order replays the full
+    /// enumeration exactly.
+    ///
+    /// # Errors
+    /// Refuses universes larger than [`MAX_ENUMERABLE`] facts (the same
+    /// cap, and the same error, as [`FactUniverse::subsets`]).
+    pub fn subsets_range(
+        &self,
+        range: std::ops::Range<u64>,
+    ) -> Result<SubsetRangeIter<'_>, RelError> {
+        if self.len() > MAX_ENUMERABLE {
+            return Err(RelError::Algebra {
+                message: format!(
+                    "universe of {} facts exceeds the enumeration cap of {MAX_ENUMERABLE}",
+                    self.len()
+                ),
+            });
+        }
+        let limit = 1u64 << self.len();
+        Ok(SubsetRangeIter {
+            universe: self,
+            next: range.start,
+            end: range.end.min(limit),
+        })
+    }
+
     /// Iterates over all subsets with at most `max_size` facts (smallest
     /// first) — the Lemma 3.1-bounded search space.
     #[must_use]
@@ -194,6 +223,26 @@ impl Iterator for SubsetIter<'_> {
             None
         };
         Some((mask, db))
+    }
+}
+
+/// Iterator over a contiguous mask range of a universe's subsets.
+pub struct SubsetRangeIter<'a> {
+    universe: &'a FactUniverse,
+    next: u64,
+    end: u64,
+}
+
+impl Iterator for SubsetRangeIter<'_> {
+    type Item = (u64, Database);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.end {
+            return None;
+        }
+        let mask = self.next;
+        self.next += 1;
+        Some((mask, self.universe.database_from_mask(mask)))
     }
 }
 
@@ -337,6 +386,22 @@ mod tests {
         let refs: Vec<&str> = names.iter().map(String::as_str).collect();
         let u = unary_universe(&refs);
         assert!(u.subsets().is_err());
+    }
+
+    #[test]
+    fn subset_ranges_tile_the_full_enumeration() {
+        let u = unary_universe(&["a", "b", "c"]);
+        let full: Vec<_> = u.subsets().unwrap().collect();
+        let mut tiled = Vec::new();
+        for range in [0..3u64, 3..3, 3..8, 8..100] {
+            tiled.extend(u.subsets_range(range).unwrap());
+        }
+        assert_eq!(tiled, full);
+        // Same cap and error as subsets().
+        let names: Vec<String> = (0..40).map(|i| format!("u{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let big = unary_universe(&refs);
+        assert!(big.subsets_range(0..1).is_err());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# The full local CI gate: build, test, formatting, lints.
+# The full local CI gate: build, test (serial and parallel), formatting,
+# lints, and an experiment smoke run.
 # Run from anywhere; operates on the workspace containing this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -7,7 +8,13 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --workspace --release
 
-echo "==> cargo test"
+# The parallel execution layer promises bit-identical results for every
+# thread count, so the suite runs twice: once pinned to the serial legacy
+# path, once at the environment default (all available cores).
+echo "==> cargo test (PSCDS_THREADS=1: serial legacy path)"
+PSCDS_THREADS=1 cargo test --workspace -q
+
+echo "==> cargo test (default thread count)"
 cargo test --workspace -q
 
 echo "==> cargo fmt --check"
@@ -15,5 +22,10 @@ cargo fmt --all --check
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Smoke-run the E1 experiment binary: cross-checks the closed forms and
+# the serial/parallel counters end to end, and asserts internally.
+echo "==> e1_example51 smoke run"
+cargo run -p pscds-bench --release --bin e1_example51 >/dev/null
 
 echo "==> CI green"

@@ -1,0 +1,150 @@
+//! Differential parity harness for the parallel execution layer: on
+//! random identity-view collections, every engine route to the same
+//! semantics — exact oracle, signature decomposition, and the
+//! work-partitioned parallel variants at several thread counts — must
+//! produce *bit-identical* results. This is the determinism contract of
+//! `pscds_core::partition` made executable (see DESIGN.md).
+
+use proptest::prelude::*;
+use pscds::core::confidence::{ConfidenceAnalysis, PossibleWorlds};
+use pscds::core::consensus::{maximal_consistent_subsets, maximal_consistent_subsets_parallel};
+use pscds::core::consistency::{
+    decide_exhaustive, decide_exhaustive_parallel, decide_identity, decide_identity_parallel,
+    find_witness_budgeted, find_witness_parallel,
+};
+use pscds::core::govern::Budget;
+use pscds::core::{ParallelConfig, SourceCollection, SourceDescriptor};
+use pscds::numeric::{Frac, UBig};
+use pscds::relational::Value;
+
+const DOMAIN: usize = 5;
+/// Thread counts exercised for every instance: the serial legacy path,
+/// a modest pool, and heavy oversubscription.
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn domain() -> Vec<Value> {
+    (0..DOMAIN).map(|i| Value::sym(&format!("u{i}"))).collect()
+}
+
+/// Strategy: a random identity-view collection over the 5-element domain.
+fn collections() -> impl Strategy<Value = SourceCollection> {
+    let source = (
+        proptest::collection::btree_set(0usize..DOMAIN, 0..=DOMAIN),
+        0u64..=4,
+        0u64..=4,
+    );
+    proptest::collection::vec(source, 1..=3).prop_map(|specs| {
+        let dom = domain();
+        let sources = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (ext, c, s))| {
+                SourceDescriptor::identity(
+                    format!("S{i}"),
+                    &format!("V{i}"),
+                    "R",
+                    1,
+                    ext.into_iter().map(|e| [dom[e]]),
+                    Frac::new(c, 4),
+                    Frac::new(s, 4),
+                )
+                .expect("valid descriptor")
+            })
+            .collect::<Vec<_>>();
+        SourceCollection::from_sources(sources)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn consistency_parity_across_engines_and_thread_counts(collection in collections()) {
+        let dom = domain();
+        let identity = collection.as_identity().expect("identity views");
+        let padding = DOMAIN as u64 - identity.all_tuples().len() as u64;
+        let unlimited = Budget::unlimited();
+
+        // Ground truth: the exhaustive subset sweep.
+        let oracle = decide_exhaustive(&collection, &dom).expect("small universe");
+        // Serial signature solver agrees on the verdict.
+        let serial_sig = decide_identity(&identity, padding);
+        prop_assert_eq!(serial_sig.is_consistent(), oracle.is_some());
+        // Serial witness search (first witness in enumeration order).
+        let serial_witness =
+            find_witness_budgeted(&collection, &dom, None, &unlimited).expect("small universe");
+
+        for threads in THREADS {
+            let config = ParallelConfig::with_threads(threads);
+            // Exhaustive decision: the *same* first-found world.
+            let par_oracle =
+                decide_exhaustive_parallel(&collection, &dom, &unlimited, &config)
+                    .expect("small universe");
+            prop_assert_eq!(&par_oracle, &oracle);
+            // Signature solver: the same witness and count vector.
+            let par_sig =
+                decide_identity_parallel(&identity, padding, &unlimited, &config)
+                    .expect("unlimited budget");
+            prop_assert_eq!(&par_sig, &serial_sig);
+            // Minimal-witness search: the same (minimal) witness.
+            let par_witness =
+                find_witness_parallel(&collection, &dom, None, &unlimited, &config)
+                    .expect("small universe");
+            prop_assert_eq!(&par_witness, &serial_witness);
+        }
+    }
+
+    #[test]
+    fn confidence_parity_across_engines_and_thread_counts(collection in collections()) {
+        let dom = domain();
+        let identity = collection.as_identity().expect("identity views");
+        let padding = DOMAIN as u64 - identity.all_tuples().len() as u64;
+        let unlimited = Budget::unlimited();
+
+        let worlds = PossibleWorlds::enumerate(&collection, &dom).expect("small universe");
+        let serial = ConfidenceAnalysis::analyze(&identity, padding);
+        prop_assert_eq!(serial.world_count(), &UBig::from(worlds.count() as u64));
+
+        for threads in THREADS {
+            let config = ParallelConfig::with_threads(threads);
+            // Brute-force oracle: identical world masks in identical order.
+            let par_worlds =
+                PossibleWorlds::enumerate_parallel(&collection, &dom, &unlimited, &config)
+                    .expect("small universe");
+            prop_assert_eq!(par_worlds.masks(), worlds.masks());
+            // Signature counter: identical totals and per-tuple confidences.
+            let par = ConfidenceAnalysis::analyze_parallel(&identity, padding, &unlimited, &config)
+                .expect("unlimited budget");
+            prop_assert_eq!(par.world_count(), serial.world_count());
+            prop_assert_eq!(par.feasible_vectors(),
+                serial.feasible_vectors());
+            if serial.is_consistent() {
+                for tuple in identity.all_tuples() {
+                    prop_assert_eq!(par.confidence_of_tuple(&identity, &tuple).expect("consistent"),
+                        serial.confidence_of_tuple(&identity, &tuple).expect("consistent"));
+                }
+                if padding > 0 {
+                    prop_assert_eq!(par.padding_confidence().expect("padding exists"),
+                        serial.padding_confidence().expect("padding exists"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn consensus_parity_across_thread_counts(collection in collections()) {
+        let padding = 2u64;
+        let serial = maximal_consistent_subsets(&collection, padding).expect("small collection");
+        for threads in THREADS {
+            let config = ParallelConfig::with_threads(threads);
+            let par = maximal_consistent_subsets_parallel(
+                &collection,
+                padding,
+                &Budget::unlimited(),
+                &config,
+            )
+            .expect("small collection");
+            prop_assert_eq!(&par, &serial);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Golden tests for Example 5.1: the re-derived closed-form confidences
+//! at `m = 1..=6`, pinned as explicit rationals and cross-checked against
+//! every exact engine — the signature counter (serial and parallel at
+//! several thread counts), the explicit Γ system, and the possible-world
+//! oracle. A regression in any engine, or in the closed forms themselves,
+//! trips these before the property tests do, with a readable diff.
+
+use pscds::core::confidence::closed_form::{
+    derived_confidence, derived_world_count, Example51Fact,
+};
+use pscds::core::confidence::{ConfidenceAnalysis, LinearSystem, PossibleWorlds};
+use pscds::core::govern::Budget;
+use pscds::core::paper::{example_5_1, example_5_1_domain};
+use pscds::core::ParallelConfig;
+use pscds::numeric::{Rational, UBig};
+use pscds::relational::{Fact, Value};
+
+/// One golden row: `(m, conf(a) = conf(c), conf(b), conf(d_i), |poss|)`
+/// with every confidence as `(numerator, denominator)` over the common
+/// denominator `2m + 5`.
+type GoldenRow = (u64, (u64, u64), (u64, u64), (u64, u64), u64);
+
+/// The golden table at `m = 1..=6`.
+const GOLDEN: [GoldenRow; 6] = [
+    (1, (4, 7), (6, 7), (2, 7), 7),
+    (2, (5, 9), (8, 9), (2, 9), 9),
+    (3, (6, 11), (10, 11), (2, 11), 11),
+    (4, (7, 13), (12, 13), (2, 13), 13),
+    (5, (8, 15), (14, 15), (2, 15), 15),
+    (6, (9, 17), (16, 17), (2, 17), 17),
+];
+
+#[test]
+fn golden_table_matches_the_closed_forms() {
+    for (m, a, b, d, count) in GOLDEN {
+        let expect = |(num, den): (u64, u64)| Rational::from_u64(num, den);
+        assert_eq!(
+            derived_confidence(Example51Fact::A, m),
+            expect(a),
+            "conf(a) at m={m}"
+        );
+        assert_eq!(
+            derived_confidence(Example51Fact::C, m),
+            expect(a),
+            "conf(c) at m={m}"
+        );
+        assert_eq!(
+            derived_confidence(Example51Fact::B, m),
+            expect(b),
+            "conf(b) at m={m}"
+        );
+        assert_eq!(
+            derived_confidence(Example51Fact::D, m),
+            expect(d),
+            "conf(d) at m={m}"
+        );
+        assert_eq!(derived_world_count(m), count, "|poss| at m={m}");
+    }
+}
+
+#[test]
+fn signature_counter_reproduces_the_golden_table() {
+    let identity = example_5_1().as_identity().expect("identity views");
+    for (m, a, b, d, count) in GOLDEN {
+        let analysis = ConfidenceAnalysis::analyze(&identity, m);
+        assert_eq!(analysis.world_count(), &UBig::from(count), "m={m}");
+        for (sym, (num, den)) in [("a", a), ("b", b), ("c", a)] {
+            assert_eq!(
+                analysis
+                    .confidence_of_tuple(&identity, &[Value::sym(sym)])
+                    .expect("consistent"),
+                Rational::from_u64(num, den),
+                "conf({sym}) at m={m}"
+            );
+        }
+        assert_eq!(
+            analysis.padding_confidence().expect("padding"),
+            Rational::from_u64(d.0, d.1),
+            "conf(d) at m={m}"
+        );
+    }
+}
+
+#[test]
+fn parallel_counter_reproduces_the_golden_table() {
+    let identity = example_5_1().as_identity().expect("identity views");
+    for (m, a, b, d, count) in GOLDEN {
+        for threads in [1usize, 2, 8] {
+            let config = ParallelConfig::with_threads(threads);
+            let analysis =
+                ConfidenceAnalysis::analyze_parallel(&identity, m, &Budget::unlimited(), &config)
+                    .expect("unlimited budget");
+            assert_eq!(
+                analysis.world_count(),
+                &UBig::from(count),
+                "m={m} t={threads}"
+            );
+            for (sym, (num, den)) in [("a", a), ("b", b), ("c", a)] {
+                assert_eq!(
+                    analysis
+                        .confidence_of_tuple(&identity, &[Value::sym(sym)])
+                        .expect("consistent"),
+                    Rational::from_u64(num, den),
+                    "conf({sym}) at m={m} t={threads}"
+                );
+            }
+            assert_eq!(
+                analysis.padding_confidence().expect("padding"),
+                Rational::from_u64(d.0, d.1),
+                "conf(d) at m={m} t={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn gamma_and_worlds_oracle_reproduce_the_golden_table() {
+    // The explicit Γ system and the brute-force oracle get slow fast, so
+    // check only the low end of the table on them.
+    let collection = example_5_1();
+    let identity = collection.as_identity().expect("identity views");
+    for (m, a, b, d, count) in &GOLDEN[..3] {
+        let domain = example_5_1_domain(*m as usize);
+        let worlds = PossibleWorlds::enumerate(&collection, &domain).expect("small universe");
+        assert_eq!(worlds.count() as u64, *count, "oracle |poss| at m={m}");
+        let gamma = LinearSystem::from_identity(&identity, &domain).expect("valid domain");
+        assert_eq!(
+            gamma.count_solutions().expect("small"),
+            *count,
+            "Γ count at m={m}"
+        );
+        for (sym, (num, den)) in [("a", *a), ("b", *b), ("c", *a)] {
+            let fact = Fact::new("R", [Value::sym(sym)]);
+            let expected = Rational::from_u64(num, den);
+            assert_eq!(
+                worlds.fact_confidence(&fact).expect("consistent"),
+                expected,
+                "oracle conf({sym}) at m={m}"
+            );
+            assert_eq!(
+                gamma
+                    .confidence(gamma.var_of(&fact).expect("in domain"))
+                    .expect("consistent"),
+                expected,
+                "Γ conf({sym}) at m={m}"
+            );
+        }
+        // One padding constant stands in for all d_i by exchangeability.
+        let d_fact = Fact::new("R", [Value::sym("d1")]);
+        assert_eq!(
+            worlds.fact_confidence(&d_fact).expect("consistent"),
+            Rational::from_u64(d.0, d.1),
+            "oracle conf(d1) at m={m}"
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no registry access, so this crate implements
+//! exactly the API surface the workspace uses — scoped task spawning — on
+//! top of [`std::thread::scope`]. Each `Scope::spawn` starts a real OS
+//! thread instead of queueing onto a work-stealing pool; the callers in
+//! `pscds-core::partition` spawn one task per worker (not per work item),
+//! so the missing pool costs a handful of thread launches per engine call.
+//!
+//! The contract mirrored from upstream:
+//!
+//! * [`scope`] runs a closure that may spawn borrowing tasks and returns
+//!   only after every spawned task has finished.
+//! * [`Scope::spawn`] tasks may themselves spawn further tasks.
+//! * A panic in any task propagates out of [`scope`] after all tasks have
+//!   been joined.
+//! * [`join`] runs two closures and returns both results (sequentially
+//!   here — upstream may run them on two threads).
+//! * [`current_num_threads`] reports the available parallelism.
+
+/// A scope in which borrowing tasks can be spawned.
+///
+/// Mirrors `rayon::Scope`, carrying the extra `'env` lifetime of the
+/// underlying [`std::thread::Scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that may borrow from outside the scope. The task runs
+    /// on its own thread and is joined before [`scope`] returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Creates a scope for spawning borrowing tasks; returns once every task
+/// spawned within it has completed.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+    R: Send,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Runs both closures and returns both results. Upstream may run them in
+/// parallel; this stand-in runs them sequentially, which satisfies the
+/// same contract.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (a(), b())
+}
+
+/// The number of threads a parallel driver should assume is available.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_tasks() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn tasks_can_spawn_nested_tasks() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                s.spawn(|_| {
+                    counter.fetch_add(10, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 11);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let v = scope(|_| 42);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn tasks_borrow_from_environment() {
+        let data = [1u64, 2, 3, 4];
+        let sums: Vec<AtomicUsize> = (0..2).map(|_| AtomicUsize::new(0)).collect();
+        scope(|s| {
+            let (lo, hi) = data.split_at(2);
+            let (s0, s1) = (&sums[0], &sums[1]);
+            s.spawn(move |_| {
+                s0.store(lo.iter().sum::<u64>() as usize, Ordering::SeqCst);
+            });
+            s.spawn(move |_| {
+                s1.store(hi.iter().sum::<u64>() as usize, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(sums[0].load(Ordering::SeqCst), 3);
+        assert_eq!(sums[1].load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "ok");
+        assert_eq!(a, 2);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn current_num_threads_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}
