@@ -13,14 +13,68 @@ use pscds_bench::{markdown_table, Cell};
 use pscds_core::confidence::closed_form::{
     derived_confidence, derived_world_count, paper_confidence, paper_world_count, Example51Fact,
 };
-use pscds_core::confidence::{ConfidenceAnalysis, LinearSystem, PossibleWorlds};
+use pscds_core::confidence::{
+    count_dp, ConfidenceAnalysis, DpConfig, DpStats, LinearSystem, PossibleWorlds,
+    SignatureAnalysis,
+};
 use pscds_core::govern::Budget;
-use pscds_core::paper::{example_5_1, example_5_1_domain};
+use pscds_core::paper::{example_5_1, example_5_1_domain, example_5_1_scaled};
 use pscds_core::ParallelConfig;
+use pscds_numeric::RowCache;
 use pscds_relational::{Fact, Value};
+use std::fmt::Write as _;
 use std::time::Instant;
 
+/// One machine-readable benchmark record (a row of
+/// `BENCH_confidence.json`).
+struct BenchRecord {
+    engine: &'static str,
+    m: usize,
+    wall_ns: u128,
+    stats: DpStats,
+}
+
+/// Renders the records as a JSON array (hand-rolled — the vendored serde
+/// is an offline stub without a JSON backend).
+fn bench_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"engine\": \"{}\", \"m\": {}, \"wall_ns\": {}, \"cache_hits\": {}, \
+             \"cache_misses\": {}, \"peak_cache_entries\": {}}}",
+            r.engine,
+            r.m,
+            r.wall_ns,
+            r.stats.cache_hits,
+            r.stats.cache_misses,
+            r.stats.peak_cache_entries
+        );
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
 fn main() {
+    // `--dp-scale-max N` caps the E1.6 scaling ladder (the CI smoke run
+    // uses 4; the default ladder is sized for an interactive run).
+    let mut dp_scale_max = 128usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--dp-scale-max" => {
+                dp_scale_max = it
+                    .next()
+                    .expect("--dp-scale-max needs a value")
+                    .parse()
+                    .expect("--dp-scale-max needs a number");
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
     let collection = example_5_1();
     let identity = collection.as_identity().expect("identity views");
 
@@ -217,6 +271,104 @@ fn main() {
         "{}",
         markdown_table(&["m", "2 threads", "8 threads"], &rows)
     );
+
+    // ── Table 6: exact DFS vs memoized DP on the scaled family ────────
+    // Plain Example 5.1 has singleton classes, so its DFS tree is
+    // *constant* in the padding — it cannot separate counting engines.
+    // `example_5_1_scaled(m)` replicates every extension tuple `m` times
+    // (four signature classes of size `m`, padding `m`): the DFS tree
+    // grows polynomially in `m` with a steep exponent, while the
+    // residual-state DP revisits cached suffixes. Both must agree
+    // bit-for-bit on every aggregate at every `m`.
+    println!("\nE1.6  Exact DFS vs memoized DP, scaled Example 5.1 (bit-identical results):\n");
+    let mut records: Vec<BenchRecord> = Vec::new();
+    let mut rows = Vec::new();
+    for m in [2usize, 4, 8, 16, 32, 64, 128] {
+        if m > dp_scale_max {
+            println!("(scales above {dp_scale_max} skipped: --dp-scale-max)");
+            break;
+        }
+        let scaled = example_5_1_scaled(m);
+        let sid = scaled.as_identity().expect("identity views");
+        let padding = m as u64;
+
+        let t = Instant::now();
+        let dfs = ConfidenceAnalysis::analyze(&sid, padding);
+        let dfs_ns = t.elapsed().as_nanos();
+
+        let t = Instant::now();
+        let (dp, stats) = count_dp(
+            SignatureAnalysis::new(&sid, padding),
+            &Budget::unlimited(),
+            &DpConfig::default(),
+            &mut RowCache::new(),
+        )
+        .expect("unlimited budget");
+        let dp_ns = t.elapsed().as_nanos();
+
+        // The acceptance bar: bit-identical total, vector count, and
+        // every per-tuple confidence (including the padding class).
+        assert_eq!(dp.world_count(), dfs.world_count(), "total at m={m}");
+        assert_eq!(dp.feasible_vectors(), dfs.feasible_vectors(), "m={m}");
+        for tuple in sid.all_tuples() {
+            assert_eq!(
+                dp.confidence_of_tuple(&sid, &tuple).expect("consistent"),
+                dfs.confidence_of_tuple(&sid, &tuple).expect("consistent"),
+                "conf({tuple:?}) at m={m}"
+            );
+        }
+        assert_eq!(
+            dp.padding_confidence().expect("padding exists"),
+            dfs.padding_confidence().expect("padding exists"),
+            "padding confidence at m={m}"
+        );
+
+        records.push(BenchRecord {
+            engine: "exact",
+            m,
+            wall_ns: dfs_ns,
+            stats: DpStats::default(),
+        });
+        records.push(BenchRecord {
+            engine: "dp",
+            m,
+            wall_ns: dp_ns,
+            stats,
+        });
+        rows.push(vec![
+            Cell::from(m),
+            Cell::from(dfs.feasible_vectors()),
+            Cell::from(format!(
+                "{:?}",
+                std::time::Duration::from_nanos(dfs_ns as u64)
+            )),
+            Cell::from(format!(
+                "{:?}",
+                std::time::Duration::from_nanos(dp_ns as u64)
+            )),
+            Cell::from(format!("{:.1}×", dfs_ns as f64 / dp_ns.max(1) as f64)),
+            Cell::from(format!("{}/{}", stats.cache_hits, stats.cache_misses)),
+            Cell::from(stats.peak_cache_entries),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "m",
+                "vectors",
+                "exact DFS",
+                "memoized DP",
+                "speedup",
+                "hits/misses",
+                "peak cache"
+            ],
+            &rows
+        )
+    );
+    let json_path = "BENCH_confidence.json";
+    std::fs::write(json_path, bench_json(&records)).expect("write benchmark JSON");
+    println!("\nwrote {json_path} ({} records)", records.len());
 
     println!("\nE1: all cross-checks passed.");
 }

@@ -14,11 +14,12 @@
 //! the end, in exact rational arithmetic.
 
 use crate::collection::IdentityCollection;
+use crate::confidence::dp::{self, DpConfig, DpStats};
 use crate::confidence::signature::SignatureAnalysis;
 use crate::error::CoreError;
 use crate::govern::Budget;
 use crate::partition::{self, ParallelConfig};
-use pscds_numeric::{Rational, UBig};
+use pscds_numeric::{Rational, RowCache, UBig};
 use pscds_relational::Value;
 
 /// The result of an exact confidence analysis of an identity-view
@@ -93,25 +94,52 @@ impl ConfidenceAnalysis {
         analysis: SignatureAnalysis,
         budget: &Budget,
     ) -> Result<Self, CoreError> {
-        let classes = analysis.classes();
-        // Binomial rows are extended lazily: the feasibility pruning often
-        // visits only a tiny prefix of each row (for Example 5.1 the
-        // million-fact padding class never needs k > 1), and a full Pascal
-        // row of a 10^6-sized class would be astronomically large.
-        let mut rows: Vec<LazyRow> = classes.iter().map(|c| LazyRow::new(c.size)).collect();
+        Self::from_signature_analysis_with_rows(analysis, budget, &mut RowCache::new())
+    }
+
+    /// [`ConfidenceAnalysis::from_signature_analysis_budgeted`] with a
+    /// caller-supplied [`RowCache`], so repeated engine calls over related
+    /// decompositions (equal class sizes) reuse the same Pascal rows.
+    ///
+    /// # Errors
+    /// As [`ConfidenceAnalysis::from_signature_analysis_budgeted`].
+    pub fn from_signature_analysis_with_rows(
+        analysis: SignatureAnalysis,
+        budget: &Budget,
+        rows: &mut RowCache,
+    ) -> Result<Self, CoreError> {
+        // Binomial rows are interned and extended lazily: the feasibility
+        // pruning often visits only a tiny prefix of each row (for Example
+        // 5.1 the million-fact padding class never needs k > 1), and a full
+        // Pascal row of a 10^6-sized class would be astronomically large.
+        let row_ids: Vec<_> = analysis
+            .classes()
+            .iter()
+            .map(|c| rows.intern(c.size))
+            .collect();
         let mut total = UBig::zero();
-        let mut class_numerators = vec![UBig::zero(); classes.len()];
+        let mut class_numerators = vec![UBig::zero(); analysis.classes().len()];
         let mut feasible_vectors = 0u64;
+        // One product and one scratch buffer reused across the whole
+        // enumeration: the hot multiply loop allocates nothing once the
+        // buffers reach their steady-state size.
+        let mut product = UBig::zero();
+        let mut scratch = UBig::zero();
         analysis.try_for_each_feasible(budget, |counts| {
             feasible_vectors += 1;
-            let mut product = UBig::one();
+            product.set_u64(1);
             for (j, &k) in counts.iter().enumerate() {
-                product = product.mul(rows[j].get(k));
+                if k > 0 {
+                    // C(n, 0) = 1: skip the no-op factor.
+                    rows.get(row_ids[j], k).mul_into(&product, &mut scratch);
+                    std::mem::swap(&mut product, &mut scratch);
+                }
             }
             total.add_assign(&product);
             for (j, &k) in counts.iter().enumerate() {
                 if k > 0 {
-                    class_numerators[j].add_assign(&product.mul_u64(k));
+                    product.mul_u64_into(k, &mut scratch);
+                    class_numerators[j].add_assign(&scratch);
                 }
             }
         })?;
@@ -121,6 +149,70 @@ impl ConfidenceAnalysis {
             class_numerators,
             feasible_vectors,
         })
+    }
+
+    /// Assembles a result from parts computed by a sibling engine (the
+    /// residual-state DP of [`crate::confidence::dp`]).
+    pub(crate) fn from_parts(
+        analysis: SignatureAnalysis,
+        total: UBig,
+        class_numerators: Vec<UBig>,
+        feasible_vectors: u64,
+    ) -> Self {
+        debug_assert_eq!(class_numerators.len(), analysis.classes().len());
+        ConfidenceAnalysis {
+            analysis,
+            total,
+            class_numerators,
+            feasible_vectors,
+        }
+    }
+
+    /// Runs the memoized residual-state DP (see [`crate::confidence::dp`])
+    /// — the same exact result as [`ConfidenceAnalysis::analyze`], reached
+    /// pseudo-polynomially on instances whose DFS re-enters the same
+    /// residual states (padded domains, wide slack classes).
+    #[must_use]
+    pub fn analyze_dp(collection: &IdentityCollection, padding: u64) -> Self {
+        Self::analyze_dp_budgeted(collection, padding, &Budget::unlimited())
+            .expect("an unlimited budget never interrupts the counter")
+    }
+
+    /// Budget-governed variant of [`ConfidenceAnalysis::analyze_dp`] with
+    /// the default memo limits; use [`dp::count_dp`] directly for explicit
+    /// [`DpConfig`] control and cache statistics.
+    ///
+    /// # Errors
+    /// [`CoreError::BudgetExceeded`] when the budget runs out before the
+    /// count completes.
+    pub fn analyze_dp_budgeted(
+        collection: &IdentityCollection,
+        padding: u64,
+        budget: &Budget,
+    ) -> Result<Self, CoreError> {
+        let analysis = SignatureAnalysis::new(collection, padding);
+        let (result, _stats): (Self, DpStats) =
+            dp::count_dp(analysis, budget, &DpConfig::default(), &mut RowCache::new())?;
+        Ok(result)
+    }
+
+    /// Work-partitioned parallel variant of
+    /// [`ConfidenceAnalysis::analyze_dp_budgeted`] (see
+    /// [`dp::count_dp_parallel`]); bit-identical to the serial DP — and to
+    /// the DFS counter — for every thread count.
+    ///
+    /// # Errors
+    /// As [`ConfidenceAnalysis::analyze_dp_budgeted`].
+    pub fn analyze_dp_parallel(
+        collection: &IdentityCollection,
+        padding: u64,
+        budget: &Budget,
+        config: &ParallelConfig,
+    ) -> Result<Self, CoreError> {
+        let analysis = SignatureAnalysis::new(collection, padding);
+        let (result, _stats) =
+            dp::count_dp_parallel(analysis, budget, config, &DpConfig::default())?;
+        Ok(result)
     }
 
     /// Work-partitioned parallel variant of
@@ -165,26 +257,33 @@ impl ConfidenceAnalysis {
         let n_classes = analysis.classes().len();
         let prefixes = analysis.prefix_plan(config.target_chunks());
         let outcomes = partition::run_chunks(config, budget, &prefixes, |_, prefix, budget, _| {
-            let mut rows: Vec<LazyRow> = analysis
+            let mut rows = RowCache::new();
+            let row_ids: Vec<_> = analysis
                 .classes()
                 .iter()
-                .map(|c| LazyRow::new(c.size))
+                .map(|c| rows.intern(c.size))
                 .collect();
             let mut partial = Partial {
                 total: UBig::zero(),
                 class_numerators: vec![UBig::zero(); n_classes],
                 feasible_vectors: 0,
             };
+            let mut product = UBig::zero();
+            let mut scratch = UBig::zero();
             analysis.try_for_each_feasible_from(prefix, budget, |counts| {
                 partial.feasible_vectors += 1;
-                let mut product = UBig::one();
+                product.set_u64(1);
                 for (j, &k) in counts.iter().enumerate() {
-                    product = product.mul(rows[j].get(k));
+                    if k > 0 {
+                        rows.get(row_ids[j], k).mul_into(&product, &mut scratch);
+                        std::mem::swap(&mut product, &mut scratch);
+                    }
                 }
                 partial.total.add_assign(&product);
                 for (j, &k) in counts.iter().enumerate() {
                     if k > 0 {
-                        partial.class_numerators[j].add_assign(&product.mul_u64(k));
+                        product.mul_u64_into(k, &mut scratch);
+                        partial.class_numerators[j].add_assign(&scratch);
                     }
                 }
             })?;
@@ -363,8 +462,11 @@ impl ConfidenceAnalysis {
                 message: format!("class of size {ni} holds no two distinct facts"),
             });
         }
-        let mut rows: Vec<LazyRow> = classes.iter().map(|c| LazyRow::new(c.size)).collect();
+        let mut rows = RowCache::new();
+        let row_ids: Vec<_> = classes.iter().map(|c| rows.intern(c.size)).collect();
         let mut num = UBig::zero();
+        let mut product = UBig::zero();
+        let mut scratch = UBig::zero();
         self.analysis.for_each_feasible(|counts| {
             let weight = if class_i == class_j {
                 let k = counts[class_i];
@@ -379,11 +481,15 @@ impl ConfidenceAnalysis {
                 }
                 prod
             };
-            let mut product = UBig::one();
+            product.set_u64(1);
             for (j, &k) in counts.iter().enumerate() {
-                product = product.mul(rows[j].get(k));
+                if k > 0 {
+                    rows.get(row_ids[j], k).mul_into(&product, &mut scratch);
+                    std::mem::swap(&mut product, &mut scratch);
+                }
             }
-            num.add_assign(&product.mul_u64(weight));
+            product.mul_u64_into(weight, &mut scratch);
+            num.add_assign(&scratch);
         });
         let den = if class_i == class_j {
             self.total.mul_u64(ni).mul_u64(ni - 1)
@@ -434,38 +540,6 @@ impl ConfidenceAnalysis {
                 message: "analysis has no padding class (padding = 0)".into(),
             })?;
         self.class_confidence(idx)
-    }
-}
-
-/// A lazily-extended Pascal row: `row[k] = C(n, k)`, grown on demand by
-/// the multiplicative recurrence `C(n,k) = C(n,k−1)·(n−k+1)/k`.
-struct LazyRow {
-    n: u64,
-    row: Vec<UBig>,
-}
-
-impl LazyRow {
-    fn new(n: u64) -> Self {
-        LazyRow {
-            n,
-            row: vec![UBig::one()],
-        }
-    }
-
-    fn get(&mut self, k: u64) -> &UBig {
-        debug_assert!(
-            k <= self.n,
-            "C(n,k) with k > n is never requested by the DFS"
-        );
-        while (self.row.len() as u64) <= k {
-            let k0 = self.row.len() as u64;
-            let prev = self.row.last().expect("row starts non-empty");
-            let scaled = prev.mul_u64(self.n - (k0 - 1));
-            let (q, r) = scaled.divrem_u64(k0);
-            debug_assert!(r == 0, "binomial recurrence stays integral");
-            self.row.push(q);
-        }
-        &self.row[usize::try_from(k).expect("k fits usize")]
     }
 }
 

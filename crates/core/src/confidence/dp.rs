@@ -1,0 +1,792 @@
+//! Memoized suffix-count DP for the exact confidence counter.
+//!
+//! The exact counter (`counting.rs`) enumerates feasible count vectors
+//! `(k_σ)` by DFS, so its runtime grows with the number of *paths* into
+//! each suffix of the class order even though a suffix's contribution
+//! depends only on a small residual state. This module removes that
+//! redundancy: it runs the same recursion, but keys every interior node on
+//! the **residual state** after class `j` and caches the node's entire
+//! suffix aggregate — the suffix world count `N_suffix`, the per-class
+//! containment numerators `Σ Π C(n_σ,k_σ)·k_σ₀`, and the number of
+//! feasible suffix completions. One sweep from the root therefore yields
+//! `total`, every `class_numerators[σ₀]`, and `feasible_vectors` exactly
+//! as the DFS does, while instances whose search trees re-enter the same
+//! residual states (disjoint extensions, wide slack classes) collapse
+//! from exponential to pseudo-polynomial in the class sizes.
+//!
+//! # The residual state, and why equal residuals have identical suffixes
+//!
+//! Fix the class order `0..m` and a level `j`. The DFS state entering
+//! level `j` is `(t_1..t_n, w)` — per-source sound-tuple counts and the
+//! world size so far. Every test the DFS performs from level `j` onwards
+//! touches that state only through two per-source quantities:
+//!
+//! * the **soundness deficit** `d_i = max(0, ⌈s_i|v_i|⌉ − t_i)`, used by
+//!   the reachability prune `d_i > suffix_max_t[i][l]` and the leaf test
+//!   `d_i = 0`;
+//! * the **completeness margin** `V_i = t_i·den(c_i) − num(c_i)·w`, used
+//!   by the recovery prune `V_i + suffix_max_t[i][l]·(den−num) < 0`, the
+//!   per-class loop cap `k_cap` (through the headroom
+//!   `V_i + suffix_max_t[i][l+1]·(den−num)`), and the leaf test
+//!   `V_i ≥ 0`.
+//!
+//! Both quantities evolve under a suffix choice `(k_j..k_{l−1})` by
+//! increments that depend only on the choice, never on the prefix that
+//! produced the state: `t_i` gains the chosen counts of bit-`i` classes
+//! and `w` gains all of them. Hence two level-`j` states with equal
+//! `(d_i, V_i)` for every source generate *bit-identical* suffix trees —
+//! same prunes, same `k_cap` at every descendant, same leaf verdicts —
+//! and therefore equal `N_suffix`, equal per-class numerators, and equal
+//! completion counts.
+//!
+//! The cache key additionally **clamps** both quantities to the values
+//! that can still influence the suffix:
+//!
+//! * `d_i` is already clamped from below at `0` by its `max`; states with
+//!   `d_i > suffix_max_t[i][j]` are pruned before the cache is consulted,
+//!   so live keys store the deficit exactly. The clamp at zero is sound
+//!   because every suffix test uses `t_i` only through `d_i` and `V_i`.
+//! * `V_i` is clamped from above at the **saturation cap**
+//!   `num(c_i)·hurt_i[j]`, where `hurt_i[j]` is the total size of suffix
+//!   classes with bit `i` *unset* (the only classes that can erode the
+//!   margin, by `num` per unit). If `V_i ≥ num·hurt_i[j]`, then at every
+//!   descendant level `l` the margin satisfies `V_i(l) ≥ num·hurt_i[l]`
+//!   (each erosion step is matched by the shrinking of `hurt`), so the
+//!   recovery prune never fires for source `i`, the headroom grants
+//!   `k_cap ≥ hurt_i[l] ≥ size_l` (the class's own size is part of its
+//!   `hurt`), and the leaf test ends at `V_i(m) ≥ num·hurt_i[m] = 0`.
+//!   A saturated margin thus behaves identically to any other saturated
+//!   margin down the entire subtree — and saturation is *invariant*: once
+//!   above the cap at level `j`, the margin stays above the cap at every
+//!   descendant, so equal clamped keys also produce equal clamped child
+//!   keys. Below the cap the key stores `V_i` exactly (live states are
+//!   bounded below by the recovery prune, so no floor clamp is needed).
+//!
+//! Equality of clamped residuals is checked empirically in debug builds:
+//! on each first cache hit the engine *replays* a bounded uncached DFS
+//! from the current (unclamped) state and `debug_assert`s that the number
+//! of feasible completions matches the cached node.
+//!
+//! # Cache budget and degradation
+//!
+//! Search steps draw from the caller's [`Budget`] exactly like the DFS
+//! (one tick per node; deadline / step-allowance / cancellation all
+//! apply, unwinding with [`CoreError::BudgetExceeded`]). The memo *size*
+//! is governed separately by [`DpConfig::max_cache_entries`]: when the
+//! map is full, new nodes are computed but not inserted — the engine
+//! silently degrades to plain DFS for those subtrees (still exact, still
+//! budget-governed), it never errors on cache exhaustion.
+//!
+//! # Parallel fan-out
+//!
+//! [`count_dp_parallel`] partitions the top of the search tree with
+//! [`SignatureAnalysis::prefix_plan`] and runs one DP per prefix chunk
+//! through [`partition::run_chunks`], each with a private cache (caches
+//! are not shared across workers — `Rc` nodes are cheap, locks are not).
+//! Per-chunk results are exact integers merged in chunk order and
+//! per-chunk cache statistics are folded deterministically (sums, and
+//! the bookkeeping inherits `run_chunks`' lowest-chunk-wins error
+//! ordering), so the outcome is bit-identical to the serial DP — and to
+//! the serial DFS — at every thread count.
+
+use crate::confidence::counting::ConfidenceAnalysis;
+use crate::confidence::signature::SignatureAnalysis;
+use crate::error::CoreError;
+use crate::govern::Budget;
+use crate::partition::{self, ParallelConfig};
+use pscds_numeric::{RowCache, UBig};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Memoization limits for the DP engine (search *steps* are governed by
+/// the [`Budget`] passed at the call site; this bounds memory).
+#[derive(Clone, Copy, Debug)]
+pub struct DpConfig {
+    /// Maximum number of residual states kept in the memo hash map. When
+    /// the map is full, further subtrees are computed without caching
+    /// (exact DFS degradation — never an error).
+    pub max_cache_entries: usize,
+}
+
+impl Default for DpConfig {
+    fn default() -> Self {
+        DpConfig {
+            // ~1M residual states; each node holds a handful of UBigs, so
+            // this caps the memo at a few hundred MB in the worst case
+            // while leaving every realistic instance fully cached.
+            max_cache_entries: 1 << 20,
+        }
+    }
+}
+
+/// Cache-behaviour counters of one DP run (for benches and diagnostics).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DpStats {
+    /// Interior nodes answered from the memo.
+    pub cache_hits: u64,
+    /// Interior nodes computed (and inserted, capacity permitting).
+    pub cache_misses: u64,
+    /// Peak number of entries resident in the memo (summed across chunks
+    /// in the parallel driver).
+    pub peak_cache_entries: usize,
+    /// Interior nodes computed *without* insertion because the memo was
+    /// full (the DFS-degradation path).
+    pub fallback_nodes: u64,
+}
+
+impl DpStats {
+    /// Folds another run's counters into this one (chunk-order merge in
+    /// the parallel driver).
+    fn absorb(&mut self, other: &DpStats) {
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.peak_cache_entries += other.peak_cache_entries;
+        self.fallback_nodes += other.fallback_nodes;
+    }
+}
+
+/// Packed residual state: the memo key. Three words per source — the
+/// exact soundness deficit and the clamped completeness margin (an `i128`
+/// split into two limbs).
+#[derive(PartialEq, Eq, Hash)]
+struct ResidualKey {
+    level: u32,
+    packed: Box<[u64]>,
+}
+
+/// One cached suffix aggregate.
+struct DpNode {
+    /// `N_suffix` — the weighted world count of the suffix.
+    count: UBig,
+    /// Number of feasible suffix completions (saturating).
+    vectors: u64,
+    /// `numerators[l]` = `Σ_{feasible completions} Π C · k_{level+l}`.
+    numerators: Vec<UBig>,
+    /// Debug-only: whether the replay check already ran for this node.
+    #[cfg(debug_assertions)]
+    replayed: std::cell::Cell<bool>,
+}
+
+impl DpNode {
+    fn new(count: UBig, vectors: u64, numerators: Vec<UBig>) -> Self {
+        DpNode {
+            count,
+            vectors,
+            numerators,
+            #[cfg(debug_assertions)]
+            replayed: std::cell::Cell::new(false),
+        }
+    }
+}
+
+/// Node allowance for the debug replay of a cache hit: large enough to
+/// verify real collisions, small enough to keep debug test runs subexponential.
+#[cfg(debug_assertions)]
+const REPLAY_NODE_CAP: u64 = 10_000;
+
+struct DpEngine<'a> {
+    analysis: &'a SignatureAnalysis,
+    /// `hurt[i][j]` — total size of classes `j..` with bit `i` unset (the
+    /// classes that erode source `i`'s completeness margin).
+    hurt: Vec<Vec<u64>>,
+    cache: HashMap<ResidualKey, Rc<DpNode>>,
+    /// Shared all-zero node per level (pruned subtrees).
+    zeros: Vec<Rc<DpNode>>,
+    /// Shared feasible-leaf node (count 1, one completion).
+    leaf: Rc<DpNode>,
+    max_cache_entries: usize,
+    stats: DpStats,
+}
+
+impl<'a> DpEngine<'a> {
+    fn new(analysis: &'a SignatureAnalysis, config: &DpConfig) -> Self {
+        let classes = analysis.classes();
+        let m = classes.len();
+        let n = analysis.source_count();
+        let mut hurt = vec![vec![0u64; m + 1]; n];
+        for (i, row) in hurt.iter_mut().enumerate() {
+            for j in (0..m).rev() {
+                let contrib = if classes[j].signature >> i & 1 == 1 {
+                    0
+                } else {
+                    classes[j].size
+                };
+                row[j] = row[j + 1].saturating_add(contrib);
+            }
+        }
+        let zeros = (0..=m)
+            .map(|j| Rc::new(DpNode::new(UBig::zero(), 0, vec![UBig::zero(); m - j])))
+            .collect();
+        let leaf = Rc::new(DpNode::new(UBig::one(), 1, Vec::new()));
+        DpEngine {
+            analysis,
+            hurt,
+            cache: HashMap::new(),
+            zeros,
+            leaf,
+            max_cache_entries: config.max_cache_entries,
+            stats: DpStats::default(),
+        }
+    }
+
+    /// The completeness margin `V_i = t_i·den − num·w` (saturating — the
+    /// DFS's own arithmetic assumes the products fit `i128`; saturation
+    /// only widens the safety net on the clamp side).
+    fn margin(&self, i: usize, t_i: u64, w: u64) -> i128 {
+        let b = &self.analysis.bounds()[i];
+        let den = i128::from(b.completeness.den());
+        let num = i128::from(b.completeness.num());
+        i128::from(t_i)
+            .saturating_mul(den)
+            .saturating_sub(num.saturating_mul(i128::from(w)))
+    }
+
+    /// Builds the packed residual key for a live (unpruned) state.
+    fn key(&self, j: usize, t: &[u64], w: u64) -> ResidualKey {
+        let bounds = self.analysis.bounds();
+        let mut packed = Vec::with_capacity(3 * bounds.len());
+        for (i, b) in bounds.iter().enumerate() {
+            let deficit = b.min_sound.saturating_sub(t[i]);
+            debug_assert!(
+                deficit <= self.analysis.suffix_max(i, j),
+                "pruning admits only reachable deficits"
+            );
+            let num = i128::from(b.completeness.num());
+            let saturation = num.saturating_mul(i128::from(self.hurt[i][j]));
+            let clamped = self.margin(i, t[i], w).min(saturation);
+            let limbs = clamped as u128;
+            packed.push(deficit);
+            packed.push(limbs as u64);
+            packed.push((limbs >> 64) as u64);
+        }
+        ResidualKey {
+            level: u32::try_from(j).expect("class count fits u32"),
+            packed: packed.into_boxed_slice(),
+        }
+    }
+
+    /// The DFS's pruning tests, verbatim: `true` iff the subtree rooted at
+    /// level `j` with state `(t, w)` is provably empty.
+    fn pruned(&self, j: usize, t: &[u64], w: u64) -> bool {
+        for (i, b) in self.analysis.bounds().iter().enumerate() {
+            let max_future = self.analysis.suffix_max(i, j);
+            if t[i] + max_future < b.min_sound {
+                return true;
+            }
+            let den = i128::from(b.completeness.den());
+            let num = i128::from(b.completeness.num());
+            let v = self.margin(i, t[i], w);
+            if v + i128::from(max_future) * (den - num) < 0 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// `true` iff the complete vector behind `(t, w)` satisfies the final
+    /// constraints (the DFS leaf test).
+    fn leaf_feasible(&self, t: &[u64], w: u64) -> bool {
+        self.analysis
+            .bounds()
+            .iter()
+            .enumerate()
+            .all(|(i, b)| t[i] >= b.min_sound && b.completeness.leq_ratio(t[i], w))
+    }
+
+    /// The memoized suffix recursion. `t`/`w` are the exact running sums
+    /// (mutated in place and restored, like the DFS); the memo key is the
+    /// clamped residual derived from them.
+    fn node(
+        &mut self,
+        rows: &mut RowCache,
+        j: usize,
+        t: &mut Vec<u64>,
+        w: &mut u64,
+        budget: &Budget,
+    ) -> Result<Rc<DpNode>, CoreError> {
+        budget.tick("confidence::dp")?;
+        let m = self.analysis.classes().len();
+        if j == m {
+            return Ok(if self.leaf_feasible(t, *w) {
+                Rc::clone(&self.leaf)
+            } else {
+                Rc::clone(&self.zeros[m])
+            });
+        }
+        if self.pruned(j, t, *w) {
+            return Ok(Rc::clone(&self.zeros[j]));
+        }
+        let key = self.key(j, t, *w);
+        if let Some(node) = self.cache.get(&key) {
+            let node = Rc::clone(node);
+            self.stats.cache_hits += 1;
+            #[cfg(debug_assertions)]
+            self.replay_check(j, t, w, &node);
+            return Ok(node);
+        }
+        self.stats.cache_misses += 1;
+        let cap = self.analysis.k_cap(j, t, *w);
+        let (sig, class_size) = {
+            let class = &self.analysis.classes()[j];
+            (class.signature, class.size)
+        };
+        let row = rows.intern(class_size);
+        let mut count = UBig::zero();
+        let mut vectors = 0u64;
+        let mut numerators = vec![UBig::zero(); m - j];
+        let mut scratch = UBig::zero();
+        let mut scaled = UBig::zero();
+        for k in 0..=cap {
+            *w += k;
+            for (i, ti) in t.iter_mut().enumerate() {
+                if sig >> i & 1 == 1 {
+                    *ti += k;
+                }
+            }
+            let child = self.node(rows, j + 1, t, w, budget);
+            *w -= k;
+            for (i, ti) in t.iter_mut().enumerate() {
+                if sig >> i & 1 == 1 {
+                    *ti -= k;
+                }
+            }
+            let child = child?;
+            if child.vectors == 0 {
+                continue; // empty suffix: no weight, no numerators
+            }
+            vectors = vectors.saturating_add(child.vectors);
+            let binom = rows.get(row, k);
+            binom.mul_into(&child.count, &mut scratch);
+            if k > 0 {
+                scratch.mul_u64_into(k, &mut scaled);
+                numerators[0].add_assign(&scaled);
+            }
+            count.add_assign(&scratch);
+            for (l, child_num) in child.numerators.iter().enumerate() {
+                if !child_num.is_zero() {
+                    binom.mul_into(child_num, &mut scratch);
+                    numerators[l + 1].add_assign(&scratch);
+                }
+            }
+        }
+        let node = Rc::new(DpNode::new(count, vectors, numerators));
+        if self.cache.len() < self.max_cache_entries {
+            self.cache.insert(key, Rc::clone(&node));
+            self.stats.peak_cache_entries = self.stats.peak_cache_entries.max(self.cache.len());
+        } else {
+            self.stats.fallback_nodes += 1;
+        }
+        Ok(node)
+    }
+
+    /// Debug check of the residual-state equivalence argument: on the
+    /// first hit of each cached node, recount the feasible completions
+    /// from the *current* exact state with a bounded uncached DFS and
+    /// compare with the cached aggregate (two states mapping to one key
+    /// must have identical suffix trees).
+    #[cfg(debug_assertions)]
+    fn replay_check(&self, j: usize, t: &mut Vec<u64>, w: &mut u64, node: &DpNode) {
+        if node.replayed.get() {
+            return;
+        }
+        node.replayed.set(true);
+        let mut nodes_left = REPLAY_NODE_CAP;
+        if let Some(vectors) = self.replay_vectors(j, t, w, &mut nodes_left) {
+            debug_assert_eq!(
+                vectors, node.vectors,
+                "residual-state collision at level {j}: cached suffix has \
+                 {} completions, replay from the hitting state found {vectors}",
+                node.vectors
+            );
+        }
+    }
+
+    /// Uncached feasible-completion count from level `j`, or `None` once
+    /// the node allowance runs out.
+    #[cfg(debug_assertions)]
+    fn replay_vectors(
+        &self,
+        j: usize,
+        t: &mut Vec<u64>,
+        w: &mut u64,
+        nodes_left: &mut u64,
+    ) -> Option<u64> {
+        if *nodes_left == 0 {
+            return None;
+        }
+        *nodes_left -= 1;
+        let classes = self.analysis.classes();
+        if j == classes.len() {
+            return Some(u64::from(self.leaf_feasible(t, *w)));
+        }
+        if self.pruned(j, t, *w) {
+            return Some(0);
+        }
+        let cap = self.analysis.k_cap(j, t, *w);
+        let sig = classes[j].signature;
+        let mut total = 0u64;
+        for k in 0..=cap {
+            *w += k;
+            for (i, ti) in t.iter_mut().enumerate() {
+                if sig >> i & 1 == 1 {
+                    *ti += k;
+                }
+            }
+            let sub = self.replay_vectors(j + 1, t, w, nodes_left);
+            *w -= k;
+            for (i, ti) in t.iter_mut().enumerate() {
+                if sig >> i & 1 == 1 {
+                    *ti -= k;
+                }
+            }
+            total = total.saturating_add(sub?);
+        }
+        Some(total)
+    }
+}
+
+/// Runs the memoized DP over a prebuilt decomposition, reusing `rows`
+/// across calls. Returns the same [`ConfidenceAnalysis`] the exact DFS
+/// produces (bit-identical `total`, per-class numerators, and feasible
+/// vector count) plus the run's cache statistics.
+///
+/// # Errors
+/// [`CoreError::BudgetExceeded`] when the budget runs out before the count
+/// completes (cache exhaustion, by contrast, degrades to DFS — see the
+/// module docs).
+pub fn count_dp(
+    analysis: SignatureAnalysis,
+    budget: &Budget,
+    config: &DpConfig,
+    rows: &mut RowCache,
+) -> Result<(ConfidenceAnalysis, DpStats), CoreError> {
+    let mut engine = DpEngine::new(&analysis, config);
+    let mut t = vec![0u64; analysis.source_count()];
+    let mut w = 0u64;
+    let root = engine.node(rows, 0, &mut t, &mut w, budget)?;
+    let stats = engine.stats;
+    let result = ConfidenceAnalysis::from_parts(
+        analysis,
+        root.count.clone(),
+        root.numerators.clone(),
+        root.vectors,
+    );
+    Ok((result, stats))
+}
+
+/// Work-partitioned parallel variant of [`count_dp`]: prefix chunks from
+/// [`SignatureAnalysis::prefix_plan`] run one DP each (private caches)
+/// through [`partition::run_chunks`]; exact per-chunk sums and cache
+/// statistics are merged in chunk order. Bit-identical to [`count_dp`]
+/// for every thread count; `config.is_serial()` runs the serial path.
+///
+/// # Errors
+/// As [`count_dp`] (the lowest-indexed failing chunk's error wins).
+pub fn count_dp_parallel(
+    analysis: SignatureAnalysis,
+    budget: &Budget,
+    parallel: &ParallelConfig,
+    config: &DpConfig,
+) -> Result<(ConfidenceAnalysis, DpStats), CoreError> {
+    if parallel.is_serial() {
+        return count_dp(analysis, budget, config, &mut RowCache::new());
+    }
+    struct Partial {
+        total: UBig,
+        class_numerators: Vec<UBig>,
+        vectors: u64,
+        stats: DpStats,
+    }
+    let m = analysis.classes().len();
+    let prefixes = analysis.prefix_plan(parallel.target_chunks());
+    let outcomes = partition::run_chunks(parallel, budget, &prefixes, |_, prefix, budget, _| {
+        let mut counts = vec![0u64; m];
+        let mut t = vec![0u64; analysis.source_count()];
+        let mut w = 0u64;
+        if !analysis.apply_prefix(prefix, &mut counts, &mut t, &mut w) {
+            // The serial DFS never reaches this prefix; the chunk is empty.
+            return Ok(Partial {
+                total: UBig::zero(),
+                class_numerators: vec![UBig::zero(); m],
+                vectors: 0,
+                stats: DpStats::default(),
+            });
+        }
+        let mut rows = RowCache::new();
+        let mut engine = DpEngine::new(&analysis, config);
+        let root = engine.node(&mut rows, prefix.len(), &mut t, &mut w, budget)?;
+        // Weight of the fixed prefix: Π_{j<d} C(size_j, k_j); every class
+        // numerator of a prefix class is its fixed k times the chunk total.
+        let mut weight = UBig::one();
+        for (j, &k) in prefix.iter().enumerate() {
+            let row = rows.intern(analysis.classes()[j].size);
+            weight = weight.mul(rows.get(row, k));
+        }
+        let total = weight.mul(&root.count);
+        let mut class_numerators = vec![UBig::zero(); m];
+        for (j, &k) in prefix.iter().enumerate() {
+            if k > 0 {
+                class_numerators[j] = total.mul_u64(k);
+            }
+        }
+        for (l, suffix_num) in root.numerators.iter().enumerate() {
+            class_numerators[prefix.len() + l] = weight.mul(suffix_num);
+        }
+        Ok(Partial {
+            total,
+            class_numerators,
+            vectors: root.vectors,
+            stats: engine.stats,
+        })
+    })?;
+    let mut total = UBig::zero();
+    let mut class_numerators = vec![UBig::zero(); m];
+    let mut vectors = 0u64;
+    let mut stats = DpStats::default();
+    for partial in outcomes.into_iter().flatten() {
+        total.add_assign(&partial.total);
+        for (acc, part) in class_numerators.iter_mut().zip(&partial.class_numerators) {
+            acc.add_assign(part);
+        }
+        vectors = vectors.saturating_add(partial.vectors);
+        stats.absorb(&partial.stats);
+    }
+    Ok((
+        ConfidenceAnalysis::from_parts(analysis, total, class_numerators, vectors),
+        stats,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::IdentityCollection;
+    use crate::paper::example_5_1;
+    use crate::resilient::tests_support::wide_slack_identity;
+    use pscds_relational::Value;
+
+    fn run_dp(collection: &IdentityCollection, padding: u64) -> (ConfidenceAnalysis, DpStats) {
+        let analysis = SignatureAnalysis::new(collection, padding);
+        count_dp(
+            analysis,
+            &Budget::unlimited(),
+            &DpConfig::default(),
+            &mut RowCache::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dp_matches_dfs_on_example_5_1() {
+        let id = example_5_1().as_identity().unwrap();
+        for m in [0u64, 1, 3, 17, 100] {
+            let dfs = ConfidenceAnalysis::analyze(&id, m);
+            let (dp, _) = run_dp(&id, m);
+            assert_eq!(dp.world_count(), dfs.world_count(), "total at m={m}");
+            assert_eq!(
+                dp.feasible_vectors(),
+                dfs.feasible_vectors(),
+                "vectors at m={m}"
+            );
+            for sym in ["a", "b", "c"] {
+                assert_eq!(
+                    dp.confidence_of_tuple(&id, &[Value::sym(sym)]).unwrap(),
+                    dfs.confidence_of_tuple(&id, &[Value::sym(sym)]).unwrap(),
+                    "conf({sym}) at m={m}"
+                );
+            }
+            if m > 0 {
+                assert_eq!(
+                    dp.padding_confidence().unwrap(),
+                    dfs.padding_confidence().unwrap(),
+                    "padding at m={m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dp_collapses_wide_slack_instances() {
+        // ~(3t/4)^k feasible vectors, but after each disjoint class the
+        // only live residual is "deficit met" — the DP caches one node per
+        // (level, deficit) pair and the tree collapses to ~k·t nodes.
+        let id = wide_slack_identity(6, 9);
+        let budget = Budget::unlimited();
+        let analysis = SignatureAnalysis::new(&id, 0);
+        let (dp, stats) = count_dp(
+            analysis,
+            &budget,
+            &DpConfig::default(),
+            &mut RowCache::new(),
+        )
+        .unwrap();
+        // 7^6 ≈ 118k vectors enumerated by the DFS...
+        assert_eq!(dp.feasible_vectors(), 7u64.pow(6));
+        // ...but the DP visits only a few hundred nodes.
+        assert!(
+            budget.steps() < 2_000,
+            "expected subexponential node count, got {}",
+            budget.steps()
+        );
+        assert!(stats.cache_hits > 0);
+        // And the aggregate matches the exact DFS.
+        let dfs = ConfidenceAnalysis::analyze(&id, 0);
+        assert_eq!(dp.world_count(), dfs.world_count());
+        assert_eq!(
+            dp.confidence_of_tuple(&id, &[Value::sym("x0_0")]).unwrap(),
+            dfs.confidence_of_tuple(&id, &[Value::sym("x0_0")]).unwrap()
+        );
+    }
+
+    #[test]
+    fn cache_exhaustion_degrades_to_dfs_without_changing_results() {
+        let id = example_5_1().as_identity().unwrap();
+        let analysis = SignatureAnalysis::new(&id, 9);
+        let (full, full_stats) = count_dp(
+            analysis.clone(),
+            &Budget::unlimited(),
+            &DpConfig::default(),
+            &mut RowCache::new(),
+        )
+        .unwrap();
+        let (starved, starved_stats) = count_dp(
+            analysis,
+            &Budget::unlimited(),
+            &DpConfig {
+                max_cache_entries: 0,
+            },
+            &mut RowCache::new(),
+        )
+        .unwrap();
+        assert_eq!(starved.world_count(), full.world_count());
+        assert_eq!(starved.feasible_vectors(), full.feasible_vectors());
+        for sym in ["a", "b", "c"] {
+            assert_eq!(
+                starved
+                    .confidence_of_tuple(&id, &[Value::sym(sym)])
+                    .unwrap(),
+                full.confidence_of_tuple(&id, &[Value::sym(sym)]).unwrap()
+            );
+        }
+        assert_eq!(starved_stats.peak_cache_entries, 0);
+        assert_eq!(starved_stats.cache_hits, 0);
+        assert!(starved_stats.fallback_nodes >= full_stats.cache_misses);
+    }
+
+    #[test]
+    fn dp_respects_step_budget_and_reruns_cleanly() {
+        let id = wide_slack_identity(4, 8);
+        let mut rows = RowCache::new();
+        let analysis = SignatureAnalysis::new(&id, 0);
+        let err = count_dp(
+            analysis.clone(),
+            &Budget::with_max_steps(5),
+            &DpConfig::default(),
+            &mut rows,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::BudgetExceeded { .. }));
+        // The shared row cache survives the interruption; a rerun with a
+        // fresh allowance gives the exact answer.
+        let (dp, _) = count_dp(
+            analysis,
+            &Budget::unlimited(),
+            &DpConfig::default(),
+            &mut rows,
+        )
+        .unwrap();
+        let dfs = ConfidenceAnalysis::analyze(&id, 0);
+        assert_eq!(dp.world_count(), dfs.world_count());
+    }
+
+    #[test]
+    fn dp_respects_cancellation() {
+        use std::sync::atomic::Ordering;
+        // Cancellation is observed every CHECK_INTERVAL ticks; a starved
+        // cache degrades the DP to plain DFS on an instance with ~7^6
+        // feasible vectors, guaranteeing the slow-path check fires.
+        let id = wide_slack_identity(6, 9);
+        let budget = Budget::unlimited();
+        budget.cancel_handle().store(true, Ordering::Relaxed);
+        let analysis = SignatureAnalysis::new(&id, 0);
+        let err = count_dp(
+            analysis,
+            &budget,
+            &DpConfig {
+                max_cache_entries: 0,
+            },
+            &mut RowCache::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn parallel_dp_is_bit_identical_to_serial() {
+        let id = example_5_1().as_identity().unwrap();
+        for m in [0u64, 1, 3, 50] {
+            let analysis = SignatureAnalysis::new(&id, m);
+            let (serial, _) = count_dp(
+                analysis.clone(),
+                &Budget::unlimited(),
+                &DpConfig::default(),
+                &mut RowCache::new(),
+            )
+            .unwrap();
+            for threads in [2usize, 8] {
+                let (par, _) = count_dp_parallel(
+                    analysis.clone(),
+                    &Budget::unlimited(),
+                    &ParallelConfig::with_threads(threads),
+                    &DpConfig::default(),
+                )
+                .unwrap();
+                assert_eq!(par.world_count(), serial.world_count(), "m={m} t={threads}");
+                assert_eq!(par.feasible_vectors(), serial.feasible_vectors());
+                for sym in ["a", "b", "c"] {
+                    assert_eq!(
+                        par.confidence_of_tuple(&id, &[Value::sym(sym)]).unwrap(),
+                        serial.confidence_of_tuple(&id, &[Value::sym(sym)]).unwrap(),
+                        "conf({sym}) m={m} t={threads}"
+                    );
+                }
+                assert_eq!(
+                    par.expected_world_size().unwrap(),
+                    serial.expected_world_size().unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inconsistent_collection_counts_zero() {
+        use crate::descriptor::SourceDescriptor;
+        use pscds_numeric::Frac;
+        let s1 = SourceDescriptor::identity(
+            "S1",
+            "V1",
+            "R",
+            1,
+            [[Value::sym("a")]],
+            Frac::ONE,
+            Frac::ONE,
+        )
+        .unwrap();
+        let s2 = SourceDescriptor::identity(
+            "S2",
+            "V2",
+            "R",
+            1,
+            [[Value::sym("b")]],
+            Frac::ONE,
+            Frac::ONE,
+        )
+        .unwrap();
+        let id = crate::collection::SourceCollection::from_sources([s1, s2])
+            .as_identity()
+            .unwrap();
+        let (dp, _) = run_dp(&id, 4);
+        assert!(!dp.is_consistent());
+        assert_eq!(dp.feasible_vectors(), 0);
+    }
+}

@@ -29,15 +29,21 @@
 //! * [`sampling`] — a Metropolis estimator over count vectors for
 //!   instances whose feasible region is too large to enumerate exactly
 //!   (exact counting is #P-hard); validated against the exact counter.
+//! * [`dp`] — a memoized variant of the signature counter keyed on
+//!   residual states: exact like the DFS, but pseudo-polynomial on
+//!   instances whose search trees re-enter the same residuals (padded
+//!   domains, wide slack classes).
 
 pub mod closed_form;
 pub mod counting;
+pub mod dp;
 pub mod gamma;
 pub mod sampling;
 pub mod signature;
 pub mod worlds;
 
 pub use counting::ConfidenceAnalysis;
+pub use dp::{count_dp, count_dp_parallel, DpConfig, DpStats};
 pub use gamma::LinearSystem;
 pub use sampling::{
     sample_confidences, sample_confidences_budgeted, SampledConfidence, SamplerConfig,

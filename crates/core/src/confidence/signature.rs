@@ -43,11 +43,11 @@ pub struct SignatureClass {
 
 /// Per-source exact bounds used by the feasibility predicate.
 #[derive(Clone, Copy, Debug)]
-struct SourceBounds {
+pub(crate) struct SourceBounds {
     /// Completeness bound `c_i`.
-    completeness: Frac,
+    pub(crate) completeness: Frac,
     /// `⌈s_i · |v_i|⌉` — minimum sound tuples (inequality (3)).
-    min_sound: u64,
+    pub(crate) min_sound: u64,
 }
 
 /// The signature decomposition of an identity-view collection over a
@@ -160,6 +160,18 @@ impl SignatureAnalysis {
     #[must_use]
     pub fn source_count(&self) -> usize {
         self.bounds.len()
+    }
+
+    /// The per-source feasibility bounds (for the sibling engines in this
+    /// module tree).
+    pub(crate) fn bounds(&self) -> &[SourceBounds] {
+        &self.bounds
+    }
+
+    /// `suffix_max_t[source][level]` — the maximum future contribution to
+    /// `t_source` from classes `level..`.
+    pub(crate) fn suffix_max(&self, source: usize, level: usize) -> u64 {
+        self.suffix_max_t[source][level]
     }
 
     /// The shared relation.
@@ -297,7 +309,13 @@ impl SignatureAnalysis {
     /// prefix count exceeds the serial loop's `k_cap`) — in which case
     /// the chunk contributes nothing, exactly like the pruned serial
     /// subtree.
-    fn apply_prefix(&self, prefix: &[u64], counts: &mut [u64], t: &mut [u64], w: &mut u64) -> bool {
+    pub(crate) fn apply_prefix(
+        &self,
+        prefix: &[u64],
+        counts: &mut [u64],
+        t: &mut [u64],
+        w: &mut u64,
+    ) -> bool {
         for (j, &k) in prefix.iter().enumerate() {
             for (i, b) in self.bounds.iter().enumerate() {
                 let max_future = self.suffix_max_t[i][j];
@@ -393,7 +411,7 @@ impl SignatureAnalysis {
     /// compensation, so `k` is capped by the remaining headroom — this is
     /// what keeps the padding-class loop bounded by the feasible region
     /// instead of the (possibly enormous) class size.
-    fn k_cap(&self, j: usize, t: &[u64], w: u64) -> u64 {
+    pub(crate) fn k_cap(&self, j: usize, t: &[u64], w: u64) -> u64 {
         let class = &self.classes[j];
         let mut cap = class.size;
         for (i, b) in self.bounds.iter().enumerate() {

@@ -254,6 +254,10 @@ pub enum Engine {
     /// The signature-decomposition solver (exact for identity-view
     /// collections, but a different — cheaper — engine than enumeration).
     Signature,
+    /// The memoized residual-state DP (exact like the signature counter,
+    /// but pseudo-polynomial on instances whose search trees re-enter the
+    /// same residual states — see `confidence::dp`).
+    Dp,
     /// The Metropolis sampler: an estimate, not an exact value.
     Sampled {
         /// Number of recorded samples behind the estimate.
@@ -266,6 +270,7 @@ impl std::fmt::Display for Engine {
         match self {
             Engine::Exact => write!(f, "exact"),
             Engine::Signature => write!(f, "signature"),
+            Engine::Dp => write!(f, "dp"),
             Engine::Sampled { samples } => write!(f, "sampled ({samples} samples)"),
         }
     }
@@ -385,6 +390,7 @@ mod tests {
     fn engine_display() {
         assert_eq!(Engine::Exact.to_string(), "exact");
         assert_eq!(Engine::Signature.to_string(), "signature");
+        assert_eq!(Engine::Dp.to_string(), "dp");
         assert_eq!(
             Engine::Sampled { samples: 42 }.to_string(),
             "sampled (42 samples)"

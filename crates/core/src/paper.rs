@@ -49,6 +49,38 @@ pub fn example_5_1_domain(m: usize) -> Vec<Value> {
     dom
 }
 
+/// Example 5.1 with every extension tuple replicated `r` times:
+///
+/// ```text
+/// S₁ = ⟨Id_R, {R(a₁)…R(a_r), R(b₁)…R(b_r)}, 0.5, 0.5⟩
+/// S₂ = ⟨Id_R, {R(b₁)…R(b_r), R(c₁)…R(c_r)}, 0.5, 0.5⟩
+/// ```
+///
+/// analyzed over the domain with `r` padding facts. The plain example's
+/// search tree is *constant* in the padding (singleton classes truncate
+/// every loop), so it cannot separate counting engines; here all four
+/// signature classes have size `r`, giving the DFS a search tree that
+/// grows like `r⁴` while the residual-state DP visits `O(r²)` distinct
+/// states — the scaling family behind the E1 engine benchmark.
+#[must_use]
+pub fn example_5_1_scaled(r: usize) -> SourceCollection {
+    let r = r.max(1);
+    let group = |prefix: &str| -> Vec<[Value; 1]> {
+        (1..=r)
+            .map(|i| [Value::sym(&format!("{prefix}{i}"))])
+            .collect()
+    };
+    let mut ext1 = group("a");
+    ext1.extend(group("b"));
+    let mut ext2 = group("b");
+    ext2.extend(group("c"));
+    let s1 = SourceDescriptor::identity("S1", "V1", "R", 1, ext1, Frac::HALF, Frac::HALF)
+        .expect("valid descriptor");
+    let s2 = SourceDescriptor::identity("S2", "V2", "R", 1, ext2, Frac::HALF, Frac::HALF)
+        .expect("valid descriptor");
+    SourceCollection::from_sources([s1, s2])
+}
+
 /// The Section 1.1 motivating views (Global Historical Climatology
 /// Network), with small example extensions. Station `438432` is the
 /// paper's single-station source S₃.
@@ -94,6 +126,36 @@ mod tests {
         assert!(c.as_identity().is_ok());
         assert_eq!(example_5_1_domain(0).len(), 3);
         assert_eq!(example_5_1_domain(5).len(), 8);
+    }
+
+    #[test]
+    fn example_5_1_scaled_reduces_to_plain_at_r1() {
+        use crate::confidence::ConfidenceAnalysis;
+        use pscds_relational::Value;
+        // r = 1 is exactly Example 5.1 modulo renaming: same class sizes,
+        // same bounds, so the same world count and confidences.
+        let plain = ConfidenceAnalysis::analyze(&example_5_1().as_identity().unwrap(), 1);
+        let scaled_id = example_5_1_scaled(1).as_identity().unwrap();
+        let scaled = ConfidenceAnalysis::analyze(&scaled_id, 1);
+        assert_eq!(scaled.world_count(), plain.world_count());
+        assert_eq!(
+            scaled
+                .confidence_of_tuple(&scaled_id, &[Value::sym("b1")])
+                .unwrap(),
+            plain
+                .confidence_of_tuple(&example_5_1().as_identity().unwrap(), &[Value::sym("b")])
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn example_5_1_scaled_classes_grow_with_r() {
+        use crate::confidence::SignatureAnalysis;
+        let id = example_5_1_scaled(5).as_identity().unwrap();
+        let a = SignatureAnalysis::new(&id, 5);
+        let mut sizes: Vec<u64> = a.classes().iter().map(|c| c.size).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![5, 5, 5, 5]);
     }
 
     #[test]

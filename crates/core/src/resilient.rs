@@ -15,9 +15,10 @@
 //! * [`check_resilient`] — consistency: exhaustive possible-world search,
 //!   falling back to the signature-decomposition solver for identity-view
 //!   collections (still exact, but exponential only in the source count).
-//! * [`confidence_resilient`] — confidence: the exact signature counter,
-//!   optionally falling back to the Metropolis sampler (an *estimate*;
-//!   opt-in via `approx`).
+//! * [`confidence_resilient`] — confidence, a ladder of engines: the
+//!   exact signature counter; then the memoized residual-state DP under a
+//!   renewed budget (still exact — it merely collapses redundant search);
+//!   finally the Metropolis sampler (an *estimate*; opt-in via `approx`).
 
 use crate::collection::IdentityCollection;
 use crate::confidence::counting::ConfidenceAnalysis;
@@ -132,7 +133,11 @@ fn padding_of(identity: &IdentityCollection, domain: &[Value]) -> Result<u64, Co
 pub enum ResilientConfidence {
     /// The exact signature counter finished within budget.
     Exact(ConfidenceAnalysis),
-    /// The exact counter ran out of budget; the Metropolis sampler
+    /// The DFS counter ran out of budget; the memoized residual-state DP
+    /// finished under a renewed one. Still an exact result — only the
+    /// route differs.
+    Dp(ConfidenceAnalysis),
+    /// Both exact engines ran out of budget; the Metropolis sampler
     /// produced an estimate instead.
     Sampled {
         /// The signature decomposition behind the estimate (for tuple
@@ -151,6 +156,7 @@ impl ResilientConfidence {
     pub fn engine(&self) -> Engine {
         match self {
             ResilientConfidence::Exact(_) => Engine::Exact,
+            ResilientConfidence::Dp(_) => Engine::Dp,
             ResilientConfidence::Sampled { config, .. } => Engine::Sampled {
                 samples: config.samples,
             },
@@ -168,7 +174,9 @@ impl ResilientConfidence {
         tuple: &[Value],
     ) -> Result<f64, CoreError> {
         match self {
-            ResilientConfidence::Exact(a) => Ok(a.confidence_of_tuple(collection, tuple)?.to_f64()),
+            ResilientConfidence::Exact(a) | ResilientConfidence::Dp(a) => {
+                Ok(a.confidence_of_tuple(collection, tuple)?.to_f64())
+            }
             ResilientConfidence::Sampled {
                 analysis, estimate, ..
             } => estimate.confidence_of_tuple(analysis, collection, tuple),
@@ -187,7 +195,9 @@ impl ResilientConfidence {
         tuple: &[Value],
     ) -> Result<Option<Rational>, CoreError> {
         match self {
-            ResilientConfidence::Exact(a) => Ok(Some(a.confidence_of_tuple(collection, tuple)?)),
+            ResilientConfidence::Exact(a) | ResilientConfidence::Dp(a) => {
+                Ok(Some(a.confidence_of_tuple(collection, tuple)?))
+            }
             ResilientConfidence::Sampled { .. } => Ok(None),
         }
     }
@@ -196,7 +206,7 @@ impl ResilientConfidence {
     #[must_use]
     pub fn exact(&self) -> Option<&ConfidenceAnalysis> {
         match self {
-            ResilientConfidence::Exact(a) => Some(a),
+            ResilientConfidence::Exact(a) | ResilientConfidence::Dp(a) => Some(a),
             ResilientConfidence::Sampled { .. } => None,
         }
     }
@@ -206,7 +216,7 @@ impl ResilientConfidence {
     #[must_use]
     pub fn is_consistent(&self) -> bool {
         match self {
-            ResilientConfidence::Exact(a) => a.is_consistent(),
+            ResilientConfidence::Exact(a) | ResilientConfidence::Dp(a) => a.is_consistent(),
             // The sampler only runs after finding a feasible vector.
             ResilientConfidence::Sampled { .. } => true,
         }
@@ -215,11 +225,16 @@ impl ResilientConfidence {
 
 /// Computes tuple confidences under a budget, degrading gracefully.
 ///
-/// Strategy: run the exact signature counter under `budget`
-/// ([`Engine::Exact`]). If the budget trips and `approx` is set, run the
-/// Metropolis sampler under a renewed budget
-/// ([`Engine::Sampled`] — an estimate, clearly tagged as such). Without
-/// `approx`, the budget error propagates: approximation is opt-in.
+/// Strategy — a ladder of engines, each rung under a
+/// [renewed](Budget::renewed) budget:
+///
+/// 1. the exact signature counter ([`Engine::Exact`]);
+/// 2. the memoized residual-state DP ([`Engine::Dp`]) — *still exact*; it
+///    collapses search trees that re-enter the same residual states, so
+///    it often finishes where the DFS tripped;
+/// 3. if `approx` is set, the Metropolis sampler ([`Engine::Sampled`] —
+///    an estimate, clearly tagged as such). Without `approx` the DP's
+///    budget error propagates: approximation is opt-in.
 ///
 /// # Errors
 /// [`CoreError::InconsistentCollection`] (from the sampler),
@@ -257,19 +272,36 @@ pub fn confidence_resilient_with(
 ) -> Result<ResilientConfidence, CoreError> {
     match ConfidenceAnalysis::analyze_parallel(collection, padding, budget, config) {
         Ok(analysis) => Ok(ResilientConfidence::Exact(analysis)),
-        Err(e @ CoreError::BudgetExceeded { .. }) => {
-            if !approx {
-                return Err(e);
-            }
-            let config = SamplerConfig::default();
-            let estimate =
-                sample_confidences_budgeted(collection, padding, &config, &budget.renewed())?;
-            let analysis = SignatureAnalysis::new(collection, padding);
-            Ok(ResilientConfidence::Sampled {
-                analysis,
-                estimate,
+        Err(CoreError::BudgetExceeded { .. }) => {
+            // Second rung: the residual-state DP, still exact, under its
+            // own time slice (shared cancellation flag).
+            match ConfidenceAnalysis::analyze_dp_parallel(
+                collection,
+                padding,
+                &budget.renewed(),
                 config,
-            })
+            ) {
+                Ok(analysis) => Ok(ResilientConfidence::Dp(analysis)),
+                Err(e @ CoreError::BudgetExceeded { .. }) => {
+                    if !approx {
+                        return Err(e);
+                    }
+                    let config = SamplerConfig::default();
+                    let estimate = sample_confidences_budgeted(
+                        collection,
+                        padding,
+                        &config,
+                        &budget.renewed(),
+                    )?;
+                    let analysis = SignatureAnalysis::new(collection, padding);
+                    Ok(ResilientConfidence::Sampled {
+                        analysis,
+                        estimate,
+                        config,
+                    })
+                }
+                Err(e) => Err(e),
+            }
         }
         Err(e) => Err(e),
     }
@@ -316,7 +348,7 @@ mod tests {
     use super::tests_support::wide_slack_identity;
     use super::*;
     use crate::consistency::exhaustive::domain_with_fresh;
-    use crate::paper::{example_5_1, example_5_1_domain};
+    use crate::paper::{example_5_1, example_5_1_domain, example_5_1_scaled};
     use pscds_numeric::UBig;
 
     #[test]
@@ -404,37 +436,60 @@ mod tests {
     }
 
     #[test]
-    fn confidence_with_approx_falls_back_to_sampler() {
+    fn confidence_dp_rescues_a_tripped_dfs() {
         let id = wide_slack_identity(8, 9);
-        // ~7^8 ≈ 5.7M feasible vectors: the exact counter trips a
-        // 100k-step budget, while the sampler (one tick per sweep, 21k
-        // sweeps by default) fits comfortably in its renewed allowance.
+        // ~7^8 ≈ 5.7M feasible vectors: the exact DFS counter trips a
+        // 100k-step budget, but the wide slack means almost every branch
+        // re-enters a saturated residual state, so the memoized DP rung
+        // finishes in a few hundred nodes under its renewed allowance —
+        // still an exact result, tagged with its provenance.
         let budget = Budget::with_max_steps(100_000);
-        let r = confidence_resilient(&id, 0, &budget, true).unwrap();
+        let r = confidence_resilient(&id, 0, &budget, false).unwrap();
+        assert_eq!(r.engine(), Engine::Dp);
+        assert!(r.is_consistent());
+        let exact = r.exact().expect("the DP rung is exact");
+        let serial = ConfidenceAnalysis::analyze(&id, 0);
+        assert_eq!(exact.world_count(), serial.world_count());
+        assert_eq!(exact.feasible_vectors(), serial.feasible_vectors());
+        let conf = r.confidence_of_tuple(&id, &[Value::sym("x0_0")]).unwrap();
+        let reference = serial
+            .confidence_of_tuple(&id, &[Value::sym("x0_0")])
+            .unwrap()
+            .to_f64();
+        assert!((conf - reference).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confidence_with_approx_falls_back_to_sampler() {
+        // The scaled Example 5.1 family at m = 64: ~210k feasible count
+        // vectors for the DFS and ~100k distinct residual states for the
+        // DP, so *both* exact rungs trip a 30k-step budget, while the
+        // sampler (one tick per sweep, 21k sweeps by default) fits
+        // comfortably in its renewed allowance.
+        let id = example_5_1_scaled(64).as_identity().unwrap();
+        let budget = Budget::with_max_steps(30_000);
+        let r = confidence_resilient(&id, 64, &budget, true).unwrap();
         let Engine::Sampled { samples } = r.engine() else {
             panic!("expected the sampled fallback, got {}", r.engine());
         };
         assert_eq!(samples, SamplerConfig::default().samples);
         assert!(r.is_consistent());
         assert!(r.exact().is_none());
-        // With c = s = 1/4 the constraints leave each class near-free, so
-        // every tuple's confidence is near 1/2.
-        let conf = r.confidence_of_tuple(&id, &[Value::sym("x0_0")]).unwrap();
+        let conf = r.confidence_of_tuple(&id, &[Value::sym("b1")]).unwrap();
         assert!(
             (0.0..=1.0).contains(&conf),
             "confidence {conf} out of range"
-        );
-        assert!(
-            (conf - 0.5).abs() < 0.2,
-            "confidence {conf} far from slack prior"
         );
     }
 
     #[test]
     fn confidence_without_approx_keeps_hard_failure_on_large_instance() {
-        let id = wide_slack_identity(8, 9);
+        // DP-hard as well as DFS-hard (see the sampler test above): with
+        // no approximation opt-in, every rung of the ladder trips and the
+        // budget error surfaces.
+        let id = example_5_1_scaled(64).as_identity().unwrap();
         let err =
-            confidence_resilient(&id, 0, &Budget::with_max_steps(100_000), false).unwrap_err();
+            confidence_resilient(&id, 64, &Budget::with_max_steps(10_000), false).unwrap_err();
         assert!(matches!(err, CoreError::BudgetExceeded { .. }));
     }
 

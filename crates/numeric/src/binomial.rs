@@ -112,6 +112,106 @@ impl BinomialTable {
     }
 }
 
+/// Handle to an interned Pascal row inside a [`RowCache`]: plain index
+/// access on the hot path instead of a hash lookup per coefficient.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RowId(usize);
+
+/// A lazily-extended Pascal row: `row[k] = C(n, k)`, grown on demand by
+/// the multiplicative recurrence `C(n,k) = C(n,k−1)·(n−k+1)/k`.
+struct LazyRow {
+    n: u64,
+    row: Vec<UBig>,
+}
+
+impl LazyRow {
+    fn new(n: u64) -> Self {
+        LazyRow {
+            n,
+            row: vec![UBig::one()],
+        }
+    }
+
+    fn get(&mut self, k: u64) -> &UBig {
+        debug_assert!(k <= self.n, "C(n,k) with k > n has no lazy-row entry");
+        while (self.row.len() as u64) <= k {
+            let k0 = self.row.len() as u64;
+            let prev = self.row.last().expect("row starts non-empty");
+            let scaled = prev.mul_u64(self.n - (k0 - 1));
+            let (q, r) = scaled.divrem_u64(k0);
+            debug_assert!(r == 0, "binomial recurrence stays integral");
+            self.row.push(q);
+        }
+        &self.row[usize::try_from(k).expect("k fits usize")]
+    }
+}
+
+/// A cache of *lazily-extended* Pascal rows, shared across counting
+/// engines.
+///
+/// Unlike [`BinomialTable`], which materializes whole rows, a `RowCache`
+/// row grows one coefficient at a time: the feasibility pruning of the
+/// signature DFS often visits only a tiny prefix of each row (for the
+/// paper's Example 5.1 a `10^6`-sized padding class never needs `k > 1`,
+/// where the full row would be astronomically large). Rows are interned by
+/// `n`, so classes of equal size — and repeated engine calls over related
+/// decompositions — share the same underlying row.
+#[derive(Default)]
+pub struct RowCache {
+    rows: Vec<LazyRow>,
+    by_n: HashMap<u64, usize>,
+    zero: UBig,
+}
+
+impl RowCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns the row for `n`, returning a handle for index-speed access.
+    pub fn intern(&mut self, n: u64) -> RowId {
+        if let Some(&idx) = self.by_n.get(&n) {
+            return RowId(idx);
+        }
+        let idx = self.rows.len();
+        self.rows.push(LazyRow::new(n));
+        self.by_n.insert(n, idx);
+        RowId(idx)
+    }
+
+    /// `C(n, k)` for an interned row, extending it lazily. `k` must not
+    /// exceed the row's `n` (the counting engines only request counts up
+    /// to the class size); use [`RowCache::binomial`] for the total form.
+    pub fn get(&mut self, id: RowId, k: u64) -> &UBig {
+        self.rows[id.0].get(k)
+    }
+
+    /// `C(n, k)` by value of `n` (zero when `k > n`), interning the row on
+    /// first use.
+    pub fn binomial(&mut self, n: u64, k: u64) -> &UBig {
+        if k > n {
+            return &self.zero;
+        }
+        let id = self.intern(n);
+        self.get(id, k)
+    }
+
+    /// Number of interned rows (diagnostics).
+    #[must_use]
+    pub fn cached_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total number of materialized coefficients across all rows
+    /// (diagnostics: how much of Pascal's triangle was actually touched).
+    #[must_use]
+    pub fn cached_entries(&self) -> usize {
+        self.rows.iter().map(|r| r.row.len()).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +258,36 @@ mod tests {
             let lhs = binomial_ubig(n, k);
             let rhs = binomial_ubig(n - 1, k - 1).add(&binomial_ubig(n - 1, k));
             assert_eq!(lhs, rhs, "Pascal identity at C({n},{k})");
+        }
+    }
+
+    #[test]
+    fn row_cache_lazy_extension_and_interning() {
+        let mut cache = RowCache::new();
+        let id = cache.intern(1_000_000);
+        // Only the requested prefix is materialized.
+        assert_eq!(cache.get(id, 1), &UBig::from(1_000_000u64));
+        assert_eq!(cache.cached_entries(), 2);
+        // Equal n interns to the same row.
+        assert_eq!(cache.intern(1_000_000), id);
+        assert_eq!(cache.cached_rows(), 1);
+        // Totalized lookup.
+        assert_eq!(cache.binomial(5, 2), &UBig::from(10u64));
+        assert_eq!(cache.binomial(5, 6), &UBig::zero());
+    }
+
+    #[test]
+    fn row_cache_absorption_identity() {
+        // k·C(n,k) = n·C(n−1,k−1) — the identity that keeps the per-class
+        // confidence numerators Σ Π C(n_σ,k_σ)·k_σ₀ integral after the
+        // final division by the class size (counting.rs relies on it).
+        let mut cache = RowCache::new();
+        for n in 1u64..=40 {
+            for k in 1..=n {
+                let lhs = cache.binomial(n, k).mul_u64(k);
+                let rhs = cache.binomial(n - 1, k - 1).mul_u64(n);
+                assert_eq!(lhs, rhs, "k·C({n},{k}) = {n}·C({}, {})", n - 1, k - 1);
+            }
         }
     }
 

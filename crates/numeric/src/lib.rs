@@ -30,7 +30,7 @@ pub mod gcd;
 pub mod rational;
 pub mod ubig;
 
-pub use binomial::BinomialTable;
+pub use binomial::{BinomialTable, RowCache};
 pub use frac::Frac;
 pub use rational::Rational;
 pub use ubig::UBig;

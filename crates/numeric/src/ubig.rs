@@ -190,6 +190,65 @@ impl UBig {
         UBig::from_limbs(out)
     }
 
+    /// Overwrites `self` with the machine word `value`, reusing the limb
+    /// allocation.
+    pub fn set_u64(&mut self, value: u64) {
+        self.limbs.clear();
+        if value != 0 {
+            self.limbs.push(value);
+        }
+    }
+
+    /// Computes `self * rhs` into `out`, reusing `out`'s limb allocation.
+    /// The borrow checker keeps `out` distinct from both operands, so the
+    /// schoolbook accumulation never reads a partially written limb.
+    pub fn mul_into(&self, rhs: &UBig, out: &mut UBig) {
+        out.limbs.clear();
+        if self.is_zero() || rhs.is_zero() {
+            return;
+        }
+        out.limbs.resize(self.limbs.len() + rhs.limbs.len(), 0);
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let cur = u128::from(out.limbs[i + j]) + u128::from(a) * u128::from(b) + carry;
+                out.limbs[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + rhs.limbs.len();
+            while carry != 0 {
+                let cur = u128::from(out.limbs[k]) + carry;
+                out.limbs[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        while out.limbs.last() == Some(&0) {
+            out.limbs.pop();
+        }
+    }
+
+    /// Computes `self * rhs` into `out` for a machine-word multiplier,
+    /// reusing `out`'s limb allocation.
+    pub fn mul_u64_into(&self, rhs: u64, out: &mut UBig) {
+        out.limbs.clear();
+        if rhs == 0 || self.is_zero() {
+            return;
+        }
+        let mut carry = 0u128;
+        for &a in &self.limbs {
+            let cur = u128::from(a) * u128::from(rhs) + carry;
+            out.limbs.push(cur as u64);
+            carry = cur >> 64;
+        }
+        if carry != 0 {
+            out.limbs.push(carry as u64);
+        }
+    }
+
     /// Returns `self * rhs` for a machine-word multiplier.
     #[must_use]
     pub fn mul_u64(&self, rhs: u64) -> UBig {
@@ -674,6 +733,28 @@ mod tests {
         #[test]
         fn prop_mul_u64_matches_mul(a in 0u128.., b in 0u64..) {
             prop_assert_eq!(big(a).mul_u64(b), big(a).mul(&UBig::from(b)));
+        }
+
+        #[test]
+        fn prop_mul_into_matches_mul(a in 0u128.., b in 0u128.., junk in 0u128..) {
+            // The output buffer starts dirty to exercise allocation reuse.
+            let mut out = big(junk);
+            big(a).mul_into(&big(b), &mut out);
+            prop_assert_eq!(out, big(a).mul(&big(b)));
+        }
+
+        #[test]
+        fn prop_mul_u64_into_matches_mul_u64(a in 0u128.., b in 0u64.., junk in 0u128..) {
+            let mut out = big(junk);
+            big(a).mul_u64_into(b, &mut out);
+            prop_assert_eq!(out, big(a).mul_u64(b));
+        }
+
+        #[test]
+        fn prop_set_u64_overwrites(a in 0u128.., v in 0u64..) {
+            let mut x = big(a);
+            x.set_u64(v);
+            prop_assert_eq!(x, UBig::from(v));
         }
     }
 }

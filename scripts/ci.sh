@@ -24,8 +24,26 @@ echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 # Smoke-run the E1 experiment binary: cross-checks the closed forms and
-# the serial/parallel counters end to end, and asserts internally.
-echo "==> e1_example51 smoke run"
-cargo run -p pscds-bench --release --bin e1_example51 >/dev/null
+# the serial/parallel counters end to end, and asserts internally. The
+# `--dp-scale-max 4` bench smoke runs the scaled Example 5.1 family at
+# m ≤ 4 under both the exact DFS and the memoized DP — the binary
+# asserts bit-identical totals and per-tuple confidences, so any DP
+# divergence fails this step. It also emits BENCH_confidence.json
+# (engine, m, wall-ns, cache statistics); the smoke run works in a
+# scratch directory so the committed full-ladder numbers survive.
+echo "==> e1_example51 smoke run (incl. DP vs exact parity at m <= 4)"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+(cd "$smoke_dir" && cargo run \
+    --manifest-path "$OLDPWD/Cargo.toml" \
+    -p pscds-bench --release --bin e1_example51 -- --dp-scale-max 4 >/dev/null)
+[ -s "$smoke_dir/BENCH_confidence.json" ] || {
+    echo "bench smoke did not produce BENCH_confidence.json" >&2
+    exit 1
+}
+grep -q '"engine": "dp"' "$smoke_dir/BENCH_confidence.json" || {
+    echo "BENCH_confidence.json is missing DP engine records" >&2
+    exit 1
+}
 
 echo "==> CI green"

@@ -6,15 +6,17 @@
 //! `pscds_core::partition` made executable (see DESIGN.md).
 
 use proptest::prelude::*;
-use pscds::core::confidence::{ConfidenceAnalysis, PossibleWorlds};
+use pscds::core::confidence::{
+    count_dp, ConfidenceAnalysis, DpConfig, PossibleWorlds, SignatureAnalysis,
+};
 use pscds::core::consensus::{maximal_consistent_subsets, maximal_consistent_subsets_parallel};
 use pscds::core::consistency::{
     decide_exhaustive, decide_exhaustive_parallel, decide_identity, decide_identity_parallel,
     find_witness_budgeted, find_witness_parallel,
 };
 use pscds::core::govern::Budget;
-use pscds::core::{ParallelConfig, SourceCollection, SourceDescriptor};
-use pscds::numeric::{Frac, UBig};
+use pscds::core::{CoreError, ParallelConfig, SourceCollection, SourceDescriptor};
+use pscds::numeric::{Frac, RowCache, UBig};
 use pscds::relational::Value;
 
 const DOMAIN: usize = 5;
@@ -105,6 +107,22 @@ proptest! {
         let serial = ConfidenceAnalysis::analyze(&identity, padding);
         prop_assert_eq!(serial.world_count(), &UBig::from(worlds.count() as u64));
 
+        // The memoized residual-state DP: one more engine route, required
+        // to be bit-identical on every aggregate.
+        let dp = ConfidenceAnalysis::analyze_dp(&identity, padding);
+        prop_assert_eq!(dp.world_count(), serial.world_count());
+        prop_assert_eq!(dp.feasible_vectors(), serial.feasible_vectors());
+        if serial.is_consistent() {
+            for tuple in identity.all_tuples() {
+                prop_assert_eq!(dp.confidence_of_tuple(&identity, &tuple).expect("consistent"),
+                    serial.confidence_of_tuple(&identity, &tuple).expect("consistent"));
+            }
+            if padding > 0 {
+                prop_assert_eq!(dp.padding_confidence().expect("padding exists"),
+                    serial.padding_confidence().expect("padding exists"));
+            }
+        }
+
         for threads in THREADS {
             let config = ParallelConfig::with_threads(threads);
             // Brute-force oracle: identical world masks in identical order.
@@ -118,16 +136,87 @@ proptest! {
             prop_assert_eq!(par.world_count(), serial.world_count());
             prop_assert_eq!(par.feasible_vectors(),
                 serial.feasible_vectors());
+            // Partitioned DP: same contract at every thread count.
+            let par_dp =
+                ConfidenceAnalysis::analyze_dp_parallel(&identity, padding, &unlimited, &config)
+                    .expect("unlimited budget");
+            prop_assert_eq!(par_dp.world_count(), serial.world_count());
+            prop_assert_eq!(par_dp.feasible_vectors(), serial.feasible_vectors());
             if serial.is_consistent() {
                 for tuple in identity.all_tuples() {
                     prop_assert_eq!(par.confidence_of_tuple(&identity, &tuple).expect("consistent"),
+                        serial.confidence_of_tuple(&identity, &tuple).expect("consistent"));
+                    prop_assert_eq!(par_dp.confidence_of_tuple(&identity, &tuple).expect("consistent"),
                         serial.confidence_of_tuple(&identity, &tuple).expect("consistent"));
                 }
                 if padding > 0 {
                     prop_assert_eq!(par.padding_confidence().expect("padding exists"),
                         serial.padding_confidence().expect("padding exists"));
+                    prop_assert_eq!(par_dp.padding_confidence().expect("padding exists"),
+                        serial.padding_confidence().expect("padding exists"));
                 }
             }
+        }
+    }
+
+    /// Budget-interrupted runs resume cleanly: a tiny step allowance
+    /// either completes (small instance) or trips with `BudgetExceeded`,
+    /// and a rerun under an unlimited budget — reusing whatever state
+    /// survives the interruption (the shared Pascal-row cache for the
+    /// DP) — produces the bit-exact serial result.
+    #[test]
+    fn confidence_budget_interruption_is_clean(collection in collections(), max_steps in 1u64..200) {
+        let identity = collection.as_identity().expect("identity views");
+        let padding = DOMAIN as u64 - identity.all_tuples().len() as u64;
+        let serial = ConfidenceAnalysis::analyze(&identity, padding);
+
+        // The DFS counter.
+        match ConfidenceAnalysis::analyze_budgeted(&identity, padding, &Budget::with_max_steps(max_steps)) {
+            Ok(done) => {
+                prop_assert_eq!(done.world_count(), serial.world_count());
+                prop_assert_eq!(done.feasible_vectors(), serial.feasible_vectors());
+            }
+            Err(CoreError::BudgetExceeded { .. }) => {
+                let redo = ConfidenceAnalysis::analyze_budgeted(&identity, padding, &Budget::unlimited())
+                    .expect("unlimited budget");
+                prop_assert_eq!(redo.world_count(), serial.world_count());
+                prop_assert_eq!(redo.feasible_vectors(), serial.feasible_vectors());
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+        }
+
+        // The memoized DP, with the Pascal-row cache surviving the
+        // interruption into the retry.
+        let mut rows = RowCache::new();
+        let config = DpConfig::default();
+        match count_dp(
+            SignatureAnalysis::new(&identity, padding),
+            &Budget::with_max_steps(max_steps),
+            &config,
+            &mut rows,
+        ) {
+            Ok((done, _)) => {
+                prop_assert_eq!(done.world_count(), serial.world_count());
+                prop_assert_eq!(done.feasible_vectors(), serial.feasible_vectors());
+            }
+            Err(CoreError::BudgetExceeded { .. }) => {
+                let (redo, _) = count_dp(
+                    SignatureAnalysis::new(&identity, padding),
+                    &Budget::unlimited(),
+                    &config,
+                    &mut rows,
+                )
+                .expect("unlimited budget");
+                prop_assert_eq!(redo.world_count(), serial.world_count());
+                prop_assert_eq!(redo.feasible_vectors(), serial.feasible_vectors());
+                if serial.is_consistent() {
+                    for tuple in identity.all_tuples() {
+                        prop_assert_eq!(redo.confidence_of_tuple(&identity, &tuple).expect("consistent"),
+                            serial.confidence_of_tuple(&identity, &tuple).expect("consistent"));
+                    }
+                }
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
         }
     }
 
