@@ -1,0 +1,124 @@
+//! `pscds-lint` — run the workspace invariant lints and the
+//! schedule-exhaustive interleaving models; exit non-zero on any
+//! violation.
+//!
+//! ```text
+//! pscds-lint [--root <DIR>] [--list] [--no-interleave]
+//! ```
+//!
+//! With no `--root`, the workspace root is found by walking up from the
+//! current directory to the first `Cargo.toml` declaring `[workspace]`.
+
+use std::env;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use pscds_analysis::{interleave, lints, source::Workspace};
+
+fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut list = false;
+    let mut interleave_gate = true;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("pscds-lint: --root requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--list" => list = true,
+            "--no-interleave" => interleave_gate = false,
+            "--help" | "-h" => {
+                println!("usage: pscds-lint [--root <DIR>] [--list] [--no-interleave]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("pscds-lint: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if list {
+        for rule in lints::registry() {
+            println!("{}  {:<18} {}", rule.code, rule.id, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let cwd = env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let Some(root) = root.or_else(|| find_workspace_root(&cwd)) else {
+        eprintln!("pscds-lint: no workspace root found (no ancestor Cargo.toml with [workspace]); pass --root");
+        return ExitCode::FAILURE;
+    };
+
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!(
+                "pscds-lint: failed to load workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "pscds-lint: {} source files under {}",
+        ws.files.len(),
+        root.display()
+    );
+
+    let violations = lints::run_all(&ws);
+    for v in &violations {
+        println!("{v}");
+    }
+    let mut failed = !violations.is_empty();
+    if failed {
+        println!("pscds-lint: {} violation(s)", violations.len());
+    } else {
+        println!(
+            "pscds-lint: all {} lint rules clean",
+            lints::registry().len()
+        );
+    }
+
+    if interleave_gate {
+        match interleave::run_all() {
+            Ok(reports) => {
+                for r in &reports {
+                    println!("interleave: {r}");
+                }
+            }
+            Err(e) => {
+                println!("interleave: FAILED: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

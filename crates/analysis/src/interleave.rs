@@ -1,0 +1,579 @@
+//! A schedule-exhaustive mini model checker for the parallel engine
+//! layer's coordination protocols.
+//!
+//! `partition::run_chunks` promises bit-identical answers at every thread
+//! count. That rests on two tiny concurrent protocols: the
+//! [`SearchControl`] first-hit arbitration (lowest-chunk-wins via
+//! `fetch_min`) and the [`Budget`] fork/cancel discipline (a monotone
+//! shared flag observed by every fork). Sampled proptests can miss a bad
+//! interleaving; this module *enumerates all of them*. Each protocol is
+//! modelled as virtual threads of atomic operations over shared state; a
+//! DFS explores every schedule (which runnable thread performs its next
+//! operation) and asserts the protocol invariants in every terminal
+//! state:
+//!
+//! * **serial equivalence** — the arbitrated first hit equals the serial
+//!   engine's answer (the lowest-indexed chunk holding a witness) in
+//!   every schedule, and a worker abandons only when its answer could
+//!   never have been selected;
+//! * **cancel monotonicity** — once any thread observes the cancel flag
+//!   set it can never observe it clear again, a child forked after
+//!   cancellation observes it on its very first check, and each caller
+//!   unwinds with at most one error.
+//!
+//! The models are deliberately small (2–3 workers, ≤ 3 operations each:
+//! thousands to ~a hundred thousand schedules) — large enough to exhibit
+//! every ordering of the real protocols' atomic accesses, small enough to
+//! run on every CI invocation. Deliberately-broken protocol variants
+//! (last-write-wins arbitration, a clearable cancel flag) are kept as
+//! test fixtures to prove the checker actually distinguishes correct
+//! from incorrect protocols.
+//!
+//! [`SearchControl`]: ../../pscds_core/partition/struct.SearchControl.html
+//! [`Budget`]: ../../pscds_core/govern/struct.Budget.html
+
+use std::fmt;
+
+/// One virtual thread in a model.
+pub trait ModelThread<S>: Clone {
+    /// `true` once the thread has no further operations.
+    fn done(&self) -> bool;
+    /// `true` iff the thread may perform its next operation now (models
+    /// e.g. "a child cannot run before its budget is forked").
+    fn runnable(&self, shared: &S) -> bool;
+    /// Performs exactly one atomic operation.
+    fn step(&mut self, shared: &mut S);
+}
+
+/// The invariant check run in every terminal state of [`explore`].
+pub type TerminalCheck<'a, S, T> = &'a mut dyn FnMut(&S, &[T]) -> Result<(), String>;
+
+/// Exhaustively explores every schedule of `threads` over `shared`,
+/// calling `terminal` on each terminal state. Returns the number of
+/// distinct schedules (terminal states) visited, or an error if a
+/// reachable state deadlocks (threads pending but none runnable) or
+/// `terminal` reports a violation.
+///
+/// # Errors
+/// The first invariant violation or deadlock found, with the schedule
+/// count so far.
+pub fn explore<S: Clone, T: ModelThread<S>>(
+    shared: &S,
+    threads: &[T],
+    terminal: TerminalCheck<'_, S, T>,
+) -> Result<u64, String> {
+    let pending: Vec<usize> = (0..threads.len()).filter(|&i| !threads[i].done()).collect();
+    if pending.is_empty() {
+        terminal(shared, threads)?;
+        return Ok(1);
+    }
+    let runnable: Vec<usize> = pending
+        .iter()
+        .copied()
+        .filter(|&i| threads[i].runnable(shared))
+        .collect();
+    if runnable.is_empty() {
+        return Err(format!(
+            "deadlock: {} thread(s) pending but none runnable",
+            pending.len()
+        ));
+    }
+    let mut schedules = 0u64;
+    for i in runnable {
+        let mut s = shared.clone();
+        let mut ts = threads.to_vec();
+        ts[i].step(&mut s);
+        schedules += explore(&s, &ts, terminal)?;
+    }
+    Ok(schedules)
+}
+
+/// The number of interleavings of straight-line threads with the given
+/// operation counts: the multinomial coefficient `(Σk)! / Π k!`.
+#[must_use]
+pub fn multinomial(op_counts: &[u64]) -> u64 {
+    let mut result = 1u64;
+    let mut placed = 0u64;
+    for &k in op_counts {
+        for j in 1..=k {
+            placed += 1;
+            result = result * placed / j; // exact: C(placed, j) accumulates integrally
+        }
+    }
+    result
+}
+
+/// Outcome of exhaustively checking one model configuration family.
+#[derive(Clone, Debug)]
+pub struct ModelReport {
+    /// Which model ran.
+    pub model: String,
+    /// Number of distinct `(witness/politeness/…)` configurations.
+    pub configurations: u64,
+    /// Total schedules explored across all configurations.
+    pub schedules: u64,
+}
+
+impl fmt::Display for ModelReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} configurations, {} schedules, all invariants hold",
+            self.model, self.configurations, self.schedules
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Model 1: SearchControl first-hit arbitration.
+// ---------------------------------------------------------------------
+
+/// How `record_hit` writes the shared cell. [`Arbitration::FetchMin`] is
+/// the real protocol; [`Arbitration::LastWriteWins`] is a deliberately
+/// broken variant used to prove the checker detects schedule-dependent
+/// answers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Arbitration {
+    /// `fetch_min` — the real lowest-chunk-wins protocol.
+    FetchMin,
+    /// A plain store — broken: the answer depends on the schedule.
+    LastWriteWins,
+}
+
+#[derive(Clone, Debug)]
+struct ScShared {
+    first_hit: usize,
+    arbitration: Arbitration,
+}
+
+/// A model worker on chunk `chunk`. It polls `superseded` up to
+/// `polls_remaining` times (a *polite* worker abandons on a true
+/// observation; a *stubborn* one records anyway — both are legal in the
+/// real driver, where the superseded check is amortized), then records
+/// its hit if it holds a witness.
+#[derive(Clone, Debug)]
+struct ScWorker {
+    chunk: usize,
+    has_witness: bool,
+    polite: bool,
+    polls_remaining: u8,
+    observations: Vec<bool>,
+    abandoned: bool,
+    finished: bool,
+}
+
+impl ModelThread<ScShared> for ScWorker {
+    fn done(&self) -> bool {
+        self.finished
+    }
+    fn runnable(&self, _shared: &ScShared) -> bool {
+        true
+    }
+    fn step(&mut self, shared: &mut ScShared) {
+        if self.polls_remaining > 0 {
+            self.polls_remaining -= 1;
+            let superseded = shared.first_hit < self.chunk;
+            self.observations.push(superseded);
+            if superseded && self.polite {
+                self.abandoned = true;
+                self.finished = true;
+            }
+        } else {
+            if self.has_witness {
+                shared.first_hit = match shared.arbitration {
+                    Arbitration::FetchMin => shared.first_hit.min(self.chunk),
+                    Arbitration::LastWriteWins => self.chunk,
+                };
+            }
+            self.finished = true;
+        }
+    }
+}
+
+/// Exhaustively checks the `SearchControl` model for `workers` workers
+/// (chunk indices `0..workers`), over every combination of
+/// witness-holding and polite/stubborn workers, under the given
+/// arbitration semantics.
+///
+/// Invariants asserted in every terminal state of every schedule:
+/// 1. **lowest-chunk-wins / serial equivalence** — the final first-hit
+///    cell equals the lowest chunk holding a witness (`usize::MAX` when
+///    none);
+/// 2. **abandonment soundness** — an abandoned worker's chunk is
+///    strictly above the final winner, so its answer could never have
+///    been selected;
+/// 3. **superseded monotonicity** — per worker, once `superseded` is
+///    observed true it is never observed false again.
+///
+/// # Errors
+/// The first violated invariant, with the offending configuration.
+pub fn check_search_control(
+    workers: usize,
+    arbitration: Arbitration,
+) -> Result<ModelReport, String> {
+    assert!((2..=3).contains(&workers), "model sized for 2-3 workers");
+    let mut configurations = 0u64;
+    let mut schedules = 0u64;
+    for witness_mask in 0u32..(1 << workers) {
+        for polite_mask in 0u32..(1 << workers) {
+            configurations += 1;
+            let threads: Vec<ScWorker> = (0..workers)
+                .map(|w| ScWorker {
+                    chunk: w,
+                    has_witness: witness_mask >> w & 1 == 1,
+                    polite: polite_mask >> w & 1 == 1,
+                    polls_remaining: 2,
+                    observations: Vec::new(),
+                    abandoned: false,
+                    finished: false,
+                })
+                .collect();
+            let serial: usize = (0..workers)
+                .find(|w| witness_mask >> w & 1 == 1)
+                .unwrap_or(usize::MAX);
+            let shared = ScShared {
+                first_hit: usize::MAX,
+                arbitration,
+            };
+            let config = format!(
+                "workers={workers} witnesses={witness_mask:0w$b} polite={polite_mask:0w$b}",
+                w = workers
+            );
+            schedules += explore(&shared, &threads, &mut |s, ts| {
+                if s.first_hit != serial {
+                    return Err(format!(
+                        "[{config}] schedule-dependent answer: final first_hit {} != serial winner {}",
+                        s.first_hit, serial
+                    ));
+                }
+                for t in ts {
+                    if t.abandoned && s.first_hit >= t.chunk {
+                        return Err(format!(
+                            "[{config}] unsound abandonment: chunk {} abandoned but final winner is {}",
+                            t.chunk, s.first_hit
+                        ));
+                    }
+                    if t.observations.windows(2).any(|w| w[0] && !w[1]) {
+                        return Err(format!(
+                            "[{config}] superseded flickered false after true on chunk {}",
+                            t.chunk
+                        ));
+                    }
+                }
+                Ok(())
+            })?;
+        }
+    }
+    Ok(ModelReport {
+        model: format!("search-control[{workers} workers]"),
+        configurations,
+        schedules,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Model 2: Budget fork/cancel.
+// ---------------------------------------------------------------------
+
+/// Cancel-flag semantics. [`CancelFlag::Monotone`] is the real protocol
+/// (a latch that is never cleared); [`CancelFlag::ClearedOnObserve`] is a
+/// broken variant where a child's check consumes the flag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelFlag {
+    /// Set-once latch — the real `Arc<AtomicBool>` discipline.
+    Monotone,
+    /// Observing the flag clears it — broken: siblings miss the cancel.
+    ClearedOnObserve,
+}
+
+#[derive(Clone, Debug)]
+struct BcShared {
+    cancelled: bool,
+    forked: Vec<bool>,
+    cancelled_at_fork: Vec<Option<bool>>,
+    semantics: CancelFlag,
+}
+
+#[derive(Clone, Debug)]
+enum BcThread {
+    /// Trips the shared cancel flag (models Ctrl-C / a sibling error).
+    Canceller { fired: bool },
+    /// Forks one child budget per step, in index order.
+    Parent { next_fork: usize, total: usize },
+    /// A forked worker: checks the flag up to twice; an observed cancel
+    /// unwinds with exactly one error.
+    Child {
+        index: usize,
+        checks_remaining: u8,
+        observations: Vec<bool>,
+        errors: u32,
+        completed: bool,
+    },
+}
+
+impl ModelThread<BcShared> for BcThread {
+    fn done(&self) -> bool {
+        match self {
+            BcThread::Canceller { fired } => *fired,
+            BcThread::Parent { next_fork, total } => next_fork >= total,
+            BcThread::Child {
+                checks_remaining,
+                errors,
+                ..
+            } => *checks_remaining == 0 || *errors > 0,
+        }
+    }
+    fn runnable(&self, shared: &BcShared) -> bool {
+        match self {
+            // A child cannot run before its budget exists.
+            BcThread::Child { index, .. } => shared.forked[*index],
+            _ => true,
+        }
+    }
+    fn step(&mut self, shared: &mut BcShared) {
+        match self {
+            BcThread::Canceller { fired } => {
+                shared.cancelled = true;
+                *fired = true;
+            }
+            BcThread::Parent { next_fork, .. } => {
+                shared.forked[*next_fork] = true;
+                shared.cancelled_at_fork[*next_fork] = Some(shared.cancelled);
+                *next_fork += 1;
+            }
+            BcThread::Child {
+                checks_remaining,
+                observations,
+                errors,
+                completed,
+                ..
+            } => {
+                let seen = shared.cancelled;
+                if seen && shared.semantics == CancelFlag::ClearedOnObserve {
+                    shared.cancelled = false;
+                }
+                observations.push(seen);
+                *checks_remaining -= 1;
+                if seen {
+                    *errors += 1; // unwind: done() is now true
+                } else if *checks_remaining == 0 {
+                    *completed = true;
+                }
+            }
+        }
+    }
+}
+
+/// Exhaustively checks the `Budget` fork/cancel model with `children`
+/// forked workers (2 or 3), both with and without a concurrent
+/// canceller thread, under the given flag semantics.
+///
+/// Invariants asserted in every terminal state of every schedule:
+/// 1. **pre-fork cancellation is observed** — a child whose budget was
+///    forked after the flag was set errors on its *first* check;
+/// 2. **exactly-once unwinding** — no child reports more than one
+///    `BudgetExceeded` (it unwinds at the first observation), and a
+///    child errors iff it observed the flag;
+/// 3. **cancel monotonicity** — per child, the flag is never observed
+///    clear after being observed set;
+/// 4. **no spurious cancellation** — without a canceller thread every
+///    child runs to completion with zero errors.
+///
+/// # Errors
+/// The first violated invariant, with the offending configuration.
+pub fn check_budget_fork_cancel(
+    children: usize,
+    semantics: CancelFlag,
+) -> Result<ModelReport, String> {
+    assert!((2..=3).contains(&children), "model sized for 2-3 children");
+    let mut configurations = 0u64;
+    let mut schedules = 0u64;
+    for with_canceller in [false, true] {
+        configurations += 1;
+        let mut threads: Vec<BcThread> = vec![BcThread::Parent {
+            next_fork: 0,
+            total: children,
+        }];
+        if with_canceller {
+            threads.push(BcThread::Canceller { fired: false });
+        }
+        for index in 0..children {
+            threads.push(BcThread::Child {
+                index,
+                checks_remaining: 2,
+                observations: Vec::new(),
+                errors: 0,
+                completed: false,
+            });
+        }
+        let shared = BcShared {
+            cancelled: false,
+            forked: vec![false; children],
+            cancelled_at_fork: vec![None; children],
+            semantics,
+        };
+        let config = format!("children={children} canceller={with_canceller}");
+        schedules += explore(&shared, &threads, &mut |s, ts| {
+            for t in ts {
+                let BcThread::Child {
+                    index,
+                    observations,
+                    errors,
+                    completed,
+                    ..
+                } = t
+                else {
+                    continue;
+                };
+                if s.cancelled_at_fork[*index] == Some(true) && observations.first() != Some(&true)
+                {
+                    return Err(format!(
+                        "[{config}] child {index} was forked after cancellation but its first check observed the flag clear"
+                    ));
+                }
+                if *errors > 1 {
+                    return Err(format!(
+                        "[{config}] child {index} double-errored ({errors} BudgetExceeded)"
+                    ));
+                }
+                if (*errors == 1) != observations.contains(&true) {
+                    return Err(format!(
+                        "[{config}] child {index} error/observation mismatch"
+                    ));
+                }
+                if observations.windows(2).any(|w| w[0] && !w[1]) {
+                    return Err(format!(
+                        "[{config}] child {index} observed the cancel flag clear after set — not monotone"
+                    ));
+                }
+                if !with_canceller && (*errors > 0 || !*completed) {
+                    return Err(format!("[{config}] child {index} cancelled spuriously"));
+                }
+            }
+            Ok(())
+        })?;
+    }
+    Ok(ModelReport {
+        model: format!("budget-fork-cancel[{children} children]"),
+        configurations,
+        schedules,
+    })
+}
+
+/// Runs every model at 2 and 3 workers under the *real* protocol
+/// semantics — the CI gate.
+///
+/// # Errors
+/// The first invariant violation (there are none for the shipped
+/// protocols; a failure here means `SearchControl`/`Budget` semantics
+/// drifted).
+pub fn run_all() -> Result<Vec<ModelReport>, String> {
+    Ok(vec![
+        check_search_control(2, Arbitration::FetchMin)?,
+        check_search_control(3, Arbitration::FetchMin)?,
+        check_budget_fork_cancel(2, CancelFlag::Monotone)?,
+        check_budget_fork_cancel(3, CancelFlag::Monotone)?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial straight-line thread for explorer calibration.
+    #[derive(Clone)]
+    struct Noop {
+        ops: u8,
+    }
+    impl ModelThread<()> for Noop {
+        fn done(&self) -> bool {
+            self.ops == 0
+        }
+        fn runnable(&self, (): &()) -> bool {
+            true
+        }
+        fn step(&mut self, (): &mut ()) {
+            self.ops -= 1;
+        }
+    }
+
+    #[test]
+    fn explorer_enumerates_exactly_the_multinomial_schedules() {
+        for (counts, expected) in [
+            (vec![2u8, 2], 6u64),  // 4!/(2!2!)
+            (vec![3, 3], 20),      // 6!/(3!3!)
+            (vec![2, 2, 2], 90),   // 6!/(2!2!2!)
+            (vec![3, 3, 3], 1680), // 9!/(3!3!3!)
+        ] {
+            let threads: Vec<Noop> = counts.iter().map(|&ops| Noop { ops }).collect();
+            let n = explore(&(), &threads, &mut |(), _| Ok(())).unwrap();
+            assert_eq!(n, expected, "counts {counts:?}");
+            let as_u64: Vec<u64> = counts.iter().map(|&c| u64::from(c)).collect();
+            assert_eq!(multinomial(&as_u64), expected);
+        }
+    }
+
+    #[test]
+    fn search_control_invariants_hold_for_real_arbitration() {
+        let two = check_search_control(2, Arbitration::FetchMin).unwrap();
+        assert_eq!(two.configurations, 16);
+        assert!(two.schedules > 0);
+        let three = check_search_control(3, Arbitration::FetchMin).unwrap();
+        assert_eq!(three.configurations, 64);
+        assert!(three.schedules > three.configurations);
+    }
+
+    #[test]
+    fn last_write_wins_arbitration_is_caught() {
+        let err = check_search_control(2, Arbitration::LastWriteWins).unwrap_err();
+        assert!(
+            err.contains("schedule-dependent answer"),
+            "expected a serial-equivalence violation, got: {err}"
+        );
+    }
+
+    #[test]
+    fn budget_fork_cancel_invariants_hold_for_monotone_flag() {
+        for children in [2usize, 3] {
+            let r = check_budget_fork_cancel(children, CancelFlag::Monotone).unwrap();
+            assert_eq!(r.configurations, 2);
+            assert!(r.schedules > 0, "children={children}");
+        }
+    }
+
+    #[test]
+    fn clearable_cancel_flag_is_caught() {
+        let err = check_budget_fork_cancel(2, CancelFlag::ClearedOnObserve).unwrap_err();
+        assert!(
+            err.contains("monotone") || err.contains("forked after cancellation"),
+            "expected a monotonicity violation, got: {err}"
+        );
+    }
+
+    #[test]
+    fn run_all_passes_and_covers_both_models_at_both_widths() {
+        let reports = run_all().unwrap();
+        assert_eq!(reports.len(), 4);
+        assert!(reports.iter().all(|r| r.schedules > 0));
+        let names: Vec<&str> = reports.iter().map(|r| r.model.as_str()).collect();
+        assert!(names[0].contains("search-control[2"));
+        assert!(names[3].contains("budget-fork-cancel[3"));
+    }
+
+    #[test]
+    fn deadlock_is_reported_not_hung() {
+        #[derive(Clone)]
+        struct Stuck;
+        impl ModelThread<()> for Stuck {
+            fn done(&self) -> bool {
+                false
+            }
+            fn runnable(&self, (): &()) -> bool {
+                false
+            }
+            fn step(&mut self, (): &mut ()) {}
+        }
+        let err = explore(&(), &[Stuck], &mut |(), _| Ok(())).unwrap_err();
+        assert!(err.contains("deadlock"));
+    }
+}

@@ -1,0 +1,429 @@
+//! A minimal, dependency-free Rust lexer.
+//!
+//! The invariant lints in this crate need just enough token structure to
+//! recognise item boundaries (`pub fn name`), qualified paths
+//! (`Ordering::Relaxed`), macro invocations (`panic!`), balanced brace
+//! regions, and comments (which carry the `lint-allow` grammar). This
+//! lexer produces exactly that: a flat token stream with line numbers,
+//! plus the comment text collected separately. It understands the lexical
+//! shapes that would otherwise confuse a naive scanner — nested block
+//! comments, raw strings, byte strings, char literals vs. lifetimes, and
+//! range punctuation inside numeric contexts — and deliberately nothing
+//! more (no keywords table, no precedence, no spans beyond lines).
+
+/// The coarse class of a [`Token`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `loop`, `Ordering`, …).
+    Ident,
+    /// A single punctuation character (`{`, `:`, `!`, …). Multi-character
+    /// operators appear as consecutive tokens.
+    Punct,
+    /// A string / char / byte / numeric literal, with its source text
+    /// (including quotes) preserved.
+    Literal,
+    /// A lifetime (`'a`), kept distinct so it is never mistaken for an
+    /// unterminated char literal.
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text. For [`TokKind::Punct`] this is a single character.
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// `true` iff this is an identifier with exactly the text `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// `true` iff this is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// One comment (line or block), with its text and starting line.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// The comment body, *without* the `//` / `/*` delimiters.
+    pub text: String,
+    /// 1-based source line where the comment starts.
+    pub line: u32,
+}
+
+/// The output of [`lex`]: the token stream and the comments.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order (one entry per `//` line, one per
+    /// block comment).
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source text. Never fails: unterminated constructs are
+/// consumed to end-of-file, which is good enough for linting (the real
+/// compiler is the authority on well-formedness).
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Advances `idx` over `n` characters, updating the line counter.
+    let bump = |idx: &mut usize, line: &mut u32, chars: &[char], n: usize| {
+        for _ in 0..n {
+            if *idx < chars.len() {
+                if chars[*idx] == '\n' {
+                    *line += 1;
+                }
+                *idx += 1;
+            }
+        }
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        let start_line = line;
+        // Whitespace.
+        if c.is_whitespace() {
+            bump(&mut i, &mut line, &chars, 1);
+            continue;
+        }
+        // Line comment.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let mut j = i + 2;
+            while j < chars.len() && chars[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                text: chars[i + 2..j].iter().collect(),
+                line: start_line,
+            });
+            let n = j - i;
+            bump(&mut i, &mut line, &chars, n);
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < chars.len() && depth > 0 {
+                if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            let body_end = j.saturating_sub(2).max(i + 2);
+            out.comments.push(Comment {
+                text: chars[i + 2..body_end].iter().collect(),
+                line: start_line,
+            });
+            let n = j - i;
+            bump(&mut i, &mut line, &chars, n);
+            continue;
+        }
+        // Raw / byte string prefixes: r"", r#""#, b"", br#""#.
+        if (c == 'r' || c == 'b') && is_string_ahead(&chars, i) {
+            let j = scan_string_like(&chars, i);
+            out.tokens.push(Token {
+                kind: TokKind::Literal,
+                text: chars[i..j].iter().collect(),
+                line: start_line,
+            });
+            let n = j - i;
+            bump(&mut i, &mut line, &chars, n);
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let mut j = i + 1;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                text: chars[i..j].iter().collect(),
+                line: start_line,
+            });
+            let n = j - i;
+            bump(&mut i, &mut line, &chars, n);
+            continue;
+        }
+        // Number: digits with embedded `_`, `.` (not `..`), exponents and
+        // radix/type-suffix letters.
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < chars.len() {
+                let d = chars[j];
+                let continues = d.is_alphanumeric()
+                    || d == '_'
+                    || (d == '.' && chars.get(j + 1) != Some(&'.'))
+                    || ((d == '+' || d == '-')
+                        && matches!(chars.get(j - 1), Some('e' | 'E'))
+                        && chars[i..j]
+                            .iter()
+                            .any(|&x| x == '.' || x == 'e' || x == 'E'));
+                if continues {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Literal,
+                text: chars[i..j].iter().collect(),
+                line: start_line,
+            });
+            let n = j - i;
+            bump(&mut i, &mut line, &chars, n);
+            continue;
+        }
+        // Plain string literal.
+        if c == '"' {
+            let j = scan_quoted(&chars, i + 1, '"');
+            out.tokens.push(Token {
+                kind: TokKind::Literal,
+                text: chars[i..j].iter().collect(),
+                line: start_line,
+            });
+            let n = j - i;
+            bump(&mut i, &mut line, &chars, n);
+            continue;
+        }
+        // `'`: lifetime or char literal.
+        if c == '\'' {
+            if is_lifetime_ahead(&chars, i) {
+                let mut j = i + 1;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Lifetime,
+                    text: chars[i..j].iter().collect(),
+                    line: start_line,
+                });
+                let n = j - i;
+                bump(&mut i, &mut line, &chars, n);
+            } else {
+                let j = scan_quoted(&chars, i + 1, '\'');
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: chars[i..j].iter().collect(),
+                    line: start_line,
+                });
+                let n = j - i;
+                bump(&mut i, &mut line, &chars, n);
+            }
+            continue;
+        }
+        // Everything else: one punctuation character.
+        out.tokens.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line: start_line,
+        });
+        bump(&mut i, &mut line, &chars, 1);
+    }
+    out
+}
+
+/// After `r`/`b` at `i`, is a (raw/byte) string literal starting?
+fn is_string_ahead(chars: &[char], i: usize) -> bool {
+    let mut j = i + 1;
+    if chars[i] == 'b' && chars.get(j) == Some(&'r') {
+        j += 1;
+    }
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"') || (chars[i] == 'b' && chars.get(i + 1) == Some(&'\''))
+}
+
+/// Scans a raw/byte string (or byte char) starting at the `r`/`b` prefix;
+/// returns the index one past the closing delimiter.
+fn scan_string_like(chars: &[char], i: usize) -> usize {
+    let mut j = i + 1;
+    let mut raw = chars[i] == 'r';
+    if chars[i] == 'b' {
+        if chars.get(j) == Some(&'r') {
+            raw = true;
+            j += 1;
+        } else if chars.get(j) == Some(&'\'') {
+            return scan_quoted(chars, j + 1, '\'');
+        }
+    }
+    let mut hashes = 0usize;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert_eq!(chars.get(j), Some(&'"'));
+    j += 1;
+    if raw {
+        // Raw: ends at `"` followed by `hashes` #s, no escapes.
+        while j < chars.len() {
+            if chars[j] == '"'
+                && chars[j + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&h| h == '#')
+                    .count()
+                    == hashes
+            {
+                return j + 1 + hashes;
+            }
+            j += 1;
+        }
+        j
+    } else {
+        scan_quoted(chars, j, '"')
+    }
+}
+
+/// Scans a quoted literal body starting just *after* the opening quote;
+/// returns the index one past the closing quote. Honors `\` escapes.
+fn scan_quoted(chars: &[char], mut j: usize, quote: char) -> usize {
+    while j < chars.len() {
+        if chars[j] == '\\' {
+            j += 2;
+        } else if chars[j] == quote {
+            return j + 1;
+        } else {
+            j += 1;
+        }
+    }
+    j
+}
+
+/// After `'` at `i`: lifetime iff an identifier starts and the construct
+/// is not closed by another `'` right after one character (`'a'` is a
+/// char literal; `'a` / `'static` are lifetimes).
+fn is_lifetime_ahead(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some(&c) if c.is_alphabetic() || c == '_' => chars.get(i + 2) != Some(&'\''),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens_and_lines() {
+        let l = lex("fn main() {\n    x.unwrap();\n}\n");
+        assert!(l.tokens[0].is_ident("fn"));
+        assert!(l.tokens[1].is_ident("main"));
+        let unwrap = l.tokens.iter().find(|t| t.is_ident("unwrap")).unwrap();
+        assert_eq!(unwrap.line, 2);
+    }
+
+    #[test]
+    fn comments_are_separated() {
+        let l = lex("// lint-allow(no-panic): fine\nlet x = 1; /* block\ncomment */ let y;\n");
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("lint-allow(no-panic)"));
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[1].line, 2);
+        assert!(!l.tokens.iter().any(|t| t.text.contains("comment")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still outer */ fn f() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("still outer"));
+        assert!(l.tokens[0].is_ident("fn"));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // `loop` inside a string must not look like a loop token.
+        let src = "let s = \"loop { panic!() }\"; let r = r#\"also loop\"#;";
+        let l = lex(src);
+        assert!(!idents(src).contains(&"loop".to_string()));
+        assert!(l.tokens.iter().any(|t| t.kind == TokKind::Literal));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let s = r##\"has \"# inside\"##; let t = 1;";
+        let l = lex(src);
+        let lit = l
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Literal && t.text.starts_with('r'))
+            .unwrap();
+        assert!(lit.text.contains("inside"));
+        assert!(l.tokens.iter().any(|t| t.is_ident("t")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Literal && t.text.starts_with('\''))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn ranges_do_not_eat_numbers() {
+        let l = lex("for i in 0..10 { }");
+        let lits: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lits, ["0", "10"]);
+    }
+
+    #[test]
+    fn floats_and_exponents() {
+        let l = lex("let x = 1.5e-3; let y = 0x1F_u64;");
+        let lits: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lits, ["1.5e-3", "0x1F_u64"]);
+    }
+}

@@ -1,0 +1,31 @@
+//! `pscds-analysis` — workspace invariant linter and schedule-exhaustive
+//! checker for the partially-sound/complete-sources engine layer.
+//!
+//! The engines in `crates/core` rely on whole-workspace invariants that
+//! no single unit test can see: every engine entry point must ship a
+//! budgeted and a parallel twin and appear in the parity harness;
+//! nothing outside the governance layer may spend unbounded time
+//! invisibly to the cooperative [`Budget`]; relaxed atomics need a
+//! written linearizability argument; core library paths must not panic;
+//! and "the engine gave up" errors must carry actionable provenance.
+//! This crate enforces those invariants with a dependency-free lexer
+//! ([`lexer`]), a tiny source model ([`source`]), and a registry of
+//! named lint rules ([`lints`]); the companion [`interleave`] module
+//! exhaustively model-checks the two concurrent protocols
+//! (`SearchControl` first-hit arbitration, `Budget` fork/cancel) that
+//! the parallel driver's determinism rests on.
+//!
+//! Run it with `cargo run -p pscds-analysis --bin pscds-lint`.
+//!
+//! [`Budget`]: ../pscds_core/govern/struct.Budget.html
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod interleave;
+pub mod lexer;
+pub mod lints;
+pub mod source;
+
+pub use lints::{registry, run_all, LintRule};
+pub use source::{Violation, Workspace};

@@ -1,0 +1,222 @@
+//! L2 `budget-bypass`: the cooperative [`Budget`] is the only sanctioned
+//! way for core engines to spend unbounded time. Three bypass shapes are
+//! flagged in `crates/core/src` library paths (the `govern.rs` and
+//! `partition.rs` modules — the budget and the parallel driver
+//! themselves — are the allowlisted implementation layer):
+//!
+//! * `thread::spawn` — ad-hoc threading dodges the forked-budget /
+//!   shared-cancellation discipline of `partition::run_chunks`;
+//! * `Instant::now` — ad-hoc clocks dodge the deadline accounting of
+//!   `Budget` (engines must not invent their own timeouts);
+//! * a `loop` or `while` whose body never calls `tick` / `check` /
+//!   `charge` and is not nested inside a loop that does — unbounded
+//!   iteration invisible to the budget. Tightly-bounded loops carry a
+//!   `lint-allow(budget-bypass)` justification instead.
+
+use super::{find_path2, flag};
+use crate::source::{balanced_block_end, SourceFile, Violation, Workspace};
+
+/// Rule id for `lint-allow`.
+pub const RULE: &str = "budget-bypass";
+
+/// Modules exempt from this rule (the governance layer itself).
+pub const EXEMPT_FILES: [&str; 2] = ["govern.rs", "partition.rs"];
+
+/// The calls that make a loop budget-visible.
+const BUDGET_CALLS: [&str; 3] = ["tick", "check", "charge"];
+
+/// Runs the rule.
+#[must_use]
+pub fn run(ws: &Workspace) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for file in ws.core_files() {
+        if EXEMPT_FILES.contains(&file.file_name()) {
+            continue;
+        }
+        for i in find_path2(file, "thread", "spawn") {
+            flag(
+                &mut out,
+                file,
+                RULE,
+                file.tokens[i].line,
+                "`thread::spawn` in a core library path: thread through `partition::run_chunks` so workers inherit forked budgets and the shared cancel flag".to_owned(),
+            );
+        }
+        for i in find_path2(file, "Instant", "now") {
+            flag(
+                &mut out,
+                file,
+                RULE,
+                file.tokens[i].line,
+                "`Instant::now` in a core library path: wall-clock limits must flow through `Budget` deadlines, not ad-hoc clocks".to_owned(),
+            );
+        }
+        check_loops(file, &mut out);
+    }
+    out
+}
+
+/// A discovered loop: token range of its body and whether the body calls
+/// the budget.
+struct Loop {
+    line: u32,
+    body: (usize, usize),
+    ticks: bool,
+}
+
+fn check_loops(file: &SourceFile, out: &mut Vec<Violation>) {
+    let tokens = &file.tokens;
+    let mut loops: Vec<Loop> = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        let body_open = if t.is_ident("loop") {
+            tokens
+                .get(i + 1)
+                .is_some_and(|n| n.is_punct('{'))
+                .then(|| i + 1)
+        } else if t.is_ident("while") {
+            // The body is the first `{` at paren/bracket depth 0 after
+            // the condition.
+            let mut j = i + 1;
+            let mut depth = 0i32;
+            loop {
+                match tokens.get(j) {
+                    None => break None,
+                    Some(t) if t.is_punct('(') || t.is_punct('[') => depth += 1,
+                    Some(t) if t.is_punct(')') || t.is_punct(']') => depth -= 1,
+                    Some(t) if t.is_punct('{') && depth == 0 => break Some(j),
+                    Some(t) if t.is_punct(';') && depth == 0 => break None,
+                    Some(_) => {}
+                }
+                j += 1;
+            }
+        } else {
+            None
+        };
+        if let Some(open) = body_open {
+            let end = balanced_block_end(tokens, open);
+            let ticks = tokens[open + 1..end]
+                .iter()
+                .any(|t| BUDGET_CALLS.iter().any(|c| t.is_ident(c)));
+            loops.push(Loop {
+                line: t.line,
+                body: (open + 1, end),
+                ticks,
+            });
+        }
+        i += 1;
+    }
+    for (idx, l) in loops.iter().enumerate() {
+        if l.ticks {
+            continue;
+        }
+        // Nested inside a loop that ticks? Then the budget observes every
+        // ancestor iteration and the inner (bounded-advance) loop rides
+        // along.
+        let covered = loops.iter().enumerate().any(|(j, outer)| {
+            j != idx && outer.ticks && outer.body.0 <= l.body.0 && l.body.1 <= outer.body.1
+        });
+        if !covered {
+            flag(
+                out,
+                file,
+                RULE,
+                l.line,
+                "loop without a `tick`/`check`/`charge` call: every hot loop must be visible to the cooperative `Budget` (or carry a `lint-allow(budget-bypass)` justification for tightly-bounded iteration)".to_owned(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Workspace;
+
+    #[test]
+    fn spawn_and_instant_are_flagged_outside_exempt_modules() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/engine.rs",
+            "pub fn f() {\n    let h = std::thread::spawn(|| 1);\n    let t = Instant::now();\n}\n",
+        )]);
+        let v = run(&ws);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].message.contains("thread::spawn"));
+        assert!(v[1].message.contains("Instant::now"));
+    }
+
+    #[test]
+    fn govern_and_partition_are_exempt() {
+        let ws = Workspace::from_sources(&[
+            (
+                "crates/core/src/govern.rs",
+                "pub fn f() { let t = Instant::now(); }\n",
+            ),
+            (
+                "crates/core/src/partition.rs",
+                "pub fn g() { loop { let x = 1; break; } }\n",
+            ),
+        ]);
+        assert_eq!(run(&ws), vec![]);
+    }
+
+    #[test]
+    fn unticked_loop_is_flagged_and_ticked_loop_passes() {
+        let bad = Workspace::from_sources(&[(
+            "crates/core/src/engine.rs",
+            "pub fn f() { loop { work(); } }\n",
+        )]);
+        assert_eq!(run(&bad).len(), 1);
+
+        let good = Workspace::from_sources(&[(
+            "crates/core/src/engine.rs",
+            "pub fn f(b: &Budget) -> Result<(), E> { loop { b.tick(\"f\")?; work(); } }\n",
+        )]);
+        assert_eq!(run(&good), vec![]);
+    }
+
+    #[test]
+    fn while_loops_are_checked_too() {
+        let bad = Workspace::from_sources(&[(
+            "crates/core/src/engine.rs",
+            "pub fn f(mut v: u64) { while v < (1 << 31) { v = next(v); } }\n",
+        )]);
+        let v = run(&bad);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("tick"));
+    }
+
+    #[test]
+    fn inner_loop_nested_in_ticking_loop_is_covered() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/engine.rs",
+            "pub fn f(b: &Budget) -> Result<(), E> {\n\
+             loop {\n\
+                 b.tick(\"f\")?;\n\
+                 let advanced = loop { if done() { break true; } };\n\
+                 if !advanced { return Ok(()); }\n\
+             }\n\
+             }\n",
+        )]);
+        assert_eq!(run(&ws), vec![]);
+    }
+
+    #[test]
+    fn allow_directive_suppresses_with_justification() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/engine.rs",
+            "pub fn f(mut v: u64) {\n    // lint-allow(budget-bypass): Gosper step, bounded by 32 iterations\n    while v > 0 { v >>= 1; }\n}\n",
+        )]);
+        assert_eq!(run(&ws), vec![]);
+    }
+
+    #[test]
+    fn test_regions_are_skipped() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/engine.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() { loop { std::thread::spawn(|| 1); } }\n}\n",
+        )]);
+        assert_eq!(run(&ws), vec![]);
+    }
+}

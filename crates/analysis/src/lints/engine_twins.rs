@@ -1,0 +1,239 @@
+//! L1 `engine-twins`: every super-polynomial engine entry point in
+//! `crates/core` — a bare-`pub` `fn` whose name matches `check_*`,
+//! `analyze_*` or `count_*` — must be interruptible and parallelizable,
+//! and its parity with the serial path must be tested:
+//!
+//! 1. a **budgeted twin** exists (`<name>_budgeted`), or the engine
+//!    itself takes a [`Budget`] parameter;
+//! 2. a **parallel twin** exists (`<name>_parallel`), or the engine
+//!    itself takes a [`ParallelConfig`] parameter;
+//! 3. the engine's name is referenced from `tests/engine_parity.rs`, the
+//!    differential harness that makes the Theorem 4.1 / Theorem 5.1
+//!    bit-identity contract executable.
+//!
+//! Names ending in `_budgeted` / `_parallel` are twins, not bases, and
+//! are skipped. The discovered engine list is exposed via
+//! [`engine_bases`] so `tests/engine_parity.rs` can assert at runtime
+//! that the registry and the parity suite stay in sync.
+
+use super::{flag, fn_decls};
+use crate::source::{Violation, Workspace};
+
+/// Rule id for `lint-allow`.
+pub const RULE: &str = "engine-twins";
+
+/// Path of the parity harness the rule anchors to.
+pub const PARITY_TEST: &str = "tests/engine_parity.rs";
+
+/// A discovered engine base function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EngineBase {
+    /// The engine's function name (e.g. `count_dp`).
+    pub name: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line of the declaration.
+    pub line: u32,
+    /// `true` if a `lint-allow(engine-twins)` directive covers the
+    /// declaration (such engines are exempt from the twin checks but are
+    /// still listed).
+    pub allowed: bool,
+}
+
+/// `true` iff `name` is an engine *base* name: matches the verb patterns
+/// and is not itself a twin.
+#[must_use]
+pub fn is_engine_base_name(name: &str) -> bool {
+    let matches_verb = ["check_", "analyze_", "count_"]
+        .iter()
+        .any(|v| name.starts_with(v));
+    matches_verb && !name.ends_with("_budgeted") && !name.ends_with("_parallel")
+}
+
+/// Discovers every engine base declared in `crates/core/src` library
+/// paths (test regions excluded).
+#[must_use]
+pub fn engine_bases(ws: &Workspace) -> Vec<EngineBase> {
+    let mut bases = Vec::new();
+    for file in ws.core_files() {
+        for decl in fn_decls(file) {
+            if decl.is_pub && !file.is_test_line(decl.line) && is_engine_base_name(&decl.name) {
+                bases.push(EngineBase {
+                    name: decl.name.clone(),
+                    file: file.path.clone(),
+                    line: decl.line,
+                    allowed: file.allows_rule(RULE, decl.line),
+                });
+            }
+        }
+    }
+    bases
+}
+
+/// `true` iff some core library path declares `fn <name>`.
+fn core_declares_fn(ws: &Workspace, name: &str) -> bool {
+    ws.core_files().any(|file| {
+        fn_decls(file)
+            .iter()
+            .any(|d| d.name == name && !file.is_test_line(d.line))
+    })
+}
+
+/// Runs the rule.
+#[must_use]
+pub fn run(ws: &Workspace) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let parity = ws.file(PARITY_TEST);
+    for base in engine_bases(ws) {
+        if base.allowed {
+            continue;
+        }
+        let file = ws
+            .file(&base.file)
+            .expect("engine base came from this workspace");
+        let decl = fn_decls(file)
+            .into_iter()
+            .find(|d| d.name == base.name && d.line == base.line)
+            .expect("engine base came from fn_decls");
+        let (ps, pe) = decl.params;
+        let param_has = |ty: &str| file.tokens[ps..pe].iter().any(|t| t.is_ident(ty));
+
+        if !param_has("Budget") && !core_declares_fn(ws, &format!("{}_budgeted", base.name)) {
+            flag(
+                &mut out,
+                file,
+                RULE,
+                base.line,
+                format!(
+                    "engine `{}` has no budgeted twin: declare `{}_budgeted` (or take a `&Budget` parameter) so the engine is interruptible",
+                    base.name, base.name
+                ),
+            );
+        }
+        if !param_has("ParallelConfig") && !core_declares_fn(ws, &format!("{}_parallel", base.name))
+        {
+            flag(
+                &mut out,
+                file,
+                RULE,
+                base.line,
+                format!(
+                    "engine `{}` has no parallel twin: declare `{}_parallel` (or take a `&ParallelConfig` parameter) bit-identical to the serial path",
+                    base.name, base.name
+                ),
+            );
+        }
+        match parity {
+            Some(p) if p.mentions_ident(&base.name) => {}
+            Some(_) => flag(
+                &mut out,
+                file,
+                RULE,
+                base.line,
+                format!(
+                    "engine `{}` is not referenced from {PARITY_TEST}: add a differential parity case before shipping the engine",
+                    base.name
+                ),
+            ),
+            None => flag(
+                &mut out,
+                file,
+                RULE,
+                base.line,
+                format!(
+                    "{PARITY_TEST} was not found in the workspace, so engine `{}` has no parity anchor",
+                    base.name
+                ),
+            ),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Workspace;
+
+    const PARITY_OK: &str = "#[test]\nfn parity() { count_widgets(1); }\n";
+
+    #[test]
+    fn base_name_classification() {
+        assert!(is_engine_base_name("count_dp"));
+        assert!(is_engine_base_name("check_resilient_with"));
+        assert!(is_engine_base_name("analyze_dp"));
+        assert!(!is_engine_base_name("count_dp_parallel"));
+        assert!(!is_engine_base_name("analyze_budgeted"));
+        assert!(!is_engine_base_name("decide_identity"));
+        assert!(!is_engine_base_name("checked_sub"));
+    }
+
+    #[test]
+    fn missing_twins_and_parity_reference_are_flagged() {
+        let ws = Workspace::from_sources(&[
+            (
+                "crates/core/src/widgets.rs",
+                "pub fn count_widgets(n: u64) -> u64 { n }\n",
+            ),
+            ("tests/engine_parity.rs", "#[test]\nfn other() {}\n"),
+        ]);
+        let v = run(&ws);
+        assert_eq!(
+            v.len(),
+            3,
+            "budgeted twin, parallel twin, parity ref: {v:?}"
+        );
+        assert!(v.iter().all(|x| x.rule == RULE));
+    }
+
+    #[test]
+    fn twins_by_declaration_or_parameter_pass() {
+        let ws = Workspace::from_sources(&[
+            (
+                "crates/core/src/widgets.rs",
+                "pub fn count_widgets(n: u64, budget: &Budget, config: &ParallelConfig) -> u64 { n }\n",
+            ),
+            ("tests/engine_parity.rs", PARITY_OK),
+        ]);
+        assert_eq!(run(&ws), vec![]);
+
+        let ws = Workspace::from_sources(&[
+            (
+                "crates/core/src/widgets.rs",
+                "pub fn count_widgets(n: u64) -> u64 { n }\n\
+                 pub fn count_widgets_budgeted(n: u64, b: &Budget) -> u64 { n }\n\
+                 pub fn count_widgets_parallel(n: u64, b: &Budget, c: &ParallelConfig) -> u64 { n }\n",
+            ),
+            ("tests/engine_parity.rs", PARITY_OK),
+        ]);
+        assert_eq!(run(&ws), vec![]);
+    }
+
+    #[test]
+    fn allow_directive_exempts_an_engine() {
+        let ws = Workspace::from_sources(&[
+            (
+                "crates/core/src/widgets.rs",
+                "// lint-allow(engine-twins): thin serial wrapper over count_widgets_full\npub fn count_widgets(n: u64) -> u64 { n }\n",
+            ),
+            ("tests/engine_parity.rs", "#[test]\nfn other() {}\n"),
+        ]);
+        assert_eq!(run(&ws), vec![]);
+        let bases = engine_bases(&ws);
+        assert_eq!(bases.len(), 1);
+        assert!(bases[0].allowed);
+    }
+
+    #[test]
+    fn test_region_declarations_are_ignored() {
+        let ws = Workspace::from_sources(&[
+            (
+                "crates/core/src/widgets.rs",
+                "#[cfg(test)]\nmod tests {\n    pub fn count_fixtures() -> u64 { 0 }\n}\n",
+            ),
+            ("tests/engine_parity.rs", PARITY_OK),
+        ]);
+        assert_eq!(run(&ws), vec![]);
+        assert!(engine_bases(&ws).is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! L5 `error-provenance`: the two "the engine gave up" errors must carry
+//! enough provenance for a caller to act on.
+//!
+//! * **`SearchSpaceTooLarge`** constructions must build their message
+//!   with `format!` interpolating the offending size *and* naming the cap
+//!   that was exceeded (the format string contains a `{…}` placeholder
+//!   and one of "cap" / "limit" / "exceed"). A bare string literal tells
+//!   the operator nothing about how far over the line the instance was,
+//!   or which knob (`--timeout-ms`, a budget, a hard representation
+//!   limit) would help.
+//! * **`BudgetExceeded`** values are constructed in `govern.rs` only
+//!   (via `Budget::exceeded`, which stamps the budget's true step and
+//!   elapsed counters). Outside `govern.rs` the only accepted shape is a
+//!   field-for-field re-wrap — shorthand `{ phase, steps, elapsed }`
+//!   rebuilt from a destructured error — so provenance can be forwarded
+//!   but never invented.
+//!
+//! Match *patterns* (`{ .. }`, bare field bindings) are not
+//! constructions and are ignored, as is `error.rs` (the defining
+//! module).
+
+use super::flag;
+use crate::lexer::TokKind;
+use crate::source::{balanced_block_end, SourceFile, Violation, Workspace};
+
+/// Rule id for `lint-allow`.
+pub const RULE: &str = "error-provenance";
+
+/// Words that count as naming the violated cap.
+const CAP_WORDS: [&str; 3] = ["cap", "limit", "exceed"];
+
+/// Runs the rule.
+#[must_use]
+pub fn run(ws: &Workspace) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for file in ws.core_files() {
+        if file.file_name() == "error.rs" {
+            continue;
+        }
+        check_search_space(file, &mut out);
+        check_budget_exceeded(file, &mut out);
+    }
+    out
+}
+
+/// Finds `<Name> {` occurrences and returns the token range inside the
+/// braces, or `None` when the brace region is a pattern (`..`).
+fn brace_regions(file: &SourceFile, name: &str) -> Vec<(u32, usize, usize)> {
+    let tokens = &file.tokens;
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if tokens[i].is_ident(name) && tokens.get(i + 1).is_some_and(|t| t.is_punct('{')) {
+            let end = balanced_block_end(tokens, i + 1);
+            out.push((tokens[i].line, i + 2, end));
+        }
+    }
+    out
+}
+
+/// `true` iff the region contains the rest pattern `..` (two adjacent
+/// dot puncts that are not part of a wider token).
+fn has_rest_pattern(file: &SourceFile, start: usize, end: usize) -> bool {
+    let t = &file.tokens;
+    (start..end.saturating_sub(1)).any(|i| t[i].is_punct('.') && t[i + 1].is_punct('.'))
+}
+
+fn check_search_space(file: &SourceFile, out: &mut Vec<Violation>) {
+    for (line, start, end) in brace_regions(file, "SearchSpaceTooLarge") {
+        if has_rest_pattern(file, start, end) {
+            continue; // match pattern
+        }
+        let tokens = &file.tokens;
+        // A construction names the `message` field with a value.
+        let is_construction = (start..end.saturating_sub(1))
+            .any(|i| tokens[i].is_ident("message") && tokens[i + 1].is_punct(':'));
+        if !is_construction {
+            continue; // binding pattern `{ message }`
+        }
+        // Require format!("…{…}… cap/limit/exceed …").
+        let fmt_lit = (start..end).find_map(|i| {
+            (tokens[i].is_ident("format") && tokens.get(i + 1).is_some_and(|t| t.is_punct('!')))
+                .then(|| {
+                    tokens[i + 2..end]
+                        .iter()
+                        .find(|t| t.kind == TokKind::Literal && t.text.starts_with('"'))
+                })
+                .flatten()
+        });
+        match fmt_lit {
+            None => flag(
+                out,
+                file,
+                RULE,
+                line,
+                "`SearchSpaceTooLarge` built without `format!`: the message must interpolate the offending size and name the exceeded cap".to_owned(),
+            ),
+            Some(lit) => {
+                let has_placeholder = lit.text.contains('{');
+                let names_cap = CAP_WORDS.iter().any(|w| lit.text.to_lowercase().contains(w));
+                if !has_placeholder || !names_cap {
+                    flag(
+                        out,
+                        file,
+                        RULE,
+                        line,
+                        format!(
+                            "`SearchSpaceTooLarge` message lacks {}: interpolate the instance size and say which cap/limit was exceeded",
+                            if has_placeholder { "a cap reference" } else { "size interpolation" }
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn check_budget_exceeded(file: &SourceFile, out: &mut Vec<Violation>) {
+    if file.file_name() == "govern.rs" {
+        return; // the defining construction site (Budget::exceeded)
+    }
+    for (line, start, end) in brace_regions(file, "BudgetExceeded") {
+        if has_rest_pattern(file, start, end) {
+            continue;
+        }
+        let tokens = &file.tokens;
+        let has = |name: &str| tokens[start..end].iter().any(|t| t.is_ident(name));
+        let has_colon = tokens[start..end].iter().any(|t| t.is_punct(':'));
+        let is_full_shorthand = has("phase") && has("steps") && has("elapsed") && !has_colon;
+        if !is_full_shorthand {
+            flag(
+                out,
+                file,
+                RULE,
+                line,
+                "`BudgetExceeded` constructed outside `govern.rs` with invented fields: only `Budget::exceeded` (govern.rs) or a field-for-field re-wrap `{ phase, steps, elapsed }` of a caught error may build this variant".to_owned(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Workspace;
+
+    #[test]
+    fn bare_string_message_is_flagged() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/engine.rs",
+            "pub fn f() -> CoreError {\n    CoreError::SearchSpaceTooLarge { message: \"too big\".to_owned() }\n}\n",
+        )]);
+        let v = run(&ws);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("format!"));
+    }
+
+    #[test]
+    fn format_without_cap_word_or_placeholder_is_flagged() {
+        let no_cap = Workspace::from_sources(&[(
+            "crates/core/src/engine.rs",
+            "pub fn f(n: usize) -> CoreError {\n    CoreError::SearchSpaceTooLarge { message: format!(\"{n} items is a lot\") }\n}\n",
+        )]);
+        assert_eq!(run(&no_cap).len(), 1);
+
+        let no_size = Workspace::from_sources(&[(
+            "crates/core/src/engine.rs",
+            "pub fn f() -> CoreError {\n    CoreError::SearchSpaceTooLarge { message: format!(\"over the cap\") }\n}\n",
+        )]);
+        assert_eq!(run(&no_size).len(), 1);
+    }
+
+    #[test]
+    fn size_plus_cap_message_passes() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/engine.rs",
+            "pub fn f(n: usize) -> CoreError {\n    CoreError::SearchSpaceTooLarge {\n        message: format!(\"2^{n} worlds exceed the enumeration cap of {MAX} (set a budget)\"),\n    }\n}\n",
+        )]);
+        assert_eq!(run(&ws), vec![]);
+    }
+
+    #[test]
+    fn match_patterns_are_not_constructions() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/engine.rs",
+            "pub fn f(e: &CoreError) -> bool {\n    matches!(e, CoreError::SearchSpaceTooLarge { .. })\n        || matches!(e, CoreError::BudgetExceeded { .. })\n}\npub fn g(e: CoreError) -> String {\n    match e { CoreError::SearchSpaceTooLarge { message } => message, _ => String::new() }\n}\n",
+        )]);
+        assert_eq!(run(&ws), vec![]);
+    }
+
+    #[test]
+    fn budget_exceeded_invented_outside_govern_is_flagged() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/engine.rs",
+            "pub fn f() -> CoreError {\n    CoreError::BudgetExceeded { phase: \"fake\".into(), steps: 0, elapsed: Duration::ZERO }\n}\n",
+        )]);
+        let v = run(&ws);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("govern.rs"));
+    }
+
+    #[test]
+    fn field_for_field_rewrap_passes() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/resilient.rs",
+            "pub fn f(e: CoreError) -> CoreError {\n    match e {\n        CoreError::BudgetExceeded { phase, steps, elapsed } => {\n            CoreError::BudgetExceeded { phase, steps, elapsed }\n        }\n        other => other,\n    }\n}\n",
+        )]);
+        assert_eq!(run(&ws), vec![]);
+    }
+
+    #[test]
+    fn govern_and_error_modules_are_exempt() {
+        let ws = Workspace::from_sources(&[
+            (
+                "crates/core/src/govern.rs",
+                "fn exceeded(&self) -> CoreError {\n    CoreError::BudgetExceeded { phase: p.to_owned(), steps: s, elapsed: e }\n}\n",
+            ),
+            (
+                "crates/core/src/error.rs",
+                "pub enum CoreError {\n    SearchSpaceTooLarge { message: String },\n    BudgetExceeded { phase: String, steps: u64, elapsed: Duration },\n}\n",
+            ),
+        ]);
+        assert_eq!(run(&ws), vec![]);
+    }
+}

@@ -1,0 +1,289 @@
+//! The invariant-lint registry.
+//!
+//! Each lint is a named, individually-testable rule over the
+//! [`Workspace`] token model. The registry is the single place future
+//! engine PRs extend; `run_all` is what the `pscds-lint` binary and the
+//! CI gate execute. Every rule honors the `lint-allow` grammar of
+//! [`crate::source`]:
+//!
+//! | code | id | invariant |
+//! |------|----|-----------|
+//! | L1 | `engine-twins` | every `check_*`/`analyze_*`/`count_*` engine in `crates/core` has budgeted + parallel twins and an `engine_parity.rs` reference |
+//! | L2 | `budget-bypass` | no `thread::spawn` / `Instant::now` / un-ticked `loop`/`while` outside `govern`/`partition` |
+//! | L3 | `relaxed-ordering` | every `Ordering::Relaxed` carries a justification |
+//! | L4 | `no-panic` | no `.unwrap()` / `.expect()` / `panic!` in `crates/core` library paths |
+//! | L5 | `error-provenance` | `SearchSpaceTooLarge` carries size+cap, `BudgetExceeded` is built in `govern` or re-wrapped field-for-field |
+
+pub mod budget_bypass;
+pub mod engine_twins;
+pub mod error_provenance;
+pub mod no_panic;
+pub mod relaxed_ordering;
+
+use crate::lexer::{TokKind, Token};
+use crate::source::{check_allow_grammar, SourceFile, Violation, Workspace};
+
+/// One registered lint rule.
+pub struct LintRule {
+    /// Stable rule id — the name used in `lint-allow(<id>)`.
+    pub id: &'static str,
+    /// Short code (`L1` … `L5`).
+    pub code: &'static str,
+    /// One-line summary for `pscds-lint --list`.
+    pub summary: &'static str,
+    /// The rule implementation.
+    pub run: fn(&Workspace) -> Vec<Violation>,
+}
+
+/// The registry, in rule-code order. **Future engine PRs register new
+/// invariants here** (and nowhere else); the CI gate and the
+/// `engine_parity` generated test both read this list.
+#[must_use]
+pub fn registry() -> Vec<LintRule> {
+    vec![
+        LintRule {
+            id: engine_twins::RULE,
+            code: "L1",
+            summary: "core engines expose _budgeted/_parallel twins and an engine_parity.rs case",
+            run: engine_twins::run,
+        },
+        LintRule {
+            id: budget_bypass::RULE,
+            code: "L2",
+            summary: "no thread::spawn / Instant::now / un-ticked loop outside govern/partition",
+            run: budget_bypass::run,
+        },
+        LintRule {
+            id: relaxed_ordering::RULE,
+            code: "L3",
+            summary: "Ordering::Relaxed requires an inline justification",
+            run: relaxed_ordering::run,
+        },
+        LintRule {
+            id: no_panic::RULE,
+            code: "L4",
+            summary: "no unwrap/expect/panic in core library paths (errors flow through CoreError)",
+            run: no_panic::run,
+        },
+        LintRule {
+            id: error_provenance::RULE,
+            code: "L5",
+            summary: "SearchSpaceTooLarge/BudgetExceeded constructions carry size+cap provenance",
+            run: error_provenance::run,
+        },
+    ]
+}
+
+/// Runs every registered rule plus the allow-directive grammar check,
+/// returning all violations sorted by file and line.
+#[must_use]
+pub fn run_all(ws: &Workspace) -> Vec<Violation> {
+    let mut out = check_allow_grammar(ws);
+    for rule in registry() {
+        out.extend((rule.run)(ws));
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out
+}
+
+/// A `fn` declaration discovered by [`fn_decls`].
+#[derive(Clone, Debug)]
+pub struct FnDecl {
+    /// The function name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// `true` for unrestricted `pub` visibility.
+    pub is_pub: bool,
+    /// Token index range of the parameter list, *inside* the parens.
+    pub params: (usize, usize),
+    /// Token index range of the body, *inside* the braces (`None` for
+    /// block-less declarations).
+    pub body: Option<(usize, usize)>,
+}
+
+/// Scans a file for `fn` declarations (library and test code alike —
+/// callers filter with [`SourceFile::is_test_line`]).
+#[must_use]
+pub fn fn_decls(file: &SourceFile) -> Vec<FnDecl> {
+    let tokens = &file.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_ident("fn") {
+            let Some(name_tok) = tokens.get(i + 1) else {
+                break;
+            };
+            if name_tok.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            let is_pub = visibility_is_bare_pub(tokens, i);
+            // Skip generics to the parameter list's `(`.
+            let mut j = i + 2;
+            let mut angle = 0i32;
+            while j < tokens.len() {
+                if tokens[j].is_punct('<') {
+                    angle += 1;
+                } else if tokens[j].is_punct('>') {
+                    angle -= 1;
+                } else if tokens[j].is_punct('(') && angle <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            let params_start = j + 1;
+            let mut depth = 0i32;
+            while j < tokens.len() {
+                if tokens[j].is_punct('(') {
+                    depth += 1;
+                } else if tokens[j].is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            let params_end = j;
+            // Body: the first `{` at bracket depth 0 before a `;`.
+            let mut k = j + 1;
+            let mut body = None;
+            let mut d = 0i32;
+            while k < tokens.len() {
+                let t = &tokens[k];
+                if t.is_punct('(') || t.is_punct('[') {
+                    d += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    d -= 1;
+                } else if t.is_punct(';') && d == 0 {
+                    break;
+                } else if t.is_punct('{') && d == 0 {
+                    let end = crate::source::balanced_block_end(tokens, k);
+                    body = Some((k + 1, end));
+                    break;
+                }
+                k += 1;
+            }
+            out.push(FnDecl {
+                name: name_tok.text.clone(),
+                line: tokens[i].line,
+                is_pub,
+                params: (params_start, params_end),
+                body,
+            });
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Walks back from the `fn` keyword over modifiers (`const`, `async`,
+/// `unsafe`, `extern "…"`) and reports whether the declaration is bare
+/// `pub` (restricted `pub(crate)` etc. does not count — those are not
+/// public API).
+fn visibility_is_bare_pub(tokens: &[Token], fn_idx: usize) -> bool {
+    let mut i = fn_idx;
+    while i > 0 {
+        i -= 1;
+        let t = &tokens[i];
+        if t.is_ident("const")
+            || t.is_ident("async")
+            || t.is_ident("unsafe")
+            || t.is_ident("extern")
+        {
+            continue;
+        }
+        if t.kind == TokKind::Literal {
+            continue; // the ABI string of `extern "C"`
+        }
+        if t.is_ident("pub") {
+            return !tokens.get(i + 1).is_some_and(|n| n.is_punct('('));
+        }
+        return false;
+    }
+    false
+}
+
+/// Token indices `i` where `a::b` occurs (`a` at `i`, `b` at `i+3`).
+#[must_use]
+pub fn find_path2(file: &SourceFile, a: &str, b: &str) -> Vec<usize> {
+    let t = &file.tokens;
+    (0..t.len().saturating_sub(3))
+        .filter(|&i| {
+            t[i].is_ident(a)
+                && t[i + 1].is_punct(':')
+                && t[i + 2].is_punct(':')
+                && t[i + 3].is_ident(b)
+        })
+        .collect()
+}
+
+/// Pushes a violation unless a `lint-allow(rule)` directive covers it or
+/// the line is inside a `#[cfg(test)]` region.
+pub(crate) fn flag(
+    out: &mut Vec<Violation>,
+    file: &SourceFile,
+    rule: &'static str,
+    line: u32,
+    message: String,
+) {
+    if file.is_test_line(line) || file.allows_rule(rule, line) {
+        return;
+    }
+    out.push(Violation {
+        rule,
+        file: file.path.clone(),
+        line,
+        message,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Workspace;
+
+    #[test]
+    fn registry_has_five_rules_with_distinct_ids() {
+        let reg = registry();
+        assert_eq!(reg.len(), 5);
+        let mut ids: Vec<&str> = reg.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 5, "rule ids must be distinct");
+        let codes: Vec<&str> = registry().iter().map(|r| r.code).collect();
+        assert_eq!(codes, ["L1", "L2", "L3", "L4", "L5"]);
+    }
+
+    #[test]
+    fn fn_decl_scanner_reads_visibility_params_and_body() {
+        let f = crate::source::SourceFile::from_source(
+            "crates/core/src/x.rs",
+            "pub fn count_things(x: u64, budget: &Budget) -> u64 { x }\n\
+             fn helper() {}\n\
+             pub(crate) fn internal() {}\n\
+             pub fn generic<T: Clone>(v: Vec<T>) -> usize { v.len() }\n",
+        );
+        let decls = fn_decls(&f);
+        assert_eq!(decls.len(), 4);
+        assert!(decls[0].is_pub);
+        assert_eq!(decls[0].name, "count_things");
+        let (ps, pe) = decls[0].params;
+        assert!(f.tokens[ps..pe].iter().any(|t| t.is_ident("Budget")));
+        assert!(!decls[1].is_pub);
+        assert!(!decls[2].is_pub, "pub(crate) is not bare pub");
+        assert!(decls[3].is_pub);
+        assert_eq!(decls[3].name, "generic");
+    }
+
+    #[test]
+    fn run_all_is_sorted_and_includes_grammar_check() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/z.rs",
+            "// lint-allow(no-panic)\npub fn f() {}\n",
+        )]);
+        let v = run_all(&ws);
+        assert!(v.iter().any(|x| x.rule == "allow-grammar"));
+    }
+}

@@ -1,0 +1,139 @@
+//! L4 `no-panic`: `crates/core` library paths must not `.unwrap()`,
+//! `.expect(…)` or `panic!` — a panicking engine takes down the caller
+//! (and, inside `partition::run_chunks`, poisons result slots) instead of
+//! unwinding with a structured [`CoreError`]. Invariants that really are
+//! unreachable carry a `lint-allow(no-panic): <proof>` justification;
+//! everything else returns an error. `debug_assert!` (stripped in
+//! release) and `assert!` on caller-contract violations are outside this
+//! rule's scope, as is all `#[cfg(test)]` code.
+
+use super::flag;
+use crate::lexer::TokKind;
+use crate::source::{Violation, Workspace};
+
+/// Rule id for `lint-allow`.
+pub const RULE: &str = "no-panic";
+
+/// Runs the rule.
+#[must_use]
+pub fn run(ws: &Workspace) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for file in ws.core_files() {
+        let tokens = &file.tokens;
+        for i in 0..tokens.len() {
+            let t = &tokens[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            // `.unwrap(` / `.expect(` — method-call position only, so
+            // `unwrap_or`, `unwrap_or_else`, `expect_err` etc. (different
+            // identifiers) and field names never match.
+            if (t.text == "unwrap" || t.text == "expect")
+                && i > 0
+                && tokens[i - 1].is_punct('.')
+                && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+            {
+                flag(
+                    &mut out,
+                    file,
+                    RULE,
+                    t.line,
+                    format!(
+                        "`.{}()` in a core library path: return a structured `CoreError` instead, or justify the unreachable invariant with `lint-allow(no-panic): <proof>`",
+                        t.text
+                    ),
+                );
+            }
+            // `panic!(` / `todo!(` / `unimplemented!(`.
+            if (t.text == "panic" || t.text == "todo" || t.text == "unimplemented")
+                && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            {
+                flag(
+                    &mut out,
+                    file,
+                    RULE,
+                    t.line,
+                    format!(
+                        "`{}!` in a core library path: errors must flow through `CoreError`",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Workspace;
+
+    #[test]
+    fn unwrap_expect_and_panic_are_flagged() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/engine.rs",
+            "pub fn f(x: Option<u64>) -> u64 {\n    let a = x.unwrap();\n    let b = x.expect(\"present\");\n    if a != b { panic!(\"mismatch\"); }\n    a\n}\n",
+        )]);
+        let v = run(&ws);
+        assert_eq!(v.len(), 3, "{v:?}");
+    }
+
+    #[test]
+    fn unwrap_or_family_is_not_flagged() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/engine.rs",
+            "pub fn f(x: Option<u64>) -> u64 { x.unwrap_or(0).max(x.unwrap_or_else(|| 1)) }\n",
+        )]);
+        assert_eq!(run(&ws), vec![]);
+    }
+
+    #[test]
+    fn debug_assert_and_assert_are_out_of_scope() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/engine.rs",
+            "pub fn f(n: usize) { debug_assert!(n < 64); assert!(n < 64, \"caller contract\"); }\n",
+        )]);
+        assert_eq!(run(&ws), vec![]);
+    }
+
+    #[test]
+    fn justified_expect_passes() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/engine.rs",
+            "pub fn f(x: Option<u64>) -> u64 {\n    // lint-allow(no-panic): x was populated two lines above for every branch\n    x.unwrap()\n}\n",
+        )]);
+        assert_eq!(run(&ws), vec![]);
+    }
+
+    #[test]
+    fn file_scope_allow_covers_static_exhibit_modules() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/paper.rs",
+            "// lint-allow-file(no-panic): static paper examples, validated by construction\npub fn ex() { build().expect(\"valid\"); other().unwrap(); }\n",
+        )]);
+        assert_eq!(run(&ws), vec![]);
+    }
+
+    #[test]
+    fn tests_and_other_crates_are_out_of_scope() {
+        let ws = Workspace::from_sources(&[
+            (
+                "crates/core/src/engine.rs",
+                "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); panic!(); }\n}\n",
+            ),
+            ("crates/cli/src/lib.rs", "pub fn f() { x.unwrap(); }\n"),
+            ("tests/pipeline.rs", "fn t() { x.unwrap(); }\n"),
+        ]);
+        assert_eq!(run(&ws), vec![]);
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trip_the_rule() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/engine.rs",
+            "// .unwrap() would be wrong here\npub fn f() -> &'static str { \"do not panic!(now)\" }\n",
+        )]);
+        assert_eq!(run(&ws), vec![]);
+    }
+}

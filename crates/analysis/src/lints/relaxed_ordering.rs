@@ -1,0 +1,89 @@
+//! L3 `relaxed-ordering`: every `Ordering::Relaxed` in the core and CLI
+//! library paths must carry an inline justification. The hand-rolled
+//! `partition` layer's atomics (`SearchControl` lowest-chunk-wins, forked
+//! cancel flags) are only linearizable because each relaxed access has a
+//! reason it cannot reorder into a wrong answer — a `Relaxed` without
+//! that reasoning is a latent Theorem 4.1 / 5.1 parity bug waiting for a
+//! weaker memory model. `lint-allow(relaxed-ordering): <why>` is the
+//! required shape; `Acquire`/`Release`/`SeqCst` need no comment.
+
+use super::{find_path2, flag};
+use crate::source::{Violation, Workspace};
+
+/// Rule id for `lint-allow`.
+pub const RULE: &str = "relaxed-ordering";
+
+/// Runs the rule.
+#[must_use]
+pub fn run(ws: &Workspace) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for file in ws
+        .files
+        .iter()
+        .filter(|f| f.under("crates/core/src/") || f.under("crates/cli/src/"))
+    {
+        for i in find_path2(file, "Ordering", "Relaxed") {
+            flag(
+                &mut out,
+                file,
+                RULE,
+                file.tokens[i].line,
+                "`Ordering::Relaxed` without a justification: explain why this access cannot reorder into a wrong answer (`lint-allow(relaxed-ordering): <why>`), or use a stronger ordering".to_owned(),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Workspace;
+
+    #[test]
+    fn unjustified_relaxed_is_flagged() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/ctl.rs",
+            "pub fn f(a: &AtomicBool) -> bool { a.load(Ordering::Relaxed) }\n",
+        )]);
+        let v = run(&ws);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RULE);
+    }
+
+    #[test]
+    fn justified_relaxed_passes() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/ctl.rs",
+            "pub fn f(a: &AtomicBool) -> bool {\n    // lint-allow(relaxed-ordering): monotone flag, re-checked on the slow path\n    a.load(Ordering::Relaxed)\n}\n",
+        )]);
+        assert_eq!(run(&ws), vec![]);
+    }
+
+    #[test]
+    fn seqcst_needs_no_comment_and_other_crates_are_out_of_scope() {
+        let ws = Workspace::from_sources(&[
+            (
+                "crates/core/src/ctl.rs",
+                "pub fn f(a: &AtomicUsize) { a.fetch_min(7, Ordering::SeqCst); }\n",
+            ),
+            (
+                "crates/bench/src/bin/e9.rs",
+                "fn main() { x.load(Ordering::Relaxed); }\n",
+            ),
+        ]);
+        assert_eq!(run(&ws), vec![]);
+    }
+
+    #[test]
+    fn cli_is_in_scope_and_test_regions_are_not() {
+        let ws = Workspace::from_sources(&[(
+            "crates/cli/src/lib.rs",
+            "pub fn trip(a: &AtomicBool) { a.store(true, Ordering::Relaxed); }\n\
+             #[cfg(test)]\nmod tests {\n    fn t(a: &AtomicBool) { a.store(true, Ordering::Relaxed); }\n}\n",
+        )]);
+        let v = run(&ws);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 1);
+    }
+}

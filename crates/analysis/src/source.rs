@@ -1,0 +1,487 @@
+//! Workspace source model for the invariant lints.
+//!
+//! A [`Workspace`] holds every lexed `.rs` file the lints care about,
+//! with three per-file derived structures:
+//!
+//! * the token stream (see [`crate::lexer`]);
+//! * **test regions** — line ranges covered by `#[cfg(test)]` items,
+//!   which the library-path lints skip;
+//! * **allow directives** — the `lint-allow` grammar parsed out of
+//!   comments. An inline `// lint-allow(<rule>): <reason>` suppresses the
+//!   named rule on the directive's own line *through the next code line*
+//!   (so a directive may sit at the end of the offending line or on its
+//!   own line(s) directly above). A `// lint-allow-file(<rule>): <reason>`
+//!   anywhere in a file suppresses the rule for the whole file. A
+//!   directive with an empty reason is itself reported as a violation —
+//!   justifications are the point.
+
+use crate::lexer::{lex, Comment, Lexed, Token};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A parsed `lint-allow` directive.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// The rule id being allowed (e.g. `no-panic`).
+    pub rule: String,
+    /// The justification after the colon. Must be non-empty.
+    pub reason: String,
+    /// 1-based line of the directive.
+    pub line: u32,
+    /// First code line at or after the directive — the last line the
+    /// directive covers.
+    pub covers_through: u32,
+    /// `true` for `lint-allow-file` (whole-file scope).
+    pub file_scope: bool,
+}
+
+/// One lexed source file, workspace-relative.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub path: String,
+    /// Token stream (comments excluded).
+    pub tokens: Vec<Token>,
+    /// Comments, for diagnostics.
+    pub comments: Vec<Comment>,
+    /// Parsed allow directives.
+    pub allows: Vec<Allow>,
+    /// Line ranges (inclusive) covered by `#[cfg(test)]` items.
+    pub test_regions: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    /// Lexes `text` into a file model under the given relative path.
+    #[must_use]
+    pub fn from_source(path: &str, text: &str) -> Self {
+        let Lexed { tokens, comments } = lex(text);
+        let test_regions = find_test_regions(&tokens);
+        let allows = parse_allows(&comments, &tokens);
+        SourceFile {
+            path: path.replace('\\', "/"),
+            tokens,
+            comments,
+            allows,
+            test_regions,
+        }
+    }
+
+    /// `true` iff `line` falls inside a `#[cfg(test)]` region.
+    #[must_use]
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// `true` iff an allow directive for `rule` covers `line`.
+    #[must_use]
+    pub fn allows_rule(&self, rule: &str, line: u32) -> bool {
+        self.allows.iter().any(|a| {
+            a.rule == rule && (a.file_scope || (a.line <= line && line <= a.covers_through))
+        })
+    }
+
+    /// The file name component of the path.
+    #[must_use]
+    pub fn file_name(&self) -> &str {
+        self.path.rsplit('/').next().unwrap_or(&self.path)
+    }
+
+    /// `true` iff the path is under the given workspace-relative prefix.
+    #[must_use]
+    pub fn under(&self, prefix: &str) -> bool {
+        self.path.starts_with(prefix)
+    }
+
+    /// `true` iff any identifier token equals `name` (test regions
+    /// included — references from tests count as references).
+    #[must_use]
+    pub fn mentions_ident(&self, name: &str) -> bool {
+        self.tokens.iter().any(|t| t.is_ident(name))
+    }
+}
+
+/// The set of files the lints run over.
+#[derive(Clone, Debug, Default)]
+pub struct Workspace {
+    /// All scanned files.
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Builds a workspace from in-memory `(path, source)` pairs — the
+    /// test harness for synthetic violations.
+    #[must_use]
+    pub fn from_sources(sources: &[(&str, &str)]) -> Self {
+        Workspace {
+            files: sources
+                .iter()
+                .map(|(p, s)| SourceFile::from_source(p, s))
+                .collect(),
+        }
+    }
+
+    /// Scans a workspace root on disk: `crates/*/src/**/*.rs`,
+    /// `crates/*/tests/**/*.rs`, `src/**/*.rs` and `tests/**/*.rs`.
+    /// `vendor/` and `target/` are never entered.
+    ///
+    /// # Errors
+    /// I/O errors reading directories or files.
+    pub fn load(root: &Path) -> std::io::Result<Self> {
+        let mut files = Vec::new();
+        let mut rel_dirs: Vec<PathBuf> = vec![PathBuf::from("src"), PathBuf::from("tests")];
+        let crates_dir = root.join("crates");
+        if crates_dir.is_dir() {
+            for entry in std::fs::read_dir(&crates_dir)? {
+                let entry = entry?;
+                if entry.file_type()?.is_dir() {
+                    let name = PathBuf::from("crates").join(entry.file_name());
+                    rel_dirs.push(name.join("src"));
+                    rel_dirs.push(name.join("tests"));
+                }
+            }
+        }
+        for rel in rel_dirs {
+            let abs = root.join(&rel);
+            if abs.is_dir() {
+                collect_rs_files(root, &abs, &mut files)?;
+            }
+        }
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok(Workspace { files })
+    }
+
+    /// Files under `crates/core/src/`.
+    pub fn core_files(&self) -> impl Iterator<Item = &SourceFile> {
+        self.files.iter().filter(|f| f.under("crates/core/src/"))
+    }
+
+    /// The file at the given workspace-relative path, if scanned.
+    #[must_use]
+    pub fn file(&self, path: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.path == path)
+    }
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if entry.file_type()?.is_dir() {
+            collect_rs_files(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let text = std::fs::read_to_string(&path)?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(SourceFile::from_source(&rel, &text));
+        }
+    }
+    Ok(())
+}
+
+/// A lint violation (or a malformed allow directive).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule id (e.g. `budget-bypass`).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Finds `#[cfg(test)]`-covered line ranges: the attribute, any further
+/// attributes, then the next item's full extent (through its balanced
+/// `{…}` block, or through `;` for block-less items).
+fn find_test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if let Some(after_attr) = match_cfg_test(tokens, i) {
+            let start_line = tokens[i].line;
+            let mut j = after_attr;
+            // Skip any further attributes on the same item.
+            while j < tokens.len() && tokens[j].is_punct('#') {
+                j = skip_attribute(tokens, j);
+            }
+            // Scan to the item's end: first `{` at depth 0 (then its
+            // balanced close) or a `;` at depth 0.
+            let mut depth_paren = 0i32;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct('(') || t.is_punct('[') {
+                    depth_paren += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    depth_paren -= 1;
+                } else if t.is_punct(';') && depth_paren == 0 {
+                    break;
+                } else if t.is_punct('{') && depth_paren == 0 {
+                    j = balanced_block_end(tokens, j);
+                    break;
+                }
+                j += 1;
+            }
+            let end_line = tokens
+                .get(j.min(tokens.len().saturating_sub(1)))
+                .map_or(start_line, |t| t.line);
+            regions.push((start_line, end_line));
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    regions
+}
+
+/// If tokens at `i` begin `#[cfg(…test…)]`, returns the index one past
+/// the closing `]`.
+fn match_cfg_test(tokens: &[Token], i: usize) -> Option<usize> {
+    if !tokens.get(i)?.is_punct('#') || !tokens.get(i + 1)?.is_punct('[') {
+        return None;
+    }
+    if !tokens.get(i + 2)?.is_ident("cfg") {
+        return None;
+    }
+    let end = skip_attribute(tokens, i);
+    let has_test = tokens[i + 3..end.saturating_sub(1)]
+        .iter()
+        .any(|t| t.is_ident("test"));
+    has_test.then_some(end)
+}
+
+/// Given `#` at `i`, returns the index one past the attribute's `]`.
+fn skip_attribute(tokens: &[Token], i: usize) -> usize {
+    let mut j = i + 1;
+    if !tokens.get(j).is_some_and(|t| t.is_punct('[')) {
+        return i + 1;
+    }
+    let mut depth = 0i32;
+    while j < tokens.len() {
+        if tokens[j].is_punct('[') {
+            depth += 1;
+        } else if tokens[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Given `{` at `i`, returns the index of the matching `}` (or the last
+/// token on unbalanced input).
+#[must_use]
+pub fn balanced_block_end(tokens: &[Token], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < tokens.len() {
+        if tokens[j].is_punct('{') {
+            depth += 1;
+        } else if tokens[j].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Parses `lint-allow(<rule>): <reason>` / `lint-allow-file(<rule>):
+/// <reason>` out of comments. A directive covers its own line through the
+/// next line holding a code token.
+fn parse_allows(comments: &[Comment], tokens: &[Token]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for c in comments {
+        // Doc comments (`///` → text starts with `/`, `//!` → `!`) are
+        // prose: a `lint-allow` mention there documents the grammar, it
+        // does not invoke it. Directives live in plain `//` comments.
+        if c.text.starts_with('/') || c.text.starts_with('!') {
+            continue;
+        }
+        let mut rest: &str = &c.text;
+        while let Some(pos) = rest.find("lint-allow") {
+            rest = &rest[pos + "lint-allow".len()..];
+            let file_scope = rest.starts_with("-file");
+            let body = if file_scope {
+                &rest["-file".len()..]
+            } else {
+                rest
+            };
+            let Some(open) = body.strip_prefix('(') else {
+                continue;
+            };
+            let Some(close) = open.find(')') else {
+                continue;
+            };
+            let rule = open[..close].trim().to_string();
+            let after = &open[close + 1..];
+            let reason = after
+                .strip_prefix(':')
+                .map(str::trim)
+                .unwrap_or("")
+                .to_string();
+            let covers_through = tokens
+                .iter()
+                .map(|t| t.line)
+                .find(|&l| l >= c.line)
+                .unwrap_or(c.line);
+            allows.push(Allow {
+                rule,
+                reason,
+                line: c.line,
+                covers_through,
+                file_scope,
+            });
+            rest = after;
+        }
+    }
+    allows
+}
+
+/// Reports malformed allow directives (empty rule or empty reason) as
+/// violations — the allowlist grammar requires a justification.
+#[must_use]
+pub fn check_allow_grammar(ws: &Workspace) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in &ws.files {
+        for a in &f.allows {
+            if a.rule.is_empty() || a.reason.is_empty() {
+                out.push(Violation {
+                    rule: "allow-grammar",
+                    file: f.path.clone(),
+                    line: a.line,
+                    message: format!(
+                        "malformed allow directive for rule `{}`: expected `lint-allow(<rule>): <reason>` with a non-empty reason",
+                        a.rule
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_regions_cover_cfg_test_mod() {
+        let f = SourceFile::from_source(
+            "crates/core/src/x.rs",
+            "pub fn lib_code() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\n",
+        );
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(3));
+        assert!(f.is_test_line(6));
+        assert!(f.is_test_line(7));
+    }
+
+    #[test]
+    fn cfg_test_on_blockless_item_covers_one_statement() {
+        let f = SourceFile::from_source(
+            "crates/core/src/x.rs",
+            "#[cfg(test)]\nuse std::thread;\n\npub fn real() {}\n",
+        );
+        assert!(f.is_test_line(2));
+        assert!(!f.is_test_line(4));
+    }
+
+    #[test]
+    fn cfg_all_test_is_detected() {
+        let f = SourceFile::from_source(
+            "crates/core/src/x.rs",
+            "#[cfg(all(test, feature = \"x\"))]\nmod harness { fn f() {} }\npub fn real() {}\n",
+        );
+        assert!(f.is_test_line(2));
+        assert!(!f.is_test_line(3));
+    }
+
+    #[test]
+    fn allow_covers_same_and_next_code_line() {
+        let f = SourceFile::from_source(
+            "crates/core/src/x.rs",
+            "fn f() {\n    // lint-allow(no-panic): provably unreachable —\n    // the cap above bounds n\n    x.unwrap();\n}\n",
+        );
+        assert!(f.allows_rule("no-panic", 2));
+        assert!(
+            f.allows_rule("no-panic", 4),
+            "covers through next code line"
+        );
+        assert!(!f.allows_rule("no-panic", 5));
+        assert!(!f.allows_rule("other-rule", 4));
+    }
+
+    #[test]
+    fn trailing_allow_covers_its_own_line() {
+        let f = SourceFile::from_source(
+            "crates/core/src/x.rs",
+            "fn f() {\n    x.unwrap(); // lint-allow(no-panic): guarded above\n}\n",
+        );
+        assert!(f.allows_rule("no-panic", 2));
+        assert!(!f.allows_rule("no-panic", 3));
+    }
+
+    #[test]
+    fn file_scope_allow_covers_everything() {
+        let f = SourceFile::from_source(
+            "crates/core/src/x.rs",
+            "// lint-allow-file(no-panic): static exhibit module\nfn f() { x.unwrap(); }\nfn g() { y.unwrap(); }\n",
+        );
+        assert!(f.allows_rule("no-panic", 2));
+        assert!(f.allows_rule("no-panic", 3));
+    }
+
+    #[test]
+    fn empty_reason_is_a_grammar_violation() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/x.rs",
+            "// lint-allow(no-panic)\nfn f() {}\n",
+        )]);
+        let v = check_allow_grammar(&ws);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "allow-grammar");
+    }
+
+    #[test]
+    fn doc_comment_mentions_are_prose_not_directives() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/x.rs",
+            "//! Use `lint-allow(no-panic)` to justify invariants.\n\
+             /// A `lint-allow(budget-bypass)` directive covers the line.\n\
+             fn f(x: Option<u64>) -> u64 { x.unwrap_or(0) }\n",
+        )]);
+        assert!(ws.files[0].allows.is_empty());
+        assert_eq!(check_allow_grammar(&ws), vec![]);
+    }
+
+    #[test]
+    fn mentions_ident_sees_tests_too() {
+        let f = SourceFile::from_source(
+            "tests/engine_parity.rs",
+            "#[test]\nfn parity() { count_dp(x); }\n",
+        );
+        assert!(f.mentions_ident("count_dp"));
+        assert!(!f.mentions_ident("count_dq"));
+    }
+}

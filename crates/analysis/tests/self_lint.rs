@@ -1,0 +1,45 @@
+//! The workspace must lint clean against its own invariant registry —
+//! the same gate `scripts/ci.sh` runs via `pscds-lint`, kept as a test so
+//! `cargo test` alone catches regressions.
+
+use std::path::{Path, PathBuf};
+
+use pscds_analysis::{interleave, lints, source::Workspace};
+
+fn workspace_root() -> PathBuf {
+    // crates/analysis -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_clean_under_every_lint_rule() {
+    let ws = Workspace::load(&workspace_root()).expect("workspace sources load");
+    assert!(
+        ws.files.len() > 50,
+        "suspiciously few source files ({}): did workspace discovery break?",
+        ws.files.len()
+    );
+    let violations = lints::run_all(&ws);
+    assert!(
+        violations.is_empty(),
+        "invariant lint violations on the live tree:\n{}",
+        violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn interleaving_models_hold_for_the_shipped_protocols() {
+    let reports = interleave::run_all().expect("all interleaving invariants hold");
+    assert_eq!(reports.len(), 4);
+    for r in &reports {
+        assert!(r.schedules > 0, "{}: explored no schedules", r.model);
+    }
+}

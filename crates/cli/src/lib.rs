@@ -277,6 +277,9 @@ pub fn arm_cancellation() -> Arc<AtomicBool> {
 /// of an already-initialised `OnceLock` plus one atomic store.
 pub fn trip_cancel() {
     if let Some(flag) = CANCEL.get() {
+        // lint-allow(relaxed-ordering): monotone set-once latch; every Budget
+        // re-polls it on the check slow path, so a delayed read only postpones
+        // cancellation by one CHECK_INTERVAL
         flag.store(true, Ordering::Relaxed);
     }
 }

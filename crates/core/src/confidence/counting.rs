@@ -59,6 +59,7 @@ impl ConfidenceAnalysis {
     #[must_use]
     pub fn analyze(collection: &IdentityCollection, padding: u64) -> Self {
         Self::analyze_budgeted(collection, padding, &Budget::unlimited())
+            // lint-allow(no-panic): an unlimited budget has no deadline, step cap, or cancel flag to trip
             .expect("an unlimited budget never interrupts the counter")
     }
 
@@ -81,6 +82,7 @@ impl ConfidenceAnalysis {
     #[must_use]
     pub fn from_signature_analysis(analysis: SignatureAnalysis) -> Self {
         Self::from_signature_analysis_budgeted(analysis, &Budget::unlimited())
+            // lint-allow(no-panic): an unlimited budget has no deadline, step cap, or cancel flag to trip
             .expect("an unlimited budget never interrupts the counter")
     }
 
@@ -175,6 +177,7 @@ impl ConfidenceAnalysis {
     #[must_use]
     pub fn analyze_dp(collection: &IdentityCollection, padding: u64) -> Self {
         Self::analyze_dp_budgeted(collection, padding, &Budget::unlimited())
+            // lint-allow(no-panic): an unlimited budget has no deadline, step cap, or cancel flag to trip
             .expect("an unlimited budget never interrupts the counter")
     }
 

@@ -260,6 +260,7 @@ impl<'a> DpEngine<'a> {
             packed.push((limbs >> 64) as u64);
         }
         ResidualKey {
+            // lint-allow(no-panic): j indexes the signature classes, capped far below u32::MAX
             level: u32::try_from(j).expect("class count fits u32"),
             packed: packed.into_boxed_slice(),
         }

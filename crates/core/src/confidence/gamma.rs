@@ -22,6 +22,7 @@
 use crate::collection::IdentityCollection;
 use crate::error::CoreError;
 use crate::govern::Budget;
+use crate::partition::{self, ParallelConfig};
 use pscds_numeric::Rational;
 use pscds_relational::{FactUniverse, GlobalSchema, Value};
 
@@ -175,6 +176,68 @@ impl LinearSystem {
         fixed: &[(usize, bool)],
         budget: &Budget,
     ) -> Result<u64, CoreError> {
+        let n = self.checked_var_count(budget)?;
+        let (forced_mask, forced_ones) = Self::forced_bits(n, fixed);
+        let mut count = 0u64;
+        for assignment in 0u64..(1 << n) {
+            budget.tick("confidence::gamma")?;
+            if assignment & forced_mask != forced_ones {
+                continue;
+            }
+            if self.satisfied_by(assignment) {
+                count += 1;
+            }
+        }
+        Ok(count)
+    }
+
+    /// Work-partitioned parallel twin of
+    /// [`LinearSystem::count_solutions_with_budgeted`]: the `2^N`
+    /// assignment sweep is split into contiguous ascending mask ranges
+    /// across `config.threads()` workers and the per-range solution
+    /// counts are summed in chunk order. Integer addition is associative
+    /// and commutative, so the total is bit-identical to the serial sweep
+    /// at every thread count. `config.threads() == 1` runs the untouched
+    /// serial path.
+    ///
+    /// # Errors
+    /// As [`LinearSystem::count_solutions_with_budgeted`].
+    pub fn count_solutions_with_parallel(
+        &self,
+        fixed: &[(usize, bool)],
+        budget: &Budget,
+        config: &ParallelConfig,
+    ) -> Result<u64, CoreError> {
+        if config.is_serial() {
+            return self.count_solutions_with_budgeted(fixed, budget);
+        }
+        let n = self.checked_var_count(budget)?;
+        let (forced_mask, forced_ones) = Self::forced_bits(n, fixed);
+        // lint-allow(no-panic): checked_var_count caps n at 63, which fits u32
+        let bits = u32::try_from(n).expect("checked_var_count caps n at 63");
+        let ranges = partition::split_mask_range(bits, config.target_chunks());
+        let outcomes = partition::run_chunks(config, budget, &ranges, |_, range, budget, _| {
+            let mut local = 0u64;
+            for assignment in range.clone() {
+                budget.tick("confidence::gamma")?;
+                if assignment & forced_mask != forced_ones {
+                    continue;
+                }
+                if self.satisfied_by(assignment) {
+                    local += 1;
+                }
+            }
+            Ok(local)
+        })?;
+        Ok(outcomes.into_iter().flatten().sum())
+    }
+
+    /// Rejects systems too large to sweep, returning the variable count.
+    ///
+    /// Under an *unlimited* budget the legacy [`MAX_BRUTE_FORCE_VARS`]
+    /// cap applies; a limited budget replaces it with the `u64`
+    /// assignment-mask representation limit of 63 variables.
+    fn checked_var_count(&self, budget: &Budget) -> Result<usize, CoreError> {
         let n = self.n_vars();
         if n > 63 {
             return Err(CoreError::SearchSpaceTooLarge {
@@ -191,6 +254,11 @@ impl LinearSystem {
                 ),
             });
         }
+        Ok(n)
+    }
+
+    /// The `(mask, required-ones)` bit pair encoding `fixed`.
+    fn forced_bits(n: usize, fixed: &[(usize, bool)]) -> (u64, u64) {
         let mut forced_ones = 0u64;
         let mut forced_mask = 0u64;
         for &(idx, val) in fixed {
@@ -200,17 +268,7 @@ impl LinearSystem {
                 forced_ones |= 1 << idx;
             }
         }
-        let mut count = 0u64;
-        for assignment in 0u64..(1 << n) {
-            budget.tick("confidence::gamma")?;
-            if assignment & forced_mask != forced_ones {
-                continue;
-            }
-            if self.satisfied_by(assignment) {
-                count += 1;
-            }
-        }
-        Ok(count)
+        (forced_mask, forced_ones)
     }
 
     /// `N_sol(Γ)`.
@@ -227,6 +285,21 @@ impl LinearSystem {
     /// As [`LinearSystem::count_solutions_with_budgeted`].
     pub fn count_solutions_budgeted(&self, budget: &Budget) -> Result<u64, CoreError> {
         self.count_solutions_with_budgeted(&[], budget)
+    }
+
+    /// Work-partitioned parallel twin of
+    /// [`LinearSystem::count_solutions_budgeted`] — see
+    /// [`LinearSystem::count_solutions_with_parallel`] for the
+    /// bit-identical-sum argument.
+    ///
+    /// # Errors
+    /// As [`LinearSystem::count_solutions_with_budgeted`].
+    pub fn count_solutions_parallel(
+        &self,
+        budget: &Budget,
+        config: &ParallelConfig,
+    ) -> Result<u64, CoreError> {
+        self.count_solutions_with_parallel(&[], budget, config)
     }
 
     /// `confidence(t_p) = N_sol(Γ[x_p/1]) / N_sol(Γ)` (Section 5.1).

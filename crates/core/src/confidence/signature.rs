@@ -243,6 +243,7 @@ impl SignatureAnalysis {
     /// unreachable or the completeness margin can no longer recover.
     pub fn for_each_feasible<F: FnMut(&[u64])>(&self, visit: F) {
         self.try_for_each_feasible(&Budget::unlimited(), visit)
+            // lint-allow(no-panic): an unlimited budget has no deadline, step cap, or cancel flag to trip
             .expect("an unlimited budget never interrupts the DFS");
     }
 
@@ -284,6 +285,8 @@ impl SignatureAnalysis {
         let target = target_chunks.max(1) as u64;
         let mut prefixes: Vec<Vec<u64>> = vec![Vec::new()];
         let mut depth = 0usize;
+        // lint-allow(budget-bypass): bounded planning loop — at most classes.len()
+        // iterations, and the prefix list is capped at 16 × target_chunks entries
         while (prefixes.len() as u64) < target && depth < self.classes.len() {
             let width = self.classes[depth].size.saturating_add(1);
             if width.saturating_mul(prefixes.len() as u64) > 16 * target {
@@ -502,6 +505,7 @@ impl SignatureAnalysis {
     #[must_use]
     pub fn find_feasible(&self) -> Option<Vec<u64>> {
         self.find_feasible_budgeted(&Budget::unlimited())
+            // lint-allow(no-panic): an unlimited budget has no deadline, step cap, or cancel flag to trip
             .expect("an unlimited budget never interrupts the DFS")
     }
 

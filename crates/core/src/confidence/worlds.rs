@@ -113,6 +113,7 @@ impl PossibleWorlds {
         let universe = FactUniverse::over_schema(&schema, domain)?;
         // Same enumeration cap — and same error — as the serial path.
         universe.subsets()?;
+        // lint-allow(no-panic): universe.subsets() above enforces the ≤63-fact enumeration cap
         let bits = u32::try_from(universe.len()).expect("enumeration cap fits u32");
         let ranges = partition::split_mask_range(bits, config.target_chunks());
         let outcomes = partition::run_chunks(config, budget, &ranges, |_, range, budget, _| {

@@ -170,9 +170,10 @@ pub fn maximal_consistent_subsets_parallel(
     let n = validate_consensus_size(collection, budget)?;
 
     let mut maximal: Vec<u32> = Vec::new();
+    // lint-allow(no-panic): validate_consensus_size rejected n > 31 above
     for level in (0..=u32::try_from(n).expect("n ≤ 31")).rev() {
         let mut candidates: Vec<u32> = Vec::new();
-        for mask in masks_of_popcount(n as u32, level) {
+        for mask in masks_of_popcount(n as u32, level, budget)? {
             budget.tick("consensus")?;
             if !maximal.iter().any(|&m| m & mask == mask) {
                 candidates.push(mask);
@@ -254,24 +255,31 @@ fn subset_is_consistent(
     Ok(decide_identity_budgeted(&identity, padding, budget)?.is_consistent())
 }
 
-/// All `n`-bit masks of popcount `k`, ascending (Gosper's hack).
-fn masks_of_popcount(n: u32, k: u32) -> Vec<u32> {
+/// All `n`-bit masks of popcount `k`, ascending (Gosper's hack). Charges
+/// one budget step per emitted mask: a level holds up to `C(31, 15)` ≈
+/// 300M masks, far too many to enumerate invisibly to the budget.
+///
+/// # Errors
+/// [`CoreError::BudgetExceeded`] when the budget runs out mid-level.
+fn masks_of_popcount(n: u32, k: u32, budget: &Budget) -> Result<Vec<u32>, CoreError> {
     if k == 0 {
-        return vec![0];
+        return Ok(vec![0]);
     }
     if k > n {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let limit = 1u64 << n;
     let mut v: u64 = (1u64 << k) - 1;
     let mut out = Vec::new();
     while v < limit {
+        budget.tick("consensus")?;
+        // lint-allow(no-panic): v < 2^n with n ≤ 31, so every mask fits u32
         out.push(u32::try_from(v).expect("masks fit u32 for n ≤ 31"));
         let c = v & v.wrapping_neg();
         let r = v + c;
         v = (((r ^ v) >> 2) / c) | r;
     }
-    out
+    Ok(out)
 }
 
 /// Folds accepted maximal-subset masks into the final report (sorted
@@ -408,7 +416,7 @@ mod tests {
             serial.sort_by_key(|m| std::cmp::Reverse(m.count_ones()));
             let levelled: Vec<u32> = (0..=n)
                 .rev()
-                .flat_map(|k| masks_of_popcount(n, k))
+                .flat_map(|k| masks_of_popcount(n, k, &Budget::unlimited()).unwrap())
                 .collect();
             assert_eq!(levelled, serial, "n={n}");
         }

@@ -58,6 +58,7 @@ impl IdentityConsistency {
 #[must_use]
 pub fn decide_identity(collection: &IdentityCollection, padding: u64) -> IdentityConsistency {
     decide_identity_budgeted(collection, padding, &Budget::unlimited())
+        // lint-allow(no-panic): an unlimited budget has no deadline, step cap, or cancel flag to trip
         .expect("an unlimited budget never interrupts the solver")
 }
 

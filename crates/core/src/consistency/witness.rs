@@ -74,6 +74,7 @@ pub fn shrink_witness(collection: &SourceCollection, g: &Database) -> Result<Dat
             let thetas = source.view().supporting_valuations(g, u)?;
             let theta = thetas
                 .first()
+                // lint-allow(no-panic): the enclosing branch established u ∈ φ_i(G), so a valuation exists
                 .expect("u ∈ φ_i(G) implies at least one supporting valuation");
             for fact in source.view().body_facts(theta) {
                 d.insert(fact);

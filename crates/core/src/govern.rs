@@ -223,6 +223,9 @@ impl Budget {
     /// # Errors
     /// [`CoreError::BudgetExceeded`] tagged with `phase`.
     pub fn check(&self, phase: &str) -> Result<(), CoreError> {
+        // lint-allow(relaxed-ordering): the cancel flag is a monotone latch —
+        // set-once, never cleared — so a stale read only delays (never
+        // prevents) observing cancellation, and the next check re-reads it
         if self.cancel.load(Ordering::Relaxed) {
             return Err(self.exceeded(phase));
         }

@@ -1,6 +1,10 @@
 //! Ready-made instances from the paper, used by tests, examples and the
 //! experiment harnesses.
 
+// lint-allow-file(no-panic): static paper exhibits — every descriptor and
+// rule below is a fixed literal validated at first use by the test suite,
+// so construction cannot fail at runtime
+
 use crate::collection::SourceCollection;
 use crate::descriptor::SourceDescriptor;
 use pscds_numeric::Frac;

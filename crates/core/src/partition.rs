@@ -153,6 +153,10 @@ impl SearchControl {
     /// so work on `chunk_idx` can never influence the final answer.
     #[must_use]
     pub fn superseded(&self, chunk_idx: usize) -> bool {
+        // lint-allow(relaxed-ordering): first_hit only ever decreases
+        // (fetch_min), so a stale read can only under-report supersession —
+        // the worker then does redundant-but-correct work; the final merge
+        // reads completed slots after the rayon scope joins
         self.first_hit.load(Ordering::Relaxed) < chunk_idx
     }
 }
@@ -256,6 +260,9 @@ where
                 (&next, &aborted, &slots, &first_error, &control, &worker);
             s.spawn(move |_| loop {
                 let idx = next.fetch_add(1, Ordering::SeqCst);
+                // lint-allow(relaxed-ordering): aborted is a monotone latch; a stale
+                // read only lets a worker claim one extra chunk, whose result the
+                // lowest-error-wins merge below discards
                 if idx >= slots.len() || aborted.load(Ordering::Relaxed) {
                     return;
                 }
@@ -264,13 +271,20 @@ where
                 }
                 match worker(idx, &chunks[idx], &fork, control) {
                     Ok(result) => {
+                        // lint-allow(no-panic): a slot mutex is poisoned only if a worker
+                        // panicked while holding it, which the no-panic rule itself forbids
                         *slots[idx].lock().expect("result slot poisoned") = Some(result);
                     }
                     Err(err) => {
+                        // lint-allow(no-panic): poisoning requires a panicking lock holder,
+                        // which the no-panic rule itself forbids
                         let mut guard = first_error.lock().expect("error slot poisoned");
                         if guard.as_ref().is_none_or(|(i, _)| idx < *i) {
                             *guard = Some((idx, err));
                         }
+                        // lint-allow(relaxed-ordering): the error itself travels through the
+                        // first_error mutex (acquire/release on lock); this store is only a
+                        // best-effort hint to stop claiming chunks sooner
                         aborted.store(true, Ordering::Relaxed);
                         return;
                     }
@@ -279,11 +293,14 @@ where
         }
     });
 
+    // lint-allow(no-panic): the rayon scope has joined; into_inner fails
+    // only on poisoning, which requires a panicking worker
     if let Some((_, err)) = first_error.into_inner().expect("error slot poisoned") {
         return Err(err);
     }
     Ok(slots
         .into_iter()
+        // lint-allow(no-panic): same poisoning argument — workers do not panic
         .map(|slot| slot.into_inner().expect("result slot poisoned"))
         .collect())
 }

@@ -61,6 +61,9 @@ pub struct ResilientCheck {
 /// Evaluation errors from either engine, or [`CoreError::BudgetExceeded`]
 /// when the budget trips and no fallback applies (or the fallback trips
 /// too).
+// lint-allow(engine-twins): thin serial wrapper — the real engine is
+// check_resilient_with directly below, which carries the ParallelConfig
+// and the parity coverage
 pub fn check_resilient(
     collection: &SourceCollection,
     domain: &[Value],

@@ -165,3 +165,75 @@ fn cancel_flag_stops_consensus_mid_enumeration() {
     let report = maximal_consistent_subsets_budgeted(&collection, 0, &Budget::unlimited()).unwrap();
     assert_eq!(report.maximal_subsets.len(), 12);
 }
+
+#[test]
+fn cancellation_before_fork_is_observed_by_every_child() {
+    // The interleave model (crates/analysis) proves this ordering holds in
+    // every schedule; this test pins the real implementation to it: the
+    // cancel flag is a set-once latch shared through `fork`, so a child
+    // forked *after* cancellation must fail its very first slow-path
+    // check — there is no window in which a fresh fork runs uncancelled.
+    let parent = Budget::unlimited();
+    parent
+        .cancel_handle()
+        .store(true, std::sync::atomic::Ordering::SeqCst);
+    for i in 0..3 {
+        let child = parent.fork();
+        let err = child.check("child").unwrap_err();
+        let CoreError::BudgetExceeded { steps, .. } = err else {
+            panic!("child {i}: expected BudgetExceeded, got {err:?}");
+        };
+        assert_eq!(steps, 0, "child {i} was born cancelled: no steps ran");
+        // The latch is monotone: re-checking still fails, it never resets.
+        assert!(child.check("child").is_err());
+    }
+    // Grandchildren inherit the same flag through a second fork.
+    assert!(parent.fork().fork().check("grandchild").is_err());
+}
+
+#[test]
+fn ticks_after_a_step_trip_keep_failing_with_fork_local_provenance() {
+    // "Exactly once per caller": a worker that trips its allowance unwinds
+    // with one error — and if buggy code were to keep ticking anyway, the
+    // budget must keep saying no (monotone failure), never resume.
+    let parent = Budget::with_max_steps(10);
+    let child_a = parent.fork();
+    let child_b = parent.fork();
+
+    for t in 0..10 {
+        child_a
+            .tick("worker-a")
+            .unwrap_or_else(|e| panic!("step {t}: {e}"));
+    }
+    let err = child_a.tick("worker-a").unwrap_err();
+    let CoreError::BudgetExceeded { phase, steps, .. } = err else {
+        panic!("expected BudgetExceeded, got {err:?}");
+    };
+    // Provenance is fork-local: 11 steps on this worker, not a global sum.
+    assert_eq!(phase, "worker-a");
+    assert_eq!(steps, 11);
+    assert!(child_a.tick("worker-a").is_err(), "failure is monotone");
+
+    // Sibling forks have independent step counters: a's trip does not
+    // spend b's allowance.
+    for _ in 0..10 {
+        child_b.tick("worker-b").unwrap();
+    }
+    assert!(child_b.tick("worker-b").is_err());
+}
+
+#[test]
+fn checks_after_an_expired_deadline_keep_failing_for_every_fork() {
+    // Forks share the *absolute* deadline, so once it passes, parent and
+    // every existing or future fork fail their next slow-path check.
+    let parent = Budget::with_deadline(Duration::ZERO);
+    let pre_expiry_fork = parent.fork();
+    std::thread::sleep(Duration::from_millis(5));
+    assert!(parent.check("parent").is_err());
+    assert!(pre_expiry_fork.check("early-fork").is_err());
+    let post_expiry_fork = parent.fork();
+    let err = post_expiry_fork.check("late-fork").unwrap_err();
+    assert!(matches!(err, CoreError::BudgetExceeded { .. }));
+    // And it stays failed: deadlines do not renew through forking.
+    assert!(post_expiry_fork.check("late-fork").is_err());
+}

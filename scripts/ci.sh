@@ -8,13 +8,26 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --workspace --release
 
+# Workspace invariant lints + schedule-exhaustive interleaving models
+# (crates/analysis): engine twin/parity coverage, budget-bypass, relaxed
+# atomics, no-panic, error provenance — and an exhaustive check of every
+# 2-3-worker interleaving of the SearchControl and Budget fork/cancel
+# protocols. Runs early: it is fast and catches structural drift before
+# the expensive test passes.
+echo "==> pscds-lint (invariant lints + interleaving models)"
+cargo run -q -p pscds-analysis --bin pscds-lint
+
 # The parallel execution layer promises bit-identical results for every
 # thread count, so the suite runs twice: once pinned to the serial legacy
-# path, once at the environment default (all available cores).
-echo "==> cargo test (PSCDS_THREADS=1: serial legacy path)"
+# path, once at the environment default (all available cores). Both
+# passes deliberately use the debug profile: the DP and signature engines
+# guard their invariants with debug_assert!, which only executes here —
+# the release build above checks optimized compilation, these check
+# semantics.
+echo "==> cargo test (PSCDS_THREADS=1: serial legacy path, debug profile)"
 PSCDS_THREADS=1 cargo test --workspace -q
 
-echo "==> cargo test (default thread count)"
+echo "==> cargo test (default thread count, debug profile)"
 cargo test --workspace -q
 
 echo "==> cargo fmt --check"

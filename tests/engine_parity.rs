@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 use pscds::core::confidence::{
-    count_dp, ConfidenceAnalysis, DpConfig, PossibleWorlds, SignatureAnalysis,
+    count_dp, ConfidenceAnalysis, DpConfig, LinearSystem, PossibleWorlds, SignatureAnalysis,
 };
 use pscds::core::consensus::{maximal_consistent_subsets, maximal_consistent_subsets_parallel};
 use pscds::core::consistency::{
@@ -15,7 +15,10 @@ use pscds::core::consistency::{
     find_witness_budgeted, find_witness_parallel,
 };
 use pscds::core::govern::Budget;
-use pscds::core::{CoreError, ParallelConfig, SourceCollection, SourceDescriptor};
+use pscds::core::{
+    check_resilient, check_resilient_with, CoreError, ParallelConfig, SourceCollection,
+    SourceDescriptor,
+};
 use pscds::numeric::{Frac, RowCache, UBig};
 use pscds::relational::Value;
 
@@ -220,6 +223,50 @@ proptest! {
         }
     }
 
+    /// The explicit Γ linear system (Section 5.1): `count_solutions` /
+    /// `count_solutions_with` and their work-partitioned parallel twins
+    /// sum contiguous sub-ranges of the same ascending assignment sweep,
+    /// so every thread count must reproduce the serial counts exactly.
+    #[test]
+    fn gamma_count_parity_across_thread_counts(collection in collections()) {
+        let dom = domain();
+        let identity = collection.as_identity().expect("identity views");
+        let gamma = LinearSystem::from_identity(&identity, &dom).expect("small domain");
+        let unlimited = Budget::unlimited();
+        let serial_total = gamma.count_solutions().expect("≤26 variables");
+        let fixed = [(0usize, true)];
+        let serial_fixed = gamma.count_solutions_with(&fixed).expect("≤26 variables");
+        for threads in THREADS {
+            let config = ParallelConfig::with_threads(threads);
+            let par_total = gamma
+                .count_solutions_parallel(&unlimited, &config)
+                .expect("≤26 variables");
+            prop_assert_eq!(par_total, serial_total);
+            let par_fixed = gamma
+                .count_solutions_with_parallel(&fixed, &unlimited, &config)
+                .expect("≤26 variables");
+            prop_assert_eq!(par_fixed, serial_fixed);
+        }
+    }
+
+    /// Graceful degradation: `check_resilient_with` must agree with the
+    /// serial `check_resilient` — same engine, same verdict, same witness
+    /// world — at every thread count.
+    #[test]
+    fn resilient_parity_across_thread_counts(collection in collections()) {
+        let dom = domain();
+        let unlimited = Budget::unlimited();
+        let serial = check_resilient(&collection, &dom, &unlimited).expect("small universe");
+        for threads in THREADS {
+            let config = ParallelConfig::with_threads(threads);
+            let par = check_resilient_with(&collection, &dom, &unlimited, &config)
+                .expect("small universe");
+            prop_assert_eq!(par.engine, serial.engine);
+            prop_assert_eq!(par.consistent, serial.consistent);
+            prop_assert_eq!(&par.witness, &serial.witness);
+        }
+    }
+
     #[test]
     fn consensus_parity_across_thread_counts(collection in collections()) {
         let padding = 2u64;
@@ -236,4 +283,49 @@ proptest! {
             prop_assert_eq!(&par, &serial);
         }
     }
+}
+
+/// Generated from the lint registry: the L1 `engine-twins` rule
+/// re-discovers every engine entry point in `crates/core/src` from
+/// source, and this test fails if any non-exempt engine base is missing
+/// from this file — so adding a new `check_*` / `analyze_*` / `count_*`
+/// engine forces a parity case here before `pscds-lint` (and this suite)
+/// goes green. Keeping the check inside the harness means the coverage
+/// list can never drift from the registry that enforces it.
+#[test]
+fn parity_harness_covers_every_registered_engine() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let ws = pscds_analysis::Workspace::load(root).expect("workspace sources load");
+    let bases = pscds_analysis::lints::engine_twins::engine_bases(&ws);
+    assert!(
+        !bases.is_empty(),
+        "engine discovery broke: the registry found no engine bases in crates/core/src"
+    );
+    let harness = std::fs::read_to_string(root.join("tests/engine_parity.rs"))
+        .expect("harness source readable");
+    for base in &bases {
+        if base.allowed {
+            continue;
+        }
+        assert!(
+            harness.contains(&base.name),
+            "engine `{}` ({}:{}) is registered by the engine-twins rule but has no parity \
+             case in tests/engine_parity.rs",
+            base.name,
+            base.file,
+            base.line
+        );
+    }
+    // And the full rule must be clean on the live tree: twins declared,
+    // parity references present.
+    let violations = pscds_analysis::lints::engine_twins::run(&ws);
+    assert!(
+        violations.is_empty(),
+        "engine-twins violations on the live tree:\n{}",
+        violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
 }
