@@ -13,11 +13,13 @@
 //! | L3 | `relaxed-ordering` | every `Ordering::Relaxed` carries a justification |
 //! | L4 | `no-panic` | no `.unwrap()` / `.expect()` / `panic!` in `crates/core` library paths |
 //! | L5 | `error-provenance` | `SearchSpaceTooLarge` carries size+cap, `BudgetExceeded` is built in `govern` or re-wrapped field-for-field |
+//! | L6 | `obs-api` | pscds-obs stays clock-free; consumers use `pscds_obs::names` constants and never hand-build `Span`s |
 
 pub mod budget_bypass;
 pub mod engine_twins;
 pub mod error_provenance;
 pub mod no_panic;
+pub mod obs_api;
 pub mod relaxed_ordering;
 
 use crate::lexer::{TokKind, Token};
@@ -70,6 +72,12 @@ pub fn registry() -> Vec<LintRule> {
             code: "L5",
             summary: "SearchSpaceTooLarge/BudgetExceeded constructions carry size+cap provenance",
             run: error_provenance::run,
+        },
+        LintRule {
+            id: obs_api::RULE,
+            code: "L6",
+            summary: "pscds-obs is clock-free; metric names come from pscds_obs::names, spans from ObsSession",
+            run: obs_api::run,
         },
     ]
 }
@@ -245,15 +253,15 @@ mod tests {
     use crate::source::Workspace;
 
     #[test]
-    fn registry_has_five_rules_with_distinct_ids() {
+    fn registry_has_six_rules_with_distinct_ids() {
         let reg = registry();
-        assert_eq!(reg.len(), 5);
+        assert_eq!(reg.len(), 6);
         let mut ids: Vec<&str> = reg.iter().map(|r| r.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 5, "rule ids must be distinct");
+        assert_eq!(ids.len(), 6, "rule ids must be distinct");
         let codes: Vec<&str> = registry().iter().map(|r| r.code).collect();
-        assert_eq!(codes, ["L1", "L2", "L3", "L4", "L5"]);
+        assert_eq!(codes, ["L1", "L2", "L3", "L4", "L5", "L6"]);
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Schema checker for the benchmark artifacts and `--trace-out` traces.
+//!
+//! Modes:
+//!
+//! * `bench_validate PATH` — `PATH` is a `BENCH_confidence.json` array;
+//!   every record must satisfy the [`pscds_bench::schema`] contract.
+//! * `bench_validate --history PATH` — `PATH` is a `BENCH_history.jsonl`
+//!   append log; every line must be one schema-valid record.
+//! * `bench_validate --jsonl PATH` — `PATH` is an observability trace;
+//!   every line must parse as a JSON object with a known `type`
+//!   (`span` / `counter` / `gauge` / `event`).
+//! * `bench_validate --counters PATH` — reads a trace and prints the
+//!   counter totals as sorted `name value` lines: a deterministic
+//!   digest the CI diffs between serial and multi-threaded runs.
+//!
+//! Exits non-zero (with the offending line) on any violation.
+
+use pscds_bench::schema::{parse_history_line, parse_json, parse_records, Json};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mode, path) = match args.as_slice() {
+        [path] => ("records", path.as_str()),
+        [flag, path] if flag == "--history" => ("history", path.as_str()),
+        [flag, path] if flag == "--jsonl" => ("jsonl", path.as_str()),
+        [flag, path] if flag == "--counters" => ("counters", path.as_str()),
+        _ => {
+            eprintln!("usage: bench_validate [--history | --jsonl | --counters] PATH");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("bench_validate: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match mode {
+        "records" => validate_records(&text),
+        "history" => validate_history(&text),
+        "jsonl" => validate_trace(&text),
+        _ => print_counters(&text),
+    };
+    match result {
+        Ok(summary) => {
+            if !summary.is_empty() {
+                println!("{summary}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench_validate: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn validate_records(text: &str) -> Result<String, String> {
+    let records = parse_records(text)?;
+    if records.is_empty() {
+        return Err("no records".to_owned());
+    }
+    Ok(format!("ok: {} schema-valid records", records.len()))
+}
+
+fn validate_history(text: &str) -> Result<String, String> {
+    let mut count = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        parse_history_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        count += 1;
+    }
+    if count == 0 {
+        return Err("no history lines".to_owned());
+    }
+    Ok(format!("ok: {count} schema-valid history lines"))
+}
+
+/// The record types [`pscds_core::obs::render_record`] can emit.
+const TRACE_TYPES: [&str; 4] = ["span", "counter", "gauge", "event"];
+
+fn validate_trace(text: &str) -> Result<String, String> {
+    let mut count = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = parse_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let kind = value
+            .field("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing \"type\"", i + 1))?;
+        if !TRACE_TYPES.contains(&kind) {
+            return Err(format!("line {}: unknown record type {kind:?}", i + 1));
+        }
+        count += 1;
+    }
+    if count == 0 {
+        return Err("no trace lines".to_owned());
+    }
+    Ok(format!("ok: {count} trace lines"))
+}
+
+fn print_counters(text: &str) -> Result<String, String> {
+    let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = parse_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if value.field("type").and_then(Json::as_str) != Some("counter") {
+            continue;
+        }
+        let name = value
+            .field("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: counter without a name", i + 1))?;
+        let count = value
+            .field("value")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("line {}: counter without a value", i + 1))?;
+        let slot = totals.entry(name.to_owned()).or_insert(0);
+        *slot = slot.saturating_add(count);
+    }
+    let mut out = String::new();
+    for (name, total) in &totals {
+        out.push_str(&format!("{name} {total}\n"));
+    }
+    print!("{out}");
+    Ok(String::new())
+}

@@ -9,57 +9,32 @@
 //!
 //! Run: `cargo run -p pscds-bench --release --bin e1_example51`
 
+use pscds_bench::schema::{render_records, BenchRecord};
 use pscds_bench::{markdown_table, Cell};
 use pscds_core::confidence::closed_form::{
     derived_confidence, derived_world_count, paper_confidence, paper_world_count, Example51Fact,
 };
 use pscds_core::confidence::{
-    count_dp, ConfidenceAnalysis, DpConfig, DpStats, LinearSystem, PossibleWorlds,
+    count_dp_observed, ConfidenceAnalysis, DpConfig, LinearSystem, PossibleWorlds,
     SignatureAnalysis,
 };
 use pscds_core::govern::Budget;
+use pscds_core::obs::{JsonlSink, MetricSet, ObsSession};
 use pscds_core::paper::{example_5_1, example_5_1_domain, example_5_1_scaled};
 use pscds_core::ParallelConfig;
-use pscds_numeric::RowCache;
 use pscds_relational::{Fact, Value};
-use std::fmt::Write as _;
+use std::io::Write as _;
 use std::time::Instant;
-
-/// One machine-readable benchmark record (a row of
-/// `BENCH_confidence.json`).
-struct BenchRecord {
-    engine: &'static str,
-    m: usize,
-    wall_ns: u128,
-    stats: DpStats,
-}
-
-/// Renders the records as a JSON array (hand-rolled — the vendored serde
-/// is an offline stub without a JSON backend).
-fn bench_json(records: &[BenchRecord]) -> String {
-    let mut out = String::from("[\n");
-    for (i, r) in records.iter().enumerate() {
-        let _ = write!(
-            out,
-            "  {{\"engine\": \"{}\", \"m\": {}, \"wall_ns\": {}, \"cache_hits\": {}, \
-             \"cache_misses\": {}, \"peak_cache_entries\": {}}}",
-            r.engine,
-            r.m,
-            r.wall_ns,
-            r.stats.cache_hits,
-            r.stats.cache_misses,
-            r.stats.peak_cache_entries
-        );
-        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
-    }
-    out.push_str("]\n");
-    out
-}
 
 fn main() {
     // `--dp-scale-max N` caps the E1.6 scaling ladder (the CI smoke run
     // uses 4; the default ladder is sized for an interactive run).
+    // `--threads N` runs the instrumented DP through the work-partitioned
+    // route; `--trace-out PATH` streams each run's spans, counters, and
+    // events as JSONL (the same sink the `pscds` CLI exposes).
     let mut dp_scale_max = 128usize;
+    let mut threads = 1usize;
+    let mut trace_out: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -71,9 +46,22 @@ fn main() {
                     .parse()
                     .expect("--dp-scale-max needs a number");
             }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .expect("--threads needs a value")
+                    .parse()
+                    .expect("--threads needs a number");
+            }
+            "--trace-out" => {
+                trace_out = Some(it.next().expect("--trace-out needs a path").clone());
+            }
             other => panic!("unknown argument {other:?}"),
         }
     }
+    let trace_file = trace_out
+        .as_deref()
+        .map(|path| std::fs::File::create(path).unwrap_or_else(|e| panic!("create {path}: {e}")));
 
     let collection = example_5_1();
     let identity = collection.as_identity().expect("identity views");
@@ -281,6 +269,7 @@ fn main() {
     // residual-state DP revisits cached suffixes. Both must agree
     // bit-for-bit on every aggregate at every `m`.
     println!("\nE1.6  Exact DFS vs memoized DP, scaled Example 5.1 (bit-identical results):\n");
+    let parallel = ParallelConfig::with_threads(threads);
     let mut records: Vec<BenchRecord> = Vec::new();
     let mut rows = Vec::new();
     for m in [2usize, 4, 8, 16, 32, 64, 128] {
@@ -296,15 +285,27 @@ fn main() {
         let dfs = ConfidenceAnalysis::analyze(&sid, padding);
         let dfs_ns = t.elapsed().as_nanos();
 
+        // The instrumented run: chunk spans and counters stream to
+        // `--trace-out` (when given) and aggregate in the session either
+        // way; the benchmark record is built *from* those merged metrics.
+        let mut obs = match &trace_file {
+            Some(f) => ObsSession::with_sink(Box::new(JsonlSink::new(
+                f.try_clone().expect("clone trace handle"),
+            ))),
+            None => ObsSession::in_memory(),
+        };
+        let budget = Budget::unlimited();
         let t = Instant::now();
-        let (dp, stats) = count_dp(
+        let (dp, stats) = count_dp_observed(
             SignatureAnalysis::new(&sid, padding),
-            &Budget::unlimited(),
+            &budget,
+            &parallel,
             &DpConfig::default(),
-            &mut RowCache::new(),
+            &mut obs,
         )
         .expect("unlimited budget");
         let dp_ns = t.elapsed().as_nanos();
+        let report = obs.finish();
 
         // The acceptance bar: bit-identical total, vector count, and
         // every per-tuple confidence (including the padding class).
@@ -323,18 +324,27 @@ fn main() {
             "padding confidence at m={m}"
         );
 
-        records.push(BenchRecord {
-            engine: "exact",
-            m,
-            wall_ns: dfs_ns,
-            stats: DpStats::default(),
-        });
-        records.push(BenchRecord {
-            engine: "dp",
-            m,
-            wall_ns: dp_ns,
-            stats,
-        });
+        // The registry totals must agree with the engine's own statistics
+        // — the drift the shared schema exists to prevent.
+        assert_eq!(
+            report
+                .metrics
+                .counter(pscds_core::obs::names::DP_CACHE_HITS),
+            stats.cache_hits,
+            "registry drift at m={m}"
+        );
+        records.push(BenchRecord::from_metrics(
+            "exact",
+            m as u64,
+            dfs_ns,
+            &MetricSet::new(),
+        ));
+        records.push(BenchRecord::from_metrics(
+            "dp",
+            m as u64,
+            dp_ns,
+            &report.metrics,
+        ));
         rows.push(vec![
             Cell::from(m),
             Cell::from(dfs.feasible_vectors()),
@@ -367,8 +377,21 @@ fn main() {
         )
     );
     let json_path = "BENCH_confidence.json";
-    std::fs::write(json_path, bench_json(&records)).expect("write benchmark JSON");
+    std::fs::write(json_path, render_records(&records)).expect("write benchmark JSON");
     println!("\nwrote {json_path} ({} records)", records.len());
+
+    // The history log is append-only: one line per record per run, so
+    // regressions stay diffable across sessions.
+    let history_path = "BENCH_history.jsonl";
+    let mut history = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(history_path)
+        .unwrap_or_else(|e| panic!("open {history_path}: {e}"));
+    for r in &records {
+        writeln!(history, "{}", r.to_json()).expect("append history");
+    }
+    println!("appended {} records to {history_path}", records.len());
 
     println!("\nE1: all cross-checks passed.");
 }

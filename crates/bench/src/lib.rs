@@ -12,5 +12,9 @@
 #![warn(missing_docs)]
 
 pub mod report;
+pub mod schema;
 
 pub use report::{markdown_table, ubig_brief, Cell};
+pub use schema::{
+    parse_history_line, parse_json, parse_records, render_records, BenchRecord, Json,
+};

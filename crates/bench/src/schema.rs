@@ -1,0 +1,509 @@
+//! The `BENCH_confidence.json` record schema — defined **once**, here.
+//!
+//! Every producer (`e1_example51`) and consumer (`bench_validate`, the
+//! CI bench smoke) goes through [`BenchRecord`], so the benchmark
+//! artifact cannot drift between the writer and its checkers. Records
+//! are built *from the metrics registry* ([`BenchRecord::from_metrics`])
+//! rather than from ad-hoc struct plumbing: the counters a benchmark
+//! reports are exactly the counters the engines emitted.
+//!
+//! The module also carries a small hand-rolled JSON reader (the
+//! workspace's vendored `serde` is an offline stub with no JSON back
+//! end): enough to validate `BENCH_confidence.json`, the appended
+//! `BENCH_history.jsonl`, and `--trace-out` JSONL traces.
+
+use pscds_core::obs::{names, MetricSet};
+use std::fmt::Write as _;
+
+/// The field names of one benchmark record, in serialization order.
+pub const FIELDS: [&str; 8] = [
+    "engine",
+    "m",
+    "wall_ns",
+    "cache_hits",
+    "cache_misses",
+    "peak_cache_entries",
+    "fallback_nodes",
+    "cross_subset_hits",
+];
+
+/// One machine-readable benchmark record (a row of
+/// `BENCH_confidence.json`, a line of `BENCH_history.jsonl`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Engine label (`"exact"`, `"dp"`, …).
+    pub engine: String,
+    /// Scale parameter of the instance (E1.6's padding `m`).
+    pub m: u64,
+    /// Wall-clock nanoseconds for the run.
+    pub wall_ns: u128,
+    /// `dp.cache_hits` counter total.
+    pub cache_hits: u64,
+    /// `dp.cache_misses` counter total.
+    pub cache_misses: u64,
+    /// `dp.cache_peak` gauge (0 when the engine kept no cache).
+    pub peak_cache_entries: u64,
+    /// `dp.fallback_nodes` counter total.
+    pub fallback_nodes: u64,
+    /// `dp.cross_subset_hits` counter total.
+    pub cross_subset_hits: u64,
+}
+
+impl BenchRecord {
+    /// Builds a record from a merged metric set — the only constructor
+    /// the experiment binaries use, so the JSON columns always mirror
+    /// the registry.
+    #[must_use]
+    pub fn from_metrics(engine: &str, m: u64, wall_ns: u128, metrics: &MetricSet) -> Self {
+        BenchRecord {
+            engine: engine.to_owned(),
+            m,
+            wall_ns,
+            cache_hits: metrics.counter(names::DP_CACHE_HITS),
+            cache_misses: metrics.counter(names::DP_CACHE_MISSES),
+            peak_cache_entries: metrics.gauge(names::DP_CACHE_PEAK).unwrap_or(0),
+            fallback_nodes: metrics.counter(names::DP_FALLBACK_NODES),
+            cross_subset_hits: metrics.counter(names::DP_CROSS_SUBSET_HITS),
+        }
+    }
+
+    /// One-line JSON object form (a `BENCH_history.jsonl` line).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"engine\": \"{}\"", escape(&self.engine));
+        let _ = write!(out, ", \"m\": {}", self.m);
+        let _ = write!(out, ", \"wall_ns\": {}", self.wall_ns);
+        let _ = write!(out, ", \"cache_hits\": {}", self.cache_hits);
+        let _ = write!(out, ", \"cache_misses\": {}", self.cache_misses);
+        let _ = write!(out, ", \"peak_cache_entries\": {}", self.peak_cache_entries);
+        let _ = write!(out, ", \"fallback_nodes\": {}", self.fallback_nodes);
+        let _ = write!(out, ", \"cross_subset_hits\": {}", self.cross_subset_hits);
+        out.push('}');
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Renders records as the pretty JSON array written to
+/// `BENCH_confidence.json`.
+#[must_use]
+pub fn render_records(records: &[BenchRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&r.to_json());
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Parses and schema-validates a `BENCH_confidence.json` array.
+///
+/// # Errors
+/// Malformed JSON, a non-array root, or any record violating the schema
+/// (missing/extra/mistyped fields).
+pub fn parse_records(json: &str) -> Result<Vec<BenchRecord>, String> {
+    let value = parse_json(json)?;
+    let Json::Arr(items) = value else {
+        return Err("BENCH_confidence.json root must be an array".to_owned());
+    };
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| record_from_json(item).map_err(|e| format!("record {i}: {e}")))
+        .collect()
+}
+
+/// Parses and schema-validates one `BENCH_history.jsonl` line.
+///
+/// # Errors
+/// As [`parse_records`], for a single object.
+pub fn parse_history_line(line: &str) -> Result<BenchRecord, String> {
+    record_from_json(&parse_json(line)?)
+}
+
+fn record_from_json(value: &Json) -> Result<BenchRecord, String> {
+    let Json::Obj(fields) = value else {
+        return Err("record must be an object".to_owned());
+    };
+    for (key, _) in fields {
+        if !FIELDS.contains(&key.as_str()) {
+            return Err(format!("unknown field {key:?}"));
+        }
+    }
+    let get = |name: &str| -> Result<&Json, String> {
+        fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field {name:?}"))
+    };
+    let str_field = |name: &str| -> Result<String, String> {
+        match get(name)? {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(format!("{name} must be a string, got {other:?}")),
+        }
+    };
+    let u64_field = |name: &str| -> Result<u64, String> {
+        match get(name)? {
+            Json::Num(raw) => raw
+                .parse::<u64>()
+                .map_err(|_| format!("{name} must be a non-negative integer, got {raw}")),
+            other => Err(format!("{name} must be a number, got {other:?}")),
+        }
+    };
+    let wall_ns = match get("wall_ns")? {
+        Json::Num(raw) => raw
+            .parse::<u128>()
+            .map_err(|_| format!("wall_ns must be a non-negative integer, got {raw}"))?,
+        other => return Err(format!("wall_ns must be a number, got {other:?}")),
+    };
+    Ok(BenchRecord {
+        engine: str_field("engine")?,
+        m: u64_field("m")?,
+        wall_ns,
+        cache_hits: u64_field("cache_hits")?,
+        cache_misses: u64_field("cache_misses")?,
+        peak_cache_entries: u64_field("peak_cache_entries")?,
+        fallback_nodes: u64_field("fallback_nodes")?,
+        cross_subset_hits: u64_field("cross_subset_hits")?,
+    })
+}
+
+/// A parsed JSON value. Numbers keep their raw literal so `u128` widths
+/// survive round trips.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its raw literal text.
+    Num(String),
+    /// A string (escapes resolved).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, fields in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up an object field.
+    #[must_use]
+    pub fn field(&self, name: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64`, if this is an integer in range.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+///
+/// # Errors
+/// Any syntax error, with a byte offset.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_owned()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("expected {word} at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    if *pos == start {
+        return Err(format!("expected a value at byte {start}"));
+    }
+    let raw = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| format!("invalid utf-8 in number at byte {start}"))?;
+    if raw.parse::<f64>().is_err() {
+        return Err(format!("malformed number {raw:?} at byte {start}"));
+    }
+    Ok(Json::Num(raw.to_owned()))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_owned()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_owned())?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| "invalid \\u escape".to_owned())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("invalid \\u escape {hex:?}"))?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("invalid code point {code:#x}"))?,
+                        );
+                        *pos += 4;
+                    }
+                    other => return Err(format!("invalid escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance one whole UTF-8 scalar.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| format!("invalid utf-8 at byte {pos}", pos = *pos))?;
+                let c = rest.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '{'
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected a field name at byte {pos}", pos = *pos));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchRecord {
+        BenchRecord {
+            engine: "dp".to_owned(),
+            m: 8,
+            wall_ns: 123_456,
+            cache_hits: 10,
+            cache_misses: 4,
+            peak_cache_entries: 4,
+            fallback_nodes: 0,
+            cross_subset_hits: 0,
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let records = vec![sample(), {
+            let mut r = sample();
+            r.engine = "exact".to_owned();
+            r.wall_ns = u128::from(u64::MAX) + 17;
+            r
+        }];
+        let text = render_records(&records);
+        assert_eq!(parse_records(&text).unwrap(), records);
+    }
+
+    #[test]
+    fn history_lines_round_trip() {
+        let r = sample();
+        assert_eq!(parse_history_line(&r.to_json()).unwrap(), r);
+    }
+
+    #[test]
+    fn from_metrics_reads_the_registry() {
+        let mut metrics = MetricSet::new();
+        metrics.counter_add(names::DP_CACHE_HITS, 7);
+        metrics.counter_add(names::DP_CACHE_MISSES, 3);
+        metrics.counter_add(names::DP_CROSS_SUBSET_HITS, 2);
+        metrics.gauge_max(names::DP_CACHE_PEAK, 5);
+        let r = BenchRecord::from_metrics("dp", 4, 99, &metrics);
+        assert_eq!(
+            (
+                r.cache_hits,
+                r.cache_misses,
+                r.peak_cache_entries,
+                r.fallback_nodes,
+                r.cross_subset_hits
+            ),
+            (7, 3, 5, 0, 2)
+        );
+    }
+
+    #[test]
+    fn schema_violations_are_rejected() {
+        // Missing field.
+        assert!(parse_records(r#"[{"engine": "dp"}]"#)
+            .unwrap_err()
+            .contains("missing field"));
+        // Unknown field.
+        let mut json = sample().to_json();
+        json.insert_str(json.len() - 1, ", \"bogus\": 1");
+        assert!(parse_history_line(&json)
+            .unwrap_err()
+            .contains("unknown field"));
+        // Type error.
+        let bad = sample().to_json().replace("\"m\": 8", "\"m\": \"eight\"");
+        assert!(parse_history_line(&bad)
+            .unwrap_err()
+            .contains("must be a number"));
+        // Negative count.
+        let bad = sample()
+            .to_json()
+            .replace("\"cache_hits\": 10", "\"cache_hits\": -1");
+        assert!(parse_history_line(&bad)
+            .unwrap_err()
+            .contains("non-negative"));
+    }
+
+    #[test]
+    fn json_parser_handles_structure_and_escapes() {
+        let v = parse_json(r#"{"a": [1, {"b": "x\ny"}, null, true], "c": 2.5}"#).unwrap();
+        assert_eq!(
+            v.field("a").and_then(|a| match a {
+                Json::Arr(items) => items[1]
+                    .field("b")
+                    .and_then(Json::as_str)
+                    .map(str::to_owned),
+                _ => None,
+            }),
+            Some("x\ny".to_owned())
+        );
+        assert!(parse_json("[1, 2").is_err());
+        assert!(parse_json("{\"a\" 1}").is_err());
+        assert!(parse_json("[] trailing").is_err());
+    }
+
+    #[test]
+    fn trace_lines_parse_as_typed_objects() {
+        let line = "{\"type\":\"counter\",\"name\":\"dp.cache_hits\",\"value\":42}";
+        let v = parse_json(line).unwrap();
+        assert_eq!(v.field("type").and_then(Json::as_str), Some("counter"));
+        assert_eq!(v.field("value").and_then(Json::as_u64), Some(42));
+    }
+}

@@ -26,17 +26,20 @@
 
 use pscds_core::collection::IdentityCollection;
 use pscds_core::confidence::{
-    sample_confidences_budgeted, ConfidenceAnalysis, PossibleWorlds, SampledConfidence,
-    SamplerConfig, SignatureAnalysis,
+    count_dp_observed, sample_confidences_budgeted, ConfidenceAnalysis, DpConfig, PossibleWorlds,
+    SampledConfidence, SamplerConfig, SignatureAnalysis,
 };
-use pscds_core::consensus::maximal_consistent_subsets_parallel;
+use pscds_core::consensus::{
+    consensus_with_dp_cache, maximal_consistent_subsets_parallel, ConsensusReport,
+};
 use pscds_core::consistency::exhaustive::domain_with_fresh;
 use pscds_core::consistency::{
     decide_identity_parallel, find_witness_parallel, IdentityConsistency,
 };
 use pscds_core::govern::Budget;
 use pscds_core::measures::measure;
-use pscds_core::resilient::{confidence_resilient_with, ResilientConfidence};
+use pscds_core::obs::{JsonlSink, ObsSession};
+use pscds_core::resilient::{confidence_resilient_observed, ResilientConfidence};
 use pscds_core::textfmt::parse_collection;
 use pscds_core::{CoreError, ParallelConfig, SourceCollection};
 use pscds_relational::parser::{parse_facts, parse_rule};
@@ -112,7 +115,7 @@ pub const USAGE: &str = "pscds — querying partially sound and complete data so
 USAGE:
     pscds info       <collection-file>
     pscds check      <collection-file> [--padding N] [GOVERNANCE]
-    pscds consensus  <collection-file> [--padding N] [GOVERNANCE]
+    pscds consensus  <collection-file> [--padding N] [GOVERNANCE] [--engine auto|dp]
     pscds confidence <collection-file> [--padding N] [GOVERNANCE] [--approx]
                      [--engine auto|exact|dp|signature|sampled]
     pscds answers    <collection-file> --query \"Ans(x) <- R(x)\" --domain a,b,c [GOVERNANCE]
@@ -138,6 +141,19 @@ GOVERNANCE (every analysis is super-polynomial in the worst case):
                        dp         memoized residual-state DP (exact)
                        sampled    Metropolis estimate
     Ctrl-C           cancels the running analysis cooperatively
+
+OBSERVABILITY (consensus / confidence):
+    --trace-out P    stream a JSONL trace (spans, counters, gauges,
+                     events) to P; the PSCDS_TRACE environment variable
+                     is the same thing for whole pipelines. Flushed even
+                     when the budget trips. Counter totals are identical
+                     at every --threads count.
+    --metrics        append the merged counter/gauge totals to the
+                     normal output
+
+    consensus --engine dp runs the subset sweep over one shared
+    residual-DP cache (exact, same report; the banner counts the
+    cross-subset cache hits).
 
 EXIT CODES:
     0  success        1  usage error
@@ -196,6 +212,8 @@ struct Options {
     threads: Option<usize>,
     approx: bool,
     engine: EngineChoice,
+    trace_out: Option<String>,
+    metrics: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, CliError> {
@@ -210,6 +228,8 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         threads: None,
         approx: false,
         engine: EngineChoice::default(),
+        trace_out: None,
+        metrics: false,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -246,6 +266,8 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 );
             }
             "--approx" => opts.approx = true,
+            "--trace-out" => opts.trace_out = Some(grab("--trace-out")?),
+            "--metrics" => opts.metrics = true,
             "--engine" => {
                 let v = grab("--engine")?;
                 opts.engine = v.parse().map_err(|()| {
@@ -304,6 +326,50 @@ fn parallel_from(opts: &Options) -> ParallelConfig {
     opts.threads
         .map(ParallelConfig::with_threads)
         .unwrap_or_default()
+}
+
+/// Builds the [`ObsSession`] for one command from the observability
+/// flags: `--trace-out PATH` (or the `PSCDS_TRACE` environment variable)
+/// streams JSONL records to `PATH`; `--metrics` alone aggregates
+/// in-memory so the counter totals can be appended to the output;
+/// neither flag yields the disabled session (zero overhead).
+fn obs_session_from(opts: &Options) -> Result<ObsSession, CliError> {
+    let trace_path = opts.trace_out.clone().or_else(|| {
+        std::env::var("PSCDS_TRACE")
+            .ok()
+            .filter(|path| !path.is_empty())
+    });
+    if let Some(path) = trace_path {
+        let file = std::fs::File::create(&path).map_err(|e| CliError::Io(path.clone(), e))?;
+        Ok(ObsSession::with_sink(Box::new(JsonlSink::new(file))))
+    } else if opts.metrics {
+        Ok(ObsSession::in_memory())
+    } else {
+        Ok(ObsSession::disabled())
+    }
+}
+
+/// Flushes the session (so `--trace-out` files are complete even when
+/// the analysis failed) and, under `--metrics`, appends the merged
+/// counter/gauge totals to the rendered output.
+fn finish_obs(obs: ObsSession, opts: &Options, out: &mut String) {
+    if !obs.is_enabled() {
+        return;
+    }
+    let report = obs.finish();
+    if opts.metrics {
+        if report.metrics.is_empty() {
+            let _ = writeln!(out, "metrics: (none recorded on this path)");
+            return;
+        }
+        let _ = writeln!(out, "metrics:");
+        for (name, value) in report.metrics.counters() {
+            let _ = writeln!(out, "  {name} {value}");
+        }
+        for (name, value) in report.metrics.gauges() {
+            let _ = writeln!(out, "  {name} {value} (gauge)");
+        }
+    }
 }
 
 fn load_collection(path: &str) -> Result<SourceCollection, CliError> {
@@ -434,20 +500,57 @@ fn cmd_check(opts: &Options) -> Result<String, CliError> {
 fn cmd_consensus(opts: &Options) -> Result<String, CliError> {
     let collection = load_collection(the_file(opts)?)?;
     let padding = opts.padding.unwrap_or(0);
-    let report = maximal_consistent_subsets_parallel(
-        &collection,
-        padding,
-        &budget_from(opts),
-        &parallel_from(opts),
-    )?;
+    let budget = budget_from(opts);
+    let mut obs = obs_session_from(opts)?;
+    let result = match opts.engine {
+        EngineChoice::Auto => {
+            maximal_consistent_subsets_parallel(&collection, padding, &budget, &parallel_from(opts))
+                .map(|report| (report, None))
+        }
+        EngineChoice::Dp => consensus_with_dp_cache(&collection, padding, &budget, &mut obs)
+            .map(|(report, stats)| (report, Some(stats))),
+        _ => {
+            return Err(CliError::Usage(
+                "consensus supports --engine auto (default) or dp".into(),
+            ))
+        }
+    };
     let mut out = String::new();
+    let rendered = match result {
+        Ok((report, stats)) => {
+            if let Some(stats) = stats {
+                let _ = writeln!(
+                    out,
+                    "engine: dp — one residual cache shared across the subset sweep \
+                     ({} cross-subset hits, padding {padding})",
+                    stats.cross_subset_hits
+                );
+            }
+            render_consensus_report(&mut out, &collection, &report);
+            Ok(())
+        }
+        Err(e) => Err(CliError::from(e)),
+    };
+    finish_obs(obs, opts, &mut out);
+    rendered?;
+    Ok(out)
+}
+
+/// Renders a [`ConsensusReport`] (shared by the parallel-search and
+/// cached-DP consensus engines, which must agree on everything but the
+/// engine banner).
+fn render_consensus_report(
+    out: &mut String,
+    collection: &SourceCollection,
+    report: &ConsensusReport,
+) {
     if report.fully_consistent() {
         let _ = writeln!(
             out,
             "fully consistent: all {} sources agree",
             report.n_sources
         );
-        return Ok(out);
+        return;
     }
     let _ = writeln!(out, "maximal consistent subsets:");
     for subset in &report.maximal_subsets {
@@ -482,11 +585,32 @@ fn cmd_consensus(opts: &Options) -> Result<String, CliError> {
             names.join(", ")
         );
     }
-    Ok(out)
 }
 
 fn cmd_confidence(opts: &Options) -> Result<String, CliError> {
     let collection = load_collection(the_file(opts)?)?;
+    let mut obs = obs_session_from(opts)?;
+    let result = confidence_output(opts, &collection, &mut obs);
+    match result {
+        Ok(mut out) => {
+            finish_obs(obs, opts, &mut out);
+            Ok(out)
+        }
+        Err(e) => {
+            // Still flush: a budget-tripped run's partial trace is exactly
+            // what the operator wants to see.
+            let mut scratch = String::new();
+            finish_obs(obs, opts, &mut scratch);
+            Err(e)
+        }
+    }
+}
+
+fn confidence_output(
+    opts: &Options,
+    collection: &SourceCollection,
+    obs: &mut ObsSession,
+) -> Result<String, CliError> {
     let identity = collection.as_identity()?;
     let padding = opts.padding.unwrap_or_default();
     let budget = budget_from(opts);
@@ -494,8 +618,14 @@ fn cmd_confidence(opts: &Options) -> Result<String, CliError> {
     let mut out = String::new();
     match opts.engine {
         EngineChoice::Auto => {
-            let result =
-                confidence_resilient_with(&identity, padding, &budget, &parallel, opts.approx)?;
+            let result = confidence_resilient_observed(
+                &identity,
+                padding,
+                &budget,
+                &parallel,
+                opts.approx,
+                obs,
+            )?;
             match &result {
                 ResilientConfidence::Exact(analysis) => {
                     render_exact_confidence(&mut out, analysis, &identity, padding)?;
@@ -520,21 +650,21 @@ fn cmd_confidence(opts: &Options) -> Result<String, CliError> {
                 }
             }
         }
-        EngineChoice::Signature | EngineChoice::Dp => {
-            let analysis = if opts.engine == EngineChoice::Dp {
-                ConfidenceAnalysis::analyze_dp_parallel(&identity, padding, &budget, &parallel)?
-            } else {
-                ConfidenceAnalysis::analyze_parallel(&identity, padding, &budget, &parallel)?
-            };
-            let _ = writeln!(
-                out,
-                "engine: {} (exact, padding {padding})",
-                if opts.engine == EngineChoice::Dp {
-                    "dp"
-                } else {
-                    "signature"
-                }
-            );
+        EngineChoice::Dp => {
+            let (analysis, _stats) = count_dp_observed(
+                SignatureAnalysis::new(&identity, padding),
+                &budget,
+                &parallel,
+                &DpConfig::default(),
+                obs,
+            )?;
+            let _ = writeln!(out, "engine: dp (exact, padding {padding})");
+            render_exact_confidence(&mut out, &analysis, &identity, padding)?;
+        }
+        EngineChoice::Signature => {
+            let analysis =
+                ConfidenceAnalysis::analyze_parallel(&identity, padding, &budget, &parallel)?;
+            let _ = writeln!(out, "engine: signature (exact, padding {padding})");
             render_exact_confidence(&mut out, &analysis, &identity, padding)?;
         }
         EngineChoice::Exact => {
@@ -542,13 +672,13 @@ fn cmd_confidence(opts: &Options) -> Result<String, CliError> {
             // constants plus `padding` fresh ones. Exponential in the
             // domain — the cross-check engine, not a production path.
             let domain = domain_with_fresh(
-                &collection,
+                collection,
                 usize::try_from(padding).map_err(|_| {
                     CliError::Usage(format!("--padding {padding} too large for --engine exact"))
                 })?,
             );
             let worlds =
-                PossibleWorlds::enumerate_parallel(&collection, &domain, &budget, &parallel)?;
+                PossibleWorlds::enumerate_parallel(collection, &domain, &budget, &parallel)?;
             let _ = writeln!(
                 out,
                 "engine: exact possible-world oracle over {} constants (padding {padding})",
@@ -1301,5 +1431,100 @@ mod tests {
             run(&args(&["check", "a", "--threads"])),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn metrics_flag_appends_counter_totals() {
+        let dir = tmpdir("metrics");
+        let file = write_file(&dir, "c.pscds", EXAMPLE);
+        let plain = run(&args(&[
+            "confidence",
+            &file,
+            "--padding",
+            "1",
+            "--engine",
+            "dp",
+        ]))
+        .unwrap();
+        assert!(!plain.contains("metrics:"), "{plain}");
+        let out = run(&args(&[
+            "confidence",
+            &file,
+            "--padding",
+            "1",
+            "--engine",
+            "dp",
+            "--metrics",
+        ]))
+        .unwrap();
+        assert!(out.starts_with("engine: dp"), "{out}");
+        assert!(out.contains("metrics:"), "{out}");
+        assert!(out.contains("  budget.ticks "), "{out}");
+        assert!(out.contains("  chunks.completed "), "{out}");
+        assert!(out.contains("  dp.cache_misses "), "{out}");
+        // The confidence table itself must be unaffected by instrumentation.
+        assert_eq!(
+            out.split("metrics:").next().unwrap().trim_end(),
+            plain.trim_end()
+        );
+    }
+
+    #[test]
+    fn trace_out_writes_parseable_jsonl() {
+        let dir = tmpdir("trace-out");
+        let file = write_file(&dir, "c.pscds", EXAMPLE);
+        let trace = dir.join("trace.jsonl");
+        let trace_path = trace.to_string_lossy().into_owned();
+        let out = run(&args(&[
+            "confidence",
+            &file,
+            "--padding",
+            "1",
+            "--engine",
+            "dp",
+            "--trace-out",
+            &trace_path,
+        ]))
+        .unwrap();
+        assert!(out.starts_with("engine: dp"), "{out}");
+        let text = std::fs::read_to_string(&trace).expect("trace file written");
+        assert!(!text.trim().is_empty(), "trace must not be empty");
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            assert!(line.starts_with("{\"type\":\""), "bad trace line: {line}");
+            assert!(line.ends_with('}'), "bad trace line: {line}");
+        }
+        assert!(text.contains("\"name\":\"dp.run\""), "{text}");
+        assert!(text.contains("\"type\":\"counter\""), "{text}");
+    }
+
+    #[test]
+    fn consensus_engine_dp_matches_default_report() {
+        let dir = tmpdir("consensus-dp");
+        let bad = "source A {\n view: V1(x) <- R(x)\n completeness: 1\n soundness: 1\n extension: V1(a).\n}\nsource B {\n view: V2(x) <- R(x)\n completeness: 1\n soundness: 1\n extension: V2(b).\n}\n";
+        let file = write_file(&dir, "c.pscds", bad);
+        let default_out = run(&args(&["consensus", &file])).unwrap();
+        let dp_out = run(&args(&["consensus", &file, "--engine", "dp"])).unwrap();
+        let (banner, rest) = dp_out.split_once('\n').expect("banner line");
+        assert!(banner.starts_with("engine: dp —"), "{dp_out}");
+        assert_eq!(
+            rest, default_out,
+            "dp consensus must match the default report"
+        );
+        assert!(matches!(
+            run(&args(&["consensus", &file, "--engine", "signature"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn pscds_trace_env_enables_the_session() {
+        let dir = tmpdir("trace-env");
+        let trace = dir.join("env-trace.jsonl");
+        let opts = parse_options(&[]).unwrap();
+        std::env::set_var("PSCDS_TRACE", trace.to_string_lossy().into_owned());
+        let session = obs_session_from(&opts).unwrap();
+        std::env::remove_var("PSCDS_TRACE");
+        assert!(session.is_enabled());
+        assert!(!obs_session_from(&opts).unwrap().is_enabled());
     }
 }

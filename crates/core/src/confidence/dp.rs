@@ -95,6 +95,7 @@ use crate::error::CoreError;
 use crate::govern::Budget;
 use crate::partition::{self, ParallelConfig};
 use pscds_numeric::{RowCache, UBig};
+use pscds_obs::{names, MetricSet, ObsSession, SpanStack};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -132,16 +133,32 @@ pub struct DpStats {
     /// Interior nodes computed *without* insertion because the memo was
     /// full (the DFS-degradation path).
     pub fallback_nodes: u64,
+    /// Hits on [`SharedDpCache`] nodes inserted by an *earlier* run (the
+    /// cross-subset sharing win of the consensus sweep; always 0 for
+    /// private-cache runs).
+    pub cross_subset_hits: u64,
 }
 
 impl DpStats {
     /// Folds another run's counters into this one (chunk-order merge in
-    /// the parallel driver).
-    fn absorb(&mut self, other: &DpStats) {
+    /// the parallel driver and across the consensus sweep's subset runs).
+    pub fn absorb(&mut self, other: &DpStats) {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.peak_cache_entries += other.peak_cache_entries;
         self.fallback_nodes += other.fallback_nodes;
+        self.cross_subset_hits += other.cross_subset_hits;
+    }
+
+    /// Emits the counters into a `pscds-obs` metric set under the
+    /// registered `dp.*` names — the one conversion point between the
+    /// legacy struct and the unified telemetry registry.
+    pub fn record_into(&self, metrics: &mut MetricSet) {
+        metrics.counter_add(names::DP_CACHE_HITS, self.cache_hits);
+        metrics.counter_add(names::DP_CACHE_MISSES, self.cache_misses);
+        metrics.counter_add(names::DP_FALLBACK_NODES, self.fallback_nodes);
+        metrics.counter_add(names::DP_CROSS_SUBSET_HITS, self.cross_subset_hits);
+        metrics.gauge_max(names::DP_CACHE_PEAK, self.peak_cache_entries as u64);
     }
 }
 
@@ -184,12 +201,137 @@ impl DpNode {
 #[cfg(debug_assertions)]
 const REPLAY_NODE_CAP: u64 = 10_000;
 
-struct DpEngine<'a> {
+/// A residual-node memo shared **across DP runs** — the consensus sweep's
+/// cache (ROADMAP "DP for consensus levels").
+///
+/// Sharing is sound because the DP recursion is a pure function of the
+/// analysis's *projected structure*: the class list `(signature, size)`
+/// and the per-source bounds `(min_sound, completeness)` determine every
+/// prune, every `k_cap`, and every leaf verdict (`hurt` and `suffix_max`
+/// derive from them). The cache therefore folds that structure into the
+/// key — each run's analysis is interned to a context id, and nodes are
+/// keyed `(context, level, packed residuals)`. Two subsets of a source
+/// collection whose projected structures coincide (duplicate sources
+/// dropped, same padding) intern to the *same* context and share every
+/// node; structurally distinct subsets never collide.
+///
+/// Nodes remember the run that inserted them, so a hit on an earlier
+/// run's node is reported as [`DpStats::cross_subset_hits`] — the
+/// quantity the `dp.cross_subset_hits` counter tracks.
+///
+/// The memo is single-threaded (nodes are `Rc`);
+/// [`count_dp_shared_parallel`] documents how the parallel twin degrades.
+#[derive(Default)]
+pub struct SharedDpCache {
+    /// Structural encoding → interned context id.
+    contexts: HashMap<Box<[u64]>, u32>,
+    /// Per-context residual memos.
+    nodes: HashMap<u32, HashMap<ResidualKey, (Rc<DpNode>, u32)>>,
+    /// Total nodes across contexts (the capacity the cap governs).
+    entries: usize,
+    /// Next run sequence number.
+    runs: u32,
+    max_entries: usize,
+}
+
+impl SharedDpCache {
+    /// An empty shared cache honoring `config.max_cache_entries` across
+    /// *all* contexts combined.
+    #[must_use]
+    pub fn new(config: &DpConfig) -> Self {
+        SharedDpCache {
+            max_entries: config.max_cache_entries,
+            ..SharedDpCache::default()
+        }
+    }
+
+    /// Total cached nodes across all contexts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// `true` when nothing is cached yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Number of distinct projected structures interned so far.
+    #[must_use]
+    pub fn context_count(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// Interns the analysis's projected structure and opens a new run,
+    /// returning `(context id, run sequence)`.
+    fn begin_run(&mut self, analysis: &SignatureAnalysis) -> (u32, u32) {
+        let classes = analysis.classes();
+        let bounds = analysis.bounds();
+        let mut enc = Vec::with_capacity(2 + 2 * classes.len() + 3 * bounds.len());
+        enc.push(classes.len() as u64);
+        enc.push(bounds.len() as u64);
+        for class in classes {
+            enc.push(class.signature);
+            enc.push(class.size);
+        }
+        for b in bounds {
+            enc.push(b.min_sound);
+            enc.push(b.completeness.num());
+            enc.push(b.completeness.den());
+        }
+        let next = self.contexts.len() as u32;
+        let ctx = *self.contexts.entry(enc.into_boxed_slice()).or_insert(next);
+        let run = self.runs;
+        self.runs = self.runs.saturating_add(1);
+        (ctx, run)
+    }
+
+    fn get(&self, ctx: u32, key: &ResidualKey) -> Option<(Rc<DpNode>, u32)> {
+        self.nodes
+            .get(&ctx)?
+            .get(key)
+            .map(|(node, run)| (Rc::clone(node), *run))
+    }
+
+    /// Inserts unless the global cap is reached; returns whether the node
+    /// was cached.
+    fn insert(&mut self, ctx: u32, key: ResidualKey, node: Rc<DpNode>, run: u32) -> bool {
+        if self.entries >= self.max_entries {
+            return false;
+        }
+        if self
+            .nodes
+            .entry(ctx)
+            .or_default()
+            .insert(key, (node, run))
+            .is_none()
+        {
+            self.entries += 1;
+        }
+        true
+    }
+}
+
+/// Where one engine run memoizes its residual nodes.
+enum CacheBackend<'c> {
+    /// The classic per-run private memo.
+    Private(HashMap<ResidualKey, Rc<DpNode>>),
+    /// A [`SharedDpCache`] scoped to an interned context and tagged with
+    /// this run's sequence number (for cross-subset hit attribution).
+    Shared {
+        cache: &'c mut SharedDpCache,
+        ctx: u32,
+        run: u32,
+    },
+}
+
+struct DpEngine<'a, 'c> {
     analysis: &'a SignatureAnalysis,
     /// `hurt[i][j]` — total size of classes `j..` with bit `i` unset (the
     /// classes that erode source `i`'s completeness margin).
     hurt: Vec<Vec<u64>>,
-    cache: HashMap<ResidualKey, Rc<DpNode>>,
+    cache: CacheBackend<'c>,
     /// Shared all-zero node per level (pruned subtrees).
     zeros: Vec<Rc<DpNode>>,
     /// Shared feasible-leaf node (count 1, one completion).
@@ -198,7 +340,7 @@ struct DpEngine<'a> {
     stats: DpStats,
 }
 
-impl<'a> DpEngine<'a> {
+impl<'a, 'c> DpEngine<'a, 'c> {
     fn new(analysis: &'a SignatureAnalysis, config: &DpConfig) -> Self {
         let classes = analysis.classes();
         let m = classes.len();
@@ -221,12 +363,30 @@ impl<'a> DpEngine<'a> {
         DpEngine {
             analysis,
             hurt,
-            cache: HashMap::new(),
+            cache: CacheBackend::Private(HashMap::new()),
             zeros,
             leaf,
             max_cache_entries: config.max_cache_entries,
             stats: DpStats::default(),
         }
+    }
+
+    /// An engine whose memo is a [`SharedDpCache`] run (the consensus
+    /// sweep's configuration). The shared cache's own global capacity
+    /// replaces `config.max_cache_entries`.
+    fn with_shared(
+        analysis: &'a SignatureAnalysis,
+        config: &DpConfig,
+        shared: &'c mut SharedDpCache,
+    ) -> Self {
+        let mut engine = DpEngine::new(analysis, config);
+        let (ctx, run) = shared.begin_run(analysis);
+        engine.cache = CacheBackend::Shared {
+            cache: shared,
+            ctx,
+            run,
+        };
+        engine
     }
 
     /// The completeness margin `V_i = t_i·den − num·w` (saturating — the
@@ -318,9 +478,17 @@ impl<'a> DpEngine<'a> {
             return Ok(Rc::clone(&self.zeros[j]));
         }
         let key = self.key(j, t, *w);
-        if let Some(node) = self.cache.get(&key) {
-            let node = Rc::clone(node);
+        let hit = match &self.cache {
+            CacheBackend::Private(map) => map.get(&key).map(|node| (Rc::clone(node), false)),
+            CacheBackend::Shared { cache, ctx, run } => cache
+                .get(*ctx, &key)
+                .map(|(node, inserted_run)| (node, inserted_run < *run)),
+        };
+        if let Some((node, cross_subset)) = hit {
             self.stats.cache_hits += 1;
+            if cross_subset {
+                self.stats.cross_subset_hits += 1;
+            }
             #[cfg(debug_assertions)]
             self.replay_check(j, t, w, &node);
             return Ok(node);
@@ -371,10 +539,27 @@ impl<'a> DpEngine<'a> {
             }
         }
         let node = Rc::new(DpNode::new(count, vectors, numerators));
-        if self.cache.len() < self.max_cache_entries {
-            self.cache.insert(key, Rc::clone(&node));
-            self.stats.peak_cache_entries = self.stats.peak_cache_entries.max(self.cache.len());
-        } else {
+        let cached = match &mut self.cache {
+            CacheBackend::Private(map) => {
+                if map.len() < self.max_cache_entries {
+                    map.insert(key, Rc::clone(&node));
+                    self.stats.peak_cache_entries = self.stats.peak_cache_entries.max(map.len());
+                    true
+                } else {
+                    false
+                }
+            }
+            CacheBackend::Shared { cache, ctx, run } => {
+                let cached = cache.insert(*ctx, key, Rc::clone(&node), *run);
+                if cached {
+                    // For shared runs the peak is the shared cache's
+                    // global occupancy high-water mark.
+                    self.stats.peak_cache_entries = self.stats.peak_cache_entries.max(cache.len());
+                }
+                cached
+            }
+        };
+        if !cached {
             self.stats.fallback_nodes += 1;
         }
         Ok(node)
@@ -492,59 +677,87 @@ pub fn count_dp_parallel(
     if parallel.is_serial() {
         return count_dp(analysis, budget, config, &mut RowCache::new());
     }
-    struct Partial {
-        total: UBig,
-        class_numerators: Vec<UBig>,
-        vectors: u64,
-        stats: DpStats,
-    }
     let m = analysis.classes().len();
     let prefixes = analysis.prefix_plan(parallel.target_chunks());
     let outcomes = partition::run_chunks(parallel, budget, &prefixes, |_, prefix, budget, _| {
-        let mut counts = vec![0u64; m];
-        let mut t = vec![0u64; analysis.source_count()];
-        let mut w = 0u64;
-        if !analysis.apply_prefix(prefix, &mut counts, &mut t, &mut w) {
-            // The serial DFS never reaches this prefix; the chunk is empty.
-            return Ok(Partial {
-                total: UBig::zero(),
-                class_numerators: vec![UBig::zero(); m],
-                vectors: 0,
-                stats: DpStats::default(),
-            });
-        }
-        let mut rows = RowCache::new();
-        let mut engine = DpEngine::new(&analysis, config);
-        let root = engine.node(&mut rows, prefix.len(), &mut t, &mut w, budget)?;
-        // Weight of the fixed prefix: Π_{j<d} C(size_j, k_j); every class
-        // numerator of a prefix class is its fixed k times the chunk total.
-        let mut weight = UBig::one();
-        for (j, &k) in prefix.iter().enumerate() {
-            let row = rows.intern(analysis.classes()[j].size);
-            weight = weight.mul(rows.get(row, k));
-        }
-        let total = weight.mul(&root.count);
-        let mut class_numerators = vec![UBig::zero(); m];
-        for (j, &k) in prefix.iter().enumerate() {
-            if k > 0 {
-                class_numerators[j] = total.mul_u64(k);
-            }
-        }
-        for (l, suffix_num) in root.numerators.iter().enumerate() {
-            class_numerators[prefix.len() + l] = weight.mul(suffix_num);
-        }
-        Ok(Partial {
-            total,
-            class_numerators,
-            vectors: root.vectors,
-            stats: engine.stats,
-        })
+        dp_prefix_partial(&analysis, config, prefix, budget)
     })?;
+    let (result, stats) = merge_partials(analysis, m, outcomes.into_iter().flatten());
+    Ok((result, stats))
+}
+
+/// One chunk of the partitioned DP: fixes `prefix`, runs a private-cache
+/// DP over the suffix, and scales the aggregates by the prefix weight.
+/// Shared verbatim by [`count_dp_parallel`] and [`count_dp_observed`] so
+/// the instrumented route cannot drift from the plain one.
+fn dp_prefix_partial(
+    analysis: &SignatureAnalysis,
+    config: &DpConfig,
+    prefix: &[u64],
+    budget: &Budget,
+) -> Result<Partial, CoreError> {
+    let m = analysis.classes().len();
+    let mut counts = vec![0u64; m];
+    let mut t = vec![0u64; analysis.source_count()];
+    let mut w = 0u64;
+    if !analysis.apply_prefix(prefix, &mut counts, &mut t, &mut w) {
+        // The serial DFS never reaches this prefix; the chunk is empty.
+        return Ok(Partial {
+            total: UBig::zero(),
+            class_numerators: vec![UBig::zero(); m],
+            vectors: 0,
+            stats: DpStats::default(),
+        });
+    }
+    let mut rows = RowCache::new();
+    let mut engine = DpEngine::new(analysis, config);
+    let root = engine.node(&mut rows, prefix.len(), &mut t, &mut w, budget)?;
+    // Weight of the fixed prefix: Π_{j<d} C(size_j, k_j); every class
+    // numerator of a prefix class is its fixed k times the chunk total.
+    let mut weight = UBig::one();
+    for (j, &k) in prefix.iter().enumerate() {
+        let row = rows.intern(analysis.classes()[j].size);
+        weight = weight.mul(rows.get(row, k));
+    }
+    let total = weight.mul(&root.count);
+    let mut class_numerators = vec![UBig::zero(); m];
+    for (j, &k) in prefix.iter().enumerate() {
+        if k > 0 {
+            class_numerators[j] = total.mul_u64(k);
+        }
+    }
+    for (l, suffix_num) in root.numerators.iter().enumerate() {
+        class_numerators[prefix.len() + l] = weight.mul(suffix_num);
+    }
+    Ok(Partial {
+        total,
+        class_numerators,
+        vectors: root.vectors,
+        stats: engine.stats,
+    })
+}
+
+/// One prefix chunk's exact aggregates.
+struct Partial {
+    total: UBig,
+    class_numerators: Vec<UBig>,
+    vectors: u64,
+    stats: DpStats,
+}
+
+/// Chunk-order merge of [`Partial`]s into the final analysis (exact
+/// integer sums — associative and commutative, so scheduling cannot leak
+/// into the result).
+fn merge_partials(
+    analysis: SignatureAnalysis,
+    m: usize,
+    partials: impl Iterator<Item = Partial>,
+) -> (ConfidenceAnalysis, DpStats) {
     let mut total = UBig::zero();
     let mut class_numerators = vec![UBig::zero(); m];
     let mut vectors = 0u64;
     let mut stats = DpStats::default();
-    for partial in outcomes.into_iter().flatten() {
+    for partial in partials {
         total.add_assign(&partial.total);
         for (acc, part) in class_numerators.iter_mut().zip(&partial.class_numerators) {
             acc.add_assign(part);
@@ -552,10 +765,147 @@ pub fn count_dp_parallel(
         vectors = vectors.saturating_add(partial.vectors);
         stats.absorb(&partial.stats);
     }
-    Ok((
+    (
         ConfidenceAnalysis::from_parts(analysis, total, class_numerators, vectors),
         stats,
-    ))
+    )
+}
+
+/// The **instrumented** DP route: identical mathematics to
+/// [`count_dp_parallel`], plus per-chunk telemetry recorded into `obs`.
+///
+/// Determinism contract: with an enabled session the engine always runs
+/// the *chunked* plan — even at one thread, where `run_chunks` processes
+/// the same chunk list serially in order — so per-chunk budget-tick and
+/// cache counters are identical at every thread count, and the merged
+/// counter totals (and span skeletons) are bit-identical between a
+/// serial and a `--threads 4` run. With a disabled session this is
+/// exactly [`count_dp_parallel`] (no chunked detour, no overhead).
+///
+/// # Errors
+/// As [`count_dp_parallel`]; a budget trip additionally records a
+/// `budget.trips` counter increment and a `budget.trip` event before the
+/// error propagates.
+pub fn count_dp_observed(
+    analysis: SignatureAnalysis,
+    budget: &Budget,
+    parallel: &ParallelConfig,
+    config: &DpConfig,
+    obs: &mut ObsSession,
+) -> Result<(ConfidenceAnalysis, DpStats), CoreError> {
+    if !obs.is_enabled() {
+        return count_dp_parallel(analysis, budget, parallel, config);
+    }
+    obs.span_open("dp.run", budget.elapsed_ns());
+    obs.span_attr("engine", "dp");
+    let result = count_dp_observed_chunked(analysis, budget, parallel, config, obs);
+    if let Err(CoreError::BudgetExceeded { phase, .. }) = &result {
+        obs.counter_add(names::BUDGET_TRIPS, 1);
+        let phase = phase.clone();
+        obs.event(
+            "budget.trip",
+            budget.elapsed_ns(),
+            &[("phase", phase.as_str())],
+        );
+    }
+    obs.span_close(budget.elapsed_ns());
+    result
+}
+
+/// The chunked body of [`count_dp_observed`] (enabled sessions only).
+fn count_dp_observed_chunked(
+    analysis: SignatureAnalysis,
+    budget: &Budget,
+    parallel: &ParallelConfig,
+    config: &DpConfig,
+    obs: &mut ObsSession,
+) -> Result<(ConfidenceAnalysis, DpStats), CoreError> {
+    let m = analysis.classes().len();
+    obs.span_attr("classes", &m.to_string());
+    let prefixes = analysis.prefix_plan(parallel.target_chunks());
+    let outcomes = partition::run_chunks(parallel, budget, &prefixes, |idx, prefix, budget, _| {
+        // Per-chunk telemetry: ticks as `steps()` deltas (works for both
+        // the serial pass-through budget and per-worker forks) and a
+        // chunk span on the shared budget clock.
+        let start_ns = budget.elapsed_ns();
+        let steps_before = budget.steps();
+        let partial = dp_prefix_partial(&analysis, config, prefix, budget)?;
+        let mut metrics = MetricSet::new();
+        metrics.counter_add(names::BUDGET_TICKS, budget.steps() - steps_before);
+        partial.stats.record_into(&mut metrics);
+        let mut spans = SpanStack::new();
+        spans.open("dp.chunk", start_ns);
+        spans.attr("chunk", &idx.to_string());
+        spans.close(budget.elapsed_ns());
+        Ok((partial, metrics, spans.finish()))
+    })?;
+    let mut lifecycle = MetricSet::new();
+    partition::record_chunk_lifecycle(&mut lifecycle, parallel, &outcomes);
+    // The join point: merge per-chunk telemetry in chunk order, then the
+    // exact aggregates the same way.
+    let mut partials = Vec::with_capacity(outcomes.len());
+    for (partial, metrics, spans) in outcomes.into_iter().flatten() {
+        obs.merge_metrics(&metrics);
+        obs.graft_spans(spans);
+        partials.push(partial);
+    }
+    obs.merge_metrics(&lifecycle);
+    let (result, stats) = merge_partials(analysis, m, partials.into_iter());
+    Ok((result, stats))
+}
+
+/// Runs the DP against a cross-run [`SharedDpCache`] — the consensus
+/// sweep's engine: overlapping source subsets whose projected structures
+/// coincide reuse each other's residual nodes, and the reuse is reported
+/// through [`DpStats::cross_subset_hits`].
+///
+/// Results are bit-identical to [`count_dp`]: the cache changes *where*
+/// a suffix aggregate comes from, never its value (see the soundness
+/// argument on [`SharedDpCache`]).
+///
+/// # Errors
+/// As [`count_dp`].
+pub fn count_dp_shared(
+    analysis: SignatureAnalysis,
+    budget: &Budget,
+    config: &DpConfig,
+    shared: &mut SharedDpCache,
+) -> Result<(ConfidenceAnalysis, DpStats), CoreError> {
+    let mut rows = RowCache::new();
+    let mut engine = DpEngine::with_shared(&analysis, config, shared);
+    let mut t = vec![0u64; analysis.source_count()];
+    let mut w = 0u64;
+    let root = engine.node(&mut rows, 0, &mut t, &mut w, budget)?;
+    let stats = engine.stats;
+    let result = ConfidenceAnalysis::from_parts(
+        analysis,
+        root.count.clone(),
+        root.numerators.clone(),
+        root.vectors,
+    );
+    Ok((result, stats))
+}
+
+/// Parallel twin of [`count_dp_shared`]. The shared memo's nodes are
+/// `Rc`-backed and cannot cross threads, so a non-serial configuration
+/// delegates to the partitioned private-cache engine
+/// ([`count_dp_parallel`]) — bit-identical results, just without
+/// cross-run node reuse (and hence `cross_subset_hits = 0`). The serial
+/// configuration runs [`count_dp_shared`] exactly.
+///
+/// # Errors
+/// As [`count_dp_shared`].
+pub fn count_dp_shared_parallel(
+    analysis: SignatureAnalysis,
+    budget: &Budget,
+    parallel: &ParallelConfig,
+    config: &DpConfig,
+    shared: &mut SharedDpCache,
+) -> Result<(ConfidenceAnalysis, DpStats), CoreError> {
+    if parallel.is_serial() {
+        return count_dp_shared(analysis, budget, config, shared);
+    }
+    count_dp_parallel(analysis, budget, parallel, config)
 }
 
 #[cfg(test)]
@@ -756,6 +1106,170 @@ mod tests {
                     serial.expected_world_size().unwrap()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn observed_route_counters_and_skeletons_are_thread_independent() {
+        let id = example_5_1().as_identity().unwrap();
+        let analysis = SignatureAnalysis::new(&id, 17);
+        let (baseline, _) = count_dp(
+            analysis.clone(),
+            &Budget::unlimited(),
+            &DpConfig::default(),
+            &mut RowCache::new(),
+        )
+        .unwrap();
+        type Digest<'a> = (Vec<(&'a str, u64)>, Vec<String>);
+        let mut reference: Option<Digest> = None;
+        for threads in [1usize, 2, 8] {
+            let mut obs = ObsSession::in_memory();
+            let (result, stats) = count_dp_observed(
+                analysis.clone(),
+                &Budget::unlimited(),
+                &ParallelConfig::with_threads(threads),
+                &DpConfig::default(),
+                &mut obs,
+            )
+            .unwrap();
+            assert_eq!(result.world_count(), baseline.world_count(), "t={threads}");
+            assert_eq!(result.feasible_vectors(), baseline.feasible_vectors());
+            let report = obs.finish();
+            assert_eq!(
+                report.metrics.counter(names::DP_CACHE_MISSES),
+                stats.cache_misses
+            );
+            assert!(report.metrics.counter(names::BUDGET_TICKS) > 0);
+            assert_eq!(
+                report.metrics.counter(names::CHUNKS_COMPLETED),
+                report.metrics.counter(names::CHUNKS_PLANNED)
+            );
+            let counters: Vec<(&str, u64)> = report.metrics.counters().collect();
+            let skeletons: Vec<String> = report.spans.iter().map(|s| s.skeleton()).collect();
+            match &reference {
+                None => reference = Some((counters, skeletons)),
+                Some((ref_counters, ref_skeletons)) => {
+                    assert_eq!(&counters, ref_counters, "counter totals at t={threads}");
+                    assert_eq!(&skeletons, ref_skeletons, "span skeletons at t={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn observed_route_with_disabled_session_matches_parallel() {
+        let id = example_5_1().as_identity().unwrap();
+        let analysis = SignatureAnalysis::new(&id, 5);
+        let (plain, plain_stats) = count_dp_parallel(
+            analysis.clone(),
+            &Budget::unlimited(),
+            &ParallelConfig::serial(),
+            &DpConfig::default(),
+        )
+        .unwrap();
+        let mut obs = ObsSession::disabled();
+        let (observed, observed_stats) = count_dp_observed(
+            analysis,
+            &Budget::unlimited(),
+            &ParallelConfig::serial(),
+            &DpConfig::default(),
+            &mut obs,
+        )
+        .unwrap();
+        assert_eq!(observed.world_count(), plain.world_count());
+        assert_eq!(observed_stats, plain_stats);
+        assert!(obs.finish().metrics.is_empty());
+    }
+
+    #[test]
+    fn observed_route_records_budget_trips() {
+        let id = wide_slack_identity(4, 8);
+        let analysis = SignatureAnalysis::new(&id, 0);
+        let mut obs = ObsSession::in_memory();
+        let err = count_dp_observed(
+            analysis,
+            &Budget::with_max_steps(5),
+            &ParallelConfig::serial(),
+            &DpConfig::default(),
+            &mut obs,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::BudgetExceeded { .. }));
+        let report = obs.finish();
+        assert_eq!(report.metrics.counter(names::BUDGET_TRIPS), 1);
+        assert_eq!(report.events.len(), 1);
+        assert_eq!(report.events[0].name, "budget.trip");
+    }
+
+    #[test]
+    fn shared_cache_reuses_nodes_across_identical_subsets() {
+        let id = example_5_1().as_identity().unwrap();
+        let config = DpConfig::default();
+        let mut shared = SharedDpCache::new(&config);
+        let analysis = SignatureAnalysis::new(&id, 9);
+        let (first, first_stats) =
+            count_dp_shared(analysis.clone(), &Budget::unlimited(), &config, &mut shared).unwrap();
+        assert_eq!(first_stats.cross_subset_hits, 0, "first run has no past");
+        assert!(!shared.is_empty());
+        assert_eq!(shared.context_count(), 1);
+        // A second run over the identical projected structure reuses the
+        // root node outright: everything is a cross-subset hit.
+        let (second, second_stats) =
+            count_dp_shared(analysis, &Budget::unlimited(), &config, &mut shared).unwrap();
+        assert_eq!(second.world_count(), first.world_count());
+        assert_eq!(second.feasible_vectors(), first.feasible_vectors());
+        assert!(second_stats.cross_subset_hits > 0);
+        assert_eq!(second_stats.cache_misses, 0, "fully served from the past");
+        // And the values agree with the private-cache engine.
+        let dfs = ConfidenceAnalysis::analyze(&id, 9);
+        assert_eq!(first.world_count(), dfs.world_count());
+    }
+
+    #[test]
+    fn shared_cache_separates_structurally_distinct_contexts() {
+        let config = DpConfig::default();
+        let mut shared = SharedDpCache::new(&config);
+        let id = example_5_1().as_identity().unwrap();
+        for (padding, expected_contexts) in [(0u64, 1usize), (7, 2), (0, 2)] {
+            let analysis = SignatureAnalysis::new(&id, padding);
+            let (result, _) =
+                count_dp_shared(analysis, &Budget::unlimited(), &config, &mut shared).unwrap();
+            let dfs = ConfidenceAnalysis::analyze(&id, padding);
+            assert_eq!(result.world_count(), dfs.world_count(), "padding={padding}");
+            assert_eq!(shared.context_count(), expected_contexts);
+        }
+    }
+
+    #[test]
+    fn shared_parallel_twin_is_bit_identical() {
+        let id = example_5_1().as_identity().unwrap();
+        let config = DpConfig::default();
+        let analysis = SignatureAnalysis::new(&id, 3);
+        let mut shared = SharedDpCache::new(&config);
+        let (serial, _) = count_dp_shared_parallel(
+            analysis.clone(),
+            &Budget::unlimited(),
+            &ParallelConfig::serial(),
+            &config,
+            &mut shared,
+        )
+        .unwrap();
+        for threads in [2usize, 8] {
+            let mut fresh = SharedDpCache::new(&config);
+            let (par, stats) = count_dp_shared_parallel(
+                analysis.clone(),
+                &Budget::unlimited(),
+                &ParallelConfig::with_threads(threads),
+                &config,
+                &mut fresh,
+            )
+            .unwrap();
+            assert_eq!(par.world_count(), serial.world_count(), "t={threads}");
+            assert_eq!(par.feasible_vectors(), serial.feasible_vectors());
+            assert_eq!(
+                stats.cross_subset_hits, 0,
+                "private caches cannot cross runs"
+            );
         }
     }
 

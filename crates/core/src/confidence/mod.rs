@@ -43,7 +43,10 @@ pub mod signature;
 pub mod worlds;
 
 pub use counting::ConfidenceAnalysis;
-pub use dp::{count_dp, count_dp_parallel, DpConfig, DpStats};
+pub use dp::{
+    count_dp, count_dp_observed, count_dp_parallel, count_dp_shared, count_dp_shared_parallel,
+    DpConfig, DpStats, SharedDpCache,
+};
 pub use gamma::LinearSystem;
 pub use sampling::{
     sample_confidences, sample_confidences_budgeted, SampledConfidence, SamplerConfig,

@@ -59,6 +59,11 @@ pub struct SampledConfidence {
     /// Number of distinct count vectors visited (≥ 2 suggests the chain
     /// is actually moving).
     pub distinct_vectors: usize,
+    /// Raw count of proposed moves (the denominator of
+    /// [`SampledConfidence::acceptance_rate`]).
+    pub proposed: u64,
+    /// Raw count of accepted moves.
+    pub accepted: u64,
 }
 
 /// Runs the Metropolis chain and estimates per-class confidences.
@@ -152,10 +157,20 @@ pub fn sample_confidences_budgeted(
         class_confidence,
         acceptance_rate: accepted as f64 / proposed.max(1) as f64,
         distinct_vectors: seen.len(),
+        proposed,
+        accepted,
     })
 }
 
 impl SampledConfidence {
+    /// Records the chain diagnostics into a metric set
+    /// (`sampler.proposed` / `sampler.accepted` — the registry's
+    /// acceptance-rate pair).
+    pub fn record_into(&self, metrics: &mut pscds_obs::MetricSet) {
+        metrics.counter_add(pscds_obs::names::SAMPLER_PROPOSED, self.proposed);
+        metrics.counter_add(pscds_obs::names::SAMPLER_ACCEPTED, self.accepted);
+    }
+
     /// Estimated confidence of a tuple, given the analysis used to build
     /// the estimate.
     ///

@@ -16,11 +16,14 @@
 //!   subsets and is flagged as a likely mis-reporter.
 
 use crate::collection::SourceCollection;
+use crate::confidence::dp::{count_dp_shared, DpConfig, DpStats, SharedDpCache};
+use crate::confidence::signature::SignatureAnalysis;
 use crate::consistency::identity::decide_identity_budgeted;
 use crate::error::CoreError;
 use crate::govern::Budget;
 use crate::partition::{self, ParallelConfig};
 use pscds_numeric::Rational;
+use pscds_obs::{names, MetricSet, ObsSession};
 
 /// The result of a consensus analysis.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -199,6 +202,114 @@ pub fn maximal_consistent_subsets_parallel(
         }
     }
     Ok(report_from_masks(n, maximal))
+}
+
+/// DP-backed consensus sweep with a **shared residual cache** (ROADMAP
+/// "DP for consensus levels"): the same largest-first enumeration as
+/// [`maximal_consistent_subsets_budgeted`], but each candidate subset is
+/// decided by the memoized residual DP ([`count_dp_shared`]) against one
+/// [`SharedDpCache`] spanning the whole sweep. Subsets whose projected
+/// structures coincide — ubiquitous when sources repeat a claim shape,
+/// as consensus instances do by construction — reuse each other's
+/// residual nodes; the reuse shows up as
+/// [`DpStats::cross_subset_hits`] and, through `obs`, as the
+/// `dp.cross_subset_hits` counter.
+///
+/// The report is bit-identical to [`maximal_consistent_subsets_budgeted`]
+/// (consistency of an identity subset ⟺ the DP finds a feasible count
+/// vector); the returned [`DpStats`] aggregate the entire sweep.
+///
+/// # Errors
+/// As [`maximal_consistent_subsets_budgeted`].
+pub fn consensus_with_dp_cache(
+    collection: &SourceCollection,
+    padding: u64,
+    budget: &Budget,
+    obs: &mut ObsSession,
+) -> Result<(ConsensusReport, DpStats), CoreError> {
+    let n = validate_consensus_size(collection, budget)?;
+    obs.span_open("consensus.dp_sweep", budget.elapsed_ns());
+    obs.span_attr("sources", &n.to_string());
+    let steps_before = budget.steps();
+    let result = consensus_dp_sweep(collection, padding, budget, n);
+    match &result {
+        Ok((_, stats)) => {
+            let mut metrics = MetricSet::new();
+            stats.record_into(&mut metrics);
+            metrics.counter_add(names::BUDGET_TICKS, budget.steps() - steps_before);
+            obs.merge_metrics(&metrics);
+        }
+        Err(CoreError::BudgetExceeded { .. }) => {
+            obs.counter_add(names::BUDGET_TRIPS, 1);
+        }
+        Err(_) => {}
+    }
+    obs.span_close(budget.elapsed_ns());
+    result
+}
+
+/// The enumeration body of [`consensus_with_dp_cache`].
+fn consensus_dp_sweep(
+    collection: &SourceCollection,
+    padding: u64,
+    budget: &Budget,
+    n: usize,
+) -> Result<(ConsensusReport, DpStats), CoreError> {
+    let config = DpConfig::default();
+    let mut shared = SharedDpCache::new(&config);
+    let mut stats = DpStats::default();
+    let mut masks: Vec<u32> = (0..(1u32 << n)).collect();
+    masks.sort_by_key(|m| std::cmp::Reverse(m.count_ones()));
+    let mut maximal: Vec<u32> = Vec::new();
+    for mask in masks {
+        budget.tick("consensus")?;
+        if maximal.iter().any(|&m| m & mask == mask) {
+            continue; // contained in an already-found consistent subset
+        }
+        if subset_is_consistent_dp(
+            collection,
+            mask,
+            padding,
+            budget,
+            &config,
+            &mut shared,
+            &mut stats,
+        )? {
+            maximal.push(mask);
+        }
+    }
+    Ok((report_from_masks(n, maximal), stats))
+}
+
+/// DP twin of [`subset_is_consistent`]: the subset is consistent iff its
+/// signature decomposition admits a feasible count vector, decided by
+/// the shared-cache DP.
+#[allow(clippy::too_many_arguments)]
+fn subset_is_consistent_dp(
+    collection: &SourceCollection,
+    mask: u32,
+    padding: u64,
+    budget: &Budget,
+    config: &DpConfig,
+    shared: &mut SharedDpCache,
+    stats: &mut DpStats,
+) -> Result<bool, CoreError> {
+    if mask == 0 {
+        return Ok(true);
+    }
+    let subset = SourceCollection::from_sources(
+        collection
+            .sources()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, s)| s.clone()),
+    );
+    let identity = subset.as_identity()?;
+    let analysis = SignatureAnalysis::new(&identity, padding);
+    let (result, run_stats) = count_dp_shared(analysis, budget, config, shared)?;
+    stats.absorb(&run_stats);
+    Ok(result.is_consistent())
 }
 
 /// The shared size caps: `u32` masks bound sources at 31; an unlimited
@@ -449,6 +560,112 @@ mod tests {
             assert_eq!(par.support, serial.support, "t={threads}");
             assert_eq!(par.n_sources, serial.n_sources, "t={threads}");
         }
+    }
+
+    #[test]
+    fn dp_cached_consensus_matches_exact_on_fixtures() {
+        let liar = SourceCollection::from_sources([
+            exact("H1", "V1", &["a", "b"]),
+            exact("H2", "V2", &["a", "b"]),
+            exact("H3", "V3", &["a", "b"]),
+            exact("L", "V4", &["z"]),
+        ]);
+        let camps = SourceCollection::from_sources([
+            exact("A1", "V1", &["a"]),
+            exact("A2", "V2", &["a"]),
+            exact("B1", "V3", &["b"]),
+            exact("B2", "V4", &["b"]),
+        ]);
+        let soft = SourceCollection::from_sources([
+            SourceDescriptor::identity(
+                "S1",
+                "V1",
+                "R",
+                1,
+                [[Value::sym("a")], [Value::sym("b")]],
+                Frac::HALF,
+                Frac::HALF,
+            )
+            .unwrap(),
+            SourceDescriptor::identity(
+                "S2",
+                "V2",
+                "R",
+                1,
+                [[Value::sym("c")], [Value::sym("d")]],
+                Frac::HALF,
+                Frac::HALF,
+            )
+            .unwrap(),
+        ]);
+        for (label, collection, padding) in [
+            ("example_5_1", example_5_1(), 0),
+            ("liar", liar, 0),
+            ("camps", camps, 0),
+            ("soft", soft, 0),
+            ("empty", SourceCollection::new(), 1),
+        ] {
+            let exact_report = maximal_consistent_subsets(&collection, padding).unwrap();
+            let mut obs = pscds_obs::ObsSession::disabled();
+            let (dp_report, _) =
+                consensus_with_dp_cache(&collection, padding, &Budget::unlimited(), &mut obs)
+                    .unwrap();
+            assert_eq!(
+                dp_report.maximal_subsets, exact_report.maximal_subsets,
+                "{label}"
+            );
+            assert_eq!(dp_report.support, exact_report.support, "{label}");
+            assert_eq!(dp_report.n_sources, exact_report.n_sources, "{label}");
+        }
+    }
+
+    #[test]
+    fn dp_cached_consensus_shares_residuals_across_subsets() {
+        // The honest trio repeat one claim shape, so distinct subsets of
+        // the sweep project to identical signature structures: the shared
+        // cache must register reuse across runs, and the session must
+        // carry the counters out.
+        let c = SourceCollection::from_sources([
+            exact("H1", "V1", &["a", "b"]),
+            exact("H2", "V2", &["a", "b"]),
+            exact("H3", "V3", &["a", "b"]),
+            exact("L", "V4", &["z"]),
+        ]);
+        let mut obs = pscds_obs::ObsSession::in_memory();
+        let (_, stats) = consensus_with_dp_cache(&c, 0, &Budget::unlimited(), &mut obs).unwrap();
+        assert!(
+            stats.cross_subset_hits > 0,
+            "expected cross-subset reuse, got {stats:?}"
+        );
+        let report = obs.finish();
+        assert_eq!(
+            report
+                .metrics
+                .counter(pscds_obs::names::DP_CROSS_SUBSET_HITS),
+            stats.cross_subset_hits
+        );
+        assert!(report.metrics.counter(pscds_obs::names::BUDGET_TICKS) > 0);
+        assert_eq!(report.spans.len(), 1);
+        assert!(report.spans[0]
+            .skeleton()
+            .starts_with("consensus.dp_sweep{sources=4}"));
+    }
+
+    #[test]
+    fn dp_cached_consensus_trips_budget_and_reports_it() {
+        let c = SourceCollection::from_sources([
+            exact("H1", "V1", &["a", "b"]),
+            exact("H2", "V2", &["a", "b"]),
+            exact("L", "V3", &["z"]),
+        ]);
+        let mut obs = pscds_obs::ObsSession::in_memory();
+        let budget = Budget::with_max_steps(2);
+        assert!(matches!(
+            consensus_with_dp_cache(&c, 0, &budget, &mut obs),
+            Err(CoreError::BudgetExceeded { .. })
+        ));
+        let report = obs.finish();
+        assert_eq!(report.metrics.counter(pscds_obs::names::BUDGET_TRIPS), 1);
     }
 
     #[test]

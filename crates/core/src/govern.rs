@@ -154,6 +154,18 @@ impl Budget {
         self.started.elapsed()
     }
 
+    /// [`Budget::elapsed`] in nanoseconds, saturating at `u64::MAX` —
+    /// the **budget clock** that all `pscds-obs` span and event
+    /// timestamps are read from. Observability code must call this (the
+    /// obs crate itself never reads a clock), so instrumented engines
+    /// stay clean under the L2 `budget-bypass` rule and span timelines
+    /// agree with deadline accounting. [`Budget::fork`] copies the clock
+    /// origin, so worker-side timestamps are coherent with the parent's.
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
     /// A fresh budget with the same allotments — deadline restarted from
     /// now, step counter reset — sharing this budget's cancellation flag.
     /// This is what the graceful-degradation layer hands to a fallback
@@ -387,6 +399,19 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn elapsed_ns_is_monotone_and_fork_shares_the_clock_origin() {
+        let b = Budget::unlimited();
+        let t0 = b.elapsed_ns();
+        std::thread::sleep(Duration::from_millis(2));
+        let t1 = b.elapsed_ns();
+        assert!(t1 > t0);
+        // A fork reads the same clock: its "now" is at least the
+        // parent's earlier reading.
+        let f = b.fork();
+        assert!(f.elapsed_ns() >= t1);
     }
 
     #[test]

@@ -60,6 +60,11 @@ pub mod resilient;
 pub mod templates;
 pub mod textfmt;
 
+/// The observability layer (`pscds-obs`), re-exported so downstream
+/// crates reach sessions, sinks, and metric names through `pscds-core`
+/// without a separate dependency edge.
+pub use pscds_obs as obs;
+
 pub use collection::SourceCollection;
 pub use descriptor::SourceDescriptor;
 pub use error::CoreError;
@@ -67,6 +72,6 @@ pub use govern::{Budget, Engine};
 pub use measures::{completeness_of, satisfies, soundness_of, MeasureReport};
 pub use partition::ParallelConfig;
 pub use resilient::{
-    check_resilient, check_resilient_with, confidence_resilient, confidence_resilient_with,
-    ResilientCheck, ResilientConfidence,
+    check_resilient, check_resilient_observed, check_resilient_with, confidence_resilient,
+    confidence_resilient_observed, confidence_resilient_with, ResilientCheck, ResilientConfidence,
 };

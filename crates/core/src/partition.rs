@@ -42,6 +42,14 @@
 //!    serial pruning tests to their fixed prefix before descending, so a
 //!    subtree skipped serially is skipped in parallel too (and
 //!    vice versa).
+//! 4. **Identical chunk plans.** [`ParallelConfig::target_chunks`] is a
+//!    fixed constant, *not* a function of the thread count, so the chunk
+//!    list an engine builds — and with it every per-chunk telemetry
+//!    record — is the same at every thread count. Instrumented runs
+//!    merge per-chunk [`pscds_obs::MetricSet`]s in chunk order at the
+//!    [`run_chunks`] join point ([`record_chunk_lifecycle`]), which
+//!    makes counter totals bit-identical between serial and parallel
+//!    runs; only gauges (e.g. `chunks.stolen`) may legitimately vary.
 //!
 //! Budget semantics under parallelism: the wall-clock deadline is shared
 //! (absolute — see [`Budget::fork`]), cancellation interrupts every
@@ -52,6 +60,7 @@
 
 use crate::error::CoreError;
 use crate::govern::Budget;
+use pscds_obs::{names, MetricSet};
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -99,12 +108,23 @@ impl ParallelConfig {
         self.threads <= 1
     }
 
-    /// How many chunks a splitter should aim for: a small multiple of the
-    /// worker count, so early-finishing workers can steal remaining
-    /// chunks instead of idling behind a skewed one.
+    /// How many chunks of work one engine run plans,
+    /// **thread-count-independent** by design: the chunk plan is part of
+    /// the observability contract — per-chunk telemetry (budget ticks,
+    /// cache hits, completions) merges in chunk order, so identical
+    /// plans at every thread count make instrumented counter totals
+    /// bit-identical between serial and parallel runs. The constant is
+    /// comfortably above any realistic worker count, so early-finishing
+    /// workers still steal remaining chunks instead of idling behind a
+    /// skewed one.
+    pub const PLAN_CHUNKS: usize = 32;
+
+    /// How many chunks a splitter should aim for: the fixed
+    /// [`ParallelConfig::PLAN_CHUNKS`] plan, identical for every thread
+    /// count (see the telemetry invariant in the module docs).
     #[must_use]
     pub fn target_chunks(&self) -> usize {
-        self.threads.saturating_mul(4).max(1)
+        Self::PLAN_CHUNKS
     }
 }
 
@@ -305,6 +325,30 @@ where
         .collect())
 }
 
+/// Records the chunk lifecycle of one completed [`run_chunks`] call into
+/// a metric set — the canonical join-point telemetry merge.
+///
+/// Counters (`chunks.planned` / `chunks.completed` /
+/// `chunks.short_circuited`) are pure functions of the outcome slots,
+/// which the determinism contract fixes independent of scheduling, so
+/// they are bit-identical at every thread count. The `chunks.stolen`
+/// gauge — chunks claimed beyond each worker's initial one — is a
+/// scheduling diagnostic that varies with the thread count and is
+/// excluded from the cross-thread identity contract.
+pub fn record_chunk_lifecycle<R>(
+    metrics: &mut MetricSet,
+    config: &ParallelConfig,
+    outcomes: &[Option<R>],
+) {
+    let planned = outcomes.len() as u64;
+    let completed = outcomes.iter().filter(|slot| slot.is_some()).count() as u64;
+    metrics.counter_add(names::CHUNKS_PLANNED, planned);
+    metrics.counter_add(names::CHUNKS_COMPLETED, completed);
+    metrics.counter_add(names::CHUNKS_SHORT_CIRCUITED, planned - completed);
+    let first_wave = config.threads().min(outcomes.len()) as u64;
+    metrics.gauge_max(names::CHUNKS_STOLEN, planned.saturating_sub(first_wave));
+}
+
 /// Convenience merge for decision problems: the first completed chunk
 /// result that is `Some`, in chunk order — exactly the serial engine's
 /// first witness.
@@ -324,7 +368,38 @@ mod tests {
         assert_eq!(ParallelConfig::with_threads(8).threads(), 8);
         assert!(!ParallelConfig::with_threads(8).is_serial());
         assert!(ParallelConfig::with_threads(0).threads() >= 1);
-        assert_eq!(ParallelConfig::with_threads(3).target_chunks(), 12);
+        // The chunk plan is thread-count-independent — the telemetry
+        // determinism invariant (module docs, point 4).
+        assert_eq!(
+            ParallelConfig::with_threads(3).target_chunks(),
+            ParallelConfig::PLAN_CHUNKS
+        );
+        assert_eq!(
+            ParallelConfig::serial().target_chunks(),
+            ParallelConfig::with_threads(64).target_chunks()
+        );
+    }
+
+    #[test]
+    fn chunk_lifecycle_counters_are_scheduling_independent() {
+        let outcomes: Vec<Option<u32>> = vec![Some(1), None, Some(3), Some(4)];
+        let mut serial = MetricSet::new();
+        record_chunk_lifecycle(&mut serial, &ParallelConfig::serial(), &outcomes);
+        let mut parallel = MetricSet::new();
+        record_chunk_lifecycle(&mut parallel, &ParallelConfig::with_threads(4), &outcomes);
+        for name in [
+            names::CHUNKS_PLANNED,
+            names::CHUNKS_COMPLETED,
+            names::CHUNKS_SHORT_CIRCUITED,
+        ] {
+            assert_eq!(serial.counter(name), parallel.counter(name), "{name}");
+        }
+        assert_eq!(serial.counter(names::CHUNKS_PLANNED), 4);
+        assert_eq!(serial.counter(names::CHUNKS_COMPLETED), 3);
+        assert_eq!(serial.counter(names::CHUNKS_SHORT_CIRCUITED), 1);
+        // The stolen gauge is the scheduling diagnostic that *may* differ.
+        assert_eq!(serial.gauge(names::CHUNKS_STOLEN), Some(3));
+        assert_eq!(parallel.gauge(names::CHUNKS_STOLEN), Some(0));
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 use crate::collection::IdentityCollection;
 use crate::confidence::counting::ConfidenceAnalysis;
+use crate::confidence::dp::{count_dp_observed, DpConfig};
 use crate::confidence::sampling::{sample_confidences_budgeted, SampledConfidence, SamplerConfig};
 use crate::confidence::signature::SignatureAnalysis;
 use crate::consistency::exhaustive::find_witness_parallel;
@@ -31,7 +32,30 @@ use crate::govern::{Budget, Engine};
 use crate::partition::ParallelConfig;
 use crate::SourceCollection;
 use pscds_numeric::Rational;
+use pscds_obs::{names, MetricSet, ObsSession};
 use pscds_relational::{Database, Value};
+
+/// Records one rung-to-rung drop of a degradation ladder: the
+/// `ladder.degradations` counter plus a `ladder.degrade` event carrying
+/// the [`Engine`] provenance of both rungs.
+fn record_degradation(obs: &mut ObsSession, at_ns: u64, from: Engine, to: Engine) {
+    obs.counter_add(names::LADDER_DEGRADATIONS, 1);
+    let from = from.to_string();
+    let to = to.to_string();
+    obs.event(
+        "ladder.degrade",
+        at_ns,
+        &[("from", from.as_str()), ("to", to.as_str())],
+    );
+}
+
+/// Records a budget trip observed by a resilient ladder: the
+/// `budget.trips` counter plus a `budget.trip` event tagged with the
+/// phase that charged the fatal step.
+fn record_trip(obs: &mut ObsSession, at_ns: u64, phase: &str) {
+    obs.counter_add(names::BUDGET_TRIPS, 1);
+    obs.event("budget.trip", at_ns, &[("phase", phase)]);
+}
 
 /// Outcome of a resilient consistency check.
 #[derive(Debug)]
@@ -86,6 +110,46 @@ pub fn check_resilient_with(
     budget: &Budget,
     config: &ParallelConfig,
 ) -> Result<ResilientCheck, CoreError> {
+    check_resilient_observed(
+        collection,
+        domain,
+        budget,
+        config,
+        &mut ObsSession::disabled(),
+    )
+}
+
+/// [`check_resilient_with`] with a [`pscds_obs`] session: the ladder's
+/// budget trips and degradation decisions (with [`Engine`] provenance)
+/// are recorded as counters and events under a `resilient.check` span
+/// timed on the **budget clock** ([`Budget::elapsed_ns`]). A
+/// [disabled](ObsSession::disabled) session makes every hook a no-op, so
+/// this *is* [`check_resilient_with`] — one code path, not a twin.
+///
+/// # Errors
+/// As [`check_resilient`].
+pub fn check_resilient_observed(
+    collection: &SourceCollection,
+    domain: &[Value],
+    budget: &Budget,
+    config: &ParallelConfig,
+    obs: &mut ObsSession,
+) -> Result<ResilientCheck, CoreError> {
+    obs.span_open("resilient.check", budget.elapsed_ns());
+    obs.span_attr("sources", &collection.len().to_string());
+    let result = check_ladder(collection, domain, budget, config, obs);
+    obs.span_close(budget.elapsed_ns());
+    result
+}
+
+/// The engine ladder of [`check_resilient_observed`].
+fn check_ladder(
+    collection: &SourceCollection,
+    domain: &[Value],
+    budget: &Budget,
+    config: &ParallelConfig,
+    obs: &mut ObsSession,
+) -> Result<ResilientCheck, CoreError> {
     match find_witness_parallel(collection, domain, None, budget, config) {
         Ok(witness) => Ok(ResilientCheck {
             engine: Engine::Exact,
@@ -97,6 +161,7 @@ pub fn check_resilient_with(
             steps,
             elapsed,
         }) => {
+            record_trip(obs, budget.elapsed_ns(), &phase);
             let Ok(identity) = collection.as_identity() else {
                 // No cheaper engine for general conjunctive views.
                 return Err(CoreError::BudgetExceeded {
@@ -105,6 +170,7 @@ pub fn check_resilient_with(
                     elapsed,
                 });
             };
+            record_degradation(obs, budget.elapsed_ns(), Engine::Exact, Engine::Signature);
             let padding = padding_of(&identity, domain)?;
             match decide_identity_parallel(&identity, padding, &budget.renewed(), config)? {
                 IdentityConsistency::Consistent { witness, .. } => Ok(ResilientCheck {
@@ -273,29 +339,91 @@ pub fn confidence_resilient_with(
     config: &ParallelConfig,
     approx: bool,
 ) -> Result<ResilientConfidence, CoreError> {
+    confidence_resilient_observed(
+        collection,
+        padding,
+        budget,
+        config,
+        approx,
+        &mut ObsSession::disabled(),
+    )
+}
+
+/// [`confidence_resilient_with`] with a [`pscds_obs`] session: budget
+/// trips, ladder degradations (with [`Engine`] provenance), the DP
+/// rung's full chunk-level telemetry (via
+/// [`count_dp_observed`]), and the sampler's acceptance-rate counters
+/// are all recorded under a `resilient.confidence` span. Each rung's
+/// span timestamps read that rung's own (renewed) budget clock. A
+/// [disabled](ObsSession::disabled) session makes every hook free, so
+/// this *is* [`confidence_resilient_with`] — one code path, not a twin.
+///
+/// # Errors
+/// As [`confidence_resilient`].
+pub fn confidence_resilient_observed(
+    collection: &IdentityCollection,
+    padding: u64,
+    budget: &Budget,
+    config: &ParallelConfig,
+    approx: bool,
+    obs: &mut ObsSession,
+) -> Result<ResilientConfidence, CoreError> {
+    obs.span_open("resilient.confidence", budget.elapsed_ns());
+    obs.span_attr("sources", &collection.sources.len().to_string());
+    let result = confidence_ladder(collection, padding, budget, config, approx, obs);
+    obs.span_close(budget.elapsed_ns());
+    result
+}
+
+/// The engine ladder of [`confidence_resilient_observed`].
+fn confidence_ladder(
+    collection: &IdentityCollection,
+    padding: u64,
+    budget: &Budget,
+    config: &ParallelConfig,
+    approx: bool,
+    obs: &mut ObsSession,
+) -> Result<ResilientConfidence, CoreError> {
     match ConfidenceAnalysis::analyze_parallel(collection, padding, budget, config) {
         Ok(analysis) => Ok(ResilientConfidence::Exact(analysis)),
-        Err(CoreError::BudgetExceeded { .. }) => {
+        Err(CoreError::BudgetExceeded { phase, .. }) => {
+            record_trip(obs, budget.elapsed_ns(), &phase);
+            record_degradation(obs, budget.elapsed_ns(), Engine::Exact, Engine::Dp);
             // Second rung: the residual-state DP, still exact, under its
-            // own time slice (shared cancellation flag).
-            match ConfidenceAnalysis::analyze_dp_parallel(
-                collection,
-                padding,
-                &budget.renewed(),
-                config,
-            ) {
-                Ok(analysis) => Ok(ResilientConfidence::Dp(analysis)),
+            // own time slice (shared cancellation flag). The observed
+            // route records chunk lifecycle, cache statistics, and any
+            // trip of its own.
+            let dp_budget = budget.renewed();
+            let analysis = SignatureAnalysis::new(collection, padding);
+            match count_dp_observed(analysis, &dp_budget, config, &DpConfig::default(), obs) {
+                Ok((analysis, _stats)) => Ok(ResilientConfidence::Dp(analysis)),
                 Err(e @ CoreError::BudgetExceeded { .. }) => {
                     if !approx {
                         return Err(e);
                     }
+                    let sampled = Engine::Sampled {
+                        samples: SamplerConfig::default().samples,
+                    };
+                    record_degradation(obs, budget.elapsed_ns(), Engine::Dp, sampled);
                     let config = SamplerConfig::default();
-                    let estimate = sample_confidences_budgeted(
+                    let sampler_budget = budget.renewed();
+                    let estimate = match sample_confidences_budgeted(
                         collection,
                         padding,
                         &config,
-                        &budget.renewed(),
-                    )?;
+                        &sampler_budget,
+                    ) {
+                        Ok(estimate) => estimate,
+                        Err(e) => {
+                            if let CoreError::BudgetExceeded { phase, .. } = &e {
+                                record_trip(obs, sampler_budget.elapsed_ns(), phase);
+                            }
+                            return Err(e);
+                        }
+                    };
+                    let mut metrics = MetricSet::new();
+                    estimate.record_into(&mut metrics);
+                    obs.merge_metrics(&metrics);
                     let analysis = SignatureAnalysis::new(collection, padding);
                     Ok(ResilientConfidence::Sampled {
                         analysis,
@@ -494,6 +622,155 @@ mod tests {
         let err =
             confidence_resilient(&id, 64, &Budget::with_max_steps(10_000), false).unwrap_err();
         assert!(matches!(err, CoreError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn observed_check_ladder_records_signature_fallback() {
+        use crate::descriptor::SourceDescriptor;
+        use pscds_numeric::Frac;
+        // Same instance as check_falls_back_to_signature_for_identity_collections.
+        let s1 = SourceDescriptor::identity(
+            "S1",
+            "V1",
+            "R",
+            1,
+            [[Value::sym("a")]],
+            Frac::ONE,
+            Frac::ONE,
+        )
+        .unwrap();
+        let s2 = SourceDescriptor::identity(
+            "S2",
+            "V2",
+            "R",
+            1,
+            [[Value::sym("b")]],
+            Frac::ONE,
+            Frac::ONE,
+        )
+        .unwrap();
+        let c = SourceCollection::from_sources([s1, s2]);
+        let domain = domain_with_fresh(&c, 20);
+        let mut obs = ObsSession::in_memory();
+        let r = check_resilient_observed(
+            &c,
+            &domain,
+            &Budget::with_max_steps(50),
+            &ParallelConfig::serial(),
+            &mut obs,
+        )
+        .unwrap();
+        assert_eq!(r.engine, Engine::Signature);
+        let report = obs.finish();
+        assert_eq!(report.metrics.counter(names::BUDGET_TRIPS), 1);
+        assert_eq!(report.metrics.counter(names::LADDER_DEGRADATIONS), 1);
+        assert_eq!(report.events.len(), 2);
+        assert_eq!(report.events[0].name, "budget.trip");
+        assert_eq!(report.events[1].name, "ladder.degrade");
+        assert_eq!(
+            report.events[1].attrs,
+            vec![
+                ("from", "exact".to_string()),
+                ("to", "signature".to_string())
+            ]
+        );
+        assert_eq!(report.spans.len(), 1);
+        assert!(report.spans[0]
+            .skeleton()
+            .starts_with("resilient.check{sources=2}"));
+    }
+
+    #[test]
+    fn observed_confidence_ladder_records_dp_rescue() {
+        let id = wide_slack_identity(8, 9);
+        let budget = Budget::with_max_steps(100_000);
+        let mut obs = ObsSession::in_memory();
+        let r = confidence_resilient_observed(
+            &id,
+            0,
+            &budget,
+            &ParallelConfig::serial(),
+            false,
+            &mut obs,
+        )
+        .unwrap();
+        assert_eq!(r.engine(), Engine::Dp);
+        let report = obs.finish();
+        assert_eq!(report.metrics.counter(names::BUDGET_TRIPS), 1);
+        assert_eq!(report.metrics.counter(names::LADDER_DEGRADATIONS), 1);
+        assert_eq!(
+            report.events[1].attrs,
+            vec![("from", "exact".to_string()), ("to", "dp".to_string())]
+        );
+        // The DP rung ran the observed chunked route: its cache and chunk
+        // telemetry land in the same session.
+        assert!(report.metrics.counter(names::DP_CACHE_MISSES) > 0);
+        assert!(report.metrics.counter(names::CHUNKS_COMPLETED) > 0);
+        let skel = report.spans[0].skeleton();
+        assert!(
+            skel.starts_with("resilient.confidence{sources=8}"),
+            "{skel}"
+        );
+        assert!(skel.contains("dp.run{engine=dp,classes="), "{skel}");
+    }
+
+    #[test]
+    fn observed_confidence_ladder_records_sampler_acceptance() {
+        let id = example_5_1_scaled(64).as_identity().unwrap();
+        let budget = Budget::with_max_steps(30_000);
+        let mut obs = ObsSession::in_memory();
+        let r = confidence_resilient_observed(
+            &id,
+            64,
+            &budget,
+            &ParallelConfig::serial(),
+            true,
+            &mut obs,
+        )
+        .unwrap();
+        assert!(matches!(r.engine(), Engine::Sampled { .. }));
+        let report = obs.finish();
+        // Two drops: exact → dp (ladder) and dp → sampled; two trips: the
+        // DFS rung (ladder-recorded) and the DP rung (recorded by
+        // count_dp_observed itself).
+        assert_eq!(report.metrics.counter(names::LADDER_DEGRADATIONS), 2);
+        assert_eq!(report.metrics.counter(names::BUDGET_TRIPS), 2);
+        let proposed = report.metrics.counter(names::SAMPLER_PROPOSED);
+        let accepted = report.metrics.counter(names::SAMPLER_ACCEPTED);
+        assert!(proposed > 0);
+        assert!(accepted > 0 && accepted <= proposed);
+        let degrade: Vec<_> = report
+            .events
+            .iter()
+            .filter(|e| e.name == "ladder.degrade")
+            .collect();
+        assert_eq!(degrade.len(), 2);
+        assert_eq!(degrade[1].attrs[0], ("from", "dp".to_string()));
+        assert!(degrade[1].attrs[1].1.starts_with("sampled ("));
+    }
+
+    #[test]
+    fn observed_ladder_with_disabled_session_is_the_plain_ladder() {
+        let id = wide_slack_identity(8, 9);
+        let budget = Budget::with_max_steps(100_000);
+        let plain = confidence_resilient(&id, 0, &budget, false).unwrap();
+        let mut obs = ObsSession::disabled();
+        let observed = confidence_resilient_observed(
+            &id,
+            0,
+            &budget.renewed(),
+            &ParallelConfig::serial(),
+            false,
+            &mut obs,
+        )
+        .unwrap();
+        assert_eq!(observed.engine(), plain.engine());
+        let (a, b) = (observed.exact().unwrap(), plain.exact().unwrap());
+        assert_eq!(a.world_count(), b.world_count());
+        let report = obs.finish();
+        assert!(report.metrics.is_empty());
+        assert!(report.spans.is_empty());
+        assert!(report.events.is_empty());
     }
 
     #[test]

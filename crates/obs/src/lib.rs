@@ -1,0 +1,45 @@
+//! # pscds-obs
+//!
+//! Structured tracing and metrics for the pscds engine ladder — the
+//! observability layer ROADMAP's bench trajectory calls for, built with
+//! zero external dependencies (mirroring the `pscds-analysis`
+//! discipline).
+//!
+//! Three design rules keep instrumentation compatible with the engine
+//! invariants enforced by `pscds-lint`:
+//!
+//! 1. **Budget-clock coherence.** This crate never reads a clock. Every
+//!    timestamp is a `u64` nanosecond count *supplied by the caller*,
+//!    read through `pscds_core::govern::Budget::elapsed_ns()` — the same
+//!    monotonic clock the cooperative budget charges against. L2
+//!    `budget-bypass` (no `Instant::now` outside `govern`) therefore
+//!    stays clean without a single `lint-allow`, and the new L6
+//!    `obs-api` rule additionally forbids clock reads inside this crate.
+//! 2. **Deterministic aggregation.** [`MetricSet`] counters are plain
+//!    sums over `&'static str` names. Engines aggregate one `MetricSet`
+//!    per chunk of partitioned work and merge them *in chunk order* at
+//!    the `partition::run_chunks` join point, so instrumented parallel
+//!    runs report bit-identical counter totals at any thread count.
+//!    Gauges (high-water marks, scheduling diagnostics) are max-merged
+//!    and explicitly excluded from that cross-thread identity contract.
+//! 3. **Free when disabled.** [`ObsSession::disabled`] allocates nothing
+//!    and every recording method early-returns before touching the heap;
+//!    the disabled fast path is covered by an allocation-counting test.
+//!
+//! Records leave the process through pluggable [`Sink`]s: [`NoopSink`]
+//! (compiled to an empty inline body), [`MemorySink`] (tests), and
+//! [`JsonlSink`] (the CLI's `--trace-out PATH` / `PSCDS_TRACE`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod names;
+pub mod session;
+pub mod sink;
+pub mod span;
+
+pub use metrics::MetricSet;
+pub use session::{Event, ObsReport, ObsSession};
+pub use sink::{render_record, JsonlSink, MemorySink, NoopSink, Record, Sink};
+pub use span::{Span, SpanStack};

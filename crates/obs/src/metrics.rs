@@ -1,0 +1,153 @@
+//! Typed counter/gauge registries with deterministic merging.
+//!
+//! A [`MetricSet`] is the per-thread (in practice: per-*chunk*)
+//! aggregation unit. Engines record into a local set while a chunk runs
+//! and merge the per-chunk sets **in chunk order** at the
+//! `partition::run_chunks` join point; because counter merge is
+//! commutative-associative summation and the merge order is fixed by the
+//! chunk plan (not the scheduler), instrumented parallel runs report
+//! totals bit-identical to serial runs at any thread count.
+
+use crate::names;
+use std::collections::BTreeMap;
+
+/// An aggregatable bag of named counters and gauges.
+///
+/// Counters sum on [`MetricSet::merge`]; gauges take the maximum. Names
+/// must come from the [`names`] registry — recording an unregistered
+/// name is a `debug_assert!` failure (and an L6 lint violation at the
+/// call site if written as a string literal).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricSet {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, u64>,
+}
+
+impl MetricSet {
+    /// An empty set. Allocation-free: empty `BTreeMap`s hold no heap
+    /// memory until the first insertion.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricSet::default()
+    }
+
+    /// Adds `delta` to the counter `name` (saturating).
+    pub fn counter_add(&mut self, name: &'static str, delta: u64) {
+        debug_assert!(names::is_counter(name), "unregistered counter `{name}`");
+        let slot = self.counters.entry(name).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    }
+
+    /// Raises the gauge `name` to at least `value`.
+    pub fn gauge_max(&mut self, name: &'static str, value: u64) {
+        debug_assert!(names::is_gauge(name), "unregistered gauge `{name}`");
+        let slot = self.gauges.entry(name).or_insert(0);
+        *slot = (*slot).max(value);
+    }
+
+    /// The current value of counter `name` (0 when never recorded).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The current value of gauge `name`, if ever recorded.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Folds `other` into `self`: counters sum, gauges max. The caller
+    /// fixes determinism by merging in chunk order; the operation itself
+    /// is order-insensitive for counters by construction.
+    pub fn merge(&mut self, other: &MetricSet) {
+        for (&name, &v) in &other.counters {
+            let slot = self.counters.entry(name).or_insert(0);
+            *slot = slot.saturating_add(v);
+        }
+        for (&name, &v) in &other.gauges {
+            let slot = self.gauges.entry(name).or_insert(0);
+            *slot = (*slot).max(v);
+        }
+    }
+
+    /// All recorded counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&n, &v)| (n, v))
+    }
+
+    /// All recorded gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.gauges.iter().map(|(&n, &v)| (n, v))
+    }
+
+    /// `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_sum_and_gauges_max_on_merge() {
+        let mut a = MetricSet::new();
+        a.counter_add(names::DP_CACHE_HITS, 3);
+        a.gauge_max(names::DP_CACHE_PEAK, 10);
+        let mut b = MetricSet::new();
+        b.counter_add(names::DP_CACHE_HITS, 4);
+        b.counter_add(names::DP_CACHE_MISSES, 1);
+        b.gauge_max(names::DP_CACHE_PEAK, 7);
+        a.merge(&b);
+        assert_eq!(a.counter(names::DP_CACHE_HITS), 7);
+        assert_eq!(a.counter(names::DP_CACHE_MISSES), 1);
+        assert_eq!(a.gauge(names::DP_CACHE_PEAK), Some(10));
+    }
+
+    #[test]
+    fn merge_is_order_insensitive_for_counters() {
+        let mut parts = Vec::new();
+        for i in 0..5u64 {
+            let mut m = MetricSet::new();
+            m.counter_add(names::BUDGET_TICKS, i * 11 + 1);
+            m.counter_add(names::CHUNKS_COMPLETED, 1);
+            parts.push(m);
+        }
+        let mut fwd = MetricSet::new();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = MetricSet::new();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.counter(names::CHUNKS_COMPLETED), 5);
+    }
+
+    #[test]
+    fn unrecorded_names_read_as_zero_or_none() {
+        let m = MetricSet::new();
+        assert_eq!(m.counter(names::BUDGET_TRIPS), 0);
+        assert_eq!(m.gauge(names::CHUNKS_STOLEN), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn counter_add_saturates() {
+        let mut m = MetricSet::new();
+        m.counter_add(names::BUDGET_TICKS, u64::MAX);
+        m.counter_add(names::BUDGET_TICKS, 5);
+        assert_eq!(m.counter(names::BUDGET_TICKS), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered counter")]
+    #[cfg(debug_assertions)]
+    fn unregistered_counter_name_is_rejected() {
+        MetricSet::new().counter_add("nope.nope", 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! The metric-name registry.
+//!
+//! Every counter and gauge the engine ladder emits is declared here,
+//! once, as a `&'static str` constant. [`crate::MetricSet`] debug-asserts
+//! that recorded names are registered, and the L6 `obs-api` lint rejects
+//! string-literal metric names at call sites outside this crate — both
+//! together guarantee the JSONL schema cannot drift per call site.
+//!
+//! **Counters** are deterministic: merged by summation in chunk order at
+//! `run_chunks` join points, their totals are bit-identical at any
+//! thread count and are diffed by CI between serial and `--threads 4`
+//! runs. **Gauges** are diagnostics (high-water marks, scheduling
+//! observations); they merge by maximum and sit outside the cross-thread
+//! identity contract.
+
+/// Counter: cooperative budget steps consumed (`Budget::steps()` deltas
+/// observed per instrumented phase or chunk).
+pub const BUDGET_TICKS: &str = "budget.ticks";
+
+/// Counter: budget trip events (`BudgetExceeded` raised by `govern`).
+pub const BUDGET_TRIPS: &str = "budget.trips";
+
+/// Counter: residual-DP cache hits.
+pub const DP_CACHE_HITS: &str = "dp.cache_hits";
+
+/// Counter: residual-DP cache misses (nodes computed).
+pub const DP_CACHE_MISSES: &str = "dp.cache_misses";
+
+/// Counter: residual-DP nodes recomputed without memoization after the
+/// cache hit its entry cap.
+pub const DP_FALLBACK_NODES: &str = "dp.fallback_nodes";
+
+/// Counter: shared-cache hits on nodes inserted by an *earlier* subset
+/// run of the consensus sweep (the cross-subset sharing win).
+pub const DP_CROSS_SUBSET_HITS: &str = "dp.cross_subset_hits";
+
+/// Counter: chunks planned by the partitioner for one engine run.
+pub const CHUNKS_PLANNED: &str = "chunks.planned";
+
+/// Counter: chunks whose workers ran to completion.
+pub const CHUNKS_COMPLETED: &str = "chunks.completed";
+
+/// Counter: chunks skipped after a first-hit short-circuit.
+pub const CHUNKS_SHORT_CIRCUITED: &str = "chunks.short_circuited";
+
+/// Counter: Metropolis sampler proposals drawn.
+pub const SAMPLER_PROPOSED: &str = "sampler.proposed";
+
+/// Counter: Metropolis sampler proposals accepted.
+pub const SAMPLER_ACCEPTED: &str = "sampler.accepted";
+
+/// Counter: ladder-degradation events (one per engine downgrade taken by
+/// the `resilient` front end; the chosen `Engine` rides in the event
+/// attributes).
+pub const LADDER_DEGRADATIONS: &str = "ladder.degradations";
+
+/// Gauge: residual-DP peak live cache entries (high-water mark).
+pub const DP_CACHE_PEAK: &str = "dp.cache_peak";
+
+/// Gauge: chunks executed on a worker other than the first — a
+/// scheduling observation that legitimately varies with thread count.
+pub const CHUNKS_STOLEN: &str = "chunks.stolen";
+
+/// All registered counter names, in stable reporting order.
+pub const COUNTERS: [&str; 12] = [
+    BUDGET_TICKS,
+    BUDGET_TRIPS,
+    DP_CACHE_HITS,
+    DP_CACHE_MISSES,
+    DP_FALLBACK_NODES,
+    DP_CROSS_SUBSET_HITS,
+    CHUNKS_PLANNED,
+    CHUNKS_COMPLETED,
+    CHUNKS_SHORT_CIRCUITED,
+    SAMPLER_PROPOSED,
+    SAMPLER_ACCEPTED,
+    LADDER_DEGRADATIONS,
+];
+
+/// All registered gauge names, in stable reporting order.
+pub const GAUGES: [&str; 2] = [DP_CACHE_PEAK, CHUNKS_STOLEN];
+
+/// Is `name` a registered counter?
+#[must_use]
+pub fn is_counter(name: &str) -> bool {
+    COUNTERS.contains(&name)
+}
+
+/// Is `name` a registered gauge?
+#[must_use]
+pub fn is_gauge(name: &str) -> bool {
+    GAUGES.contains(&name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registries_are_disjoint_and_duplicate_free() {
+        let mut all: Vec<&str> = COUNTERS.iter().chain(GAUGES.iter()).copied().collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "metric names must be unique across kinds");
+        for c in COUNTERS {
+            assert!(is_counter(c) && !is_gauge(c));
+        }
+        for g in GAUGES {
+            assert!(is_gauge(g) && !is_counter(g));
+        }
+    }
+
+    #[test]
+    fn names_use_the_dotted_lowercase_convention() {
+        for name in COUNTERS.iter().chain(GAUGES.iter()) {
+            assert!(
+                name.contains('.')
+                    && name
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c == '.' || c == '_'),
+                "{name} breaks the `component.metric_name` convention"
+            );
+        }
+    }
+}

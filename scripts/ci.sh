@@ -41,21 +41,55 @@ cargo clippy --workspace --all-targets -- -D warnings
 # `--dp-scale-max 4` bench smoke runs the scaled Example 5.1 family at
 # m ≤ 4 under both the exact DFS and the memoized DP — the binary
 # asserts bit-identical totals and per-tuple confidences, so any DP
-# divergence fails this step. It also emits BENCH_confidence.json
-# (engine, m, wall-ns, cache statistics); the smoke run works in a
-# scratch directory so the committed full-ladder numbers survive.
-echo "==> e1_example51 smoke run (incl. DP vs exact parity at m <= 4)"
+# divergence fails this step. It also emits BENCH_confidence.json and
+# appends BENCH_history.jsonl in the single schema of
+# `pscds_bench::schema` (engine, m, wall-ns, cache statistics); the
+# smoke runs work in a scratch directory so the committed full-ladder
+# numbers survive.
+#
+# The smoke run doubles as the observability determinism gate: the E1.6
+# DP pass runs twice — serial and at 4 threads — each streaming a
+# `--trace-out` JSONL trace, and the merged counter totals extracted
+# from the two traces must be byte-identical (gauges are scheduling
+# diagnostics and are excluded; see DESIGN.md §3.11).
+echo "==> e1_example51 smoke run (DP parity at m <= 4, traced at 1 and 4 threads)"
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
 (cd "$smoke_dir" && cargo run \
     --manifest-path "$OLDPWD/Cargo.toml" \
-    -p pscds-bench --release --bin e1_example51 -- --dp-scale-max 4 >/dev/null)
+    -p pscds-bench --release --bin e1_example51 -- \
+    --dp-scale-max 4 --threads 1 --trace-out trace-serial.jsonl >/dev/null)
+(cd "$smoke_dir" && cargo run \
+    --manifest-path "$OLDPWD/Cargo.toml" \
+    -p pscds-bench --release --bin e1_example51 -- \
+    --dp-scale-max 4 --threads 4 --trace-out trace-par4.jsonl >/dev/null)
 [ -s "$smoke_dir/BENCH_confidence.json" ] || {
     echo "bench smoke did not produce BENCH_confidence.json" >&2
     exit 1
 }
 grep -q '"engine": "dp"' "$smoke_dir/BENCH_confidence.json" || {
     echo "BENCH_confidence.json is missing DP engine records" >&2
+    exit 1
+}
+
+echo "==> bench_validate (schema + trace validation, counter determinism diff)"
+bench_validate() {
+    cargo run -q --manifest-path "$OLDPWD/Cargo.toml" \
+        -p pscds-bench --release --bin bench_validate -- "$@"
+}
+(cd "$smoke_dir" \
+    && bench_validate BENCH_confidence.json \
+    && bench_validate --history BENCH_history.jsonl \
+    && bench_validate --jsonl trace-serial.jsonl \
+    && bench_validate --jsonl trace-par4.jsonl \
+    && bench_validate --counters trace-serial.jsonl > counters-serial.txt \
+    && bench_validate --counters trace-par4.jsonl > counters-par4.txt)
+[ -s "$smoke_dir/counters-serial.txt" ] || {
+    echo "serial trace produced no counter totals" >&2
+    exit 1
+}
+diff -u "$smoke_dir/counters-serial.txt" "$smoke_dir/counters-par4.txt" || {
+    echo "counter totals differ between --threads 1 and --threads 4" >&2
     exit 1
 }
 

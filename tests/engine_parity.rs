@@ -7,7 +7,8 @@
 
 use proptest::prelude::*;
 use pscds::core::confidence::{
-    count_dp, ConfidenceAnalysis, DpConfig, LinearSystem, PossibleWorlds, SignatureAnalysis,
+    count_dp, count_dp_observed, count_dp_shared, count_dp_shared_parallel, ConfidenceAnalysis,
+    DpConfig, LinearSystem, PossibleWorlds, SharedDpCache, SignatureAnalysis,
 };
 use pscds::core::consensus::{maximal_consistent_subsets, maximal_consistent_subsets_parallel};
 use pscds::core::consistency::{
@@ -15,9 +16,10 @@ use pscds::core::consistency::{
     find_witness_budgeted, find_witness_parallel,
 };
 use pscds::core::govern::Budget;
+use pscds::core::obs::ObsSession;
 use pscds::core::{
-    check_resilient, check_resilient_with, CoreError, ParallelConfig, SourceCollection,
-    SourceDescriptor,
+    check_resilient, check_resilient_observed, check_resilient_with, CoreError, ParallelConfig,
+    SourceCollection, SourceDescriptor,
 };
 use pscds::numeric::{Frac, RowCache, UBig};
 use pscds::relational::Value;
@@ -264,6 +266,80 @@ proptest! {
             prop_assert_eq!(par.engine, serial.engine);
             prop_assert_eq!(par.consistent, serial.consistent);
             prop_assert_eq!(&par.witness, &serial.witness);
+        }
+    }
+
+    /// The observed entry points (`count_dp_observed`,
+    /// `check_resilient_observed`) and the shared-cache pair
+    /// (`count_dp_shared` / `count_dp_shared_parallel`) are the plain
+    /// engines plus telemetry: instrumentation must not change a single
+    /// bit of the analysis, at any thread count, with the session
+    /// enabled or disabled. (Determinism of the telemetry itself is
+    /// tests/obs_determinism.rs.)
+    #[test]
+    fn observed_and_shared_engines_match_their_plain_twins(collection in collections()) {
+        let dom = domain();
+        let identity = collection.as_identity().expect("identity views");
+        let padding = DOMAIN as u64 - identity.all_tuples().len() as u64;
+        let unlimited = Budget::unlimited();
+        let config = DpConfig::default();
+        let serial = ConfidenceAnalysis::analyze_dp(&identity, padding);
+        let serial_check = check_resilient(&collection, &dom, &unlimited).expect("small universe");
+
+        let mut shared = SharedDpCache::new(&config);
+        let (shared_run, _) = count_dp_shared(
+            SignatureAnalysis::new(&identity, padding),
+            &unlimited,
+            &config,
+            &mut shared,
+        )
+        .expect("unlimited budget");
+        prop_assert_eq!(shared_run.world_count(), serial.world_count());
+        prop_assert_eq!(shared_run.feasible_vectors(), serial.feasible_vectors());
+
+        for threads in THREADS {
+            let par = ParallelConfig::with_threads(threads);
+            for enabled in [false, true] {
+                let mut obs = if enabled {
+                    ObsSession::in_memory()
+                } else {
+                    ObsSession::disabled()
+                };
+                let (observed, _) = count_dp_observed(
+                    SignatureAnalysis::new(&identity, padding),
+                    &unlimited,
+                    &par,
+                    &config,
+                    &mut obs,
+                )
+                .expect("unlimited budget");
+                prop_assert_eq!(observed.world_count(), serial.world_count());
+                prop_assert_eq!(observed.feasible_vectors(), serial.feasible_vectors());
+
+                let mut obs = if enabled {
+                    ObsSession::in_memory()
+                } else {
+                    ObsSession::disabled()
+                };
+                let checked =
+                    check_resilient_observed(&collection, &dom, &unlimited, &par, &mut obs)
+                        .expect("small universe");
+                prop_assert_eq!(checked.engine, serial_check.engine);
+                prop_assert_eq!(checked.consistent, serial_check.consistent);
+                prop_assert_eq!(&checked.witness, &serial_check.witness);
+            }
+
+            let mut fresh = SharedDpCache::new(&config);
+            let (par_shared, _) = count_dp_shared_parallel(
+                SignatureAnalysis::new(&identity, padding),
+                &unlimited,
+                &par,
+                &config,
+                &mut fresh,
+            )
+            .expect("unlimited budget");
+            prop_assert_eq!(par_shared.world_count(), serial.world_count());
+            prop_assert_eq!(par_shared.feasible_vectors(), serial.feasible_vectors());
         }
     }
 
