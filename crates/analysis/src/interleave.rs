@@ -2,10 +2,12 @@
 //! layer's coordination protocols.
 //!
 //! `partition::run_chunks` promises bit-identical answers at every thread
-//! count. That rests on two tiny concurrent protocols: the
+//! count. That rests on a few tiny concurrent protocols: the
 //! [`SearchControl`] first-hit arbitration (lowest-chunk-wins via
-//! `fetch_min`) and the [`Budget`] fork/cancel discipline (a monotone
-//! shared flag observed by every fork). Sampled proptests can miss a bad
+//! `fetch_min`), the [`Budget`] fork/cancel discipline (a monotone
+//! shared flag observed by every fork), and the per-source
+//! `CircuitBreaker` recovery automaton driven by `fetch_all` under
+//! cancellation. Sampled proptests can miss a bad
 //! interleaving; this module *enumerates all of them*. Each protocol is
 //! modelled as virtual threads of atomic operations over shared state; a
 //! DFS explores every schedule (which runnable thread performs its next
@@ -19,15 +21,21 @@
 //! * **cancel monotonicity** — once any thread observes the cancel flag
 //!   set it can never observe it clear again, a child forked after
 //!   cancellation observes it on its very first check, and each caller
-//!   unwinds with at most one error.
+//!   unwinds with at most one error;
+//! * **breaker recovery** — no lost half-open probes (a `HalfOpen`
+//!   breaker keeps granting the probe until an outcome is actually
+//!   recorded, so a probe unwound by a budget trip is re-granted) and
+//!   quarantine monotone under cancellation (only a recorded trip ever
+//!   refills the quarantine window — an unwind never does).
 //!
 //! The models are deliberately small (2–3 workers, ≤ 3 operations each:
 //! thousands to ~a hundred thousand schedules) — large enough to exhibit
 //! every ordering of the real protocols' atomic accesses, small enough to
 //! run on every CI invocation. Deliberately-broken protocol variants
-//! (last-write-wins arbitration, a clearable cancel flag) are kept as
-//! test fixtures to prove the checker actually distinguishes correct
-//! from incorrect protocols.
+//! (last-write-wins arbitration, a clearable cancel flag, a probe-losing
+//! breaker, a quarantine-refilling unwind handler) are kept as test
+//! fixtures to prove the checker actually distinguishes correct from
+//! incorrect protocols.
 //!
 //! [`SearchControl`]: ../../pscds_core/partition/struct.SearchControl.html
 //! [`Budget`]: ../../pscds_core/govern/struct.Budget.html
@@ -460,19 +468,362 @@ pub fn check_budget_fork_cancel(
     })
 }
 
+// ---------------------------------------------------------------------
+// Model 3: per-source circuit breaker under cancellation.
+// ---------------------------------------------------------------------
+
+/// Breaker protocol semantics. [`BreakerDiscipline::Faithful`] mirrors
+/// `pscds_core::source::CircuitBreaker`; the other two are deliberately
+/// broken variants kept to prove the checker distinguishes correct from
+/// incorrect recovery behavior.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerDiscipline {
+    /// The real automaton: `HalfOpen` keeps granting the probe until an
+    /// outcome is recorded, and cancellation never touches the state.
+    Faithful,
+    /// Broken: `HalfOpen` denies after the first probe grant — a probe
+    /// unwound by a budget trip is *lost* and the breaker deadlocks in
+    /// permanent denial.
+    DenyWhileHalfOpen,
+    /// Broken: a cancellation-unwind "cleanup" refills the quarantine
+    /// window — quarantine is no longer monotone under cancellation, so
+    /// repeated trips can deny a recovering source forever.
+    RefillQuarantineOnCancel,
+}
+
+/// The model breaker's thresholds (small on purpose: threshold 2,
+/// quarantine 1 reaches every state within two short epochs).
+const BK_THRESHOLD: u32 = 2;
+const BK_QUARANTINE: u32 = 1;
+
+/// Mirror of `BreakerState`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BkState {
+    Closed,
+    Open { remaining: u32 },
+    HalfOpen,
+}
+
+#[derive(Clone, Debug)]
+struct BkShared {
+    state: BkState,
+    failures: u32,
+    cancelled: bool,
+    discipline: BreakerDiscipline,
+    /// Admissions decided while the state was `HalfOpen` that came back
+    /// `Denied` — a lost probe (invariant 1).
+    denied_in_half_open: u32,
+    /// Quarantine refills not caused by a recorded failure tripping the
+    /// breaker (invariant 2).
+    refills_without_trip: u32,
+    /// Trips recorded (`record_failure` returning true in the real API).
+    trips: u32,
+}
+
+impl BkShared {
+    /// Mirror of `CircuitBreaker::admit`.
+    fn admit(&mut self) -> Admission2 {
+        match self.state {
+            BkState::Closed => Admission2::Granted,
+            BkState::Open { remaining } if remaining > 0 => {
+                self.state = BkState::Open {
+                    remaining: remaining - 1,
+                };
+                Admission2::Denied
+            }
+            BkState::Open { .. } => {
+                self.state = BkState::HalfOpen;
+                Admission2::Probe
+            }
+            BkState::HalfOpen => match self.discipline {
+                BreakerDiscipline::DenyWhileHalfOpen => {
+                    self.denied_in_half_open += 1;
+                    Admission2::Denied
+                }
+                _ => Admission2::Probe,
+            },
+        }
+    }
+
+    /// Mirror of `CircuitBreaker::record_success`.
+    fn record_success(&mut self) {
+        self.failures = 0;
+        self.state = BkState::Closed;
+    }
+
+    /// Mirror of `CircuitBreaker::record_failure`.
+    fn record_failure(&mut self) {
+        self.failures = self.failures.saturating_add(1);
+        let trip = match self.state {
+            BkState::HalfOpen => true,
+            BkState::Closed => self.failures >= BK_THRESHOLD,
+            BkState::Open { .. } => false,
+        };
+        if trip {
+            self.state = BkState::Open {
+                remaining: BK_QUARANTINE,
+            };
+            self.trips += 1;
+        }
+    }
+}
+
+/// Local admission mirror (keeps the model self-contained).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Admission2 {
+    Granted,
+    Probe,
+    Denied,
+}
+
+/// One access epoch driving the shared breaker: a scripted sequence of
+/// attempts, each two atomic operations — `admit` (the real loop's
+/// tick + breaker consultation) and `resolve` (the fetch outcome being
+/// recorded). A cancellation observed at either point unwinds the epoch
+/// without recording, exactly like a `BudgetExceeded` between the
+/// admission and `record_*` in `fetch_all` (a timeout charge can trip
+/// there). `epoch` 1 runs only after epoch 0 finished or unwound, on a
+/// fresh budget slice (it ignores the cancel flag) — the real ladder's
+/// `Budget::renewed` recovery path, which is where a lost probe or a
+/// refilled quarantine would strand a recovering source.
+#[derive(Clone, Debug)]
+struct BkDriver {
+    epoch: usize,
+    /// Outcome script: `true` = the fetch succeeds.
+    outcomes: Vec<bool>,
+    next: usize,
+    /// `Some` between an `admit` that granted/probed and its `resolve`.
+    admitted: Option<Admission2>,
+    unwound: bool,
+    finished: bool,
+}
+
+#[derive(Clone, Debug)]
+struct BkEpochs {
+    shared: BkShared,
+    /// `true` once epoch 0's driver is done (epoch 1's run condition).
+    epoch0_done: bool,
+}
+
+impl ModelThread<BkEpochs> for BkDriver {
+    fn done(&self) -> bool {
+        self.finished
+    }
+    fn runnable(&self, shared: &BkEpochs) -> bool {
+        self.epoch == 0 || shared.epoch0_done
+    }
+    fn step(&mut self, shared: &mut BkEpochs) {
+        let cancelled = self.epoch == 0 && shared.shared.cancelled;
+        if cancelled {
+            // Unwind (BudgetExceeded). The faithful discipline leaves the
+            // breaker untouched; the broken cleanup refills quarantine.
+            if shared.shared.discipline == BreakerDiscipline::RefillQuarantineOnCancel
+                && self.admitted.is_some()
+            {
+                let refill = matches!(shared.shared.state, BkState::Open { remaining } if remaining < BK_QUARANTINE)
+                    || shared.shared.state == BkState::HalfOpen;
+                if refill {
+                    shared.shared.state = BkState::Open {
+                        remaining: BK_QUARANTINE,
+                    };
+                    shared.shared.refills_without_trip += 1;
+                }
+            }
+            self.unwound = true;
+            self.finished = true;
+        } else if let Some(admission) = self.admitted.take() {
+            debug_assert_ne!(admission, Admission2::Denied);
+            if self.outcomes[self.next] {
+                shared.shared.record_success();
+            } else {
+                shared.shared.record_failure();
+            }
+            self.next += 1;
+            if self.next >= self.outcomes.len() {
+                self.finished = true;
+            }
+        } else {
+            match shared.shared.admit() {
+                Admission2::Denied => {
+                    // Denied attempts resolve immediately (quarantined).
+                    self.next += 1;
+                    if self.next >= self.outcomes.len() {
+                        self.finished = true;
+                    }
+                }
+                admission => self.admitted = Some(admission),
+            }
+        }
+        if self.epoch == 0 && self.finished {
+            shared.epoch0_done = true;
+        }
+    }
+}
+
+/// The cancellation source (a budget trip / Ctrl-C during epoch 0).
+#[derive(Clone, Debug)]
+struct BkCanceller {
+    fired: bool,
+}
+
+impl ModelThread<BkEpochs> for BkCanceller {
+    fn done(&self) -> bool {
+        self.fired
+    }
+    fn runnable(&self, _shared: &BkEpochs) -> bool {
+        true
+    }
+    fn step(&mut self, shared: &mut BkEpochs) {
+        shared.shared.cancelled = true;
+        self.fired = true;
+    }
+}
+
+/// Exhaustively checks the circuit-breaker protocol
+/// (`pscds_core::source::CircuitBreaker`) under every interleaving of a
+/// two-epoch access driver with a cancellation source, over every
+/// starting state and fetch-outcome script.
+///
+/// Invariants asserted in every terminal state of every schedule:
+/// 1. **no lost half-open probes** — an admission decided while the
+///    breaker is `HalfOpen` is never denied, so a probe unwound by a
+///    budget trip is simply re-granted to the next attempt (the next
+///    epoch recovers the source instead of deadlocking in denial);
+/// 2. **quarantine monotone under cancellation** — the quarantine
+///    window is refilled only by a recorded failure that trips the
+///    breaker, never by a cancellation unwind, so `remaining` is
+///    non-increasing between trips;
+/// 3. **trip accounting** — every refill corresponds to exactly one
+///    recorded trip (`refills == trips`).
+///
+/// # Errors
+/// The first violated invariant, with the offending configuration.
+pub fn check_breaker(discipline: BreakerDiscipline) -> Result<ModelReport, String> {
+    /// Heterogeneous thread dispatch (drivers + canceller in one vec).
+    #[derive(Clone, Debug)]
+    enum BkThread {
+        Driver(BkDriver),
+        Canceller(BkCanceller),
+    }
+    impl ModelThread<BkEpochs> for BkThread {
+        fn done(&self) -> bool {
+            match self {
+                BkThread::Driver(d) => d.done(),
+                BkThread::Canceller(c) => c.done(),
+            }
+        }
+        fn runnable(&self, s: &BkEpochs) -> bool {
+            match self {
+                BkThread::Driver(d) => d.runnable(s),
+                BkThread::Canceller(c) => c.runnable(s),
+            }
+        }
+        fn step(&mut self, s: &mut BkEpochs) {
+            match self {
+                BkThread::Driver(d) => d.step(s),
+                BkThread::Canceller(c) => c.step(s),
+            }
+        }
+    }
+    let starts = [
+        BkState::Closed,
+        BkState::Open {
+            remaining: BK_QUARANTINE,
+        },
+        BkState::Open { remaining: 0 },
+        BkState::HalfOpen,
+    ];
+    let mut configurations = 0u64;
+    let mut schedules = 0u64;
+    for start in starts {
+        for script0 in 0u32..4 {
+            for script1 in 0u32..4 {
+                for with_canceller in [false, true] {
+                    configurations += 1;
+                    let outcomes = |script: u32| vec![(script & 1) == 1, ((script >> 1) & 1) == 1];
+                    let driver = |epoch: usize, script: u32| BkDriver {
+                        epoch,
+                        outcomes: outcomes(script),
+                        next: 0,
+                        admitted: None,
+                        unwound: false,
+                        finished: false,
+                    };
+                    let shared = BkEpochs {
+                        shared: BkShared {
+                            state: start,
+                            failures: 0,
+                            cancelled: false,
+                            discipline,
+                            denied_in_half_open: 0,
+                            refills_without_trip: 0,
+                            trips: 0,
+                        },
+                        epoch0_done: false,
+                    };
+                    let config = format!(
+                        "start={start:?} scripts={script0:02b}/{script1:02b} canceller={with_canceller}"
+                    );
+                    let mut threads = vec![
+                        BkThread::Driver(driver(0, script0)),
+                        BkThread::Driver(driver(1, script1)),
+                    ];
+                    if with_canceller {
+                        threads.push(BkThread::Canceller(BkCanceller { fired: false }));
+                    }
+                    schedules += explore(&shared, &threads, &mut |s, ts| {
+                        if s.shared.denied_in_half_open > 0 {
+                            return Err(format!(
+                                "[{config}] lost half-open probe: {} admission(s) denied in HalfOpen",
+                                s.shared.denied_in_half_open
+                            ));
+                        }
+                        if s.shared.refills_without_trip > 0 {
+                            return Err(format!(
+                                "[{config}] quarantine refilled without a recorded trip ({}×) — \
+                                 not monotone under cancellation",
+                                s.shared.refills_without_trip
+                            ));
+                        }
+                        let epoch1 = ts.iter().find_map(|t| match t {
+                            BkThread::Driver(d) if d.epoch == 1 => Some(d),
+                            _ => None,
+                        });
+                        if let Some(d) = epoch1 {
+                            if d.unwound {
+                                return Err(format!(
+                                    "[{config}] epoch 1 runs on a fresh budget slice and must \
+                                     never unwind"
+                                ));
+                            }
+                        }
+                        Ok(())
+                    })?;
+                }
+            }
+        }
+    }
+    Ok(ModelReport {
+        model: format!("breaker[{discipline:?}]"),
+        configurations,
+        schedules,
+    })
+}
+
 /// Runs every model at 2 and 3 workers under the *real* protocol
 /// semantics — the CI gate.
 ///
 /// # Errors
 /// The first invariant violation (there are none for the shipped
-/// protocols; a failure here means `SearchControl`/`Budget` semantics
-/// drifted).
+/// protocols; a failure here means `SearchControl`/`Budget`/breaker
+/// semantics drifted).
 pub fn run_all() -> Result<Vec<ModelReport>, String> {
     Ok(vec![
         check_search_control(2, Arbitration::FetchMin)?,
         check_search_control(3, Arbitration::FetchMin)?,
         check_budget_fork_cancel(2, CancelFlag::Monotone)?,
         check_budget_fork_cancel(3, CancelFlag::Monotone)?,
+        check_breaker(BreakerDiscipline::Faithful)?,
     ])
 }
 
@@ -551,13 +902,41 @@ mod tests {
     }
 
     #[test]
-    fn run_all_passes_and_covers_both_models_at_both_widths() {
+    fn breaker_invariants_hold_for_the_faithful_automaton() {
+        let r = check_breaker(BreakerDiscipline::Faithful).unwrap();
+        // 4 start states × 4 epoch-0 scripts × 4 epoch-1 scripts × {with,
+        // without} canceller.
+        assert_eq!(r.configurations, 128);
+        assert!(r.schedules > r.configurations);
+    }
+
+    #[test]
+    fn lost_half_open_probe_is_caught() {
+        let err = check_breaker(BreakerDiscipline::DenyWhileHalfOpen).unwrap_err();
+        assert!(
+            err.contains("lost half-open probe"),
+            "expected a lost-probe violation, got: {err}"
+        );
+    }
+
+    #[test]
+    fn quarantine_refill_on_cancellation_is_caught() {
+        let err = check_breaker(BreakerDiscipline::RefillQuarantineOnCancel).unwrap_err();
+        assert!(
+            err.contains("not monotone under cancellation"),
+            "expected a monotonicity violation, got: {err}"
+        );
+    }
+
+    #[test]
+    fn run_all_passes_and_covers_every_model() {
         let reports = run_all().unwrap();
-        assert_eq!(reports.len(), 4);
+        assert_eq!(reports.len(), 5);
         assert!(reports.iter().all(|r| r.schedules > 0));
         let names: Vec<&str> = reports.iter().map(|r| r.model.as_str()).collect();
         assert!(names[0].contains("search-control[2"));
         assert!(names[3].contains("budget-fork-cancel[3"));
+        assert!(names[4].contains("breaker[Faithful]"));
     }
 
     #[test]

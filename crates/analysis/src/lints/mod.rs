@@ -14,6 +14,7 @@
 //! | L4 | `no-panic` | no `.unwrap()` / `.expect()` / `panic!` in `crates/core` library paths |
 //! | L5 | `error-provenance` | `SearchSpaceTooLarge` carries size+cap, `BudgetExceeded` is built in `govern` or re-wrapped field-for-field |
 //! | L6 | `obs-api` | pscds-obs stays clock-free; consumers use `pscds_obs::names` constants and never hand-build `Span`s |
+//! | L7 | `source-provider` | engine code in `crates/core` fetches view extensions through `source::extension_view`/`SourceProvider`, never `.extension()` directly |
 
 pub mod budget_bypass;
 pub mod engine_twins;
@@ -21,6 +22,7 @@ pub mod error_provenance;
 pub mod no_panic;
 pub mod obs_api;
 pub mod relaxed_ordering;
+pub mod source_provider;
 
 use crate::lexer::{TokKind, Token};
 use crate::source::{check_allow_grammar, SourceFile, Violation, Workspace};
@@ -29,7 +31,7 @@ use crate::source::{check_allow_grammar, SourceFile, Violation, Workspace};
 pub struct LintRule {
     /// Stable rule id — the name used in `lint-allow(<id>)`.
     pub id: &'static str,
-    /// Short code (`L1` … `L5`).
+    /// Short code (`L1` … `L7`).
     pub code: &'static str,
     /// One-line summary for `pscds-lint --list`.
     pub summary: &'static str,
@@ -78,6 +80,12 @@ pub fn registry() -> Vec<LintRule> {
             code: "L6",
             summary: "pscds-obs is clock-free; metric names come from pscds_obs::names, spans from ObsSession",
             run: obs_api::run,
+        },
+        LintRule {
+            id: source_provider::RULE,
+            code: "L7",
+            summary: "core engines fetch extensions via source::extension_view / SourceProvider, never .extension()",
+            run: source_provider::run,
         },
     ]
 }
@@ -253,15 +261,15 @@ mod tests {
     use crate::source::Workspace;
 
     #[test]
-    fn registry_has_six_rules_with_distinct_ids() {
+    fn registry_has_seven_rules_with_distinct_ids() {
         let reg = registry();
-        assert_eq!(reg.len(), 6);
+        assert_eq!(reg.len(), 7);
         let mut ids: Vec<&str> = reg.iter().map(|r| r.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 6, "rule ids must be distinct");
+        assert_eq!(ids.len(), 7, "rule ids must be distinct");
         let codes: Vec<&str> = registry().iter().map(|r| r.code).collect();
-        assert_eq!(codes, ["L1", "L2", "L3", "L4", "L5", "L6"]);
+        assert_eq!(codes, ["L1", "L2", "L3", "L4", "L5", "L6", "L7"]);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! L7 `source-provider`: engine code fetches view extensions through the
+//! `pscds_core::source` layer, never by reaching into the descriptor.
+//!
+//! The fault-injection/recovery stack (`SourceProvider`, retries,
+//! breakers, the partial-availability interval rung) only governs
+//! fetches that go through `source::extension_view` or a provider's
+//! `fetch`. A direct `.extension()` call in engine code silently reads
+//! the catalog snapshot, so a source the breaker has quarantined — or a
+//! fault plan has taken down — still "answers", and the partial-answer
+//! semantics (and its `interval.*` accounting) are quietly bypassed.
+//!
+//! The rule therefore bans the `.extension()` accessor in
+//! `crates/core/src` outside the two layers that legitimately sit below
+//! the provider: `source.rs` (the choke point itself) and
+//! `descriptor.rs` (the accessor's home). Catalog-snapshot constructors
+//! carry `lint-allow(source-provider)` with a justification; test
+//! regions are exempt as usual.
+
+use super::flag;
+use crate::source::{Violation, Workspace};
+
+/// Rule id for `lint-allow`.
+pub const RULE: &str = "source-provider";
+
+/// Files that legitimately sit below the provider boundary.
+const BELOW_PROVIDER: [&str; 2] = ["source.rs", "descriptor.rs"];
+
+/// Runs the rule.
+#[must_use]
+pub fn run(ws: &Workspace) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if !file.under("crates/core/src/") {
+            continue;
+        }
+        if BELOW_PROVIDER.contains(&file.file_name()) {
+            continue;
+        }
+        let tokens = &file.tokens;
+        for i in 0..tokens.len().saturating_sub(2) {
+            if tokens[i].is_punct('.')
+                && tokens[i + 1].is_ident("extension")
+                && tokens[i + 2].is_punct('(')
+            {
+                flag(
+                    &mut out,
+                    file,
+                    RULE,
+                    tokens[i + 1].line,
+                    "direct `.extension()` access in engine code: fetch view extensions \
+                     through `source::extension_view` (or a `SourceProvider`) so the \
+                     retry/breaker/partial-availability stack governs every read"
+                        .to_owned(),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Workspace;
+
+    #[test]
+    fn direct_extension_access_is_flagged() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/engine.rs",
+            "pub fn f(s: &SourceDescriptor) -> usize { s.extension().len() }\n",
+        )]);
+        let v = run(&ws);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("extension_view"), "{v:?}");
+    }
+
+    #[test]
+    fn the_choke_point_and_the_descriptor_are_below_the_boundary() {
+        let ws = Workspace::from_sources(&[
+            (
+                "crates/core/src/source.rs",
+                "pub fn extension_view(s: &SourceDescriptor) -> &BTreeSet<Fact> { s.extension() }\n",
+            ),
+            (
+                "crates/core/src/descriptor.rs",
+                "impl SourceDescriptor { pub fn check(&self) -> bool { self.extension().is_empty() } }\n",
+            ),
+        ]);
+        assert_eq!(run(&ws), vec![]);
+    }
+
+    #[test]
+    fn extension_view_calls_pass() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/engine.rs",
+            "pub fn f(s: &SourceDescriptor) -> usize { crate::source::extension_view(s).len() }\n",
+        )]);
+        assert_eq!(run(&ws), vec![]);
+    }
+
+    #[test]
+    fn other_crates_are_not_this_rules_business() {
+        let ws = Workspace::from_sources(&[(
+            "crates/cli/src/lib.rs",
+            "pub fn f(s: &SourceDescriptor) -> usize { s.extension().len() }\n",
+        )]);
+        assert_eq!(run(&ws), vec![]);
+    }
+
+    #[test]
+    fn allow_directive_and_test_regions_are_exempt() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/collection.rs",
+            "pub fn constants(s: &SourceDescriptor) {\n    // lint-allow(source-provider): catalog-snapshot constructor, below the provider\n    let _ = s.extension();\n}\n#[cfg(test)]\nmod tests {\n    fn t(s: &SourceDescriptor) { let _ = s.extension(); }\n}\n",
+        )]);
+        assert_eq!(run(&ws), vec![]);
+    }
+}

@@ -38,7 +38,7 @@ fn workspace_is_clean_under_every_lint_rule() {
 #[test]
 fn interleaving_models_hold_for_the_shipped_protocols() {
     let reports = interleave::run_all().expect("all interleaving invariants hold");
-    assert_eq!(reports.len(), 4);
+    assert_eq!(reports.len(), 5);
     for r in &reports {
         assert!(r.schedules > 0, "{}: explored no schedules", r.model);
     }

@@ -39,8 +39,13 @@ use pscds_core::consistency::{
 use pscds_core::govern::Budget;
 use pscds_core::measures::measure;
 use pscds_core::obs::{JsonlSink, ObsSession};
-use pscds_core::resilient::{confidence_resilient_observed, ResilientConfidence};
-use pscds_core::textfmt::parse_collection;
+use pscds_core::resilient::{
+    confidence_resilient_observed, confidence_under_faults, FaultAwareConfidence, LadderPolicy,
+    ResilientConfidence,
+};
+use pscds_core::source::{AccessPolicy, RetryPolicy, SourceStatus};
+use pscds_core::textfmt::{format_interval, parse_collection};
+use pscds_core::{CatalogProvider, FaultPlan, FaultyProvider, SourceAccess, SourceProvider};
 use pscds_core::{CoreError, ParallelConfig, SourceCollection};
 use pscds_relational::parser::{parse_facts, parse_rule};
 use pscds_relational::{Database, Fact, Value};
@@ -117,7 +122,7 @@ USAGE:
     pscds check      <collection-file> [--padding N] [GOVERNANCE]
     pscds consensus  <collection-file> [--padding N] [GOVERNANCE] [--engine auto|dp]
     pscds confidence <collection-file> [--padding N] [GOVERNANCE] [--approx]
-                     [--engine auto|exact|dp|signature|sampled]
+                     [--engine auto|exact|dp|signature|sampled] [ROBUSTNESS]
     pscds answers    <collection-file> --query \"Ans(x) <- R(x)\" --domain a,b,c [GOVERNANCE]
     pscds certain    <collection-file> --query \"Ans(x) <- R(x)\" [GOVERNANCE]
     pscds measure    <collection-file> --world <facts-file>
@@ -155,10 +160,28 @@ OBSERVABILITY (consensus / confidence):
     residual-DP cache (exact, same report; the banner counts the
     cross-subset cache hits).
 
+ROBUSTNESS (confidence with --engine auto; sources fetched through the
+recovery stack — bounded retry, deterministic backoff charged against
+the budget, per-source circuit breakers):
+    --fault-plan P   replay the deterministic fault schedule in file P
+                     (seeded per-source failure/timeout/truncation/flap
+                     rates; same plan => bit-identical run at any
+                     --threads count)
+    --retries N      fetch retries per source after the first attempt
+                     (default 2)
+    --backoff-ticks N  budget ticks charged before retry k:
+                     N << (k-1) (default 4); no wall clock is consulted
+    --partial        when sources stay unreachable, answer from the
+                     reachable subset with confidence intervals
+                     [lo, hi] bracketing the missing sources between
+                     \"absent\" and \"at claimed (c,s) bounds\"; the
+                     process exits 4 to flag the partial answer
+
 EXIT CODES:
     0  success        1  usage error
     2  analysis/I-O error
     3  budget exhausted with no applicable fallback
+    4  partial answer (confidence intervals; some sources unavailable)
 
 The collection file format (see pscds_core::textfmt):
     source S1 {
@@ -214,6 +237,29 @@ struct Options {
     engine: EngineChoice,
     trace_out: Option<String>,
     metrics: bool,
+    retries: Option<u32>,
+    backoff_ticks: Option<u64>,
+    fault_plan: Option<String>,
+    partial: bool,
+}
+
+impl Options {
+    /// The first robustness flag in use, if any — these are only valid
+    /// on `confidence` with `--engine auto`, and the flag name makes the
+    /// usage error actionable.
+    fn fault_flag_used(&self) -> Option<&'static str> {
+        if self.fault_plan.is_some() {
+            Some("--fault-plan")
+        } else if self.partial {
+            Some("--partial")
+        } else if self.retries.is_some() {
+            Some("--retries")
+        } else if self.backoff_ticks.is_some() {
+            Some("--backoff-ticks")
+        } else {
+            None
+        }
+    }
 }
 
 fn parse_options(args: &[String]) -> Result<Options, CliError> {
@@ -230,6 +276,10 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         engine: EngineChoice::default(),
         trace_out: None,
         metrics: false,
+        retries: None,
+        backoff_ticks: None,
+        fault_plan: None,
+        partial: false,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -268,6 +318,19 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             "--approx" => opts.approx = true,
             "--trace-out" => opts.trace_out = Some(grab("--trace-out")?),
             "--metrics" => opts.metrics = true,
+            "--retries" => {
+                let v = grab("--retries")?;
+                opts.retries = Some(
+                    v.parse()
+                        .map_err(|_| CliError::Usage(format!("bad --retries value {v:?}")))?,
+                );
+            }
+            "--backoff-ticks" => {
+                let v = grab("--backoff-ticks")?;
+                opts.backoff_ticks = Some(number("--backoff-ticks", v)?);
+            }
+            "--fault-plan" => opts.fault_plan = Some(grab("--fault-plan")?),
+            "--partial" => opts.partial = true,
             "--engine" => {
                 let v = grab("--engine")?;
                 opts.engine = v.parse().map_err(|()| {
@@ -388,25 +451,53 @@ fn parse_domain(spec: &str) -> Vec<Value> {
         .collect()
 }
 
+/// Exit status of a successful run that produced a *partial* answer
+/// (confidence intervals with sources unavailable).
+pub const EXIT_PARTIAL: i32 = 4;
+
 /// Executes a CLI invocation (`args` excludes the program name) and
 /// returns the rendered output.
+///
+/// Equivalent to [`run_with_status`] with the exit status discarded —
+/// for callers that only care about success/failure, not the
+/// partial-answer distinction.
 ///
 /// # Errors
 /// Usage, I/O and analysis errors; the caller prints them.
 pub fn run(args: &[String]) -> Result<String, CliError> {
+    run_with_status(args).map(|(out, _status)| out)
+}
+
+/// Executes a CLI invocation and returns the rendered output together
+/// with the process exit status for the *success* path: `0` normally,
+/// [`EXIT_PARTIAL`] when the answer is a partial-availability interval
+/// table (so pipelines can distinguish point answers from brackets
+/// without parsing the output).
+///
+/// # Errors
+/// Usage, I/O and analysis errors; the caller prints them and exits
+/// with [`CliError::exit_code`].
+pub fn run_with_status(args: &[String]) -> Result<(String, i32), CliError> {
     let Some((command, rest)) = args.split_first() else {
         return Err(CliError::Usage("no command given".into()));
     };
     let opts = parse_options(rest)?;
+    if command != "confidence" {
+        if let Some(flag) = opts.fault_flag_used() {
+            return Err(CliError::Usage(format!(
+                "{flag} only applies to `pscds confidence`"
+            )));
+        }
+    }
     match command.as_str() {
-        "info" => cmd_info(&opts),
-        "check" => cmd_check(&opts),
-        "consensus" => cmd_consensus(&opts),
+        "info" => cmd_info(&opts).map(|out| (out, 0)),
+        "check" => cmd_check(&opts).map(|out| (out, 0)),
+        "consensus" => cmd_consensus(&opts).map(|out| (out, 0)),
         "confidence" => cmd_confidence(&opts),
-        "answers" => cmd_answers(&opts),
-        "certain" => cmd_certain(&opts),
-        "measure" => cmd_measure(&opts),
-        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        "answers" => cmd_answers(&opts).map(|out| (out, 0)),
+        "certain" => cmd_certain(&opts).map(|out| (out, 0)),
+        "measure" => cmd_measure(&opts).map(|out| (out, 0)),
+        "help" | "--help" | "-h" => Ok((USAGE.to_owned(), 0)),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
 }
@@ -587,14 +678,14 @@ fn render_consensus_report(
     }
 }
 
-fn cmd_confidence(opts: &Options) -> Result<String, CliError> {
+fn cmd_confidence(opts: &Options) -> Result<(String, i32), CliError> {
     let collection = load_collection(the_file(opts)?)?;
     let mut obs = obs_session_from(opts)?;
     let result = confidence_output(opts, &collection, &mut obs);
     match result {
-        Ok(mut out) => {
+        Ok((mut out, status)) => {
             finish_obs(obs, opts, &mut out);
-            Ok(out)
+            Ok((out, status))
         }
         Err(e) => {
             // Still flush: a budget-tripped run's partial trace is exactly
@@ -606,15 +697,180 @@ fn cmd_confidence(opts: &Options) -> Result<String, CliError> {
     }
 }
 
+/// Runs the fault-aware confidence path: every extension is fetched
+/// through the recovery stack (retry/backoff/breakers), replaying
+/// `--fault-plan` when given, and the answer is either the ordinary
+/// ladder result (exit 0) or — with `--partial` — an interval table
+/// (exit [`EXIT_PARTIAL`]).
+fn confidence_under_faults_output(
+    opts: &Options,
+    collection: &SourceCollection,
+    padding: u64,
+    budget: &Budget,
+    parallel: &ParallelConfig,
+    obs: &mut ObsSession,
+) -> Result<(String, i32), CliError> {
+    let plan = match opts.fault_plan.as_deref() {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| CliError::Io(path.to_owned(), e))?;
+            Some(FaultPlan::parse(&text)?)
+        }
+        None => None,
+    };
+    let policy = AccessPolicy {
+        retry: RetryPolicy {
+            retries: opts
+                .retries
+                .unwrap_or_else(|| RetryPolicy::default().retries),
+            backoff_ticks: opts
+                .backoff_ticks
+                .unwrap_or_else(|| RetryPolicy::default().backoff_ticks),
+        },
+        breaker: Default::default(),
+    };
+    let mut access = SourceAccess::new(policy, collection.len());
+    let mut catalog_provider;
+    let mut faulty_provider;
+    let provider: &mut dyn SourceProvider = match plan {
+        Some(plan) => {
+            faulty_provider = FaultyProvider::new(collection, plan);
+            &mut faulty_provider
+        }
+        None => {
+            catalog_provider = CatalogProvider::new(collection);
+            &mut catalog_provider
+        }
+    };
+    let result = confidence_under_faults(
+        provider,
+        &mut access,
+        padding,
+        budget,
+        parallel,
+        opts.approx,
+        opts.partial,
+        &LadderPolicy::default(),
+        obs,
+    )?;
+    let mut out = String::new();
+    match result {
+        FaultAwareConfidence::Complete { statuses, result } => {
+            render_source_statuses(&mut out, collection, &statuses);
+            let identity = collection.as_identity()?;
+            match &result {
+                ResilientConfidence::Exact(analysis) => {
+                    render_exact_confidence(&mut out, analysis, &identity, padding)?;
+                }
+                ResilientConfidence::Dp(analysis) => {
+                    let _ = writeln!(
+                        out,
+                        "engine: dp — the DFS counter exceeded the budget; the memoized DP \
+                         finished (still an exact result, padding {padding})"
+                    );
+                    render_exact_confidence(&mut out, analysis, &identity, padding)?;
+                }
+                ResilientConfidence::Sampled {
+                    analysis, estimate, ..
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "engine: {} — exact counting exceeded the budget, estimates follow (padding {padding})",
+                        result.engine()
+                    );
+                    render_sampled_confidence(&mut out, analysis, estimate, &identity)?;
+                }
+            }
+            Ok((out, 0))
+        }
+        FaultAwareConfidence::Partial {
+            statuses,
+            unavailable,
+            intervals,
+        } => {
+            let _ = writeln!(
+                out,
+                "engine: {} — confidence intervals from the reachable subset (padding {padding})",
+                intervals.engine()
+            );
+            render_source_statuses(&mut out, collection, &statuses);
+            let _ = writeln!(out, "unavailable: {}", unavailable.join(", "));
+            let _ = writeln!(
+                out,
+                "availability scenarios: {} examined, {} consistent",
+                intervals.scenarios(),
+                intervals.consistent_scenarios()
+            );
+            let mut rows: Vec<_> = intervals.tuples().to_vec();
+            rows.sort_by(|a, b| {
+                b.interval
+                    .hi
+                    .cmp(&a.interval.hi)
+                    .then_with(|| a.tuple.cmp(&b.tuple))
+            });
+            let relation = collection.as_identity()?.relation;
+            let _ = writeln!(out, "tuple confidence intervals (descending upper bound):");
+            for row in rows {
+                let rendered: Vec<String> = row.tuple.iter().map(ToString::to_string).collect();
+                let _ = writeln!(
+                    out,
+                    "  {}({})  {}  point {}  ≈[{:.4}, {:.4}]",
+                    relation,
+                    rendered.join(", "),
+                    format_interval(&row.interval),
+                    row.point,
+                    row.interval.lo.to_f64(),
+                    row.interval.hi.to_f64()
+                );
+            }
+            if let Some(pad) = intervals.padding() {
+                let _ = writeln!(
+                    out,
+                    "  (each unlisted domain fact: {}  point {})",
+                    format_interval(&pad.interval),
+                    pad.point
+                );
+            }
+            Ok((out, EXIT_PARTIAL))
+        }
+    }
+}
+
+/// Renders the per-source access outcomes of one fetch epoch.
+fn render_source_statuses(
+    out: &mut String,
+    collection: &SourceCollection,
+    statuses: &[SourceStatus],
+) {
+    let _ = writeln!(out, "source access:");
+    for (i, status) in statuses.iter().enumerate() {
+        let name = collection.sources()[i].name();
+        let (verdict, attempts) = match status {
+            SourceStatus::Available { attempts } => ("available", attempts),
+            SourceStatus::Unavailable { attempts } => ("UNAVAILABLE", attempts),
+            SourceStatus::Quarantined { attempts } => ("QUARANTINED (breaker open)", attempts),
+        };
+        let _ = writeln!(out, "  {name:<12} {verdict}, {attempts} attempt(s)");
+    }
+}
+
 fn confidence_output(
     opts: &Options,
     collection: &SourceCollection,
     obs: &mut ObsSession,
-) -> Result<String, CliError> {
-    let identity = collection.as_identity()?;
+) -> Result<(String, i32), CliError> {
     let padding = opts.padding.unwrap_or_default();
     let budget = budget_from(opts);
     let parallel = parallel_from(opts);
+    if let Some(flag) = opts.fault_flag_used() {
+        if opts.engine != EngineChoice::Auto {
+            return Err(CliError::Usage(format!(
+                "{flag} requires --engine auto (the resilient ladder)"
+            )));
+        }
+        return confidence_under_faults_output(opts, collection, padding, &budget, &parallel, obs);
+    }
+    let identity = collection.as_identity()?;
     let mut out = String::new();
     match opts.engine {
         EngineChoice::Auto => {
@@ -689,7 +945,7 @@ fn confidence_output(
                     out,
                     "collection is INCONSISTENT over padding {padding}: confidences are undefined"
                 );
-                return Ok(out);
+                return Ok((out, 0));
             }
             let _ = writeln!(out, "|poss(S)| = {}", worlds.count());
             let mut rows: Vec<(Vec<Value>, pscds_numeric::Rational)> = Vec::new();
@@ -737,7 +993,7 @@ fn confidence_output(
             render_sampled_confidence(&mut out, &analysis, &estimate, &identity)?;
         }
     }
-    Ok(out)
+    Ok((out, 0))
 }
 
 /// Renders the exact confidence table shared by the DFS and DP engines.
@@ -1526,5 +1782,196 @@ mod tests {
         std::env::remove_var("PSCDS_TRACE");
         assert!(session.is_enabled());
         assert!(!obs_session_from(&opts).unwrap().is_enabled());
+    }
+
+    #[test]
+    fn fault_flags_rejected_outside_confidence() {
+        for cmd in ["check", "consensus", "info"] {
+            let err = run(&args(&[cmd, "x.pscds", "--partial"])).unwrap_err();
+            let CliError::Usage(msg) = err else {
+                panic!("expected usage error for {cmd} --partial");
+            };
+            assert!(msg.contains("--partial"), "{msg}");
+        }
+        let err = run(&args(&["check", "x.pscds", "--fault-plan", "p.txt"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn fault_flags_require_engine_auto() {
+        let dir = tmpdir("fault-engine");
+        let file = write_file(&dir, "c.pscds", EXAMPLE);
+        let err = run(&args(&["confidence", &file, "--partial", "--engine", "dp"])).unwrap_err();
+        let CliError::Usage(msg) = err else {
+            panic!("expected usage error");
+        };
+        assert!(msg.contains("--engine auto"), "{msg}");
+    }
+
+    #[test]
+    fn fault_free_robustness_path_matches_plain_auto() {
+        let dir = tmpdir("fault-free");
+        let file = write_file(&dir, "c.pscds", EXAMPLE);
+        let (plain, status) =
+            run_with_status(&args(&["confidence", &file, "--padding", "1"])).unwrap();
+        assert_eq!(status, 0);
+        // --retries routes through the recovery stack, but with no fault
+        // plan every source delivers: same table, plus the access banner.
+        let (out, status) = run_with_status(&args(&[
+            "confidence",
+            &file,
+            "--padding",
+            "1",
+            "--retries",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(status, 0);
+        assert!(out.starts_with("source access:"), "{out}");
+        assert!(
+            out.contains("S1           available, 1 attempt(s)"),
+            "{out}"
+        );
+        assert!(
+            out.contains("S2           available, 1 attempt(s)"),
+            "{out}"
+        );
+        let table = out
+            .split_once("attempt(s)\n")
+            .map(|(_, rest)| rest.split_once("attempt(s)\n").map_or(rest, |(_, r)| r))
+            .unwrap();
+        assert_eq!(table.trim_end(), plain.trim_end(), "{out}");
+    }
+
+    #[test]
+    fn transient_faults_recover_to_the_point_answer() {
+        let dir = tmpdir("fault-transient");
+        let file = write_file(&dir, "c.pscds", EXAMPLE);
+        // Both sources fail their first attempt, then recover on retry.
+        let plan = write_file(&dir, "plan.txt", "seed: 7\ndefault { down: 0..1 }\n");
+        let (out, status) = run_with_status(&args(&[
+            "confidence",
+            &file,
+            "--padding",
+            "1",
+            "--fault-plan",
+            &plan,
+        ]))
+        .unwrap();
+        assert_eq!(status, 0, "{out}");
+        assert!(
+            out.contains("S1           available, 2 attempt(s)"),
+            "{out}"
+        );
+        assert!(out.contains("|poss(S)| = 7"), "{out}");
+        assert!(out.contains("R(b)  6/7"), "{out}");
+    }
+
+    #[test]
+    fn hard_outage_without_partial_exits_with_analysis_error() {
+        let dir = tmpdir("fault-outage");
+        let file = write_file(&dir, "c.pscds", EXAMPLE);
+        let plan = write_file(&dir, "plan.txt", "seed: 7\nsource S2 { down: 0..100 }\n");
+        let err = run(&args(&[
+            "confidence",
+            &file,
+            "--padding",
+            "1",
+            "--fault-plan",
+            &plan,
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("S2"), "{err}");
+        assert!(err.to_string().contains("unavailable"), "{err}");
+    }
+
+    #[test]
+    fn partial_answers_render_intervals_and_exit_4() {
+        let dir = tmpdir("fault-partial");
+        let file = write_file(&dir, "c.pscds", EXAMPLE);
+        let plan = write_file(&dir, "plan.txt", "seed: 7\nsource S2 { down: 0..100 }\n");
+        let (out, status) = run_with_status(&args(&[
+            "confidence",
+            &file,
+            "--padding",
+            "1",
+            "--fault-plan",
+            &plan,
+            "--partial",
+            "--metrics",
+        ]))
+        .unwrap();
+        assert_eq!(status, EXIT_PARTIAL, "{out}");
+        assert!(
+            out.starts_with("engine: partial (1 sources unavailable)"),
+            "{out}"
+        );
+        assert!(
+            out.contains("S2           UNAVAILABLE, 3 attempt(s)"),
+            "{out}"
+        );
+        assert!(out.contains("breaker.trips 1"), "{out}");
+        assert!(out.contains("unavailable: S2"), "{out}");
+        assert!(
+            out.contains("availability scenarios: 2 examined, 2 consistent"),
+            "{out}"
+        );
+        // Every interval line round-trips through textfmt and contains
+        // the fault-free point (6/7 for b at padding 1).
+        assert!(out.contains("point 6/7"), "{out}");
+        for line in out.lines().filter(|l| l.trim_start().starts_with("R(")) {
+            let bracket = &line[line.find('[').unwrap()..=line.find(']').unwrap()];
+            let interval = pscds_core::textfmt::parse_interval(bracket).unwrap();
+            assert!(interval.lo <= interval.hi);
+        }
+        // The observable containment invariant.
+        let tuples = counter_value(&out, "interval.tuples");
+        let contained = counter_value(&out, "interval.point_contained");
+        assert!(tuples > 0, "{out}");
+        assert_eq!(tuples, contained, "{out}");
+    }
+
+    /// Extracts `  <name> <value>` from the `--metrics` tail.
+    fn counter_value(out: &str, name: &str) -> u64 {
+        out.lines()
+            .find_map(|l| {
+                let l = l.trim();
+                l.strip_prefix(name)
+                    .and_then(|rest| rest.trim().parse().ok())
+            })
+            .unwrap_or_else(|| panic!("counter {name} missing in {out}"))
+    }
+
+    #[test]
+    fn fault_replay_is_thread_count_invariant() {
+        let dir = tmpdir("fault-replay");
+        let file = write_file(&dir, "c.pscds", EXAMPLE);
+        let plan = write_file(
+            &dir,
+            "plan.txt",
+            "seed: 99\ndefault { fail: 1/3 }\nsource S2 { down: 0..100 }\n",
+        );
+        let mut outputs = Vec::new();
+        for threads in ["1", "2", "8"] {
+            outputs.push(
+                run_with_status(&args(&[
+                    "confidence",
+                    &file,
+                    "--padding",
+                    "1",
+                    "--fault-plan",
+                    &plan,
+                    "--partial",
+                    "--metrics",
+                    "--threads",
+                    threads,
+                ]))
+                .unwrap(),
+            );
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0], outputs[2]);
+        assert_eq!(outputs[0].1, EXIT_PARTIAL);
     }
 }

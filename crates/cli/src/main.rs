@@ -1,7 +1,9 @@
-//! The `pscds` binary: thin wrapper over [`pscds_cli::run`].
+//! The `pscds` binary: thin wrapper over [`pscds_cli::run_with_status`].
 //!
 //! Exit codes: 0 success, 1 usage error, 2 analysis/I-O error, 3 budget
-//! exhausted with no applicable fallback (see [`pscds_cli::CliError::exit_code`]).
+//! exhausted with no applicable fallback (see
+//! [`pscds_cli::CliError::exit_code`]), 4 partial answer (confidence
+//! intervals with sources unavailable; see [`pscds_cli::EXIT_PARTIAL`]).
 //! On Unix a SIGINT (Ctrl-C) handler flips the process-wide cancellation
 //! flag, so a running analysis unwinds cooperatively with exit code 3
 //! instead of being killed mid-print.
@@ -34,8 +36,13 @@ fn install_sigint_handler() {}
 fn main() {
     install_sigint_handler();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match pscds_cli::run(&args) {
-        Ok(output) => print!("{output}"),
+    match pscds_cli::run_with_status(&args) {
+        Ok((output, status)) => {
+            print!("{output}");
+            if status != 0 {
+                std::process::exit(status);
+            }
+        }
         Err(e) => {
             eprintln!("{e}");
             std::process::exit(e.exit_code());

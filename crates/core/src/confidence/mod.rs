@@ -38,6 +38,7 @@ pub mod closed_form;
 pub mod counting;
 pub mod dp;
 pub mod gamma;
+pub mod intervals;
 pub mod sampling;
 pub mod signature;
 pub mod worlds;
@@ -48,6 +49,10 @@ pub use dp::{
     DpConfig, DpStats, SharedDpCache,
 };
 pub use gamma::LinearSystem;
+pub use intervals::{
+    count_intervals, count_intervals_budgeted, count_intervals_parallel, ConfidenceInterval,
+    IntervalAnalysis, TupleInterval,
+};
 pub use sampling::{
     sample_confidences, sample_confidences_budgeted, SampledConfidence, SamplerConfig,
 };

@@ -67,7 +67,7 @@ pub fn shrink_witness(collection: &SourceCollection, g: &Database) -> Result<Dat
     let mut d = Database::new();
     for source in collection.sources() {
         let view_result = source.view().evaluate(g)?;
-        for u in source.extension() {
+        for u in crate::source::extension_view(source) {
             if !view_result.contains(u) {
                 continue; // u not in φ_i(G) ∩ v_i
             }

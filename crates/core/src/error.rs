@@ -51,6 +51,22 @@ pub enum CoreError {
         /// What is wrong.
         message: String,
     },
+    /// A [`crate::faults::FaultPlan`] was malformed (parse error or
+    /// out-of-range probability).
+    InvalidFaultPlan {
+        /// What is wrong.
+        message: String,
+    },
+    /// A source stayed unreachable after the recovery stack (retries,
+    /// backoff, circuit breaker) gave up, and the caller did not opt into
+    /// partial-availability answering (see
+    /// [`crate::resilient::confidence_under_faults`]).
+    SourceUnavailable {
+        /// The first unreachable source.
+        source: String,
+        /// Fetch attempts spent on it before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -81,6 +97,16 @@ impl fmt::Display for CoreError {
                 )
             }
             CoreError::BadDomain { message } => write!(f, "bad domain: {message}"),
+            CoreError::InvalidFaultPlan { message } => {
+                write!(f, "invalid fault plan: {message}")
+            }
+            CoreError::SourceUnavailable { source, attempts } => {
+                write!(
+                    f,
+                    "source {source} unavailable after {attempts} fetch attempt(s); \
+                     enable partial-availability answering for interval results"
+                )
+            }
         }
     }
 }

@@ -1,0 +1,510 @@
+//! Deterministic, seeded fault schedules for source access.
+//!
+//! Production sources flake: a fetch can fail outright, hang until a
+//! timeout, or return a truncated extension. To make such misbehaviour
+//! *testable* the schedule of faults must be deterministic — the same
+//! plan must produce the same fault at the same attempt on every run and
+//! at every thread count, so answers, intervals, and counter totals can
+//! be diffed byte-for-byte (the acceptance bar of DESIGN.md §3.12).
+//!
+//! A [`FaultPlan`] is therefore a *pure function* of
+//! `(seed, source index, attempt number)`:
+//!
+//! * **deterministic outages** — per-source `down:` attempt ranges model
+//!   hard downtime and flapping (alternating up/down windows);
+//! * **seeded random faults** — per-kind Bernoulli draws (`fail:`,
+//!   `timeout:`, `truncate:` fractions) evaluated with a splitmix64 hash
+//!   of the coordinates, so "randomness" replays exactly.
+//!
+//! No wall clock is consulted anywhere: timeouts are expressed in
+//! [`crate::govern::Budget`] ticks, keeping the observability layer's
+//! clock-free invariant intact (L2/L6 lint rules).
+//!
+//! Plans have a small text format (see [`FaultPlan::parse`]) used by the
+//! CLI's `--fault-plan PATH` flag; [`FaultPlan::to_text`] renders the
+//! canonical form and the two round-trip exactly.
+
+use crate::error::CoreError;
+use pscds_numeric::Frac;
+use std::fmt;
+
+/// Budget ticks charged for a timed-out fetch attempt when the spec does
+/// not say otherwise.
+pub const DEFAULT_TIMEOUT_TICKS: u64 = 16;
+
+/// The fault schedule of one source (or the plan-wide default).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Probability that an attempt fails outright.
+    pub fail: Frac,
+    /// Probability that an attempt times out (charging [`FaultSpec::ticks`]
+    /// budget ticks before the fault surfaces).
+    pub timeout: Frac,
+    /// Probability that an attempt delivers a truncated extension (treated
+    /// as a failed read — partial data is never silently consumed).
+    pub truncate: Frac,
+    /// Budget ticks one timeout costs.
+    pub ticks: u64,
+    /// Hard-down attempt windows `start..end` (half-open, 0-based attempt
+    /// numbers). Attempts inside any window fail deterministically;
+    /// alternating windows model a flapping source.
+    pub down: Vec<(u32, u32)>,
+}
+
+impl FaultSpec {
+    /// The fault-free spec: every attempt delivers.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultSpec {
+            fail: Frac::ZERO,
+            timeout: Frac::ZERO,
+            truncate: Frac::ZERO,
+            ticks: DEFAULT_TIMEOUT_TICKS,
+            down: Vec::new(),
+        }
+    }
+
+    /// A spec that fails every attempt (a hard outage).
+    #[must_use]
+    pub fn always_down() -> Self {
+        FaultSpec {
+            fail: Frac::ONE,
+            ..FaultSpec::none()
+        }
+    }
+
+    /// `true` iff `attempt` lies inside a `down:` window.
+    #[must_use]
+    pub fn is_down(&self, attempt: u32) -> bool {
+        self.down.iter().any(|&(s, e)| s <= attempt && attempt < e)
+    }
+
+    /// Validates that every probability field is in `[0, 1]` and every
+    /// `down:` window is non-empty.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidFaultPlan`] naming the offending field.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        for (name, f) in [
+            ("fail", self.fail),
+            ("timeout", self.timeout),
+            ("truncate", self.truncate),
+        ] {
+            if !f.is_probability() {
+                return Err(CoreError::InvalidFaultPlan {
+                    message: format!("{name}: {f} is not a probability in [0, 1]"),
+                });
+            }
+        }
+        for &(s, e) in &self.down {
+            if s >= e {
+                return Err(CoreError::InvalidFaultPlan {
+                    message: format!("down: {s}..{e} is an empty attempt window"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec::none()
+    }
+}
+
+/// The outcome the plan schedules for one fetch attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// The attempt succeeds: the full extension is delivered.
+    Deliver,
+    /// The attempt fails outright.
+    Fail,
+    /// The attempt times out after charging `ticks` budget ticks.
+    Timeout {
+        /// Budget ticks the hang costs before the fault surfaces.
+        ticks: u64,
+    },
+    /// The attempt returns a truncated extension (a failed read).
+    Truncate,
+}
+
+/// A deterministic, replayable fault schedule over a source collection.
+///
+/// Sources are matched by *name*; unmatched sources use the plan-wide
+/// default spec (fault-free unless configured).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed of the per-attempt Bernoulli draws.
+    pub seed: u64,
+    /// Spec for sources with no override.
+    pub default: FaultSpec,
+    /// Per-source overrides, in declaration order.
+    pub overrides: Vec<(String, FaultSpec)>,
+}
+
+impl FaultPlan {
+    /// The fault-free plan under `seed` (a baseline every scenario can
+    /// extend).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            default: FaultSpec::none(),
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Replaces the plan-wide default spec.
+    #[must_use]
+    pub fn with_default(mut self, spec: FaultSpec) -> Self {
+        self.default = spec;
+        self
+    }
+
+    /// Adds (or replaces) the override for source `name`.
+    #[must_use]
+    pub fn with_source(mut self, name: &str, spec: FaultSpec) -> Self {
+        if let Some(slot) = self.overrides.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = spec;
+        } else {
+            self.overrides.push((name.to_owned(), spec));
+        }
+        self
+    }
+
+    /// The spec governing source `name`.
+    #[must_use]
+    pub fn spec_for(&self, name: &str) -> &FaultSpec {
+        self.overrides
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(&self.default, |(_, s)| s)
+    }
+
+    /// The scheduled outcome of attempt `attempt` (0-based, counted per
+    /// source) against source `name` at position `index`. Pure: the same
+    /// coordinates always produce the same outcome.
+    ///
+    /// Precedence: `down:` windows, then the `fail`, `timeout`, and
+    /// `truncate` draws (each an independent seeded Bernoulli).
+    #[must_use]
+    pub fn outcome(&self, name: &str, index: usize, attempt: u32) -> FaultOutcome {
+        let spec = self.spec_for(name);
+        if spec.is_down(attempt) {
+            return FaultOutcome::Fail;
+        }
+        let base = mix(self.seed)
+            .wrapping_add(mix(index as u64 + 1))
+            .wrapping_add(mix(u64::from(attempt) + 1));
+        if bernoulli(mix(base.wrapping_add(1)), spec.fail) {
+            FaultOutcome::Fail
+        } else if bernoulli(mix(base.wrapping_add(2)), spec.timeout) {
+            FaultOutcome::Timeout { ticks: spec.ticks }
+        } else if bernoulli(mix(base.wrapping_add(3)), spec.truncate) {
+            FaultOutcome::Truncate
+        } else {
+            FaultOutcome::Deliver
+        }
+    }
+
+    /// Validates every spec in the plan.
+    ///
+    /// # Errors
+    /// As [`FaultSpec::validate`].
+    pub fn validate(&self) -> Result<(), CoreError> {
+        self.default.validate()?;
+        for (name, spec) in &self.overrides {
+            spec.validate().map_err(|e| CoreError::InvalidFaultPlan {
+                message: format!("source {name}: {e}"),
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Parses the plan text format:
+    ///
+    /// ```text
+    /// # comments and blank lines are ignored
+    /// seed: 42
+    /// default { fail: 1/10 }
+    /// source S1 { fail: 1/2 timeout: 1/4 truncate: 0 ticks: 16 down: 0..3 }
+    /// ```
+    ///
+    /// Every `key: value` field is optional; omitted fields are
+    /// fault-free. `down:` may repeat.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidFaultPlan`] with the offending line.
+    pub fn parse(text: &str) -> Result<FaultPlan, CoreError> {
+        fn line_err(lineno: usize, message: &str) -> CoreError {
+            CoreError::InvalidFaultPlan {
+                message: format!("line {}: {message}", lineno + 1),
+            }
+        }
+        let mut plan = FaultPlan::new(0);
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("seed:") {
+                plan.seed = rest
+                    .trim()
+                    .parse()
+                    .map_err(|_| line_err(lineno, &format!("bad seed {:?}", rest.trim())))?;
+            } else if let Some(rest) = line.strip_prefix("default") {
+                plan.default = parse_spec(rest.trim()).map_err(|m| line_err(lineno, &m))?;
+            } else if let Some(rest) = line.strip_prefix("source ") {
+                let Some((name, body)) = rest.split_once('{') else {
+                    return Err(line_err(lineno, "expected `source <name> { ... }`"));
+                };
+                let name = name.trim();
+                if name.is_empty() {
+                    return Err(line_err(lineno, "source name is empty"));
+                }
+                let spec = parse_spec(&format!("{{{body}")).map_err(|m| line_err(lineno, &m))?;
+                plan = plan.with_source(name, spec);
+            } else {
+                return Err(line_err(
+                    lineno,
+                    &format!("unrecognized directive {line:?}"),
+                ));
+            }
+        }
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// Renders the canonical text form; [`FaultPlan::parse`] of the
+    /// output reproduces the plan exactly.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = format!("seed: {}\n", self.seed);
+        out.push_str(&format!("default {}\n", format_spec(&self.default)));
+        for (name, spec) in &self.overrides {
+            out.push_str(&format!("source {name} {}\n", format_spec(spec)));
+        }
+        out
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+/// splitmix64 — the standard seeded bit mixer (public-domain constants);
+/// deterministic and platform-independent.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Exact Bernoulli draw: treats `hash` as a uniform fixed-point sample
+/// in `[0, 1)` and compares it against `p` by cross-multiplying in
+/// `u128` (no floating point, no rounding).
+fn bernoulli(hash: u64, p: Frac) -> bool {
+    u128::from(hash) * u128::from(p.den()) < u128::from(p.num()) << 64
+}
+
+/// Parses `{ key: value ... }` into a spec.
+fn parse_spec(body: &str) -> Result<FaultSpec, String> {
+    let body = body.trim();
+    let inner = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or_else(|| format!("expected `{{ ... }}`, got {body:?}"))?;
+    let mut spec = FaultSpec::none();
+    let words: Vec<&str> = inner.split_whitespace().collect();
+    let mut i = 0;
+    // lint-allow(budget-bypass): tightly bounded by the word count of one
+    // spec line; plan parsing happens once, before any engine runs
+    while i < words.len() {
+        let key = words[i]
+            .strip_suffix(':')
+            .ok_or_else(|| format!("expected `key:`, got {:?}", words[i]))?;
+        let value = *words
+            .get(i + 1)
+            .ok_or_else(|| format!("missing value for `{key}:`"))?;
+        match key {
+            "fail" => spec.fail = parse_frac(value)?,
+            "timeout" => spec.timeout = parse_frac(value)?,
+            "truncate" => spec.truncate = parse_frac(value)?,
+            "ticks" => {
+                spec.ticks = value
+                    .parse()
+                    .map_err(|_| format!("bad tick count {value:?}"))?;
+            }
+            "down" => {
+                let (s, e) = value
+                    .split_once("..")
+                    .ok_or_else(|| format!("expected `start..end`, got {value:?}"))?;
+                let s = s.parse().map_err(|_| format!("bad window start {s:?}"))?;
+                let e = e.parse().map_err(|_| format!("bad window end {e:?}"))?;
+                spec.down.push((s, e));
+            }
+            other => return Err(format!("unknown field `{other}:`")),
+        }
+        i += 2;
+    }
+    Ok(spec)
+}
+
+fn parse_frac(value: &str) -> Result<Frac, String> {
+    value.parse().map_err(|_| format!("bad fraction {value:?}"))
+}
+
+/// Renders a spec in the canonical `{ ... }` form (only non-default
+/// fields, so fault-free specs stay terse).
+fn format_spec(spec: &FaultSpec) -> String {
+    let mut fields = Vec::new();
+    if !spec.fail.is_zero() {
+        fields.push(format!("fail: {}", spec.fail));
+    }
+    if !spec.timeout.is_zero() {
+        fields.push(format!("timeout: {}", spec.timeout));
+    }
+    if !spec.truncate.is_zero() {
+        fields.push(format!("truncate: {}", spec.truncate));
+    }
+    if spec.ticks != DEFAULT_TIMEOUT_TICKS {
+        fields.push(format!("ticks: {}", spec.ticks));
+    }
+    for &(s, e) in &spec.down {
+        fields.push(format!("down: {s}..{e}"));
+    }
+    if fields.is_empty() {
+        "{ }".to_owned()
+    } else {
+        format!("{{ {} }}", fields.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcomes_are_deterministic_and_coordinate_sensitive() {
+        let plan = FaultPlan::new(7).with_default(FaultSpec {
+            fail: Frac::HALF,
+            timeout: Frac::new(1, 4),
+            truncate: Frac::new(1, 8),
+            ..FaultSpec::none()
+        });
+        for index in 0..4 {
+            for attempt in 0..16 {
+                let a = plan.outcome("S", index, attempt);
+                let b = plan.outcome("S", index, attempt);
+                assert_eq!(a, b, "replay must be exact");
+            }
+        }
+        // Different seeds must decorrelate (some coordinate differs).
+        let other = FaultPlan::new(8).with_default(plan.default.clone());
+        let diverged = (0..64).any(|a| plan.outcome("S", 0, a) != other.outcome("S", 0, a));
+        assert!(diverged, "seeds 7 and 8 produced identical schedules");
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        assert!(!bernoulli(0, Frac::ZERO));
+        assert!(!bernoulli(u64::MAX, Frac::ZERO));
+        assert!(bernoulli(0, Frac::ONE));
+        assert!(bernoulli(u64::MAX, Frac::ONE));
+    }
+
+    #[test]
+    fn down_windows_take_precedence() {
+        let plan = FaultPlan::new(1).with_source(
+            "S1",
+            FaultSpec {
+                down: vec![(0, 2), (4, 5)],
+                ..FaultSpec::none()
+            },
+        );
+        assert_eq!(plan.outcome("S1", 0, 0), FaultOutcome::Fail);
+        assert_eq!(plan.outcome("S1", 0, 1), FaultOutcome::Fail);
+        assert_eq!(plan.outcome("S1", 0, 2), FaultOutcome::Deliver);
+        assert_eq!(plan.outcome("S1", 0, 4), FaultOutcome::Fail);
+        assert_eq!(plan.outcome("S1", 0, 5), FaultOutcome::Deliver);
+        // Other sources use the (fault-free) default.
+        assert_eq!(plan.outcome("S2", 1, 0), FaultOutcome::Deliver);
+    }
+
+    #[test]
+    fn always_down_and_timeout_specs() {
+        let plan = FaultPlan::new(3)
+            .with_source("dead", FaultSpec::always_down())
+            .with_source(
+                "slow",
+                FaultSpec {
+                    timeout: Frac::ONE,
+                    ticks: 5,
+                    ..FaultSpec::none()
+                },
+            );
+        for attempt in 0..8 {
+            assert_eq!(plan.outcome("dead", 0, attempt), FaultOutcome::Fail);
+            assert_eq!(
+                plan.outcome("slow", 1, attempt),
+                FaultOutcome::Timeout { ticks: 5 }
+            );
+        }
+    }
+
+    #[test]
+    fn parse_and_round_trip() {
+        let text = "\
+# a plan
+seed: 42
+default { fail: 1/10 }
+source S1 { fail: 1/2 timeout: 1/4 ticks: 8 down: 0..3 down: 7..9 }
+source S2 { truncate: 1 }
+";
+        let plan = FaultPlan::parse(text).unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.default.fail, Frac::new(1, 10));
+        assert_eq!(plan.spec_for("S1").down, vec![(0, 3), (7, 9)]);
+        assert_eq!(plan.spec_for("S1").ticks, 8);
+        assert_eq!(plan.spec_for("S2").truncate, Frac::ONE);
+        assert_eq!(plan.spec_for("elsewhere").fail, Frac::new(1, 10));
+        let reparsed = FaultPlan::parse(&plan.to_text()).unwrap();
+        assert_eq!(reparsed, plan);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_plans() {
+        for bad in [
+            "seed: not-a-number",
+            "source { fail: 1/2 }",
+            "source S1 { fail }",
+            "source S1 { fail: 3/2 }",
+            "source S1 { down: 5..5 }",
+            "bogus directive",
+            "default { frobnicate: 1 }",
+        ] {
+            let e = FaultPlan::parse(bad).unwrap_err();
+            assert!(
+                matches!(e, CoreError::InvalidFaultPlan { .. }),
+                "{bad:?} gave {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_reports_the_source_name() {
+        let plan = FaultPlan::new(0).with_source(
+            "S9",
+            FaultSpec {
+                fail: Frac::new(3, 2),
+                ..FaultSpec::none()
+            },
+        );
+        let e = plan.validate().unwrap_err();
+        assert!(e.to_string().contains("S9"), "{e}");
+    }
+}

@@ -278,6 +278,14 @@ pub enum Engine {
         /// Number of recorded samples behind the estimate.
         samples: usize,
     },
+    /// The partial-availability interval engine: exact confidence
+    /// brackets `[lo, hi]` computed from the reachable sources, with
+    /// every unreachable source varied between absent and at its claimed
+    /// bounds (see `confidence::intervals`).
+    Partial {
+        /// Number of sources that stayed unreachable.
+        unavailable: usize,
+    },
 }
 
 impl std::fmt::Display for Engine {
@@ -287,6 +295,9 @@ impl std::fmt::Display for Engine {
             Engine::Signature => write!(f, "signature"),
             Engine::Dp => write!(f, "dp"),
             Engine::Sampled { samples } => write!(f, "sampled ({samples} samples)"),
+            Engine::Partial { unavailable } => {
+                write!(f, "partial ({unavailable} sources unavailable)")
+            }
         }
     }
 }

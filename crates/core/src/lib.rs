@@ -52,11 +52,13 @@ pub mod consensus;
 pub mod consistency;
 pub mod descriptor;
 pub mod error;
+pub mod faults;
 pub mod govern;
 pub mod measures;
 pub mod paper;
 pub mod partition;
 pub mod resilient;
+pub mod source;
 pub mod templates;
 pub mod textfmt;
 
@@ -68,10 +70,16 @@ pub use pscds_obs as obs;
 pub use collection::SourceCollection;
 pub use descriptor::SourceDescriptor;
 pub use error::CoreError;
+pub use faults::{FaultPlan, FaultSpec};
 pub use govern::{Budget, Engine};
 pub use measures::{completeness_of, satisfies, soundness_of, MeasureReport};
 pub use partition::ParallelConfig;
 pub use resilient::{
-    check_resilient, check_resilient_observed, check_resilient_with, confidence_resilient,
-    confidence_resilient_observed, confidence_resilient_with, ResilientCheck, ResilientConfidence,
+    check_resilient, check_resilient_observed, check_resilient_policy, check_resilient_with,
+    confidence_resilient, confidence_resilient_observed, confidence_resilient_policy,
+    confidence_resilient_with, confidence_under_faults, CheckRung, ConfidenceRung,
+    FaultAwareConfidence, LadderPolicy, ResilientCheck, ResilientConfidence,
+};
+pub use source::{
+    AccessPolicy, AccessReport, CatalogProvider, FaultyProvider, SourceAccess, SourceProvider,
 };

@@ -79,8 +79,7 @@ impl MeasureReport {
 /// Propagates view-evaluation errors (ill-used built-ins).
 pub fn measure(db: &Database, source: &SourceDescriptor) -> Result<MeasureReport, CoreError> {
     let view_result = source.view().evaluate(db)?;
-    let intersection = source
-        .extension()
+    let intersection = crate::source::extension_view(source)
         .iter()
         .filter(|f| view_result.contains(*f))
         .count() as u64;

@@ -23,6 +23,7 @@
 use crate::collection::IdentityCollection;
 use crate::confidence::counting::ConfidenceAnalysis;
 use crate::confidence::dp::{count_dp_observed, DpConfig};
+use crate::confidence::intervals::{count_intervals_parallel, IntervalAnalysis};
 use crate::confidence::sampling::{sample_confidences_budgeted, SampledConfidence, SamplerConfig};
 use crate::confidence::signature::SignatureAnalysis;
 use crate::consistency::exhaustive::find_witness_parallel;
@@ -30,10 +31,87 @@ use crate::consistency::identity::{decide_identity_parallel, IdentityConsistency
 use crate::error::CoreError;
 use crate::govern::{Budget, Engine};
 use crate::partition::ParallelConfig;
+use crate::source::{SourceAccess, SourceProvider};
 use crate::SourceCollection;
 use pscds_numeric::Rational;
 use pscds_obs::{names, MetricSet, ObsSession};
 use pscds_relational::{Database, Value};
+
+/// One rung of the resilient *consistency* ladder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckRung {
+    /// The exhaustive Lemma-3.1-bounded witness search ([`Engine::Exact`]).
+    Exhaustive,
+    /// The signature-decomposition solver, applicable to identity-view
+    /// collections only ([`Engine::Signature`]).
+    Signature,
+}
+
+impl CheckRung {
+    /// The [`Engine`] provenance this rung reports.
+    #[must_use]
+    pub fn engine(&self) -> Engine {
+        match self {
+            CheckRung::Exhaustive => Engine::Exact,
+            CheckRung::Signature => Engine::Signature,
+        }
+    }
+}
+
+/// One rung of the resilient *confidence* ladder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfidenceRung {
+    /// The exact signature-counting DFS ([`Engine::Exact`]).
+    ExactDfs,
+    /// The memoized residual-state DP — still exact ([`Engine::Dp`]).
+    Dp,
+    /// The Metropolis sampler — an estimate, gated behind the `approx`
+    /// opt-in ([`Engine::Sampled`]).
+    Sampled,
+}
+
+impl ConfidenceRung {
+    /// The [`Engine`] provenance this rung reports.
+    #[must_use]
+    pub fn engine(&self) -> Engine {
+        match self {
+            ConfidenceRung::ExactDfs => Engine::Exact,
+            ConfidenceRung::Dp => Engine::Dp,
+            ConfidenceRung::Sampled => Engine::Sampled {
+                samples: SamplerConfig::default().samples,
+            },
+        }
+    }
+}
+
+/// The rung order of the degradation ladders — pure data, no behavior.
+///
+/// The default policy reproduces the historical hard-coded order
+/// bit-for-bit (same engines, same trip/degradation events in the same
+/// order). Custom policies let callers drop, reorder, or truncate rungs
+/// — the slot the fault rung and a future cost-model `--engine auto`
+/// plug into — without touching the ladder call sites.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LadderPolicy {
+    /// Consistency rungs, tried in order.
+    pub check: Vec<CheckRung>,
+    /// Confidence rungs, tried in order ([`ConfidenceRung::Sampled`]
+    /// rungs are skipped unless the caller opted into approximation).
+    pub confidence: Vec<ConfidenceRung>,
+}
+
+impl Default for LadderPolicy {
+    fn default() -> Self {
+        LadderPolicy {
+            check: vec![CheckRung::Exhaustive, CheckRung::Signature],
+            confidence: vec![
+                ConfidenceRung::ExactDfs,
+                ConfidenceRung::Dp,
+                ConfidenceRung::Sampled,
+            ],
+        }
+    }
+}
 
 /// Records one rung-to-rung drop of a degradation ladder: the
 /// `ladder.degradations` counter plus a `ladder.degrade` event carrying
@@ -135,58 +213,160 @@ pub fn check_resilient_observed(
     config: &ParallelConfig,
     obs: &mut ObsSession,
 ) -> Result<ResilientCheck, CoreError> {
+    check_resilient_policy(
+        collection,
+        domain,
+        budget,
+        config,
+        &LadderPolicy::default(),
+        obs,
+    )
+}
+
+/// [`check_resilient_observed`] with an explicit [`LadderPolicy`]: the
+/// rung order comes from `policy.check` instead of the built-in default.
+/// With `LadderPolicy::default()` this *is* [`check_resilient_observed`].
+///
+/// # Errors
+/// As [`check_resilient`]; an empty `policy.check` is rejected as
+/// [`CoreError::BadDomain`].
+pub fn check_resilient_policy(
+    collection: &SourceCollection,
+    domain: &[Value],
+    budget: &Budget,
+    config: &ParallelConfig,
+    policy: &LadderPolicy,
+    obs: &mut ObsSession,
+) -> Result<ResilientCheck, CoreError> {
     obs.span_open("resilient.check", budget.elapsed_ns());
     obs.span_attr("sources", &collection.len().to_string());
-    let result = check_ladder(collection, domain, budget, config, obs);
+    let result = check_ladder(collection, domain, budget, config, policy, obs);
     obs.span_close(budget.elapsed_ns());
     result
 }
 
-/// The engine ladder of [`check_resilient_observed`].
+/// The engine ladder of [`check_resilient_observed`]: runs each rung of
+/// `policy.check` in order. The first rung runs on the caller's budget;
+/// every later rung runs under a [renewed](Budget::renewed) slice. A
+/// rung's budget trip is recorded (and a degradation event emitted) only
+/// when a later, *applicable* rung exists to fall back to — otherwise
+/// the trip propagates exactly as the rung raised it.
 fn check_ladder(
     collection: &SourceCollection,
     domain: &[Value],
     budget: &Budget,
     config: &ParallelConfig,
+    policy: &LadderPolicy,
     obs: &mut ObsSession,
 ) -> Result<ResilientCheck, CoreError> {
-    match find_witness_parallel(collection, domain, None, budget, config) {
-        Ok(witness) => Ok(ResilientCheck {
-            engine: Engine::Exact,
-            consistent: witness.is_some(),
-            witness,
-        }),
-        Err(CoreError::BudgetExceeded {
-            phase,
-            steps,
-            elapsed,
-        }) => {
-            record_trip(obs, budget.elapsed_ns(), &phase);
-            let Ok(identity) = collection.as_identity() else {
-                // No cheaper engine for general conjunctive views.
-                return Err(CoreError::BudgetExceeded {
-                    phase,
-                    steps,
-                    elapsed,
-                });
-            };
-            record_degradation(obs, budget.elapsed_ns(), Engine::Exact, Engine::Signature);
-            let padding = padding_of(&identity, domain)?;
-            match decide_identity_parallel(&identity, padding, &budget.renewed(), config)? {
-                IdentityConsistency::Consistent { witness, .. } => Ok(ResilientCheck {
-                    engine: Engine::Signature,
-                    consistent: true,
-                    witness: Some(witness),
-                }),
-                IdentityConsistency::Inconsistent => Ok(ResilientCheck {
-                    engine: Engine::Signature,
-                    consistent: false,
-                    witness: None,
-                }),
-            }
-        }
-        Err(e) => Err(e),
+    let rungs = &policy.check;
+    if rungs.is_empty() {
+        return Err(CoreError::BadDomain {
+            message: "ladder policy has no consistency rungs".into(),
+        });
     }
+    // Rungs that cannot run on this collection (the signature solver
+    // needs identity views) never participate: they neither run nor
+    // appear in degradation provenance.
+    let identity = collection.as_identity().ok();
+    let applicable: Vec<CheckRung> = rungs
+        .iter()
+        .copied()
+        .filter(|r| match r {
+            CheckRung::Exhaustive => true,
+            CheckRung::Signature => identity.is_some(),
+        })
+        .collect();
+
+    let mut ran_any = false;
+    for (i, rung) in rungs.iter().enumerate() {
+        let runnable = match rung {
+            CheckRung::Exhaustive => true,
+            CheckRung::Signature => identity.is_some(),
+        };
+        if !runnable {
+            continue;
+        }
+        // The first rung that actually runs gets the caller's budget;
+        // every later rung gets a renewed slice (same allotment, fresh
+        // clock, shared cancellation flag).
+        let renewed_budget;
+        let rung_budget: &Budget = if ran_any {
+            renewed_budget = budget.renewed();
+            &renewed_budget
+        } else {
+            budget
+        };
+        ran_any = true;
+        let outcome = match rung {
+            CheckRung::Exhaustive => {
+                find_witness_parallel(collection, domain, None, rung_budget, config).map(
+                    |witness| ResilientCheck {
+                        engine: Engine::Exact,
+                        consistent: witness.is_some(),
+                        witness,
+                    },
+                )
+            }
+            CheckRung::Signature => {
+                // lint-allow(no-panic): runnable established identity.is_some() above
+                let identity = identity.as_ref().expect("signature rung needs identity");
+                padding_of(identity, domain).and_then(|padding| {
+                    decide_identity_parallel(identity, padding, rung_budget, config).map(
+                        |verdict| match verdict {
+                            IdentityConsistency::Consistent { witness, .. } => ResilientCheck {
+                                engine: Engine::Signature,
+                                consistent: true,
+                                witness: Some(witness),
+                            },
+                            IdentityConsistency::Inconsistent => ResilientCheck {
+                                engine: Engine::Signature,
+                                consistent: false,
+                                witness: None,
+                            },
+                        },
+                    )
+                })
+            }
+        };
+        match outcome {
+            Ok(result) => return Ok(result),
+            Err(e @ CoreError::BudgetExceeded { .. }) => {
+                // The trip is recorded whenever more of the *policy*
+                // remains (even if no later rung turns out applicable —
+                // the ladder observably gave up mid-policy), matching the
+                // historical event order.
+                if i + 1 == rungs.len() {
+                    return Err(e);
+                }
+                if let CoreError::BudgetExceeded { phase, .. } = &e {
+                    record_trip(obs, budget.elapsed_ns(), phase);
+                }
+                match next_applicable(&applicable, rung) {
+                    Some(next_rung) => {
+                        record_degradation(
+                            obs,
+                            budget.elapsed_ns(),
+                            rung.engine(),
+                            next_rung.engine(),
+                        );
+                    }
+                    None => return Err(e),
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(CoreError::BadDomain {
+        message: "no applicable consistency rung for this collection".into(),
+    })
+}
+
+/// The first rung of `applicable` that comes strictly after `current` in
+/// the applicable order.
+fn next_applicable<R: PartialEq + Copy>(applicable: &[R], current: &R) -> Option<R> {
+    let pos = applicable.iter().position(|r| r == current)?;
+    applicable.get(pos + 1).copied()
 }
 
 /// Number of extension-free facts the domain contributes for an
@@ -368,74 +548,288 @@ pub fn confidence_resilient_observed(
     approx: bool,
     obs: &mut ObsSession,
 ) -> Result<ResilientConfidence, CoreError> {
+    confidence_resilient_policy(
+        collection,
+        padding,
+        budget,
+        config,
+        approx,
+        &LadderPolicy::default(),
+        obs,
+    )
+}
+
+/// [`confidence_resilient_observed`] with an explicit [`LadderPolicy`]:
+/// the rung order comes from `policy.confidence` instead of the built-in
+/// default. With `LadderPolicy::default()` this *is*
+/// [`confidence_resilient_observed`].
+///
+/// # Errors
+/// As [`confidence_resilient`]; a policy whose applicable rung list is
+/// empty (no rungs, or only `Sampled` rungs without `approx`) is
+/// rejected as [`CoreError::BadDomain`].
+pub fn confidence_resilient_policy(
+    collection: &IdentityCollection,
+    padding: u64,
+    budget: &Budget,
+    config: &ParallelConfig,
+    approx: bool,
+    policy: &LadderPolicy,
+    obs: &mut ObsSession,
+) -> Result<ResilientConfidence, CoreError> {
     obs.span_open("resilient.confidence", budget.elapsed_ns());
     obs.span_attr("sources", &collection.sources.len().to_string());
-    let result = confidence_ladder(collection, padding, budget, config, approx, obs);
+    let result = confidence_ladder(collection, padding, budget, config, approx, policy, obs);
     obs.span_close(budget.elapsed_ns());
     result
 }
 
-/// The engine ladder of [`confidence_resilient_observed`].
+/// The engine ladder of [`confidence_resilient_observed`]: runs each
+/// rung of `policy.confidence` in order. Approximating rungs are skipped
+/// without the `approx` opt-in (approximation stays opt-in whatever the
+/// policy says). The first rung runs on the caller's budget; later rungs
+/// run under [renewed](Budget::renewed) slices. The DP rung records its
+/// own trips (inside [`count_dp_observed`]); the other rungs' trips are
+/// ladder-recorded. The final rung's trip propagates.
 fn confidence_ladder(
     collection: &IdentityCollection,
     padding: u64,
     budget: &Budget,
     config: &ParallelConfig,
     approx: bool,
+    policy: &LadderPolicy,
     obs: &mut ObsSession,
 ) -> Result<ResilientConfidence, CoreError> {
-    match ConfidenceAnalysis::analyze_parallel(collection, padding, budget, config) {
-        Ok(analysis) => Ok(ResilientConfidence::Exact(analysis)),
-        Err(CoreError::BudgetExceeded { phase, .. }) => {
-            record_trip(obs, budget.elapsed_ns(), &phase);
-            record_degradation(obs, budget.elapsed_ns(), Engine::Exact, Engine::Dp);
-            // Second rung: the residual-state DP, still exact, under its
-            // own time slice (shared cancellation flag). The observed
-            // route records chunk lifecycle, cache statistics, and any
-            // trip of its own.
-            let dp_budget = budget.renewed();
-            let analysis = SignatureAnalysis::new(collection, padding);
-            match count_dp_observed(analysis, &dp_budget, config, &DpConfig::default(), obs) {
-                Ok((analysis, _stats)) => Ok(ResilientConfidence::Dp(analysis)),
-                Err(e @ CoreError::BudgetExceeded { .. }) => {
-                    if !approx {
-                        return Err(e);
-                    }
-                    let sampled = Engine::Sampled {
-                        samples: SamplerConfig::default().samples,
-                    };
-                    record_degradation(obs, budget.elapsed_ns(), Engine::Dp, sampled);
-                    let config = SamplerConfig::default();
-                    let sampler_budget = budget.renewed();
-                    let estimate = match sample_confidences_budgeted(
-                        collection,
-                        padding,
-                        &config,
-                        &sampler_budget,
-                    ) {
-                        Ok(estimate) => estimate,
-                        Err(e) => {
-                            if let CoreError::BudgetExceeded { phase, .. } = &e {
-                                record_trip(obs, sampler_budget.elapsed_ns(), phase);
-                            }
-                            return Err(e);
-                        }
-                    };
-                    let mut metrics = MetricSet::new();
-                    estimate.record_into(&mut metrics);
-                    obs.merge_metrics(&metrics);
-                    let analysis = SignatureAnalysis::new(collection, padding);
-                    Ok(ResilientConfidence::Sampled {
-                        analysis,
-                        estimate,
-                        config,
-                    })
-                }
-                Err(e) => Err(e),
-            }
-        }
-        Err(e) => Err(e),
+    let rungs: Vec<ConfidenceRung> = policy
+        .confidence
+        .iter()
+        .copied()
+        .filter(|r| approx || *r != ConfidenceRung::Sampled)
+        .collect();
+    if rungs.is_empty() {
+        return Err(CoreError::BadDomain {
+            message: "ladder policy has no applicable confidence rungs".into(),
+        });
     }
+    let mut ran_any = false;
+    for (i, rung) in rungs.iter().enumerate() {
+        let renewed_budget;
+        let rung_budget: &Budget = if ran_any {
+            renewed_budget = budget.renewed();
+            &renewed_budget
+        } else {
+            budget
+        };
+        ran_any = true;
+        let outcome = match rung {
+            ConfidenceRung::ExactDfs => {
+                ConfidenceAnalysis::analyze_parallel(collection, padding, rung_budget, config)
+                    .map(ResilientConfidence::Exact)
+            }
+            ConfidenceRung::Dp => {
+                // The residual-state DP, still exact, under its own time
+                // slice. The observed route records chunk lifecycle,
+                // cache statistics, and any trip of its own.
+                let analysis = SignatureAnalysis::new(collection, padding);
+                count_dp_observed(analysis, rung_budget, config, &DpConfig::default(), obs)
+                    .map(|(analysis, _stats)| ResilientConfidence::Dp(analysis))
+            }
+            ConfidenceRung::Sampled => {
+                let sampler_config = SamplerConfig::default();
+                match sample_confidences_budgeted(collection, padding, &sampler_config, rung_budget)
+                {
+                    Ok(estimate) => {
+                        let mut metrics = MetricSet::new();
+                        estimate.record_into(&mut metrics);
+                        obs.merge_metrics(&metrics);
+                        let analysis = SignatureAnalysis::new(collection, padding);
+                        Ok(ResilientConfidence::Sampled {
+                            analysis,
+                            estimate,
+                            config: sampler_config,
+                        })
+                    }
+                    Err(e) => {
+                        // The sampler's trips are ladder-recorded on the
+                        // sampler's own clock even when it is the final
+                        // rung (there is no observed inner engine to do
+                        // it, unlike the DP).
+                        if let CoreError::BudgetExceeded { phase, .. } = &e {
+                            record_trip(obs, rung_budget.elapsed_ns(), phase);
+                        }
+                        Err(e)
+                    }
+                }
+            }
+        };
+        match outcome {
+            Ok(result) => return Ok(result),
+            Err(e @ CoreError::BudgetExceeded { .. }) => {
+                if i + 1 == rungs.len() {
+                    return Err(e);
+                }
+                // Ladder-record the trip for rungs that don't record
+                // their own (the DP does, inside count_dp_observed; the
+                // sampler just did, above).
+                if *rung == ConfidenceRung::ExactDfs {
+                    if let CoreError::BudgetExceeded { phase, .. } = &e {
+                        record_trip(obs, budget.elapsed_ns(), phase);
+                    }
+                }
+                record_degradation(
+                    obs,
+                    budget.elapsed_ns(),
+                    rung.engine(),
+                    rungs[i + 1].engine(),
+                );
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    // Unreachable: the final rung either returned or propagated.
+    Err(CoreError::BadDomain {
+        message: "confidence ladder exhausted without a final outcome".into(),
+    })
+}
+
+/// Outcome of a fault-aware confidence query (see
+/// [`confidence_under_faults`]).
+#[derive(Debug)]
+pub enum FaultAwareConfidence {
+    /// Every source answered: the ordinary resilient ladder ran over the
+    /// complete catalog.
+    Complete {
+        /// Per-source access outcomes (attempt counts, breaker verdicts).
+        statuses: Vec<crate::source::SourceStatus>,
+        /// The ladder's result.
+        result: ResilientConfidence,
+    },
+    /// Some sources stayed unreachable and the caller opted into
+    /// partial-availability answering: confidence brackets from the
+    /// reachable subset.
+    Partial {
+        /// Per-source access outcomes.
+        statuses: Vec<crate::source::SourceStatus>,
+        /// Names of the unreachable sources, in catalog order.
+        unavailable: Vec<String>,
+        /// The interval analysis ([`Engine::Partial`]).
+        intervals: IntervalAnalysis,
+    },
+}
+
+impl FaultAwareConfidence {
+    /// Which engine produced this result.
+    #[must_use]
+    pub fn engine(&self) -> Engine {
+        match self {
+            FaultAwareConfidence::Complete { result, .. } => result.engine(),
+            FaultAwareConfidence::Partial { intervals, .. } => intervals.engine(),
+        }
+    }
+
+    /// `true` iff this is a partial (interval) answer.
+    #[must_use]
+    pub fn is_partial(&self) -> bool {
+        matches!(self, FaultAwareConfidence::Partial { .. })
+    }
+}
+
+/// The fault rung of the resilient front end: fetches every view
+/// extension through the recovery stack ([`SourceAccess`]: retries,
+/// deterministic backoff, circuit breakers), then answers with
+///
+/// * the ordinary confidence ladder when every source delivered,
+/// * partial-availability confidence **intervals**
+///   ([`crate::confidence::intervals`]) when sources stayed unreachable
+///   and `partial` is set, or
+/// * [`CoreError::SourceUnavailable`] when sources stayed unreachable
+///   and the caller did not opt in.
+///
+/// The degradation to [`Engine::Partial`] is recorded like any other
+/// rung drop (`ladder.degradations` + `ladder.degrade`), and the
+/// interval rung reports its aggregates through the `interval.*`
+/// counters — `interval.point_contained == interval.tuples` is the
+/// observable containment invariant CI asserts.
+///
+/// # Errors
+/// Catalog-shape errors from [`SourceCollection::as_identity`],
+/// [`CoreError::SourceUnavailable`] as above, plus everything
+/// [`confidence_resilient_observed`] and
+/// [`crate::confidence::intervals::count_intervals_parallel`] raise.
+#[allow(clippy::too_many_arguments)]
+pub fn confidence_under_faults(
+    provider: &mut dyn SourceProvider,
+    access: &mut SourceAccess,
+    padding: u64,
+    budget: &Budget,
+    config: &ParallelConfig,
+    approx: bool,
+    partial: bool,
+    policy: &LadderPolicy,
+    obs: &mut ObsSession,
+) -> Result<FaultAwareConfidence, CoreError> {
+    let report = access.fetch_all(provider, budget, obs)?;
+    let identity = report.catalog.as_identity()?;
+    if report.all_available() {
+        let result =
+            confidence_resilient_policy(&identity, padding, budget, config, approx, policy, obs)?;
+        return Ok(FaultAwareConfidence::Complete {
+            statuses: report.statuses,
+            result,
+        });
+    }
+    let unavailable_idx = report.unavailable();
+    if !partial {
+        let first = unavailable_idx[0];
+        return Err(CoreError::SourceUnavailable {
+            source: report.catalog.sources()[first].name().to_owned(),
+            attempts: report.statuses[first].attempts(),
+        });
+    }
+    obs.span_open("resilient.partial", budget.elapsed_ns());
+    obs.span_attr("sources", &report.catalog.len().to_string());
+    obs.span_attr("unavailable", &unavailable_idx.len().to_string());
+    record_degradation(
+        obs,
+        budget.elapsed_ns(),
+        Engine::Exact,
+        Engine::Partial {
+            unavailable: unavailable_idx.len(),
+        },
+    );
+    let interval_budget = budget.renewed();
+    let result = count_intervals_parallel(
+        &identity,
+        padding,
+        &unavailable_idx,
+        &interval_budget,
+        config,
+    );
+    let intervals = match result {
+        Ok(intervals) => intervals,
+        Err(e) => {
+            if let CoreError::BudgetExceeded { phase, .. } = &e {
+                record_trip(obs, interval_budget.elapsed_ns(), phase);
+            }
+            obs.span_close(budget.elapsed_ns());
+            return Err(e);
+        }
+    };
+    let contained = intervals
+        .tuples()
+        .iter()
+        .filter(|t| t.interval.contains(&t.point))
+        .count() as u64;
+    obs.counter_add(names::INTERVAL_TUPLES, intervals.tuples().len() as u64);
+    obs.counter_add(names::INTERVAL_POINT_CONTAINED, contained);
+    obs.counter_add(names::INTERVAL_WIDTH_PPM, intervals.total_width_ppm());
+    obs.span_close(budget.elapsed_ns());
+    let unavailable = report.unavailable_names();
+    Ok(FaultAwareConfidence::Partial {
+        statuses: report.statuses,
+        unavailable,
+        intervals,
+    })
 }
 
 /// Test-only instance builders shared across the crate's test modules.
@@ -771,6 +1165,230 @@ mod tests {
         assert!(report.metrics.is_empty());
         assert!(report.spans.is_empty());
         assert!(report.events.is_empty());
+    }
+
+    #[test]
+    fn default_policy_is_the_historical_rung_order() {
+        let p = LadderPolicy::default();
+        assert_eq!(p.check, vec![CheckRung::Exhaustive, CheckRung::Signature]);
+        assert_eq!(
+            p.confidence,
+            vec![
+                ConfidenceRung::ExactDfs,
+                ConfidenceRung::Dp,
+                ConfidenceRung::Sampled
+            ]
+        );
+        assert_eq!(CheckRung::Signature.engine(), Engine::Signature);
+        assert_eq!(
+            ConfidenceRung::Sampled.engine(),
+            Engine::Sampled {
+                samples: SamplerConfig::default().samples
+            }
+        );
+    }
+
+    #[test]
+    fn custom_policy_reorders_the_ladder() {
+        // A DP-only confidence policy: the answer comes from the DP rung
+        // directly, no trips, no degradations.
+        let id = example_5_1().as_identity().unwrap();
+        let policy = LadderPolicy {
+            check: vec![CheckRung::Signature],
+            confidence: vec![ConfidenceRung::Dp],
+        };
+        let mut obs = ObsSession::in_memory();
+        let r = confidence_resilient_policy(
+            &id,
+            1,
+            &Budget::unlimited(),
+            &ParallelConfig::serial(),
+            false,
+            &policy,
+            &mut obs,
+        )
+        .unwrap();
+        assert_eq!(r.engine(), Engine::Dp);
+        let report = obs.finish();
+        assert_eq!(report.metrics.counter(names::LADDER_DEGRADATIONS), 0);
+        assert_eq!(report.metrics.counter(names::BUDGET_TRIPS), 0);
+        // And the check ladder honours its rung list too.
+        let c = example_5_1();
+        let r = check_resilient_policy(
+            &c,
+            &example_5_1_domain(1),
+            &Budget::unlimited(),
+            &ParallelConfig::serial(),
+            &policy,
+            &mut ObsSession::disabled(),
+        )
+        .unwrap();
+        assert_eq!(r.engine, Engine::Signature);
+        assert!(r.consistent);
+    }
+
+    #[test]
+    fn empty_policy_is_rejected() {
+        let id = example_5_1().as_identity().unwrap();
+        let policy = LadderPolicy {
+            check: Vec::new(),
+            confidence: vec![ConfidenceRung::Sampled],
+        };
+        // No check rungs at all.
+        let err = check_resilient_policy(
+            &example_5_1(),
+            &example_5_1_domain(1),
+            &Budget::unlimited(),
+            &ParallelConfig::serial(),
+            &policy,
+            &mut ObsSession::disabled(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::BadDomain { .. }));
+        // Only a Sampled rung, and approximation not opted into.
+        let err = confidence_resilient_policy(
+            &id,
+            1,
+            &Budget::unlimited(),
+            &ParallelConfig::serial(),
+            false,
+            &policy,
+            &mut ObsSession::disabled(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::BadDomain { .. }));
+    }
+
+    #[test]
+    fn under_faults_complete_path_runs_the_ladder() {
+        use crate::faults::FaultPlan;
+        use crate::source::{AccessPolicy, FaultyProvider, SourceAccess, SourceStatus};
+        let c = example_5_1();
+        let mut provider = FaultyProvider::new(&c, FaultPlan::new(3));
+        let mut access = SourceAccess::new(AccessPolicy::default(), c.len());
+        let mut obs = ObsSession::in_memory();
+        let r = confidence_under_faults(
+            &mut provider,
+            &mut access,
+            1,
+            &Budget::unlimited(),
+            &ParallelConfig::serial(),
+            false,
+            false,
+            &LadderPolicy::default(),
+            &mut obs,
+        )
+        .unwrap();
+        assert!(!r.is_partial());
+        assert_eq!(r.engine(), Engine::Exact);
+        let FaultAwareConfidence::Complete { statuses, result } = r else {
+            panic!("expected a complete answer");
+        };
+        assert!(statuses
+            .iter()
+            .all(|s| matches!(s, SourceStatus::Available { attempts: 1 })));
+        let id = c.as_identity().unwrap();
+        let conf = result.confidence_of_tuple(&id, &[Value::sym("b")]).unwrap();
+        assert!((conf - 6.0 / 7.0).abs() < 1e-12);
+        let report = obs.finish();
+        assert_eq!(report.metrics.counter(names::SOURCE_FETCH_ATTEMPTS), 2);
+        assert_eq!(report.metrics.counter(names::INTERVAL_TUPLES), 0);
+    }
+
+    #[test]
+    fn under_faults_without_partial_is_an_error() {
+        use crate::faults::{FaultPlan, FaultSpec};
+        use crate::source::{AccessPolicy, FaultyProvider, SourceAccess};
+        let c = example_5_1();
+        let plan = FaultPlan::new(3).with_source("S2", FaultSpec::always_down());
+        let mut provider = FaultyProvider::new(&c, plan);
+        let mut access = SourceAccess::new(AccessPolicy::default(), c.len());
+        let err = confidence_under_faults(
+            &mut provider,
+            &mut access,
+            1,
+            &Budget::unlimited(),
+            &ParallelConfig::serial(),
+            false,
+            false,
+            &LadderPolicy::default(),
+            &mut ObsSession::disabled(),
+        )
+        .unwrap_err();
+        let CoreError::SourceUnavailable { source, attempts } = err else {
+            panic!("expected SourceUnavailable, got {err:?}");
+        };
+        assert_eq!(source, "S2");
+        assert!(attempts > 0);
+    }
+
+    #[test]
+    fn under_faults_partial_brackets_the_point() {
+        use crate::faults::{FaultPlan, FaultSpec};
+        use crate::source::{AccessPolicy, FaultyProvider, SourceAccess};
+        let c = example_5_1();
+        let plan = FaultPlan::new(3).with_source("S2", FaultSpec::always_down());
+        let mut provider = FaultyProvider::new(&c, plan);
+        let mut access = SourceAccess::new(AccessPolicy::default(), c.len());
+        let mut obs = ObsSession::in_memory();
+        let r = confidence_under_faults(
+            &mut provider,
+            &mut access,
+            1,
+            &Budget::unlimited(),
+            &ParallelConfig::serial(),
+            false,
+            true,
+            &LadderPolicy::default(),
+            &mut obs,
+        )
+        .unwrap();
+        assert!(r.is_partial());
+        assert_eq!(r.engine(), Engine::Partial { unavailable: 1 });
+        let FaultAwareConfidence::Partial {
+            unavailable,
+            intervals,
+            ..
+        } = r
+        else {
+            panic!("expected a partial answer");
+        };
+        assert_eq!(unavailable, vec!["S2".to_owned()]);
+        assert!(intervals.all_contain_point());
+        // The fault-free point for R(b) is 6/7; the bracket must hold it.
+        let b = intervals
+            .tuples()
+            .iter()
+            .find(|t| t.tuple == vec![Value::sym("b")])
+            .expect("R(b) bracketed");
+        assert_eq!(b.point, Rational::from_u64(6, 7));
+        assert!(b.interval.contains(&b.point));
+        let report = obs.finish();
+        let n = report.metrics.counter(names::INTERVAL_TUPLES);
+        assert!(n > 0);
+        assert_eq!(
+            report.metrics.counter(names::INTERVAL_POINT_CONTAINED),
+            n,
+            "containment invariant must hold observably"
+        );
+        assert_eq!(report.metrics.counter(names::LADDER_DEGRADATIONS), 1);
+        let degrade = report
+            .events
+            .iter()
+            .find(|e| e.name == "ladder.degrade")
+            .expect("degrade event");
+        assert_eq!(
+            degrade.attrs[1],
+            ("to", "partial (1 sources unavailable)".to_string())
+        );
+        assert!(report
+            .spans
+            .iter()
+            .any(|s| s.skeleton().starts_with("source.fetch")));
+        assert!(report
+            .spans
+            .iter()
+            .any(|s| s.skeleton().starts_with("resilient.partial")));
     }
 
     #[test]

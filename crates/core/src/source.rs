@@ -1,0 +1,818 @@
+//! Source access as a first-class fallible operation.
+//!
+//! Every engine in this crate consumes view extensions. Historically they
+//! read them straight out of [`SourceDescriptor`]s — which silently bakes
+//! in the assumption that every source is perfectly readable. This module
+//! makes the read explicit and fallible:
+//!
+//! * [`SourceProvider`] — the trait through which extensions are fetched.
+//!   Engine-facing snapshots ([`SourceCollection`] /
+//!   [`crate::collection::IdentityCollection`]) are *assembled* through a
+//!   provider by the access layer; engine code reads extension tuples via
+//!   the [`extension_view`] choke point, never by poking descriptor
+//!   internals (the L7 `source-provider` lint enforces this).
+//! * [`CatalogProvider`] — the infallible provider backed by the parsed
+//!   catalog; wraps the legacy behaviour.
+//! * [`FaultyProvider`] — a provider that injects the deterministic
+//!   faults of a [`FaultPlan`] (replayable byte-for-byte).
+//! * [`SourceAccess`] — the recovery stack: bounded retries with
+//!   deterministic exponential backoff charged against
+//!   [`Budget`] ticks (no wall clock), and per-source circuit breakers
+//!   with quarantine and half-open probing. Produces an [`AccessReport`]
+//!   that the resilient front ends use to decide between complete
+//!   answers and partial-availability intervals
+//!   (see [`crate::confidence::intervals`]).
+//!
+//! Determinism contract: given the same provider state, policy, and
+//! budget allotment, `fetch_all` issues the same attempt sequence, makes
+//! the same breaker transitions, and charges the same tick counts — the
+//! whole fault replay is bit-identical at any thread count because
+//! source access is sequenced on the calling thread (the parallelism in
+//! this crate lives *below* the access layer, inside the engines).
+
+use crate::collection::SourceCollection;
+use crate::descriptor::SourceDescriptor;
+use crate::error::CoreError;
+use crate::faults::{FaultOutcome, FaultPlan};
+use crate::govern::Budget;
+use pscds_obs::{names, ObsSession};
+use pscds_relational::Fact;
+use std::collections::BTreeSet;
+
+/// The single sanctioned read of a descriptor's extension tuples.
+///
+/// Engines and serializers call this instead of reaching into the
+/// descriptor so that every extension read flows through the source
+/// layer — the L7 `source-provider` lint flags direct access.
+#[must_use]
+pub fn extension_view(source: &SourceDescriptor) -> &BTreeSet<Fact> {
+    source.extension()
+}
+
+/// A failed fetch attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FetchFault {
+    /// The source did not answer.
+    Unavailable,
+    /// The source hung; `ticks` budget ticks were consumed waiting.
+    Timeout {
+        /// Budget ticks the hang cost.
+        ticks: u64,
+    },
+    /// The source delivered only part of its extension; partial data is
+    /// treated as a failed read, never silently consumed.
+    Truncated {
+        /// Tuples actually delivered.
+        delivered: usize,
+        /// Tuples the catalog claims.
+        claimed: usize,
+    },
+}
+
+/// The interface through which view extensions are fetched.
+///
+/// `descriptor` exposes the *catalog* metadata (name, view, claimed
+/// `(c, s)` bounds and claimed extension) which is always on hand; only
+/// the live `fetch` of the extension can fail. Attempt numbering is the
+/// provider's: each `fetch(i)` call is one attempt against source `i`.
+pub trait SourceProvider {
+    /// Number of sources in the catalog.
+    fn source_count(&self) -> usize;
+
+    /// Catalog metadata of source `index`.
+    fn descriptor(&self, index: usize) -> &SourceDescriptor;
+
+    /// One fetch attempt against source `index`.
+    ///
+    /// # Errors
+    /// [`FetchFault`] describing how the attempt failed.
+    fn fetch(&mut self, index: usize) -> Result<BTreeSet<Fact>, FetchFault>;
+
+    /// The catalog as a collection (claimed descriptors, claimed
+    /// extensions).
+    fn catalog(&self) -> SourceCollection {
+        let sources: Vec<SourceDescriptor> = (0..self.source_count())
+            .map(|i| self.descriptor(i).clone())
+            .collect();
+        SourceCollection::from_sources(sources)
+    }
+}
+
+/// The infallible provider: every fetch delivers the catalog extension.
+#[derive(Debug)]
+pub struct CatalogProvider<'a> {
+    collection: &'a SourceCollection,
+}
+
+impl<'a> CatalogProvider<'a> {
+    /// Wraps a parsed catalog.
+    #[must_use]
+    pub fn new(collection: &'a SourceCollection) -> Self {
+        CatalogProvider { collection }
+    }
+}
+
+impl SourceProvider for CatalogProvider<'_> {
+    fn source_count(&self) -> usize {
+        self.collection.len()
+    }
+
+    fn descriptor(&self, index: usize) -> &SourceDescriptor {
+        &self.collection.sources()[index]
+    }
+
+    fn fetch(&mut self, index: usize) -> Result<BTreeSet<Fact>, FetchFault> {
+        Ok(extension_view(&self.collection.sources()[index]).clone())
+    }
+}
+
+/// A provider that injects the deterministic faults of a [`FaultPlan`]
+/// in front of a catalog. Attempts are counted per source, so a replay
+/// that issues the same fetch sequence observes the same faults.
+#[derive(Debug)]
+pub struct FaultyProvider<'a> {
+    collection: &'a SourceCollection,
+    plan: FaultPlan,
+    attempts: Vec<u32>,
+}
+
+impl<'a> FaultyProvider<'a> {
+    /// Wraps a catalog with a fault plan.
+    #[must_use]
+    pub fn new(collection: &'a SourceCollection, plan: FaultPlan) -> Self {
+        FaultyProvider {
+            attempts: vec![0; collection.len()],
+            collection,
+            plan,
+        }
+    }
+
+    /// Fetch attempts issued so far against source `index`.
+    #[must_use]
+    pub fn attempts(&self, index: usize) -> u32 {
+        self.attempts[index]
+    }
+
+    /// The plan being injected.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+impl SourceProvider for FaultyProvider<'_> {
+    fn source_count(&self) -> usize {
+        self.collection.len()
+    }
+
+    fn descriptor(&self, index: usize) -> &SourceDescriptor {
+        &self.collection.sources()[index]
+    }
+
+    fn fetch(&mut self, index: usize) -> Result<BTreeSet<Fact>, FetchFault> {
+        let attempt = self.attempts[index];
+        self.attempts[index] = attempt.saturating_add(1);
+        let source = &self.collection.sources()[index];
+        match self.plan.outcome(source.name(), index, attempt) {
+            FaultOutcome::Deliver => Ok(extension_view(source).clone()),
+            FaultOutcome::Fail => Err(FetchFault::Unavailable),
+            FaultOutcome::Timeout { ticks } => Err(FetchFault::Timeout { ticks }),
+            FaultOutcome::Truncate => {
+                let claimed = source.extension_len();
+                Err(FetchFault::Truncated {
+                    delivered: claimed / 2,
+                    claimed,
+                })
+            }
+        }
+    }
+}
+
+/// Bounded-retry policy with deterministic exponential backoff.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries allowed after the first attempt (0 = fail fast).
+    pub retries: u32,
+    /// Backoff charged before retry `k` (1-based): `backoff_ticks << (k-1)`
+    /// budget ticks, saturating at 2¹⁶ doublings. No wall clock: waiting
+    /// costs budget, so deadlines and traces stay deterministic.
+    pub backoff_ticks: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            retries: 2,
+            backoff_ticks: 4,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Ticks to charge before retry `retry` (1-based).
+    #[must_use]
+    pub fn backoff_before(&self, retry: u32) -> u64 {
+        let shift = retry.saturating_sub(1).min(16);
+        self.backoff_ticks << shift
+    }
+}
+
+/// Circuit-breaker thresholds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerPolicy {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// Admissions denied while open before a half-open probe is granted.
+    pub quarantine: u32,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy {
+            failure_threshold: 3,
+            quarantine: 4,
+        }
+    }
+}
+
+/// Circuit-breaker state (see DESIGN.md §3.12 for the state diagram).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: attempts flow through.
+    Closed,
+    /// Quarantined after tripping: `remaining` more admissions will be
+    /// denied before a probe is allowed.
+    Open {
+        /// Denials left in the quarantine window.
+        remaining: u32,
+    },
+    /// Quarantine expired: exactly one probe attempt is in flight; its
+    /// outcome decides between `Closed` and a fresh `Open`.
+    HalfOpen,
+}
+
+/// The admission decision for one attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Closed breaker: proceed normally.
+    Granted,
+    /// Half-open breaker: proceed as the single probe.
+    Probe,
+    /// Open breaker: denied, quarantine countdown advanced.
+    Denied,
+}
+
+/// A per-source circuit breaker.
+///
+/// The automaton is deliberately sequential — the access layer drives it
+/// from one thread — and its protocol properties (no lost half-open
+/// probes, quarantine monotone under cancellation) are model-checked
+/// exhaustively in `pscds-analysis`'s `interleave::check_breaker`.
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+}
+
+impl CircuitBreaker {
+    /// A closed (healthy) breaker.
+    #[must_use]
+    pub fn new() -> Self {
+        CircuitBreaker {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+        }
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Decides whether the next attempt may proceed, advancing the
+    /// quarantine countdown when open.
+    pub fn admit(&mut self) -> Admission {
+        match self.state {
+            BreakerState::Closed => Admission::Granted,
+            BreakerState::Open { remaining } if remaining > 0 => {
+                self.state = BreakerState::Open {
+                    remaining: remaining - 1,
+                };
+                Admission::Denied
+            }
+            BreakerState::Open { .. } => {
+                self.state = BreakerState::HalfOpen;
+                Admission::Probe
+            }
+            BreakerState::HalfOpen => Admission::Probe,
+        }
+    }
+
+    /// Records a successful attempt: failures reset, a half-open probe
+    /// closes the breaker.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+    }
+
+    /// Records a failed attempt. Returns `true` when this failure trips
+    /// the breaker open (threshold reached, or a failed probe).
+    pub fn record_failure(&mut self, policy: &BreakerPolicy) -> bool {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        match self.state {
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open {
+                    remaining: policy.quarantine,
+                };
+                true
+            }
+            BreakerState::Closed if self.consecutive_failures >= policy.failure_threshold => {
+                self.state = BreakerState::Open {
+                    remaining: policy.quarantine,
+                };
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        CircuitBreaker::new()
+    }
+}
+
+/// The combined recovery policy of the access layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessPolicy {
+    /// Retry/backoff configuration.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker thresholds.
+    pub breaker: BreakerPolicy,
+}
+
+/// Per-source outcome of one [`SourceAccess::fetch_all`] epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SourceStatus {
+    /// The extension was fetched (after `attempts` attempts).
+    Available {
+        /// Fetch attempts spent, including the successful one.
+        attempts: u32,
+    },
+    /// Every allowed attempt failed.
+    Unavailable {
+        /// Fetch attempts spent.
+        attempts: u32,
+    },
+    /// The breaker denied access (tripped in this epoch or quarantining
+    /// from an earlier one); `attempts` attempts were made first.
+    Quarantined {
+        /// Fetch attempts spent before the denial.
+        attempts: u32,
+    },
+}
+
+impl SourceStatus {
+    /// `true` iff the extension was fetched.
+    #[must_use]
+    pub fn is_available(&self) -> bool {
+        matches!(self, SourceStatus::Available { .. })
+    }
+
+    /// Fetch attempts spent on this source.
+    #[must_use]
+    pub fn attempts(&self) -> u32 {
+        match *self {
+            SourceStatus::Available { attempts }
+            | SourceStatus::Unavailable { attempts }
+            | SourceStatus::Quarantined { attempts } => attempts,
+        }
+    }
+}
+
+/// What one access epoch established: the catalog snapshot plus which
+/// sources answered. (Both built-in providers serve the catalog
+/// extension byte-for-byte, so availability is the only per-source
+/// dimension; a provider with divergent live data would extend this.)
+#[derive(Clone, Debug)]
+pub struct AccessReport {
+    /// The catalog (claimed descriptors and extensions).
+    pub catalog: SourceCollection,
+    /// Per-source outcomes, in catalog order.
+    pub statuses: Vec<SourceStatus>,
+}
+
+impl AccessReport {
+    /// Indices of sources that answered.
+    #[must_use]
+    pub fn available(&self) -> Vec<usize> {
+        (0..self.statuses.len())
+            .filter(|&i| self.statuses[i].is_available())
+            .collect()
+    }
+
+    /// Indices of sources that did not answer.
+    #[must_use]
+    pub fn unavailable(&self) -> Vec<usize> {
+        (0..self.statuses.len())
+            .filter(|&i| !self.statuses[i].is_available())
+            .collect()
+    }
+
+    /// `true` iff every source answered.
+    #[must_use]
+    pub fn all_available(&self) -> bool {
+        self.statuses.iter().all(SourceStatus::is_available)
+    }
+
+    /// Names of the sources that did not answer, in catalog order.
+    #[must_use]
+    pub fn unavailable_names(&self) -> Vec<String> {
+        self.unavailable()
+            .into_iter()
+            .map(|i| self.catalog.sources()[i].name().to_owned())
+            .collect()
+    }
+}
+
+/// The access orchestrator: drives a provider through the retry/backoff
+/// and circuit-breaker stack. Breaker state persists across epochs
+/// (repeated [`SourceAccess::fetch_all`] calls), which is what makes
+/// quarantine and half-open probing observable under flap schedules.
+#[derive(Debug)]
+pub struct SourceAccess {
+    policy: AccessPolicy,
+    breakers: Vec<CircuitBreaker>,
+}
+
+impl SourceAccess {
+    /// An orchestrator for `source_count` sources.
+    #[must_use]
+    pub fn new(policy: AccessPolicy, source_count: usize) -> Self {
+        SourceAccess {
+            policy,
+            breakers: vec![CircuitBreaker::new(); source_count],
+        }
+    }
+
+    /// The breaker guarding source `index`.
+    #[must_use]
+    pub fn breaker(&self, index: usize) -> &CircuitBreaker {
+        &self.breakers[index]
+    }
+
+    /// One access epoch: attempts every source in catalog order,
+    /// retrying with backoff and consulting the breakers, and reports
+    /// per-source availability. All waiting is charged as budget ticks.
+    ///
+    /// # Errors
+    /// [`CoreError::BudgetExceeded`] when the budget trips mid-epoch
+    /// (fetch ticks, timeout charges, or backoff charges).
+    pub fn fetch_all(
+        &mut self,
+        provider: &mut dyn SourceProvider,
+        budget: &Budget,
+        obs: &mut ObsSession,
+    ) -> Result<AccessReport, CoreError> {
+        let n = provider.source_count();
+        obs.span_open("source.fetch", budget.elapsed_ns());
+        obs.span_attr("sources", &n.to_string());
+        let result = self.fetch_all_inner(provider, budget, obs, n);
+        obs.span_close(budget.elapsed_ns());
+        result
+    }
+
+    fn fetch_all_inner(
+        &mut self,
+        provider: &mut dyn SourceProvider,
+        budget: &Budget,
+        obs: &mut ObsSession,
+        n: usize,
+    ) -> Result<AccessReport, CoreError> {
+        let mut statuses = Vec::with_capacity(n);
+        for i in 0..n {
+            let name = provider.descriptor(i).name().to_owned();
+            let mut attempts: u32 = 0;
+            let status = loop {
+                budget.tick("source::fetch")?;
+                match self.breakers[i].admit() {
+                    Admission::Denied => {
+                        obs.counter_add(names::BREAKER_DENIALS, 1);
+                        obs.event(
+                            "source.quarantined",
+                            budget.elapsed_ns(),
+                            &[("source", name.as_str())],
+                        );
+                        break SourceStatus::Quarantined { attempts };
+                    }
+                    Admission::Probe => obs.counter_add(names::BREAKER_HALF_OPEN_PROBES, 1),
+                    Admission::Granted => {}
+                }
+                obs.counter_add(names::SOURCE_FETCH_ATTEMPTS, 1);
+                match provider.fetch(i) {
+                    Ok(_extension) => {
+                        self.breakers[i].record_success();
+                        break SourceStatus::Available {
+                            attempts: attempts + 1,
+                        };
+                    }
+                    Err(fault) => {
+                        obs.counter_add(names::SOURCE_FAULTS, 1);
+                        if let FetchFault::Timeout { ticks } = fault {
+                            charge(budget, "source::timeout", ticks)?;
+                        }
+                        if self.breakers[i].record_failure(&self.policy.breaker) {
+                            obs.counter_add(names::BREAKER_TRIPS, 1);
+                            obs.event(
+                                "breaker.trip",
+                                budget.elapsed_ns(),
+                                &[("source", name.as_str())],
+                            );
+                        }
+                        attempts += 1;
+                        if attempts > self.policy.retry.retries {
+                            break SourceStatus::Unavailable { attempts };
+                        }
+                        obs.counter_add(names::SOURCE_RETRIES, 1);
+                        let backoff = self.policy.retry.backoff_before(attempts);
+                        obs.counter_add(names::SOURCE_BACKOFF_TICKS, backoff);
+                        charge(budget, "source::backoff", backoff)?;
+                    }
+                }
+            };
+            statuses.push(status);
+        }
+        Ok(AccessReport {
+            catalog: provider.catalog(),
+            statuses,
+        })
+    }
+}
+
+/// Charges `ticks` budget ticks under `phase` (deterministic waiting —
+/// the clock-free analogue of sleeping).
+fn charge(budget: &Budget, phase: &str, ticks: u64) -> Result<(), CoreError> {
+    for _ in 0..ticks {
+        budget.tick(phase)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultSpec;
+    use crate::paper::example_5_1;
+    use pscds_numeric::Frac;
+
+    #[test]
+    fn catalog_provider_always_delivers() {
+        let c = example_5_1();
+        let mut p = CatalogProvider::new(&c);
+        assert_eq!(p.source_count(), 2);
+        let ext = p.fetch(0).unwrap();
+        assert_eq!(ext.len(), 2);
+        assert_eq!(p.catalog(), c);
+    }
+
+    #[test]
+    fn faulty_provider_replays_the_plan() {
+        let c = example_5_1();
+        let plan = FaultPlan::new(5).with_source(
+            "S1",
+            FaultSpec {
+                down: vec![(0, 2)],
+                ..FaultSpec::none()
+            },
+        );
+        let run = |plan: FaultPlan| {
+            let mut p = FaultyProvider::new(&c, plan);
+            (0..4).map(|_| p.fetch(0).is_ok()).collect::<Vec<_>>()
+        };
+        let a = run(plan.clone());
+        let b = run(plan);
+        assert_eq!(a, b, "replay must be identical");
+        assert_eq!(a, vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn truncation_is_a_fault_with_sizes() {
+        let c = example_5_1();
+        let plan = FaultPlan::new(1).with_source(
+            "S1",
+            FaultSpec {
+                truncate: Frac::ONE,
+                ..FaultSpec::none()
+            },
+        );
+        let mut p = FaultyProvider::new(&c, plan);
+        assert_eq!(
+            p.fetch(0),
+            Err(FetchFault::Truncated {
+                delivered: 1,
+                claimed: 2
+            })
+        );
+    }
+
+    #[test]
+    fn breaker_trips_quarantines_and_probes() {
+        let policy = BreakerPolicy {
+            failure_threshold: 2,
+            quarantine: 2,
+        };
+        let mut b = CircuitBreaker::new();
+        assert_eq!(b.admit(), Admission::Granted);
+        assert!(!b.record_failure(&policy));
+        assert_eq!(b.admit(), Admission::Granted);
+        assert!(b.record_failure(&policy), "threshold trip");
+        assert_eq!(b.state(), BreakerState::Open { remaining: 2 });
+        assert_eq!(b.admit(), Admission::Denied);
+        assert_eq!(b.admit(), Admission::Denied);
+        assert_eq!(b.admit(), Admission::Probe, "quarantine expired");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.record_failure(&policy), "failed probe re-trips");
+        assert_eq!(b.state(), BreakerState::Open { remaining: 2 });
+        assert_eq!(b.admit(), Admission::Denied);
+        assert_eq!(b.admit(), Admission::Denied);
+        assert_eq!(b.admit(), Admission::Probe);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(), Admission::Granted);
+    }
+
+    #[test]
+    fn backoff_doubles_per_retry() {
+        let r = RetryPolicy {
+            retries: 4,
+            backoff_ticks: 3,
+        };
+        assert_eq!(r.backoff_before(1), 3);
+        assert_eq!(r.backoff_before(2), 6);
+        assert_eq!(r.backoff_before(3), 12);
+        // The doubling saturates instead of overflowing.
+        assert_eq!(r.backoff_before(40), 3 << 16);
+    }
+
+    #[test]
+    fn fetch_all_recovers_transient_faults() {
+        let c = example_5_1();
+        // S1 down for its first attempt only: one retry rescues it.
+        let plan = FaultPlan::new(9).with_source(
+            "S1",
+            FaultSpec {
+                down: vec![(0, 1)],
+                ..FaultSpec::none()
+            },
+        );
+        let mut provider = FaultyProvider::new(&c, plan);
+        let mut access = SourceAccess::new(AccessPolicy::default(), 2);
+        let mut obs = ObsSession::in_memory();
+        let budget = Budget::unlimited();
+        let report = access.fetch_all(&mut provider, &budget, &mut obs).unwrap();
+        assert!(report.all_available());
+        assert_eq!(report.statuses[0], SourceStatus::Available { attempts: 2 });
+        assert_eq!(report.statuses[1], SourceStatus::Available { attempts: 1 });
+        let metrics = obs.finish().metrics;
+        assert_eq!(metrics.counter(names::SOURCE_FETCH_ATTEMPTS), 3);
+        assert_eq!(metrics.counter(names::SOURCE_RETRIES), 1);
+        assert_eq!(metrics.counter(names::SOURCE_FAULTS), 1);
+        assert_eq!(metrics.counter(names::SOURCE_BACKOFF_TICKS), 4);
+        assert_eq!(metrics.counter(names::BREAKER_TRIPS), 0);
+    }
+
+    #[test]
+    fn fetch_all_marks_hard_outages_unavailable() {
+        let c = example_5_1();
+        let plan = FaultPlan::new(9).with_source("S2", FaultSpec::always_down());
+        let mut provider = FaultyProvider::new(&c, plan);
+        let policy = AccessPolicy {
+            retry: RetryPolicy {
+                retries: 5,
+                backoff_ticks: 1,
+            },
+            breaker: BreakerPolicy {
+                failure_threshold: 3,
+                quarantine: 4,
+            },
+        };
+        let mut access = SourceAccess::new(policy, 2);
+        let mut obs = ObsSession::in_memory();
+        let report = access
+            .fetch_all(&mut provider, &Budget::unlimited(), &mut obs)
+            .unwrap();
+        assert!(!report.all_available());
+        assert_eq!(report.available(), vec![0]);
+        assert_eq!(report.unavailable(), vec![1]);
+        assert_eq!(report.unavailable_names(), vec!["S2".to_owned()]);
+        // Three failures trip the breaker; the quarantine then denies the
+        // remaining retries (short-circuiting them).
+        assert_eq!(
+            report.statuses[1],
+            SourceStatus::Quarantined { attempts: 3 }
+        );
+        let metrics = obs.finish().metrics;
+        assert_eq!(metrics.counter(names::BREAKER_TRIPS), 1);
+        assert!(metrics.counter(names::BREAKER_DENIALS) > 0);
+    }
+
+    #[test]
+    fn breaker_state_persists_across_epochs_and_probes_recover() {
+        let c = example_5_1();
+        // S1 down for attempts 0..4, healthy afterwards.
+        let plan = FaultPlan::new(2).with_source(
+            "S1",
+            FaultSpec {
+                down: vec![(0, 4)],
+                ..FaultSpec::none()
+            },
+        );
+        let mut provider = FaultyProvider::new(&c, plan);
+        let policy = AccessPolicy {
+            retry: RetryPolicy {
+                retries: 3,
+                backoff_ticks: 1,
+            },
+            breaker: BreakerPolicy {
+                failure_threshold: 4,
+                quarantine: 1,
+            },
+        };
+        let mut access = SourceAccess::new(policy, 2);
+        let budget = Budget::unlimited();
+        let mut obs = ObsSession::disabled();
+        // Epoch 1: all 4 attempts fail, the 4th trips the breaker.
+        let r1 = access.fetch_all(&mut provider, &budget, &mut obs).unwrap();
+        assert_eq!(r1.statuses[0], SourceStatus::Unavailable { attempts: 4 });
+        assert!(matches!(
+            access.breaker(0).state(),
+            BreakerState::Open { .. }
+        ));
+        // Epoch 2: quarantine denies the first admission; with
+        // quarantine = 1 the denial spends the window.
+        let r2 = access.fetch_all(&mut provider, &budget, &mut obs).unwrap();
+        assert_eq!(r2.statuses[0], SourceStatus::Quarantined { attempts: 0 });
+        // Epoch 3: half-open probe — attempt 4 is past the down window,
+        // so the probe succeeds and the breaker closes.
+        let r3 = access.fetch_all(&mut provider, &budget, &mut obs).unwrap();
+        assert_eq!(r3.statuses[0], SourceStatus::Available { attempts: 1 });
+        assert_eq!(access.breaker(0).state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn budget_trips_during_backoff_propagate() {
+        let c = example_5_1();
+        let plan = FaultPlan::new(0).with_source("S1", FaultSpec::always_down());
+        let mut provider = FaultyProvider::new(&c, plan);
+        let mut access = SourceAccess::new(
+            AccessPolicy {
+                retry: RetryPolicy {
+                    retries: 10,
+                    backoff_ticks: 64,
+                },
+                breaker: BreakerPolicy {
+                    failure_threshold: 100,
+                    quarantine: 0,
+                },
+            },
+            2,
+        );
+        let budget = Budget::with_max_steps(20);
+        let mut obs = ObsSession::disabled();
+        let err = access
+            .fetch_all(&mut provider, &budget, &mut obs)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn timeouts_charge_the_budget() {
+        let c = example_5_1();
+        let plan = FaultPlan::new(0).with_source(
+            "S1",
+            FaultSpec {
+                timeout: Frac::ONE,
+                ticks: 7,
+                ..FaultSpec::none()
+            },
+        );
+        let mut provider = FaultyProvider::new(&c, plan);
+        let mut access = SourceAccess::new(
+            AccessPolicy {
+                retry: RetryPolicy {
+                    retries: 0,
+                    backoff_ticks: 0,
+                },
+                breaker: BreakerPolicy::default(),
+            },
+            2,
+        );
+        let budget = Budget::unlimited();
+        let mut obs = ObsSession::disabled();
+        access.fetch_all(&mut provider, &budget, &mut obs).unwrap();
+        // 2 admission ticks + 7 timeout ticks for S1.
+        assert_eq!(budget.steps(), 2 + 7);
+    }
+}

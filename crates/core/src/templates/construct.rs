@@ -61,7 +61,7 @@ pub fn subset_combinations_budgeted(
     let mut per_source: Vec<Vec<Vec<Fact>>> = Vec::with_capacity(collection.len());
     let mut total: u128 = 1;
     for source in collection.sources() {
-        let v: Vec<&Fact> = source.extension().iter().collect();
+        let v: Vec<&Fact> = crate::source::extension_view(source).iter().collect();
         let k = v.len();
         if k > 31 {
             return Err(CoreError::SearchSpaceTooLarge {

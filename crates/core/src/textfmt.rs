@@ -26,7 +26,7 @@
 use crate::collection::SourceCollection;
 use crate::descriptor::SourceDescriptor;
 use crate::error::CoreError;
-use pscds_numeric::Frac;
+use pscds_numeric::{Frac, Rational, UBig};
 use pscds_relational::parser::{parse_facts, parse_rule};
 use pscds_relational::Fact;
 use std::fmt::Write as _;
@@ -171,6 +171,59 @@ pub fn parse_collection(text: &str) -> Result<SourceCollection, CoreError> {
     Ok(collection)
 }
 
+/// Renders a confidence interval in the canonical `[lo, hi]` form with
+/// exact rational endpoints — the form [`parse_interval`] accepts, so
+/// interval answers survive a print/parse round trip bit-for-bit.
+#[must_use]
+pub fn format_interval(interval: &crate::confidence::intervals::ConfidenceInterval) -> String {
+    format!("[{}, {}]", interval.lo, interval.hi)
+}
+
+/// Parses the `[lo, hi]` interval rendering of [`format_interval`].
+/// Endpoints are exact rationals (`n/d` or a bare integer).
+///
+/// # Errors
+/// [`CoreError::InvalidDescriptor`] describing the malformed part.
+pub fn parse_interval(
+    text: &str,
+) -> Result<crate::confidence::intervals::ConfidenceInterval, CoreError> {
+    let bad = |message: &str| CoreError::InvalidDescriptor {
+        source: "interval".to_owned(),
+        message: message.to_owned(),
+    };
+    let inner = text
+        .trim()
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| bad("expected an interval of the form [lo, hi]"))?;
+    let (lo, hi) = inner
+        .split_once(',')
+        .ok_or_else(|| bad("expected two comma-separated endpoints"))?;
+    let lo = parse_rational(lo).map_err(|m| bad(&format!("lower endpoint: {m}")))?;
+    let hi = parse_rational(hi).map_err(|m| bad(&format!("upper endpoint: {m}")))?;
+    if hi < lo {
+        return Err(bad("upper endpoint below lower endpoint"));
+    }
+    Ok(crate::confidence::intervals::ConfidenceInterval { lo, hi })
+}
+
+/// Parses an exact rational endpoint: `n/d` or a bare integer.
+fn parse_rational(text: &str) -> Result<Rational, String> {
+    let text = text.trim();
+    let (num, den) = match text.split_once('/') {
+        Some((n, d)) => (n.trim(), d.trim()),
+        None => (text, "1"),
+    };
+    let num: UBig = num.parse().map_err(|_| format!("bad numerator {num:?}"))?;
+    let den: UBig = den
+        .parse()
+        .map_err(|_| format!("bad denominator {den:?}"))?;
+    if den.is_zero() {
+        return Err("zero denominator".to_owned());
+    }
+    Ok(Rational::new(num, den))
+}
+
 /// Renders a collection in the same format [`parse_collection`] reads.
 #[must_use]
 pub fn format_collection(collection: &SourceCollection) -> String {
@@ -180,9 +233,9 @@ pub fn format_collection(collection: &SourceCollection) -> String {
         let _ = writeln!(out, "  view: {}", source.view());
         let _ = writeln!(out, "  completeness: {}", source.completeness());
         let _ = writeln!(out, "  soundness: {}", source.soundness());
-        if !source.extension().is_empty() {
-            let facts: Vec<String> = source
-                .extension()
+        let extension = crate::source::extension_view(source);
+        if !extension.is_empty() {
+            let facts: Vec<String> = extension
                 .iter()
                 .map(|f| format!("{}.", pscds_relational::parser::format_fact(f)))
                 .collect();
@@ -294,6 +347,44 @@ source S {
             ),
         ] {
             let err = parse_collection(text).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "{text:?}: expected {needle:?} in {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn interval_round_trip() {
+        use crate::confidence::intervals::ConfidenceInterval;
+        for (lo, hi) in [(1u64, 2u64), (0, 1), (6, 7), (3, 4)] {
+            let interval = ConfidenceInterval {
+                lo: Rational::new(UBig::from(lo), UBig::from(7u64)),
+                hi: Rational::new(UBig::from(hi), UBig::from(7u64)),
+            };
+            let text = format_interval(&interval);
+            let reparsed = parse_interval(&text).unwrap();
+            assert_eq!(reparsed, interval, "round trip of {text}");
+        }
+        // Integer endpoints render without a denominator and still parse.
+        let point = ConfidenceInterval {
+            lo: Rational::one(),
+            hi: Rational::one(),
+        };
+        assert_eq!(format_interval(&point), "[1, 1]");
+        assert_eq!(parse_interval("[1, 1]").unwrap(), point);
+    }
+
+    #[test]
+    fn interval_parse_errors() {
+        for (text, needle) in [
+            ("1/2, 3/4", "form [lo, hi]"),
+            ("[1/2]", "comma-separated"),
+            ("[x, 1]", "numerator"),
+            ("[1/0, 1]", "zero denominator"),
+            ("[3/4, 1/2]", "below lower"),
+        ] {
+            let err = parse_interval(text).unwrap_err();
             assert!(
                 err.to_string().contains(needle),
                 "{text:?}: expected {needle:?} in {err}"

@@ -13,6 +13,10 @@
 //!   controlled *dropout* (completeness loss) and *corruption* (soundness
 //!   loss) whose injected rates the measures of Definition 2.1/2.2 can be
 //!   validated against.
+//! * [`flaky`] — flaky-source scenario families (transient faults, hard
+//!   outages, flapping, seeded noise): a planted identity collection
+//!   paired with a replayable `FaultPlan` for the robustness
+//!   experiments (retry convergence, breaker trips, partial answers).
 //! * [`random_sources`] — random identity-view collections over a finite
 //!   domain, optionally planted around a known world (hence guaranteed
 //!   consistent), for the consistency and confidence experiments.
@@ -24,5 +28,6 @@
 
 pub mod cache_sim;
 pub mod climate;
+pub mod flaky;
 pub mod mirrors;
 pub mod random_sources;

@@ -54,6 +54,44 @@ pub const SAMPLER_ACCEPTED: &str = "sampler.accepted";
 /// attributes).
 pub const LADDER_DEGRADATIONS: &str = "ladder.degradations";
 
+/// Counter: source fetch attempts issued through the access layer
+/// (first tries and retries alike; breaker denials are not attempts).
+pub const SOURCE_FETCH_ATTEMPTS: &str = "source.fetch_attempts";
+
+/// Counter: retries scheduled after a failed fetch attempt.
+pub const SOURCE_RETRIES: &str = "source.retries";
+
+/// Counter: faulted fetch attempts (failures, timeouts, truncations).
+pub const SOURCE_FAULTS: &str = "source.faults";
+
+/// Counter: deterministic backoff ticks charged against the budget
+/// between retries (exponential per retry, no wall clock).
+pub const SOURCE_BACKOFF_TICKS: &str = "source.backoff_ticks";
+
+/// Counter: circuit-breaker trips (threshold consecutive failures, or a
+/// failed half-open probe re-opening the breaker).
+pub const BREAKER_TRIPS: &str = "breaker.trips";
+
+/// Counter: half-open probe attempts granted after a quarantine expired.
+pub const BREAKER_HALF_OPEN_PROBES: &str = "breaker.half_open_probes";
+
+/// Counter: fetch admissions denied by an open (quarantining) breaker.
+pub const BREAKER_DENIALS: &str = "breaker.denials";
+
+/// Counter: tuples for which a partial-availability confidence interval
+/// was reported.
+pub const INTERVAL_TUPLES: &str = "interval.tuples";
+
+/// Counter: interval tuples whose bracket provably contains the
+/// catalog point answer (the all-sources-at-claimed-bounds scenario);
+/// CI asserts this equals `interval.tuples`.
+pub const INTERVAL_POINT_CONTAINED: &str = "interval.point_contained";
+
+/// Counter: summed interval widths in parts-per-million — a
+/// deterministic aggregate of how much availability loss widened the
+/// answers.
+pub const INTERVAL_WIDTH_PPM: &str = "interval.width_ppm";
+
 /// Gauge: residual-DP peak live cache entries (high-water mark).
 pub const DP_CACHE_PEAK: &str = "dp.cache_peak";
 
@@ -62,7 +100,7 @@ pub const DP_CACHE_PEAK: &str = "dp.cache_peak";
 pub const CHUNKS_STOLEN: &str = "chunks.stolen";
 
 /// All registered counter names, in stable reporting order.
-pub const COUNTERS: [&str; 12] = [
+pub const COUNTERS: [&str; 22] = [
     BUDGET_TICKS,
     BUDGET_TRIPS,
     DP_CACHE_HITS,
@@ -75,6 +113,16 @@ pub const COUNTERS: [&str; 12] = [
     SAMPLER_PROPOSED,
     SAMPLER_ACCEPTED,
     LADDER_DEGRADATIONS,
+    SOURCE_FETCH_ATTEMPTS,
+    SOURCE_RETRIES,
+    SOURCE_FAULTS,
+    SOURCE_BACKOFF_TICKS,
+    BREAKER_TRIPS,
+    BREAKER_HALF_OPEN_PROBES,
+    BREAKER_DENIALS,
+    INTERVAL_TUPLES,
+    INTERVAL_POINT_CONTAINED,
+    INTERVAL_WIDTH_PPM,
 ];
 
 /// All registered gauge names, in stable reporting order.

@@ -93,4 +93,89 @@ diff -u "$smoke_dir/counters-serial.txt" "$smoke_dir/counters-par4.txt" || {
     exit 1
 }
 
+# Fault suite: the robustness stack (DESIGN.md §3.12) end to end on the
+# Example 5.1 catalog under two fault seeds. Seed A is a transient blip
+# healed by the retry path — the answer must be byte-identical to a
+# fault-free run (only the attempt counts differ, so the source-access
+# banner is stripped before the diff). Seed B is a hard outage of S2:
+# without --partial the run must exit 2, with --partial it must exit 4
+# and emit interval brackets whose counters prove containment
+# (interval.point_contained == interval.tuples) — and the whole traced
+# replay must be byte-identical between --threads 1 and --threads 4.
+echo "==> fault suite (replay determinism, retry convergence, interval containment)"
+pscds_cli() { "$OLDPWD/target/release/pscds" "$@"; }
+cat > "$smoke_dir/example51.pscds" <<'EOT'
+source S1 {
+  view: V1(x) <- R(x)
+  completeness: 1/2
+  soundness: 1/2
+  extension: V1(a). V1(b).
+}
+source S2 {
+  view: V2(x) <- R(x)
+  completeness: 1/2
+  soundness: 1/2
+  extension: V2(b). V2(c).
+}
+EOT
+printf 'seed: 7\ndefault { down: 0..1 }\n' > "$smoke_dir/transient.plan"
+printf 'seed: 99\ndefault { fail: 1/8 }\nsource S2 { down: 0..100 }\n' \
+    > "$smoke_dir/outage.plan"
+(
+    cd "$smoke_dir"
+    pscds_cli confidence example51.pscds --padding 1 > plain.txt
+    pscds_cli confidence example51.pscds --padding 1 \
+        --fault-plan transient.plan --retries 2 > transient.txt
+    # Strip the access block (the banner plus its indented status
+    # lines): retried fetches differ only in attempt counts.
+    awk '/^source access:$/ { skip = 1; next }
+         skip && /^  / { next }
+         { skip = 0; print }' transient.txt > transient-answer.txt
+    diff -u plain.txt transient-answer.txt || {
+        echo "retry-then-success answer differs from the fault-free run" >&2
+        exit 1
+    }
+
+    status=0
+    pscds_cli confidence example51.pscds --padding 1 \
+        --fault-plan outage.plan > /dev/null 2> outage-err.txt || status=$?
+    [ "$status" -eq 2 ] || {
+        echo "hard outage without --partial must exit 2 (got $status)" >&2
+        exit 1
+    }
+    grep -q "S2 unavailable" outage-err.txt
+
+    for threads in 1 4; do
+        status=0
+        pscds_cli confidence example51.pscds --padding 1 \
+            --fault-plan outage.plan --partial --threads "$threads" \
+            --trace-out "fault-t$threads.jsonl" > "partial-t$threads.txt" \
+            || status=$?
+        [ "$status" -eq 4 ] || {
+            echo "--partial under a hard outage must exit 4 (got $status)" >&2
+            exit 1
+        }
+    done
+    diff -u partial-t1.txt partial-t4.txt || {
+        echo "partial answers differ between --threads 1 and --threads 4" >&2
+        exit 1
+    }
+    bench_validate --counters fault-t1.jsonl > fault-counters-t1.txt
+    bench_validate --counters fault-t4.jsonl > fault-counters-t4.txt
+    diff -u fault-counters-t1.txt fault-counters-t4.txt || {
+        echo "fault-replay counter totals differ across thread counts" >&2
+        exit 1
+    }
+    tuples=$(awk '$1 == "interval.tuples" { print $2 }' fault-counters-t1.txt)
+    contained=$(awk '$1 == "interval.point_contained" { print $2 }' fault-counters-t1.txt)
+    [ -n "$tuples" ] && [ "$tuples" -gt 0 ] || {
+        echo "partial run recorded no interval.tuples" >&2
+        exit 1
+    }
+    [ "$tuples" = "$contained" ] || {
+        echo "interval containment violated: $contained of $tuples brackets hold the point" >&2
+        exit 1
+    }
+)
+
 echo "==> CI green"

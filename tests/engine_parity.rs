@@ -7,8 +7,9 @@
 
 use proptest::prelude::*;
 use pscds::core::confidence::{
-    count_dp, count_dp_observed, count_dp_shared, count_dp_shared_parallel, ConfidenceAnalysis,
-    DpConfig, LinearSystem, PossibleWorlds, SharedDpCache, SignatureAnalysis,
+    count_dp, count_dp_observed, count_dp_shared, count_dp_shared_parallel, count_intervals,
+    count_intervals_budgeted, count_intervals_parallel, ConfidenceAnalysis, DpConfig, LinearSystem,
+    PossibleWorlds, SharedDpCache, SignatureAnalysis,
 };
 use pscds::core::consensus::{maximal_consistent_subsets, maximal_consistent_subsets_parallel};
 use pscds::core::consistency::{
@@ -18,8 +19,8 @@ use pscds::core::consistency::{
 use pscds::core::govern::Budget;
 use pscds::core::obs::ObsSession;
 use pscds::core::{
-    check_resilient, check_resilient_observed, check_resilient_with, CoreError, ParallelConfig,
-    SourceCollection, SourceDescriptor,
+    check_resilient, check_resilient_observed, check_resilient_policy, check_resilient_with,
+    CoreError, LadderPolicy, ParallelConfig, SourceCollection, SourceDescriptor,
 };
 use pscds::numeric::{Frac, RowCache, UBig};
 use pscds::relational::Value;
@@ -340,6 +341,68 @@ proptest! {
             .expect("unlimited budget");
             prop_assert_eq!(par_shared.world_count(), serial.world_count());
             prop_assert_eq!(par_shared.feasible_vectors(), serial.feasible_vectors());
+        }
+    }
+
+    /// The partial-availability interval engine: `count_intervals`, the
+    /// `count_intervals_budgeted` twin, and `count_intervals_parallel`
+    /// must be bit-identical at every thread count, and — containment by
+    /// construction — every bracket contains the fault-free point
+    /// answer. `check_resilient_policy` with the default `LadderPolicy`
+    /// is the policy-hoisted spelling of the historical ladder and must
+    /// agree with `check_resilient_observed` bit-for-bit.
+    #[test]
+    fn interval_and_ladder_policy_parity_across_thread_counts(
+        collection in collections(),
+        missing_seed in 0usize..8,
+    ) {
+        let dom = domain();
+        let identity = collection.as_identity().expect("identity views");
+        let padding = DOMAIN as u64 - identity.all_tuples().len() as u64;
+        let unlimited = Budget::unlimited();
+        let missing = [missing_seed % collection.len()];
+
+        let serial = count_intervals(&identity, padding, &missing);
+        let budgeted = count_intervals_budgeted(&identity, padding, &missing, &unlimited);
+        match (&serial, &budgeted) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a, b);
+                prop_assert!(a.all_contain_point());
+            }
+            (Err(CoreError::InconsistentCollection),
+             Err(CoreError::InconsistentCollection)) => {}
+            (a, b) => return Err(TestCaseError::fail(format!(
+                "twins disagree: {a:?} vs {b:?}"
+            ))),
+        }
+        for threads in THREADS {
+            let config = ParallelConfig::with_threads(threads);
+            let par = count_intervals_parallel(&identity, padding, &missing, &unlimited, &config);
+            match (&serial, &par) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                (Err(CoreError::InconsistentCollection),
+                 Err(CoreError::InconsistentCollection)) => {}
+                (a, b) => return Err(TestCaseError::fail(format!(
+                    "parallel twin disagrees at {threads} threads: {a:?} vs {b:?}"
+                ))),
+            }
+
+            let mut obs = ObsSession::disabled();
+            let observed = check_resilient_observed(&collection, &dom, &unlimited, &config, &mut obs)
+                .expect("small universe");
+            let mut obs = ObsSession::disabled();
+            let policied = check_resilient_policy(
+                &collection,
+                &dom,
+                &unlimited,
+                &config,
+                &LadderPolicy::default(),
+                &mut obs,
+            )
+            .expect("small universe");
+            prop_assert_eq!(policied.engine, observed.engine);
+            prop_assert_eq!(policied.consistent, observed.consistent);
+            prop_assert_eq!(&policied.witness, &observed.witness);
         }
     }
 

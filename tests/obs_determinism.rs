@@ -20,8 +20,13 @@ use proptest::prelude::*;
 use pscds::core::confidence::{count_dp_observed, DpConfig, SignatureAnalysis};
 use pscds::core::govern::Budget;
 use pscds::core::obs::{ObsReport, ObsSession};
-use pscds::core::resilient::{check_resilient_observed, confidence_resilient_observed};
-use pscds::core::{ParallelConfig, SourceCollection, SourceDescriptor};
+use pscds::core::resilient::{
+    check_resilient_observed, confidence_resilient_observed, confidence_under_faults, LadderPolicy,
+};
+use pscds::core::source::{AccessPolicy, SourceAccess};
+use pscds::core::{
+    FaultPlan, FaultSpec, FaultyProvider, ParallelConfig, SourceCollection, SourceDescriptor,
+};
 use pscds::numeric::Frac;
 use pscds::relational::Value;
 
@@ -150,6 +155,61 @@ proptest! {
             match &conf_baseline {
                 None => conf_baseline = Some(d),
                 Some(d1) => prop_assert_eq!(&d, d1),
+            }
+        }
+    }
+
+    /// The fault rung under a seeded plan (noise everywhere, one
+    /// hard-down source): retries, breaker trips, and — when the
+    /// partial rung runs — the interval counters are all part of the
+    /// deterministic digest, so the full instrumented replay is
+    /// thread-count-invariant.
+    #[test]
+    fn observed_fault_replay_is_identical_across_thread_counts(
+        collection in collections(),
+        seed in 0u64..64,
+    ) {
+        let identity = collection.as_identity().expect("identity views");
+        let padding = DOMAIN as u64 - identity.all_tuples().len() as u64;
+        let name = collection.sources()[0].name().to_owned();
+        let plan = FaultPlan::new(seed)
+            .with_default(FaultSpec {
+                fail: Frac::new(1, 3),
+                timeout: Frac::new(1, 8),
+                ..FaultSpec::none()
+            })
+            .with_source(&name, FaultSpec::always_down());
+        let mut baseline: Option<(Digest, String)> = None;
+        for threads in THREADS {
+            let mut provider = FaultyProvider::new(&collection, plan.clone());
+            let mut access = SourceAccess::new(AccessPolicy::default(), collection.len());
+            let mut obs = ObsSession::in_memory();
+            let outcome = confidence_under_faults(
+                &mut provider,
+                &mut access,
+                padding,
+                &Budget::unlimited(),
+                &ParallelConfig::with_threads(threads),
+                false,
+                true,
+                &LadderPolicy::default(),
+                &mut obs,
+            );
+            // Render the outcome coarsely (engine provenance or error
+            // text): enough to pin the verdict across thread counts
+            // while `tests/fault_replay.rs` pins the values themselves.
+            let verdict = match &outcome {
+                Ok(r) => format!("ok:{}", r.engine()),
+                Err(e) => format!("err:{e}"),
+            };
+            let d = digest(&obs.finish());
+            prop_assert!(!d.0.is_empty(), "fault replay must record counters");
+            match &baseline {
+                None => baseline = Some((d, verdict)),
+                Some((d1, v1)) => {
+                    prop_assert_eq!(&d, d1);
+                    prop_assert_eq!(&verdict, v1);
+                }
             }
         }
     }
