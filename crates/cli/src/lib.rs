@@ -26,8 +26,9 @@
 
 use pscds_core::collection::IdentityCollection;
 use pscds_core::confidence::{
-    count_dp_observed, sample_confidences_budgeted, ConfidenceAnalysis, DpConfig, PossibleWorlds,
-    SampledConfidence, SamplerConfig, SignatureAnalysis,
+    analyze_circuit_budgeted, compile_circuit, count_dp_observed, sample_confidences_budgeted,
+    CircuitConfig, ConfidenceAnalysis, DpConfig, PossibleWorlds, SampledConfidence, SamplerConfig,
+    SignatureAnalysis,
 };
 use pscds_core::consensus::{
     consensus_with_dp_cache, maximal_consistent_subsets_parallel, ConsensusReport,
@@ -122,7 +123,7 @@ USAGE:
     pscds check      <collection-file> [--padding N] [GOVERNANCE]
     pscds consensus  <collection-file> [--padding N] [GOVERNANCE] [--engine auto|dp]
     pscds confidence <collection-file> [--padding N] [GOVERNANCE] [--approx]
-                     [--engine auto|exact|dp|signature|sampled] [ROBUSTNESS]
+                     [--engine auto|exact|dp|signature|circuit|sampled] [ROBUSTNESS]
     pscds answers    <collection-file> --query \"Ans(x) <- R(x)\" --domain a,b,c [GOVERNANCE]
     pscds certain    <collection-file> --query \"Ans(x) <- R(x)\" [GOVERNANCE]
     pscds measure    <collection-file> --world <facts-file>
@@ -144,6 +145,10 @@ GOVERNANCE (every analysis is super-polynomial in the worst case):
                                   tiny instances / cross-checks only)
                        signature  exact signature-DFS counter
                        dp         memoized residual-state DP (exact)
+                       circuit    compile the DP recursion into a
+                                  shared-node arithmetic circuit once,
+                                  answer by traversal (exact; prints
+                                  compile stats)
                        sampled    Metropolis estimate
     Ctrl-C           cancels the running analysis cooperatively
 
@@ -203,6 +208,9 @@ enum EngineChoice {
     Exact,
     /// The memoized residual-state DP (exact; see `core::confidence::dp`).
     Dp,
+    /// The compiled shared-node circuit (exact; see
+    /// `core::confidence::circuit`). Prints compile stats.
+    Circuit,
     /// The exact signature-DFS counter.
     Signature,
     /// The Metropolis sampler (an estimate, clearly labelled).
@@ -217,6 +225,7 @@ impl std::str::FromStr for EngineChoice {
             "auto" => Ok(EngineChoice::Auto),
             "exact" => Ok(EngineChoice::Exact),
             "dp" => Ok(EngineChoice::Dp),
+            "circuit" => Ok(EngineChoice::Circuit),
             "signature" => Ok(EngineChoice::Signature),
             "sampled" => Ok(EngineChoice::Sampled),
             _ => Err(()),
@@ -335,7 +344,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 let v = grab("--engine")?;
                 opts.engine = v.parse().map_err(|()| {
                     CliError::Usage(format!(
-                        "bad --engine value {v:?} (expected auto, exact, dp, signature, or sampled)"
+                        "bad --engine value {v:?} (expected auto, exact, dp, signature, circuit, or sampled)"
                     ))
                 })?;
             }
@@ -770,6 +779,14 @@ fn confidence_under_faults_output(
                     );
                     render_exact_confidence(&mut out, analysis, &identity, padding)?;
                 }
+                ResilientConfidence::Circuit(analysis) => {
+                    let _ = writeln!(
+                        out,
+                        "engine: circuit — the compiled shared-node circuit answered (still \
+                         an exact result, padding {padding})"
+                    );
+                    render_exact_confidence(&mut out, analysis, &identity, padding)?;
+                }
                 ResilientConfidence::Sampled {
                     analysis, estimate, ..
                 } => {
@@ -894,6 +911,14 @@ fn confidence_output(
                     );
                     render_exact_confidence(&mut out, analysis, &identity, padding)?;
                 }
+                ResilientConfidence::Circuit(analysis) => {
+                    let _ = writeln!(
+                        out,
+                        "engine: circuit — the compiled shared-node circuit answered (still \
+                         an exact result, padding {padding})"
+                    );
+                    render_exact_confidence(&mut out, analysis, &identity, padding)?;
+                }
                 ResilientConfidence::Sampled {
                     analysis, estimate, ..
                 } => {
@@ -915,6 +940,28 @@ fn confidence_output(
                 obs,
             )?;
             let _ = writeln!(out, "engine: dp (exact, padding {padding})");
+            render_exact_confidence(&mut out, &analysis, &identity, padding)?;
+        }
+        EngineChoice::Circuit => {
+            // Compile once, then answer by traversal. The compile-stats
+            // line is deterministic (sizes, no wall time), so CI can diff
+            // the full output across thread counts and against the DP.
+            let circuit = compile_circuit(
+                SignatureAnalysis::new(&identity, padding),
+                &budget,
+                &CircuitConfig::default(),
+            )?;
+            let stats = circuit.stats();
+            let mut metrics = pscds_core::obs::MetricSet::new();
+            stats.record_into(&mut metrics);
+            obs.merge_metrics(&metrics);
+            let analysis = analyze_circuit_budgeted(&circuit, &budget)?;
+            let _ = writeln!(out, "engine: circuit (exact, padding {padding})");
+            let _ = writeln!(
+                out,
+                "compile stats: {} nodes ({} exact residual states, {} shared), {} edges",
+                stats.canonical_nodes, stats.exact_nodes, stats.shared_nodes, stats.edges
+            );
             render_exact_confidence(&mut out, &analysis, &identity, padding)?;
         }
         EngineChoice::Signature => {
@@ -1646,6 +1693,69 @@ mod tests {
         assert!(oracle.contains("|poss(S)| = 7"), "{oracle}");
         assert!(oracle.contains("R(b)  6/7"), "{oracle}");
         assert!(oracle.contains("unlisted domain facts: 2/7"), "{oracle}");
+    }
+
+    #[test]
+    fn engine_flag_circuit_matches_dp_with_compile_stats() {
+        let dir = tmpdir("engine-circuit");
+        let file = write_file(&dir, "c.pscds", EXAMPLE);
+        let dp = run(&args(&[
+            "confidence",
+            &file,
+            "--padding",
+            "1",
+            "--engine",
+            "dp",
+        ]))
+        .unwrap();
+        let circuit = run(&args(&[
+            "confidence",
+            &file,
+            "--padding",
+            "1",
+            "--engine",
+            "circuit",
+        ]))
+        .unwrap();
+        assert!(
+            circuit.starts_with("engine: circuit (exact, padding 1)"),
+            "{circuit}"
+        );
+        assert!(circuit.contains("compile stats:"), "{circuit}");
+        assert!(circuit.contains("exact residual states"), "{circuit}");
+        // Same confidence table as the DP, modulo the banner lines.
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("engine:") && !l.starts_with("compile stats:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&circuit), strip(&dp), "{circuit}\nvs\n{dp}");
+        // The compile-stats line is deterministic: a second run is
+        // byte-identical.
+        let again = run(&args(&[
+            "confidence",
+            &file,
+            "--padding",
+            "1",
+            "--engine",
+            "circuit",
+        ]))
+        .unwrap();
+        assert_eq!(circuit, again);
+        // Circuit-size counters ride the ordinary metrics plumbing.
+        let metrics = run(&args(&[
+            "confidence",
+            &file,
+            "--padding",
+            "1",
+            "--engine",
+            "circuit",
+            "--metrics",
+        ]))
+        .unwrap();
+        assert!(metrics.contains("  circuit.nodes "), "{metrics}");
+        assert!(metrics.contains("  circuit.edges "), "{metrics}");
     }
 
     #[test]

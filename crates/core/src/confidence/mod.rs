@@ -33,7 +33,12 @@
 //!   residual states: exact like the DFS, but pseudo-polynomial on
 //!   instances whose search trees re-enter the same residuals (padded
 //!   domains, wide slack classes).
+//! * [`circuit`] — the DP's residual-state recursion compiled once into
+//!   a shared-node arithmetic circuit; per-tuple, conditional, and
+//!   top-k confidences are then linear traversals, so one compile
+//!   amortizes across many queries.
 
+pub mod circuit;
 pub mod closed_form;
 pub mod counting;
 pub mod dp;
@@ -43,6 +48,13 @@ pub mod sampling;
 pub mod signature;
 pub mod worlds;
 
+pub use circuit::{
+    analyze_circuit, analyze_circuit_budgeted, analyze_circuit_conditional,
+    analyze_circuit_conditional_budgeted, analyze_circuit_conditional_parallel,
+    analyze_circuit_parallel, analyze_circuit_topk, analyze_circuit_topk_budgeted,
+    analyze_circuit_topk_parallel, compile_circuit, CircuitConfig, CircuitStats, CompiledCircuit,
+    CompiledCollection,
+};
 pub use counting::ConfidenceAnalysis;
 pub use dp::{
     count_dp, count_dp_observed, count_dp_parallel, count_dp_shared, count_dp_shared_parallel,

@@ -273,6 +273,10 @@ pub enum Engine {
     /// but pseudo-polynomial on instances whose search trees re-enter the
     /// same residual states — see `confidence::dp`).
     Dp,
+    /// The compiled shared-node arithmetic circuit: the DP recursion
+    /// materialized once, queried by linear traversals (exact; see
+    /// `confidence::circuit`).
+    Circuit,
     /// The Metropolis sampler: an estimate, not an exact value.
     Sampled {
         /// Number of recorded samples behind the estimate.
@@ -294,6 +298,7 @@ impl std::fmt::Display for Engine {
             Engine::Exact => write!(f, "exact"),
             Engine::Signature => write!(f, "signature"),
             Engine::Dp => write!(f, "dp"),
+            Engine::Circuit => write!(f, "circuit"),
             Engine::Sampled { samples } => write!(f, "sampled ({samples} samples)"),
             Engine::Partial { unavailable } => {
                 write!(f, "partial ({unavailable} sources unavailable)")

@@ -21,6 +21,7 @@
 //!   finally the Metropolis sampler (an *estimate*; opt-in via `approx`).
 
 use crate::collection::IdentityCollection;
+use crate::confidence::circuit::{analyze_circuit_budgeted, compile_circuit, CircuitConfig};
 use crate::confidence::counting::ConfidenceAnalysis;
 use crate::confidence::dp::{count_dp_observed, DpConfig};
 use crate::confidence::intervals::{count_intervals_parallel, IntervalAnalysis};
@@ -65,6 +66,11 @@ pub enum ConfidenceRung {
     ExactDfs,
     /// The memoized residual-state DP — still exact ([`Engine::Dp`]).
     Dp,
+    /// The compiled shared-node circuit — still exact; the DP recursion
+    /// materialized once and answered by a linear traversal
+    /// ([`Engine::Circuit`]). Not on the default ladder: opt in via a
+    /// custom policy or the CLI's `--engine circuit`.
+    Circuit,
     /// The Metropolis sampler — an estimate, gated behind the `approx`
     /// opt-in ([`Engine::Sampled`]).
     Sampled,
@@ -77,6 +83,7 @@ impl ConfidenceRung {
         match self {
             ConfidenceRung::ExactDfs => Engine::Exact,
             ConfidenceRung::Dp => Engine::Dp,
+            ConfidenceRung::Circuit => Engine::Circuit,
             ConfidenceRung::Sampled => Engine::Sampled {
                 samples: SamplerConfig::default().samples,
             },
@@ -386,6 +393,10 @@ pub enum ResilientConfidence {
     /// finished under a renewed one. Still an exact result — only the
     /// route differs.
     Dp(ConfidenceAnalysis),
+    /// The compiled circuit answered: the DP recursion materialized once
+    /// as a shared-node arithmetic circuit and traversed. Still an exact
+    /// result — only the route differs.
+    Circuit(ConfidenceAnalysis),
     /// Both exact engines ran out of budget; the Metropolis sampler
     /// produced an estimate instead.
     Sampled {
@@ -406,6 +417,7 @@ impl ResilientConfidence {
         match self {
             ResilientConfidence::Exact(_) => Engine::Exact,
             ResilientConfidence::Dp(_) => Engine::Dp,
+            ResilientConfidence::Circuit(_) => Engine::Circuit,
             ResilientConfidence::Sampled { config, .. } => Engine::Sampled {
                 samples: config.samples,
             },
@@ -423,7 +435,9 @@ impl ResilientConfidence {
         tuple: &[Value],
     ) -> Result<f64, CoreError> {
         match self {
-            ResilientConfidence::Exact(a) | ResilientConfidence::Dp(a) => {
+            ResilientConfidence::Exact(a)
+            | ResilientConfidence::Dp(a)
+            | ResilientConfidence::Circuit(a) => {
                 Ok(a.confidence_of_tuple(collection, tuple)?.to_f64())
             }
             ResilientConfidence::Sampled {
@@ -444,7 +458,9 @@ impl ResilientConfidence {
         tuple: &[Value],
     ) -> Result<Option<Rational>, CoreError> {
         match self {
-            ResilientConfidence::Exact(a) | ResilientConfidence::Dp(a) => {
+            ResilientConfidence::Exact(a)
+            | ResilientConfidence::Dp(a)
+            | ResilientConfidence::Circuit(a) => {
                 Ok(Some(a.confidence_of_tuple(collection, tuple)?))
             }
             ResilientConfidence::Sampled { .. } => Ok(None),
@@ -455,7 +471,9 @@ impl ResilientConfidence {
     #[must_use]
     pub fn exact(&self) -> Option<&ConfidenceAnalysis> {
         match self {
-            ResilientConfidence::Exact(a) | ResilientConfidence::Dp(a) => Some(a),
+            ResilientConfidence::Exact(a)
+            | ResilientConfidence::Dp(a)
+            | ResilientConfidence::Circuit(a) => Some(a),
             ResilientConfidence::Sampled { .. } => None,
         }
     }
@@ -465,7 +483,9 @@ impl ResilientConfidence {
     #[must_use]
     pub fn is_consistent(&self) -> bool {
         match self {
-            ResilientConfidence::Exact(a) | ResilientConfidence::Dp(a) => a.is_consistent(),
+            ResilientConfidence::Exact(a)
+            | ResilientConfidence::Dp(a)
+            | ResilientConfidence::Circuit(a) => a.is_consistent(),
             // The sampler only runs after finding a feasible vector.
             ResilientConfidence::Sampled { .. } => true,
         }
@@ -634,6 +654,22 @@ fn confidence_ladder(
                 count_dp_observed(analysis, rung_budget, config, &DpConfig::default(), obs)
                     .map(|(analysis, _stats)| ResilientConfidence::Dp(analysis))
             }
+            ConfidenceRung::Circuit => {
+                // Compile the DP recursion into a shared-node circuit,
+                // then answer by a single traversal. The compile and the
+                // traversal tick the same budget slice; circuit-size and
+                // sharing counters are merged into the session.
+                let analysis = SignatureAnalysis::new(collection, padding);
+                compile_circuit(analysis, rung_budget, &CircuitConfig::default()).and_then(
+                    |circuit| {
+                        let mut metrics = MetricSet::new();
+                        circuit.stats().record_into(&mut metrics);
+                        obs.merge_metrics(&metrics);
+                        analyze_circuit_budgeted(&circuit, rung_budget)
+                            .map(ResilientConfidence::Circuit)
+                    },
+                )
+            }
             ConfidenceRung::Sampled => {
                 let sampler_config = SamplerConfig::default();
                 match sample_confidences_budgeted(collection, padding, &sampler_config, rung_budget)
@@ -671,7 +707,7 @@ fn confidence_ladder(
                 // Ladder-record the trip for rungs that don't record
                 // their own (the DP does, inside count_dp_observed; the
                 // sampler just did, above).
-                if *rung == ConfidenceRung::ExactDfs {
+                if matches!(rung, ConfidenceRung::ExactDfs | ConfidenceRung::Circuit) {
                     if let CoreError::BudgetExceeded { phase, .. } = &e {
                         record_trip(obs, budget.elapsed_ns(), phase);
                     }
@@ -1225,6 +1261,81 @@ mod tests {
         .unwrap();
         assert_eq!(r.engine, Engine::Signature);
         assert!(r.consistent);
+    }
+
+    #[test]
+    fn circuit_policy_matches_the_exact_counter() {
+        // A circuit-only confidence policy: compile once, traverse once.
+        // The answer is bit-identical to the DFS counter's, and the
+        // circuit-size counters land in the session.
+        let id = example_5_1_scaled(3).as_identity().unwrap();
+        let reference = ConfidenceAnalysis::analyze(&id, 3);
+        let policy = LadderPolicy {
+            check: vec![CheckRung::Signature],
+            confidence: vec![ConfidenceRung::Circuit],
+        };
+        let mut obs = ObsSession::in_memory();
+        let r = confidence_resilient_policy(
+            &id,
+            3,
+            &Budget::unlimited(),
+            &ParallelConfig::serial(),
+            false,
+            &policy,
+            &mut obs,
+        )
+        .unwrap();
+        assert_eq!(r.engine(), Engine::Circuit);
+        let a = r.exact().unwrap();
+        assert_eq!(a.world_count(), reference.world_count());
+        for i in 0..reference.signature_analysis().classes().len() {
+            assert_eq!(
+                a.class_confidence(i).unwrap(),
+                reference.class_confidence(i).unwrap()
+            );
+        }
+        let report = obs.finish();
+        assert_eq!(report.metrics.counter(names::LADDER_DEGRADATIONS), 0);
+        assert_eq!(report.metrics.counter(names::BUDGET_TRIPS), 0);
+        assert!(report.metrics.counter(names::CIRCUIT_NODES) > 0);
+        assert!(report.metrics.counter(names::CIRCUIT_EDGES) > 0);
+    }
+
+    #[test]
+    fn ladder_degrades_from_dfs_to_circuit() {
+        // The DFS explodes on the wide-slack instance while the circuit
+        // compiles it in a handful of residual states: the ladder trips
+        // the first rung and the circuit rung rescues the query.
+        let id = wide_slack_identity(6, 9);
+        let policy = LadderPolicy {
+            check: vec![CheckRung::Signature],
+            confidence: vec![ConfidenceRung::ExactDfs, ConfidenceRung::Circuit],
+        };
+        let mut obs = ObsSession::in_memory();
+        let r = confidence_resilient_policy(
+            &id,
+            0,
+            &Budget::with_max_steps(5_000),
+            &ParallelConfig::serial(),
+            false,
+            &policy,
+            &mut obs,
+        )
+        .unwrap();
+        assert_eq!(r.engine(), Engine::Circuit);
+        assert!(r.is_consistent());
+        let report = obs.finish();
+        assert_eq!(report.metrics.counter(names::BUDGET_TRIPS), 1);
+        assert_eq!(report.metrics.counter(names::LADDER_DEGRADATIONS), 1);
+        let degrade: Vec<_> = report
+            .events
+            .iter()
+            .filter(|e| e.name == "ladder.degrade")
+            .collect();
+        assert_eq!(
+            degrade[0].attrs,
+            vec![("from", "exact".to_string()), ("to", "circuit".to_string())]
+        );
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //!   consistent), for the consistency and confidence experiments.
 //! * [`mirrors`] — the Section 6 closing scenario: multiple caches/mirrors
 //!   of a set of objects, each a stale or partially-corrupt copy.
+//! * [`symmetric`] — interchangeable sources with identical `(c, s)`
+//!   claims over disjoint extensions: the family whose source-swap
+//!   automorphisms the circuit compiler's residual-key canonicalization
+//!   exploits (experiment E11 and the node-sharing assertions).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,3 +35,4 @@ pub mod climate;
 pub mod flaky;
 pub mod mirrors;
 pub mod random_sources;
+pub mod symmetric;

@@ -92,6 +92,28 @@ pub const INTERVAL_POINT_CONTAINED: &str = "interval.point_contained";
 /// answers.
 pub const INTERVAL_WIDTH_PPM: &str = "interval.width_ppm";
 
+/// Counter: distinct canonical residual skeletons in a compiled
+/// confidence circuit (the circuit's shared-node count).
+pub const CIRCUIT_NODES: &str = "circuit.nodes";
+
+/// Counter: interior circuit nodes keyed on exact residual states
+/// (before canonical sharing; comparable to `dp.cache_misses`).
+pub const CIRCUIT_EXACT_NODES: &str = "circuit.exact_nodes";
+
+/// Counter: weighted edges (Or-disjuncts) across a compiled circuit.
+pub const CIRCUIT_EDGES: &str = "circuit.edges";
+
+/// Counter: circuit nodes whose canonicalized residual key collided
+/// with an earlier node — the sharing won on symmetric instances.
+pub const CIRCUIT_SHARED_NODES: &str = "circuit.shared_nodes";
+
+/// Counter: compiled-collection cache hits (queries answered without
+/// recompiling).
+pub const CIRCUIT_COMPILE_HITS: &str = "circuit.compile_hits";
+
+/// Counter: compiled-collection cache misses (fresh compiles).
+pub const CIRCUIT_COMPILE_MISSES: &str = "circuit.compile_misses";
+
 /// Gauge: residual-DP peak live cache entries (high-water mark).
 pub const DP_CACHE_PEAK: &str = "dp.cache_peak";
 
@@ -100,7 +122,7 @@ pub const DP_CACHE_PEAK: &str = "dp.cache_peak";
 pub const CHUNKS_STOLEN: &str = "chunks.stolen";
 
 /// All registered counter names, in stable reporting order.
-pub const COUNTERS: [&str; 22] = [
+pub const COUNTERS: [&str; 28] = [
     BUDGET_TICKS,
     BUDGET_TRIPS,
     DP_CACHE_HITS,
@@ -123,6 +145,12 @@ pub const COUNTERS: [&str; 22] = [
     INTERVAL_TUPLES,
     INTERVAL_POINT_CONTAINED,
     INTERVAL_WIDTH_PPM,
+    CIRCUIT_NODES,
+    CIRCUIT_EXACT_NODES,
+    CIRCUIT_EDGES,
+    CIRCUIT_SHARED_NODES,
+    CIRCUIT_COMPILE_HITS,
+    CIRCUIT_COMPILE_MISSES,
 ];
 
 /// All registered gauge names, in stable reporting order.

@@ -178,4 +178,43 @@ printf 'seed: 99\ndefault { fail: 1/8 }\nsource S2 { down: 0..100 }\n' \
     }
 )
 
+# Circuit gate (DESIGN.md §3.13): the compiled shared-node circuit must
+# answer byte-identically to the DP engine on the Example 5.1 catalog at
+# two thread counts (after stripping the engine banner and compile-stats
+# lines, the only intentional difference), the metamorphic suite must
+# hold end to end, and the E11 compile-once/query-many run must append a
+# schema-valid "circuit" record to BENCH_history.jsonl — the binary
+# itself asserts bit-identical answers and the ≥5× amortized speedup.
+echo "==> circuit gate (DP parity at 2 thread counts, metamorphic suite, E11 amortization)"
+cargo test -q --release --test circuit_metamorphic
+(
+    cd "$smoke_dir"
+    for threads in 1 4; do
+        pscds_cli confidence example51.pscds --padding 1 \
+            --engine circuit --threads "$threads" > "circuit-t$threads.txt"
+    done
+    diff -u circuit-t1.txt circuit-t4.txt || {
+        echo "circuit answers differ between --threads 1 and --threads 4" >&2
+        exit 1
+    }
+    grep -q '^compile stats:' circuit-t1.txt || {
+        echo "--engine circuit printed no compile stats" >&2
+        exit 1
+    }
+    pscds_cli confidence example51.pscds --padding 1 --engine dp > dp.txt
+    grep -v -e '^engine:' -e '^compile stats:' circuit-t1.txt > circuit-answer.txt
+    grep -v '^engine:' dp.txt > dp-answer.txt
+    diff -u circuit-answer.txt dp-answer.txt || {
+        echo "circuit answer differs from the dp engine" >&2
+        exit 1
+    }
+    cargo run -q --manifest-path "$OLDPWD/Cargo.toml" \
+        -p pscds-bench --release --bin e11_circuit -- --queries 120 > e11.txt
+    grep -q '"engine": "circuit"' BENCH_history.jsonl || {
+        echo "E11 left no circuit record in BENCH_history.jsonl" >&2
+        exit 1
+    }
+    bench_validate --history BENCH_history.jsonl > /dev/null
+)
+
 echo "==> CI green"

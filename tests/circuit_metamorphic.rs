@@ -1,0 +1,220 @@
+//! Metamorphic properties of the compiled confidence circuit: relations
+//! that must hold between *different runs* of the engine, rather than
+//! against a reference value. Each property is a transformation of the
+//! input (permute the sources, round-trip the text format, condition on
+//! a certain event) paired with the invariant the output must keep.
+//! Together with `tests/engine_parity.rs` (bit-identity against the
+//! uncompiled engines) this is the differential harness of DESIGN.md
+//! §3.13.
+
+use proptest::prelude::*;
+use pscds::core::confidence::{
+    analyze_circuit, analyze_circuit_conditional, analyze_circuit_topk, compile_circuit,
+    CircuitConfig, CompiledCircuit, SignatureAnalysis,
+};
+use pscds::core::govern::Budget;
+use pscds::core::paper::example_5_1;
+use pscds::core::textfmt::{format_collection, parse_collection};
+use pscds::core::{SourceCollection, SourceDescriptor};
+use pscds::numeric::{Frac, Rational};
+use pscds::relational::Value;
+
+const DOMAIN: usize = 5;
+
+fn domain() -> Vec<Value> {
+    (0..DOMAIN).map(|i| Value::sym(&format!("u{i}"))).collect()
+}
+
+/// Strategy: a random identity-view collection over the 5-element domain
+/// (the same shape as the engine-parity harness).
+fn collections() -> impl Strategy<Value = SourceCollection> {
+    let source = (
+        proptest::collection::btree_set(0usize..DOMAIN, 0..=DOMAIN),
+        0u64..=4,
+        0u64..=4,
+    );
+    proptest::collection::vec(source, 1..=3).prop_map(|specs| {
+        let dom = domain();
+        let sources = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (ext, c, s))| {
+                SourceDescriptor::identity(
+                    format!("S{i}"),
+                    &format!("V{i}"),
+                    "R",
+                    1,
+                    ext.into_iter().map(|e| [dom[e]]),
+                    Frac::new(c, 4),
+                    Frac::new(s, 4),
+                )
+                .expect("valid descriptor")
+            })
+            .collect::<Vec<_>>();
+        SourceCollection::from_sources(sources)
+    })
+}
+
+/// Compiles `collection` over `padding` fresh domain facts.
+fn compile(collection: &SourceCollection, padding: u64) -> CompiledCircuit {
+    let identity = collection.as_identity().expect("identity views");
+    compile_circuit(
+        SignatureAnalysis::new(&identity, padding),
+        &Budget::unlimited(),
+        &CircuitConfig::default(),
+    )
+    .expect("unlimited budget")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Permuting the *order* of the sources relabels signature bits and
+    /// reorders the signature classes, but the distribution over
+    /// possible worlds is the same set of worlds — so every named
+    /// tuple's confidence, and the world count, must be invariant. (The
+    /// per-class numerators are source-order-sensitive internally; this
+    /// property is exactly why the compiler may canonicalize *count*
+    /// skeletons but must keep numerators pinned to the exact order.)
+    #[test]
+    fn source_order_permutation_leaves_confidences_invariant(collection in collections()) {
+        let identity = collection.as_identity().expect("identity views");
+        let padding = DOMAIN as u64 - identity.all_tuples().len() as u64;
+        let base = analyze_circuit(&compile(&collection, padding));
+
+        let mut permuted_sources: Vec<SourceDescriptor> = collection.sources().to_vec();
+        permuted_sources.reverse();
+        let mut permutations = vec![permuted_sources];
+        if collection.sources().len() > 2 {
+            let mut rotated: Vec<SourceDescriptor> = collection.sources().to_vec();
+            rotated.rotate_left(1);
+            permutations.push(rotated);
+        }
+        for sources in permutations {
+            let permuted = SourceCollection::from_sources(sources);
+            let permuted_identity = permuted.as_identity().expect("identity views");
+            let analysis = analyze_circuit(&compile(&permuted, padding));
+            prop_assert_eq!(analysis.world_count(), base.world_count());
+            prop_assert_eq!(analysis.feasible_vectors(), base.feasible_vectors());
+            prop_assert_eq!(analysis.is_consistent(), base.is_consistent());
+            if base.is_consistent() {
+                for tuple in identity.all_tuples() {
+                    prop_assert_eq!(
+                        analysis
+                            .confidence_of_tuple(&permuted_identity, &tuple)
+                            .expect("consistent"),
+                        base.confidence_of_tuple(&identity, &tuple).expect("consistent")
+                    );
+                }
+            }
+        }
+    }
+
+    /// Chain rule, empty case: `conf(t | ∅) == conf(t)` for every tuple.
+    #[test]
+    fn conditioning_on_the_empty_event_is_plain_confidence(collection in collections()) {
+        let identity = collection.as_identity().expect("identity views");
+        let padding = DOMAIN as u64 - identity.all_tuples().len() as u64;
+        let circuit = compile(&collection, padding);
+        let analysis = analyze_circuit(&circuit);
+        if analysis.is_consistent() {
+            for tuple in identity.all_tuples() {
+                prop_assert_eq!(
+                    analyze_circuit_conditional(&circuit, &identity, &tuple, &[])
+                        .expect("consistent"),
+                    analysis.confidence_of_tuple(&identity, &tuple).expect("consistent")
+                );
+            }
+        }
+    }
+
+    /// Top-k agrees with the full sort of `analyze_circuit` at every k:
+    /// the same (descending confidence, ascending tuple) order, truncated.
+    #[test]
+    fn top_k_is_the_truncated_full_sort(collection in collections()) {
+        let identity = collection.as_identity().expect("identity views");
+        let padding = DOMAIN as u64 - identity.all_tuples().len() as u64;
+        let circuit = compile(&collection, padding);
+        let analysis = analyze_circuit(&circuit);
+        if !analysis.is_consistent() {
+            return Ok(());
+        }
+        let mut full: Vec<(Vec<Value>, Rational)> = identity
+            .all_tuples()
+            .into_iter()
+            .map(|t| {
+                let conf = analysis.confidence_of_tuple(&identity, &t).expect("consistent");
+                (t, conf)
+            })
+            .collect();
+        full.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        for k in 0..=full.len() + 1 {
+            let topk = analyze_circuit_topk(&circuit, k).expect("consistent");
+            prop_assert_eq!(&topk[..], &full[..k.min(full.len())]);
+        }
+    }
+
+    /// Round-tripping the collection through the text format and
+    /// recompiling yields a structurally identical circuit: same
+    /// skeleton digest, same stats, same analysis.
+    #[test]
+    fn textfmt_round_trip_preserves_the_circuit_skeleton(collection in collections()) {
+        let padding = 2u64;
+        let original = compile(&collection, padding);
+        let round_tripped = parse_collection(&format_collection(&collection))
+            .expect("formatter output parses");
+        let recompiled = compile(&round_tripped, padding);
+        prop_assert_eq!(recompiled.skeleton_digest(), original.skeleton_digest());
+        prop_assert_eq!(recompiled.stats(), original.stats());
+        prop_assert_eq!(recompiled.node_count(), original.node_count());
+        let a = analyze_circuit(&original);
+        let b = analyze_circuit(&recompiled);
+        prop_assert_eq!(a.world_count(), b.world_count());
+        prop_assert_eq!(a.feasible_vectors(), b.feasible_vectors());
+    }
+}
+
+/// Chain rule, certain case: a source with soundness 1 makes its
+/// extension tuple true in *every* world, so conditioning on it cannot
+/// move any confidence. (The certain tuple itself has confidence 1.)
+#[test]
+fn conditioning_on_a_certain_tuple_is_a_no_op() {
+    let mut sources: Vec<SourceDescriptor> = example_5_1().sources().to_vec();
+    sources.push(
+        SourceDescriptor::identity(
+            "S3",
+            "V3",
+            "R",
+            1,
+            [[Value::sym("z")]],
+            Frac::ZERO,
+            Frac::ONE,
+        )
+        .expect("valid descriptor"),
+    );
+    let collection = SourceCollection::from_sources(sources);
+    let identity = collection.as_identity().expect("identity views");
+    let padding = 3u64;
+    let circuit = compile(&collection, padding);
+    let analysis = analyze_circuit(&circuit);
+    assert!(analysis.is_consistent());
+
+    let certain = vec![Value::sym("z")];
+    assert_eq!(
+        analysis
+            .confidence_of_tuple(&identity, &certain)
+            .expect("consistent"),
+        Rational::one(),
+        "soundness-1 singleton extension must be certain"
+    );
+    let given = [certain.clone()];
+    for tuple in identity.all_tuples() {
+        assert_eq!(
+            analyze_circuit_conditional(&circuit, &identity, &tuple, &given).expect("consistent"),
+            analysis
+                .confidence_of_tuple(&identity, &tuple)
+                .expect("consistent"),
+            "conditioning on the certain tuple moved conf({tuple:?})"
+        );
+    }
+}

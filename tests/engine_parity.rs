@@ -7,9 +7,13 @@
 
 use proptest::prelude::*;
 use pscds::core::confidence::{
-    count_dp, count_dp_observed, count_dp_shared, count_dp_shared_parallel, count_intervals,
-    count_intervals_budgeted, count_intervals_parallel, ConfidenceAnalysis, DpConfig, LinearSystem,
-    PossibleWorlds, SharedDpCache, SignatureAnalysis,
+    analyze_circuit, analyze_circuit_budgeted, analyze_circuit_conditional,
+    analyze_circuit_conditional_budgeted, analyze_circuit_conditional_parallel,
+    analyze_circuit_parallel, analyze_circuit_topk, analyze_circuit_topk_budgeted,
+    analyze_circuit_topk_parallel, compile_circuit, count_dp, count_dp_observed, count_dp_shared,
+    count_dp_shared_parallel, count_intervals, count_intervals_budgeted, count_intervals_parallel,
+    CircuitConfig, ConfidenceAnalysis, DpConfig, LinearSystem, PossibleWorlds, SharedDpCache,
+    SignatureAnalysis,
 };
 use pscds::core::consensus::{maximal_consistent_subsets, maximal_consistent_subsets_parallel};
 use pscds::core::consistency::{
@@ -403,6 +407,117 @@ proptest! {
             prop_assert_eq!(policied.engine, observed.engine);
             prop_assert_eq!(policied.consistent, observed.consistent);
             prop_assert_eq!(&policied.witness, &observed.witness);
+        }
+    }
+
+    /// The compiled circuit is a fourth engine route to the same
+    /// semantics: `compile_circuit` once, then `analyze_circuit` (plus
+    /// the conditional and top-k traversals) must be bit-identical to
+    /// the uncompiled DFS and DP counters on every aggregate and every
+    /// per-tuple confidence, with `_budgeted` and `_parallel` twins
+    /// agreeing at every thread count.
+    #[test]
+    fn circuit_parity_across_engines_and_thread_counts(collection in collections()) {
+        let identity = collection.as_identity().expect("identity views");
+        let padding = DOMAIN as u64 - identity.all_tuples().len() as u64;
+        let unlimited = Budget::unlimited();
+
+        let serial = ConfidenceAnalysis::analyze(&identity, padding);
+        let dp = ConfidenceAnalysis::analyze_dp(&identity, padding);
+        let circuit = compile_circuit(
+            SignatureAnalysis::new(&identity, padding),
+            &unlimited,
+            &CircuitConfig::default(),
+        )
+        .expect("unlimited budget");
+
+        // One traversal of the compiled form reproduces both uncompiled
+        // engines bit-for-bit.
+        let traversed = analyze_circuit(&circuit);
+        prop_assert_eq!(traversed.world_count(), serial.world_count());
+        prop_assert_eq!(traversed.world_count(), dp.world_count());
+        prop_assert_eq!(traversed.feasible_vectors(), serial.feasible_vectors());
+        prop_assert_eq!(traversed.is_consistent(), serial.is_consistent());
+        let budgeted = analyze_circuit_budgeted(&circuit, &unlimited).expect("unlimited budget");
+        prop_assert_eq!(budgeted.world_count(), serial.world_count());
+        prop_assert_eq!(budgeted.feasible_vectors(), serial.feasible_vectors());
+
+        if serial.is_consistent() {
+            for tuple in identity.all_tuples() {
+                let reference = serial.confidence_of_tuple(&identity, &tuple).expect("consistent");
+                prop_assert_eq!(
+                    traversed.confidence_of_tuple(&identity, &tuple).expect("consistent"),
+                    reference.clone()
+                );
+                prop_assert_eq!(
+                    dp.confidence_of_tuple(&identity, &tuple).expect("consistent"),
+                    reference.clone()
+                );
+                // Conditioning on the empty event is the plain confidence.
+                prop_assert_eq!(
+                    analyze_circuit_conditional(&circuit, &identity, &tuple, &[])
+                        .expect("consistent"),
+                    reference.clone()
+                );
+                prop_assert_eq!(
+                    analyze_circuit_conditional_budgeted(
+                        &circuit, &identity, &tuple, &[], &unlimited
+                    )
+                    .expect("consistent"),
+                    reference
+                );
+            }
+            if padding > 0 {
+                prop_assert_eq!(
+                    traversed.padding_confidence().expect("padding exists"),
+                    serial.padding_confidence().expect("padding exists")
+                );
+            }
+            // Top-k is a prefix of the full sorted table; ask for
+            // everything and it *is* the full sorted table.
+            let full = analyze_circuit_topk(&circuit, usize::MAX).expect("consistent");
+            let mut expected: Vec<_> = identity
+                .all_tuples()
+                .into_iter()
+                .map(|t| {
+                    let conf = serial.confidence_of_tuple(&identity, &t).expect("consistent");
+                    (t, conf)
+                })
+                .collect();
+            expected.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            prop_assert_eq!(&full, &expected);
+            prop_assert_eq!(
+                analyze_circuit_topk_budgeted(&circuit, usize::MAX, &unlimited)
+                    .expect("consistent"),
+                full.clone()
+            );
+
+            for threads in THREADS {
+                let config = ParallelConfig::with_threads(threads);
+                let par = analyze_circuit_parallel(&circuit, &unlimited, &config)
+                    .expect("unlimited budget");
+                prop_assert_eq!(par.world_count(), serial.world_count());
+                prop_assert_eq!(par.feasible_vectors(), serial.feasible_vectors());
+                for tuple in identity.all_tuples() {
+                    prop_assert_eq!(
+                        par.confidence_of_tuple(&identity, &tuple).expect("consistent"),
+                        serial.confidence_of_tuple(&identity, &tuple).expect("consistent")
+                    );
+                    prop_assert_eq!(
+                        analyze_circuit_conditional_parallel(
+                            &circuit, &identity, &tuple, &[], &unlimited, &config
+                        )
+                        .expect("consistent"),
+                        analyze_circuit_conditional(&circuit, &identity, &tuple, &[])
+                            .expect("consistent")
+                    );
+                }
+                prop_assert_eq!(
+                    analyze_circuit_topk_parallel(&circuit, usize::MAX, &unlimited, &config)
+                        .expect("consistent"),
+                    full.clone()
+                );
+            }
         }
     }
 

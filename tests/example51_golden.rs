@@ -154,3 +154,78 @@ fn gamma_and_worlds_oracle_reproduce_the_golden_table() {
         );
     }
 }
+
+/// One golden circuit row: `(m, exact_nodes, canonical_nodes,
+/// shared_nodes, edges)` for the circuit compiled from Example 5.1 over
+/// `m` padding constants.
+///
+/// The skeleton is *independent of m*: Example 5.1 has two overlapping
+/// sources and one padding class, and the residual states the DP can
+/// reach do not grow with the padding-class size — only the binomial
+/// edge weights do. That collapse (11 exact residual states, 9 after
+/// canonical sharing, 16 weighted edges, for every m) is exactly what
+/// makes the compiled form pseudo-polynomial, so a change in any of
+/// these numbers is a compile-structure regression even if every
+/// confidence still comes out right.
+type GoldenCircuitRow = (u64, u64, u64, u64, u64);
+
+/// The golden circuit-size table at `m = 1..=6`.
+const GOLDEN_CIRCUIT: [GoldenCircuitRow; 6] = [
+    (1, 11, 9, 2, 16),
+    (2, 11, 9, 2, 16),
+    (3, 11, 9, 2, 16),
+    (4, 11, 9, 2, 16),
+    (5, 11, 9, 2, 16),
+    (6, 11, 9, 2, 16),
+];
+
+#[test]
+fn circuit_reproduces_the_golden_tables() {
+    use pscds::core::confidence::{
+        analyze_circuit, compile_circuit, CircuitConfig, SignatureAnalysis,
+    };
+
+    let identity = example_5_1().as_identity().expect("identity views");
+    for ((m, a, b, d, count), (mc, exact, canonical, shared, edges)) in
+        GOLDEN.into_iter().zip(GOLDEN_CIRCUIT)
+    {
+        assert_eq!(m, mc, "golden tables out of step");
+        let circuit = compile_circuit(
+            SignatureAnalysis::new(&identity, m),
+            &Budget::unlimited(),
+            &CircuitConfig::default(),
+        )
+        .expect("unlimited budget");
+
+        // Compile structure: the golden sizes, and the two arenas must
+        // reconcile (every exact node is canonical-fresh or shared).
+        let stats = circuit.stats();
+        assert_eq!(stats.exact_nodes, exact, "exact nodes at m={m}");
+        assert_eq!(stats.canonical_nodes, canonical, "canonical nodes at m={m}");
+        assert_eq!(stats.shared_nodes, shared, "shared nodes at m={m}");
+        assert_eq!(stats.edges, edges, "edges at m={m}");
+        assert_eq!(
+            stats.canonical_nodes + stats.shared_nodes,
+            stats.exact_nodes,
+            "arena accounting at m={m}"
+        );
+
+        // Values: one traversal reproduces the golden confidence table.
+        let analysis = analyze_circuit(&circuit);
+        assert_eq!(analysis.world_count(), &UBig::from(count), "m={m}");
+        for (sym, (num, den)) in [("a", a), ("b", b), ("c", a)] {
+            assert_eq!(
+                analysis
+                    .confidence_of_tuple(&identity, &[Value::sym(sym)])
+                    .expect("consistent"),
+                Rational::from_u64(num, den),
+                "circuit conf({sym}) at m={m}"
+            );
+        }
+        assert_eq!(
+            analysis.padding_confidence().expect("padding"),
+            Rational::from_u64(d.0, d.1),
+            "circuit conf(d) at m={m}"
+        );
+    }
+}

@@ -128,7 +128,9 @@ fn point_answers(
         .iter()
         .map(|t| {
             let conf = match result {
-                ResilientConfidence::Exact(a) | ResilientConfidence::Dp(a) => a
+                ResilientConfidence::Exact(a)
+                | ResilientConfidence::Dp(a)
+                | ResilientConfidence::Circuit(a) => a
                     .confidence_of_tuple(&identity, t)
                     .map_err(|e| e.to_string()),
                 ResilientConfidence::Sampled { .. } => {
