@@ -1,0 +1,204 @@
+//! E10 — incremental maintenance vs from-scratch recompute over
+//! streaming source deltas.
+//!
+//! The workload is the `pscds_datagen` cache-replacement stream: a
+//! fleet of caches whose per-group object sets churn every batch by
+//! signature-inheriting replacement (an evicted object leaves exactly
+//! the caches the incoming one joins), so the class *structure* of the
+//! collection never moves — the incremental engine's best case. The
+//! recompute baseline pays signature analysis plus a full confidence
+//! count every epoch; the [`DeltaSession`] route diffs the batch,
+//! rebinds the maintained circuit, and reuses the cached numerators.
+//!
+//! Every epoch's answer is asserted bit-identical between the two
+//! routes — verdict, world count, feasible-vector count, and every
+//! per-tuple confidence — and at the highest update rate the speedup
+//! must clear 5×, the acceptance bar of the incremental design. One
+//! `incremental` / `recompute` record pair per update rate is appended
+//! to `BENCH_history.jsonl`.
+//!
+//! Run: `cargo run -p pscds-bench --release --bin e10_deltas`
+
+use pscds_bench::schema::BenchRecord;
+use pscds_bench::{markdown_table, ubig_brief, Cell};
+use pscds_core::confidence::ConfidenceAnalysis;
+use pscds_core::delta::{analyze_incremental, apply_batch_to_catalog, DeltaSession};
+use pscds_core::obs::MetricSet;
+use pscds_datagen::deltas::{cache_sim_stream, CacheStreamConfig};
+use std::io::Write as _;
+use std::time::Instant;
+
+fn main() {
+    // `--batches N` sets the stream length (default 48; the ≥ 5×
+    // speedup assertion is armed whenever N ≥ 32).
+    let mut batches = 48usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--batches" => {
+                batches = it
+                    .next()
+                    .expect("--batches needs a value")
+                    .parse()
+                    .expect("--batches needs a number");
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    println!("E10  Incremental maintenance vs recompute over {batches}-batch update streams:\n");
+    let rates = [1usize, 2, 4, 8];
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    let mut top_speedup = 0.0f64;
+    for &rate in &rates {
+        let stream = cache_sim_stream(&CacheStreamConfig {
+            group_size: 4,
+            n_caches: 3,
+            batches,
+            updates_per_batch: rate,
+            drift: 0.0,
+            seed: 10 + rate as u64,
+        })
+        .expect("valid stream config");
+
+        let mut session =
+            DeltaSession::new(&stream.initial, stream.padding).expect("identity views");
+        let mut catalog = stream.initial.clone();
+        let mut inc_ns = 0u128;
+        let mut rec_ns = 0u128;
+        let mut worlds = String::new();
+        // Epoch 0 is the initial state: the incremental route pays its
+        // one unavoidable full compile here, the baseline its first
+        // recompute. Every later epoch applies one batch to both.
+        for epoch in 0..=batches {
+            let incremental = if epoch == 0 {
+                let t = Instant::now();
+                let analysis = analyze_incremental(&mut session);
+                inc_ns += t.elapsed().as_nanos();
+                analysis
+            } else {
+                let batch = &stream.batches[epoch - 1];
+                let t = Instant::now();
+                session.apply_batch(batch).expect("in-universe ops");
+                let analysis = analyze_incremental(&mut session);
+                inc_ns += t.elapsed().as_nanos();
+                let t = Instant::now();
+                catalog = apply_batch_to_catalog(&catalog, batch).expect("valid batch");
+                rec_ns += t.elapsed().as_nanos();
+                analysis
+            };
+            let t = Instant::now();
+            let identity = catalog.as_identity().expect("identity views");
+            let scratch = ConfidenceAnalysis::analyze(&identity, session.padding());
+            rec_ns += t.elapsed().as_nanos();
+
+            assert_eq!(
+                incremental.is_consistent(),
+                scratch.is_consistent(),
+                "verdict diverged at rate {rate}, epoch {epoch}"
+            );
+            assert_eq!(
+                incremental.world_count(),
+                scratch.world_count(),
+                "world count diverged at rate {rate}, epoch {epoch}"
+            );
+            assert_eq!(
+                incremental.feasible_vectors(),
+                scratch.feasible_vectors(),
+                "feasible vectors diverged at rate {rate}, epoch {epoch}"
+            );
+            if scratch.is_consistent() {
+                for tuple in identity.all_tuples() {
+                    assert_eq!(
+                        incremental
+                            .confidence_of_tuple(&identity, &tuple)
+                            .expect("consistent"),
+                        scratch
+                            .confidence_of_tuple(&identity, &tuple)
+                            .expect("consistent"),
+                        "confidence diverged at rate {rate}, epoch {epoch}"
+                    );
+                }
+            }
+            if worlds.is_empty() {
+                worlds = ubig_brief(scratch.world_count());
+            }
+        }
+
+        let stats = session.stats();
+        let speedup = rec_ns as f64 / inc_ns.max(1) as f64;
+        top_speedup = top_speedup.max(speedup);
+        rows.push(vec![
+            Cell::from(rate),
+            Cell::from(worlds),
+            Cell::from(format!(
+                "{:?}",
+                std::time::Duration::from_nanos((rec_ns / (batches as u128 + 1)) as u64)
+            )),
+            Cell::from(format!(
+                "{:?}",
+                std::time::Duration::from_nanos((inc_ns / (batches as u128 + 1)) as u64)
+            )),
+            Cell::from(format!("{speedup:.1}×")),
+            Cell::from(format!(
+                "{} reused / {} patched / {} recompiled",
+                stats.results_reused, stats.nodes_patched, stats.recompiles_forced
+            )),
+        ]);
+        // The schema's cache columns carry the maintenance discipline:
+        // reused results are the incremental route's cache hits, forced
+        // recompiles its misses; the recompute row kept no cache.
+        records.push(BenchRecord {
+            engine: "incremental".to_owned(),
+            m: rate as u64,
+            wall_ns: inc_ns,
+            cache_hits: stats.results_reused,
+            cache_misses: stats.recompiles_forced,
+            peak_cache_entries: stats.states_invalidated,
+            fallback_nodes: stats.nodes_patched,
+            cross_subset_hits: stats.ops_applied,
+        });
+        records.push(BenchRecord::from_metrics(
+            "recompute",
+            rate as u64,
+            rec_ns,
+            &MetricSet::new(),
+        ));
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "updates/batch",
+                "|poss| (epoch 0)",
+                "recompute/epoch",
+                "incremental/epoch",
+                "speedup",
+                "maintenance",
+            ],
+            &rows
+        )
+    );
+    if batches >= 32 {
+        assert!(
+            top_speedup >= 5.0,
+            "incremental maintenance must beat per-epoch recompute by ≥ 5× on the \
+             replacement-churn stream (got {top_speedup:.1}×)"
+        );
+    }
+
+    let history_path = "BENCH_history.jsonl";
+    let mut history = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(history_path)
+        .unwrap_or_else(|e| panic!("open {history_path}: {e}"));
+    for r in &records {
+        writeln!(history, "{}", r.to_json()).expect("append history");
+    }
+    println!("appended {} records to {history_path}", records.len());
+
+    println!("\nE10: every epoch bit-identical across routes; best speedup {top_speedup:.1}×.");
+}

@@ -37,12 +37,13 @@ use pscds_core::consistency::exhaustive::domain_with_fresh;
 use pscds_core::consistency::{
     decide_identity_parallel, find_witness_parallel, IdentityConsistency,
 };
+use pscds_core::delta::{parse_delta_stream, DeltaProvider, DeltaSession};
 use pscds_core::govern::Budget;
 use pscds_core::measures::measure;
 use pscds_core::obs::{JsonlSink, ObsSession};
 use pscds_core::resilient::{
-    confidence_resilient_observed, confidence_under_faults, FaultAwareConfidence, LadderPolicy,
-    ResilientConfidence,
+    confidence_over_stream, confidence_resilient_observed, confidence_under_faults,
+    FaultAwareConfidence, LadderPolicy, ResilientConfidence,
 };
 use pscds_core::source::{AccessPolicy, RetryPolicy, SourceStatus};
 use pscds_core::textfmt::{format_interval, parse_collection};
@@ -181,6 +182,13 @@ the budget, per-source circuit breakers):
                      [lo, hi] bracketing the missing sources between
                      \"absent\" and \"at claimed (c,s) bounds\"; the
                      process exits 4 to flag the partial answer
+    --deltas P       replay the ordered update stream in file P (the
+                     batch/insert/delete format of pscds_core::delta)
+                     through the incremental maintenance session: one
+                     fetch-and-analyse epoch per batch, patching the
+                     compiled state instead of recomputing. Composes
+                     with --fault-plan/--retries/--backoff-ticks; every
+                     epoch needs every source, so --partial is rejected
 
 EXIT CODES:
     0  success        1  usage error
@@ -250,6 +258,7 @@ struct Options {
     backoff_ticks: Option<u64>,
     fault_plan: Option<String>,
     partial: bool,
+    deltas: Option<String>,
 }
 
 impl Options {
@@ -257,7 +266,9 @@ impl Options {
     /// on `confidence` with `--engine auto`, and the flag name makes the
     /// usage error actionable.
     fn fault_flag_used(&self) -> Option<&'static str> {
-        if self.fault_plan.is_some() {
+        if self.deltas.is_some() {
+            Some("--deltas")
+        } else if self.fault_plan.is_some() {
             Some("--fault-plan")
         } else if self.partial {
             Some("--partial")
@@ -289,6 +300,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         backoff_ticks: None,
         fault_plan: None,
         partial: false,
+        deltas: None,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -340,6 +352,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             }
             "--fault-plan" => opts.fault_plan = Some(grab("--fault-plan")?),
             "--partial" => opts.partial = true,
+            "--deltas" => opts.deltas = Some(grab("--deltas")?),
             "--engine" => {
                 let v = grab("--engine")?;
                 opts.engine = v.parse().map_err(|()| {
@@ -853,6 +866,130 @@ fn confidence_under_faults_output(
     }
 }
 
+/// Runs the `--deltas FILE` replay: the update stream is folded into a
+/// [`DeltaProvider`] batch by batch, each epoch is fetched through the
+/// recovery stack (so `--fault-plan`/`--retries` compose), and one
+/// [`DeltaSession`] maintains the verdict, the residual cache, and the
+/// compiled circuit across epochs instead of recomputing them.
+fn confidence_deltas_output(
+    opts: &Options,
+    collection: &SourceCollection,
+    padding: u64,
+    budget: &Budget,
+    obs: &mut ObsSession,
+) -> Result<(String, i32), CliError> {
+    let path = opts.deltas.as_deref().unwrap_or_default();
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(path.to_owned(), e))?;
+    let batches = parse_delta_stream(&text)?;
+    let plan = match opts.fault_plan.as_deref() {
+        Some(plan_path) => {
+            let plan_text = std::fs::read_to_string(plan_path)
+                .map_err(|e| CliError::Io(plan_path.to_owned(), e))?;
+            Some(FaultPlan::parse(&plan_text)?)
+        }
+        None => None,
+    };
+    let policy = AccessPolicy {
+        retry: RetryPolicy {
+            retries: opts
+                .retries
+                .unwrap_or_else(|| RetryPolicy::default().retries),
+            backoff_ticks: opts
+                .backoff_ticks
+                .unwrap_or_else(|| RetryPolicy::default().backoff_ticks),
+        },
+        breaker: Default::default(),
+    };
+    let mut access = SourceAccess::new(policy, collection.len());
+    let mut session = DeltaSession::new(collection, padding)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "delta replay: initial epoch + {} batch(es) from {path} (padding {padding})",
+        batches.len()
+    );
+    let analysis = match plan {
+        Some(plan) => replay_delta_stream(
+            DeltaProvider::new(FaultyProvider::new(collection, plan)),
+            &batches,
+            &mut session,
+            &mut access,
+            budget,
+            obs,
+            &mut out,
+        )?,
+        None => replay_delta_stream(
+            DeltaProvider::new(CatalogProvider::new(collection)),
+            &batches,
+            &mut session,
+            &mut access,
+            budget,
+            obs,
+            &mut out,
+        )?,
+    };
+    let final_state = session.collection().clone();
+    render_exact_confidence(&mut out, &analysis, &final_state, padding)?;
+    let stats = session.stats();
+    let _ = writeln!(
+        out,
+        "delta maintenance: {} epoch(s), {} op(s), {} class(es) touched, {} state(s) \
+         invalidated, {} node(s) patched, {} recompile(s), {} result(s) reused",
+        stats.batches_applied,
+        stats.ops_applied,
+        stats.classes_touched,
+        stats.states_invalidated,
+        stats.nodes_patched,
+        stats.recompiles_forced,
+        stats.results_reused
+    );
+    Ok((out, 0))
+}
+
+/// The epoch loop of [`confidence_deltas_output`], generic over the
+/// wrapped provider (plain catalog or fault-injected): epoch 0 analyses
+/// the initial catalog, epoch `i` applies batch `i` first. Returns the
+/// final epoch's analysis.
+fn replay_delta_stream<P: SourceProvider>(
+    mut provider: DeltaProvider<P>,
+    batches: &[pscds_core::delta::DeltaBatch],
+    session: &mut DeltaSession,
+    access: &mut SourceAccess,
+    budget: &Budget,
+    obs: &mut ObsSession,
+    out: &mut String,
+) -> Result<ConfidenceAnalysis, CliError> {
+    let mut last = None;
+    for epoch in 0..=batches.len() {
+        let ops = if epoch == 0 {
+            0
+        } else {
+            let batch = &batches[epoch - 1];
+            provider.apply(batch)?;
+            batch.op_count()
+        };
+        let (statuses, analysis) =
+            confidence_over_stream(&mut provider, access, session, budget, obs)?;
+        let attempts: u32 = statuses.iter().map(SourceStatus::attempts).sum();
+        if analysis.is_consistent() {
+            let _ = writeln!(
+                out,
+                "epoch {epoch} ({ops} op(s), {attempts} fetch attempt(s)): worlds {}, {} \
+                 feasible vector(s)",
+                analysis.world_count(),
+                analysis.feasible_vectors()
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "epoch {epoch} ({ops} op(s), {attempts} fetch attempt(s)): INCONSISTENT"
+            );
+        }
+        last = Some(analysis);
+    }
+    last.ok_or_else(|| CliError::Usage("delta stream replay produced no epochs".into()))
+}
+
 /// Renders the per-source access outcomes of one fetch epoch.
 fn render_source_statuses(
     out: &mut String,
@@ -879,6 +1016,21 @@ fn confidence_output(
     let padding = opts.padding.unwrap_or_default();
     let budget = budget_from(opts);
     let parallel = parallel_from(opts);
+    if opts.deltas.is_some() {
+        if opts.engine != EngineChoice::Auto {
+            return Err(CliError::Usage(
+                "--deltas requires --engine auto (the incremental maintenance session)".into(),
+            ));
+        }
+        if opts.partial {
+            return Err(CliError::Usage(
+                "--partial cannot combine with --deltas: every replay epoch needs every \
+                 source reachable; drop one of the flags"
+                    .into(),
+            ));
+        }
+        return confidence_deltas_output(opts, collection, padding, &budget, obs);
+    }
     if let Some(flag) = opts.fault_flag_used() {
         if opts.engine != EngineChoice::Auto {
             return Err(CliError::Usage(format!(
@@ -1916,6 +2068,121 @@ mod tests {
             panic!("expected usage error");
         };
         assert!(msg.contains("--engine auto"), "{msg}");
+    }
+
+    #[test]
+    fn deltas_replay_matches_plain_recompute_of_final_state() {
+        let dir = tmpdir("deltas");
+        let file = write_file(&dir, "c.pscds", EXAMPLE);
+        let stream = write_file(
+            &dir,
+            "s.deltas",
+            "batch {\n  source S1 {\n    insert: V1(c).\n  }\n}\n\
+             batch {\n  source S2 {\n    delete: V2(c).\n  }\n}\n",
+        );
+        let (out, status) = run_with_status(&args(&[
+            "confidence",
+            &file,
+            "--padding",
+            "1",
+            "--deltas",
+            &stream,
+            "--retries",
+            "1",
+        ]))
+        .unwrap();
+        assert_eq!(status, 0);
+        assert!(
+            out.contains("delta replay: initial epoch + 2 batch(es)"),
+            "{out}"
+        );
+        assert!(out.contains("epoch 0 (0 op(s)"), "{out}");
+        assert!(out.contains("epoch 2 (1 op(s)"), "{out}");
+        assert!(
+            out.contains("delta maintenance: 3 epoch(s), 2 op(s)"),
+            "{out}"
+        );
+        // The final table must be byte-identical to a from-scratch run on
+        // the accumulated collection.
+        let final_text = "source S1 {\n view: V1(x) <- R(x)\n completeness: 1/2\n soundness: 1/2\n extension: V1(a). V1(b). V1(c).\n}\nsource S2 {\n view: V2(x) <- R(x)\n completeness: 1/2\n soundness: 1/2\n extension: V2(b).\n}\n";
+        let final_file = write_file(&dir, "final.pscds", final_text);
+        let plain = run(&args(&["confidence", &final_file, "--padding", "1"])).unwrap();
+        let table = plain
+            .split("tuple confidences (descending):")
+            .nth(1)
+            .expect("plain run renders the table");
+        assert!(
+            out.contains(table),
+            "replay table diverged:\n{out}\nvs\n{plain}"
+        );
+    }
+
+    #[test]
+    fn deltas_flag_composes_with_fault_plan_and_trace() {
+        let dir = tmpdir("deltas-faults");
+        let file = write_file(&dir, "c.pscds", EXAMPLE);
+        let stream = write_file(
+            &dir,
+            "s.deltas",
+            "batch {\n  source S1 {\n    insert: V1(c).\n  }\n}\n",
+        );
+        // A fail rate of 1/2 with retries forces recovery-path fetches but
+        // still converges; the trace file must record the delta counters.
+        let plan = write_file(&dir, "p.fault", "seed: 7\nsource S1 { fail: 1/2 }\n");
+        let trace = dir.join("deltas.jsonl");
+        let (out, status) = run_with_status(&args(&[
+            "confidence",
+            &file,
+            "--padding",
+            "1",
+            "--deltas",
+            &stream,
+            "--fault-plan",
+            &plan,
+            "--retries",
+            "4",
+            "--trace-out",
+            &trace.to_string_lossy(),
+        ]))
+        .unwrap();
+        assert_eq!(status, 0);
+        assert!(out.contains("delta maintenance: 2 epoch(s)"), "{out}");
+        let logged = std::fs::read_to_string(&trace).expect("trace file written");
+        assert!(logged.contains("delta.batches_applied"), "{logged}");
+    }
+
+    #[test]
+    fn deltas_flag_rejects_partial_and_non_auto_engines() {
+        let dir = tmpdir("deltas-usage");
+        let file = write_file(&dir, "c.pscds", EXAMPLE);
+        let stream = write_file(&dir, "s.deltas", "batch {\n}\n");
+        let err = run(&args(&[
+            "confidence",
+            &file,
+            "--deltas",
+            &stream,
+            "--partial",
+        ]))
+        .unwrap_err();
+        let CliError::Usage(msg) = err else {
+            panic!("expected usage error for --deltas --partial");
+        };
+        assert!(msg.contains("--partial"), "{msg}");
+        let err = run(&args(&[
+            "confidence",
+            &file,
+            "--deltas",
+            &stream,
+            "--engine",
+            "dp",
+        ]))
+        .unwrap_err();
+        let CliError::Usage(msg) = err else {
+            panic!("expected usage error for --deltas --engine dp");
+        };
+        assert!(msg.contains("--engine auto"), "{msg}");
+        let err = run(&args(&["check", &file, "--deltas", &stream])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
     }
 
     #[test]

@@ -135,6 +135,7 @@ struct CircuitKey {
 
 /// One Or-disjunct: choose `k` tuples of the node's class, weighted by
 /// the interned binomial in slot `weight` and continued in `child`.
+#[derive(Clone)]
 struct Edge {
     k: u64,
     weight: u32,
@@ -145,6 +146,7 @@ struct Edge {
 /// 1); every other node is an Or over the `k` choices of class `level`.
 /// Children always carry smaller ids than their parents (post-order
 /// construction), which is what makes single-direction passes correct.
+#[derive(Clone)]
 struct Node {
     level: u32,
     edges: Vec<Edge>,
@@ -156,14 +158,16 @@ struct Node {
     vectors: u64,
 }
 
-/// A source collection's confidence semantics, compiled once.
-///
-/// Holds the node arena (children before parents, accepting leaf
-/// first), the interned binomial weights, and the [`SignatureAnalysis`]
-/// the queries resolve tuples against. Build with [`compile_circuit`]
-/// or through a [`CompiledCollection`] cache.
-pub struct CompiledCircuit {
-    analysis: SignatureAnalysis,
+/// The member-free half of a compiled circuit: the node arena (children
+/// before parents, accepting leaf first), the interned binomial
+/// weights, and the compile counters. A skeleton is a pure function of
+/// the collection's *projected structure* — the per-source bounds and
+/// the `(signature, size)` class sequence — never of which tuples the
+/// classes hold, so structurally identical collections can share one
+/// (see [`CompiledCollection`]) and the delta engine can patch one in
+/// place (see `core::delta`).
+#[derive(Clone)]
+pub(crate) struct CircuitSkeleton {
     nodes: Vec<Node>,
     /// The root node, or `None` when the collection admits no possible
     /// world over this domain (the circuit computes the zero constant).
@@ -172,11 +176,21 @@ pub struct CompiledCircuit {
     stats: CircuitStats,
 }
 
+/// A source collection's confidence semantics, compiled once.
+///
+/// Pairs a shareable [`CircuitSkeleton`] with the [`SignatureAnalysis`]
+/// the queries resolve tuples against. Build with [`compile_circuit`]
+/// or through a [`CompiledCollection`] cache.
+pub struct CompiledCircuit {
+    analysis: SignatureAnalysis,
+    skeleton: Rc<CircuitSkeleton>,
+}
+
 impl CompiledCircuit {
     /// Size and sharing counters of the compile.
     #[must_use]
     pub fn stats(&self) -> CircuitStats {
-        self.stats
+        self.skeleton.stats
     }
 
     /// The signature decomposition the circuit was compiled from.
@@ -188,7 +202,19 @@ impl CompiledCircuit {
     /// Total arena nodes, including the accepting leaf.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.skeleton.nodes.len()
+    }
+
+    /// Rebinds a (shared) skeleton to another instance's decomposition.
+    /// Sound exactly when both analyses project to the same structure —
+    /// the caller ([`CompiledCollection`], `core::delta`) checks that.
+    pub(crate) fn rebind(skeleton: Rc<CircuitSkeleton>, analysis: SignatureAnalysis) -> Self {
+        CompiledCircuit { analysis, skeleton }
+    }
+
+    /// The member-free half, for sharing and patching.
+    pub(crate) fn skeleton(&self) -> &Rc<CircuitSkeleton> {
+        &self.skeleton
     }
 
     /// A structural digest of the circuit skeleton: node levels, edge
@@ -208,15 +234,15 @@ impl CompiledCircuit {
                 h = h.wrapping_mul(0x100_0000_01b3);
             }
         };
-        mix(self.nodes.len() as u64);
-        mix(u64::from(self.root.map_or(u32::MAX, |r| r)));
-        for binom in &self.binoms {
+        mix(self.skeleton.nodes.len() as u64);
+        mix(u64::from(self.skeleton.root.map_or(u32::MAX, |r| r)));
+        for binom in &self.skeleton.binoms {
             mix(binom.limbs().len() as u64);
             for &limb in binom.limbs() {
                 mix(limb);
             }
         }
-        for node in &self.nodes {
+        for node in &self.skeleton.nodes {
             mix(u64::from(node.level));
             mix(node.edges.len() as u64);
             for edge in &node.edges {
@@ -232,10 +258,10 @@ impl CompiledCircuit {
 impl std::fmt::Debug for CompiledCircuit {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CompiledCircuit")
-            .field("nodes", &self.nodes.len())
-            .field("root", &self.root)
-            .field("binoms", &self.binoms.len())
-            .field("stats", &self.stats)
+            .field("nodes", &self.skeleton.nodes.len())
+            .field("root", &self.skeleton.root)
+            .field("binoms", &self.skeleton.binoms.len())
+            .field("stats", &self.skeleton.stats)
             .finish_non_exhaustive()
     }
 }
@@ -247,6 +273,26 @@ fn swap_bits(sig: u64, a: usize, b: usize) -> u64 {
     } else {
         sig
     }
+}
+
+/// `hurt[i][j]` — total size of classes `j..` with bit `i` unset (the
+/// margin-saturation cap; see the DP module docs).
+fn hurt_table(analysis: &SignatureAnalysis) -> Vec<Vec<u64>> {
+    let classes = analysis.classes();
+    let m = classes.len();
+    let n = analysis.source_count();
+    let mut hurt = vec![vec![0u64; m + 1]; n];
+    for (i, row) in hurt.iter_mut().enumerate() {
+        for j in (0..m).rev() {
+            let contrib = if classes[j].signature >> i & 1 == 1 {
+                0
+            } else {
+                classes[j].size
+            };
+            row[j] = row[j + 1].saturating_add(contrib);
+        }
+    }
+    hurt
 }
 
 /// Computes, per level, the orbit label of each source: `labels[i]` is
@@ -295,6 +341,39 @@ fn source_orbits(analysis: &SignatureAnalysis) -> Vec<Vec<usize>> {
     orbits
 }
 
+/// The compile-time memo, kept *outside* [`CompiledCircuit`] so the
+/// delta engine can resume a compile: the residual-key maps from exact
+/// node ids plus the binomial interning table. Valid only against the
+/// skeleton the same compile (or patch) produced.
+pub(crate) struct CircuitMemo {
+    exact: HashMap<CircuitKey, Option<u32>>,
+    canonical: HashMap<CircuitKey, u32>,
+    binom_slots: HashMap<(u64, u64), u32>,
+    /// Arena length right after the last from-scratch compile. Patches
+    /// strand the old prefix nodes as unreachable garbage; once the
+    /// arena exceeds twice this, callers should recompile.
+    compiled_len: usize,
+}
+
+impl CircuitMemo {
+    /// Arena length right after the last from-scratch compile.
+    pub(crate) fn compiled_len(&self) -> usize {
+        self.compiled_len
+    }
+}
+
+/// Drops every memo entry a delta touching classes `..=max_touched` can
+/// invalidate — all residual states at those levels; states at deeper
+/// levels only read the untouched suffix classes — and returns how many
+/// were dropped (the `delta.states_invalidated` quantity).
+pub(crate) fn invalidate_prefix(memo: &mut CircuitMemo, max_touched: usize) -> u64 {
+    let before = memo.exact.len() + memo.canonical.len();
+    memo.exact.retain(|key, _| key.level as usize > max_touched);
+    memo.canonical
+        .retain(|key, _| key.level as usize > max_touched);
+    (before - memo.exact.len() - memo.canonical.len()) as u64
+}
+
 /// The compiler: the DP recursion (`dp.rs`), with the memo replaced by
 /// a node arena plus the canonical sharing index.
 struct Compiler<'a> {
@@ -315,20 +394,7 @@ struct Compiler<'a> {
 
 impl<'a> Compiler<'a> {
     fn new(analysis: &'a SignatureAnalysis, config: &CircuitConfig) -> Self {
-        let classes = analysis.classes();
-        let m = classes.len();
-        let n = analysis.source_count();
-        let mut hurt = vec![vec![0u64; m + 1]; n];
-        for (i, row) in hurt.iter_mut().enumerate() {
-            for j in (0..m).rev() {
-                let contrib = if classes[j].signature >> i & 1 == 1 {
-                    0
-                } else {
-                    classes[j].size
-                };
-                row[j] = row[j + 1].saturating_add(contrib);
-            }
-        }
+        let m = analysis.classes().len();
         let leaf = Node {
             // lint-allow(no-panic): the class count is capped far below u32::MAX
             level: u32::try_from(m).expect("class count fits u32"),
@@ -338,14 +404,39 @@ impl<'a> Compiler<'a> {
         };
         Compiler {
             orbits: source_orbits(analysis),
+            hurt: hurt_table(analysis),
             analysis,
-            hurt,
             exact: HashMap::new(),
             canonical: HashMap::new(),
             nodes: vec![leaf],
             binoms: Vec::new(),
             binom_slots: HashMap::new(),
             stats: CircuitStats::default(),
+            max_nodes: config.max_nodes,
+        }
+    }
+
+    /// Resumes over an existing arena: retained memo entries answer
+    /// suffix states instantly, new nodes append after the old arena
+    /// (so children still carry smaller ids than parents). The caller
+    /// must have pruned the memo with [`invalidate_prefix`] and
+    /// guaranteed the suffix classes and every bound are unchanged.
+    fn seeded(
+        analysis: &'a SignatureAnalysis,
+        config: &CircuitConfig,
+        skeleton: CircuitSkeleton,
+        memo: CircuitMemo,
+    ) -> Self {
+        Compiler {
+            orbits: source_orbits(analysis),
+            hurt: hurt_table(analysis),
+            analysis,
+            exact: memo.exact,
+            canonical: memo.canonical,
+            nodes: skeleton.nodes,
+            binoms: skeleton.binoms,
+            binom_slots: memo.binom_slots,
+            stats: skeleton.stats,
             max_nodes: config.max_nodes,
         }
     }
@@ -576,24 +667,114 @@ pub fn compile_circuit(
     budget: &Budget,
     config: &CircuitConfig,
 ) -> Result<CompiledCircuit, CoreError> {
+    let (circuit, _memo) = compile_with_memo(analysis, budget, config)?;
+    Ok(circuit)
+}
+
+/// [`compile_circuit`] plus the compile-time memo, so the caller (the
+/// delta engine) can later resume the compile with [`patch_compile`].
+///
+/// # Errors
+/// As [`compile_circuit`].
+pub(crate) fn compile_with_memo(
+    analysis: SignatureAnalysis,
+    budget: &Budget,
+    config: &CircuitConfig,
+) -> Result<(CompiledCircuit, CircuitMemo), CoreError> {
     let mut rows = RowCache::new();
     let mut compiler = Compiler::new(&analysis, config);
     let mut t = vec![0u64; analysis.source_count()];
     let mut w = 0u64;
     let root = compiler.node(&mut rows, 0, &mut t, &mut w, budget)?;
     let Compiler {
+        exact,
+        canonical,
         nodes,
         binoms,
+        binom_slots,
         stats,
         ..
     } = compiler;
-    Ok(CompiledCircuit {
-        analysis,
+    let compiled_len = nodes.len();
+    Ok((
+        CompiledCircuit {
+            analysis,
+            skeleton: Rc::new(CircuitSkeleton {
+                nodes,
+                root,
+                binoms,
+                stats,
+            }),
+        },
+        CircuitMemo {
+            exact,
+            canonical,
+            binom_slots,
+            compiled_len,
+        },
+    ))
+}
+
+/// Resumes a compile after a delta changed the sizes of classes
+/// `..=max_touched` (bounds and the class signature sequence must be
+/// unchanged — the delta engine recompiles from scratch otherwise). The
+/// caller has already pruned `memo` with [`invalidate_prefix`]; every
+/// retained suffix entry answers instantly, the recomputed prefix nodes
+/// append after the old arena, and the stale prefix becomes unreachable
+/// garbage (bounded by the recompile threshold on
+/// [`CircuitMemo::compiled_len`]). Returns the patched circuit and the
+/// number of freshly materialized nodes (`delta.nodes_patched`).
+///
+/// # Errors
+/// As [`compile_circuit`].
+pub(crate) fn patch_compile(
+    circuit: CompiledCircuit,
+    memo: CircuitMemo,
+    analysis: SignatureAnalysis,
+    budget: &Budget,
+    config: &CircuitConfig,
+) -> Result<(CompiledCircuit, CircuitMemo, u64), CoreError> {
+    debug_assert_eq!(
+        circuit.analysis.classes().len(),
+        analysis.classes().len(),
+        "patch_compile requires an unchanged class sequence"
+    );
+    let compiled_len = memo.compiled_len;
+    let skeleton = Rc::try_unwrap(circuit.skeleton).unwrap_or_else(|shared| (*shared).clone());
+    let old_len = skeleton.nodes.len();
+    let mut rows = RowCache::new();
+    let mut compiler = Compiler::seeded(&analysis, config, skeleton, memo);
+    let mut t = vec![0u64; analysis.source_count()];
+    let mut w = 0u64;
+    let root = compiler.node(&mut rows, 0, &mut t, &mut w, budget)?;
+    let Compiler {
+        exact,
+        canonical,
         nodes,
-        root,
         binoms,
+        binom_slots,
         stats,
-    })
+        ..
+    } = compiler;
+    let patched = (nodes.len() - old_len) as u64;
+    Ok((
+        CompiledCircuit {
+            analysis,
+            skeleton: Rc::new(CircuitSkeleton {
+                nodes,
+                root,
+                binoms,
+                stats,
+            }),
+        },
+        CircuitMemo {
+            exact,
+            canonical,
+            binom_slots,
+            compiled_len,
+        },
+        patched,
+    ))
 }
 
 /// All tuple confidences from a compiled circuit: the bottom-up counts
@@ -622,7 +803,7 @@ pub fn analyze_circuit_budgeted(
 ) -> Result<ConfidenceAnalysis, CoreError> {
     let m = circuit.analysis.classes().len();
     let mut class_numerators = vec![UBig::zero(); m];
-    let Some(root) = circuit.root else {
+    let Some(root) = circuit.skeleton.root else {
         return Ok(ConfidenceAnalysis::from_parts(
             circuit.analysis.clone(),
             UBig::zero(),
@@ -646,11 +827,11 @@ pub fn analyze_circuit_budgeted(
     let mut term = UBig::zero();
     for id in (1..=root).rev() {
         budget.tick(QUERY_PHASE)?;
-        let node = &circuit.nodes[id];
+        let node = &circuit.skeleton.nodes[id];
         for edge in &node.edges {
-            reach[id].mul_into(&circuit.binoms[edge.weight as usize], &mut path);
+            reach[id].mul_into(&circuit.skeleton.binoms[edge.weight as usize], &mut path);
             if edge.k > 0 {
-                let child_count = &circuit.nodes[edge.child as usize].count;
+                let child_count = &circuit.skeleton.nodes[edge.child as usize].count;
                 path.mul_into(child_count, &mut scaled);
                 scaled.mul_u64_into(edge.k, &mut term);
                 class_numerators[node.level as usize].add_assign(&term);
@@ -658,7 +839,7 @@ pub fn analyze_circuit_budgeted(
             reach[edge.child as usize].add_assign(&path);
         }
     }
-    let root_node = &circuit.nodes[root];
+    let root_node = &circuit.skeleton.nodes[root];
     Ok(ConfidenceAnalysis::from_parts(
         circuit.analysis.clone(),
         root_node.count.clone(),
@@ -691,7 +872,7 @@ pub fn analyze_circuit_parallel(
 /// shares whole suffix subtrees, so the moments factor over the arena
 /// exactly like the counts do.
 fn moment_pass(circuit: &CompiledCircuit, e: &[u64], budget: &Budget) -> Result<UBig, CoreError> {
-    let Some(root) = circuit.root else {
+    let Some(root) = circuit.skeleton.root else {
         return Ok(UBig::zero());
     };
     let root = root as usize;
@@ -700,7 +881,7 @@ fn moment_pass(circuit: &CompiledCircuit, e: &[u64], budget: &Budget) -> Result<
     let mut scratch = UBig::zero();
     for id in 1..=root {
         budget.tick(QUERY_PHASE)?;
-        let node = &circuit.nodes[id];
+        let node = &circuit.skeleton.nodes[id];
         let e_level = e[node.level as usize];
         let mut acc = UBig::zero();
         for edge in &node.edges {
@@ -708,7 +889,7 @@ fn moment_pass(circuit: &CompiledCircuit, e: &[u64], budget: &Budget) -> Result<
                 continue; // falling factorial is zero
             }
             value[edge.child as usize]
-                .mul_into(&circuit.binoms[edge.weight as usize], &mut scratch);
+                .mul_into(&circuit.skeleton.binoms[edge.weight as usize], &mut scratch);
             let mut term = scratch.clone();
             for step in 0..e_level {
                 term = term.mul_u64(edge.k - step);
@@ -773,7 +954,7 @@ pub fn analyze_circuit_conditional_budgeted(
     given: &[Vec<Value>],
     budget: &Budget,
 ) -> Result<Rational, CoreError> {
-    if circuit.root.is_none() {
+    if circuit.skeleton.root.is_none() {
         return Err(CoreError::InconsistentCollection);
     }
     let observed = event_counts(circuit, collection, given)?;
@@ -876,16 +1057,28 @@ pub fn analyze_circuit_topk_parallel(
     analyze_circuit_topk_budgeted(circuit, k, budget)
 }
 
-/// A cache of compiled circuits keyed on collection structure, so one
-/// compile amortizes across many queries. The key encodes everything a
-/// circuit depends on — relation, arity, padding, per-source bounds,
-/// and the full class decomposition including member tuples (members
-/// determine the tuple→class mapping the queries resolve against).
+/// A two-level cache of compiled circuits, so one compile amortizes
+/// across many queries *and* across structurally identical collections.
+///
+/// * The **instance** level keys on everything a query resolves against
+///   — relation, arity, padding, per-source bounds, and the full class
+///   decomposition including member tuples. An instance hit returns the
+///   very same [`CompiledCircuit`].
+/// * The **skeleton** level keys on the member-free projection — the
+///   bounds signature plus the `(signature, size)` class sequence —
+///   which is exactly what the compiled arena is a function of (the
+///   same projection the shared DP cache interns as a context). An
+///   instance miss that hits here skips the compile entirely: the
+///   shared [`CircuitSkeleton`] is rebound to the new instance's
+///   decomposition, and the reuse is reported as a *cross-collection
+///   hit* (`circuit.cross_hits`).
 #[derive(Default)]
 pub struct CompiledCollection {
     circuits: HashMap<String, Rc<CompiledCircuit>>,
+    skeletons: HashMap<String, Rc<CircuitSkeleton>>,
     hits: u64,
     misses: u64,
+    cross_hits: u64,
 }
 
 impl CompiledCollection {
@@ -895,8 +1088,10 @@ impl CompiledCollection {
         Self::default()
     }
 
-    /// Returns the cached circuit for the collection's structure, or
-    /// compiles (charging `budget`) and caches it.
+    /// Returns the cached circuit for the collection's structure —
+    /// rebinding a structurally identical collection's skeleton when
+    /// only the member tuples differ — or compiles (charging `budget`)
+    /// and caches it.
     ///
     /// # Errors
     /// As [`compile_circuit`].
@@ -908,18 +1103,48 @@ impl CompiledCollection {
         config: &CircuitConfig,
     ) -> Result<Rc<CompiledCircuit>, CoreError> {
         let analysis = SignatureAnalysis::new(collection, padding);
-        let key = Self::structural_key(&analysis, padding);
+        let key = Self::instance_key(&analysis, padding);
         if let Some(circuit) = self.circuits.get(&key) {
             self.hits += 1;
             return Ok(Rc::clone(circuit));
         }
+        let shape = Self::skeleton_key(&analysis);
+        if let Some(skeleton) = self.skeletons.get(&shape) {
+            self.cross_hits += 1;
+            let circuit = Rc::new(CompiledCircuit::rebind(Rc::clone(skeleton), analysis));
+            self.circuits.insert(key, Rc::clone(&circuit));
+            return Ok(circuit);
+        }
         let circuit = Rc::new(compile_circuit(analysis, budget, config)?);
         self.misses += 1;
+        self.skeletons.insert(shape, Rc::clone(circuit.skeleton()));
         self.circuits.insert(key, Rc::clone(&circuit));
         Ok(circuit)
     }
 
-    fn structural_key(analysis: &SignatureAnalysis, padding: u64) -> String {
+    /// The member-free projection the compiled arena is a function of:
+    /// per-source bounds plus the ordered `(signature, size)` class
+    /// sequence. Padding needs no separate component — it is the
+    /// signature-0 class's size. Relation and arity are deliberately
+    /// excluded: the skeleton never mentions tuples.
+    fn skeleton_key(analysis: &SignatureAnalysis) -> String {
+        let mut key = String::new();
+        for b in analysis.bounds() {
+            let _ = write!(
+                key,
+                "|b:{},{}/{}",
+                b.min_sound,
+                b.completeness.num(),
+                b.completeness.den()
+            );
+        }
+        for class in analysis.classes() {
+            let _ = write!(key, "|c:{:x},{}", class.signature, class.size);
+        }
+        key
+    }
+
+    fn instance_key(analysis: &SignatureAnalysis, padding: u64) -> String {
         let mut key = String::new();
         let _ = write!(
             key,
@@ -949,7 +1174,7 @@ impl CompiledCollection {
         key
     }
 
-    /// Cache hits so far.
+    /// Instance-level cache hits so far.
     #[must_use]
     pub fn hits(&self) -> u64 {
         self.hits
@@ -961,7 +1186,14 @@ impl CompiledCollection {
         self.misses
     }
 
-    /// Number of distinct circuits cached.
+    /// Cross-collection hits so far: instance misses answered by
+    /// rebinding another collection's structurally identical skeleton.
+    #[must_use]
+    pub fn cross_hits(&self) -> u64 {
+        self.cross_hits
+    }
+
+    /// Number of distinct circuits cached (instance level).
     #[must_use]
     pub fn len(&self) -> usize {
         self.circuits.len()
@@ -973,10 +1205,12 @@ impl CompiledCollection {
         self.circuits.is_empty()
     }
 
-    /// Emits the hit/miss counters into a `pscds-obs` metric set.
+    /// Emits the hit/miss/cross-hit counters into a `pscds-obs` metric
+    /// set.
     pub fn record_into(&self, metrics: &mut MetricSet) {
         metrics.counter_add(names::CIRCUIT_COMPILE_HITS, self.hits);
         metrics.counter_add(names::CIRCUIT_COMPILE_MISSES, self.misses);
+        metrics.counter_add(names::CIRCUIT_CROSS_HITS, self.cross_hits);
     }
 }
 
@@ -1342,6 +1576,81 @@ mod tests {
         cache.record_into(&mut metrics);
         assert_eq!(metrics.counter(names::CIRCUIT_COMPILE_HITS), 1);
         assert_eq!(metrics.counter(names::CIRCUIT_COMPILE_MISSES), 2);
+    }
+
+    #[test]
+    fn compiled_collection_shares_skeletons_across_collections() {
+        use crate::descriptor::SourceDescriptor;
+        use pscds_numeric::Frac;
+        // Example 5.1 with every constant renamed: a different instance
+        // key (the members differ) but the identical projected structure,
+        // so the second collection must rebind the first's skeleton
+        // instead of compiling — a cross-collection hit.
+        let renamed = {
+            let s1 = SourceDescriptor::identity(
+                "T1",
+                "W1",
+                "R",
+                1,
+                [[Value::sym("x")], [Value::sym("y")]],
+                Frac::HALF,
+                Frac::HALF,
+            )
+            .unwrap();
+            let s2 = SourceDescriptor::identity(
+                "T2",
+                "W2",
+                "R",
+                1,
+                [[Value::sym("y")], [Value::sym("z")]],
+                Frac::HALF,
+                Frac::HALF,
+            )
+            .unwrap();
+            crate::collection::SourceCollection::from_sources([s1, s2])
+                .as_identity()
+                .unwrap()
+        };
+        let original = example_5_1().as_identity().unwrap();
+        let mut cache = CompiledCollection::new();
+        let budget = Budget::unlimited();
+        let config = CircuitConfig::default();
+        let first = cache
+            .get_or_compile(&original, 3, &budget, &config)
+            .unwrap();
+        let second = cache.get_or_compile(&renamed, 3, &budget, &config).unwrap();
+        assert_eq!(
+            (cache.hits(), cache.misses(), cache.cross_hits()),
+            (0, 1, 1)
+        );
+        // Distinct circuits (different members), shared skeleton arena.
+        assert!(!Rc::ptr_eq(&first, &second));
+        assert!(Rc::ptr_eq(first.skeleton(), second.skeleton()));
+        // The rebound circuit answers for ITS collection's members,
+        // identically to a fresh compile.
+        let scratch =
+            compile_circuit(SignatureAnalysis::new(&renamed, 3), &budget, &config).unwrap();
+        let a = analyze_circuit(&second);
+        let b = analyze_circuit(&scratch);
+        assert_eq!(a.world_count(), b.world_count());
+        assert_eq!(
+            a.confidence_of_tuple(&renamed, &[Value::sym("y")]).unwrap(),
+            b.confidence_of_tuple(&renamed, &[Value::sym("y")]).unwrap()
+        );
+        // Instance-key hits still take priority over skeleton rebinds.
+        let third = cache.get_or_compile(&renamed, 3, &budget, &config).unwrap();
+        assert!(Rc::ptr_eq(&second, &third));
+        assert_eq!(cache.hits(), 1);
+        let mut metrics = MetricSet::default();
+        cache.record_into(&mut metrics);
+        assert_eq!(metrics.counter(names::CIRCUIT_CROSS_HITS), 1);
+        // A structurally different collection (different padding → a
+        // different sig-0 class size) never cross-hits.
+        let fourth = cache
+            .get_or_compile(&original, 5, &budget, &config)
+            .unwrap();
+        assert!(!Rc::ptr_eq(first.skeleton(), fourth.skeleton()));
+        assert_eq!(cache.cross_hits(), 1);
     }
 
     #[test]

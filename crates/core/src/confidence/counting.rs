@@ -153,6 +153,14 @@ impl ConfidenceAnalysis {
         })
     }
 
+    /// The raw aggregates `(total, class_numerators, feasible_vectors)` —
+    /// the inverse of [`ConfidenceAnalysis::from_parts`], used by the
+    /// delta engine to rebind a cached result onto a refreshed
+    /// decomposition without re-traversing anything.
+    pub(crate) fn parts(&self) -> (&UBig, &[UBig], u64) {
+        (&self.total, &self.class_numerators, self.feasible_vectors)
+    }
+
     /// Assembles a result from parts computed by a sibling engine (the
     /// residual-state DP of [`crate::confidence::dp`]).
     pub(crate) fn from_parts(

@@ -231,6 +231,9 @@ pub struct SharedDpCache {
     entries: usize,
     /// Next run sequence number.
     runs: u32,
+    /// Next context id — monotonic, never reused even after a context is
+    /// retired by [`SharedDpCache::migrate_for_delta`].
+    next_ctx: u32,
     max_entries: usize,
 }
 
@@ -263,9 +266,10 @@ impl SharedDpCache {
         self.contexts.len()
     }
 
-    /// Interns the analysis's projected structure and opens a new run,
-    /// returning `(context id, run sequence)`.
-    fn begin_run(&mut self, analysis: &SignatureAnalysis) -> (u32, u32) {
+    /// The structural encoding a context id interns: class count, source
+    /// count, the `(signature, size)` class sequence, and the per-source
+    /// bounds.
+    fn encode(analysis: &SignatureAnalysis) -> Box<[u64]> {
         let classes = analysis.classes();
         let bounds = analysis.bounds();
         let mut enc = Vec::with_capacity(2 + 2 * classes.len() + 3 * bounds.len());
@@ -280,11 +284,93 @@ impl SharedDpCache {
             enc.push(b.completeness.num());
             enc.push(b.completeness.den());
         }
-        let next = self.contexts.len() as u32;
-        let ctx = *self.contexts.entry(enc.into_boxed_slice()).or_insert(next);
+        enc.into_boxed_slice()
+    }
+
+    /// Interns the analysis's projected structure and opens a new run,
+    /// returning `(context id, run sequence)`.
+    fn begin_run(&mut self, analysis: &SignatureAnalysis) -> (u32, u32) {
+        let enc = Self::encode(analysis);
+        let ctx = self.intern(enc);
         let run = self.runs;
         self.runs = self.runs.saturating_add(1);
         (ctx, run)
+    }
+
+    fn intern(&mut self, enc: Box<[u64]>) -> u32 {
+        match self.contexts.entry(enc) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let id = self.next_ctx;
+                self.next_ctx = self.next_ctx.saturating_add(1);
+                *e.insert(id)
+            }
+        }
+    }
+
+    /// Delta-scoped context migration: moves the residual nodes that
+    /// survive a structural delta from `old_analysis`'s context to
+    /// `new_analysis`'s, and retires the old context.
+    ///
+    /// A cached node at `level` is a pure function of `classes[level..]`
+    /// and the bounds (every prune, `k_cap`, clamping cap, and leaf
+    /// verdict derives from those suffix quantities — see the module
+    /// docs), so when a delta changes only class *sizes* at indices
+    /// `<= max_touched`, leaving the class count, every deeper class, and
+    /// all bounds intact, nodes with `level > max_touched` are valid
+    /// verbatim under the new context. The caller (`core::delta`)
+    /// guarantees exactly that precondition; it is debug-asserted here
+    /// by comparing the suffix encodings.
+    ///
+    /// Returns `(migrated, dropped)` node counts. A no-op (both zero)
+    /// when the old structure was never interned or the two structures
+    /// coincide.
+    pub(crate) fn migrate_for_delta(
+        &mut self,
+        old_analysis: &SignatureAnalysis,
+        new_analysis: &SignatureAnalysis,
+        max_touched: usize,
+    ) -> (u64, u64) {
+        let old_enc = Self::encode(old_analysis);
+        let new_enc = Self::encode(new_analysis);
+        if old_enc == new_enc {
+            return (0, 0);
+        }
+        debug_assert_eq!(
+            old_analysis.classes().len(),
+            new_analysis.classes().len(),
+            "delta migration requires an unchanged class count"
+        );
+        debug_assert!(
+            old_analysis.classes()[max_touched + 1..] == new_analysis.classes()[max_touched + 1..]
+                && old_analysis.bounds() == new_analysis.bounds(),
+            "delta migration requires untouched suffix classes and bounds"
+        );
+        let Some(&old_ctx) = self.contexts.get(&old_enc) else {
+            return (0, 0);
+        };
+        let Some(old_nodes) = self.nodes.remove(&old_ctx) else {
+            self.contexts.remove(&old_enc);
+            return (0, 0);
+        };
+        self.entries -= old_nodes.len();
+        self.contexts.remove(&old_enc);
+        let new_ctx = self.intern(new_enc);
+        let target = self.nodes.entry(new_ctx).or_default();
+        let mut migrated = 0u64;
+        let mut dropped = 0u64;
+        let mut room = self.max_entries - self.entries;
+        for (key, value) in old_nodes {
+            if key.level as usize > max_touched && room > 0 && !target.contains_key(&key) {
+                target.insert(key, value);
+                migrated += 1;
+                room -= 1;
+            } else {
+                dropped += 1;
+            }
+        }
+        self.entries += migrated as usize;
+        (migrated, dropped)
     }
 
     fn get(&self, ctx: u32, key: &ResidualKey) -> Option<(Rc<DpNode>, u32)> {

@@ -42,7 +42,7 @@ pub struct SignatureClass {
 }
 
 /// Per-source exact bounds used by the feasibility predicate.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) struct SourceBounds {
     /// Completeness bound `c_i`.
     pub(crate) completeness: Frac,
@@ -99,7 +99,21 @@ impl SignatureAnalysis {
                 min_sound: s.soundness.ceil_mul(s.tuples.len() as u64),
             })
             .collect();
-        // Suffix sums of class sizes per source.
+        Self::from_parts(classes, bounds, collection.relation, collection.arity)
+    }
+
+    /// Rebuilds the decomposition from maintained parts: a class list
+    /// already in canonical order (ascending signature, padding class —
+    /// signature 0, no members — last if present) and the per-source
+    /// bounds. The suffix tables are recomputed; everything else is
+    /// taken as given. Used by `core::delta` to refresh an analysis
+    /// after applying a batch without re-scanning the collection.
+    pub(crate) fn from_parts(
+        classes: Vec<SignatureClass>,
+        bounds: Vec<SourceBounds>,
+        relation: pscds_relational::RelName,
+        arity: usize,
+    ) -> Self {
         let n = bounds.len();
         let m = classes.len();
         let mut suffix_max_t = vec![vec![0u64; m + 1]; n];
@@ -117,8 +131,8 @@ impl SignatureAnalysis {
             classes,
             bounds,
             suffix_max_t,
-            relation: collection.relation,
-            arity: collection.arity,
+            relation,
+            arity,
         }
     }
 

@@ -50,6 +50,7 @@ pub mod collection;
 pub mod confidence;
 pub mod consensus;
 pub mod consistency;
+pub mod delta;
 pub mod descriptor;
 pub mod error;
 pub mod faults;
@@ -68,6 +69,11 @@ pub mod textfmt;
 pub use pscds_obs as obs;
 
 pub use collection::SourceCollection;
+pub use delta::{
+    analyze_incremental, analyze_incremental_budgeted, analyze_incremental_parallel,
+    apply_batch_to_catalog, format_delta_stream, parse_delta_stream, DeltaBatch, DeltaProvider,
+    DeltaSession, DeltaStats, SourceDelta,
+};
 pub use descriptor::SourceDescriptor;
 pub use error::CoreError;
 pub use faults::{FaultPlan, FaultSpec};
@@ -76,9 +82,9 @@ pub use measures::{completeness_of, satisfies, soundness_of, MeasureReport};
 pub use partition::ParallelConfig;
 pub use resilient::{
     check_resilient, check_resilient_observed, check_resilient_policy, check_resilient_with,
-    confidence_resilient, confidence_resilient_observed, confidence_resilient_policy,
-    confidence_resilient_with, confidence_under_faults, CheckRung, ConfidenceRung,
-    FaultAwareConfidence, LadderPolicy, ResilientCheck, ResilientConfidence,
+    confidence_over_stream, confidence_resilient, confidence_resilient_observed,
+    confidence_resilient_policy, confidence_resilient_with, confidence_under_faults, CheckRung,
+    ConfidenceRung, FaultAwareConfidence, LadderPolicy, ResilientCheck, ResilientConfidence,
 };
 pub use source::{
     AccessPolicy, AccessReport, CatalogProvider, FaultyProvider, SourceAccess, SourceProvider,

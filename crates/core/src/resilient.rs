@@ -29,6 +29,7 @@ use crate::confidence::sampling::{sample_confidences_budgeted, SampledConfidence
 use crate::confidence::signature::SignatureAnalysis;
 use crate::consistency::exhaustive::find_witness_parallel;
 use crate::consistency::identity::{decide_identity_parallel, IdentityConsistency};
+use crate::delta::{analyze_incremental_budgeted, DeltaSession};
 use crate::error::CoreError;
 use crate::govern::{Budget, Engine};
 use crate::partition::ParallelConfig;
@@ -868,6 +869,83 @@ pub fn confidence_under_faults(
     })
 }
 
+/// The streaming rung of the resilient front end: fetches the current
+/// epoch's view extensions through the recovery stack (retries, backoff,
+/// breakers — compose a [`crate::delta::DeltaProvider`] to fold batches
+/// in through the same boundary), synchronizes the [`DeltaSession`]'s
+/// maintained state against the fetched catalog, and answers with
+/// incremental maintenance instead of a from-scratch recompute. Results
+/// are bit-identical to [`confidence_resilient`]'s exact rung on the
+/// same snapshot.
+///
+/// The session's `delta.*` maintenance counters for *this epoch* are
+/// recorded into `obs` (as diffs, so replaying `n` epochs sums to the
+/// session totals).
+///
+/// # Errors
+/// [`CoreError::SourceUnavailable`] when a source stays unreachable
+/// (streaming epochs answer over complete snapshots only — partial
+/// availability composes upstream via [`confidence_under_faults`]),
+/// catalog-shape errors from [`DeltaSession::advance_to`], plus
+/// everything [`crate::delta::analyze_incremental_budgeted`] raises.
+pub fn confidence_over_stream(
+    provider: &mut dyn SourceProvider,
+    access: &mut SourceAccess,
+    session: &mut DeltaSession,
+    budget: &Budget,
+    obs: &mut ObsSession,
+) -> Result<(Vec<crate::source::SourceStatus>, ConfidenceAnalysis), CoreError> {
+    let report = access.fetch_all(provider, budget, obs)?;
+    let unavailable = report.unavailable();
+    if let Some(&first) = unavailable.first() {
+        return Err(CoreError::SourceUnavailable {
+            source: report.catalog.sources()[first].name().to_owned(),
+            attempts: report.statuses[first].attempts(),
+        });
+    }
+    obs.span_open("resilient.stream", budget.elapsed_ns());
+    obs.span_attr("sources", &report.catalog.len().to_string());
+    let before = session.stats();
+    let outcome = session
+        .advance_to(&report.catalog)
+        .and_then(|()| analyze_incremental_budgeted(session, budget));
+    let after = session.stats();
+    obs.counter_add(
+        names::DELTA_BATCHES_APPLIED,
+        after.batches_applied - before.batches_applied,
+    );
+    obs.counter_add(
+        names::DELTA_OPS_APPLIED,
+        after.ops_applied - before.ops_applied,
+    );
+    obs.counter_add(
+        names::DELTA_CLASSES_TOUCHED,
+        after.classes_touched - before.classes_touched,
+    );
+    obs.counter_add(
+        names::DELTA_STATES_INVALIDATED,
+        after.states_invalidated - before.states_invalidated,
+    );
+    obs.counter_add(
+        names::DELTA_NODES_PATCHED,
+        after.nodes_patched - before.nodes_patched,
+    );
+    obs.counter_add(
+        names::DELTA_RECOMPILES_FORCED,
+        after.recompiles_forced - before.recompiles_forced,
+    );
+    obs.counter_add(
+        names::DELTA_RESULTS_REUSED,
+        after.results_reused - before.results_reused,
+    );
+    if let Err(CoreError::BudgetExceeded { phase, .. }) = &outcome {
+        record_trip(obs, budget.elapsed_ns(), phase);
+    }
+    obs.span_close(budget.elapsed_ns());
+    let analysis = outcome?;
+    Ok((report.statuses, analysis))
+}
+
 /// Test-only instance builders shared across the crate's test modules.
 #[cfg(test)]
 pub(crate) mod tests_support {
@@ -1431,6 +1509,77 @@ mod tests {
         };
         assert_eq!(source, "S2");
         assert!(attempts > 0);
+    }
+
+    #[test]
+    fn over_stream_replays_epochs_incrementally() {
+        use crate::delta::{DeltaBatch, DeltaProvider, SourceDelta};
+        use crate::source::{AccessPolicy, CatalogProvider, SourceAccess};
+        use pscds_relational::parser::parse_fact;
+        let c = example_5_1();
+        let mut provider = DeltaProvider::new(CatalogProvider::new(&c));
+        let mut access = SourceAccess::new(AccessPolicy::default(), c.len());
+        let mut session = crate::delta::DeltaSession::new(&c, 2).unwrap();
+        let mut obs = ObsSession::in_memory();
+        // Epoch 0: the initial snapshot.
+        let (statuses, first) = confidence_over_stream(
+            &mut provider,
+            &mut access,
+            &mut session,
+            &Budget::unlimited(),
+            &mut obs,
+        )
+        .unwrap();
+        assert_eq!(statuses.len(), 2);
+        assert!(first.is_consistent());
+        // Epoch 1: balanced churn inside S1 — the reuse fast path.
+        provider
+            .apply(&DeltaBatch {
+                deltas: vec![SourceDelta {
+                    source: "S1".into(),
+                    delete: vec![parse_fact("V1(a)").unwrap()],
+                    insert: vec![parse_fact("V1(d)").unwrap()],
+                }],
+            })
+            .unwrap();
+        let (_, second) = confidence_over_stream(
+            &mut provider,
+            &mut access,
+            &mut session,
+            &Budget::unlimited(),
+            &mut obs,
+        )
+        .unwrap();
+        let scratch = ConfidenceAnalysis::analyze(
+            &provider.current().as_identity().unwrap(),
+            session.padding(),
+        );
+        assert_eq!(second.world_count(), scratch.world_count());
+        assert_eq!(session.stats().results_reused, 1);
+        let report = obs.finish();
+        assert_eq!(report.metrics.counter(names::DELTA_BATCHES_APPLIED), 2);
+        assert_eq!(report.metrics.counter(names::DELTA_RESULTS_REUSED), 1);
+    }
+
+    #[test]
+    fn over_stream_surfaces_unreachable_sources() {
+        use crate::delta::DeltaProvider;
+        use crate::faults::{FaultPlan, FaultSpec};
+        use crate::source::{AccessPolicy, FaultyProvider, SourceAccess};
+        let c = example_5_1();
+        let plan = FaultPlan::new(3).with_source("S2", FaultSpec::always_down());
+        let mut provider = DeltaProvider::new(FaultyProvider::new(&c, plan));
+        let mut access = SourceAccess::new(AccessPolicy::default(), c.len());
+        let mut session = crate::delta::DeltaSession::new(&c, 2).unwrap();
+        let err = confidence_over_stream(
+            &mut provider,
+            &mut access,
+            &mut session,
+            &Budget::unlimited(),
+            &mut ObsSession::disabled(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::SourceUnavailable { .. }));
     }
 
     #[test]

@@ -13,6 +13,11 @@
 //!   controlled *dropout* (completeness loss) and *corruption* (soundness
 //!   loss) whose injected rates the measures of Definition 2.1/2.2 can be
 //!   validated against.
+//! * [`deltas`] — the dynamic scenarios replayed as ordered update
+//!   streams ([`pscds_core::delta::DeltaBatch`]): signature-inheriting
+//!   cache-replacement churn (the incremental engine's best case) and
+//!   structurally volatile mirror resyncs (its recompute-bound contrast),
+//!   for experiment E10 and the CLI `--deltas` replay mode.
 //! * [`flaky`] — flaky-source scenario families (transient faults, hard
 //!   outages, flapping, seeded noise): a planted identity collection
 //!   paired with a replayable `FaultPlan` for the robustness
@@ -32,6 +37,7 @@
 
 pub mod cache_sim;
 pub mod climate;
+pub mod deltas;
 pub mod flaky;
 pub mod mirrors;
 pub mod random_sources;

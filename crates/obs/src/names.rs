@@ -114,6 +114,39 @@ pub const CIRCUIT_COMPILE_HITS: &str = "circuit.compile_hits";
 /// Counter: compiled-collection cache misses (fresh compiles).
 pub const CIRCUIT_COMPILE_MISSES: &str = "circuit.compile_misses";
 
+/// Counter: compiled-collection cross-collection hits — instance misses
+/// answered by rebinding another collection's structurally identical
+/// skeleton instead of compiling.
+pub const CIRCUIT_CROSS_HITS: &str = "circuit.cross_hits";
+
+/// Counter: delta batches applied to a `DeltaSession`.
+pub const DELTA_BATCHES_APPLIED: &str = "delta.batches_applied";
+
+/// Counter: individual insert/delete operations applied across batches
+/// (after dropping no-ops against the current extensions).
+pub const DELTA_OPS_APPLIED: &str = "delta.ops_applied";
+
+/// Counter: signature classes touched (size changed, created, or
+/// emptied) by applied delta batches.
+pub const DELTA_CLASSES_TOUCHED: &str = "delta.classes_touched";
+
+/// Counter: memoized residual states invalidated by delta-scoped
+/// prefix invalidation (levels at or below the deepest touched class).
+pub const DELTA_STATES_INVALIDATED: &str = "delta.states_invalidated";
+
+/// Counter: circuit nodes patched (freshly compiled onto the retained
+/// arena) by incremental maintenance.
+pub const DELTA_NODES_PATCHED: &str = "delta.nodes_patched";
+
+/// Counter: full recompiles forced because a delta changed a source's
+/// bounds, the class-signature sequence, or the patched arena outgrew
+/// its garbage threshold.
+pub const DELTA_RECOMPILES_FORCED: &str = "delta.recompiles_forced";
+
+/// Counter: analyses answered entirely from maintained state (the
+/// projected structure was unchanged, so no compile or traversal ran).
+pub const DELTA_RESULTS_REUSED: &str = "delta.results_reused";
+
 /// Gauge: residual-DP peak live cache entries (high-water mark).
 pub const DP_CACHE_PEAK: &str = "dp.cache_peak";
 
@@ -122,7 +155,7 @@ pub const DP_CACHE_PEAK: &str = "dp.cache_peak";
 pub const CHUNKS_STOLEN: &str = "chunks.stolen";
 
 /// All registered counter names, in stable reporting order.
-pub const COUNTERS: [&str; 28] = [
+pub const COUNTERS: [&str; 36] = [
     BUDGET_TICKS,
     BUDGET_TRIPS,
     DP_CACHE_HITS,
@@ -151,6 +184,14 @@ pub const COUNTERS: [&str; 28] = [
     CIRCUIT_SHARED_NODES,
     CIRCUIT_COMPILE_HITS,
     CIRCUIT_COMPILE_MISSES,
+    CIRCUIT_CROSS_HITS,
+    DELTA_BATCHES_APPLIED,
+    DELTA_OPS_APPLIED,
+    DELTA_CLASSES_TOUCHED,
+    DELTA_STATES_INVALIDATED,
+    DELTA_NODES_PATCHED,
+    DELTA_RECOMPILES_FORCED,
+    DELTA_RESULTS_REUSED,
 ];
 
 /// All registered gauge names, in stable reporting order.

@@ -217,4 +217,69 @@ cargo test -q --release --test circuit_metamorphic
     bench_validate --history BENCH_history.jsonl > /dev/null
 )
 
+# Delta gate (DESIGN.md §3.14): replay a seeded update stream through
+# the incremental maintenance session at two thread counts — the full
+# rendered replay (epoch lines, final confidence table, maintenance
+# summary) must be byte-identical, and the traced counter totals
+# (including the delta.* maintenance counters) must match. The E10
+# smoke run then checks the incremental route against per-epoch
+# recompute (the binary asserts bit-identical verdicts, world counts,
+# and confidences at every epoch) and must append schema-valid
+# "incremental" records to BENCH_history.jsonl.
+echo "==> delta gate (replay determinism at 2 thread counts, E10 smoke)"
+cat > "$smoke_dir/stream.deltas" <<'EOT'
+batch {
+  source S1 {
+    insert: V1(c).
+  }
+}
+batch {
+  source S1 {
+    delete: V1(a).
+  }
+  source S2 {
+    delete: V2(c).
+  }
+}
+batch {
+  source S1 {
+    insert: V1(a).
+  }
+}
+EOT
+(
+    cd "$smoke_dir"
+    for threads in 1 4; do
+        pscds_cli confidence example51.pscds --padding 1 \
+            --deltas stream.deltas --threads "$threads" \
+            --trace-out "delta-t$threads.jsonl" > "delta-t$threads.txt"
+    done
+    diff -u delta-t1.txt delta-t4.txt || {
+        echo "delta replays differ between --threads 1 and --threads 4" >&2
+        exit 1
+    }
+    grep -q '^delta maintenance:' delta-t1.txt || {
+        echo "delta replay printed no maintenance summary" >&2
+        exit 1
+    }
+    bench_validate --counters delta-t1.jsonl > delta-counters-t1.txt
+    bench_validate --counters delta-t4.jsonl > delta-counters-t4.txt
+    diff -u delta-counters-t1.txt delta-counters-t4.txt || {
+        echo "delta-replay counter totals differ across thread counts" >&2
+        exit 1
+    }
+    applied=$(awk '$1 == "delta.batches_applied" { print $2 }' delta-counters-t1.txt)
+    [ -n "$applied" ] && [ "$applied" -eq 4 ] || {
+        echo "delta replay recorded ${applied:-no} applied batches, expected 4" >&2
+        exit 1
+    }
+    cargo run -q --manifest-path "$OLDPWD/Cargo.toml" \
+        -p pscds-bench --release --bin e10_deltas -- --batches 6 > e10.txt
+    grep -q '"engine": "incremental"' BENCH_history.jsonl || {
+        echo "E10 left no incremental record in BENCH_history.jsonl" >&2
+        exit 1
+    }
+    bench_validate --history BENCH_history.jsonl > /dev/null
+)
+
 echo "==> CI green"

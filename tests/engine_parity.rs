@@ -20,6 +20,10 @@ use pscds::core::consistency::{
     decide_exhaustive, decide_exhaustive_parallel, decide_identity, decide_identity_parallel,
     find_witness_budgeted, find_witness_parallel,
 };
+use pscds::core::delta::{
+    analyze_incremental, analyze_incremental_budgeted, analyze_incremental_parallel, DeltaBatch,
+    DeltaSession, SourceDelta,
+};
 use pscds::core::govern::Budget;
 use pscds::core::obs::ObsSession;
 use pscds::core::{
@@ -407,6 +411,106 @@ proptest! {
             prop_assert_eq!(policied.engine, observed.engine);
             prop_assert_eq!(policied.consistent, observed.consistent);
             prop_assert_eq!(&policied.witness, &observed.witness);
+        }
+    }
+
+    /// Incremental maintenance is not a new semantics, just a cheaper
+    /// route to the old one: after ANY prefix of a delta stream, a
+    /// maintained [`DeltaSession`] must answer bit-identically to
+    /// building the analysis directly from the accumulated collection —
+    /// verdict, world count, feasible-vector count, and every per-tuple
+    /// confidence — and `analyze_incremental` / `_budgeted` /
+    /// `_parallel` must agree at every thread count.
+    #[test]
+    fn incremental_parity_over_delta_streams(
+        collection in collections(),
+        stream in proptest::collection::vec(
+            proptest::collection::vec(
+                (0usize..3, 0usize..DOMAIN, 0usize..2),
+                0..4,
+            ),
+            1..5,
+        ),
+    ) {
+        let dom = domain();
+        let identity = collection.as_identity().expect("identity views");
+        let n_sources = identity.sources.len();
+        // Fix the universe at the full domain so no insert can overflow.
+        let padding = DOMAIN as u64 - identity.all_tuples().len() as u64;
+        let unlimited = Budget::unlimited();
+
+        // One maintained session per thread count, replaying in lockstep.
+        let mut sessions: Vec<DeltaSession> = THREADS
+            .iter()
+            .map(|_| DeltaSession::new(&collection, padding).expect("identity views"))
+            .collect();
+        let _ = analyze_incremental(&mut sessions[0]);
+
+        for ops in &stream {
+            let batch = DeltaBatch {
+                deltas: ops
+                    .iter()
+                    .map(|&(src, val, insert)| {
+                        let src = src % n_sources;
+                        let insert = insert == 1;
+                        let fact = pscds::relational::Fact::new(
+                            format!("V{src}").as_str(),
+                            [dom[val]],
+                        );
+                        SourceDelta {
+                            source: format!("S{src}"),
+                            delete: if insert { vec![] } else { vec![fact.clone()] },
+                            insert: if insert { vec![fact] } else { vec![] },
+                        }
+                    })
+                    .collect(),
+            };
+            for session in &mut sessions {
+                session.apply_batch(&batch).expect("in-universe ops");
+            }
+
+            // Ground truth: analyze the accumulated state from scratch.
+            let maintained = sessions[0].collection().clone();
+            let scratch =
+                ConfidenceAnalysis::analyze(&maintained, sessions[0].padding());
+
+            let first = analyze_incremental_budgeted(&mut sessions[0], &unlimited)
+                .expect("unlimited budget");
+            prop_assert_eq!(first.world_count(), scratch.world_count());
+            prop_assert_eq!(first.feasible_vectors(), scratch.feasible_vectors());
+            prop_assert_eq!(first.is_consistent(), scratch.is_consistent());
+            for (session, threads) in sessions.iter_mut().zip(THREADS).skip(1) {
+                let config = ParallelConfig::with_threads(threads);
+                let parallel =
+                    analyze_incremental_parallel(session, &unlimited, &config)
+                        .expect("unlimited budget");
+                prop_assert_eq!(parallel.world_count(), first.world_count());
+                prop_assert_eq!(parallel.feasible_vectors(), first.feasible_vectors());
+                if scratch.is_consistent() {
+                    for tuple in maintained.all_tuples() {
+                        prop_assert_eq!(
+                            parallel
+                                .confidence_of_tuple(&maintained, &tuple)
+                                .expect("consistent"),
+                            scratch
+                                .confidence_of_tuple(&maintained, &tuple)
+                                .expect("consistent")
+                        );
+                    }
+                }
+            }
+            if scratch.is_consistent() {
+                for tuple in maintained.all_tuples() {
+                    prop_assert_eq!(
+                        first
+                            .confidence_of_tuple(&maintained, &tuple)
+                            .expect("consistent"),
+                        scratch
+                            .confidence_of_tuple(&maintained, &tuple)
+                            .expect("consistent")
+                    );
+                }
+            }
         }
     }
 
