@@ -4,16 +4,24 @@
 //!
 //! ```text
 //! pscds-lint [--root <DIR>] [--list] [--no-interleave]
+//!            [--format text|json] [--explain CODE] [--suppressions]
+//!            [--validate-json FILE]
 //! ```
 //!
 //! With no `--root`, the workspace root is found by walking up from the
 //! current directory to the first `Cargo.toml` declaring `[workspace]`.
+//!
+//! `--format json` emits the deterministic `pscds-lint-json/1` report
+//! (violations, rule registry, suppression census) on stdout and
+//! suppresses the human-readable transcript; the interleave gate still
+//! runs unless `--no-interleave` is given, with its transcript on
+//! stderr so stdout stays pure JSON.
 
 use std::env;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use pscds_analysis::{interleave, lints, source::Workspace};
+use pscds_analysis::{interleave, json, lints, source::Workspace};
 
 fn find_workspace_root(start: &Path) -> Option<PathBuf> {
     let mut dir = start.to_path_buf();
@@ -32,10 +40,67 @@ fn find_workspace_root(start: &Path) -> Option<PathBuf> {
     }
 }
 
+const USAGE: &str = "usage: pscds-lint [--root <DIR>] [--list] [--no-interleave] \
+[--format text|json] [--explain CODE] [--suppressions] [--validate-json FILE]";
+
+fn explain(code: &str) -> ExitCode {
+    // Accept either a stable code (`L4`) or a rule id (`no-panic`).
+    let looked_up = lints::explain_for(code).or_else(|| {
+        lints::code_for(code)
+            .and_then(lints::explain_for)
+            .map(|(_, text)| (code, text))
+    });
+    match looked_up {
+        Some((rule, text)) => {
+            let shown_code = lints::code_for(rule).unwrap_or(code);
+            println!("{shown_code} {rule}");
+            println!();
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("pscds-lint: unknown rule or code `{code}` (try --list)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn validate_json(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("pscds-lint: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match json::parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("pscds-lint: {path}: malformed JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match json::validate_report(&doc) {
+        Ok(violations) => {
+            println!(
+                "pscds-lint: {path}: valid {} report, {violations} violation(s)",
+                json::SCHEMA
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("pscds-lint: {path}: schema violation: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut list = false;
     let mut interleave_gate = true;
+    let mut json_out = false;
+    let mut suppressions = false;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -48,8 +113,35 @@ fn main() -> ExitCode {
             },
             "--list" => list = true,
             "--no-interleave" => interleave_gate = false,
+            "--format" => match args.next().as_deref() {
+                Some("json") => json_out = true,
+                Some("text") => json_out = false,
+                Some(other) => {
+                    eprintln!("pscds-lint: unknown format `{other}` (expected text or json)");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("pscds-lint: --format requires text or json");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--explain" => match args.next() {
+                Some(code) => return explain(&code),
+                None => {
+                    eprintln!("pscds-lint: --explain requires a rule code (try --list)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--suppressions" => suppressions = true,
+            "--validate-json" => match args.next() {
+                Some(path) => return validate_json(&path),
+                None => {
+                    eprintln!("pscds-lint: --validate-json requires a file");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: pscds-lint [--root <DIR>] [--list] [--no-interleave]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -82,35 +174,64 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!(
-        "pscds-lint: {} source files under {}",
-        ws.files.len(),
-        root.display()
-    );
+
+    if suppressions {
+        let stats = lints::suppression_stats(&ws);
+        println!(
+            "pscds-lint: {} suppression(s) ({} file-scope) across {} file(s)",
+            stats.directives, stats.file_scope, stats.files
+        );
+        for (rule, count) in &stats.by_rule {
+            println!("  {count:>4}  {rule}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if !json_out {
+        println!(
+            "pscds-lint: {} source files under {}",
+            ws.files.len(),
+            root.display()
+        );
+    }
 
     let violations = lints::run_all(&ws);
-    for v in &violations {
-        println!("{v}");
-    }
     let mut failed = !violations.is_empty();
-    if failed {
-        println!("pscds-lint: {} violation(s)", violations.len());
+    if json_out {
+        // The report carries its own trailing newline; keep stdout an
+        // exact byte-for-byte copy of the renderer's output.
+        print!("{}", json::render_report(&ws, &violations));
     } else {
-        println!(
-            "pscds-lint: all {} lint rules clean",
-            lints::registry().len()
-        );
+        for v in &violations {
+            println!("{v}");
+        }
+        if failed {
+            println!("pscds-lint: {} violation(s)", violations.len());
+        } else {
+            println!(
+                "pscds-lint: all {} lint rules clean",
+                lints::registry().len()
+            );
+        }
     }
 
     if interleave_gate {
         match interleave::run_all() {
             Ok(reports) => {
                 for r in &reports {
-                    println!("interleave: {r}");
+                    if json_out {
+                        eprintln!("interleave: {r}");
+                    } else {
+                        println!("interleave: {r}");
+                    }
                 }
             }
             Err(e) => {
-                println!("interleave: FAILED: {e}");
+                if json_out {
+                    eprintln!("interleave: FAILED: {e}");
+                } else {
+                    println!("interleave: FAILED: {e}");
+                }
                 failed = true;
             }
         }

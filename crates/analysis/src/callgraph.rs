@@ -1,0 +1,180 @@
+//! Workspace call graph and the reachability queries the
+//! interprocedural lints run on.
+//!
+//! Nodes are the functions of the [`SymbolTable`]; edges come from its
+//! resolved call sites. Two edge strengths are kept (DESIGN.md §3.15):
+//!
+//! * **call edges** — syntactic calls (`name(…)`, `recv.name(…)`) that
+//!   certainly invoke *some* function the name resolves to;
+//! * **ref edges** — bare references to known function names (function
+//!   values handed to drivers, parity harness tables). They probably
+//!   execute, so *reachability* queries include them; "this loop calls
+//!   a ticking callee" arguments do **not**, because a mentioned-but-
+//!   never-invoked function must not discharge a budget obligation.
+//!
+//! All derived sets are computed with deterministic worklists over the
+//! table's stable node numbering, so lint output is bit-identical from
+//! run to run.
+
+use crate::items::CallKind;
+use crate::symbols::{FnId, SymbolTable};
+
+/// Which edges a traversal follows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeFilter {
+    /// Syntactic calls and method calls only.
+    CallsOnly,
+    /// Calls, method calls, and bare function references.
+    CallsAndRefs,
+}
+
+/// The call graph: forward adjacency per node, per edge strength.
+pub struct CallGraph {
+    /// `calls[f]` — targets of syntactic (incl. method) calls in `f`.
+    pub calls: Vec<Vec<FnId>>,
+    /// `refs[f]` — targets of bare-reference mentions in `f`.
+    pub refs: Vec<Vec<FnId>>,
+}
+
+impl CallGraph {
+    /// Builds the graph from a resolved symbol table.
+    #[must_use]
+    pub fn build(table: &SymbolTable<'_>) -> Self {
+        let n = table.fns.len();
+        let mut calls: Vec<Vec<FnId>> = vec![Vec::new(); n];
+        let mut refs: Vec<Vec<FnId>> = vec![Vec::new(); n];
+        for (f, sym) in table.fns.iter().enumerate() {
+            for rc in &sym.calls {
+                let bucket = match rc.site.kind {
+                    CallKind::Call | CallKind::Method => &mut calls[f],
+                    CallKind::Ref => &mut refs[f],
+                };
+                bucket.extend_from_slice(&rc.targets);
+            }
+            calls[f].sort_unstable();
+            calls[f].dedup();
+            refs[f].sort_unstable();
+            refs[f].dedup();
+        }
+        CallGraph { calls, refs }
+    }
+
+    /// Forward reachability from `seeds` under the given filter;
+    /// returns a membership vector (seeds are reachable).
+    #[must_use]
+    pub fn reachable_from(&self, seeds: &[FnId], filter: EdgeFilter) -> Vec<bool> {
+        let mut seen = vec![false; self.calls.len()];
+        let mut work: Vec<FnId> = Vec::new();
+        for &s in seeds {
+            if !seen[s] {
+                seen[s] = true;
+                work.push(s);
+            }
+        }
+        while let Some(f) = work.pop() {
+            let push = |targets: &[FnId], seen: &mut Vec<bool>, work: &mut Vec<FnId>| {
+                for &t in targets {
+                    if !seen[t] {
+                        seen[t] = true;
+                        work.push(t);
+                    }
+                }
+            };
+            push(&self.calls[f], &mut seen, &mut work);
+            if filter == EdgeFilter::CallsAndRefs {
+                push(&self.refs[f], &mut seen, &mut work);
+            }
+        }
+        seen
+    }
+
+    /// Fixpoint of "the function discharges the budget obligation":
+    /// `base[f]` marks functions whose own body ticks directly; the
+    /// result additionally marks every function with a **call** edge
+    /// (ref mentions do not count) to a discharging function.
+    #[must_use]
+    pub fn propagate_up(&self, base: &[bool]) -> Vec<bool> {
+        let n = self.calls.len();
+        debug_assert_eq!(base.len(), n);
+        // Reverse call edges once, then run a worklist.
+        let mut rev: Vec<Vec<FnId>> = vec![Vec::new(); n];
+        for (f, targets) in self.calls.iter().enumerate() {
+            for &t in targets {
+                rev[t].push(f);
+            }
+        }
+        let mut out = base.to_vec();
+        let mut work: Vec<FnId> = (0..n).filter(|&f| out[f]).collect();
+        while let Some(f) = work.pop() {
+            for &caller in &rev[f] {
+                if !out[caller] {
+                    out[caller] = true;
+                    work.push(caller);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Workspace;
+    use crate::symbols::SymbolTable;
+
+    fn graph_of(ws: &Workspace) -> (SymbolTable<'_>, CallGraph) {
+        let t = SymbolTable::build(ws);
+        let g = CallGraph::build(&t);
+        (t, g)
+    }
+
+    #[test]
+    fn reachability_follows_call_chains() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/x.rs",
+            "pub fn a() { b(); }\npub fn b() { c(); }\npub fn c() {}\npub fn island() {}\n",
+        )]);
+        let (t, g) = graph_of(&ws);
+        let a = t.named("a")[0];
+        let seen = g.reachable_from(&[a], EdgeFilter::CallsOnly);
+        assert!(seen[t.named("c")[0]]);
+        assert!(!seen[t.named("island")[0]]);
+    }
+
+    #[test]
+    fn ref_edges_extend_reachability_but_not_discharge() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/x.rs",
+            "pub fn ticker(b: &B) { b.tick(\"t\"); }\npub fn driver() { run(ticker); }\npub fn run(f: F) {}\n",
+        )]);
+        let (t, g) = graph_of(&ws);
+        let driver = t.named("driver")[0];
+        let ticker = t.named("ticker")[0];
+        assert!(g.reachable_from(&[driver], EdgeFilter::CallsAndRefs)[ticker]);
+        assert!(!g.reachable_from(&[driver], EdgeFilter::CallsOnly)[ticker]);
+
+        let mut base = vec![false; g.calls.len()];
+        base[ticker] = true;
+        let ticks = g.propagate_up(&base);
+        assert!(
+            !ticks[driver],
+            "a bare mention of a ticking fn must not discharge the obligation"
+        );
+    }
+
+    #[test]
+    fn propagate_up_marks_transitive_callers() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/x.rs",
+            "pub fn leaf(b: &B) { b.tick(\"leaf\"); }\npub fn mid() { leaf(); }\npub fn top() { mid(); }\npub fn other() {}\n",
+        )]);
+        let (t, g) = graph_of(&ws);
+        let mut base = vec![false; g.calls.len()];
+        base[t.named("leaf")[0]] = true;
+        let up = g.propagate_up(&base);
+        assert!(up[t.named("mid")[0]]);
+        assert!(up[t.named("top")[0]]);
+        assert!(!up[t.named("other")[0]]);
+    }
+}

@@ -1,0 +1,722 @@
+//! Item-level parser on top of the token stream.
+//!
+//! The token lints of [`crate::lints`] see one flat token stream per
+//! file; the interprocedural rules (L2 reachability, L8 determinism,
+//! L10 dead-twin) need *items*: which `fn` declares which body, inside
+//! which module and `impl` block, importing which names, and calling
+//! what. This module extracts exactly that — a [`FileItems`] per source
+//! file — without building a full AST: bodies stay token ranges, types
+//! stay names, and anything the parser cannot classify is simply not an
+//! item (the real compiler is the authority on well-formedness; see
+//! DESIGN.md §3.15 for the evidence model this feeds).
+//!
+//! What is extracted:
+//!
+//! * the **module path** of every item — the file's path-derived module
+//!   (`crates/core/src/confidence/dp.rs` → `core::confidence::dp`)
+//!   extended by inline `mod name { … }` nesting;
+//! * **`use` declarations**, flattened through `{…}` groups and `as`
+//!   renames, so `use std::collections::HashMap as Map` makes `Map` a
+//!   known alias of `std::collections::HashMap`;
+//! * **`fn` items**, free and inside `impl` blocks (methods carry the
+//!   `impl` target's type name), with parameter and body token ranges;
+//! * **call sites** inside each body: `name(…)`, `path::name(…)`,
+//!   `name::<T>(…)`, `.name(…)` method calls, and bare references to
+//!   known function names (function values passed to drivers — these
+//!   are recorded as [`CallKind::Ref`] so the call graph can treat them
+//!   as weaker evidence than a syntactic call).
+
+use crate::lexer::{TokKind, Token};
+use crate::source::SourceFile;
+
+/// How a call site invokes its target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CallKind {
+    /// A syntactic call: `name(…)`, `path::name(…)`, `name::<T>(…)`.
+    Call,
+    /// A method call: `recv.name(…)`.
+    Method,
+    /// A bare reference to a known function name (no argument list) —
+    /// typically a function value handed to a driver or test macro.
+    Ref,
+}
+
+/// One call site inside a function body.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// The called name (last path segment).
+    pub name: String,
+    /// Leading path qualifier segments, if written (`dp::count_dp(…)`
+    /// yields `["dp"]`; empty for unqualified calls and methods).
+    pub qualifier: Vec<String>,
+    /// Call shape.
+    pub kind: CallKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// One `fn` item (free function or `impl` method).
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Module path: file-derived segments plus inline `mod` nesting.
+    pub module: Vec<String>,
+    /// The `impl` target type name, for methods.
+    pub self_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// `true` for unrestricted `pub`.
+    pub is_pub: bool,
+    /// Token index range of the parameters, inside the parens.
+    pub params: (usize, usize),
+    /// Token index range of the body, inside the braces (`None` for
+    /// trait-signature declarations).
+    pub body: Option<(usize, usize)>,
+}
+
+/// One flattened `use` import: `alias` names `path` in this file.
+#[derive(Clone, Debug)]
+pub struct UseDecl {
+    /// Full path segments (`["std", "collections", "HashMap"]`).
+    pub path: Vec<String>,
+    /// The name the import binds locally (last segment, or the `as`
+    /// rename).
+    pub alias: String,
+}
+
+/// Everything the item parser extracts from one file.
+#[derive(Clone, Debug, Default)]
+pub struct FileItems {
+    /// All `fn` items in source order.
+    pub fns: Vec<FnItem>,
+    /// All flattened `use` imports.
+    pub uses: Vec<UseDecl>,
+}
+
+/// Keywords that look like calls when followed by `(` but are not.
+const NON_CALL_KEYWORDS: [&str; 12] = [
+    "if", "while", "for", "match", "return", "loop", "fn", "let", "in", "move", "unsafe", "else",
+];
+
+/// Derives the file's module path from its workspace-relative path:
+/// `crates/core/src/confidence/dp.rs` → `["core", "confidence", "dp"]`,
+/// `crates/core/src/lib.rs` → `["core"]`, `tests/engine_parity.rs` →
+/// `["tests", "engine_parity"]`, `…/mod.rs` names its directory.
+#[must_use]
+pub fn module_path_of(path: &str) -> Vec<String> {
+    let mut segs: Vec<&str> = path.split('/').collect();
+    let Some(file) = segs.pop() else {
+        return Vec::new();
+    };
+    // Drop the structural prefix: `crates/<name>/src` → `<name>`,
+    // `crates/<name>/tests` → `<name>::tests`, bare `src` → nothing.
+    let mut out: Vec<String> = Vec::new();
+    match segs.first().copied() {
+        Some("crates") if segs.len() >= 2 => {
+            out.push(segs[1].to_string());
+            for s in &segs[2..] {
+                if *s != "src" {
+                    out.push((*s).to_string());
+                }
+            }
+        }
+        Some("src") => {
+            for s in &segs[1..] {
+                out.push((*s).to_string());
+            }
+        }
+        _ => {
+            for s in &segs {
+                out.push((*s).to_string());
+            }
+        }
+    }
+    let stem = file.strip_suffix(".rs").unwrap_or(file);
+    if stem != "lib" && stem != "main" && stem != "mod" {
+        out.push(stem.to_string());
+    }
+    out
+}
+
+/// Parses a lexed file into its item model.
+#[must_use]
+pub fn parse_items(file: &SourceFile) -> FileItems {
+    let mut out = FileItems::default();
+    let base = module_path_of(&file.path);
+    walk_items(&file.tokens, 0, file.tokens.len(), &base, None, &mut out);
+    out
+}
+
+/// Recursive item walk over `tokens[start..end]` with the given module
+/// path and enclosing `impl` type.
+fn walk_items(
+    tokens: &[Token],
+    start: usize,
+    end: usize,
+    module: &[String],
+    self_type: Option<&str>,
+    out: &mut FileItems,
+) {
+    let mut i = start;
+    while i < end {
+        let t = &tokens[i];
+        if t.is_ident("use") {
+            i = parse_use(tokens, i + 1, end, out);
+            continue;
+        }
+        if t.is_ident("mod") {
+            // `mod name { … }` recurses with an extended path; `mod
+            // name;` is an outline module handled by its own file.
+            if let Some(name) = tokens.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                if tokens.get(i + 2).is_some_and(|n| n.is_punct('{')) {
+                    let close = crate::source::balanced_block_end(tokens, i + 2);
+                    let mut inner = module.to_vec();
+                    inner.push(name.text.clone());
+                    walk_items(tokens, i + 3, close, &inner, None, out);
+                    i = close + 1;
+                    continue;
+                }
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_ident("impl") {
+            if let Some((ty, body_open)) = parse_impl_header(tokens, i, end) {
+                let close = crate::source::balanced_block_end(tokens, body_open);
+                walk_items(tokens, body_open + 1, close, module, Some(&ty), out);
+                i = close + 1;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_ident("fn") {
+            if let Some((item, next)) = parse_fn(tokens, i, module, self_type) {
+                out.fns.push(item);
+                i = next;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        // Skip whole blocks we do not descend into *only* when they
+        // belong to non-item constructs we recognise; everything else
+        // advances one token so `fn` inside macro bodies (`proptest! {
+        // … }`) is still discovered.
+        i += 1;
+    }
+}
+
+/// Parses the header of an `impl` at `i`: returns the target type name
+/// and the index of the body's `{`. `impl Trait for Type` reports
+/// `Type`; generic arguments are skipped.
+fn parse_impl_header(tokens: &[Token], i: usize, end: usize) -> Option<(String, usize)> {
+    let mut j = i + 1;
+    // Skip `<…>` generic parameters.
+    if tokens.get(j).is_some_and(|t| t.is_punct('<')) {
+        j = skip_angles(tokens, j, end);
+    }
+    let mut last_type: Option<String> = None;
+    while j < end {
+        let t = &tokens[j];
+        if t.is_punct('{') {
+            return last_type.map(|ty| (ty, j));
+        }
+        if t.is_ident("for") {
+            // The segment after `for` is the real self type.
+            last_type = None;
+            j += 1;
+            continue;
+        }
+        if t.is_ident("where") {
+            // `where` clauses mention other types; stop updating.
+            while j < end && !tokens[j].is_punct('{') {
+                j += 1;
+            }
+            continue;
+        }
+        if t.kind == TokKind::Ident && last_type.is_none() {
+            // First path segment of the (current) type; follow `::`
+            // chains so `module::Type` reports `Type`.
+            let mut name = t.text.clone();
+            let mut k = j + 1;
+            while k + 1 < end && tokens[k].is_punct(':') && tokens[k + 1].is_punct(':') {
+                if let Some(seg) = tokens.get(k + 2).filter(|s| s.kind == TokKind::Ident) {
+                    name = seg.text.clone();
+                    k += 3;
+                } else {
+                    break;
+                }
+            }
+            last_type = Some(name);
+            j = k;
+            continue;
+        }
+        if t.is_punct('<') {
+            j = skip_angles(tokens, j, end);
+            continue;
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Given `<` at `j`, returns the index one past the matching `>`.
+/// Tolerates shift operators by bailing at `;` or `{`.
+fn skip_angles(tokens: &[Token], j: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = j;
+    while k < end {
+        let t = &tokens[k];
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') {
+            depth -= 1;
+            if depth <= 0 {
+                return k + 1;
+            }
+        } else if t.is_punct(';') || t.is_punct('{') {
+            return k;
+        }
+        k += 1;
+    }
+    k
+}
+
+/// Parses a `fn` at index `i`; returns the item and the index to resume
+/// scanning at (one past the body or the `;`).
+fn parse_fn(
+    tokens: &[Token],
+    i: usize,
+    module: &[String],
+    self_type: Option<&str>,
+) -> Option<(FnItem, usize)> {
+    let name_tok = tokens.get(i + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    let is_pub = prev_is_bare_pub(tokens, i);
+    // Generics, then the parameter list.
+    let mut j = i + 2;
+    if tokens.get(j).is_some_and(|t| t.is_punct('<')) {
+        j = skip_angles(tokens, j, tokens.len());
+    }
+    while j < tokens.len() && !tokens[j].is_punct('(') {
+        if tokens[j].is_punct('{') || tokens[j].is_punct(';') {
+            return None;
+        }
+        j += 1;
+    }
+    if j >= tokens.len() {
+        return None;
+    }
+    let params_start = j + 1;
+    let mut depth = 0i32;
+    while j < tokens.len() {
+        if tokens[j].is_punct('(') {
+            depth += 1;
+        } else if tokens[j].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        j += 1;
+    }
+    let params_end = j;
+    // Body: first `{` at bracket depth 0 before `;`.
+    let mut k = j + 1;
+    let mut d = 0i32;
+    let (body, resume) = loop {
+        match tokens.get(k) {
+            None => break (None, k),
+            Some(t) if t.is_punct('(') || t.is_punct('[') => d += 1,
+            Some(t) if t.is_punct(')') || t.is_punct(']') => d -= 1,
+            Some(t) if t.is_punct(';') && d == 0 => break (None, k + 1),
+            Some(t) if t.is_punct('{') && d == 0 => {
+                let close = crate::source::balanced_block_end(tokens, k);
+                break (Some((k + 1, close)), close + 1);
+            }
+            Some(_) => {}
+        }
+        k += 1;
+    };
+    Some((
+        FnItem {
+            name: name_tok.text.clone(),
+            module: module.to_vec(),
+            self_type: self_type.map(str::to_string),
+            line: tokens[i].line,
+            is_pub,
+            params: (params_start, params_end),
+            body,
+        },
+        resume,
+    ))
+}
+
+/// Walks back over fn modifiers to decide bare-`pub` visibility
+/// (mirrors `lints::visibility_is_bare_pub`, kept local so the item
+/// parser has no lint dependency).
+fn prev_is_bare_pub(tokens: &[Token], fn_idx: usize) -> bool {
+    let mut i = fn_idx;
+    while i > 0 {
+        i -= 1;
+        let t = &tokens[i];
+        if t.is_ident("const")
+            || t.is_ident("async")
+            || t.is_ident("unsafe")
+            || t.is_ident("extern")
+        {
+            continue;
+        }
+        if t.kind == TokKind::Literal {
+            continue;
+        }
+        if t.is_ident("pub") {
+            return !tokens.get(i + 1).is_some_and(|n| n.is_punct('('));
+        }
+        return false;
+    }
+    false
+}
+
+/// Parses a `use` declaration starting after the `use` keyword;
+/// flattens `{…}` groups and `as` renames into [`UseDecl`]s. Returns
+/// the index one past the terminating `;`.
+fn parse_use(tokens: &[Token], start: usize, end: usize, out: &mut FileItems) -> usize {
+    // Find the terminating `;` first (groups never nest braces deeper
+    // than themselves, so a brace-aware scan suffices).
+    let mut stop = start;
+    let mut brace = 0i32;
+    while stop < end {
+        let t = &tokens[stop];
+        if t.is_punct('{') {
+            brace += 1;
+        } else if t.is_punct('}') {
+            brace -= 1;
+        } else if t.is_punct(';') && brace == 0 {
+            break;
+        }
+        stop += 1;
+    }
+    flatten_use(tokens, start, stop, &[], out);
+    stop + 1
+}
+
+/// Recursively flattens the use-tree in `tokens[start..end]` under the
+/// accumulated `prefix`.
+fn flatten_use(tokens: &[Token], start: usize, end: usize, prefix: &[String], out: &mut FileItems) {
+    let mut path = prefix.to_vec();
+    let mut i = start;
+    while i < end {
+        let t = &tokens[i];
+        if t.kind == TokKind::Ident && t.text != "as" {
+            path.push(t.text.clone());
+            i += 1;
+            continue;
+        }
+        if t.is_punct(':') {
+            i += 1;
+            continue;
+        }
+        if t.is_ident("as") {
+            if let Some(alias) = tokens.get(i + 1).filter(|a| a.kind == TokKind::Ident) {
+                if let Some(last) = path.last() {
+                    if last != "*" {
+                        out.uses.push(UseDecl {
+                            path: path.clone(),
+                            alias: alias.text.clone(),
+                        });
+                    }
+                }
+            }
+            return;
+        }
+        if t.is_punct('{') {
+            // Split the group on top-level commas, recursing per arm.
+            let close = balanced_brace_end(tokens, i, end);
+            let mut arm_start = i + 1;
+            let mut depth = 0i32;
+            let mut k = i + 1;
+            while k < close {
+                let a = &tokens[k];
+                if a.is_punct('{') {
+                    depth += 1;
+                } else if a.is_punct('}') {
+                    depth -= 1;
+                } else if a.is_punct(',') && depth == 0 {
+                    flatten_use(tokens, arm_start, k, &path, out);
+                    arm_start = k + 1;
+                }
+                k += 1;
+            }
+            if arm_start < close {
+                flatten_use(tokens, arm_start, close, &path, out);
+            }
+            return;
+        }
+        if t.is_punct('*') {
+            // Glob imports bind no single alias; the symbol table's
+            // name-based fallback covers them.
+            return;
+        }
+        i += 1;
+    }
+    if path.len() > prefix.len() {
+        if let Some(last) = path.last().cloned() {
+            out.uses.push(UseDecl { path, alias: last });
+        }
+    }
+}
+
+/// Given `{` at `i`, the matching `}` index, bounded by `end`.
+fn balanced_brace_end(tokens: &[Token], i: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < end {
+        if tokens[j].is_punct('{') {
+            depth += 1;
+        } else if tokens[j].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    end.saturating_sub(1)
+}
+
+/// Extracts call sites from a body token range. `known_fn` decides
+/// whether a bare identifier counts as a [`CallKind::Ref`] — the caller
+/// passes a symbol-table membership test so arbitrary variable names do
+/// not become edges.
+#[must_use]
+pub fn call_sites(
+    tokens: &[Token],
+    body: (usize, usize),
+    known_fn: &dyn Fn(&str) -> bool,
+) -> Vec<CallSite> {
+    let (start, end) = body;
+    let mut out = Vec::new();
+    let mut i = start;
+    while i < end.min(tokens.len()) {
+        let t = &tokens[i];
+        if t.kind != TokKind::Ident || NON_CALL_KEYWORDS.contains(&t.text.as_str()) {
+            i += 1;
+            continue;
+        }
+        let prev_dot = i > start && tokens[i - 1].is_punct('.');
+        let prev_fn = i > 0 && tokens[i - 1].is_ident("fn");
+        // Follow a `::`-qualified path from this segment.
+        let mut qualifier: Vec<String> = Vec::new();
+        let mut name = t.text.clone();
+        let mut j = i + 1;
+        while j + 1 < end && tokens[j].is_punct(':') && tokens[j + 1].is_punct(':') {
+            match tokens.get(j + 2) {
+                Some(seg) if seg.kind == TokKind::Ident => {
+                    qualifier.push(std::mem::replace(&mut name, seg.text.clone()));
+                    j += 3;
+                }
+                Some(seg) if seg.is_punct('<') => {
+                    // Turbofish: `name::<T>(…)`.
+                    j = skip_angles(tokens, j + 2, end);
+                    break;
+                }
+                _ => break,
+            }
+        }
+        let calls = tokens.get(j).is_some_and(|n| n.is_punct('('));
+        if prev_fn {
+            // A nested `fn` declaration, not a call.
+            i = j;
+            continue;
+        }
+        if calls {
+            out.push(CallSite {
+                name,
+                qualifier,
+                kind: if prev_dot {
+                    CallKind::Method
+                } else {
+                    CallKind::Call
+                },
+                line: t.line,
+            });
+        } else if !prev_dot && qualifier.is_empty() && known_fn(&name) {
+            out.push(CallSite {
+                name,
+                qualifier,
+                kind: CallKind::Ref,
+                line: t.line,
+            });
+        }
+        i = j.max(i + 1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn items_of(path: &str, src: &str) -> FileItems {
+        parse_items(&SourceFile::from_source(path, src))
+    }
+
+    #[test]
+    fn module_paths_from_file_layout() {
+        assert_eq!(
+            module_path_of("crates/core/src/confidence/dp.rs"),
+            ["core", "confidence", "dp"]
+        );
+        assert_eq!(module_path_of("crates/core/src/lib.rs"), ["core"]);
+        assert_eq!(
+            module_path_of("crates/core/src/confidence/mod.rs"),
+            ["core", "confidence"]
+        );
+        assert_eq!(
+            module_path_of("tests/engine_parity.rs"),
+            ["tests", "engine_parity"]
+        );
+        assert_eq!(module_path_of("src/lib.rs"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn fns_free_inline_mod_and_impl_methods() {
+        let it = items_of(
+            "crates/core/src/engine.rs",
+            "pub fn free(x: u64) -> u64 { x }\n\
+             mod inner { pub fn nested() {} }\n\
+             pub struct Engine;\n\
+             impl Engine {\n    pub fn method(&self) -> u64 { free(1) }\n}\n\
+             impl std::fmt::Display for Engine {\n    fn fmt(&self, f: &mut Fmt) -> R { write(f) }\n}\n",
+        );
+        let names: Vec<(&str, Option<&str>)> = it
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.self_type.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            [
+                ("free", None),
+                ("nested", None),
+                ("method", Some("Engine")),
+                ("fmt", Some("Engine")),
+            ]
+        );
+        assert_eq!(it.fns[1].module, ["core", "engine", "inner"]);
+        assert!(it.fns[0].is_pub && !it.fns[3].is_pub);
+    }
+
+    #[test]
+    fn impl_generics_and_qualified_types() {
+        let it = items_of(
+            "crates/core/src/x.rs",
+            "impl<T: Clone> Wrapper<T> { fn get(&self) -> &T { &self.0 } }\n\
+             impl From<u64> for confidence::Value { fn from(v: u64) -> Self { Self(v) } }\n",
+        );
+        assert_eq!(it.fns[0].self_type.as_deref(), Some("Wrapper"));
+        assert_eq!(it.fns[1].self_type.as_deref(), Some("Value"));
+    }
+
+    #[test]
+    fn use_declarations_flatten_groups_and_renames() {
+        let it = items_of(
+            "crates/core/src/x.rs",
+            "use std::collections::{HashMap, BTreeMap as Sorted};\n\
+             use crate::govern::Budget;\n\
+             use super::*;\n",
+        );
+        let aliases: Vec<(&str, Vec<&str>)> = it
+            .uses
+            .iter()
+            .map(|u| {
+                (
+                    u.alias.as_str(),
+                    u.path.iter().map(String::as_str).collect(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            aliases,
+            [
+                ("HashMap", vec!["std", "collections", "HashMap"]),
+                ("Sorted", vec!["std", "collections", "BTreeMap"]),
+                ("Budget", vec!["crate", "govern", "Budget"]),
+            ]
+        );
+    }
+
+    #[test]
+    fn call_sites_cover_free_qualified_method_and_refs() {
+        let f = SourceFile::from_source(
+            "crates/core/src/x.rs",
+            "pub fn driver(b: &Budget) -> u64 {\n\
+                 helper(1);\n\
+                 dp::count_dp(b);\n\
+                 b.tick(\"driver\");\n\
+                 run(count_dp_parallel);\n\
+                 let v = vec![1];\n\
+                 v.len() as u64\n\
+             }\n",
+        );
+        let it = parse_items(&f);
+        let body = it.fns[0].body.unwrap();
+        let sites = call_sites(&f.tokens, body, &|n| n == "count_dp_parallel");
+        let shapes: Vec<(&str, CallKind)> =
+            sites.iter().map(|c| (c.name.as_str(), c.kind)).collect();
+        assert_eq!(
+            shapes,
+            [
+                ("helper", CallKind::Call),
+                ("count_dp", CallKind::Call),
+                ("tick", CallKind::Method),
+                ("run", CallKind::Call),
+                ("count_dp_parallel", CallKind::Ref),
+                ("len", CallKind::Method),
+            ]
+        );
+        assert_eq!(sites[1].qualifier, ["dp"]);
+    }
+
+    #[test]
+    fn turbofish_calls_are_calls() {
+        let f = SourceFile::from_source(
+            "crates/core/src/x.rs",
+            "fn f() { parse::<u64>(\"1\"); collect::<Vec<_>>(); }\n",
+        );
+        let it = parse_items(&f);
+        let sites = call_sites(&f.tokens, it.fns[0].body.unwrap(), &|_| false);
+        let names: Vec<&str> = sites.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["parse", "collect"]);
+    }
+
+    #[test]
+    fn fns_inside_macro_invocations_are_discovered() {
+        // proptest! { #[test] fn prop(…) { … } } — the macro body is a
+        // plain token stream, so the walker still sees the `fn`.
+        let it = items_of(
+            "tests/engine_parity.rs",
+            "proptest! {\n    #[test]\n    fn dp_parity(n in 0u64..9) {\n        count_dp(n);\n    }\n}\n",
+        );
+        assert_eq!(it.fns.len(), 1);
+        assert_eq!(it.fns[0].name, "dp_parity");
+        assert!(it.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn trait_signatures_have_no_body() {
+        let it = items_of(
+            "crates/core/src/x.rs",
+            "pub trait Provider { fn fetch(&self) -> u64; fn all(&self) -> u64 { self.fetch() } }\n",
+        );
+        assert_eq!(it.fns.len(), 2);
+        assert!(it.fns[0].body.is_none());
+        assert!(it.fns[1].body.is_some());
+    }
+}

@@ -1,0 +1,473 @@
+//! Deterministic JSON ("SARIF-lite") report rendering and validation.
+//!
+//! `pscds-lint --format json` emits one document per run so CI can
+//! *diff* diagnostics instead of grepping stderr. The format is a
+//! deliberately small cousin of SARIF: a tool block listing the rule
+//! registry (stable code, id, summary), the suppression census, and a
+//! flat, fully-sorted result list. Two runs over the same tree produce
+//! **byte-identical** output — there are no timestamps, no absolute
+//! paths, no hash-ordered collections anywhere in the renderer — which
+//! is asserted by the fixture corpus and the CI gate.
+//!
+//! The same module carries a minimal recursive-descent JSON parser so
+//! `pscds-lint --validate-json FILE` can check a previously-emitted
+//! report against the schema with zero dependencies (the bench crate
+//! has its own parser; the two stay separate because `pscds-analysis`
+//! must not depend on engine crates).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::lints::{self, suppression_stats};
+use crate::source::{Violation, Workspace};
+
+/// Schema identifier embedded in every report.
+pub const SCHEMA: &str = "pscds-lint-json/1";
+
+/// Renders the full report for a workspace: registry, suppression
+/// census, and the given (already sorted) violations.
+#[must_use]
+pub fn render_report(ws: &Workspace, violations: &[Violation]) -> String {
+    let stats = suppression_stats(ws);
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": {},", quote(SCHEMA));
+    s.push_str("  \"tool\": {\n    \"name\": \"pscds-lint\",\n    \"rules\": [\n");
+    let rules = lints::registry();
+    let mut rule_lines: Vec<String> = vec![format!(
+        "      {{\"code\": {}, \"id\": {}, \"summary\": {}}}",
+        quote(lints::ALLOW_GRAMMAR_CODE),
+        quote(lints::ALLOW_GRAMMAR_RULE),
+        quote("lint-allow directives carry a rule id and a non-empty justification")
+    )];
+    for r in &rules {
+        rule_lines.push(format!(
+            "      {{\"code\": {}, \"id\": {}, \"summary\": {}}}",
+            quote(r.code),
+            quote(r.id),
+            quote(r.summary)
+        ));
+    }
+    s.push_str(&rule_lines.join(",\n"));
+    s.push_str("\n    ]\n  },\n");
+    let _ = writeln!(s, "  \"files_scanned\": {},", ws.files.len());
+    s.push_str("  \"suppressions\": {\n");
+    let _ = writeln!(s, "    \"directives\": {},", stats.directives);
+    let _ = writeln!(s, "    \"file_scope\": {},", stats.file_scope);
+    let _ = writeln!(s, "    \"files\": {},", stats.files);
+    s.push_str("    \"by_rule\": [\n");
+    let by_rule: Vec<String> = stats
+        .by_rule
+        .iter()
+        .map(|(rule, count)| format!("      {{\"rule\": {}, \"count\": {count}}}", quote(rule)))
+        .collect();
+    s.push_str(&by_rule.join(",\n"));
+    s.push_str("\n    ]\n  },\n");
+    let _ = writeln!(s, "  \"violations\": {},", violations.len());
+    s.push_str("  \"results\": [\n");
+    let results: Vec<String> = violations
+        .iter()
+        .map(|v| {
+            format!(
+                "    {{\"code\": {}, \"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                quote(lints::code_for(v.rule).unwrap_or("L?")),
+                quote(v.rule),
+                quote(&v.file),
+                v.line,
+                quote(&v.message)
+            )
+        })
+        .collect();
+    s.push_str(&results.join(",\n"));
+    if results.is_empty() {
+        // Keep the empty array compact but stable.
+        s.truncate(s.len() - "  \"results\": [\n".len());
+        s.push_str("  \"results\": []\n");
+    } else {
+        s.push_str("\n  ]\n");
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// JSON string quoting (the only escapes the report ever needs, plus
+/// full control-character coverage for safety).
+#[must_use]
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A parsed JSON value (just enough for validation).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, kept as f64.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object (sorted keys — parsing order is irrelevant for
+    /// validation).
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member lookup on objects.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    #[must_use]
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+/// A human-readable message with a byte offset on malformed input.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes: Vec<char> = text.chars().collect();
+    let mut pos = 0usize;
+    let v = parse_value(&bytes, &mut pos)?;
+    skip_ws(&bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at offset {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[char], pos: &mut usize) {
+    while *pos < b.len() && b[*pos].is_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[char], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some('{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&'}') {
+                *pos += 1;
+                return Ok(Value::Obj(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let Value::Str(key) = parse_value(b, pos)? else {
+                    return Err(format!("object key is not a string at offset {pos}"));
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&':') {
+                    return Err(format!("expected `:` at offset {pos}"));
+                }
+                *pos += 1;
+                let val = parse_value(b, pos)?;
+                map.insert(key, val);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some('}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(map));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at offset {pos}")),
+                }
+            }
+        }
+        Some('[') => {
+            *pos += 1;
+            let mut arr = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&']') {
+                *pos += 1;
+                return Ok(Value::Arr(arr));
+            }
+            loop {
+                arr.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some(']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(arr));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at offset {pos}")),
+                }
+            }
+        }
+        Some('"') => {
+            *pos += 1;
+            let mut s = String::new();
+            while let Some(&c) = b.get(*pos) {
+                *pos += 1;
+                match c {
+                    '"' => return Ok(Value::Str(s)),
+                    '\\' => {
+                        let Some(&e) = b.get(*pos) else {
+                            return Err("unterminated escape".into());
+                        };
+                        *pos += 1;
+                        match e {
+                            '"' | '\\' | '/' => s.push(e),
+                            'n' => s.push('\n'),
+                            't' => s.push('\t'),
+                            'r' => s.push('\r'),
+                            'b' => s.push('\u{8}'),
+                            'f' => s.push('\u{c}'),
+                            'u' => {
+                                let hex: String =
+                                    b.get(*pos..*pos + 4).unwrap_or_default().iter().collect();
+                                let code = u32::from_str_radix(&hex, 16)
+                                    .map_err(|_| format!("bad \\u escape at offset {pos}"))?;
+                                *pos += 4;
+                                s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            }
+                            other => return Err(format!("bad escape `\\{other}`")),
+                        }
+                    }
+                    c => s.push(c),
+                }
+            }
+            Err("unterminated string".into())
+        }
+        Some('t') if matches(b, *pos, "true") => {
+            *pos += 4;
+            Ok(Value::Bool(true))
+        }
+        Some('f') if matches(b, *pos, "false") => {
+            *pos += 5;
+            Ok(Value::Bool(false))
+        }
+        Some('n') if matches(b, *pos, "null") => {
+            *pos += 4;
+            Ok(Value::Null)
+        }
+        Some(c) if *c == '-' || c.is_ascii_digit() => {
+            let start = *pos;
+            *pos += 1;
+            while b
+                .get(*pos)
+                .is_some_and(|c| c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
+            {
+                *pos += 1;
+            }
+            let text: String = b[start..*pos].iter().collect();
+            text.parse::<f64>()
+                .map(Value::Num)
+                .map_err(|_| format!("bad number `{text}` at offset {start}"))
+        }
+        Some(c) => Err(format!("unexpected character `{c}` at offset {pos}")),
+    }
+}
+
+fn matches(b: &[char], pos: usize, word: &str) -> bool {
+    b.get(pos..pos + word.len())
+        .is_some_and(|w| w.iter().collect::<String>() == word)
+}
+
+/// Validates a parsed report against the pscds-lint schema. Returns the
+/// violation count on success.
+///
+/// # Errors
+/// A description of the first schema deviation.
+pub fn validate_report(doc: &Value) -> Result<u64, String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing string `schema`")?;
+    if schema != SCHEMA {
+        return Err(format!("schema is `{schema}`, expected `{SCHEMA}`"));
+    }
+    let rules = doc
+        .get("tool")
+        .and_then(|t| t.get("rules"))
+        .and_then(Value::as_arr)
+        .ok_or("missing `tool.rules` array")?;
+    let mut codes: Vec<&str> = Vec::new();
+    for r in rules {
+        for key in ["code", "id", "summary"] {
+            if r.get(key).and_then(Value::as_str).is_none() {
+                return Err(format!("rule entry missing string `{key}`"));
+            }
+        }
+        codes.push(r.get("code").and_then(Value::as_str).unwrap_or(""));
+    }
+    if codes.is_empty() {
+        return Err("tool.rules is empty".into());
+    }
+    doc.get("files_scanned")
+        .and_then(Value::as_num)
+        .ok_or("missing number `files_scanned`")?;
+    let sup = doc.get("suppressions").ok_or("missing `suppressions`")?;
+    for key in ["directives", "file_scope", "files"] {
+        sup.get(key)
+            .and_then(Value::as_num)
+            .ok_or_else(|| format!("missing number `suppressions.{key}`"))?;
+    }
+    let by_rule = sup
+        .get("by_rule")
+        .and_then(Value::as_arr)
+        .ok_or("missing `suppressions.by_rule` array")?;
+    for entry in by_rule {
+        entry
+            .get("rule")
+            .and_then(Value::as_str)
+            .ok_or("by_rule entry missing string `rule`")?;
+        entry
+            .get("count")
+            .and_then(Value::as_num)
+            .ok_or("by_rule entry missing number `count`")?;
+    }
+    let declared = doc
+        .get("violations")
+        .and_then(Value::as_num)
+        .ok_or("missing number `violations`")?;
+    let results = doc
+        .get("results")
+        .and_then(Value::as_arr)
+        .ok_or("missing `results` array")?;
+    if declared as usize != results.len() {
+        return Err(format!(
+            "`violations` says {declared} but `results` has {} entries",
+            results.len()
+        ));
+    }
+    for res in results {
+        for key in ["code", "rule", "file", "message"] {
+            res.get(key)
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("result missing string `{key}`"))?;
+        }
+        res.get("line")
+            .and_then(Value::as_num)
+            .ok_or("result missing number `line`")?;
+        let code = res.get("code").and_then(Value::as_str).unwrap_or("");
+        if !codes.contains(&code) {
+            return Err(format!(
+                "result carries unregistered code `{code}` — every diagnostic needs a stable registered code"
+            ));
+        }
+    }
+    Ok(results.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Workspace;
+
+    #[test]
+    fn report_is_bit_identical_across_renders_and_validates() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/x.rs",
+            "pub fn f() { x.unwrap(); }\n// lint-allow(relaxed-ordering): quoted \"why\"\n",
+        )]);
+        let v = crate::lints::run_all(&ws);
+        let a = render_report(&ws, &v);
+        let b = render_report(&ws, &v);
+        assert_eq!(a, b, "renderer must be deterministic");
+        let doc = parse(&a).expect("self-emitted JSON parses");
+        let n = validate_report(&doc).expect("self-emitted JSON validates");
+        assert_eq!(n as usize, v.len());
+    }
+
+    #[test]
+    fn empty_result_report_renders_stable_empty_array() {
+        let ws = Workspace::from_sources(&[("crates/core/src/x.rs", "pub fn f() {}\n")]);
+        let report = render_report(&ws, &[]);
+        assert!(report.contains("\"results\": []"));
+        let doc = parse(&report).expect("parses");
+        assert_eq!(validate_report(&doc), Ok(0));
+    }
+
+    #[test]
+    fn quoting_escapes_specials() {
+        assert_eq!(quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(quote("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn parser_round_trips_structures() {
+        let doc = parse(r#"{"a": [1, 2.5, -3], "b": {"c": "x\ny", "d": true, "e": null}}"#)
+            .expect("parses");
+        assert_eq!(
+            doc.get("a").and_then(Value::as_arr).map(<[Value]>::len),
+            Some(3)
+        );
+        assert_eq!(
+            doc.get("b")
+                .and_then(|b| b.get("c"))
+                .and_then(Value::as_str),
+            Some("x\ny")
+        );
+    }
+
+    #[test]
+    fn validator_rejects_unregistered_codes() {
+        let ws = Workspace::from_sources(&[("crates/core/src/x.rs", "pub fn f() {}\n")]);
+        let mut report = render_report(&ws, &[]);
+        report = report.replace("\"results\": []", "\"results\": [{\"code\": \"Z9\", \"rule\": \"x\", \"file\": \"f\", \"line\": 1, \"message\": \"m\"}]");
+        report = report.replace("\"violations\": 0", "\"violations\": 1");
+        let doc = parse(&report).expect("parses");
+        let err = validate_report(&doc).expect_err("Z9 is not registered");
+        assert!(err.contains("unregistered code"), "{err}");
+    }
+
+    #[test]
+    fn parser_reports_malformed_input() {
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("{} trailing").is_err());
+    }
+}

@@ -9,23 +9,33 @@
 //! written linearizability argument; core library paths must not panic;
 //! and "the engine gave up" errors must carry actionable provenance.
 //! This crate enforces those invariants with a dependency-free lexer
-//! ([`lexer`]), a tiny source model ([`source`]), and a registry of
-//! named lint rules ([`lints`]); the companion [`interleave`] module
-//! exhaustively model-checks the two concurrent protocols
-//! (`SearchControl` first-hit arbitration, `Budget` fork/cancel) that
-//! the parallel driver's determinism rests on.
+//! ([`lexer`]), a tiny source model ([`source`]), an item-level parser
+//! ([`items`]) feeding a workspace symbol table ([`symbols`]) and call
+//! graph ([`callgraph`]), and a registry of named lint rules
+//! ([`lints`]); the companion [`interleave`] module exhaustively
+//! model-checks the two concurrent protocols (`SearchControl` first-hit
+//! arbitration, `Budget` fork/cancel) that the parallel driver's
+//! determinism rests on. The interprocedural rules (L2 reachability,
+//! L8 determinism, L10 dead-twin) consume the call graph; the evidence
+//! model — what the graph can and cannot prove — is documented in
+//! DESIGN.md §3.15.
 //!
-//! Run it with `cargo run -p pscds-analysis --bin pscds-lint`.
+//! Run it with `cargo run -p pscds-analysis --bin pscds-lint`; machine
+//! consumers use `--format json` ([`json`]) and `--explain CODE`.
 //!
 //! [`Budget`]: ../pscds_core/govern/struct.Budget.html
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod interleave;
+pub mod items;
+pub mod json;
 pub mod lexer;
 pub mod lints;
 pub mod source;
+pub mod symbols;
 
 pub use lints::{registry, run_all, LintRule};
 pub use source::{Violation, Workspace};

@@ -1,20 +1,37 @@
 //! L2 `budget-bypass`: the cooperative [`Budget`] is the only sanctioned
-//! way for core engines to spend unbounded time. Three bypass shapes are
-//! flagged in `crates/core/src` library paths (the `govern.rs` and
-//! `partition.rs` modules — the budget and the parallel driver
-//! themselves — are the allowlisted implementation layer):
+//! way for core engines to spend unbounded time. Two bypass shapes are
+//! flagged unconditionally in `crates/core/src` library paths (the
+//! `govern.rs` and `partition.rs` modules — the budget and the parallel
+//! driver themselves — are the allowlisted implementation layer):
 //!
 //! * `thread::spawn` — ad-hoc threading dodges the forked-budget /
 //!   shared-cancellation discipline of `partition::run_chunks`;
 //! * `Instant::now` — ad-hoc clocks dodge the deadline accounting of
-//!   `Budget` (engines must not invent their own timeouts);
-//! * a `loop` or `while` whose body never calls `tick` / `check` /
-//!   `charge` and is not nested inside a loop that does — unbounded
-//!   iteration invisible to the budget. Tightly-bounded loops carry a
-//!   `lint-allow(budget-bypass)` justification instead.
+//!   `Budget` (engines must not invent their own timeouts).
+//!
+//! The loop obligation is **interprocedural** (this is the rule the
+//! call graph was built for): a `loop`/`while` is a violation only if
+//!
+//! 1. its function is *reachable from a budgeted entry point* — a core
+//!    function named `*_budgeted`/`*_parallel` or taking a [`Budget`] /
+//!    `ParallelConfig` parameter (reachability follows call **and**
+//!    reference edges, so function values passed to drivers count); and
+//! 2. the loop body neither calls `tick`/`check`/`charge` directly,
+//!    nor (syntactically) calls a callee that **transitively ticks**,
+//!    nor sits inside an enclosing loop that does either.
+//!
+//! Loops in code no budgeted entry point can reach — catalog parsing,
+//! constructors, formatting — are *not* the budget's business, and the
+//! old token-level heuristic's `lint-allow(budget-bypass)` suppressions
+//! for them are retired. The evidence model (what reachability can and
+//! cannot prove, and in which direction each approximation errs) is
+//! DESIGN.md §3.15.
 
-use super::{find_path2, flag};
+use super::flag;
+use crate::callgraph::{CallGraph, EdgeFilter};
+use crate::items::CallKind;
 use crate::source::{balanced_block_end, SourceFile, Violation, Workspace};
+use crate::symbols::{FnId, SymbolTable};
 
 /// Rule id for `lint-allow`.
 pub const RULE: &str = "budget-bypass";
@@ -25,15 +42,42 @@ pub const EXEMPT_FILES: [&str; 2] = ["govern.rs", "partition.rs"];
 /// The calls that make a loop budget-visible.
 const BUDGET_CALLS: [&str; 3] = ["tick", "check", "charge"];
 
+/// `true` iff the file is a core library file this rule scans.
+fn in_scope(file: &SourceFile) -> bool {
+    file.under("crates/core/src/") && !EXEMPT_FILES.contains(&file.file_name())
+}
+
+/// Budgeted entry points: core functions whose name or signature makes
+/// them part of the interruptible surface.
+fn budgeted_entries(table: &SymbolTable<'_>) -> Vec<FnId> {
+    let mut out = Vec::new();
+    for (id, sym) in table.fns.iter().enumerate() {
+        let file = table.file_of(id);
+        if !file.under("crates/core/src/") || file.is_test_line(sym.item.line) {
+            continue;
+        }
+        let named = sym.item.name.ends_with("_budgeted") || sym.item.name.ends_with("_parallel");
+        let (ps, pe) = sym.item.params;
+        let by_param = file.tokens[ps..pe.min(file.tokens.len())]
+            .iter()
+            .any(|t| t.is_ident("Budget") || t.is_ident("ParallelConfig"));
+        if named || by_param {
+            out.push(id);
+        }
+    }
+    out
+}
+
 /// Runs the rule.
 #[must_use]
 pub fn run(ws: &Workspace) -> Vec<Violation> {
     let mut out = Vec::new();
+    // Token-level bans, unconditional in scope.
     for file in ws.core_files() {
-        if EXEMPT_FILES.contains(&file.file_name()) {
+        if !in_scope(file) {
             continue;
         }
-        for i in find_path2(file, "thread", "spawn") {
+        for i in super::find_path2(file, "thread", "spawn") {
             flag(
                 &mut out,
                 file,
@@ -42,7 +86,7 @@ pub fn run(ws: &Workspace) -> Vec<Violation> {
                 "`thread::spawn` in a core library path: thread through `partition::run_chunks` so workers inherit forked budgets and the shared cancel flag".to_owned(),
             );
         }
-        for i in find_path2(file, "Instant", "now") {
+        for i in super::find_path2(file, "Instant", "now") {
             flag(
                 &mut out,
                 file,
@@ -51,33 +95,74 @@ pub fn run(ws: &Workspace) -> Vec<Violation> {
                 "`Instant::now` in a core library path: wall-clock limits must flow through `Budget` deadlines, not ad-hoc clocks".to_owned(),
             );
         }
-        check_loops(file, &mut out);
     }
+
+    // Interprocedural loop obligation.
+    let table = SymbolTable::build(ws);
+    let graph = CallGraph::build(&table);
+    let entries = budgeted_entries(&table);
+    let reachable = graph.reachable_from(&entries, EdgeFilter::CallsAndRefs);
+    let ticks = ticking_fns(&table, &graph);
+
+    for (id, sym) in table.fns.iter().enumerate() {
+        if !reachable[id] {
+            continue;
+        }
+        let file = table.file_of(id);
+        if !in_scope(file) || file.is_test_line(sym.item.line) {
+            continue;
+        }
+        let Some(body) = sym.item.body else { continue };
+        check_loops(&table, &ticks, id, body, file, &mut out);
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     out
 }
 
-/// A discovered loop: token range of its body and whether the body calls
-/// the budget.
+/// Per-function fixpoint: `true` for functions whose body discharges
+/// the budget obligation (direct tick, or a syntactic call to a
+/// discharging callee).
+fn ticking_fns(table: &SymbolTable<'_>, graph: &CallGraph) -> Vec<bool> {
+    let base: Vec<bool> = table
+        .fns
+        .iter()
+        .map(|sym| {
+            sym.calls.iter().any(|c| {
+                matches!(c.site.kind, CallKind::Call | CallKind::Method)
+                    && BUDGET_CALLS.contains(&c.site.name.as_str())
+            })
+        })
+        .collect();
+    graph.propagate_up(&base)
+}
+
+/// A discovered loop inside one function body.
 struct Loop {
     line: u32,
     body: (usize, usize),
-    ticks: bool,
+    discharges: bool,
 }
 
-fn check_loops(file: &SourceFile, out: &mut Vec<Violation>) {
+fn check_loops(
+    table: &SymbolTable<'_>,
+    ticks: &[bool],
+    id: FnId,
+    body: (usize, usize),
+    file: &SourceFile,
+    out: &mut Vec<Violation>,
+) {
     let tokens = &file.tokens;
+    let sym = &table.fns[id];
     let mut loops: Vec<Loop> = Vec::new();
-    let mut i = 0usize;
-    while i < tokens.len() {
+    let mut i = body.0;
+    while i < body.1.min(tokens.len()) {
         let t = &tokens[i];
         let body_open = if t.is_ident("loop") {
             tokens
                 .get(i + 1)
                 .is_some_and(|n| n.is_punct('{'))
-                .then(|| i + 1)
+                .then_some(i + 1)
         } else if t.is_ident("while") {
-            // The body is the first `{` at paren/bracket depth 0 after
-            // the condition.
             let mut j = i + 1;
             let mut depth = 0i32;
             loop {
@@ -96,26 +181,20 @@ fn check_loops(file: &SourceFile, out: &mut Vec<Violation>) {
         };
         if let Some(open) = body_open {
             let end = balanced_block_end(tokens, open);
-            let ticks = tokens[open + 1..end]
-                .iter()
-                .any(|t| BUDGET_CALLS.iter().any(|c| t.is_ident(c)));
             loops.push(Loop {
                 line: t.line,
                 body: (open + 1, end),
-                ticks,
+                discharges: loop_discharges(sym, ticks, tokens, (open + 1, end)),
             });
         }
         i += 1;
     }
     for (idx, l) in loops.iter().enumerate() {
-        if l.ticks {
+        if l.discharges {
             continue;
         }
-        // Nested inside a loop that ticks? Then the budget observes every
-        // ancestor iteration and the inner (bounded-advance) loop rides
-        // along.
         let covered = loops.iter().enumerate().any(|(j, outer)| {
-            j != idx && outer.ticks && outer.body.0 <= l.body.0 && l.body.1 <= outer.body.1
+            j != idx && outer.discharges && outer.body.0 <= l.body.0 && l.body.1 <= outer.body.1
         });
         if !covered {
             flag(
@@ -123,10 +202,40 @@ fn check_loops(file: &SourceFile, out: &mut Vec<Violation>) {
                 file,
                 RULE,
                 l.line,
-                "loop without a `tick`/`check`/`charge` call: every hot loop must be visible to the cooperative `Budget` (or carry a `lint-allow(budget-bypass)` justification for tightly-bounded iteration)".to_owned(),
+                format!(
+                    "loop reachable from a budgeted entry point neither ticks nor calls a ticking callee: make the iteration visible to the cooperative `Budget` (`tick`/`check`/`charge`, directly or in a callee), or justify tightly-bounded iteration with `lint-allow({RULE})`"
+                ),
             );
         }
     }
+}
+
+/// `true` iff the loop body ticks directly or syntactically calls a
+/// callee that transitively ticks.
+fn loop_discharges(
+    sym: &crate::symbols::FnSymbol,
+    ticks: &[bool],
+    tokens: &[crate::lexer::Token],
+    body: (usize, usize),
+) -> bool {
+    if tokens[body.0..body.1.min(tokens.len())]
+        .iter()
+        .any(|t| BUDGET_CALLS.iter().any(|c| t.is_ident(c)))
+    {
+        return true;
+    }
+    // Call sites were resolved per function; narrow to the loop's token
+    // range by line span (token indices are not kept per call site).
+    let first_line = tokens.get(body.0).map_or(0, |t| t.line);
+    let last_line = tokens
+        .get(body.1.saturating_sub(1))
+        .map_or(u32::MAX, |t| t.line);
+    sym.calls.iter().any(|c| {
+        matches!(c.site.kind, CallKind::Call | CallKind::Method)
+            && c.site.line >= first_line
+            && c.site.line <= last_line
+            && c.targets.iter().any(|&t| ticks[t])
+    })
 }
 
 #[cfg(test)]
@@ -155,43 +264,98 @@ mod tests {
             ),
             (
                 "crates/core/src/partition.rs",
-                "pub fn g() { loop { let x = 1; break; } }\n",
+                "pub fn run_chunks(b: &Budget) { loop { let x = 1; break; } }\n",
             ),
         ]);
         assert_eq!(run(&ws), vec![]);
     }
 
     #[test]
-    fn unticked_loop_is_flagged_and_ticked_loop_passes() {
+    fn unticked_loop_in_budgeted_fn_is_flagged_and_ticked_passes() {
         let bad = Workspace::from_sources(&[(
             "crates/core/src/engine.rs",
-            "pub fn f() { loop { work(); } }\n",
+            "pub fn count_x_budgeted(n: u64) -> u64 { loop { work(); } }\n",
         )]);
         assert_eq!(run(&bad).len(), 1);
 
         let good = Workspace::from_sources(&[(
             "crates/core/src/engine.rs",
-            "pub fn f(b: &Budget) -> Result<(), E> { loop { b.tick(\"f\")?; work(); } }\n",
+            "pub fn count_x_budgeted(b: &Budget) -> Result<(), E> { loop { b.tick(\"f\")?; work(); } }\n",
         )]);
         assert_eq!(run(&good), vec![]);
     }
 
     #[test]
-    fn while_loops_are_checked_too() {
-        let bad = Workspace::from_sources(&[(
-            "crates/core/src/engine.rs",
-            "pub fn f(mut v: u64) { while v < (1 << 31) { v = next(v); } }\n",
+    fn unreachable_loops_are_not_the_budgets_business() {
+        // The parsing helper is never called from a budgeted entry
+        // point: under the old token heuristic this needed a
+        // lint-allow, under reachability it is simply out of scope.
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/faults.rs",
+            "pub fn parse_plan(s: &str) -> Plan {\n    let mut i = 0;\n    while i < s.len() { i += 1; }\n    Plan\n}\n\
+             pub fn count_y_budgeted(b: &Budget) -> Result<(), E> { b.tick(\"y\")?; Ok(()) }\n",
         )]);
-        let v = run(&bad);
-        assert_eq!(v.len(), 1);
-        assert!(v[0].message.contains("tick"));
+        assert_eq!(run(&ws), vec![]);
     }
 
     #[test]
-    fn inner_loop_nested_in_ticking_loop_is_covered() {
+    fn loops_in_transitive_callees_of_budgeted_entries_are_flagged() {
         let ws = Workspace::from_sources(&[(
             "crates/core/src/engine.rs",
-            "pub fn f(b: &Budget) -> Result<(), E> {\n\
+            "pub fn count_z_budgeted(b: &Budget) -> u64 { helper() }\n\
+             fn helper() -> u64 { let mut v = 1u64; while v < 9 { v = step(v); } v }\n",
+        )]);
+        let v = run(&ws);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("reachable from a budgeted entry"));
+    }
+
+    #[test]
+    fn calling_a_ticking_callee_discharges_the_loop() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/engine.rs",
+            "pub fn count_w_budgeted(b: &Budget) -> u64 {\n\
+                 let mut acc = 0;\n\
+                 loop { acc += ticked_step(b); if acc > 9 { break; } }\n\
+                 acc\n\
+             }\n\
+             fn ticked_step(b: &Budget) -> u64 { b.tick(\"step\").unwrap_or(0); 1 }\n",
+        )]);
+        assert_eq!(run(&ws), vec![]);
+    }
+
+    #[test]
+    fn a_bare_mention_of_a_ticking_fn_does_not_discharge() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/engine.rs",
+            "pub fn count_v_budgeted(b: &Budget) -> u64 {\n\
+                 loop { let table = [ticked_step]; work(); }\n\
+             }\n\
+             fn ticked_step(b: &Budget) { b.tick(\"step\"); }\n",
+        )]);
+        let v = run(&ws);
+        assert_eq!(v.len(), 1, "mention without call must not discharge: {v:?}");
+    }
+
+    #[test]
+    fn ref_edges_extend_entry_reachability() {
+        // The worker is only reachable through a function value handed
+        // to a driver — reachability must still see its loop.
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/engine.rs",
+            "pub fn count_u_parallel(c: &ParallelConfig) { drive(worker); }\n\
+             fn drive(f: fn() -> u64) -> u64 { f() }\n\
+             fn worker() -> u64 { let mut v = 0; while v < 9 { v += 1; } v }\n",
+        )]);
+        let v = run(&ws);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn inner_loop_nested_in_discharging_loop_is_covered() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/engine.rs",
+            "pub fn check_q_budgeted(b: &Budget) -> Result<(), E> {\n\
              loop {\n\
                  b.tick(\"f\")?;\n\
                  let advanced = loop { if done() { break true; } };\n\
@@ -206,7 +370,7 @@ mod tests {
     fn allow_directive_suppresses_with_justification() {
         let ws = Workspace::from_sources(&[(
             "crates/core/src/engine.rs",
-            "pub fn f(mut v: u64) {\n    // lint-allow(budget-bypass): Gosper step, bounded by 32 iterations\n    while v > 0 { v >>= 1; }\n}\n",
+            "pub fn count_t_budgeted(mut v: u64, b: &Budget) -> u64 {\n    // lint-allow(budget-bypass): Gosper step, bounded by 32 iterations\n    while v > 0 { v >>= 1; }\n    v\n}\n",
         )]);
         assert_eq!(run(&ws), vec![]);
     }
@@ -215,7 +379,7 @@ mod tests {
     fn test_regions_are_skipped() {
         let ws = Workspace::from_sources(&[(
             "crates/core/src/engine.rs",
-            "#[cfg(test)]\nmod tests {\n    fn t() { loop { std::thread::spawn(|| 1); } }\n}\n",
+            "#[cfg(test)]\nmod tests {\n    fn count_s_budgeted() { loop { std::thread::spawn(|| 1); } }\n}\n",
         )]);
         assert_eq!(run(&ws), vec![]);
     }

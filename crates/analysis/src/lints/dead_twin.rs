@@ -1,0 +1,179 @@
+//! L10 `dead-twin`: a registered engine twin that the parity harness
+//! never executes is an untested contract. L1 `engine-twins` makes the
+//! twin *exist* and makes the harness *mention* the base name; this
+//! rule closes the remaining gap — a `<base>_budgeted` /
+//! `<base>_parallel` twin declared in `crates/core/src` must be
+//! **transitively called** from `tests/engine_parity.rs`, the
+//! differential harness that makes the bit-identity contract
+//! executable. A twin only mentioned in a doc comment, or called from
+//! nowhere the harness reaches, passes L1 and still ships untested.
+//!
+//! "Transitively called" is a call-graph reachability query seeded at
+//! every function the harness declares, following call **and**
+//! reference edges (a twin handed to a table-driven runner counts —
+//! over-approximation in the lenient direction, DESIGN.md §3.15).
+//! If the harness file is missing entirely, L1 already reports it;
+//! this rule stays quiet rather than double-flagging.
+
+use super::engine_twins::{engine_bases, PARITY_TEST};
+use super::flag;
+use crate::callgraph::{CallGraph, EdgeFilter};
+use crate::source::{Violation, Workspace};
+use crate::symbols::SymbolTable;
+
+/// Rule id for `lint-allow`.
+pub const RULE: &str = "dead-twin";
+
+/// Runs the rule.
+#[must_use]
+pub fn run(ws: &Workspace) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if ws.file(PARITY_TEST).is_none() {
+        return out;
+    }
+    let bases = engine_bases(ws);
+    if bases.is_empty() {
+        return out;
+    }
+    let table = SymbolTable::build(ws);
+    let graph = CallGraph::build(&table);
+    let seeds = table.fns_in_file(PARITY_TEST);
+    let reachable = graph.reachable_from(&seeds, EdgeFilter::CallsAndRefs);
+
+    for base in &bases {
+        for suffix in ["_budgeted", "_parallel"] {
+            let twin = format!("{}{}", base.name, suffix);
+            for &id in table.named(&twin) {
+                let file = table.file_of(id);
+                let line = table.fns[id].item.line;
+                if !file.under("crates/core/src/") || file.is_test_line(line) {
+                    continue;
+                }
+                if !reachable[id] {
+                    flag(
+                        &mut out,
+                        file,
+                        RULE,
+                        line,
+                        format!(
+                            "twin `{twin}` of engine `{}` is never transitively called from {PARITY_TEST}: a registered twin the parity harness cannot reach is an untested bit-identity contract — add a differential case exercising it",
+                            base.name
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Workspace;
+
+    const ENGINE: &str = "pub fn count_widgets(n: u64) -> u64 { n }\n\
+                          pub fn count_widgets_budgeted(n: u64, b: &Budget) -> u64 { n }\n\
+                          pub fn count_widgets_parallel(n: u64, c: &ParallelConfig) -> u64 { n }\n";
+
+    #[test]
+    fn uncalled_twins_are_flagged() {
+        let ws = Workspace::from_sources(&[
+            ("crates/core/src/widgets.rs", ENGINE),
+            (
+                "tests/engine_parity.rs",
+                "#[test]\nfn parity() { assert_eq!(count_widgets(3), 3); }\n",
+            ),
+        ]);
+        let v = run(&ws);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].message.contains("count_widgets_budgeted"));
+        assert!(v[1].message.contains("count_widgets_parallel"));
+    }
+
+    #[test]
+    fn directly_called_twins_pass() {
+        let ws = Workspace::from_sources(&[
+            ("crates/core/src/widgets.rs", ENGINE),
+            (
+                "tests/engine_parity.rs",
+                "#[test]\nfn parity() {\n\
+                     assert_eq!(count_widgets(3), count_widgets_budgeted(3, &b));\n\
+                     assert_eq!(count_widgets(3), count_widgets_parallel(3, &c));\n\
+                 }\n",
+            ),
+        ]);
+        assert_eq!(run(&ws), vec![]);
+    }
+
+    #[test]
+    fn transitive_calls_through_helpers_count() {
+        let ws = Workspace::from_sources(&[
+            ("crates/core/src/widgets.rs", ENGINE),
+            (
+                "tests/engine_parity.rs",
+                "fn drive_all(n: u64) -> (u64, u64) {\n\
+                     (count_widgets_budgeted(n, &b), count_widgets_parallel(n, &c))\n\
+                 }\n\
+                 #[test]\nfn parity() { let (a, b) = drive_all(3); assert_eq!(a, b); assert_eq!(a, count_widgets(3)); }\n",
+            ),
+        ]);
+        assert_eq!(run(&ws), vec![]);
+    }
+
+    #[test]
+    fn twins_handed_to_table_driven_runners_count() {
+        // A reference edge: the twin appears as a function value in a
+        // harness table, not as a syntactic call.
+        let ws = Workspace::from_sources(&[
+            ("crates/core/src/widgets.rs", ENGINE),
+            (
+                "tests/engine_parity.rs",
+                "#[test]\nfn parity() {\n\
+                     count_widgets(1);\n\
+                     let cases = [count_widgets_budgeted, count_widgets_parallel];\n\
+                     run_table(&cases);\n\
+                 }\n",
+            ),
+        ]);
+        assert_eq!(run(&ws), vec![]);
+    }
+
+    #[test]
+    fn doc_comment_mentions_do_not_count() {
+        let ws = Workspace::from_sources(&[
+            ("crates/core/src/widgets.rs", ENGINE),
+            (
+                "tests/engine_parity.rs",
+                "//! Also covers count_widgets_budgeted and count_widgets_parallel (someday).\n\
+                 #[test]\nfn parity() { count_widgets(1); }\n",
+            ),
+        ]);
+        assert_eq!(run(&ws).len(), 2);
+    }
+
+    #[test]
+    fn missing_harness_is_l1s_report_not_ours() {
+        let ws = Workspace::from_sources(&[("crates/core/src/widgets.rs", ENGINE)]);
+        assert_eq!(run(&ws), vec![]);
+    }
+
+    #[test]
+    fn allow_directive_suppresses_with_justification() {
+        let ws = Workspace::from_sources(&[
+            (
+                "crates/core/src/widgets.rs",
+                "pub fn count_widgets(n: u64) -> u64 { n }\n\
+                 // lint-allow(dead-twin): exercised by the fuzz harness, parity case lands with the next fixture drop\n\
+                 pub fn count_widgets_budgeted(n: u64, b: &Budget) -> u64 { n }\n\
+                 pub fn count_widgets_parallel(n: u64, c: &ParallelConfig) -> u64 { n }\n",
+            ),
+            (
+                "tests/engine_parity.rs",
+                "#[test]\nfn parity() { count_widgets(1); count_widgets_parallel(1, &c); }\n",
+            ),
+        ]);
+        assert_eq!(run(&ws), vec![]);
+    }
+}

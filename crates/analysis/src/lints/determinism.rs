@@ -1,0 +1,422 @@
+//! L8 `determinism`: engine results and obs counter merges are
+//! bit-identity contracts — CI diffs counter totals between serial and
+//! multi-threaded runs, and the parity harness diffs engine outputs
+//! across twins. Iterating a `HashMap`/`HashSet` feeds **hash order**
+//! into those paths: whenever the loop does anything order-sensitive
+//! (capped migration, first-wins insertion, output accumulation), the
+//! result silently varies from run to run even on one thread, because
+//! `RandomState` reseeds per process.
+//!
+//! The rule flags `for … in` iteration over hash-typed values in
+//! `crates/core/src` and `crates/obs/src` library paths. Hash-typedness
+//! is tracked per file, token-level (DESIGN.md §3.15):
+//!
+//! * declarations — `name: HashMap<…>` / `name: HashSet<…>` fields,
+//!   params, and annotated `let`s;
+//! * constructions — `name = HashMap::new()` and friends;
+//! * one-hop taint — a `let` whose initializer applies `remove` /
+//!   `take` / `or_default` / `or_insert` to a known hash name binds
+//!   hash-typed values (`let Some(moved) = self.nodes.remove(&k)`).
+//!
+//! The sanctioned remediation — collect into a `Vec`, sort, iterate
+//! the `Vec` (or switch the container to `BTreeMap`) — is deliberately
+//! *not* flagged: `.collect()` does not propagate taint, and ranges
+//! (`0..map.len()`) are skipped. Loops whose bodies are genuinely
+//! order-insensitive can say so with `lint-allow(determinism)`.
+
+use super::flag;
+use crate::lexer::{TokKind, Token};
+use crate::source::{SourceFile, Violation, Workspace};
+
+/// Rule id for `lint-allow`.
+pub const RULE: &str = "determinism";
+
+/// The trees whose results must be run-to-run identical.
+const SCOPE: [&str; 2] = ["crates/core/src/", "crates/obs/src/"];
+
+/// The hash container type names.
+const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+
+/// Iterator adapters that preserve (nondeterministic) hash order.
+const ADAPTERS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "cloned",
+    "copied",
+];
+
+/// Methods whose results carry a hash container's contents onward.
+const TAINT_OPS: [&str; 4] = ["remove", "take", "or_default", "or_insert"];
+
+/// Runs the rule.
+#[must_use]
+pub fn run(ws: &Workspace) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if !SCOPE.iter().any(|tree| file.under(tree)) {
+            continue;
+        }
+        let hashes = hash_names(file);
+        if hashes.is_empty() {
+            continue;
+        }
+        for (line, name) in hash_iterations(&file.tokens, &hashes) {
+            if file.is_test_line(line) {
+                continue;
+            }
+            flag(
+                &mut out,
+                file,
+                RULE,
+                line,
+                format!(
+                    "iteration over hash-typed `{name}` feeds hash order into a determinism contract: collect into a Vec and sort (or use BTreeMap) before anything order-sensitive, or justify order-insensitivity with `lint-allow({RULE})`"
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// Names bound to hash-typed values in this file: declarations,
+/// constructions, then a single in-order taint pass over `let`
+/// statements.
+fn hash_names(file: &SourceFile) -> Vec<String> {
+    let tokens = &file.tokens;
+    let mut names: Vec<String> = Vec::new();
+    let add = |n: &str, names: &mut Vec<String>| {
+        if !names.iter().any(|x| x == n) {
+            names.push(n.to_owned());
+        }
+    };
+    for i in 0..tokens.len() {
+        if tokens[i].kind != TokKind::Ident {
+            continue;
+        }
+        // `name : [& mut 'a std::collections::] HashMap`
+        if tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && !tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && !tokens
+                .get(i.wrapping_sub(1))
+                .is_some_and(|t| t.is_punct(':'))
+        {
+            let mut j = i + 2;
+            while j < tokens.len() && j < i + 10 && is_type_prefix(&tokens[j]) {
+                j += 1;
+            }
+            if tokens
+                .get(j)
+                .is_some_and(|t| HASH_TYPES.iter().any(|h| t.is_ident(h)))
+            {
+                add(&tokens[i].text, &mut names);
+            }
+        }
+        // `name = [std::collections::] HashMap :: …`
+        if tokens.get(i + 1).is_some_and(|t| t.is_punct('=')) {
+            let mut j = i + 2;
+            while j < tokens.len() && j < i + 10 && is_type_prefix(&tokens[j]) {
+                j += 1;
+            }
+            if tokens
+                .get(j)
+                .is_some_and(|t| HASH_TYPES.iter().any(|h| t.is_ident(h)))
+                && tokens.get(j + 1).is_some_and(|t| t.is_punct(':'))
+            {
+                add(&tokens[i].text, &mut names);
+            }
+        }
+    }
+    // Taint pass: `let <pat> = <rhs>;` where the rhs applies a carrying
+    // op to a known hash name.
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let mut pat: Vec<&str> = Vec::new();
+        let mut depth = 0i32;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if depth == 0
+                && (t.is_punct(';')
+                    || (t.is_punct('=')
+                        && !tokens[j + 1..].first().is_some_and(|n| n.is_punct('='))))
+            {
+                break;
+            } else if t.kind == TokKind::Ident
+                && !matches!(
+                    t.text.as_str(),
+                    "mut" | "ref" | "Some" | "Ok" | "Err" | "None"
+                )
+                && t.text.chars().next().is_some_and(char::is_lowercase)
+            {
+                pat.push(&t.text);
+            }
+            j += 1;
+        }
+        if !tokens.get(j).is_some_and(|t| t.is_punct('=')) {
+            i = j + 1;
+            continue;
+        }
+        let rhs_start = j + 1;
+        let mut k = rhs_start;
+        let mut d = 0i32;
+        while k < tokens.len() {
+            let t = &tokens[k];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                d += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                d -= 1;
+            } else if t.is_punct(';') && d <= 0 {
+                break;
+            }
+            k += 1;
+        }
+        let rhs = &tokens[rhs_start..k.min(tokens.len())];
+        let mentions_hash = rhs
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && names.iter().any(|n| n == &t.text));
+        let carries = rhs
+            .iter()
+            .any(|t| TAINT_OPS.iter().any(|op| t.is_ident(op)));
+        if mentions_hash && carries {
+            for p in pat {
+                add(p, &mut names);
+            }
+        }
+        i = k + 1;
+    }
+    names
+}
+
+fn is_type_prefix(t: &Token) -> bool {
+    t.is_punct('&')
+        || t.is_punct(':')
+        || t.kind == TokKind::Lifetime
+        || t.is_ident("mut")
+        || t.is_ident("std")
+        || t.is_ident("collections")
+}
+
+/// `for … in <expr> {` headers whose expression resolves to a hash
+/// name; returns `(line, name)` pairs.
+fn hash_iterations(tokens: &[Token], hashes: &[String]) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("for") {
+            continue;
+        }
+        // Find the `in` keyword at depth 0, then the expr up to `{`.
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        let mut in_at = None;
+        while j < tokens.len() && j < i + 40 {
+            let t = &tokens[j];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if t.is_ident("in") && depth == 0 {
+                in_at = Some(j);
+                break;
+            } else if t.is_punct('{') || t.is_punct(';') {
+                break;
+            }
+            j += 1;
+        }
+        let Some(in_at) = in_at else { continue };
+        let mut k = in_at + 1;
+        let mut d = 0i32;
+        while k < tokens.len() {
+            let t = &tokens[k];
+            if t.is_punct('(') || t.is_punct('[') {
+                d += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                d -= 1;
+            } else if t.is_punct('{') && d == 0 {
+                break;
+            }
+            k += 1;
+        }
+        if let Some(name) = hash_root(&tokens[in_at + 1..k.min(tokens.len())], hashes) {
+            out.push((tokens[i].line, name));
+        }
+    }
+    out
+}
+
+/// Resolves a for-header expression to the hash name it iterates, if
+/// any: strips leading `&`/`mut`, trailing known adapter calls, then
+/// requires a plain dotted chain ending in a hash name. Ranges (`..`)
+/// are deterministic and resolve to nothing.
+fn hash_root(expr: &[Token], hashes: &[String]) -> Option<String> {
+    let mut depth = 0i32;
+    for w in expr.windows(2) {
+        if w[0].is_punct('(') || w[0].is_punct('[') {
+            depth += 1;
+        } else if w[0].is_punct(')') || w[0].is_punct(']') {
+            depth -= 1;
+        } else if w[0].is_punct('.') && w[1].is_punct('.') && depth == 0 {
+            return None;
+        }
+    }
+    let mut toks: Vec<&Token> = expr.iter().collect();
+    while toks
+        .first()
+        .is_some_and(|t| t.is_punct('&') || t.is_ident("mut"))
+    {
+        toks.remove(0);
+    }
+    // Strip trailing `. adapter ( )` groups.
+    loop {
+        let n = toks.len();
+        if n >= 4
+            && toks[n - 1].is_punct(')')
+            && toks[n - 2].is_punct('(')
+            && ADAPTERS.iter().any(|a| toks[n - 3].is_ident(a))
+            && toks[n - 4].is_punct('.')
+        {
+            toks.truncate(n - 4);
+        } else {
+            break;
+        }
+    }
+    // Remaining: `ident (. ident)*` — anything else (calls, indexing,
+    // arithmetic) is not a bare hash value.
+    if toks.is_empty() {
+        return None;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        let ok = if i % 2 == 0 {
+            t.kind == TokKind::Ident
+        } else {
+            t.is_punct('.')
+        };
+        if !ok {
+            return None;
+        }
+    }
+    let last = toks.last()?;
+    hashes.iter().find(|h| last.is_ident(h)).cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Workspace;
+
+    #[test]
+    fn direct_iteration_over_hash_fields_and_locals_is_flagged() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/cache.rs",
+            "pub struct C { nodes: HashMap<u32, u64> }\n\
+             impl C {\n\
+                 pub fn dump(&self) -> Vec<u64> {\n\
+                     let mut out = Vec::new();\n\
+                     for (k, v) in self.nodes.iter() { out.push(*v); }\n\
+                     out\n\
+                 }\n\
+             }\n\
+             pub fn local() { let mut seen = HashSet::new(); for s in seen.drain() { use_it(s); } }\n",
+        )]);
+        let v = run(&ws);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].message.contains("nodes"));
+        assert!(v[1].message.contains("seen"));
+    }
+
+    #[test]
+    fn one_hop_taint_catches_moved_out_maps() {
+        // The live bug shape: a map removed from a map-of-maps, then
+        // iterated under a migration cap.
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/cache.rs",
+            "pub struct C { nodes: HashMap<u32, HashMap<K, V>> }\n\
+             impl C {\n\
+                 pub fn migrate(&mut self, ctx: u32) {\n\
+                     let Some(old_nodes) = self.nodes.remove(&ctx) else { return; };\n\
+                     for (key, value) in old_nodes { place(key, value); }\n\
+                 }\n\
+             }\n",
+        )]);
+        let v = run(&ws);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("old_nodes"));
+    }
+
+    #[test]
+    fn sorted_snapshot_remediation_is_clean() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/cache.rs",
+            "pub fn dump(map: &HashMap<u32, u64>) -> Vec<(u32, u64)> {\n\
+                 let mut entries: Vec<(u32, u64)> = map.iter().map(|(k, v)| (*k, *v)).collect();\n\
+                 entries.sort_unstable();\n\
+                 let mut out = Vec::new();\n\
+                 for (k, v) in entries { out.push((k, v)); }\n\
+                 out\n\
+             }\n",
+        )]);
+        assert_eq!(run(&ws), vec![]);
+    }
+
+    #[test]
+    fn ranges_over_hash_lengths_are_deterministic() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/cache.rs",
+            "pub fn f(map: &HashMap<u32, u64>) { for i in 0..map.len() { step(i); } }\n",
+        )]);
+        assert_eq!(run(&ws), vec![]);
+    }
+
+    #[test]
+    fn vec_iteration_is_not_this_rules_business() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/cache.rs",
+            "pub fn f(items: &[u64], map: &HashMap<u32, u64>) {\n\
+                 for x in items.iter() { use_it(*x); }\n\
+                 for (i, x) in items.iter().enumerate() { use_both(i, x); }\n\
+             }\n",
+        )]);
+        assert_eq!(run(&ws), vec![]);
+    }
+
+    #[test]
+    fn out_of_scope_trees_and_test_regions_are_skipped() {
+        let ws = Workspace::from_sources(&[
+            (
+                "crates/cli/src/lib.rs",
+                "pub fn f(map: HashMap<u32, u64>) { for (k, v) in map { print(k, v); } }\n",
+            ),
+            (
+                "crates/core/src/cache.rs",
+                "#[cfg(test)]\nmod tests {\n    fn t(map: HashMap<u32, u64>) { for (k, v) in map { check(k, v); } }\n}\n",
+            ),
+        ]);
+        assert_eq!(run(&ws), vec![]);
+    }
+
+    #[test]
+    fn allow_directive_suppresses_with_justification() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/cache.rs",
+            "pub fn total(map: &HashMap<u32, u64>) -> u64 {\n\
+                 let mut sum = 0;\n\
+                 // lint-allow(determinism): summation is order-insensitive\n\
+                 for v in map.values() { sum += v; }\n\
+                 sum\n\
+             }\n",
+        )]);
+        assert_eq!(run(&ws), vec![]);
+    }
+}

@@ -124,7 +124,8 @@ impl Workspace {
 
     /// Scans a workspace root on disk: `crates/*/src/**/*.rs`,
     /// `crates/*/tests/**/*.rs`, `src/**/*.rs` and `tests/**/*.rs`.
-    /// `vendor/` and `target/` are never entered.
+    /// `vendor/`, `target/`, and `fixtures/` directories (the lint's
+    /// own violation corpora) are never entered.
     ///
     /// # Errors
     /// I/O errors reading directories or files.
@@ -169,6 +170,11 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> std::
         let entry = entry?;
         let path = entry.path();
         if entry.file_type()?.is_dir() {
+            // Fixture corpora are deliberate violations for the lint's
+            // own tests — scanning them would fail the live tree.
+            if entry.file_name() == "fixtures" {
+                continue;
+            }
             collect_rs_files(root, &path, out)?;
         } else if path.extension().is_some_and(|e| e == "rs") {
             let text = std::fs::read_to_string(&path)?;

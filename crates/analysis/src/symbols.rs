@@ -1,0 +1,279 @@
+//! Workspace-wide symbol table.
+//!
+//! Collects every [`FnItem`](crate::items::FnItem) from every scanned
+//! file into one indexed table, with the name-resolution policy the
+//! call graph builds on. Resolution is deliberately an
+//! **over-approximation** (DESIGN.md §3.15): a call site resolves to
+//! *every* function the name could plausibly mean, because the lints
+//! that consume the graph are reachability arguments — extra edges can
+//! only widen the set of paths a rule examines, never hide one.
+//!
+//! * An unqualified call `foo(…)` resolves to every free function and
+//!   method named `foo` in the workspace.
+//! * A qualified call `a::b::foo(…)` resolves to the functions named
+//!   `foo` whose module path (or `impl` type, for `Type::foo`) ends
+//!   with the written qualifier; if nothing matches — e.g. the
+//!   qualifier is an external crate — it resolves to nothing.
+//! * A method call `recv.foo(…)` resolves to every method named `foo`
+//!   (receiver types are not inferred).
+//! * A bare reference to a known function name resolves like an
+//!   unqualified call, tagged [`CallKind::Ref`](crate::items::CallKind).
+
+use std::collections::HashMap;
+
+use crate::items::{call_sites, parse_items, CallKind, CallSite, FnItem};
+use crate::source::Workspace;
+
+/// Index of a function in [`SymbolTable::fns`].
+pub type FnId = usize;
+
+/// One function known to the workspace.
+#[derive(Clone, Debug)]
+pub struct FnSymbol {
+    /// The parsed item.
+    pub item: FnItem,
+    /// Index of the declaring file in the workspace's file list.
+    pub file: usize,
+    /// Resolved outgoing call sites (filled by
+    /// [`SymbolTable::resolve_calls`]).
+    pub calls: Vec<ResolvedCall>,
+}
+
+/// One call site with its resolution.
+#[derive(Clone, Debug)]
+pub struct ResolvedCall {
+    /// The syntactic site.
+    pub site: CallSite,
+    /// Every function the site may invoke (sorted, deduplicated).
+    pub targets: Vec<FnId>,
+}
+
+/// The workspace symbol table.
+pub struct SymbolTable<'ws> {
+    /// The workspace the table was built from.
+    pub ws: &'ws Workspace,
+    /// All functions, in (file, source) order — the order is the
+    /// deterministic node numbering of the call graph.
+    pub fns: Vec<FnSymbol>,
+    by_name: HashMap<String, Vec<FnId>>,
+}
+
+impl<'ws> SymbolTable<'ws> {
+    /// Parses every file and indexes every function, then resolves
+    /// every call site.
+    #[must_use]
+    pub fn build(ws: &'ws Workspace) -> Self {
+        let mut fns: Vec<FnSymbol> = Vec::new();
+        let mut by_name: HashMap<String, Vec<FnId>> = HashMap::new();
+        for (file_idx, file) in ws.files.iter().enumerate() {
+            for item in parse_items(file).fns {
+                let id = fns.len();
+                by_name.entry(item.name.clone()).or_default().push(id);
+                fns.push(FnSymbol {
+                    item,
+                    file: file_idx,
+                    calls: Vec::new(),
+                });
+            }
+        }
+        let mut table = SymbolTable { ws, fns, by_name };
+        table.resolve_calls();
+        table
+    }
+
+    /// All functions named `name`.
+    #[must_use]
+    pub fn named(&self, name: &str) -> &[FnId] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// `true` iff some function in the workspace is named `name`.
+    #[must_use]
+    pub fn is_known_fn(&self, name: &str) -> bool {
+        self.by_name.contains_key(name)
+    }
+
+    /// The declaring file of `id`.
+    #[must_use]
+    pub fn file_of(&self, id: FnId) -> &crate::source::SourceFile {
+        &self.ws.files[self.fns[id].file]
+    }
+
+    /// Functions declared in the file at workspace-relative `path`
+    /// (deterministic source order).
+    #[must_use]
+    pub fn fns_in_file(&self, path: &str) -> Vec<FnId> {
+        (0..self.fns.len())
+            .filter(|&id| self.ws.files[self.fns[id].file].path == path)
+            .collect()
+    }
+
+    /// Resolves a call site according to the module policy above.
+    #[must_use]
+    pub fn resolve(&self, site: &CallSite) -> Vec<FnId> {
+        let candidates = self.named(&site.name);
+        if site.qualifier.is_empty() {
+            return candidates.to_vec();
+        }
+        // Qualified: the written qualifier must be a suffix of the
+        // candidate's module path, or name the candidate's impl type
+        // (`Type::method`), modulo `crate`/`self`/`super`/`Self`
+        // segments we cannot anchor without full crate layout.
+        // `Self::method` in particular resolves like an unqualified
+        // call — dropping the edge would be the unsound direction.
+        let qual: Vec<&str> = site
+            .qualifier
+            .iter()
+            .map(String::as_str)
+            .filter(|s| !matches!(*s, "crate" | "self" | "super" | "Self"))
+            .collect();
+        if qual.is_empty() {
+            return candidates.to_vec();
+        }
+        candidates
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let item = &self.fns[id].item;
+                let last = qual[qual.len() - 1];
+                if item.self_type.as_deref() == Some(last) {
+                    return true;
+                }
+                // Suffix match of the qualifier against the module path.
+                let m: Vec<&str> = item.module.iter().map(String::as_str).collect();
+                m.len() >= qual.len() && m[m.len() - qual.len()..] == qual[..]
+            })
+            .collect()
+    }
+
+    fn resolve_calls(&mut self) {
+        let mut resolved: Vec<Vec<ResolvedCall>> = Vec::with_capacity(self.fns.len());
+        for sym in &self.fns {
+            let Some(body) = sym.item.body else {
+                resolved.push(Vec::new());
+                continue;
+            };
+            let file = &self.ws.files[sym.file];
+            let sites = call_sites(&file.tokens, body, &|name| self.is_known_fn(name));
+            let mut calls = Vec::with_capacity(sites.len());
+            for site in sites {
+                let mut targets = match site.kind {
+                    CallKind::Method => self
+                        .named(&site.name)
+                        .iter()
+                        .copied()
+                        .filter(|&id| self.fns[id].item.self_type.is_some())
+                        .collect(),
+                    _ => self.resolve(&site),
+                };
+                targets.sort_unstable();
+                targets.dedup();
+                calls.push(ResolvedCall { site, targets });
+            }
+            resolved.push(calls);
+        }
+        for (sym, calls) in self.fns.iter_mut().zip(resolved) {
+            sym.calls = calls;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Workspace;
+
+    fn table(ws: &Workspace) -> SymbolTable<'_> {
+        SymbolTable::build(ws)
+    }
+
+    #[test]
+    fn unqualified_calls_resolve_to_every_same_named_fn() {
+        let ws = Workspace::from_sources(&[
+            ("crates/core/src/a.rs", "pub fn helper() {}\n"),
+            (
+                "crates/core/src/b.rs",
+                "pub fn helper() {}\npub fn driver() { helper(); }\n",
+            ),
+        ]);
+        let t = table(&ws);
+        let driver = t.named("driver")[0];
+        let call = &t.fns[driver].calls[0];
+        assert_eq!(call.site.name, "helper");
+        assert_eq!(call.targets.len(), 2, "over-approximates both helpers");
+    }
+
+    #[test]
+    fn qualified_calls_filter_by_module_suffix_and_impl_type() {
+        let ws = Workspace::from_sources(&[
+            ("crates/core/src/confidence/dp.rs", "pub fn run() {}\n"),
+            ("crates/core/src/faults.rs", "pub fn run() {}\n"),
+            (
+                "crates/core/src/driver.rs",
+                "pub struct Gamma;\nimpl Gamma { pub fn run(&self) {} }\n\
+                 pub fn go() { dp::run(); crate::faults::run(); Gamma::run(); ext::run(); }\n",
+            ),
+        ]);
+        let t = table(&ws);
+        let go = t.named("go")[0];
+        let calls = &t.fns[go].calls;
+        let in_file = |id: FnId| t.file_of(id).path.clone();
+        assert_eq!(calls[0].targets.len(), 1);
+        assert_eq!(
+            in_file(calls[0].targets[0]),
+            "crates/core/src/confidence/dp.rs"
+        );
+        assert_eq!(calls[1].targets.len(), 1);
+        assert_eq!(in_file(calls[1].targets[0]), "crates/core/src/faults.rs");
+        assert_eq!(calls[2].targets.len(), 1);
+        assert!(t.fns[calls[2].targets[0]].item.self_type.is_some());
+        assert!(
+            calls[3].targets.is_empty(),
+            "external crates resolve to nothing"
+        );
+    }
+
+    #[test]
+    fn self_qualified_calls_resolve_like_unqualified_ones() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/x.rs",
+            "pub struct A;\nimpl A {\n    pub fn slow(p: u64) -> u64 { Self::fast(p) }\n\
+             \n    pub fn fast(p: u64) -> u64 { p }\n}\n",
+        )]);
+        let t = table(&ws);
+        let slow = t.named("slow")[0];
+        let call = &t.fns[slow].calls[0];
+        assert_eq!(call.site.name, "fast");
+        assert_eq!(call.targets, vec![t.named("fast")[0]]);
+    }
+
+    #[test]
+    fn method_calls_resolve_to_methods_only() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/x.rs",
+            "pub fn tick() {}\npub struct Budget;\nimpl Budget { pub fn tick(&self) {} }\n\
+             pub fn f(b: &Budget) { b.tick(); }\n",
+        )]);
+        let t = table(&ws);
+        let f = t.named("f")[0];
+        let call = &t.fns[f].calls[0];
+        assert_eq!(call.targets.len(), 1);
+        assert!(t.fns[call.targets[0]].item.self_type.is_some());
+    }
+
+    #[test]
+    fn bare_refs_to_known_fns_are_edges() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/x.rs",
+            "pub fn worker() {}\npub fn spawn_all() { drive(worker); }\n",
+        )]);
+        let t = table(&ws);
+        let f = t.named("spawn_all")[0];
+        let names: Vec<(&str, CallKind)> = t.fns[f]
+            .calls
+            .iter()
+            .map(|c| (c.site.name.as_str(), c.site.kind))
+            .collect();
+        assert!(names.contains(&("worker", CallKind::Ref)));
+    }
+}

@@ -1,0 +1,12 @@
+//! Parity harness reaching every twin — the budgeted one through a
+//! helper, exercising transitive reachability.
+
+fn parity_all_engines() {
+    let items = [1, 2, 3];
+    assert_eq!(count_spans(&items), count_spans_parallel(&items));
+    assert_eq!(count_spans(&items), run_budgeted(&items));
+}
+
+fn run_budgeted(items: &[u64]) -> u64 {
+    count_spans_budgeted(items, &Budget)
+}

@@ -1,0 +1,17 @@
+//! L10 violation fixture: `count_spans_budgeted` is registered (so L1
+//! is satisfied) but the parity harness never reaches it.
+
+pub struct Budget;
+
+pub fn count_spans(items: &[u64]) -> u64 {
+    items.len() as u64
+}
+
+pub fn count_spans_budgeted(items: &[u64], budget: &Budget) -> u64 {
+    let _ = budget;
+    items.len() as u64
+}
+
+pub fn count_spans_parallel(items: &[u64]) -> u64 {
+    items.len() as u64
+}

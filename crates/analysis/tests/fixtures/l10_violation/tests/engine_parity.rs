@@ -1,0 +1,7 @@
+//! Parity harness that exercises the serial engine and the parallel
+//! twin — but not the budgeted twin.
+
+fn parity_serial_vs_parallel() {
+    let items = [1, 2, 3];
+    assert_eq!(count_spans(&items), count_spans_parallel(&items));
+}

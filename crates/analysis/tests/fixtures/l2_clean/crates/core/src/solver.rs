@@ -1,0 +1,39 @@
+//! L2 clean fixture: every loop reachable from the budgeted entry
+//! discharges its obligation — directly, or through a ticking callee.
+
+pub struct Budget;
+
+impl Budget {
+    pub fn tick(&self) -> Result<(), ()> {
+        Ok(())
+    }
+}
+
+/// Budgeted entry (name suffix + `Budget` parameter).
+pub fn solve_budgeted(budget: &Budget, items: &[u64]) -> u64 {
+    let mut total = 0;
+    for item in items {
+        total += expand(budget, *item);
+    }
+    total
+}
+
+/// Reachable helper whose loop ticks on every iteration.
+fn expand(budget: &Budget, seed: u64) -> u64 {
+    let mut acc = seed;
+    while acc < 1_000_000 {
+        let _ = budget.tick();
+        acc = acc * 3 + 1;
+    }
+    acc
+}
+
+/// Unreachable from any budgeted entry: its silent loop is not the
+/// budget's business.
+pub fn offline_report(items: &[u64]) -> u64 {
+    let mut n = 0;
+    for item in items {
+        n += *item;
+    }
+    n
+}

@@ -1,0 +1,31 @@
+//! L2 violation fixture: a loop reachable from a budgeted entry that
+//! neither ticks nor calls a ticking callee.
+
+pub struct Budget;
+
+impl Budget {
+    pub fn tick(&self) -> Result<(), ()> {
+        Ok(())
+    }
+}
+
+/// Budgeted entry (name suffix + `Budget` parameter).
+pub fn solve_budgeted(budget: &Budget, items: &[u64]) -> u64 {
+    let mut total = 0;
+    for item in items {
+        // Ticks here, so this loop itself is fine...
+        let _ = budget.tick();
+        total += expand(*item);
+    }
+    total
+}
+
+/// ...but this helper is reachable from the entry, and its loop never
+/// touches the budget: the bypass L2 must flag.
+fn expand(seed: u64) -> u64 {
+    let mut acc = seed;
+    while acc < 1_000_000 {
+        acc = acc * 3 + 1;
+    }
+    acc
+}

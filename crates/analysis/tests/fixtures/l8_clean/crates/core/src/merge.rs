@@ -1,0 +1,19 @@
+//! L8 clean fixture: the map is snapshotted and sorted before the
+//! fold, so the output order is process-independent.
+
+use std::collections::HashMap;
+
+pub fn fold_totals(counts: &HashMap<String, u64>) -> Vec<(String, u64)> {
+    let mut entries: Vec<(String, u64)> = Vec::new();
+    for_each_sorted(counts, &mut entries);
+    entries
+}
+
+fn for_each_sorted(counts: &HashMap<String, u64>, out: &mut Vec<(String, u64)>) {
+    let mut snapshot: Vec<(&String, &u64)> = counts.iter().collect();
+    snapshot.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+    for (name, value) in snapshot {
+        out.push((name.clone(), *value));
+    }
+    out.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+}

@@ -1,0 +1,12 @@
+//! L8 violation fixture: engine-facing totals folded in HashMap
+//! iteration order.
+
+use std::collections::HashMap;
+
+pub fn fold_totals(counts: &HashMap<String, u64>) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for (name, value) in counts {
+        out.push((name.clone(), *value));
+    }
+    out
+}

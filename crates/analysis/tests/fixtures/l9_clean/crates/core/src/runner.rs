@@ -1,0 +1,8 @@
+//! Emits every registry constant through the registry itself.
+
+pub fn record(obs: &mut ObsSession, retried: bool) {
+    obs.counter_add(names::QUERY_RUNS, 1);
+    if retried {
+        obs.counter_add(names::QUERY_RETRIES, 1);
+    }
+}

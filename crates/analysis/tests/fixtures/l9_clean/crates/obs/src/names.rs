@@ -1,0 +1,6 @@
+//! L9 clean fixture registry: both constants are wired.
+
+pub const QUERY_RUNS: &str = "query.runs";
+pub const QUERY_RETRIES: &str = "query.retries";
+
+pub const COUNTERS: [&str; 2] = [QUERY_RUNS, QUERY_RETRIES];

@@ -1,0 +1,7 @@
+//! L9 violation fixture registry: `QUERY_RETRIES` is advertised but
+//! never wired to an emission — schema drift the rule must flag.
+
+pub const QUERY_RUNS: &str = "query.runs";
+pub const QUERY_RETRIES: &str = "query.retries";
+
+pub const COUNTERS: [&str; 2] = [QUERY_RUNS, QUERY_RETRIES];

@@ -1,0 +1,80 @@
+//! Lexer regressions that matter to the *item parser*: raw strings,
+//! nested block comments, and lifetime-vs-char disambiguation must not
+//! desynchronize brace tracking, or every downstream item boundary
+//! (and with it the call graph) silently shifts.
+
+use pscds_analysis::items::{call_sites, parse_items};
+use pscds_analysis::source::SourceFile;
+
+fn file(src: &str) -> SourceFile {
+    SourceFile::from_source("crates/core/src/x.rs", src)
+}
+
+#[test]
+fn raw_strings_with_braces_and_quotes_do_not_split_items() {
+    let f = file(
+        "pub fn render() -> String {\n\
+         \x20   let tpl = r#\"{ \"fn\": \"}\" }\"#;\n\
+         \x20   tpl.to_owned()\n\
+         }\n\
+         pub fn after() {}\n",
+    );
+    let items = parse_items(&f);
+    let names: Vec<&str> = items.fns.iter().map(|i| i.name.as_str()).collect();
+    assert_eq!(names, ["render", "after"], "raw string desynced item walk");
+    assert!(items.fns[0].body.is_some());
+}
+
+#[test]
+fn nested_block_comments_hide_their_braces_and_fn_keywords() {
+    let f = file(
+        "/* outer /* fn ghost() { */ still comment } */\n\
+         pub fn real() { work(); }\n\
+         pub fn work() {}\n",
+    );
+    let items = parse_items(&f);
+    let names: Vec<&str> = items.fns.iter().map(|i| i.name.as_str()).collect();
+    assert_eq!(names, ["real", "work"], "nested comment leaked tokens");
+    let body = items.fns[0].body.expect("real has a body");
+    let calls = call_sites(&f.tokens, body, &|n| n == "work");
+    assert_eq!(calls.len(), 1);
+    assert_eq!(calls[0].name, "work");
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let f = file(
+        "pub fn pick<'a>(xs: &'a [char]) -> char {\n\
+         \x20   let quote = '\\'';\n\
+         \x20   let brace = '{';\n\
+         \x20   if xs.is_empty() { quote } else { brace }\n\
+         }\n\
+         pub fn sentinel() {}\n",
+    );
+    let items = parse_items(&f);
+    let names: Vec<&str> = items.fns.iter().map(|i| i.name.as_str()).collect();
+    assert_eq!(
+        names,
+        ["pick", "sentinel"],
+        "char/lifetime confusion desynced the item walk"
+    );
+}
+
+#[test]
+fn byte_strings_and_escapes_keep_token_lines_accurate() {
+    let f = file(
+        "pub fn a() {\n\
+         \x20   let b = b\"bytes \\\" with quote\";\n\
+         \x20   let s = \"line\\nbreak { not a brace }\";\n\
+         \x20   drop((b, s));\n\
+         }\n\
+         pub fn b_fn() {}\n",
+    );
+    let items = parse_items(&f);
+    assert_eq!(items.fns.len(), 2);
+    assert_eq!(items.fns[1].name, "b_fn");
+    assert_eq!(
+        items.fns[1].line, 6,
+        "string escapes shifted line accounting"
+    );
+}

@@ -4,7 +4,7 @@
 
 use std::path::{Path, PathBuf};
 
-use pscds_analysis::{interleave, lints, source::Workspace};
+use pscds_analysis::{interleave, json, lints, source::Workspace};
 
 fn workspace_root() -> PathBuf {
     // crates/analysis -> crates -> workspace root
@@ -33,6 +33,86 @@ fn workspace_is_clean_under_every_lint_rule() {
             .collect::<Vec<_>>()
             .join("\n")
     );
+}
+
+/// Every rule in the registry has a stable code (`L1`..), and the
+/// allow-grammar pseudo-rule resolves too: a diagnostic whose rule id
+/// cannot be mapped to a code would render as `L?` in the JSON report
+/// and break `--explain`.
+#[test]
+fn every_registered_rule_maps_to_a_stable_code_and_explanation() {
+    let mut codes = vec![lints::ALLOW_GRAMMAR_CODE];
+    for rule in lints::registry() {
+        let code = lints::code_for(rule.id)
+            .unwrap_or_else(|| panic!("rule `{}` has no stable code", rule.id));
+        assert_eq!(code, rule.code);
+        let (id, text) =
+            lints::explain_for(code).unwrap_or_else(|| panic!("code {code} has no explanation"));
+        assert_eq!(id, rule.id);
+        assert!(text.len() > 100, "{code}: explanation too thin to act on");
+        codes.push(code);
+    }
+    codes.sort_unstable();
+    codes.dedup();
+    assert_eq!(codes.len(), lints::registry().len() + 1, "duplicate codes");
+}
+
+/// Every `lint-allow` on the live tree names a rule the registry
+/// knows — a suppression for a misspelled or retired rule id is dead
+/// weight that hides nothing and must not survive review.
+#[test]
+fn live_suppressions_name_registered_rules_only() {
+    let ws = Workspace::load(&workspace_root()).expect("workspace sources load");
+    let stats = lints::suppression_stats(&ws);
+    for (rule, count) in &stats.by_rule {
+        assert!(
+            lints::code_for(rule).is_some(),
+            "{count} lint-allow directive(s) name unregistered rule `{rule}`"
+        );
+    }
+}
+
+/// The live suppression census matches the checked-in baseline — the
+/// same gate `scripts/ci.sh` applies via `--suppressions`, kept here so
+/// `cargo test` alone catches an unreviewed lint-allow.
+#[test]
+fn live_suppression_census_matches_the_checked_in_baseline() {
+    let root = workspace_root();
+    let ws = Workspace::load(&root).expect("workspace sources load");
+    let stats = lints::suppression_stats(&ws);
+    let mut rendered = format!(
+        "pscds-lint: {} suppression(s) ({} file-scope) across {} file(s)\n",
+        stats.directives, stats.file_scope, stats.files
+    );
+    for (rule, count) in &stats.by_rule {
+        rendered.push_str(&format!("  {count:>4}  {rule}\n"));
+    }
+    let baseline_path = root.join("scripts/lint_suppressions.baseline");
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", baseline_path.display()));
+    assert_eq!(
+        rendered, baseline,
+        "suppression census drifted: review the lint-allow changes, then \
+         regenerate with `pscds-lint --suppressions > scripts/lint_suppressions.baseline`"
+    );
+}
+
+/// The JSON report over the live tree validates against its own schema
+/// and is byte-identical across two independent workspace loads.
+#[test]
+fn live_json_report_is_valid_and_byte_deterministic() {
+    let root = workspace_root();
+    let render = || {
+        let ws = Workspace::load(&root).expect("workspace sources load");
+        let violations = lints::run_all(&ws);
+        json::render_report(&ws, &violations)
+    };
+    let a = render();
+    let b = render();
+    assert_eq!(a, b, "live JSON report is not byte-deterministic");
+    let doc = json::parse(&a).expect("report parses");
+    let violations = json::validate_report(&doc).expect("report validates");
+    assert_eq!(violations, 0, "live tree must lint clean");
 }
 
 #[test]

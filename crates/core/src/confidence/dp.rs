@@ -165,7 +165,7 @@ impl DpStats {
 /// Packed residual state: the memo key. Three words per source — the
 /// exact soundness deficit and the clamped completeness margin (an `i128`
 /// split into two limbs).
-#[derive(PartialEq, Eq, Hash)]
+#[derive(PartialEq, Eq, Hash, PartialOrd, Ord)]
 struct ResidualKey {
     level: u32,
     packed: Box<[u64]>,
@@ -360,7 +360,13 @@ impl SharedDpCache {
         let mut migrated = 0u64;
         let mut dropped = 0u64;
         let mut room = self.max_entries - self.entries;
-        for (key, value) in old_nodes {
+        // Migration is capped by `room`, so *which* nodes migrate must not
+        // depend on hash order: iterate a key-sorted snapshot so the same
+        // survivors are kept on every run (the cache-hit counters CI diffs
+        // would otherwise drift).
+        let mut entries: Vec<(ResidualKey, (Rc<DpNode>, u32))> = old_nodes.into_iter().collect();
+        entries.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+        for (key, value) in entries {
             if key.level as usize > max_touched && room > 0 && !target.contains_key(&key) {
                 target.insert(key, value);
                 migrated += 1;

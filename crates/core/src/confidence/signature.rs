@@ -299,8 +299,9 @@ impl SignatureAnalysis {
         let target = target_chunks.max(1) as u64;
         let mut prefixes: Vec<Vec<u64>> = vec![Vec::new()];
         let mut depth = 0usize;
-        // lint-allow(budget-bypass): bounded planning loop — at most classes.len()
-        // iterations, and the prefix list is capped at 16 × target_chunks entries
+        // lint-allow(budget-bypass): reachable from count_dp_parallel but bounded
+        // without ticking — at most classes.len() iterations, and the prefix list
+        // is capped at 16 × target_chunks entries by the width check below
         while (prefixes.len() as u64) < target && depth < self.classes.len() {
             let width = self.classes[depth].size.saturating_add(1);
             if width.saturating_mul(prefixes.len() as u64) > 16 * target {

@@ -751,16 +751,18 @@ impl DeltaSession {
     fn answer(&mut self, budget: &Budget) -> Result<ConfidenceAnalysis, CoreError> {
         match self.maintenance {
             Maintenance::Current | Maintenance::Rebind => {
-                if let (Some(cached), Some(_)) = (&self.cached, &self.circuit) {
-                    if self.maintenance == Maintenance::Rebind {
-                        // lint-allow(no-panic): the enclosing let matched Some(_) on self.circuit
-                        let (circuit, memo) = self.circuit.take().expect("checked above");
+                if self.maintenance == Maintenance::Rebind && self.cached.is_some() {
+                    // Rebinding is only worth doing when the cached answer
+                    // below will actually be reused.
+                    if let Some((circuit, memo)) = self.circuit.take() {
                         let skeleton = Rc::clone(circuit.skeleton());
                         self.circuit = Some((
                             CompiledCircuit::rebind(skeleton, self.analysis.clone()),
                             memo,
                         ));
                     }
+                }
+                if let (Some(cached), Some(_)) = (&self.cached, &self.circuit) {
                     self.maintenance = Maintenance::Current;
                     self.stats.results_reused += 1;
                     return Ok(ConfidenceAnalysis::from_parts(

@@ -321,8 +321,9 @@ fn parse_spec(body: &str) -> Result<FaultSpec, String> {
     let mut spec = FaultSpec::none();
     let words: Vec<&str> = inner.split_whitespace().collect();
     let mut i = 0;
-    // lint-allow(budget-bypass): tightly bounded by the word count of one
-    // spec line; plan parsing happens once, before any engine runs
+    // lint-allow(budget-bypass): reachable only through over-approximate
+    // `.parse()` method edges — parsing one spec line is bounded by its word
+    // count and happens once, before any engine runs
     while i < words.len() {
         let key = words[i]
             .strip_suffix(':')

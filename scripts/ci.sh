@@ -15,7 +15,33 @@ cargo build --workspace --release
 # protocols. Runs early: it is fast and catches structural drift before
 # the expensive test passes.
 echo "==> pscds-lint (invariant lints + interleaving models)"
+SECONDS=0
 cargo run -q -p pscds-analysis --bin pscds-lint
+echo "    lint + interleave pass: ${SECONDS}s"
+
+# The JSON report must validate against its own schema and be
+# byte-identical across two independent runs — the same determinism
+# contract the engines are held to, applied to the lint tool itself.
+echo "==> pscds-lint --format json (schema validation, byte-determinism)"
+lint() { cargo run -q -p pscds-analysis --bin pscds-lint -- "$@"; }
+lint --format json --no-interleave > target/lint-report.json
+lint --format json --no-interleave > target/lint-report-rerun.json
+cmp target/lint-report.json target/lint-report-rerun.json || {
+    echo "lint JSON report is not byte-deterministic across runs" >&2
+    exit 1
+}
+lint --validate-json target/lint-report.json
+
+# The suppression census must match the checked-in baseline exactly:
+# every added or removed lint-allow is a reviewed, deliberate diff, and
+# the count is meant to ratchet down, never silently up.
+echo "==> lint suppression baseline diff"
+lint --suppressions > target/lint-suppressions.txt
+diff -u scripts/lint_suppressions.baseline target/lint-suppressions.txt || {
+    echo "suppression census drifted from scripts/lint_suppressions.baseline:" >&2
+    echo "review the lint-allow changes, then update the baseline file" >&2
+    exit 1
+}
 
 # The parallel execution layer promises bit-identical results for every
 # thread count, so the suite runs twice: once pinned to the serial legacy

@@ -126,6 +126,12 @@ proptest! {
         let dp = ConfidenceAnalysis::analyze_dp(&identity, padding);
         prop_assert_eq!(dp.world_count(), serial.world_count());
         prop_assert_eq!(dp.feasible_vectors(), serial.feasible_vectors());
+        // The budgeted DP twin, called directly: an unlimited budget must
+        // be bit-identical to the unbudgeted route.
+        let dp_budgeted = ConfidenceAnalysis::analyze_dp_budgeted(&identity, padding, &unlimited)
+            .expect("unlimited budget");
+        prop_assert_eq!(dp_budgeted.world_count(), serial.world_count());
+        prop_assert_eq!(dp_budgeted.feasible_vectors(), serial.feasible_vectors());
         if serial.is_consistent() {
             for tuple in identity.all_tuples() {
                 prop_assert_eq!(dp.confidence_of_tuple(&identity, &tuple).expect("consistent"),
