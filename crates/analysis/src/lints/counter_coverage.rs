@@ -3,8 +3,9 @@
 //! other, in both directions:
 //!
 //! * **No orphan constants.** Every `pub const NAME: &str = "…"` in the
-//!   registry must be emitted — passed to `counter_add`/`gauge_max` —
-//!   from at least one *library* path somewhere in the workspace. An
+//!   registry must be emitted — passed to `counter_add`/`gauge_max`/
+//!   `histogram_record`/`span_open`/`event` — from at least one
+//!   *library* path somewhere in the workspace. An
 //!   orphan means the JSONL schema advertises a metric no run can ever
 //!   produce: the bench validator and the CI counter-diff then treat
 //!   "always zero" and "never wired" as the same thing, which is
@@ -14,9 +15,9 @@
 //!   business; this direction catches names smuggled through locals or
 //!   parameters, which defeat the registry just as thoroughly.
 //!
-//! The `COUNTERS`/`GAUGES` reporting arrays in the registry are not
-//! emissions and do not count as coverage — only real `counter_add` /
-//! `gauge_max` call sites do.
+//! The `COUNTERS`/`GAUGES`/`HISTOGRAMS`/`SPANS`/`EVENTS` reporting
+//! arrays in the registry are not emissions and do not count as
+//! coverage — only real recording call sites do.
 
 use super::flag;
 use crate::lexer::TokKind;
@@ -28,8 +29,17 @@ pub const RULE: &str = "counter-coverage";
 /// The registry file.
 pub const NAMES_FILE: &str = "crates/obs/src/names.rs";
 
-/// The recording calls that constitute an emission.
-const METRIC_CALLS: [&str; 2] = ["counter_add", "gauge_max"];
+/// The recording calls that constitute an emission. `span_open` covers
+/// both `ObsSession::span_open` and the worker-side
+/// `SpanStack::span_open` alias (the bare `open` is deliberately not
+/// matched: `File::open("…")` and friends are not emissions).
+const METRIC_CALLS: [&str; 5] = [
+    "counter_add",
+    "gauge_max",
+    "histogram_record",
+    "span_open",
+    "event",
+];
 
 /// The source trees whose emissions must use registry constants.
 const CONSUMER_TREES: [&str; 3] = ["crates/core/src/", "crates/cli/src/", "crates/bench/src/"];
@@ -305,6 +315,41 @@ mod tests {
             ),
         ]);
         assert_eq!(run(&ws), vec![]);
+    }
+
+    #[test]
+    fn span_histogram_and_event_emissions_count_as_coverage() {
+        let registry = "pub const SPAN_DP_RUN: &str = \"dp.run\";\n\
+                        pub const DP_CHUNK_STEPS: &str = \"dp.chunk_steps\";\n\
+                        pub const EVENT_BUDGET_TRIP: &str = \"budget.trip\";\n";
+        let ws = Workspace::from_sources(&[
+            (NAMES_FILE, registry),
+            (
+                "crates/core/src/engine.rs",
+                "pub fn f(obs: &mut ObsSession, spans: &mut SpanStack) {\n\
+                     obs.span_open(names::SPAN_DP_RUN, 0);\n\
+                     spans.span_open(names::SPAN_DP_RUN, 0);\n\
+                     obs.histogram_record(names::DP_CHUNK_STEPS, 1);\n\
+                     obs.event(names::EVENT_BUDGET_TRIP, 0, &[]);\n\
+                 }\n",
+            ),
+        ]);
+        assert_eq!(run(&ws), vec![]);
+    }
+
+    #[test]
+    fn bare_open_calls_are_not_emissions() {
+        let registry = "pub const SPAN_DP_RUN: &str = \"dp.run\";\n";
+        let ws = Workspace::from_sources(&[
+            (NAMES_FILE, registry),
+            (
+                "crates/core/src/engine.rs",
+                "pub fn f(stack: &mut SpanStack) { stack.open(names::SPAN_DP_RUN, 0); let _ = File::open(\"x\"); }\n",
+            ),
+        ]);
+        let v = run(&ws);
+        assert_eq!(v.len(), 1, "bare `open` is not a recording call: {v:?}");
+        assert!(v[0].message.contains("SPAN_DP_RUN"));
     }
 
     #[test]

@@ -7,9 +7,10 @@
 //!   budget's deadline accounting and the crate stays deterministic
 //!   enough to test byte-for-byte.
 //! * **Consumers go through the registry and the session.** In
-//!   `crates/{core,cli,bench}/src`, metric names must be the
-//!   `pscds_obs::names` constants — a string-literal name in a
-//!   `counter_add`/`gauge_max` call silently forks the schema the bench
+//!   `crates/{core,cli,bench}/src`, metric, span, and event names must
+//!   be the `pscds_obs::names` constants — a string-literal name in a
+//!   `counter_add`/`gauge_max`/`histogram_record`/`span_open`/`event`
+//!   call silently forks the schema the bench
 //!   validator and the CI counter-diff rely on. Likewise `Span` values
 //!   are built by `ObsSession::span_open`/`span_close`, never by hand:
 //!   a hand-rolled struct literal bypasses the per-thread aggregation
@@ -24,9 +25,15 @@ use crate::source::{Violation, Workspace};
 /// Rule id for `lint-allow`.
 pub const RULE: &str = "obs-api";
 
-/// The `MetricSet`/`ObsSession` recording calls whose name argument must
-/// be a `names::` registry constant.
-const METRIC_CALLS: [&str; 2] = ["counter_add", "gauge_max"];
+/// The `MetricSet`/`ObsSession`/`SpanStack` recording calls whose name
+/// argument must be a `names::` registry constant.
+const METRIC_CALLS: [&str; 5] = [
+    "counter_add",
+    "gauge_max",
+    "histogram_record",
+    "span_open",
+    "event",
+];
 
 /// The source trees that consume the obs API.
 const CONSUMER_TREES: [&str; 3] = ["crates/core/src/", "crates/cli/src/", "crates/bench/src/"];
@@ -136,10 +143,10 @@ mod tests {
     fn string_literal_metric_names_are_flagged_in_consumers() {
         let ws = Workspace::from_sources(&[(
             "crates/core/src/engine.rs",
-            "pub fn f(obs: &mut ObsSession) {\n    obs.counter_add(\"dp.cache_hits\", 1);\n    obs.gauge_max(\"dp.cache_peak\", 2);\n}\n",
+            "pub fn f(obs: &mut ObsSession) {\n    obs.counter_add(\"dp.cache_hits\", 1);\n    obs.gauge_max(\"dp.cache_peak\", 2);\n    obs.histogram_record(\"dp.chunk_steps\", 3);\n    obs.span_open(\"dp.run\", 0);\n    obs.event(\"budget.trip\", 0, &[]);\n}\n",
         )]);
         let v = run(&ws);
-        assert_eq!(v.len(), 2, "{v:?}");
+        assert_eq!(v.len(), 5, "{v:?}");
         assert!(v[0].message.contains("pscds_obs::names"));
     }
 

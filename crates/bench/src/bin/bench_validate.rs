@@ -6,28 +6,45 @@
 //!   every record must satisfy the [`pscds_bench::schema`] contract.
 //! * `bench_validate --history PATH` — `PATH` is a `BENCH_history.jsonl`
 //!   append log; every line must be one schema-valid record.
+//! * `bench_validate --regress PATH [PCT]` — reads a history log, groups
+//!   records by `(engine, m)`, and compares the newest `wall_ns` per
+//!   group against the previous one; exits non-zero when any group
+//!   slowed down by more than `PCT` percent (default 25).
 //! * `bench_validate --jsonl PATH` — `PATH` is an observability trace;
-//!   every line must parse as a JSON object with a known `type`
-//!   (`span` / `counter` / `gauge` / `event`).
-//! * `bench_validate --counters PATH` — reads a trace and prints the
-//!   counter totals as sorted `name value` lines: a deterministic
-//!   digest the CI diffs between serial and multi-threaded runs.
+//!   the first line must be the `{"pscds_trace":1}` header and every
+//!   later line must parse as a JSON object with a known `type`
+//!   (`span` / `counter` / `gauge` / `histogram` / `exemplar` / `event`).
+//! * `bench_validate --counters PATH` — reads a trace (header required)
+//!   and prints the counter totals as sorted `name value` lines: a
+//!   deterministic digest the CI diffs between serial and
+//!   multi-threaded runs.
 //!
 //! Exits non-zero (with the offending line) on any violation.
 
 use pscds_bench::schema::{parse_history_line, parse_json, parse_records, Json};
+use pscds_core::obs::TRACE_VERSION;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (mode, path) = match args.as_slice() {
-        [path] => ("records", path.as_str()),
-        [flag, path] if flag == "--history" => ("history", path.as_str()),
-        [flag, path] if flag == "--jsonl" => ("jsonl", path.as_str()),
-        [flag, path] if flag == "--counters" => ("counters", path.as_str()),
+    let (mode, path, threshold) = match args.as_slice() {
+        [path] => ("records", path.as_str(), 0),
+        [flag, path] if flag == "--history" => ("history", path.as_str(), 0),
+        [flag, path] if flag == "--jsonl" => ("jsonl", path.as_str(), 0),
+        [flag, path] if flag == "--counters" => ("counters", path.as_str(), 0),
+        [flag, path] if flag == "--regress" => ("regress", path.as_str(), 25),
+        [flag, path, pct] if flag == "--regress" => match pct.parse::<u64>() {
+            Ok(pct) => ("regress", path.as_str(), pct),
+            Err(_) => {
+                eprintln!("bench_validate: threshold {pct:?} is not a percentage");
+                return ExitCode::FAILURE;
+            }
+        },
         _ => {
-            eprintln!("usage: bench_validate [--history | --jsonl | --counters] PATH");
+            eprintln!(
+                "usage: bench_validate [--history | --regress [PCT] | --jsonl | --counters] PATH"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -41,6 +58,7 @@ fn main() -> ExitCode {
     let result = match mode {
         "records" => validate_records(&text),
         "history" => validate_history(&text),
+        "regress" => check_regressions(&text, threshold),
         "jsonl" => validate_trace(&text),
         _ => print_counters(&text),
     };
@@ -81,16 +99,101 @@ fn validate_history(text: &str) -> Result<String, String> {
     Ok(format!("ok: {count} schema-valid history lines"))
 }
 
-/// The record types [`pscds_core::obs::render_record`] can emit.
-const TRACE_TYPES: [&str; 4] = ["span", "counter", "gauge", "event"];
-
-fn validate_trace(text: &str) -> Result<String, String> {
-    let mut count = 0usize;
+/// Compares the newest history record per `(engine, m)` benchmark id
+/// against the previous one and flags wall-clock regressions beyond
+/// `threshold_pct` percent. Groups with fewer than two records pass
+/// trivially (nothing to compare yet).
+fn check_regressions(text: &str, threshold_pct: u64) -> Result<String, String> {
+    let mut groups: BTreeMap<(String, u64), Vec<u128>> = BTreeMap::new();
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
+        let record = parse_history_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        groups
+            .entry((record.engine.clone(), record.m))
+            .or_default()
+            .push(record.wall_ns);
+    }
+    if groups.is_empty() {
+        return Err("no history lines".to_owned());
+    }
+    let mut compared = 0usize;
+    let mut regressions = Vec::new();
+    for ((engine, m), walls) in &groups {
+        let [.., old, new] = walls.as_slice() else {
+            continue;
+        };
+        compared += 1;
+        // new > old * (1 + pct/100), in integer arithmetic.
+        if *new * 100 > *old * u128::from(100 + threshold_pct) {
+            regressions.push(format!(
+                "{engine}/m={m}: wall_ns {old} -> {new} (> +{threshold_pct}%)"
+            ));
+        }
+    }
+    if !regressions.is_empty() {
+        return Err(format!(
+            "{} wall-clock regression(s):\n  {}",
+            regressions.len(),
+            regressions.join("\n  ")
+        ));
+    }
+    Ok(format!(
+        "ok: {compared} of {} benchmark id(s) have history pairs, none regressed beyond +{threshold_pct}%",
+        groups.len()
+    ))
+}
+
+/// The record types [`pscds_core::obs::render_record`] can emit after
+/// the header line.
+const TRACE_TYPES: [&str; 6] = ["span", "counter", "gauge", "histogram", "exemplar", "event"];
+
+/// `true` when a parsed trace line is a `{"pscds_trace":N}` header.
+/// Experiment binaries append one session per scale to a single trace
+/// file, so headers may recur mid-file as segment boundaries.
+fn is_header(value: &Json) -> bool {
+    value.field("pscds_trace").is_some()
+}
+
+/// Checks that the first non-blank line is the `{"pscds_trace":1}`
+/// schema header; returns the header's line index.
+fn require_header(text: &str) -> Result<usize, String> {
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let version = parse_json(line)
+            .ok()
+            .and_then(|v| v.field("pscds_trace").and_then(Json::as_u64));
+        return match version {
+            Some(v) if v == TRACE_VERSION => Ok(i),
+            Some(v) => Err(format!(
+                "line {}: trace schema version {v} is not supported (expected {TRACE_VERSION})",
+                i + 1
+            )),
+            None => Err(format!(
+                "line {}: missing {{\"pscds_trace\":{TRACE_VERSION}}} header: this looks like a \
+                 legacy trace written before the schema header existed — re-record it with a \
+                 current binary",
+                i + 1
+            )),
+        };
+    }
+    Err("empty trace (no header line)".to_owned())
+}
+
+fn validate_trace(text: &str) -> Result<String, String> {
+    let header_at = require_header(text)?;
+    let mut count = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if i <= header_at || line.trim().is_empty() {
+            continue;
+        }
         let value = parse_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if is_header(&value) {
+            continue;
+        }
         let kind = value
             .field("type")
             .and_then(Json::as_str)
@@ -107,13 +210,14 @@ fn validate_trace(text: &str) -> Result<String, String> {
 }
 
 fn print_counters(text: &str) -> Result<String, String> {
+    let header_at = require_header(text)?;
     let mut totals: BTreeMap<String, u64> = BTreeMap::new();
     for (i, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
+        if i <= header_at || line.trim().is_empty() {
             continue;
         }
         let value = parse_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
-        if value.field("type").and_then(Json::as_str) != Some("counter") {
+        if is_header(&value) || value.field("type").and_then(Json::as_str) != Some("counter") {
             continue;
         }
         let name = value

@@ -1,0 +1,86 @@
+//! Offline analyzer for `--trace-out` step-attribution traces.
+//!
+//! Subcommands:
+//!
+//! * `pscds-trace summary PATH` — per-phase self/total step table plus
+//!   top exemplar keys, rendered exactly as the CLI's `--profile` flag
+//!   renders a live session.
+//! * `pscds-trace critical-path PATH` — the heaviest root-to-leaf span
+//!   chain by inclusive (total) steps.
+//! * `pscds-trace diff A B [--threshold PCT]` — counter and histogram
+//!   deltas between two traces, byte-deterministic, exiting 1 when any
+//!   quantity drifted beyond the threshold (default 0: any difference
+//!   is drift). Gauges are scheduling diagnostics and excluded.
+//!
+//! Every subcommand validates the `{"pscds_trace":1}` header and each
+//! record name against the `pscds_obs::names` registry, so a trace from
+//! a schema-drifted binary fails loudly rather than profiling garbage.
+
+use pscds_bench::trace::{diff_reports, parse_trace, render_diff};
+use pscds_core::obs::{render_critical_path, render_summary, ObsReport};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: pscds-trace summary PATH\n       \
+                     pscds-trace critical-path PATH\n       \
+                     pscds-trace diff A B [--threshold PCT]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [cmd, path] if cmd == "summary" => load(path).map_or(ExitCode::from(2), |report| {
+            print!("{}", render_summary(&report));
+            ExitCode::SUCCESS
+        }),
+        [cmd, path] if cmd == "critical-path" => load(path).map_or(ExitCode::from(2), |report| {
+            print!("{}", render_critical_path(&report));
+            ExitCode::SUCCESS
+        }),
+        [cmd, a, b] if cmd == "diff" => diff(a, b, 0),
+        [cmd, a, b, flag, pct] if cmd == "diff" && flag == "--threshold" => {
+            match pct.parse::<u64>() {
+                Ok(pct) => diff(a, b, pct),
+                Err(_) => {
+                    eprintln!("pscds-trace: threshold {pct:?} is not a percentage");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Reads and parses one trace file; reports errors to stderr.
+fn load(path: &str) -> Option<ObsReport> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("pscds-trace: cannot read {path}: {e}");
+            return None;
+        }
+    };
+    match parse_trace(&text) {
+        Ok(report) => Some(report),
+        Err(e) => {
+            eprintln!("pscds-trace: {path}: {e}");
+            None
+        }
+    }
+}
+
+fn diff(path_a: &str, path_b: &str, threshold_pct: u64) -> ExitCode {
+    let (Some(a), Some(b)) = (load(path_a), load(path_b)) else {
+        return ExitCode::from(2);
+    };
+    let rows = diff_reports(&a, &b);
+    print!("{}", render_diff(&rows, threshold_pct));
+    let drifted = rows.iter().filter(|r| r.exceeds(threshold_pct)).count();
+    if drifted > 0 {
+        eprintln!("pscds-trace: {drifted} quantity(ies) drifted beyond +{threshold_pct}%");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

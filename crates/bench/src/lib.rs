@@ -13,8 +13,10 @@
 
 pub mod report;
 pub mod schema;
+pub mod trace;
 
 pub use report::{markdown_table, ubig_brief, Cell};
 pub use schema::{
     parse_history_line, parse_json, parse_records, render_records, BenchRecord, Json,
 };
+pub use trace::{diff_reports, parse_trace, render_diff, DiffRow, TraceError};

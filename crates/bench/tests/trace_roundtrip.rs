@@ -1,0 +1,258 @@
+//! Property test for the trace toolchain: any observability report —
+//! random span trees over the registered names, counters, histograms,
+//! exemplars, and events, including attribute values that need JSON
+//! escaping — must survive `render_record` → `parse_trace` with its
+//! deterministic digest intact. The renderer lives in `pscds-obs`
+//! (`sink.rs`) and the parser in `pscds_bench::trace`; this test pins
+//! the two to the same schema.
+
+use proptest::prelude::*;
+use pscds_bench::trace::{diff_reports, parse_trace};
+use pscds_core::obs::{names, Event, MetricSet, ObsReport, Record, Span, TRACE_VERSION};
+
+/// Uniform choice out of a registry name list (the vendored proptest
+/// has no `sample` module, so index-and-map).
+fn pick(list: &'static [&'static str]) -> impl Strategy<Value = &'static str> {
+    (0..list.len()).prop_map(move |i| list[i])
+}
+
+/// Strategy: an attribute value, biased toward characters the JSONL
+/// escaper must handle (quotes, backslashes, newlines, control chars).
+fn attr_values() -> impl Strategy<Value = String> {
+    prop_oneof!["[a-z0-9_.]{0,12}", "[\"\\\\\n\r\t\u{1}a-z]{0,8}",]
+}
+
+const ATTR_KEYS: [&str; 4] = ["engine", "chunk", "mask", "phase"];
+
+fn attrs() -> impl Strategy<Value = Vec<(&'static str, String)>> {
+    proptest::collection::vec((pick(&ATTR_KEYS), attr_values()), 0..3)
+}
+
+/// Strategy: one leaf span (no children).
+fn leaves() -> impl Strategy<Value = Span> {
+    (
+        pick(&names::SPANS),
+        0u64..1_000,
+        0u64..1_000,
+        0u64..10_000,
+        attrs(),
+    )
+        .prop_map(|(name, start, len, steps, attrs)| {
+            let mut span = Span::new(name, start, start + len);
+            span.self_steps = steps;
+            span.attrs = attrs;
+            span
+        })
+}
+
+/// Strategy: one span with up to two levels of children (the vendored
+/// proptest has no `prop_recursive`, so the nesting is spelled out).
+fn spans() -> impl Strategy<Value = Span> {
+    let mid =
+        (leaves(), proptest::collection::vec(leaves(), 0..3)).prop_map(|(mut span, children)| {
+            span.children = children;
+            span
+        });
+    (leaves(), proptest::collection::vec(mid, 0..3)).prop_map(|(mut span, children)| {
+        span.children = children;
+        span
+    })
+}
+
+fn metric_sets() -> impl Strategy<Value = MetricSet> {
+    (
+        proptest::collection::vec((pick(&names::COUNTERS), 1u64..u64::MAX / 2), 0..6),
+        proptest::collection::vec((pick(&names::GAUGES), 0u64..1_000), 0..2),
+        proptest::collection::vec(
+            (
+                pick(&names::HISTOGRAMS),
+                proptest::collection::vec(0u64..100_000, 1..8),
+            ),
+            0..4,
+        ),
+        proptest::collection::vec(
+            (
+                pick(&names::COUNTERS),
+                proptest::collection::vec("[a-z0-9.\"\\\\]{1,10}", 1..5),
+            ),
+            0..3,
+        ),
+    )
+        .prop_map(|(counters, gauges, hists, exemplars)| {
+            let mut metrics = MetricSet::new();
+            for (name, v) in counters {
+                metrics.counter_add(name, v);
+            }
+            for (name, v) in gauges {
+                metrics.gauge_max(name, v);
+            }
+            for (name, values) in hists {
+                for v in values {
+                    metrics.histogram_record(name, v);
+                }
+            }
+            for (name, keys) in exemplars {
+                for key in keys {
+                    metrics.exemplar_offer(name, &key);
+                }
+            }
+            metrics
+        })
+}
+
+fn reports() -> impl Strategy<Value = ObsReport> {
+    (
+        proptest::collection::vec(spans(), 0..4),
+        metric_sets(),
+        proptest::collection::vec((pick(&names::EVENTS), 0u64..1_000, attrs()), 0..4),
+    )
+        .prop_map(|(spans, metrics, events)| ObsReport {
+            spans,
+            metrics,
+            events: events
+                .into_iter()
+                .map(|(name, at_ns, attrs)| Event { name, at_ns, attrs })
+                .collect(),
+        })
+}
+
+/// Renders a report exactly as `ObsSession::finish` streams it to a
+/// `JsonlSink`: header first, then spans, events, counters, gauges,
+/// histograms, exemplars.
+fn render(report: &ObsReport) -> String {
+    let mut lines = vec![pscds_core::obs::render_record(&Record::Header)];
+    for span in &report.spans {
+        lines.push(pscds_core::obs::render_record(&Record::Span(span)));
+    }
+    for event in &report.events {
+        lines.push(pscds_core::obs::render_record(&Record::Event(event)));
+    }
+    for (name, value) in report.metrics.counters() {
+        lines.push(pscds_core::obs::render_record(&Record::Counter {
+            name,
+            value,
+        }));
+    }
+    for (name, value) in report.metrics.gauges() {
+        lines.push(pscds_core::obs::render_record(&Record::Gauge {
+            name,
+            value,
+        }));
+    }
+    for (name, hist) in report.metrics.histograms() {
+        lines.push(pscds_core::obs::render_record(&Record::Histogram {
+            name,
+            hist,
+        }));
+    }
+    for (name, keys) in report.metrics.exemplars() {
+        lines.push(pscds_core::obs::render_record(&Record::Exemplar {
+            name,
+            keys,
+        }));
+    }
+    lines.join("\n") + "\n"
+}
+
+fn span_digest(span: &Span) -> (String, u64, u64, u64, Vec<(String, String)>, usize) {
+    (
+        span.name.to_owned(),
+        span.start_ns,
+        span.end_ns,
+        span.self_steps,
+        span.attrs
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), v.clone()))
+            .collect(),
+        span.children.len(),
+    )
+}
+
+fn flatten<'a>(spans: &'a [Span], out: &mut Vec<&'a Span>) {
+    for span in spans {
+        out.push(span);
+        flatten(&span.children, out);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// render → parse is the identity on the deterministic digest:
+    /// span trees (names, clocks, attribution, attrs, shape), events,
+    /// counters, gauges, histograms (bucket-exact), and exemplar keys.
+    #[test]
+    fn trace_render_parse_round_trip(report in reports()) {
+        let text = render(&report);
+        let parsed = parse_trace(&text)
+            .map_err(|e| TestCaseError::fail(format!("round-trip parse failed: {e}")))?;
+
+        let mut before = Vec::new();
+        let mut after = Vec::new();
+        flatten(&report.spans, &mut before);
+        flatten(&parsed.spans, &mut after);
+        prop_assert_eq!(before.len(), after.len());
+        for (a, b) in before.iter().zip(&after) {
+            prop_assert_eq!(span_digest(a), span_digest(b));
+        }
+
+        let events_before: Vec<_> = report
+            .events
+            .iter()
+            .map(|e| (e.name, e.at_ns, e.attrs.clone()))
+            .collect();
+        let events_after: Vec<_> = parsed
+            .events
+            .iter()
+            .map(|e| (e.name, e.at_ns, e.attrs.clone()))
+            .collect();
+        prop_assert_eq!(events_before, events_after);
+
+        let counters_before: Vec<_> = report.metrics.counters().collect();
+        let counters_after: Vec<_> = parsed.metrics.counters().collect();
+        prop_assert_eq!(counters_before, counters_after);
+        let gauges_before: Vec<_> = report.metrics.gauges().collect();
+        let gauges_after: Vec<_> = parsed.metrics.gauges().collect();
+        prop_assert_eq!(gauges_before, gauges_after);
+
+        let hists_before: Vec<_> = report
+            .metrics
+            .histograms()
+            .map(|(n, h)| (n, h.count(), h.sum(), h.buckets().collect::<Vec<_>>()))
+            .collect();
+        let hists_after: Vec<_> = parsed
+            .metrics
+            .histograms()
+            .map(|(n, h)| (n, h.count(), h.sum(), h.buckets().collect::<Vec<_>>()))
+            .collect();
+        prop_assert_eq!(hists_before, hists_after);
+
+        let ex_before: Vec<_> = report
+            .metrics
+            .exemplars()
+            .map(|(n, k)| (n, k.keys().to_vec()))
+            .collect();
+        let ex_after: Vec<_> = parsed
+            .metrics
+            .exemplars()
+            .map(|(n, k)| (n, k.keys().to_vec()))
+            .collect();
+        prop_assert_eq!(ex_before, ex_after);
+
+        // A report diffed against its own round-trip has zero drift.
+        prop_assert!(diff_reports(&report, &parsed).is_empty());
+    }
+
+    /// The header satellite: dropping the header line makes the parse
+    /// fail with the legacy-trace diagnostic, never a wrong report.
+    #[test]
+    fn headerless_render_never_parses(report in reports()) {
+        let text = render(&report);
+        let headerless: String = text
+            .lines()
+            .filter(|l| !l.contains(&format!("\"pscds_trace\":{TRACE_VERSION}")))
+            .collect::<Vec<_>>()
+            .join("\n");
+        prop_assert!(parse_trace(&headerless).is_err());
+    }
+}

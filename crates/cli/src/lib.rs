@@ -40,7 +40,7 @@ use pscds_core::consistency::{
 use pscds_core::delta::{parse_delta_stream, DeltaProvider, DeltaSession};
 use pscds_core::govern::Budget;
 use pscds_core::measures::measure;
-use pscds_core::obs::{JsonlSink, ObsSession};
+use pscds_core::obs::{render_summary, JsonlSink, ObsSession};
 use pscds_core::resilient::{
     confidence_over_stream, confidence_resilient_observed, confidence_under_faults,
     FaultAwareConfidence, LadderPolicy, ResilientConfidence,
@@ -161,6 +161,11 @@ OBSERVABILITY (consensus / confidence):
                      at every --threads count.
     --metrics        append the merged counter/gauge totals to the
                      normal output
+    --profile        append the per-phase step-attribution table (span
+                     self/total budget steps, deterministic at every
+                     --threads count); composes with --trace-out and
+                     --metrics. `pscds-trace summary` renders the same
+                     table from a recorded trace file
 
     consensus --engine dp runs the subset sweep over one shared
     residual-DP cache (exact, same report; the banner counts the
@@ -254,6 +259,7 @@ struct Options {
     engine: EngineChoice,
     trace_out: Option<String>,
     metrics: bool,
+    profile: bool,
     retries: Option<u32>,
     backoff_ticks: Option<u64>,
     fault_plan: Option<String>,
@@ -296,6 +302,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         engine: EngineChoice::default(),
         trace_out: None,
         metrics: false,
+        profile: false,
         retries: None,
         backoff_ticks: None,
         fault_plan: None,
@@ -339,6 +346,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             "--approx" => opts.approx = true,
             "--trace-out" => opts.trace_out = Some(grab("--trace-out")?),
             "--metrics" => opts.metrics = true,
+            "--profile" => opts.profile = true,
             "--retries" => {
                 let v = grab("--retries")?;
                 opts.retries = Some(
@@ -427,7 +435,7 @@ fn obs_session_from(opts: &Options) -> Result<ObsSession, CliError> {
     if let Some(path) = trace_path {
         let file = std::fs::File::create(&path).map_err(|e| CliError::Io(path.clone(), e))?;
         Ok(ObsSession::with_sink(Box::new(JsonlSink::new(file))))
-    } else if opts.metrics {
+    } else if opts.metrics || opts.profile {
         Ok(ObsSession::in_memory())
     } else {
         Ok(ObsSession::disabled())
@@ -435,13 +443,18 @@ fn obs_session_from(opts: &Options) -> Result<ObsSession, CliError> {
 }
 
 /// Flushes the session (so `--trace-out` files are complete even when
-/// the analysis failed) and, under `--metrics`, appends the merged
-/// counter/gauge totals to the rendered output.
+/// the analysis failed) and, under `--metrics` / `--profile`, appends
+/// the merged counter/gauge totals and/or the per-phase step-attribution
+/// table to the rendered output.
 fn finish_obs(obs: ObsSession, opts: &Options, out: &mut String) {
     if !obs.is_enabled() {
         return;
     }
     let report = obs.finish();
+    if opts.profile {
+        let _ = writeln!(out, "profile:");
+        out.push_str(&render_summary(&report));
+    }
     if opts.metrics {
         if report.metrics.is_empty() {
             let _ = writeln!(out, "metrics: (none recorded on this path)");
@@ -2007,12 +2020,52 @@ mod tests {
         assert!(out.starts_with("engine: dp"), "{out}");
         let text = std::fs::read_to_string(&trace).expect("trace file written");
         assert!(!text.trim().is_empty(), "trace must not be empty");
-        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        assert_eq!(
+            lines.next(),
+            Some("{\"pscds_trace\":1}"),
+            "traces must lead with the schema header"
+        );
+        for line in lines {
             assert!(line.starts_with("{\"type\":\""), "bad trace line: {line}");
             assert!(line.ends_with('}'), "bad trace line: {line}");
         }
         assert!(text.contains("\"name\":\"dp.run\""), "{text}");
         assert!(text.contains("\"type\":\"counter\""), "{text}");
+        assert!(text.contains("\"type\":\"histogram\""), "{text}");
+        assert!(text.contains("\"self_steps\":"), "{text}");
+    }
+
+    #[test]
+    fn profile_appends_the_step_attribution_table() {
+        let dir = tmpdir("profile");
+        let file = write_file(&dir, "c.pscds", EXAMPLE);
+        let out = run(&args(&[
+            "confidence",
+            &file,
+            "--padding",
+            "1",
+            "--engine",
+            "dp",
+            "--profile",
+        ]))
+        .unwrap();
+        assert!(out.contains("profile:"), "{out}");
+        assert!(out.contains("dp.run"), "{out}");
+        assert!(out.contains("dp.chunk"), "{out}");
+        // The attribution invariant is printed and must hold: span
+        // self-steps sum exactly to the budget.ticks counter.
+        assert!(out.contains("attributed steps:"), "{out}");
+        let line = out
+            .lines()
+            .find(|l| l.contains("attributed steps:"))
+            .unwrap();
+        let nums: Vec<&str> = line
+            .split_whitespace()
+            .filter(|w| w.chars().all(|c| c.is_ascii_digit()))
+            .collect();
+        assert_eq!(nums.len(), 2, "{line}");
+        assert_eq!(nums[0], nums[1], "{line}");
     }
 
     #[test]

@@ -63,7 +63,7 @@ use crate::error::CoreError;
 use crate::govern::Budget;
 use crate::partition::ParallelConfig;
 use pscds_numeric::{Rational, RowCache, UBig};
-use pscds_obs::{names, MetricSet};
+use pscds_obs::{names, MetricSet, ObsSession};
 use pscds_relational::Value;
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeSet, HashMap};
@@ -671,6 +671,53 @@ pub fn compile_circuit(
     Ok(circuit)
 }
 
+/// The **instrumented** compile route: identical to [`compile_circuit`],
+/// plus a `circuit.compile` span carrying the compile's step charge (the
+/// compile is serial, so the raw delta is thread-invariant), a
+/// `circuit.compile_steps` histogram sample, and the circuit-size
+/// counters merged into the session. With a disabled session this is
+/// exactly [`compile_circuit`].
+///
+/// # Errors
+/// As [`compile_circuit`]; a budget trip additionally records a
+/// `budget.trips` increment and a `budget.trip` event.
+pub fn compile_circuit_observed(
+    analysis: SignatureAnalysis,
+    budget: &Budget,
+    config: &CircuitConfig,
+    obs: &mut ObsSession,
+) -> Result<CompiledCircuit, CoreError> {
+    if !obs.is_enabled() {
+        return compile_circuit(analysis, budget, config);
+    }
+    obs.span_open(names::SPAN_CIRCUIT_COMPILE, budget.elapsed_ns());
+    obs.span_attr("engine", "circuit");
+    let steps_before = budget.steps();
+    let result = compile_circuit(analysis, budget, config);
+    let delta = budget.steps() - steps_before;
+    obs.charge_steps(delta);
+    obs.histogram_record(names::CIRCUIT_COMPILE_STEPS, delta);
+    match &result {
+        Ok(circuit) => {
+            let mut metrics = MetricSet::new();
+            circuit.stats().record_into(&mut metrics);
+            obs.merge_metrics(&metrics);
+        }
+        Err(CoreError::BudgetExceeded { phase, .. }) => {
+            obs.counter_add(names::BUDGET_TRIPS, 1);
+            let phase = phase.clone();
+            obs.event(
+                names::EVENT_BUDGET_TRIP,
+                budget.elapsed_ns(),
+                &[("phase", phase.as_str())],
+            );
+        }
+        Err(_) => {}
+    }
+    obs.span_close(budget.elapsed_ns());
+    result
+}
+
 /// [`compile_circuit`] plus the compile-time memo, so the caller (the
 /// delta engine) can later resume the compile with [`patch_compile`].
 ///
@@ -863,6 +910,45 @@ pub fn analyze_circuit_parallel(
     _parallel: &ParallelConfig,
 ) -> Result<ConfidenceAnalysis, CoreError> {
     analyze_circuit_budgeted(circuit, budget)
+}
+
+/// The **instrumented** traversal route: identical to
+/// [`analyze_circuit_parallel`] (the reach pass is one serial sweep at
+/// every thread count, so the raw step delta is thread-invariant), plus
+/// a `circuit.traverse` span carrying the traversal's step charge and a
+/// `circuit.traverse_steps` histogram sample. With a disabled session
+/// this is exactly [`analyze_circuit_parallel`].
+///
+/// # Errors
+/// As [`analyze_circuit_budgeted`]; a budget trip additionally records a
+/// `budget.trips` increment and a `budget.trip` event.
+pub fn analyze_circuit_observed(
+    circuit: &CompiledCircuit,
+    budget: &Budget,
+    parallel: &ParallelConfig,
+    obs: &mut ObsSession,
+) -> Result<ConfidenceAnalysis, CoreError> {
+    if !obs.is_enabled() {
+        return analyze_circuit_parallel(circuit, budget, parallel);
+    }
+    obs.span_open(names::SPAN_CIRCUIT_TRAVERSE, budget.elapsed_ns());
+    obs.span_attr("engine", "circuit");
+    let steps_before = budget.steps();
+    let result = analyze_circuit_parallel(circuit, budget, parallel);
+    let delta = budget.steps() - steps_before;
+    obs.charge_steps(delta);
+    obs.histogram_record(names::CIRCUIT_TRAVERSE_STEPS, delta);
+    if let Err(CoreError::BudgetExceeded { phase, .. }) = &result {
+        obs.counter_add(names::BUDGET_TRIPS, 1);
+        let phase = phase.clone();
+        obs.event(
+            names::EVENT_BUDGET_TRIP,
+            budget.elapsed_ns(),
+            &[("phase", phase.as_str())],
+        );
+    }
+    obs.span_close(budget.elapsed_ns());
+    result
 }
 
 /// Bottom-up falling-factorial moment pass: returns

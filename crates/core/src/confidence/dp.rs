@@ -95,7 +95,7 @@ use crate::error::CoreError;
 use crate::govern::Budget;
 use crate::partition::{self, ParallelConfig};
 use pscds_numeric::{RowCache, UBig};
-use pscds_obs::{names, MetricSet, ObsSession, SpanStack};
+use pscds_obs::{names, MetricSet, ObsSession, SpanStack, EXEMPLAR_KEYS};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -121,7 +121,7 @@ impl Default for DpConfig {
 }
 
 /// Cache-behaviour counters of one DP run (for benches and diagnostics).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DpStats {
     /// Interior nodes answered from the memo.
     pub cache_hits: u64,
@@ -137,6 +137,11 @@ pub struct DpStats {
     /// cross-subset sharing win of the consensus sweep; always 0 for
     /// private-cache runs).
     pub cross_subset_hits: u64,
+    /// The lexicographically smallest [`EXEMPLAR_KEYS`] canonical memo-key
+    /// renderings among the fallback nodes — the deterministic exemplar
+    /// payload attached to `dp.fallback_nodes`. Keep-smallest is a
+    /// semilattice, so chunk-order merges cannot reorder it.
+    pub fallback_keys: Vec<String>,
 }
 
 impl DpStats {
@@ -148,6 +153,20 @@ impl DpStats {
         self.peak_cache_entries += other.peak_cache_entries;
         self.fallback_nodes += other.fallback_nodes;
         self.cross_subset_hits += other.cross_subset_hits;
+        for key in &other.fallback_keys {
+            self.note_fallback_key(key);
+        }
+    }
+
+    /// Records one uncacheable memo key, keeping only the
+    /// [`EXEMPLAR_KEYS`] smallest distinct renderings.
+    fn note_fallback_key(&mut self, key: &str) {
+        if let Err(pos) = self.fallback_keys.binary_search_by(|k| k.as_str().cmp(key)) {
+            if pos < EXEMPLAR_KEYS {
+                self.fallback_keys.insert(pos, key.to_owned());
+                self.fallback_keys.truncate(EXEMPLAR_KEYS);
+            }
+        }
     }
 
     /// Emits the counters into a `pscds-obs` metric set under the
@@ -159,6 +178,9 @@ impl DpStats {
         metrics.counter_add(names::DP_FALLBACK_NODES, self.fallback_nodes);
         metrics.counter_add(names::DP_CROSS_SUBSET_HITS, self.cross_subset_hits);
         metrics.gauge_max(names::DP_CACHE_PEAK, self.peak_cache_entries as u64);
+        for key in &self.fallback_keys {
+            metrics.exemplar_offer(names::DP_FALLBACK_NODES, key);
+        }
     }
 }
 
@@ -169,6 +191,20 @@ impl DpStats {
 struct ResidualKey {
     level: u32,
     packed: Box<[u64]>,
+}
+
+impl ResidualKey {
+    /// Canonical fixed-width rendering (`l<level>.<limb>.<limb>…`, all
+    /// hex) whose lexicographic order matches the struct's `Ord`, so the
+    /// keep-smallest exemplar rule picks the same keys the key order
+    /// would.
+    fn render(&self) -> String {
+        let mut out = format!("l{:02x}", self.level);
+        for limb in &self.packed {
+            out.push_str(&format!(".{limb:016x}"));
+        }
+        out
+    }
 }
 
 /// One cached suffix aggregate.
@@ -631,28 +667,31 @@ impl<'a, 'c> DpEngine<'a, 'c> {
             }
         }
         let node = Rc::new(DpNode::new(count, vectors, numerators));
-        let cached = match &mut self.cache {
+        let fallback = match &mut self.cache {
             CacheBackend::Private(map) => {
                 if map.len() < self.max_cache_entries {
                     map.insert(key, Rc::clone(&node));
                     self.stats.peak_cache_entries = self.stats.peak_cache_entries.max(map.len());
-                    true
+                    None
                 } else {
-                    false
+                    Some(key.render())
                 }
             }
             CacheBackend::Shared { cache, ctx, run } => {
-                let cached = cache.insert(*ctx, key, Rc::clone(&node), *run);
-                if cached {
+                if cache.len() >= cache.max_entries {
+                    Some(key.render())
+                } else {
+                    cache.insert(*ctx, key, Rc::clone(&node), *run);
                     // For shared runs the peak is the shared cache's
                     // global occupancy high-water mark.
                     self.stats.peak_cache_entries = self.stats.peak_cache_entries.max(cache.len());
+                    None
                 }
-                cached
             }
         };
-        if !cached {
+        if let Some(rendered) = fallback {
             self.stats.fallback_nodes += 1;
+            self.stats.note_fallback_key(&rendered);
         }
         Ok(node)
     }
@@ -888,14 +927,14 @@ pub fn count_dp_observed(
     if !obs.is_enabled() {
         return count_dp_parallel(analysis, budget, parallel, config);
     }
-    obs.span_open("dp.run", budget.elapsed_ns());
+    obs.span_open(names::SPAN_DP_RUN, budget.elapsed_ns());
     obs.span_attr("engine", "dp");
     let result = count_dp_observed_chunked(analysis, budget, parallel, config, obs);
     if let Err(CoreError::BudgetExceeded { phase, .. }) = &result {
         obs.counter_add(names::BUDGET_TRIPS, 1);
         let phase = phase.clone();
         obs.event(
-            "budget.trip",
+            names::EVENT_BUDGET_TRIP,
             budget.elapsed_ns(),
             &[("phase", phase.as_str())],
         );
@@ -918,16 +957,22 @@ fn count_dp_observed_chunked(
     let outcomes = partition::run_chunks(parallel, budget, &prefixes, |idx, prefix, budget, _| {
         // Per-chunk telemetry: ticks as `steps()` deltas (works for both
         // the serial pass-through budget and per-worker forks) and a
-        // chunk span on the shared budget clock.
+        // chunk span on the shared budget clock. The tick delta is
+        // *charged* to the chunk span and recorded as a histogram sample,
+        // keeping the step-attribution pairing contract: the merged span
+        // self-steps sum to the merged `budget.ticks` counter.
         let start_ns = budget.elapsed_ns();
         let steps_before = budget.steps();
         let partial = dp_prefix_partial(&analysis, config, prefix, budget)?;
+        let delta = budget.steps() - steps_before;
         let mut metrics = MetricSet::new();
-        metrics.counter_add(names::BUDGET_TICKS, budget.steps() - steps_before);
+        metrics.counter_add(names::BUDGET_TICKS, delta);
+        metrics.histogram_record(names::DP_CHUNK_STEPS, delta);
         partial.stats.record_into(&mut metrics);
         let mut spans = SpanStack::new();
-        spans.open("dp.chunk", start_ns);
+        spans.span_open(names::SPAN_DP_CHUNK, start_ns);
         spans.attr("chunk", &idx.to_string());
+        spans.charge(delta);
         spans.close(budget.elapsed_ns());
         Ok((partial, metrics, spans.finish()))
     })?;

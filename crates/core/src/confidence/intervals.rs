@@ -33,6 +33,7 @@ use crate::error::CoreError;
 use crate::govern::{Budget, Engine};
 use crate::partition::{run_chunks, ParallelConfig};
 use pscds_numeric::Rational;
+use pscds_obs::{names, MetricSet, ObsSession, SpanStack};
 use pscds_relational::Value;
 
 use super::counting::ConfidenceAnalysis;
@@ -251,6 +252,128 @@ pub fn count_intervals_parallel(
     budget: &Budget,
     config: &ParallelConfig,
 ) -> Result<IntervalAnalysis, CoreError> {
+    let missing = validate_unavailable(collection, unavailable)?;
+    let k = missing.len();
+    let full_tuples: Vec<Vec<Value>> = collection.all_tuples().into_iter().collect();
+    let masks: Vec<u64> = (0..(1u64 << k)).collect();
+
+    let worker = |_idx: usize, mask: &u64, budget: &Budget, _control: &_| {
+        scenario_outcome(collection, &full_tuples, &missing, *mask, padding, budget)
+    };
+
+    let outcomes = run_chunks(config, budget, &masks, worker)?;
+
+    // No worker short-circuits, so every slot is populated; a `None`
+    // slot would indicate a partition-layer bug — treat it as an
+    // inconsistent scenario rather than panicking.
+    let scenarios: Vec<Option<ScenarioConfidences>> = outcomes
+        .into_iter()
+        .map(|slot| slot.and_then(|o| o.confidences))
+        .collect();
+
+    merge_scenarios(&full_tuples, &scenarios, k)
+}
+
+/// The **instrumented** interval route: identical mathematics to
+/// [`count_intervals_parallel`], plus per-scenario telemetry. Each
+/// scenario worker charges its budget-tick delta to an
+/// `interval.scenario` span (the per-mask delta is thread-invariant —
+/// one scenario is one unit of partitioned work) and samples it into the
+/// `interval.scenario_steps` histogram; the join merges scenario
+/// telemetry in mask order under an `interval.run` span. With a disabled
+/// session this is exactly [`count_intervals_parallel`].
+///
+/// # Errors
+/// As [`count_intervals_parallel`]; a budget trip additionally records a
+/// `budget.trips` increment and a `budget.trip` event.
+pub fn count_intervals_observed(
+    collection: &IdentityCollection,
+    padding: u64,
+    unavailable: &[usize],
+    budget: &Budget,
+    config: &ParallelConfig,
+    obs: &mut ObsSession,
+) -> Result<IntervalAnalysis, CoreError> {
+    if !obs.is_enabled() {
+        return count_intervals_parallel(collection, padding, unavailable, budget, config);
+    }
+    obs.span_open(names::SPAN_INTERVAL_RUN, budget.elapsed_ns());
+    obs.span_attr("engine", "intervals");
+    let result =
+        count_intervals_observed_inner(collection, padding, unavailable, budget, config, obs);
+    if let Err(CoreError::BudgetExceeded { phase, .. }) = &result {
+        obs.counter_add(names::BUDGET_TRIPS, 1);
+        let phase = phase.clone();
+        obs.event(
+            names::EVENT_BUDGET_TRIP,
+            budget.elapsed_ns(),
+            &[("phase", phase.as_str())],
+        );
+    }
+    obs.span_close(budget.elapsed_ns());
+    result
+}
+
+/// The chunked body of [`count_intervals_observed`] (enabled sessions
+/// only).
+fn count_intervals_observed_inner(
+    collection: &IdentityCollection,
+    padding: u64,
+    unavailable: &[usize],
+    budget: &Budget,
+    config: &ParallelConfig,
+    obs: &mut ObsSession,
+) -> Result<IntervalAnalysis, CoreError> {
+    let missing = validate_unavailable(collection, unavailable)?;
+    let k = missing.len();
+    obs.span_attr("unavailable", &k.to_string());
+    let full_tuples: Vec<Vec<Value>> = collection.all_tuples().into_iter().collect();
+    let masks: Vec<u64> = (0..(1u64 << k)).collect();
+
+    let worker = |_idx: usize, mask: &u64, budget: &Budget, _control: &_| {
+        // Per-scenario telemetry on the worker's own accumulators; the
+        // tick delta is charged to the scenario span and paired with the
+        // local `budget.ticks` increment (the step-attribution contract).
+        let start_ns = budget.elapsed_ns();
+        let steps_before = budget.steps();
+        let outcome = scenario_outcome(collection, &full_tuples, &missing, *mask, padding, budget)?;
+        let delta = budget.steps() - steps_before;
+        let mut metrics = MetricSet::new();
+        metrics.counter_add(names::BUDGET_TICKS, delta);
+        metrics.histogram_record(names::INTERVAL_SCENARIO_STEPS, delta);
+        let mut spans = SpanStack::new();
+        spans.span_open(names::SPAN_INTERVAL_SCENARIO, start_ns);
+        spans.attr("mask", &mask.to_string());
+        spans.charge(delta);
+        spans.close(budget.elapsed_ns());
+        Ok((outcome, metrics, spans.finish()))
+    };
+
+    let outcomes = run_chunks(config, budget, &masks, worker)?;
+
+    // The join point: merge per-scenario telemetry in mask order, then
+    // the brackets the same way.
+    let mut scenarios: Vec<Option<ScenarioConfidences>> = Vec::with_capacity(outcomes.len());
+    for slot in outcomes {
+        match slot {
+            Some((outcome, metrics, spans)) => {
+                obs.merge_metrics(&metrics);
+                obs.graft_spans(spans);
+                scenarios.push(outcome.confidences);
+            }
+            None => scenarios.push(None),
+        }
+    }
+
+    merge_scenarios(&full_tuples, &scenarios, k)
+}
+
+/// Validates and canonicalizes the unavailable-source index list shared
+/// by the plain and observed routes.
+fn validate_unavailable(
+    collection: &IdentityCollection,
+    unavailable: &[usize],
+) -> Result<Vec<usize>, CoreError> {
     let n = collection.sources.len();
     let mut missing: Vec<usize> = unavailable.to_vec();
     missing.sort_unstable();
@@ -269,55 +392,62 @@ pub fn count_intervals_parallel(
             ),
         });
     }
+    Ok(missing)
+}
 
-    let full_tuples: Vec<Vec<Value>> = collection.all_tuples().into_iter().collect();
-    let masks: Vec<u64> = (0..(1u64 << k)).collect();
-
-    let worker = |_idx: usize, mask: &u64, budget: &Budget, _control: &_| {
-        let scenario = scenario_collection(collection, &missing, *mask);
-        let dropped = full_tuples.len() - scenario.all_tuples().len();
-        let padding_s = padding + dropped as u64;
-        let analysis = ConfidenceAnalysis::analyze_budgeted(&scenario, padding_s, budget)?;
-        if !analysis.is_consistent() {
-            return Ok(ScenarioOutcome { confidences: None });
-        }
-        let mut named = Vec::with_capacity(full_tuples.len());
-        for tuple in &full_tuples {
-            let sig = scenario.signature_of(tuple);
-            let conf = if sig == 0 {
-                // The tuple is claimed only by absent sources: in this
-                // scenario it is an anonymous domain element, and the
-                // padding class exists because dropping it enlarged
-                // `padding_s` past zero.
-                analysis.padding_confidence()?
-            } else {
-                analysis.confidence_with_signature(tuple, sig)?
-            };
-            named.push(conf);
-        }
-        let pad_conf = if padding_s > 0 {
-            Some(analysis.padding_confidence()?)
+/// Evaluates one availability scenario — shared verbatim by
+/// [`count_intervals_parallel`] and [`count_intervals_observed`] so the
+/// instrumented route cannot drift from the plain one.
+fn scenario_outcome(
+    collection: &IdentityCollection,
+    full_tuples: &[Vec<Value>],
+    missing: &[usize],
+    mask: u64,
+    padding: u64,
+    budget: &Budget,
+) -> Result<ScenarioOutcome, CoreError> {
+    let scenario = scenario_collection(collection, missing, mask);
+    let dropped = full_tuples.len() - scenario.all_tuples().len();
+    let padding_s = padding + dropped as u64;
+    let analysis = ConfidenceAnalysis::analyze_budgeted(&scenario, padding_s, budget)?;
+    if !analysis.is_consistent() {
+        return Ok(ScenarioOutcome { confidences: None });
+    }
+    let mut named = Vec::with_capacity(full_tuples.len());
+    for tuple in full_tuples {
+        let sig = scenario.signature_of(tuple);
+        let conf = if sig == 0 {
+            // The tuple is claimed only by absent sources: in this
+            // scenario it is an anonymous domain element, and the
+            // padding class exists because dropping it enlarged
+            // `padding_s` past zero.
+            analysis.padding_confidence()?
         } else {
-            None
+            analysis.confidence_with_signature(tuple, sig)?
         };
-        Ok(ScenarioOutcome {
-            confidences: Some(ScenarioConfidences {
-                named,
-                padding: pad_conf,
-            }),
-        })
+        named.push(conf);
+    }
+    let pad_conf = if padding_s > 0 {
+        Some(analysis.padding_confidence()?)
+    } else {
+        None
     };
+    Ok(ScenarioOutcome {
+        confidences: Some(ScenarioConfidences {
+            named,
+            padding: pad_conf,
+        }),
+    })
+}
 
-    let outcomes = run_chunks(config, budget, &masks, worker)?;
-
-    // No worker short-circuits, so every slot is populated; a `None`
-    // slot would indicate a partition-layer bug — treat it as an
-    // inconsistent scenario rather than panicking.
-    let scenarios: Vec<Option<ScenarioConfidences>> = outcomes
-        .into_iter()
-        .map(|slot| slot.and_then(|o| o.confidences))
-        .collect();
-
+/// Folds per-scenario confidences into the final bracket analysis
+/// (scenario-order min/max — associative and order-insensitive, so the
+/// plain and observed joins agree bit-for-bit).
+fn merge_scenarios(
+    full_tuples: &[Vec<Value>],
+    scenarios: &[Option<ScenarioConfidences>],
+    k: usize,
+) -> Result<IntervalAnalysis, CoreError> {
     // The last mask includes every unreachable source at its claimed
     // bounds: that scenario IS the fault-free catalog analysis.
     let full = match scenarios.last() {

@@ -228,15 +228,20 @@ pub fn consensus_with_dp_cache(
     obs: &mut ObsSession,
 ) -> Result<(ConsensusReport, DpStats), CoreError> {
     let n = validate_consensus_size(collection, budget)?;
-    obs.span_open("consensus.dp_sweep", budget.elapsed_ns());
+    obs.span_open(names::SPAN_CONSENSUS_SWEEP, budget.elapsed_ns());
     obs.span_attr("sources", &n.to_string());
     let steps_before = budget.steps();
     let result = consensus_dp_sweep(collection, padding, budget, n);
+    // The sweep is serial, so the raw step delta is thread-invariant:
+    // charge it to the sweep span (pairing the `budget.ticks` increment
+    // inside `charge_steps`) and sample it into the sweep histogram.
+    let delta = budget.steps() - steps_before;
+    obs.charge_steps(delta);
+    obs.histogram_record(names::CONSENSUS_SWEEP_STEPS, delta);
     match &result {
         Ok((_, stats)) => {
             let mut metrics = MetricSet::new();
             stats.record_into(&mut metrics);
-            metrics.counter_add(names::BUDGET_TICKS, budget.steps() - steps_before);
             obs.merge_metrics(&metrics);
         }
         Err(CoreError::BudgetExceeded { .. }) => {
@@ -646,9 +651,19 @@ mod tests {
         );
         assert!(report.metrics.counter(pscds_obs::names::BUDGET_TICKS) > 0);
         assert_eq!(report.spans.len(), 1);
-        assert!(report.spans[0]
-            .skeleton()
-            .starts_with("consensus.dp_sweep{sources=4}"));
+        // The sweep span carries its serial step charge (`#N`), and that
+        // charge is exactly the `budget.ticks` counter — the pairing
+        // contract, end to end.
+        let skeleton = report.spans[0].skeleton();
+        assert!(
+            skeleton.starts_with("consensus.dp_sweep#"),
+            "expected a charged sweep span, got {skeleton}"
+        );
+        assert!(skeleton.contains("{sources=4}"), "{skeleton}");
+        assert_eq!(
+            report.spans[0].total_steps(),
+            report.metrics.counter(pscds_obs::names::BUDGET_TICKS)
+        );
     }
 
     #[test]

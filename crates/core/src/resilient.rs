@@ -21,10 +21,12 @@
 //!   finally the Metropolis sampler (an *estimate*; opt-in via `approx`).
 
 use crate::collection::IdentityCollection;
-use crate::confidence::circuit::{analyze_circuit_budgeted, compile_circuit, CircuitConfig};
+use crate::confidence::circuit::{
+    analyze_circuit_observed, compile_circuit_observed, CircuitConfig,
+};
 use crate::confidence::counting::ConfidenceAnalysis;
 use crate::confidence::dp::{count_dp_observed, DpConfig};
-use crate::confidence::intervals::{count_intervals_parallel, IntervalAnalysis};
+use crate::confidence::intervals::{count_intervals_observed, IntervalAnalysis};
 use crate::confidence::sampling::{sample_confidences_budgeted, SampledConfidence, SamplerConfig};
 use crate::confidence::signature::SignatureAnalysis;
 use crate::consistency::exhaustive::find_witness_parallel;
@@ -129,7 +131,7 @@ fn record_degradation(obs: &mut ObsSession, at_ns: u64, from: Engine, to: Engine
     let from = from.to_string();
     let to = to.to_string();
     obs.event(
-        "ladder.degrade",
+        names::EVENT_LADDER_DEGRADE,
         at_ns,
         &[("from", from.as_str()), ("to", to.as_str())],
     );
@@ -140,7 +142,7 @@ fn record_degradation(obs: &mut ObsSession, at_ns: u64, from: Engine, to: Engine
 /// phase that charged the fatal step.
 fn record_trip(obs: &mut ObsSession, at_ns: u64, phase: &str) {
     obs.counter_add(names::BUDGET_TRIPS, 1);
-    obs.event("budget.trip", at_ns, &[("phase", phase)]);
+    obs.event(names::EVENT_BUDGET_TRIP, at_ns, &[("phase", phase)]);
 }
 
 /// Outcome of a resilient consistency check.
@@ -246,7 +248,7 @@ pub fn check_resilient_policy(
     policy: &LadderPolicy,
     obs: &mut ObsSession,
 ) -> Result<ResilientCheck, CoreError> {
-    obs.span_open("resilient.check", budget.elapsed_ns());
+    obs.span_open(names::SPAN_RESILIENT_CHECK, budget.elapsed_ns());
     obs.span_attr("sources", &collection.len().to_string());
     let result = check_ladder(collection, domain, budget, config, policy, obs);
     obs.span_close(budget.elapsed_ns());
@@ -306,6 +308,12 @@ fn check_ladder(
             budget
         };
         ran_any = true;
+        // Each attempted rung gets its own span on the *ladder's* clock
+        // (renewed slices restart theirs), so the trace shows the
+        // degradation sequence as ordered siblings.
+        obs.span_open(names::SPAN_LADDER_RUNG, budget.elapsed_ns());
+        let engine_name = rung.engine().to_string();
+        obs.span_attr("engine", &engine_name);
         let outcome = match rung {
             CheckRung::Exhaustive => {
                 find_witness_parallel(collection, domain, None, rung_budget, config).map(
@@ -337,6 +345,7 @@ fn check_ladder(
                 })
             }
         };
+        obs.span_close(budget.elapsed_ns());
         match outcome {
             Ok(result) => return Ok(result),
             Err(e @ CoreError::BudgetExceeded { .. }) => {
@@ -598,7 +607,7 @@ pub fn confidence_resilient_policy(
     policy: &LadderPolicy,
     obs: &mut ObsSession,
 ) -> Result<ResilientConfidence, CoreError> {
-    obs.span_open("resilient.confidence", budget.elapsed_ns());
+    obs.span_open(names::SPAN_RESILIENT_CONFIDENCE, budget.elapsed_ns());
     obs.span_attr("sources", &collection.sources.len().to_string());
     let result = confidence_ladder(collection, padding, budget, config, approx, policy, obs);
     obs.span_close(budget.elapsed_ns());
@@ -642,6 +651,10 @@ fn confidence_ladder(
             budget
         };
         ran_any = true;
+        // Rung spans sit on the ladder's clock, like `check_ladder`'s.
+        obs.span_open(names::SPAN_LADDER_RUNG, budget.elapsed_ns());
+        let engine_name = rung.engine().to_string();
+        obs.span_attr("engine", &engine_name);
         let outcome = match rung {
             ConfidenceRung::ExactDfs => {
                 ConfidenceAnalysis::analyze_parallel(collection, padding, rung_budget, config)
@@ -658,18 +671,16 @@ fn confidence_ladder(
             ConfidenceRung::Circuit => {
                 // Compile the DP recursion into a shared-node circuit,
                 // then answer by a single traversal. The compile and the
-                // traversal tick the same budget slice; circuit-size and
-                // sharing counters are merged into the session.
+                // traversal tick the same budget slice; the observed
+                // routes record circuit-size counters, per-phase step
+                // charges, compile/traverse histograms, and any trip of
+                // their own.
                 let analysis = SignatureAnalysis::new(collection, padding);
-                compile_circuit(analysis, rung_budget, &CircuitConfig::default()).and_then(
-                    |circuit| {
-                        let mut metrics = MetricSet::new();
-                        circuit.stats().record_into(&mut metrics);
-                        obs.merge_metrics(&metrics);
-                        analyze_circuit_budgeted(&circuit, rung_budget)
+                compile_circuit_observed(analysis, rung_budget, &CircuitConfig::default(), obs)
+                    .and_then(|circuit| {
+                        analyze_circuit_observed(&circuit, rung_budget, config, obs)
                             .map(ResilientConfidence::Circuit)
-                    },
-                )
+                    })
             }
             ConfidenceRung::Sampled => {
                 let sampler_config = SamplerConfig::default();
@@ -699,6 +710,7 @@ fn confidence_ladder(
                 }
             }
         };
+        obs.span_close(budget.elapsed_ns());
         match outcome {
             Ok(result) => return Ok(result),
             Err(e @ CoreError::BudgetExceeded { .. }) => {
@@ -706,9 +718,9 @@ fn confidence_ladder(
                     return Err(e);
                 }
                 // Ladder-record the trip for rungs that don't record
-                // their own (the DP does, inside count_dp_observed; the
-                // sampler just did, above).
-                if matches!(rung, ConfidenceRung::ExactDfs | ConfidenceRung::Circuit) {
+                // their own (the DP and circuit routes do, inside their
+                // observed engines; the sampler just did, above).
+                if matches!(rung, ConfidenceRung::ExactDfs) {
                     if let CoreError::BudgetExceeded { phase, .. } = &e {
                         record_trip(obs, budget.elapsed_ns(), phase);
                     }
@@ -823,7 +835,7 @@ pub fn confidence_under_faults(
             attempts: report.statuses[first].attempts(),
         });
     }
-    obs.span_open("resilient.partial", budget.elapsed_ns());
+    obs.span_open(names::SPAN_RESILIENT_PARTIAL, budget.elapsed_ns());
     obs.span_attr("sources", &report.catalog.len().to_string());
     obs.span_attr("unavailable", &unavailable_idx.len().to_string());
     record_degradation(
@@ -835,19 +847,19 @@ pub fn confidence_under_faults(
         },
     );
     let interval_budget = budget.renewed();
-    let result = count_intervals_parallel(
+    // The observed interval engine records its own trip (counter plus
+    // event) on the renewed slice's clock.
+    let result = count_intervals_observed(
         &identity,
         padding,
         &unavailable_idx,
         &interval_budget,
         config,
+        obs,
     );
     let intervals = match result {
         Ok(intervals) => intervals,
         Err(e) => {
-            if let CoreError::BudgetExceeded { phase, .. } = &e {
-                record_trip(obs, interval_budget.elapsed_ns(), phase);
-            }
             obs.span_close(budget.elapsed_ns());
             return Err(e);
         }
@@ -903,12 +915,19 @@ pub fn confidence_over_stream(
             attempts: report.statuses[first].attempts(),
         });
     }
-    obs.span_open("resilient.stream", budget.elapsed_ns());
+    obs.span_open(names::SPAN_RESILIENT_STREAM, budget.elapsed_ns());
     obs.span_attr("sources", &report.catalog.len().to_string());
     let before = session.stats();
+    let steps_before = budget.steps();
     let outcome = session
         .advance_to(&report.catalog)
         .and_then(|()| analyze_incremental_budgeted(session, budget));
+    // The maintenance pass is serial, so the epoch's raw step delta is
+    // thread-invariant: charge it to the stream span and sample the
+    // per-epoch histogram.
+    let epoch_steps = budget.steps() - steps_before;
+    obs.charge_steps(epoch_steps);
+    obs.histogram_record(names::DELTA_EPOCH_STEPS, epoch_steps);
     let after = session.stats();
     obs.counter_add(
         names::DELTA_BATCHES_APPLIED,

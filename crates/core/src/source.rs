@@ -477,9 +477,14 @@ impl SourceAccess {
         obs: &mut ObsSession,
     ) -> Result<AccessReport, CoreError> {
         let n = provider.source_count();
-        obs.span_open("source.fetch", budget.elapsed_ns());
+        obs.span_open(names::SPAN_SOURCE_FETCH, budget.elapsed_ns());
         obs.span_attr("sources", &n.to_string());
+        let steps_before = budget.steps();
         let result = self.fetch_all_inner(provider, budget, obs, n);
+        // The epoch is serial (catalog order), so the raw step delta —
+        // fetch ticks, timeout charges, backoff charges — is
+        // thread-invariant and attributable to the fetch span.
+        obs.charge_steps(budget.steps() - steps_before);
         obs.span_close(budget.elapsed_ns());
         result
     }
@@ -501,7 +506,7 @@ impl SourceAccess {
                     Admission::Denied => {
                         obs.counter_add(names::BREAKER_DENIALS, 1);
                         obs.event(
-                            "source.quarantined",
+                            names::EVENT_SOURCE_QUARANTINED,
                             budget.elapsed_ns(),
                             &[("source", name.as_str())],
                         );
@@ -525,8 +530,9 @@ impl SourceAccess {
                         }
                         if self.breakers[i].record_failure(&self.policy.breaker) {
                             obs.counter_add(names::BREAKER_TRIPS, 1);
+                            obs.exemplar(names::BREAKER_TRIPS, &name);
                             obs.event(
-                                "breaker.trip",
+                                names::EVENT_BREAKER_TRIP,
                                 budget.elapsed_ns(),
                                 &[("source", name.as_str())],
                             );
@@ -538,6 +544,7 @@ impl SourceAccess {
                         obs.counter_add(names::SOURCE_RETRIES, 1);
                         let backoff = self.policy.retry.backoff_before(attempts);
                         obs.counter_add(names::SOURCE_BACKOFF_TICKS, backoff);
+                        obs.histogram_record(names::SOURCE_BACKOFF_STEPS, backoff);
                         charge(budget, "source::backoff", backoff)?;
                     }
                 }

@@ -1,0 +1,105 @@
+//! Deterministic exemplars: *which* keys drove a counter.
+//!
+//! An [`ExemplarSet`] keeps the `K = 8` lexicographically smallest
+//! distinct keys offered to it — e.g. the residual keys that forced DP
+//! fallbacks, or the sources that tripped breakers. "Keep the K smallest
+//! distinct elements" is a semilattice (idempotent, commutative,
+//! associative), so offering keys in any order — and merging per-chunk
+//! sets in any order — yields the same set. That is the exemplar
+//! determinism rule: exemplars join the cross-thread identity contract
+//! that counters and histograms already satisfy, unlike a "first K seen"
+//! policy whose contents would depend on scheduling.
+//!
+//! The whole module is behind the default-on `exemplars` cargo feature;
+//! with the feature off the recording entry points remain but compile to
+//! no-ops, so instrumented engines need no feature gates of their own.
+
+/// Maximum number of keys an [`ExemplarSet`] retains.
+pub const EXEMPLAR_KEYS: usize = 8;
+
+/// The `K` lexicographically smallest distinct keys offered so far.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExemplarSet {
+    keys: Vec<String>,
+}
+
+impl ExemplarSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        ExemplarSet::default()
+    }
+
+    /// Offers one key: inserted in sorted position if distinct, then the
+    /// set is truncated back to [`EXEMPLAR_KEYS`].
+    pub fn offer(&mut self, key: &str) {
+        match self.keys.binary_search_by(|k| k.as_str().cmp(key)) {
+            Ok(_) => {}
+            Err(pos) => {
+                if pos < EXEMPLAR_KEYS {
+                    self.keys.insert(pos, key.to_owned());
+                    self.keys.truncate(EXEMPLAR_KEYS);
+                }
+            }
+        }
+    }
+
+    /// Folds `other` into `self`: union, then keep the `K` smallest —
+    /// order-insensitive by the semilattice argument above.
+    pub fn merge(&mut self, other: &ExemplarSet) {
+        for key in &other.keys {
+            self.offer(key);
+        }
+    }
+
+    /// The retained keys, in lexicographic order.
+    #[must_use]
+    pub fn keys(&self) -> &[String] {
+        &self.keys
+    }
+
+    /// `true` when no key has been retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_k_smallest_distinct_keys() {
+        let mut s = ExemplarSet::new();
+        for key in ["m", "c", "a", "c", "z", "b", "d", "e", "f", "g", "h"] {
+            s.offer(key);
+        }
+        assert_eq!(s.keys(), ["a", "b", "c", "d", "e", "f", "g", "h"]);
+    }
+
+    #[test]
+    fn offer_order_does_not_matter() {
+        let keys = ["k3", "k1", "k9", "k0", "k5", "k7", "k2", "k8", "k4", "k6"];
+        let mut fwd = ExemplarSet::new();
+        keys.iter().for_each(|k| fwd.offer(k));
+        let mut rev = ExemplarSet::new();
+        keys.iter().rev().for_each(|k| rev.offer(k));
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.keys().len(), EXEMPLAR_KEYS);
+    }
+
+    #[test]
+    fn merge_is_union_keep_smallest() {
+        let mut a = ExemplarSet::new();
+        ["a", "c", "e"].iter().for_each(|k| a.offer(k));
+        let mut b = ExemplarSet::new();
+        ["b", "c", "d"].iter().for_each(|k| b.offer(k));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.keys(), ["a", "b", "c", "d", "e"]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Deterministic step histograms.
+//!
+//! A [`StepHistogram`] aggregates budget-tick measurements (one value
+//! per chunk, scenario, retry backoff, …) into **fixed log2-spaced
+//! buckets**: value `0` lands in bucket 0, any other value `v` in bucket
+//! `64 - v.leading_zeros()` — i.e. bucket `i ≥ 1` covers the half-open
+//! dyadic range `[2^(i-1), 2^i)`. The edges are compile-time constants,
+//! so two histograms built from the same multiset of values are
+//! bit-identical regardless of recording order.
+//!
+//! Merging is element-wise saturating addition of the bucket counts (and
+//! of the `count`/`sum` totals), which is commutative and associative —
+//! exactly the counter-merge contract — so per-chunk histograms merged
+//! in chunk order at `run_chunks` join points report totals identical to
+//! a serial run at any thread count.
+
+/// Number of buckets: bucket 0 for the value `0`, buckets `1..=64` for
+/// the dyadic ranges `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// The bucket a value lands in.
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// The smallest value belonging to bucket `index` (saturates at the top
+/// bucket's lower edge for out-of-range indices).
+#[must_use]
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        i => 1u64 << (i.min(HISTOGRAM_BUCKETS - 1) - 1),
+    }
+}
+
+/// A mergeable log2-bucketed histogram of budget-tick measurements.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StepHistogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for StepHistogram {
+    fn default() -> Self {
+        StepHistogram {
+            counts: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl StepHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        StepHistogram::default()
+    }
+
+    /// Records one measurement.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_index(value)] = self.counts[bucket_index(value)].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Folds `other` into `self`: element-wise saturating sums, so the
+    /// merge is order-insensitive like counter merging.
+    pub fn merge(&mut self, other: &StepHistogram) {
+        for (slot, &v) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *slot = slot.saturating_add(v);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Total number of recorded measurements.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded measurements.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The non-empty buckets as `(index, count)` pairs in index order —
+    /// the sparse form the JSONL renderer and the trace differ consume.
+    pub fn buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Sets the count of one bucket directly — the trace parser's
+    /// reconstruction hook. Also accumulates `count`; the caller restores
+    /// `sum` via [`StepHistogram::set_sum`] because bucket edges only
+    /// bound, not determine, the recorded values.
+    pub fn set_bucket(&mut self, index: usize, count: u64) {
+        if index < HISTOGRAM_BUCKETS {
+            let prev = std::mem::replace(&mut self.counts[index], count);
+            self.count = self.count.saturating_sub(prev).saturating_add(count);
+        }
+    }
+
+    /// Restores the exact value sum (trace reconstruction; see
+    /// [`StepHistogram::set_bucket`]).
+    pub fn set_sum(&mut self, sum: u64) {
+        self.sum = sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_dyadic() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 1..HISTOGRAM_BUCKETS {
+            assert_eq!(bucket_index(bucket_lower_bound(i)), i);
+            assert_eq!(bucket_index(bucket_lower_bound(i) - 1).max(1), i.max(2) - 1);
+        }
+    }
+
+    #[test]
+    fn record_tracks_count_sum_and_buckets() {
+        let mut h = StepHistogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(5);
+        h.record(5);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 11);
+        let sparse: Vec<_> = h.buckets().collect();
+        assert_eq!(sparse, vec![(0, 1), (1, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn merge_is_order_insensitive() {
+        let mut parts = Vec::new();
+        for i in 0..6u64 {
+            let mut h = StepHistogram::new();
+            h.record(i * 13 + 1);
+            h.record(i);
+            parts.push(h);
+        }
+        let mut fwd = StepHistogram::new();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = StepHistogram::new();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.count(), 12);
+    }
+
+    #[test]
+    fn merge_equals_recording_the_union() {
+        let values_a = [0u64, 3, 7, 1 << 40];
+        let values_b = [2u64, 3, 1000];
+        let mut a = StepHistogram::new();
+        values_a.iter().for_each(|&v| a.record(v));
+        let mut b = StepHistogram::new();
+        values_b.iter().for_each(|&v| b.record(v));
+        a.merge(&b);
+        let mut whole = StepHistogram::new();
+        values_a
+            .iter()
+            .chain(values_b.iter())
+            .for_each(|&v| whole.record(v));
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn reconstruction_round_trips() {
+        let mut h = StepHistogram::new();
+        h.record(9);
+        h.record(0);
+        h.record(70);
+        let mut rebuilt = StepHistogram::new();
+        for (i, c) in h.buckets() {
+            rebuilt.set_bucket(i, c);
+        }
+        rebuilt.set_sum(h.sum());
+        assert_eq!(rebuilt, h);
+    }
+}

@@ -28,18 +28,37 @@
 //!
 //! Records leave the process through pluggable [`Sink`]s: [`NoopSink`]
 //! (compiled to an empty inline body), [`MemorySink`] (tests), and
-//! [`JsonlSink`] (the CLI's `--trace-out PATH` / `PSCDS_TRACE`).
+//! [`JsonlSink`] (the CLI's `--trace-out PATH` / `PSCDS_TRACE`). Every
+//! trace starts with the `{"pscds_trace":1}` schema header.
+//!
+//! **Step attribution** extends rule 2 to a profiler: every
+//! `budget.ticks` emission is *paired* with a [`SpanStack::charge`] of
+//! the same delta against the innermost open span (the one-call form is
+//! [`ObsSession::charge_steps`]), so a finished trace carries an exact
+//! per-phase self/total step breakdown whose grand total equals the
+//! `budget.ticks` counter. Charges are only measured at thread-invariant
+//! points — per-chunk deltas inside `run_chunks` workers, or genuinely
+//! serial phases — so the attribution, the [`StepHistogram`]s (log2
+//! buckets, sum-merged), and the [`ExemplarSet`]s (K smallest keys,
+//! union-merged) all join the bit-identical-at-any-thread-count
+//! contract. See [`profile`] for the shared rendering.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod exemplar;
+pub mod hist;
 pub mod metrics;
 pub mod names;
+pub mod profile;
 pub mod session;
 pub mod sink;
 pub mod span;
 
+pub use exemplar::{ExemplarSet, EXEMPLAR_KEYS};
+pub use hist::{StepHistogram, HISTOGRAM_BUCKETS};
 pub use metrics::MetricSet;
+pub use profile::{critical_path, phase_table, render_critical_path, render_summary, PhaseRow};
 pub use session::{Event, ObsReport, ObsSession};
-pub use sink::{render_record, JsonlSink, MemorySink, NoopSink, Record, Sink};
+pub use sink::{render_record, JsonlSink, MemorySink, NoopSink, Record, Sink, TRACE_VERSION};
 pub use span::{Span, SpanStack};

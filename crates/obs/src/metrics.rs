@@ -8,12 +8,16 @@
 //! chunk plan (not the scheduler), instrumented parallel runs report
 //! totals bit-identical to serial runs at any thread count.
 
+use crate::exemplar::ExemplarSet;
+use crate::hist::StepHistogram;
 use crate::names;
 use std::collections::BTreeMap;
 
-/// An aggregatable bag of named counters and gauges.
+/// An aggregatable bag of named counters, gauges, step histograms, and
+/// counter exemplars.
 ///
-/// Counters sum on [`MetricSet::merge`]; gauges take the maximum. Names
+/// Counters and histograms sum on [`MetricSet::merge`]; gauges take the
+/// maximum; exemplars keep the K lexicographically smallest keys. Names
 /// must come from the [`names`] registry — recording an unregistered
 /// name is a `debug_assert!` failure (and an L6 lint violation at the
 /// call site if written as a string literal).
@@ -21,6 +25,8 @@ use std::collections::BTreeMap;
 pub struct MetricSet {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, StepHistogram>,
+    exemplars: BTreeMap<&'static str, ExemplarSet>,
 }
 
 impl MetricSet {
@@ -45,10 +51,41 @@ impl MetricSet {
         *slot = (*slot).max(value);
     }
 
+    /// Records one measurement into the histogram `name`.
+    pub fn histogram_record(&mut self, name: &'static str, value: u64) {
+        debug_assert!(names::is_histogram(name), "unregistered histogram `{name}`");
+        self.histograms.entry(name).or_default().record(value);
+    }
+
+    /// Offers an exemplar key under the counter `name` (e.g. the
+    /// residual key that caused a DP fallback, the source that tripped a
+    /// breaker). No-op without the `exemplars` cargo feature, so callers
+    /// never need feature gates of their own.
+    pub fn exemplar_offer(&mut self, name: &'static str, key: &str) {
+        #[cfg(feature = "exemplars")]
+        {
+            debug_assert!(
+                names::is_counter(name),
+                "exemplars attach to counters; `{name}` is not one"
+            );
+            self.exemplars.entry(name).or_default().offer(key);
+        }
+        #[cfg(not(feature = "exemplars"))]
+        {
+            let _ = (name, key);
+        }
+    }
+
     /// The current value of counter `name` (0 when never recorded).
     #[must_use]
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The histogram `name`, if ever recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&StepHistogram> {
+        self.histograms.get(name)
     }
 
     /// The current value of gauge `name`, if ever recorded.
@@ -57,9 +94,11 @@ impl MetricSet {
         self.gauges.get(name).copied()
     }
 
-    /// Folds `other` into `self`: counters sum, gauges max. The caller
-    /// fixes determinism by merging in chunk order; the operation itself
-    /// is order-insensitive for counters by construction.
+    /// Folds `other` into `self`: counters and histograms sum, gauges
+    /// max, exemplars union-keep-smallest. The caller fixes determinism
+    /// by merging in chunk order; every one of these operations is
+    /// itself order-insensitive by construction (gauges excepted from
+    /// the cross-thread contract as ever).
     pub fn merge(&mut self, other: &MetricSet) {
         for (&name, &v) in &other.counters {
             let slot = self.counters.entry(name).or_insert(0);
@@ -68,6 +107,12 @@ impl MetricSet {
         for (&name, &v) in &other.gauges {
             let slot = self.gauges.entry(name).or_insert(0);
             *slot = (*slot).max(v);
+        }
+        for (&name, h) in &other.histograms {
+            self.histograms.entry(name).or_default().merge(h);
+        }
+        for (&name, e) in &other.exemplars {
+            self.exemplars.entry(name).or_default().merge(e);
         }
     }
 
@@ -81,10 +126,81 @@ impl MetricSet {
         self.gauges.iter().map(|(&n, &v)| (n, v))
     }
 
+    /// All recorded histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &StepHistogram)> + '_ {
+        self.histograms.iter().map(|(&n, h)| (n, h))
+    }
+
+    /// All recorded exemplar sets in name order.
+    pub fn exemplars(&self) -> impl Iterator<Item = (&'static str, &ExemplarSet)> + '_ {
+        self.exemplars.iter().map(|(&n, e)| (n, e))
+    }
+
     /// `true` when nothing has been recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.exemplars.is_empty()
+    }
+
+    /// Ingests a counter by *dynamic* name, validating it against the
+    /// registry: the trace parser's reconstruction hook (and the reason
+    /// consumer crates never need to smuggle non-registry names into
+    /// `counter_add`). Returns `false` for unknown names.
+    pub fn ingest_counter(&mut self, name: &str, value: u64) -> bool {
+        match names::lookup_counter(name) {
+            Some(n) => {
+                let slot = self.counters.entry(n).or_insert(0);
+                *slot = slot.saturating_add(value);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Ingests a gauge by dynamic name (see [`MetricSet::ingest_counter`]).
+    pub fn ingest_gauge(&mut self, name: &str, value: u64) -> bool {
+        match names::lookup_gauge(name) {
+            Some(n) => {
+                let slot = self.gauges.entry(n).or_insert(0);
+                *slot = (*slot).max(value);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Ingests a reconstructed histogram by dynamic name (see
+    /// [`MetricSet::ingest_counter`]).
+    pub fn ingest_histogram(&mut self, name: &str, hist: StepHistogram) -> bool {
+        match names::lookup_histogram(name) {
+            Some(n) => {
+                self.histograms.entry(n).or_default().merge(&hist);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Ingests exemplar keys by dynamic counter name (see
+    /// [`MetricSet::ingest_counter`]).
+    pub fn ingest_exemplars<'a>(
+        &mut self,
+        name: &str,
+        keys: impl IntoIterator<Item = &'a str>,
+    ) -> bool {
+        match names::lookup_counter(name) {
+            Some(n) => {
+                let set = self.exemplars.entry(n).or_default();
+                for key in keys {
+                    set.offer(key);
+                }
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -149,5 +265,57 @@ mod tests {
     #[cfg(debug_assertions)]
     fn unregistered_counter_name_is_rejected() {
         MetricSet::new().counter_add("nope.nope", 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered histogram")]
+    #[cfg(debug_assertions)]
+    fn unregistered_histogram_name_is_rejected() {
+        MetricSet::new().histogram_record("nope.nope", 1);
+    }
+
+    #[test]
+    fn histograms_sum_on_merge() {
+        let mut a = MetricSet::new();
+        a.histogram_record(names::DP_CHUNK_STEPS, 3);
+        let mut b = MetricSet::new();
+        b.histogram_record(names::DP_CHUNK_STEPS, 9);
+        b.histogram_record(names::INTERVAL_SCENARIO_STEPS, 1);
+        a.merge(&b);
+        let h = a.histogram(names::DP_CHUNK_STEPS).unwrap();
+        assert_eq!((h.count(), h.sum()), (2, 12));
+        assert!(a.histogram(names::INTERVAL_SCENARIO_STEPS).is_some());
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    #[cfg(feature = "exemplars")]
+    fn exemplars_union_on_merge() {
+        let mut a = MetricSet::new();
+        a.exemplar_offer(names::BREAKER_TRIPS, "S2");
+        let mut b = MetricSet::new();
+        b.exemplar_offer(names::BREAKER_TRIPS, "S0");
+        a.merge(&b);
+        let (name, set) = a.exemplars().next().unwrap();
+        assert_eq!(name, names::BREAKER_TRIPS);
+        assert_eq!(set.keys(), ["S0", "S2"]);
+    }
+
+    #[test]
+    fn ingest_validates_against_the_registry() {
+        let mut m = MetricSet::new();
+        assert!(m.ingest_counter("dp.cache_hits", 2));
+        assert!(!m.ingest_counter("dp.cache_peak", 2), "gauge, not counter");
+        assert!(!m.ingest_counter("made.up", 2));
+        assert!(m.ingest_gauge("dp.cache_peak", 5));
+        assert!(!m.ingest_gauge("dp.cache_hits", 5));
+        let mut h = crate::hist::StepHistogram::new();
+        h.record(4);
+        assert!(m.ingest_histogram("dp.chunk_steps", h.clone()));
+        assert!(!m.ingest_histogram("dp.cache_hits", h));
+        assert!(m.ingest_exemplars("breaker.trips", ["S1"]));
+        assert!(!m.ingest_exemplars("made.up", ["S1"]));
+        assert_eq!(m.counter(names::DP_CACHE_HITS), 2);
+        assert_eq!(m.histogram(names::DP_CHUNK_STEPS).unwrap().sum(), 4);
     }
 }

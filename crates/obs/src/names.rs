@@ -147,6 +147,81 @@ pub const DELTA_RECOMPILES_FORCED: &str = "delta.recompiles_forced";
 /// projected structure was unchanged, so no compile or traversal ran).
 pub const DELTA_RESULTS_REUSED: &str = "delta.results_reused";
 
+/// Histogram: budget ticks charged by each DP chunk worker.
+pub const DP_CHUNK_STEPS: &str = "dp.chunk_steps";
+
+/// Histogram: budget ticks charged by each consensus subset sweep.
+pub const CONSENSUS_SWEEP_STEPS: &str = "consensus.sweep_steps";
+
+/// Histogram: budget ticks charged compiling a confidence circuit.
+pub const CIRCUIT_COMPILE_STEPS: &str = "circuit.compile_steps";
+
+/// Histogram: budget ticks charged traversing a compiled circuit.
+pub const CIRCUIT_TRAVERSE_STEPS: &str = "circuit.traverse_steps";
+
+/// Histogram: budget ticks charged analysing one availability scenario
+/// of a partial-availability interval run.
+pub const INTERVAL_SCENARIO_STEPS: &str = "interval.scenario_steps";
+
+/// Histogram: budget ticks charged by each incremental-maintenance
+/// epoch of a delta-stream replay.
+pub const DELTA_EPOCH_STEPS: &str = "delta.epoch_steps";
+
+/// Histogram: backoff ticks charged before each fetch retry (the
+/// distribution behind the `source.backoff_ticks` total).
+pub const SOURCE_BACKOFF_STEPS: &str = "source.backoff_steps";
+
+/// Span: one resilient consistency-check ladder run.
+pub const SPAN_RESILIENT_CHECK: &str = "resilient.check";
+
+/// Span: one resilient confidence ladder run.
+pub const SPAN_RESILIENT_CONFIDENCE: &str = "resilient.confidence";
+
+/// Span: the partial-availability interval phase of a faulted run.
+pub const SPAN_RESILIENT_PARTIAL: &str = "resilient.partial";
+
+/// Span: one delta-stream maintenance replay.
+pub const SPAN_RESILIENT_STREAM: &str = "resilient.stream";
+
+/// Span: one ladder rung attempt (`engine` attribute carries the rung).
+pub const SPAN_LADDER_RUNG: &str = "ladder.rung";
+
+/// Span: one chunked DP engine run.
+pub const SPAN_DP_RUN: &str = "dp.run";
+
+/// Span: one DP chunk executed by a `run_chunks` worker.
+pub const SPAN_DP_CHUNK: &str = "dp.chunk";
+
+/// Span: compiling a confidence circuit.
+pub const SPAN_CIRCUIT_COMPILE: &str = "circuit.compile";
+
+/// Span: traversing a compiled confidence circuit.
+pub const SPAN_CIRCUIT_TRAVERSE: &str = "circuit.traverse";
+
+/// Span: one partial-availability interval analysis over all scenarios.
+pub const SPAN_INTERVAL_RUN: &str = "interval.run";
+
+/// Span: one availability scenario analysed by an interval worker.
+pub const SPAN_INTERVAL_SCENARIO: &str = "interval.scenario";
+
+/// Span: one source-catalog fetch pass through the recovery stack.
+pub const SPAN_SOURCE_FETCH: &str = "source.fetch";
+
+/// Span: the consensus subset sweep over the shared DP cache.
+pub const SPAN_CONSENSUS_SWEEP: &str = "consensus.dp_sweep";
+
+/// Event: a resilient ladder degraded to a lower rung.
+pub const EVENT_LADDER_DEGRADE: &str = "ladder.degrade";
+
+/// Event: a budget trip observed by an instrumented phase.
+pub const EVENT_BUDGET_TRIP: &str = "budget.trip";
+
+/// Event: a fetch was denied by an open (quarantining) breaker.
+pub const EVENT_SOURCE_QUARANTINED: &str = "source.quarantined";
+
+/// Event: a circuit breaker tripped open.
+pub const EVENT_BREAKER_TRIP: &str = "breaker.trip";
+
 /// Gauge: residual-DP peak live cache entries (high-water mark).
 pub const DP_CACHE_PEAK: &str = "dp.cache_peak";
 
@@ -197,6 +272,42 @@ pub const COUNTERS: [&str; 36] = [
 /// All registered gauge names, in stable reporting order.
 pub const GAUGES: [&str; 2] = [DP_CACHE_PEAK, CHUNKS_STOLEN];
 
+/// All registered histogram names, in stable reporting order.
+pub const HISTOGRAMS: [&str; 7] = [
+    DP_CHUNK_STEPS,
+    CONSENSUS_SWEEP_STEPS,
+    CIRCUIT_COMPILE_STEPS,
+    CIRCUIT_TRAVERSE_STEPS,
+    INTERVAL_SCENARIO_STEPS,
+    DELTA_EPOCH_STEPS,
+    SOURCE_BACKOFF_STEPS,
+];
+
+/// All registered span names, in stable reporting order.
+pub const SPANS: [&str; 13] = [
+    SPAN_RESILIENT_CHECK,
+    SPAN_RESILIENT_CONFIDENCE,
+    SPAN_RESILIENT_PARTIAL,
+    SPAN_RESILIENT_STREAM,
+    SPAN_LADDER_RUNG,
+    SPAN_DP_RUN,
+    SPAN_DP_CHUNK,
+    SPAN_CIRCUIT_COMPILE,
+    SPAN_CIRCUIT_TRAVERSE,
+    SPAN_INTERVAL_RUN,
+    SPAN_INTERVAL_SCENARIO,
+    SPAN_SOURCE_FETCH,
+    SPAN_CONSENSUS_SWEEP,
+];
+
+/// All registered event names, in stable reporting order.
+pub const EVENTS: [&str; 4] = [
+    EVENT_LADDER_DEGRADE,
+    EVENT_BUDGET_TRIP,
+    EVENT_SOURCE_QUARANTINED,
+    EVENT_BREAKER_TRIP,
+];
+
 /// Is `name` a registered counter?
 #[must_use]
 pub fn is_counter(name: &str) -> bool {
@@ -209,28 +320,96 @@ pub fn is_gauge(name: &str) -> bool {
     GAUGES.contains(&name)
 }
 
+/// Is `name` a registered histogram?
+#[must_use]
+pub fn is_histogram(name: &str) -> bool {
+    HISTOGRAMS.contains(&name)
+}
+
+/// Is `name` a registered span?
+#[must_use]
+pub fn is_span(name: &str) -> bool {
+    SPANS.contains(&name)
+}
+
+/// Is `name` a registered event?
+#[must_use]
+pub fn is_event(name: &str) -> bool {
+    EVENTS.contains(&name)
+}
+
+/// Resolves a dynamic counter name to its registry constant — the trace
+/// parser's way back from JSONL text to `&'static str` names.
+#[must_use]
+pub fn lookup_counter(name: &str) -> Option<&'static str> {
+    COUNTERS.iter().find(|&&c| c == name).copied()
+}
+
+/// Resolves a dynamic gauge name to its registry constant.
+#[must_use]
+pub fn lookup_gauge(name: &str) -> Option<&'static str> {
+    GAUGES.iter().find(|&&g| g == name).copied()
+}
+
+/// Resolves a dynamic histogram name to its registry constant.
+#[must_use]
+pub fn lookup_histogram(name: &str) -> Option<&'static str> {
+    HISTOGRAMS.iter().find(|&&h| h == name).copied()
+}
+
+/// Resolves a dynamic span name to its registry constant.
+#[must_use]
+pub fn lookup_span(name: &str) -> Option<&'static str> {
+    SPANS.iter().find(|&&s| s == name).copied()
+}
+
+/// Resolves a dynamic event name to its registry constant.
+#[must_use]
+pub fn lookup_event(name: &str) -> Option<&'static str> {
+    EVENTS.iter().find(|&&e| e == name).copied()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn all_names() -> impl Iterator<Item = &'static str> {
+        COUNTERS
+            .iter()
+            .chain(GAUGES.iter())
+            .chain(HISTOGRAMS.iter())
+            .chain(SPANS.iter())
+            .chain(EVENTS.iter())
+            .copied()
+    }
+
     #[test]
     fn registries_are_disjoint_and_duplicate_free() {
-        let mut all: Vec<&str> = COUNTERS.iter().chain(GAUGES.iter()).copied().collect();
+        let mut all: Vec<&str> = all_names().collect();
         let n = all.len();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), n, "metric names must be unique across kinds");
         for c in COUNTERS {
-            assert!(is_counter(c) && !is_gauge(c));
+            assert!(is_counter(c) && !is_gauge(c) && !is_histogram(c));
         }
         for g in GAUGES {
             assert!(is_gauge(g) && !is_counter(g));
+        }
+        for h in HISTOGRAMS {
+            assert!(is_histogram(h) && !is_counter(h) && !is_gauge(h));
+        }
+        for s in SPANS {
+            assert!(is_span(s) && !is_counter(s) && !is_event(s));
+        }
+        for e in EVENTS {
+            assert!(is_event(e) && !is_span(e) && !is_counter(e));
         }
     }
 
     #[test]
     fn names_use_the_dotted_lowercase_convention() {
-        for name in COUNTERS.iter().chain(GAUGES.iter()) {
+        for name in all_names() {
             assert!(
                 name.contains('.')
                     && name
@@ -239,5 +418,26 @@ mod tests {
                 "{name} breaks the `component.metric_name` convention"
             );
         }
+    }
+
+    #[test]
+    fn lookup_round_trips_every_registered_name() {
+        for c in COUNTERS {
+            assert_eq!(lookup_counter(c), Some(c));
+        }
+        for g in GAUGES {
+            assert_eq!(lookup_gauge(g), Some(g));
+        }
+        for h in HISTOGRAMS {
+            assert_eq!(lookup_histogram(h), Some(h));
+        }
+        for s in SPANS {
+            assert_eq!(lookup_span(s), Some(s));
+        }
+        for e in EVENTS {
+            assert_eq!(lookup_event(e), Some(e));
+        }
+        assert_eq!(lookup_counter("made.up"), None);
+        assert_eq!(lookup_span(DP_CACHE_HITS), None);
     }
 }

@@ -102,6 +102,41 @@ impl ObsSession {
         self.metrics.gauge_max(name, value);
     }
 
+    /// Records one measurement into histogram `name`.
+    #[inline]
+    pub fn histogram_record(&mut self, name: &'static str, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.metrics.histogram_record(name, value);
+    }
+
+    /// Offers an exemplar key under counter `name` (no-op without the
+    /// `exemplars` cargo feature).
+    #[inline]
+    pub fn exemplar(&mut self, name: &'static str, key: &str) {
+        if !self.enabled {
+            return;
+        }
+        self.metrics.exemplar_offer(name, key);
+    }
+
+    /// Charges `delta` budget ticks: adds to the `budget.ticks` counter
+    /// *and* attributes the same delta to the innermost open span, in
+    /// one call — the pairing that keeps "sum of span `self_steps` ==
+    /// `budget.ticks` total" true by construction. Serial instrumented
+    /// phases call this with a measured `Budget::steps()` delta; chunk
+    /// workers make the equivalent pair of calls against their local
+    /// `MetricSet`/`SpanStack`.
+    #[inline]
+    pub fn charge_steps(&mut self, delta: u64) {
+        if !self.enabled || delta == 0 {
+            return;
+        }
+        self.metrics.counter_add(crate::names::BUDGET_TICKS, delta);
+        self.spans.charge(delta);
+    }
+
     /// Opens a span at `now_ns` (budget-clock nanoseconds).
     #[inline]
     pub fn span_open(&mut self, name: &'static str, now_ns: u64) {
@@ -161,9 +196,10 @@ impl ObsSession {
         self.spans.graft(spans);
     }
 
-    /// Finishes the session: emits every record to the sink (spans,
-    /// then events, then counters and gauges in name order — a stable
-    /// order so traces diff cleanly) and returns the report.
+    /// Finishes the session: emits every record to the sink (the schema
+    /// header first, then spans, events, counters, gauges, histograms,
+    /// and exemplars, each group in name order — a stable order so
+    /// traces diff cleanly) and returns the report.
     pub fn finish(self) -> ObsReport {
         let ObsSession {
             enabled,
@@ -177,6 +213,7 @@ impl ObsSession {
         }
         let spans = spans.finish();
         if let Some(mut sink) = sink {
+            sink.emit(&Record::Header);
             for span in &spans {
                 sink.emit(&Record::Span(span));
             }
@@ -188,6 +225,12 @@ impl ObsSession {
             }
             for (name, value) in metrics.gauges() {
                 sink.emit(&Record::Gauge { name, value });
+            }
+            for (name, hist) in metrics.histograms() {
+                sink.emit(&Record::Histogram { name, hist });
+            }
+            for (name, keys) in metrics.exemplars() {
+                sink.emit(&Record::Exemplar { name, keys });
             }
             sink.flush_sink();
         }
@@ -283,13 +326,35 @@ mod tests {
         s.event("ladder.degrade", 2, &[("to", "dp")]);
         s.counter_add(names::BUDGET_TICKS, 7);
         s.gauge_max(names::DP_CACHE_PEAK, 2);
+        s.histogram_record(names::DP_CHUNK_STEPS, 7);
         let _ = s.finish();
         let lines = lines.borrow();
-        assert_eq!(lines.len(), 4);
-        assert!(lines[0].contains("\"type\":\"span\""));
-        assert!(lines[1].contains("\"type\":\"event\""));
-        assert!(lines[2].contains("\"type\":\"counter\""));
-        assert!(lines[3].contains("\"type\":\"gauge\""));
+        assert_eq!(lines.len(), 6);
+        assert_eq!(lines[0], "{\"pscds_trace\":1}");
+        assert!(lines[1].contains("\"type\":\"span\""));
+        assert!(lines[2].contains("\"type\":\"event\""));
+        assert!(lines[3].contains("\"type\":\"counter\""));
+        assert!(lines[4].contains("\"type\":\"gauge\""));
+        assert!(lines[5].contains("\"type\":\"histogram\""));
+    }
+
+    #[test]
+    fn charge_steps_pairs_counter_and_span_attribution() {
+        let mut s = ObsSession::in_memory();
+        s.span_open("dp.run", 0);
+        s.charge_steps(4);
+        s.span_open("dp.chunk", 1);
+        s.charge_steps(9);
+        s.span_close(2);
+        s.charge_steps(0); // zero deltas record nothing
+        s.span_close(3);
+        let report = s.finish();
+        assert_eq!(report.metrics.counter(names::BUDGET_TICKS), 13);
+        let run = &report.spans[0];
+        assert_eq!(run.self_steps, 4);
+        assert_eq!(run.total_steps(), 13);
+        let charged: u64 = report.spans.iter().map(Span::total_steps).sum();
+        assert_eq!(charged, report.metrics.counter(names::BUDGET_TICKS));
     }
 
     #[test]

@@ -7,13 +7,21 @@
 //! never read clocks: timestamps arrive inside the records, already in
 //! budget-clock nanoseconds (enforced by the L6 `obs-api` lint).
 
+use crate::exemplar::ExemplarSet;
+use crate::hist::StepHistogram;
 use crate::session::Event;
 use crate::span::Span;
 use std::io::Write;
 
+/// The trace schema version emitted in the [`Record::Header`] line and
+/// required by the trace parser.
+pub const TRACE_VERSION: u64 = 1;
+
 /// One record crossing the sink boundary.
 #[derive(Clone, Debug)]
 pub enum Record<'a> {
+    /// The schema/version header — always the first line of a trace.
+    Header,
     /// A completed root span (children nested inside).
     Span(&'a Span),
     /// A merged counter total.
@@ -29,6 +37,20 @@ pub enum Record<'a> {
         name: &'static str,
         /// Max-merged value.
         value: u64,
+    },
+    /// A merged step histogram (sparse `[index, count]` bucket pairs).
+    Histogram {
+        /// Registered histogram name.
+        name: &'static str,
+        /// Merged histogram.
+        hist: &'a StepHistogram,
+    },
+    /// The exemplar keys retained under a counter.
+    Exemplar {
+        /// Registered counter name the keys attach to.
+        name: &'static str,
+        /// The K lexicographically smallest offending keys.
+        keys: &'a ExemplarSet,
     },
     /// A point event (e.g. a ladder degradation with engine provenance).
     Event(&'a Event),
@@ -121,6 +143,11 @@ impl<W: Write> Sink for JsonlSink<W> {
 pub fn render_record(record: &Record<'_>) -> String {
     let mut out = String::new();
     match record {
+        Record::Header => {
+            out.push_str("{\"pscds_trace\":");
+            out.push_str(&TRACE_VERSION.to_string());
+            out.push('}');
+        }
         Record::Span(span) => render_span(span, &mut out),
         Record::Counter { name, value } => {
             out.push_str("{\"type\":\"counter\",\"name\":");
@@ -135,6 +162,38 @@ pub fn render_record(record: &Record<'_>) -> String {
             out.push_str(",\"value\":");
             out.push_str(&value.to_string());
             out.push('}');
+        }
+        Record::Histogram { name, hist } => {
+            out.push_str("{\"type\":\"histogram\",\"name\":");
+            push_json_str(&mut out, name);
+            out.push_str(",\"count\":");
+            out.push_str(&hist.count().to_string());
+            out.push_str(",\"sum\":");
+            out.push_str(&hist.sum().to_string());
+            out.push_str(",\"buckets\":[");
+            for (i, (index, count)) in hist.buckets().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                out.push_str(&index.to_string());
+                out.push(',');
+                out.push_str(&count.to_string());
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        Record::Exemplar { name, keys } => {
+            out.push_str("{\"type\":\"exemplar\",\"name\":");
+            push_json_str(&mut out, name);
+            out.push_str(",\"keys\":[");
+            for (i, key) in keys.keys().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_json_str(&mut out, key);
+            }
+            out.push_str("]}");
         }
         Record::Event(event) => {
             out.push_str("{\"type\":\"event\",\"name\":");
@@ -156,6 +215,8 @@ fn render_span(span: &Span, out: &mut String) {
     out.push_str(&span.start_ns.to_string());
     out.push_str(",\"end_ns\":");
     out.push_str(&span.end_ns.to_string());
+    out.push_str(",\"self_steps\":");
+    out.push_str(&span.self_steps.to_string());
     out.push_str(",\"attrs\":");
     push_attrs(out, &span.attrs);
     out.push_str(",\"children\":[");
@@ -227,26 +288,50 @@ mod tests {
 
     #[test]
     fn span_lines_nest_children() {
-        let span = Span {
-            name: "dp.run",
-            attrs: vec![("engine", "dp".to_owned())],
-            start_ns: 5,
-            end_ns: 9,
-            children: vec![Span {
-                name: "dp.chunk",
-                attrs: vec![("chunk", "0".to_owned())],
-                start_ns: 6,
-                end_ns: 8,
-                children: Vec::new(),
-            }],
-        };
+        let mut span = Span::new("dp.run", 5, 9);
+        span.attrs.push(("engine", "dp".to_owned()));
+        let mut chunk = Span::new("dp.chunk", 6, 8);
+        chunk.attrs.push(("chunk", "0".to_owned()));
+        chunk.self_steps = 17;
+        span.children.push(chunk);
         let line = render_record(&Record::Span(&span));
         assert_eq!(
             line,
             "{\"type\":\"span\",\"name\":\"dp.run\",\"start_ns\":5,\"end_ns\":9,\
-             \"attrs\":{\"engine\":\"dp\"},\"children\":[{\"type\":\"span\",\
-             \"name\":\"dp.chunk\",\"start_ns\":6,\"end_ns\":8,\
+             \"self_steps\":0,\"attrs\":{\"engine\":\"dp\"},\"children\":[{\"type\":\"span\",\
+             \"name\":\"dp.chunk\",\"start_ns\":6,\"end_ns\":8,\"self_steps\":17,\
              \"attrs\":{\"chunk\":\"0\"},\"children\":[]}]}"
+        );
+    }
+
+    #[test]
+    fn header_histogram_and_exemplar_lines() {
+        assert_eq!(render_record(&Record::Header), "{\"pscds_trace\":1}");
+
+        let mut hist = StepHistogram::new();
+        hist.record(0);
+        hist.record(3);
+        hist.record(3);
+        let h = render_record(&Record::Histogram {
+            name: crate::names::DP_CHUNK_STEPS,
+            hist: &hist,
+        });
+        assert_eq!(
+            h,
+            "{\"type\":\"histogram\",\"name\":\"dp.chunk_steps\",\
+             \"count\":3,\"sum\":6,\"buckets\":[[0,1],[2,2]]}"
+        );
+
+        let mut keys = ExemplarSet::new();
+        keys.offer("S2");
+        keys.offer("S0");
+        let e = render_record(&Record::Exemplar {
+            name: crate::names::BREAKER_TRIPS,
+            keys: &keys,
+        });
+        assert_eq!(
+            e,
+            "{\"type\":\"exemplar\",\"name\":\"breaker.trips\",\"keys\":[\"S0\",\"S2\"]}"
         );
     }
 

@@ -23,11 +23,38 @@ pub struct Span {
     pub start_ns: u64,
     /// Budget-clock nanoseconds at close (`== start_ns` when force-closed).
     pub end_ns: u64,
+    /// Budget ticks charged to this span while it was the *innermost*
+    /// open span (its exclusive step cost; see [`SpanStack::charge`]).
+    pub self_steps: u64,
     /// Nested child spans in completion order.
     pub children: Vec<Span>,
 }
 
 impl Span {
+    /// An empty span covering `[start_ns, end_ns]` — the trace parser's
+    /// reconstruction entry point (attrs, children, and `self_steps` are
+    /// filled in field by field; live instrumentation goes through
+    /// [`SpanStack`] instead).
+    #[must_use]
+    pub fn new(name: &'static str, start_ns: u64, end_ns: u64) -> Self {
+        Span {
+            name,
+            attrs: Vec::new(),
+            start_ns,
+            end_ns,
+            self_steps: 0,
+            children: Vec::new(),
+        }
+    }
+
+    /// The span's inclusive step cost: its own `self_steps` plus every
+    /// descendant's.
+    #[must_use]
+    pub fn total_steps(&self) -> u64 {
+        self.children.iter().fold(self.self_steps, |acc, c| {
+            acc.saturating_add(c.total_steps())
+        })
+    }
     /// The structure of the span tree with timings erased:
     /// `name{k=v,…}[child,…]`. Two instrumented runs that did the same
     /// work produce equal skeletons even though their nanosecond stamps
@@ -41,6 +68,10 @@ impl Span {
 
     fn render_skeleton(&self, out: &mut String) {
         out.push_str(self.name);
+        if self.self_steps > 0 {
+            out.push('#');
+            out.push_str(&self.self_steps.to_string());
+        }
         if !self.attrs.is_empty() {
             out.push('{');
             for (i, (k, v)) in self.attrs.iter().enumerate() {
@@ -84,13 +115,31 @@ impl SpanStack {
 
     /// Opens a child span of the innermost open span (or a new root).
     pub fn open(&mut self, name: &'static str, now_ns: u64) {
-        self.open.push(Span {
-            name,
-            attrs: Vec::new(),
-            start_ns: now_ns,
-            end_ns: now_ns,
-            children: Vec::new(),
-        });
+        self.open.push(Span::new(name, now_ns, now_ns));
+    }
+
+    /// [`SpanStack::open`] under the name the emission lints recognise —
+    /// worker-side instrumentation (which records into a local stack
+    /// instead of an `ObsSession`) opens its spans through this alias so
+    /// L9 `counter-coverage` sees the registry constant being wired.
+    pub fn span_open(&mut self, name: &'static str, now_ns: u64) {
+        self.open(name, now_ns);
+    }
+
+    /// Charges `steps` budget ticks to the innermost open span's
+    /// `self_steps`. No-op when nothing is open.
+    ///
+    /// **The pairing contract:** every `budget.ticks` counter emission
+    /// is paired with a `charge` of the same delta against the span
+    /// stack (and vice versa), so the sum of `self_steps` over a
+    /// finished trace equals the run's `budget.ticks` total exactly.
+    /// Charges are only measured at thread-invariant points — per-chunk
+    /// deltas inside `run_chunks` workers, or genuinely serial phases —
+    /// which keeps the attribution bit-identical at any thread count.
+    pub fn charge(&mut self, steps: u64) {
+        if let Some(span) = self.open.last_mut() {
+            span.self_steps = span.self_steps.saturating_add(steps);
+        }
     }
 
     /// Attaches an attribute to the innermost open span. No-op when no
@@ -210,13 +259,41 @@ mod tests {
     #[test]
     fn graft_with_no_open_span_creates_roots() {
         let mut s = SpanStack::new();
-        s.graft([Span {
-            name: "orphan",
-            attrs: Vec::new(),
-            start_ns: 0,
-            end_ns: 1,
-            children: Vec::new(),
-        }]);
+        s.graft([Span::new("orphan", 0, 1)]);
         assert_eq!(s.finish().len(), 1);
+    }
+
+    #[test]
+    fn charge_attributes_to_the_innermost_open_span() {
+        let mut s = SpanStack::new();
+        s.charge(99); // nothing open: dropped
+        s.span_open("dp.run", 0);
+        s.charge(2);
+        s.open("dp.chunk", 1);
+        s.charge(5);
+        s.close(2);
+        s.charge(3);
+        s.close(10);
+        let roots = s.finish();
+        let run = &roots[0];
+        assert_eq!(run.self_steps, 5);
+        assert_eq!(run.children[0].self_steps, 5);
+        assert_eq!(run.total_steps(), 10);
+    }
+
+    #[test]
+    fn skeleton_renders_self_steps_only_when_charged() {
+        let mut s = SpanStack::new();
+        s.open("dp.run", 0);
+        s.open("dp.chunk", 1);
+        s.charge(7);
+        s.close(2);
+        s.close(3);
+        assert_eq!(s.finish()[0].skeleton(), "dp.run[dp.chunk#7]");
+
+        let mut plain = SpanStack::new();
+        plain.open("dp.run", 0);
+        plain.close(1);
+        assert_eq!(plain.finish()[0].skeleton(), "dp.run");
     }
 }

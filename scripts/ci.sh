@@ -119,6 +119,48 @@ diff -u "$smoke_dir/counters-serial.txt" "$smoke_dir/counters-par4.txt" || {
     exit 1
 }
 
+# Step-attribution profiler gate (DESIGN.md §3.16): the summary must
+# show the attribution invariant holding (span self-steps == the
+# budget.ticks counter), and `pscds-trace diff` between the serial and
+# 4-thread traces must see zero drift at threshold 0 — counters and
+# histogram count/sum pairs are part of the determinism contract.
+echo "==> pscds-trace (step-attribution summary + zero cross-thread drift)"
+pscds_trace() {
+    cargo run -q --manifest-path "$OLDPWD/Cargo.toml" \
+        -p pscds-bench --release --bin pscds-trace -- "$@"
+}
+(cd "$smoke_dir" \
+    && pscds_trace summary trace-serial.jsonl > profile-serial.txt \
+    && pscds_trace critical-path trace-serial.jsonl > critical-serial.txt \
+    && pscds_trace diff trace-serial.jsonl trace-par4.jsonl > trace-drift.txt)
+attrib=$(awk '/^attributed steps:/ { print ($3 == $7) ? "ok" : "bad" }' \
+    "$smoke_dir/profile-serial.txt")
+[ "$attrib" = "ok" ] || {
+    echo "step attribution broken: span self-steps != budget.ticks" >&2
+    cat "$smoke_dir/profile-serial.txt" >&2
+    exit 1
+}
+[ -s "$smoke_dir/critical-serial.txt" ] || {
+    echo "pscds-trace critical-path produced no output" >&2
+    exit 1
+}
+grep -q '(no differences)' "$smoke_dir/trace-drift.txt" || {
+    echo "pscds-trace diff found cross-thread drift:" >&2
+    cat "$smoke_dir/trace-drift.txt" >&2
+    exit 1
+}
+
+# Wall-clock regression gate: the committed history has one record per
+# benchmark id (trivially green — it documents the format); the smoke
+# history accumulates a threads-1 and a threads-4 record per id, so the
+# newest-vs-previous comparison really runs. The 900% headroom keeps a
+# shared CI box from flaking while still catching order-of-magnitude
+# regressions.
+echo "==> bench_validate --regress (wall-clock history gate)"
+cargo run -q -p pscds-bench --release --bin bench_validate -- \
+    --regress BENCH_history.jsonl
+(cd "$smoke_dir" && bench_validate --regress BENCH_history.jsonl 900)
+
 # Fault suite: the robustness stack (DESIGN.md §3.12) end to end on the
 # Example 5.1 catalog under two fault seeds. Seed A is a transient blip
 # healed by the retry path — the answer must be byte-identical to a

@@ -9,11 +9,12 @@ use proptest::prelude::*;
 use pscds::core::confidence::{
     analyze_circuit, analyze_circuit_budgeted, analyze_circuit_conditional,
     analyze_circuit_conditional_budgeted, analyze_circuit_conditional_parallel,
-    analyze_circuit_parallel, analyze_circuit_topk, analyze_circuit_topk_budgeted,
-    analyze_circuit_topk_parallel, compile_circuit, count_dp, count_dp_observed, count_dp_shared,
-    count_dp_shared_parallel, count_intervals, count_intervals_budgeted, count_intervals_parallel,
-    CircuitConfig, ConfidenceAnalysis, DpConfig, LinearSystem, PossibleWorlds, SharedDpCache,
-    SignatureAnalysis,
+    analyze_circuit_observed, analyze_circuit_parallel, analyze_circuit_topk,
+    analyze_circuit_topk_budgeted, analyze_circuit_topk_parallel, compile_circuit,
+    compile_circuit_observed, count_dp, count_dp_observed, count_dp_shared,
+    count_dp_shared_parallel, count_intervals, count_intervals_budgeted, count_intervals_observed,
+    count_intervals_parallel, CircuitConfig, ConfidenceAnalysis, DpConfig, LinearSystem,
+    PossibleWorlds, SharedDpCache, SignatureAnalysis,
 };
 use pscds::core::consensus::{maximal_consistent_subsets, maximal_consistent_subsets_parallel};
 use pscds::core::consistency::{
@@ -401,6 +402,28 @@ proptest! {
                 ))),
             }
 
+            // count_intervals_observed is the parallel engine plus
+            // telemetry: same brackets, session enabled or disabled.
+            for enabled in [false, true] {
+                let mut obs = if enabled {
+                    ObsSession::in_memory()
+                } else {
+                    ObsSession::disabled()
+                };
+                let watched = count_intervals_observed(
+                    &identity, padding, &missing, &unlimited, &config, &mut obs,
+                );
+                match (&serial, &watched) {
+                    (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                    (Err(CoreError::InconsistentCollection),
+                     Err(CoreError::InconsistentCollection)) => {}
+                    (a, b) => return Err(TestCaseError::fail(format!(
+                        "observed twin disagrees at {threads} threads \
+                         (enabled={enabled}): {a:?} vs {b:?}"
+                    ))),
+                }
+            }
+
             let mut obs = ObsSession::disabled();
             let observed = check_resilient_observed(&collection, &dom, &unlimited, &config, &mut obs)
                 .expect("small universe");
@@ -627,6 +650,31 @@ proptest! {
                         .expect("consistent"),
                     full.clone()
                 );
+
+                // The observed pair (compile_circuit_observed +
+                // analyze_circuit_observed) is compile-then-traverse
+                // plus telemetry: bit-identical results, session
+                // enabled or disabled.
+                for enabled in [false, true] {
+                    let mut obs = if enabled {
+                        ObsSession::in_memory()
+                    } else {
+                        ObsSession::disabled()
+                    };
+                    let recompiled = compile_circuit_observed(
+                        SignatureAnalysis::new(&identity, padding),
+                        &unlimited,
+                        &CircuitConfig::default(),
+                        &mut obs,
+                    )
+                    .expect("unlimited budget");
+                    let watched = analyze_circuit_observed(
+                        &recompiled, &unlimited, &config, &mut obs,
+                    )
+                    .expect("unlimited budget");
+                    prop_assert_eq!(watched.world_count(), serial.world_count());
+                    prop_assert_eq!(watched.feasible_vectors(), serial.feasible_vectors());
+                }
             }
         }
     }

@@ -68,11 +68,17 @@ fn collections() -> impl Strategy<Value = SourceCollection> {
 }
 
 /// The deterministic portion of an [`ObsReport`]: counter totals in name
-/// order, span skeletons, and events modulo timestamps.
+/// order, span skeletons (which carry the `#self_steps` attribution
+/// suffix), events modulo timestamps, step histograms (count, sum, and
+/// sparse buckets — `dp.chunk_steps`, `interval.scenario_steps`,
+/// `source.backoff_steps`, `delta.epoch_steps`, …), and exemplar key
+/// sets. Everything here must be bit-identical at every thread count.
 type Digest = (
     Vec<(&'static str, u64)>,
     Vec<String>,
     Vec<(&'static str, Vec<(&'static str, String)>)>,
+    Vec<(&'static str, u64, u64, Vec<(usize, u64)>)>,
+    Vec<(&'static str, Vec<String>)>,
 );
 
 fn digest(report: &ObsReport) -> Digest {
@@ -83,7 +89,31 @@ fn digest(report: &ObsReport) -> Digest {
         .iter()
         .map(|e| (e.name, e.attrs.clone()))
         .collect();
-    (counters, spans, events)
+    let histograms = report
+        .metrics
+        .histograms()
+        .map(|(name, h)| (name, h.count(), h.sum(), h.buckets().collect()))
+        .collect();
+    let exemplars = report
+        .metrics
+        .exemplars()
+        .map(|(name, keys)| (name, keys.keys().to_vec()))
+        .collect();
+    (counters, spans, events, histograms, exemplars)
+}
+
+/// Sums every `#N` self-step charge in a rendered span skeleton
+/// (`name#N{attrs}[children…]`), i.e. the subtree's total attributed
+/// steps. No registered span name or attribute contains `#`.
+fn skeleton_steps(skeleton: &str) -> u64 {
+    let mut total = 0u64;
+    let mut rest = skeleton;
+    while let Some(pos) = rest.find('#') {
+        rest = &rest[pos + 1..];
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        total += digits.parse::<u64>().unwrap_or(0);
+    }
+    total
 }
 
 proptest! {
@@ -109,6 +139,15 @@ proptest! {
             let d = digest(&obs.finish());
             prop_assert!(!d.0.is_empty(), "observed run must record counters");
             prop_assert!(!d.1.is_empty(), "observed run must record a span tree");
+            prop_assert!(
+                d.3.iter().any(|(name, ..)| *name == "dp.chunk_steps"),
+                "observed DP must record the per-chunk step histogram"
+            );
+            // The attribution contract: span self-steps sum exactly to
+            // the budget.ticks counter, at every thread count.
+            let ticks = d.0.iter().find(|(n, _)| *n == "budget.ticks").map_or(0, |(_, v)| *v);
+            let charged: u64 = d.1.iter().map(|skel| skeleton_steps(skel)).sum();
+            prop_assert!(charged == ticks, "span self-steps {} != budget.ticks {}", charged, ticks);
             match &baseline {
                 None => baseline = Some((d, analysis)),
                 Some((d1, a1)) => {
